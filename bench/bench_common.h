@@ -1,0 +1,113 @@
+// bench_common.h - Shared fixtures for the experiment benches (see
+// DESIGN.md section 2 for the experiment index F1-F3, E1-E9).
+//
+// Scenario-driven benches report SIMULATED metrics (completions, goodput,
+// rejection rates) through benchmark counters; wall-clock time of the
+// underlying algorithms (negotiation, parsing, diagnosis) is what the
+// google-benchmark timers measure.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "matchmaker/matchmaker.h"
+#include "sim/rng.h"
+#include "sim/scenario.h"
+#include "sim/workload.h"
+
+namespace bench {
+
+/// Machine ads as the matchmaker would see them: `distinctClasses`
+/// controls value regularity (1 = perfectly regular pool, n = every ad
+/// unique). Ads follow the classic-idle shape with static idle state so
+/// negotiation outcomes are deterministic.
+inline std::vector<classad::ClassAdPtr> machineAds(std::size_t count,
+                                                   std::size_t distinctClasses,
+                                                   std::uint64_t seed = 1) {
+  htcsim::Rng rng(seed);
+  std::vector<classad::ClassAdPtr> ads;
+  ads.reserve(count);
+  static const char* kArch[] = {"INTEL", "SPARC"};
+  static const char* kOs[] = {"SOLARIS251", "LINUX"};
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t cls = distinctClasses ? i % distinctClasses : i;
+    classad::ClassAd ad;
+    ad.set("Type", "Machine");
+    ad.set("Name", "node" + std::to_string(i));
+    ad.set("ContactAddress", "ra://node" + std::to_string(i));
+    ad.set("Arch", kArch[cls % 2]);
+    ad.set("OpSys", kOs[(cls / 2) % 2]);
+    ad.set("Memory", static_cast<std::int64_t>(32 << (cls % 4)));
+    ad.set("Disk", static_cast<std::int64_t>(100000 + 1000 * (cls % 16)));
+    ad.set("Mips", static_cast<std::int64_t>(100 + 25 * (cls % 8)));
+    ad.set("KFlops", static_cast<std::int64_t>(20000 + 500 * (cls % 8)));
+    ad.set("KeyboardIdle", 1800);
+    ad.set("LoadAvg", 0.05);
+    ad.setExpr("Constraint",
+               "other.Type == \"Job\" && LoadAvg < 0.3 && KeyboardIdle > "
+               "15*60");
+    ad.set("Rank", 0);
+    (void)rng;
+    ads.push_back(classad::makeShared(std::move(ad)));
+  }
+  return ads;
+}
+
+/// Figure-2-shaped request ads from a rotating user population.
+inline std::vector<classad::ClassAdPtr> requestAds(std::size_t count,
+                                                   std::uint64_t seed = 2) {
+  htcsim::Rng rng(seed);
+  std::vector<classad::ClassAdPtr> ads;
+  ads.reserve(count);
+  static const char* kUsers[] = {"raman", "miron", "tannenba", "alice",
+                                 "bob"};
+  for (std::size_t i = 0; i < count; ++i) {
+    classad::ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", kUsers[i % 5]);
+    ad.set("JobId", static_cast<std::int64_t>(i + 1));
+    ad.set("ContactAddress", std::string("ca://") + kUsers[i % 5]);
+    ad.set("Memory", static_cast<std::int64_t>(16 << (rng.below(3))));
+    ad.set("Disk", 15000);
+    ad.setExpr("Constraint",
+               "other.Type == \"Machine\" && other.Memory >= self.Memory && "
+               "other.Disk >= self.Disk");
+    ad.setExpr("Rank", "KFlops/1E3 + other.Memory/32");
+    ads.push_back(classad::makeShared(std::move(ad)));
+  }
+  return ads;
+}
+
+/// Standard pool scenario used by the E-benches; callers tweak fields.
+inline htcsim::ScenarioConfig standardScenario() {
+  htcsim::ScenarioConfig config;
+  config.seed = 777;
+  config.duration = 4 * 3600.0;
+  config.machines.count = 60;
+  config.workload.users = {"raman", "miron", "tannenba", "alice", "rival"};
+  config.workload.jobsPerUserPerHour = 20.0;
+  config.workload.meanWork = 600.0;
+  return config;
+}
+
+/// Copies the headline pool metrics into benchmark counters.
+inline void reportPool(benchmark::State& state, const htcsim::Metrics& m,
+                       double duration, std::size_t machines) {
+  state.counters["jobs_done"] = static_cast<double>(m.jobsCompleted);
+  state.counters["jobs_sub"] = static_cast<double>(m.jobsSubmitted);
+  state.counters["thru_per_h"] = m.throughputPerHour(duration);
+  state.counters["util_pct"] = 100.0 * m.utilization(duration, machines);
+  state.counters["wait_s"] = m.meanWaitTime();
+  state.counters["goodput_pct"] = 100.0 * m.goodputFraction();
+  state.counters["badput_cpu_s"] = m.badputCpuSeconds;
+  state.counters["claims_rej"] = static_cast<double>(m.claimsRejected);
+  state.counters["preempt_owner"] =
+      static_cast<double>(m.preemptionsByOwner);
+  state.counters["preempt_rank"] = static_cast<double>(m.preemptionsByRank);
+}
+
+}  // namespace bench

@@ -1,0 +1,98 @@
+// E10 - Co-allocation via gang matching (extension; Sections 3.1 & 5:
+// nested classads are "a natural language for expressing resource
+// aggregates or co-allocation requests" that group matching can service).
+// Series: gang-match latency and success rate vs gang width (legs per
+// request) and vs resource scarcity. Shape: all-or-nothing semantics make
+// success drop sharply once legs approach the number of compatible
+// resources; backtracking keeps feasible gangs findable even when greedy
+// first choices collide.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+#include "matchmaker/gangmatch.h"
+
+namespace {
+
+classad::ClassAd gangRequest(std::size_t legs, std::int64_t memoryPerLeg) {
+  classad::ClassAd gang;
+  gang.set("Type", "Gang");
+  gang.set("Owner", "raman");
+  gang.set("ContactAddress", "ca://raman");
+  std::string requests = "{ ";
+  for (std::size_t i = 0; i < legs; ++i) {
+    if (i) requests += ", ";
+    requests += "[ Memory = " + std::to_string(memoryPerLeg) +
+                "; Constraint = other.Type == \"Machine\" && other.Memory "
+                ">= self.Memory; Rank = other.Mips ]";
+  }
+  requests += " }";
+  gang.setExpr("Requests", requests);
+  return gang;
+}
+
+void BM_E10_GangWidth(benchmark::State& state) {
+  const auto legs = static_cast<std::size_t>(state.range(0));
+  const auto resources = bench::machineAds(500, 12);
+  const classad::ClassAd gang = gangRequest(legs, 32);
+  matchmaking::GangMatcher matcher;
+  bool matched = false;
+  double totalRank = 0.0;
+  for (auto _ : state) {
+    const auto result = matcher.match(gang, resources);
+    matched = result.has_value();
+    totalRank = matched ? result->totalRank : 0.0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["legs"] = static_cast<double>(legs);
+  state.counters["matched"] = matched ? 1.0 : 0.0;
+  state.counters["total_rank"] = totalRank;
+}
+BENCHMARK(BM_E10_GangWidth)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/// Scarcity sweep: gangs of 8 big-memory legs against pools where only a
+/// fraction of machines qualify.
+void BM_E10_Scarcity(benchmark::State& state) {
+  // distinctClasses cycles memory 32..256; legs need >= the arg.
+  const auto resources = bench::machineAds(400, 4);
+  const std::int64_t need = state.range(0);
+  const classad::ClassAd gang = gangRequest(8, need);
+  matchmaking::GangMatcher matcher;
+  bool matched = false;
+  for (auto _ : state) {
+    const auto result = matcher.match(gang, resources);
+    matched = result.has_value();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["need_mb"] = static_cast<double>(need);
+  state.counters["matched"] = matched ? 1.0 : 0.0;
+}
+BENCHMARK(BM_E10_Scarcity)
+    ->Arg(32)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+/// A stream of gangs against one pool, resources consumed as they match:
+/// how many whole gangs fit (the matchmaking-throughput view).
+void BM_E10_GangStream(benchmark::State& state) {
+  const auto resources = bench::machineAds(300, 12);
+  const classad::ClassAd gang = gangRequest(4, 32);
+  matchmaking::GangMatcher matcher;
+  std::size_t gangsPlaced = 0;
+  for (auto _ : state) {
+    std::vector<bool> taken(resources.size(), false);
+    gangsPlaced = 0;
+    for (int g = 0; g < 100; ++g) {
+      if (matcher.match(gang, resources, &taken)) ++gangsPlaced;
+    }
+    benchmark::DoNotOptimize(taken);
+  }
+  state.counters["gangs_placed"] = static_cast<double>(gangsPlaced);
+  state.counters["resources"] = 300.0;
+}
+BENCHMARK(BM_E10_GangStream)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// E1 - Scalability claim (Sections 1, 3.2: "a robust, scalable and
+// flexible framework"). Series: negotiation-cycle latency and matched
+// pairs as the pool grows from 100 to 12800 machines with a proportional
+// request load, for both the naive O(R x N) matchmaker and the
+// group-matching variant. The paper reports no absolute numbers; the
+// shape to reproduce is near-linear cycle cost in pool size (each request
+// scans the pool once) and a large constant-factor win from aggregation
+// on regular pools.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+void runCycle(benchmark::State& state, bool aggregated) {
+  const auto poolSize = static_cast<std::size_t>(state.range(0));
+  const std::size_t requestCount = std::max<std::size_t>(10, poolSize / 20);
+  const auto resources = bench::machineAds(poolSize, /*distinctClasses=*/12);
+  const auto requests = bench::requestAds(requestCount);
+  matchmaking::MatchmakerConfig config;
+  config.useAggregation = aggregated;
+  matchmaking::Matchmaker matchmaker(config);
+  matchmaking::Accountant accountant;
+  matchmaking::NegotiationStats stats;
+  for (auto _ : state) {
+    const auto matches =
+        matchmaker.negotiate(requests, resources, accountant, 0.0, &stats);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["machines"] = static_cast<double>(poolSize);
+  state.counters["requests"] = static_cast<double>(requestCount);
+  state.counters["matches"] = static_cast<double>(stats.matches);
+  state.counters["evals"] = static_cast<double>(stats.candidateEvaluations);
+  state.counters["matches_per_s"] = benchmark::Counter(
+      static_cast<double>(stats.matches) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_E1_NaiveCycle(benchmark::State& state) { runCycle(state, false); }
+BENCHMARK(BM_E1_NaiveCycle)
+    ->RangeMultiplier(4)
+    ->Range(100, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E1_AggregatedCycle(benchmark::State& state) { runCycle(state, true); }
+BENCHMARK(BM_E1_AggregatedCycle)
+    ->RangeMultiplier(4)
+    ->Range(100, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+/// Ad-intake scalability: the collector's cost to absorb one full round
+/// of advertisements from an N-machine pool (parse-free path: ads arrive
+/// pre-parsed in-process; the cost is validation + store update).
+void BM_E1_AdIntake(benchmark::State& state) {
+  const auto poolSize = static_cast<std::size_t>(state.range(0));
+  const auto resources = bench::machineAds(poolSize, 12);
+  const matchmaking::AdvertisingProtocol protocol;
+  for (auto _ : state) {
+    matchmaking::AdStore store(300.0);
+    std::uint64_t seq = 0;
+    for (const auto& ad : resources) {
+      if (protocol.validateResource(*ad).accepted) {
+        store.update(protocol.keyOf(*ad), ad, 0.0, ++seq);
+      }
+    }
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(poolSize));
+  state.counters["machines"] = static_cast<double>(poolSize);
+}
+BENCHMARK(BM_E1_AdIntake)
+    ->RangeMultiplier(4)
+    ->Range(100, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E2 - Statelessness claim (Section 3: "the matchmaker is a stateless
+// service, which simplifies recovery in case of failure"; Section 3.2's
+// end-to-end argument: "The matchmaker does not need to retain any state
+// about the match"). Series: jobs completed and work lost across a
+// mid-run matchmaker crash of growing length, for the paper's stateless
+// design vs an implemented stateful-allocator strawman that must
+// resynchronize (killing "orphaned" claims) after losing its allocation
+// table. Shape to reproduce: the stateless design loses no running work
+// for any outage length; the stateful one loses more as more work is in
+// flight.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+htcsim::ScenarioConfig crashConfig(bool stateful, double outageSeconds) {
+  htcsim::ScenarioConfig config = bench::standardScenario();
+  config.seed = 1002;
+  config.machines.fracAlwaysAvailable = 1.0;  // isolate the crash variable
+  config.machines.fracClassicIdle = 0.0;
+  config.machines.fracFigure1 = 0.0;
+  config.workload.meanWork = 1500.0;          // long enough to straddle
+  config.workload.fracCheckpointable = 0.0;   // lost work is visible
+  config.workload.fracPlatformConstrained = 0.0;
+  config.manager.stateful = stateful;
+  if (outageSeconds > 0) {
+    config.managerOutages = {{2 * 3600.0, outageSeconds}};
+  }
+  return config;
+}
+
+void runCrash(benchmark::State& state, bool stateful) {
+  const double outage = static_cast<double>(state.range(0));
+  htcsim::Metrics metrics;
+  for (auto _ : state) {
+    htcsim::Scenario scenario(crashConfig(stateful, outage));
+    scenario.run();
+    metrics = scenario.metrics();
+  }
+  state.counters["outage_s"] = outage;
+  state.counters["jobs_done"] = static_cast<double>(metrics.jobsCompleted);
+  state.counters["work_lost_cpu_s"] = metrics.badputCpuSeconds;
+  state.counters["claims_reset"] =
+      static_cast<double>(metrics.orphanedClaimResets);
+  state.counters["mean_wait_s"] = metrics.meanWaitTime();
+}
+
+void BM_E2_StatelessMatchmaker(benchmark::State& state) {
+  runCrash(state, false);
+}
+BENCHMARK(BM_E2_StatelessMatchmaker)
+    ->Arg(0)
+    ->Arg(120)
+    ->Arg(600)
+    ->Arg(1800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E2_StatefulAllocatorStrawman(benchmark::State& state) {
+  runCrash(state, true);
+}
+BENCHMARK(BM_E2_StatefulAllocatorStrawman)
+    ->Arg(0)
+    ->Arg(120)
+    ->Arg(600)
+    ->Arg(1800)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

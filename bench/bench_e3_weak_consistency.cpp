@@ -1,0 +1,76 @@
+// E3 - Weak consistency (Section 3.2: "there is a possibility that the
+// matchmaker made a match with a stale advertisement. Claiming allows the
+// provider and customer to verify their constraints with respect to their
+// current state."). Series: claim-time rejection rate and owner-policy
+// violations vs advertisement refresh period, with the paper's claim-time
+// re-verification on (design) and off (ablation). Shape to reproduce:
+// rejections grow with staleness; with re-verification off the stale
+// matches become policy violations and wasted work instead of cheap
+// rejections.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+htcsim::ScenarioConfig staleConfig(double adInterval, bool reverify) {
+  htcsim::ScenarioConfig config = bench::standardScenario();
+  config.seed = 1003;
+  config.duration = 6 * 3600.0;
+  config.machines.count = 30;
+  config.machines.fracAlwaysAvailable = 0.0;
+  config.machines.fracClassicIdle = 1.0;
+  config.machines.fracFigure1 = 0.0;
+  config.machines.meanOwnerAbsence = 1800.0;  // churny owners
+  config.machines.meanOwnerSession = 900.0;
+  config.workload.fracPlatformConstrained = 0.0;
+  config.resourceAgent.adInterval = adInterval;
+  config.manager.adLifetime = 3 * adInterval;
+  config.resourceAgent.claimPolicy.reverifyConstraints = reverify;
+  return config;
+}
+
+void runStale(benchmark::State& state, bool reverify) {
+  const double adInterval = static_cast<double>(state.range(0));
+  htcsim::Metrics metrics;
+  for (auto _ : state) {
+    htcsim::Scenario scenario(staleConfig(adInterval, reverify));
+    scenario.run();
+    metrics = scenario.metrics();
+  }
+  const double issued =
+      std::max<double>(1.0, static_cast<double>(metrics.matchesIssued));
+  state.counters["ad_interval_s"] = adInterval;
+  state.counters["claim_rej_pct"] =
+      100.0 * static_cast<double>(metrics.claimsRejected) / issued;
+  state.counters["owner_evictions"] =
+      static_cast<double>(metrics.preemptionsByOwner);
+  state.counters["badput_cpu_s"] = metrics.badputCpuSeconds;
+  state.counters["jobs_done"] = static_cast<double>(metrics.jobsCompleted);
+  state.counters["stale_notes"] =
+      static_cast<double>(metrics.staleNotifications);
+}
+
+void BM_E3_WithReverification(benchmark::State& state) {
+  runStale(state, true);
+}
+BENCHMARK(BM_E3_WithReverification)
+    ->Arg(30)
+    ->Arg(120)
+    ->Arg(300)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E3_WithoutReverification(benchmark::State& state) {
+  runStale(state, false);
+}
+BENCHMARK(BM_E3_WithoutReverification)
+    ->Arg(30)
+    ->Arg(120)
+    ->Arg(300)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// E5 - Matchmaking vs conventional queue systems (Section 2: queue
+// submission "fixes the set of resources that may be used, and hinders
+// dynamic qualitative resource discovery"; Section 1: distributed
+// ownership defeats monolithic system models). Series: throughput,
+// utilization, and wait time on the SAME machine population and the SAME
+// job stream under (a) the matchmaking pool, (b) a queue scheduler that
+// safely uses only dedicated machines, and (c) a greedy queue scheduler
+// that uses everything and tramples owners. Sweep: fraction of the pool
+// that is distributively owned. Shape: matchmaking's advantage grows
+// with the distributively-owned share — it harvests those cycles within
+// owner policy, which (b) leaves idle and (c) can only use at the price
+// of owner disturbance and lost work.
+#include <benchmark/benchmark.h>
+
+#include "baseline/queue_scheduler.h"
+#include "bench_common.h"
+
+namespace {
+
+constexpr double kDuration = 6 * 3600.0;
+constexpr double kDrain = 2 * 3600.0;
+
+htcsim::MachinePoolConfig poolOf(double sharedFrac) {
+  htcsim::MachinePoolConfig machines;
+  machines.count = 40;
+  machines.fracAlwaysAvailable = 1.0 - sharedFrac;
+  machines.fracClassicIdle = sharedFrac;
+  machines.fracFigure1 = 0.0;
+  machines.meanOwnerAbsence = 2400.0;
+  machines.meanOwnerSession = 1200.0;
+  return machines;
+}
+
+htcsim::JobWorkloadConfig jobsConfig() {
+  htcsim::JobWorkloadConfig workload;
+  workload.users = {"alice", "bob", "carol", "dave"};
+  workload.jobsPerUserPerHour = 20.0;
+  workload.meanWork = 900.0;
+  workload.fracPlatformConstrained = 0.5;
+  return workload;
+}
+
+void BM_E5_Matchmaking(benchmark::State& state) {
+  const double sharedFrac = static_cast<double>(state.range(0)) / 100.0;
+  htcsim::Metrics metrics;
+  std::size_t machines = 0;
+  for (auto _ : state) {
+    htcsim::ScenarioConfig config;
+    config.seed = 1005;
+    config.duration = kDuration;
+    config.machines = poolOf(sharedFrac);
+    config.workload = jobsConfig();
+    htcsim::Scenario scenario(config);
+    scenario.runUntil(kDuration + kDrain);
+    metrics = scenario.metrics();
+    machines = scenario.machineCount();
+  }
+  state.counters["shared_pct"] = 100.0 * sharedFrac;
+  bench::reportPool(state, metrics, kDuration + kDrain, machines);
+}
+BENCHMARK(BM_E5_Matchmaking)
+    ->Arg(30)->Arg(60)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+void runQueueBaseline(benchmark::State& state, bool greedy) {
+  const double sharedFrac = static_cast<double>(state.range(0)) / 100.0;
+  htcsim::Metrics metrics;
+  baseline::BaselineExtraMetrics extra;
+  std::size_t enrolled = 0;
+  for (auto _ : state) {
+    htcsim::Simulator sim;
+    metrics = htcsim::Metrics();
+    htcsim::Rng rng(1005);
+    htcsim::Rng machineRng = rng.splitChild(htcsim::hashName("machines"));
+    auto specs = htcsim::generateMachines(poolOf(sharedFrac), machineRng);
+    baseline::QueueSchedulerConfig qsConfig;
+    qsConfig.useSharedMachines = greedy;
+    baseline::QueueScheduler scheduler(sim, std::move(specs), metrics,
+                                       rng.splitChild(1), qsConfig);
+    scheduler.start();
+    // The same per-user Poisson streams as the matchmaking run.
+    htcsim::Rng jobRng = rng.splitChild(htcsim::hashName("jobs"));
+    std::uint64_t nextId = 1;
+    const auto workload = jobsConfig();
+    for (const std::string& user : workload.users) {
+      htcsim::Rng userRng =
+          jobRng.splitChild(htcsim::hashName(user) ^ 0xA5A5ULL);
+      for (const htcsim::Time when :
+           htcsim::generateArrivals(workload, userRng, kDuration)) {
+        htcsim::Job job =
+            htcsim::generateJob(workload, userRng, nextId++, user);
+        sim.at(when, [&scheduler, job] { scheduler.submit(job); });
+      }
+    }
+    sim.runUntil(kDuration + kDrain);
+    extra = scheduler.extra();
+    enrolled = scheduler.machineCount();
+  }
+  state.counters["shared_pct"] = 100.0 * sharedFrac;
+  state.counters["enrolled"] = static_cast<double>(enrolled);
+  state.counters["owner_disturb"] =
+      static_cast<double>(extra.ownerDisturbances);
+  state.counters["unroutable"] = static_cast<double>(extra.unroutableJobs);
+  // Utilization against the FULL population (40): what the site's owners
+  // actually get out of their hardware.
+  bench::reportPool(state, metrics, kDuration + kDrain, 40);
+}
+
+void BM_E5_QueueDedicatedOnly(benchmark::State& state) {
+  runQueueBaseline(state, false);
+}
+BENCHMARK(BM_E5_QueueDedicatedOnly)
+    ->Arg(30)->Arg(60)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E5_QueueGreedy(benchmark::State& state) {
+  runQueueBaseline(state, true);
+}
+BENCHMARK(BM_E5_QueueGreedy)
+    ->Arg(30)->Arg(60)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

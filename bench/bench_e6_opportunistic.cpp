@@ -1,0 +1,125 @@
+// E6 - Opportunistic scheduling (Section 1: "Resources are used as soon
+// as they become available and applications are migrated when resources
+// need to be preempted. The applications that most benefit ... require
+// high throughput rather than high performance."). Series: goodput
+// fraction, preemption counts, and completed jobs vs owner-activity
+// intensity, with and without checkpointing. Shape: as owners get busier
+// preemptions rise; with checkpointing (Condor's migration) the work
+// survives as goodput, without it eviction turns directly into badput
+// and throughput collapses.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+htcsim::ScenarioConfig opportunisticConfig(double ownerAbsence,
+                                           bool checkpointing) {
+  htcsim::ScenarioConfig config = bench::standardScenario();
+  config.seed = 1006;
+  config.duration = 6 * 3600.0;
+  config.machines.count = 30;
+  config.machines.fracAlwaysAvailable = 0.0;
+  config.machines.fracClassicIdle = 1.0;
+  config.machines.fracFigure1 = 0.0;
+  config.machines.meanOwnerAbsence = ownerAbsence;
+  config.machines.meanOwnerSession = 900.0;
+  config.workload.meanWork = 1800.0;  // long jobs feel every eviction
+  config.workload.fracCheckpointable = checkpointing ? 1.0 : 0.0;
+  config.workload.fracPlatformConstrained = 0.0;
+  return config;
+}
+
+void runOpportunistic(benchmark::State& state, bool checkpointing) {
+  const double absence = static_cast<double>(state.range(0));
+  htcsim::Metrics metrics;
+  for (auto _ : state) {
+    htcsim::Scenario scenario(opportunisticConfig(absence, checkpointing));
+    scenario.run();
+    metrics = scenario.metrics();
+  }
+  state.counters["owner_absence_s"] = absence;
+  state.counters["jobs_done"] = static_cast<double>(metrics.jobsCompleted);
+  state.counters["preempt_owner"] =
+      static_cast<double>(metrics.preemptionsByOwner);
+  state.counters["goodput_pct"] = 100.0 * metrics.goodputFraction();
+  state.counters["badput_cpu_s"] = metrics.badputCpuSeconds;
+  state.counters["util_pct"] =
+      100.0 * metrics.utilization(6 * 3600.0, 30);
+}
+
+void BM_E6_WithCheckpointing(benchmark::State& state) {
+  runOpportunistic(state, true);
+}
+BENCHMARK(BM_E6_WithCheckpointing)
+    ->Arg(7200)   // quiet owners
+    ->Arg(3600)
+    ->Arg(1800)
+    ->Arg(900)    // hectic owners
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E6_WithoutCheckpointing(benchmark::State& state) {
+  runOpportunistic(state, false);
+}
+BENCHMARK(BM_E6_WithoutCheckpointing)
+    ->Arg(7200)
+    ->Arg(3600)
+    ->Arg(1800)
+    ->Arg(900)
+    ->Unit(benchmark::kMillisecond);
+
+/// Ablation: checkpointing that COSTS something. Sweep the per-eviction
+/// checkpoint overhead (reference CPU-seconds lost to taking the
+/// checkpoint) at a fixed, busy owner-activity level. Shape: goodput
+/// degrades gracefully with checkpoint cost and stays far above the
+/// no-checkpoint floor (the 1800 s row of the tables above).
+void BM_E6_CheckpointCost(benchmark::State& state) {
+  const double overhead = static_cast<double>(state.range(0));
+  htcsim::Metrics metrics;
+  for (auto _ : state) {
+    htcsim::ScenarioConfig config = opportunisticConfig(1800.0, true);
+    config.customerAgent.checkpointOverheadSeconds = overhead;
+    htcsim::Scenario scenario(config);
+    scenario.run();
+    metrics = scenario.metrics();
+  }
+  state.counters["ckpt_cost_s"] = overhead;
+  state.counters["jobs_done"] = static_cast<double>(metrics.jobsCompleted);
+  state.counters["goodput_pct"] = 100.0 * metrics.goodputFraction();
+  state.counters["badput_cpu_s"] = metrics.badputCpuSeconds;
+}
+BENCHMARK(BM_E6_CheckpointCost)
+    ->Arg(0)
+    ->Arg(30)
+    ->Arg(120)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+/// Ablation: the vacate-grace window. A grace period lets evicted jobs
+/// squeeze more work in before leaving (at the price of delaying the
+/// owner's exclusive use — counted as grace seconds of owner impact).
+void BM_E6_VacateGrace(benchmark::State& state) {
+  const double grace = static_cast<double>(state.range(0));
+  htcsim::Metrics metrics;
+  for (auto _ : state) {
+    htcsim::ScenarioConfig config = opportunisticConfig(1800.0, true);
+    config.resourceAgent.vacateGrace = grace;
+    htcsim::Scenario scenario(config);
+    scenario.run();
+    metrics = scenario.metrics();
+  }
+  state.counters["grace_s"] = grace;
+  state.counters["jobs_done"] = static_cast<double>(metrics.jobsCompleted);
+  state.counters["preempt_owner"] =
+      static_cast<double>(metrics.preemptionsByOwner);
+  state.counters["util_pct"] = 100.0 * metrics.utilization(6 * 3600.0, 30);
+}
+BENCHMARK(BM_E6_VacateGrace)
+    ->Arg(0)
+    ->Arg(60)
+    ->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E7 - Group matching (Section 5 future work: "automatically aggregating
+// classads so that matches may be performed in groups. Group matching may
+// be used to both boost matchmaking throughput..."). Series: negotiation
+// cycle time and candidate evaluations for the naive vs the aggregated
+// matchmaker as value regularity varies (number of distinct machine
+// classes in a 2000-machine pool). Shape: the speedup tracks regularity —
+// large on homogeneous pools, vanishing as every ad becomes unique.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+#include "matchmaker/aggregation.h"
+
+namespace {
+
+constexpr std::size_t kPool = 2000;
+constexpr std::size_t kRequests = 100;
+
+void runGrouping(benchmark::State& state, bool aggregated) {
+  const auto classes = static_cast<std::size_t>(state.range(0));
+  const auto resources = bench::machineAds(kPool, classes);
+  const auto requests = bench::requestAds(kRequests);
+  matchmaking::MatchmakerConfig config;
+  config.useAggregation = aggregated;
+  matchmaking::Matchmaker matchmaker(config);
+  matchmaking::Accountant accountant;
+  matchmaking::NegotiationStats stats;
+  for (auto _ : state) {
+    const auto matches =
+        matchmaker.negotiate(requests, resources, accountant, 0.0, &stats);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["classes"] = static_cast<double>(classes);
+  state.counters["regularity"] = matchmaking::regularity(resources);
+  state.counters["groups"] = static_cast<double>(
+      aggregated ? stats.aggregateGroups
+                 : matchmaking::groupAds(resources).size());
+  state.counters["evals"] = static_cast<double>(stats.candidateEvaluations);
+  state.counters["matches"] = static_cast<double>(stats.matches);
+}
+
+void BM_E7_Naive(benchmark::State& state) { runGrouping(state, false); }
+BENCHMARK(BM_E7_Naive)
+    ->Arg(1)      // perfectly regular pool
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(2000)   // every ad unique
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E7_Aggregated(benchmark::State& state) { runGrouping(state, true); }
+BENCHMARK(BM_E7_Aggregated)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+/// The grouping pass itself (paid once per cycle).
+void BM_E7_GroupingCost(benchmark::State& state) {
+  const auto resources =
+      bench::machineAds(kPool, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto groups = matchmaking::groupAds(resources);
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kPool));
+}
+BENCHMARK(BM_E7_GroupingCost)->Arg(8)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

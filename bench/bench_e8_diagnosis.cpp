@@ -1,0 +1,86 @@
+// E8 - Constraint diagnostics (Section 5 future work: "identifying
+// constraints which can never be satisfied by the pool"). Two series:
+// (a) analysis cost vs pool size for a single request (the interactive
+// "why won't my job run?" case), and (b) accuracy of the pool-wide sweep
+// on a synthetic request population where exactly half the requests are
+// made unsatisfiable — the detector must find all of them and nothing
+// else (precision = recall = 1 by construction, reported as counters).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+#include "matchmaker/analysis.h"
+
+namespace {
+
+void BM_E8_DiagnoseOneRequest(benchmark::State& state) {
+  const auto pool =
+      bench::machineAds(static_cast<std::size_t>(state.range(0)), 12);
+  classad::ClassAd job;
+  job.set("Type", "Job");
+  job.set("Owner", "raman");
+  job.set("Memory", 64);
+  job.setExpr("Constraint",
+              "other.Type == \"Machine\" && Arch == \"INTEL\" && "
+              "OpSys == \"WINNT\" && other.Memory >= self.Memory");
+  matchmaking::Diagnosis diagnosis;
+  for (auto _ : state) {
+    diagnosis = matchmaking::diagnose(job, pool);
+    benchmark::DoNotOptimize(diagnosis);
+  }
+  state.counters["pool"] = static_cast<double>(state.range(0));
+  state.counters["unsat"] = diagnosis.requestUnsatisfiable() ? 1.0 : 0.0;
+  state.counters["conjuncts"] =
+      static_cast<double>(diagnosis.conjuncts.size());
+}
+BENCHMARK(BM_E8_DiagnoseOneRequest)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E8_SweepAccuracy(benchmark::State& state) {
+  const std::size_t poolSize = 500;
+  const std::size_t requestCount = static_cast<std::size_t>(state.range(0));
+  const auto pool = bench::machineAds(poolSize, 12);
+  // Even-indexed requests are fine; odd ones demand an architecture the
+  // pool does not have.
+  std::vector<classad::ClassAdPtr> requests;
+  for (std::size_t i = 0; i < requestCount; ++i) {
+    classad::ClassAd job;
+    job.set("Type", "Job");
+    job.set("Owner", "raman");
+    job.set("Memory", 32);
+    if (i % 2 == 0) {
+      job.setExpr("Constraint",
+                  "other.Type == \"Machine\" && other.Memory >= self.Memory");
+    } else {
+      job.setExpr("Constraint",
+                  "other.Type == \"Machine\" && Arch == \"VAX\"");
+    }
+    requests.push_back(classad::makeShared(std::move(job)));
+  }
+  std::vector<std::size_t> flagged;
+  for (auto _ : state) {
+    flagged = matchmaking::findUnsatisfiableRequests(requests, pool);
+    benchmark::DoNotOptimize(flagged);
+  }
+  std::size_t truePositives = 0;
+  for (const std::size_t i : flagged) truePositives += i % 2 == 1;
+  const double precision =
+      flagged.empty() ? 1.0
+                      : static_cast<double>(truePositives) /
+                            static_cast<double>(flagged.size());
+  const double recall = static_cast<double>(truePositives) /
+                        static_cast<double>(requestCount / 2);
+  state.counters["requests"] = static_cast<double>(requestCount);
+  state.counters["flagged"] = static_cast<double>(flagged.size());
+  state.counters["precision"] = precision;
+  state.counters["recall"] = recall;
+}
+BENCHMARK(BM_E8_SweepAccuracy)->Arg(20)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

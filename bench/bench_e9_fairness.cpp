@@ -1,0 +1,184 @@
+// E9 - Fair matching (Section 4: "The matchmaking algorithm also uses
+// past resource usage information to enforce a fair matching policy").
+// Series: share of the pool obtained by a low-demand user competing with
+// a flooder, under (a) fair share with a sweep of usage half-lives and
+// (b) the submission-order ablation. Shape: with usage-based priorities
+// the meek user's jobs are served promptly regardless of the flood; in
+// submission order they queue behind it. Also reports the Jain fairness
+// index over equal-demand users.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+htcsim::ScenarioConfig contention(double halflife, bool fairShare) {
+  htcsim::ScenarioConfig config;
+  config.seed = 1009;
+  config.duration = 8 * 3600.0;
+  config.machines.count = 6;  // scarce
+  config.machines.fracAlwaysAvailable = 1.0;
+  config.machines.fracClassicIdle = 0.0;
+  config.machines.fracFigure1 = 0.0;
+  config.workload.users = {"greedy", "meek"};
+  config.workload.jobsPerUserPerHour = 0.0;  // injected by hand
+  config.manager.accountant.usageHalflife = halflife;
+  config.manager.matchmaker.fairShare = fairShare;
+  return config;
+}
+
+void inject(htcsim::Scenario& scenario) {
+  // greedy floods 300 jobs at t=0; meek submits 30 spread over the run.
+  for (int i = 0; i < 300; ++i) {
+    htcsim::Job job;
+    job.id = 10000 + static_cast<std::uint64_t>(i);
+    job.owner = "greedy";
+    job.totalWork = 600.0;
+    scenario.agentFor("greedy")->submit(job);
+  }
+  for (int i = 0; i < 30; ++i) {
+    htcsim::Job job;
+    job.id = 20000 + static_cast<std::uint64_t>(i);
+    job.owner = "meek";
+    job.totalWork = 600.0;
+    scenario.simulator().at(i * 900.0, [job, &scenario] {
+      scenario.agentFor("meek")->submit(job);
+    });
+  }
+}
+
+void runContention(benchmark::State& state, bool fairShare) {
+  const double halflife = static_cast<double>(state.range(0));
+  double meekShare = 0.0;
+  double meekWait = 0.0;
+  std::size_t meekDone = 0, greedyDone = 0;
+  for (auto _ : state) {
+    htcsim::Scenario scenario(contention(halflife, fairShare));
+    inject(scenario);
+    scenario.run();
+    const htcsim::Metrics& m = scenario.metrics();
+    const double meek =
+        m.usageByUser.count("meek") ? m.usageByUser.at("meek") : 0.0;
+    const double greedy =
+        m.usageByUser.count("greedy") ? m.usageByUser.at("greedy") : 0.0;
+    meekShare = meek / std::max(1.0, meek + greedy);
+    meekDone = scenario.agentFor("meek")->completedJobs();
+    greedyDone = scenario.agentFor("greedy")->completedJobs();
+    double waitSum = 0.0;
+    std::size_t waits = 0;
+    for (const htcsim::Job& job : scenario.agentFor("meek")->jobs()) {
+      if (job.firstStartTime >= 0.0) {
+        waitSum += job.firstStartTime - job.submitTime;
+        ++waits;
+      }
+    }
+    meekWait = waits ? waitSum / static_cast<double>(waits) : -1.0;
+  }
+  state.counters["halflife_s"] = halflife;
+  state.counters["meek_share_pct"] = 100.0 * meekShare;
+  state.counters["meek_done"] = static_cast<double>(meekDone);
+  state.counters["greedy_done"] = static_cast<double>(greedyDone);
+  state.counters["meek_wait_s"] = meekWait;
+}
+
+void BM_E9_FairShare(benchmark::State& state) { runContention(state, true); }
+BENCHMARK(BM_E9_FairShare)
+    ->Arg(900)
+    ->Arg(3600)
+    ->Arg(14400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E9_SubmissionOrderAblation(benchmark::State& state) {
+  runContention(state, false);
+}
+BENCHMARK(BM_E9_SubmissionOrderAblation)
+    ->Arg(3600)
+    ->Unit(benchmark::kMillisecond);
+
+/// Hierarchical fair share (extension): the "greedy" GROUP floods with
+/// three submitters; "meek" is a one-person group. With group fair share
+/// the two groups split the pool ~evenly regardless of headcount; with it
+/// off, greedy's three users out-spin meek three-to-one.
+void runGroupContention(benchmark::State& state, bool groupFairShare) {
+  double meekShare = 0.0;
+  std::size_t meekDone = 0;
+  for (auto _ : state) {
+    htcsim::ScenarioConfig config = contention(3600.0, true);
+    config.duration = 4 * 3600.0;  // tight: demand ~2x what 4h serves
+    config.machines.count = 4;
+    config.manager.matchmaker.groupFairShare = groupFairShare;
+    config.workload.users = {"g1", "g2", "g3", "meek"};
+    config.manager.accountingGroups = {{"g1", "greedy"},
+                                       {"g2", "greedy"},
+                                       {"g3", "greedy"},
+                                       {"meek", "solo"}};
+    htcsim::Scenario scenario(config);
+    for (int u = 0; u < 3; ++u) {
+      const std::string user = "g" + std::to_string(u + 1);
+      for (int i = 0; i < 100; ++i) {
+        htcsim::Job job;
+        job.id = static_cast<std::uint64_t>(10000 * (u + 1) + i);
+        job.owner = user;
+        job.totalWork = 600.0;
+        scenario.agentFor(user)->submit(job);
+      }
+    }
+    for (int i = 0; i < 100; ++i) {
+      htcsim::Job job;
+      job.id = static_cast<std::uint64_t>(90000 + i);
+      job.owner = "meek";
+      job.totalWork = 600.0;
+      scenario.agentFor("meek")->submit(job);
+    }
+    scenario.run();
+    const auto& usage = scenario.metrics().usageByUser;
+    double meek = usage.count("meek") ? usage.at("meek") : 0.0;
+    double greedy = 0.0;
+    for (const char* u : {"g1", "g2", "g3"}) {
+      greedy += usage.count(u) ? usage.at(u) : 0.0;
+    }
+    meekShare = meek / std::max(1.0, meek + greedy);
+    meekDone = scenario.agentFor("meek")->completedJobs();
+  }
+  state.counters["meek_group_share_pct"] = 100.0 * meekShare;
+  state.counters["meek_done"] = static_cast<double>(meekDone);
+}
+
+void BM_E9_GroupFairShare(benchmark::State& state) {
+  runGroupContention(state, true);
+}
+BENCHMARK(BM_E9_GroupFairShare)->Unit(benchmark::kMillisecond);
+
+void BM_E9_FlatFairShareAblation(benchmark::State& state) {
+  runGroupContention(state, false);
+}
+BENCHMARK(BM_E9_FlatFairShareAblation)->Unit(benchmark::kMillisecond);
+
+/// Jain fairness index across four equal-demand users under contention.
+void BM_E9_JainIndexEqualUsers(benchmark::State& state) {
+  double jain = 0.0;
+  for (auto _ : state) {
+    htcsim::ScenarioConfig config = contention(3600.0, true);
+    config.workload.users = {"u1", "u2", "u3", "u4"};
+    config.workload.jobsPerUserPerHour = 40.0;
+    config.workload.meanWork = 600.0;
+    htcsim::Scenario scenario(config);
+    scenario.run();
+    const auto& usage = scenario.metrics().usageByUser;
+    double sum = 0.0, sumSq = 0.0;
+    std::size_t n = 0;
+    for (const std::string user : {"u1", "u2", "u3", "u4"}) {
+      const double x = usage.count(user) ? usage.at(user) : 0.0;
+      sum += x;
+      sumSq += x * x;
+      ++n;
+    }
+    jain = sumSq > 0 ? (sum * sum) / (static_cast<double>(n) * sumSq) : 0.0;
+  }
+  state.counters["jain_index"] = jain;  // 1.0 = perfectly fair
+}
+BENCHMARK(BM_E9_JainIndexEqualUsers)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

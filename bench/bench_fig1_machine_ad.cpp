@@ -1,0 +1,74 @@
+// F1 - Figure 1, the workstation classad: parse, evaluate, and unparse
+// throughput of the paper's own resource advertisement, plus evaluation of
+// its tiered owner policy against each class of customer.
+#include <benchmark/benchmark.h>
+
+#include "classad/match.h"
+#include "sim/paper_ads.h"
+
+namespace {
+
+void BM_Fig1_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    classad::ClassAd ad = classad::ClassAd::parse(htcsim::kFigure1Text);
+    benchmark::DoNotOptimize(ad);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_Parse);
+
+void BM_Fig1_Unparse(benchmark::State& state) {
+  const classad::ClassAd ad = htcsim::makeFigure1Ad();
+  for (auto _ : state) {
+    std::string text = ad.unparse();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_Unparse);
+
+void BM_Fig1_ParseUnparseRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    const classad::ClassAd ad = classad::ClassAd::parse(htcsim::kFigure1Text);
+    std::string text = ad.unparse();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_ParseUnparseRoundTrip);
+
+/// Evaluating the machine's Constraint (the full research/friends/night
+/// policy) against one customer of each tier.
+void BM_Fig1_PolicyEvaluation(benchmark::State& state) {
+  const classad::ClassAd machine = htcsim::makeFigure1AdIntended();
+  classad::ClassAd job = htcsim::makeFigure2Ad();
+  static const char* kOwners[] = {"raman", "tannenba", "alice", "rival"};
+  job.set("Owner", kOwners[state.range(0)]);
+  std::size_t satisfied = 0;
+  for (auto _ : state) {
+    const auto r = classad::evaluateConstraint(machine, job);
+    satisfied += r == classad::ConstraintResult::Satisfied;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["willing"] =
+      satisfied == static_cast<std::size_t>(state.iterations()) ? 1.0 : 0.0;
+  state.SetLabel(kOwners[state.range(0)]);
+}
+BENCHMARK(BM_Fig1_PolicyEvaluation)->DenseRange(0, 3);
+
+/// The machine's Rank expression (two member() calls plus arithmetic).
+void BM_Fig1_RankEvaluation(benchmark::State& state) {
+  const classad::ClassAd machine = htcsim::makeFigure1Ad();
+  const classad::ClassAd job = htcsim::makeFigure2Ad();
+  for (auto _ : state) {
+    const double rank = classad::evaluateRank(machine, job);
+    benchmark::DoNotOptimize(rank);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_RankEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

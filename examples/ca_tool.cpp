@@ -1,0 +1,230 @@
+// ca_tool - A command-line swiss-army knife for classad files, in the
+// spirit of the condor_* tools. Ads are read from files containing one or
+// more `[ ... ]` ads (or from literal ad text passed inline).
+//
+//   ca_tool eval  <ad> <expr>            evaluate an expression against an ad
+//   ca_tool match <requestAd> <poolFile> rank the pool for a request
+//   ca_tool diagnose <requestAd> <poolFile>   why-doesn't-it-match report
+//   ca_tool status <poolFile> [constraint] [--sort attr] [--totals attr]
+//   ca_tool flatten <ad> <attribute>     show the residual constraint
+//   ca_tool json <ad>                    render an ad as pretty JSON
+//   ca_tool fromjson <file-or-json>      convert JSON back to classad text
+//
+// <ad> arguments may be a filename or literal ad text starting with '['.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "classad/flatten.h"
+#include "classad/json.h"
+#include "classad/match.h"
+#include "classad/parser.h"
+#include "classad/query.h"
+#include "matchmaker/analysis.h"
+
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Filename, or literal ad text if it starts with '['.
+std::string adText(const std::string& arg) {
+  if (!arg.empty() && arg[0] == '[') return arg;
+  return slurp(arg);
+}
+
+ClassAd loadAd(const std::string& arg) {
+  return ClassAd::parse(adText(arg));
+}
+
+std::vector<ClassAdPtr> loadPool(const std::string& arg) {
+  std::vector<ClassAdPtr> out;
+  for (ClassAd& ad : classad::parseAdStream(adText(arg))) {
+    out.push_back(classad::makeShared(std::move(ad)));
+  }
+  return out;
+}
+
+int cmdEval(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: ca_tool eval <ad> <expr>\n");
+    return 2;
+  }
+  const ClassAd ad = loadAd(argv[0]);
+  const classad::Value v = ad.evaluate(argv[1]);
+  std::printf("%s\n", v.toLiteralString().c_str());
+  if (v.isError() && !v.errorReason().empty()) {
+    std::fprintf(stderr, "error: %s\n", v.errorReason().c_str());
+  }
+  return 0;
+}
+
+int cmdMatch(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: ca_tool match <requestAd> <poolFile>\n");
+    return 2;
+  }
+  const ClassAd request = loadAd(argv[0]);
+  const auto pool = loadPool(argv[1]);
+  struct Row {
+    ClassAdPtr ad;
+    classad::MatchAnalysis analysis;
+  };
+  std::vector<Row> matched;
+  for (const ClassAdPtr& resource : pool) {
+    const auto analysis = classad::analyzeMatch(request, *resource);
+    if (analysis.matched) matched.push_back({resource, analysis});
+  }
+  std::sort(matched.begin(), matched.end(), [](const Row& a, const Row& b) {
+    if (a.analysis.requestRank != b.analysis.requestRank) {
+      return a.analysis.requestRank > b.analysis.requestRank;
+    }
+    return a.analysis.resourceRank > b.analysis.resourceRank;
+  });
+  std::printf("%zu of %zu ads match; best first:\n", matched.size(),
+              pool.size());
+  for (const Row& row : matched) {
+    std::printf("  rank %10.3f  (theirs %7.3f)  %s\n",
+                row.analysis.requestRank, row.analysis.resourceRank,
+                row.ad->getString("Name")
+                    .value_or(row.ad->unparse().substr(0, 60))
+                    .c_str());
+  }
+  return matched.empty() ? 1 : 0;
+}
+
+int cmdDiagnose(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: ca_tool diagnose <requestAd> <poolFile>\n");
+    return 2;
+  }
+  const ClassAd request = loadAd(argv[0]);
+  const auto pool = loadPool(argv[1]);
+  const matchmaking::Diagnosis d = matchmaking::diagnose(request, pool);
+  std::printf("%s", d.summary().c_str());
+  return d.matches > 0 ? 0 : 1;
+}
+
+int cmdStatus(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr,
+                 "usage: ca_tool status <poolFile> [constraint] [--sort "
+                 "attr] [--totals attr]\n");
+    return 2;
+  }
+  auto pool = loadPool(argv[0]);
+  std::string constraint;
+  std::string sortAttr;
+  std::string totalsAttr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sort") == 0 && i + 1 < argc) {
+      sortAttr = argv[++i];
+    } else if (std::strcmp(argv[i], "--totals") == 0 && i + 1 < argc) {
+      totalsAttr = argv[++i];
+    } else {
+      constraint = argv[i];
+    }
+  }
+  classad::Query query = constraint.empty()
+                             ? classad::Query::all()
+                             : classad::Query::fromConstraint(constraint);
+  auto selected = query.select(pool);
+  if (!sortAttr.empty()) selected = classad::sortBy(selected, sortAttr);
+  if (!totalsAttr.empty()) {
+    for (const auto& [value, count] : classad::summarize(selected,
+                                                         totalsAttr)) {
+      std::printf("%6zu  %s\n", count, value.c_str());
+    }
+    return 0;
+  }
+  classad::Query projection = classad::Query::all();
+  if (!selected.empty()) {
+    std::vector<std::string> columns;
+    for (const auto& [name, expr] : *selected.front()) {
+      columns.push_back(name);
+      if (columns.size() == 6) break;  // keep the table readable
+    }
+    projection.project(std::move(columns));
+  }
+  std::printf("%s", classad::formatTable(projection, selected).c_str());
+  return 0;
+}
+
+int cmdFlatten(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: ca_tool flatten <ad> <attribute>\n");
+    return 2;
+  }
+  const ClassAd ad = loadAd(argv[0]);
+  const classad::ExprPtr residual = classad::flattenAttribute(ad, argv[1]);
+  if (!residual) {
+    std::fprintf(stderr, "no attribute '%s' in ad\n", argv[1]);
+    return 1;
+  }
+  std::printf("%s\n", residual->toString().c_str());
+  return 0;
+}
+
+int cmdJson(int argc, char** argv) {
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: ca_tool json <ad>\n");
+    return 2;
+  }
+  classad::JsonOptions pretty;
+  pretty.pretty = true;
+  std::printf("%s\n", classad::toJson(loadAd(argv[0]), pretty).c_str());
+  return 0;
+}
+
+int cmdFromJson(int argc, char** argv) {
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: ca_tool fromjson <file-or-json>\n");
+    return 2;
+  }
+  std::string text = argv[0];
+  if (!text.empty() && text[0] != '{') text = slurp(text);
+  const ClassAd ad = classad::adFromJson(text);
+  std::printf("%s\n", ad.unparsePretty().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: ca_tool <eval|match|diagnose|status|flatten|json|fromjson> ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "eval") return cmdEval(argc - 2, argv + 2);
+    if (cmd == "match") return cmdMatch(argc - 2, argv + 2);
+    if (cmd == "diagnose") return cmdDiagnose(argc - 2, argv + 2);
+    if (cmd == "status") return cmdStatus(argc - 2, argv + 2);
+    if (cmd == "flatten") return cmdFlatten(argc - 2, argv + 2);
+    if (cmd == "json") return cmdJson(argc - 2, argv + 2);
+    if (cmd == "fromjson") return cmdFromJson(argc - 2, argv + 2);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+  } catch (const classad::ParseError& e) {
+    std::fprintf(stderr, "parse error: %s (line %d, column %d)\n", e.what(),
+                 e.line(), e.column());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,97 @@
+// coallocation - Gang matching for resource aggregates (Sections 3.1 & 5).
+//
+// A parallel visualization job needs three things AT ONCE: two compute
+// nodes (one big-memory head node, one worker) and a DLT tape drive for
+// the input volume. Either it gets all three or it should get nothing —
+// holding two while waiting for the third would deadlock against other
+// gangs. The gang matcher expresses this as a classad whose Requests
+// attribute nests one request ad per leg.
+//
+//   $ ./coallocation
+#include <cstdio>
+#include <vector>
+
+#include "classad/classad.h"
+#include "matchmaker/gangmatch.h"
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+namespace {
+
+ClassAdPtr machine(const std::string& name, int memoryMB, int mips) {
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", name);
+  ad.set("ContactAddress", "ra://" + name);
+  ad.set("Memory", memoryMB);
+  ad.set("Mips", mips);
+  ad.setExpr("Constraint", "other.Type == \"Job\"");
+  ad.set("Rank", 0);
+  return makeShared(std::move(ad));
+}
+
+ClassAdPtr drive(const std::string& name, const std::string& format) {
+  ClassAd ad;
+  ad.set("Type", "TapeDrive");
+  ad.set("Name", name);
+  ad.set("ContactAddress", "tape://" + name);
+  ad.set("Format", format);
+  ad.setExpr("Constraint", "other.Type == \"Job\"");
+  ad.set("Rank", 0);
+  return makeShared(std::move(ad));
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<ClassAdPtr> resources = {
+      machine("head-candidate", 256, 200), machine("worker1", 64, 350),
+      machine("worker2", 64, 150),         machine("tiny", 32, 400),
+      drive("vault1", "DLT"),              drive("vault2", "EXB8500"),
+  };
+
+  ClassAd gang;
+  gang.set("Type", "Gang");
+  gang.set("Owner", "raman");
+  gang.set("ContactAddress", "ca://raman");
+  gang.setExpr("Requests", R"({
+    [ Label = "head";
+      Memory = 256;
+      Constraint = other.Type == "Machine" && other.Memory >= self.Memory;
+      Rank = other.Mips ],
+    [ Label = "worker";
+      Memory = 64;
+      Constraint = other.Type == "Machine" && other.Memory >= self.Memory;
+      Rank = other.Mips ],
+    [ Label = "tape";
+      Constraint = other.Type == "TapeDrive" && other.Format == "DLT" ]
+  })");
+
+  std::printf("gang request:\n%s\n\n", gang.unparsePretty().c_str());
+
+  matchmaking::GangMatcher matcher;
+  const auto result = matcher.match(gang, resources);
+  if (!result) {
+    std::printf("no complete gang available\n");
+    return 1;
+  }
+  std::printf("gang placed (total rank %.0f):\n", result->totalRank);
+  for (const auto& leg : result->legs) {
+    std::printf("  %-7s -> %-15s (leg rank %.0f)\n",
+                leg.legAd->getString("Label").value_or("?").c_str(),
+                leg.resource->getString("Name").value_or("?").c_str(),
+                leg.legRank);
+  }
+
+  // All-or-nothing in action: take the only DLT drive away and the WHOLE
+  // gang fails, even though compute is plentiful.
+  std::vector<ClassAdPtr> noTape(resources.begin(), resources.end() - 2);
+  noTape.push_back(drive("vault2", "EXB8500"));
+  std::printf("\nwithout a DLT drive: %s\n",
+              matcher.match(gang, noTape) ? "placed (?!)"
+                                          : "whole gang refused (correct: "
+                                            "no partial allocation)");
+  return 0;
+}

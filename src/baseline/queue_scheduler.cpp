@@ -1,0 +1,205 @@
+#include "baseline/queue_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace baseline {
+
+namespace {
+constexpr std::size_t kNoQueue = std::numeric_limits<std::size_t>::max();
+}
+
+QueueScheduler::QueueScheduler(Simulator& sim, std::vector<MachineSpec> specs,
+                               Metrics& metrics, Rng rng,
+                               QueueSchedulerConfig config)
+    : sim_(sim), metrics_(metrics), rng_(rng), config_(config) {
+  // Setup-time partitioning: one queue per platform present in the pool
+  // (the administrator's anticipation of demand).
+  auto queueFor = [this](const std::string& arch,
+                         const std::string& opSys) -> std::size_t {
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      if (queues_[q].arch == arch && queues_[q].opSys == opSys) return q;
+    }
+    Queue queue;
+    queue.name = arch + "/" + opSys;
+    queue.arch = arch;
+    queue.opSys = opSys;
+    queues_.push_back(std::move(queue));
+    return queues_.size() - 1;
+  };
+
+  for (MachineSpec& spec : specs) {
+    const bool dedicated = spec.policy == htcsim::OwnerPolicy::AlwaysAvailable;
+    if (!dedicated && !config_.useSharedMachines) continue;  // not enrolled
+    const std::size_t q = queueFor(spec.arch, spec.opSys);
+    MachineSlot slot;
+    slot.queue = q;
+    const std::uint64_t seed = htcsim::hashName(spec.name);
+    slot.machine = std::make_unique<Machine>(sim_, std::move(spec),
+                                             rng_.splitChild(seed));
+    const std::size_t idx = machines_.size();
+    slot.machine->setOwnerChangeHook([this, idx](bool present) {
+      if (!present) return;
+      MachineSlot& s = machines_[idx];
+      if (s.running) {
+        ++extra_.ownerDisturbances;
+        evictJob(idx, /*byOwner=*/true);
+      }
+    });
+    queues_[q].machines.push_back(idx);
+    machines_.push_back(std::move(slot));
+  }
+}
+
+QueueScheduler::~QueueScheduler() { dispatchTimer_.reset(); }
+
+void QueueScheduler::start() {
+  if (started_) return;
+  started_ = true;
+  dispatchTimer_.emplace(
+      sim_, config_.dispatchInterval,
+      [this] {
+        if (up_) dispatchNow();
+      },
+      config_.dispatchInterval);
+}
+
+std::size_t QueueScheduler::routeQueue(const Job& job) const {
+  if (!job.requiredArch.empty() || !job.requiredOpSys.empty()) {
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      if ((job.requiredArch.empty() || queues_[q].arch == job.requiredArch) &&
+          (job.requiredOpSys.empty() ||
+           queues_[q].opSys == job.requiredOpSys)) {
+        return q;
+      }
+    }
+    return kNoQueue;
+  }
+  // Unconstrained job: the user must still pick ONE queue a priori. The
+  // conventional choice is the biggest one — and the job then cannot use
+  // idle machines of any other queue (the discovery penalty of Section 2).
+  std::size_t best = kNoQueue;
+  std::size_t bestSize = 0;
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    if (queues_[q].machines.size() > bestSize) {
+      best = q;
+      bestSize = queues_[q].machines.size();
+    }
+  }
+  return best;
+}
+
+void QueueScheduler::submit(Job job) {
+  job.submitTime = sim_.now();
+  job.state = JobState::Idle;
+  job.remainingWork = job.totalWork;
+  ++metrics_.jobsSubmitted;
+  const std::size_t q = routeQueue(job);
+  const std::size_t idx = jobs_.size();
+  jobs_.push_back(std::move(job));
+  if (q == kNoQueue) {
+    ++extra_.unroutableJobs;
+    return;
+  }
+  queues_[q].waiting.push_back(idx);
+}
+
+void QueueScheduler::dispatchNow() {
+  for (Queue& queue : queues_) dispatchQueue(queue);
+}
+
+void QueueScheduler::dispatchQueue(Queue& queue) {
+  // FCFS with first-fit placement; a head-of-line job that fits no free
+  // machine blocks the queue (the era's default; no backfilling).
+  while (!queue.waiting.empty()) {
+    const std::size_t jobIdx = queue.waiting.front();
+    Job& job = jobs_[jobIdx];
+    if (job.state != JobState::Idle) {
+      queue.waiting.pop_front();
+      continue;
+    }
+    std::size_t chosen = kNoQueue;
+    for (const std::size_t m : queue.machines) {
+      const MachineSlot& slot = machines_[m];
+      if (slot.running) continue;
+      if (!config_.useSharedMachines && slot.machine->ownerPresent()) continue;
+      const MachineSpec& spec = slot.machine->spec();
+      if (spec.memoryMB < job.memoryMB || spec.diskKB < job.diskKB) continue;
+      chosen = m;
+      break;  // first fit; no Rank
+    }
+    if (chosen == kNoQueue) return;  // head-of-line blocking
+    queue.waiting.pop_front();
+    startJob(chosen, jobIdx);
+  }
+}
+
+void QueueScheduler::startJob(std::size_t machineIdx, std::size_t jobIdx) {
+  MachineSlot& slot = machines_[machineIdx];
+  Job& job = jobs_[jobIdx];
+  job.state = JobState::Running;
+  job.runningOn = slot.machine->spec().name;
+  if (job.firstStartTime < 0.0) job.firstStartTime = sim_.now();
+  Execution exec;
+  exec.jobIndex = jobIdx;
+  exec.startedAt = sim_.now();
+  const double mips = static_cast<double>(slot.machine->spec().mips);
+  const Time duration = job.remainingWork * htcsim::kReferenceMips / mips;
+  exec.completionEvent =
+      sim_.after(duration, [this, machineIdx] { completeJob(machineIdx); });
+  slot.running = exec;
+}
+
+void QueueScheduler::completeJob(std::size_t machineIdx) {
+  MachineSlot& slot = machines_[machineIdx];
+  if (!slot.running) return;
+  Job& job = jobs_[slot.running->jobIndex];
+  const double wall = sim_.now() - slot.running->startedAt;
+  metrics_.machineBusySeconds += wall;
+  metrics_.goodputCpuSeconds += job.remainingWork;
+  job.remainingWork = 0.0;
+  job.state = JobState::Completed;
+  job.completionTime = sim_.now();
+  ++metrics_.jobsCompleted;
+  metrics_.totalWaitTime += job.firstStartTime - job.submitTime;
+  metrics_.totalTurnaround += job.completionTime - job.submitTime;
+  metrics_.totalWorkCompleted += job.totalWork;
+  metrics_.usageByUser[job.owner] += wall;
+  slot.running.reset();
+}
+
+void QueueScheduler::evictJob(std::size_t machineIdx, bool byOwner) {
+  MachineSlot& slot = machines_[machineIdx];
+  if (!slot.running) return;
+  const std::size_t jobIdx = slot.running->jobIndex;
+  Job& job = jobs_[jobIdx];
+  sim_.cancel(slot.running->completionEvent);
+  const double wall = sim_.now() - slot.running->startedAt;
+  const double mips = static_cast<double>(slot.machine->spec().mips);
+  const double done = wall * mips / htcsim::kReferenceMips;
+  metrics_.machineBusySeconds += wall;
+  metrics_.usageByUser[job.owner] += wall;
+  // No checkpointing in the conventional system: the work is lost.
+  metrics_.badputCpuSeconds += done;
+  ++job.evictions;
+  if (byOwner) ++metrics_.preemptionsByOwner;
+  job.state = JobState::Idle;
+  job.runningOn.clear();
+  slot.running.reset();
+  // Requeue at the BACK (the job re-enters the queue and starts over).
+  queues_[slot.queue].waiting.push_back(jobIdx);
+}
+
+void QueueScheduler::crash(Time downFor) {
+  if (!up_) return;
+  up_ = false;
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    if (machines_[m].running) {
+      ++extra_.jobsKilledByCrash;
+      evictJob(m, /*byOwner=*/false);
+    }
+  }
+  sim_.after(downFor, [this] { up_ = true; });
+}
+
+}  // namespace baseline

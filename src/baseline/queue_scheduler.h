@@ -1,0 +1,133 @@
+// queue_scheduler.h - The conventional queue-based resource manager of
+// Section 2, implemented as the comparison baseline (E5).
+//
+// "Systems such as NQE, PBS, LSF and LoadLeveler process user submitted
+// jobs by finding resources that have been identified either explicitly
+// through a job control language, or implicitly by submitting the job to a
+// particular queue that is associated with a set of resources. Customers of
+// the system have to identify a specific queue to submit to a priori, which
+// then fixes the set of resources that may be used, and hinders dynamic
+// qualitative resource discovery."
+//
+// Faithfully to that model, this scheduler:
+//  * partitions machines into queues by platform at SETUP time (the
+//    administrator "anticipates the services that will be requested");
+//  * routes each job to exactly one queue a priori; the job can never use
+//    machines of another queue, idle or not;
+//  * is centralized and STATEFUL: its dispatch table is the source of
+//    truth (crash() loses it, killing the running work — E2's contrast);
+//  * has no vocabulary for owner policies: it either ignores
+//    distributively-owned machines entirely (dedicated mode) or uses them
+//    obliviously and disturbs their owners (greedy mode);
+//  * has no Rank: within a queue, placement is first-fit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/job.h"
+#include "sim/machine.h"
+#include "sim/metrics.h"
+#include "sim/rng.h"
+#include "sim/workload.h"
+
+namespace baseline {
+
+using htcsim::Job;
+using htcsim::JobState;
+using htcsim::Machine;
+using htcsim::MachineSpec;
+using htcsim::Metrics;
+using htcsim::Rng;
+using htcsim::Simulator;
+using htcsim::Time;
+
+struct QueueSchedulerConfig {
+  Time dispatchInterval = 60.0;
+  /// Dedicated mode (false): only machines without owner activity
+  /// (AlwaysAvailable) are enrolled — the conventional safe deployment.
+  /// Greedy mode (true): all machines are enrolled; jobs are killed (no
+  /// checkpoint support) when an owner returns, and owners are disturbed
+  /// whenever their machine is busy on their return.
+  bool useSharedMachines = false;
+};
+
+/// Metrics specific to the baseline's pathologies, alongside the common
+/// htcsim::Metrics.
+struct BaselineExtraMetrics {
+  std::size_t ownerDisturbances = 0;  ///< owner returned to a busy machine
+  std::size_t unroutableJobs = 0;     ///< no queue serves the job's needs
+  std::size_t jobsKilledByCrash = 0;
+};
+
+class QueueScheduler {
+ public:
+  QueueScheduler(Simulator& sim, std::vector<MachineSpec> specs,
+                 Metrics& metrics, Rng rng, QueueSchedulerConfig config = {});
+  ~QueueScheduler();
+  QueueScheduler(const QueueScheduler&) = delete;
+  QueueScheduler& operator=(const QueueScheduler&) = delete;
+
+  void start();
+
+  /// Routes the job to its queue (a priori, by platform requirement).
+  /// Jobs no queue can serve are recorded unroutable and dropped — in the
+  /// real systems they'd bounce at submit time with an error.
+  void submit(Job job);
+
+  /// Centralized-allocator failure: the dispatch table is lost; all
+  /// running jobs die; queued jobs survive (the era's systems journaled
+  /// queues but not executions). Dispatch resumes after `downFor`.
+  void crash(Time downFor);
+
+  const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  const BaselineExtraMetrics& extra() const noexcept { return extra_; }
+  std::size_t queueCount() const noexcept { return queues_.size(); }
+  std::size_t machineCount() const noexcept { return machines_.size(); }
+
+  /// Runs one dispatch pass now (tests).
+  void dispatchNow();
+
+ private:
+  struct Execution {
+    std::size_t jobIndex = 0;
+    Time startedAt = 0.0;
+    htcsim::EventId completionEvent = htcsim::kInvalidEvent;
+  };
+  struct MachineSlot {
+    std::unique_ptr<Machine> machine;
+    std::optional<Execution> running;
+    std::size_t queue = 0;
+  };
+  struct Queue {
+    std::string name;  // "INTEL/SOLARIS251"
+    std::string arch;
+    std::string opSys;
+    std::vector<std::size_t> machines;
+    std::deque<std::size_t> waiting;  // job indices, FIFO
+  };
+
+  void dispatchQueue(Queue& queue);
+  void startJob(std::size_t machineIdx, std::size_t jobIdx);
+  void completeJob(std::size_t machineIdx);
+  void evictJob(std::size_t machineIdx, bool byOwner);
+  std::size_t routeQueue(const Job& job) const;
+
+  Simulator& sim_;
+  Metrics& metrics_;
+  Rng rng_;
+  QueueSchedulerConfig config_;
+  std::vector<MachineSlot> machines_;
+  std::vector<Queue> queues_;
+  std::vector<Job> jobs_;
+  BaselineExtraMetrics extra_;
+  std::optional<htcsim::PeriodicTimer> dispatchTimer_;
+  bool up_ = true;
+  bool started_ = false;
+};
+
+}  // namespace baseline

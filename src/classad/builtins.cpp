@@ -1,0 +1,587 @@
+#include "classad/builtins.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <regex>
+#include <unordered_map>
+
+#include "classad/classad.h"
+#include "classad/expr.h"
+
+namespace classad {
+
+namespace {
+
+Value argCountError(std::string_view fn, std::size_t want, std::size_t got) {
+  return Value::error(std::string(fn) + " expects " + std::to_string(want) +
+                      " argument(s), got " + std::to_string(got));
+}
+
+/// Propagates exceptional arguments per the usual strictness rule; returns
+/// nullopt when all arguments are ordinary.
+std::optional<Value> propagate(const std::vector<Value>& args) {
+  for (const Value& v : args) {
+    if (v.isError()) return v;
+  }
+  for (const Value& v : args) {
+    if (v.isUndefined()) return v;
+  }
+  return std::nullopt;
+}
+
+// --- type predicates (NON-strict: they observe undefined/error) -----------
+
+Value fnIsUndefined(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("isUndefined", 1, a.size());
+  return Value::boolean(a[0].isUndefined());
+}
+Value fnIsError(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("isError", 1, a.size());
+  return Value::boolean(a[0].isError());
+}
+Value fnIsString(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("isString", 1, a.size());
+  return Value::boolean(a[0].isString());
+}
+Value fnIsInteger(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("isInteger", 1, a.size());
+  return Value::boolean(a[0].isInteger());
+}
+Value fnIsReal(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("isReal", 1, a.size());
+  return Value::boolean(a[0].isReal());
+}
+Value fnIsNumber(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("isNumber", 1, a.size());
+  return Value::boolean(a[0].isNumber());
+}
+Value fnIsBoolean(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("isBoolean", 1, a.size());
+  return Value::boolean(a[0].isBoolean());
+}
+Value fnIsList(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("isList", 1, a.size());
+  return Value::boolean(a[0].isList());
+}
+Value fnIsClassAd(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("isClassAd", 1, a.size());
+  return Value::boolean(a[0].isRecord());
+}
+
+// --- membership ------------------------------------------------------------
+
+Value fnMember(const std::vector<Value>& a) {
+  if (a.size() != 2) return argCountError("member", 2, a.size());
+  return memberSemantics(a[0], a[1]);
+}
+
+Value fnIdenticalMember(const std::vector<Value>& a) {
+  if (a.size() != 2) return argCountError("identicalMember", 2, a.size());
+  if (a[1].isUndefined()) return Value::undefined();
+  if (!a[1].isList()) {
+    return Value::error("identicalMember: second argument is not a list");
+  }
+  for (const Value& elem : *a[1].asList()) {
+    if (elem.isIdenticalTo(a[0])) return Value::boolean(true);
+  }
+  return Value::boolean(false);
+}
+
+// --- strings ----------------------------------------------------------------
+
+Value fnStrcat(const std::vector<Value>& a) {
+  if (auto exc = propagate(a)) return *exc;
+  std::string out;
+  for (const Value& v : a) {
+    if (v.isString()) {
+      out += v.asString();
+    } else if (v.isNumber() || v.isBoolean()) {
+      out += v.toLiteralString();
+    } else {
+      return Value::error("strcat: argument is not a scalar");
+    }
+  }
+  return Value::string(std::move(out));
+}
+
+Value fnSubstr(const std::vector<Value>& a) {
+  if (a.size() != 2 && a.size() != 3) {
+    return argCountError("substr", 2, a.size());
+  }
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isString() || !a[1].isInteger() ||
+      (a.size() == 3 && !a[2].isInteger())) {
+    return Value::error("substr(string, int[, int]): bad argument types");
+  }
+  const std::string& s = a[0].asString();
+  std::int64_t offset = a[1].asInteger();
+  // Negative offset counts from the end, as in HTCondor's substr.
+  if (offset < 0) offset += static_cast<std::int64_t>(s.size());
+  offset = std::clamp<std::int64_t>(offset, 0,
+                                    static_cast<std::int64_t>(s.size()));
+  std::int64_t len = a.size() == 3
+                         ? a[2].asInteger()
+                         : static_cast<std::int64_t>(s.size()) - offset;
+  if (len < 0) len = std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(s.size()) - offset + len);
+  len = std::min<std::int64_t>(len,
+                               static_cast<std::int64_t>(s.size()) - offset);
+  return Value::string(s.substr(static_cast<std::size_t>(offset),
+                                static_cast<std::size_t>(len)));
+}
+
+Value fnToUpper(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("toUpper", 1, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isString()) return Value::error("toUpper: argument not a string");
+  std::string s = a[0].asString();
+  for (char& c : s) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return Value::string(std::move(s));
+}
+
+Value fnToLower(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("toLower", 1, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isString()) return Value::error("toLower: argument not a string");
+  return Value::string(toLowerCopy(a[0].asString()));
+}
+
+Value fnStrcmp(const std::vector<Value>& a) {
+  if (a.size() != 2) return argCountError("strcmp", 2, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isString() || !a[1].isString()) {
+    return Value::error("strcmp: arguments not strings");
+  }
+  const int c = a[0].asString().compare(a[1].asString());
+  return Value::integer(c < 0 ? -1 : c > 0 ? 1 : 0);
+}
+
+Value fnStricmp(const std::vector<Value>& a) {
+  if (a.size() != 2) return argCountError("stricmp", 2, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isString() || !a[1].isString()) {
+    return Value::error("stricmp: arguments not strings");
+  }
+  return Value::integer(compareIgnoreCase(a[0].asString(), a[1].asString()));
+}
+
+// --- numeric ----------------------------------------------------------------
+
+Value numeric1(std::string_view name, const std::vector<Value>& a,
+               double (*fn)(double)) {
+  if (a.size() != 1) return argCountError(name, 1, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isNumber()) {
+    return Value::error(std::string(name) + ": argument not numeric");
+  }
+  return Value::real(fn(a[0].toReal()));
+}
+
+Value fnFloor(const std::vector<Value>& a) {
+  if (a.size() == 1 && a[0].isInteger()) return a[0];
+  const Value v = numeric1("floor", a, std::floor);
+  return v.isReal() ? Value::integer(static_cast<std::int64_t>(v.asReal()))
+                    : v;
+}
+Value fnCeiling(const std::vector<Value>& a) {
+  if (a.size() == 1 && a[0].isInteger()) return a[0];
+  const Value v = numeric1("ceiling", a, std::ceil);
+  return v.isReal() ? Value::integer(static_cast<std::int64_t>(v.asReal()))
+                    : v;
+}
+Value fnRound(const std::vector<Value>& a) {
+  if (a.size() == 1 && a[0].isInteger()) return a[0];
+  const Value v = numeric1("round", a, [](double d) { return std::round(d); });
+  return v.isReal() ? Value::integer(static_cast<std::int64_t>(v.asReal()))
+                    : v;
+}
+Value fnSqrt(const std::vector<Value>& a) {
+  const Value v = numeric1("sqrt", a, std::sqrt);
+  if (v.isReal() && std::isnan(v.asReal())) {
+    return Value::error("sqrt of negative number");
+  }
+  return v;
+}
+
+Value fnAbs(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("abs", 1, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  if (a[0].isInteger()) return Value::integer(std::llabs(a[0].asInteger()));
+  if (a[0].isReal()) return Value::real(std::fabs(a[0].asReal()));
+  return Value::error("abs: argument not numeric");
+}
+
+Value fnPow(const std::vector<Value>& a) {
+  if (a.size() != 2) return argCountError("pow", 2, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isNumber() || !a[1].isNumber()) {
+    return Value::error("pow: arguments not numeric");
+  }
+  return Value::real(std::pow(a[0].toReal(), a[1].toReal()));
+}
+
+/// Reduces a list of numbers (or a variadic argument list) with `step`.
+template <typename Step>
+Value reduceNumbers(std::string_view name, const std::vector<Value>& a,
+                    Step step, bool average) {
+  const std::vector<Value>* elems = &a;
+  if (a.size() == 1 && a[0].isList()) elems = a[0].asList().get();
+  if (a.size() == 1 && a[0].isExceptional()) return a[0];
+  if (elems->empty()) return Value::undefined();
+  bool anyUndef = false;
+  bool allInt = true;
+  double acc = 0.0;
+  bool first = true;
+  for (const Value& v : *elems) {
+    if (v.isError()) return v;
+    if (v.isUndefined()) {
+      anyUndef = true;
+      continue;
+    }
+    if (!v.isNumber()) {
+      return Value::error(std::string(name) + ": element not numeric");
+    }
+    allInt = allInt && v.isInteger();
+    acc = first ? v.toReal() : step(acc, v.toReal());
+    first = false;
+  }
+  if (first) return anyUndef ? Value::undefined() : Value::undefined();
+  if (average) {
+    std::size_t n = 0;
+    for (const Value& v : *elems) n += v.isNumber() ? 1 : 0;
+    return Value::real(acc / static_cast<double>(n));
+  }
+  if (allInt && !anyUndef) return Value::integer(static_cast<std::int64_t>(acc));
+  return Value::real(acc);
+}
+
+Value fnMin(const std::vector<Value>& a) {
+  return reduceNumbers("min", a,
+                       [](double x, double y) { return std::min(x, y); },
+                       false);
+}
+Value fnMax(const std::vector<Value>& a) {
+  return reduceNumbers("max", a,
+                       [](double x, double y) { return std::max(x, y); },
+                       false);
+}
+Value fnSum(const std::vector<Value>& a) {
+  return reduceNumbers("sum", a, [](double x, double y) { return x + y; },
+                       false);
+}
+Value fnAvg(const std::vector<Value>& a) {
+  return reduceNumbers("avg", a, [](double x, double y) { return x + y; },
+                       true);
+}
+
+// --- size & conversions ------------------------------------------------------
+
+Value fnSize(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("size", 1, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  if (a[0].isList()) {
+    return Value::integer(static_cast<std::int64_t>(a[0].asList()->size()));
+  }
+  if (a[0].isString()) {
+    return Value::integer(static_cast<std::int64_t>(a[0].asString().size()));
+  }
+  if (a[0].isRecord()) {
+    return Value::integer(static_cast<std::int64_t>(a[0].asRecord()->size()));
+  }
+  return Value::error("size: argument is not a list, string, or classad");
+}
+
+Value fnInt(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("int", 1, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  const Value& v = a[0];
+  if (v.isInteger()) return v;
+  if (v.isReal()) return Value::integer(static_cast<std::int64_t>(v.asReal()));
+  if (v.isBoolean()) return Value::integer(v.asBoolean() ? 1 : 0);
+  if (v.isString()) {
+    const char* s = v.asString().c_str();
+    char* end = nullptr;
+    const double d = std::strtod(s, &end);
+    if (end == s) return Value::error("int: cannot parse '" + v.asString() + "'");
+    return Value::integer(static_cast<std::int64_t>(d));
+  }
+  return Value::error("int: cannot convert");
+}
+
+Value fnReal(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("real", 1, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  const Value& v = a[0];
+  if (v.isReal()) return v;
+  if (v.isInteger()) return Value::real(static_cast<double>(v.asInteger()));
+  if (v.isBoolean()) return Value::real(v.asBoolean() ? 1.0 : 0.0);
+  if (v.isString()) {
+    if (equalsIgnoreCase(v.asString(), "NaN")) {
+      return Value::real(std::nan(""));
+    }
+    if (equalsIgnoreCase(v.asString(), "INF")) {
+      return Value::real(std::numeric_limits<double>::infinity());
+    }
+    if (equalsIgnoreCase(v.asString(), "-INF")) {
+      return Value::real(-std::numeric_limits<double>::infinity());
+    }
+    const char* s = v.asString().c_str();
+    char* end = nullptr;
+    const double d = std::strtod(s, &end);
+    if (end == s) {
+      return Value::error("real: cannot parse '" + v.asString() + "'");
+    }
+    return Value::real(d);
+  }
+  return Value::error("real: cannot convert");
+}
+
+Value fnString(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("string", 1, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  const Value& v = a[0];
+  if (v.isString()) return v;
+  return Value::string(v.toLiteralString());
+}
+
+Value fnBool(const std::vector<Value>& a) {
+  if (a.size() != 1) return argCountError("bool", 1, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  const Value& v = a[0];
+  if (v.isBoolean()) return v;
+  if (v.isInteger()) return Value::boolean(v.asInteger() != 0);
+  if (v.isReal()) return Value::boolean(v.asReal() != 0.0);
+  if (v.isString()) {
+    if (equalsIgnoreCase(v.asString(), "true")) return Value::boolean(true);
+    if (equalsIgnoreCase(v.asString(), "false")) return Value::boolean(false);
+    return Value::error("bool: cannot parse '" + v.asString() + "'");
+  }
+  return Value::error("bool: cannot convert");
+}
+
+// --- string lists & regular expressions ------------------------------------
+//
+// Classic Condor conventions: many deployed policies carry
+// comma-separated lists in plain strings ("INTEL,SPARC") and match names
+// with POSIX-style regular expressions. These functions make such ads
+// portable into this implementation.
+
+std::vector<std::string> splitList(const std::string& s,
+                                   const std::string& delims) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    // Trim surrounding spaces, the Condor string-list convention.
+    std::size_t b = current.find_first_not_of(' ');
+    std::size_t e = current.find_last_not_of(' ');
+    out.push_back(b == std::string::npos
+                      ? std::string()
+                      : current.substr(b, e - b + 1));
+    current.clear();
+  };
+  for (const char c : s) {
+    if (delims.find(c) != std::string::npos) {
+      flush();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty() || !s.empty()) flush();
+  // An entirely empty input is the empty list, not {""}.
+  if (s.empty()) out.clear();
+  return out;
+}
+
+Value fnStringListMember(const std::vector<Value>& a) {
+  if (a.size() != 2 && a.size() != 3) {
+    return argCountError("stringListMember", 2, a.size());
+  }
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isString() || !a[1].isString() ||
+      (a.size() == 3 && !a[2].isString())) {
+    return Value::error("stringListMember: arguments must be strings");
+  }
+  const std::string delims = a.size() == 3 ? a[2].asString() : ",";
+  for (const std::string& item : splitList(a[1].asString(), delims)) {
+    if (equalsIgnoreCase(item, a[0].asString())) return Value::boolean(true);
+  }
+  return Value::boolean(false);
+}
+
+Value fnStringListSize(const std::vector<Value>& a) {
+  if (a.size() != 1 && a.size() != 2) {
+    return argCountError("stringListSize", 1, a.size());
+  }
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isString() || (a.size() == 2 && !a[1].isString())) {
+    return Value::error("stringListSize: arguments must be strings");
+  }
+  const std::string delims = a.size() == 2 ? a[1].asString() : ",";
+  return Value::integer(static_cast<std::int64_t>(
+      splitList(a[0].asString(), delims).size()));
+}
+
+Value fnSplit(const std::vector<Value>& a) {
+  if (a.size() != 1 && a.size() != 2) {
+    return argCountError("split", 1, a.size());
+  }
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isString() || (a.size() == 2 && !a[1].isString())) {
+    return Value::error("split: arguments must be strings");
+  }
+  const std::string delims = a.size() == 2 ? a[1].asString() : ", ";
+  std::vector<Value> items;
+  for (std::string& item : splitList(a[0].asString(), delims)) {
+    if (!item.empty()) items.push_back(Value::string(std::move(item)));
+  }
+  return Value::list(std::move(items));
+}
+
+Value fnJoin(const std::vector<Value>& a) {
+  if (a.size() != 2) return argCountError("join", 2, a.size());
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isString() || !a[1].isList()) {
+    return Value::error("join(separator, list): bad argument types");
+  }
+  std::string out;
+  bool first = true;
+  for (const Value& v : *a[1].asList()) {
+    if (!first) out += a[0].asString();
+    first = false;
+    if (v.isString()) {
+      out += v.asString();
+    } else if (v.isNumber() || v.isBoolean()) {
+      out += v.toLiteralString();
+    } else {
+      return Value::error("join: element is not a scalar");
+    }
+  }
+  return Value::string(std::move(out));
+}
+
+Value fnRegexp(const std::vector<Value>& a) {
+  if (a.size() != 2 && a.size() != 3) {
+    return argCountError("regexp", 2, a.size());
+  }
+  if (auto exc = propagate(a)) return *exc;
+  if (!a[0].isString() || !a[1].isString() ||
+      (a.size() == 3 && !a[2].isString())) {
+    return Value::error("regexp(pattern, target[, options])");
+  }
+  auto flags = std::regex::ECMAScript;
+  bool fullMatch = false;
+  if (a.size() == 3) {
+    for (const char c : a[2].asString()) {
+      switch (std::tolower(static_cast<unsigned char>(c))) {
+        case 'i': flags |= std::regex::icase; break;
+        case 'f': fullMatch = true; break;  // anchor to the whole string
+        default:
+          return Value::error(std::string("regexp: unknown option '") + c +
+                              "'");
+      }
+    }
+  }
+  try {
+    const std::regex re(a[0].asString(), flags);
+    const bool hit = fullMatch ? std::regex_match(a[1].asString(), re)
+                               : std::regex_search(a[1].asString(), re);
+    return Value::boolean(hit);
+  } catch (const std::regex_error&) {
+    return Value::error("regexp: bad pattern '" + a[0].asString() + "'");
+  }
+}
+
+Value fnIfThenElse(const std::vector<Value>& a) {
+  if (a.size() != 3) return argCountError("ifThenElse", 3, a.size());
+  const Value& c = a[0];
+  if (c.isBoolean()) return c.asBoolean() ? a[1] : a[2];
+  if (c.isUndefined()) return Value::undefined();
+  if (c.isError()) return c;
+  return Value::error("ifThenElse: condition is not boolean");
+}
+
+const std::unordered_map<std::string, BuiltinFn>& table() {
+  static const auto* kTable = new std::unordered_map<std::string, BuiltinFn>{
+      {"isundefined", fnIsUndefined},
+      {"iserror", fnIsError},
+      {"isstring", fnIsString},
+      {"isinteger", fnIsInteger},
+      {"isreal", fnIsReal},
+      {"isnumber", fnIsNumber},
+      {"isboolean", fnIsBoolean},
+      {"islist", fnIsList},
+      {"isclassad", fnIsClassAd},
+      {"member", fnMember},
+      {"identicalmember", fnIdenticalMember},
+      {"strcat", fnStrcat},
+      {"substr", fnSubstr},
+      {"toupper", fnToUpper},
+      {"tolower", fnToLower},
+      {"strcmp", fnStrcmp},
+      {"stricmp", fnStricmp},
+      {"floor", fnFloor},
+      {"ceiling", fnCeiling},
+      {"round", fnRound},
+      {"sqrt", fnSqrt},
+      {"abs", fnAbs},
+      {"pow", fnPow},
+      {"min", fnMin},
+      {"max", fnMax},
+      {"sum", fnSum},
+      {"avg", fnAvg},
+      {"size", fnSize},
+      {"int", fnInt},
+      {"real", fnReal},
+      {"string", fnString},
+      {"bool", fnBool},
+      {"ifthenelse", fnIfThenElse},
+      {"stringlistmember", fnStringListMember},
+      {"stringlistsize", fnStringListSize},
+      {"split", fnSplit},
+      {"join", fnJoin},
+      {"regexp", fnRegexp},
+  };
+  return *kTable;
+}
+
+}  // namespace
+
+Value memberSemantics(const Value& needle, const Value& haystack) {
+  if (needle.isError()) return needle;
+  if (haystack.isError()) return haystack;
+  if (haystack.isUndefined()) return Value::undefined();
+  if (!haystack.isList()) {
+    return Value::error("member: second argument is not a list");
+  }
+  if (needle.isUndefined()) return Value::undefined();
+  bool sawUndefined = false;
+  for (const Value& elem : *haystack.asList()) {
+    const Value eq = BinaryExpr::apply(BinOp::Equal, needle, elem);
+    if (eq.isBooleanTrue()) return Value::boolean(true);
+    if (eq.isUndefined()) sawUndefined = true;
+    // Type-mismatched elements (error from ==) simply don't match.
+  }
+  return sawUndefined ? Value::undefined() : Value::boolean(false);
+}
+
+const BuiltinFn* lookupBuiltin(std::string_view loweredName) {
+  const auto& t = table();
+  auto it = t.find(std::string(loweredName));
+  return it == t.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> builtinNames() {
+  std::vector<std::string> names;
+  names.reserve(table().size());
+  for (const auto& [name, fn] : table()) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace classad

@@ -1,0 +1,38 @@
+// builtins.h - The built-in function library of the classad language.
+//
+// The paper's Figure 1 uses `member(other.Owner, ResearchGroup)`; beyond
+// `member` we provide the small standard library a working matchmaking
+// deployment needs: type predicates and conversions, string utilities, and
+// numeric/list helpers. All functions receive fully evaluated argument
+// values; each decides its own strictness (type predicates, for instance,
+// must observe `undefined` rather than propagate it).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classad/value.h"
+
+namespace classad {
+
+/// A built-in: maps evaluated argument values to a result value. Never
+/// throws; failures are `error` values.
+using BuiltinFn = std::function<Value(const std::vector<Value>&)>;
+
+/// Looks up a built-in by (case-insensitive) name; nullptr if unknown.
+const BuiltinFn* lookupBuiltin(std::string_view loweredName);
+
+/// Names of all registered built-ins (for documentation/diagnostic tools).
+std::vector<std::string> builtinNames();
+
+/// The semantics of `member(x, list)`: boolean true if some element of
+/// `list` equals `x` under `==` semantics (numeric promotion,
+/// case-insensitive strings); `undefined` if x is undefined or no element
+/// matched but some comparison was undefined; `error` on non-list second
+/// argument. Exposed directly because the matchmaker's analysis module
+/// reuses it.
+Value memberSemantics(const Value& needle, const Value& haystack);
+
+}  // namespace classad

@@ -1,0 +1,155 @@
+#include "classad/classad.h"
+
+#include <algorithm>
+
+namespace classad {
+
+ClassAd& ClassAd::insert(std::string name, ExprPtr expr) {
+  std::string lowered = toLowerCopy(name);
+  auto it = index_.find(lowered);
+  if (it != index_.end()) {
+    attrs_[it->second].second = std::move(expr);
+  } else {
+    index_.emplace(std::move(lowered), attrs_.size());
+    attrs_.emplace_back(std::move(name), std::move(expr));
+  }
+  return *this;
+}
+
+ClassAd& ClassAd::set(std::string name, std::int64_t v) {
+  return insert(std::move(name), makeLiteral(v));
+}
+ClassAd& ClassAd::set(std::string name, double v) {
+  return insert(std::move(name), makeLiteral(v));
+}
+ClassAd& ClassAd::set(std::string name, bool v) {
+  return insert(std::move(name), makeLiteral(v));
+}
+ClassAd& ClassAd::set(std::string name, std::string v) {
+  return insert(std::move(name), makeLiteral(std::move(v)));
+}
+ClassAd& ClassAd::set(std::string name,
+                      const std::vector<std::string>& values) {
+  std::vector<ExprPtr> elems;
+  elems.reserve(values.size());
+  for (const std::string& v : values) elems.push_back(makeLiteral(v));
+  return insert(std::move(name), ListExpr::make(std::move(elems)));
+}
+
+ClassAd& ClassAd::setExpr(std::string name, std::string_view exprText) {
+  return insert(std::move(name), parseExpr(exprText));
+}
+
+bool ClassAd::remove(std::string_view name) {
+  const std::string lowered = toLowerCopy(name);
+  auto it = index_.find(lowered);
+  if (it == index_.end()) return false;
+  const std::size_t pos = it->second;
+  attrs_.erase(attrs_.begin() + static_cast<std::ptrdiff_t>(pos));
+  index_.erase(it);
+  for (auto& [key, idx] : index_) {
+    if (idx > pos) --idx;
+  }
+  return true;
+}
+
+void ClassAd::clear() {
+  attrs_.clear();
+  index_.clear();
+}
+
+const ExprPtr* ClassAd::lookup(std::string_view name) const noexcept {
+  auto it = index_.find(toLowerCopy(name));
+  if (it == index_.end()) return nullptr;
+  return &attrs_[it->second].second;
+}
+
+Value ClassAd::evaluateAttr(std::string_view name,
+                            const ClassAd* other) const {
+  const ExprPtr* bound = lookup(name);
+  if (bound == nullptr) return Value::undefined();
+  EvalContext ctx(this, other);
+  EvalContext::AttrGuard guard(ctx, this, name);
+  return (*bound)->evaluate(ctx);
+}
+
+Value ClassAd::evaluate(const Expr& expr, const ClassAd* other) const {
+  EvalContext ctx(this, other);
+  return expr.evaluate(ctx);
+}
+
+Value ClassAd::evaluate(std::string_view exprText,
+                        const ClassAd* other) const {
+  return evaluate(*parseExpr(exprText), other);
+}
+
+std::optional<std::int64_t> ClassAd::getInteger(std::string_view name,
+                                                const ClassAd* other) const {
+  const Value v = evaluateAttr(name, other);
+  if (v.isInteger()) return v.asInteger();
+  return std::nullopt;
+}
+
+std::optional<double> ClassAd::getNumber(std::string_view name,
+                                         const ClassAd* other) const {
+  const Value v = evaluateAttr(name, other);
+  if (v.isNumber()) return v.toReal();
+  return std::nullopt;
+}
+
+std::optional<std::string> ClassAd::getString(std::string_view name,
+                                              const ClassAd* other) const {
+  const Value v = evaluateAttr(name, other);
+  if (v.isString()) return v.asString();
+  return std::nullopt;
+}
+
+std::optional<bool> ClassAd::getBoolean(std::string_view name,
+                                        const ClassAd* other) const {
+  const Value v = evaluateAttr(name, other);
+  if (v.isBoolean()) return v.asBoolean();
+  return std::nullopt;
+}
+
+std::string ClassAd::unparse() const {
+  if (attrs_.empty()) return "[]";
+  std::string out = "[ ";
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (i) out += "; ";
+    out += attrs_[i].first;
+    out += " = ";
+    attrs_[i].second->unparse(out);
+  }
+  out += attrs_.empty() ? "]" : " ]";
+  return out;
+}
+
+std::string ClassAd::unparsePretty() const {
+  std::string out = "[\n";
+  for (const auto& [name, expr] : attrs_) {
+    out += "  ";
+    out += name;
+    out += " = ";
+    expr->unparse(out);
+    out += ";\n";
+  }
+  out += "]";
+  return out;
+}
+
+std::string ClassAd::signature() const {
+  std::vector<std::string> names;
+  names.reserve(attrs_.size());
+  for (const auto& [name, expr] : attrs_) {
+    names.push_back(toLowerCopy(name));
+  }
+  std::sort(names.begin(), names.end());
+  std::string out;
+  for (const std::string& n : names) {
+    out += n;
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace classad

@@ -1,0 +1,167 @@
+// classad.h - The classified advertisement: an ordered, case-insensitive
+// mapping from attribute names to expressions (Section 3.1: "A classad is a
+// mapping from attribute names to expressions").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "classad/expr.h"
+#include "classad/value.h"
+
+namespace classad {
+
+/// Thrown by the parsing entry points on malformed input. Carries a
+/// 1-based line/column of the offending token.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, int line, int column)
+      : std::runtime_error(std::move(message)), line_(line), column_(column) {}
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// A classad. Attribute names are case-insensitive (per the classad
+/// language); insertion order is preserved so that unparsing an ad
+/// reproduces the author's layout, and lookup is O(1) via a lowered-name
+/// index.
+///
+/// ClassAds are value types; copying copies the attribute table (the
+/// expression trees themselves are immutable and shared).
+class ClassAd {
+ public:
+  ClassAd() = default;
+  ClassAd(const ClassAd&) = default;
+  ClassAd(ClassAd&&) noexcept = default;
+  ClassAd& operator=(const ClassAd&) = default;
+  ClassAd& operator=(ClassAd&&) noexcept = default;
+
+  // --- construction / mutation ------------------------------------------
+
+  /// Binds `name` to `expr`, replacing any existing binding (the original
+  /// spelling of a replaced name is kept). Returns *this for chaining.
+  ClassAd& insert(std::string name, ExprPtr expr);
+
+  /// Binds `name` to the given constant.
+  ClassAd& set(std::string name, std::int64_t v);
+  ClassAd& set(std::string name, int v) {
+    return set(std::move(name), static_cast<std::int64_t>(v));
+  }
+  ClassAd& set(std::string name, double v);
+  ClassAd& set(std::string name, bool v);
+  ClassAd& set(std::string name, std::string v);
+  ClassAd& set(std::string name, const char* v) {
+    return set(std::move(name), std::string(v));
+  }
+  /// Binds `name` to a list of string constants (Figure 1's ResearchGroup).
+  ClassAd& set(std::string name, const std::vector<std::string>& values);
+
+  /// Parses `exprText` as a classad expression and binds it. Throws
+  /// ParseError on malformed input.
+  ClassAd& setExpr(std::string name, std::string_view exprText);
+
+  /// Removes a binding; returns false if the attribute was absent.
+  bool remove(std::string_view name);
+
+  void clear();
+
+  // --- lookup / iteration -------------------------------------------------
+
+  /// Returns the expression bound to `name` (case-insensitive), or nullptr.
+  const ExprPtr* lookup(std::string_view name) const noexcept;
+
+  bool contains(std::string_view name) const noexcept {
+    return lookup(name) != nullptr;
+  }
+
+  std::size_t size() const noexcept { return attrs_.size(); }
+  bool empty() const noexcept { return attrs_.empty(); }
+
+  using Attribute = std::pair<std::string, ExprPtr>;
+  /// Attributes in insertion order.
+  const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
+  std::vector<Attribute>::const_iterator begin() const noexcept {
+    return attrs_.begin();
+  }
+  std::vector<Attribute>::const_iterator end() const noexcept {
+    return attrs_.end();
+  }
+
+  // --- evaluation ----------------------------------------------------------
+
+  /// Evaluates the attribute `name` with this ad as `self` and (optionally)
+  /// `other` as the match candidate. A missing attribute is `undefined`.
+  Value evaluateAttr(std::string_view name,
+                     const ClassAd* other = nullptr) const;
+
+  /// Evaluates an arbitrary expression with this ad as `self`.
+  Value evaluate(const Expr& expr, const ClassAd* other = nullptr) const;
+
+  /// Evaluates an expression given as text (throws ParseError on bad text).
+  Value evaluate(std::string_view exprText,
+                 const ClassAd* other = nullptr) const;
+
+  /// Typed convenience accessors: evaluate an attribute and coerce.
+  /// Returns nullopt if the attribute is missing or of the wrong type.
+  std::optional<std::int64_t> getInteger(
+      std::string_view name, const ClassAd* other = nullptr) const;
+  std::optional<double> getNumber(std::string_view name,
+                                  const ClassAd* other = nullptr) const;
+  std::optional<std::string> getString(std::string_view name,
+                                       const ClassAd* other = nullptr) const;
+  std::optional<bool> getBoolean(std::string_view name,
+                                 const ClassAd* other = nullptr) const;
+
+  // --- parsing / unparsing -------------------------------------------------
+
+  /// Parses the textual form `[ name = expr; ... ]`. Throws ParseError.
+  static ClassAd parse(std::string_view text);
+
+  /// Parses, returning nullopt and filling `errorMessage` instead of
+  /// throwing (for tools that process untrusted ad streams).
+  static std::optional<ClassAd> tryParse(std::string_view text,
+                                         std::string* errorMessage = nullptr);
+
+  /// Renders the ad in the concrete syntax of the paper's figures:
+  /// `[ A = 1; B = "x" ]`. Round-trips through parse().
+  std::string unparse() const;
+
+  /// Multi-line rendering, one attribute per line, for human consumption.
+  std::string unparsePretty() const;
+
+  /// Structural "signature" of the ad: the sorted, lowercased attribute
+  /// names. Two ads with equal signatures exhibit the *structural
+  /// regularity* of Section 5, which the aggregation engine exploits.
+  std::string signature() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, std::size_t> index_;  // lowered -> position
+};
+
+using ClassAdPtr = std::shared_ptr<const ClassAd>;
+
+/// Wraps an ad in a shared pointer (the matchmaker's unit of storage).
+inline ClassAdPtr makeShared(ClassAd ad) {
+  return std::make_shared<const ClassAd>(std::move(ad));
+}
+
+/// Parses a standalone expression (not a whole ad). Throws ParseError.
+ExprPtr parseExpr(std::string_view text);
+
+/// Non-throwing variant.
+std::optional<ExprPtr> tryParseExpr(std::string_view text,
+                                    std::string* errorMessage = nullptr);
+
+}  // namespace classad

@@ -1,0 +1,620 @@
+#include "classad/expr.h"
+
+#include <cmath>
+
+#include "classad/builtins.h"
+#include "classad/classad.h"
+
+namespace classad {
+
+std::string_view toString(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Subtract: return "-";
+    case BinOp::Multiply: return "*";
+    case BinOp::Divide: return "/";
+    case BinOp::Modulus: return "%";
+    case BinOp::Less: return "<";
+    case BinOp::LessEq: return "<=";
+    case BinOp::Greater: return ">";
+    case BinOp::GreaterEq: return ">=";
+    case BinOp::Equal: return "==";
+    case BinOp::NotEqual: return "!=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+    case BinOp::Is: return "is";
+    case BinOp::IsNot: return "isnt";
+  }
+  return "?";
+}
+
+std::string_view toString(UnOp op) noexcept {
+  switch (op) {
+    case UnOp::Minus: return "-";
+    case UnOp::Plus: return "+";
+    case UnOp::Not: return "!";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// EvalContext
+// ---------------------------------------------------------------------------
+
+EvalContext::AttrGuard::AttrGuard(EvalContext& ctx, const ClassAd* ad,
+                                  std::string_view attr)
+    : ctx_(ctx), cyclic_(false) {
+  std::string lowered = toLowerCopy(attr);
+  for (const Frame& f : ctx_.stack_) {
+    if (f.ad == ad && f.attr == lowered) {
+      cyclic_ = true;
+      return;
+    }
+  }
+  ctx_.stack_.push_back(Frame{ad, std::move(lowered)});
+}
+
+EvalContext::AttrGuard::~AttrGuard() {
+  if (!cyclic_) ctx_.stack_.pop_back();
+}
+
+// ---------------------------------------------------------------------------
+// Attribute references
+// ---------------------------------------------------------------------------
+
+Value AttrRefExpr::evaluate(EvalContext& ctx) const {
+  // Resolve the target ad. Bare references resolve in self first and then
+  // FALL THROUGH to the other ad: the paper's prose says bare names
+  // "assume the self prefix", but its own Figure 2 writes the machine's
+  // attributes bare in the job's Constraint (`Arch == "INTEL"`), which only
+  // matches Figure 1 under the deployed Condor rule of self-then-target
+  // resolution. We implement the deployed rule.
+  const ClassAd* target = nullptr;
+  bool inOther = false;
+  const ExprPtr* bound = nullptr;
+  if (scope_ == RefScope::Other) {
+    target = ctx.other();
+    inOther = true;
+    bound = target ? target->lookup(lowered_) : nullptr;
+  } else {
+    target = ctx.self();
+    bound = target ? target->lookup(lowered_) : nullptr;
+    if (bound == nullptr && scope_ == RefScope::Default &&
+        ctx.other() != nullptr) {
+      target = ctx.other();
+      inOther = true;
+      bound = target->lookup(lowered_);
+    }
+  }
+  if (bound == nullptr) {
+    // "A reference to a non-existent attribute evaluates to the constant
+    // undefined." (Section 3.2)
+    return Value::undefined();
+  }
+  EvalContext::AttrGuard guard(ctx, target, lowered_);
+  if (guard.cyclic()) {
+    return Value::error("circular reference through attribute '" + name_ +
+                        "'");
+  }
+  if (!ctx.enter()) return Value::error("expression too deep");
+  // The referenced expression evaluates with its OWNER as self: a
+  // reference to other.Rank evaluates the other ad's Rank in the other
+  // ad's own frame (with the roles of self/other swapped), exactly as the
+  // matchmaking algorithm of Section 3.2 requires.
+  Value v;
+  if (inOther) {
+    EvalContext::ScopeSwap swap(ctx);
+    v = (*bound)->evaluate(ctx);
+  } else {
+    v = (*bound)->evaluate(ctx);
+  }
+  ctx.leave();
+  return v;
+}
+
+void AttrRefExpr::unparse(std::string& out) const {
+  switch (scope_) {
+    case RefScope::Default: break;
+    case RefScope::Self: out += "self."; break;
+    case RefScope::Other: out += "other."; break;
+  }
+  out += name_;
+}
+
+Value ScopeExpr::evaluate(EvalContext& ctx) const {
+  const ClassAd* target =
+      scope_ == RefScope::Other ? ctx.other() : ctx.self();
+  if (target == nullptr) return Value::undefined();
+  return Value::record(std::make_shared<const ClassAd>(*target));
+}
+
+void ScopeExpr::unparse(std::string& out) const {
+  out += scope_ == RefScope::Other ? "other" : "self";
+}
+
+// ---------------------------------------------------------------------------
+// Literals & constructors
+// ---------------------------------------------------------------------------
+
+void LiteralExpr::unparse(std::string& out) const {
+  out += value_.toLiteralString();
+}
+
+Value ListExpr::evaluate(EvalContext& ctx) const {
+  std::vector<Value> vals;
+  vals.reserve(elems_.size());
+  for (const ExprPtr& e : elems_) {
+    vals.push_back(e->evaluate(ctx));
+  }
+  return Value::list(std::move(vals));
+}
+
+void ListExpr::unparse(std::string& out) const {
+  out += "{ ";
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    if (i) out += ", ";
+    elems_[i]->unparse(out);
+  }
+  out += elems_.empty() ? "}" : " }";
+}
+
+Value RecordExpr::evaluate(EvalContext&) const { return Value::record(ad_); }
+
+void RecordExpr::unparse(std::string& out) const { out += ad_->unparse(); }
+
+// ---------------------------------------------------------------------------
+// Unary operators
+// ---------------------------------------------------------------------------
+
+Value UnaryExpr::evaluate(EvalContext& ctx) const {
+  const Value v = operand_->evaluate(ctx);
+  switch (op_) {
+    case UnOp::Not:
+      // Kleene negation: strict only over error.
+      if (v.isError()) return v;
+      if (v.isUndefined()) return v;
+      if (v.isBoolean()) return Value::boolean(!v.asBoolean());
+      return Value::error("operand of ! is not boolean");
+    case UnOp::Minus:
+      if (v.isExceptional()) return v;
+      if (v.isInteger()) return Value::integer(-v.asInteger());
+      if (v.isReal()) return Value::real(-v.asReal());
+      return Value::error("operand of unary - is not numeric");
+    case UnOp::Plus:
+      if (v.isExceptional()) return v;
+      if (v.isNumber()) return v;
+      return Value::error("operand of unary + is not numeric");
+  }
+  return Value::error("bad unary operator");
+}
+
+void UnaryExpr::unparse(std::string& out) const {
+  out += classad::toString(op_);
+  const bool paren = operand_->precedence() < precedence();
+  if (paren) out += '(';
+  operand_->unparse(out);
+  if (paren) out += ')';
+}
+
+// ---------------------------------------------------------------------------
+// Binary operators
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Comparison outcome used by the relational operators.
+enum class Cmp { Less, Equal, Greater, Undefined, Error };
+
+Value promoteBool(const Value& v);
+
+Cmp compareValues(const Value& rawA, const Value& rawB) {
+  if (rawA.isUndefined() || rawB.isUndefined()) return Cmp::Undefined;
+  if (rawA.isError() || rawB.isError()) return Cmp::Error;
+  // Mixed boolean/number comparisons treat the boolean as 0/1 (see
+  // promoteBool); boolean/boolean comparisons stay boolean.
+  const Value a = rawA.isBoolean() && rawB.isNumber() ? promoteBool(rawA) : rawA;
+  const Value b = rawB.isBoolean() && rawA.isNumber() ? promoteBool(rawB) : rawB;
+  if (a.isNumber() && b.isNumber()) {
+    if (a.isInteger() && b.isInteger()) {
+      const auto x = a.asInteger(), y = b.asInteger();
+      return x < y ? Cmp::Less : x > y ? Cmp::Greater : Cmp::Equal;
+    }
+    const double x = a.toReal(), y = b.toReal();
+    if (std::isnan(x) || std::isnan(y)) return Cmp::Error;
+    return x < y ? Cmp::Less : x > y ? Cmp::Greater : Cmp::Equal;
+  }
+  if (a.isString() && b.isString()) {
+    // The == operator compares strings case-insensitively (the `is`
+    // operator provides case-sensitive identity).
+    const int c = compareIgnoreCase(a.asString(), b.asString());
+    return c < 0 ? Cmp::Less : c > 0 ? Cmp::Greater : Cmp::Equal;
+  }
+  if (a.isBoolean() && b.isBoolean()) {
+    const int x = a.asBoolean() ? 1 : 0, y = b.asBoolean() ? 1 : 0;
+    return x < y ? Cmp::Less : x > y ? Cmp::Greater : Cmp::Equal;
+  }
+  // Mixed or non-scalar types do not compare.
+  return Cmp::Error;
+}
+
+/// Booleans participate in arithmetic as 0/1, the classic-Condor behaviour
+/// that Figure 1's `member(other.Owner, ResearchGroup) * 10 + ...` Rank
+/// expression relies on.
+Value promoteBool(const Value& v) {
+  if (v.isBoolean()) return Value::integer(v.asBoolean() ? 1 : 0);
+  return v;
+}
+
+Value arithmetic(BinOp op, const Value& rawA, const Value& rawB) {
+  const Value a = promoteBool(rawA);
+  const Value b = promoteBool(rawB);
+  // Error dominates undefined: a computation that already failed stays
+  // failed even when mixed with missing data.
+  if (a.isError()) return a;
+  if (b.isError()) return b;
+  if (a.isUndefined() || b.isUndefined()) return Value::undefined();
+  if (!a.isNumber() || !b.isNumber()) {
+    return Value::error(std::string("operands of ") +
+                        std::string(classad::toString(op)) + " are not numeric");
+  }
+  const bool bothInt = a.isInteger() && b.isInteger();
+  switch (op) {
+    case BinOp::Add:
+      return bothInt ? Value::integer(a.asInteger() + b.asInteger())
+                     : Value::real(a.toReal() + b.toReal());
+    case BinOp::Subtract:
+      return bothInt ? Value::integer(a.asInteger() - b.asInteger())
+                     : Value::real(a.toReal() - b.toReal());
+    case BinOp::Multiply:
+      return bothInt ? Value::integer(a.asInteger() * b.asInteger())
+                     : Value::real(a.toReal() * b.toReal());
+    case BinOp::Divide:
+      if (bothInt) {
+        if (b.asInteger() == 0) return Value::error("division by zero");
+        return Value::integer(a.asInteger() / b.asInteger());
+      }
+      if (b.toReal() == 0.0) return Value::error("division by zero");
+      return Value::real(a.toReal() / b.toReal());
+    case BinOp::Modulus:
+      if (!bothInt) return Value::error("operands of % are not integers");
+      if (b.asInteger() == 0) return Value::error("modulus by zero");
+      return Value::integer(a.asInteger() % b.asInteger());
+    default:
+      return Value::error("bad arithmetic operator");
+  }
+}
+
+Value relational(BinOp op, const Value& a, const Value& b) {
+  switch (compareValues(a, b)) {
+    case Cmp::Undefined:
+      // "comparison operators are strict" (Section 3.2)
+      return Value::undefined();
+    case Cmp::Error:
+      return Value::error(std::string("cannot compare ") +
+                          std::string(classad::toString(a.type())) + " with " +
+                          std::string(classad::toString(b.type())));
+    case Cmp::Less:
+      return Value::boolean(op == BinOp::Less || op == BinOp::LessEq ||
+                            op == BinOp::NotEqual);
+    case Cmp::Greater:
+      return Value::boolean(op == BinOp::Greater || op == BinOp::GreaterEq ||
+                            op == BinOp::NotEqual);
+    case Cmp::Equal:
+      return Value::boolean(op == BinOp::Equal || op == BinOp::LessEq ||
+                            op == BinOp::GreaterEq);
+  }
+  return Value::error("bad comparison");
+}
+
+/// Classifies a value for the Kleene connectives: definite boolean,
+/// undefined, or error (any non-boolean, non-undefined operand of && / ||
+/// is a type error).
+enum class Tri { True, False, Undef, Err };
+
+Tri triOf(const Value& v) {
+  if (v.isBoolean()) return v.asBoolean() ? Tri::True : Tri::False;
+  if (v.isUndefined()) return Tri::Undef;
+  return Tri::Err;
+}
+
+}  // namespace
+
+Value BinaryExpr::apply(BinOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case BinOp::Add:
+    case BinOp::Subtract:
+    case BinOp::Multiply:
+    case BinOp::Divide:
+    case BinOp::Modulus:
+      return arithmetic(op, a, b);
+    case BinOp::Less:
+    case BinOp::LessEq:
+    case BinOp::Greater:
+    case BinOp::GreaterEq:
+    case BinOp::Equal:
+    case BinOp::NotEqual:
+      return relational(op, a, b);
+    case BinOp::And: {
+      // "The Boolean operators || and && are non-strict on both
+      // arguments" (Section 3.2): false wins regardless of the other side.
+      const Tri x = triOf(a), y = triOf(b);
+      if (x == Tri::False || y == Tri::False) return Value::boolean(false);
+      if (x == Tri::Err || y == Tri::Err) {
+        return Value::error("operand of && is not boolean");
+      }
+      if (x == Tri::Undef || y == Tri::Undef) return Value::undefined();
+      return Value::boolean(true);
+    }
+    case BinOp::Or: {
+      const Tri x = triOf(a), y = triOf(b);
+      if (x == Tri::True || y == Tri::True) return Value::boolean(true);
+      if (x == Tri::Err || y == Tri::Err) {
+        return Value::error("operand of || is not boolean");
+      }
+      if (x == Tri::Undef || y == Tri::Undef) return Value::undefined();
+      return Value::boolean(false);
+    }
+    case BinOp::Is:
+      // "non-strict operators is and isnt, which always return Boolean
+      // results (not undefined)" (Section 3.2)
+      return Value::boolean(a.isIdenticalTo(b));
+    case BinOp::IsNot:
+      return Value::boolean(!a.isIdenticalTo(b));
+  }
+  return Value::error("bad binary operator");
+}
+
+Value BinaryExpr::evaluate(EvalContext& ctx) const {
+  if (!ctx.enter()) return Value::error("expression too deep");
+  const Value a = lhs_->evaluate(ctx);
+  // Short-circuit where the left operand alone decides, preserving
+  // non-strict semantics while skipping wasted work.
+  if (op_ == BinOp::And && a.isBoolean() && !a.asBoolean()) {
+    ctx.leave();
+    return Value::boolean(false);
+  }
+  if (op_ == BinOp::Or && a.isBoolean() && a.asBoolean()) {
+    ctx.leave();
+    return Value::boolean(true);
+  }
+  const Value b = rhs_->evaluate(ctx);
+  ctx.leave();
+  return apply(op_, a, b);
+}
+
+int BinaryExpr::precedence() const noexcept {
+  switch (op_) {
+    case BinOp::Or: return 20;
+    case BinOp::And: return 30;
+    case BinOp::Is:
+    case BinOp::IsNot:
+    case BinOp::Equal:
+    case BinOp::NotEqual: return 40;
+    case BinOp::Less:
+    case BinOp::LessEq:
+    case BinOp::Greater:
+    case BinOp::GreaterEq: return 50;
+    case BinOp::Add:
+    case BinOp::Subtract: return 60;
+    case BinOp::Multiply:
+    case BinOp::Divide:
+    case BinOp::Modulus: return 70;
+  }
+  return 0;
+}
+
+void BinaryExpr::unparse(std::string& out) const {
+  const int prec = precedence();
+  const bool lparen = lhs_->precedence() < prec;
+  if (lparen) out += '(';
+  lhs_->unparse(out);
+  if (lparen) out += ')';
+  out += ' ';
+  out += classad::toString(op_);
+  out += ' ';
+  // Left-associative grammar: parenthesize the right child at equal
+  // precedence (e.g. a - (b - c)).
+  const bool rparen = rhs_->precedence() <= prec;
+  if (rparen) out += '(';
+  rhs_->unparse(out);
+  if (rparen) out += ')';
+}
+
+// ---------------------------------------------------------------------------
+// Ternary
+// ---------------------------------------------------------------------------
+
+Value TernaryExpr::evaluate(EvalContext& ctx) const {
+  if (!ctx.enter()) return Value::error("expression too deep");
+  const Value c = cond_->evaluate(ctx);
+  Value result;
+  if (c.isBoolean()) {
+    result = c.asBoolean() ? then_->evaluate(ctx) : else_->evaluate(ctx);
+  } else if (c.isUndefined()) {
+    result = Value::undefined();
+  } else if (c.isError()) {
+    result = c;
+  } else {
+    result = Value::error("condition of ?: is not boolean");
+  }
+  ctx.leave();
+  return result;
+}
+
+void TernaryExpr::unparse(std::string& out) const {
+  const bool cparen = cond_->precedence() <= precedence();
+  if (cparen) out += '(';
+  cond_->unparse(out);
+  if (cparen) out += ')';
+  out += " ? ";
+  then_->unparse(out);
+  out += " : ";
+  // ?: is right-associative; the else branch may be another ternary
+  // without parentheses (Figure 1 nests conditionals this way).
+  else_->unparse(out);
+}
+
+// ---------------------------------------------------------------------------
+// Selection, subscription, calls
+// ---------------------------------------------------------------------------
+
+Value SelectExpr::evaluate(EvalContext& ctx) const {
+  if (!ctx.enter()) return Value::error("expression too deep");
+  const Value base = base_->evaluate(ctx);
+  ctx.leave();
+  if (base.isExceptional()) return base;
+  if (!base.isRecord()) {
+    return Value::error("selection '." + attr_ + "' applied to " +
+                        std::string(classad::toString(base.type())));
+  }
+  // Attributes of a nested record evaluate in the record's own frame, so
+  // that its internal references resolve locally.
+  return base.asRecord()->evaluateAttr(attr_, ctx.other());
+}
+
+void SelectExpr::unparse(std::string& out) const {
+  const bool paren = base_->precedence() < precedence();
+  if (paren) out += '(';
+  base_->unparse(out);
+  if (paren) out += ')';
+  out += '.';
+  out += attr_;
+}
+
+Value SubscriptExpr::evaluate(EvalContext& ctx) const {
+  if (!ctx.enter()) return Value::error("expression too deep");
+  const Value base = base_->evaluate(ctx);
+  const Value idx = index_->evaluate(ctx);
+  ctx.leave();
+  if (base.isExceptional()) return base;
+  if (idx.isExceptional()) return idx;
+  if (base.isList()) {
+    if (!idx.isInteger()) return Value::error("list subscript is not integer");
+    const auto& elems = *base.asList();
+    const std::int64_t i = idx.asInteger();
+    if (i < 0 || static_cast<std::size_t>(i) >= elems.size()) {
+      return Value::error("list subscript out of range");
+    }
+    return elems[static_cast<std::size_t>(i)];
+  }
+  if (base.isRecord()) {
+    if (!idx.isString()) return Value::error("record subscript is not string");
+    return base.asRecord()->evaluateAttr(idx.asString(), ctx.other());
+  }
+  return Value::error("subscript applied to " +
+                      std::string(classad::toString(base.type())));
+}
+
+void SubscriptExpr::unparse(std::string& out) const {
+  const bool paren = base_->precedence() < precedence();
+  if (paren) out += '(';
+  base_->unparse(out);
+  if (paren) out += ')';
+  out += '[';
+  index_->unparse(out);
+  out += ']';
+}
+
+Value FuncCallExpr::evaluate(EvalContext& ctx) const {
+  const BuiltinFn* fn = lookupBuiltin(lowered_);
+  if (fn == nullptr) {
+    return Value::error("unknown function '" + name_ + "'");
+  }
+  if (!ctx.enter()) return Value::error("expression too deep");
+  std::vector<Value> args;
+  args.reserve(args_.size());
+  for (const ExprPtr& a : args_) {
+    args.push_back(a->evaluate(ctx));
+  }
+  ctx.leave();
+  return (*fn)(args);
+}
+
+void FuncCallExpr::unparse(std::string& out) const {
+  out += name_;
+  out += '(';
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i) out += ", ";
+    args_[i]->unparse(out);
+  }
+  out += ')';
+}
+
+// ---------------------------------------------------------------------------
+// Generic AST walking
+// ---------------------------------------------------------------------------
+
+void Expr::visitChildren(const std::function<void(const Expr&)>&) const {}
+
+void UnaryExpr::visitChildren(
+    const std::function<void(const Expr&)>& fn) const {
+  fn(*operand_);
+}
+
+void BinaryExpr::visitChildren(
+    const std::function<void(const Expr&)>& fn) const {
+  fn(*lhs_);
+  fn(*rhs_);
+}
+
+void TernaryExpr::visitChildren(
+    const std::function<void(const Expr&)>& fn) const {
+  fn(*cond_);
+  fn(*then_);
+  fn(*else_);
+}
+
+void ListExpr::visitChildren(
+    const std::function<void(const Expr&)>& fn) const {
+  for (const ExprPtr& e : elems_) fn(*e);
+}
+
+void RecordExpr::visitChildren(
+    const std::function<void(const Expr&)>& fn) const {
+  for (const auto& [name, expr] : ad_->attributes()) fn(*expr);
+}
+
+void SelectExpr::visitChildren(
+    const std::function<void(const Expr&)>& fn) const {
+  fn(*base_);
+}
+
+void SubscriptExpr::visitChildren(
+    const std::function<void(const Expr&)>& fn) const {
+  fn(*base_);
+  fn(*index_);
+}
+
+void FuncCallExpr::visitChildren(
+    const std::function<void(const Expr&)>& fn) const {
+  for (const ExprPtr& a : args_) fn(*a);
+}
+
+void collectAttrRefs(const Expr& expr,
+                     std::vector<std::string>& loweredNames) {
+  if (const auto* ref = dynamic_cast<const AttrRefExpr*>(&expr)) {
+    loweredNames.push_back(ref->loweredName());
+  } else if (const auto* sel = dynamic_cast<const SelectExpr*>(&expr)) {
+    loweredNames.push_back(toLowerCopy(sel->attribute()));
+  }
+  expr.visitChildren(
+      [&loweredNames](const Expr& child) { collectAttrRefs(child, loweredNames); });
+}
+
+// ---------------------------------------------------------------------------
+// Literal helpers
+// ---------------------------------------------------------------------------
+
+ExprPtr makeLiteral(std::int64_t v) {
+  return LiteralExpr::make(Value::integer(v));
+}
+ExprPtr makeLiteral(double v) { return LiteralExpr::make(Value::real(v)); }
+ExprPtr makeLiteral(bool v) { return LiteralExpr::make(Value::boolean(v)); }
+ExprPtr makeLiteral(std::string v) {
+  return LiteralExpr::make(Value::string(std::move(v)));
+}
+ExprPtr makeLiteral(const char* v) {
+  return LiteralExpr::make(Value::string(v));
+}
+
+}  // namespace classad

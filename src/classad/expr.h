@@ -1,0 +1,406 @@
+// expr.h - Abstract syntax tree of the ClassAd expression language and its
+// evaluation semantics (Section 3.1-3.2 of the HPDC 1998 paper).
+//
+// Expressions are immutable and shared (ExprPtr is shared_ptr<const Expr>),
+// so a parsed ad can be copied, stored in a matchmaker, and evaluated from
+// multiple threads concurrently without synchronization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "classad/value.h"
+
+namespace classad {
+
+class ClassAd;
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Binary operators, grouped by the evaluation rule they follow.
+enum class BinOp : std::uint8_t {
+  // arithmetic (strict, numeric)
+  Add, Subtract, Multiply, Divide, Modulus,
+  // comparison (strict; numeric with promotion, or case-insensitive string)
+  Less, LessEq, Greater, GreaterEq, Equal, NotEqual,
+  // logical (NON-strict: three-valued Kleene logic per Section 3.2)
+  And, Or,
+  // identity (non-strict; always yields a boolean, never undefined/error)
+  Is, IsNot,
+};
+
+enum class UnOp : std::uint8_t {
+  Minus,  // strict, numeric
+  Plus,   // strict, numeric
+  Not,    // Kleene: !undefined = undefined
+};
+
+std::string_view toString(BinOp op) noexcept;
+std::string_view toString(UnOp op) noexcept;
+
+/// Which ad an attribute reference resolves against (Section 3.2: "An
+/// attribute reference of the form self.attribute-name refers to another
+/// attribute of the classad containing the reference, while
+/// other.attribute-name refers to an attribute of the other ad. If neither
+/// self nor other is mentioned explicitly, the evaluation mechanism assumes
+/// the self prefix.").
+enum class RefScope : std::uint8_t {
+  Default,  // bare name: resolves in self
+  Self,
+  Other,
+};
+
+/// Evaluation environment. `self` is the ad containing the expression being
+/// evaluated, `other` is the candidate ad of a (one- or two-sided) match.
+/// Either may be null: a reference through a missing scope is `undefined`.
+///
+/// The context also carries the circular-reference guard. A classad may
+/// legally contain mutually-referring attributes (Figure 1's Constraint
+/// refers to Rank); cycles, however, evaluate to `error` rather than
+/// diverging.
+class EvalContext {
+ public:
+  EvalContext(const ClassAd* self, const ClassAd* other) noexcept
+      : self_(self), other_(other) {}
+
+  const ClassAd* self() const noexcept { return self_; }
+  const ClassAd* other() const noexcept { return other_; }
+
+  /// RAII guard marking (ad, attribute) as under evaluation; detects cycles.
+  class AttrGuard {
+   public:
+    AttrGuard(EvalContext& ctx, const ClassAd* ad, std::string_view attr);
+    ~AttrGuard();
+    AttrGuard(const AttrGuard&) = delete;
+    AttrGuard& operator=(const AttrGuard&) = delete;
+    /// True if this (ad, attr) was already on the evaluation stack.
+    bool cyclic() const noexcept { return cyclic_; }
+
+   private:
+    EvalContext& ctx_;
+    bool cyclic_;
+  };
+
+  /// Depth guard against pathologically deep expressions.
+  bool enter() noexcept {
+    return ++depth_ <= kMaxDepth;
+  }
+  void leave() noexcept { --depth_; }
+
+  /// RAII swap of self/other for the duration of evaluating an
+  /// `other.Attr` reference: the referenced expression evaluates with its
+  /// OWNER as self (Section 3.2), while the cycle stack and depth counter
+  /// remain shared so self->other->self reference cycles are detected.
+  class ScopeSwap {
+   public:
+    explicit ScopeSwap(EvalContext& ctx) noexcept : ctx_(ctx) {
+      std::swap(ctx_.self_, ctx_.other_);
+    }
+    ~ScopeSwap() { std::swap(ctx_.self_, ctx_.other_); }
+    ScopeSwap(const ScopeSwap&) = delete;
+    ScopeSwap& operator=(const ScopeSwap&) = delete;
+
+   private:
+    EvalContext& ctx_;
+  };
+
+ private:
+  friend class AttrGuard;
+  struct Frame {
+    const ClassAd* ad;
+    std::string attr;  // lowercased
+  };
+  const ClassAd* self_;
+  const ClassAd* other_;
+  std::vector<Frame> stack_;
+  int depth_ = 0;
+  static constexpr int kMaxDepth = 512;
+};
+
+/// Base class of all AST nodes.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates the expression in `ctx`. Never throws for language-level
+  /// failures; those produce `error` values (Section 3.2 semantics).
+  virtual Value evaluate(EvalContext& ctx) const = 0;
+
+  /// Appends the concrete syntax of this node to `out`. The output
+  /// re-parses to an equivalent AST (the round-trip property tested in
+  /// tests/classad/parser_test.cpp).
+  virtual void unparse(std::string& out) const = 0;
+
+  /// Operator precedence of this node, used to parenthesize minimally when
+  /// unparsing. Higher binds tighter; atoms return kAtomPrecedence.
+  virtual int precedence() const noexcept { return kAtomPrecedence; }
+
+  /// Invokes `fn` on each direct child expression (none for atoms).
+  /// Drives generic AST walks (attribute-reference collection, conjunct
+  /// analysis) without a full visitor hierarchy.
+  virtual void visitChildren(const std::function<void(const Expr&)>& fn) const;
+
+  std::string toString() const {
+    std::string out;
+    unparse(out);
+    return out;
+  }
+
+  static constexpr int kAtomPrecedence = 100;
+};
+
+// ---------------------------------------------------------------------------
+// Node types
+// ---------------------------------------------------------------------------
+
+/// A literal constant: 42, 3.14, "INTEL", true, undefined, error.
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+  Value evaluate(EvalContext&) const override { return value_; }
+  void unparse(std::string& out) const override;
+  const Value& value() const noexcept { return value_; }
+
+  static ExprPtr make(Value v) {
+    return std::make_shared<LiteralExpr>(std::move(v));
+  }
+
+ private:
+  Value value_;
+};
+
+/// An attribute reference: `Memory`, `self.Rank`, `other.Owner`.
+class AttrRefExpr final : public Expr {
+ public:
+  AttrRefExpr(RefScope scope, std::string name)
+      : scope_(scope), name_(std::move(name)), lowered_(toLowerCopy(name_)) {}
+  Value evaluate(EvalContext& ctx) const override;
+  void unparse(std::string& out) const override;
+  RefScope scope() const noexcept { return scope_; }
+  const std::string& name() const noexcept { return name_; }
+  const std::string& loweredName() const noexcept { return lowered_; }
+
+  static ExprPtr make(RefScope scope, std::string name) {
+    return std::make_shared<AttrRefExpr>(scope, std::move(name));
+  }
+
+ private:
+  RefScope scope_;
+  std::string name_;
+  std::string lowered_;
+};
+
+/// A bare `self` or `other` used as a value: evaluates to the ad itself as
+/// a record value (supports e.g. `size(other)`).
+class ScopeExpr final : public Expr {
+ public:
+  explicit ScopeExpr(RefScope scope) : scope_(scope) {}
+  Value evaluate(EvalContext& ctx) const override;
+  void unparse(std::string& out) const override;
+  RefScope scope() const noexcept { return scope_; }
+
+ private:
+  RefScope scope_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnOp op, ExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+  Value evaluate(EvalContext& ctx) const override;
+  void unparse(std::string& out) const override;
+  void visitChildren(
+      const std::function<void(const Expr&)>& fn) const override;
+  int precedence() const noexcept override { return 90; }
+  UnOp op() const noexcept { return op_; }
+  const ExprPtr& operand() const noexcept { return operand_; }
+
+  static ExprPtr make(UnOp op, ExprPtr e) {
+    return std::make_shared<UnaryExpr>(op, std::move(e));
+  }
+
+ private:
+  UnOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Value evaluate(EvalContext& ctx) const override;
+  void unparse(std::string& out) const override;
+  void visitChildren(
+      const std::function<void(const Expr&)>& fn) const override;
+  int precedence() const noexcept override;
+  BinOp op() const noexcept { return op_; }
+  const ExprPtr& lhs() const noexcept { return lhs_; }
+  const ExprPtr& rhs() const noexcept { return rhs_; }
+
+  static ExprPtr make(BinOp op, ExprPtr l, ExprPtr r) {
+    return std::make_shared<BinaryExpr>(op, std::move(l), std::move(r));
+  }
+
+  /// Applies `op` to already-evaluated operands; the building block shared
+  /// by the evaluator, the constraint analyzer, and constant folding.
+  static Value apply(BinOp op, const Value& lhs, const Value& rhs);
+
+ private:
+  BinOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// `cond ? then : else` (Figure 1 uses a nested conditional as its policy).
+class TernaryExpr final : public Expr {
+ public:
+  TernaryExpr(ExprPtr cond, ExprPtr then, ExprPtr otherwise)
+      : cond_(std::move(cond)),
+        then_(std::move(then)),
+        else_(std::move(otherwise)) {}
+  Value evaluate(EvalContext& ctx) const override;
+  void unparse(std::string& out) const override;
+  void visitChildren(
+      const std::function<void(const Expr&)>& fn) const override;
+  int precedence() const noexcept override { return 10; }
+  const ExprPtr& cond() const noexcept { return cond_; }
+  const ExprPtr& thenExpr() const noexcept { return then_; }
+  const ExprPtr& elseExpr() const noexcept { return else_; }
+
+  static ExprPtr make(ExprPtr c, ExprPtr t, ExprPtr e) {
+    return std::make_shared<TernaryExpr>(std::move(c), std::move(t),
+                                         std::move(e));
+  }
+
+ private:
+  ExprPtr cond_;
+  ExprPtr then_;
+  ExprPtr else_;
+};
+
+/// A list constructor `{ e1, e2, ... }` (Figure 1's ResearchGroup).
+class ListExpr final : public Expr {
+ public:
+  explicit ListExpr(std::vector<ExprPtr> elems) : elems_(std::move(elems)) {}
+  Value evaluate(EvalContext& ctx) const override;
+  void unparse(std::string& out) const override;
+  void visitChildren(
+      const std::function<void(const Expr&)>& fn) const override;
+  const std::vector<ExprPtr>& elements() const noexcept { return elems_; }
+
+  static ExprPtr make(std::vector<ExprPtr> elems) {
+    return std::make_shared<ListExpr>(std::move(elems));
+  }
+
+ private:
+  std::vector<ExprPtr> elems_;
+};
+
+/// A record (nested classad) constructor `[ name = expr; ... ]`.
+class RecordExpr final : public Expr {
+ public:
+  explicit RecordExpr(std::shared_ptr<const ClassAd> ad)
+      : ad_(std::move(ad)) {}
+  Value evaluate(EvalContext&) const override;
+  void unparse(std::string& out) const override;
+  void visitChildren(
+      const std::function<void(const Expr&)>& fn) const override;
+  const std::shared_ptr<const ClassAd>& ad() const noexcept { return ad_; }
+
+  static ExprPtr make(std::shared_ptr<const ClassAd> ad) {
+    return std::make_shared<RecordExpr>(std::move(ad));
+  }
+
+ private:
+  std::shared_ptr<const ClassAd> ad_;
+};
+
+/// Attribute selection on a record-valued expression: `expr.Attr`.
+/// (`self.X` / `other.X` parse to AttrRefExpr, not SelectExpr.)
+class SelectExpr final : public Expr {
+ public:
+  SelectExpr(ExprPtr base, std::string attr)
+      : base_(std::move(base)), attr_(std::move(attr)) {}
+  Value evaluate(EvalContext& ctx) const override;
+  void unparse(std::string& out) const override;
+  void visitChildren(
+      const std::function<void(const Expr&)>& fn) const override;
+  int precedence() const noexcept override { return 95; }
+  const std::string& attribute() const noexcept { return attr_; }
+  const ExprPtr& base() const noexcept { return base_; }
+
+  static ExprPtr make(ExprPtr base, std::string attr) {
+    return std::make_shared<SelectExpr>(std::move(base), std::move(attr));
+  }
+
+ private:
+  ExprPtr base_;
+  std::string attr_;
+};
+
+/// List subscription `list[i]` and record subscription `record["name"]`.
+class SubscriptExpr final : public Expr {
+ public:
+  SubscriptExpr(ExprPtr base, ExprPtr index)
+      : base_(std::move(base)), index_(std::move(index)) {}
+  Value evaluate(EvalContext& ctx) const override;
+  void unparse(std::string& out) const override;
+  void visitChildren(
+      const std::function<void(const Expr&)>& fn) const override;
+  int precedence() const noexcept override { return 95; }
+  const ExprPtr& base() const noexcept { return base_; }
+  const ExprPtr& index() const noexcept { return index_; }
+
+  static ExprPtr make(ExprPtr base, ExprPtr index) {
+    return std::make_shared<SubscriptExpr>(std::move(base), std::move(index));
+  }
+
+ private:
+  ExprPtr base_;
+  ExprPtr index_;
+};
+
+/// A call to a built-in function, e.g. Figure 1's
+/// `member(other.Owner, ResearchGroup)`. The function table lives in
+/// builtins.h; unknown functions evaluate to `error`.
+class FuncCallExpr final : public Expr {
+ public:
+  FuncCallExpr(std::string name, std::vector<ExprPtr> args)
+      : name_(std::move(name)),
+        lowered_(toLowerCopy(name_)),
+        args_(std::move(args)) {}
+  Value evaluate(EvalContext& ctx) const override;
+  void unparse(std::string& out) const override;
+  void visitChildren(
+      const std::function<void(const Expr&)>& fn) const override;
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<ExprPtr>& args() const noexcept { return args_; }
+
+  static ExprPtr make(std::string name, std::vector<ExprPtr> args) {
+    return std::make_shared<FuncCallExpr>(std::move(name), std::move(args));
+  }
+
+ private:
+  std::string name_;
+  std::string lowered_;
+  std::vector<ExprPtr> args_;
+};
+
+/// Collects the (lowercased) names of every attribute referenced anywhere
+/// in `expr` — bare, self-, other-scoped references and record selections
+/// alike. Used by the aggregation soundness check and the diagnostics.
+void collectAttrRefs(const Expr& expr, std::vector<std::string>& loweredNames);
+
+/// Convenience constructors for literal expressions.
+ExprPtr makeLiteral(std::int64_t v);
+ExprPtr makeLiteral(double v);
+ExprPtr makeLiteral(bool v);
+ExprPtr makeLiteral(std::string v);
+ExprPtr makeLiteral(const char* v);
+
+}  // namespace classad

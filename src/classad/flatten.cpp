@@ -1,0 +1,202 @@
+#include "classad/flatten.h"
+
+#include <algorithm>
+
+namespace classad {
+
+namespace {
+
+/// Decides whether evaluating an expression could observe the candidate
+/// ad: an explicit `other.X` / bare `other`, or a bare reference that is
+/// missing from `self` (and would fall through to the candidate at match
+/// time). Folding any such node against a null candidate would be unsound
+/// — e.g. `other.Memory is undefined` is "definitely true" with no
+/// candidate but false against one that advertises Memory. Self
+/// references recurse through their bound expressions (with a cycle
+/// guard: cyclic references evaluate to `error` either way, so treating
+/// them as candidate-independent is safe).
+class CandidateDependence {
+ public:
+  explicit CandidateDependence(const ClassAd& self) : self_(self) {}
+
+  bool check(const Expr& expr) {
+    if (const auto* ref = dynamic_cast<const AttrRefExpr*>(&expr)) {
+      if (ref->scope() == RefScope::Other) return true;
+      const ExprPtr* bound = self_.lookup(ref->loweredName());
+      if (bound == nullptr) {
+        // Missing bare names fall through to the candidate; explicit
+        // self.X stays undefined regardless of the candidate.
+        return ref->scope() == RefScope::Default;
+      }
+      if (std::find(visiting_.begin(), visiting_.end(),
+                    ref->loweredName()) != visiting_.end()) {
+        return false;  // cycle: errors with or without a candidate
+      }
+      visiting_.push_back(ref->loweredName());
+      const bool depends = check(**bound);
+      visiting_.pop_back();
+      return depends;
+    }
+    if (const auto* scope = dynamic_cast<const ScopeExpr*>(&expr)) {
+      return scope->scope() == RefScope::Other;
+    }
+    bool depends = false;
+    expr.visitChildren([this, &depends](const Expr& child) {
+      depends = depends || check(child);
+    });
+    return depends;
+  }
+
+ private:
+  const ClassAd& self_;
+  std::vector<std::string> visiting_;
+};
+
+bool dependsOnCandidate(const Expr& expr, const ClassAd& self) {
+  return CandidateDependence(self).check(expr);
+}
+
+class Flattener {
+ public:
+  Flattener(const ClassAd& self, const FlattenOptions& options)
+      : self_(self), options_(options) {}
+
+  ExprPtr run(const ExprPtr& expr) {
+    ExprPtr rebuilt = rebuild(expr);
+    // A candidate-independent node that evaluates to a definite value is
+    // a constant of the match: fold it. Candidate-DEPENDENT nodes are
+    // never folded, however definite they look with no candidate bound.
+    if (dependsOnCandidate(*rebuilt, self_)) return rebuilt;
+    EvalContext ctx(&self_, nullptr);
+    const Value v = rebuilt->evaluate(ctx);
+    if (!v.isExceptional()) return LiteralExpr::make(v);
+    return rebuilt;
+  }
+
+ private:
+  ExprPtr rebuild(const ExprPtr& expr) {
+    if (const auto* lit = dynamic_cast<const LiteralExpr*>(expr.get())) {
+      (void)lit;
+      return expr;
+    }
+    if (const auto* ref = dynamic_cast<const AttrRefExpr*>(expr.get())) {
+      return rebuildRef(expr, *ref);
+    }
+    if (const auto* unary = dynamic_cast<const UnaryExpr*>(expr.get())) {
+      return UnaryExpr::make(unary->op(), run(unary->operand()));
+    }
+    if (const auto* binary = dynamic_cast<const BinaryExpr*>(expr.get())) {
+      ExprPtr lhs = run(binary->lhs());
+      ExprPtr rhs = run(binary->rhs());
+      const auto isBoolLiteral = [](const ExprPtr& e, bool value) {
+        const auto* lit = dynamic_cast<const LiteralExpr*>(e.get());
+        return lit != nullptr && lit->value().isBoolean() &&
+               lit->value().asBoolean() == value;
+      };
+      // Exact Kleene absorption: `false` wins an && and `true` wins an ||
+      // regardless of the other operand (even error or a non-boolean), so
+      // these folds are equivalence-preserving.
+      if (binary->op() == BinOp::And &&
+          (isBoolLiteral(lhs, false) || isBoolLiteral(rhs, false))) {
+        return makeLiteral(false);
+      }
+      if (binary->op() == BinOp::Or &&
+          (isBoolLiteral(lhs, true) || isBoolLiteral(rhs, true))) {
+        return makeLiteral(true);
+      }
+      return BinaryExpr::make(binary->op(), std::move(lhs), std::move(rhs));
+    }
+    if (const auto* ternary = dynamic_cast<const TernaryExpr*>(expr.get())) {
+      ExprPtr cond = run(ternary->cond());
+      // A definitely-boolean condition selects its branch outright — the
+      // exact ternary semantics, so this preserves equivalence.
+      if (const auto* condLit =
+              dynamic_cast<const LiteralExpr*>(cond.get())) {
+        if (condLit->value().isBoolean()) {
+          return condLit->value().asBoolean() ? run(ternary->thenExpr())
+                                              : run(ternary->elseExpr());
+        }
+      }
+      return TernaryExpr::make(std::move(cond), run(ternary->thenExpr()),
+                               run(ternary->elseExpr()));
+    }
+    if (const auto* list = dynamic_cast<const ListExpr*>(expr.get())) {
+      std::vector<ExprPtr> elems;
+      elems.reserve(list->elements().size());
+      for (const ExprPtr& e : list->elements()) elems.push_back(run(e));
+      return ListExpr::make(std::move(elems));
+    }
+    if (const auto* call = dynamic_cast<const FuncCallExpr*>(expr.get())) {
+      std::vector<ExprPtr> args;
+      args.reserve(call->args().size());
+      for (const ExprPtr& a : call->args()) args.push_back(run(a));
+      return FuncCallExpr::make(call->name(), std::move(args));
+    }
+    if (const auto* sub = dynamic_cast<const SubscriptExpr*>(expr.get())) {
+      return SubscriptExpr::make(run(sub->base()), run(sub->index()));
+    }
+    if (const auto* sel = dynamic_cast<const SelectExpr*>(expr.get())) {
+      return SelectExpr::make(run(sel->base()), sel->attribute());
+    }
+    // RecordExpr / ScopeExpr: structural nodes kept as-is; the top-level
+    // fold still replaces them when they are definite.
+    return expr;
+  }
+
+  ExprPtr rebuildRef(const ExprPtr& expr, const AttrRefExpr& ref) {
+    if (ref.scope() == RefScope::Other) return expr;
+    // Definite self references are folded by run(); here the reference is
+    // indefinite (missing, cyclic, or dependent on `other`).
+    if (!options_.inlineSelfReferences) return expr;
+    const ExprPtr* bound = self_.lookup(ref.loweredName());
+    if (bound == nullptr) return expr;  // may resolve in `other` at match
+    if (std::find(inlining_.begin(), inlining_.end(), ref.loweredName()) !=
+        inlining_.end()) {
+      return expr;  // cycle: leave the reference (it errors at runtime)
+    }
+    inlining_.push_back(ref.loweredName());
+    ExprPtr inlined = run(*bound);
+    inlining_.pop_back();
+    return inlined;
+  }
+
+  const ClassAd& self_;
+  FlattenOptions options_;
+  std::vector<std::string> inlining_;
+};
+
+class GroundChecker {
+ public:
+  bool ground = true;
+  void visit(const Expr& e) {
+    if (dynamic_cast<const AttrRefExpr*>(&e) != nullptr ||
+        dynamic_cast<const ScopeExpr*>(&e) != nullptr) {
+      ground = false;
+      return;
+    }
+    e.visitChildren([this](const Expr& child) { visit(child); });
+  }
+};
+
+}  // namespace
+
+ExprPtr flatten(const ExprPtr& expr, const ClassAd& self,
+                const FlattenOptions& options) {
+  if (!expr) return expr;
+  return Flattener(self, options).run(expr);
+}
+
+ExprPtr flattenAttribute(const ClassAd& ad, std::string_view name,
+                         const FlattenOptions& options) {
+  const ExprPtr* bound = ad.lookup(name);
+  if (bound == nullptr) return nullptr;
+  return flatten(*bound, ad, options);
+}
+
+bool isGround(const Expr& expr) {
+  GroundChecker checker;
+  checker.visit(expr);
+  return checker.ground;
+}
+
+}  // namespace classad

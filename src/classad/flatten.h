@@ -1,0 +1,48 @@
+// flatten.h - Partial evaluation of classad expressions.
+//
+// Flattening evaluates everything an expression can know from ONE side of
+// a match — the ad that owns it — and leaves a residual expression over
+// the still-unknown candidate (`other.*` references and whatever depends
+// on them). Figure 1's Constraint, for example, flattens against the
+// machine ad to a residual purely in terms of `other.Owner` and constants:
+// the machine's lists, load average, keyboard idle time, and DayTime all
+// disappear into literals.
+//
+// This is the workhorse behind several subsystems:
+//  * the constraint diagnoser shows users the residual their request
+//    actually imposes on the pool;
+//  * the gang matcher (co-allocation) pre-flattens each leg's constraint
+//    before the combinatorial search;
+//  * aggregation fingerprints could flatten away volatile state.
+#pragma once
+
+#include "classad/classad.h"
+#include "classad/expr.h"
+
+namespace classad {
+
+struct FlattenOptions {
+  /// Substitute self-attribute references by their (flattened) defining
+  /// expressions when they cannot be fully evaluated. With this off,
+  /// indefinite self references stay as bare names.
+  bool inlineSelfReferences = true;
+};
+
+/// Partially evaluates `expr` against `self` (with no candidate ad).
+/// Subexpressions that evaluate to a definite value (neither `undefined`
+/// nor `error`) become literals; the rest is rebuilt structurally. The
+/// result is semantically equivalent: evaluating the residual against any
+/// candidate `other` yields the same value as evaluating the original
+/// (tested as a property in tests/classad/flatten_test.cpp).
+ExprPtr flatten(const ExprPtr& expr, const ClassAd& self,
+                const FlattenOptions& options = {});
+
+/// Convenience: flattens the named attribute of `ad` (nullptr if absent).
+ExprPtr flattenAttribute(const ClassAd& ad, std::string_view name,
+                         const FlattenOptions& options = {});
+
+/// True iff the expression contains no attribute references at all (it is
+/// a constant modulo evaluation).
+bool isGround(const Expr& expr);
+
+}  // namespace classad

@@ -1,0 +1,439 @@
+#include "classad/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "classad/expr.h"
+
+namespace classad {
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void appendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+class Writer {
+ public:
+  explicit Writer(const JsonOptions& options) : options_(options) {}
+
+  std::string take() { return std::move(out_); }
+
+  void value(const Value& v) {
+    switch (v.type()) {
+      case ValueType::Undefined:
+        out_ += "null";
+        return;
+      case ValueType::Error:
+        out_ += "{\"$error\": ";
+        appendJsonString(out_, v.errorReason());
+        out_ += '}';
+        return;
+      case ValueType::Boolean:
+        out_ += v.asBoolean() ? "true" : "false";
+        return;
+      case ValueType::Integer:
+        out_ += std::to_string(v.asInteger());
+        return;
+      case ValueType::Real: {
+        const double d = v.asReal();
+        if (std::isnan(d)) {
+          out_ += "{\"$real\": \"NaN\"}";
+        } else if (std::isinf(d)) {
+          out_ += d > 0 ? "{\"$real\": \"Infinity\"}"
+                        : "{\"$real\": \"-Infinity\"}";
+        } else {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.17g", d);
+          std::string text = buf;
+          // Keep reals distinguishable from integers on the way back.
+          if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+          out_ += text;
+        }
+        return;
+      }
+      case ValueType::String:
+        appendJsonString(out_, v.asString());
+        return;
+      case ValueType::List: {
+        const auto& elems = *v.asList();
+        out_ += '[';
+        ++depth_;
+        for (std::size_t i = 0; i < elems.size(); ++i) {
+          if (i) out_ += ',';
+          newline();
+          value(elems[i]);
+        }
+        --depth_;
+        if (!elems.empty()) newline();
+        out_ += ']';
+        return;
+      }
+      case ValueType::Record:
+        ad(*v.asRecord());
+        return;
+    }
+  }
+
+  void ad(const ClassAd& a) {
+    out_ += '{';
+    ++depth_;
+    bool first = true;
+    for (const auto& [name, expr] : a) {
+      if (!first) out_ += ',';
+      first = false;
+      newline();
+      appendJsonString(out_, name);
+      out_ += options_.pretty ? ": " : ":";
+      expression(*expr);
+    }
+    --depth_;
+    if (!first) newline();
+    out_ += '}';
+  }
+
+  /// A literal serializes natively; lists/records of literals recurse;
+  /// everything else becomes {"$expr": "<text>"}.
+  void expression(const Expr& e) {
+    if (const auto* lit = dynamic_cast<const LiteralExpr*>(&e)) {
+      value(lit->value());
+      return;
+    }
+    if (const auto* list = dynamic_cast<const ListExpr*>(&e)) {
+      out_ += '[';
+      ++depth_;
+      bool first = true;
+      for (const ExprPtr& elem : list->elements()) {
+        if (!first) out_ += ',';
+        first = false;
+        newline();
+        expression(*elem);
+      }
+      --depth_;
+      if (!first) newline();
+      out_ += ']';
+      return;
+    }
+    if (const auto* record = dynamic_cast<const RecordExpr*>(&e)) {
+      ad(*record->ad());
+      return;
+    }
+    out_ += "{\"$expr\": ";
+    appendJsonString(out_, e.toString());
+    out_ += '}';
+  }
+
+ private:
+  void newline() {
+    if (!options_.pretty) return;
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+  }
+
+  JsonOptions options_;
+  std::string out_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string toJson(const ClassAd& ad, const JsonOptions& options) {
+  Writer w(options);
+  w.ad(ad);
+  return w.take();
+}
+
+std::string toJson(const Value& value, const JsonOptions& options) {
+  Writer w(options);
+  w.value(value);
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view src) : src_(src) {}
+
+  ClassAd parseTopLevel() {
+    skipWs();
+    ClassAd ad = parseAd();
+    skipWs();
+    if (pos_ != src_.size()) fail("trailing characters after JSON object");
+    return ad;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("JSON: " + message, 1, static_cast<int>(pos_) + 1);
+  }
+
+  char peek() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+  char advance() {
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    return src_[pos_++];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+  void skipWs() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(std::string_view word) {
+    if (src_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = advance();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = advance();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = advance();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // Basic-plane only; encode UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape in string");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  ExprPtr parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    bool isReal = false;
+    if (peek() == '.') {
+      isReal = true;
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      isReal = true;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string text(src_.substr(start, pos_ - start));
+    if (text.empty() || text == "-") fail("bad number");
+    if (!isReal) {
+      std::int64_t v = 0;
+      const auto res =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (res.ec == std::errc() && res.ptr == text.data() + text.size()) {
+        return makeLiteral(v);
+      }
+    }
+    return makeLiteral(std::strtod(text.c_str(), nullptr));
+  }
+
+  /// Parses any JSON value into an expression (literals and structures).
+  ExprPtr parseExprValue() {
+    skipWs();
+    const char c = peek();
+    if (c == '"') return makeLiteral(parseString());
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == 't' && consume("true")) return makeLiteral(true);
+    if (c == 'f' && consume("false")) return makeLiteral(false);
+    if (c == 'n' && consume("null")) {
+      return LiteralExpr::make(Value::undefined());
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return parseNumber();
+    }
+    fail("unexpected character");
+  }
+
+  ExprPtr parseArray() {
+    expect('[');
+    std::vector<ExprPtr> elems;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return ListExpr::make(std::move(elems));
+    }
+    for (;;) {
+      elems.push_back(parseExprValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return ListExpr::make(std::move(elems));
+    }
+  }
+
+  struct Special {
+    enum class Kind { None, Expr, Error, Real } kind = Kind::None;
+    std::string payload;
+  };
+
+  /// An object is a special form ($expr/$error/$real) or a nested ad.
+  ExprPtr parseObject() {
+    Special special;  // local: nested objects must not clobber the outer
+    ClassAd ad = parseAdBody(/*allowSpecial=*/true, &special);
+    if (special.kind == Special::Kind::Expr) {
+      return classad::parseExpr(special.payload);
+    }
+    if (special.kind == Special::Kind::Error) {
+      return LiteralExpr::make(Value::error(special.payload));
+    }
+    if (special.kind == Special::Kind::Real) {
+      if (special.payload == "NaN") return makeLiteral(std::nan(""));
+      if (special.payload == "Infinity") {
+        return makeLiteral(std::numeric_limits<double>::infinity());
+      }
+      if (special.payload == "-Infinity") {
+        return makeLiteral(-std::numeric_limits<double>::infinity());
+      }
+      fail("bad $real payload");
+    }
+    return RecordExpr::make(
+        std::make_shared<const ClassAd>(std::move(ad)));
+  }
+
+  ClassAd parseAd() {
+    Special ignored;
+    ClassAd ad = parseAdBody(/*allowSpecial=*/false, &ignored);
+    return ad;
+  }
+
+  ClassAd parseAdBody(bool allowSpecial, Special* special) {
+    special->kind = Special::Kind::None;
+    expect('{');
+    ClassAd ad;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return ad;
+    }
+    bool first = true;
+    for (;;) {
+      skipWs();
+      const std::string key = parseString();
+      skipWs();
+      expect(':');
+      if (allowSpecial && first &&
+          (key == "$expr" || key == "$error" || key == "$real")) {
+        skipWs();
+        special->payload = parseString();
+        special->kind = key == "$expr" ? Special::Kind::Expr
+                        : key == "$error" ? Special::Kind::Error
+                                          : Special::Kind::Real;
+        skipWs();
+        expect('}');
+        return ad;
+      }
+      ad.insert(key, parseExprValue());
+      first = false;
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return ad;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ClassAd adFromJson(std::string_view json) {
+  return JsonParser(json).parseTopLevel();
+}
+
+std::optional<ClassAd> tryAdFromJson(std::string_view json,
+                                     std::string* errorMessage) {
+  try {
+    return adFromJson(json);
+  } catch (const ParseError& e) {
+    if (errorMessage) {
+      *errorMessage = std::string(e.what()) + " (offset " +
+                      std::to_string(e.column()) + ")";
+    }
+    return std::nullopt;
+  }
+}
+
+}  // namespace classad

@@ -1,0 +1,51 @@
+// json.h - JSON interchange for classads.
+//
+// The 1998 paper predates JSON, but a modern release of this system needs
+// a structured interchange form for web dashboards, logging pipelines,
+// and non-C++ clients (deployed HTCondor grew exactly this). The mapping
+// is lossless in both directions:
+//
+//   classad value            JSON
+//   ------------------------ -----------------------------------------
+//   integer / real           number (NaN/Inf as {"$real": "NaN"|...})
+//   string                   string
+//   boolean                  true / false
+//   undefined                null
+//   error                    {"$error": "<reason>"}
+//   list of literals         array
+//   nested ad of literals    object
+//   any non-literal expr     {"$expr": "<classad surface syntax>"}
+//
+// so `Rank = other.Memory / 32` round-trips as
+// {"Rank": {"$expr": "other.Memory / 32"}}. Attribute order is
+// preserved. The JSON subset parser is self-contained (no third-party
+// dependency), strict about syntax, and rejects trailing garbage.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "classad/classad.h"
+
+namespace classad {
+
+struct JsonOptions {
+  bool pretty = false;  ///< newline + 2-space indentation
+};
+
+/// Serializes an ad to JSON (always a JSON object).
+std::string toJson(const ClassAd& ad, const JsonOptions& options = {});
+
+/// Serializes a single value.
+std::string toJson(const Value& value, const JsonOptions& options = {});
+
+/// Parses a JSON object back into an ad. Throws ParseError (with a
+/// 1-based offset reported via the column field) on malformed input.
+ClassAd adFromJson(std::string_view json);
+
+/// Non-throwing variant.
+std::optional<ClassAd> tryAdFromJson(std::string_view json,
+                                     std::string* errorMessage = nullptr);
+
+}  // namespace classad

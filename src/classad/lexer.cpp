@@ -1,0 +1,275 @@
+#include "classad/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "classad/classad.h"  // ParseError
+#include "classad/value.h"    // equalsIgnoreCase
+
+namespace classad {
+
+std::string_view toString(TokenKind k) noexcept {
+  switch (k) {
+    case TokenKind::End: return "end of input";
+    case TokenKind::Integer: return "integer literal";
+    case TokenKind::Real: return "real literal";
+    case TokenKind::String: return "string literal";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Question: return "'?'";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::LessEq: return "'<='";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::GreaterEq: return "'>='";
+    case TokenKind::EqualEq: return "'=='";
+    case TokenKind::NotEq: return "'!='";
+    case TokenKind::AndAnd: return "'&&'";
+    case TokenKind::OrOr: return "'||'";
+    case TokenKind::Bang: return "'!'";
+  }
+  return "?";
+}
+
+bool Token::isKeyword(std::string_view kw) const noexcept {
+  return kind == TokenKind::Identifier && equalsIgnoreCase(text, kw);
+}
+
+namespace {
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skipWhitespaceAndComments();
+      Token t = next();
+      const bool done = t.kind == TokenKind::End;
+      out.push_back(std::move(t));
+      if (done) break;
+    }
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, line_, column_);
+  }
+
+  bool atEnd() const noexcept { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skipWhitespaceAndComments() {
+    for (;;) {
+      while (!atEnd() &&
+             std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+      if (peek() == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n') advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        const int startLine = line_, startCol = column_;
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (atEnd()) {
+            throw ParseError("unterminated /* comment", startLine, startCol);
+          }
+          advance();
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token makeToken(TokenKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.column = column_;
+    return t;
+  }
+
+  Token next() {
+    if (atEnd()) return makeToken(TokenKind::End);
+    Token t = makeToken(TokenKind::End);  // position captured pre-advance
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      return number(t);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return identifier(t);
+    }
+    if (c == '"') return stringLiteral(t);
+    advance();
+    switch (c) {
+      case '(': t.kind = TokenKind::LParen; return t;
+      case ')': t.kind = TokenKind::RParen; return t;
+      case '[': t.kind = TokenKind::LBracket; return t;
+      case ']': t.kind = TokenKind::RBracket; return t;
+      case '{': t.kind = TokenKind::LBrace; return t;
+      case '}': t.kind = TokenKind::RBrace; return t;
+      case ',': t.kind = TokenKind::Comma; return t;
+      case ';': t.kind = TokenKind::Semicolon; return t;
+      case ':': t.kind = TokenKind::Colon; return t;
+      case '?': t.kind = TokenKind::Question; return t;
+      case '.': t.kind = TokenKind::Dot; return t;
+      case '+': t.kind = TokenKind::Plus; return t;
+      case '-': t.kind = TokenKind::Minus; return t;
+      case '*': t.kind = TokenKind::Star; return t;
+      case '/': t.kind = TokenKind::Slash; return t;
+      case '%': t.kind = TokenKind::Percent; return t;
+      case '<':
+        if (peek() == '=') { advance(); t.kind = TokenKind::LessEq; }
+        else t.kind = TokenKind::Less;
+        return t;
+      case '>':
+        if (peek() == '=') { advance(); t.kind = TokenKind::GreaterEq; }
+        else t.kind = TokenKind::Greater;
+        return t;
+      case '=':
+        if (peek() == '=') { advance(); t.kind = TokenKind::EqualEq; }
+        else t.kind = TokenKind::Assign;
+        return t;
+      case '!':
+        if (peek() == '=') { advance(); t.kind = TokenKind::NotEq; }
+        else t.kind = TokenKind::Bang;
+        return t;
+      case '&':
+        if (peek() == '&') { advance(); t.kind = TokenKind::AndAnd; return t; }
+        fail("stray '&' (did you mean '&&'?)");
+      case '|':
+        if (peek() == '|') { advance(); t.kind = TokenKind::OrOr; return t; }
+        fail("stray '|' (did you mean '||'?)");
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token number(Token t) {
+    const std::size_t start = pos_;
+    bool isReal = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    if (peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      isReal = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      // Exponent (Figure 2 writes KFlops/1E3). Only consume it when it is
+      // actually followed by a valid exponent, so `2Emails` lexes as
+      // number-then-identifier and errors in the parser.
+      std::size_t ahead = 1;
+      if (peek(1) == '+' || peek(1) == '-') ahead = 2;
+      if (std::isdigit(static_cast<unsigned char>(peek(ahead)))) {
+        isReal = true;
+        for (std::size_t i = 0; i <= ahead; ++i) advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+    }
+    const std::string_view text = src_.substr(start, pos_ - start);
+    if (isReal) {
+      t.kind = TokenKind::Real;
+      t.realValue = std::strtod(std::string(text).c_str(), nullptr);
+    } else {
+      t.kind = TokenKind::Integer;
+      const auto res = std::from_chars(text.data(), text.data() + text.size(),
+                                       t.intValue);
+      if (res.ec != std::errc()) {
+        // Out-of-range integer literals degrade to reals rather than
+        // failing the whole ad.
+        t.kind = TokenKind::Real;
+        t.realValue = std::strtod(std::string(text).c_str(), nullptr);
+      }
+    }
+    t.text = std::string(text);
+    return t;
+  }
+
+  Token identifier(Token t) {
+    const std::size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+      advance();
+    }
+    t.kind = TokenKind::Identifier;
+    t.text = std::string(src_.substr(start, pos_ - start));
+    return t;
+  }
+
+  Token stringLiteral(Token t) {
+    advance();  // opening quote
+    std::string out;
+    for (;;) {
+      if (atEnd() || peek() == '\n') fail("unterminated string literal");
+      const char c = advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (atEnd()) fail("unterminated string literal");
+        const char e = advance();
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          default:
+            fail(std::string("unknown escape '\\") + e + "' in string");
+        }
+      } else {
+        out += c;
+      }
+    }
+    t.kind = TokenKind::String;
+    t.text = std::move(out);
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  return Scanner(src).run();
+}
+
+}  // namespace classad

@@ -1,0 +1,49 @@
+// lexer.h - Tokenizer for the classad concrete syntax.
+//
+// The syntax follows the paper's figures: C-style `//` and `/* */`
+// comments, double-quoted strings with backslash escapes, case-insensitive
+// keywords (`true`, `false`, `undefined`, `error`, `is`, `isnt`, `self`,
+// `other`), integer and real literals (including exponent forms such as
+// Figure 2's `1E3`), and the operator set of Section 3.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace classad {
+
+enum class TokenKind : std::uint8_t {
+  End,
+  Integer,
+  Real,
+  String,
+  Identifier,  // includes keywords; the parser distinguishes by text
+  // punctuation / operators
+  LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+  Comma, Semicolon, Colon, Question, Dot, Assign,
+  Plus, Minus, Star, Slash, Percent,
+  Less, LessEq, Greater, GreaterEq, EqualEq, NotEq,
+  AndAnd, OrOr, Bang,
+};
+
+std::string_view toString(TokenKind k) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;        // identifier/keyword spelling or string contents
+  std::int64_t intValue = 0;
+  double realValue = 0.0;
+  int line = 1;
+  int column = 1;
+
+  /// Case-insensitive keyword test for identifier tokens.
+  bool isKeyword(std::string_view kw) const noexcept;
+};
+
+/// Tokenizes `src` completely. Throws ParseError (see classad.h) on
+/// malformed input (unterminated string/comment, bad number, stray byte).
+std::vector<Token> tokenize(std::string_view src);
+
+}  // namespace classad

@@ -1,0 +1,70 @@
+#include "classad/match.h"
+
+namespace classad {
+
+namespace {
+
+const ExprPtr* findConstraint(const ClassAd& ad,
+                              const MatchAttributes& attrs) {
+  if (const ExprPtr* e = ad.lookup(attrs.constraint)) return e;
+  return ad.lookup(attrs.constraintAlias);
+}
+
+}  // namespace
+
+ConstraintResult evaluateConstraint(const ClassAd& ad, const ClassAd& target,
+                                    const MatchAttributes& attrs) {
+  const ExprPtr* constraint = findConstraint(ad, attrs);
+  if (constraint == nullptr) return ConstraintResult::Missing;
+  const Value v = ad.evaluate(**constraint, &target);
+  if (v.isBoolean()) {
+    return v.asBoolean() ? ConstraintResult::Satisfied
+                         : ConstraintResult::Violated;
+  }
+  if (v.isUndefined()) return ConstraintResult::Undefined;
+  return ConstraintResult::Error;
+}
+
+bool symmetricMatch(const ClassAd& a, const ClassAd& b,
+                    const MatchAttributes& attrs) {
+  return permitsMatch(evaluateConstraint(a, b, attrs)) &&
+         permitsMatch(evaluateConstraint(b, a, attrs));
+}
+
+bool oneWayMatch(const ClassAd& query, const ClassAd& target,
+                 const MatchAttributes& attrs) {
+  return permitsMatch(evaluateConstraint(query, target, attrs));
+}
+
+double evaluateRank(const ClassAd& ad, const ClassAd& target,
+                    const MatchAttributes& attrs) {
+  const ExprPtr* rank = ad.lookup(attrs.rank);
+  if (rank == nullptr) return 0.0;
+  return ad.evaluate(**rank, &target).rankValue();
+}
+
+MatchAnalysis analyzeMatch(const ClassAd& request, const ClassAd& resource,
+                           const MatchAttributes& attrs) {
+  MatchAnalysis out;
+  out.requestSide = evaluateConstraint(request, resource, attrs);
+  out.resourceSide = evaluateConstraint(resource, request, attrs);
+  out.matched = permitsMatch(out.requestSide) && permitsMatch(out.resourceSide);
+  if (out.matched) {
+    out.requestRank = evaluateRank(request, resource, attrs);
+    out.resourceRank = evaluateRank(resource, request, attrs);
+  }
+  return out;
+}
+
+std::string_view toString(ConstraintResult r) noexcept {
+  switch (r) {
+    case ConstraintResult::Satisfied: return "satisfied";
+    case ConstraintResult::Violated: return "violated";
+    case ConstraintResult::Undefined: return "undefined";
+    case ConstraintResult::Error: return "error";
+    case ConstraintResult::Missing: return "missing";
+  }
+  return "?";
+}
+
+}  // namespace classad

@@ -1,0 +1,83 @@
+// match.h - The two-sided match test and rank evaluation of Section 3.2.
+//
+// "The classads in Figures 1 and 2 assume a matchmaking algorithm that
+// considers a pair of ads to be incompatible unless their Constraint
+// expressions both evaluate to true. The Rank attributes is then used to
+// choose among compatible matches."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "classad/classad.h"
+
+namespace classad {
+
+/// Names given meaning by the advertising protocol (Section 3: "the
+/// advertising protocol may specify that the attribute Constraint indicates
+/// compatibility and the attribute Rank measures the desirability of a
+/// match"). `Requirements` is accepted as a synonym for `Constraint`, as in
+/// deployed Condor.
+struct MatchAttributes {
+  std::string constraint = "Constraint";
+  std::string constraintAlias = "Requirements";
+  std::string rank = "Rank";
+};
+
+/// Outcome of evaluating one side's constraint against the other ad.
+enum class ConstraintResult : unsigned char {
+  Satisfied,    // evaluated to boolean true
+  Violated,     // evaluated to boolean false
+  Undefined,    // evaluated to undefined (treated as a failed match)
+  Error,        // evaluated to error or a non-boolean value
+  Missing,      // the ad has no constraint attribute at all
+};
+
+/// Evaluates `ad`'s constraint with `target` as the other ad. An ad with
+/// no constraint attribute imposes no requirement (Missing is treated as
+/// satisfied by the symmetric test, matching a provider that will serve
+/// anyone).
+ConstraintResult evaluateConstraint(const ClassAd& ad, const ClassAd& target,
+                                    const MatchAttributes& attrs = {});
+
+/// True iff the result permits a match.
+inline bool permitsMatch(ConstraintResult r) noexcept {
+  return r == ConstraintResult::Satisfied || r == ConstraintResult::Missing;
+}
+
+/// Symmetric (two-sided) match: both ads' constraints must be satisfied
+/// ("a pair of ads [is] incompatible unless their Constraint expressions
+/// both evaluate to true"). `undefined` fails the match — "the matchmaking
+/// algorithm effectively treats undefined as false".
+bool symmetricMatch(const ClassAd& a, const ClassAd& b,
+                    const MatchAttributes& attrs = {});
+
+/// One-sided match used by the query tools of Section 4 ("One-way matching
+/// protocols are used to find all objects matching a given pattern"): only
+/// `query`'s constraint is evaluated, against `target`.
+bool oneWayMatch(const ClassAd& query, const ClassAd& target,
+                 const MatchAttributes& attrs = {});
+
+/// Evaluates `ad`'s Rank with `target` as the other ad, applying the
+/// Section 3.2 coercion: "non-integer values are treated as zero" (we
+/// accept any number; everything else, including a missing Rank, is 0.0).
+double evaluateRank(const ClassAd& ad, const ClassAd& target,
+                    const MatchAttributes& attrs = {});
+
+/// Full detail of a candidate pairing, as computed by the matchmaker and
+/// by diagnostic tools.
+struct MatchAnalysis {
+  ConstraintResult requestSide;   // request's constraint vs resource
+  ConstraintResult resourceSide;  // resource's constraint vs request
+  double requestRank = 0.0;       // request's Rank of the resource
+  double resourceRank = 0.0;      // resource's Rank of the request
+  bool matched = false;
+};
+
+MatchAnalysis analyzeMatch(const ClassAd& request, const ClassAd& resource,
+                           const MatchAttributes& attrs = {});
+
+std::string_view toString(ConstraintResult r) noexcept;
+
+}  // namespace classad

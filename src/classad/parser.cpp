@@ -1,0 +1,326 @@
+#include "classad/parser.h"
+
+#include <utility>
+
+#include "classad/lexer.h"
+
+namespace classad {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : tokens_(tokenize(src)) {}
+
+  ExprPtr parseSingleExpr() {
+    ExprPtr e = parseExpr();
+    expect(TokenKind::End, "after expression");
+    return e;
+  }
+
+  ClassAd parseSingleAd() {
+    ClassAd ad = parseAd();
+    expect(TokenKind::End, "after classad");
+    return ad;
+  }
+
+  std::vector<ClassAd> parseStream() {
+    std::vector<ClassAd> ads;
+    while (peek().kind != TokenKind::End) {
+      ads.push_back(parseAd());
+    }
+    return ads;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool check(TokenKind k) const { return peek().kind == k; }
+  bool match(TokenKind k) {
+    if (!check(k)) return false;
+    advance();
+    return true;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    const Token& t = peek();
+    throw ParseError("expected " + msg + ", found " +
+                         std::string(toString(t.kind)) +
+                         (t.kind == TokenKind::Identifier ? " '" + t.text + "'"
+                                                          : ""),
+                     t.line, t.column);
+  }
+  void expect(TokenKind k, const std::string& context) {
+    if (!match(k)) fail(std::string(toString(k)) + " " + context);
+  }
+
+  ClassAd parseAd() {
+    expect(TokenKind::LBracket, "to open classad");
+    ClassAd ad;
+    if (match(TokenKind::RBracket)) return ad;
+    for (;;) {
+      if (!check(TokenKind::Identifier)) fail("attribute name");
+      std::string name = advance().text;
+      expect(TokenKind::Assign, "after attribute name");
+      ad.insert(std::move(name), parseExpr());
+      if (match(TokenKind::Semicolon)) {
+        if (match(TokenKind::RBracket)) return ad;  // trailing ';' allowed
+        continue;
+      }
+      expect(TokenKind::RBracket, "to close classad");
+      return ad;
+    }
+  }
+
+  ExprPtr parseExpr() { return parseTernary(); }
+
+  ExprPtr parseTernary() {
+    ExprPtr cond = parseOr();
+    if (!match(TokenKind::Question)) return cond;
+    ExprPtr then = parseExpr();
+    expect(TokenKind::Colon, "in conditional expression");
+    ExprPtr otherwise = parseTernary();  // right-associative
+    return TernaryExpr::make(std::move(cond), std::move(then),
+                             std::move(otherwise));
+  }
+
+  ExprPtr parseOr() {
+    ExprPtr lhs = parseAnd();
+    while (match(TokenKind::OrOr)) {
+      lhs = BinaryExpr::make(BinOp::Or, std::move(lhs), parseAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr lhs = parseEquality();
+    while (match(TokenKind::AndAnd)) {
+      lhs = BinaryExpr::make(BinOp::And, std::move(lhs), parseEquality());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseEquality() {
+    ExprPtr lhs = parseRelational();
+    for (;;) {
+      BinOp op;
+      if (match(TokenKind::EqualEq)) op = BinOp::Equal;
+      else if (match(TokenKind::NotEq)) op = BinOp::NotEqual;
+      else if (peek().isKeyword("is")) { advance(); op = BinOp::Is; }
+      else if (peek().isKeyword("isnt")) { advance(); op = BinOp::IsNot; }
+      else return lhs;
+      lhs = BinaryExpr::make(op, std::move(lhs), parseRelational());
+    }
+  }
+
+  ExprPtr parseRelational() {
+    ExprPtr lhs = parseAdditive();
+    for (;;) {
+      BinOp op;
+      if (match(TokenKind::Less)) op = BinOp::Less;
+      else if (match(TokenKind::LessEq)) op = BinOp::LessEq;
+      else if (match(TokenKind::Greater)) op = BinOp::Greater;
+      else if (match(TokenKind::GreaterEq)) op = BinOp::GreaterEq;
+      else return lhs;
+      lhs = BinaryExpr::make(op, std::move(lhs), parseAdditive());
+    }
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr lhs = parseMultiplicative();
+    for (;;) {
+      BinOp op;
+      if (match(TokenKind::Plus)) op = BinOp::Add;
+      else if (match(TokenKind::Minus)) op = BinOp::Subtract;
+      else return lhs;
+      lhs = BinaryExpr::make(op, std::move(lhs), parseMultiplicative());
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+      BinOp op;
+      if (match(TokenKind::Star)) op = BinOp::Multiply;
+      else if (match(TokenKind::Slash)) op = BinOp::Divide;
+      else if (match(TokenKind::Percent)) op = BinOp::Modulus;
+      else return lhs;
+      lhs = BinaryExpr::make(op, std::move(lhs), parseUnary());
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (match(TokenKind::Bang)) {
+      return UnaryExpr::make(UnOp::Not, parseUnary());
+    }
+    if (match(TokenKind::Minus)) {
+      // Fold a negated numeric literal so that `-5` is a literal, keeping
+      // unparse output natural.
+      ExprPtr e = parseUnary();
+      if (const auto* lit = dynamic_cast<const LiteralExpr*>(e.get())) {
+        if (lit->value().isInteger()) {
+          return makeLiteral(-lit->value().asInteger());
+        }
+        if (lit->value().isReal()) {
+          return makeLiteral(-lit->value().asReal());
+        }
+      }
+      return UnaryExpr::make(UnOp::Minus, std::move(e));
+    }
+    if (match(TokenKind::Plus)) {
+      return UnaryExpr::make(UnOp::Plus, parseUnary());
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr e = parsePrimary();
+    for (;;) {
+      if (match(TokenKind::Dot)) {
+        if (!check(TokenKind::Identifier)) fail("attribute name after '.'");
+        e = SelectExpr::make(std::move(e), advance().text);
+      } else if (match(TokenKind::LBracket)) {
+        ExprPtr idx = parseExpr();
+        expect(TokenKind::RBracket, "to close subscript");
+        e = SubscriptExpr::make(std::move(e), std::move(idx));
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parsePrimary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::Integer: {
+        const std::int64_t v = t.intValue;
+        advance();
+        return makeLiteral(v);
+      }
+      case TokenKind::Real: {
+        const double v = t.realValue;
+        advance();
+        return makeLiteral(v);
+      }
+      case TokenKind::String: {
+        std::string v = t.text;
+        advance();
+        return makeLiteral(std::move(v));
+      }
+      case TokenKind::LParen: {
+        advance();
+        ExprPtr e = parseExpr();
+        expect(TokenKind::RParen, "to close parenthesized expression");
+        return e;
+      }
+      case TokenKind::LBrace: {
+        advance();
+        std::vector<ExprPtr> elems;
+        if (!match(TokenKind::RBrace)) {
+          for (;;) {
+            elems.push_back(parseExpr());
+            if (match(TokenKind::Comma)) continue;
+            expect(TokenKind::RBrace, "to close list");
+            break;
+          }
+        }
+        return ListExpr::make(std::move(elems));
+      }
+      case TokenKind::LBracket: {
+        ClassAd ad = parseAd();
+        return RecordExpr::make(
+            std::make_shared<const ClassAd>(std::move(ad)));
+      }
+      case TokenKind::Identifier:
+        return parseIdentifier();
+      default:
+        fail("an expression");
+    }
+  }
+
+  ExprPtr parseIdentifier() {
+    const Token t = advance();
+    // Constant keywords.
+    if (t.isKeyword("true")) return makeLiteral(true);
+    if (t.isKeyword("false")) return makeLiteral(false);
+    if (t.isKeyword("undefined")) {
+      return LiteralExpr::make(Value::undefined());
+    }
+    if (t.isKeyword("error")) return LiteralExpr::make(Value::error());
+    // Scoped references: self.X / other.X, or bare self/other.
+    if (t.isKeyword("self") || t.isKeyword("other")) {
+      const RefScope scope =
+          t.isKeyword("self") ? RefScope::Self : RefScope::Other;
+      if (match(TokenKind::Dot)) {
+        if (!check(TokenKind::Identifier)) fail("attribute name after '.'");
+        return AttrRefExpr::make(scope, advance().text);
+      }
+      return std::make_shared<ScopeExpr>(scope);
+    }
+    // Function call.
+    if (check(TokenKind::LParen)) {
+      advance();
+      std::vector<ExprPtr> args;
+      if (!match(TokenKind::RParen)) {
+        for (;;) {
+          args.push_back(parseExpr());
+          if (match(TokenKind::Comma)) continue;
+          expect(TokenKind::RParen, "to close argument list");
+          break;
+        }
+      }
+      return FuncCallExpr::make(t.text, std::move(args));
+    }
+    // Plain attribute reference.
+    return AttrRefExpr::make(RefScope::Default, t.text);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parseExpr(std::string_view text) {
+  return Parser(text).parseSingleExpr();
+}
+
+std::optional<ExprPtr> tryParseExpr(std::string_view text,
+                                    std::string* errorMessage) {
+  try {
+    return parseExpr(text);
+  } catch (const ParseError& e) {
+    if (errorMessage) {
+      *errorMessage = std::string(e.what()) + " (line " +
+                      std::to_string(e.line()) + ", column " +
+                      std::to_string(e.column()) + ")";
+    }
+    return std::nullopt;
+  }
+}
+
+ClassAd ClassAd::parse(std::string_view text) {
+  return Parser(text).parseSingleAd();
+}
+
+std::optional<ClassAd> ClassAd::tryParse(std::string_view text,
+                                         std::string* errorMessage) {
+  try {
+    return parse(text);
+  } catch (const ParseError& e) {
+    if (errorMessage) {
+      *errorMessage = std::string(e.what()) + " (line " +
+                      std::to_string(e.line()) + ", column " +
+                      std::to_string(e.column()) + ")";
+    }
+    return std::nullopt;
+  }
+}
+
+std::vector<ClassAd> parseAdStream(std::string_view text) {
+  return Parser(text).parseStream();
+}
+
+}  // namespace classad

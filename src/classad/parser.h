@@ -1,0 +1,44 @@
+// parser.h - Recursive-descent parser for classad expressions and ads.
+//
+// Grammar (precedence from loosest to tightest, matching the paper's
+// examples and conventional C precedence):
+//
+//   expr        := ternary
+//   ternary     := or [ '?' expr ':' ternary ]
+//   or          := and { '||' and }
+//   and         := equality { '&&' equality }
+//   equality    := relational { ('=='|'!='|'is'|'isnt') relational }
+//   relational  := additive { ('<'|'<='|'>'|'>=') additive }
+//   additive    := multiplicative { ('+'|'-') multiplicative }
+//   multiplicative := unary { ('*'|'/'|'%') unary }
+//   unary       := ('!'|'-'|'+') unary | postfix
+//   postfix     := primary { '.' Identifier | '[' expr ']' }
+//   primary     := Integer | Real | String | 'true' | 'false'
+//                | 'undefined' | 'error'
+//                | 'self' [ '.' Identifier ] | 'other' [ '.' Identifier ]
+//                | Identifier [ '(' args ')' ]
+//                | '(' expr ')' | list | record
+//   list        := '{' [ expr { ',' expr } ] '}'
+//   record      := '[' [ binding { ';' binding } [';'] ] ']'
+//   binding     := Identifier '=' expr
+//
+// Keywords are case-insensitive. `self.X` / `other.X` are scoped attribute
+// references; a postfix `.X` on any other expression is record selection.
+#pragma once
+
+#include <string_view>
+
+#include "classad/classad.h"
+#include "classad/expr.h"
+
+namespace classad {
+
+// The public entry points are declared in classad.h (ClassAd::parse,
+// parseExpr, ...); this header exposes the parser for tools that want to
+// parse a sequence of ads from one stream.
+
+/// Parses a stream of consecutive classads (whitespace/comment separated),
+/// e.g. a file of advertisements. Throws ParseError.
+std::vector<ClassAd> parseAdStream(std::string_view text);
+
+}  // namespace classad

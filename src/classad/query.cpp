@@ -1,0 +1,171 @@
+#include "classad/query.h"
+
+#include <algorithm>
+#include <map>
+
+namespace classad {
+
+namespace {
+
+/// Sort key: type class (numbers < strings < booleans < rest), then value.
+struct SortKey {
+  int typeClass;
+  double number = 0.0;
+  std::string text;
+
+  explicit SortKey(const Value& v) {
+    if (v.isNumber()) {
+      typeClass = 0;
+      number = v.toReal();
+    } else if (v.isString()) {
+      typeClass = 1;
+      text = toLowerCopy(v.asString());
+    } else if (v.isBoolean()) {
+      typeClass = 2;
+      number = v.asBoolean() ? 1.0 : 0.0;
+    } else {
+      typeClass = 3;  // lists, records, undefined, error: last
+    }
+  }
+
+  bool operator<(const SortKey& rhs) const {
+    if (typeClass != rhs.typeClass) return typeClass < rhs.typeClass;
+    if (typeClass == 1) return text < rhs.text;
+    return number < rhs.number;
+  }
+};
+
+}  // namespace
+
+Query Query::fromConstraint(std::string_view constraintText) {
+  return Query(parseExpr(constraintText));
+}
+
+Query Query::all() { return Query(); }
+
+bool Query::matches(const ClassAd& ad) const {
+  if (!constraint_) return true;
+  return ad.evaluate(*constraint_).isBooleanTrue();
+}
+
+std::vector<ClassAdPtr> Query::select(std::span<const ClassAdPtr> ads) const {
+  std::vector<ClassAdPtr> out;
+  for (const ClassAdPtr& ad : ads) {
+    if (ad && matches(*ad)) out.push_back(ad);
+  }
+  return out;
+}
+
+std::size_t Query::count(std::span<const ClassAdPtr> ads) const {
+  std::size_t n = 0;
+  for (const ClassAdPtr& ad : ads) {
+    if (ad && matches(*ad)) ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<std::string, Value>> Query::row(
+    const ClassAd& ad) const {
+  std::vector<std::pair<std::string, Value>> out;
+  if (projection_.empty()) {
+    for (const auto& [name, expr] : ad) {
+      out.emplace_back(name, ad.evaluateAttr(name));
+    }
+  } else {
+    for (const std::string& name : projection_) {
+      out.emplace_back(name, ad.evaluateAttr(name));
+    }
+  }
+  return out;
+}
+
+std::string formatTable(const Query& query, std::span<const ClassAdPtr> ads) {
+  const std::vector<ClassAdPtr> selected = query.select(ads);
+  std::vector<std::string> headers = query.projection();
+  if (headers.empty() && !selected.empty()) {
+    for (const auto& [name, expr] : *selected.front()) headers.push_back(name);
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(selected.size());
+  for (const ClassAdPtr& ad : selected) {
+    std::vector<std::string> row;
+    row.reserve(headers.size());
+    for (const std::string& h : headers) {
+      const Value v = ad->evaluateAttr(h);
+      row.push_back(v.isString() ? v.asString() : v.toLiteralString());
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<std::size_t> widths;
+  widths.reserve(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    std::size_t w = headers[c].size();
+    for (const auto& row : rows) w = std::max(w, row[c].size());
+    widths.push_back(w);
+  }
+  auto pad = [](const std::string& s, std::size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    out += pad(headers[c], widths[c]);
+    out += c + 1 < headers.size() ? "  " : "";
+  }
+  out += '\n';
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += pad(row[c], widths[c]);
+      out += c + 1 < row.size() ? "  " : "";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+
+std::vector<ClassAdPtr> sortBy(std::span<const ClassAdPtr> ads,
+                               std::string_view attribute,
+                               bool descending) {
+  struct Entry {
+    ClassAdPtr ad;
+    SortKey key;
+    std::size_t order;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(ads.size());
+  std::size_t order = 0;
+  for (const ClassAdPtr& ad : ads) {
+    if (!ad) continue;
+    entries.push_back(Entry{ad, SortKey(ad->evaluateAttr(attribute)), order++});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [descending](const Entry& a, const Entry& b) {
+              if (a.key < b.key) return !descending;
+              if (b.key < a.key) return descending;
+              return a.order < b.order;  // stable among equals
+            });
+  std::vector<ClassAdPtr> out;
+  out.reserve(entries.size());
+  for (Entry& e : entries) out.push_back(std::move(e.ad));
+  return out;
+}
+
+std::vector<std::pair<std::string, std::size_t>> summarize(
+    std::span<const ClassAdPtr> ads, std::string_view attribute) {
+  std::map<std::string, std::size_t> tally;
+  for (const ClassAdPtr& ad : ads) {
+    if (!ad) continue;
+    const Value v = ad->evaluateAttr(attribute);
+    ++tally[v.isString() ? v.asString() : v.toLiteralString()];
+  }
+  std::vector<std::pair<std::string, std::size_t>> out(tally.begin(),
+                                                       tally.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace classad
+

@@ -1,0 +1,85 @@
+// query.h - One-way matching queries over collections of ads.
+//
+// Section 4: "Classads are used for other purposes in Condor as well. All
+// entities are represented with classads, as are queries submitted by
+// various administrative and user tools. One-way matching protocols are
+// used to find all objects matching a given pattern. For example, there are
+// tools to check on the status of job queues and browse existing
+// resources." This module is the engine behind the repo's condor_status /
+// condor_q analogues (examples/status_tools.cpp).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classad/classad.h"
+#include "classad/match.h"
+
+namespace classad {
+
+/// A compiled query: a constraint expression evaluated against each target
+/// ad (the target is `self` so that bare attribute names refer to the ad
+/// being examined, as in `condor_status -constraint 'Memory > 32'`), plus
+/// an optional projection of attribute names.
+class Query {
+ public:
+  /// Compiles a constraint expression. Throws ParseError on bad syntax.
+  static Query fromConstraint(std::string_view constraintText);
+
+  /// A query matching every ad.
+  static Query all();
+
+  explicit Query(ExprPtr constraint) : constraint_(std::move(constraint)) {}
+
+  /// Restricts output to the given attributes (evaluated per ad).
+  Query& project(std::vector<std::string> attributes) {
+    projection_ = std::move(attributes);
+    return *this;
+  }
+
+  const std::vector<std::string>& projection() const noexcept {
+    return projection_;
+  }
+
+  /// True iff the constraint evaluates to boolean true against `ad`.
+  bool matches(const ClassAd& ad) const;
+
+  /// All matching ads, in input order.
+  std::vector<ClassAdPtr> select(std::span<const ClassAdPtr> ads) const;
+
+  /// Count of matching ads.
+  std::size_t count(std::span<const ClassAdPtr> ads) const;
+
+  /// Evaluates the projection against one ad: (name, value) rows. With no
+  /// projection, every attribute of the ad is returned (values evaluated).
+  std::vector<std::pair<std::string, Value>> row(const ClassAd& ad) const;
+
+ private:
+  Query() = default;
+  ExprPtr constraint_;  // null means "match all"
+  std::vector<std::string> projection_;
+};
+
+/// Renders query results as a fixed-width table (the look of condor_status)
+/// with one row per ad and one column per projected attribute.
+std::string formatTable(const Query& query, std::span<const ClassAdPtr> ads);
+
+/// Orders ads by an attribute's evaluated value: numbers before strings
+/// before everything else, each group ordered naturally (numeric order,
+/// case-insensitive string order); ads lacking the attribute sort last.
+/// Stable, so equal keys keep input order.
+std::vector<ClassAdPtr> sortBy(std::span<const ClassAdPtr> ads,
+                               std::string_view attribute,
+                               bool descending = false);
+
+/// Tallies the distinct values of an attribute across ads (the
+/// condor_status -totals view): (rendered value, count) pairs, most
+/// frequent first, ties by value text. Missing attributes tally under
+/// "undefined".
+std::vector<std::pair<std::string, std::size_t>> summarize(
+    std::span<const ClassAdPtr> ads, std::string_view attribute);
+
+}  // namespace classad

@@ -1,0 +1,163 @@
+#include "classad/value.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "classad/classad.h"
+
+namespace classad {
+
+std::string_view toString(ValueType t) noexcept {
+  switch (t) {
+    case ValueType::Undefined: return "undefined";
+    case ValueType::Error: return "error";
+    case ValueType::Boolean: return "boolean";
+    case ValueType::Integer: return "integer";
+    case ValueType::Real: return "real";
+    case ValueType::String: return "string";
+    case ValueType::List: return "list";
+    case ValueType::Record: return "record";
+  }
+  return "?";
+}
+
+Value Value::error(std::string reason) {
+  ErrorT e;
+  if (!reason.empty()) {
+    e.reason = std::make_shared<const std::string>(std::move(reason));
+  }
+  return Value(std::move(e));
+}
+
+Value Value::list(std::vector<Value> elems) {
+  return Value(std::make_shared<const std::vector<Value>>(std::move(elems)));
+}
+
+const std::string& Value::errorReason() const {
+  static const std::string kEmpty;
+  const auto& e = std::get<ErrorT>(v_);
+  return e.reason ? *e.reason : kEmpty;
+}
+
+bool Value::isIdenticalTo(const Value& rhs) const {
+  if (type() != rhs.type()) return false;
+  switch (type()) {
+    case ValueType::Undefined:
+    case ValueType::Error:
+      return true;  // reasons are diagnostics, not part of identity
+    case ValueType::Boolean:
+      return asBoolean() == rhs.asBoolean();
+    case ValueType::Integer:
+      return asInteger() == rhs.asInteger();
+    case ValueType::Real:
+      // NaN is not identical to anything, matching IEEE and keeping `is`
+      // an equivalence relation on non-NaN values only.
+      return asReal() == rhs.asReal();
+    case ValueType::String:
+      return asString() == rhs.asString();  // case-SENSITIVE for identity
+    case ValueType::List: {
+      const auto& a = *asList();
+      const auto& b = *rhs.asList();
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].isIdenticalTo(b[i])) return false;
+      }
+      return true;
+    }
+    case ValueType::Record: {
+      const ClassAd& a = *asRecord();
+      const ClassAd& b = *rhs.asRecord();
+      if (&a == &b) return true;
+      return a.unparse() == b.unparse();
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::string realToString(double d) {
+  if (std::isnan(d)) return "real(\"NaN\")";
+  if (std::isinf(d)) return d > 0 ? "real(\"INF\")" : "real(\"-INF\")";
+  std::array<char, 64> buf{};
+  // Round-trip precision; always keep a decimal point or exponent so the
+  // literal re-parses as a real, not an integer.
+  int n = std::snprintf(buf.data(), buf.size(), "%.17g", d);
+  std::string s(buf.data(), static_cast<std::size_t>(n));
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
+
+}  // namespace
+
+std::string quoteString(std::string_view s);
+
+std::string quoteString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Value::toLiteralString() const {
+  switch (type()) {
+    case ValueType::Undefined: return "undefined";
+    case ValueType::Error: return "error";
+    case ValueType::Boolean: return asBoolean() ? "true" : "false";
+    case ValueType::Integer: return std::to_string(asInteger());
+    case ValueType::Real: return realToString(asReal());
+    case ValueType::String: return quoteString(asString());
+    case ValueType::List: {
+      std::string out = "{ ";
+      const auto& elems = *asList();
+      for (std::size_t i = 0; i < elems.size(); ++i) {
+        if (i) out += ", ";
+        out += elems[i].toLiteralString();
+      }
+      out += elems.empty() ? "}" : " }";
+      return out;
+    }
+    case ValueType::Record:
+      return asRecord()->unparse();
+  }
+  return "error";
+}
+
+bool equalsIgnoreCase(std::string_view a, std::string_view b) noexcept {
+  return compareIgnoreCase(a, b) == 0;
+}
+
+int compareIgnoreCase(std::string_view a, std::string_view b) noexcept {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int ca = std::tolower(static_cast<unsigned char>(a[i]));
+    const int cb = std::tolower(static_cast<unsigned char>(b[i]));
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+std::string toLowerCopy(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace classad

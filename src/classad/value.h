@@ -1,0 +1,155 @@
+// value.h - Runtime values of the ClassAd expression language.
+//
+// Implements the data model of Section 3.1 of "Matchmaking: Distributed
+// Resource Management for High Throughput Computing" (Raman, Livny, Solomon,
+// HPDC 1998): integers, reals, strings, booleans, lists, nested classads
+// (records), and the two distinguished constants `undefined` and `error`
+// that drive the three-valued logic of Section 3.2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace classad {
+
+class ClassAd;
+class Value;
+
+/// A list value: the result of evaluating a `{ e1, e2, ... }` expression.
+/// Lists are immutable once built and cheaply shareable.
+using ListValue = std::shared_ptr<const std::vector<Value>>;
+
+/// A record value: a nested classad, first-class per Section 3.1 ("Classads
+/// are first-class objects in the model. They can be arbitrarily nested").
+using AdValue = std::shared_ptr<const ClassAd>;
+
+/// Discriminator for Value.
+enum class ValueType : std::uint8_t {
+  Undefined,  ///< reference to a nonexistent attribute, and propagation
+  Error,      ///< type errors, division by zero, circular references, ...
+  Boolean,
+  Integer,
+  Real,
+  String,
+  List,
+  Record,
+};
+
+/// Human-readable name of a ValueType ("undefined", "integer", ...).
+std::string_view toString(ValueType t) noexcept;
+
+/// A runtime value. Values are small, copyable, and immutable; lists and
+/// records are shared by reference.
+class Value {
+ public:
+  struct UndefinedT {};
+  /// `error` carries a diagnostic reason used by the constraint-diagnosis
+  /// tools (Section 5 future work); the reason does not participate in
+  /// equality or identity.
+  struct ErrorT {
+    std::shared_ptr<const std::string> reason;
+  };
+
+  /// Default-constructed values are `undefined` (the language's bottom).
+  Value() noexcept : v_(UndefinedT{}) {}
+
+  static Value undefined() noexcept { return Value(); }
+  static Value error(std::string reason = {});
+  static Value boolean(bool b) noexcept { return Value(b); }
+  static Value integer(std::int64_t i) noexcept { return Value(i); }
+  static Value real(double d) noexcept { return Value(d); }
+  static Value string(std::string s) { return Value(std::move(s)); }
+  static Value list(ListValue l) noexcept { return Value(std::move(l)); }
+  static Value list(std::vector<Value> elems);
+  static Value record(AdValue ad) noexcept { return Value(std::move(ad)); }
+
+  ValueType type() const noexcept {
+    return static_cast<ValueType>(v_.index());
+  }
+
+  bool isUndefined() const noexcept { return type() == ValueType::Undefined; }
+  bool isError() const noexcept { return type() == ValueType::Error; }
+  /// Either undefined or error: the "exceptional" values most operators are
+  /// strict over.
+  bool isExceptional() const noexcept { return isUndefined() || isError(); }
+  bool isBoolean() const noexcept { return type() == ValueType::Boolean; }
+  bool isInteger() const noexcept { return type() == ValueType::Integer; }
+  bool isReal() const noexcept { return type() == ValueType::Real; }
+  bool isNumber() const noexcept { return isInteger() || isReal(); }
+  bool isString() const noexcept { return type() == ValueType::String; }
+  bool isList() const noexcept { return type() == ValueType::List; }
+  bool isRecord() const noexcept { return type() == ValueType::Record; }
+
+  /// Accessors; calling the wrong one is a programming error (asserts in
+  /// debug builds via std::get).
+  bool asBoolean() const { return std::get<bool>(v_); }
+  std::int64_t asInteger() const { return std::get<std::int64_t>(v_); }
+  double asReal() const { return std::get<double>(v_); }
+  const std::string& asString() const { return std::get<std::string>(v_); }
+  const ListValue& asList() const { return std::get<ListValue>(v_); }
+  const AdValue& asRecord() const { return std::get<AdValue>(v_); }
+
+  /// Diagnostic reason attached to an error value ("" if none).
+  const std::string& errorReason() const;
+
+  /// Numeric coercion: integer or real as double. Precondition: isNumber().
+  double toReal() const {
+    return isInteger() ? static_cast<double>(asInteger()) : asReal();
+  }
+
+  /// True iff the value is boolean `true`. The matchmaking algorithm of
+  /// Section 3.2 accepts a match only when both Constraints satisfy this
+  /// ("the match fails if the Constraint evaluates to undefined").
+  bool isBooleanTrue() const noexcept {
+    return isBoolean() && std::get<bool>(v_);
+  }
+
+  /// Rank coercion per Section 3.2: "non-integer values are treated as
+  /// zero". We accept any number (integers and reals both appear in the
+  /// paper's Rank expressions, e.g. Figure 2's `KFlops/1E3 + ...`) and map
+  /// everything else to 0.0.
+  double rankValue() const noexcept {
+    return isNumber() ? toReal() : 0.0;
+  }
+
+  /// Identity per the `is` operator: same type and same value. Strings
+  /// compare case-sensitively, integer and real of equal magnitude are NOT
+  /// identical, `undefined is undefined` and `error is error` are true.
+  /// Lists/records compare by structural identity (deep, case-sensitive).
+  bool isIdenticalTo(const Value& rhs) const;
+
+  /// Renders the value as a literal of the classad language (strings are
+  /// quoted and escaped, reals keep full round-trip precision).
+  std::string toLiteralString() const;
+
+ private:
+  explicit Value(bool b) noexcept : v_(b) {}
+  explicit Value(std::int64_t i) noexcept : v_(i) {}
+  explicit Value(double d) noexcept : v_(d) {}
+  explicit Value(std::string s) noexcept : v_(std::move(s)) {}
+  explicit Value(ListValue l) noexcept : v_(std::move(l)) {}
+  explicit Value(AdValue a) noexcept : v_(std::move(a)) {}
+  explicit Value(ErrorT e) noexcept : v_(std::move(e)) {}
+
+  // Order must match ValueType.
+  std::variant<UndefinedT, ErrorT, bool, std::int64_t, double, std::string,
+               ListValue, AdValue>
+      v_;
+};
+
+/// Case-insensitive string equality, the comparison used by the `==`
+/// operator on strings and by attribute-name lookup (classad identifiers
+/// are case-insensitive).
+bool equalsIgnoreCase(std::string_view a, std::string_view b) noexcept;
+
+/// Case-insensitive three-way string comparison (<0, 0, >0).
+int compareIgnoreCase(std::string_view a, std::string_view b) noexcept;
+
+/// Lowercase a name for use as a case-insensitive map key.
+std::string toLowerCopy(std::string_view s);
+
+}  // namespace classad

@@ -1,0 +1,63 @@
+#include "matchmaker/ad_store.h"
+
+namespace matchmaking {
+
+bool AdStore::update(std::string_view key, classad::ClassAdPtr ad, Time now,
+                     std::uint64_t sequence, std::optional<Time> lifetime) {
+  const Time life = lifetime.value_or(defaultLifetime_);
+  auto it = ads_.find(std::string(key));
+  if (it != ads_.end()) {
+    if (sequence <= it->second.sequence) return false;  // stale duplicate
+    it->second.ad = std::move(ad);
+    it->second.receivedAt = now;
+    it->second.expiresAt = now + life;
+    it->second.sequence = sequence;
+    return true;
+  }
+  StoredAd stored;
+  stored.key = std::string(key);
+  stored.ad = std::move(ad);
+  stored.receivedAt = now;
+  stored.expiresAt = now + life;
+  stored.sequence = sequence;
+  ads_.emplace(stored.key, std::move(stored));
+  return true;
+}
+
+bool AdStore::invalidate(std::string_view key) {
+  return ads_.erase(std::string(key)) > 0;
+}
+
+std::size_t AdStore::expire(Time now) {
+  std::size_t removed = 0;
+  for (auto it = ads_.begin(); it != ads_.end();) {
+    if (it->second.expiresAt < now) {
+      it = ads_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<classad::ClassAdPtr> AdStore::snapshot() const {
+  std::vector<classad::ClassAdPtr> out;
+  out.reserve(ads_.size());
+  for (const auto& [key, stored] : ads_) out.push_back(stored.ad);
+  return out;
+}
+
+std::vector<const StoredAd*> AdStore::entries() const {
+  std::vector<const StoredAd*> out;
+  out.reserve(ads_.size());
+  for (const auto& [key, stored] : ads_) out.push_back(&stored);
+  return out;
+}
+
+const StoredAd* AdStore::find(std::string_view key) const {
+  auto it = ads_.find(std::string(key));
+  return it == ads_.end() ? nullptr : &it->second;
+}
+
+}  // namespace matchmaking

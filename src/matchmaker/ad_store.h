@@ -1,0 +1,75 @@
+// ad_store.h - The matchmaker's advertisement store.
+//
+// Section 4: "RAs and CAs periodically send classads to a Condor pool
+// manager". Ads are soft state: each advertisement carries a lifetime and
+// is refreshed periodically; an ad that is not refreshed expires and drops
+// out of matchmaking (this is what makes the matchmaker stateless and
+// crash-recoverable — Section 3's "the matchmaker is a stateless service,
+// which simplifies recovery in case of failure").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "classad/classad.h"
+
+namespace matchmaking {
+
+/// Simulation/wall time in seconds. The matchmaker itself has no clock; the
+/// caller supplies the current time (the DES substrate in src/sim drives it).
+using Time = double;
+
+/// One stored advertisement.
+struct StoredAd {
+  std::string key;         ///< advertiser identity (contact address)
+  classad::ClassAdPtr ad;  ///< the advertisement
+  Time receivedAt = 0;     ///< when the current version arrived
+  Time expiresAt = 0;      ///< receivedAt + lifetime
+  std::uint64_t sequence = 0;  ///< monotone per-key update counter
+};
+
+/// A keyed store of soft-state advertisements with expiry. Updates replace
+/// (same key, higher sequence); stale duplicates (lower-or-equal sequence)
+/// are ignored, which makes the advertising protocol idempotent over a
+/// network that may reorder or duplicate messages.
+class AdStore {
+ public:
+  explicit AdStore(Time defaultLifetime = 300.0)
+      : defaultLifetime_(defaultLifetime) {}
+
+  /// Inserts or refreshes the ad for `key`. Returns false iff the update
+  /// was stale (sequence not newer than the stored one).
+  bool update(std::string_view key, classad::ClassAdPtr ad, Time now,
+              std::uint64_t sequence,
+              std::optional<Time> lifetime = std::nullopt);
+
+  /// Explicit invalidation (the advertiser retracting its ad, e.g. an RA
+  /// whose machine shut down cleanly). Returns false if unknown.
+  bool invalidate(std::string_view key);
+
+  /// Drops all ads whose lifetime elapsed before `now`; returns the number
+  /// removed.
+  std::size_t expire(Time now);
+
+  /// All live ads (unexpired as of the last expire() call).
+  std::vector<classad::ClassAdPtr> snapshot() const;
+
+  /// Live ads together with their bookkeeping.
+  std::vector<const StoredAd*> entries() const;
+
+  const StoredAd* find(std::string_view key) const;
+
+  std::size_t size() const noexcept { return ads_.size(); }
+  bool empty() const noexcept { return ads_.empty(); }
+  void clear() { ads_.clear(); }
+
+ private:
+  Time defaultLifetime_;
+  std::unordered_map<std::string, StoredAd> ads_;
+};
+
+}  // namespace matchmaking

@@ -1,0 +1,62 @@
+#include "matchmaker/advertising.h"
+
+namespace matchmaking {
+
+ValidationResult AdvertisingProtocol::validate(
+    const classad::ClassAd& ad) const {
+  ValidationResult result;
+  result.accepted = true;
+  auto complain = [&result](std::string msg) {
+    result.accepted = false;
+    result.problems.push_back(std::move(msg));
+  };
+
+  if (!ad.getString(attrs_.type)) {
+    complain("missing or non-string '" + attrs_.type + "' attribute");
+  }
+  const auto contact = ad.getString(attrs_.contact);
+  if (!contact || contact->empty()) {
+    complain("missing or empty '" + attrs_.contact + "' attribute");
+  }
+  // A Constraint that evaluates to `error` with no candidate ad present is
+  // structurally broken only if it doesn't depend on `other`; constraints
+  // typically reference other.*, which is undefined here. So we only
+  // reject constraints that are the literal `error` or reference unknown
+  // functions (both evaluate to error regardless of `other`).
+  const classad::ExprPtr* constraint = ad.lookup(attrs_.match.constraint);
+  if (constraint == nullptr) {
+    constraint = ad.lookup(attrs_.match.constraintAlias);
+  }
+  if (constraint != nullptr) {
+    classad::ClassAd empty;
+    const classad::Value v = ad.evaluate(**constraint, &empty);
+    if (v.isError()) {
+      complain("'" + attrs_.match.constraint +
+               "' evaluates to error even against an empty candidate: " +
+               v.errorReason());
+    }
+  }
+  return result;
+}
+
+ValidationResult AdvertisingProtocol::validateRequest(
+    const classad::ClassAd& ad) const {
+  ValidationResult result = validate(ad);
+  if (!ad.getString(attrs_.owner)) {
+    result.accepted = false;
+    result.problems.push_back("request ad missing string '" + attrs_.owner +
+                              "' attribute");
+  }
+  return result;
+}
+
+ValidationResult AdvertisingProtocol::validateResource(
+    const classad::ClassAd& ad) const {
+  return validate(ad);
+}
+
+std::string AdvertisingProtocol::keyOf(const classad::ClassAd& ad) const {
+  return ad.getString(attrs_.contact).value_or("");
+}
+
+}  // namespace matchmaking

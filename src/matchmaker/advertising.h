@@ -1,0 +1,71 @@
+// advertising.h - The advertising protocol (framework component 2).
+//
+// Section 3: "the advertising protocol ... defines basic conventions
+// regarding what a matchmaker expects to find in a classad if the ad is to
+// be included in the matchmaking process". Section 4 instantiates it for
+// Condor: "every classad should include expressions named Constraint and
+// Rank ... The protocol also requires the advertising parties to include
+// contact addresses with their ads, and allows an RA to include an
+// authorization ticket with its ad."
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classad/classad.h"
+#include "classad/match.h"
+
+namespace matchmaking {
+
+/// Well-known attribute names given meaning by the advertising protocol.
+struct ProtocolAttributes {
+  classad::MatchAttributes match;          // Constraint / Requirements, Rank
+  std::string type = "Type";               // "Machine" / "Job" / ...
+  std::string contact = "ContactAddress";  // where to reach the advertiser
+  std::string owner = "Owner";             // principal, for fair matching
+  std::string ticket = "AuthorizationTicket";  // RA-minted claim capability
+  std::string name = "Name";               // advertiser display name
+};
+
+/// Result of validating an incoming advertisement.
+struct ValidationResult {
+  bool accepted = false;
+  std::vector<std::string> problems;  // empty iff accepted
+
+  static ValidationResult ok() { return {true, {}}; }
+};
+
+/// Validates ads against the advertising protocol before admission to the
+/// store. Per Section 3, an ad that does not conform is simply not
+/// "included in the matchmaking process" — validation failures are not
+/// fatal to the advertiser, they just make it invisible.
+class AdvertisingProtocol {
+ public:
+  explicit AdvertisingProtocol(ProtocolAttributes attrs = {})
+      : attrs_(std::move(attrs)) {}
+
+  const ProtocolAttributes& attributes() const noexcept { return attrs_; }
+
+  /// Checks the conventions common to all advertisers: a Type, a contact
+  /// address, and a well-formed Constraint (an ad may omit Constraint
+  /// entirely — it then imposes no requirements — but a Constraint bound
+  /// to a parse-level `error` literal is rejected).
+  ValidationResult validate(const classad::ClassAd& ad) const;
+
+  /// Additional requirements for customer (request) ads: an Owner, so the
+  /// fair matching policy of Section 4 can account usage to a principal.
+  ValidationResult validateRequest(const classad::ClassAd& ad) const;
+
+  /// Additional conventions for resource ads (an RA "may" attach a
+  /// ticket; nothing extra is mandatory).
+  ValidationResult validateResource(const classad::ClassAd& ad) const;
+
+  /// Extracts the advertiser's store key (its contact address).
+  std::string keyOf(const classad::ClassAd& ad) const;
+
+ private:
+  ProtocolAttributes attrs_;
+};
+
+}  // namespace matchmaking

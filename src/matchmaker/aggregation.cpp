@@ -1,0 +1,71 @@
+#include "matchmaker/aggregation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace matchmaking {
+
+namespace {
+
+std::string fingerprint(const classad::ClassAd& ad,
+                        const AggregationConfig& config) {
+  classad::ClassAd residual = ad;
+  for (const std::string& name : config.identityAttributes) {
+    residual.remove(name);
+  }
+  // Canonicalize: sort attributes by lowered name so ads that list the
+  // same bindings in different orders aggregate together (structural
+  // regularity is about the set of names, not their order).
+  std::vector<classad::ClassAd::Attribute> attrs(residual.attributes());
+  std::sort(attrs.begin(), attrs.end(),
+            [](const auto& a, const auto& b) {
+              return classad::compareIgnoreCase(a.first, b.first) < 0;
+            });
+  std::string out;
+  for (const auto& [name, expr] : attrs) {
+    out += classad::toLowerCopy(name);
+    out += '=';
+    expr->unparse(out);
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AdGroup> groupAds(std::span<const classad::ClassAdPtr> ads,
+                              const AggregationConfig& config) {
+  std::vector<AdGroup> groups;
+  std::unordered_map<std::string, std::size_t> byKey;
+  for (std::size_t i = 0; i < ads.size(); ++i) {
+    if (!ads[i]) continue;
+    std::string key = fingerprint(*ads[i], config);
+    auto it = byKey.find(key);
+    if (it == byKey.end()) {
+      AdGroup group;
+      group.key = key;
+      group.members.push_back(i);
+      group.representative = ads[i];
+      byKey.emplace(std::move(key), groups.size());
+      groups.push_back(std::move(group));
+    } else {
+      groups[it->second].members.push_back(i);
+    }
+  }
+  return groups;
+}
+
+double regularity(std::span<const classad::ClassAdPtr> ads,
+                  const AggregationConfig& config) {
+  const std::vector<AdGroup> groups = groupAds(ads, config);
+  std::size_t total = 0;
+  std::size_t grouped = 0;
+  for (const AdGroup& g : groups) {
+    total += g.members.size();
+    if (g.members.size() > 1) grouped += g.members.size();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(grouped) /
+                                static_cast<double>(total);
+}
+
+}  // namespace matchmaking

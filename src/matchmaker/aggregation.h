@@ -1,0 +1,55 @@
+// aggregation.h - ClassAd aggregation for group matching (Section 5).
+//
+// "Lists of classads representing resources and customers exhibit a high
+// degree of regularity, which is manifest in two ways: structural
+// regularity and value regularity. The former occurs when entities tend to
+// publish attributes with the same names, and the latter occurs when groups
+// of entities publish attributes with similar values. We are currently
+// investigating techniques for exploiting this regularity, and
+// automatically aggregating classads so that matches may be performed in
+// groups. Group matching may be used to both boost matchmaking throughput
+// and service co-allocation requests."
+//
+// The grouping is a pure optimization hint: every representative-level
+// match is re-verified against the actual member before being issued (see
+// Matchmaker::negotiateAggregated), so aggregation never changes the set of
+// legal matches — only the number of candidate evaluations needed to find
+// them (benchmarked in bench_e7_aggregation).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+
+namespace matchmaking {
+
+/// A group of ads that are identical up to identity attributes.
+struct AdGroup {
+  std::string key;                  ///< canonical text of the residual ad
+  std::vector<std::size_t> members; ///< indices into the input span
+  classad::ClassAdPtr representative;  ///< full ad of the first member
+};
+
+struct AggregationConfig {
+  /// Attributes ignored when fingerprinting (identity and fast-churning
+  /// state that policies conventionally do not gate on). Two ads equal
+  /// after dropping these land in the same group.
+  std::vector<std::string> identityAttributes = {
+      "Name", "ContactAddress", "AuthorizationTicket", "Machine",
+  };
+};
+
+/// Partitions `ads` into groups by structural + value equality of their
+/// non-identity attributes. Groups preserve first-appearance order;
+/// members within a group preserve input order. Null ads are skipped.
+std::vector<AdGroup> groupAds(std::span<const classad::ClassAdPtr> ads,
+                              const AggregationConfig& config = {});
+
+/// Degree of regularity of an ad population: members in groups of size >1
+/// divided by total (1.0 = perfectly regular, 0.0 = all distinct).
+double regularity(std::span<const classad::ClassAdPtr> ads,
+                  const AggregationConfig& config = {});
+
+}  // namespace matchmaking

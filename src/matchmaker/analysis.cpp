@@ -1,0 +1,128 @@
+#include "matchmaker/analysis.h"
+
+#include "classad/expr.h"
+
+namespace matchmaking {
+
+namespace {
+
+void collectConjuncts(const classad::ExprPtr& expr,
+                      std::vector<classad::ExprPtr>& out) {
+  const auto* bin = dynamic_cast<const classad::BinaryExpr*>(expr.get());
+  if (bin != nullptr && bin->op() == classad::BinOp::And) {
+    collectConjuncts(bin->lhs(), out);
+    collectConjuncts(bin->rhs(), out);
+    return;
+  }
+  out.push_back(expr);
+}
+
+}  // namespace
+
+std::vector<classad::ExprPtr> splitConjuncts(const classad::ExprPtr& expr) {
+  std::vector<classad::ExprPtr> out;
+  if (expr) collectConjuncts(expr, out);
+  return out;
+}
+
+Diagnosis diagnose(const classad::ClassAd& request,
+                   std::span<const classad::ClassAdPtr> pool,
+                   const classad::MatchAttributes& attrs) {
+  Diagnosis d;
+  const classad::ExprPtr* constraint = request.lookup(attrs.constraint);
+  if (constraint == nullptr) constraint = request.lookup(attrs.constraintAlias);
+
+  std::vector<classad::ExprPtr> conjuncts;
+  if (constraint != nullptr) conjuncts = splitConjuncts(*constraint);
+  d.conjuncts.reserve(conjuncts.size());
+  for (const classad::ExprPtr& c : conjuncts) {
+    ConjunctReport r;
+    r.text = c->toString();
+    d.conjuncts.push_back(std::move(r));
+  }
+
+  for (const classad::ClassAdPtr& resource : pool) {
+    if (!resource) continue;
+    ++d.poolSize;
+    const auto requestSide =
+        classad::evaluateConstraint(request, *resource, attrs);
+    const auto resourceSide =
+        classad::evaluateConstraint(*resource, request, attrs);
+    if (classad::permitsMatch(requestSide)) ++d.requestSideOk;
+    if (classad::permitsMatch(resourceSide)) ++d.resourceSideOk;
+    if (classad::permitsMatch(requestSide) &&
+        classad::permitsMatch(resourceSide)) {
+      ++d.matches;
+    }
+    for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+      const classad::Value v = request.evaluate(*conjuncts[i], resource.get());
+      if (v.isBooleanTrue()) {
+        ++d.conjuncts[i].satisfied;
+      } else if (v.isBoolean()) {
+        ++d.conjuncts[i].violated;
+      } else if (v.isUndefined()) {
+        ++d.conjuncts[i].undefined;
+      } else {
+        ++d.conjuncts[i].error;
+      }
+    }
+  }
+  return d;
+}
+
+std::string Diagnosis::summary() const {
+  std::string out;
+  out += "Pool size: " + std::to_string(poolSize) + "\n";
+  out += "Resources satisfying the request's constraint: " +
+         std::to_string(requestSideOk) + "\n";
+  out += "Resources willing to serve this request:       " +
+         std::to_string(resourceSideOk) + "\n";
+  out += "Two-sided matches available now:               " +
+         std::to_string(matches) + "\n";
+  if (!conjuncts.empty()) {
+    out += "Request constraint, conjunct by conjunct:\n";
+    for (const ConjunctReport& c : conjuncts) {
+      out += "  [" + std::to_string(c.satisfied) + " ok / " +
+             std::to_string(c.violated) + " fail / " +
+             std::to_string(c.undefined) + " undef / " +
+             std::to_string(c.error) + " err]  " + c.text;
+      if (c.unsatisfiable(poolSize)) {
+        out += "   <-- NO resource in the pool satisfies this";
+      }
+      out += "\n";
+    }
+  }
+  if (requestUnsatisfiable()) {
+    out += "VERDICT: the request's constraint can never be satisfied by the "
+           "current pool.\n";
+  } else if (rejectedByOwners()) {
+    out += "VERDICT: suitable resources exist, but their owner policies "
+           "exclude this request.\n";
+  } else if (matches > 0) {
+    out += "VERDICT: the request is matchable now.\n";
+  }
+  return out;
+}
+
+std::vector<std::size_t> findUnsatisfiableRequests(
+    std::span<const classad::ClassAdPtr> requests,
+    std::span<const classad::ClassAdPtr> pool,
+    const classad::MatchAttributes& attrs) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!requests[i]) continue;
+    bool satisfiable = false;
+    for (const classad::ClassAdPtr& resource : pool) {
+      if (!resource) continue;
+      if (classad::permitsMatch(
+              classad::evaluateConstraint(*requests[i], *resource, attrs))) {
+        satisfiable = true;
+        break;
+      }
+    }
+    if (!satisfiable && !pool.empty()) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace matchmaking

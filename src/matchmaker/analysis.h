@@ -1,0 +1,83 @@
+// analysis.h - Constraint-satisfiability diagnostics (Section 5).
+//
+// "The complexity of constraints imposed by resources and customers may
+// hinder the diagnostic capability of administrators and customers who may
+// wonder why certain requests are unable to find resources with particular
+// characteristics. To alleviate this problem, we are researching methods
+// for identifying constraints which can never be satisfied by the pool. In
+// addition to diagnostic utilities, this tool may help discovering hidden
+// characteristics of a pool."
+//
+// Method: the request's Constraint is decomposed into its top-level
+// conjuncts (the `&&` tree), each conjunct is evaluated against every
+// resource in the pool, and conjuncts that no resource satisfies are
+// reported as the unsatisfiable core. The same machinery runs in reverse
+// over the resource side, exposing which owner policies exclude the
+// request. This is exactly what powers deployed Condor's `condor_q
+// -better-analyze`.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "classad/match.h"
+
+namespace matchmaking {
+
+/// Per-conjunct tally over the pool.
+struct ConjunctReport {
+  std::string text;          ///< source form of the conjunct
+  std::size_t satisfied = 0; ///< resources satisfying it
+  std::size_t violated = 0;  ///< resources definitely failing it
+  std::size_t undefined = 0; ///< resources lacking the referenced attributes
+  std::size_t error = 0;
+  /// No resource in the pool satisfies this conjunct: part of the
+  /// unsatisfiable core ("constraints which can never be satisfied by the
+  /// pool").
+  bool unsatisfiable(std::size_t poolSize) const noexcept {
+    return poolSize > 0 && satisfied == 0;
+  }
+};
+
+struct Diagnosis {
+  std::size_t poolSize = 0;
+  /// Resources satisfying the request's whole Constraint.
+  std::size_t requestSideOk = 0;
+  /// Resources whose own Constraint admits this request.
+  std::size_t resourceSideOk = 0;
+  /// Two-sided matches available right now.
+  std::size_t matches = 0;
+  /// The request's constraint, conjunct by conjunct.
+  std::vector<ConjunctReport> conjuncts;
+  /// True iff no resource satisfies the request's constraint.
+  bool requestUnsatisfiable() const noexcept {
+    return poolSize > 0 && requestSideOk == 0;
+  }
+  /// True iff the request matches nothing solely because of owner policies
+  /// (its own constraint is satisfiable, but no willing resource remains).
+  bool rejectedByOwners() const noexcept {
+    return requestSideOk > 0 && matches == 0;
+  }
+  /// Human-readable report in the style of condor_q -better-analyze.
+  std::string summary() const;
+};
+
+/// Splits an expression into its top-level `&&` conjuncts (a non-&& root
+/// yields a single conjunct).
+std::vector<classad::ExprPtr> splitConjuncts(const classad::ExprPtr& expr);
+
+/// Analyzes why `request` does or does not match the `pool`.
+Diagnosis diagnose(const classad::ClassAd& request,
+                   std::span<const classad::ClassAdPtr> pool,
+                   const classad::MatchAttributes& attrs = {});
+
+/// Pool-wide sweep: returns the subset of `requests` whose constraints can
+/// never be satisfied by the pool (the administrator's view).
+std::vector<std::size_t> findUnsatisfiableRequests(
+    std::span<const classad::ClassAdPtr> requests,
+    std::span<const classad::ClassAdPtr> pool,
+    const classad::MatchAttributes& attrs = {});
+
+}  // namespace matchmaking

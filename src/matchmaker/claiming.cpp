@@ -1,0 +1,42 @@
+#include "matchmaker/claiming.h"
+
+namespace matchmaking {
+
+ClaimResponse evaluateClaim(const classad::ClassAd& currentResourceAd,
+                            Ticket outstandingTicket,
+                            const ClaimRequest& request,
+                            const ClaimPolicy& policy) {
+  if (policy.verifyTicket) {
+    if (outstandingTicket == kNoTicket) {
+      return {false, "no outstanding ticket (resource not offered)"};
+    }
+    if (request.ticket != outstandingTicket) {
+      return {false, "ticket mismatch"};
+    }
+  }
+  if (request.requestAd == nullptr) {
+    return {false, "claim carried no request ad"};
+  }
+  if (policy.reverifyConstraints) {
+    // "the request matches the RA's constraints with respect to the
+    // updated state of the request and resource" — both directions, since
+    // the customer's needs may also have changed.
+    const auto resourceSide = classad::evaluateConstraint(
+        currentResourceAd, *request.requestAd, policy.attrs);
+    if (!classad::permitsMatch(resourceSide)) {
+      return {false, std::string("resource constraint ") +
+                         std::string(classad::toString(resourceSide)) +
+                         " against current request"};
+    }
+    const auto requestSide = classad::evaluateConstraint(
+        *request.requestAd, currentResourceAd, policy.attrs);
+    if (!classad::permitsMatch(requestSide)) {
+      return {false, std::string("request constraint ") +
+                         std::string(classad::toString(requestSide)) +
+                         " against current resource"};
+    }
+  }
+  return {true, ""};
+}
+
+}  // namespace matchmaking

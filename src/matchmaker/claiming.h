@@ -1,0 +1,40 @@
+// claiming.h - Provider-side claim verification (framework component 5).
+//
+// Section 4: "The RA accepts the resource request only if the ticket
+// matches the one that it gave the pool manager, and the request matches
+// the RA's constraints with respect to the updated state of the request and
+// resource, which may have changed since the last advertisement."
+//
+// This module is pure policy: given the provider's CURRENT ad, its
+// outstanding ticket, and an incoming ClaimRequest, decide. The transport
+// and the state machine around it live with the agents (src/sim).
+#pragma once
+
+#include <string>
+
+#include "classad/classad.h"
+#include "classad/match.h"
+#include "matchmaker/protocol.h"
+
+namespace matchmaking {
+
+/// Options for the claim-time checks; the E3 ablation switches
+/// re-verification off to quantify what the weak-consistency design buys.
+struct ClaimPolicy {
+  bool verifyTicket = true;
+  /// Re-evaluate both sides' constraints against current state (the
+  /// paper's design). With this off, a claim is accepted on the strength
+  /// of the possibly-stale match alone.
+  bool reverifyConstraints = true;
+  classad::MatchAttributes attrs;
+};
+
+/// Evaluates a claim request against the provider's current ad and
+/// outstanding ticket. `currentResourceAd` must reflect the resource's
+/// state NOW, not the advertised snapshot.
+ClaimResponse evaluateClaim(const classad::ClassAd& currentResourceAd,
+                            Ticket outstandingTicket,
+                            const ClaimRequest& request,
+                            const ClaimPolicy& policy = {});
+
+}  // namespace matchmaking

@@ -1,0 +1,137 @@
+#include "matchmaker/gangmatch.h"
+
+#include <algorithm>
+
+namespace matchmaking {
+
+namespace {
+constexpr const char* kRequestsAttr = "Requests";
+}
+
+bool GangMatcher::isGangRequest(const classad::ClassAd& ad) {
+  const classad::ExprPtr* requests = ad.lookup(kRequestsAttr);
+  if (requests == nullptr) return false;
+  const classad::Value v = ad.evaluateAttr(kRequestsAttr);
+  if (!v.isList() || v.asList()->empty()) return false;
+  for (const classad::Value& elem : *v.asList()) {
+    if (!elem.isRecord()) return false;
+  }
+  return true;
+}
+
+std::vector<classad::ClassAdPtr> GangMatcher::legsOf(
+    const classad::ClassAd& gang) const {
+  std::vector<classad::ClassAdPtr> legs;
+  const classad::Value v = gang.evaluateAttr(kRequestsAttr);
+  if (!v.isList()) return legs;
+  for (const classad::Value& elem : *v.asList()) {
+    if (!elem.isRecord()) return {};
+    classad::ClassAd leg = *elem.asRecord();
+    if (!leg.contains("Type")) leg.set("Type", "Job");
+    for (const std::string& name : config_.inheritedAttributes) {
+      if (!leg.contains(name)) {
+        if (const classad::ExprPtr* bound = gang.lookup(name)) {
+          leg.insert(name, *bound);
+        }
+      }
+    }
+    legs.push_back(classad::makeShared(std::move(leg)));
+  }
+  return legs;
+}
+
+namespace {
+
+struct Candidate {
+  std::size_t resourceIndex;
+  double legRank;
+  double resourceRank;
+};
+
+/// Depth-first all-or-nothing assignment. `chosen` holds resource indices
+/// per completed leg.
+bool assign(std::size_t legIdx,
+            const std::vector<std::vector<Candidate>>& candidates,
+            std::vector<bool>& used, std::vector<std::size_t>& chosen,
+            std::size_t branchingCap) {
+  if (legIdx == candidates.size()) return true;
+  std::size_t tried = 0;
+  for (const Candidate& cand : candidates[legIdx]) {
+    if (used[cand.resourceIndex]) continue;
+    if (branchingCap != 0 && tried++ >= branchingCap) break;
+    used[cand.resourceIndex] = true;
+    chosen[legIdx] = cand.resourceIndex;
+    if (assign(legIdx + 1, candidates, used, chosen, branchingCap)) {
+      return true;
+    }
+    used[cand.resourceIndex] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<GangMatch> GangMatcher::match(
+    const classad::ClassAd& gang,
+    std::span<const classad::ClassAdPtr> resources,
+    std::vector<bool>* taken) const {
+  const std::vector<classad::ClassAdPtr> legs = legsOf(gang);
+  if (legs.empty()) return std::nullopt;
+
+  // Per-leg candidate lists, best-rank-first (leg rank, then resource
+  // rank, then index for determinism).
+  std::vector<std::vector<Candidate>> candidates(legs.size());
+  for (std::size_t l = 0; l < legs.size(); ++l) {
+    for (std::size_t r = 0; r < resources.size(); ++r) {
+      if (!resources[r]) continue;
+      if (taken != nullptr && (*taken)[r]) continue;
+      const classad::MatchAnalysis m =
+          classad::analyzeMatch(*legs[l], *resources[r], config_.attrs);
+      if (!m.matched) continue;
+      candidates[l].push_back({r, m.requestRank, m.resourceRank});
+    }
+    if (candidates[l].empty()) return std::nullopt;  // leg unsatisfiable
+    std::sort(candidates[l].begin(), candidates[l].end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.legRank != b.legRank) return a.legRank > b.legRank;
+                if (a.resourceRank != b.resourceRank) {
+                  return a.resourceRank > b.resourceRank;
+                }
+                return a.resourceIndex < b.resourceIndex;
+              });
+  }
+
+  // Search scarcest-first ordering would prune better, but declaration
+  // order keeps the semantics predictable for users; the branching cap
+  // bounds the worst case.
+  std::vector<bool> used(resources.size(), false);
+  if (taken != nullptr) used = *taken;
+  std::vector<std::size_t> chosen(legs.size());
+  if (!assign(0, candidates, used, chosen, config_.branchingCap)) {
+    return std::nullopt;
+  }
+
+  GangMatch out;
+  out.legs.reserve(legs.size());
+  for (std::size_t l = 0; l < legs.size(); ++l) {
+    GangLeg leg;
+    leg.legAd = legs[l];
+    leg.resourceIndex = chosen[l];
+    leg.resource = resources[chosen[l]];
+    for (const Candidate& cand : candidates[l]) {
+      if (cand.resourceIndex == chosen[l]) {
+        leg.legRank = cand.legRank;
+        break;
+      }
+    }
+    if (const auto t = leg.resource->getString(config_.ticketAttr)) {
+      leg.ticket = ticketFromString(*t).value_or(kNoTicket);
+    }
+    out.totalRank += leg.legRank;
+    out.legs.push_back(std::move(leg));
+    if (taken != nullptr) (*taken)[chosen[l]] = true;
+  }
+  return out;
+}
+
+}  // namespace matchmaking

@@ -1,0 +1,97 @@
+// gangmatch.h - Co-allocation via gang matching.
+//
+// Section 3.1: classads "can be arbitrarily nested, leading to a natural
+// language for expressing resource aggregates or co-allocation requests";
+// Section 5: "Group matching may be used to both boost matchmaking
+// throughput and service co-allocation requests." This module implements
+// the co-allocation half: a gang request is a classad whose `Requests`
+// attribute is a list of nested request ads ("legs"), e.g.
+//
+//   [ Type = "Gang"; Owner = "raman"; ContactAddress = "ca://raman";
+//     Requests = {
+//       [ Label = "compute"; Memory = 64;
+//         Constraint = other.Type == "Machine" &&
+//                      other.Memory >= self.Memory;
+//         Rank = other.Mips ],
+//       [ Label = "tape";
+//         Constraint = other.Type == "TapeDrive" &&
+//                      other.Format == "DLT" ],
+//     } ]
+//
+// A gang match assigns a DISTINCT resource to every leg such that each
+// (leg, resource) pair matches bilaterally — all or nothing, the essence
+// of co-allocation. Legs inherit the gang's identity attributes (Owner,
+// ContactAddress, Type fallback "Job") so provider policies keyed on the
+// customer keep working.
+//
+// The search is backtracking over legs in declaration order, trying each
+// leg's candidates best-rank-first, with a configurable per-leg branching
+// cap. It is exact for feasibility when the cap covers all candidates,
+// and greedy-optimal per leg otherwise (documented trade-off: full
+// optimal weighted matching is assignment-problem territory the paper
+// does not ask for).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "classad/match.h"
+#include "matchmaker/protocol.h"
+
+namespace matchmaking {
+
+/// One assigned leg of a gang match.
+struct GangLeg {
+  classad::ClassAdPtr legAd;      ///< the materialized leg request ad
+  classad::ClassAdPtr resource;   ///< the resource assigned to it
+  std::size_t resourceIndex = 0;  ///< index into the input span
+  double legRank = 0.0;           ///< leg's Rank of the resource
+  Ticket ticket = kNoTicket;      ///< resource's ticket, if advertised
+};
+
+struct GangMatch {
+  std::vector<GangLeg> legs;  ///< one per request leg, in order
+  double totalRank = 0.0;     ///< sum of leg ranks
+};
+
+struct GangMatchConfig {
+  classad::MatchAttributes attrs;
+  /// Attributes copied from the gang ad into each leg (unless the leg
+  /// already defines them).
+  std::vector<std::string> inheritedAttributes = {"Owner", "ContactAddress"};
+  /// Candidates tried per leg before the search gives up on that branch
+  /// (0 = unlimited; exponential worst case).
+  std::size_t branchingCap = 16;
+  /// Ticket attribute (as in the advertising protocol).
+  std::string ticketAttr = "AuthorizationTicket";
+};
+
+class GangMatcher {
+ public:
+  explicit GangMatcher(GangMatchConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// True iff `ad` is a gang request (has a `Requests` list of records).
+  static bool isGangRequest(const classad::ClassAd& ad);
+
+  /// Extracts and materializes the legs of a gang request (inheriting
+  /// identity attributes). Empty if `ad` is not a gang request.
+  std::vector<classad::ClassAdPtr> legsOf(const classad::ClassAd& gang) const;
+
+  /// Finds an all-or-nothing assignment of distinct resources to the
+  /// gang's legs; nullopt if no complete gang can be formed. `taken`
+  /// (optional, same length as resources) marks resources already claimed
+  /// this cycle; matched indices are marked taken on success.
+  std::optional<GangMatch> match(
+      const classad::ClassAd& gang,
+      std::span<const classad::ClassAdPtr> resources,
+      std::vector<bool>* taken = nullptr) const;
+
+ private:
+  GangMatchConfig config_;
+};
+
+}  // namespace matchmaking

@@ -1,0 +1,442 @@
+#include "matchmaker/matchmaker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <limits>
+#include <unordered_map>
+
+#include "matchmaker/aggregation.h"
+
+namespace matchmaking {
+
+bool Matchmaker::matches(const classad::ClassAd& request,
+                         const classad::ClassAd& resource) const {
+  const auto& attrs = config_.protocol.match;
+  if (!config_.bilateral) {
+    return classad::oneWayMatch(request, resource, attrs);
+  }
+  return classad::symmetricMatch(request, resource, attrs);
+}
+
+std::vector<Match> Matchmaker::negotiate(
+    std::span<const classad::ClassAdPtr> requests,
+    std::span<const classad::ClassAdPtr> resources,
+    const Accountant& accountant, Time now, NegotiationStats* stats) const {
+  if (config_.useAggregation) {
+    return negotiateAggregated(requests, resources, accountant, now, stats);
+  }
+  return negotiateNaive(requests, resources, accountant, now, stats);
+}
+
+namespace {
+
+/// Per-resource negotiation state shared by both algorithm variants.
+struct ResourceSlot {
+  classad::ClassAdPtr ad;
+  bool taken = false;        // matched earlier in this cycle
+  bool claimed = false;      // advertised with a CurrentRank (busy)
+  double currentRank = 0.0;  // rank of its current customer, if claimed
+};
+
+std::vector<ResourceSlot> makeSlots(
+    std::span<const classad::ClassAdPtr> resources,
+    const std::string& currentRankAttr) {
+  std::vector<ResourceSlot> slots;
+  slots.reserve(resources.size());
+  for (const classad::ClassAdPtr& r : resources) {
+    ResourceSlot s;
+    s.ad = r;
+    if (r) {
+      if (const auto cur = r->getNumber(currentRankAttr)) {
+        s.claimed = true;
+        s.currentRank = *cur;
+      }
+    }
+    slots.push_back(std::move(s));
+  }
+  return slots;
+}
+
+/// Two-sided (or one-sided, per config) analysis of one candidate pair.
+classad::MatchAnalysis analyzeCandidate(const classad::ClassAd& request,
+                                        const classad::ClassAd& resource,
+                                        bool bilateral,
+                                        const classad::MatchAttributes& attrs) {
+  if (bilateral) return classad::analyzeMatch(request, resource, attrs);
+  classad::MatchAnalysis one;
+  one.requestSide = classad::evaluateConstraint(request, resource, attrs);
+  one.resourceSide = classad::ConstraintResult::Missing;
+  one.matched = classad::permitsMatch(one.requestSide);
+  if (one.matched) {
+    one.requestRank = classad::evaluateRank(request, resource, attrs);
+    one.resourceRank = classad::evaluateRank(resource, request, attrs);
+  }
+  return one;
+}
+
+/// Candidate quality ordering of Section 3.2: "Among provider ads matching
+/// a given customer ad, the matchmaker chooses the one with the highest
+/// Rank value ..., breaking ties according to the provider's Rank value."
+/// Final tie-break on scan order keeps cycles deterministic.
+struct Best {
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+  double requestRank = -std::numeric_limits<double>::infinity();
+  double resourceRank = -std::numeric_limits<double>::infinity();
+  bool preempting = false;
+  bool found = false;
+
+  bool improvedBy(double reqRank, double resRank) const noexcept {
+    if (!found) return true;
+    if (reqRank != requestRank) return reqRank > requestRank;
+    return resRank > resourceRank;
+  }
+};
+
+/// Scans slots [lo, hi) for the best candidate for `request`.
+Best scanRange(const classad::ClassAd& request,
+               const std::vector<ResourceSlot>& slots, std::size_t lo,
+               std::size_t hi, bool bilateral,
+               const classad::MatchAttributes& attrs,
+               std::size_t& evaluations) {
+  Best best;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const ResourceSlot& slot = slots[i];
+    if (slot.taken || !slot.ad) continue;
+    ++evaluations;
+    const classad::MatchAnalysis m =
+        analyzeCandidate(request, *slot.ad, bilateral, attrs);
+    if (!m.matched) continue;
+    // Preemption gate: a claimed resource only accepts customers it ranks
+    // strictly above its current one.
+    if (slot.claimed && !(m.resourceRank > slot.currentRank)) continue;
+    if (best.improvedBy(m.requestRank, m.resourceRank)) {
+      best.index = i;
+      best.requestRank = m.requestRank;
+      best.resourceRank = m.resourceRank;
+      best.preempting = slot.claimed;
+      best.found = true;
+    }
+  }
+  return best;
+}
+
+/// Scans all open slots, optionally fanning out across threads. The
+/// parallel path is deterministic: each worker owns a contiguous index
+/// range and keeps its FIRST best under the rank ordering; merging the
+/// per-range winners in ascending range order reproduces the serial
+/// scan's first-best-wins tie-breaking exactly (expression trees are
+/// immutable, so concurrent evaluation needs no synchronization).
+Best scanAllSlots(const classad::ClassAd& request,
+                  const std::vector<ResourceSlot>& slots, bool bilateral,
+                  const classad::MatchAttributes& attrs,
+                  std::size_t& evaluations, unsigned threads,
+                  std::size_t parallelThreshold) {
+  if (threads <= 1 || slots.size() < parallelThreshold) {
+    return scanRange(request, slots, 0, slots.size(), bilateral, attrs,
+                     evaluations);
+  }
+  const unsigned workers = std::min<unsigned>(
+      threads, static_cast<unsigned>(
+                   (slots.size() + parallelThreshold - 1) /
+                   parallelThreshold));
+  std::vector<Best> results(workers);
+  std::vector<std::size_t> evalCounts(workers, 0);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (slots.size() + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = w * chunk;
+    const std::size_t hi = std::min(slots.size(), lo + chunk);
+    pool.emplace_back([&, w, lo, hi] {
+      results[w] = scanRange(request, slots, lo, hi, bilateral, attrs,
+                             evalCounts[w]);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  Best best;
+  for (unsigned w = 0; w < workers; ++w) {
+    evaluations += evalCounts[w];
+    const Best& r = results[w];
+    if (r.found && best.improvedBy(r.requestRank, r.resourceRank)) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+Match buildMatch(const classad::ClassAdPtr& request, const ResourceSlot& slot,
+                 double requestRank, double resourceRank, bool preempting,
+                 const ProtocolAttributes& protocol) {
+  Match match;
+  match.request = request;
+  match.resource = slot.ad;
+  match.requestContact = request->getString(protocol.contact).value_or("");
+  match.resourceContact = slot.ad->getString(protocol.contact).value_or("");
+  match.user = request->getString(protocol.owner).value_or("");
+  if (const auto t = slot.ad->getString(protocol.ticket)) {
+    match.ticket = ticketFromString(*t).value_or(kNoTicket);
+  }
+  match.requestRank = requestRank;
+  match.resourceRank = resourceRank;
+  match.preempting = preempting;
+  return match;
+}
+
+/// True iff the request's Constraint or Rank references any of the
+/// identity attributes dropped by the aggregation fingerprint. Such a
+/// request can distinguish members WITHIN a group, so representative-level
+/// filtering would be unsound for it — it is matched naively instead.
+bool referencesIdentityAttributes(const classad::ClassAd& request,
+                                  const classad::MatchAttributes& attrs,
+                                  const AggregationConfig& aggConfig) {
+  std::vector<std::string> refs;
+  for (const std::string& name :
+       {attrs.constraint, attrs.constraintAlias, attrs.rank}) {
+    if (const classad::ExprPtr* e = request.lookup(name)) {
+      classad::collectAttrRefs(**e, refs);
+    }
+  }
+  for (const std::string& identity : aggConfig.identityAttributes) {
+    const std::string lowered = classad::toLowerCopy(identity);
+    for (const std::string& ref : refs) {
+      if (ref == lowered) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::size_t> Matchmaker::serviceOrder(
+    std::span<const classad::ClassAdPtr> requests,
+    const Accountant& accountant, Time now) const {
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) order[i] = i;
+  if (!config_.fairShare) return order;
+
+  // Fair-share service order, two-level: repeatedly serve the pending
+  // request of the best-standing GROUP, and within it the best-standing
+  // USER; each grant doubles both keys (a deterministic approximation of
+  // Condor's priority-ordered "pie spin"). An ungrouped user forms a
+  // singleton pseudo-group whose key is the user's own, which makes the
+  // two-level scheme degenerate exactly to flat fair share.
+  struct UserState {
+    double key = 0.0;
+    std::vector<std::size_t> pending;  // request indices, submission order
+    std::size_t next = 0;
+    std::size_t group = 0;
+  };
+  struct GroupState {
+    double key = 0.0;
+    std::vector<std::size_t> members;  // user indices, first-seen order
+    std::size_t pendingTotal = 0;
+  };
+  std::vector<UserState> users;
+  std::vector<GroupState> groups;
+  std::unordered_map<std::string, std::size_t> userIndex;
+  std::unordered_map<std::string, std::size_t> groupIndex;
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const classad::ClassAdPtr& ad = requests[i];
+    std::string user =
+        ad ? ad->getString(config_.protocol.owner).value_or("") : "";
+    auto [uit, newUser] = userIndex.try_emplace(user, users.size());
+    if (newUser) {
+      UserState state;
+      state.key = accountant.effectivePriority(user, now);
+      const std::string& group =
+          config_.groupFairShare ? accountant.groupOf(user) : std::string();
+      // Singleton pseudo-group for ungrouped users, keyed by the user.
+      const std::string groupName =
+          group.empty() ? "\x01user:" + user : group;
+      auto [git, newGroup] = groupIndex.try_emplace(groupName, groups.size());
+      if (newGroup) {
+        GroupState gstate;
+        gstate.key = group.empty()
+                         ? state.key
+                         : accountant.effectiveGroupPriority(group, now);
+        groups.push_back(std::move(gstate));
+      }
+      state.group = git->second;
+      groups[git->second].members.push_back(users.size());
+      users.push_back(std::move(state));
+    }
+    UserState& state = users[uit->second];
+    state.pending.push_back(i);
+    ++groups[state.group].pendingTotal;
+  }
+
+  std::vector<std::size_t> out;
+  out.reserve(requests.size());
+  std::size_t remaining = requests.size();
+  while (remaining > 0) {
+    GroupState* bestGroup = nullptr;
+    for (GroupState& g : groups) {
+      if (g.pendingTotal == 0) continue;
+      if (bestGroup == nullptr || g.key < bestGroup->key) bestGroup = &g;
+    }
+    UserState* bestUser = nullptr;
+    for (const std::size_t u : bestGroup->members) {
+      UserState& s = users[u];
+      if (s.next >= s.pending.size()) continue;
+      if (bestUser == nullptr || s.key < bestUser->key) bestUser = &s;
+    }
+    out.push_back(bestUser->pending[bestUser->next++]);
+    bestUser->key *= 2.0;
+    bestGroup->key *= 2.0;
+    --bestGroup->pendingTotal;
+    --remaining;
+  }
+  return out;
+}
+
+std::vector<Match> Matchmaker::negotiateNaive(
+    std::span<const classad::ClassAdPtr> requests,
+    std::span<const classad::ClassAdPtr> resources,
+    const Accountant& accountant, Time now, NegotiationStats* stats) const {
+  const auto& attrs = config_.protocol.match;
+  std::vector<ResourceSlot> slots =
+      makeSlots(resources, config_.currentRankAttr);
+  NegotiationStats local;
+  local.requestsConsidered = requests.size();
+  local.resourcesConsidered = resources.size();
+
+  std::vector<Match> out;
+  for (std::size_t reqIdx : serviceOrder(requests, accountant, now)) {
+    const classad::ClassAdPtr& request = requests[reqIdx];
+    if (!request) continue;
+    const Best best = scanAllSlots(
+        *request, slots, config_.bilateral, attrs,
+        local.candidateEvaluations, config_.scanThreads,
+        config_.parallelScanThreshold);
+    if (!best.found) continue;
+    ResourceSlot& slot = slots[best.index];
+    slot.taken = true;
+    Match match = buildMatch(request, slot, best.requestRank,
+                             best.resourceRank, best.preempting,
+                             config_.protocol);
+    if (match.preempting) ++local.preemptions;
+    ++local.matches;
+    out.push_back(std::move(match));
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+std::vector<Match> Matchmaker::negotiateAggregated(
+    std::span<const classad::ClassAdPtr> requests,
+    std::span<const classad::ClassAdPtr> resources,
+    const Accountant& accountant, Time now, NegotiationStats* stats) const {
+  const auto& attrs = config_.protocol.match;
+  const AggregationConfig aggConfig;
+  std::vector<ResourceSlot> slots =
+      makeSlots(resources, config_.currentRankAttr);
+  std::vector<AdGroup> groups = groupAds(resources, aggConfig);
+  NegotiationStats local;
+  local.requestsConsidered = requests.size();
+  local.resourcesConsidered = resources.size();
+  local.aggregateGroups = groups.size();
+
+  // Unmatched members remaining per group (each resource belongs to
+  // exactly one group).
+  std::vector<std::size_t> remaining(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    remaining[g] = groups[g].members.size();
+  }
+  // Group index of each resource, for bookkeeping on fallback matches.
+  std::vector<std::size_t> groupOf(slots.size(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const std::size_t m : groups[g].members) groupOf[m] = g;
+  }
+
+  auto emit = [&](const classad::ClassAdPtr& request, std::size_t slotIdx,
+                  double reqRank, double resRank, bool preempting,
+                  std::vector<Match>& out) {
+    ResourceSlot& slot = slots[slotIdx];
+    slot.taken = true;
+    --remaining[groupOf[slotIdx]];
+    Match match = buildMatch(request, slot, reqRank, resRank, preempting,
+                             config_.protocol);
+    if (match.preempting) ++local.preemptions;
+    ++local.matches;
+    out.push_back(std::move(match));
+  };
+
+  std::vector<Match> out;
+  for (std::size_t reqIdx : serviceOrder(requests, accountant, now)) {
+    const classad::ClassAdPtr& request = requests[reqIdx];
+    if (!request) continue;
+
+    // Soundness fallback: a request whose policy can tell group members
+    // apart (references an identity attribute) is matched naively.
+    if (referencesIdentityAttributes(*request, attrs, aggConfig)) {
+      const Best best = scanAllSlots(
+          *request, slots, config_.bilateral, attrs,
+          local.candidateEvaluations, config_.scanThreads,
+          config_.parallelScanThreshold);
+      if (best.found) {
+        emit(request, best.index, best.requestRank, best.resourceRank,
+             best.preempting, out);
+      }
+      continue;
+    }
+
+    // Phase 1: evaluate each group's REPRESENTATIVE (one evaluation per
+    // group instead of one per resource) and order groups by rank.
+    struct GroupCandidate {
+      std::size_t group;
+      double requestRank;
+      double resourceRank;
+    };
+    std::vector<GroupCandidate> candidates;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (remaining[g] == 0) continue;
+      const classad::ClassAd& rep = *groups[g].representative;
+      ++local.candidateEvaluations;
+      const classad::MatchAnalysis m =
+          analyzeCandidate(*request, rep, config_.bilateral, attrs);
+      if (!m.matched) continue;
+      candidates.push_back({g, m.requestRank, m.resourceRank});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const GroupCandidate& a, const GroupCandidate& b) {
+                if (a.requestRank != b.requestRank) {
+                  return a.requestRank > b.requestRank;
+                }
+                if (a.resourceRank != b.resourceRank) {
+                  return a.resourceRank > b.resourceRank;
+                }
+                return a.group < b.group;
+              });
+
+    // Phase 2: inside the best group, VERIFY against the actual member
+    // (the match-is-a-hint discipline). A member that fails verification
+    // for THIS request stays available for later requests. Fall through
+    // groups until a member verifies.
+    bool served = false;
+    for (const GroupCandidate& cand : candidates) {
+      const AdGroup& group = groups[cand.group];
+      for (const std::size_t memberIdx : group.members) {
+        const ResourceSlot& slot = slots[memberIdx];
+        if (slot.taken || !slot.ad) continue;
+        ++local.candidateEvaluations;
+        const classad::MatchAnalysis m =
+            analyzeCandidate(*request, *slot.ad, config_.bilateral, attrs);
+        if (!m.matched ||
+            (slot.claimed && !(m.resourceRank > slot.currentRank))) {
+          continue;
+        }
+        emit(request, memberIdx, m.requestRank, m.resourceRank, slot.claimed,
+             out);
+        served = true;
+        break;
+      }
+      if (served) break;
+    }
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace matchmaking

@@ -1,0 +1,135 @@
+// matchmaker.h - The matchmaking algorithm (framework component 3): the
+// negotiation cycle of Section 4.
+//
+// "Periodically, the pool manager enters a negotiation cycle. This phase
+// invokes the matchmaking algorithm, which determines which CAs require
+// matchmaking services, obtains requests from these CAs, and matches them
+// with compatible RA ads. ... Rank expressions are used as goodness metrics
+// to identify the more desirable among the compatible matches. The
+// matchmaking algorithm also uses past resource usage information to
+// enforce a fair matching policy."
+//
+// The Matchmaker is deliberately STATELESS across cycles (Section 3): it
+// holds configuration only; every negotiate() call works purely from the
+// ads handed to it and the accountant. Killing and recreating it loses
+// nothing — the property benchmarked in bench_e2_failure_recovery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "classad/match.h"
+#include "matchmaker/advertising.h"
+#include "matchmaker/priority.h"
+#include "matchmaker/protocol.h"
+
+namespace matchmaking {
+
+struct MatchmakerConfig {
+  ProtocolAttributes protocol;
+  /// Bilateral matching (the paper's design). When false — the E4
+  /// ablation, emulating conventional one-sided allocators — the
+  /// resource's constraint is ignored during matching.
+  bool bilateral = true;
+  /// Exploit ad regularity by group matching (Section 5 future work, E7).
+  bool useAggregation = false;
+  /// Order customers by the accountant's effective priority; when false,
+  /// requests are served in submission order regardless of past usage.
+  bool fairShare = true;
+  /// Hierarchical fair share: when users carry accounting-group
+  /// assignments (Accountant::setGroup), share the pool first BETWEEN
+  /// groups by group standing, then WITHIN groups by user standing, so a
+  /// group's aggregate share is independent of its headcount. Ungrouped
+  /// users behave exactly as under flat fair share.
+  bool groupFairShare = true;
+  /// Support resource-rank preemption: a resource ad carrying a numeric
+  /// `CurrentRank` (the resource's Rank of its current customer) is only
+  /// matched to requests it ranks strictly higher — Section 4's "although
+  /// the workstation is currently busy, it is still interested in hearing
+  /// from higher priority customers".
+  std::string currentRankAttr = "CurrentRank";
+  /// Worker threads for the per-request candidate scan (the negotiation
+  /// cycle's hot loop; expressions are immutable, so evaluation is
+  /// embarrassingly parallel across resources). 1 = serial. Results are
+  /// bit-identical to the serial scan: chunk-local winners merge in index
+  /// order with the same first-best-wins tie-breaking.
+  unsigned scanThreads = 1;
+  /// Pools smaller than this are always scanned serially (thread startup
+  /// would dominate).
+  std::size_t parallelScanThreshold = 512;
+};
+
+/// One match produced by a negotiation cycle: a mutual introduction, not an
+/// allocation ("a match is to be construed as a hint").
+struct Match {
+  classad::ClassAdPtr request;
+  classad::ClassAdPtr resource;
+  std::string requestContact;
+  std::string resourceContact;
+  std::string user;           ///< request owner (for usage accounting)
+  Ticket ticket = kNoTicket;  ///< from the resource ad, if it carried one
+  double requestRank = 0.0;
+  double resourceRank = 0.0;
+  bool preempting = false;  ///< resource was claimed; this match outranks it
+};
+
+/// Instrumentation of one cycle.
+struct NegotiationStats {
+  std::size_t requestsConsidered = 0;
+  std::size_t resourcesConsidered = 0;
+  std::size_t matches = 0;
+  std::size_t preemptions = 0;
+  /// Two-sided candidate evaluations performed (the matchmaking
+  /// algorithm's unit of work; E7 measures how aggregation reduces it).
+  std::size_t candidateEvaluations = 0;
+  std::size_t aggregateGroups = 0;  ///< 0 when aggregation is off
+};
+
+class Matchmaker {
+ public:
+  explicit Matchmaker(MatchmakerConfig config = {})
+      : config_(std::move(config)) {}
+
+  const MatchmakerConfig& config() const noexcept { return config_; }
+
+  /// Runs one negotiation cycle: matches each request ad to at most one
+  /// resource ad and each resource to at most one request (plus
+  /// preemption of lower-ranked current customers, see config). Requests
+  /// are served in order of their owner's effective priority at `now`
+  /// (better standing first), with a geometric in-cycle penalty per grant
+  /// so one user cannot drain the pool in a single cycle.
+  ///
+  /// The returned matches are hints: the parties run the claiming
+  /// protocol themselves. negotiate() does not mutate the accountant —
+  /// usage is charged when claims are actually served.
+  std::vector<Match> negotiate(std::span<const classad::ClassAdPtr> requests,
+                               std::span<const classad::ClassAdPtr> resources,
+                               const Accountant& accountant, Time now,
+                               NegotiationStats* stats = nullptr) const;
+
+  /// Convenience single-pair test used by tools and tests.
+  bool matches(const classad::ClassAd& request,
+               const classad::ClassAd& resource) const;
+
+ private:
+  std::vector<Match> negotiateNaive(
+      std::span<const classad::ClassAdPtr> requests,
+      std::span<const classad::ClassAdPtr> resources,
+      const Accountant& accountant, Time now, NegotiationStats* stats) const;
+  std::vector<Match> negotiateAggregated(
+      std::span<const classad::ClassAdPtr> requests,
+      std::span<const classad::ClassAdPtr> resources,
+      const Accountant& accountant, Time now, NegotiationStats* stats) const;
+
+  /// Request indices in service order (fair-share or submission order).
+  std::vector<std::size_t> serviceOrder(
+      std::span<const classad::ClassAdPtr> requests,
+      const Accountant& accountant, Time now) const;
+
+  MatchmakerConfig config_;
+};
+
+}  // namespace matchmaking

@@ -1,0 +1,99 @@
+#include "matchmaker/priority.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace matchmaking {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}
+
+double Accountant::decayedUsage(const Entry& e, Time now) const {
+  if (now <= e.asOf) return e.usage;
+  const double lambda = kLn2 / config_.usageHalflife;
+  return e.usage * std::exp(-lambda * (now - e.asOf));
+}
+
+void Accountant::recordUsage(std::string_view user, double resourceSeconds,
+                             Time now) {
+  auto [it, inserted] = entries_.try_emplace(std::string(user));
+  Entry& e = it->second;
+  if (inserted) e.factor = config_.defaultFactor;
+  e.usage = decayedUsage(e, now) + resourceSeconds;
+  e.asOf = now;
+  const std::string& group = groupOf(user);
+  if (!group.empty()) {
+    Entry& g = groupEntries_[group];
+    g.usage = decayedUsage(g, now) + resourceSeconds;
+    g.asOf = now;
+  }
+}
+
+double Accountant::usage(std::string_view user, Time now) const {
+  auto it = entries_.find(std::string(user));
+  if (it == entries_.end()) return 0.0;
+  return decayedUsage(it->second, now);
+}
+
+double Accountant::effectivePriority(std::string_view user, Time now) const {
+  auto it = entries_.find(std::string(user));
+  if (it == entries_.end()) return config_.minimumPriority;
+  const Entry& e = it->second;
+  // Normalize decayed resource-seconds into "machines continuously held":
+  // holding N machines forever converges to usage N * halflife / ln 2, so
+  // the steady-state priority of such a user is N (times their factor).
+  const double held =
+      decayedUsage(e, now) * kLn2 / config_.usageHalflife;
+  return std::max(config_.minimumPriority, held * e.factor);
+}
+
+void Accountant::setFactor(std::string_view user, double factor) {
+  Entry& e = entries_[std::string(user)];
+  e.factor = factor;
+}
+
+void Accountant::setGroup(std::string_view user, std::string_view group) {
+  if (group.empty()) {
+    groupOf_.erase(std::string(user));
+  } else {
+    groupOf_[std::string(user)] = std::string(group);
+  }
+}
+
+const std::string& Accountant::groupOf(std::string_view user) const {
+  static const std::string kNone;
+  auto it = groupOf_.find(std::string(user));
+  return it == groupOf_.end() ? kNone : it->second;
+}
+
+double Accountant::groupUsage(std::string_view group, Time now) const {
+  auto it = groupEntries_.find(std::string(group));
+  if (it == groupEntries_.end()) return 0.0;
+  return decayedUsage(it->second, now);
+}
+
+double Accountant::effectiveGroupPriority(std::string_view group,
+                                          Time now) const {
+  auto it = groupEntries_.find(std::string(group));
+  if (it == groupEntries_.end()) return config_.minimumPriority;
+  const double held =
+      decayedUsage(it->second, now) * kLn2 / config_.usageHalflife;
+  return std::max(config_.minimumPriority, held);
+}
+
+std::vector<std::pair<std::string, double>> Accountant::standings(
+    Time now) const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [user, entry] : entries_) {
+    out.emplace_back(user, effectivePriority(user, now));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace matchmaking

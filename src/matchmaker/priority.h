@@ -1,0 +1,95 @@
+// priority.h - Past-usage accounting for the fair matching policy.
+//
+// Section 4: "The matchmaking algorithm also uses past resource usage
+// information to enforce a fair matching policy." We implement the
+// accountant deployed Condor uses: each principal has a real-valued usage
+// figure that tracks the resources it has consumed and decays
+// exponentially with a configurable half-life, so a user who hogged the
+// pool yesterday gradually regains standing. Lower effective priority
+// value = better standing = served earlier in the negotiation cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "matchmaker/ad_store.h"  // Time
+
+namespace matchmaking {
+
+class Accountant {
+ public:
+  struct Config {
+    /// Half-life of accumulated usage, seconds. Smaller forgets faster.
+    Time usageHalflife = 86400.0;
+    /// Floor of the priority value; a user with no recorded usage sits
+    /// here (matching Condor's minimum user priority of 0.5).
+    double minimumPriority = 0.5;
+    /// Per-user multiplicative factor (administrative weighting); factors
+    /// above 1.0 worsen a user's standing proportionally.
+    double defaultFactor = 1.0;
+  };
+
+  Accountant() = default;
+  explicit Accountant(Config config) : config_(config) {}
+
+  /// Records `resourceSeconds` of usage by `user` ending at time `now`
+  /// (e.g. one machine held for 60s = 60 resource-seconds).
+  void recordUsage(std::string_view user, double resourceSeconds, Time now);
+
+  /// Effective user priority at `now`: decayed usage (in resource-count
+  /// units, i.e. "machines continuously held"), scaled by the user's
+  /// factor, floored at minimumPriority. LOWER IS BETTER.
+  double effectivePriority(std::string_view user, Time now) const;
+
+  /// Decayed raw usage in resource-seconds at `now`.
+  double usage(std::string_view user, Time now) const;
+
+  void setFactor(std::string_view user, double factor);
+
+  /// Users with recorded usage, worst standing first (for reports).
+  std::vector<std::pair<std::string, double>> standings(Time now) const;
+
+  // --- accounting groups (hierarchical fair share) -----------------------
+  //
+  // Users may be assigned to named groups ("physics", "chemistry", ...).
+  // Usage then accrues to BOTH the user and the group, and a group-aware
+  // negotiator (MatchmakerConfig::groupFairShare) shares the pool first
+  // BETWEEN groups by group standing, then WITHIN each group by user
+  // standing — so a lab with ten submitters gets the same aggregate share
+  // as a lab with one. Ungrouped users behave exactly as before.
+
+  /// Assigns `user` to `group` ("" removes the assignment). Existing
+  /// decayed usage stays with the user; group usage accrues from now on.
+  void setGroup(std::string_view user, std::string_view group);
+
+  /// The user's group, or "" if ungrouped.
+  const std::string& groupOf(std::string_view user) const;
+
+  /// Decayed aggregate usage of a group, resource-seconds.
+  double groupUsage(std::string_view group, Time now) const;
+
+  /// Group standing, same normalization and floor as user priority.
+  /// LOWER IS BETTER.
+  double effectiveGroupPriority(std::string_view group, Time now) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    double usage = 0.0;  // resource-seconds, decayed as of `asOf`
+    Time asOf = 0.0;
+    double factor = 1.0;
+  };
+
+  double decayedUsage(const Entry& e, Time now) const;
+
+  Config config_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, Entry> groupEntries_;
+  std::unordered_map<std::string, std::string> groupOf_;
+};
+
+}  // namespace matchmaking

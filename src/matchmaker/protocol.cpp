@@ -1,0 +1,21 @@
+#include "matchmaker/protocol.h"
+
+#include <charconv>
+
+namespace matchmaking {
+
+std::string ticketToString(Ticket t) {
+  char buf[19];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), t, 16);
+  return std::string(buf, end);
+}
+
+std::optional<Ticket> ticketFromString(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  Ticket t = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), t, 16);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return t;
+}
+
+}  // namespace matchmaking

@@ -1,0 +1,88 @@
+// protocol.h - Message types of the matchmaking and claiming protocols
+// (framework components 4 and 5), and the authorization tickets that travel
+// through them.
+//
+// Section 3.2 / Figure 3: the matchmaker "invokes a matchmaking protocol to
+// notify the two parties that were matched (Step 3) and sends them the
+// matching ads"; the customer "then contacts the server directly, using a
+// claiming protocol to establish a working relationship (Step 4)".
+// Section 4: "The manager also gives the CA the authorization ticket
+// supplied by the RA. The CA then performs the claiming protocol by
+// contacting the RA and sending the authorization ticket."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "classad/classad.h"
+
+namespace matchmaking {
+
+/// A claim capability minted by a resource agent and handed to the matched
+/// customer via the matchmaker. Stands in for the paper's cryptographic
+/// session key: what matters to the protocol is the hand-off pattern, not
+/// the cipher (see DESIGN.md, substitutions).
+using Ticket = std::uint64_t;
+
+constexpr Ticket kNoTicket = 0;
+
+/// Renders/parses tickets for embedding in classads as strings (64-bit
+/// values do not all fit in the classad integer range safely once other
+/// tools treat them as doubles, so ads carry them as hex strings).
+std::string ticketToString(Ticket t);
+std::optional<Ticket> ticketFromString(std::string_view s);
+
+/// Step 1, Figure 3: an advertisement en route to the matchmaker.
+struct Advertisement {
+  classad::ClassAdPtr ad;
+  std::uint64_t sequence = 0;  ///< advertiser's monotone update counter
+  bool isRequest = false;      ///< customer (true) or resource (false)
+  /// Store key under which the matchmaker files this ad. A CA advertising
+  /// several queued jobs uses one key per job ("ca://user#17") while all
+  /// of them share the CA's contact address. Empty = use the contact.
+  std::string key;
+};
+
+/// Step 3, Figure 3: sent by the matchmaker to BOTH matched parties. Each
+/// party receives the other's ad; the customer additionally receives the
+/// resource's authorization ticket.
+struct MatchNotification {
+  classad::ClassAdPtr myAd;     ///< the recipient's ad as matched (possibly stale)
+  classad::ClassAdPtr peerAd;   ///< the other party's ad
+  std::string peerContact;      ///< where to run the claiming protocol
+  Ticket ticket = kNoTicket;    ///< only meaningful for the customer copy
+};
+
+/// Step 4, Figure 3: the customer's claim request, sent directly to the
+/// resource (the matchmaker is not involved: end-to-end verification).
+struct ClaimRequest {
+  classad::ClassAdPtr requestAd;  ///< the customer's CURRENT ad
+  Ticket ticket = kNoTicket;      ///< must equal the RA's outstanding ticket
+  std::string customerContact;
+};
+
+/// The resource's answer. On rejection, `reason` says which check failed —
+/// the weak-consistency design makes rejection a normal outcome, not an
+/// error ("claiming allows the provider and customer to verify their
+/// constraints with respect to their current state").
+struct ClaimResponse {
+  bool accepted = false;
+  std::string reason;
+};
+
+/// Relinquish/eviction notice ending a claim (either direction): the CA
+/// releasing a resource it no longer needs, or the RA evicting/completing
+/// the customer's work. Carries enough for the peer to account the
+/// outcome ("possibly negotiate further terms ... cooperate to perform the
+/// desired service" — the claim-level protocol is between the principals
+/// and opaque to the matchmaker).
+struct ClaimRelease {
+  Ticket ticket = kNoTicket;
+  std::string reason;
+  std::uint64_t jobId = 0;
+  double cpuSecondsUsed = 0.0;  ///< work performed during this claim
+  bool completed = false;       ///< job ran to completion
+};
+
+}  // namespace matchmaking

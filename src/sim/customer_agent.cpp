@@ -1,0 +1,262 @@
+#include "sim/customer_agent.h"
+
+#include <algorithm>
+
+namespace htcsim {
+
+CustomerAgent::CustomerAgent(Simulator& sim, Network& net, Metrics& metrics,
+                             std::string user, Rng rng, Config config)
+    : sim_(sim),
+      net_(net),
+      metrics_(metrics),
+      user_(std::move(user)),
+      rng_(rng),
+      config_(std::move(config)),
+      address_("ca://" + user_) {}
+
+CustomerAgent::~CustomerAgent() { stop(); }
+
+void CustomerAgent::start() {
+  if (started_) return;
+  started_ = true;
+  net_.attach(address_, this);
+  adTimer_.emplace(sim_, config_.adInterval, [this] { advertiseIdleJobs(); },
+                   rng_.uniform(0.0, config_.adInterval));
+}
+
+void CustomerAgent::stop() {
+  if (!started_) return;
+  started_ = false;
+  adTimer_.reset();
+  net_.detach(address_);
+}
+
+void CustomerAgent::submit(Job job) {
+  job.submitTime = sim_.now();
+  job.state = JobState::Idle;
+  job.remainingWork = job.totalWork;
+  ++metrics_.jobsSubmitted;
+  {
+    classad::ClassAd event = EventLog::make("submitted", sim_.now());
+    event.set("Owner", user_);
+    event.set("JobId", static_cast<std::int64_t>(job.id));
+    event.set("Work", job.totalWork);
+    metrics_.history.record(std::move(event));
+  }
+  jobIndex_[job.id] = jobs_.size();
+  jobs_.push_back(std::move(job));
+  if (started_) advertiseJob(jobs_.back());
+}
+
+std::size_t CustomerAgent::idleJobs() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(), [](const Job& j) {
+        return j.state == JobState::Idle || j.state == JobState::Matching;
+      }));
+}
+
+std::size_t CustomerAgent::runningJobs() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(),
+                    [](const Job& j) { return j.state == JobState::Running; }));
+}
+
+std::size_t CustomerAgent::completedJobs() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(),
+                    [](const Job& j) { return j.done(); }));
+}
+
+std::string CustomerAgent::adKey(const Job& job) const {
+  return address_ + "#" + std::to_string(job.id);
+}
+
+classad::ClassAd CustomerAgent::buildRequestAd(const Job& job) const {
+  classad::ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("QDate", job.submitTime);
+  ad.set("Owner", user_);
+  ad.set("Cmd", job.cmd);
+  ad.set("JobId", static_cast<std::int64_t>(job.id));
+  ad.set("WantRemoteSyscalls", job.wantRemoteSyscalls);
+  ad.set("WantCheckpoint", job.checkpointable);
+  ad.set("Memory", job.memoryMB);
+  ad.set("Disk", job.diskKB);
+  ad.set("RemainingWork", job.remainingWork);
+  ad.set("ContactAddress", address_);
+  // Figure 2's preference: fast floating point, then roomy memory.
+  ad.setExpr("Rank", "KFlops/1E3 + other.Memory/32");
+  std::string constraint = "other.Type == \"Machine\"";
+  if (!job.requiredArch.empty()) {
+    constraint += " && Arch == \"" + job.requiredArch + "\"";
+  }
+  if (!job.requiredOpSys.empty()) {
+    constraint += " && OpSys == \"" + job.requiredOpSys + "\"";
+  }
+  constraint += " && other.Memory >= self.Memory";
+  constraint += " && other.Disk >= self.Disk";
+  ad.setExpr("Constraint", constraint);
+  return ad;
+}
+
+void CustomerAgent::advertiseJob(const Job& job) {
+  matchmaking::Advertisement adMsg;
+  adMsg.ad = classad::makeShared(buildRequestAd(job));
+  adMsg.sequence = ++adSequence_;
+  adMsg.isRequest = true;
+  adMsg.key = adKey(job);
+  net_.send(address_, config_.managerAddress, adMsg);
+  // Flock: a job starved locally is also advertised to remote pools.
+  if (!config_.flockManagers.empty() &&
+      sim_.now() - job.submitTime >= config_.flockAfter) {
+    for (const std::string& remote : config_.flockManagers) {
+      net_.send(address_, remote, adMsg);
+    }
+  }
+}
+
+void CustomerAgent::advertiseIdleJobs() {
+  std::size_t sent = 0;
+  for (const Job& job : jobs_) {
+    if (job.state != JobState::Idle) continue;
+    advertiseJob(job);
+    if (config_.maxAdsPerCycle != 0 && ++sent >= config_.maxAdsPerCycle) {
+      break;
+    }
+  }
+}
+
+void CustomerAgent::invalidateJobAd(const Job& job) {
+  net_.send(address_, config_.managerAddress,
+            AdInvalidate{adKey(job), /*isRequest=*/true});
+  for (const std::string& remote : config_.flockManagers) {
+    net_.send(address_, remote, AdInvalidate{adKey(job), /*isRequest=*/true});
+  }
+}
+
+void CustomerAgent::deliver(const Envelope& env) {
+  if (const auto* match =
+          std::get_if<matchmaking::MatchNotification>(&env.payload)) {
+    handleMatch(*match);
+  } else if (const auto* resp =
+                 std::get_if<matchmaking::ClaimResponse>(&env.payload)) {
+    handleClaimResponse(env, *resp);
+  } else if (const auto* rel =
+                 std::get_if<matchmaking::ClaimRelease>(&env.payload)) {
+    handleRelease(*rel);
+  }
+}
+
+Job* CustomerAgent::findJob(std::uint64_t id) {
+  auto it = jobIndex_.find(id);
+  if (it == jobIndex_.end()) return nullptr;
+  return &jobs_[it->second];
+}
+
+void CustomerAgent::handleMatch(const matchmaking::MatchNotification& match) {
+  if (!match.myAd) return;
+  const std::uint64_t jobId = static_cast<std::uint64_t>(
+      match.myAd->getInteger("JobId").value_or(0));
+  Job* job = findJob(jobId);
+  if (job == nullptr || job->state != JobState::Idle) {
+    // The matchmaker worked from a stale picture (job already placed or
+    // finished) — a normal consequence of weak consistency; just drop it.
+    ++metrics_.staleNotifications;
+    return;
+  }
+  // Claim the matched resource directly (Step 4, Figure 3). The claim
+  // carries the job's CURRENT ad, not the advertised snapshot.
+  job->state = JobState::Matching;
+  pendingClaims_[match.peerContact] = jobId;
+  matchmaking::ClaimRequest claim;
+  claim.requestAd = classad::makeShared(buildRequestAd(*job));
+  claim.ticket = match.ticket;
+  claim.customerContact = address_;
+  net_.send(address_, match.peerContact, std::move(claim));
+}
+
+void CustomerAgent::handleClaimResponse(const Envelope& env,
+                                        const matchmaking::ClaimResponse& resp) {
+  auto it = pendingClaims_.find(env.from);
+  if (it == pendingClaims_.end()) return;
+  Job* job = findJob(it->second);
+  pendingClaims_.erase(it);
+  if (job == nullptr || job->state != JobState::Matching) return;
+  if (!resp.accepted) {
+    ++job->claimRejections;
+    job->state = JobState::Idle;  // back to matchmaking at the next cycle
+    classad::ClassAd event = EventLog::make("claim-rejected", sim_.now());
+    event.set("Owner", user_);
+    event.set("JobId", static_cast<std::int64_t>(job->id));
+    event.set("Resource", env.from);
+    event.set("Reason", resp.reason);
+    metrics_.history.record(std::move(event));
+    return;
+  }
+  job->state = JobState::Running;
+  job->runningOn = env.from;
+  if (job->firstStartTime < 0.0) job->firstStartTime = sim_.now();
+  {
+    classad::ClassAd event = EventLog::make("started", sim_.now());
+    event.set("Owner", user_);
+    event.set("JobId", static_cast<std::int64_t>(job->id));
+    event.set("Resource", env.from);
+    metrics_.history.record(std::move(event));
+  }
+  // The job is placed: retract its request ad so the matchmaker stops
+  // re-matching it ("When the CA finishes using the resource, it
+  // relinquishes the claim" — conversely, while it uses one, it is not a
+  // customer for another).
+  invalidateJobAd(*job);
+}
+
+void CustomerAgent::handleRelease(const matchmaking::ClaimRelease& rel) {
+  Job* job = findJob(rel.jobId);
+  if (job == nullptr || job->state != JobState::Running) return;
+  job->runningOn.clear();
+  if (rel.completed) {
+    job->state = JobState::Completed;
+    job->completionTime = sim_.now();
+    job->remainingWork = 0.0;
+    ++metrics_.jobsCompleted;
+    metrics_.totalWaitTime += job->firstStartTime - job->submitTime;
+    metrics_.totalTurnaround += job->completionTime - job->submitTime;
+    metrics_.totalWorkCompleted += job->totalWork;
+    metrics_.goodputCpuSeconds += rel.cpuSecondsUsed;
+    classad::ClassAd event = EventLog::make("completed", sim_.now());
+    event.set("Owner", user_);
+    event.set("JobId", static_cast<std::int64_t>(job->id));
+    event.set("Work", job->totalWork);
+    event.set("Turnaround", job->completionTime - job->submitTime);
+    event.set("Evictions", job->evictions);
+    metrics_.history.record(std::move(event));
+    return;
+  }
+  // Evicted. Checkpointable jobs resume from where they left off (their
+  // work so far is goodput, minus the configured checkpoint cost); the
+  // rest restart from scratch (badput).
+  ++job->evictions;
+  if (job->checkpointable) {
+    const double overhead =
+        std::min(config_.checkpointOverheadSeconds, rel.cpuSecondsUsed);
+    const double preserved = rel.cpuSecondsUsed - overhead;
+    job->remainingWork = std::max(0.0, job->remainingWork - preserved);
+    metrics_.goodputCpuSeconds += preserved;
+    metrics_.badputCpuSeconds += overhead;
+  } else {
+    metrics_.badputCpuSeconds += rel.cpuSecondsUsed;
+  }
+  {
+    classad::ClassAd event = EventLog::make("evicted", sim_.now());
+    event.set("Owner", user_);
+    event.set("JobId", static_cast<std::int64_t>(job->id));
+    event.set("Checkpointed", job->checkpointable);
+    event.set("CpuSeconds", rel.cpuSecondsUsed);
+    event.set("Reason", rel.reason);
+    metrics_.history.record(std::move(event));
+  }
+  job->state = JobState::Idle;
+  if (started_) advertiseJob(*job);
+}
+
+}  // namespace htcsim

@@ -1,0 +1,101 @@
+// customer_agent.h - The Customer Agent (CA) of Section 4.
+//
+// "Customers of Condor are represented by Customer Agents (CAs), which
+// maintain per-customer queues of submitted jobs, represented as lists of
+// classads." The CA advertises one request ad per idle job (Figure 2
+// style), receives match notifications, runs the claiming protocol against
+// the matched resource (presenting the RA's authorization ticket), and
+// handles completion and eviction — resuming checkpointable jobs from
+// their checkpoint and restarting the rest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "classad/classad.h"
+#include "matchmaker/protocol.h"
+#include "sim/job.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+
+namespace htcsim {
+
+struct CustomerAgentConfig {
+  Time adInterval = 60.0;
+  Time adLifetime = 180.0;
+  std::string managerAddress = "collector";
+  /// Cap on request ads advertised per cycle (0 = all idle jobs).
+  std::size_t maxAdsPerCycle = 0;
+  /// Flocking (the paper's reference [3], "A Worldwide Flock of
+  /// Condors"): additional pool managers to advertise a job to once it
+  /// has sat idle locally for `flockAfter` seconds. Matches from remote
+  /// pools claim exactly like local ones — the protocols don't care
+  /// which matchmaker made the introduction.
+  std::vector<std::string> flockManagers;
+  Time flockAfter = 300.0;
+  /// Cost of taking a checkpoint on eviction, in reference CPU-seconds:
+  /// that much of the claim's work is lost to the checkpoint itself
+  /// (counted as badput). 0 models free checkpoints (the default, and
+  /// the paper-era approximation); the E6 ablation can charge for them.
+  double checkpointOverheadSeconds = 0.0;
+};
+
+class CustomerAgent : public Endpoint {
+ public:
+  using Config = CustomerAgentConfig;
+
+  CustomerAgent(Simulator& sim, Network& net, Metrics& metrics,
+                std::string user, Rng rng, Config config = {});
+  ~CustomerAgent() override;
+
+  void start();
+  void stop();
+
+  /// Enqueues a job (sets submit time to now) and advertises it promptly.
+  void submit(Job job);
+
+  void deliver(const Envelope& envelope) override;
+
+  const std::string& address() const noexcept { return address_; }
+  const std::string& user() const noexcept { return user_; }
+
+  const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  std::size_t idleJobs() const;
+  std::size_t runningJobs() const;
+  std::size_t completedJobs() const;
+
+  /// Builds the Figure 2-style request ad for a job, reflecting its
+  /// CURRENT remaining work. Exposed for tests and tools.
+  classad::ClassAd buildRequestAd(const Job& job) const;
+
+ private:
+  void advertiseIdleJobs();
+  void advertiseJob(const Job& job);
+  void invalidateJobAd(const Job& job);
+  void handleMatch(const matchmaking::MatchNotification& match);
+  void handleClaimResponse(const Envelope& env,
+                           const matchmaking::ClaimResponse& resp);
+  void handleRelease(const matchmaking::ClaimRelease& rel);
+  Job* findJob(std::uint64_t id);
+  std::string adKey(const Job& job) const;
+
+  Simulator& sim_;
+  Network& net_;
+  Metrics& metrics_;
+  std::string user_;
+  Rng rng_;
+  Config config_;
+  std::string address_;
+  std::vector<Job> jobs_;
+  std::unordered_map<std::uint64_t, std::size_t> jobIndex_;
+  std::uint64_t adSequence_ = 0;
+  /// Job whose claim request is in flight, keyed by resource contact (a
+  /// CA may have several claims outstanding at distinct resources).
+  std::unordered_map<std::string, std::uint64_t> pendingClaims_;
+  std::optional<PeriodicTimer> adTimer_;
+  bool started_ = false;
+};
+
+}  // namespace htcsim

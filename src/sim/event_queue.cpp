@@ -1,0 +1,72 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace htcsim {
+
+EventId Simulator::at(Time when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  if (when < now_) when = now_;
+  const EventId id = nextId_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= nextId_) return false;
+  // Only mark; the queue entry is discarded lazily. Double-cancel and
+  // cancel-after-fire both return false because fired events are removed
+  // from the tombstone set when skipped/executed.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::runUntil(Time until) {
+  std::size_t ran = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > until) break;
+    if (step()) ++ran;
+  }
+  if (now_ < until) now_ = until;
+  return ran;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, Time period,
+                             std::function<void()> fn, Time firstDelay)
+    : sim_(&sim), period_(period), fn_(std::move(fn)) {
+  arm(firstDelay);
+}
+
+void PeriodicTimer::arm(Time delay) {
+  pending_ = sim_->after(delay, [this] {
+    fn_();
+    if (sim_ != nullptr) arm(period_);
+  });
+}
+
+void PeriodicTimer::stop() {
+  if (sim_ != nullptr && pending_ != kInvalidEvent) {
+    sim_->cancel(pending_);
+  }
+  sim_ = nullptr;
+  pending_ = kInvalidEvent;
+}
+
+}  // namespace htcsim

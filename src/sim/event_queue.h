@@ -1,0 +1,99 @@
+// event_queue.h - Discrete-event simulation core.
+//
+// A conventional event-list simulator: events are (time, sequence,
+// callback) triples executed in time order, with FIFO ordering among
+// simultaneous events (the sequence number) so runs are deterministic.
+// Cancellation is tombstone-based: cancel() marks the id; the event is
+// skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace htcsim {
+
+using Time = double;
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (>= now). Returns an id
+  /// usable with cancel().
+  EventId at(Time when, std::function<void()> fn);
+
+  /// Schedules `fn` after a delay (>= 0).
+  EventId after(Time delay, std::function<void()> fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if already fired/cancelled.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains or the clock passes `until`. Events at
+  /// exactly `until` are executed. Returns the number of events run.
+  std::size_t runUntil(Time until);
+
+  /// Runs a single event; false if the queue is empty.
+  bool step();
+
+  std::size_t pendingEvents() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+  std::size_t eventsExecuted() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among ties
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId nextId_ = 1;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// A repeating timer built on Simulator, used by agents for periodic
+/// advertisement and probing. Destroying the handle (or calling stop())
+/// halts the cycle.
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+  PeriodicTimer(Simulator& sim, Time period, std::function<void()> fn,
+                Time firstDelay = 0.0);
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void stop();
+  bool running() const noexcept { return sim_ != nullptr; }
+
+ private:
+  void arm(Time delay);
+  Simulator* sim_ = nullptr;
+  Time period_ = 0.0;
+  std::function<void()> fn_;
+  EventId pending_ = kInvalidEvent;
+};
+
+}  // namespace htcsim

@@ -1,0 +1,56 @@
+// job.h - The unit of customer work in the HTC pool.
+//
+// Jobs are what Figure 2 advertises: a command with resource requirements
+// and preferences. Work is measured in reference CPU-seconds (seconds on a
+// 100-MIPS machine), so a 300-MIPS workstation finishes the same job three
+// times faster — the heterogeneity that makes Rank expressions like
+// Figure 2's `KFlops/1E3 + other.Memory/32` meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.h"
+
+namespace htcsim {
+
+/// MIPS rating against which Job::totalWork is expressed.
+constexpr double kReferenceMips = 100.0;
+
+enum class JobState : unsigned char {
+  Idle,      ///< queued, advertised for matchmaking
+  Matching,  ///< match received, claim in flight
+  Running,   ///< claim established, executing on a machine
+  Completed,
+};
+
+struct Job {
+  std::uint64_t id = 0;
+  std::string owner;
+  std::string cmd = "run_sim";
+
+  double totalWork = 0.0;      ///< reference CPU-seconds
+  double remainingWork = 0.0;  ///< decreases only via checkpoints
+  std::int64_t memoryMB = 32;
+  std::int64_t diskKB = 10000;
+  /// Checkpointable jobs (Figure 2's WantCheckpoint) preserve work across
+  /// eviction; others restart from scratch (badput).
+  bool checkpointable = true;
+  bool wantRemoteSyscalls = true;
+
+  /// Empty string = no requirement on that axis.
+  std::string requiredArch;
+  std::string requiredOpSys;
+
+  JobState state = JobState::Idle;
+  Time submitTime = 0.0;
+  Time firstStartTime = -1.0;
+  Time completionTime = -1.0;
+  int evictions = 0;
+  int claimRejections = 0;
+  std::string runningOn;  ///< resource contact while Running
+
+  bool done() const noexcept { return state == JobState::Completed; }
+};
+
+}  // namespace htcsim

@@ -1,0 +1,50 @@
+#include "sim/machine.h"
+
+#include <cmath>
+
+namespace htcsim {
+
+Machine::Machine(Simulator& sim, MachineSpec spec, Rng rng)
+    : sim_(sim), spec_(std::move(spec)), rng_(rng) {
+  // Start owner-absent with a random amount of idle time already accrued,
+  // so a freshly started pool is not artificially synchronized.
+  lastOwnerDeparture_ =
+      sim_.now() - rng_.uniform(0.0, spec_.meanOwnerAbsence * 0.5);
+  scheduleNextTransition();
+}
+
+double Machine::keyboardIdle() const {
+  if (ownerPresent_) return 0.0;
+  return sim_.now() - lastOwnerDeparture_;
+}
+
+double Machine::dayTime() const {
+  return std::fmod(sim_.now(), 86400.0);
+}
+
+void Machine::scheduleNextTransition() {
+  if (stopped_ || spec_.meanOwnerAbsence <= 0.0) return;
+  const double delay = ownerPresent_
+                           ? rng_.exponential(spec_.meanOwnerSession)
+                           : rng_.exponential(spec_.meanOwnerAbsence);
+  pendingTransition_ = sim_.after(delay, [this] {
+    ownerPresent_ = !ownerPresent_;
+    if (ownerPresent_) {
+      sessionLoad_ = rng_.uniform(0.4, 1.5);
+    } else {
+      lastOwnerDeparture_ = sim_.now();
+    }
+    if (ownerChangeHook_) ownerChangeHook_(ownerPresent_);
+    scheduleNextTransition();
+  });
+}
+
+void Machine::stop() {
+  stopped_ = true;
+  if (pendingTransition_ != kInvalidEvent) {
+    sim_.cancel(pendingTransition_);
+    pendingTransition_ = kInvalidEvent;
+  }
+}
+
+}  // namespace htcsim

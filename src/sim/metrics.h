@@ -1,0 +1,73 @@
+// metrics.h - Pool-wide instrumentation: the quantities the experiment
+// harness reports (throughput, goodput/badput, wait time, preemptions,
+// claim rejections, utilization).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "sim/event_log.h"
+#include "sim/event_queue.h"
+
+namespace htcsim {
+
+struct Metrics {
+  /// Structured per-event history (condor_history style); see
+  /// sim/event_log.h. Shared by all agents of a scenario.
+  EventLog history;
+
+  // job lifecycle
+  std::size_t jobsSubmitted = 0;
+  std::size_t jobsCompleted = 0;
+  double totalWaitTime = 0.0;        ///< submit -> first execution, completed jobs
+  double totalTurnaround = 0.0;      ///< submit -> completion
+  double totalWorkCompleted = 0.0;   ///< reference CPU-seconds of finished jobs
+
+  // opportunistic scheduling
+  std::size_t preemptionsByOwner = 0;  ///< owner returned, job vacated
+  std::size_t preemptionsByRank = 0;   ///< displaced by a better customer
+  double goodputCpuSeconds = 0.0;  ///< work preserved (completions + checkpoints)
+  double badputCpuSeconds = 0.0;   ///< work lost to eviction without checkpoint
+
+  // matchmaking protocol
+  std::size_t negotiationCycles = 0;
+  std::size_t matchesIssued = 0;
+  std::size_t claimsAccepted = 0;
+  std::size_t claimsRejected = 0;   ///< claim-time verification failures
+  std::size_t staleNotifications = 0;  ///< match arrived for a job no longer idle
+  std::size_t orphanedClaimResets = 0; ///< stateful-manager resync casualties
+
+  // resource usage
+  double machineBusySeconds = 0.0;  ///< sum over machines of claimed time
+  std::map<std::string, double> usageByUser;  ///< resource-seconds served
+
+  double meanWaitTime() const {
+    return jobsCompleted ? totalWaitTime / static_cast<double>(jobsCompleted)
+                         : 0.0;
+  }
+  double meanTurnaround() const {
+    return jobsCompleted
+               ? totalTurnaround / static_cast<double>(jobsCompleted)
+               : 0.0;
+  }
+  double goodputFraction() const {
+    const double total = goodputCpuSeconds + badputCpuSeconds;
+    return total > 0.0 ? goodputCpuSeconds / total : 1.0;
+  }
+  /// Mean machines busy over `duration` given `machineCount` machines.
+  double utilization(double duration, std::size_t machineCount) const {
+    return duration > 0.0 && machineCount > 0
+               ? machineBusySeconds /
+                     (duration * static_cast<double>(machineCount))
+               : 0.0;
+  }
+  /// Completed jobs per simulated hour.
+  double throughputPerHour(double duration) const {
+    return duration > 0.0
+               ? static_cast<double>(jobsCompleted) * 3600.0 / duration
+               : 0.0;
+  }
+};
+
+}  // namespace htcsim

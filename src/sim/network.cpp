@@ -1,0 +1,35 @@
+#include "sim/network.h"
+
+namespace htcsim {
+
+void Network::attach(std::string address, Endpoint* endpoint) {
+  endpoints_[std::move(address)] = endpoint;
+}
+
+void Network::detach(std::string_view address) {
+  endpoints_.erase(std::string(address));
+}
+
+bool Network::send(std::string from, std::string to, Message payload) {
+  if (config_.lossProbability > 0.0 && rng_.chance(config_.lossProbability)) {
+    ++dropped_;
+    return false;
+  }
+  const Time latency = rng_.uniform(config_.latencyMin, config_.latencyMax);
+  // Destination is resolved at DELIVERY time, so a message to an agent
+  // that dies in flight is dropped and one to an agent that restarts is
+  // delivered to the new incarnation — both realistic.
+  Envelope env{std::move(from), std::move(to), std::move(payload)};
+  sim_.after(latency, [this, env = std::move(env)]() mutable {
+    auto it = endpoints_.find(env.to);
+    if (it == endpoints_.end() || it->second == nullptr) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    it->second->deliver(env);
+  });
+  return true;
+}
+
+}  // namespace htcsim

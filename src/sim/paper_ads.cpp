@@ -1,0 +1,70 @@
+#include "sim/paper_ads.h"
+
+namespace htcsim {
+
+// Transcribed from Figure 1 of the paper. The DayTime comment in the
+// figure elides the value; deployed ads carried the probe-time value, so
+// we fix a representative mid-day time (13:27:49 = 48469s) — the tests
+// exercise other times by overwriting the attribute.
+const char* const kFigure1Text = R"([
+  Type = "Machine";
+  Activity = "Idle";
+  DayTime = 48469;          // current time in seconds since midnight
+  KeyboardIdle = 1432;      // seconds
+  Disk = 323496;            // kbytes
+  Memory = 64;              // megabytes
+  State = "Unclaimed";
+  LoadAvg = 0.042969;
+  Mips = 104;
+  Arch = "INTEL";
+  OpSys = "SOLARIS251";
+  KFlops = 21893;
+  Name = "leonardo.cs.wisc.edu";
+  ResearchGroup = { "raman", "miron", "solomon", "jbasney" };
+  Friends = { "tannenba", "wright" };
+  Untrusted = { "rival", "riffraff" };
+  Rank = member(other.Owner, ResearchGroup) * 10
+         + member(other.Owner, Friends);
+  Constraint = !member(other.Owner, Untrusted) && Rank >= 10 ? true :
+               Rank > 0 ? LoadAvg < 0.3 && KeyboardIdle > 15*60 :
+               DayTime < 8*60*60 || DayTime > 18*60*60;
+])";
+
+// Transcribed from Figure 2. Disk requirement and QDate appear in the
+// figure with their formatting mangled by the proceedings; we use values
+// consistent with the figure's scale (a mid-1997 submit date, 15 MB of
+// disk).
+const char* const kFigure2Text = R"([
+  Type = "Job";
+  QDate = 874377421;        // submit time, seconds past 1/1/1970
+  CompletionDate = 0;
+  Owner = "raman";
+  Cmd = "run_sim";
+  WantRemoteSyscalls = 1;
+  WantCheckpoint = 1;
+  Iwd = "/usr/raman/sim2";
+  Args = "-Q 17 3200 10";
+  Memory = 31;
+  Rank = KFlops/1E3 + other.Memory/32;
+  Constraint = other.Type == "Machine" && Arch == "INTEL" &&
+               OpSys == "SOLARIS251" && Disk >= 15000 &&
+               other.Memory >= self.Memory;
+])";
+
+const char* const kFigure1IntendedConstraint =
+    "!member(other.Owner, Untrusted) &&"
+    " (Rank >= 10 ? true :"
+    "  Rank > 0 ? LoadAvg < 0.3 && KeyboardIdle > 15*60 :"
+    "  DayTime < 8*60*60 || DayTime > 18*60*60)";
+
+classad::ClassAd makeFigure1Ad() { return classad::ClassAd::parse(kFigure1Text); }
+
+classad::ClassAd makeFigure1AdIntended() {
+  classad::ClassAd ad = makeFigure1Ad();
+  ad.setExpr("Constraint", kFigure1IntendedConstraint);
+  return ad;
+}
+
+classad::ClassAd makeFigure2Ad() { return classad::ClassAd::parse(kFigure2Text); }
+
+}  // namespace htcsim

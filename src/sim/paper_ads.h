@@ -1,0 +1,37 @@
+// paper_ads.h - The verbatim classads of the paper's Figures 1 and 2,
+// reproduced as fixtures for tests, benchmarks, and examples.
+#pragma once
+
+#include "classad/classad.h"
+
+namespace htcsim {
+
+/// The exact text of Figure 1 (the leonardo.cs.wisc.edu workstation ad).
+extern const char* const kFigure1Text;
+
+/// The exact text of Figure 2 (raman's run_sim job ad).
+extern const char* const kFigure2Text;
+
+/// Parses Figure 1. (Throws on failure — the paper_figures test guards it.)
+classad::ClassAd makeFigure1Ad();
+
+/// REPRODUCTION FINDING: parsed with C operator precedence (`&&` binds
+/// tighter than `?:` — the precedence both this library and deployed
+/// classad implementations use), Figure 1's Constraint groups as
+///   (!member(untrusted) && Rank >= 10) ? true : <friend/night tiers>
+/// so an untrusted user falls through to the stranger tier and IS allowed
+/// at night — contradicting Section 4's prose ("the workstation is never
+/// willing to run applications submitted by users rival and riffraff").
+/// This variant carries the prose-faithful constraint
+///   !member(untrusted) && (Rank >= 10 ? true : ...)
+/// which the simulator's Figure1 owner policy uses. Both forms are tested
+/// side by side in tests/classad/paper_figures_test.cpp.
+classad::ClassAd makeFigure1AdIntended();
+
+/// The prose-faithful constraint text used by makeFigure1AdIntended().
+extern const char* const kFigure1IntendedConstraint;
+
+/// Parses Figure 2.
+classad::ClassAd makeFigure2Ad();
+
+}  // namespace htcsim

@@ -1,0 +1,207 @@
+#include "sim/pool_manager.h"
+
+namespace htcsim {
+
+PoolManager::PoolManager(Simulator& sim, Network& net, Metrics& metrics,
+                         Config config)
+    : sim_(sim),
+      net_(net),
+      metrics_(metrics),
+      config_(std::move(config)),
+      protocol_(config_.matchmaker.protocol),
+      requests_(config_.adLifetime),
+      resources_(config_.adLifetime),
+      accountant_(config_.accountant),
+      matchmaker_(config_.matchmaker),
+      gangMatcher_(config_.gang) {
+  for (const auto& [user, group] : config_.accountingGroups) {
+    accountant_.setGroup(user, group);
+  }
+}
+
+PoolManager::~PoolManager() { stop(); }
+
+void PoolManager::start() {
+  if (up_) return;
+  up_ = true;
+  net_.attach(config_.address, this);
+  cycleTimer_.emplace(
+      sim_, config_.negotiationInterval, [this] { negotiateNow(); },
+      config_.negotiationInterval);
+}
+
+void PoolManager::stop() {
+  up_ = false;
+  cycleTimer_.reset();
+  net_.detach(config_.address);
+}
+
+void PoolManager::crash(Time downFor) {
+  if (!up_) return;
+  stop();
+  // All in-memory state is gone: stored ads, and in stateful mode the
+  // allocation table. The accountant's usage history is modeled as
+  // persistent (Condor journals it); what distinguishes the designs is
+  // the match/allocation state.
+  requests_.clear();
+  resources_.clear();
+  allocationTable_.clear();
+  sim_.after(downFor, [this] { start(); });
+}
+
+void PoolManager::deliver(const Envelope& env) {
+  if (!up_) return;
+  if (const auto* ad =
+          std::get_if<matchmaking::Advertisement>(&env.payload)) {
+    handleAdvertisement(*ad);
+  } else if (const auto* inv = std::get_if<AdInvalidate>(&env.payload)) {
+    handleInvalidate(*inv);
+  } else if (const auto* usage = std::get_if<UsageReport>(&env.payload)) {
+    handleUsage(*usage);
+  }
+}
+
+void PoolManager::handleAdvertisement(const matchmaking::Advertisement& ad) {
+  if (!ad.ad) return;
+  const auto validation = ad.isRequest ? protocol_.validateRequest(*ad.ad)
+                                       : protocol_.validateResource(*ad.ad);
+  if (!validation.accepted) return;  // not included in matchmaking
+  const std::string key =
+      ad.key.empty() ? protocol_.keyOf(*ad.ad) : ad.key;
+  matchmaking::AdStore& store = ad.isRequest ? requests_ : resources_;
+  store.update(key, ad.ad, sim_.now(), ad.sequence);
+
+  // Stateful-allocator strawman: a resource reporting itself Claimed with
+  // no entry in the allocation table is, to this design, an orphan left
+  // over from before the crash — it gets reset so the table can become
+  // authoritative again. The paper's stateless design has no such table
+  // and never does this.
+  if (config_.stateful && !ad.isRequest) {
+    const auto state = ad.ad->getString("State");
+    if (state && *state == "Claimed" &&
+        allocationTable_.find(key) == allocationTable_.end()) {
+      const std::string contact = protocol_.keyOf(*ad.ad);
+      matchmaking::ClaimRelease reset;
+      reset.reason = "orphaned-claim";
+      net_.send(config_.address, contact, std::move(reset));
+      // Re-arm only once per sighting; the RA will re-advertise unclaimed.
+      allocationTable_.emplace(key, "");
+    }
+  }
+}
+
+void PoolManager::handleInvalidate(const AdInvalidate& inv) {
+  matchmaking::AdStore& store = inv.isRequest ? requests_ : resources_;
+  store.invalidate(inv.key);
+}
+
+void PoolManager::handleUsage(const UsageReport& usage) {
+  accountant_.recordUsage(usage.user, usage.resourceSeconds, sim_.now());
+  metrics_.usageByUser[usage.user] += usage.resourceSeconds;
+}
+
+matchmaking::NegotiationStats PoolManager::negotiateNow() {
+  matchmaking::NegotiationStats stats;
+  if (!up_) return stats;
+  ++metrics_.negotiationCycles;
+  requests_.expire(sim_.now());
+  resources_.expire(sim_.now());
+  // Split gang (co-allocation) requests out of the ordinary stream; they
+  // are served after the pairwise pass, against the leftovers.
+  std::vector<classad::ClassAdPtr> requestAds;
+  std::vector<const matchmaking::StoredAd*> gangEntries;
+  for (const matchmaking::StoredAd* stored : requests_.entries()) {
+    if (stored->ad && matchmaking::GangMatcher::isGangRequest(*stored->ad)) {
+      gangEntries.push_back(stored);
+    } else {
+      requestAds.push_back(stored->ad);
+    }
+  }
+  const std::vector<classad::ClassAdPtr> resourceAds = resources_.snapshot();
+  const std::vector<matchmaking::Match> matchesFound = matchmaker_.negotiate(
+      requestAds, resourceAds, accountant_, sim_.now(), &stats);
+  for (const matchmaking::Match& m : matchesFound) {
+    ++metrics_.matchesIssued;
+    // Matchmaking protocol (Step 3): both parties get each other's ads;
+    // the customer additionally gets the resource's ticket.
+    matchmaking::MatchNotification toCustomer;
+    toCustomer.myAd = m.request;
+    toCustomer.peerAd = m.resource;
+    toCustomer.peerContact = m.resourceContact;
+    toCustomer.ticket = m.ticket;
+    net_.send(config_.address, m.requestContact, std::move(toCustomer));
+
+    matchmaking::MatchNotification toResource;
+    toResource.myAd = m.resource;
+    toResource.peerAd = m.request;
+    toResource.peerContact = m.requestContact;
+    toResource.ticket = matchmaking::kNoTicket;
+    net_.send(config_.address, m.resourceContact, std::move(toResource));
+
+    // Withdraw the matched request until its CA re-advertises (placed
+    // jobs retract their own ads; failed claims re-advertise).
+    const std::uint64_t jobId = static_cast<std::uint64_t>(
+        m.request->getInteger("JobId").value_or(0));
+    requests_.invalidate(m.requestContact + "#" + std::to_string(jobId));
+
+    if (config_.stateful) {
+      allocationTable_[m.resourceContact] = m.user;
+    }
+  }
+
+  if (!gangEntries.empty()) {
+    // Resources matched pairwise this cycle are off the table for gangs.
+    std::vector<bool> taken(resourceAds.size(), false);
+    for (const matchmaking::Match& m : matchesFound) {
+      for (std::size_t i = 0; i < resourceAds.size(); ++i) {
+        if (resourceAds[i] == m.resource) taken[i] = true;
+      }
+    }
+    negotiateGangs(gangEntries, resourceAds, taken);
+  }
+  return stats;
+}
+
+std::size_t PoolManager::negotiateGangs(
+    const std::vector<const matchmaking::StoredAd*>& gangEntries,
+    std::span<const classad::ClassAdPtr> resources,
+    std::vector<bool>& taken) {
+  std::size_t placed = 0;
+  for (const matchmaking::StoredAd* stored : gangEntries) {
+    const classad::ClassAd& gang = *stored->ad;
+    const auto result = gangMatcher_.match(gang, resources, &taken);
+    if (!result) continue;
+    const std::string gangContact =
+        gang.getString(config_.matchmaker.protocol.contact).value_or("");
+    for (std::size_t leg = 0; leg < result->legs.size(); ++leg) {
+      const matchmaking::GangLeg& assigned = result->legs[leg];
+      ++metrics_.matchesIssued;
+      // The customer's copy of the leg ad is stamped with the gang's
+      // store key and the leg index so a gang-aware customer can
+      // correlate (and run compensation if a later leg's claim fails).
+      classad::ClassAd legAd = *assigned.legAd;
+      legAd.set("GangKey", stored->key);
+      legAd.set("LegIndex", static_cast<std::int64_t>(leg));
+      const std::string resourceContact =
+          assigned.resource->getString(config_.matchmaker.protocol.contact)
+              .value_or("");
+      matchmaking::MatchNotification toCustomer;
+      toCustomer.myAd = classad::makeShared(std::move(legAd));
+      toCustomer.peerAd = assigned.resource;
+      toCustomer.peerContact = resourceContact;
+      toCustomer.ticket = assigned.ticket;
+      net_.send(config_.address, gangContact, std::move(toCustomer));
+
+      matchmaking::MatchNotification toResource;
+      toResource.myAd = assigned.resource;
+      toResource.peerAd = assigned.legAd;
+      toResource.peerContact = gangContact;
+      net_.send(config_.address, resourceContact, std::move(toResource));
+    }
+    requests_.invalidate(stored->key);
+    ++placed;
+  }
+  return placed;
+}
+
+}  // namespace htcsim

@@ -1,0 +1,110 @@
+// pool_manager.h - The Condor pool manager of Section 4: collector of
+// advertisements plus periodic negotiator.
+//
+// "RAs and CAs periodically send classads to a Condor pool manager,
+// describing the resources and job queues respectively. ... Periodically,
+// the pool manager enters a negotiation cycle. ... When the pool manager
+// determines that two classads match, it invokes the matchmaking protocol
+// to contact the matched principals at the contact addresses specified in
+// their classads and send them each other's classads. The manager also
+// gives the CA the authorization ticket supplied by the RA."
+//
+// The manager is STATELESS with respect to matches (Section 3's
+// end-to-end design): it remembers advertisements (soft state that
+// repopulates by itself) and usage accounting, nothing about who is
+// serving whom. crash() models a failure: everything is dropped; recovery
+// is automatic as ads flow back in. The `stateful` flag turns on the E2
+// strawman — a conventional allocator whose allocation table IS
+// authoritative, so a resource found claimed without a table entry after
+// a crash is "orphaned" and gets reset.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "matchmaker/ad_store.h"
+#include "matchmaker/advertising.h"
+#include "matchmaker/gangmatch.h"
+#include "matchmaker/matchmaker.h"
+#include "matchmaker/priority.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+
+namespace htcsim {
+
+struct PoolManagerConfig {
+  std::string address = "collector";
+  Time negotiationInterval = 60.0;
+  Time adLifetime = 180.0;
+  matchmaking::MatchmakerConfig matchmaker;
+  matchmaking::Accountant::Config accountant;
+  matchmaking::GangMatchConfig gang;
+  /// Accounting-group assignments (user -> group) installed into the
+  /// accountant at startup; see MatchmakerConfig::groupFairShare.
+  std::vector<std::pair<std::string, std::string>> accountingGroups;
+  /// E2 strawman: behave like a conventional stateful allocator.
+  bool stateful = false;
+};
+
+class PoolManager : public Endpoint {
+ public:
+  using Config = PoolManagerConfig;
+
+  PoolManager(Simulator& sim, Network& net, Metrics& metrics,
+              Config config = {});
+  ~PoolManager() override;
+
+  void start();
+  void stop();
+
+  /// Simulated failure: the manager process dies, losing ALL in-memory
+  /// state (ad stores, and — in stateful mode — the allocation table),
+  /// and restarts after `downFor` seconds.
+  void crash(Time downFor);
+
+  bool up() const noexcept { return up_; }
+
+  void deliver(const Envelope& envelope) override;
+
+  /// Runs one negotiation cycle immediately (tests and tools).
+  matchmaking::NegotiationStats negotiateNow();
+
+  const matchmaking::Accountant& accountant() const noexcept {
+    return accountant_;
+  }
+  std::size_t storedRequests() const noexcept { return requests_.size(); }
+  std::size_t storedResources() const noexcept { return resources_.size(); }
+  const std::string& address() const noexcept { return config_.address; }
+
+ private:
+  void handleAdvertisement(const matchmaking::Advertisement& ad);
+  void handleInvalidate(const AdInvalidate& inv);
+  void handleUsage(const UsageReport& usage);
+  /// Serves gang (co-allocation) requests against the resources left
+  /// unmatched this cycle; sends one notification per leg to the gang's
+  /// contact. Returns the number of gangs placed.
+  std::size_t negotiateGangs(
+      const std::vector<const matchmaking::StoredAd*>& gangEntries,
+      std::span<const classad::ClassAdPtr> resources,
+      std::vector<bool>& taken);
+
+  Simulator& sim_;
+  Network& net_;
+  Metrics& metrics_;
+  Config config_;
+  matchmaking::AdvertisingProtocol protocol_;
+  matchmaking::AdStore requests_;
+  matchmaking::AdStore resources_;
+  matchmaking::Accountant accountant_;
+  matchmaking::Matchmaker matchmaker_;
+  matchmaking::GangMatcher gangMatcher_;
+  /// Stateful mode only: resource key -> user it was allocated to.
+  std::unordered_map<std::string, std::string> allocationTable_;
+  std::optional<PeriodicTimer> cycleTimer_;
+  bool up_ = false;
+};
+
+}  // namespace htcsim

@@ -1,0 +1,313 @@
+#include "sim/resource_agent.h"
+
+#include "classad/match.h"
+#include "sim/job.h"
+
+namespace htcsim {
+
+namespace {
+
+/// Policy texts. ClassicIdle is the classic Condor owner policy from the
+/// paper's introduction; Figure1 is the verbatim policy of Figure 1.
+constexpr const char* kClassicConstraint =
+    "other.Type == \"Job\" && LoadAvg < 0.3 && KeyboardIdle > 15*60";
+constexpr const char* kFigure1Rank =
+    "member(other.Owner, ResearchGroup) * 10 + member(other.Owner, Friends)";
+// The prose-faithful form (see paper_ads.h: the verbatim figure's
+// precedence lets untrusted users in at night, which Section 4's prose
+// explicitly forbids — owners here get the policy the prose describes).
+constexpr const char* kFigure1Constraint =
+    "!member(other.Owner, Untrusted) &&"
+    " (Rank >= 10 ? true :"
+    "  Rank > 0 ? LoadAvg < 0.3 && KeyboardIdle > 15*60 :"
+    "  DayTime < 8*60*60 || DayTime > 18*60*60)";
+constexpr const char* kAlwaysConstraint = "other.Type == \"Job\"";
+
+}  // namespace
+
+ResourceAgent::ResourceAgent(Simulator& sim, Network& net, Machine& machine,
+                             Metrics& metrics, Rng rng, Config config)
+    : sim_(sim),
+      net_(net),
+      machine_(machine),
+      metrics_(metrics),
+      rng_(rng),
+      config_(std::move(config)),
+      address_("ra://" + machine.spec().name) {
+  switch (machine_.spec().policy) {
+    case OwnerPolicy::AlwaysAvailable:
+      constraintExpr_ = classad::parseExpr(kAlwaysConstraint);
+      rankExpr_ = classad::makeLiteral(std::int64_t{0});
+      break;
+    case OwnerPolicy::ClassicIdle:
+      constraintExpr_ = classad::parseExpr(kClassicConstraint);
+      rankExpr_ = classad::makeLiteral(std::int64_t{0});
+      break;
+    case OwnerPolicy::Figure1:
+      constraintExpr_ = classad::parseExpr(kFigure1Constraint);
+      rankExpr_ = classad::parseExpr(kFigure1Rank);
+      break;
+  }
+  mintTicket();
+  machine_.setOwnerChangeHook([this](bool present) {
+    if (present) enforcePolicy("owner-arrival");
+  });
+}
+
+ResourceAgent::~ResourceAgent() { stop(); }
+
+void ResourceAgent::start() {
+  if (started_) return;
+  started_ = true;
+  net_.attach(address_, this);
+  // Stagger the first advertisement so a large pool does not advertise in
+  // lockstep.
+  adTimer_.emplace(sim_, config_.adInterval, [this] { advertise(); },
+                   rng_.uniform(0.0, config_.adInterval));
+}
+
+void ResourceAgent::stop() {
+  if (!started_) return;
+  started_ = false;
+  adTimer_.reset();
+  if (claim_) vacate("agent-shutdown", false);
+  net_.detach(address_);
+}
+
+void ResourceAgent::mintTicket() {
+  do {
+    ticket_ = rng_.next();
+  } while (ticket_ == matchmaking::kNoTicket);
+}
+
+const std::string& ResourceAgent::currentUser() const {
+  static const std::string kNone;
+  return claim_ ? claim_->user : kNone;
+}
+
+classad::ClassAd ResourceAgent::buildAd() const {
+  const MachineSpec& spec = machine_.spec();
+  classad::ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", spec.name);
+  ad.set("Machine", spec.name);
+  ad.set("Arch", spec.arch);
+  ad.set("OpSys", spec.opSys);
+  ad.set("Memory", spec.memoryMB);
+  ad.set("Disk", spec.diskKB);
+  ad.set("Mips", spec.mips);
+  ad.set("KFlops", spec.kflops);
+  ad.set("ContactAddress", address_);
+  ad.set("DayTime", machine_.dayTime());
+  ad.set("KeyboardIdle", machine_.keyboardIdle());
+  ad.set("LoadAvg", machine_.loadAvg());
+  if (claim_) {
+    ad.set("State", "Claimed");
+    ad.set("Activity", "Busy");
+    ad.set("RemoteUser", claim_->user);
+    // Advertising CurrentRank while claimed invites preemption by
+    // customers this machine ranks higher (Section 4).
+    ad.set("CurrentRank", claim_->resourceRank);
+  } else {
+    ad.set("State", machine_.ownerPresent() ? "Owner" : "Unclaimed");
+    ad.set("Activity", "Idle");
+  }
+  if (spec.policy == OwnerPolicy::Figure1) {
+    ad.set("ResearchGroup", spec.researchGroup);
+    ad.set("Friends", spec.friends);
+    ad.set("Untrusted", spec.untrusted);
+  }
+  ad.insert("Rank", rankExpr_);
+  ad.insert("Constraint", constraintExpr_);
+  ad.set("AuthorizationTicket", matchmaking::ticketToString(ticket_));
+  return ad;
+}
+
+void ResourceAgent::advertise() {
+  enforcePolicy("probe");
+  matchmaking::Advertisement adMsg;
+  adMsg.ad = classad::makeShared(buildAd());
+  adMsg.sequence = ++adSequence_;
+  adMsg.isRequest = false;
+  adMsg.key = address_;
+  net_.send(address_, config_.managerAddress, std::move(adMsg));
+}
+
+void ResourceAgent::deliver(const Envelope& env) {
+  if (const auto* req = std::get_if<matchmaking::ClaimRequest>(&env.payload)) {
+    handleClaimRequest(env, *req);
+  } else if (const auto* rel =
+                 std::get_if<matchmaking::ClaimRelease>(&env.payload)) {
+    handleRelease(*rel);
+  }
+}
+
+void ResourceAgent::handleClaimRequest(const Envelope& env,
+                                       const matchmaking::ClaimRequest& req) {
+  const classad::ClassAd current = buildAd();
+
+  // Claim-time verification against the resource's CURRENT state — the
+  // weak-consistency design of Section 3.2. The advertisement the match
+  // was made from may be arbitrarily stale; rejection here is a normal
+  // outcome, the customer simply goes back to matchmaking.
+  const matchmaking::ClaimResponse verdict = matchmaking::evaluateClaim(
+      current, ticket_, req, config_.claimPolicy);
+  if (!verdict.accepted) {
+    ++metrics_.claimsRejected;
+    net_.send(address_, env.from, verdict);
+    return;
+  }
+
+  // Preemption gate: while claimed, only a customer this machine ranks
+  // STRICTLY above the incumbent may displace it (Section 4).
+  if (claim_) {
+    const double newRank = classad::evaluateRank(current, *req.requestAd,
+                                                 config_.claimPolicy.attrs);
+    if (!(newRank > claim_->resourceRank)) {
+      ++metrics_.claimsRejected;
+      net_.send(address_, env.from,
+                matchmaking::ClaimResponse{
+                    false, "claimed by a customer ranked at least as high"});
+      return;
+    }
+    ++metrics_.preemptionsByRank;
+    vacate("preempted-by-rank", false);
+  }
+
+  // Claim established. (evaluateClaim guarantees requestAd is non-null.)
+  ActiveClaim claim;
+  claim.ticket = ticket_;
+  claim.customerContact = req.customerContact;
+  claim.user = req.requestAd->getString("Owner").value_or("");
+  claim.jobId = static_cast<std::uint64_t>(
+      req.requestAd->getInteger("JobId").value_or(0));
+  claim.workAtStart = req.requestAd->getNumber("RemainingWork").value_or(0.0);
+  claim.startedAt = sim_.now();
+  claim.requestAd = req.requestAd;
+  claim.resourceRank = classad::evaluateRank(buildAd(), *req.requestAd,
+                                             config_.claimPolicy.attrs);
+  const double mips = static_cast<double>(machine_.spec().mips);
+  const Time duration = claim.workAtStart * kReferenceMips / mips;
+  claim.completionEvent = sim_.after(duration, [this] { onJobComplete(); });
+  claim_ = std::move(claim);
+  ++metrics_.claimsAccepted;
+  net_.send(address_, env.from, matchmaking::ClaimResponse{true, ""});
+  // Immediately re-advertise as claimed (with CurrentRank), keeping the
+  // matchmaker's picture fresh and inviting higher-ranked customers.
+  advertise();
+}
+
+void ResourceAgent::handleRelease(const matchmaking::ClaimRelease& rel) {
+  if (!claim_) return;
+  if (rel.ticket != claim_->ticket && rel.ticket != matchmaking::kNoTicket) {
+    return;  // stale release for an old claim
+  }
+  if (rel.reason == "orphaned-claim") {
+    // A stateful allocator resynchronizing after a crash kills work the
+    // stateless design would have preserved (E2).
+    ++metrics_.orphanedClaimResets;
+    vacate(rel.reason, false);
+    return;
+  }
+  // Customer-initiated relinquish.
+  finishClaim(sim_.now() - claim_->startedAt);
+}
+
+double ResourceAgent::workDoneSoFar() const {
+  const double mips = static_cast<double>(machine_.spec().mips);
+  return (sim_.now() - claim_->startedAt) * mips / kReferenceMips;
+}
+
+void ResourceAgent::enforcePolicy(const char* trigger) {
+  (void)trigger;
+  if (!claim_ || !claim_->requestAd) return;
+  // "the request matches the RA's constraints with respect to the updated
+  // state": the policy holds for the life of the claim, not only at its
+  // establishment. Research-group jobs under Figure1 survive owner
+  // arrival (their tier is unconditional); friends' and strangers' do not.
+  const classad::ClassAd current = buildAd();
+  const auto result = classad::evaluateConstraint(
+      current, *claim_->requestAd, config_.claimPolicy.attrs);
+  if (classad::permitsMatch(result)) {
+    // Policy holds (again): cancel any pending graceful eviction — the
+    // owner left before the grace ran out.
+    if (pendingVacate_ != kInvalidEvent) {
+      sim_.cancel(pendingVacate_);
+      pendingVacate_ = kInvalidEvent;
+    }
+    return;
+  }
+  const bool ownerInitiated = machine_.ownerPresent();
+  if (config_.vacateGrace <= 0.0) {
+    vacate(ownerInitiated ? "preempted-by-owner" : "policy-violation",
+           ownerInitiated);
+    return;
+  }
+  if (pendingVacate_ != kInvalidEvent) return;  // already counting down
+  ownerInitiatedVacate_ = ownerInitiated;
+  pendingVacate_ = sim_.after(config_.vacateGrace, [this] {
+    pendingVacate_ = kInvalidEvent;
+    if (!claim_) return;
+    vacate(ownerInitiatedVacate_ ? "preempted-by-owner" : "policy-violation",
+           ownerInitiatedVacate_);
+  });
+}
+
+void ResourceAgent::vacate(const std::string& reason, bool ownerInitiated) {
+  if (!claim_) return;
+  if (pendingVacate_ != kInvalidEvent) {
+    sim_.cancel(pendingVacate_);
+    pendingVacate_ = kInvalidEvent;
+  }
+  const double wall = sim_.now() - claim_->startedAt;
+  const double done = workDoneSoFar();
+  sim_.cancel(claim_->completionEvent);
+  matchmaking::ClaimRelease rel;
+  rel.ticket = claim_->ticket;
+  rel.reason = reason;
+  rel.jobId = claim_->jobId;
+  rel.cpuSecondsUsed = done;
+  rel.completed = false;
+  net_.send(address_, claim_->customerContact, std::move(rel));
+  if (ownerInitiated) ++metrics_.preemptionsByOwner;
+  // Usage is charged for the wall-clock occupancy regardless of outcome.
+  net_.send(address_, config_.managerAddress,
+            UsageReport{claim_->user, wall});
+  metrics_.machineBusySeconds += wall;
+  claim_.reset();
+  mintTicket();
+  if (started_) advertise();
+}
+
+void ResourceAgent::finishClaim(double wallSeconds) {
+  // Cancel any still-pending completion (no-op when finishing BECAUSE the
+  // completion fired); without this, a customer-initiated release would
+  // leave a stale completion event that could fire into a future claim.
+  // Likewise a pending graceful eviction must not fire into a new claim.
+  sim_.cancel(claim_->completionEvent);
+  if (pendingVacate_ != kInvalidEvent) {
+    sim_.cancel(pendingVacate_);
+    pendingVacate_ = kInvalidEvent;
+  }
+  net_.send(address_, config_.managerAddress,
+            UsageReport{claim_->user, wallSeconds});
+  metrics_.machineBusySeconds += wallSeconds;
+  claim_.reset();
+  mintTicket();
+  if (started_) advertise();
+}
+
+void ResourceAgent::onJobComplete() {
+  if (!claim_) return;
+  const double wall = sim_.now() - claim_->startedAt;
+  matchmaking::ClaimRelease rel;
+  rel.ticket = claim_->ticket;
+  rel.reason = "completed";
+  rel.jobId = claim_->jobId;
+  rel.cpuSecondsUsed = claim_->workAtStart;
+  rel.completed = true;
+  net_.send(address_, claim_->customerContact, std::move(rel));
+  finishClaim(wall);
+}
+
+}  // namespace htcsim

@@ -1,0 +1,116 @@
+// resource_agent.h - The Resource-owner Agent (RA) of Section 4.
+//
+// "Resources in the Condor system are represented by Resource-owner Agents
+// (RAs), which are responsible for enforcing the policies stipulated by
+// resource owners. An RA periodically probes the resource to determine its
+// current state, and encapsulates this information in a classad along with
+// the owner's usage policy."
+//
+// The RA owns the full provider side of the protocols: it advertises
+// (Step 1), mints the authorization ticket the matchmaker will hand to the
+// matched customer, verifies claims against its CURRENT state (Step 4 and
+// the weak-consistency design), executes the job, preempts when the owner
+// returns or its policy stops holding, and yields to higher-ranked
+// customers ("although the workstation is currently busy, it is still
+// interested in hearing from higher priority customers").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "classad/classad.h"
+#include "matchmaker/claiming.h"
+#include "matchmaker/protocol.h"
+#include "sim/machine.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+
+namespace htcsim {
+
+struct ResourceAgentConfig {
+  Time adInterval = 60.0;
+  Time adLifetime = 180.0;
+  std::string managerAddress = "collector";
+  matchmaking::ClaimPolicy claimPolicy;
+  /// Grace between a policy violation (owner returns, day breaks) and the
+  /// actual eviction, seconds (0 = instant vacate). The job keeps running
+  /// — and accruing work — through the grace window (Condor's
+  /// MaxVacateTime); if the policy recovers within the window (the owner
+  /// steps away again), the eviction is cancelled. Rank preemption and
+  /// explicit releases are never delayed.
+  Time vacateGrace = 0.0;
+};
+
+class ResourceAgent : public Endpoint {
+ public:
+  using Config = ResourceAgentConfig;
+
+  ResourceAgent(Simulator& sim, Network& net, Machine& machine,
+                Metrics& metrics, Rng rng, Config config = {});
+  ~ResourceAgent() override;
+
+  /// Begins periodic advertisement. Attaches to the network.
+  void start();
+  void stop();
+
+  void deliver(const Envelope& envelope) override;
+
+  const std::string& address() const noexcept { return address_; }
+  bool claimed() const noexcept { return claim_.has_value(); }
+  const std::string& currentUser() const;
+
+  /// Probes the machine and builds the advertisement as of now — the ad
+  /// that would be (or was just) published. Exposed for tests and tools.
+  classad::ClassAd buildAd() const;
+
+  /// The ticket currently outstanding (tests).
+  matchmaking::Ticket outstandingTicket() const noexcept { return ticket_; }
+
+ private:
+  void advertise();
+  void handleClaimRequest(const Envelope& env,
+                          const matchmaking::ClaimRequest& req);
+  void handleRelease(const matchmaking::ClaimRelease& rel);
+  /// Re-checks the owner policy against the running claim; vacates if it
+  /// no longer holds (owner returned, day broke, ...).
+  void enforcePolicy(const char* trigger);
+  void vacate(const std::string& reason, bool ownerInitiated);
+  void finishClaim(double wallSeconds);
+  void onJobComplete();
+  void mintTicket();
+
+  struct ActiveClaim {
+    matchmaking::Ticket ticket = matchmaking::kNoTicket;
+    std::string customerContact;
+    std::string user;
+    std::uint64_t jobId = 0;
+    double workAtStart = 0.0;  ///< job's remaining reference CPU-seconds
+    Time startedAt = 0.0;
+    double resourceRank = 0.0;  ///< machine's Rank of this customer
+    classad::ClassAdPtr requestAd;
+    EventId completionEvent = kInvalidEvent;
+  };
+
+  double workDoneSoFar() const;
+
+  /// Pending graceful eviction (kInvalidEvent when none).
+  EventId pendingVacate_ = kInvalidEvent;
+  bool ownerInitiatedVacate_ = false;
+
+  Simulator& sim_;
+  Network& net_;
+  Machine& machine_;
+  Metrics& metrics_;
+  Rng rng_;
+  Config config_;
+  std::string address_;
+  std::uint64_t adSequence_ = 0;
+  matchmaking::Ticket ticket_ = matchmaking::kNoTicket;
+  std::optional<ActiveClaim> claim_;
+  std::optional<PeriodicTimer> adTimer_;
+  classad::ExprPtr constraintExpr_;
+  classad::ExprPtr rankExpr_;
+  bool started_ = false;
+};
+
+}  // namespace htcsim

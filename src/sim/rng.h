@@ -1,0 +1,113 @@
+// rng.h - Deterministic random number generation for the simulator.
+//
+// Everything stochastic in the substrate (owner activity, job arrivals,
+// message latency) draws from explicitly seeded xoshiro256** streams, so
+// every experiment in bench/ is exactly reproducible. Streams are split
+// per entity (splitChild) so adding a machine does not perturb the draws
+// of existing ones.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace htcsim {
+
+/// splitmix64: seeds the main generator and derives child streams.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), the simulator's workhorse PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n) (n > 0). Uses rejection to stay unbiased.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponential with the given mean (inter-arrival times, service times).
+  double exponential(double mean) noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Bounded Pareto-ish heavy tail for job sizes: mean roughly `scale`
+  /// with occasional large values, capped at `cap`.
+  double heavyTail(double scale, double cap) noexcept {
+    const double u = uniform();
+    const double x = scale * (std::pow(1.0 - u * 0.999, -0.5) - 0.5);
+    return x > cap ? cap : x;
+  }
+
+  /// Derives an independent child stream (stable under reordering of
+  /// sibling draws).
+  Rng splitChild(std::uint64_t childId) noexcept {
+    std::uint64_t sm = s_[0] ^ (childId * 0xD2B74407B1CE6E93ULL);
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Stable 64-bit hash of a string (FNV-1a), for seeding per-name streams.
+constexpr std::uint64_t hashName(std::string_view name) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace htcsim

@@ -1,0 +1,79 @@
+#include "sim/scenario.h"
+
+namespace htcsim {
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  net_ = std::make_unique<Network>(sim_, rng_.splitChild(hashName("net")),
+                                   config_.network);
+
+  PoolManager::Config managerConfig = config_.manager;
+  manager_ = std::make_unique<PoolManager>(sim_, *net_, metrics_,
+                                           managerConfig);
+  manager_->start();
+
+  // Machines and their RAs.
+  Rng machineRng = rng_.splitChild(hashName("machines"));
+  std::vector<MachineSpec> specs =
+      generateMachines(config_.machines, machineRng);
+  machines_.reserve(specs.size());
+  resourceAgents_.reserve(specs.size());
+  for (MachineSpec& spec : specs) {
+    const std::uint64_t nameSeed = hashName(spec.name);
+    machines_.push_back(std::make_unique<Machine>(
+        sim_, std::move(spec), machineRng.splitChild(nameSeed)));
+    ResourceAgent::Config raConfig = config_.resourceAgent;
+    raConfig.managerAddress = config_.manager.address;
+    resourceAgents_.push_back(std::make_unique<ResourceAgent>(
+        sim_, *net_, *machines_.back(), metrics_,
+        machineRng.splitChild(nameSeed ^ 0x5A5AULL), raConfig));
+    resourceAgents_.back()->start();
+  }
+
+  // Users, their CAs, and their job streams.
+  Rng jobRng = rng_.splitChild(hashName("jobs"));
+  std::uint64_t nextJobId = 1;
+  for (const std::string& user : config_.workload.users) {
+    CustomerAgent::Config caConfig = config_.customerAgent;
+    caConfig.managerAddress = config_.manager.address;
+    customerAgents_.push_back(std::make_unique<CustomerAgent>(
+        sim_, *net_, metrics_, user, jobRng.splitChild(hashName(user)),
+        caConfig));
+    CustomerAgent* ca = customerAgents_.back().get();
+    ca->start();
+    Rng userRng = jobRng.splitChild(hashName(user) ^ 0xA5A5ULL);
+    const std::vector<Time> arrivals =
+        generateArrivals(config_.workload, userRng, config_.duration);
+    for (const Time when : arrivals) {
+      Job job = generateJob(config_.workload, userRng, nextJobId++, user);
+      sim_.at(when, [ca, job = std::move(job)] { ca->submit(job); });
+    }
+  }
+
+  // Injected manager outages (E2).
+  for (const auto& [crashAt, downFor] : config_.managerOutages) {
+    const Time d = downFor;
+    sim_.at(crashAt, [this, d] { manager_->crash(d); });
+  }
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::run() { runUntil(config_.duration); }
+
+void Scenario::runUntil(Time until) { sim_.runUntil(until); }
+
+CustomerAgent* Scenario::agentFor(const std::string& user) {
+  for (auto& ca : customerAgents_) {
+    if (ca->user() == user) return ca.get();
+  }
+  return nullptr;
+}
+
+std::size_t Scenario::totalJobs() const {
+  std::size_t n = 0;
+  for (const auto& ca : customerAgents_) n += ca->jobs().size();
+  return n;
+}
+
+}  // namespace htcsim

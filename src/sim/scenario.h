@@ -1,0 +1,83 @@
+// scenario.h - Wires a complete HTC pool: machines + RAs, users + CAs, the
+// pool manager, and the network, then runs the discrete-event simulation.
+// This is the top-level entry point the examples and the experiment
+// benches drive.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/customer_agent.h"
+#include "sim/machine.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/pool_manager.h"
+#include "sim/resource_agent.h"
+#include "sim/workload.h"
+
+namespace htcsim {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  Time duration = 4.0 * 3600.0;
+
+  MachinePoolConfig machines;
+  JobWorkloadConfig workload;
+
+  Network::Config network;
+  PoolManager::Config manager;
+  ResourceAgent::Config resourceAgent;
+  CustomerAgent::Config customerAgent;
+
+  /// Manager outages to inject: (crashAt, downFor) pairs (E2).
+  std::vector<std::pair<Time, Time>> managerOutages;
+};
+
+/// A fully wired pool. Construction builds everything; run() executes the
+/// configured duration. Component accessors expose the internals to tests
+/// and domain examples.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Runs the simulation through config.duration (idempotent extension:
+  /// call runUntil for finer control).
+  void run();
+  void runUntil(Time until);
+
+  const ScenarioConfig& config() const noexcept { return config_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+  Simulator& simulator() noexcept { return sim_; }
+  Network& network() noexcept { return *net_; }
+  PoolManager& manager() noexcept { return *manager_; }
+
+  std::vector<std::unique_ptr<ResourceAgent>>& resourceAgents() noexcept {
+    return resourceAgents_;
+  }
+  std::vector<std::unique_ptr<CustomerAgent>>& customerAgents() noexcept {
+    return customerAgents_;
+  }
+  CustomerAgent* agentFor(const std::string& user);
+
+  std::size_t machineCount() const noexcept { return machines_.size(); }
+
+  /// Sum of idle+running+completed across all CAs (tests).
+  std::size_t totalJobs() const;
+
+ private:
+  ScenarioConfig config_;
+  Simulator sim_;
+  Metrics metrics_;
+  Rng rng_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<PoolManager> manager_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<std::unique_ptr<ResourceAgent>> resourceAgents_;
+  std::vector<std::unique_ptr<CustomerAgent>> customerAgents_;
+};
+
+}  // namespace htcsim

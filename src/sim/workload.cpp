@@ -1,0 +1,98 @@
+#include "sim/workload.h"
+
+namespace htcsim {
+
+namespace {
+
+const MachinePoolConfig::Platform& pickPlatform(
+    const std::vector<MachinePoolConfig::Platform>& platforms, Rng& rng) {
+  double total = 0.0;
+  for (const auto& p : platforms) total += p.weight;
+  double draw = rng.uniform(0.0, total);
+  for (const auto& p : platforms) {
+    draw -= p.weight;
+    if (draw <= 0.0) return p;
+  }
+  return platforms.back();
+}
+
+}  // namespace
+
+std::vector<MachineSpec> generateMachines(const MachinePoolConfig& config,
+                                          Rng& rng) {
+  std::vector<MachineSpec> specs;
+  specs.reserve(config.count);
+  const double policyTotal = config.fracAlwaysAvailable +
+                             config.fracClassicIdle + config.fracFigure1;
+  for (std::size_t i = 0; i < config.count; ++i) {
+    MachineSpec spec;
+    spec.name = "node" + std::to_string(i) + ".cs.wisc.edu";
+    const auto& platform = pickPlatform(config.platforms, rng);
+    spec.arch = platform.arch;
+    spec.opSys = platform.opSys;
+    spec.memoryMB = config.memoryChoicesMB[rng.below(
+        config.memoryChoicesMB.size())];
+    spec.mips = rng.range(config.mipsMin, config.mipsMax);
+    // KFlops loosely tracks Mips (Figure 1: 104 Mips, 21893 KFlops).
+    spec.kflops = static_cast<std::int64_t>(
+        static_cast<double>(spec.mips) * rng.uniform(150.0, 250.0));
+    spec.diskKB = rng.range(config.diskMinKB, config.diskMaxKB);
+
+    const double policyDraw = rng.uniform(0.0, policyTotal);
+    if (policyDraw < config.fracAlwaysAvailable) {
+      spec.policy = OwnerPolicy::AlwaysAvailable;
+    } else if (policyDraw <
+               config.fracAlwaysAvailable + config.fracClassicIdle) {
+      spec.policy = OwnerPolicy::ClassicIdle;
+    } else {
+      spec.policy = OwnerPolicy::Figure1;
+    }
+    if (spec.policy == OwnerPolicy::AlwaysAvailable) {
+      spec.meanOwnerAbsence = 0.0;  // dedicated node, no owner
+    } else {
+      spec.meanOwnerAbsence = config.meanOwnerAbsence;
+      spec.meanOwnerSession = config.meanOwnerSession;
+    }
+    spec.researchGroup = config.researchGroup;
+    spec.friends = config.friends;
+    spec.untrusted = config.untrusted;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Job generateJob(const JobWorkloadConfig& config, Rng& rng, std::uint64_t id,
+                std::string owner) {
+  Job job;
+  job.id = id;
+  job.owner = std::move(owner);
+  job.cmd = "run_sim";
+  job.totalWork = rng.heavyTail(config.meanWork, config.workCap);
+  job.remainingWork = job.totalWork;
+  job.memoryMB =
+      config.memoryChoicesMB[rng.below(config.memoryChoicesMB.size())];
+  job.diskKB = 15000;
+  job.checkpointable = rng.chance(config.fracCheckpointable);
+  if (rng.chance(config.fracPlatformConstrained) &&
+      !config.platforms.empty()) {
+    const auto& platform = pickPlatform(config.platforms, rng);
+    job.requiredArch = platform.arch;
+    job.requiredOpSys = platform.opSys;
+  }
+  return job;
+}
+
+std::vector<Time> generateArrivals(const JobWorkloadConfig& config, Rng& rng,
+                                   Time duration) {
+  std::vector<Time> arrivals;
+  if (config.jobsPerUserPerHour <= 0.0) return arrivals;
+  const double meanGap = 3600.0 / config.jobsPerUserPerHour;
+  Time t = rng.exponential(meanGap);
+  while (t < duration) {
+    arrivals.push_back(t);
+    t += rng.exponential(meanGap);
+  }
+  return arrivals;
+}
+
+}  // namespace htcsim

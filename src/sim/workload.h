@@ -1,0 +1,92 @@
+// workload.h - Synthetic workload and pool generators.
+//
+// The paper evaluated on the live UW-Madison Condor pool; these generators
+// are its synthetic stand-in (see DESIGN.md substitutions): heterogeneous
+// machines with a mix of owner policies, and per-user Poisson job streams
+// with heavy-tailed service demands — the standard shape of HTC workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/job.h"
+#include "sim/machine.h"
+#include "sim/rng.h"
+
+namespace htcsim {
+
+struct MachinePoolConfig {
+  std::size_t count = 100;
+
+  struct Platform {
+    std::string arch;
+    std::string opSys;
+    double weight = 1.0;
+  };
+  /// Architecture/OS mix; weights are relative.
+  std::vector<Platform> platforms = {
+      {"INTEL", "SOLARIS251", 0.45},
+      {"INTEL", "LINUX", 0.25},
+      {"SPARC", "SOLARIS251", 0.30},
+  };
+  std::vector<std::int64_t> memoryChoicesMB = {32, 64, 128, 256};
+  std::int64_t mipsMin = 50;
+  std::int64_t mipsMax = 400;
+  std::int64_t diskMinKB = 50000;
+  std::int64_t diskMaxKB = 2000000;
+
+  /// Owner-policy mix (normalized internally).
+  double fracAlwaysAvailable = 0.10;
+  double fracClassicIdle = 0.60;
+  double fracFigure1 = 0.30;
+
+  /// Owner-activity process (0 absence rate = owners never appear).
+  double meanOwnerAbsence = 3600.0;
+  double meanOwnerSession = 600.0;
+
+  /// Principals for Figure1-policy machines (the paper's cast).
+  std::vector<std::string> researchGroup = {"raman", "miron", "solomon",
+                                            "jbasney"};
+  std::vector<std::string> friends = {"tannenba", "wright"};
+  std::vector<std::string> untrusted = {"rival", "riffraff"};
+};
+
+/// Deterministically generates `config.count` machine specs.
+std::vector<MachineSpec> generateMachines(const MachinePoolConfig& config,
+                                          Rng& rng);
+
+struct JobWorkloadConfig {
+  /// Submitting users. The default cast spans the Figure 1 tiers:
+  /// research group, friend, stranger, untrusted.
+  std::vector<std::string> users = {"raman", "miron", "tannenba", "alice",
+                                    "rival"};
+  /// Poisson arrival rate per user.
+  double jobsPerUserPerHour = 30.0;
+  /// Service demand in reference CPU-seconds: heavy-tailed around the
+  /// mean, capped.
+  double meanWork = 900.0;
+  double workCap = 4.0 * 3600.0;
+  std::vector<std::int64_t> memoryChoicesMB = {16, 31, 64, 128};
+  /// Fraction of jobs pinned to a specific platform (Figure 2 pins
+  /// INTEL/SOLARIS251); the rest run anywhere big enough.
+  double fracPlatformConstrained = 0.6;
+  /// Platforms constrained jobs pin to (defaults to the pool's).
+  std::vector<MachinePoolConfig::Platform> platforms = {
+      {"INTEL", "SOLARIS251", 0.45},
+      {"INTEL", "LINUX", 0.25},
+      {"SPARC", "SOLARIS251", 0.30},
+  };
+  double fracCheckpointable = 0.8;
+};
+
+/// Draws one job (without submit time; the scenario stamps it).
+Job generateJob(const JobWorkloadConfig& config, Rng& rng, std::uint64_t id,
+                std::string owner);
+
+/// Arrival times for one user over [0, duration), Poisson with the
+/// configured rate.
+std::vector<Time> generateArrivals(const JobWorkloadConfig& config, Rng& rng,
+                                   Time duration);
+
+}  // namespace htcsim

@@ -1,0 +1,169 @@
+// The conventional queue-based baseline: queue formation, a-priori
+// routing, FCFS dispatch, owner disturbance in greedy mode, and crash
+// behaviour of the stateful allocator.
+#include "baseline/queue_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace baseline {
+namespace {
+
+std::vector<MachineSpec> mixedPool() {
+  std::vector<MachineSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    MachineSpec s;
+    s.name = "ded" + std::to_string(i);
+    s.arch = "INTEL";
+    s.opSys = "SOLARIS251";
+    s.memoryMB = 64;
+    s.mips = 100;
+    s.policy = htcsim::OwnerPolicy::AlwaysAvailable;
+    s.meanOwnerAbsence = 0.0;
+    specs.push_back(s);
+  }
+  for (int i = 0; i < 4; ++i) {
+    MachineSpec s;
+    s.name = "desk" + std::to_string(i);
+    s.arch = "SPARC";
+    s.opSys = "SOLARIS251";
+    s.memoryMB = 128;
+    s.mips = 100;
+    s.policy = htcsim::OwnerPolicy::ClassicIdle;
+    s.meanOwnerAbsence = 1800.0;
+    s.meanOwnerSession = 600.0;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+Job makeJob(std::uint64_t id, const std::string& arch = "",
+            double work = 100.0, int memory = 32) {
+  Job job;
+  job.id = id;
+  job.owner = "alice";
+  job.totalWork = work;
+  job.memoryMB = memory;
+  job.diskKB = 1000;
+  job.requiredArch = arch;
+  return job;
+}
+
+TEST(QueueSchedulerTest, DedicatedModeEnrollsOnlyDedicatedMachines) {
+  htcsim::Simulator sim;
+  htcsim::Metrics metrics;
+  QueueScheduler qs(sim, mixedPool(), metrics, Rng(1));
+  EXPECT_EQ(qs.machineCount(), 4u);  // the INTEL dedicated boxes only
+  EXPECT_EQ(qs.queueCount(), 1u);
+}
+
+TEST(QueueSchedulerTest, GreedyModeEnrollsEverything) {
+  htcsim::Simulator sim;
+  htcsim::Metrics metrics;
+  QueueSchedulerConfig config;
+  config.useSharedMachines = true;
+  QueueScheduler qs(sim, mixedPool(), metrics, Rng(1), config);
+  EXPECT_EQ(qs.machineCount(), 8u);
+  EXPECT_EQ(qs.queueCount(), 2u);  // INTEL/SOLARIS251 and SPARC/SOLARIS251
+}
+
+TEST(QueueSchedulerTest, RunsJobToCompletion) {
+  htcsim::Simulator sim;
+  htcsim::Metrics metrics;
+  QueueScheduler qs(sim, mixedPool(), metrics, Rng(1));
+  qs.start();
+  qs.submit(makeJob(1, "INTEL", /*work=*/100.0));
+  sim.runUntil(500.0);
+  EXPECT_EQ(metrics.jobsCompleted, 1u);
+  EXPECT_EQ(qs.jobs()[0].state, JobState::Completed);
+}
+
+TEST(QueueSchedulerTest, UnroutableJobIsRejected) {
+  // Dedicated mode has no SPARC queue: a SPARC-pinned job bounces.
+  htcsim::Simulator sim;
+  htcsim::Metrics metrics;
+  QueueScheduler qs(sim, mixedPool(), metrics, Rng(1));
+  qs.start();
+  qs.submit(makeJob(1, "SPARC"));
+  sim.runUntil(500.0);
+  EXPECT_EQ(qs.extra().unroutableJobs, 1u);
+  EXPECT_EQ(metrics.jobsCompleted, 0u);
+}
+
+TEST(QueueSchedulerTest, UnconstrainedJobLockedToItsQueue) {
+  // The Section 2 discovery penalty: an unconstrained job routed to the
+  // biggest queue cannot use idle machines of the other queue.
+  htcsim::Simulator sim;
+  htcsim::Metrics metrics;
+  QueueSchedulerConfig config;
+  config.useSharedMachines = true;
+  // Pool: 1 dedicated INTEL box, 4 SPARC desktops (the bigger queue).
+  std::vector<MachineSpec> specs = mixedPool();
+  specs.erase(specs.begin() + 1, specs.begin() + 4);  // keep 1 INTEL
+  QueueScheduler qs(sim, specs, metrics, Rng(1), config);
+  qs.start();
+  // Unconstrained jobs go to the SPARC queue (4 machines > 1).
+  for (int i = 0; i < 8; ++i) qs.submit(makeJob(100 + i, "", 1e6));
+  sim.runUntil(200.0);
+  // The INTEL machine sits idle while SPARC saturates: at most 4 running.
+  std::size_t running = 0;
+  for (const Job& job : qs.jobs()) running += job.state == JobState::Running;
+  EXPECT_LE(running, 4u);
+  EXPECT_GT(running, 0u);
+}
+
+TEST(QueueSchedulerTest, FcfsHeadOfLineBlocking) {
+  htcsim::Simulator sim;
+  htcsim::Metrics metrics;
+  QueueScheduler qs(sim, mixedPool(), metrics, Rng(1));
+  qs.start();
+  // Head job needs more memory than any machine: it blocks the queue.
+  qs.submit(makeJob(1, "INTEL", 100.0, /*memory=*/4096));
+  qs.submit(makeJob(2, "INTEL", 100.0, /*memory=*/32));
+  sim.runUntil(1000.0);
+  EXPECT_EQ(metrics.jobsCompleted, 0u);  // job 2 starves behind job 1
+}
+
+TEST(QueueSchedulerTest, GreedyModeDisturbsOwners) {
+  htcsim::Simulator sim;
+  htcsim::Metrics metrics;
+  QueueSchedulerConfig config;
+  config.useSharedMachines = true;
+  const std::vector<MachineSpec> pool = mixedPool();
+  std::vector<MachineSpec> desktopsOnly(pool.begin() + 4, pool.end());
+  QueueScheduler qs(sim, desktopsOnly, metrics, Rng(1), config);
+  qs.start();
+  for (int i = 0; i < 8; ++i) qs.submit(makeJob(i, "SPARC", 4 * 3600.0));
+  sim.runUntil(8 * 3600.0);
+  EXPECT_GT(qs.extra().ownerDisturbances, 0u);
+  EXPECT_GT(metrics.badputCpuSeconds, 0.0);  // no checkpointing here
+}
+
+TEST(QueueSchedulerTest, CrashKillsRunningWork) {
+  htcsim::Simulator sim;
+  htcsim::Metrics metrics;
+  QueueScheduler qs(sim, mixedPool(), metrics, Rng(1));
+  qs.start();
+  for (int i = 0; i < 4; ++i) qs.submit(makeJob(i, "INTEL", 10000.0));
+  sim.runUntil(120.0);
+  qs.crash(300.0);
+  EXPECT_EQ(qs.extra().jobsKilledByCrash, 4u);
+  EXPECT_GT(metrics.badputCpuSeconds, 0.0);
+  // Queued (killed-and-requeued) jobs run again after recovery.
+  sim.runUntil(120.0 + 300.0 + 12000.0 * 4 / 2);
+  EXPECT_GT(metrics.jobsCompleted, 0u);
+}
+
+TEST(QueueSchedulerTest, WaitAndTurnaroundRecorded) {
+  htcsim::Simulator sim;
+  htcsim::Metrics metrics;
+  QueueScheduler qs(sim, mixedPool(), metrics, Rng(1));
+  qs.start();
+  qs.submit(makeJob(1, "INTEL", 100.0));
+  sim.runUntil(1000.0);
+  ASSERT_EQ(metrics.jobsCompleted, 1u);
+  EXPECT_GT(metrics.totalTurnaround, 0.0);
+  EXPECT_GE(metrics.totalTurnaround, metrics.totalWaitTime);
+}
+
+}  // namespace
+}  // namespace baseline

@@ -1,0 +1,113 @@
+// String-list and regular-expression builtins (classic-Condor policy
+// idioms: comma-separated lists in strings, regexp name matching).
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+
+namespace classad {
+namespace {
+
+Value evalConst(const std::string& text) {
+  ClassAd empty;
+  return empty.evaluate(text);
+}
+
+TEST(StringListTest, MemberBasic) {
+  EXPECT_TRUE(
+      evalConst("stringListMember(\"INTEL\", \"INTEL,SPARC\")")
+          .isBooleanTrue());
+  EXPECT_FALSE(
+      evalConst("stringListMember(\"ALPHA\", \"INTEL,SPARC\")").asBoolean());
+}
+
+TEST(StringListTest, MemberIsCaseInsensitiveAndTrims) {
+  EXPECT_TRUE(
+      evalConst("stringListMember(\"intel\", \"INTEL , SPARC\")")
+          .isBooleanTrue());
+}
+
+TEST(StringListTest, CustomDelimiters) {
+  EXPECT_TRUE(
+      evalConst("stringListMember(\"b\", \"a;b;c\", \";\")")
+          .isBooleanTrue());
+  EXPECT_EQ(evalConst("stringListSize(\"a;b;c\", \";\")").asInteger(), 3);
+}
+
+TEST(StringListTest, SizeCountsEntries) {
+  EXPECT_EQ(evalConst("stringListSize(\"a,b,c\")").asInteger(), 3);
+  EXPECT_EQ(evalConst("stringListSize(\"\")").asInteger(), 0);
+  EXPECT_EQ(evalConst("stringListSize(\"solo\")").asInteger(), 1);
+}
+
+TEST(StringListTest, MemberPropagatesExceptional) {
+  EXPECT_TRUE(
+      evalConst("stringListMember(undefined, \"a,b\")").isUndefined());
+  EXPECT_TRUE(evalConst("stringListMember(\"a\", 5)").isError());
+}
+
+TEST(StringListTest, SplitYieldsList) {
+  const Value v = evalConst("split(\"a, b, c\")");
+  ASSERT_TRUE(v.isList());
+  ASSERT_EQ(v.asList()->size(), 3u);
+  EXPECT_EQ((*v.asList())[1].asString(), "b");
+  // split drops empty fragments (condor semantics).
+  EXPECT_EQ(evalConst("size(split(\"a,,b\", \",\"))").asInteger(), 2);
+}
+
+TEST(StringListTest, JoinConcatenates) {
+  EXPECT_EQ(evalConst("join(\"-\", {\"a\", \"b\", \"c\"})").asString(),
+            "a-b-c");
+  EXPECT_EQ(evalConst("join(\",\", {1, 2})").asString(), "1,2");
+  EXPECT_EQ(evalConst("join(\",\", {})").asString(), "");
+  EXPECT_TRUE(evalConst("join(\",\", {[a=1]})").isError());
+}
+
+TEST(StringListTest, JoinSplitRoundTrip) {
+  EXPECT_EQ(
+      evalConst("join(\",\", split(\"x, y, z\"))").asString(), "x,y,z");
+}
+
+TEST(RegexpTest, SearchSemantics) {
+  EXPECT_TRUE(
+      evalConst("regexp(\"cs\\\\.wisc\\\\.edu$\", \"leonardo.cs.wisc.edu\")")
+          .isBooleanTrue());
+  EXPECT_FALSE(
+      evalConst("regexp(\"^cs\", \"leonardo.cs.wisc.edu\")").asBoolean());
+}
+
+TEST(RegexpTest, CaseInsensitiveOption) {
+  EXPECT_FALSE(evalConst("regexp(\"intel\", \"INTEL\")").asBoolean());
+  EXPECT_TRUE(
+      evalConst("regexp(\"intel\", \"INTEL\", \"i\")").isBooleanTrue());
+}
+
+TEST(RegexpTest, FullMatchOption) {
+  EXPECT_TRUE(
+      evalConst("regexp(\"node[0-9]+\", \"node42\", \"f\")").isBooleanTrue());
+  EXPECT_FALSE(
+      evalConst("regexp(\"node[0-9]+\", \"node42x\", \"f\")").asBoolean());
+  // Without 'f', search still hits.
+  EXPECT_TRUE(
+      evalConst("regexp(\"node[0-9]+\", \"node42x\")").isBooleanTrue());
+}
+
+TEST(RegexpTest, BadPatternIsError) {
+  EXPECT_TRUE(evalConst("regexp(\"(unclosed\", \"x\")").isError());
+  EXPECT_TRUE(evalConst("regexp(\"a\", \"b\", \"q\")").isError());
+}
+
+TEST(RegexpTest, PolicyIdiom) {
+  // A realistic owner policy: only serve submitters from campus hosts.
+  ClassAd machine;
+  machine.setExpr("Constraint",
+                  "regexp(\"\\\\.wisc\\\\.edu$\", other.SubmitHost)");
+  ClassAd campus;
+  campus.set("SubmitHost", "sol.cs.wisc.edu");
+  ClassAd offsite;
+  offsite.set("SubmitHost", "evil.example.com");
+  EXPECT_TRUE(machine.evaluate("Constraint", &campus).isBooleanTrue());
+  EXPECT_FALSE(machine.evaluate("Constraint", &offsite).isBooleanTrue());
+}
+
+}  // namespace
+}  // namespace classad

@@ -1,0 +1,207 @@
+// The built-in function library, function by function, including the
+// member() semantics Figure 1's policy depends on.
+#include "classad/builtins.h"
+
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+
+namespace classad {
+namespace {
+
+Value evalConst(const std::string& text) {
+  ClassAd empty;
+  return empty.evaluate(text);
+}
+
+// --- member ---------------------------------------------------------------
+
+struct MemberCase {
+  const char* expr;
+  const char* expect;  // "true" / "false" / "undefined" / "error"
+};
+
+class MemberTest : public ::testing::TestWithParam<MemberCase> {};
+
+TEST_P(MemberTest, Semantics) {
+  const Value v = evalConst(GetParam().expr);
+  EXPECT_EQ(v.toLiteralString(), GetParam().expect) << GetParam().expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MemberTest,
+    ::testing::Values(
+        MemberCase{"member(2, {1, 2, 3})", "true"},
+        MemberCase{"member(4, {1, 2, 3})", "false"},
+        MemberCase{"member(2.0, {1, 2, 3})", "true"},  // == promotion
+        MemberCase{"member(\"raman\", {\"raman\", \"miron\"})", "true"},
+        // Strings compare case-insensitively under ==.
+        MemberCase{"member(\"RAMAN\", {\"raman\"})", "true"},
+        MemberCase{"member(\"rival\", {\"raman\", \"miron\"})", "false"},
+        MemberCase{"member(undefined, {1, 2})", "undefined"},
+        MemberCase{"member(1, undefined)", "undefined"},
+        MemberCase{"member(1, error)", "error"},
+        MemberCase{"member(1, 5)", "error"},  // not a list
+        MemberCase{"member(1, {})", "false"},
+        // Mismatched-type elements are skipped, not errors.
+        MemberCase{"member(1, {\"x\", 1})", "true"},
+        MemberCase{"member(1, {\"x\"})", "false"},
+        // An undefined element leaves a no-match outcome undefined...
+        MemberCase{"member(1, {undefined, 2})", "undefined"},
+        // ...but a definite hit wins.
+        MemberCase{"member(1, {undefined, 1})", "true"}));
+
+TEST(BuiltinsTest, IdenticalMemberIsCaseSensitive) {
+  EXPECT_TRUE(evalConst("identicalMember(\"a\", {\"a\"})").isBooleanTrue());
+  EXPECT_FALSE(evalConst("identicalMember(\"A\", {\"a\"})").asBoolean());
+  EXPECT_TRUE(
+      evalConst("identicalMember(undefined, {undefined})").isBooleanTrue());
+}
+
+// --- type predicates --------------------------------------------------------
+
+TEST(BuiltinsTest, TypePredicatesObserveExceptional) {
+  EXPECT_TRUE(evalConst("isUndefined(undefined)").isBooleanTrue());
+  EXPECT_FALSE(evalConst("isUndefined(1)").asBoolean());
+  EXPECT_TRUE(evalConst("isError(error)").isBooleanTrue());
+  EXPECT_TRUE(evalConst("isError(1/0)").isBooleanTrue());
+  EXPECT_TRUE(evalConst("isString(\"x\")").isBooleanTrue());
+  EXPECT_TRUE(evalConst("isInteger(3)").isBooleanTrue());
+  EXPECT_FALSE(evalConst("isInteger(3.0)").asBoolean());
+  EXPECT_TRUE(evalConst("isReal(3.0)").isBooleanTrue());
+  EXPECT_TRUE(evalConst("isNumber(3)").isBooleanTrue());
+  EXPECT_TRUE(evalConst("isNumber(3.5)").isBooleanTrue());
+  EXPECT_TRUE(evalConst("isBoolean(true)").isBooleanTrue());
+  EXPECT_TRUE(evalConst("isList({1})").isBooleanTrue());
+  EXPECT_TRUE(evalConst("isClassAd([a=1])").isBooleanTrue());
+}
+
+// --- strings ----------------------------------------------------------------
+
+TEST(BuiltinsTest, Strcat) {
+  EXPECT_EQ(evalConst("strcat(\"a\", \"b\", \"c\")").asString(), "abc");
+  EXPECT_EQ(evalConst("strcat(\"mem=\", 64)").asString(), "mem=64");
+  EXPECT_TRUE(evalConst("strcat(\"a\", undefined)").isUndefined());
+  EXPECT_TRUE(evalConst("strcat(\"a\", {1})").isError());
+}
+
+TEST(BuiltinsTest, Substr) {
+  EXPECT_EQ(evalConst("substr(\"leonardo\", 0, 3)").asString(), "leo");
+  EXPECT_EQ(evalConst("substr(\"leonardo\", 4)").asString(), "ardo");
+  EXPECT_EQ(evalConst("substr(\"leonardo\", -4)").asString(), "ardo");
+  EXPECT_EQ(evalConst("substr(\"abc\", 1, 100)").asString(), "bc");
+  EXPECT_EQ(evalConst("substr(\"abc\", 10)").asString(), "");
+  EXPECT_TRUE(evalConst("substr(1, 2)").isError());
+}
+
+TEST(BuiltinsTest, CaseConversion) {
+  EXPECT_EQ(evalConst("toUpper(\"intel\")").asString(), "INTEL");
+  EXPECT_EQ(evalConst("toLower(\"SOLARIS251\")").asString(), "solaris251");
+}
+
+TEST(BuiltinsTest, StrcmpFamily) {
+  EXPECT_EQ(evalConst("strcmp(\"a\", \"b\")").asInteger(), -1);
+  EXPECT_EQ(evalConst("strcmp(\"b\", \"a\")").asInteger(), 1);
+  EXPECT_EQ(evalConst("strcmp(\"a\", \"a\")").asInteger(), 0);
+  EXPECT_NE(evalConst("strcmp(\"A\", \"a\")").asInteger(), 0);
+  EXPECT_EQ(evalConst("stricmp(\"A\", \"a\")").asInteger(), 0);
+}
+
+// --- numeric ----------------------------------------------------------------
+
+TEST(BuiltinsTest, FloorCeilingRound) {
+  EXPECT_EQ(evalConst("floor(2.7)").asInteger(), 2);
+  EXPECT_EQ(evalConst("floor(-2.1)").asInteger(), -3);
+  EXPECT_EQ(evalConst("ceiling(2.1)").asInteger(), 3);
+  EXPECT_EQ(evalConst("round(2.5)").asInteger(), 3);
+  EXPECT_EQ(evalConst("round(2.4)").asInteger(), 2);
+  EXPECT_EQ(evalConst("floor(7)").asInteger(), 7);  // ints pass through
+}
+
+TEST(BuiltinsTest, AbsSqrtPow) {
+  EXPECT_EQ(evalConst("abs(-5)").asInteger(), 5);
+  EXPECT_DOUBLE_EQ(evalConst("abs(-2.5)").asReal(), 2.5);
+  EXPECT_DOUBLE_EQ(evalConst("sqrt(16)").asReal(), 4.0);
+  EXPECT_TRUE(evalConst("sqrt(-1)").isError());
+  EXPECT_DOUBLE_EQ(evalConst("pow(2, 10)").asReal(), 1024.0);
+}
+
+TEST(BuiltinsTest, MinMaxSumAvgOverLists) {
+  EXPECT_EQ(evalConst("min({3, 1, 2})").asInteger(), 1);
+  EXPECT_EQ(evalConst("max({3, 1, 2})").asInteger(), 3);
+  EXPECT_EQ(evalConst("sum({1, 2, 3})").asInteger(), 6);
+  EXPECT_DOUBLE_EQ(evalConst("avg({1, 2, 3, 4})").asReal(), 2.5);
+  EXPECT_EQ(evalConst("min(4, 7)").asInteger(), 4);  // variadic form
+  EXPECT_TRUE(evalConst("min({})").isUndefined());
+  EXPECT_TRUE(evalConst("sum({1, \"x\"})").isError());
+}
+
+// --- conversions -------------------------------------------------------------
+
+TEST(BuiltinsTest, IntConversion) {
+  EXPECT_EQ(evalConst("int(3.9)").asInteger(), 3);
+  EXPECT_EQ(evalConst("int(\"42\")").asInteger(), 42);
+  EXPECT_EQ(evalConst("int(true)").asInteger(), 1);
+  EXPECT_TRUE(evalConst("int(\"x\")").isError());
+  EXPECT_TRUE(evalConst("int(undefined)").isUndefined());
+}
+
+TEST(BuiltinsTest, RealConversion) {
+  EXPECT_DOUBLE_EQ(evalConst("real(3)").asReal(), 3.0);
+  EXPECT_DOUBLE_EQ(evalConst("real(\"2.5\")").asReal(), 2.5);
+  EXPECT_TRUE(evalConst("real(\"INF\")").isReal());
+}
+
+TEST(BuiltinsTest, StringConversion) {
+  EXPECT_EQ(evalConst("string(42)").asString(), "42");
+  EXPECT_EQ(evalConst("string(true)").asString(), "true");
+  EXPECT_EQ(evalConst("string(\"already\")").asString(), "already");
+}
+
+TEST(BuiltinsTest, BoolConversion) {
+  EXPECT_TRUE(evalConst("bool(1)").isBooleanTrue());
+  EXPECT_FALSE(evalConst("bool(0)").asBoolean());
+  EXPECT_TRUE(evalConst("bool(\"TRUE\")").isBooleanTrue());
+  EXPECT_TRUE(evalConst("bool(\"maybe\")").isError());
+}
+
+// --- misc ---------------------------------------------------------------------
+
+TEST(BuiltinsTest, Size) {
+  EXPECT_EQ(evalConst("size({1, 2, 3})").asInteger(), 3);
+  EXPECT_EQ(evalConst("size(\"hello\")").asInteger(), 5);
+  EXPECT_EQ(evalConst("size([a=1; b=2])").asInteger(), 2);
+  EXPECT_TRUE(evalConst("size(5)").isError());
+}
+
+TEST(BuiltinsTest, IfThenElse) {
+  EXPECT_EQ(evalConst("ifThenElse(true, 1, 2)").asInteger(), 1);
+  EXPECT_EQ(evalConst("ifThenElse(false, 1, 2)").asInteger(), 2);
+  EXPECT_TRUE(evalConst("ifThenElse(undefined, 1, 2)").isUndefined());
+}
+
+TEST(BuiltinsTest, UnknownFunctionIsError) {
+  const Value v = evalConst("noSuchFunction(1)");
+  ASSERT_TRUE(v.isError());
+  EXPECT_NE(v.errorReason().find("noSuchFunction"), std::string::npos);
+}
+
+TEST(BuiltinsTest, WrongArityIsError) {
+  EXPECT_TRUE(evalConst("member(1)").isError());
+  EXPECT_TRUE(evalConst("size()").isError());
+  EXPECT_TRUE(evalConst("floor(1, 2)").isError());
+}
+
+TEST(BuiltinsTest, NamesAreCaseInsensitive) {
+  EXPECT_TRUE(evalConst("MEMBER(1, {1})").isBooleanTrue());
+  EXPECT_TRUE(evalConst("Member(1, {1})").isBooleanTrue());
+}
+
+TEST(BuiltinsTest, BuiltinNamesListIsSortedAndNonEmpty) {
+  const auto names = builtinNames();
+  ASSERT_FALSE(names.empty());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace classad

@@ -1,0 +1,141 @@
+// The ClassAd container: case-insensitive attribute map with insertion
+// order, typed accessors, unparse, and the structural signature used by
+// aggregation.
+#include "classad/classad.h"
+
+#include <gtest/gtest.h>
+
+namespace classad {
+namespace {
+
+TEST(ClassAdTest, InsertAndLookup) {
+  ClassAd ad;
+  ad.set("Memory", 64);
+  EXPECT_TRUE(ad.contains("Memory"));
+  EXPECT_TRUE(ad.contains("memory"));
+  EXPECT_TRUE(ad.contains("MEMORY"));
+  EXPECT_FALSE(ad.contains("Disk"));
+  EXPECT_EQ(ad.size(), 1u);
+}
+
+TEST(ClassAdTest, ReplaceKeepsOriginalSpellingAndPosition) {
+  ClassAd ad;
+  ad.set("Memory", 64);
+  ad.set("Disk", 100);
+  ad.set("MEMORY", 128);  // replaces, does not append
+  EXPECT_EQ(ad.size(), 2u);
+  EXPECT_EQ(ad.attributes()[0].first, "Memory");
+  EXPECT_EQ(ad.getInteger("memory").value(), 128);
+}
+
+TEST(ClassAdTest, RemoveShiftsIndex) {
+  ClassAd ad;
+  ad.set("A", 1);
+  ad.set("B", 2);
+  ad.set("C", 3);
+  EXPECT_TRUE(ad.remove("b"));
+  EXPECT_FALSE(ad.remove("b"));
+  EXPECT_EQ(ad.size(), 2u);
+  EXPECT_EQ(ad.getInteger("C").value(), 3);
+  EXPECT_EQ(ad.getInteger("A").value(), 1);
+}
+
+TEST(ClassAdTest, ClearEmpties) {
+  ClassAd ad;
+  ad.set("A", 1);
+  ad.clear();
+  EXPECT_TRUE(ad.empty());
+  EXPECT_FALSE(ad.contains("A"));
+}
+
+TEST(ClassAdTest, SettersCoverTypes) {
+  ClassAd ad;
+  ad.set("I", 42);
+  ad.set("R", 2.5);
+  ad.set("B", true);
+  ad.set("S", "hello");
+  ad.set("L", std::vector<std::string>{"x", "y"});
+  ad.setExpr("E", "I + 1");
+  EXPECT_EQ(ad.getInteger("I").value(), 42);
+  EXPECT_DOUBLE_EQ(ad.getNumber("R").value(), 2.5);
+  EXPECT_EQ(ad.getBoolean("B").value(), true);
+  EXPECT_EQ(ad.getString("S").value(), "hello");
+  EXPECT_TRUE(ad.evaluateAttr("L").isList());
+  EXPECT_EQ(ad.getInteger("E").value(), 43);
+}
+
+TEST(ClassAdTest, TypedGettersRejectWrongTypes) {
+  ClassAd ad;
+  ad.set("S", "not a number");
+  EXPECT_FALSE(ad.getInteger("S").has_value());
+  EXPECT_FALSE(ad.getNumber("S").has_value());
+  EXPECT_FALSE(ad.getBoolean("S").has_value());
+  EXPECT_FALSE(ad.getString("Missing").has_value());
+}
+
+TEST(ClassAdTest, GetNumberAcceptsIntegers) {
+  ClassAd ad;
+  ad.set("I", 42);
+  EXPECT_DOUBLE_EQ(ad.getNumber("I").value(), 42.0);
+}
+
+TEST(ClassAdTest, CopyIsDeepForTable) {
+  ClassAd a;
+  a.set("X", 1);
+  ClassAd b = a;
+  b.set("X", 2);
+  EXPECT_EQ(a.getInteger("X").value(), 1);
+  EXPECT_EQ(b.getInteger("X").value(), 2);
+}
+
+TEST(ClassAdTest, UnparsePreservesInsertionOrder) {
+  ClassAd ad;
+  ad.set("Zed", 1);
+  ad.set("Alpha", 2);
+  const std::string text = ad.unparse();
+  EXPECT_LT(text.find("Zed"), text.find("Alpha"));
+}
+
+TEST(ClassAdTest, EvaluateAttrUsesSelf) {
+  ClassAd ad = ClassAd::parse("[Base = 2; Derived = Base * Base]");
+  EXPECT_EQ(ad.evaluateAttr("Derived").asInteger(), 4);
+}
+
+TEST(ClassAdTest, EvaluateTextThrowsOnBadSyntax) {
+  ClassAd ad;
+  EXPECT_THROW(ad.evaluate("1 +"), ParseError);
+}
+
+TEST(ClassAdTest, SignatureIsOrderInsensitive) {
+  ClassAd a;
+  a.set("Memory", 64);
+  a.set("Arch", "INTEL");
+  ClassAd b;
+  b.set("Arch", "SPARC");
+  b.set("MEMORY", 32);
+  EXPECT_EQ(a.signature(), b.signature());  // names only, sorted, lowered
+  ClassAd c;
+  c.set("Memory", 64);
+  EXPECT_NE(a.signature(), c.signature());
+}
+
+TEST(ClassAdTest, MakeSharedWrapsValue) {
+  ClassAd ad;
+  ad.set("X", 1);
+  ClassAdPtr p = makeShared(std::move(ad));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->getInteger("X").value(), 1);
+}
+
+TEST(ClassAdTest, InsertManyAttributesScales) {
+  ClassAd ad;
+  for (int i = 0; i < 1000; ++i) {
+    ad.set("attr" + std::to_string(i), i);
+  }
+  EXPECT_EQ(ad.size(), 1000u);
+  EXPECT_EQ(ad.getInteger("attr999").value(), 999);
+  EXPECT_EQ(ad.getInteger("ATTR500").value(), 500);
+}
+
+}  // namespace
+}  // namespace classad

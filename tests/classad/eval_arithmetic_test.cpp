@@ -1,0 +1,139 @@
+// Semantics of the arithmetic operators: numeric promotion, boolean
+// promotion (classic-Condor 0/1), strictness over undefined/error, and
+// failure modes (division by zero, type errors).
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+
+namespace classad {
+namespace {
+
+Value evalConst(std::string_view text) {
+  ClassAd empty;
+  return empty.evaluate(text);
+}
+
+TEST(ArithmeticTest, IntegerOperations) {
+  EXPECT_EQ(evalConst("2 + 3").asInteger(), 5);
+  EXPECT_EQ(evalConst("2 - 3").asInteger(), -1);
+  EXPECT_EQ(evalConst("2 * 3").asInteger(), 6);
+  EXPECT_EQ(evalConst("7 / 2").asInteger(), 3);  // integer division
+  EXPECT_EQ(evalConst("7 % 3").asInteger(), 1);
+}
+
+TEST(ArithmeticTest, RealOperations) {
+  EXPECT_DOUBLE_EQ(evalConst("2.5 + 0.5").asReal(), 3.0);
+  EXPECT_DOUBLE_EQ(evalConst("7.0 / 2").asReal(), 3.5);
+  EXPECT_DOUBLE_EQ(evalConst("1E3 * 2").asReal(), 2000.0);
+}
+
+TEST(ArithmeticTest, MixedIntRealPromotesToReal) {
+  const Value v = evalConst("1 + 0.5");
+  ASSERT_TRUE(v.isReal());
+  EXPECT_DOUBLE_EQ(v.asReal(), 1.5);
+}
+
+TEST(ArithmeticTest, DivisionByZero) {
+  EXPECT_TRUE(evalConst("1 / 0").isError());
+  EXPECT_TRUE(evalConst("1.0 / 0.0").isError());
+  EXPECT_TRUE(evalConst("1 % 0").isError());
+}
+
+TEST(ArithmeticTest, ModulusRequiresIntegers) {
+  EXPECT_TRUE(evalConst("7.5 % 2").isError());
+}
+
+TEST(ArithmeticTest, StrictOverUndefined) {
+  EXPECT_TRUE(evalConst("undefined + 1").isUndefined());
+  EXPECT_TRUE(evalConst("1 + undefined").isUndefined());
+  EXPECT_TRUE(evalConst("undefined * undefined").isUndefined());
+}
+
+TEST(ArithmeticTest, StrictOverError) {
+  EXPECT_TRUE(evalConst("error + 1").isError());
+  EXPECT_TRUE(evalConst("1 - error").isError());
+  // Error dominates undefined in arithmetic.
+  EXPECT_TRUE(evalConst("error + undefined").isError());
+}
+
+TEST(ArithmeticTest, StringsDoNotAdd) {
+  EXPECT_TRUE(evalConst("\"a\" + \"b\"").isError());
+  EXPECT_TRUE(evalConst("\"a\" * 2").isError());
+}
+
+TEST(ArithmeticTest, BooleansPromoteToIntegers) {
+  // Figure 1's Rank: member(...) * 10 + member(...).
+  EXPECT_EQ(evalConst("true * 10 + false").asInteger(), 10);
+  EXPECT_EQ(evalConst("true + true").asInteger(), 2);
+  EXPECT_EQ(evalConst("false * 10").asInteger(), 0);
+}
+
+TEST(ArithmeticTest, UnaryMinusOnReal) {
+  EXPECT_DOUBLE_EQ(evalConst("-(2.5)").asReal(), -2.5);
+}
+
+TEST(ArithmeticTest, UnaryOnNonNumericIsError) {
+  EXPECT_TRUE(evalConst("-\"x\"").isError());
+  EXPECT_TRUE(evalConst("+true").isError());  // unary +/- do not promote
+}
+
+TEST(ArithmeticTest, UnaryPropagatesExceptional) {
+  EXPECT_TRUE(evalConst("-undefined").isUndefined());
+  EXPECT_TRUE(evalConst("-error").isError());
+}
+
+// --- comparisons (strict, Section 3.2) ------------------------------------
+
+TEST(ComparisonTest, IntegerComparisons) {
+  EXPECT_TRUE(evalConst("1 < 2").isBooleanTrue());
+  EXPECT_TRUE(evalConst("2 <= 2").isBooleanTrue());
+  EXPECT_TRUE(evalConst("3 > 2").isBooleanTrue());
+  EXPECT_TRUE(evalConst("3 >= 3").isBooleanTrue());
+  EXPECT_TRUE(evalConst("3 == 3").isBooleanTrue());
+  EXPECT_TRUE(evalConst("3 != 4").isBooleanTrue());
+  EXPECT_FALSE(evalConst("4 != 4").asBoolean());
+}
+
+TEST(ComparisonTest, MixedNumericComparison) {
+  EXPECT_TRUE(evalConst("1 < 1.5").isBooleanTrue());
+  EXPECT_TRUE(evalConst("2.0 == 2").isBooleanTrue());
+}
+
+TEST(ComparisonTest, StringEqualityIsCaseInsensitive) {
+  EXPECT_TRUE(evalConst("\"INTEL\" == \"intel\"").isBooleanTrue());
+  EXPECT_TRUE(evalConst("\"abc\" < \"ABD\"").isBooleanTrue());
+  EXPECT_FALSE(evalConst("\"a\" == \"b\"").asBoolean());
+}
+
+TEST(ComparisonTest, MixedTypesAreErrors) {
+  EXPECT_TRUE(evalConst("\"1\" == 1").isError());
+  EXPECT_TRUE(evalConst("{1} == {1}").isError());  // lists do not compare
+}
+
+TEST(ComparisonTest, BooleanVsNumberPromotes) {
+  EXPECT_TRUE(evalConst("true == 1").isBooleanTrue());
+  EXPECT_TRUE(evalConst("false < 1").isBooleanTrue());
+}
+
+TEST(ComparisonTest, BooleanVsBoolean) {
+  EXPECT_TRUE(evalConst("true == true").isBooleanTrue());
+  EXPECT_TRUE(evalConst("false < true").isBooleanTrue());
+}
+
+TEST(ComparisonTest, StrictOverUndefined) {
+  // Section 3.2 lists exactly these four forms as undefined when Memory
+  // is missing.
+  ClassAd self;
+  ClassAd other;  // no Memory
+  EXPECT_TRUE(self.evaluate("other.Memory > 32", &other).isUndefined());
+  EXPECT_TRUE(self.evaluate("other.Memory == 32", &other).isUndefined());
+  EXPECT_TRUE(self.evaluate("other.Memory != 32", &other).isUndefined());
+  EXPECT_TRUE(self.evaluate("!(other.Memory == 32)", &other).isUndefined());
+}
+
+TEST(ComparisonTest, NanComparisonIsError) {
+  EXPECT_TRUE(evalConst("real(\"NaN\") < 1.0").isError());
+}
+
+}  // namespace
+}  // namespace classad

@@ -1,0 +1,173 @@
+// Three-valued logic of Section 3.2, exhaustively: && and || are
+// non-strict on BOTH arguments; ! is Kleene; is/isnt always yield
+// booleans; ?: propagates undefined/error from its condition.
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+
+namespace classad {
+namespace {
+
+Value evalConst(const std::string& text) {
+  ClassAd empty;
+  return empty.evaluate(text);
+}
+
+/// The four-valued domain of the logic tables: T, F, U(ndefined),
+/// E(rror). Non-boolean operands of && / || are type errors, which we
+/// fold into E for table purposes (tested separately).
+enum class L { T, F, U, E };
+
+const char* lit(L v) {
+  switch (v) {
+    case L::T: return "true";
+    case L::F: return "false";
+    case L::U: return "undefined";
+    case L::E: return "error";
+  }
+  return "";
+}
+
+L classify(const Value& v) {
+  if (v.isBooleanTrue()) return L::T;
+  if (v.isBoolean()) return L::F;
+  if (v.isUndefined()) return L::U;
+  return L::E;
+}
+
+struct LogicCase {
+  L a;
+  L b;
+  L andResult;
+  L orResult;
+};
+
+class KleeneTable : public ::testing::TestWithParam<LogicCase> {};
+
+TEST_P(KleeneTable, AndMatchesTable) {
+  const LogicCase c = GetParam();
+  const Value v =
+      evalConst(std::string(lit(c.a)) + " && " + lit(c.b));
+  EXPECT_EQ(classify(v), c.andResult)
+      << lit(c.a) << " && " << lit(c.b) << " = " << v.toLiteralString();
+}
+
+TEST_P(KleeneTable, OrMatchesTable) {
+  const LogicCase c = GetParam();
+  const Value v =
+      evalConst(std::string(lit(c.a)) + " || " + lit(c.b));
+  EXPECT_EQ(classify(v), c.orResult)
+      << lit(c.a) << " || " << lit(c.b) << " = " << v.toLiteralString();
+}
+
+// The full 16-entry truth table. Highlights of the paper's semantics:
+// false && undefined = false and true || undefined = true (non-strict on
+// both sides); error still dominates everything false/true can't decide.
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, KleeneTable,
+    ::testing::Values(
+        LogicCase{L::T, L::T, L::T, L::T},
+        LogicCase{L::T, L::F, L::F, L::T},
+        LogicCase{L::T, L::U, L::U, L::T},
+        LogicCase{L::T, L::E, L::E, L::T},
+        LogicCase{L::F, L::T, L::F, L::T},
+        LogicCase{L::F, L::F, L::F, L::F},
+        LogicCase{L::F, L::U, L::F, L::U},
+        LogicCase{L::F, L::E, L::F, L::E},
+        LogicCase{L::U, L::T, L::U, L::T},
+        LogicCase{L::U, L::F, L::F, L::U},
+        LogicCase{L::U, L::U, L::U, L::U},
+        LogicCase{L::U, L::E, L::E, L::E},
+        LogicCase{L::E, L::T, L::E, L::T},
+        LogicCase{L::E, L::F, L::F, L::E},
+        LogicCase{L::E, L::U, L::E, L::E},
+        LogicCase{L::E, L::E, L::E, L::E}));
+
+TEST(LogicTest, PaperOrExample) {
+  // "Mips >= 10 || Kflops >= 1000 evaluates to true whenever either of
+  // the attributes Mips or Kflops exists and satisfies the indicated
+  // bound."
+  ClassAd onlyMips;
+  onlyMips.set("Mips", 104);
+  EXPECT_TRUE(onlyMips.evaluate("Mips >= 10 || Kflops >= 1000")
+                  .isBooleanTrue());
+  ClassAd onlyKflops;
+  onlyKflops.set("Kflops", 21893);
+  EXPECT_TRUE(onlyKflops.evaluate("Mips >= 10 || Kflops >= 1000")
+                  .isBooleanTrue());
+  ClassAd neither;
+  EXPECT_TRUE(
+      neither.evaluate("Mips >= 10 || Kflops >= 1000").isUndefined());
+}
+
+TEST(LogicTest, PaperIsUndefinedIdiom) {
+  // "other.Memory is undefined || other.Memory < 32"
+  ClassAd self;
+  ClassAd noMemory;
+  EXPECT_TRUE(
+      self.evaluate("other.Memory is undefined || other.Memory < 32",
+                    &noMemory)
+          .isBooleanTrue());
+  ClassAd smallMemory;
+  smallMemory.set("Memory", 16);
+  EXPECT_TRUE(
+      self.evaluate("other.Memory is undefined || other.Memory < 32",
+                    &smallMemory)
+          .isBooleanTrue());
+  ClassAd bigMemory;
+  bigMemory.set("Memory", 64);
+  EXPECT_FALSE(
+      self.evaluate("other.Memory is undefined || other.Memory < 32",
+                    &bigMemory)
+          .isBooleanTrue());
+}
+
+TEST(LogicTest, NotIsKleene) {
+  EXPECT_FALSE(evalConst("!true").asBoolean());
+  EXPECT_TRUE(evalConst("!false").asBoolean());
+  EXPECT_TRUE(evalConst("!undefined").isUndefined());
+  EXPECT_TRUE(evalConst("!error").isError());
+  EXPECT_TRUE(evalConst("!5").isError());
+}
+
+TEST(LogicTest, NonBooleanOperandsOfConnectivesAreErrors) {
+  EXPECT_TRUE(evalConst("5 && true").isError());
+  EXPECT_TRUE(evalConst("true && 5").isError());
+  EXPECT_TRUE(evalConst("\"x\" || false").isError());
+  // ...unless the other side decides: false && <anything> is false.
+  EXPECT_FALSE(evalConst("false && 5").asBoolean());
+  EXPECT_TRUE(evalConst("true || 5").isBooleanTrue());
+}
+
+TEST(LogicTest, IsIsntNeverUndefined) {
+  EXPECT_TRUE(evalConst("undefined is undefined").isBooleanTrue());
+  EXPECT_FALSE(evalConst("undefined is error").asBoolean());
+  EXPECT_TRUE(evalConst("undefined isnt error").isBooleanTrue());
+  EXPECT_TRUE(evalConst("error is error").isBooleanTrue());
+  EXPECT_FALSE(evalConst("1 is \"1\"").asBoolean());
+  // Identity is case-SENSITIVE on strings (== is not).
+  EXPECT_FALSE(evalConst("\"INTEL\" is \"intel\"").asBoolean());
+  EXPECT_TRUE(evalConst("\"INTEL\" == \"intel\"").isBooleanTrue());
+}
+
+TEST(LogicTest, TernarySemantics) {
+  EXPECT_EQ(evalConst("true ? 1 : 2").asInteger(), 1);
+  EXPECT_EQ(evalConst("false ? 1 : 2").asInteger(), 2);
+  EXPECT_TRUE(evalConst("undefined ? 1 : 2").isUndefined());
+  EXPECT_TRUE(evalConst("error ? 1 : 2").isError());
+  EXPECT_TRUE(evalConst("3 ? 1 : 2").isError());
+}
+
+TEST(LogicTest, TernaryOnlyEvaluatesTakenBranch) {
+  // The untaken branch may be erroneous without poisoning the result.
+  EXPECT_EQ(evalConst("true ? 7 : 1/0").asInteger(), 7);
+  EXPECT_EQ(evalConst("false ? 1/0 : 7").asInteger(), 7);
+}
+
+TEST(LogicTest, ShortCircuitSkipsPoisonedRight) {
+  EXPECT_FALSE(evalConst("false && 1/0 == 0").asBoolean());
+  EXPECT_TRUE(evalConst("true || 1/0 == 0").isBooleanTrue());
+}
+
+}  // namespace
+}  // namespace classad

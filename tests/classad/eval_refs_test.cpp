@@ -1,0 +1,141 @@
+// Attribute reference semantics: self/other scopes, the self-then-other
+// fallthrough for bare names (what makes Figure 2 match Figure 1),
+// missing-attribute undefined, and circular-reference detection.
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+
+namespace classad {
+namespace {
+
+TEST(RefTest, MissingAttributeIsUndefined) {
+  ClassAd ad;
+  EXPECT_TRUE(ad.evaluate("NoSuchThing").isUndefined());
+  EXPECT_TRUE(ad.evaluateAttr("NoSuchThing").isUndefined());
+}
+
+TEST(RefTest, SelfReferenceWithinAd) {
+  ClassAd ad = ClassAd::parse("[Memory = 64; Half = Memory / 2]");
+  EXPECT_EQ(ad.evaluateAttr("Half").asInteger(), 32);
+}
+
+TEST(RefTest, ExplicitSelfPrefix) {
+  ClassAd ad = ClassAd::parse("[Memory = 64; M = self.Memory]");
+  EXPECT_EQ(ad.evaluateAttr("M").asInteger(), 64);
+}
+
+TEST(RefTest, OtherScopeRequiresCandidate) {
+  ClassAd ad = ClassAd::parse("[X = other.Memory]");
+  EXPECT_TRUE(ad.evaluateAttr("X").isUndefined());  // no other ad
+  ClassAd other;
+  other.set("Memory", 64);
+  EXPECT_EQ(ad.evaluateAttr("X", &other).asInteger(), 64);
+}
+
+TEST(RefTest, BareNameFallsThroughToOther) {
+  // The deployed-Condor rule Figure 2 relies on: `Arch` written in the
+  // job ad but defined only in the machine ad.
+  ClassAd job = ClassAd::parse("[Check = Arch == \"INTEL\"]");
+  ClassAd machine;
+  machine.set("Arch", "INTEL");
+  EXPECT_TRUE(job.evaluateAttr("Check", &machine).isBooleanTrue());
+}
+
+TEST(RefTest, SelfShadowsOtherForBareNames) {
+  ClassAd self;
+  self.set("Memory", 31);
+  self.setExpr("M", "Memory");
+  ClassAd other;
+  other.set("Memory", 64);
+  EXPECT_EQ(self.evaluateAttr("M", &other).asInteger(), 31);
+}
+
+TEST(RefTest, OtherSideExpressionEvaluatesInItsOwnFrame) {
+  // other.Rank must evaluate the other ad's Rank with the roles of
+  // self/other swapped — its bare references resolve against ITS ad.
+  ClassAd a = ClassAd::parse("[PeerScore = other.Score]");
+  ClassAd b = ClassAd::parse("[Base = 10; Score = Base * 2]");
+  EXPECT_EQ(a.evaluateAttr("PeerScore", &b).asInteger(), 20);
+}
+
+TEST(RefTest, OtherOfOtherComesBack) {
+  // In b's frame during evaluation of a's other.X, `other` is a again.
+  ClassAd a = ClassAd::parse("[Mine = 7; Echo = other.Reflect]");
+  ClassAd b = ClassAd::parse("[Reflect = other.Mine]");
+  EXPECT_EQ(a.evaluateAttr("Echo", &b).asInteger(), 7);
+}
+
+TEST(RefTest, DirectCycleIsError) {
+  ClassAd ad = ClassAd::parse("[X = X + 1]");
+  EXPECT_TRUE(ad.evaluateAttr("X").isError());
+}
+
+TEST(RefTest, MutualCycleIsError) {
+  ClassAd ad = ClassAd::parse("[A = B; B = A]");
+  EXPECT_TRUE(ad.evaluateAttr("A").isError());
+  EXPECT_TRUE(ad.evaluateAttr("B").isError());
+}
+
+TEST(RefTest, CrossAdCycleIsError) {
+  ClassAd a = ClassAd::parse("[X = other.Y]");
+  ClassAd b = ClassAd::parse("[Y = other.X]");
+  EXPECT_TRUE(a.evaluateAttr("X", &b).isError());
+}
+
+TEST(RefTest, DiamondIsNotACycle) {
+  // A attribute referenced twice along different paths is fine.
+  ClassAd ad = ClassAd::parse("[Base = 3; L = Base + 1; R = Base + 2; "
+                              "Sum = L + R]");
+  EXPECT_EQ(ad.evaluateAttr("Sum").asInteger(), 9);
+}
+
+TEST(RefTest, LegitimateRankReferenceInConstraint) {
+  // Figure 1's Constraint references Rank; with a candidate whose Owner
+  // is in neither list Rank = 0.
+  ClassAd machine = ClassAd::parse(
+      "[ResearchGroup = {\"raman\"}; Friends = {\"wright\"};"
+      " Rank = member(other.Owner, ResearchGroup) * 10 +"
+      "        member(other.Owner, Friends);"
+      " Tier = Rank >= 10 ? \"research\" : Rank > 0 ? \"friend\" :"
+      " \"other\"]");
+  ClassAd stranger;
+  stranger.set("Owner", "alice");
+  EXPECT_EQ(machine.evaluateAttr("Tier", &stranger).asString(), "other");
+  ClassAd research;
+  research.set("Owner", "raman");
+  EXPECT_EQ(machine.evaluateAttr("Tier", &research).asString(), "research");
+  ClassAd friendAd;
+  friendAd.set("Owner", "wright");
+  EXPECT_EQ(machine.evaluateAttr("Tier", &friendAd).asString(), "friend");
+}
+
+TEST(RefTest, CaseInsensitiveReferences) {
+  ClassAd ad = ClassAd::parse("[KeyboardIdle = 1432; X = keyboardidle]");
+  EXPECT_EQ(ad.evaluateAttr("x").asInteger(), 1432);
+}
+
+TEST(RefTest, ScopeExprYieldsRecord) {
+  ClassAd self;
+  self.set("A", 1);
+  self.set("B", 2);
+  self.setExpr("N", "size(self)");
+  // size(self) counts the ad's attributes (including N itself).
+  EXPECT_EQ(self.evaluateAttr("N").asInteger(), 3);
+}
+
+TEST(RefTest, NestedRecordAttributesResolveLocally) {
+  ClassAd ad = ClassAd::parse("[X = 1; R = [X = 2; Y = X * 10]]");
+  EXPECT_EQ(ad.evaluate("R.Y").asInteger(), 20);
+}
+
+TEST(RefTest, DeepRecursionIsErrorNotCrash) {
+  // A deeply nested expression hits the depth guard and yields error.
+  std::string deep = "1";
+  for (int i = 0; i < 800; ++i) deep = "(" + deep + " + 1)";
+  ClassAd ad;
+  ad.insert("X", parseExpr(deep));
+  EXPECT_TRUE(ad.evaluateAttr("X").isError());
+}
+
+}  // namespace
+}  // namespace classad

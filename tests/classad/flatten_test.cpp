@@ -1,0 +1,174 @@
+// Partial evaluation (flattening): folding of definite subexpressions,
+// residuals over `other`, inlining of self references, and the core
+// soundness property — flattening never changes what a constraint means.
+#include "classad/flatten.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/paper_ads.h"
+
+namespace classad {
+namespace {
+
+std::string flatText(const ClassAd& self, const std::string& expr) {
+  return flatten(parseExpr(expr), self)->toString();
+}
+
+TEST(FlattenTest, GroundExpressionsFoldToLiterals) {
+  ClassAd empty;
+  EXPECT_EQ(flatText(empty, "2 + 3 * 4"), "14");
+  EXPECT_EQ(flatText(empty, "\"a\" == \"A\""), "true");
+  EXPECT_EQ(flatText(empty, "member(2, {1, 2})"), "true");
+}
+
+TEST(FlattenTest, SelfAttributesFold) {
+  ClassAd self;
+  self.set("Memory", 64);
+  EXPECT_EQ(flatText(self, "Memory / 2"), "32");
+  EXPECT_EQ(flatText(self, "self.Memory >= 32"), "true");
+}
+
+TEST(FlattenTest, OtherReferencesRemainResidual) {
+  ClassAd self;
+  self.set("Memory", 64);
+  EXPECT_EQ(flatText(self, "other.Memory >= self.Memory"),
+            "other.Memory >= 64");
+}
+
+TEST(FlattenTest, MissingSelfAttributeStaysResidual) {
+  // It may resolve in `other` at match time (the fallthrough rule).
+  ClassAd self;
+  EXPECT_EQ(flatText(self, "Arch == \"INTEL\""), "Arch == \"INTEL\"");
+}
+
+TEST(FlattenTest, DefiniteTernarySelectsBranch) {
+  ClassAd self;
+  self.set("DayTime", 22 * 3600);
+  EXPECT_EQ(flatText(self, "DayTime > 18*3600 ? other.A : other.B"),
+            "other.A");
+}
+
+TEST(FlattenTest, ShortCircuitFolds) {
+  ClassAd self;
+  self.set("Enabled", false);
+  EXPECT_EQ(flatText(self, "Enabled && other.Memory > 32"), "false");
+  self.set("Enabled", true);
+  EXPECT_EQ(flatText(self, "Enabled || other.Memory > 32"), "true");
+}
+
+TEST(FlattenTest, InlinesIndefiniteSelfReferences) {
+  ClassAd self = ClassAd::parse(
+      "[Threshold = Base * 2; Base = 16;"
+      " C = other.Memory >= Threshold]");
+  // Threshold is definite (32) and folds straight into the residual.
+  EXPECT_EQ(flatten(*self.lookup("C"), self)->toString(),
+            "other.Memory >= 32");
+}
+
+TEST(FlattenTest, InliningCanBeDisabled) {
+  ClassAd self = ClassAd::parse("[R = member(other.Owner, {\"a\"});"
+                                " C = R && other.X > 1]");
+  FlattenOptions keepRefs;
+  keepRefs.inlineSelfReferences = false;
+  const std::string text =
+      flatten(*self.lookup("C"), self, keepRefs)->toString();
+  EXPECT_EQ(text, "R && other.X > 1");
+}
+
+TEST(FlattenTest, InliningExpandsPolicyReferences) {
+  ClassAd self = ClassAd::parse("[R = member(other.Owner, {\"a\"});"
+                                " C = R && other.X > 1]");
+  const std::string text = flatten(*self.lookup("C"), self)->toString();
+  EXPECT_EQ(text, "member(other.Owner, { \"a\" }) && other.X > 1");
+}
+
+TEST(FlattenTest, CycleLeavesReference) {
+  ClassAd self = ClassAd::parse("[A = B && other.X; B = A && other.Y]");
+  // Inlining A -> B -> A stops at the cycle; no hang, and the residual
+  // still errors at runtime exactly like the original.
+  const ExprPtr flat = flatten(*self.lookup("A"), self);
+  ClassAd other;
+  other.set("X", true);
+  other.set("Y", true);
+  EXPECT_TRUE(self.evaluate(*flat, &other).isError());
+  EXPECT_TRUE(self.evaluateAttr("A", &other).isError());
+}
+
+TEST(FlattenTest, Figure1ConstraintFlattensToOwnerResidual) {
+  // The machine knows everything except who the customer is: the entire
+  // policy reduces to membership tests on other.Owner (plus constants).
+  ClassAd machine = htcsim::makeFigure1AdIntended();
+  machine.set("DayTime", 12 * 3600.0);    // noon
+  machine.set("KeyboardIdle", 30 * 60.0); // idle workstation
+  machine.set("LoadAvg", 0.05);
+  const ExprPtr residual = flattenAttribute(machine, "Constraint");
+  ASSERT_NE(residual, nullptr);
+  const std::string text = residual->toString();
+  // Only other.Owner references survive.
+  std::vector<std::string> refs;
+  collectAttrRefs(*residual, refs);
+  for (const std::string& r : refs) {
+    EXPECT_EQ(r, "owner") << text;
+  }
+}
+
+TEST(FlattenTest, FlattenAttributeMissingReturnsNull) {
+  ClassAd self;
+  EXPECT_EQ(flattenAttribute(self, "NoSuch"), nullptr);
+}
+
+TEST(FlattenTest, IsGround) {
+  EXPECT_TRUE(isGround(*parseExpr("1 + 2")));
+  EXPECT_TRUE(isGround(*parseExpr("{1, \"x\"}")));
+  EXPECT_FALSE(isGround(*parseExpr("Memory")));
+  EXPECT_FALSE(isGround(*parseExpr("other.Memory + 1")));
+  EXPECT_FALSE(isGround(*parseExpr("size(self)")));
+}
+
+// --- the soundness property, parameterized over expression/ad pairs ------
+
+struct EquivCase {
+  const char* expr;
+};
+
+class FlattenEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(FlattenEquivalence, ResidualEvaluatesIdentically) {
+  ClassAd self = ClassAd::parse(
+      "[Memory = 64; Arch = \"INTEL\"; LoadAvg = 0.05; KeyboardIdle = 1800;"
+      " Untrusted = {\"rival\"}; Threshold = Memory / 2;"
+      " Rank = member(other.Owner, {\"raman\"}) * 10]");
+  const ExprPtr original = parseExpr(GetParam().expr);
+  const ExprPtr residual = flatten(original, self);
+  const ClassAd others[] = {
+      ClassAd::parse("[Owner = \"raman\"; Memory = 32; Type = \"Job\"]"),
+      ClassAd::parse("[Owner = \"rival\"; Memory = 128]"),
+      ClassAd::parse("[]"),
+      ClassAd::parse("[Owner = \"alice\"; Mips = 104]"),
+  };
+  for (const ClassAd& other : others) {
+    const Value a = self.evaluate(*original, &other);
+    const Value b = self.evaluate(*residual, &other);
+    EXPECT_TRUE(a.isIdenticalTo(b))
+        << GetParam().expr << " -> " << residual->toString() << " : "
+        << a.toLiteralString() << " vs " << b.toLiteralString()
+        << " against " << other.unparse();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, FlattenEquivalence,
+    ::testing::Values(
+        EquivCase{"other.Memory >= self.Memory"},
+        EquivCase{"Memory >= other.Memory"},
+        EquivCase{"!member(other.Owner, Untrusted) && LoadAvg < 0.3"},
+        EquivCase{"Rank >= 10 ? true : KeyboardIdle > 900"},
+        EquivCase{"Rank + other.Memory / Threshold"},
+        EquivCase{"other.Type == \"Job\" && Arch == \"INTEL\""},
+        EquivCase{"other.Mips >= 10 || other.KFlops >= 1000"},
+        EquivCase{"other.Memory is undefined || other.Memory < Threshold"},
+        EquivCase{"{Memory, other.Memory}[1]"},
+        EquivCase{"strcat(Arch, \"/\", other.Owner)"}));
+
+}  // namespace
+}  // namespace classad

@@ -1,0 +1,175 @@
+// JSON interchange: serialization mapping, the $expr/$error/$real special
+// forms, and the round-trip property.
+#include "classad/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "classad/match.h"
+#include "sim/paper_ads.h"
+
+namespace classad {
+namespace {
+
+TEST(JsonTest, LiteralsSerializeNatively) {
+  ClassAd ad;
+  ad.set("I", 42);
+  ad.set("R", 2.5);
+  ad.set("B", true);
+  ad.set("S", "INTEL");
+  EXPECT_EQ(toJson(ad),
+            R"({"I":42,"R":2.5,"B":true,"S":"INTEL"})");
+}
+
+TEST(JsonTest, UndefinedIsNull) {
+  ClassAd ad;
+  ad.insert("U", LiteralExpr::make(Value::undefined()));
+  EXPECT_EQ(toJson(ad), R"({"U":null})");
+}
+
+TEST(JsonTest, ErrorIsSpecialForm) {
+  ClassAd ad;
+  ad.insert("E", LiteralExpr::make(Value::error("boom")));
+  EXPECT_EQ(toJson(ad), R"({"E":{"$error": "boom"}})");
+}
+
+TEST(JsonTest, ExpressionsBecomeExprForm) {
+  ClassAd ad;
+  ad.setExpr("Rank", "other.Memory / 32");
+  EXPECT_EQ(toJson(ad), R"({"Rank":{"$expr": "other.Memory / 32"}})");
+}
+
+TEST(JsonTest, ListsAndRecordsNest) {
+  ClassAd ad = ClassAd::parse(
+      "[Friends = { \"tannenba\", \"wright\" }; Sub = [x = 1]]");
+  EXPECT_EQ(toJson(ad),
+            R"({"Friends":["tannenba","wright"],"Sub":{"x":1}})");
+}
+
+TEST(JsonTest, MixedListKeepsExprElements) {
+  ClassAd ad = ClassAd::parse("[L = { 1, other.X }]");
+  EXPECT_EQ(toJson(ad), R"({"L":[1,{"$expr": "other.X"}]})");
+}
+
+TEST(JsonTest, RealsKeepDecimalPoint) {
+  ClassAd ad;
+  ad.set("R", 64.0);
+  EXPECT_EQ(toJson(ad), R"({"R":64.0})");
+}
+
+TEST(JsonTest, NonFiniteRealsUseRealForm) {
+  ClassAd ad;
+  ad.setExpr("N", "real(\"NaN\")");
+  ad.setExpr("P", "real(\"INF\")");
+  // These are function-call expressions, so they serialize as $expr; but
+  // VALUES serialize via the $real form:
+  EXPECT_EQ(toJson(Value::real(std::numeric_limits<double>::infinity())),
+            R"({"$real": "Infinity"})");
+}
+
+TEST(JsonTest, StringsEscape) {
+  ClassAd ad;
+  ad.set("S", std::string("a\"b\\c\nd"));
+  EXPECT_EQ(toJson(ad), "{\"S\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  ClassAd ad;
+  ad.set("A", 1);
+  ad.set("B", 2);
+  JsonOptions pretty;
+  pretty.pretty = true;
+  const std::string text = toJson(ad, pretty);
+  EXPECT_NE(text.find("{\n  \"A\": 1,\n  \"B\": 2\n}"), std::string::npos);
+}
+
+TEST(JsonParseTest, BasicObject) {
+  const ClassAd ad = adFromJson(
+      R"({"Memory": 64, "Arch": "INTEL", "Busy": false, "Load": 0.5})");
+  EXPECT_EQ(ad.getInteger("Memory").value(), 64);
+  EXPECT_EQ(ad.getString("Arch").value(), "INTEL");
+  EXPECT_EQ(ad.getBoolean("Busy").value(), false);
+  EXPECT_DOUBLE_EQ(ad.getNumber("Load").value(), 0.5);
+}
+
+TEST(JsonParseTest, ExprFormParses) {
+  const ClassAd ad =
+      adFromJson(R"({"Rank": {"$expr": "other.Memory / 32"}})");
+  ClassAd other;
+  other.set("Memory", 64);
+  EXPECT_EQ(ad.evaluateAttr("Rank", &other).asInteger(), 2);
+}
+
+TEST(JsonParseTest, NullIsUndefined) {
+  const ClassAd ad = adFromJson(R"({"U": null})");
+  EXPECT_TRUE(ad.evaluateAttr("U").isUndefined());
+}
+
+TEST(JsonParseTest, ErrorFormParses) {
+  const ClassAd ad = adFromJson(R"({"E": {"$error": "boom"}})");
+  const Value v = ad.evaluateAttr("E");
+  ASSERT_TRUE(v.isError());
+  EXPECT_EQ(v.errorReason(), "boom");
+}
+
+TEST(JsonParseTest, NestedArraysAndObjects) {
+  const ClassAd ad = adFromJson(
+      R"({"Friends": ["a", "b"], "Sub": {"x": 1, "y": [2, 3]}})");
+  const Value friends = ad.evaluateAttr("Friends");
+  ASSERT_TRUE(friends.isList());
+  EXPECT_EQ(friends.asList()->size(), 2u);
+  EXPECT_EQ(ad.evaluate("Sub.y[1]").asInteger(), 3);
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  const ClassAd ad = adFromJson(R"({"S": "Aé"})");
+  EXPECT_EQ(ad.getString("S").value(), "A\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsGarbage) {
+  EXPECT_THROW(adFromJson("not json"), ParseError);
+  EXPECT_THROW(adFromJson("{\"a\": }"), ParseError);
+  EXPECT_THROW(adFromJson("{\"a\": 1} extra"), ParseError);
+  EXPECT_THROW(adFromJson("{\"a\": 1"), ParseError);
+  EXPECT_THROW(adFromJson("{\"a\" 1}"), ParseError);
+  std::string message;
+  EXPECT_FALSE(tryAdFromJson("[1, 2]", &message).has_value());
+  EXPECT_FALSE(message.empty());
+}
+
+// --- round-trip property ---------------------------------------------------
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, JsonOfParsedAdReparsesIdentically) {
+  const ClassAd original = ClassAd::parse(GetParam());
+  const std::string json = toJson(original);
+  const ClassAd back = adFromJson(json);
+  // Same JSON again, and same classad surface syntax.
+  EXPECT_EQ(toJson(back), json);
+  EXPECT_EQ(back.unparse(), original.unparse());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JsonRoundTrip,
+    ::testing::Values(
+        "[a = 1; b = \"x\"; c = true; d = 2.5]",
+        "[L = { 1, 2, \"three\" }]",
+        "[Sub = [x = 1; y = [z = 2]]]",
+        "[Rank = other.Memory / 32; Constraint = other.Type == \"Job\"]",
+        "[U = undefined; E = error]",
+        "[Mixed = { 1, other.X, [k = 2] }]",
+        "[]"));
+
+TEST(JsonRoundTrip, Figure1SurvivesJson) {
+  const ClassAd fig1 = htcsim::makeFigure1Ad();
+  const ClassAd back = adFromJson(toJson(fig1));
+  EXPECT_EQ(back.unparse(), fig1.unparse());
+  // And it still matches Figure 2 after the trip.
+  const ClassAd fig2 = adFromJson(toJson(htcsim::makeFigure2Ad()));
+  EXPECT_TRUE(symmetricMatch(fig2, back));
+}
+
+}  // namespace
+}  // namespace classad

@@ -1,0 +1,165 @@
+// Unit tests for the tokenizer: literals, operators, comments, and the
+// error positions reported for malformed input.
+#include "classad/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+
+namespace classad {
+namespace {
+
+std::vector<TokenKind> kindsOf(std::string_view src) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokenize(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::End);
+}
+
+TEST(LexerTest, Integers) {
+  const auto tokens = tokenize("42 0 1234567890123");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].intValue, 42);
+  EXPECT_EQ(tokens[1].intValue, 0);
+  EXPECT_EQ(tokens[2].intValue, 1234567890123LL);
+}
+
+TEST(LexerTest, Reals) {
+  const auto tokens = tokenize("3.5 0.042969 1E3 2.5e-2 7e+2");
+  ASSERT_EQ(tokens.size(), 6u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(tokens[i].kind, TokenKind::Real);
+  EXPECT_DOUBLE_EQ(tokens[0].realValue, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[1].realValue, 0.042969);
+  EXPECT_DOUBLE_EQ(tokens[2].realValue, 1000.0);  // Figure 2's 1E3
+  EXPECT_DOUBLE_EQ(tokens[3].realValue, 0.025);
+  EXPECT_DOUBLE_EQ(tokens[4].realValue, 700.0);
+}
+
+TEST(LexerTest, ENotFollowedByExponentIsIdentifier) {
+  const auto tokens = tokenize("2Emails");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::Integer);
+  EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[1].text, "Emails");
+}
+
+TEST(LexerTest, HugeIntegerDegradesToReal) {
+  const auto tokens = tokenize("99999999999999999999999999");
+  EXPECT_EQ(tokens[0].kind, TokenKind::Real);
+}
+
+TEST(LexerTest, Strings) {
+  const auto tokens = tokenize(R"("leonardo.cs.wisc.edu" "a\"b" "tab\there")");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "leonardo.cs.wisc.edu");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+  EXPECT_EQ(tokens[2].text, "tab\there");
+}
+
+TEST(LexerTest, UnterminatedStringThrowsWithPosition) {
+  try {
+    tokenize("x = \"oops");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+  }
+}
+
+TEST(LexerTest, UnknownEscapeThrows) {
+  EXPECT_THROW(tokenize(R"("bad\q")"), ParseError);
+}
+
+TEST(LexerTest, LineComments) {
+  const auto kinds = kindsOf("1 // comment to end of line\n2");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::Integer,
+                                           TokenKind::Integer,
+                                           TokenKind::End}));
+}
+
+TEST(LexerTest, BlockComments) {
+  const auto kinds = kindsOf("1 /* multi\nline */ 2");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::Integer,
+                                           TokenKind::Integer,
+                                           TokenKind::End}));
+}
+
+TEST(LexerTest, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(tokenize("1 /* never closed"), ParseError);
+}
+
+TEST(LexerTest, OperatorsSingleAndDouble) {
+  const auto kinds = kindsOf("< <= > >= == != = && || ! ? : . , ; % * / + -");
+  const std::vector<TokenKind> want = {
+      TokenKind::Less,     TokenKind::LessEq,   TokenKind::Greater,
+      TokenKind::GreaterEq, TokenKind::EqualEq, TokenKind::NotEq,
+      TokenKind::Assign,   TokenKind::AndAnd,   TokenKind::OrOr,
+      TokenKind::Bang,     TokenKind::Question, TokenKind::Colon,
+      TokenKind::Dot,      TokenKind::Comma,    TokenKind::Semicolon,
+      TokenKind::Percent,  TokenKind::Star,     TokenKind::Slash,
+      TokenKind::Plus,     TokenKind::Minus,    TokenKind::End};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, Brackets) {
+  const auto kinds = kindsOf("[ ] { } ( )");
+  const std::vector<TokenKind> want = {
+      TokenKind::LBracket, TokenKind::RBracket, TokenKind::LBrace,
+      TokenKind::RBrace,   TokenKind::LParen,   TokenKind::RParen,
+      TokenKind::End};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, StrayAmpersandThrows) {
+  EXPECT_THROW(tokenize("a & b"), ParseError);
+  EXPECT_THROW(tokenize("a | b"), ParseError);
+}
+
+TEST(LexerTest, UnexpectedCharacterThrows) {
+  EXPECT_THROW(tokenize("a $ b"), ParseError);
+  EXPECT_THROW(tokenize("a @ b"), ParseError);
+}
+
+TEST(LexerTest, IdentifiersWithUnderscoresAndDigits) {
+  const auto tokens = tokenize("WantRemoteSyscalls _x x_1 run_sim");
+  EXPECT_EQ(tokens[0].text, "WantRemoteSyscalls");
+  EXPECT_EQ(tokens[1].text, "_x");
+  EXPECT_EQ(tokens[2].text, "x_1");
+  EXPECT_EQ(tokens[3].text, "run_sim");
+}
+
+TEST(LexerTest, KeywordTestIsCaseInsensitive) {
+  const auto tokens = tokenize("TRUE False uNdEfInEd IS isnt");
+  EXPECT_TRUE(tokens[0].isKeyword("true"));
+  EXPECT_TRUE(tokens[1].isKeyword("false"));
+  EXPECT_TRUE(tokens[2].isKeyword("undefined"));
+  EXPECT_TRUE(tokens[3].isKeyword("is"));
+  EXPECT_TRUE(tokens[4].isKeyword("isnt"));
+  EXPECT_FALSE(tokens[0].isKeyword("false"));
+}
+
+TEST(LexerTest, PositionsTrackLinesAndColumns) {
+  const auto tokens = tokenize("a\n  bb\n   ccc");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].column, 4);
+}
+
+TEST(LexerTest, LeadingDotNumber) {
+  // ".5" lexes as a real when followed by digits... our grammar requires
+  // a leading digit or digit-after-dot; ".5" starts with '.', digit after.
+  const auto tokens = tokenize(".5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::Real);
+  EXPECT_DOUBLE_EQ(tokens[0].realValue, 0.5);
+}
+
+}  // namespace
+}  // namespace classad

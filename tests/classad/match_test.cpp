@@ -1,0 +1,153 @@
+// The two-sided match test and rank evaluation of Section 3.2.
+#include "classad/match.h"
+
+#include <gtest/gtest.h>
+
+namespace classad {
+namespace {
+
+ClassAd machineAd() {
+  return ClassAd::parse(
+      "[Type = \"Machine\"; Arch = \"INTEL\"; Memory = 64;"
+      " Constraint = other.Type == \"Job\" && other.Memory <= self.Memory;"
+      " Rank = 0]");
+}
+
+ClassAd jobAd() {
+  return ClassAd::parse(
+      "[Type = \"Job\"; Owner = \"alice\"; Memory = 32;"
+      " Constraint = other.Type == \"Machine\" && Arch == \"INTEL\";"
+      " Rank = other.Memory]");
+}
+
+TEST(MatchTest, CompatiblePairMatches) {
+  const ClassAd m = machineAd();
+  const ClassAd j = jobAd();
+  EXPECT_TRUE(symmetricMatch(j, m));
+  EXPECT_TRUE(symmetricMatch(m, j));  // symmetric by construction
+}
+
+TEST(MatchTest, RequestSideViolationFails) {
+  ClassAd m = machineAd();
+  m.set("Arch", "SPARC");
+  EXPECT_FALSE(symmetricMatch(jobAd(), m));
+}
+
+TEST(MatchTest, ResourceSideViolationFails) {
+  ClassAd j = jobAd();
+  j.set("Memory", 128);  // exceeds machine's 64
+  EXPECT_FALSE(symmetricMatch(j, machineAd()));
+}
+
+TEST(MatchTest, UndefinedConstraintFailsMatch) {
+  // "the match fails if the Constraint evaluates to undefined"
+  ClassAd j = jobAd();
+  j.setExpr("Constraint", "other.NoSuchAttribute > 5");
+  const auto r = evaluateConstraint(j, machineAd());
+  EXPECT_EQ(r, ConstraintResult::Undefined);
+  EXPECT_FALSE(permitsMatch(r));
+  EXPECT_FALSE(symmetricMatch(j, machineAd()));
+}
+
+TEST(MatchTest, ErrorConstraintFailsMatch) {
+  ClassAd j = jobAd();
+  j.setExpr("Constraint", "1 / 0 == 1");
+  EXPECT_EQ(evaluateConstraint(j, machineAd()), ConstraintResult::Error);
+  EXPECT_FALSE(symmetricMatch(j, machineAd()));
+}
+
+TEST(MatchTest, NonBooleanConstraintIsError) {
+  ClassAd j = jobAd();
+  j.set("Constraint", 5);
+  EXPECT_EQ(evaluateConstraint(j, machineAd()), ConstraintResult::Error);
+}
+
+TEST(MatchTest, MissingConstraintImposesNothing) {
+  ClassAd open;  // no Constraint at all
+  open.set("Type", "Machine");
+  open.set("Arch", "INTEL");
+  open.set("Memory", 64);
+  EXPECT_EQ(evaluateConstraint(open, jobAd()), ConstraintResult::Missing);
+  EXPECT_TRUE(symmetricMatch(jobAd(), open));
+}
+
+TEST(MatchTest, RequirementsIsAcceptedAsSynonym) {
+  ClassAd j = jobAd();
+  j.remove("Constraint");
+  j.setExpr("Requirements", "other.Type == \"Machine\"");
+  EXPECT_TRUE(symmetricMatch(j, machineAd()));
+  j.setExpr("Requirements", "other.Type == \"Toaster\"");
+  EXPECT_FALSE(symmetricMatch(j, machineAd()));
+}
+
+TEST(MatchTest, ConstraintWinsOverRequirementsWhenBothPresent) {
+  ClassAd j = jobAd();
+  j.setExpr("Requirements", "false");
+  // Constraint (true for machineAd) takes precedence.
+  EXPECT_TRUE(symmetricMatch(j, machineAd()));
+}
+
+TEST(MatchTest, OneWayMatchIgnoresTargetConstraint) {
+  ClassAd query;
+  query.setExpr("Constraint", "other.Memory >= 32");
+  ClassAd target;
+  target.set("Memory", 64);
+  target.setExpr("Constraint", "false");  // would veto a two-way match
+  EXPECT_TRUE(oneWayMatch(query, target));
+  EXPECT_FALSE(symmetricMatch(query, target));
+}
+
+TEST(MatchTest, RankEvaluation) {
+  const double r = evaluateRank(jobAd(), machineAd());
+  EXPECT_DOUBLE_EQ(r, 64.0);  // other.Memory
+}
+
+TEST(MatchTest, MissingOrNonNumericRankIsZero) {
+  ClassAd j = jobAd();
+  j.remove("Rank");
+  EXPECT_DOUBLE_EQ(evaluateRank(j, machineAd()), 0.0);
+  j.set("Rank", "high");
+  EXPECT_DOUBLE_EQ(evaluateRank(j, machineAd()), 0.0);
+  j.setExpr("Rank", "other.NoSuch");
+  EXPECT_DOUBLE_EQ(evaluateRank(j, machineAd()), 0.0);
+}
+
+TEST(MatchTest, AnalyzeMatchReportsBothSidesAndRanks) {
+  const MatchAnalysis a = analyzeMatch(jobAd(), machineAd());
+  EXPECT_TRUE(a.matched);
+  EXPECT_EQ(a.requestSide, ConstraintResult::Satisfied);
+  EXPECT_EQ(a.resourceSide, ConstraintResult::Satisfied);
+  EXPECT_DOUBLE_EQ(a.requestRank, 64.0);
+  EXPECT_DOUBLE_EQ(a.resourceRank, 0.0);
+}
+
+TEST(MatchTest, AnalyzeMismatchSkipsRanks) {
+  ClassAd m = machineAd();
+  m.set("Arch", "SPARC");
+  const MatchAnalysis a = analyzeMatch(jobAd(), m);
+  EXPECT_FALSE(a.matched);
+  EXPECT_EQ(a.requestSide, ConstraintResult::Violated);
+  EXPECT_DOUBLE_EQ(a.requestRank, 0.0);
+}
+
+TEST(MatchTest, BilateralRejectionByProvider) {
+  // The paper's headline feature: the provider vetoes by owner.
+  ClassAd m = machineAd();
+  m.setExpr("Constraint",
+            "other.Type == \"Job\" && other.Owner != \"alice\"");
+  EXPECT_FALSE(symmetricMatch(jobAd(), m));
+  ClassAd j = jobAd();
+  j.set("Owner", "bob");
+  EXPECT_TRUE(symmetricMatch(j, m));
+}
+
+TEST(MatchTest, ConstraintResultNames) {
+  EXPECT_EQ(toString(ConstraintResult::Satisfied), "satisfied");
+  EXPECT_EQ(toString(ConstraintResult::Violated), "violated");
+  EXPECT_EQ(toString(ConstraintResult::Undefined), "undefined");
+  EXPECT_EQ(toString(ConstraintResult::Error), "error");
+  EXPECT_EQ(toString(ConstraintResult::Missing), "missing");
+}
+
+}  // namespace
+}  // namespace classad

@@ -1,0 +1,196 @@
+// The paper's own examples, verbatim: Figure 1 (workstation ad), Figure 2
+// (job ad), and the Section 4 walk-through of the policy they encode.
+// These tests are the ground truth for experiment ids F1 and F2 in
+// EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "classad/match.h"
+#include "sim/paper_ads.h"
+
+namespace {
+
+using classad::ClassAd;
+using classad::Value;
+using htcsim::makeFigure1Ad;
+using htcsim::makeFigure2Ad;
+
+TEST(Figure1Test, ParsesWithAllAttributes) {
+  const ClassAd ad = makeFigure1Ad();
+  for (const char* attr :
+       {"Type", "Activity", "DayTime", "KeyboardIdle", "Disk", "Memory",
+        "State", "LoadAvg", "Mips", "Arch", "OpSys", "KFlops", "Name",
+        "ResearchGroup", "Friends", "Untrusted", "Rank", "Constraint"}) {
+    EXPECT_TRUE(ad.contains(attr)) << attr;
+  }
+  EXPECT_EQ(ad.getString("Name").value(), "leonardo.cs.wisc.edu");
+  EXPECT_EQ(ad.getInteger("Mips").value(), 104);
+  EXPECT_EQ(ad.getString("Arch").value(), "INTEL");
+}
+
+TEST(Figure2Test, ParsesWithAllAttributes) {
+  const ClassAd ad = makeFigure2Ad();
+  EXPECT_EQ(ad.getString("Owner").value(), "raman");
+  EXPECT_EQ(ad.getString("Cmd").value(), "run_sim");
+  EXPECT_EQ(ad.getInteger("Memory").value(), 31);
+  EXPECT_EQ(ad.getInteger("WantCheckpoint").value(), 1);
+}
+
+TEST(PaperMatchTest, Figure1MatchesFigure2) {
+  // Section 3.2 presents these two ads as a matching pair: raman is in
+  // leonardo's research group (Rank = 10 tier, unconditionally welcome),
+  // and leonardo satisfies every requirement of the job.
+  const ClassAd machine = makeFigure1Ad();
+  const ClassAd job = makeFigure2Ad();
+  EXPECT_EQ(classad::evaluateConstraint(job, machine),
+            classad::ConstraintResult::Satisfied);
+  EXPECT_EQ(classad::evaluateConstraint(machine, job),
+            classad::ConstraintResult::Satisfied);
+  EXPECT_TRUE(classad::symmetricMatch(job, machine));
+}
+
+TEST(PaperMatchTest, Figure2RankArithmetic) {
+  // Rank = KFlops/1E3 + other.Memory/32 = 21893/1000 + 64/32 = 23.893.
+  const double rank = classad::evaluateRank(makeFigure2Ad(), makeFigure1Ad());
+  EXPECT_NEAR(rank, 21.893 + 2.0, 1e-9);
+}
+
+TEST(PaperMatchTest, Figure1RankTiers) {
+  const ClassAd machine = makeFigure1Ad();
+  ClassAd job = makeFigure2Ad();
+  // Research group member: rank 10.
+  EXPECT_DOUBLE_EQ(classad::evaluateRank(machine, job), 10.0);
+  // Friend: rank 1.
+  job.set("Owner", "tannenba");
+  EXPECT_DOUBLE_EQ(classad::evaluateRank(machine, job), 1.0);
+  // Stranger: rank 0.
+  job.set("Owner", "alice");
+  EXPECT_DOUBLE_EQ(classad::evaluateRank(machine, job), 0.0);
+}
+
+/// Section 4's prose, tier by tier: "the workstation is never willing to
+/// run applications submitted by users rival and riffraff, it is always
+/// willing to run the jobs of members of the research group, friends may
+/// use the resource only if the workstation is idle (as determined by
+/// keyboard activity and load average), and others may only use the
+/// workstation at night."
+struct PolicyCase {
+  const char* owner;
+  double keyboardIdle;
+  double loadAvg;
+  double dayTime;
+  bool expectWilling;
+};
+
+class Figure1PolicyTest : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(Figure1PolicyTest, TierMatrix) {
+  const PolicyCase c = GetParam();
+  // The tier matrix tests the PROSE-intent policy (see paper_ads.h for
+  // why the verbatim figure differs for untrusted users at night).
+  ClassAd machine = htcsim::makeFigure1AdIntended();
+  machine.set("KeyboardIdle", c.keyboardIdle);
+  machine.set("LoadAvg", c.loadAvg);
+  machine.set("DayTime", c.dayTime);
+  ClassAd job = makeFigure2Ad();
+  job.set("Owner", c.owner);
+  const auto result = classad::evaluateConstraint(machine, job);
+  EXPECT_EQ(classad::permitsMatch(result), c.expectWilling)
+      << c.owner << " idle=" << c.keyboardIdle << " load=" << c.loadAvg
+      << " day=" << c.dayTime << " -> " << classad::toString(result);
+}
+
+constexpr double kBusyKbd = 10.0;        // keyboard touched recently
+constexpr double kIdleKbd = 30 * 60.0;   // half an hour untouched
+constexpr double kLowLoad = 0.05;
+constexpr double kHighLoad = 0.9;
+constexpr double kNoon = 12 * 3600.0;
+constexpr double kNight = 22 * 3600.0;
+constexpr double kEarly = 5 * 3600.0;    // 5 a.m. counts as night too
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiers, Figure1PolicyTest,
+    ::testing::Values(
+        // Research group: always welcome, even mid-day on a busy machine.
+        PolicyCase{"raman", kBusyKbd, kHighLoad, kNoon, true},
+        PolicyCase{"miron", kIdleKbd, kLowLoad, kNight, true},
+        PolicyCase{"solomon", kBusyKbd, kHighLoad, kNoon, true},
+        PolicyCase{"jbasney", kBusyKbd, kHighLoad, kNoon, true},
+        // Friends: only when the workstation is idle.
+        PolicyCase{"tannenba", kIdleKbd, kLowLoad, kNoon, true},
+        PolicyCase{"tannenba", kBusyKbd, kLowLoad, kNoon, false},
+        PolicyCase{"tannenba", kIdleKbd, kHighLoad, kNoon, false},
+        PolicyCase{"wright", kIdleKbd, kLowLoad, kNight, true},
+        // Strangers: only at night (before 8:00 or after 18:00),
+        // regardless of idleness.
+        PolicyCase{"alice", kIdleKbd, kLowLoad, kNoon, false},
+        PolicyCase{"alice", kBusyKbd, kHighLoad, kNight, true},
+        PolicyCase{"alice", kBusyKbd, kHighLoad, kEarly, true},
+        // Untrusted: never, under any circumstances.
+        PolicyCase{"rival", kIdleKbd, kLowLoad, kNight, false},
+        PolicyCase{"rival", kIdleKbd, kLowLoad, kNoon, false},
+        PolicyCase{"riffraff", kBusyKbd, kHighLoad, kNight, false}));
+
+TEST(PaperMatchTest, Figure2RequiresIntelSolaris) {
+  ClassAd machine = makeFigure1Ad();
+  machine.set("Arch", "SPARC");
+  EXPECT_FALSE(classad::symmetricMatch(makeFigure2Ad(), machine));
+  machine = makeFigure1Ad();
+  machine.set("OpSys", "LINUX");
+  EXPECT_FALSE(classad::symmetricMatch(makeFigure2Ad(), machine));
+}
+
+TEST(PaperMatchTest, Figure2MemoryRequirement) {
+  // other.Memory >= self.Memory: a 16 MB machine is too small for the
+  // 31 MB job.
+  ClassAd machine = makeFigure1Ad();
+  machine.set("Memory", 16);
+  EXPECT_FALSE(classad::symmetricMatch(makeFigure2Ad(), machine));
+}
+
+TEST(PaperMatchTest, Figure2DiskRequirement) {
+  ClassAd machine = makeFigure1Ad();
+  machine.set("Disk", 1000);  // < 15000 KB required
+  EXPECT_FALSE(classad::symmetricMatch(makeFigure2Ad(), machine));
+}
+
+TEST(PaperMatchTest, VerbatimFigure1PrecedenceQuirk) {
+  // REPRODUCTION FINDING (documented in paper_ads.h and EXPERIMENTS.md):
+  // under C precedence the verbatim Figure 1 constraint groups as
+  //   (!untrusted && Rank >= 10) ? true : <friend/night tiers>
+  // so an untrusted stranger-ranked user falls through to the night tier
+  // and is ADMITTED at night — contrary to the Section 4 prose. The
+  // prose-intent form refuses them around the clock.
+  ClassAd verbatim = makeFigure1Ad();
+  ClassAd intended = htcsim::makeFigure1AdIntended();
+  for (ClassAd* machine : {&verbatim, &intended}) {
+    machine->set("DayTime", 22 * 3600.0);  // night
+    machine->set("KeyboardIdle", 30 * 60.0);
+    machine->set("LoadAvg", 0.05);
+  }
+  ClassAd job = makeFigure2Ad();
+  job.set("Owner", "rival");
+  EXPECT_TRUE(
+      classad::permitsMatch(classad::evaluateConstraint(verbatim, job)))
+      << "literal figure admits untrusted users at night";
+  EXPECT_FALSE(
+      classad::permitsMatch(classad::evaluateConstraint(intended, job)))
+      << "prose-intent form never admits untrusted users";
+  // During the day both forms refuse rival (the night tier is closed).
+  verbatim.set("DayTime", 12 * 3600.0);
+  EXPECT_FALSE(
+      classad::permitsMatch(classad::evaluateConstraint(verbatim, job)));
+}
+
+TEST(PaperFigureText, Figure1RoundTripsThroughUnparse) {
+  const ClassAd ad = makeFigure1Ad();
+  const ClassAd again = ClassAd::parse(ad.unparse());
+  EXPECT_EQ(ad.unparse(), again.unparse());
+}
+
+TEST(PaperFigureText, Figure2RoundTripsThroughUnparse) {
+  const ClassAd ad = makeFigure2Ad();
+  const ClassAd again = ClassAd::parse(ad.unparse());
+  EXPECT_EQ(ad.unparse(), again.unparse());
+}
+
+}  // namespace

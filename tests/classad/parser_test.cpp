@@ -1,0 +1,252 @@
+// Unit tests for the parser: grammar, precedence, associativity, the
+// record/list constructors, error reporting, and the parse/unparse
+// round-trip property.
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+#include "classad/parser.h"
+
+namespace classad {
+namespace {
+
+std::string roundTrip(std::string_view text) {
+  return parseExpr(text)->toString();
+}
+
+/// Evaluates a constant expression in an empty ad.
+Value evalConst(std::string_view text) {
+  ClassAd empty;
+  return empty.evaluate(text);
+}
+
+TEST(ParserTest, Literals) {
+  EXPECT_EQ(roundTrip("42"), "42");
+  EXPECT_EQ(roundTrip("true"), "true");
+  EXPECT_EQ(roundTrip("false"), "false");
+  EXPECT_EQ(roundTrip("undefined"), "undefined");
+  EXPECT_EQ(roundTrip("error"), "error");
+  EXPECT_EQ(roundTrip("\"hi\""), "\"hi\"");
+}
+
+TEST(ParserTest, NegativeLiteralsFold) {
+  EXPECT_EQ(roundTrip("-5"), "-5");
+  EXPECT_EQ(roundTrip("-2.5"), "-2.5");
+}
+
+TEST(ParserTest, MultiplicationBindsTighterThanAddition) {
+  const Value v = evalConst("2 + 3 * 4");
+  ASSERT_TRUE(v.isInteger());
+  EXPECT_EQ(v.asInteger(), 14);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  EXPECT_EQ(evalConst("(2 + 3) * 4").asInteger(), 20);
+}
+
+TEST(ParserTest, ComparisonBindsTighterThanAnd) {
+  EXPECT_TRUE(evalConst("1 < 2 && 3 < 4").isBooleanTrue());
+}
+
+TEST(ParserTest, AndBindsTighterThanOr) {
+  // false && false || true  ==  (false && false) || true  ==  true
+  EXPECT_TRUE(evalConst("false && false || true").isBooleanTrue());
+}
+
+TEST(ParserTest, EqualityBindsLooserThanRelational) {
+  // 1 < 2 == true  parses as  (1 < 2) == true
+  EXPECT_TRUE(evalConst("1 < 2 == true").isBooleanTrue());
+}
+
+TEST(ParserTest, SubtractionIsLeftAssociative) {
+  EXPECT_EQ(evalConst("10 - 3 - 2").asInteger(), 5);
+}
+
+TEST(ParserTest, DivisionIsLeftAssociative) {
+  EXPECT_EQ(evalConst("100 / 5 / 2").asInteger(), 10);
+}
+
+TEST(ParserTest, TernaryIsRightAssociative) {
+  // Figure 1 nests conditionals without parentheses.
+  EXPECT_EQ(evalConst("false ? 1 : true ? 2 : 3").asInteger(), 2);
+  EXPECT_EQ(evalConst("false ? 1 : false ? 2 : 3").asInteger(), 3);
+}
+
+TEST(ParserTest, UnaryOperators) {
+  EXPECT_EQ(evalConst("- (3 + 4)").asInteger(), -7);
+  EXPECT_TRUE(evalConst("!false").isBooleanTrue());
+  EXPECT_EQ(evalConst("+5").asInteger(), 5);
+  EXPECT_TRUE(evalConst("!!true").isBooleanTrue());
+}
+
+TEST(ParserTest, IsAndIsntParse) {
+  EXPECT_TRUE(evalConst("undefined is undefined").isBooleanTrue());
+  EXPECT_TRUE(evalConst("1 isnt 1.0").isBooleanTrue());
+  EXPECT_TRUE(evalConst("\"a\" is \"a\"").isBooleanTrue());
+}
+
+TEST(ParserTest, ListConstructor) {
+  const Value v = evalConst("{ 1, 2.5, \"x\" }");
+  ASSERT_TRUE(v.isList());
+  ASSERT_EQ(v.asList()->size(), 3u);
+  EXPECT_EQ((*v.asList())[0].asInteger(), 1);
+  EXPECT_DOUBLE_EQ((*v.asList())[1].asReal(), 2.5);
+  EXPECT_EQ((*v.asList())[2].asString(), "x");
+}
+
+TEST(ParserTest, EmptyList) {
+  const Value v = evalConst("{}");
+  ASSERT_TRUE(v.isList());
+  EXPECT_TRUE(v.asList()->empty());
+}
+
+TEST(ParserTest, NestedRecord) {
+  const Value v = evalConst("[a = 1; b = [c = 2]]");
+  ASSERT_TRUE(v.isRecord());
+  EXPECT_EQ(v.asRecord()->size(), 2u);
+}
+
+TEST(ParserTest, RecordSelection) {
+  EXPECT_EQ(evalConst("[a = 1; b = 2].b").asInteger(), 2);
+  EXPECT_EQ(evalConst("[a = [b = 7]].a.b").asInteger(), 7);
+}
+
+TEST(ParserTest, ListSubscript) {
+  EXPECT_EQ(evalConst("{10, 20, 30}[1]").asInteger(), 20);
+  EXPECT_TRUE(evalConst("{10}[5]").isError());
+  EXPECT_TRUE(evalConst("{10}[-1]").isError());
+}
+
+TEST(ParserTest, RecordSubscriptByString) {
+  EXPECT_EQ(evalConst("[a = 1] [\"A\"]").asInteger(), 1);  // case-insensitive
+}
+
+TEST(ParserTest, FunctionCall) {
+  EXPECT_TRUE(evalConst("member(2, {1, 2, 3})").isBooleanTrue());
+}
+
+TEST(ParserTest, SelfOtherScopes) {
+  ClassAd self;
+  self.set("X", 1);
+  ClassAd other;
+  other.set("X", 2);
+  EXPECT_EQ(self.evaluate("self.X", &other).asInteger(), 1);
+  EXPECT_EQ(self.evaluate("other.X", &other).asInteger(), 2);
+  EXPECT_EQ(self.evaluate("X", &other).asInteger(), 1);
+}
+
+TEST(ParserTest, TrailingSemicolonInAdAllowed) {
+  const ClassAd ad = ClassAd::parse("[a = 1; b = 2;]");
+  EXPECT_EQ(ad.size(), 2u);
+}
+
+TEST(ParserTest, EmptyAd) {
+  const ClassAd ad = ClassAd::parse("[]");
+  EXPECT_TRUE(ad.empty());
+  EXPECT_EQ(ad.unparse(), "[]");
+}
+
+TEST(ParserTest, ParseAdStream) {
+  const auto ads = parseAdStream("[a=1] [b=2] [c=3]");
+  ASSERT_EQ(ads.size(), 3u);
+  EXPECT_TRUE(ads[0].contains("a"));
+  EXPECT_TRUE(ads[2].contains("c"));
+}
+
+TEST(ParserTest, EmptyStream) {
+  EXPECT_TRUE(parseAdStream("  // nothing\n").empty());
+}
+
+TEST(ParserErrorsTest, MissingCloseBracket) {
+  EXPECT_THROW(ClassAd::parse("[a = 1"), ParseError);
+}
+
+TEST(ParserErrorsTest, MissingExpression) {
+  EXPECT_THROW(parseExpr("1 +"), ParseError);
+  EXPECT_THROW(parseExpr(""), ParseError);
+  EXPECT_THROW(parseExpr("* 3"), ParseError);
+}
+
+TEST(ParserErrorsTest, TrailingGarbage) {
+  EXPECT_THROW(parseExpr("1 + 2 extra"), ParseError);
+}
+
+TEST(ParserErrorsTest, MissingColonInTernary) {
+  EXPECT_THROW(parseExpr("true ? 1"), ParseError);
+}
+
+TEST(ParserErrorsTest, BadAttributeName) {
+  EXPECT_THROW(ClassAd::parse("[1 = 2]"), ParseError);
+  EXPECT_THROW(ClassAd::parse("[a == 2]"), ParseError);
+}
+
+TEST(ParserErrorsTest, TryParseReturnsMessage) {
+  std::string message;
+  const auto ad = ClassAd::tryParse("[a = ]", &message);
+  EXPECT_FALSE(ad.has_value());
+  EXPECT_FALSE(message.empty());
+  EXPECT_NE(message.find("line"), std::string::npos);
+}
+
+TEST(ParserErrorsTest, TryParseExprSucceeds) {
+  std::string message;
+  const auto e = tryParseExpr("1 + 1", &message);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(message.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: unparse(parse(x)) re-parses to the same tree, and
+// the second unparse is a fixed point.
+// ---------------------------------------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, UnparseReparsesToFixedPoint) {
+  const std::string once = parseExpr(GetParam())->toString();
+  const std::string twice = parseExpr(once)->toString();
+  EXPECT_EQ(once, twice) << "input: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest,
+    ::testing::Values(
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "a - (b - c)",
+        "a - b - c",
+        "-x",
+        "!(a && b) || c",
+        "x % 3 == 0",
+        "other.Memory >= self.Memory",
+        "member(other.Owner, ResearchGroup) * 10 + member(other.Owner, Friends)",
+        "!member(other.Owner, Untrusted) && Rank >= 10 ? true : Rank > 0 ? "
+        "LoadAvg < 0.3 && KeyboardIdle > 15*60 : DayTime < 8*60*60 || DayTime "
+        "> 18*60*60",
+        "KFlops/1E3 + other.Memory/32",
+        "{ \"raman\", \"miron\", \"solomon\", \"jbasney\" }",
+        "[a = 1; b = { 2, 3 }; c = [d = \"x\"]]",
+        "x is undefined || x < 32",
+        "lst[2].field",
+        "a.b.c",
+        "a[0][1]",
+        "true ? x : y ? z : w",
+        "1 < 2 == true"));
+
+TEST(RoundTripAdTest, AdUnparseReparses) {
+  const char* text =
+      "[ Type = \"Machine\"; Memory = 64; Rank = Memory / 32; "
+      "Constraint = other.Type == \"Job\" ]";
+  const ClassAd ad = ClassAd::parse(text);
+  const ClassAd again = ClassAd::parse(ad.unparse());
+  EXPECT_EQ(ad.unparse(), again.unparse());
+  EXPECT_EQ(again.size(), 4u);
+}
+
+TEST(RoundTripAdTest, PrettyFormReparses) {
+  const ClassAd ad = ClassAd::parse("[a = 1; b = \"x\"]");
+  const ClassAd again = ClassAd::parse(ad.unparsePretty());
+  EXPECT_EQ(ad.unparse(), again.unparse());
+}
+
+}  // namespace
+}  // namespace classad

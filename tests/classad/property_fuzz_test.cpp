@@ -1,0 +1,190 @@
+// Randomized property tests over the expression language. A seeded
+// generator produces arbitrary ASTs (as text), and we check the
+// invariants every component relies on:
+//   1. evaluation is TOTAL: any parseable expression evaluates to some
+//      Value without throwing, hanging, or crashing;
+//   2. unparse/parse is a fixed point: parse(unparse(e)) unparses
+//      identically (so ads survive any number of store/forward hops);
+//   3. evaluation is deterministic: same expression, same ads, same value;
+//   4. flattening preserves meaning against arbitrary candidate ads.
+// Seeds are fixed, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+#include "classad/flatten.h"
+#include "sim/rng.h"
+
+namespace classad {
+namespace {
+
+/// Generates random expression TEXT (valid surface syntax by
+/// construction) with bounded depth.
+class ExprGen {
+ public:
+  explicit ExprGen(std::uint64_t seed) : rng_(seed) {}
+
+  std::string expr(int depth = 0) {
+    if (depth >= 4 || rng_.chance(0.3)) return atom();
+    switch (rng_.below(8)) {
+      case 0:
+        return "(" + expr(depth + 1) + " " + binop() + " " +
+               expr(depth + 1) + ")";
+      case 1:
+        return "(" + std::string(rng_.chance(0.5) ? "!" : "-") + "(" +
+               expr(depth + 1) + "))";
+      case 2:
+        return "(" + expr(depth + 1) + " ? " + expr(depth + 1) + " : " +
+               expr(depth + 1) + ")";
+      case 3: {
+        std::string list = "{ ";
+        const int n = static_cast<int>(rng_.below(3));
+        for (int i = 0; i <= n; ++i) {
+          if (i) list += ", ";
+          list += expr(depth + 1);
+        }
+        return list + " }";
+      }
+      case 4:
+        return func(depth);
+      case 5:
+        return "{ " + expr(depth + 1) + ", " + expr(depth + 1) + " }[" +
+               expr(depth + 1) + "]";
+      case 6:
+        return "[ a = " + expr(depth + 1) + "; b = " + expr(depth + 1) +
+               " ].a";
+      default:
+        return "(" + expr(depth + 1) + " " + binop() + " " +
+               expr(depth + 1) + ")";
+    }
+  }
+
+  std::string atom() {
+    switch (rng_.below(9)) {
+      case 0: return std::to_string(rng_.range(-100, 100));
+      case 1: return std::to_string(rng_.range(0, 99)) + "." +
+                     std::to_string(rng_.range(0, 99));
+      case 2: return rng_.chance(0.5) ? "true" : "false";
+      case 3: return "undefined";
+      case 4: return "error";
+      case 5: return "\"s" + std::to_string(rng_.below(4)) + "\"";
+      case 6: return attrName();
+      case 7: return "other." + attrName();
+      default: return "self." + attrName();
+    }
+  }
+
+  std::string attrName() {
+    static const char* kNames[] = {"Memory", "Arch",  "LoadAvg",
+                                   "Rank",   "Owner", "Mystery"};
+    return kNames[rng_.below(6)];
+  }
+
+  std::string binop() {
+    static const char* kOps[] = {"+",  "-",  "*",  "/",  "%",  "<",
+                                 "<=", ">",  ">=", "==", "!=", "&&",
+                                 "||", "is", "isnt"};
+    return kOps[rng_.below(15)];
+  }
+
+  std::string func(int depth) {
+    switch (rng_.below(6)) {
+      case 0: return "member(" + expr(depth + 1) + ", " + expr(depth + 1) + ")";
+      case 1: return "size(" + expr(depth + 1) + ")";
+      case 2: return "int(" + expr(depth + 1) + ")";
+      case 3: return "isUndefined(" + expr(depth + 1) + ")";
+      case 4: return "strcat(" + expr(depth + 1) + ", " + expr(depth + 1) + ")";
+      default: return "floor(" + expr(depth + 1) + ")";
+    }
+  }
+
+ private:
+  htcsim::Rng rng_;
+};
+
+ClassAd selfAd() {
+  return ClassAd::parse(
+      "[Memory = 64; Arch = \"INTEL\"; LoadAvg = 0.05;"
+      " Rank = member(other.Owner, {\"raman\"}) * 10]");
+}
+
+std::vector<ClassAd> candidateAds() {
+  std::vector<ClassAd> ads;
+  ads.push_back(ClassAd::parse("[Owner = \"raman\"; Memory = 32]"));
+  ads.push_back(ClassAd::parse("[]"));
+  ads.push_back(ClassAd::parse(
+      "[Owner = \"alice\"; Memory = 128; Arch = \"SPARC\"; Mystery = {1}]"));
+  return ads;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, EvaluationIsTotalAndDeterministic) {
+  ExprGen gen(GetParam());
+  const ClassAd self = selfAd();
+  const auto others = candidateAds();
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = gen.expr();
+    ExprPtr parsed;
+    ASSERT_NO_THROW(parsed = parseExpr(text)) << text;
+    for (const ClassAd& other : others) {
+      Value v1, v2;
+      ASSERT_NO_THROW(v1 = self.evaluate(*parsed, &other)) << text;
+      ASSERT_NO_THROW(v2 = self.evaluate(*parsed, &other)) << text;
+      EXPECT_TRUE(v1.isIdenticalTo(v2)) << "nondeterministic: " << text;
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, UnparseParseIsFixedPoint) {
+  ExprGen gen(GetParam() ^ 0xABCDEF);
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = gen.expr();
+    const ExprPtr parsed = parseExpr(text);
+    const std::string once = parsed->toString();
+    ExprPtr reparsed;
+    ASSERT_NO_THROW(reparsed = parseExpr(once)) << once;
+    EXPECT_EQ(once, reparsed->toString()) << "from: " << text;
+  }
+}
+
+TEST_P(FuzzSeeds, ReparseEvaluatesIdentically) {
+  ExprGen gen(GetParam() ^ 0x1234);
+  const ClassAd self = selfAd();
+  const auto others = candidateAds();
+  for (int i = 0; i < 150; ++i) {
+    const ExprPtr parsed = parseExpr(gen.expr());
+    const ExprPtr reparsed = parseExpr(parsed->toString());
+    for (const ClassAd& other : others) {
+      const Value a = self.evaluate(*parsed, &other);
+      const Value b = self.evaluate(*reparsed, &other);
+      EXPECT_TRUE(a.isIdenticalTo(b))
+          << parsed->toString() << ": " << a.toLiteralString() << " vs "
+          << b.toLiteralString();
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, FlattenPreservesMeaning) {
+  ExprGen gen(GetParam() ^ 0x77777);
+  const ClassAd self = selfAd();
+  const auto others = candidateAds();
+  for (int i = 0; i < 150; ++i) {
+    const ExprPtr parsed = parseExpr(gen.expr());
+    const ExprPtr residual = flatten(parsed, self);
+    for (const ClassAd& other : others) {
+      const Value a = self.evaluate(*parsed, &other);
+      const Value b = self.evaluate(*residual, &other);
+      EXPECT_TRUE(a.isIdenticalTo(b))
+          << parsed->toString() << "  ~>  " << residual->toString() << " : "
+          << a.toLiteralString() << " vs " << b.toLiteralString()
+          << " against " << other.unparse();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+}  // namespace
+}  // namespace classad

@@ -1,0 +1,115 @@
+// One-way matching queries: the engine behind the condor_status /
+// condor_q analogues (Section 4's administrative tools).
+#include "classad/query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace classad {
+namespace {
+
+std::vector<ClassAdPtr> samplePool() {
+  std::vector<ClassAdPtr> ads;
+  ads.push_back(makeShared(ClassAd::parse(
+      "[Name = \"a\"; Arch = \"INTEL\"; Memory = 64; State = \"Unclaimed\"]")));
+  ads.push_back(makeShared(ClassAd::parse(
+      "[Name = \"b\"; Arch = \"SPARC\"; Memory = 128; State = \"Claimed\"]")));
+  ads.push_back(makeShared(ClassAd::parse(
+      "[Name = \"c\"; Arch = \"INTEL\"; Memory = 32; State = \"Owner\"]")));
+  return ads;
+}
+
+TEST(QueryTest, ConstraintSelects) {
+  const auto pool = samplePool();
+  const Query q = Query::fromConstraint("Arch == \"INTEL\"");
+  const auto hits = q.select(pool);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->getString("Name").value(), "a");
+  EXPECT_EQ(hits[1]->getString("Name").value(), "c");
+}
+
+TEST(QueryTest, CountMatchesSelectSize) {
+  const auto pool = samplePool();
+  const Query q = Query::fromConstraint("Memory >= 64");
+  EXPECT_EQ(q.count(pool), q.select(pool).size());
+  EXPECT_EQ(q.count(pool), 2u);
+}
+
+TEST(QueryTest, AllMatchesEverything) {
+  const auto pool = samplePool();
+  EXPECT_EQ(Query::all().count(pool), pool.size());
+}
+
+TEST(QueryTest, UndefinedConstraintDoesNotMatch) {
+  // One-way matching treats non-true as no-match, so a constraint over a
+  // missing attribute silently excludes the ad.
+  const auto pool = samplePool();
+  const Query q = Query::fromConstraint("NoSuchAttr > 5");
+  EXPECT_EQ(q.count(pool), 0u);
+}
+
+TEST(QueryTest, CompoundConstraints) {
+  const auto pool = samplePool();
+  const Query q = Query::fromConstraint(
+      "Arch == \"INTEL\" && State == \"Unclaimed\" && Memory >= 32");
+  EXPECT_EQ(q.count(pool), 1u);
+}
+
+TEST(QueryTest, BadConstraintThrows) {
+  EXPECT_THROW(Query::fromConstraint("Memory >="), ParseError);
+}
+
+TEST(QueryTest, NullAdsAreSkipped) {
+  auto pool = samplePool();
+  pool.push_back(nullptr);
+  EXPECT_EQ(Query::all().count(pool), 3u);
+}
+
+TEST(QueryTest, ProjectionRows) {
+  const auto pool = samplePool();
+  Query q = Query::fromConstraint("Arch == \"SPARC\"");
+  q.project({"Name", "Memory", "Missing"});
+  const auto hits = q.select(pool);
+  ASSERT_EQ(hits.size(), 1u);
+  const auto row = q.row(*hits[0]);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].second.asString(), "b");
+  EXPECT_EQ(row[1].second.asInteger(), 128);
+  EXPECT_TRUE(row[2].second.isUndefined());
+}
+
+TEST(QueryTest, RowWithoutProjectionReturnsAllAttributes) {
+  const auto pool = samplePool();
+  const auto row = Query::all().row(*pool[0]);
+  EXPECT_EQ(row.size(), pool[0]->size());
+}
+
+TEST(QueryTest, FormatTableHasHeaderAndRows) {
+  const auto pool = samplePool();
+  Query q = Query::all();
+  q.project({"Name", "Arch", "State"});
+  const std::string table = formatTable(q, pool);
+  // Header + 3 rows = 4 lines.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);
+  EXPECT_NE(table.find("Name"), std::string::npos);
+  EXPECT_NE(table.find("Unclaimed"), std::string::npos);
+  // Columns align: every line has the same position for the 2nd column.
+  EXPECT_LT(table.find("Name"), table.find("Arch"));
+}
+
+TEST(QueryTest, FormatTableEmptyPool) {
+  Query q = Query::all();
+  q.project({"Name"});
+  const std::string table = formatTable(q, {});
+  EXPECT_NE(table.find("Name"), std::string::npos);
+}
+
+TEST(QueryTest, QueryCanUseExpressionsOverAttributes) {
+  const auto pool = samplePool();
+  const Query q = Query::fromConstraint("Memory / 32 >= 2");
+  EXPECT_EQ(q.count(pool), 2u);
+}
+
+}  // namespace
+}  // namespace classad

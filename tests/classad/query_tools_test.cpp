@@ -1,0 +1,97 @@
+// sortBy and summarize: the ordering and -totals features of the status
+// tools.
+#include <gtest/gtest.h>
+
+#include "classad/query.h"
+
+namespace classad {
+namespace {
+
+std::vector<ClassAdPtr> mixedPool() {
+  std::vector<ClassAdPtr> ads;
+  ads.push_back(makeShared(
+      ClassAd::parse("[Name = \"c\"; Arch = \"INTEL\"; Memory = 64]")));
+  ads.push_back(makeShared(
+      ClassAd::parse("[Name = \"a\"; Arch = \"SPARC\"; Memory = 128]")));
+  ads.push_back(makeShared(
+      ClassAd::parse("[Name = \"b\"; Arch = \"INTEL\"; Memory = 32]")));
+  ads.push_back(makeShared(
+      ClassAd::parse("[Name = \"d\"; Arch = \"INTEL\"]")));  // no Memory
+  return ads;
+}
+
+TEST(SortByTest, NumericAscending) {
+  const auto sorted = sortBy(mixedPool(), "Memory");
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0]->getString("Name").value(), "b");   // 32
+  EXPECT_EQ(sorted[1]->getString("Name").value(), "c");   // 64
+  EXPECT_EQ(sorted[2]->getString("Name").value(), "a");   // 128
+  EXPECT_EQ(sorted[3]->getString("Name").value(), "d");   // undefined last
+}
+
+TEST(SortByTest, NumericDescendingKeepsUndefinedLastIsFalseButFirst) {
+  const auto sorted = sortBy(mixedPool(), "Memory", /*descending=*/true);
+  // Descending flips the whole order: the undefined entry leads.
+  EXPECT_EQ(sorted[0]->getString("Name").value(), "d");
+  EXPECT_EQ(sorted[1]->getString("Name").value(), "a");
+  EXPECT_EQ(sorted[3]->getString("Name").value(), "b");
+}
+
+TEST(SortByTest, StringsSortCaseInsensitively) {
+  std::vector<ClassAdPtr> ads;
+  ads.push_back(makeShared(ClassAd::parse("[Name = \"Zeta\"]")));
+  ads.push_back(makeShared(ClassAd::parse("[Name = \"alpha\"]")));
+  ads.push_back(makeShared(ClassAd::parse("[Name = \"Beta\"]")));
+  const auto sorted = sortBy(ads, "Name");
+  EXPECT_EQ(sorted[0]->getString("Name").value(), "alpha");
+  EXPECT_EQ(sorted[1]->getString("Name").value(), "Beta");
+  EXPECT_EQ(sorted[2]->getString("Name").value(), "Zeta");
+}
+
+TEST(SortByTest, StableAmongEqualKeys) {
+  std::vector<ClassAdPtr> ads;
+  for (int i = 0; i < 5; ++i) {
+    ClassAd ad;
+    ad.set("Order", i);
+    ad.set("Key", 7);
+    ads.push_back(makeShared(std::move(ad)));
+  }
+  const auto sorted = sortBy(ads, "Key");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)]->getInteger("Order").value(), i);
+  }
+}
+
+TEST(SortByTest, SkipsNullAds) {
+  auto ads = mixedPool();
+  ads.push_back(nullptr);
+  EXPECT_EQ(sortBy(ads, "Memory").size(), 4u);
+}
+
+TEST(SummarizeTest, TalliesMostFrequentFirst) {
+  const auto totals = summarize(mixedPool(), "Arch");
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].first, "INTEL");
+  EXPECT_EQ(totals[0].second, 3u);
+  EXPECT_EQ(totals[1].first, "SPARC");
+  EXPECT_EQ(totals[1].second, 1u);
+}
+
+TEST(SummarizeTest, MissingAttributesTallyAsUndefined) {
+  const auto totals = summarize(mixedPool(), "Memory");
+  // 32, 64, 128 once each plus one undefined.
+  ASSERT_EQ(totals.size(), 4u);
+  bool sawUndefined = false;
+  for (const auto& [value, count] : totals) {
+    EXPECT_EQ(count, 1u);
+    sawUndefined |= value == "undefined";
+  }
+  EXPECT_TRUE(sawUndefined);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  EXPECT_TRUE(summarize({}, "Arch").empty());
+}
+
+}  // namespace
+}  // namespace classad

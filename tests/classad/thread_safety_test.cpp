@@ -1,0 +1,67 @@
+// Concurrency contract: expression trees are immutable and ClassAd
+// evaluation is const, so one parsed ad may be evaluated from many
+// threads with no synchronization (the property the parallel negotiator
+// and any multi-threaded matchmaker embedding rely on).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "classad/match.h"
+#include "sim/paper_ads.h"
+
+namespace classad {
+namespace {
+
+TEST(ThreadSafetyTest, ConcurrentMatchEvaluation) {
+  const ClassAd machine = htcsim::makeFigure1Ad();
+  const ClassAd job = htcsim::makeFigure2Ad();
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 2000;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        const MatchAnalysis m = analyzeMatch(job, machine);
+        if (!m.matched || m.requestRank != 21.893 + 2.0 ||
+            m.resourceRank != 10.0) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadSafetyTest, ConcurrentQueriesOverSharedAds) {
+  std::vector<ClassAdPtr> pool;
+  for (int i = 0; i < 50; ++i) {
+    ClassAd ad;
+    ad.set("Memory", 32 * (1 + i % 4));
+    ad.set("Name", "m" + std::to_string(i));
+    pool.push_back(makeShared(std::move(ad)));
+  }
+  const ExprPtr constraint = parseExpr("Memory >= 64");
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        std::size_t hits = 0;
+        for (const ClassAdPtr& ad : pool) {
+          hits += ad->evaluate(*constraint).isBooleanTrue();
+        }
+        if (hits != 50u * 3 / 4) bad.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace classad

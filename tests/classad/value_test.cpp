@@ -1,0 +1,178 @@
+// Unit tests for the Value data model: type predicates, identity (`is`
+// semantics), literal rendering, and the case-insensitive string helpers.
+#include "classad/value.h"
+
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+
+namespace classad {
+namespace {
+
+TEST(ValueTest, DefaultConstructedIsUndefined) {
+  Value v;
+  EXPECT_TRUE(v.isUndefined());
+  EXPECT_TRUE(v.isExceptional());
+  EXPECT_EQ(v.type(), ValueType::Undefined);
+}
+
+TEST(ValueTest, ErrorCarriesReason) {
+  const Value v = Value::error("division by zero");
+  EXPECT_TRUE(v.isError());
+  EXPECT_TRUE(v.isExceptional());
+  EXPECT_EQ(v.errorReason(), "division by zero");
+}
+
+TEST(ValueTest, ErrorWithoutReasonHasEmptyReason) {
+  EXPECT_EQ(Value::error().errorReason(), "");
+}
+
+TEST(ValueTest, TypePredicatesAreExclusive) {
+  const Value vals[] = {
+      Value::undefined(),   Value::error("x"),   Value::boolean(true),
+      Value::integer(7),    Value::real(2.5),    Value::string("hi"),
+      Value::list(std::vector<Value>{}),      Value::record(std::make_shared<ClassAd>()),
+  };
+  int undef = 0, err = 0, b = 0, i = 0, r = 0, s = 0, l = 0, rec = 0;
+  for (const Value& v : vals) {
+    undef += v.isUndefined();
+    err += v.isError();
+    b += v.isBoolean();
+    i += v.isInteger();
+    r += v.isReal();
+    s += v.isString();
+    l += v.isList();
+    rec += v.isRecord();
+  }
+  EXPECT_EQ(undef, 1);
+  EXPECT_EQ(err, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(i, 1);
+  EXPECT_EQ(r, 1);
+  EXPECT_EQ(s, 1);
+  EXPECT_EQ(l, 1);
+  EXPECT_EQ(rec, 1);
+}
+
+TEST(ValueTest, NumberCoercion) {
+  EXPECT_DOUBLE_EQ(Value::integer(3).toReal(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::real(2.5).toReal(), 2.5);
+  EXPECT_TRUE(Value::integer(3).isNumber());
+  EXPECT_TRUE(Value::real(3.0).isNumber());
+  EXPECT_FALSE(Value::string("3").isNumber());
+}
+
+TEST(ValueTest, BooleanTrueTest) {
+  EXPECT_TRUE(Value::boolean(true).isBooleanTrue());
+  EXPECT_FALSE(Value::boolean(false).isBooleanTrue());
+  EXPECT_FALSE(Value::integer(1).isBooleanTrue());
+  EXPECT_FALSE(Value::undefined().isBooleanTrue());
+  EXPECT_FALSE(Value::error().isBooleanTrue());
+}
+
+TEST(ValueTest, RankCoercionTreatsNonNumbersAsZero) {
+  // Section 3.2: "non-integer values are treated as zero" — we accept
+  // numbers (Figure 2's Rank is real-valued) and zero everything else.
+  EXPECT_DOUBLE_EQ(Value::integer(7).rankValue(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::real(1.5).rankValue(), 1.5);
+  EXPECT_DOUBLE_EQ(Value::undefined().rankValue(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::error().rankValue(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::string("10").rankValue(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::boolean(true).rankValue(), 0.0);
+}
+
+TEST(ValueTest, IdentitySameTypeSameValue) {
+  EXPECT_TRUE(Value::integer(4).isIdenticalTo(Value::integer(4)));
+  EXPECT_FALSE(Value::integer(4).isIdenticalTo(Value::integer(5)));
+  EXPECT_TRUE(Value::real(1.5).isIdenticalTo(Value::real(1.5)));
+  EXPECT_TRUE(Value::boolean(true).isIdenticalTo(Value::boolean(true)));
+  EXPECT_FALSE(Value::boolean(true).isIdenticalTo(Value::boolean(false)));
+}
+
+TEST(ValueTest, IdentityDistinguishesIntegerFromReal) {
+  // `1 is 1.0` is false: identity requires the same type.
+  EXPECT_FALSE(Value::integer(1).isIdenticalTo(Value::real(1.0)));
+}
+
+TEST(ValueTest, IdentityOnStringsIsCaseSensitive) {
+  EXPECT_TRUE(Value::string("INTEL").isIdenticalTo(Value::string("INTEL")));
+  EXPECT_FALSE(Value::string("INTEL").isIdenticalTo(Value::string("intel")));
+}
+
+TEST(ValueTest, IdentityOnExceptionalValues) {
+  EXPECT_TRUE(Value::undefined().isIdenticalTo(Value::undefined()));
+  EXPECT_TRUE(Value::error("a").isIdenticalTo(Value::error("b")));
+  EXPECT_FALSE(Value::undefined().isIdenticalTo(Value::error()));
+}
+
+TEST(ValueTest, IdentityOnLists) {
+  const Value a = Value::list({Value::integer(1), Value::string("x")});
+  const Value b = Value::list({Value::integer(1), Value::string("x")});
+  const Value c = Value::list({Value::integer(1), Value::string("X")});
+  const Value d = Value::list({Value::integer(1)});
+  EXPECT_TRUE(a.isIdenticalTo(b));
+  EXPECT_FALSE(a.isIdenticalTo(c));  // case-sensitive elements
+  EXPECT_FALSE(a.isIdenticalTo(d));
+}
+
+TEST(ValueTest, IdentityOnRecords) {
+  auto ad1 = std::make_shared<ClassAd>();
+  ad1->set("A", 1);
+  auto ad2 = std::make_shared<ClassAd>();
+  ad2->set("A", 1);
+  auto ad3 = std::make_shared<ClassAd>();
+  ad3->set("A", 2);
+  EXPECT_TRUE(Value::record(ad1).isIdenticalTo(Value::record(ad2)));
+  EXPECT_FALSE(Value::record(ad1).isIdenticalTo(Value::record(ad3)));
+}
+
+TEST(ValueTest, LiteralStrings) {
+  EXPECT_EQ(Value::undefined().toLiteralString(), "undefined");
+  EXPECT_EQ(Value::error("r").toLiteralString(), "error");
+  EXPECT_EQ(Value::boolean(true).toLiteralString(), "true");
+  EXPECT_EQ(Value::boolean(false).toLiteralString(), "false");
+  EXPECT_EQ(Value::integer(-42).toLiteralString(), "-42");
+  EXPECT_EQ(Value::string("a\"b\\c").toLiteralString(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Value::list({Value::integer(1), Value::integer(2)})
+                .toLiteralString(),
+            "{ 1, 2 }");
+  EXPECT_EQ(Value::list(std::vector<Value>{}).toLiteralString(), "{ }");
+}
+
+TEST(ValueTest, RealLiteralKeepsDecimalPoint) {
+  // Reals must re-parse as reals, not integers.
+  const std::string s = Value::real(64.0).toLiteralString();
+  EXPECT_NE(s.find_first_of(".eE"), std::string::npos) << s;
+}
+
+TEST(ValueTest, RealLiteralRoundTrips) {
+  const double values[] = {0.042969, 1e-9, 12345.6789, -2.5e17};
+  for (const double d : values) {
+    const Value parsed = ClassAd::parse("[x = " + Value::real(d).toLiteralString() + "]")
+                             .evaluateAttr("x");
+    ASSERT_TRUE(parsed.isReal());
+    EXPECT_DOUBLE_EQ(parsed.asReal(), d);
+  }
+}
+
+TEST(CaseHelpersTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(equalsIgnoreCase("INTEL", "intel"));
+  EXPECT_TRUE(equalsIgnoreCase("", ""));
+  EXPECT_FALSE(equalsIgnoreCase("INTEL", "INTE"));
+  EXPECT_FALSE(equalsIgnoreCase("a", "b"));
+}
+
+TEST(CaseHelpersTest, CompareIgnoreCaseOrdersLikeLowercase) {
+  EXPECT_LT(compareIgnoreCase("Apple", "banana"), 0);
+  EXPECT_GT(compareIgnoreCase("Zoo", "apple"), 0);
+  EXPECT_EQ(compareIgnoreCase("Solaris251", "SOLARIS251"), 0);
+  EXPECT_LT(compareIgnoreCase("abc", "abcd"), 0);
+}
+
+TEST(CaseHelpersTest, ToLowerCopy) {
+  EXPECT_EQ(toLowerCopy("KeyboardIdle"), "keyboardidle");
+  EXPECT_EQ(toLowerCopy(""), "");
+}
+
+}  // namespace
+}  // namespace classad

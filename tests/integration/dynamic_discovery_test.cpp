@@ -1,0 +1,181 @@
+// Integration: dynamic heterogeneity (§1: conventional queue systems
+// "hinder dynamic qualitative resource discovery"; §5: the framework
+// "can evolve with changing resources"). New kinds of resources join a
+// running pool and are discovered by waiting requests with NO
+// reconfiguration — no queue to define, no schema to update; the new
+// machine just advertises.
+#include <gtest/gtest.h>
+
+#include "baseline/queue_scheduler.h"
+#include "sim/scenario.h"
+
+namespace htcsim {
+namespace {
+
+MachineSpec intelBox(const std::string& name) {
+  MachineSpec spec;
+  spec.name = name;
+  spec.arch = "INTEL";
+  spec.opSys = "SOLARIS251";
+  spec.memoryMB = 64;
+  spec.mips = 100;
+  spec.policy = OwnerPolicy::AlwaysAvailable;
+  spec.meanOwnerAbsence = 0.0;
+  return spec;
+}
+
+Job intelJob(std::uint64_t id) {
+  Job job;
+  job.id = id;
+  job.owner = "raman";
+  job.totalWork = 100.0;
+  job.memoryMB = 32;
+  job.requiredArch = "INTEL";
+  job.requiredOpSys = "SOLARIS251";
+  return job;
+}
+
+TEST(DynamicDiscoveryTest, LateJoiningMachineTypeIsDiscovered) {
+  // The pool starts all-SPARC; raman's job needs INTEL and waits. An
+  // INTEL workstation joins at t = 30 min and is matched within a couple
+  // of cycles.
+  ScenarioConfig config;
+  config.seed = 77;
+  config.duration = 2 * 3600.0;
+  config.machines.count = 5;
+  config.machines.platforms = {{"SPARC", "SOLARIS251", 1.0}};
+  config.machines.fracAlwaysAvailable = 1.0;
+  config.machines.fracClassicIdle = 0.0;
+  config.machines.fracFigure1 = 0.0;
+  config.workload.users = {"raman"};
+  config.workload.jobsPerUserPerHour = 0.0;
+  Scenario scenario(config);
+  scenario.agentFor("raman")->submit(intelJob(1));
+
+  scenario.runUntil(1800.0);
+  EXPECT_EQ(scenario.metrics().jobsCompleted, 0u);  // nothing fits yet
+
+  // A brand-new kind of resource appears: build its Machine + RA against
+  // the scenario's simulator and network, and just let it advertise.
+  Machine newcomer(scenario.simulator(), intelBox("fresh.cs.wisc.edu"),
+                   Rng(5));
+  Metrics& metrics = const_cast<Metrics&>(scenario.metrics());
+  ResourceAgent ra(scenario.simulator(), scenario.network(), newcomer,
+                   metrics, Rng(6));
+  ra.start();
+
+  scenario.runUntil(2100.0);  // a few cycles later
+  EXPECT_EQ(scenario.metrics().jobsCompleted, 1u);
+  ra.stop();
+}
+
+TEST(DynamicDiscoveryTest, QueueBaselineCannotDiscoverLateTypes) {
+  // The same story under the conventional model: queues were fixed at
+  // setup from the machines present, so a job needing a type that
+  // arrives later was bounced at submit — there is no queue for it, and
+  // its late arrival cannot resurrect the job.
+  Simulator sim;
+  Metrics metrics;
+  std::vector<MachineSpec> sparcOnly;
+  for (int i = 0; i < 5; ++i) {
+    MachineSpec spec = intelBox("sparc" + std::to_string(i));
+    spec.arch = "SPARC";
+    sparcOnly.push_back(spec);
+  }
+  baseline::QueueScheduler scheduler(sim, std::move(sparcOnly), metrics,
+                                     Rng(1));
+  scheduler.start();
+  scheduler.submit(intelJob(1));
+  sim.runUntil(2 * 3600.0);
+  EXPECT_EQ(scheduler.extra().unroutableJobs, 1u);
+  EXPECT_EQ(metrics.jobsCompleted, 0u);
+}
+
+TEST(DynamicDiscoveryTest, NovelResourceTypeNeedsNoMatchmakerChange) {
+  // "Bilateral specialization": the matchmaker has no machine-specific
+  // code, so an entirely new resource type (a software license) matches
+  // a waiting request with zero changes anywhere but the two ads.
+  ScenarioConfig config;
+  config.seed = 78;
+  config.duration = 3600.0;
+  config.machines.count = 0;
+  config.workload.users = {"raman"};
+  config.workload.jobsPerUserPerHour = 0.0;
+  Scenario scenario(config);
+
+  // Hand-roll a license "RA": advertise a license ad directly.
+  class LicenseServer : public Endpoint {
+   public:
+    LicenseServer(Scenario& s, Metrics& m) : scenario_(s), metrics_(m) {
+      s.network().attach("lic://matlab", this);
+    }
+    void advertise() {
+      classad::ClassAd ad;
+      ad.set("Type", "License");
+      ad.set("Product", "matlab");
+      ad.set("ContactAddress", "lic://matlab");
+      ad.setExpr("Constraint", "other.Type == \"Job\"");
+      ad.set("Rank", 0);
+      ad.set("AuthorizationTicket", matchmaking::ticketToString(99));
+      matchmaking::Advertisement msg;
+      msg.ad = classad::makeShared(std::move(ad));
+      msg.sequence = ++seq_;
+      msg.key = "lic://matlab";
+      scenario_.network().send("lic://matlab", "collector", std::move(msg));
+    }
+    void deliver(const Envelope& env) override {
+      if (const auto* claim =
+              std::get_if<matchmaking::ClaimRequest>(&env.payload)) {
+        claims.push_back(*claim);
+        scenario_.network().send("lic://matlab", env.from,
+                                 matchmaking::ClaimResponse{true, ""});
+      }
+    }
+    std::vector<matchmaking::ClaimRequest> claims;
+
+   private:
+    Scenario& scenario_;
+    Metrics& metrics_;
+    std::uint64_t seq_ = 0;
+  };
+
+  Metrics& metrics = const_cast<Metrics&>(scenario.metrics());
+  LicenseServer license(scenario, metrics);
+  // A job that wants the license, advertised through a normal CA.
+  Job job;
+  job.id = 1;
+  job.owner = "raman";
+  job.totalWork = 60.0;
+  scenario.agentFor("raman")->submit(job);
+  // Overwrite the CA's generic constraint via direct advertisement: use
+  // the license server's own ad plus a custom request pushed to the
+  // collector (simplest: let the generic job ad match the license — the
+  // license's constraint only needs Type == "Job", and the job's
+  // machine-shaped constraint must accept the license... it won't, so
+  // push a custom request ad instead).
+  classad::ClassAd request;
+  request.set("Type", "Job");
+  request.set("Owner", "raman");
+  request.set("JobId", 42);
+  request.set("ContactAddress", "ca://raman");
+  request.setExpr("Constraint", "other.Type == \"License\"");
+  request.set("Rank", 0);
+  matchmaking::Advertisement msg;
+  msg.ad = classad::makeShared(std::move(request));
+  msg.sequence = 1;
+  msg.isRequest = true;
+  msg.key = "ca://raman#42";
+  scenario.network().send("ca://raman", "collector", std::move(msg));
+  license.advertise();
+
+  scenario.runUntil(300.0);
+  // The CA received a match for "job 42" (unknown to it — counted as a
+  // stale notification and ignored), proving the matchmaker happily
+  // matched a job to a license with no special code. To see the claim
+  // side, check the CA got notified at all:
+  EXPECT_GE(scenario.metrics().matchesIssued, 1u);
+  EXPECT_GE(scenario.metrics().staleNotifications, 1u);
+}
+
+}  // namespace
+}  // namespace htcsim

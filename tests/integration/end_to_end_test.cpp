@@ -1,0 +1,143 @@
+// Integration: the full Figure 3 flow — advertise (1), match (2), notify
+// (3), claim (4) — through real agents, a real pool manager, and the
+// simulated network, using the paper's own Figure 1/2 cast of users.
+#include <gtest/gtest.h>
+
+#include "classad/query.h"
+#include "sim/scenario.h"
+
+namespace htcsim {
+namespace {
+
+/// One leonardo-like Figure-1 machine and raman's single job.
+ScenarioConfig paperPair() {
+  ScenarioConfig config;
+  config.seed = 7;
+  config.duration = 3600.0;
+  config.machines.count = 1;
+  config.machines.fracAlwaysAvailable = 0.0;
+  config.machines.fracClassicIdle = 0.0;
+  config.machines.fracFigure1 = 1.0;
+  config.machines.meanOwnerAbsence = 0.0;  // keep the owner away: deterministic
+  config.machines.platforms = {{"INTEL", "SOLARIS251", 1.0}};
+  config.machines.memoryChoicesMB = {64};
+  config.workload.users = {"raman"};
+  config.workload.jobsPerUserPerHour = 0.0;  // we submit by hand
+  return config;
+}
+
+Job ramansJob() {
+  Job job;
+  job.id = 1;
+  job.owner = "raman";
+  job.cmd = "run_sim";
+  job.totalWork = 300.0;
+  job.memoryMB = 31;
+  job.checkpointable = true;
+  job.requiredArch = "INTEL";
+  job.requiredOpSys = "SOLARIS251";
+  return job;
+}
+
+TEST(EndToEndTest, Figure3FlowCompletesAJob) {
+  Scenario scenario(paperPair());
+  scenario.agentFor("raman")->submit(ramansJob());
+  scenario.run();
+  const Metrics& m = scenario.metrics();
+  EXPECT_EQ(m.jobsSubmitted, 1u);
+  EXPECT_EQ(m.matchesIssued, 1u);
+  EXPECT_EQ(m.claimsAccepted, 1u);
+  EXPECT_EQ(m.jobsCompleted, 1u);
+  const Job& job = scenario.agentFor("raman")->jobs()[0];
+  EXPECT_EQ(job.state, JobState::Completed);
+  EXPECT_GT(job.firstStartTime, 0.0);
+  EXPECT_GT(job.completionTime, job.firstStartTime);
+}
+
+TEST(EndToEndTest, UntrustedUserNeverServed) {
+  ScenarioConfig config = paperPair();
+  config.workload.users = {"rival"};
+  Scenario scenario(config);
+  Job job = ramansJob();
+  job.owner = "rival";
+  scenario.agentFor("rival")->submit(job);
+  scenario.run();
+  EXPECT_EQ(scenario.metrics().jobsCompleted, 0u);
+  EXPECT_EQ(scenario.metrics().claimsAccepted, 0u);
+}
+
+TEST(EndToEndTest, StrangerServedOnlyAtNight) {
+  // The simulation clock starts at midnight; a stranger's job submitted
+  // immediately runs (night tier). One submitted at noon must wait for
+  // evening.
+  ScenarioConfig config = paperPair();
+  config.workload.users = {"alice"};
+  config.duration = 24 * 3600.0;
+  Scenario scenario(config);
+  Job job = ramansJob();
+  job.owner = "alice";
+  job.totalWork = 60.0;  // quick, finishes before dawn
+  scenario.agentFor("alice")->submit(job);
+  scenario.runUntil(2 * 3600.0);
+  EXPECT_EQ(scenario.metrics().jobsCompleted, 1u);  // ran overnight
+
+  // Second job at noon: refused all afternoon, runs after 18:00.
+  Job dayJob = job;
+  dayJob.id = 2;
+  scenario.simulator().at(12 * 3600.0, [&scenario, dayJob] {
+    scenario.agentFor("alice")->submit(dayJob);
+  });
+  scenario.runUntil(17.9 * 3600.0);
+  EXPECT_EQ(scenario.metrics().jobsCompleted, 1u);  // still waiting
+  scenario.runUntil(20 * 3600.0);
+  EXPECT_EQ(scenario.metrics().jobsCompleted, 2u);  // served after dark
+}
+
+TEST(EndToEndTest, ResearchGroupPreemptsStranger) {
+  ScenarioConfig config = paperPair();
+  config.workload.users = {"alice", "raman"};
+  config.duration = 4 * 3600.0;
+  Scenario scenario(config);
+  // alice's long job grabs the machine at midnight...
+  Job long1 = ramansJob();
+  long1.owner = "alice";
+  long1.id = 1;
+  long1.totalWork = 6 * 3600.0;
+  scenario.agentFor("alice")->submit(long1);
+  // ...and raman arrives an hour later.
+  scenario.simulator().at(3600.0, [&scenario] {
+    Job j = ramansJob();
+    j.id = 2;
+    j.totalWork = 300.0;
+    scenario.agentFor("raman")->submit(j);
+  });
+  scenario.run();
+  const Metrics& m = scenario.metrics();
+  EXPECT_GE(m.preemptionsByRank, 1u);
+  // raman's job completed; alice's checkpointed work was preserved.
+  std::size_t ramanDone = scenario.agentFor("raman")->completedJobs();
+  EXPECT_EQ(ramanDone, 1u);
+  EXPECT_GT(m.goodputCpuSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(m.badputCpuSeconds, 0.0);  // alice checkpointed
+}
+
+TEST(EndToEndTest, StatusToolsSeeThePool) {
+  // Section 4's one-way-matching tools, driven against live RA ads.
+  ScenarioConfig config = paperPair();
+  config.machines.count = 5;
+  Scenario scenario(config);
+  scenario.runUntil(120.0);
+  std::vector<classad::ClassAdPtr> ads;
+  for (const auto& ra : scenario.resourceAgents()) {
+    ads.push_back(classad::makeShared(ra->buildAd()));
+  }
+  const auto q =
+      classad::Query::fromConstraint("Type == \"Machine\" && Memory >= 64");
+  EXPECT_EQ(q.count(ads), 5u);
+  const auto none =
+      classad::Query::fromConstraint("Arch == \"VAX\"");
+  EXPECT_EQ(none.count(ads), 0u);
+}
+
+}  // namespace
+}  // namespace htcsim

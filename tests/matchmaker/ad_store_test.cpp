@@ -1,0 +1,103 @@
+// The soft-state advertisement store: refresh, stale-duplicate rejection,
+// expiry, and invalidation.
+#include "matchmaker/ad_store.h"
+
+#include <gtest/gtest.h>
+
+namespace matchmaking {
+namespace {
+
+classad::ClassAdPtr ad(int marker) {
+  classad::ClassAd a;
+  a.set("Marker", marker);
+  return classad::makeShared(std::move(a));
+}
+
+TEST(AdStoreTest, InsertAndFind) {
+  AdStore store(300.0);
+  EXPECT_TRUE(store.update("ra://m1", ad(1), 0.0, 1));
+  EXPECT_EQ(store.size(), 1u);
+  const StoredAd* stored = store.find("ra://m1");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->ad->getInteger("Marker").value(), 1);
+  EXPECT_EQ(stored->sequence, 1u);
+}
+
+TEST(AdStoreTest, RefreshReplacesAd) {
+  AdStore store(300.0);
+  store.update("k", ad(1), 0.0, 1);
+  EXPECT_TRUE(store.update("k", ad(2), 10.0, 2));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find("k")->ad->getInteger("Marker").value(), 2);
+  EXPECT_EQ(store.find("k")->receivedAt, 10.0);
+}
+
+TEST(AdStoreTest, StaleDuplicateIgnored) {
+  // The advertising protocol must be idempotent over a reordering
+  // network: an old ad arriving late cannot clobber a newer one.
+  AdStore store(300.0);
+  store.update("k", ad(2), 10.0, 5);
+  EXPECT_FALSE(store.update("k", ad(1), 11.0, 4));
+  EXPECT_FALSE(store.update("k", ad(1), 11.0, 5));
+  EXPECT_EQ(store.find("k")->ad->getInteger("Marker").value(), 2);
+}
+
+TEST(AdStoreTest, ExpiryDropsOldAds) {
+  AdStore store(100.0);
+  store.update("a", ad(1), 0.0, 1);
+  store.update("b", ad(2), 50.0, 1);
+  EXPECT_EQ(store.expire(120.0), 1u);  // only "a" (expires at 100)
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find("a"), nullptr);
+  ASSERT_NE(store.find("b"), nullptr);
+}
+
+TEST(AdStoreTest, RefreshExtendsLifetime) {
+  AdStore store(100.0);
+  store.update("a", ad(1), 0.0, 1);
+  store.update("a", ad(1), 90.0, 2);  // refreshed at t=90
+  EXPECT_EQ(store.expire(150.0), 0u);
+  EXPECT_EQ(store.expire(200.0), 1u);
+}
+
+TEST(AdStoreTest, ExplicitLifetimeOverridesDefault) {
+  AdStore store(100.0);
+  store.update("a", ad(1), 0.0, 1, 1000.0);
+  EXPECT_EQ(store.expire(500.0), 0u);
+}
+
+TEST(AdStoreTest, InvalidateRemoves) {
+  AdStore store(100.0);
+  store.update("a", ad(1), 0.0, 1);
+  EXPECT_TRUE(store.invalidate("a"));
+  EXPECT_FALSE(store.invalidate("a"));
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(AdStoreTest, SnapshotReturnsAllLiveAds) {
+  AdStore store(100.0);
+  store.update("a", ad(1), 0.0, 1);
+  store.update("b", ad(2), 0.0, 1);
+  store.update("c", ad(3), 0.0, 1);
+  EXPECT_EQ(store.snapshot().size(), 3u);
+  EXPECT_EQ(store.entries().size(), 3u);
+}
+
+TEST(AdStoreTest, ClearEmpties) {
+  AdStore store(100.0);
+  store.update("a", ad(1), 0.0, 1);
+  store.clear();
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(AdStoreTest, ReinsertAfterInvalidateAcceptsAnySequence) {
+  // Invalidation forgets the key entirely, so a restarted advertiser may
+  // begin again from sequence 1.
+  AdStore store(100.0);
+  store.update("a", ad(1), 0.0, 99);
+  store.invalidate("a");
+  EXPECT_TRUE(store.update("a", ad(2), 1.0, 1));
+}
+
+}  // namespace
+}  // namespace matchmaking

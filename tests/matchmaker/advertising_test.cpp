@@ -1,0 +1,116 @@
+// The advertising protocol's admission rules.
+#include "matchmaker/advertising.h"
+
+#include <gtest/gtest.h>
+
+namespace matchmaking {
+namespace {
+
+classad::ClassAd goodResource() {
+  return classad::ClassAd::parse(
+      "[Type = \"Machine\"; ContactAddress = \"ra://m1\";"
+      " Constraint = other.Type == \"Job\"; Rank = 0]");
+}
+
+classad::ClassAd goodRequest() {
+  return classad::ClassAd::parse(
+      "[Type = \"Job\"; Owner = \"alice\"; ContactAddress = \"ca://alice\";"
+      " Constraint = other.Type == \"Machine\"; Rank = 0]");
+}
+
+TEST(AdvertisingTest, AcceptsConformingResource) {
+  AdvertisingProtocol protocol;
+  const auto result = protocol.validateResource(goodResource());
+  EXPECT_TRUE(result.accepted) << (result.problems.empty()
+                                       ? ""
+                                       : result.problems.front());
+}
+
+TEST(AdvertisingTest, AcceptsConformingRequest) {
+  AdvertisingProtocol protocol;
+  EXPECT_TRUE(protocol.validateRequest(goodRequest()).accepted);
+}
+
+TEST(AdvertisingTest, RejectsMissingType) {
+  AdvertisingProtocol protocol;
+  auto ad = goodResource();
+  ad.remove("Type");
+  const auto result = protocol.validate(ad);
+  EXPECT_FALSE(result.accepted);
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems.front().find("Type"), std::string::npos);
+}
+
+TEST(AdvertisingTest, RejectsMissingContact) {
+  AdvertisingProtocol protocol;
+  auto ad = goodResource();
+  ad.remove("ContactAddress");
+  EXPECT_FALSE(protocol.validate(ad).accepted);
+}
+
+TEST(AdvertisingTest, RejectsEmptyContact) {
+  AdvertisingProtocol protocol;
+  auto ad = goodResource();
+  ad.set("ContactAddress", "");
+  EXPECT_FALSE(protocol.validate(ad).accepted);
+}
+
+TEST(AdvertisingTest, RequestNeedsOwner) {
+  AdvertisingProtocol protocol;
+  auto ad = goodRequest();
+  ad.remove("Owner");
+  EXPECT_TRUE(protocol.validateResource(ad).accepted);  // fine as resource
+  EXPECT_FALSE(protocol.validateRequest(ad).accepted);
+}
+
+TEST(AdvertisingTest, ConstraintMayBeOmitted) {
+  AdvertisingProtocol protocol;
+  auto ad = goodResource();
+  ad.remove("Constraint");
+  EXPECT_TRUE(protocol.validate(ad).accepted);
+}
+
+TEST(AdvertisingTest, RejectsStructurallyBrokenConstraint) {
+  AdvertisingProtocol protocol;
+  auto ad = goodResource();
+  ad.setExpr("Constraint", "noSuchFunction(1)");  // error regardless of other
+  EXPECT_FALSE(protocol.validate(ad).accepted);
+}
+
+TEST(AdvertisingTest, AcceptsConstraintUndefinedAgainstEmptyCandidate) {
+  // A constraint referencing other.* is undefined (not error) against an
+  // empty candidate; that must not cause rejection.
+  AdvertisingProtocol protocol;
+  auto ad = goodResource();
+  ad.setExpr("Constraint", "other.Owner == \"alice\"");
+  EXPECT_TRUE(protocol.validate(ad).accepted);
+}
+
+TEST(AdvertisingTest, CollectsMultipleProblems) {
+  AdvertisingProtocol protocol;
+  classad::ClassAd empty;
+  const auto result = protocol.validateRequest(empty);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_GE(result.problems.size(), 3u);  // Type, Contact, Owner
+}
+
+TEST(AdvertisingTest, KeyOfIsContactAddress) {
+  AdvertisingProtocol protocol;
+  EXPECT_EQ(protocol.keyOf(goodResource()), "ra://m1");
+  classad::ClassAd empty;
+  EXPECT_EQ(protocol.keyOf(empty), "");
+}
+
+TEST(AdvertisingTest, CustomAttributeNames) {
+  ProtocolAttributes attrs;
+  attrs.contact = "Address";
+  AdvertisingProtocol protocol(attrs);
+  classad::ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Address", "tcp://somewhere");
+  EXPECT_TRUE(protocol.validate(ad).accepted);
+  EXPECT_EQ(protocol.keyOf(ad), "tcp://somewhere");
+}
+
+}  // namespace
+}  // namespace matchmaking

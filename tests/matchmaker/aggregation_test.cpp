@@ -1,0 +1,183 @@
+// Classad aggregation (Section 5 future work): grouping by structural and
+// value regularity, and the equivalence of aggregated and naive
+// negotiation outcomes (aggregation is an optimization, not a semantics
+// change).
+#include "matchmaker/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "matchmaker/matchmaker.h"
+
+namespace matchmaking {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+ClassAdPtr machine(const std::string& name, const std::string& arch,
+                   int memory) {
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", name);
+  ad.set("ContactAddress", "ra://" + name);
+  ad.set("Arch", arch);
+  ad.set("Memory", memory);
+  ad.setExpr("Constraint", "other.Type == \"Job\"");
+  ad.set("Rank", 0);
+  return makeShared(std::move(ad));
+}
+
+TEST(AggregationTest, IdenticalAdsGroupTogether) {
+  const std::vector<ClassAdPtr> ads = {
+      machine("a", "INTEL", 64), machine("b", "INTEL", 64),
+      machine("c", "INTEL", 64)};
+  const auto groups = groupAds(ads);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members.size(), 3u);
+  EXPECT_NE(groups[0].representative, nullptr);
+}
+
+TEST(AggregationTest, DifferentValuesSplitGroups) {
+  const std::vector<ClassAdPtr> ads = {
+      machine("a", "INTEL", 64), machine("b", "INTEL", 128),
+      machine("c", "SPARC", 64)};
+  EXPECT_EQ(groupAds(ads).size(), 3u);
+}
+
+TEST(AggregationTest, AttributeOrderDoesNotSplit) {
+  ClassAd a;
+  a.set("Memory", 64);
+  a.set("Arch", "INTEL");
+  ClassAd b;
+  b.set("Arch", "INTEL");
+  b.set("Memory", 64);
+  const std::vector<ClassAdPtr> ads = {makeShared(std::move(a)),
+                                       makeShared(std::move(b))};
+  EXPECT_EQ(groupAds(ads).size(), 1u);
+}
+
+TEST(AggregationTest, IdentityAttributesIgnored) {
+  // Name/contact/ticket churn must not break value regularity.
+  auto a = machine("a", "INTEL", 64);
+  auto b = machine("b", "INTEL", 64);
+  ClassAd c = *machine("c", "INTEL", 64);
+  c.set("AuthorizationTicket", "abc123");
+  const std::vector<ClassAdPtr> ads = {a, b, makeShared(std::move(c))};
+  EXPECT_EQ(groupAds(ads).size(), 1u);
+}
+
+TEST(AggregationTest, CustomIdentityAttributes) {
+  AggregationConfig config;
+  config.identityAttributes.push_back("Memory");
+  const std::vector<ClassAdPtr> ads = {machine("a", "INTEL", 64),
+                                       machine("b", "INTEL", 128)};
+  EXPECT_EQ(groupAds(ads, config).size(), 1u);
+}
+
+TEST(AggregationTest, GroupsPreserveOrder) {
+  const std::vector<ClassAdPtr> ads = {
+      machine("a", "INTEL", 64), machine("b", "SPARC", 64),
+      machine("c", "INTEL", 64)};
+  const auto groups = groupAds(ads);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(groups[1].members, (std::vector<std::size_t>{1}));
+}
+
+TEST(AggregationTest, NullAdsSkipped) {
+  const std::vector<ClassAdPtr> ads = {nullptr, machine("a", "INTEL", 64)};
+  const auto groups = groupAds(ads);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members, (std::vector<std::size_t>{1}));
+}
+
+TEST(AggregationTest, RegularityMetric) {
+  // 4 identical + 2 distinct: 4 of 6 ads sit in groups of size > 1.
+  const std::vector<ClassAdPtr> ads = {
+      machine("a", "INTEL", 64),  machine("b", "INTEL", 64),
+      machine("c", "INTEL", 64),  machine("d", "INTEL", 64),
+      machine("e", "SPARC", 64),  machine("f", "INTEL", 128)};
+  EXPECT_NEAR(regularity(ads), 4.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(regularity({}), 0.0);
+}
+
+// --- the soundness property: aggregation never changes outcomes ----------
+
+ClassAdPtr jobAd(const std::string& owner, std::uint64_t id, int memory) {
+  ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("Owner", owner);
+  ad.set("JobId", static_cast<std::int64_t>(id));
+  ad.set("ContactAddress", "ca://" + owner);
+  ad.set("Memory", memory);
+  ad.setExpr("Constraint",
+             "other.Type == \"Machine\" && other.Memory >= self.Memory");
+  ad.setExpr("Rank", "other.Memory");
+  return makeShared(std::move(ad));
+}
+
+TEST(AggregationEquivalenceTest, SameMatchCountAndAssignmentQuality) {
+  // Heterogeneous-but-regular pool: 3 classes of machines, many of each.
+  std::vector<ClassAdPtr> resources;
+  for (int i = 0; i < 10; ++i) {
+    resources.push_back(machine("i64_" + std::to_string(i), "INTEL", 64));
+    resources.push_back(machine("i128_" + std::to_string(i), "INTEL", 128));
+    resources.push_back(machine("s32_" + std::to_string(i), "SPARC", 32));
+  }
+  std::vector<ClassAdPtr> requests;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(
+        jobAd("u" + std::to_string(i % 3), 100 + i, 16 + 16 * (i % 4)));
+  }
+  Accountant acc;
+  Matchmaker naive;
+  MatchmakerConfig aggConfig;
+  aggConfig.useAggregation = true;
+  Matchmaker aggregated(aggConfig);
+
+  NegotiationStats naiveStats, aggStats;
+  const auto naiveMatches =
+      naive.negotiate(requests, resources, acc, 0.0, &naiveStats);
+  const auto aggMatches =
+      aggregated.negotiate(requests, resources, acc, 0.0, &aggStats);
+
+  ASSERT_EQ(naiveMatches.size(), aggMatches.size());
+  // Every request gets a machine of the same quality (same request rank)
+  // under both algorithms.
+  for (std::size_t i = 0; i < naiveMatches.size(); ++i) {
+    EXPECT_EQ(naiveMatches[i].requestContact, aggMatches[i].requestContact);
+    EXPECT_DOUBLE_EQ(naiveMatches[i].requestRank, aggMatches[i].requestRank);
+  }
+  // And the aggregated run did strictly less matching work.
+  EXPECT_LT(aggStats.candidateEvaluations, naiveStats.candidateEvaluations);
+  EXPECT_EQ(aggStats.aggregateGroups, 3u);
+}
+
+TEST(AggregationEquivalenceTest, VerificationCatchesIdentityConstraints) {
+  // A request that constrains on an identity attribute (Name) still gets
+  // a correct answer: the representative may match while some members
+  // don't; member-level verification must sort it out.
+  std::vector<ClassAdPtr> resources = {
+      machine("alpha", "INTEL", 64), machine("beta", "INTEL", 64),
+      machine("gamma", "INTEL", 64)};
+  ClassAd picky;
+  picky.set("Type", "Job");
+  picky.set("Owner", "alice");
+  picky.set("JobId", 1);
+  picky.set("ContactAddress", "ca://alice");
+  picky.setExpr("Constraint", "other.Name == \"gamma\"");
+  picky.set("Rank", 0);
+  MatchmakerConfig aggConfig;
+  aggConfig.useAggregation = true;
+  Matchmaker aggregated(aggConfig);
+  Accountant acc;
+  const auto matches = aggregated.negotiate(
+      std::vector<ClassAdPtr>{makeShared(std::move(picky))}, resources, acc,
+      0.0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].resourceContact, "ra://gamma");
+}
+
+}  // namespace
+}  // namespace matchmaking

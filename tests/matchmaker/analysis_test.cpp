@@ -1,0 +1,167 @@
+// Constraint diagnostics (Section 5 future work): conjunct decomposition,
+// per-conjunct tallies, unsatisfiable-core detection, and the
+// owner-rejection verdict.
+#include "matchmaker/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace matchmaking {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+ClassAdPtr machine(const std::string& arch, int memory, int disk,
+                   const std::string& constraint = "") {
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Arch", arch);
+  ad.set("Memory", memory);
+  ad.set("Disk", disk);
+  if (!constraint.empty()) ad.setExpr("Constraint", constraint);
+  return makeShared(std::move(ad));
+}
+
+std::vector<ClassAdPtr> pool() {
+  return {machine("INTEL", 64, 100000), machine("INTEL", 32, 50000),
+          machine("SPARC", 128, 200000)};
+}
+
+TEST(SplitConjunctsTest, SplitsAndTree) {
+  const auto parts = splitConjuncts(classad::parseExpr("a && b && c"));
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0]->toString(), "a");
+  EXPECT_EQ(parts[1]->toString(), "b");
+  EXPECT_EQ(parts[2]->toString(), "c");
+}
+
+TEST(SplitConjunctsTest, NonAndRootIsSingleConjunct) {
+  EXPECT_EQ(splitConjuncts(classad::parseExpr("a || b")).size(), 1u);
+  EXPECT_EQ(splitConjuncts(classad::parseExpr("x > 5")).size(), 1u);
+}
+
+TEST(SplitConjunctsTest, DoesNotSplitInsideParens) {
+  // (a || b) && c -> two conjuncts.
+  const auto parts = splitConjuncts(classad::parseExpr("(a || b) && c"));
+  ASSERT_EQ(parts.size(), 2u);
+}
+
+TEST(SplitConjunctsTest, NullExprYieldsNothing) {
+  EXPECT_TRUE(splitConjuncts(nullptr).empty());
+}
+
+TEST(DiagnoseTest, MatchableRequest) {
+  ClassAd job;
+  job.set("Type", "Job");
+  job.set("Owner", "alice");
+  job.set("Memory", 48);
+  job.setExpr("Constraint",
+              "other.Type == \"Machine\" && Arch == \"INTEL\" && "
+              "other.Memory >= self.Memory");
+  const auto d = diagnose(job, pool());
+  EXPECT_EQ(d.poolSize, 3u);
+  EXPECT_EQ(d.requestSideOk, 1u);  // only the 64MB INTEL box
+  EXPECT_EQ(d.matches, 1u);
+  EXPECT_FALSE(d.requestUnsatisfiable());
+  EXPECT_FALSE(d.rejectedByOwners());
+}
+
+TEST(DiagnoseTest, IdentifiesFailingConjunct) {
+  ClassAd job;
+  job.set("Type", "Job");
+  job.set("Memory", 48);
+  job.setExpr("Constraint",
+              "other.Type == \"Machine\" && Arch == \"ALPHA\" && "
+              "other.Memory >= self.Memory");
+  const auto d = diagnose(job, pool());
+  EXPECT_TRUE(d.requestUnsatisfiable());
+  ASSERT_EQ(d.conjuncts.size(), 3u);
+  // First conjunct satisfied by all, second by none, third by two.
+  EXPECT_EQ(d.conjuncts[0].satisfied, 3u);
+  EXPECT_EQ(d.conjuncts[1].satisfied, 0u);
+  EXPECT_TRUE(d.conjuncts[1].unsatisfiable(d.poolSize));
+  EXPECT_EQ(d.conjuncts[2].satisfied, 2u);
+  EXPECT_FALSE(d.conjuncts[2].unsatisfiable(d.poolSize));
+}
+
+TEST(DiagnoseTest, CountsUndefinedConjuncts) {
+  ClassAd job;
+  job.setExpr("Constraint", "other.GPUs >= 2");  // no machine advertises GPUs
+  const auto d = diagnose(job, pool());
+  ASSERT_EQ(d.conjuncts.size(), 1u);
+  EXPECT_EQ(d.conjuncts[0].undefined, 3u);
+  EXPECT_TRUE(d.requestUnsatisfiable());
+}
+
+TEST(DiagnoseTest, RejectedByOwnersVerdict) {
+  // The request's own constraint is satisfiable, but every machine's
+  // policy excludes the owner.
+  ClassAd job;
+  job.set("Type", "Job");
+  job.set("Owner", "rival");
+  job.setExpr("Constraint", "other.Type == \"Machine\"");
+  const std::vector<ClassAdPtr> guarded = {
+      machine("INTEL", 64, 100000, "other.Owner != \"rival\""),
+      machine("SPARC", 128, 100000, "other.Owner != \"rival\"")};
+  const auto d = diagnose(job, guarded);
+  EXPECT_EQ(d.requestSideOk, 2u);
+  EXPECT_EQ(d.resourceSideOk, 0u);
+  EXPECT_EQ(d.matches, 0u);
+  EXPECT_TRUE(d.rejectedByOwners());
+  EXPECT_FALSE(d.requestUnsatisfiable());
+  const std::string text = d.summary();
+  EXPECT_NE(text.find("owner policies exclude"), std::string::npos);
+}
+
+TEST(DiagnoseTest, SummaryFlagsUnsatisfiableConjunct) {
+  ClassAd job;
+  job.setExpr("Constraint", "other.Memory >= 1024");
+  const auto d = diagnose(job, pool());
+  const std::string text = d.summary();
+  EXPECT_NE(text.find("NO resource in the pool satisfies this"),
+            std::string::npos);
+  EXPECT_NE(text.find("can never be satisfied"), std::string::npos);
+}
+
+TEST(DiagnoseTest, MissingConstraintMatchesEverything) {
+  ClassAd job;
+  job.set("Type", "Job");
+  const auto d = diagnose(job, pool());
+  EXPECT_EQ(d.requestSideOk, 3u);
+  EXPECT_TRUE(d.conjuncts.empty());
+}
+
+TEST(DiagnoseTest, EmptyPool) {
+  ClassAd job;
+  job.setExpr("Constraint", "other.Memory >= 1");
+  const auto d = diagnose(job, {});
+  EXPECT_EQ(d.poolSize, 0u);
+  EXPECT_FALSE(d.requestUnsatisfiable());  // vacuous: no pool to judge
+}
+
+TEST(FindUnsatisfiableTest, SweepsRequestPopulation) {
+  std::vector<ClassAdPtr> requests;
+  ClassAd fine;
+  fine.setExpr("Constraint", "other.Arch == \"INTEL\"");
+  requests.push_back(makeShared(std::move(fine)));
+  ClassAd impossible;
+  impossible.setExpr("Constraint", "other.Arch == \"VAX\"");
+  requests.push_back(makeShared(std::move(impossible)));
+  ClassAd alsoImpossible;
+  alsoImpossible.setExpr("Constraint", "other.Memory >= 100000");
+  requests.push_back(makeShared(std::move(alsoImpossible)));
+  const auto bad = findUnsatisfiableRequests(requests, pool());
+  EXPECT_EQ(bad, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(FindUnsatisfiableTest, EmptyPoolFlagsNothing) {
+  std::vector<ClassAdPtr> requests;
+  ClassAd impossible;
+  impossible.setExpr("Constraint", "false");
+  requests.push_back(makeShared(std::move(impossible)));
+  EXPECT_TRUE(findUnsatisfiableRequests(requests, {}).empty());
+}
+
+}  // namespace
+}  // namespace matchmaking

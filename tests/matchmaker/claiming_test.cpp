@@ -1,0 +1,121 @@
+// The claiming protocol's provider-side verification: ticket checking and
+// claim-time constraint re-verification against current state.
+#include "matchmaker/claiming.h"
+
+#include <gtest/gtest.h>
+
+namespace matchmaking {
+namespace {
+
+using classad::ClassAd;
+using classad::makeShared;
+
+ClassAd currentMachine(double keyboardIdle = 1800.0, double loadAvg = 0.05) {
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Memory", 64);
+  ad.set("KeyboardIdle", keyboardIdle);
+  ad.set("LoadAvg", loadAvg);
+  ad.setExpr("Constraint",
+             "other.Type == \"Job\" && LoadAvg < 0.3 && KeyboardIdle > 900");
+  return ad;
+}
+
+ClaimRequest request(Ticket ticket, int memory = 32) {
+  ClassAd job;
+  job.set("Type", "Job");
+  job.set("Owner", "alice");
+  job.set("Memory", memory);
+  job.setExpr("Constraint",
+              "other.Type == \"Machine\" && other.Memory >= self.Memory");
+  ClaimRequest req;
+  req.requestAd = makeShared(std::move(job));
+  req.ticket = ticket;
+  req.customerContact = "ca://alice";
+  return req;
+}
+
+TEST(ClaimingTest, AcceptsValidClaim) {
+  const auto response =
+      evaluateClaim(currentMachine(), 777, request(777));
+  EXPECT_TRUE(response.accepted) << response.reason;
+}
+
+TEST(ClaimingTest, RejectsTicketMismatch) {
+  const auto response = evaluateClaim(currentMachine(), 777, request(778));
+  EXPECT_FALSE(response.accepted);
+  EXPECT_NE(response.reason.find("ticket"), std::string::npos);
+}
+
+TEST(ClaimingTest, RejectsWhenNoOutstandingTicket) {
+  const auto response =
+      evaluateClaim(currentMachine(), kNoTicket, request(777));
+  EXPECT_FALSE(response.accepted);
+}
+
+TEST(ClaimingTest, RejectsMissingRequestAd) {
+  ClaimRequest bare;
+  bare.ticket = 777;
+  const auto response = evaluateClaim(currentMachine(), 777, bare);
+  EXPECT_FALSE(response.accepted);
+}
+
+TEST(ClaimingTest, RejectsWhenResourceStateChanged) {
+  // The weak-consistency scenario of Section 3.2: the match was made
+  // from a stale ad; by claim time the owner is back at the keyboard.
+  const auto response =
+      evaluateClaim(currentMachine(/*keyboardIdle=*/5.0), 777, request(777));
+  EXPECT_FALSE(response.accepted);
+  EXPECT_NE(response.reason.find("resource constraint"), std::string::npos);
+}
+
+TEST(ClaimingTest, RejectsWhenRequestOutgrewResource) {
+  // The customer's side is also re-verified: its memory needs grew past
+  // the machine since the match.
+  const auto response =
+      evaluateClaim(currentMachine(), 777, request(777, /*memory=*/128));
+  EXPECT_FALSE(response.accepted);
+  EXPECT_NE(response.reason.find("request constraint"), std::string::npos);
+}
+
+TEST(ClaimingTest, TicketCheckCanBeDisabled) {
+  ClaimPolicy policy;
+  policy.verifyTicket = false;
+  const auto response =
+      evaluateClaim(currentMachine(), 777, request(1), policy);
+  EXPECT_TRUE(response.accepted);
+}
+
+TEST(ClaimingTest, ReverificationCanBeDisabled) {
+  // The E3 ablation: without claim-time re-verification a stale match is
+  // accepted even though the machine is no longer willing.
+  ClaimPolicy policy;
+  policy.reverifyConstraints = false;
+  const auto response = evaluateClaim(currentMachine(/*keyboardIdle=*/5.0),
+                                      777, request(777), policy);
+  EXPECT_TRUE(response.accepted);
+}
+
+TEST(ClaimingTest, UndefinedConstraintRejects) {
+  ClassAd machine = currentMachine();
+  machine.setExpr("Constraint", "other.SecurityClearance == \"top\"");
+  const auto response = evaluateClaim(machine, 777, request(777));
+  EXPECT_FALSE(response.accepted);
+}
+
+TEST(TicketCodecTest, RoundTrips) {
+  for (const Ticket t : {Ticket{1}, Ticket{0xDEADBEEF}, Ticket{~0ULL}}) {
+    const auto back = ticketFromString(ticketToString(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+}
+
+TEST(TicketCodecTest, RejectsGarbage) {
+  EXPECT_FALSE(ticketFromString("").has_value());
+  EXPECT_FALSE(ticketFromString("xyzzy-not-hex!").has_value());
+  EXPECT_FALSE(ticketFromString("123 ").has_value());
+}
+
+}  // namespace
+}  // namespace matchmaking

@@ -1,0 +1,199 @@
+// Co-allocation via gang matching (Sections 3.1 and 5): nested request
+// lists, all-or-nothing assignment, distinctness, inheritance of identity
+// attributes, rank preference, and backtracking.
+#include "matchmaker/gangmatch.h"
+
+#include <gtest/gtest.h>
+
+namespace matchmaking {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+ClassAdPtr machine(const std::string& name, int memory, int mips) {
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", name);
+  ad.set("ContactAddress", "ra://" + name);
+  ad.set("Memory", memory);
+  ad.set("Mips", mips);
+  ad.setExpr("Constraint", "other.Type == \"Job\"");
+  ad.set("Rank", 0);
+  ad.set("AuthorizationTicket", ticketToString(1000 + memory));
+  return makeShared(std::move(ad));
+}
+
+ClassAdPtr tapeDrive(const std::string& name, const std::string& format) {
+  ClassAd ad;
+  ad.set("Type", "TapeDrive");
+  ad.set("Name", name);
+  ad.set("ContactAddress", "tape://" + name);
+  ad.set("Format", format);
+  ad.setExpr("Constraint", "other.Type == \"Job\"");
+  ad.set("Rank", 0);
+  return makeShared(std::move(ad));
+}
+
+ClassAd gangAd(const std::string& requestsText) {
+  ClassAd gang;
+  gang.set("Type", "Gang");
+  gang.set("Owner", "raman");
+  gang.set("ContactAddress", "ca://raman");
+  gang.setExpr("Requests", requestsText);
+  return gang;
+}
+
+TEST(GangMatchTest, DetectsGangRequests) {
+  EXPECT_TRUE(GangMatcher::isGangRequest(
+      gangAd("{ [Constraint = other.Type == \"Machine\"] }")));
+  ClassAd plain;
+  plain.set("Type", "Job");
+  EXPECT_FALSE(GangMatcher::isGangRequest(plain));
+  // Empty or non-record Requests are not gangs.
+  EXPECT_FALSE(GangMatcher::isGangRequest(gangAd("{}")));
+  EXPECT_FALSE(GangMatcher::isGangRequest(gangAd("{ 1, 2 }")));
+}
+
+TEST(GangMatchTest, LegsInheritIdentity) {
+  GangMatcher matcher;
+  const auto legs = matcher.legsOf(gangAd(
+      "{ [Memory = 64; Constraint = true], "
+      "  [Owner = \"proxy\"; Constraint = true] }"));
+  ASSERT_EQ(legs.size(), 2u);
+  EXPECT_EQ(legs[0]->getString("Owner").value(), "raman");
+  EXPECT_EQ(legs[0]->getString("ContactAddress").value(), "ca://raman");
+  EXPECT_EQ(legs[0]->getString("Type").value(), "Job");
+  // Leg-local bindings win over inheritance.
+  EXPECT_EQ(legs[1]->getString("Owner").value(), "proxy");
+}
+
+TEST(GangMatchTest, MatchesComputePlusTape) {
+  const std::vector<ClassAdPtr> resources = {
+      machine("m1", 64, 100), machine("m2", 128, 300),
+      tapeDrive("vault1", "DLT"), tapeDrive("vault2", "EXB")};
+  const ClassAd gang = gangAd(
+      "{ [Memory = 64;"
+      "   Constraint = other.Type == \"Machine\" && other.Memory >= "
+      "self.Memory; Rank = other.Mips],"
+      "  [Constraint = other.Type == \"TapeDrive\" && other.Format == "
+      "\"DLT\"] }");
+  GangMatcher matcher;
+  const auto result = matcher.match(gang, resources);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->legs.size(), 2u);
+  // Compute leg prefers the faster machine by rank.
+  EXPECT_EQ(result->legs[0].resource->getString("Name").value(), "m2");
+  EXPECT_DOUBLE_EQ(result->legs[0].legRank, 300.0);
+  EXPECT_EQ(result->legs[1].resource->getString("Name").value(), "vault1");
+  EXPECT_DOUBLE_EQ(result->totalRank, 300.0);
+  // Tickets extracted per leg where advertised.
+  EXPECT_NE(result->legs[0].ticket, kNoTicket);
+  EXPECT_EQ(result->legs[1].ticket, kNoTicket);
+}
+
+TEST(GangMatchTest, AllOrNothing) {
+  // Tape leg is unsatisfiable: the whole gang must fail even though the
+  // compute leg has candidates.
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 100)};
+  const ClassAd gang = gangAd(
+      "{ [Constraint = other.Type == \"Machine\"],"
+      "  [Constraint = other.Type == \"TapeDrive\"] }");
+  GangMatcher matcher;
+  EXPECT_FALSE(matcher.match(gang, resources).has_value());
+}
+
+TEST(GangMatchTest, LegsGetDistinctResources) {
+  // Two compute legs, two machines: each leg must get its own.
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 100),
+                                             machine("m2", 64, 100)};
+  const ClassAd gang = gangAd(
+      "{ [Constraint = other.Type == \"Machine\"],"
+      "  [Constraint = other.Type == \"Machine\"] }");
+  GangMatcher matcher;
+  const auto result = matcher.match(gang, resources);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NE(result->legs[0].resourceIndex, result->legs[1].resourceIndex);
+}
+
+TEST(GangMatchTest, FailsWhenLegsOutnumberResources) {
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 100)};
+  const ClassAd gang = gangAd(
+      "{ [Constraint = other.Type == \"Machine\"],"
+      "  [Constraint = other.Type == \"Machine\"] }");
+  GangMatcher matcher;
+  EXPECT_FALSE(matcher.match(gang, resources).has_value());
+}
+
+TEST(GangMatchTest, BacktracksWhenGreedyChoiceBlocksALaterLeg) {
+  // Leg 1 prefers the big machine (rank), but leg 2 can ONLY use the big
+  // machine; the search must back off and give leg 1 the small one.
+  const std::vector<ClassAdPtr> resources = {machine("small", 64, 100),
+                                             machine("big", 256, 100)};
+  const ClassAd gang = gangAd(
+      "{ [Constraint = other.Type == \"Machine\"; Rank = other.Memory],"
+      "  [Constraint = other.Type == \"Machine\" && other.Memory >= 256] }");
+  GangMatcher matcher;
+  const auto result = matcher.match(gang, resources);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->legs[0].resource->getString("Name").value(), "small");
+  EXPECT_EQ(result->legs[1].resource->getString("Name").value(), "big");
+}
+
+TEST(GangMatchTest, BilateralVetoAppliesPerLeg) {
+  // A machine that refuses raman blocks legs inheriting Owner = raman.
+  ClassAd picky = *machine("picky", 64, 100);
+  picky.setExpr("Constraint",
+                "other.Type == \"Job\" && other.Owner != \"raman\"");
+  const std::vector<ClassAdPtr> resources = {
+      makeShared(std::move(picky))};
+  const ClassAd gang =
+      gangAd("{ [Constraint = other.Type == \"Machine\"] }");
+  GangMatcher matcher;
+  EXPECT_FALSE(matcher.match(gang, resources).has_value());
+}
+
+TEST(GangMatchTest, TakenMaskRespectedAndUpdated) {
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 100),
+                                             machine("m2", 64, 200)};
+  std::vector<bool> taken = {true, false};  // m1 already claimed this cycle
+  const ClassAd gang = gangAd(
+      "{ [Constraint = other.Type == \"Machine\"; Rank = 0] }");
+  GangMatcher matcher;
+  const auto result = matcher.match(gang, resources, &taken);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->legs[0].resourceIndex, 1u);
+  EXPECT_TRUE(taken[1]);  // marked for subsequent gangs
+}
+
+TEST(GangMatchTest, BranchingCapBoundsSearch) {
+  // 30 identical machines, 3 legs: solvable within any cap >= 1 since
+  // candidates never conflict irrecoverably.
+  std::vector<ClassAdPtr> resources;
+  for (int i = 0; i < 30; ++i) {
+    resources.push_back(machine("m" + std::to_string(i), 64, 100));
+  }
+  GangMatchConfig config;
+  config.branchingCap = 1;
+  GangMatcher matcher(config);
+  const ClassAd gang = gangAd(
+      "{ [Constraint = other.Type == \"Machine\"],"
+      "  [Constraint = other.Type == \"Machine\"],"
+      "  [Constraint = other.Type == \"Machine\"] }");
+  const auto result = matcher.match(gang, resources);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->legs.size(), 3u);
+}
+
+TEST(GangMatchTest, NonGangAdYieldsNothing) {
+  ClassAd plain;
+  plain.set("Type", "Job");
+  GangMatcher matcher;
+  EXPECT_FALSE(
+      matcher.match(plain, std::vector<ClassAdPtr>{machine("m", 64, 100)})
+          .has_value());
+}
+
+}  // namespace
+}  // namespace matchmaking

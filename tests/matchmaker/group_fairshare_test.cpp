@@ -1,0 +1,196 @@
+// Hierarchical (accounting-group) fair share: groups split the pool by
+// group standing regardless of headcount; users split within their group;
+// ungrouped users behave exactly as under flat fair share.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "matchmaker/matchmaker.h"
+
+namespace matchmaking {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+ClassAdPtr machine(int i) {
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", "m" + std::to_string(i));
+  ad.set("ContactAddress", "ra://m" + std::to_string(i));
+  ad.set("Memory", 64);
+  ad.set("Rank", 0);
+  return makeShared(std::move(ad));
+}
+
+ClassAdPtr job(const std::string& owner, std::uint64_t id) {
+  ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("Owner", owner);
+  ad.set("JobId", static_cast<std::int64_t>(id));
+  ad.set("ContactAddress", "ca://" + owner);
+  ad.set("Memory", 32);
+  ad.setExpr("Constraint", "other.Type == \"Machine\"");
+  ad.set("Rank", 0);
+  return makeShared(std::move(ad));
+}
+
+std::map<std::string, int> grantsByUser(const std::vector<Match>& matches) {
+  std::map<std::string, int> out;
+  for (const Match& m : matches) ++out[m.user];
+  return out;
+}
+
+TEST(AccountantGroupTest, MembershipAndGroupUsage) {
+  Accountant acc;
+  acc.setGroup("alice", "physics");
+  acc.setGroup("bob", "physics");
+  acc.setGroup("carol", "chemistry");
+  EXPECT_EQ(acc.groupOf("alice"), "physics");
+  EXPECT_EQ(acc.groupOf("dave"), "");
+  acc.recordUsage("alice", 100.0, 0.0);
+  acc.recordUsage("bob", 50.0, 0.0);
+  acc.recordUsage("carol", 30.0, 0.0);
+  acc.recordUsage("dave", 999.0, 0.0);  // ungrouped: no group accrual
+  EXPECT_DOUBLE_EQ(acc.groupUsage("physics", 0.0), 150.0);
+  EXPECT_DOUBLE_EQ(acc.groupUsage("chemistry", 0.0), 30.0);
+  EXPECT_DOUBLE_EQ(acc.groupUsage("", 0.0), 0.0);
+  // Light usage sits at the floor; heavy usage lifts the group standing.
+  EXPECT_DOUBLE_EQ(acc.effectiveGroupPriority("physics", 0.0),
+                   acc.config().minimumPriority);
+  acc.recordUsage("alice", 1e9, 0.0);
+  EXPECT_GT(acc.effectiveGroupPriority("physics", 0.0),
+            acc.config().minimumPriority);
+}
+
+TEST(AccountantGroupTest, GroupUsageDecays) {
+  Accountant::Config config;
+  config.usageHalflife = 3600.0;
+  Accountant acc(config);
+  acc.setGroup("alice", "g");
+  acc.recordUsage("alice", 1000.0, 0.0);
+  EXPECT_NEAR(acc.groupUsage("g", 3600.0), 500.0, 1e-6);
+}
+
+TEST(AccountantGroupTest, ReassignmentMovesFutureUsageOnly) {
+  Accountant acc;
+  acc.setGroup("alice", "g1");
+  acc.recordUsage("alice", 100.0, 0.0);
+  acc.setGroup("alice", "g2");
+  acc.recordUsage("alice", 40.0, 0.0);
+  EXPECT_DOUBLE_EQ(acc.groupUsage("g1", 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(acc.groupUsage("g2", 0.0), 40.0);
+  acc.setGroup("alice", "");
+  EXPECT_EQ(acc.groupOf("alice"), "");
+}
+
+TEST(GroupFairShareTest, GroupsSplitThePoolRegardlessOfHeadcount) {
+  // physics floods with 3 users x 4 jobs; chemistry has 1 user x 12 jobs.
+  // With 8 machines, each GROUP gets 4 — not 9 vs 3 as headcount-blind
+  // fair share would give.
+  Matchmaker mm;
+  Accountant acc;
+  for (const char* u : {"p1", "p2", "p3"}) acc.setGroup(u, "physics");
+  acc.setGroup("c1", "chemistry");
+  std::vector<ClassAdPtr> requests;
+  std::uint64_t id = 0;
+  for (const char* u : {"p1", "p2", "p3"}) {
+    for (int i = 0; i < 4; ++i) requests.push_back(job(u, ++id));
+  }
+  for (int i = 0; i < 12; ++i) requests.push_back(job("c1", ++id));
+  std::vector<ClassAdPtr> resources;
+  for (int i = 0; i < 8; ++i) resources.push_back(machine(i));
+
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(matches.size(), 8u);
+  const auto grants = grantsByUser(matches);
+  const int physics = grants.count("p1") ? grants.at("p1") : 0;
+  const int physicsTotal =
+      (grants.count("p1") ? grants.at("p1") : 0) +
+      (grants.count("p2") ? grants.at("p2") : 0) +
+      (grants.count("p3") ? grants.at("p3") : 0);
+  const int chemistry = grants.count("c1") ? grants.at("c1") : 0;
+  EXPECT_EQ(physicsTotal, 4);
+  EXPECT_EQ(chemistry, 4);
+  (void)physics;
+}
+
+TEST(GroupFairShareTest, WithinGroupUsersInterleave) {
+  Matchmaker mm;
+  Accountant acc;
+  acc.setGroup("p1", "physics");
+  acc.setGroup("p2", "physics");
+  std::vector<ClassAdPtr> requests;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 4; ++i) requests.push_back(job("p1", ++id));
+  for (int i = 0; i < 4; ++i) requests.push_back(job("p2", ++id));
+  std::vector<ClassAdPtr> resources;
+  for (int i = 0; i < 4; ++i) resources.push_back(machine(i));
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  const auto grants = grantsByUser(matches);
+  EXPECT_EQ(grants.at("p1"), 2);
+  EXPECT_EQ(grants.at("p2"), 2);
+}
+
+TEST(GroupFairShareTest, GroupWithWorseStandingYields) {
+  Matchmaker mm;
+  Accountant acc;
+  acc.setGroup("hog", "busy");
+  acc.setGroup("fresh", "quiet");
+  acc.recordUsage("hog", 1e7, 0.0);  // the whole GROUP is burdened
+  const std::vector<ClassAdPtr> requests = {job("hog", 1), job("fresh", 2)};
+  const std::vector<ClassAdPtr> resources = {machine(0)};
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].user, "fresh");
+}
+
+TEST(GroupFairShareTest, UngroupedUsersUnchangedByGroupMode) {
+  // Identical inputs with groupFairShare on and off: without any group
+  // assignments the orders must match exactly.
+  MatchmakerConfig flat;
+  flat.groupFairShare = false;
+  Matchmaker withGroups;
+  Matchmaker without(flat);
+  Accountant acc;
+  acc.recordUsage("b", 5000.0, 0.0);
+  std::vector<ClassAdPtr> requests;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 3; ++i) requests.push_back(job("a", ++id));
+  for (int i = 0; i < 3; ++i) requests.push_back(job("b", ++id));
+  std::vector<ClassAdPtr> resources;
+  for (int i = 0; i < 4; ++i) resources.push_back(machine(i));
+  const auto m1 = withGroups.negotiate(requests, resources, acc, 0.0);
+  const auto m2 = without.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    EXPECT_EQ(m1[i].request->getInteger("JobId").value(),
+              m2[i].request->getInteger("JobId").value());
+  }
+}
+
+TEST(GroupFairShareTest, MixedGroupedAndUngrouped) {
+  // One grouped pair and one loner compete for 3 machines: the group
+  // (as a unit) and the loner alternate.
+  Matchmaker mm;
+  Accountant acc;
+  acc.setGroup("p1", "physics");
+  acc.setGroup("p2", "physics");
+  std::vector<ClassAdPtr> requests;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 3; ++i) requests.push_back(job("p1", ++id));
+  for (int i = 0; i < 3; ++i) requests.push_back(job("p2", ++id));
+  for (int i = 0; i < 3; ++i) requests.push_back(job("solo", ++id));
+  std::vector<ClassAdPtr> resources;
+  for (int i = 0; i < 4; ++i) resources.push_back(machine(i));
+  const auto grants = grantsByUser(mm.negotiate(requests, resources, acc, 0.0));
+  const int group = (grants.count("p1") ? grants.at("p1") : 0) +
+                    (grants.count("p2") ? grants.at("p2") : 0);
+  const int solo = grants.count("solo") ? grants.at("solo") : 0;
+  EXPECT_EQ(group, 2);
+  EXPECT_EQ(solo, 2);
+}
+
+}  // namespace
+}  // namespace matchmaking

@@ -1,0 +1,282 @@
+// The matchmaking algorithm: rank ordering, provider tie-break, bilateral
+// constraints, preemption gating, fair-share service order, ticket
+// extraction, and the statelessness of the negotiator.
+#include "matchmaker/matchmaker.h"
+
+#include <gtest/gtest.h>
+
+namespace matchmaking {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+ClassAdPtr machine(const std::string& name, int memory, int kflops,
+                   const std::string& extraConstraint = "",
+                   const std::string& rank = "0") {
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", name);
+  ad.set("ContactAddress", "ra://" + name);
+  ad.set("Memory", memory);
+  ad.set("KFlops", kflops);
+  std::string constraint = "other.Type == \"Job\"";
+  if (!extraConstraint.empty()) constraint += " && " + extraConstraint;
+  ad.setExpr("Constraint", constraint);
+  ad.setExpr("Rank", rank);
+  return makeShared(std::move(ad));
+}
+
+ClassAdPtr job(const std::string& owner, std::uint64_t id, int memory,
+               const std::string& rank = "other.KFlops") {
+  ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("Owner", owner);
+  ad.set("JobId", static_cast<std::int64_t>(id));
+  ad.set("ContactAddress", "ca://" + owner);
+  ad.set("Memory", memory);
+  ad.setExpr("Constraint",
+             "other.Type == \"Machine\" && other.Memory >= self.Memory");
+  ad.setExpr("Rank", rank);
+  return makeShared(std::move(ad));
+}
+
+TEST(MatchmakerTest, MatchesCompatiblePair) {
+  Matchmaker mm;
+  Accountant acc;
+  const std::vector<ClassAdPtr> requests = {job("alice", 1, 32)};
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 1000)};
+  NegotiationStats stats;
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0, &stats);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].requestContact, "ca://alice");
+  EXPECT_EQ(matches[0].resourceContact, "ra://m1");
+  EXPECT_EQ(matches[0].user, "alice");
+  EXPECT_EQ(stats.matches, 1u);
+  EXPECT_FALSE(matches[0].preempting);
+}
+
+TEST(MatchmakerTest, NoMatchWhenIncompatible) {
+  Matchmaker mm;
+  Accountant acc;
+  const std::vector<ClassAdPtr> requests = {job("alice", 1, 128)};
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 1000)};
+  EXPECT_TRUE(mm.negotiate(requests, resources, acc, 0.0).empty());
+}
+
+TEST(MatchmakerTest, ChoosesHighestRequestRank) {
+  // "Among provider ads matching a given customer ad, the matchmaker
+  // chooses the one with the highest Rank value."
+  Matchmaker mm;
+  Accountant acc;
+  const std::vector<ClassAdPtr> requests = {job("alice", 1, 32)};
+  const std::vector<ClassAdPtr> resources = {
+      machine("slow", 64, 100), machine("fast", 64, 9000),
+      machine("medium", 64, 4000)};
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].resourceContact, "ra://fast");
+  EXPECT_DOUBLE_EQ(matches[0].requestRank, 9000.0);
+}
+
+TEST(MatchmakerTest, BreaksTiesByProviderRank) {
+  // "...breaking ties according to the provider's Rank value."
+  Matchmaker mm;
+  Accountant acc;
+  const std::vector<ClassAdPtr> requests = {job("alice", 1, 32, "0")};
+  const std::vector<ClassAdPtr> resources = {
+      machine("indifferent", 64, 1000, "", "0"),
+      machine("eager", 64, 1000, "", "5")};
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].resourceContact, "ra://eager");
+  EXPECT_DOUBLE_EQ(matches[0].resourceRank, 5.0);
+}
+
+TEST(MatchmakerTest, DeterministicTieBreakByOrder) {
+  Matchmaker mm;
+  Accountant acc;
+  const std::vector<ClassAdPtr> requests = {job("alice", 1, 32, "0")};
+  const std::vector<ClassAdPtr> resources = {machine("first", 64, 1000),
+                                             machine("second", 64, 1000)};
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].resourceContact, "ra://first");
+}
+
+TEST(MatchmakerTest, EachResourceMatchedAtMostOncePerCycle) {
+  Matchmaker mm;
+  Accountant acc;
+  const std::vector<ClassAdPtr> requests = {
+      job("alice", 1, 32), job("alice", 2, 32), job("alice", 3, 32)};
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 1000),
+                                             machine("m2", 64, 2000)};
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_NE(matches[0].resourceContact, matches[1].resourceContact);
+}
+
+TEST(MatchmakerTest, ProviderConstraintVetoes) {
+  // Bilateral matching: the resource refuses a specific owner.
+  Matchmaker mm;
+  Accountant acc;
+  const std::vector<ClassAdPtr> requests = {job("rival", 1, 32)};
+  const std::vector<ClassAdPtr> resources = {
+      machine("picky", 64, 1000, "other.Owner != \"rival\"")};
+  EXPECT_TRUE(mm.negotiate(requests, resources, acc, 0.0).empty());
+}
+
+TEST(MatchmakerTest, UnilateralModeIgnoresProviderConstraint) {
+  // The E4 ablation: conventional allocators have no provider-side veto.
+  MatchmakerConfig config;
+  config.bilateral = false;
+  Matchmaker mm(config);
+  Accountant acc;
+  const std::vector<ClassAdPtr> requests = {job("rival", 1, 32)};
+  const std::vector<ClassAdPtr> resources = {
+      machine("picky", 64, 1000, "other.Owner != \"rival\"")};
+  EXPECT_EQ(mm.negotiate(requests, resources, acc, 0.0).size(), 1u);
+}
+
+TEST(MatchmakerTest, TicketExtractedFromResourceAd) {
+  Matchmaker mm;
+  Accountant acc;
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("ContactAddress", "ra://m1");
+  ad.set("Memory", 64);
+  ad.set("AuthorizationTicket", ticketToString(0xDEADBEEFULL));
+  const std::vector<ClassAdPtr> requests = {job("alice", 1, 32, "0")};
+  const std::vector<ClassAdPtr> resources = {makeShared(std::move(ad))};
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].ticket, 0xDEADBEEFULL);
+}
+
+TEST(MatchmakerTest, PreemptionOnlyAboveCurrentRank) {
+  // A claimed machine (CurrentRank present) matches only requests it
+  // ranks strictly higher.
+  Matchmaker mm;
+  Accountant acc;
+  ClassAd claimed;
+  claimed.set("Type", "Machine");
+  claimed.set("ContactAddress", "ra://m1");
+  claimed.set("Memory", 64);
+  claimed.set("CurrentRank", 1.0);
+  claimed.setExpr("Rank",
+                  "member(other.Owner, { \"raman\" }) * 10");
+  const std::vector<ClassAdPtr> resources = {makeShared(claimed)};
+
+  // A stranger ranks 0 <= 1: no match.
+  EXPECT_TRUE(
+      mm.negotiate(std::vector<ClassAdPtr>{job("alice", 1, 32, "0")},
+                   resources, acc, 0.0)
+          .empty());
+  // A research-group member ranks 10 > 1: preempting match.
+  const auto matches = mm.negotiate(
+      std::vector<ClassAdPtr>{job("raman", 2, 32, "0")}, resources, acc,
+      0.0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_TRUE(matches[0].preempting);
+}
+
+TEST(MatchmakerTest, FairShareServesLightUserFirst) {
+  Matchmaker mm;
+  Accountant acc;
+  acc.recordUsage("hog", 1e6, 0.0);
+  // One machine, two contenders: the unburdened user wins it.
+  const std::vector<ClassAdPtr> requests = {job("hog", 1, 32),
+                                            job("fresh", 2, 32)};
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 1000)};
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].user, "fresh");
+}
+
+TEST(MatchmakerTest, FairShareInterleavesEqualUsers) {
+  // The in-cycle geometric penalty alternates grants between users of
+  // equal standing instead of draining one user's queue first.
+  Matchmaker mm;
+  Accountant acc;
+  std::vector<ClassAdPtr> requests;
+  for (int i = 0; i < 3; ++i) requests.push_back(job("a", 1 + i, 32));
+  for (int i = 0; i < 3; ++i) requests.push_back(job("b", 10 + i, 32));
+  std::vector<ClassAdPtr> resources;
+  for (int i = 0; i < 4; ++i) {
+    resources.push_back(machine("m" + std::to_string(i), 64, 1000));
+  }
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(matches.size(), 4u);
+  int aCount = 0, bCount = 0;
+  for (const auto& m : matches) {
+    aCount += m.user == "a";
+    bCount += m.user == "b";
+  }
+  EXPECT_EQ(aCount, 2);
+  EXPECT_EQ(bCount, 2);
+}
+
+TEST(MatchmakerTest, SubmissionOrderWhenFairShareOff) {
+  MatchmakerConfig config;
+  config.fairShare = false;
+  Matchmaker mm(config);
+  Accountant acc;
+  acc.recordUsage("hog", 1e6, 0.0);
+  const std::vector<ClassAdPtr> requests = {job("hog", 1, 32),
+                                            job("fresh", 2, 32)};
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 1000)};
+  const auto matches = mm.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].user, "hog");  // first submitted wins
+}
+
+TEST(MatchmakerTest, NullAdsAreSkipped) {
+  Matchmaker mm;
+  Accountant acc;
+  const std::vector<ClassAdPtr> requests = {nullptr, job("alice", 1, 32)};
+  const std::vector<ClassAdPtr> resources = {nullptr,
+                                             machine("m1", 64, 1000)};
+  EXPECT_EQ(mm.negotiate(requests, resources, acc, 0.0).size(), 1u);
+}
+
+TEST(MatchmakerTest, NegotiatorIsStateless) {
+  // Two negotiators with the same config produce identical results from
+  // the same inputs — there is no hidden state to lose in a crash.
+  Matchmaker a;
+  Matchmaker b;
+  Accountant acc;
+  const std::vector<ClassAdPtr> requests = {job("alice", 1, 32),
+                                            job("bob", 2, 64)};
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 1000),
+                                             machine("m2", 128, 2000)};
+  const auto ma = a.negotiate(requests, resources, acc, 0.0);
+  const auto mb = b.negotiate(requests, resources, acc, 0.0);
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t i = 0; i < ma.size(); ++i) {
+    EXPECT_EQ(ma[i].requestContact, mb[i].requestContact);
+    EXPECT_EQ(ma[i].resourceContact, mb[i].resourceContact);
+  }
+}
+
+TEST(MatchmakerTest, StatsCountEvaluations) {
+  Matchmaker mm;
+  Accountant acc;
+  NegotiationStats stats;
+  const std::vector<ClassAdPtr> requests = {job("alice", 1, 32)};
+  const std::vector<ClassAdPtr> resources = {machine("m1", 64, 1000),
+                                             machine("m2", 64, 1000)};
+  mm.negotiate(requests, resources, acc, 0.0, &stats);
+  EXPECT_EQ(stats.requestsConsidered, 1u);
+  EXPECT_EQ(stats.resourcesConsidered, 2u);
+  EXPECT_EQ(stats.candidateEvaluations, 2u);
+}
+
+TEST(MatchmakerTest, MatchesHelper) {
+  Matchmaker mm;
+  EXPECT_TRUE(mm.matches(*job("alice", 1, 32), *machine("m1", 64, 1000)));
+  EXPECT_FALSE(mm.matches(*job("alice", 1, 128), *machine("m1", 64, 1000)));
+}
+
+}  // namespace
+}  // namespace matchmaking

@@ -1,0 +1,171 @@
+// Randomized invariants of the negotiation cycle. A seeded generator
+// produces arbitrary request/resource populations; every cycle must
+// satisfy the contracts the agents rely on, whatever the inputs:
+//   1. injectivity — no resource is matched twice in a cycle;
+//   2. at-most-once — no request is matched twice;
+//   3. soundness — every issued match satisfies both constraints (and
+//      the preemption gate where the resource was claimed);
+//   4. rank-optimality — each match's rank is maximal among the
+//      resources still free when its request was served;
+//   5. determinism — re-running the cycle reproduces it exactly;
+//   6. aggregation transparency — the group-matching variant issues the
+//      same (request, rank) outcomes as the naive one.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matchmaker/matchmaker.h"
+#include "sim/rng.h"
+
+namespace matchmaking {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+struct Population {
+  std::vector<ClassAdPtr> requests;
+  std::vector<ClassAdPtr> resources;
+};
+
+Population generate(std::uint64_t seed) {
+  htcsim::Rng rng(seed);
+  Population out;
+  const std::size_t machines = 10 + rng.below(40);
+  const std::size_t jobs = 5 + rng.below(30);
+  static const char* kArch[] = {"INTEL", "SPARC"};
+  static const char* kUsers[] = {"raman", "miron", "alice", "rival"};
+  for (std::size_t i = 0; i < machines; ++i) {
+    ClassAd ad;
+    ad.set("Type", "Machine");
+    ad.set("Name", "m" + std::to_string(i));
+    ad.set("ContactAddress", "ra://m" + std::to_string(i));
+    ad.set("Arch", kArch[rng.below(2)]);
+    ad.set("Memory", static_cast<std::int64_t>(16 << rng.below(5)));
+    ad.set("KFlops", static_cast<std::int64_t>(1000 + rng.below(40000)));
+    switch (rng.below(4)) {
+      case 0:
+        break;  // no constraint: serves anyone
+      case 1:
+        ad.setExpr("Constraint", "other.Type == \"Job\"");
+        break;
+      case 2:
+        ad.setExpr("Constraint",
+                   "other.Owner != \"rival\" && other.Memory <= self.Memory");
+        break;
+      default:
+        ad.setExpr("Constraint",
+                   "member(other.Owner, { \"raman\", \"miron\" })");
+        break;
+    }
+    if (rng.chance(0.5)) {
+      ad.setExpr("Rank", "other.Memory / 16");
+    }
+    if (rng.chance(0.2)) {
+      ad.set("CurrentRank", static_cast<std::int64_t>(rng.below(3)));
+    }
+    out.resources.push_back(makeShared(std::move(ad)));
+  }
+  for (std::size_t i = 0; i < jobs; ++i) {
+    ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", kUsers[rng.below(4)]);
+    ad.set("JobId", static_cast<std::int64_t>(i + 1));
+    ad.set("ContactAddress",
+           std::string("ca://") + kUsers[rng.below(4)]);
+    ad.set("Memory", static_cast<std::int64_t>(16 << rng.below(4)));
+    switch (rng.below(3)) {
+      case 0:
+        ad.setExpr("Constraint",
+                   "other.Type == \"Machine\" && other.Memory >= "
+                   "self.Memory");
+        break;
+      case 1:
+        ad.setExpr("Constraint",
+                   "other.Type == \"Machine\" && Arch == \"INTEL\"");
+        break;
+      default:
+        ad.setExpr("Constraint", "other.Type == \"Machine\"");
+        break;
+    }
+    if (rng.chance(0.7)) ad.setExpr("Rank", "other.KFlops");
+    out.requests.push_back(makeShared(std::move(ad)));
+  }
+  return out;
+}
+
+class NegotiateProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NegotiateProperties, CycleInvariantsHold) {
+  const Population pop = generate(GetParam());
+  Matchmaker mm;
+  Accountant acc;
+  acc.recordUsage("raman", 1e5, 0.0);  // some standing spread
+  const auto matches =
+      mm.negotiate(pop.requests, pop.resources, acc, 0.0);
+
+  // 1 & 2: injectivity on both sides.
+  std::set<const ClassAd*> usedResources;
+  std::set<const ClassAd*> usedRequests;
+  for (const Match& m : matches) {
+    EXPECT_TRUE(usedResources.insert(m.resource.get()).second)
+        << "resource matched twice";
+    EXPECT_TRUE(usedRequests.insert(m.request.get()).second)
+        << "request matched twice";
+  }
+
+  // 3: soundness.
+  for (const Match& m : matches) {
+    EXPECT_TRUE(classad::symmetricMatch(*m.request, *m.resource))
+        << m.request->unparse() << " vs " << m.resource->unparse();
+    const auto current = m.resource->getNumber("CurrentRank");
+    if (current) {
+      EXPECT_GT(m.resourceRank, *current) << "preemption gate violated";
+    }
+    EXPECT_DOUBLE_EQ(m.requestRank,
+                     classad::evaluateRank(*m.request, *m.resource));
+  }
+
+  // 4: rank-optimality. Replay the cycle: serve matches in issue order,
+  // and check no still-free resource would have ranked strictly higher.
+  std::set<const ClassAd*> taken;
+  for (const Match& m : matches) {
+    for (const ClassAdPtr& r : pop.resources) {
+      if (taken.count(r.get()) || r == m.resource) continue;
+      if (!classad::symmetricMatch(*m.request, *r)) continue;
+      const auto current = r->getNumber("CurrentRank");
+      const double resourceRank = classad::evaluateRank(*r, *m.request);
+      if (current && !(resourceRank > *current)) continue;
+      EXPECT_LE(classad::evaluateRank(*m.request, *r), m.requestRank)
+          << "a better-ranked resource was available";
+    }
+    taken.insert(m.resource.get());
+  }
+
+  // 5: determinism.
+  const auto again = mm.negotiate(pop.requests, pop.resources, acc, 0.0);
+  ASSERT_EQ(again.size(), matches.size());
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    EXPECT_EQ(again[i].request, matches[i].request);
+    EXPECT_EQ(again[i].resource, matches[i].resource);
+  }
+
+  // 6: aggregation transparency on (request, rank) outcomes.
+  MatchmakerConfig aggConfig;
+  aggConfig.useAggregation = true;
+  Matchmaker aggregated(aggConfig);
+  const auto viaGroups =
+      aggregated.negotiate(pop.requests, pop.resources, acc, 0.0);
+  ASSERT_EQ(viaGroups.size(), matches.size());
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    EXPECT_EQ(viaGroups[i].request, matches[i].request);
+    EXPECT_DOUBLE_EQ(viaGroups[i].requestRank, matches[i].requestRank);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NegotiateProperties,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace matchmaking

@@ -1,0 +1,109 @@
+// The fair-share accountant: usage decay, effective priority, factors.
+#include "matchmaker/priority.h"
+
+#include <gtest/gtest.h>
+
+namespace matchmaking {
+namespace {
+
+Accountant::Config config(double halflife) {
+  Accountant::Config c;
+  c.usageHalflife = halflife;
+  return c;
+}
+
+TEST(AccountantTest, FreshUserHasMinimumPriority) {
+  Accountant acc;
+  EXPECT_DOUBLE_EQ(acc.effectivePriority("nobody", 0.0),
+                   acc.config().minimumPriority);
+  EXPECT_DOUBLE_EQ(acc.usage("nobody", 0.0), 0.0);
+}
+
+TEST(AccountantTest, UsageAccumulates) {
+  Accountant acc(config(3600.0));
+  acc.recordUsage("alice", 100.0, 0.0);
+  acc.recordUsage("alice", 50.0, 0.0);
+  EXPECT_DOUBLE_EQ(acc.usage("alice", 0.0), 150.0);
+}
+
+TEST(AccountantTest, UsageHalvesPerHalflife) {
+  Accountant acc(config(3600.0));
+  acc.recordUsage("alice", 1000.0, 0.0);
+  EXPECT_NEAR(acc.usage("alice", 3600.0), 500.0, 1e-6);
+  EXPECT_NEAR(acc.usage("alice", 7200.0), 250.0, 1e-6);
+}
+
+TEST(AccountantTest, HeavierUserHasWorsePriority) {
+  Accountant acc(config(3600.0));
+  acc.recordUsage("hog", 100000.0, 0.0);
+  acc.recordUsage("light", 100.0, 0.0);
+  EXPECT_GT(acc.effectivePriority("hog", 0.0),
+            acc.effectivePriority("light", 0.0));
+}
+
+TEST(AccountantTest, PriorityRecoversOverTime) {
+  Accountant acc(config(3600.0));
+  acc.recordUsage("alice", 100000.0, 0.0);
+  const double early = acc.effectivePriority("alice", 0.0);
+  const double later = acc.effectivePriority("alice", 10 * 3600.0);
+  EXPECT_LT(later, early);
+}
+
+TEST(AccountantTest, SteadyStateHoldingOneMachineConvergesToPriorityOne) {
+  // A user continuously holding one machine should converge to an
+  // effective priority of ~1 "machine held" (see priority.cpp's
+  // normalization).
+  Accountant acc(config(3600.0));
+  for (int minute = 0; minute < 48 * 60; ++minute) {
+    acc.recordUsage("steady", 60.0, minute * 60.0);
+  }
+  EXPECT_NEAR(acc.effectivePriority("steady", 48 * 3600.0), 1.0, 0.05);
+}
+
+TEST(AccountantTest, FactorScalesPriority) {
+  Accountant acc(config(3600.0));
+  acc.recordUsage("a", 10000.0, 0.0);
+  acc.recordUsage("b", 10000.0, 0.0);
+  acc.setFactor("b", 3.0);
+  EXPECT_NEAR(acc.effectivePriority("b", 0.0),
+              3.0 * acc.effectivePriority("a", 0.0), 1e-9);
+}
+
+TEST(AccountantTest, PriorityNeverBelowMinimum) {
+  Accountant acc(config(60.0));
+  acc.recordUsage("alice", 1.0, 0.0);
+  EXPECT_GE(acc.effectivePriority("alice", 1e9),
+            acc.config().minimumPriority);
+}
+
+TEST(AccountantTest, StandingsSortedWorstFirst) {
+  Accountant acc(config(3600.0));
+  acc.recordUsage("light", 100.0, 0.0);
+  acc.recordUsage("heavy", 100000.0, 0.0);
+  acc.recordUsage("medium", 10000.0, 0.0);
+  const auto standings = acc.standings(0.0);
+  ASSERT_EQ(standings.size(), 3u);
+  EXPECT_EQ(standings[0].first, "heavy");
+  EXPECT_EQ(standings[1].first, "medium");
+  EXPECT_EQ(standings[2].first, "light");
+}
+
+TEST(AccountantTest, UsageQueryDoesNotMutate) {
+  Accountant acc(config(3600.0));
+  acc.recordUsage("alice", 1000.0, 0.0);
+  const double u1 = acc.usage("alice", 1800.0);
+  const double u2 = acc.usage("alice", 1800.0);
+  EXPECT_DOUBLE_EQ(u1, u2);
+}
+
+TEST(AccountantTest, RecordAtEarlierTimeDoesNotInflate) {
+  // Usage reports may arrive slightly out of order; decay never runs
+  // backwards.
+  Accountant acc(config(3600.0));
+  acc.recordUsage("alice", 100.0, 1000.0);
+  acc.recordUsage("alice", 100.0, 900.0);
+  EXPECT_LE(acc.usage("alice", 1000.0), 200.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace matchmaking

@@ -1,0 +1,274 @@
+// The Customer Agent: request ads, the match -> claim -> run -> release
+// lifecycle, eviction handling with and without checkpointing, and stale
+// match notifications.
+#include "sim/customer_agent.h"
+
+#include <gtest/gtest.h>
+
+namespace htcsim {
+namespace {
+
+class Recorder : public Endpoint {
+ public:
+  void deliver(const Envelope& env) override { inbox.push_back(env); }
+
+  template <typename T>
+  std::vector<T> all() const {
+    std::vector<T> out;
+    for (const Envelope& env : inbox) {
+      if (const T* msg = std::get_if<T>(&env.payload)) out.push_back(*msg);
+    }
+    return out;
+  }
+
+  std::vector<Envelope> inbox;
+};
+
+struct Rig {
+  Rig() {
+    ca = std::make_unique<CustomerAgent>(sim, net, metrics, "raman", Rng(3));
+    net.attach("collector", &collector);
+    net.attach("ra://leonardo", &resource);
+    ca->start();
+  }
+
+  Job makeJob(std::uint64_t id, double work = 600.0,
+              bool checkpointable = true) {
+    Job job;
+    job.id = id;
+    job.owner = "raman";
+    job.totalWork = work;
+    job.memoryMB = 31;
+    job.checkpointable = checkpointable;
+    return job;
+  }
+
+  /// Sends the CA a match notification for one of its jobs.
+  void notifyMatch(std::uint64_t jobId, matchmaking::Ticket ticket = 99) {
+    const Job* job = nullptr;
+    for (const Job& j : ca->jobs()) {
+      if (j.id == jobId) job = &j;
+    }
+    ASSERT_NE(job, nullptr);
+    matchmaking::MatchNotification note;
+    note.myAd = classad::makeShared(ca->buildRequestAd(*job));
+    note.peerContact = "ra://leonardo";
+    note.ticket = ticket;
+    Envelope env{"collector", ca->address(), std::move(note)};
+    ca->deliver(env);
+  }
+
+  void respondToClaim(bool accepted, const std::string& reason = "") {
+    Envelope env{"ra://leonardo", ca->address(),
+                 matchmaking::ClaimResponse{accepted, reason}};
+    ca->deliver(env);
+  }
+
+  void release(std::uint64_t jobId, double cpuSeconds, bool completed,
+               const std::string& reason) {
+    matchmaking::ClaimRelease rel;
+    rel.jobId = jobId;
+    rel.cpuSecondsUsed = cpuSeconds;
+    rel.completed = completed;
+    rel.reason = reason;
+    Envelope env{"ra://leonardo", ca->address(), rel};
+    ca->deliver(env);
+  }
+
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  Recorder collector, resource;
+  std::unique_ptr<CustomerAgent> ca;
+};
+
+TEST(CustomerAgentTest, RequestAdFollowsFigure2Shape) {
+  Rig rig;
+  Job job = rig.makeJob(17);
+  job.requiredArch = "INTEL";
+  job.requiredOpSys = "SOLARIS251";
+  rig.ca->submit(job);
+  const classad::ClassAd ad = rig.ca->buildRequestAd(rig.ca->jobs()[0]);
+  EXPECT_EQ(ad.getString("Type").value(), "Job");
+  EXPECT_EQ(ad.getString("Owner").value(), "raman");
+  EXPECT_EQ(ad.getInteger("JobId").value(), 17);
+  EXPECT_EQ(ad.getInteger("Memory").value(), 31);
+  EXPECT_EQ(ad.getString("ContactAddress").value(), "ca://raman");
+  EXPECT_TRUE(ad.contains("Rank"));
+  EXPECT_TRUE(ad.contains("Constraint"));
+  // The constraint embeds the platform pins.
+  const std::string constraint = (*ad.lookup("Constraint"))->toString();
+  EXPECT_NE(constraint.find("INTEL"), std::string::npos);
+  EXPECT_NE(constraint.find("SOLARIS251"), std::string::npos);
+}
+
+TEST(CustomerAgentTest, SubmitAdvertisesPromptly) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1));
+  rig.sim.runUntil(1.0);
+  const auto ads = rig.collector.all<matchmaking::Advertisement>();
+  ASSERT_GE(ads.size(), 1u);
+  EXPECT_TRUE(ads[0].isRequest);
+  EXPECT_EQ(ads[0].key, "ca://raman#1");
+  EXPECT_EQ(rig.metrics.jobsSubmitted, 1u);
+}
+
+TEST(CustomerAgentTest, IdleJobsReAdvertisedEachCycle) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1));
+  rig.sim.runUntil(200.0);
+  const auto ads = rig.collector.all<matchmaking::Advertisement>();
+  EXPECT_GE(ads.size(), 3u);
+}
+
+TEST(CustomerAgentTest, MatchTriggersClaimWithTicket) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1));
+  rig.notifyMatch(1, /*ticket=*/1234);
+  rig.sim.runUntil(1.0);
+  const auto claims = rig.resource.all<matchmaking::ClaimRequest>();
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].ticket, 1234u);
+  EXPECT_EQ(claims[0].customerContact, "ca://raman");
+  ASSERT_NE(claims[0].requestAd, nullptr);
+  EXPECT_EQ(claims[0].requestAd->getInteger("JobId").value(), 1);
+  EXPECT_EQ(rig.ca->jobs()[0].state, JobState::Matching);
+}
+
+TEST(CustomerAgentTest, AcceptedClaimRunsJobAndRetractsAd) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1));
+  rig.notifyMatch(1);
+  rig.respondToClaim(true);
+  EXPECT_EQ(rig.ca->jobs()[0].state, JobState::Running);
+  EXPECT_EQ(rig.ca->runningJobs(), 1u);
+  rig.sim.runUntil(1.0);
+  // The ad retraction reached the collector.
+  const auto invalidations = rig.collector.all<AdInvalidate>();
+  ASSERT_EQ(invalidations.size(), 1u);
+  EXPECT_EQ(invalidations[0].key, "ca://raman#1");
+  EXPECT_TRUE(invalidations[0].isRequest);
+}
+
+TEST(CustomerAgentTest, RejectedClaimReturnsJobToIdle) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1));
+  rig.notifyMatch(1);
+  rig.respondToClaim(false, "ticket mismatch");
+  EXPECT_EQ(rig.ca->jobs()[0].state, JobState::Idle);
+  EXPECT_EQ(rig.ca->jobs()[0].claimRejections, 1);
+}
+
+TEST(CustomerAgentTest, StaleMatchIgnored) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1));
+  rig.notifyMatch(1);
+  rig.respondToClaim(true);  // job now Running
+  rig.notifyMatch(1);        // stale re-match from an old cycle
+  EXPECT_EQ(rig.metrics.staleNotifications, 1u);
+  EXPECT_EQ(rig.ca->jobs()[0].state, JobState::Running);
+}
+
+TEST(CustomerAgentTest, MatchForUnknownJobIgnored) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1));
+  matchmaking::MatchNotification note;
+  classad::ClassAd phantom;
+  phantom.set("JobId", 999);
+  note.myAd = classad::makeShared(std::move(phantom));
+  note.peerContact = "ra://leonardo";
+  Envelope env{"collector", rig.ca->address(), std::move(note)};
+  rig.ca->deliver(env);
+  EXPECT_EQ(rig.metrics.staleNotifications, 1u);
+}
+
+TEST(CustomerAgentTest, CompletionRecordsMetrics) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1, /*work=*/600.0));
+  rig.notifyMatch(1);
+  rig.sim.runUntil(10.0);
+  rig.respondToClaim(true);
+  rig.sim.runUntil(40.0);
+  rig.release(1, 600.0, /*completed=*/true, "completed");
+  const Job& job = rig.ca->jobs()[0];
+  EXPECT_EQ(job.state, JobState::Completed);
+  EXPECT_DOUBLE_EQ(job.completionTime, 40.0);
+  EXPECT_EQ(rig.ca->completedJobs(), 1u);
+  EXPECT_EQ(rig.metrics.jobsCompleted, 1u);
+  EXPECT_DOUBLE_EQ(rig.metrics.goodputCpuSeconds, 600.0);
+  EXPECT_DOUBLE_EQ(rig.metrics.totalWorkCompleted, 600.0);
+  EXPECT_GT(rig.metrics.totalTurnaround, 0.0);
+}
+
+TEST(CustomerAgentTest, CheckpointedEvictionPreservesWork) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1, 600.0, /*checkpointable=*/true));
+  rig.notifyMatch(1);
+  rig.respondToClaim(true);
+  rig.release(1, 200.0, /*completed=*/false, "preempted-by-owner");
+  const Job& job = rig.ca->jobs()[0];
+  EXPECT_EQ(job.state, JobState::Idle);
+  EXPECT_EQ(job.evictions, 1);
+  EXPECT_DOUBLE_EQ(job.remainingWork, 400.0);
+  EXPECT_DOUBLE_EQ(rig.metrics.goodputCpuSeconds, 200.0);
+  EXPECT_DOUBLE_EQ(rig.metrics.badputCpuSeconds, 0.0);
+  // The next request ad advertises only the REMAINING work.
+  const classad::ClassAd ad = rig.ca->buildRequestAd(job);
+  EXPECT_DOUBLE_EQ(ad.getNumber("RemainingWork").value(), 400.0);
+}
+
+TEST(CustomerAgentTest, UncheckpointedEvictionLosesWork) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1, 600.0, /*checkpointable=*/false));
+  rig.notifyMatch(1);
+  rig.respondToClaim(true);
+  rig.release(1, 200.0, false, "preempted-by-owner");
+  const Job& job = rig.ca->jobs()[0];
+  EXPECT_EQ(job.state, JobState::Idle);
+  EXPECT_DOUBLE_EQ(job.remainingWork, 600.0);  // starts over
+  EXPECT_DOUBLE_EQ(rig.metrics.badputCpuSeconds, 200.0);
+  EXPECT_DOUBLE_EQ(rig.metrics.goodputCpuSeconds, 0.0);
+}
+
+TEST(CustomerAgentTest, EvictedJobReAdvertisesImmediately) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1));
+  rig.notifyMatch(1);
+  rig.respondToClaim(true);
+  rig.sim.runUntil(1.0);
+  const std::size_t before =
+      rig.collector.all<matchmaking::Advertisement>().size();
+  rig.release(1, 100.0, false, "preempted-by-owner");
+  rig.sim.runUntil(2.0);
+  EXPECT_GT(rig.collector.all<matchmaking::Advertisement>().size(), before);
+}
+
+TEST(CustomerAgentTest, WaitTimeMeasuredToFirstStart) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1));
+  rig.sim.runUntil(30.0);
+  rig.notifyMatch(1);
+  rig.respondToClaim(true);  // first start at t=30
+  rig.release(1, 100.0, false, "evicted");
+  rig.sim.runUntil(60.0);
+  rig.notifyMatch(1);
+  rig.respondToClaim(true);  // restart at t=60 must not reset wait
+  rig.sim.runUntil(90.0);
+  rig.release(1, 600.0, true, "completed");
+  EXPECT_DOUBLE_EQ(rig.metrics.totalWaitTime, 30.0);
+}
+
+TEST(CustomerAgentTest, CountsByState) {
+  Rig rig;
+  rig.ca->submit(rig.makeJob(1));
+  rig.ca->submit(rig.makeJob(2));
+  rig.ca->submit(rig.makeJob(3));
+  rig.notifyMatch(2);
+  rig.respondToClaim(true);
+  EXPECT_EQ(rig.ca->idleJobs(), 2u);
+  EXPECT_EQ(rig.ca->runningJobs(), 1u);
+  EXPECT_EQ(rig.ca->completedJobs(), 0u);
+}
+
+}  // namespace
+}  // namespace htcsim

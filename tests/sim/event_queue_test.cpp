@@ -1,0 +1,149 @@
+// The discrete-event core: ordering, FIFO ties, cancellation, periodic
+// timers.
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace htcsim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30.0, [&] { order.push_back(3); });
+  sim.at(10.0, [&] { order.push_back(1); });
+  sim.at(20.0, [&] { order.push_back(2); });
+  sim.runUntil(100.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(SimulatorTest, SimultaneousEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.runUntil(5.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seenAt = -1.0;
+  sim.at(42.0, [&] { seenAt = sim.now(); });
+  sim.runUntil(100.0);
+  EXPECT_DOUBLE_EQ(seenAt, 42.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  bool late = false;
+  sim.at(50.0, [&] { late = true; });
+  sim.runUntil(49.0);
+  EXPECT_FALSE(late);
+  EXPECT_DOUBLE_EQ(sim.now(), 49.0);
+  sim.runUntil(50.0);  // boundary inclusive
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  sim.at(10.0, [&] {
+    sim.after(5.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 15.0); });
+  });
+  sim.runUntil(20.0);
+  EXPECT_EQ(sim.eventsExecuted(), 2u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.at(10.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel
+  sim.runUntil(20.0);
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));
+  EXPECT_FALSE(sim.cancel(9999));
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreExecuted) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 5) sim.after(1.0, next);
+  };
+  sim.after(1.0, next);
+  sim.runUntil(100.0);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(SimulatorTest, StepRunsOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1.0, [&] { ++count; });
+  sim.at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  sim.at(1.0, [] {});
+  const EventId id = sim.at(2.0, [] {});
+  EXPECT_EQ(sim.pendingEvents(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(PeriodicTimerTest, FiresRepeatedly) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 10.0, [&] { ++fires; }, 0.0);
+  sim.runUntil(35.0);
+  EXPECT_EQ(fires, 4);  // t = 0, 10, 20, 30
+}
+
+TEST(PeriodicTimerTest, FirstDelayOffsetsPhase) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTimer timer(sim, 10.0, [&] { times.push_back(sim.now()); }, 3.0);
+  sim.runUntil(25.0);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 3.0);
+  EXPECT_DOUBLE_EQ(times[1], 13.0);
+  EXPECT_DOUBLE_EQ(times[2], 23.0);
+}
+
+TEST(PeriodicTimerTest, StopHaltsFiring) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 10.0, [&] { ++fires; }, 0.0);
+  sim.runUntil(15.0);
+  timer.stop();
+  EXPECT_FALSE(timer.running());
+  sim.runUntil(100.0);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimerTest, DestructionCancels) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer(sim, 10.0, [&] { ++fires; }, 0.0);
+    sim.runUntil(5.0);
+  }
+  sim.runUntil(100.0);
+  EXPECT_EQ(fires, 1);
+}
+
+}  // namespace
+}  // namespace htcsim

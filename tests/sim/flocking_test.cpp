@@ -1,0 +1,130 @@
+// Flocking (the paper's reference [3], "A Worldwide Flock of Condors"):
+// a CA whose local pool cannot serve a job advertises it to remote pool
+// managers after a starvation threshold; the remote match claims exactly
+// like a local one.
+#include <gtest/gtest.h>
+
+#include "sim/customer_agent.h"
+#include "sim/machine.h"
+#include "sim/pool_manager.h"
+#include "sim/resource_agent.h"
+
+namespace htcsim {
+namespace {
+
+struct TwoPoolRig {
+  TwoPoolRig(Time flockAfter = 120.0) {
+    PoolManagerConfig homeConfig;
+    homeConfig.address = "collector.home";
+    home = std::make_unique<PoolManager>(sim, net, metrics, homeConfig);
+    home->start();
+    PoolManagerConfig remoteConfig;
+    remoteConfig.address = "collector.remote";
+    remote = std::make_unique<PoolManager>(sim, net, metrics, remoteConfig);
+    remote->start();
+
+    // The only machine lives in the REMOTE pool.
+    MachineSpec spec;
+    spec.name = "faraway.cs.wisc.edu";
+    spec.mips = 100;
+    spec.memoryMB = 64;
+    spec.policy = OwnerPolicy::AlwaysAvailable;
+    spec.meanOwnerAbsence = 0.0;
+    machine = std::make_unique<Machine>(sim, spec, Rng(1));
+    ResourceAgentConfig raConfig;
+    raConfig.managerAddress = "collector.remote";
+    ra = std::make_unique<ResourceAgent>(sim, net, *machine, metrics, Rng(2),
+                                         raConfig);
+    ra->start();
+
+    CustomerAgentConfig caConfig;
+    caConfig.managerAddress = "collector.home";
+    caConfig.flockManagers = {"collector.remote"};
+    caConfig.flockAfter = flockAfter;
+    ca = std::make_unique<CustomerAgent>(sim, net, metrics, "raman", Rng(3),
+                                         caConfig);
+    ca->start();
+  }
+
+  Job job(std::uint64_t id) {
+    Job j;
+    j.id = id;
+    j.owner = "raman";
+    j.totalWork = 100.0;
+    j.memoryMB = 32;
+    return j;
+  }
+
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  std::unique_ptr<PoolManager> home, remote;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<ResourceAgent> ra;
+  std::unique_ptr<CustomerAgent> ca;
+};
+
+TEST(FlockingTest, StarvedJobRunsInRemotePool) {
+  TwoPoolRig rig(/*flockAfter=*/120.0);
+  rig.ca->submit(rig.job(1));
+  // Before the flocking threshold, the remote pool has no request ad.
+  rig.sim.runUntil(100.0);
+  EXPECT_EQ(rig.remote->storedRequests(), 0u);
+  EXPECT_EQ(rig.ca->completedJobs(), 0u);
+  // After the threshold the job flocks, matches remotely, and completes.
+  rig.sim.runUntil(600.0);
+  EXPECT_EQ(rig.ca->completedJobs(), 1u);
+  EXPECT_GE(rig.metrics.claimsAccepted, 1u);
+}
+
+TEST(FlockingTest, NoFlockingMeansStarvation) {
+  TwoPoolRig rig;
+  rig.ca.reset();  // rebuild a CA without flock targets
+  CustomerAgentConfig caConfig;
+  caConfig.managerAddress = "collector.home";
+  rig.ca = std::make_unique<CustomerAgent>(rig.sim, rig.net, rig.metrics,
+                                           "raman", Rng(3), caConfig);
+  rig.ca->start();
+  rig.ca->submit(rig.job(1));
+  rig.sim.runUntil(1200.0);
+  EXPECT_EQ(rig.ca->completedJobs(), 0u);  // home pool has no machines
+  EXPECT_EQ(rig.remote->storedRequests(), 0u);
+}
+
+TEST(FlockingTest, LocalPoolStillPreferredBeforeThreshold) {
+  // Give the HOME pool a machine too: the job runs locally well before
+  // the flocking threshold fires.
+  TwoPoolRig rig(/*flockAfter=*/600.0);
+  MachineSpec spec;
+  spec.name = "nearby.cs.wisc.edu";
+  spec.mips = 100;
+  spec.memoryMB = 64;
+  spec.policy = OwnerPolicy::AlwaysAvailable;
+  spec.meanOwnerAbsence = 0.0;
+  Machine homeMachine(rig.sim, spec, Rng(11));
+  ResourceAgentConfig raConfig;
+  raConfig.managerAddress = "collector.home";
+  ResourceAgent homeRa(rig.sim, rig.net, homeMachine, rig.metrics, Rng(12),
+                       raConfig);
+  homeRa.start();
+  rig.ca->submit(rig.job(1));
+  rig.sim.runUntil(400.0);
+  EXPECT_EQ(rig.ca->completedJobs(), 1u);
+  EXPECT_EQ(rig.remote->storedRequests(), 0u);  // never flocked
+  homeRa.stop();
+}
+
+TEST(FlockingTest, RetractionsReachAllPools) {
+  // Once the flocked job is placed, BOTH pools drop its request ad, so
+  // neither rematches it.
+  TwoPoolRig rig(/*flockAfter=*/60.0);
+  rig.ca->submit(rig.job(1));
+  rig.sim.runUntil(600.0);
+  ASSERT_EQ(rig.ca->completedJobs(), 1u);
+  EXPECT_EQ(rig.home->storedRequests(), 0u);
+  EXPECT_EQ(rig.remote->storedRequests(), 0u);
+  EXPECT_EQ(rig.metrics.staleNotifications, 0u);
+}
+
+}  // namespace
+}  // namespace htcsim

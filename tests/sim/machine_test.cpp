@@ -1,0 +1,102 @@
+// The workstation model: owner-activity process, derived attributes
+// (KeyboardIdle, LoadAvg, DayTime), and the owner-change hook.
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace htcsim {
+namespace {
+
+MachineSpec spec(double absence = 3600.0, double session = 600.0) {
+  MachineSpec s;
+  s.name = "leonardo.cs.wisc.edu";
+  s.meanOwnerAbsence = absence;
+  s.meanOwnerSession = session;
+  return s;
+}
+
+TEST(MachineTest, DedicatedMachineNeverSeesOwner) {
+  Simulator sim;
+  Machine m(sim, spec(/*absence=*/0.0), Rng(1));
+  sim.runUntil(24 * 3600.0);
+  EXPECT_FALSE(m.ownerPresent());
+  EXPECT_GT(m.keyboardIdle(), 0.0);
+  EXPECT_LT(m.loadAvg(), 0.1);
+}
+
+TEST(MachineTest, OwnerAlternates) {
+  Simulator sim;
+  Machine m(sim, spec(600.0, 600.0), Rng(2));
+  int arrivals = 0, departures = 0;
+  m.setOwnerChangeHook([&](bool present) {
+    (present ? arrivals : departures)++;
+  });
+  sim.runUntil(24 * 3600.0);
+  EXPECT_GT(arrivals, 5);
+  // Alternation: arrivals and departures differ by at most one.
+  EXPECT_NEAR(arrivals, departures, 1);
+}
+
+TEST(MachineTest, KeyboardIdleZeroWhileOwnerPresent) {
+  Simulator sim;
+  Machine m(sim, spec(100.0, 1e9), Rng(3));  // owner arrives and stays
+  sim.runUntil(10000.0);
+  ASSERT_TRUE(m.ownerPresent());
+  EXPECT_DOUBLE_EQ(m.keyboardIdle(), 0.0);
+  EXPECT_GE(m.loadAvg(), 0.4);  // session load
+}
+
+TEST(MachineTest, KeyboardIdleGrowsAfterDeparture) {
+  Simulator sim;
+  Machine m(sim, spec(3600.0, 60.0), Rng(4));
+  // Find a moment when the owner is absent and measure idle growth.
+  sim.runUntil(3600.0 * 5);
+  while (m.ownerPresent()) sim.runUntil(sim.now() + 60.0);
+  const double idle1 = m.keyboardIdle();
+  const double t1 = sim.now();
+  // Advance a little without owner events (probabilistic, so re-check).
+  sim.runUntil(t1 + 1.0);
+  if (!m.ownerPresent()) {
+    EXPECT_NEAR(m.keyboardIdle() - idle1, 1.0, 1e-9);
+  }
+}
+
+TEST(MachineTest, DayTimeWrapsAtMidnight) {
+  Simulator sim;
+  Machine m(sim, spec(0.0), Rng(5));
+  sim.runUntil(86400.0 + 3600.0);  // 1 a.m. of day two
+  EXPECT_NEAR(m.dayTime(), 3600.0, 1e-6);
+}
+
+TEST(MachineTest, StopFreezesOwnerProcess) {
+  Simulator sim;
+  Machine m(sim, spec(10.0, 10.0), Rng(6));
+  m.stop();
+  const bool state = m.ownerPresent();
+  sim.runUntil(10000.0);
+  EXPECT_EQ(m.ownerPresent(), state);
+}
+
+TEST(MachineTest, InitialIdleIsStaggered) {
+  // Different machines start with different accrued idle so a pool does
+  // not advertise in lockstep.
+  Simulator sim;
+  Machine a(sim, spec(), Rng(7));
+  Machine b(sim, spec(), Rng(8));
+  EXPECT_NE(a.keyboardIdle(), b.keyboardIdle());
+}
+
+TEST(MachineTest, SpecIsPreserved) {
+  Simulator sim;
+  MachineSpec s = spec();
+  s.arch = "SPARC";
+  s.memoryMB = 128;
+  s.policy = OwnerPolicy::Figure1;
+  Machine m(sim, s, Rng(9));
+  EXPECT_EQ(m.spec().arch, "SPARC");
+  EXPECT_EQ(m.spec().memoryMB, 128);
+  EXPECT_EQ(m.spec().policy, OwnerPolicy::Figure1);
+}
+
+}  // namespace
+}  // namespace htcsim

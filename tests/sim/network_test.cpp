@@ -1,0 +1,118 @@
+// The simulated network: latency, loss, attach/detach, and delivery-time
+// resolution of destinations.
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace htcsim {
+namespace {
+
+class Recorder : public Endpoint {
+ public:
+  void deliver(const Envelope& env) override { inbox.push_back(env); }
+  std::vector<Envelope> inbox;
+};
+
+NetworkConfig fastNet() {
+  NetworkConfig c;
+  c.latencyMin = 0.001;
+  c.latencyMax = 0.002;
+  return c;
+}
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder r;
+  net.attach("dst", &r);
+  net.send("src", "dst", UsageReport{"alice", 42.0});
+  EXPECT_TRUE(r.inbox.empty());  // not synchronous
+  sim.runUntil(1.0);
+  ASSERT_EQ(r.inbox.size(), 1u);
+  EXPECT_EQ(r.inbox[0].from, "src");
+  EXPECT_EQ(r.inbox[0].to, "dst");
+  const auto* usage = std::get_if<UsageReport>(&r.inbox[0].payload);
+  ASSERT_NE(usage, nullptr);
+  EXPECT_EQ(usage->user, "alice");
+  EXPECT_EQ(net.delivered(), 1u);
+}
+
+TEST(NetworkTest, UnknownDestinationDropsAtDelivery) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  net.send("src", "nowhere", UsageReport{});
+  sim.runUntil(1.0);
+  EXPECT_EQ(net.delivered(), 0u);
+  EXPECT_EQ(net.dropped(), 1u);
+}
+
+TEST(NetworkTest, DetachedEndpointMissesInFlight) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder r;
+  net.attach("dst", &r);
+  net.send("src", "dst", UsageReport{});
+  net.detach("dst");  // dies before delivery
+  sim.runUntil(1.0);
+  EXPECT_TRUE(r.inbox.empty());
+  EXPECT_EQ(net.dropped(), 1u);
+}
+
+TEST(NetworkTest, RestartedEndpointReceivesInFlight) {
+  // Destination resolved at delivery time: a message sent to a dead
+  // address reaches the restarted incarnation.
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder old, fresh;
+  net.send("src", "dst", UsageReport{});
+  net.attach("dst", &fresh);  // attaches while message is in flight
+  sim.runUntil(1.0);
+  EXPECT_TRUE(old.inbox.empty());
+  EXPECT_EQ(fresh.inbox.size(), 1u);
+}
+
+TEST(NetworkTest, LossDropsApproximatelyAtRate) {
+  Simulator sim;
+  NetworkConfig config = fastNet();
+  config.lossProbability = 0.3;
+  Network net(sim, Rng(5), config);
+  Recorder r;
+  net.attach("dst", &r);
+  const int n = 2000;
+  int sent = 0;
+  for (int i = 0; i < n; ++i) sent += net.send("src", "dst", UsageReport{});
+  sim.runUntil(10.0);
+  EXPECT_NEAR(static_cast<double>(r.inbox.size()) / n, 0.7, 0.05);
+  EXPECT_EQ(static_cast<std::size_t>(sent), r.inbox.size());
+}
+
+TEST(NetworkTest, AllMessageTypesRoute) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder r;
+  net.attach("dst", &r);
+  net.send("a", "dst", matchmaking::Advertisement{});
+  net.send("a", "dst", AdInvalidate{"key", true});
+  net.send("a", "dst", matchmaking::MatchNotification{});
+  net.send("a", "dst", matchmaking::ClaimRequest{});
+  net.send("a", "dst", matchmaking::ClaimResponse{});
+  net.send("a", "dst", matchmaking::ClaimRelease{});
+  net.send("a", "dst", UsageReport{});
+  sim.runUntil(1.0);
+  EXPECT_EQ(r.inbox.size(), 7u);
+}
+
+TEST(NetworkTest, ReattachReplacesBinding) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder first, second;
+  net.attach("dst", &first);
+  net.attach("dst", &second);
+  net.send("src", "dst", UsageReport{});
+  sim.runUntil(1.0);
+  EXPECT_TRUE(first.inbox.empty());
+  EXPECT_EQ(second.inbox.size(), 1u);
+}
+
+}  // namespace
+}  // namespace htcsim

@@ -1,0 +1,228 @@
+// The pool manager: ad intake and validation, negotiation cycles with
+// match notifications both ways, usage intake, crash/recovery, and the
+// stateful-allocator strawman's orphan resets.
+#include "sim/pool_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace htcsim {
+namespace {
+
+class Recorder : public Endpoint {
+ public:
+  void deliver(const Envelope& env) override { inbox.push_back(env); }
+
+  template <typename T>
+  std::vector<T> all() const {
+    std::vector<T> out;
+    for (const Envelope& env : inbox) {
+      if (const T* msg = std::get_if<T>(&env.payload)) out.push_back(*msg);
+    }
+    return out;
+  }
+
+  std::vector<Envelope> inbox;
+};
+
+struct Rig {
+  explicit Rig(bool stateful = false) {
+    PoolManagerConfig config;
+    config.stateful = stateful;
+    manager = std::make_unique<PoolManager>(sim, net, metrics, config);
+    manager->start();
+    net.attach("ra://m1", &machineSide);
+    net.attach("ca://alice", &customerSide);
+  }
+
+  classad::ClassAdPtr machineAd(const std::string& state = "Unclaimed") {
+    classad::ClassAd ad;
+    ad.set("Type", "Machine");
+    ad.set("Name", "m1");
+    ad.set("ContactAddress", "ra://m1");
+    ad.set("Memory", 64);
+    ad.set("State", state);
+    ad.setExpr("Constraint", "other.Type == \"Job\"");
+    ad.set("Rank", 0);
+    ad.set("AuthorizationTicket", matchmaking::ticketToString(777));
+    return classad::makeShared(std::move(ad));
+  }
+
+  classad::ClassAdPtr jobAd(std::uint64_t id = 1) {
+    classad::ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", "alice");
+    ad.set("JobId", static_cast<std::int64_t>(id));
+    ad.set("ContactAddress", "ca://alice");
+    ad.set("Memory", 32);
+    ad.setExpr("Constraint",
+               "other.Type == \"Machine\" && other.Memory >= self.Memory");
+    ad.set("Rank", 0);
+    return classad::makeShared(std::move(ad));
+  }
+
+  void advertise(classad::ClassAdPtr ad, bool isRequest, std::uint64_t seq,
+                 const std::string& key = "") {
+    matchmaking::Advertisement msg;
+    msg.ad = std::move(ad);
+    msg.isRequest = isRequest;
+    msg.sequence = seq;
+    msg.key = key;
+    Envelope env{"x", manager->address(), std::move(msg)};
+    manager->deliver(env);
+  }
+
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  Recorder machineSide, customerSide;
+  std::unique_ptr<PoolManager> manager;
+};
+
+TEST(PoolManagerTest, StoresValidAds) {
+  Rig rig;
+  rig.advertise(rig.machineAd(), false, 1);
+  rig.advertise(rig.jobAd(), true, 1, "ca://alice#1");
+  EXPECT_EQ(rig.manager->storedResources(), 1u);
+  EXPECT_EQ(rig.manager->storedRequests(), 1u);
+}
+
+TEST(PoolManagerTest, RejectsNonConformingAds) {
+  Rig rig;
+  classad::ClassAd bare;  // no Type, no contact
+  rig.advertise(classad::makeShared(std::move(bare)), false, 1);
+  EXPECT_EQ(rig.manager->storedResources(), 0u);
+}
+
+TEST(PoolManagerTest, NegotiationNotifiesBothParties) {
+  Rig rig;
+  rig.advertise(rig.machineAd(), false, 1);
+  rig.advertise(rig.jobAd(), true, 1, "ca://alice#1");
+  const auto stats = rig.manager->negotiateNow();
+  EXPECT_EQ(stats.matches, 1u);
+  rig.sim.runUntil(1.0);
+  const auto toCustomer =
+      rig.customerSide.all<matchmaking::MatchNotification>();
+  ASSERT_EQ(toCustomer.size(), 1u);
+  EXPECT_EQ(toCustomer[0].peerContact, "ra://m1");
+  EXPECT_EQ(toCustomer[0].ticket, 777u);  // the RA-minted ticket, handed off
+  ASSERT_NE(toCustomer[0].peerAd, nullptr);
+  EXPECT_EQ(toCustomer[0].peerAd->getString("Name").value(), "m1");
+  const auto toResource =
+      rig.machineSide.all<matchmaking::MatchNotification>();
+  ASSERT_EQ(toResource.size(), 1u);
+  EXPECT_EQ(toResource[0].peerContact, "ca://alice");
+  EXPECT_EQ(toResource[0].ticket, matchmaking::kNoTicket);
+  EXPECT_EQ(rig.metrics.matchesIssued, 1u);
+}
+
+TEST(PoolManagerTest, MatchedRequestWithdrawnUntilReadvertised) {
+  Rig rig;
+  rig.advertise(rig.machineAd(), false, 1);
+  rig.advertise(rig.jobAd(1), true, 1, "ca://alice#1");
+  rig.manager->negotiateNow();
+  EXPECT_EQ(rig.manager->storedRequests(), 0u);
+  // Second cycle: nothing left to match.
+  EXPECT_EQ(rig.manager->negotiateNow().matches, 0u);
+}
+
+TEST(PoolManagerTest, PeriodicCyclesRun) {
+  Rig rig;
+  rig.sim.runUntil(300.0);
+  EXPECT_GE(rig.metrics.negotiationCycles, 4u);
+}
+
+TEST(PoolManagerTest, ExpiredAdsDropOut) {
+  Rig rig;
+  rig.advertise(rig.machineAd(), false, 1);
+  rig.sim.runUntil(500.0);  // past the 180s default lifetime
+  rig.manager->negotiateNow();
+  EXPECT_EQ(rig.manager->storedResources(), 0u);
+}
+
+TEST(PoolManagerTest, UsageFeedsAccountant) {
+  Rig rig;
+  Envelope env{"ra://m1", rig.manager->address(),
+               UsageReport{"alice", 500.0}};
+  rig.manager->deliver(env);
+  EXPECT_GT(rig.manager->accountant().usage("alice", rig.sim.now()), 400.0);
+  EXPECT_DOUBLE_EQ(rig.metrics.usageByUser["alice"], 500.0);
+}
+
+TEST(PoolManagerTest, CrashLosesAdsAndRecovers) {
+  Rig rig;
+  rig.advertise(rig.machineAd(), false, 1);
+  rig.advertise(rig.jobAd(), true, 1, "ca://alice#1");
+  rig.manager->crash(60.0);
+  EXPECT_FALSE(rig.manager->up());
+  EXPECT_EQ(rig.manager->storedResources(), 0u);
+  // Messages during the outage are lost.
+  rig.advertise(rig.machineAd(), false, 2);
+  EXPECT_EQ(rig.manager->storedResources(), 0u);
+  // After recovery, fresh ads repopulate the store.
+  rig.sim.runUntil(61.0);
+  EXPECT_TRUE(rig.manager->up());
+  rig.advertise(rig.machineAd(), false, 3);
+  rig.advertise(rig.jobAd(), true, 2, "ca://alice#1");
+  EXPECT_EQ(rig.manager->negotiateNow().matches, 1u);
+}
+
+TEST(PoolManagerTest, StatelessManagerLeavesClaimedResourcesAlone) {
+  Rig rig(/*stateful=*/false);
+  rig.advertise(rig.machineAd("Claimed"), false, 1);
+  rig.sim.runUntil(1.0);
+  EXPECT_TRUE(rig.machineSide.all<matchmaking::ClaimRelease>().empty());
+  EXPECT_EQ(rig.metrics.orphanedClaimResets, 0u);
+}
+
+TEST(PoolManagerTest, StatefulManagerResetsOrphanedClaims) {
+  // The E2 strawman: a claimed resource unknown to the allocation table
+  // (e.g. after a crash wiped it) is reset.
+  Rig rig(/*stateful=*/true);
+  rig.advertise(rig.machineAd("Claimed"), false, 1);
+  rig.sim.runUntil(1.0);
+  const auto resets = rig.machineSide.all<matchmaking::ClaimRelease>();
+  ASSERT_EQ(resets.size(), 1u);
+  EXPECT_EQ(resets[0].reason, "orphaned-claim");
+}
+
+TEST(PoolManagerTest, StatefulManagerKnowsItsOwnAllocations) {
+  // A claim the manager itself brokered is in the table: no reset.
+  Rig rig(/*stateful=*/true);
+  rig.advertise(rig.machineAd(), false, 1);
+  rig.advertise(rig.jobAd(), true, 1, "ca://alice#1");
+  rig.manager->negotiateNow();
+  rig.machineSide.inbox.clear();
+  rig.advertise(rig.machineAd("Claimed"), false, 2);
+  rig.sim.runUntil(2.0);
+  EXPECT_TRUE(rig.machineSide.all<matchmaking::ClaimRelease>().empty());
+}
+
+TEST(PoolManagerTest, EmptyKeyDefaultsToContactAddress) {
+  Rig rig;
+  rig.advertise(rig.machineAd(), false, 1, /*key=*/"");
+  EXPECT_EQ(rig.manager->storedResources(), 1u);
+  // A refresh under the same (defaulted) key replaces, not duplicates.
+  rig.advertise(rig.machineAd(), false, 2, "");
+  EXPECT_EQ(rig.manager->storedResources(), 1u);
+  // And an explicit invalidation by contact address removes it.
+  Envelope inv{"ra://m1", rig.manager->address(),
+               AdInvalidate{"ra://m1", /*isRequest=*/false}};
+  rig.manager->deliver(inv);
+  EXPECT_EQ(rig.manager->storedResources(), 0u);
+}
+
+TEST(PoolManagerTest, StaleAdSequenceIgnored) {
+  Rig rig;
+  auto newer = rig.machineAd();
+  rig.advertise(newer, false, 5);
+  classad::ClassAd old;
+  old.set("Type", "Machine");
+  old.set("Name", "old");
+  old.set("ContactAddress", "ra://m1");
+  rig.advertise(classad::makeShared(std::move(old)), false, 4);
+  // Still the newer ad (Name m1).
+  EXPECT_EQ(rig.manager->storedResources(), 1u);
+}
+
+}  // namespace
+}  // namespace htcsim

@@ -1,0 +1,270 @@
+// The Resource-owner Agent: advertisement contents, claim verification
+// against current state, job execution, policy enforcement over the life
+// of a claim, and rank preemption.
+#include "sim/resource_agent.h"
+
+#include <gtest/gtest.h>
+
+#include "classad/match.h"
+#include "sim/job.h"
+
+namespace htcsim {
+namespace {
+
+class Recorder : public Endpoint {
+ public:
+  void deliver(const Envelope& env) override { inbox.push_back(env); }
+
+  template <typename T>
+  std::vector<T> all() const {
+    std::vector<T> out;
+    for (const Envelope& env : inbox) {
+      if (const T* msg = std::get_if<T>(&env.payload)) out.push_back(*msg);
+    }
+    return out;
+  }
+
+  std::vector<Envelope> inbox;
+};
+
+struct Rig {
+  Rig(OwnerPolicy policy = OwnerPolicy::AlwaysAvailable,
+      double ownerAbsence = 0.0) {
+    MachineSpec spec;
+    spec.name = "leonardo.cs.wisc.edu";
+    spec.mips = 100;  // 1 reference CPU-second per wall second
+    spec.memoryMB = 64;
+    spec.policy = policy;
+    spec.meanOwnerAbsence = ownerAbsence;
+    spec.researchGroup = {"raman", "miron"};
+    spec.friends = {"tannenba"};
+    spec.untrusted = {"rival"};
+    machine = std::make_unique<Machine>(sim, spec, Rng(1));
+    ra = std::make_unique<ResourceAgent>(sim, net, *machine, metrics, Rng(2));
+    net.attach("collector", &collector);
+    net.attach("ca://alice", &alice);
+    net.attach("ca://raman", &raman);
+    ra->start();
+  }
+
+  classad::ClassAdPtr jobAd(const std::string& owner, std::uint64_t id,
+                            double work, int memory = 32) {
+    classad::ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", owner);
+    ad.set("JobId", static_cast<std::int64_t>(id));
+    ad.set("ContactAddress", "ca://" + owner);
+    ad.set("Memory", memory);
+    ad.set("RemainingWork", work);
+    ad.setExpr("Constraint",
+               "other.Type == \"Machine\" && other.Memory >= self.Memory");
+    ad.set("Rank", 0);
+    return classad::makeShared(std::move(ad));
+  }
+
+  /// Delivers a claim request directly to the RA (bypassing latency).
+  void claim(const std::string& owner, std::uint64_t jobId, double work,
+             matchmaking::Ticket ticket) {
+    matchmaking::ClaimRequest req;
+    req.requestAd = jobAd(owner, jobId, work);
+    req.ticket = ticket;
+    req.customerContact = "ca://" + owner;
+    Envelope env{"ca://" + owner, ra->address(), std::move(req)};
+    ra->deliver(env);
+  }
+
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  Recorder collector, alice, raman;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<ResourceAgent> ra;
+};
+
+TEST(ResourceAgentTest, BuildAdCarriesProtocolAttributes) {
+  Rig rig;
+  const classad::ClassAd ad = rig.ra->buildAd();
+  EXPECT_EQ(ad.getString("Type").value(), "Machine");
+  EXPECT_EQ(ad.getString("Name").value(), "leonardo.cs.wisc.edu");
+  EXPECT_EQ(ad.getString("ContactAddress").value(), rig.ra->address());
+  EXPECT_EQ(ad.getString("State").value(), "Unclaimed");
+  EXPECT_TRUE(ad.contains("KeyboardIdle"));
+  EXPECT_TRUE(ad.contains("LoadAvg"));
+  EXPECT_TRUE(ad.contains("DayTime"));
+  EXPECT_TRUE(ad.contains("Constraint"));
+  EXPECT_TRUE(ad.contains("Rank"));
+  const auto ticket = ad.getString("AuthorizationTicket");
+  ASSERT_TRUE(ticket.has_value());
+  EXPECT_EQ(matchmaking::ticketFromString(*ticket).value(),
+            rig.ra->outstandingTicket());
+}
+
+TEST(ResourceAgentTest, AdvertisesPeriodicaly) {
+  Rig rig;
+  rig.sim.runUntil(300.0);
+  const auto ads = rig.collector.all<matchmaking::Advertisement>();
+  EXPECT_GE(ads.size(), 4u);  // 60s interval over 300s
+  // Sequence numbers are monotone.
+  for (std::size_t i = 1; i < ads.size(); ++i) {
+    EXPECT_GT(ads[i].sequence, ads[i - 1].sequence);
+  }
+  EXPECT_FALSE(ads.front().isRequest);
+}
+
+TEST(ResourceAgentTest, AcceptsValidClaimAndRunsJob) {
+  Rig rig;
+  rig.claim("alice", 7, /*work=*/100.0, rig.ra->outstandingTicket());
+  EXPECT_TRUE(rig.ra->claimed());
+  EXPECT_EQ(rig.ra->currentUser(), "alice");
+  ++rig.metrics.claimsAccepted;  // (sanity: field is accessible)
+  // 100 reference CPU-seconds at 100 MIPS = 100 wall seconds.
+  rig.sim.runUntil(99.0);
+  EXPECT_TRUE(rig.ra->claimed());
+  rig.sim.runUntil(101.0);
+  EXPECT_FALSE(rig.ra->claimed());
+  const auto releases = rig.alice.all<matchmaking::ClaimRelease>();
+  ASSERT_EQ(releases.size(), 1u);
+  EXPECT_TRUE(releases[0].completed);
+  EXPECT_EQ(releases[0].jobId, 7u);
+  EXPECT_DOUBLE_EQ(releases[0].cpuSecondsUsed, 100.0);
+  // Usage reported to the collector for fair-share accounting.
+  const auto usage = rig.collector.all<UsageReport>();
+  ASSERT_EQ(usage.size(), 1u);
+  EXPECT_EQ(usage[0].user, "alice");
+  EXPECT_NEAR(usage[0].resourceSeconds, 100.0, 1e-6);
+}
+
+TEST(ResourceAgentTest, RejectsBadTicket) {
+  Rig rig;
+  rig.claim("alice", 7, 100.0, rig.ra->outstandingTicket() ^ 1);
+  EXPECT_FALSE(rig.ra->claimed());
+  rig.sim.runUntil(1.0);
+  const auto responses = rig.alice.all<matchmaking::ClaimResponse>();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].accepted);
+  EXPECT_EQ(rig.metrics.claimsRejected, 1u);
+}
+
+TEST(ResourceAgentTest, TicketRotatesAcrossClaims) {
+  Rig rig;
+  const matchmaking::Ticket first = rig.ra->outstandingTicket();
+  rig.claim("alice", 1, 10.0, first);
+  rig.sim.runUntil(20.0);  // job completes
+  EXPECT_FALSE(rig.ra->claimed());
+  EXPECT_NE(rig.ra->outstandingTicket(), first);
+  // The old ticket no longer claims.
+  rig.claim("alice", 2, 10.0, first);
+  EXPECT_FALSE(rig.ra->claimed());
+}
+
+TEST(ResourceAgentTest, ReAdvertisesImmediatelyOnClaim) {
+  Rig rig;
+  rig.sim.runUntil(0.5);
+  const std::size_t before =
+      rig.collector.all<matchmaking::Advertisement>().size();
+  rig.claim("alice", 1, 1000.0, rig.ra->outstandingTicket());
+  rig.sim.runUntil(rig.sim.now() + 0.5);
+  const auto ads = rig.collector.all<matchmaking::Advertisement>();
+  ASSERT_GT(ads.size(), before);
+  const auto& claimedAd = *ads.back().ad;
+  EXPECT_EQ(claimedAd.getString("State").value(), "Claimed");
+  EXPECT_TRUE(claimedAd.contains("CurrentRank"));
+  EXPECT_EQ(claimedAd.getString("RemoteUser").value(), "alice");
+}
+
+TEST(ResourceAgentTest, RankPreemptionEvictsLowerRankedCustomer) {
+  Rig rig(OwnerPolicy::Figure1);
+  // Stranger alice claims at night (sim starts at midnight: DayTime 0).
+  rig.claim("alice", 1, 10000.0, rig.ra->outstandingTicket());
+  ASSERT_TRUE(rig.ra->claimed());
+  ASSERT_EQ(rig.ra->currentUser(), "alice");
+  rig.sim.runUntil(100.0);
+  // Research-group member raman preempts (rank 10 > 0).
+  rig.claim("raman", 2, 100.0, rig.ra->outstandingTicket());
+  EXPECT_EQ(rig.ra->currentUser(), "raman");
+  EXPECT_EQ(rig.metrics.preemptionsByRank, 1u);
+  rig.sim.runUntil(rig.sim.now() + 1.0);
+  const auto releases = rig.alice.all<matchmaking::ClaimRelease>();
+  ASSERT_EQ(releases.size(), 1u);
+  EXPECT_FALSE(releases[0].completed);
+  EXPECT_EQ(releases[0].reason, "preempted-by-rank");
+  // alice got ~100 wall seconds at 100 MIPS = ~100 ref CPU-seconds.
+  EXPECT_NEAR(releases[0].cpuSecondsUsed, 100.0, 1.0);
+}
+
+TEST(ResourceAgentTest, EqualRankCannotPreempt) {
+  Rig rig(OwnerPolicy::Figure1);
+  rig.claim("alice", 1, 10000.0, rig.ra->outstandingTicket());
+  ASSERT_TRUE(rig.ra->claimed());
+  rig.claim("bob", 2, 100.0, rig.ra->outstandingTicket());  // also rank 0
+  EXPECT_EQ(rig.ra->currentUser(), "alice");
+  EXPECT_EQ(rig.metrics.preemptionsByRank, 0u);
+}
+
+TEST(ResourceAgentTest, PolicyEnforcedOverLifeOfClaim) {
+  // A stranger's job admitted at night is vacated when day breaks
+  // (Figure 1's DayTime tier re-checked at each probe).
+  Rig rig(OwnerPolicy::Figure1);
+  rig.claim("alice", 1, 1e9, rig.ra->outstandingTicket());
+  ASSERT_TRUE(rig.ra->claimed());
+  rig.sim.runUntil(7.5 * 3600.0);
+  EXPECT_TRUE(rig.ra->claimed());  // still night (before 8:00)
+  rig.sim.runUntil(8.5 * 3600.0);  // past 8 a.m.; probes have fired
+  EXPECT_FALSE(rig.ra->claimed());
+  const auto releases = rig.alice.all<matchmaking::ClaimRelease>();
+  ASSERT_GE(releases.size(), 1u);
+  EXPECT_EQ(releases[0].reason, "policy-violation");
+}
+
+TEST(ResourceAgentTest, ResearchJobSurvivesDaybreak) {
+  Rig rig(OwnerPolicy::Figure1);
+  rig.claim("raman", 1, 1e9, rig.ra->outstandingTicket());
+  rig.sim.runUntil(12 * 3600.0);  // high noon
+  EXPECT_TRUE(rig.ra->claimed());  // research tier is unconditional
+}
+
+TEST(ResourceAgentTest, ClaimRejectedWhenPolicyNotSatisfiedNow) {
+  // Claim-time verification: at noon the night tier is closed to
+  // strangers, whatever any stale ad said.
+  Rig rig(OwnerPolicy::Figure1);
+  rig.sim.runUntil(12 * 3600.0);
+  rig.claim("alice", 1, 100.0, rig.ra->outstandingTicket());
+  EXPECT_FALSE(rig.ra->claimed());
+  EXPECT_EQ(rig.metrics.claimsRejected, 1u);
+}
+
+TEST(ResourceAgentTest, UntrustedNeverAccepted) {
+  Rig rig(OwnerPolicy::Figure1);
+  rig.claim("rival", 1, 100.0, rig.ra->outstandingTicket());
+  EXPECT_FALSE(rig.ra->claimed());
+}
+
+TEST(ResourceAgentTest, CustomerReleaseEndsClaim) {
+  Rig rig;
+  rig.claim("alice", 1, 1000.0, rig.ra->outstandingTicket());
+  ASSERT_TRUE(rig.ra->claimed());
+  rig.sim.runUntil(50.0);
+  matchmaking::ClaimRelease rel;
+  rel.ticket = rig.ra->outstandingTicket();
+  Envelope env{"ca://alice", rig.ra->address(), rel};
+  rig.ra->deliver(env);
+  EXPECT_FALSE(rig.ra->claimed());
+  // Usage still charged for the 50 seconds held.
+  rig.sim.runUntil(51.0);
+  const auto usage = rig.collector.all<UsageReport>();
+  ASSERT_EQ(usage.size(), 1u);
+  EXPECT_NEAR(usage[0].resourceSeconds, 50.0, 1e-6);
+}
+
+TEST(ResourceAgentTest, StaleReleaseIgnored) {
+  Rig rig;
+  rig.claim("alice", 1, 1000.0, rig.ra->outstandingTicket());
+  matchmaking::ClaimRelease rel;
+  rel.ticket = rig.ra->outstandingTicket() ^ 42;
+  Envelope env{"ca://alice", rig.ra->address(), rel};
+  rig.ra->deliver(env);
+  EXPECT_TRUE(rig.ra->claimed());
+}
+
+}  // namespace
+}  // namespace htcsim

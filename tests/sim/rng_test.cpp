@@ -1,0 +1,119 @@
+// The deterministic RNG substrate: reproducibility, stream splitting, and
+// distribution sanity (coarse — these are simulation drivers, not crypto).
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace htcsim {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 10.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 10.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BelowIsInRangeAndCoversValues) {
+  Rng rng(13);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(17);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyRight) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(10.0), 0.0);
+}
+
+TEST(RngTest, HeavyTailRespectsCap) {
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.heavyTail(600.0, 4 * 3600.0);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 4 * 3600.0);
+  }
+}
+
+TEST(RngTest, SplitChildIsIndependentAndStable) {
+  Rng parent1(42), parent2(42);
+  Rng childA = parent1.splitChild(7);
+  Rng childB = parent2.splitChild(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(childA.next(), childB.next());
+  Rng childC = parent1.splitChild(8);
+  EXPECT_NE(childA.next(), childC.next());
+}
+
+TEST(RngTest, HashNameIsStable) {
+  EXPECT_EQ(hashName("leonardo"), hashName("leonardo"));
+  EXPECT_NE(hashName("leonardo"), hashName("leonarda"));
+  EXPECT_NE(hashName(""), hashName("x"));
+}
+
+}  // namespace
+}  // namespace htcsim

@@ -1,0 +1,180 @@
+// End-to-end pool scenarios: the full advertise -> negotiate -> notify ->
+// claim -> execute -> release pipeline, plus cross-cutting invariants.
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace htcsim {
+namespace {
+
+ScenarioConfig smallPool() {
+  ScenarioConfig config;
+  config.seed = 42;
+  config.duration = 2.0 * 3600.0;
+  config.machines.count = 20;
+  config.machines.fracAlwaysAvailable = 0.5;
+  config.machines.fracClassicIdle = 0.3;
+  config.machines.fracFigure1 = 0.2;
+  config.workload.users = {"raman", "tannenba", "alice"};
+  config.workload.jobsPerUserPerHour = 10.0;
+  config.workload.meanWork = 300.0;
+  config.workload.workCap = 1200.0;
+  return config;
+}
+
+TEST(ScenarioTest, JobsFlowThroughThePipeline) {
+  Scenario scenario(smallPool());
+  scenario.run();
+  const Metrics& m = scenario.metrics();
+  EXPECT_GT(m.jobsSubmitted, 20u);
+  EXPECT_GT(m.jobsCompleted, 0u);
+  EXPECT_LE(m.jobsCompleted, m.jobsSubmitted);
+  EXPECT_GT(m.negotiationCycles, 0u);
+  EXPECT_GT(m.matchesIssued, 0u);
+  EXPECT_GE(m.matchesIssued, m.claimsAccepted);
+  EXPECT_GT(m.claimsAccepted, 0u);
+}
+
+TEST(ScenarioTest, DeterministicForSeed) {
+  Scenario a(smallPool());
+  a.run();
+  Scenario b(smallPool());
+  b.run();
+  EXPECT_EQ(a.metrics().jobsCompleted, b.metrics().jobsCompleted);
+  EXPECT_EQ(a.metrics().matchesIssued, b.metrics().matchesIssued);
+  EXPECT_EQ(a.metrics().claimsAccepted, b.metrics().claimsAccepted);
+  EXPECT_DOUBLE_EQ(a.metrics().goodputCpuSeconds,
+                   b.metrics().goodputCpuSeconds);
+}
+
+TEST(ScenarioTest, DifferentSeedsDiffer) {
+  Scenario a(smallPool());
+  a.run();
+  ScenarioConfig other = smallPool();
+  other.seed = 43;
+  Scenario b(other);
+  b.run();
+  // Workloads differ, so at least one headline number should.
+  EXPECT_TRUE(a.metrics().jobsSubmitted != b.metrics().jobsSubmitted ||
+              a.metrics().jobsCompleted != b.metrics().jobsCompleted ||
+              a.metrics().goodputCpuSeconds != b.metrics().goodputCpuSeconds);
+}
+
+TEST(ScenarioTest, JobStateAccountingConsistent) {
+  Scenario scenario(smallPool());
+  scenario.run();
+  std::size_t idle = 0, running = 0, completed = 0, total = 0;
+  for (const auto& ca : scenario.customerAgents()) {
+    idle += ca->idleJobs();
+    running += ca->runningJobs();
+    completed += ca->completedJobs();
+    total += ca->jobs().size();
+  }
+  EXPECT_EQ(idle + running + completed, total);
+  EXPECT_EQ(total, scenario.metrics().jobsSubmitted);
+  EXPECT_EQ(completed, scenario.metrics().jobsCompleted);
+}
+
+TEST(ScenarioTest, NoMachineServesTwoJobsAtOnce) {
+  // Every running job names a distinct resource contact.
+  Scenario scenario(smallPool());
+  scenario.run();
+  std::set<std::string> busy;
+  for (const auto& ca : scenario.customerAgents()) {
+    for (const Job& job : ca->jobs()) {
+      if (job.state == JobState::Running) {
+        EXPECT_TRUE(busy.insert(job.runningOn).second)
+            << job.runningOn << " serves two jobs";
+      }
+    }
+  }
+}
+
+TEST(ScenarioTest, GoodputMatchesCompletedWork) {
+  // Work preserved (goodput) must cover at least the work of all
+  // completed jobs (checkpointed partial work of running jobs adds more).
+  Scenario scenario(smallPool());
+  scenario.run();
+  const Metrics& m = scenario.metrics();
+  EXPECT_GE(m.goodputCpuSeconds + 1e-6, m.totalWorkCompleted);
+}
+
+TEST(ScenarioTest, UsageAccountedToUsers) {
+  Scenario scenario(smallPool());
+  scenario.run();
+  const Metrics& m = scenario.metrics();
+  double total = 0.0;
+  for (const auto& [user, seconds] : m.usageByUser) total += seconds;
+  EXPECT_GT(total, 0.0);
+  // Usage ledger tracks machine busy time (both sides of the same
+  // events; the ledger may lag by in-flight messages at cutoff).
+  EXPECT_NEAR(total, m.machineBusySeconds,
+              0.05 * m.machineBusySeconds + 1000.0);
+}
+
+TEST(ScenarioTest, DedicatedPoolCompletesEverythingEventually) {
+  ScenarioConfig config = smallPool();
+  config.duration = 8 * 3600.0;
+  config.machines.fracAlwaysAvailable = 1.0;
+  config.machines.fracClassicIdle = 0.0;
+  config.machines.fracFigure1 = 0.0;
+  config.workload.jobsPerUserPerHour = 4.0;  // light load, long tail time
+  // Jobs stop arriving at the horizon but the last ones still need to
+  // finish; run past the arrival window.
+  Scenario scenario(config);
+  scenario.runUntil(config.duration + 2 * 3600.0);
+  const Metrics& m = scenario.metrics();
+  EXPECT_GT(m.jobsSubmitted, 0u);
+  EXPECT_GE(m.jobsCompleted + 2, m.jobsSubmitted);  // allow stragglers
+  EXPECT_DOUBLE_EQ(m.badputCpuSeconds, 0.0);  // nothing evicts on dedicated
+}
+
+TEST(ScenarioTest, OwnerActivityCausesPreemptions) {
+  ScenarioConfig config = smallPool();
+  config.machines.count = 15;
+  config.machines.fracAlwaysAvailable = 0.0;
+  config.machines.fracClassicIdle = 1.0;
+  config.machines.fracFigure1 = 0.0;
+  config.machines.meanOwnerAbsence = 1200.0;  // busy owners
+  config.machines.meanOwnerSession = 600.0;
+  config.workload.meanWork = 1800.0;  // long jobs, likely to be caught
+  config.duration = 6 * 3600.0;
+  Scenario scenario(config);
+  scenario.run();
+  EXPECT_GT(scenario.metrics().preemptionsByOwner, 0u);
+}
+
+TEST(ScenarioTest, ManagerOutageDelaysButDoesNotKill) {
+  ScenarioConfig config = smallPool();
+  config.managerOutages = {{1800.0, 600.0}};
+  Scenario scenario(config);
+  scenario.run();
+  // The pool still makes progress across the outage.
+  EXPECT_GT(scenario.metrics().jobsCompleted, 0u);
+}
+
+TEST(ScenarioTest, AgentLookupByUser) {
+  Scenario scenario(smallPool());
+  EXPECT_NE(scenario.agentFor("raman"), nullptr);
+  EXPECT_EQ(scenario.agentFor("nobody"), nullptr);
+}
+
+TEST(ScenarioTest, MetricsHelpersConsistent) {
+  Scenario scenario(smallPool());
+  scenario.run();
+  const Metrics& m = scenario.metrics();
+  if (m.jobsCompleted > 0) {
+    EXPECT_GE(m.meanTurnaround(), m.meanWaitTime());
+  }
+  const double util =
+      m.utilization(smallPool().duration, scenario.machineCount());
+  EXPECT_GE(util, 0.0);
+  EXPECT_LE(util, 1.0 + 1e-9);
+  EXPECT_GE(m.goodputFraction(), 0.0);
+  EXPECT_LE(m.goodputFraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace htcsim

@@ -1,0 +1,210 @@
+// Graceful eviction (MaxVacateTime-style) and checkpoint overhead: the
+// grace window lets the job run a little longer (and cancels entirely if
+// the policy recovers); checkpoint costs convert part of preserved work
+// into badput.
+#include <gtest/gtest.h>
+
+#include "sim/customer_agent.h"
+#include "sim/resource_agent.h"
+
+namespace htcsim {
+namespace {
+
+class Recorder : public Endpoint {
+ public:
+  void deliver(const Envelope& env) override { inbox.push_back(env); }
+  template <typename T>
+  std::vector<T> all() const {
+    std::vector<T> out;
+    for (const Envelope& env : inbox) {
+      if (const T* msg = std::get_if<T>(&env.payload)) out.push_back(*msg);
+    }
+    return out;
+  }
+  std::vector<Envelope> inbox;
+};
+
+struct GraceRig {
+  explicit GraceRig(Time grace) {
+    MachineSpec spec;
+    spec.name = "leonardo";
+    spec.mips = 100;
+    spec.memoryMB = 64;
+    spec.policy = OwnerPolicy::Figure1;
+    spec.meanOwnerAbsence = 0.0;  // we drive DayTime, not the owner
+    spec.researchGroup = {"raman"};
+    machine = std::make_unique<Machine>(sim, spec, Rng(1));
+    ResourceAgentConfig config;
+    config.vacateGrace = grace;
+    ra = std::make_unique<ResourceAgent>(sim, net, *machine, metrics, Rng(2),
+                                         config);
+    net.attach("collector", &collector);
+    net.attach("ca://alice", &alice);
+    ra->start();
+  }
+
+  void claimAsAlice(double work) {
+    classad::ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", "alice");
+    ad.set("JobId", 1);
+    ad.set("ContactAddress", "ca://alice");
+    ad.set("Memory", 32);
+    ad.set("RemainingWork", work);
+    ad.setExpr("Constraint", "other.Type == \"Machine\"");
+    ad.set("Rank", 0);
+    matchmaking::ClaimRequest req;
+    req.requestAd = classad::makeShared(std::move(ad));
+    req.ticket = ra->outstandingTicket();
+    req.customerContact = "ca://alice";
+    Envelope env{"ca://alice", ra->address(), std::move(req)};
+    ra->deliver(env);
+  }
+
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  Recorder collector, alice;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<ResourceAgent> ra;
+};
+
+TEST(VacateGraceTest, InstantVacateWithoutGrace) {
+  GraceRig rig(0.0);
+  rig.claimAsAlice(1e9);  // stranger admitted at night (t=0)
+  ASSERT_TRUE(rig.ra->claimed());
+  rig.sim.runUntil(8.5 * 3600.0);  // day broke; probes have fired
+  EXPECT_FALSE(rig.ra->claimed());
+}
+
+TEST(VacateGraceTest, GraceDelaysEviction) {
+  GraceRig rig(/*grace=*/1800.0);
+  rig.claimAsAlice(1e9);
+  ASSERT_TRUE(rig.ra->claimed());
+  // First probe after 8:00 arms the grace countdown; the job survives
+  // well past 8:00...
+  rig.sim.runUntil(8 * 3600.0 + 600.0);
+  EXPECT_TRUE(rig.ra->claimed());
+  // ...but not past the grace window (first post-8:00 probe <= 8:01).
+  rig.sim.runUntil(8 * 3600.0 + 1800.0 + 120.0);
+  EXPECT_FALSE(rig.ra->claimed());
+  const auto releases = rig.alice.all<matchmaking::ClaimRelease>();
+  ASSERT_EQ(releases.size(), 1u);
+  // The grace time itself was productive: work done covers the window.
+  EXPECT_GT(releases[0].cpuSecondsUsed, 8 * 3600.0 + 1700.0);
+}
+
+TEST(VacateGraceTest, RankPreemptionIsNeverDelayed) {
+  GraceRig rig(/*grace=*/3600.0);
+  rig.claimAsAlice(1e9);
+  ASSERT_TRUE(rig.ra->claimed());
+  // raman (research group, rank 10) preempts immediately despite grace.
+  classad::ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("Owner", "raman");
+  ad.set("JobId", 2);
+  ad.set("ContactAddress", "ca://raman");
+  ad.set("Memory", 32);
+  ad.set("RemainingWork", 100.0);
+  ad.setExpr("Constraint", "other.Type == \"Machine\"");
+  ad.set("Rank", 0);
+  matchmaking::ClaimRequest req;
+  req.requestAd = classad::makeShared(std::move(ad));
+  req.ticket = rig.ra->outstandingTicket();
+  req.customerContact = "ca://raman";
+  Envelope env{"ca://raman", rig.ra->address(), std::move(req)};
+  rig.ra->deliver(env);
+  EXPECT_EQ(rig.ra->currentUser(), "raman");
+  EXPECT_EQ(rig.metrics.preemptionsByRank, 1u);
+}
+
+TEST(VacateGraceTest, CompletionDuringGraceCancelsEviction) {
+  GraceRig rig(/*grace=*/1800.0);
+  // Job finishes shortly after 8:00, inside the grace window.
+  const double workUntil = (8 * 3600.0 + 300.0) * 100.0 / 100.0;
+  rig.claimAsAlice(workUntil);
+  rig.sim.runUntil(10 * 3600.0);
+  EXPECT_FALSE(rig.ra->claimed());
+  const auto releases = rig.alice.all<matchmaking::ClaimRelease>();
+  ASSERT_EQ(releases.size(), 1u);
+  EXPECT_TRUE(releases[0].completed);  // completed, not evicted
+  // The stale grace event must not kill a subsequent claim: at 19:00 the
+  // night tier reopens and a new job runs its full 600 s undisturbed.
+  rig.sim.runUntil(19 * 3600.0);
+  rig.claimAsAlice(600.0);
+  EXPECT_TRUE(rig.ra->claimed());
+  rig.sim.runUntil(19 * 3600.0 + 300.0);
+  EXPECT_TRUE(rig.ra->claimed());  // still running mid-way
+  rig.sim.runUntil(19 * 3600.0 + 700.0);
+  EXPECT_FALSE(rig.ra->claimed());  // completed normally
+}
+
+TEST(CheckpointOverheadTest, OverheadCountsAsBadput) {
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  CustomerAgentConfig config;
+  config.checkpointOverheadSeconds = 50.0;
+  CustomerAgent ca(sim, net, metrics, "raman", Rng(3), config);
+  Recorder collector;
+  net.attach("collector", &collector);
+  ca.start();
+  Job job;
+  job.id = 1;
+  job.owner = "raman";
+  job.totalWork = 600.0;
+  job.checkpointable = true;
+  ca.submit(job);
+  // Simulate match + run + eviction after 200 cpu-seconds of work.
+  matchmaking::MatchNotification note;
+  note.myAd = classad::makeShared(ca.buildRequestAd(ca.jobs()[0]));
+  note.peerContact = "ra://x";
+  Recorder ra;
+  net.attach("ra://x", &ra);
+  Envelope env{"collector", ca.address(), note};
+  ca.deliver(env);
+  Envelope ok{"ra://x", ca.address(), matchmaking::ClaimResponse{true, ""}};
+  ca.deliver(ok);
+  matchmaking::ClaimRelease rel;
+  rel.jobId = 1;
+  rel.cpuSecondsUsed = 200.0;
+  rel.completed = false;
+  Envelope evict{"ra://x", ca.address(), rel};
+  ca.deliver(evict);
+  // 150 preserved, 50 lost to the checkpoint.
+  EXPECT_DOUBLE_EQ(ca.jobs()[0].remainingWork, 450.0);
+  EXPECT_DOUBLE_EQ(metrics.goodputCpuSeconds, 150.0);
+  EXPECT_DOUBLE_EQ(metrics.badputCpuSeconds, 50.0);
+}
+
+TEST(CheckpointOverheadTest, OverheadCappedAtWorkDone) {
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  CustomerAgentConfig config;
+  config.checkpointOverheadSeconds = 500.0;
+  CustomerAgent ca(sim, net, metrics, "raman", Rng(3), config);
+  ca.start();
+  Job job;
+  job.id = 1;
+  job.owner = "raman";
+  job.totalWork = 600.0;
+  ca.submit(job);
+  matchmaking::MatchNotification note;
+  note.myAd = classad::makeShared(ca.buildRequestAd(ca.jobs()[0]));
+  note.peerContact = "ra://x";
+  Envelope env{"collector", ca.address(), note};
+  ca.deliver(env);
+  Envelope ok{"ra://x", ca.address(), matchmaking::ClaimResponse{true, ""}};
+  ca.deliver(ok);
+  matchmaking::ClaimRelease rel;
+  rel.jobId = 1;
+  rel.cpuSecondsUsed = 100.0;  // less than the overhead
+  Envelope evict{"ra://x", ca.address(), rel};
+  ca.deliver(evict);
+  EXPECT_DOUBLE_EQ(ca.jobs()[0].remainingWork, 600.0);  // nothing preserved
+  EXPECT_DOUBLE_EQ(metrics.badputCpuSeconds, 100.0);
+}
+
+}  // namespace
+}  // namespace htcsim

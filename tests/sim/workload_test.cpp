@@ -1,0 +1,154 @@
+// Workload and pool generators: determinism, config plumbing, and
+// distribution sanity.
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace htcsim {
+namespace {
+
+TEST(MachineGenTest, GeneratesRequestedCount) {
+  MachinePoolConfig config;
+  config.count = 50;
+  Rng rng(1);
+  const auto specs = generateMachines(config, rng);
+  EXPECT_EQ(specs.size(), 50u);
+}
+
+TEST(MachineGenTest, NamesAreUnique) {
+  MachinePoolConfig config;
+  config.count = 100;
+  Rng rng(1);
+  std::set<std::string> names;
+  for (const auto& spec : generateMachines(config, rng)) {
+    names.insert(spec.name);
+  }
+  EXPECT_EQ(names.size(), 100u);
+}
+
+TEST(MachineGenTest, DeterministicForSeed) {
+  MachinePoolConfig config;
+  config.count = 20;
+  Rng a(7), b(7);
+  const auto s1 = generateMachines(config, a);
+  const auto s2 = generateMachines(config, b);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].arch, s2[i].arch);
+    EXPECT_EQ(s1[i].memoryMB, s2[i].memoryMB);
+    EXPECT_EQ(s1[i].mips, s2[i].mips);
+    EXPECT_EQ(s1[i].policy, s2[i].policy);
+  }
+}
+
+TEST(MachineGenTest, AttributesWithinConfiguredRanges) {
+  MachinePoolConfig config;
+  config.count = 200;
+  Rng rng(3);
+  for (const auto& spec : generateMachines(config, rng)) {
+    EXPECT_GE(spec.mips, config.mipsMin);
+    EXPECT_LE(spec.mips, config.mipsMax);
+    EXPECT_GE(spec.diskKB, config.diskMinKB);
+    EXPECT_LE(spec.diskKB, config.diskMaxKB);
+    EXPECT_TRUE(std::count(config.memoryChoicesMB.begin(),
+                           config.memoryChoicesMB.end(), spec.memoryMB));
+    bool platformKnown = false;
+    for (const auto& p : config.platforms) {
+      platformKnown |= p.arch == spec.arch && p.opSys == spec.opSys;
+    }
+    EXPECT_TRUE(platformKnown);
+  }
+}
+
+TEST(MachineGenTest, PolicyMixApproximatelyRespected) {
+  MachinePoolConfig config;
+  config.count = 2000;
+  Rng rng(5);
+  int always = 0, classic = 0, fig1 = 0;
+  for (const auto& spec : generateMachines(config, rng)) {
+    switch (spec.policy) {
+      case OwnerPolicy::AlwaysAvailable: ++always; break;
+      case OwnerPolicy::ClassicIdle: ++classic; break;
+      case OwnerPolicy::Figure1: ++fig1; break;
+    }
+  }
+  EXPECT_NEAR(always / 2000.0, config.fracAlwaysAvailable, 0.03);
+  EXPECT_NEAR(classic / 2000.0, config.fracClassicIdle, 0.04);
+  EXPECT_NEAR(fig1 / 2000.0, config.fracFigure1, 0.04);
+}
+
+TEST(MachineGenTest, DedicatedMachinesHaveNoOwnerProcess) {
+  MachinePoolConfig config;
+  config.count = 500;
+  config.fracAlwaysAvailable = 1.0;
+  config.fracClassicIdle = 0.0;
+  config.fracFigure1 = 0.0;
+  Rng rng(7);
+  for (const auto& spec : generateMachines(config, rng)) {
+    EXPECT_EQ(spec.policy, OwnerPolicy::AlwaysAvailable);
+    EXPECT_DOUBLE_EQ(spec.meanOwnerAbsence, 0.0);
+  }
+}
+
+TEST(JobGenTest, JobFieldsWithinConfig) {
+  JobWorkloadConfig config;
+  Rng rng(11);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const Job job = generateJob(config, rng, i, "alice");
+    EXPECT_EQ(job.id, i);
+    EXPECT_EQ(job.owner, "alice");
+    EXPECT_GT(job.totalWork, 0.0);
+    EXPECT_LE(job.totalWork, config.workCap);
+    EXPECT_TRUE(std::count(config.memoryChoicesMB.begin(),
+                           config.memoryChoicesMB.end(), job.memoryMB));
+  }
+}
+
+TEST(JobGenTest, PlatformConstraintFraction) {
+  JobWorkloadConfig config;
+  config.fracPlatformConstrained = 0.5;
+  Rng rng(13);
+  int constrained = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const Job job = generateJob(config, rng, i, "alice");
+    constrained += !job.requiredArch.empty();
+  }
+  EXPECT_NEAR(constrained / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(JobGenTest, CheckpointableFraction) {
+  JobWorkloadConfig config;
+  config.fracCheckpointable = 0.8;
+  Rng rng(17);
+  int ckpt = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ckpt += generateJob(config, rng, i, "alice").checkpointable;
+  }
+  EXPECT_NEAR(ckpt / static_cast<double>(n), 0.8, 0.04);
+}
+
+TEST(ArrivalsTest, PoissonRateApproximatelyRight) {
+  JobWorkloadConfig config;
+  config.jobsPerUserPerHour = 30.0;
+  Rng rng(19);
+  const auto arrivals = generateArrivals(config, rng, 100 * 3600.0);
+  EXPECT_NEAR(arrivals.size() / 100.0, 30.0, 3.0);
+  // Strictly increasing, within horizon.
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GT(arrivals[i], arrivals[i - 1]);
+  }
+  EXPECT_LT(arrivals.back(), 100 * 3600.0);
+}
+
+TEST(ArrivalsTest, ZeroRateYieldsNothing) {
+  JobWorkloadConfig config;
+  config.jobsPerUserPerHour = 0.0;
+  Rng rng(23);
+  EXPECT_TRUE(generateArrivals(config, rng, 3600.0).empty());
+}
+
+}  // namespace
+}  // namespace htcsim
