@@ -1,0 +1,113 @@
+// Wire codec throughput: encode and decode rates for frames carrying
+// the paper's Figure 1 (machine) and Figure 2 (job) ads — the two
+// payloads every live pool shuffles constantly (advertisements in,
+// match notifications out). Counters report frames/s and payload MB/s;
+// the decode series includes the CRC check and the strict classad JSON
+// parse, i.e. the full per-frame receive cost of a daemon.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "classad/classad.h"
+#include "sim/paper_ads.h"
+#include "sim/transport.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+
+namespace {
+
+htcsim::Envelope machineAdEnvelope() {
+  matchmaking::Advertisement adv;
+  adv.ad = classad::makeShared(htcsim::makeFigure1Ad());
+  adv.sequence = 1;
+  adv.isRequest = false;
+  adv.key = "tcp://127.0.0.1:41000";
+  return {"ra://leonardo", "collector", adv};
+}
+
+htcsim::Envelope jobAdEnvelope() {
+  matchmaking::Advertisement adv;
+  adv.ad = classad::makeShared(htcsim::makeFigure2Ad());
+  adv.sequence = 1;
+  adv.isRequest = true;
+  adv.key = "ca://raman#1";
+  return {"ca://raman", "collector", adv};
+}
+
+void reportRates(benchmark::State& state, std::size_t bytesPerFrame) {
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytesPerFrame));
+  state.counters["frame_bytes"] = static_cast<double>(bytesPerFrame);
+}
+
+void BM_EncodeMachineAd(benchmark::State& state) {
+  const htcsim::Envelope env = machineAdEnvelope();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string frame = wire::encodeEnvelope(env);
+    bytes = frame.size();
+    benchmark::DoNotOptimize(frame);
+  }
+  reportRates(state, bytes);
+}
+BENCHMARK(BM_EncodeMachineAd);
+
+void BM_EncodeJobAd(benchmark::State& state) {
+  const htcsim::Envelope env = jobAdEnvelope();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string frame = wire::encodeEnvelope(env);
+    bytes = frame.size();
+    benchmark::DoNotOptimize(frame);
+  }
+  reportRates(state, bytes);
+}
+BENCHMARK(BM_EncodeJobAd);
+
+void decodeLoop(benchmark::State& state, const htcsim::Envelope& env) {
+  const std::string bytes = wire::encodeEnvelope(env);
+  for (auto _ : state) {
+    wire::FrameDecoder decoder;
+    decoder.append(bytes);
+    wire::Frame frame;
+    if (decoder.next(frame) != wire::DecodeStatus::kFrame) {
+      state.SkipWithError("framing failed");
+      return;
+    }
+    std::string error;
+    auto decoded = wire::decodeEnvelope(frame, &error);
+    if (!decoded) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  reportRates(state, bytes.size());
+}
+
+void BM_DecodeMachineAd(benchmark::State& state) {
+  decodeLoop(state, machineAdEnvelope());
+}
+BENCHMARK(BM_DecodeMachineAd);
+
+void BM_DecodeJobAd(benchmark::State& state) {
+  decodeLoop(state, jobAdEnvelope());
+}
+BENCHMARK(BM_DecodeJobAd);
+
+void BM_Crc32MachineAdPayload(benchmark::State& state) {
+  // The checksum alone, to show its share of the per-frame cost.
+  const std::string frame = wire::encodeEnvelope(machineAdEnvelope());
+  const std::string payload = frame.substr(wire::kHeaderSize);
+  for (auto _ : state) {
+    std::uint32_t crc = wire::crc32(payload);
+    benchmark::DoNotOptimize(crc);
+  }
+  reportRates(state, payload.size());
+}
+BENCHMARK(BM_Crc32MachineAdPayload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -304,6 +304,16 @@ class JsonParser {
 
   /// Parses any JSON value into an expression (literals and structures).
   ExprPtr parseExprValue() {
+    // Depth guard: JSON ads arrive off the wire from untrusted peers;
+    // unbounded recursion on nested arrays/objects would let a hostile
+    // payload overflow the stack.
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    ExprPtr e = parseExprValueInner();
+    --depth_;
+    return e;
+  }
+
+  ExprPtr parseExprValueInner() {
     skipWs();
     const char c = peek();
     if (c == '"') return makeLiteral(parseString());
@@ -413,8 +423,11 @@ class JsonParser {
     }
   }
 
+  static constexpr int kMaxDepth = 256;
+
   std::string_view src_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -74,7 +74,18 @@ class Parser {
     }
   }
 
-  ExprPtr parseExpr() { return parseTernary(); }
+  ExprPtr parseExpr() {
+    // Depth guard: ads arrive from untrusted peers (the wire layer feeds
+    // network bytes here), and unbounded recursive descent turns deep
+    // nesting into a stack overflow. Well beyond any legitimate ad.
+    if (++depth_ > kMaxDepth) {
+      const Token& t = peek();
+      throw ParseError("expression nesting too deep", t.line, t.column);
+    }
+    ExprPtr e = parseTernary();
+    --depth_;
+    return e;
+  }
 
   ExprPtr parseTernary() {
     ExprPtr cond = parseOr();
@@ -277,8 +288,11 @@ class Parser {
     return AttrRefExpr::make(RefScope::Default, t.text);
   }
 
+  static constexpr int kMaxDepth = 256;
+
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

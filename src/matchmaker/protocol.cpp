@@ -11,7 +11,18 @@ std::string ticketToString(Ticket t) {
 }
 
 std::optional<Ticket> ticketFromString(std::string_view s) {
-  if (s.empty()) return std::nullopt;
+  // Tickets arrive inside classads from untrusted peers; parse strictly.
+  // A 64-bit value is at most 16 hex digits, so anything longer is
+  // either an overflow or garbage — cap the length up front rather than
+  // relying on from_chars' result_out_of_range, and reject the +/-
+  // signs, "0x" prefixes, and leading whitespace that lenient parsers
+  // wave through.
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  for (char c : s) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                     (c >= 'A' && c <= 'F');
+    if (!hex) return std::nullopt;
+  }
   Ticket t = 0;
   auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), t, 16);
   if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;

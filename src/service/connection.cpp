@@ -1,0 +1,73 @@
+#include "service/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "service/socket.h"
+
+namespace service {
+
+Connection::Connection(int fd, bool connecting)
+    : fd_(fd), connecting_(connecting) {}
+
+Connection::~Connection() { close(); }
+
+void Connection::close() noexcept {
+  if (closed_) return;
+  closed_ = true;
+  closeFd(fd_);
+  fd_ = -1;
+}
+
+void Connection::queue(std::string_view bytes) {
+  if (closed_) return;
+  // Compact the flushed prefix before it dominates the buffer.
+  if (outPos_ > 0 && outPos_ >= out_.size() / 2) {
+    out_.erase(0, outPos_);
+    outPos_ = 0;
+  }
+  out_.append(bytes);
+}
+
+bool Connection::onReadable() {
+  if (closed_) return false;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.append(std::string_view(buf, static_cast<std::size_t>(n)));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) return true;
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool Connection::onWritable() {
+  if (closed_) return false;
+  if (connecting_) {
+    if (connectResult(fd_) != 0) return false;
+    connecting_ = false;
+  }
+  while (outPos_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + outPos_, out_.size() - outPos_,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      outPos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  out_.clear();
+  outPos_ = 0;
+  return true;
+}
+
+}  // namespace service

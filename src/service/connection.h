@@ -1,0 +1,63 @@
+// connection.h - One framed, nonblocking TCP connection.
+//
+// Pairs a socket with a wire::FrameDecoder for inbound bytes and a
+// buffered outbound queue, so callers deal only in whole frames.
+// Close-worthy conditions (EOF, socket error, poisoned framing) mark
+// the connection closed; the owning Reactor reaps it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "wire/frame.h"
+
+namespace service {
+
+class Connection {
+ public:
+  /// Takes ownership of `fd`. `connecting` marks an in-progress
+  /// nonblocking connect (completed on first writability).
+  Connection(int fd, bool connecting);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool closed() const noexcept { return closed_; }
+  bool connecting() const noexcept { return connecting_; }
+  /// True while there are queued bytes to flush (or the connect is
+  /// still pending, which also polls via POLLOUT).
+  bool wantsWrite() const noexcept {
+    return !closed_ && (connecting_ || outPos_ < out_.size());
+  }
+
+  /// Queues `bytes` (a rendered frame) for transmission.
+  void queue(std::string_view bytes);
+
+  /// Drains readable bytes into the frame decoder. Returns false on
+  /// EOF or a socket error (connection should be reaped).
+  bool onReadable();
+
+  /// Completes a pending connect and/or flushes queued bytes. Returns
+  /// false on error.
+  bool onWritable();
+
+  wire::FrameDecoder& decoder() noexcept { return decoder_; }
+
+  void close() noexcept;
+
+  /// The transport address the peer registered in its Hello (server
+  /// side), or the address this connection was dialed for (client
+  /// side). Empty until known.
+  std::string peerAddress;
+
+ private:
+  int fd_;
+  bool connecting_;
+  bool closed_ = false;
+  std::string out_;
+  std::size_t outPos_ = 0;
+  wire::FrameDecoder decoder_;
+};
+
+}  // namespace service

@@ -1,0 +1,248 @@
+#include "service/customer_agentd.h"
+
+#include <algorithm>
+
+#include "matchmaker/protocol.h"
+#include "service/socket.h"
+#include "sim/transport.h"
+#include "wire/codec.h"
+
+namespace service {
+
+namespace {
+constexpr int kPollMs = 20;
+}  // namespace
+
+CustomerAgentDaemon::CustomerAgentDaemon(Config config)
+    : config_(std::move(config)), address_("ca://" + config_.owner) {
+  for (const JobSpec& spec : config_.jobs) {
+    jobs_.push_back(JobEntry{spec, JobState::kIdle, nullptr});
+  }
+}
+
+CustomerAgentDaemon::~CustomerAgentDaemon() { stop(); }
+
+std::string CustomerAgentDaemon::adKey(const JobSpec& job) const {
+  return address_ + "#" + std::to_string(job.id);
+}
+
+classad::ClassAd CustomerAgentDaemon::buildRequestAd(const JobSpec& job) const {
+  classad::ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("Owner", config_.owner);
+  ad.set("Cmd", job.cmd);
+  ad.set("JobId", static_cast<std::int64_t>(job.id));
+  ad.set("Memory", job.memoryMB);
+  ad.set("Disk", job.diskKB);
+  ad.set("RemainingWork", job.work);
+  ad.set("ContactAddress", address_);
+  ad.setExpr("Rank", config_.rank);
+  ad.setExpr("Constraint", config_.constraint);
+  return ad;
+}
+
+bool CustomerAgentDaemon::start(std::string* error) {
+  if (running_.load()) return true;
+  reactor_ = std::make_unique<Reactor>();
+  mmConn_ = reactor_->dial(config_.matchmakerHost, config_.matchmakerPort,
+                           error);
+  if (mmConn_ == nullptr) {
+    reactor_.reset();
+    return false;
+  }
+  mmConn_->peerAddress = "collector";
+  mmConn_->queue(wire::encodeHello(
+      {wire::kProtocolVersion, wire::kProtocolVersion, address_}));
+
+  reactor_->onFrame = [this](Connection& conn, const wire::Frame& frame) {
+    handleFrame(conn, frame);
+  };
+  reactor_->onClose = [this](Connection& conn) {
+    if (&conn == mmConn_) {
+      mmConn_ = nullptr;
+      return;
+    }
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    for (JobEntry& job : jobs_) {
+      if (job.claimConn == &conn) {
+        job.claimConn = nullptr;
+        // The resource vanished mid-claim; requeue unless finished.
+        if (job.state != JobState::kDone) job.state = JobState::kIdle;
+      }
+    }
+  };
+
+  stopFlag_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void CustomerAgentDaemon::stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stopFlag_.store(true);
+  if (reactor_) reactor_->wake();
+  if (thread_.joinable()) thread_.join();
+  mmConn_ = nullptr;
+  reactor_.reset();
+}
+
+void CustomerAgentDaemon::run() {
+  advertiseIdleJobs();
+  while (!stopFlag_.load()) {
+    reactor_->pollOnce(kPollMs);
+    if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      lastAd_)
+            .count() >= config_.adIntervalSeconds) {
+      advertiseIdleJobs();
+    }
+  }
+}
+
+void CustomerAgentDaemon::advertiseIdleJobs() {
+  lastAd_ = std::chrono::steady_clock::now();
+  if (mmConn_ == nullptr || mmConn_->closed()) return;
+  std::lock_guard<std::mutex> lock(jobsMu_);
+  for (const JobEntry& job : jobs_) {
+    if (job.state != JobState::kIdle) continue;
+    matchmaking::Advertisement ad;
+    ad.ad = classad::makeShared(buildRequestAd(job.spec));
+    ad.sequence = ++adSequence_;
+    ad.isRequest = true;
+    ad.key = adKey(job.spec);
+    mmConn_->queue(
+        wire::encodeEnvelope({address_, "collector", std::move(ad)}));
+    ++adsSent_;
+  }
+}
+
+void CustomerAgentDaemon::invalidateJobAd(const JobSpec& job) {
+  if (mmConn_ == nullptr || mmConn_->closed()) return;
+  mmConn_->queue(wire::encodeEnvelope(
+      {address_, "collector",
+       htcsim::AdInvalidate{adKey(job), /*isRequest=*/true}}));
+}
+
+CustomerAgentDaemon::JobEntry* CustomerAgentDaemon::jobById(
+    std::uint64_t id) {
+  for (JobEntry& job : jobs_) {
+    if (job.spec.id == id) return &job;
+  }
+  return nullptr;
+}
+
+CustomerAgentDaemon::JobEntry* CustomerAgentDaemon::jobOnConnection(
+    const Connection* conn) {
+  for (JobEntry& job : jobs_) {
+    if (job.claimConn == conn) return &job;
+  }
+  return nullptr;
+}
+
+void CustomerAgentDaemon::handleFrame(Connection& conn,
+                                      const wire::Frame& frame) {
+  if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kHello)) {
+    std::string error;
+    if (!wire::decodeHello(frame, &error)) conn.close();
+    return;
+  }
+  std::string error;
+  const auto env = wire::decodeEnvelope(frame, &error);
+  if (!env) {
+    conn.close();
+    return;
+  }
+
+  if (const auto* match =
+          std::get_if<matchmaking::MatchNotification>(&env->payload)) {
+    ++matches_;
+    if (!match->myAd) return;
+    const std::uint64_t jobId = static_cast<std::uint64_t>(
+        match->myAd->getInteger("JobId").value_or(0));
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parseTcpAddress(match->peerContact, &host, &port)) return;
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    JobEntry* job = jobById(jobId);
+    if (job == nullptr || job->state != JobState::kIdle) return;  // stale
+    // Step 4, Figure 3: contact the resource directly and present the
+    // ticket the matchmaker relayed. The claim carries the job's
+    // CURRENT ad, not the advertised snapshot.
+    Connection* claimConn = reactor_->dial(host, port, nullptr);
+    if (claimConn == nullptr) return;
+    claimConn->peerAddress = match->peerContact;
+    claimConn->queue(wire::encodeHello(
+        {wire::kProtocolVersion, wire::kProtocolVersion, address_}));
+    matchmaking::ClaimRequest claim;
+    claim.requestAd = classad::makeShared(buildRequestAd(job->spec));
+    claim.ticket = match->ticket;
+    claim.customerContact = address_;
+    claimConn->queue(wire::encodeEnvelope(
+        {address_, match->peerContact, std::move(claim)}));
+    job->state = JobState::kClaiming;
+    job->claimConn = claimConn;
+    return;
+  }
+
+  if (const auto* resp =
+          std::get_if<matchmaking::ClaimResponse>(&env->payload)) {
+    JobSpec toInvalidate;
+    bool placed = false;
+    {
+      std::lock_guard<std::mutex> lock(jobsMu_);
+      JobEntry* job = jobOnConnection(&conn);
+      if (job == nullptr || job->state != JobState::kClaiming) return;
+      if (resp->accepted) {
+        job->state = JobState::kRunning;
+        toInvalidate = job->spec;
+        placed = true;
+      } else {
+        ++rejected_;
+        job->state = JobState::kIdle;  // back to matchmaking next cycle
+        job->claimConn = nullptr;
+        conn.close();
+      }
+    }
+    // Placed: retract the request ad so the matchmaker stops
+    // re-matching it.
+    if (placed) invalidateJobAd(toInvalidate);
+    return;
+  }
+
+  if (const auto* rel =
+          std::get_if<matchmaking::ClaimRelease>(&env->payload)) {
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    JobEntry* job = jobOnConnection(&conn);
+    if (job == nullptr) return;
+    job->claimConn = nullptr;
+    if (rel->completed) {
+      job->state = JobState::kDone;
+      ++completed_;
+    } else {
+      job->state = JobState::kIdle;  // evicted; rematch next cycle
+    }
+    conn.close();
+    return;
+  }
+}
+
+std::size_t CustomerAgentDaemon::idleJobs() const {
+  std::lock_guard<std::mutex> lock(jobsMu_);
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(), [](const JobEntry& j) {
+        return j.state == JobState::kIdle || j.state == JobState::kClaiming;
+      }));
+}
+
+std::size_t CustomerAgentDaemon::runningJobs() const {
+  std::lock_guard<std::mutex> lock(jobsMu_);
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(), [](const JobEntry& j) {
+        return j.state == JobState::kRunning;
+      }));
+}
+
+}  // namespace service

@@ -1,0 +1,110 @@
+// customer_agentd.h - Live customer agent endpoint (the paper's CA as a
+// TCP daemon).
+//
+// Maintains a queue of job classads, advertises the idle ones to the
+// matchmaker over one outbound connection, and — on each
+// MatchNotification — dials the matched resource's ContactAddress
+// DIRECTLY and runs the claiming protocol over that private connection
+// (presenting the relayed authorization ticket). Rejected claims put
+// the job back to Idle for the next negotiation cycle; accepted claims
+// retract the job's ad; the resource's ClaimRelease on the same
+// connection finishes or requeues it. The matchmaker never sees claim
+// traffic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "classad/classad.h"
+#include "service/reactor.h"
+
+namespace service {
+
+struct JobSpec {
+  std::uint64_t id = 0;
+  double work = 1.0;  ///< reference CPU-seconds (advertised RemainingWork)
+  std::int64_t memoryMB = 32;
+  std::int64_t diskKB = 10000;
+  std::string cmd = "job";
+};
+
+struct CustomerAgentDaemonConfig {
+  std::string owner = "user";
+  std::string matchmakerHost = "127.0.0.1";
+  std::uint16_t matchmakerPort = 0;
+  double adIntervalSeconds = 5.0;
+  /// Job-side requirement; other.* refers to the machine ad.
+  std::string constraint = "other.Type == \"Machine\""
+                           " && other.Memory >= self.Memory";
+  std::string rank = "KFlops/1E3 + other.Memory/32";
+  std::vector<JobSpec> jobs;
+};
+
+class CustomerAgentDaemon {
+ public:
+  using Config = CustomerAgentDaemonConfig;
+
+  explicit CustomerAgentDaemon(Config config = {});
+  ~CustomerAgentDaemon();
+
+  bool start(std::string* error = nullptr);
+  void stop();
+
+  /// Logical transport address ("ca://<owner>") registered with the
+  /// matchmaker; match notifications are pushed to it.
+  const std::string& address() const noexcept { return address_; }
+
+  std::size_t idleJobs() const;
+  std::size_t runningJobs() const;
+  std::size_t completedJobs() const noexcept { return completed_.load(); }
+  std::size_t matchesReceived() const noexcept { return matches_.load(); }
+  std::size_t claimsRejected() const noexcept { return rejected_.load(); }
+  std::size_t adsSent() const noexcept { return adsSent_.load(); }
+
+  /// The request ad a job would advertise now (tests/tools).
+  classad::ClassAd buildRequestAd(const JobSpec& job) const;
+
+ private:
+  enum class JobState { kIdle, kClaiming, kRunning, kDone };
+  struct JobEntry {
+    JobSpec spec;
+    JobState state = JobState::kIdle;
+    Connection* claimConn = nullptr;
+  };
+
+  void run();
+  void handleFrame(Connection& conn, const wire::Frame& frame);
+  void advertiseIdleJobs();
+  void invalidateJobAd(const JobSpec& job);
+  JobEntry* jobById(std::uint64_t id);
+  JobEntry* jobOnConnection(const Connection* conn);
+  std::string adKey(const JobSpec& job) const;
+
+  Config config_;
+  std::string address_;
+
+  std::unique_ptr<Reactor> reactor_;
+  Connection* mmConn_ = nullptr;
+  std::uint64_t adSequence_ = 0;
+  std::chrono::steady_clock::time_point lastAd_{};
+
+  mutable std::mutex jobsMu_;
+  std::vector<JobEntry> jobs_;
+
+  std::thread thread_;
+  std::atomic<bool> stopFlag_{false};
+  std::atomic<bool> running_{false};
+
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> matches_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> adsSent_{0};
+};
+
+}  // namespace service

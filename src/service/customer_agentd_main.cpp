@@ -1,0 +1,74 @@
+// customer_agentd - live customer agent endpoint.
+//
+//   customer_agentd --owner USER [--matchmaker-port N] [--jobs N]
+//                   [--work SECONDS]
+//
+// Submits N jobs, advertises them, claims matched resources directly,
+// and exits once all jobs complete.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "service/customer_agentd.h"
+
+namespace {
+std::atomic<bool> gStop{false};
+void onSignal(int) { gStop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::CustomerAgentDaemonConfig config;
+  config.matchmakerPort = 9618;
+  std::size_t jobCount = 1;
+  double work = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(arg, "--owner") == 0) {
+      config.owner = value();
+    } else if (std::strcmp(arg, "--matchmaker-port") == 0) {
+      config.matchmakerPort = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      jobCount = static_cast<std::size_t>(std::atoll(value()));
+    } else if (std::strcmp(arg, "--work") == 0) {
+      work = std::atof(value());
+    } else {
+      std::fprintf(stderr,
+                   "usage: customer_agentd --owner USER"
+                   " [--matchmaker-port N] [--jobs N] [--work SECONDS]\n");
+      return 2;
+    }
+  }
+  for (std::size_t i = 0; i < jobCount; ++i) {
+    service::JobSpec job;
+    job.id = i + 1;
+    job.work = work;
+    config.jobs.push_back(job);
+  }
+
+  service::CustomerAgentDaemon daemon(config);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "customer_agentd: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::printf("customer_agentd: %s advertising %zu job(s)\n",
+              config.owner.c_str(), jobCount);
+  while (!gStop.load() && daemon.completedJobs() < jobCount) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    std::printf("customer_agentd: idle=%zu running=%zu done=%zu\n",
+                daemon.idleJobs(), daemon.runningJobs(),
+                daemon.completedJobs());
+    std::fflush(stdout);
+  }
+  daemon.stop();
+  return 0;
+}

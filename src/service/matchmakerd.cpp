@@ -1,0 +1,191 @@
+#include "service/matchmakerd.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "wire/codec.h"
+
+namespace service {
+
+namespace {
+constexpr int kPollMs = 20;
+}  // namespace
+
+// Routes PoolManager sends: local endpoints (the manager itself) deliver
+// synchronously; remote addresses resolve to the connection whose Hello
+// registered them, UDP-style — an unregistered destination is silently
+// dropped, exactly like the simulated Network's unknown-destination path.
+class MatchmakerDaemon::ServerTransport : public htcsim::Transport {
+ public:
+  void attach(std::string addr, htcsim::Endpoint* endpoint) override {
+    local_[std::move(addr)] = endpoint;
+  }
+  void detach(std::string_view addr) override {
+    local_.erase(std::string(addr));
+  }
+  bool send(std::string from, std::string to,
+            htcsim::Message payload) override {
+    if (auto it = local_.find(to); it != local_.end()) {
+      it->second->deliver({std::move(from), std::move(to),
+                           std::move(payload)});
+      return true;
+    }
+    auto it = remote_.find(to);
+    if (it == remote_.end() || it->second->closed()) return false;
+    it->second->queue(wire::encodeEnvelope(
+        {std::move(from), std::move(to), std::move(payload)}));
+    return true;
+  }
+
+  void registerPeer(const std::string& addr, Connection* conn) {
+    remote_[addr] = conn;
+  }
+  void unregisterPeer(const Connection* conn) {
+    for (auto it = remote_.begin(); it != remote_.end();) {
+      if (it->second == conn) {
+        it = remote_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  htcsim::Endpoint* localEndpoint(const std::string& addr) const {
+    auto it = local_.find(addr);
+    return it == local_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, htcsim::Endpoint*> local_;
+  std::unordered_map<std::string, Connection*> remote_;
+};
+
+MatchmakerDaemon::MatchmakerDaemon(Config config)
+    : config_(std::move(config)) {}
+
+MatchmakerDaemon::~MatchmakerDaemon() { stop(); }
+
+bool MatchmakerDaemon::start(std::string* error) {
+  if (running_.load()) return true;
+  reactor_ = std::make_unique<Reactor>();
+  if (!reactor_->listen(config_.host, config_.port, error)) {
+    reactor_.reset();
+    return false;
+  }
+  port_ = reactor_->port();
+
+  transport_ = std::make_unique<ServerTransport>();
+  htcsim::PoolManagerConfig pmConfig;
+  pmConfig.address = address_;
+  pmConfig.negotiationInterval = config_.negotiationInterval;
+  pmConfig.adLifetime = config_.adLifetime;
+  pmConfig.matchmaker = config_.matchmaker;
+  pmConfig.accountant = config_.accountant;
+  pool_ = std::make_unique<htcsim::PoolManager>(sim_, *transport_, metrics_,
+                                                std::move(pmConfig));
+
+  reactor_->onFrame = [this](Connection& conn, const wire::Frame& frame) {
+    handleFrame(conn, frame);
+  };
+  reactor_->onClose = [this](Connection& conn) {
+    // A poisoned decoder means the peer sent bytes that were never a
+    // valid frame; count it with the schema-level rejections.
+    if (conn.decoder().poisoned()) ++rejected_;
+    transport_->unregisterPeer(&conn);
+    if (!conn.peerAddress.empty()) --peers_;
+  };
+
+  stopFlag_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void MatchmakerDaemon::stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stopFlag_.store(true);
+  if (reactor_) reactor_->wake();
+  if (thread_.joinable()) thread_.join();
+  pool_.reset();
+  reactor_.reset();
+  transport_.reset();
+}
+
+void MatchmakerDaemon::run() {
+  pool_->start();
+  const auto epoch = std::chrono::steady_clock::now();
+  while (!stopFlag_.load()) {
+    reactor_->pollOnce(kPollMs);
+    // Slave the discrete-event clock to wall time: the PoolManager's
+    // negotiation timer and ad expiry run exactly as in simulation,
+    // just against real seconds.
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - epoch;
+    sim_.runUntil(elapsed.count());
+    refreshMirrors();
+  }
+  pool_->stop();
+}
+
+void MatchmakerDaemon::handleFrame(Connection& conn,
+                                   const wire::Frame& frame) {
+  ++frames_;
+  if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kHello)) {
+    std::string error;
+    const auto hello = wire::decodeHello(frame, &error);
+    if (!hello || hello->minVersion > wire::kProtocolVersion ||
+        hello->maxVersion < wire::kProtocolVersion) {
+      ++rejected_;
+      conn.close();
+      return;
+    }
+    if (conn.peerAddress.empty() && !hello->address.empty()) {
+      conn.peerAddress = hello->address;
+      transport_->registerPeer(hello->address, &conn);
+      ++peers_;
+      // Answer with our own hello so the peer can verify the version
+      // and learn the collector's logical address.
+      conn.queue(wire::encodeHello(
+          {wire::kProtocolVersion, wire::kProtocolVersion, address_}));
+    }
+    return;
+  }
+  if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kClaimRequest) ||
+      frame.type == static_cast<std::uint8_t>(wire::MsgType::kClaimResponse)) {
+    // Claiming is CA→RA only; the matchmaker refuses to relay it.
+    ++claimFrames_;
+    ++rejected_;
+    return;
+  }
+  std::string error;
+  auto env = wire::decodeEnvelope(frame, &error);
+  if (!env) {
+    ++rejected_;
+    conn.close();  // schema disagreement; nothing downstream is safe
+    return;
+  }
+  htcsim::Endpoint* target = transport_->localEndpoint(env->to);
+  if (target == nullptr) {
+    ++rejected_;
+    return;
+  }
+  target->deliver(*env);
+}
+
+void MatchmakerDaemon::refreshMirrors() {
+  storedRequests_.store(pool_->storedRequests());
+  storedResources_.store(pool_->storedResources());
+  cycles_.store(metrics_.negotiationCycles);
+  matches_.store(metrics_.matchesIssued);
+  std::lock_guard<std::mutex> lock(usageMu_);
+  usageMirror_ = metrics_.usageByUser;
+}
+
+std::map<std::string, double> MatchmakerDaemon::usageByUser() const {
+  std::lock_guard<std::mutex> lock(usageMu_);
+  return usageMirror_;
+}
+
+}  // namespace service

@@ -1,0 +1,111 @@
+// matchmakerd.h - The networked matchmaker: the paper's pool manager
+// (collector + negotiator) serving real TCP traffic.
+//
+// Hosts the UNMODIFIED htcsim::PoolManager — ad stores, negotiation
+// cycles, fair-share accounting, gang matching — behind sockets, by
+// giving it a Transport whose send() routes to connected peers and a
+// Simulator clock slaved to wall time (so its PeriodicTimer drives real
+// negotiation cycles). Agents connect, identify themselves with a
+// Hello frame, and stream Advertisement/AdInvalidate/UsageReport frames
+// in (fire-and-forget, mirroring the UDP-style ad path); the daemon
+// pushes MatchNotification frames back over the registered connections.
+//
+// The daemon is matchmaking-only by construction: claim traffic
+// arriving here is counted and dropped, never forwarded — the claiming
+// protocol is strictly CA→RA (end-to-end verification, Section 3.2),
+// and the loopback integration test asserts claimFramesSeen() == 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/reactor.h"
+#include "sim/pool_manager.h"
+#include "sim/transport.h"
+
+namespace service {
+
+struct MatchmakerDaemonConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (see port())
+  /// Wall-clock seconds between negotiation cycles / until ads expire.
+  double negotiationInterval = 5.0;
+  double adLifetime = 60.0;
+  matchmaking::MatchmakerConfig matchmaker;
+  matchmaking::Accountant::Config accountant;
+};
+
+class MatchmakerDaemon {
+ public:
+  using Config = MatchmakerDaemonConfig;
+
+  explicit MatchmakerDaemon(Config config = {});
+  ~MatchmakerDaemon();
+
+  /// Binds the listener and spawns the service thread.
+  bool start(std::string* error = nullptr);
+  void stop();
+
+  std::uint16_t port() const noexcept { return port_; }
+  bool running() const noexcept { return running_.load(); }
+
+  /// Logical transport address of the matchmaker endpoint ("collector").
+  const std::string& address() const noexcept { return address_; }
+
+  // Thread-safe instrumentation (mirrors refreshed every loop pass).
+  std::size_t storedRequests() const noexcept { return storedRequests_.load(); }
+  std::size_t storedResources() const noexcept {
+    return storedResources_.load();
+  }
+  std::size_t negotiationCycles() const noexcept { return cycles_.load(); }
+  std::size_t matchesIssued() const noexcept { return matches_.load(); }
+  std::size_t framesReceived() const noexcept { return frames_.load(); }
+  /// Claim-protocol frames that (wrongly) reached the matchmaker.
+  std::size_t claimFramesSeen() const noexcept { return claimFrames_.load(); }
+  std::size_t rejectedFrames() const noexcept { return rejected_.load(); }
+  std::size_t peersConnected() const noexcept { return peers_.load(); }
+
+  /// Usage totals the accountant has recorded, by user.
+  std::map<std::string, double> usageByUser() const;
+
+ private:
+  class ServerTransport;
+
+  void run();
+  void handleFrame(Connection& conn, const wire::Frame& frame);
+  void refreshMirrors();
+
+  Config config_;
+  std::string address_ = "collector";
+  std::uint16_t port_ = 0;
+
+  // Service-thread-only state (created in start(), driven in run()).
+  htcsim::Simulator sim_;
+  htcsim::Metrics metrics_;
+  std::unique_ptr<ServerTransport> transport_;
+  std::unique_ptr<htcsim::PoolManager> pool_;
+  std::unique_ptr<Reactor> reactor_;
+
+  std::thread thread_;
+  std::atomic<bool> stopFlag_{false};
+  std::atomic<bool> running_{false};
+
+  std::atomic<std::size_t> storedRequests_{0};
+  std::atomic<std::size_t> storedResources_{0};
+  std::atomic<std::size_t> cycles_{0};
+  std::atomic<std::size_t> matches_{0};
+  std::atomic<std::size_t> frames_{0};
+  std::atomic<std::size_t> claimFrames_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> peers_{0};
+
+  mutable std::mutex usageMu_;
+  std::map<std::string, double> usageMirror_;
+};
+
+}  // namespace service

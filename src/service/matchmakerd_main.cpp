@@ -1,0 +1,66 @@
+// matchmakerd - networked matchmaker daemon (collector + negotiator).
+//
+//   matchmakerd [--port N] [--interval SECONDS] [--ad-lifetime SECONDS]
+//
+// Serves the advertise/match path of the framework over TCP; see
+// docs/PROTOCOL.md "Wire format" and the README quickstart.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "service/matchmakerd.h"
+
+namespace {
+std::atomic<bool> gStop{false};
+void onSignal(int) { gStop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::MatchmakerDaemonConfig config;
+  config.port = 9618;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(arg, "--port") == 0) {
+      config.port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (std::strcmp(arg, "--interval") == 0) {
+      config.negotiationInterval = std::atof(value());
+    } else if (std::strcmp(arg, "--ad-lifetime") == 0) {
+      config.adLifetime = std::atof(value());
+    } else {
+      std::fprintf(stderr,
+                   "usage: matchmakerd [--port N] [--interval SECONDS]"
+                   " [--ad-lifetime SECONDS]\n");
+      return 2;
+    }
+  }
+
+  service::MatchmakerDaemon daemon(config);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "matchmakerd: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::printf("matchmakerd: listening on port %u, negotiating every %gs\n",
+              daemon.port(), config.negotiationInterval);
+  while (!gStop.load()) {
+    std::this_thread::sleep_for(std::chrono::seconds(2));
+    std::printf(
+        "matchmakerd: peers=%zu resources=%zu requests=%zu cycles=%zu"
+        " matches=%zu\n",
+        daemon.peersConnected(), daemon.storedResources(),
+        daemon.storedRequests(), daemon.negotiationCycles(),
+        daemon.matchesIssued());
+    std::fflush(stdout);
+  }
+  daemon.stop();
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "service/reactor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "service/socket.h"
+
+namespace service {
+
+Reactor::Reactor() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    wakeRead_ = fds[0];
+    wakeWrite_ = fds[1];
+    // The drain loop must not block on an empty pipe.
+    ::fcntl(wakeRead_, F_SETFL,
+            ::fcntl(wakeRead_, F_GETFL, 0) | O_NONBLOCK);
+  }
+}
+
+Reactor::~Reactor() {
+  conns_.clear();
+  closeFd(listenFd_);
+  closeFd(wakeRead_);
+  closeFd(wakeWrite_);
+}
+
+bool Reactor::listen(const std::string& host, std::uint16_t port,
+                     std::string* error) {
+  listenFd_ = listenTcp(host, port, error);
+  if (listenFd_ < 0) return false;
+  port_ = localPort(listenFd_);
+  return true;
+}
+
+Connection* Reactor::dial(const std::string& host, std::uint16_t targetPort,
+                          std::string* error) {
+  const int fd = connectTcp(host, targetPort, error);
+  if (fd < 0) return nullptr;
+  conns_.push_back(std::make_unique<Connection>(fd, /*connecting=*/true));
+  return conns_.back().get();
+}
+
+void Reactor::wake() {
+  if (wakeWrite_ >= 0) {
+    const char b = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(wakeWrite_, &b, 1);
+  }
+}
+
+void Reactor::drainConnection(Connection& conn) {
+  wire::Frame frame;
+  for (;;) {
+    switch (conn.decoder().next(frame)) {
+      case wire::DecodeStatus::kFrame:
+        if (onFrame) onFrame(conn, frame);
+        if (conn.closed()) return;
+        continue;
+      case wire::DecodeStatus::kNeedMore:
+        return;
+      case wire::DecodeStatus::kError:
+        conn.close();  // framing lost; nothing salvageable
+        return;
+    }
+  }
+}
+
+void Reactor::pollOnce(int timeoutMs) {
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 2);
+  const std::size_t wakeIdx = fds.size();
+  if (wakeRead_ >= 0) fds.push_back({wakeRead_, POLLIN, 0});
+  const std::size_t listenIdx = fds.size();
+  if (listenFd_ >= 0) fds.push_back({listenFd_, POLLIN, 0});
+  const std::size_t connBase = fds.size();
+  for (const auto& conn : conns_) {
+    short events = POLLIN;
+    if (conn->wantsWrite()) events |= POLLOUT;
+    fds.push_back({conn->fd(), events, 0});
+  }
+
+  const int ready = ::poll(fds.data(), fds.size(), timeoutMs);
+  if (ready <= 0) {
+    reap();
+    return;
+  }
+
+  if (wakeRead_ >= 0 && (fds[wakeIdx].revents & POLLIN)) {
+    char buf[64];
+    while (::read(wakeRead_, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  if (listenFd_ >= 0 && (fds[listenIdx].revents & POLLIN)) {
+    for (;;) {
+      const int fd = acceptOne(listenFd_);
+      if (fd < 0) break;
+      conns_.push_back(std::make_unique<Connection>(fd, /*connecting=*/false));
+      if (onAccept) onAccept(*conns_.back());
+    }
+  }
+
+  // Snapshot: callbacks may dial new connections mid-iteration; those
+  // join the poll set next time around.
+  const std::size_t existing = std::min(conns_.size(), fds.size() - connBase);
+  for (std::size_t i = 0; i < existing; ++i) {
+    Connection& conn = *conns_[i];
+    const short revents = fds[connBase + i].revents;
+    if (conn.closed() || revents == 0) continue;
+    if (revents & (POLLOUT | POLLERR | POLLHUP)) {
+      // Writability also completes pending connects; errors surface
+      // through connectResult/send.
+      if (!conn.onWritable() && !(revents & POLLIN)) {
+        conn.close();
+        continue;
+      }
+    }
+    if (revents & POLLIN) {
+      const bool alive = conn.onReadable();
+      drainConnection(conn);  // deliver what arrived even at EOF
+      if (!alive) conn.close();
+    }
+  }
+  reap();
+}
+
+void Reactor::reap() {
+  for (std::size_t i = 0; i < conns_.size();) {
+    if (conns_[i]->closed()) {
+      if (onClose) onClose(*conns_[i]);
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace service

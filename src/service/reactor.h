@@ -1,0 +1,73 @@
+// reactor.h - poll(2) event loop shared by the three daemons.
+//
+// Owns an optional listening socket, any number of framed connections,
+// and a self-pipe for cross-thread wakeup. One pollOnce() call
+// multiplexes accept/read/write across everything and hands decoded
+// frames (and lifecycle events) to the owner's callbacks. The reactor
+// itself is single-threaded — only wake() may be called from outside
+// the loop thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/connection.h"
+#include "wire/frame.h"
+
+namespace service {
+
+class Reactor {
+ public:
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Binds a listening socket (port 0 = ephemeral; see port()).
+  bool listen(const std::string& host, std::uint16_t port,
+              std::string* error);
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Starts a nonblocking dial. The returned connection is owned by the
+  /// reactor and may still be connecting; queue frames immediately —
+  /// they flush once the connect completes. Returns nullptr on
+  /// immediate failure.
+  Connection* dial(const std::string& host, std::uint16_t targetPort,
+                   std::string* error);
+
+  /// One poll iteration: accepts, reads (dispatching every complete
+  /// frame through onFrame), flushes writes, reaps dead connections
+  /// (through onClose). Blocks at most `timeoutMs`.
+  void pollOnce(int timeoutMs);
+
+  /// Thread-safe: interrupts a concurrent pollOnce.
+  void wake();
+
+  /// Marks a connection for reaping at the end of the iteration.
+  void scheduleClose(Connection* conn) { conn->close(); }
+
+  std::size_t connectionCount() const noexcept { return conns_.size(); }
+
+  /// A complete frame arrived. Malformed framing closes the connection
+  /// after this callback sees nothing (the decoder poisons itself).
+  std::function<void(Connection&, const wire::Frame&)> onFrame;
+  /// An inbound connection was accepted.
+  std::function<void(Connection&)> onAccept;
+  /// Fires just before a dead connection is destroyed.
+  std::function<void(Connection&)> onClose;
+
+ private:
+  void drainConnection(Connection& conn);
+  void reap();
+
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+  int wakeRead_ = -1;
+  int wakeWrite_ = -1;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace service

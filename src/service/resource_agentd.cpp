@@ -1,0 +1,256 @@
+#include "service/resource_agentd.h"
+
+#include "matchmaker/protocol.h"
+#include "service/socket.h"
+#include "sim/transport.h"
+#include "wire/codec.h"
+
+namespace service {
+
+namespace {
+constexpr int kPollMs = 20;
+}  // namespace
+
+ResourceAgentDaemon::ResourceAgentDaemon(Config config)
+    : config_(std::move(config)),
+      rng_(config_.ticketSeed != 0 ? config_.ticketSeed
+                                   : htcsim::hashName(config_.name)) {
+  mintTicket();
+}
+
+ResourceAgentDaemon::~ResourceAgentDaemon() { stop(); }
+
+void ResourceAgentDaemon::mintTicket() {
+  do {
+    ticket_ = rng_.next();
+  } while (ticket_ == matchmaking::kNoTicket);
+}
+
+std::string ResourceAgentDaemon::contactAddress() const {
+  return makeTcpAddress(config_.host, port_);
+}
+
+classad::ClassAd ResourceAgentDaemon::buildAd() const {
+  std::lock_guard<std::mutex> lock(stateMu_);
+  classad::ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", config_.name);
+  ad.set("Machine", config_.name);
+  ad.set("Arch", config_.arch);
+  ad.set("OpSys", config_.opSys);
+  ad.set("Memory", config_.memoryMB);
+  ad.set("Disk", config_.diskKB);
+  ad.set("Mips", config_.mips);
+  ad.set("KFlops", config_.kflops);
+  ad.set("ContactAddress", contactAddress());
+  if (claim_) {
+    ad.set("State", "Claimed");
+    ad.set("Activity", "Busy");
+    ad.set("RemoteUser", claim_->user);
+  } else {
+    ad.set("State", "Unclaimed");
+    ad.set("Activity", "Idle");
+  }
+  ad.setExpr("Rank", config_.rank);
+  ad.setExpr("Constraint", config_.constraint);
+  ad.set("AuthorizationTicket", matchmaking::ticketToString(ticket_));
+  return ad;
+}
+
+bool ResourceAgentDaemon::start(std::string* error) {
+  if (running_.load()) return true;
+  reactor_ = std::make_unique<Reactor>();
+  if (!reactor_->listen(config_.host, config_.listenPort, error)) {
+    reactor_.reset();
+    return false;
+  }
+  port_ = reactor_->port();
+
+  mmConn_ = reactor_->dial(config_.matchmakerHost, config_.matchmakerPort,
+                           error);
+  if (mmConn_ == nullptr) {
+    reactor_.reset();
+    return false;
+  }
+  mmConn_->peerAddress = "collector";
+  mmConn_->queue(wire::encodeHello(
+      {wire::kProtocolVersion, wire::kProtocolVersion, contactAddress()}));
+
+  reactor_->onFrame = [this](Connection& conn, const wire::Frame& frame) {
+    handleFrame(conn, frame);
+  };
+  reactor_->onClose = [this](Connection& conn) {
+    if (&conn == mmConn_) mmConn_ = nullptr;
+    std::lock_guard<std::mutex> lock(stateMu_);
+    if (claim_ && claim_->conn == &conn) {
+      // The customer died mid-claim; the resource simply becomes free
+      // again (its next ad shows Unclaimed with a fresh ticket).
+      claim_.reset();
+      claimed_.store(false);
+      mintTicket();
+    }
+  };
+
+  stopFlag_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void ResourceAgentDaemon::stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stopFlag_.store(true);
+  if (reactor_) reactor_->wake();
+  if (thread_.joinable()) thread_.join();
+  mmConn_ = nullptr;
+  reactor_.reset();
+}
+
+void ResourceAgentDaemon::run() {
+  advertise();  // announce immediately; the interval only paces refreshes
+  while (!stopFlag_.load()) {
+    reactor_->pollOnce(kPollMs);
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(now - lastAd_).count() >=
+        config_.adIntervalSeconds) {
+      advertise();
+    }
+    bool complete = false;
+    {
+      std::lock_guard<std::mutex> lock(stateMu_);
+      complete = claim_ && config_.serviceSeconds > 0.0 &&
+                 std::chrono::duration<double>(now - claim_->startedAt)
+                         .count() >= config_.serviceSeconds;
+    }
+    if (complete) finishClaim(/*completed=*/true, "completed");
+  }
+}
+
+void ResourceAgentDaemon::advertise() {
+  if (mmConn_ == nullptr || mmConn_->closed()) return;
+  matchmaking::Advertisement ad;
+  ad.ad = classad::makeShared(buildAd());
+  ad.sequence = ++adSequence_;
+  ad.isRequest = false;
+  ad.key = contactAddress();
+  mmConn_->queue(wire::encodeEnvelope(
+      {contactAddress(), "collector", std::move(ad)}));
+  lastAd_ = std::chrono::steady_clock::now();
+  ++adsSent_;
+}
+
+void ResourceAgentDaemon::handleFrame(Connection& conn,
+                                      const wire::Frame& frame) {
+  if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kHello)) {
+    // The matchmaker's hello reply, or a customer introducing itself on
+    // a claim connection; either way note the peer and move on.
+    std::string error;
+    if (const auto hello = wire::decodeHello(frame, &error)) {
+      if (conn.peerAddress.empty()) conn.peerAddress = hello->address;
+    } else {
+      conn.close();
+    }
+    return;
+  }
+  std::string error;
+  const auto env = wire::decodeEnvelope(frame, &error);
+  if (!env) {
+    conn.close();
+    return;
+  }
+  if (const auto* req =
+          std::get_if<matchmaking::ClaimRequest>(&env->payload)) {
+    handleClaimRequest(conn, *req);
+  } else if (const auto* rel =
+                 std::get_if<matchmaking::ClaimRelease>(&env->payload)) {
+    bool mine = false;
+    {
+      std::lock_guard<std::mutex> lock(stateMu_);
+      mine = claim_ && (rel->ticket == claim_->ticket ||
+                        rel->ticket == matchmaking::kNoTicket);
+    }
+    if (mine) finishClaim(/*completed=*/false, "released-by-customer");
+  }
+  // MatchNotification for the resource side is informational here: the
+  // claim arrives on its own merits and is verified against current
+  // state, so the thin adapter does not need to act on the hint.
+}
+
+void ResourceAgentDaemon::handleClaimRequest(
+    Connection& conn, const matchmaking::ClaimRequest& req) {
+  const classad::ClassAd current = buildAd();
+  matchmaking::Ticket outstanding;
+  bool alreadyClaimed;
+  {
+    std::lock_guard<std::mutex> lock(stateMu_);
+    outstanding = ticket_;
+    alreadyClaimed = claim_.has_value();
+  }
+  matchmaking::ClaimResponse verdict;
+  if (alreadyClaimed) {
+    verdict = {false, "already claimed"};
+  } else {
+    verdict = matchmaking::evaluateClaim(current, outstanding, req,
+                                         config_.claimPolicy);
+  }
+  conn.queue(wire::encodeEnvelope(
+      {contactAddress(), req.customerContact, verdict}));
+  if (!verdict.accepted) {
+    ++rejectedClaims_;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stateMu_);
+    ActiveClaim claim;
+    claim.ticket = ticket_;
+    claim.conn = &conn;
+    claim.user = req.requestAd->getString("Owner").value_or("");
+    claim.jobId = static_cast<std::uint64_t>(
+        req.requestAd->getInteger("JobId").value_or(0));
+    claim.startedAt = std::chrono::steady_clock::now();
+    claim_ = std::move(claim);
+  }
+  claimed_.store(true);
+  ++accepted_;
+  advertise();  // immediately re-advertise as Claimed
+}
+
+void ResourceAgentDaemon::finishClaim(bool completed,
+                                      const std::string& reason) {
+  Connection* customer = nullptr;
+  matchmaking::ClaimRelease release;
+  htcsim::UsageReport usage;
+  {
+    std::lock_guard<std::mutex> lock(stateMu_);
+    if (!claim_) return;
+    customer = claim_->conn;
+    release.ticket = claim_->ticket;
+    release.reason = reason;
+    release.jobId = claim_->jobId;
+    release.cpuSecondsUsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      claim_->startedAt)
+            .count();
+    release.completed = completed;
+    usage.user = claim_->user;
+    usage.resourceSeconds = release.cpuSecondsUsed;
+    claim_.reset();
+    mintTicket();
+  }
+  claimed_.store(false);
+  if (completed && customer != nullptr && !customer->closed()) {
+    ++completions_;
+    customer->queue(wire::encodeEnvelope(
+        {contactAddress(), customer->peerAddress, std::move(release)}));
+  }
+  if (mmConn_ != nullptr && !mmConn_->closed()) {
+    mmConn_->queue(wire::encodeEnvelope(
+        {contactAddress(), "collector", std::move(usage)}));
+  }
+  advertise();  // fresh ticket, Unclaimed state
+}
+
+}  // namespace service

@@ -1,0 +1,118 @@
+// resource_agentd.h - Live resource-owner agent endpoint (the paper's RA
+// as a TCP daemon).
+//
+// Thin by design: the full opportunistic machine model stays in the
+// simulator; this adapter owns exactly the RA's protocol surface.
+// It advertises a machine classad (with its claim-listener's
+// "tcp://host:port" as ContactAddress and a freshly minted
+// AuthorizationTicket) to the matchmaker over an outbound connection,
+// and accepts claims on its own listening socket so the claiming
+// protocol runs DIRECTLY CA→RA — the matchmaker is not on the path.
+// Claim verification reuses matchmaking::evaluateClaim against the ad
+// as of NOW, preserving the weak-consistency design.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "classad/classad.h"
+#include "matchmaker/claiming.h"
+#include "service/reactor.h"
+#include "sim/rng.h"
+
+namespace service {
+
+struct ResourceAgentDaemonConfig {
+  std::string name = "machine";
+  std::string arch = "INTEL";
+  std::string opSys = "LINUX";
+  std::int64_t memoryMB = 64;
+  std::int64_t diskKB = 30000;
+  std::int64_t mips = 100;
+  std::int64_t kflops = 25000;
+  /// Owner policy / preference, classad expression texts.
+  std::string constraint = "other.Type == \"Job\"";
+  std::string rank = "0";
+
+  std::string host = "127.0.0.1";
+  std::uint16_t listenPort = 0;  ///< claim endpoint; 0 = ephemeral
+  std::string matchmakerHost = "127.0.0.1";
+  std::uint16_t matchmakerPort = 0;
+
+  double adIntervalSeconds = 5.0;  ///< wall-clock advertisement period
+  /// Wall-clock seconds a claim runs before the RA reports completion
+  /// (a stand-in service time; 0 = serve until the customer releases).
+  double serviceSeconds = 0.5;
+  std::uint64_t ticketSeed = 0;  ///< 0 = derived from the name
+  matchmaking::ClaimPolicy claimPolicy;
+};
+
+class ResourceAgentDaemon {
+ public:
+  using Config = ResourceAgentDaemonConfig;
+
+  explicit ResourceAgentDaemon(Config config = {});
+  ~ResourceAgentDaemon();
+
+  bool start(std::string* error = nullptr);
+  void stop();
+
+  std::uint16_t port() const noexcept { return port_; }
+  /// The dialable contact address advertised in the machine ad.
+  std::string contactAddress() const;
+
+  bool claimed() const noexcept { return claimed_.load(); }
+  std::size_t claimsAccepted() const noexcept { return accepted_.load(); }
+  std::size_t claimsRejected() const noexcept { return rejectedClaims_.load(); }
+  std::size_t completionsSent() const noexcept { return completions_.load(); }
+  std::size_t adsSent() const noexcept { return adsSent_.load(); }
+
+  /// The machine ad as it would be advertised now (tests/tools).
+  classad::ClassAd buildAd() const;
+
+ private:
+  struct ActiveClaim {
+    matchmaking::Ticket ticket = matchmaking::kNoTicket;
+    Connection* conn = nullptr;
+    std::string user;
+    std::uint64_t jobId = 0;
+    std::chrono::steady_clock::time_point startedAt;
+  };
+
+  void run();
+  void handleFrame(Connection& conn, const wire::Frame& frame);
+  void handleClaimRequest(Connection& conn,
+                          const matchmaking::ClaimRequest& req);
+  void advertise();
+  void finishClaim(bool completed, const std::string& reason);
+  void mintTicket();
+
+  Config config_;
+  std::uint16_t port_ = 0;
+  htcsim::Rng rng_;
+  mutable std::mutex stateMu_;  ///< guards ticket_/claim_ vs buildAd()
+
+  std::unique_ptr<Reactor> reactor_;
+  Connection* mmConn_ = nullptr;
+  matchmaking::Ticket ticket_ = matchmaking::kNoTicket;
+  std::optional<ActiveClaim> claim_;
+  std::uint64_t adSequence_ = 0;
+  std::chrono::steady_clock::time_point lastAd_{};
+
+  std::thread thread_;
+  std::atomic<bool> stopFlag_{false};
+  std::atomic<bool> running_{false};
+
+  std::atomic<bool> claimed_{false};
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> rejectedClaims_{0};
+  std::atomic<std::size_t> completions_{0};
+  std::atomic<std::size_t> adsSent_{0};
+};
+
+}  // namespace service

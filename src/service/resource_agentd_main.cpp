@@ -1,0 +1,67 @@
+// resource_agentd - live resource-owner agent endpoint.
+//
+//   resource_agentd --name NAME [--port N] [--matchmaker-port N]
+//                   [--memory MB] [--service SECONDS]
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "service/resource_agentd.h"
+
+namespace {
+std::atomic<bool> gStop{false};
+void onSignal(int) { gStop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ResourceAgentDaemonConfig config;
+  config.matchmakerPort = 9618;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(arg, "--name") == 0) {
+      config.name = value();
+    } else if (std::strcmp(arg, "--port") == 0) {
+      config.listenPort = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (std::strcmp(arg, "--matchmaker-port") == 0) {
+      config.matchmakerPort = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (std::strcmp(arg, "--memory") == 0) {
+      config.memoryMB = std::atoll(value());
+    } else if (std::strcmp(arg, "--service") == 0) {
+      config.serviceSeconds = std::atof(value());
+    } else {
+      std::fprintf(stderr,
+                   "usage: resource_agentd --name NAME [--port N]"
+                   " [--matchmaker-port N] [--memory MB]"
+                   " [--service SECONDS]\n");
+      return 2;
+    }
+  }
+
+  service::ResourceAgentDaemon daemon(config);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "resource_agentd: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::printf("resource_agentd: %s claims at %s\n", config.name.c_str(),
+              daemon.contactAddress().c_str());
+  while (!gStop.load()) {
+    std::this_thread::sleep_for(std::chrono::seconds(2));
+    std::printf("resource_agentd: %s state=%s accepted=%zu rejected=%zu\n",
+                config.name.c_str(),
+                daemon.claimed() ? "Claimed" : "Unclaimed",
+                daemon.claimsAccepted(), daemon.claimsRejected());
+    std::fflush(stdout);
+  }
+  daemon.stop();
+  return 0;
+}

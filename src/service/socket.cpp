@@ -1,0 +1,159 @@
+#include "service/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace service {
+
+namespace {
+
+constexpr std::string_view kScheme = "tcp://";
+
+bool setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void setNoDelay(int fd) {
+  // The protocols are request/response over small frames; Nagle only
+  // adds latency here.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool fillAddr(const std::string& host, std::uint16_t port,
+              sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+std::string makeTcpAddress(const std::string& host, std::uint16_t port) {
+  return std::string(kScheme) + host + ":" + std::to_string(port);
+}
+
+bool parseTcpAddress(std::string_view address, std::string* host,
+                     std::uint16_t* port) {
+  if (address.substr(0, kScheme.size()) != kScheme) return false;
+  address.remove_prefix(kScheme.size());
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  const std::string_view portText = address.substr(colon + 1);
+  unsigned parsed = 0;
+  const auto res = std::from_chars(portText.data(),
+                                   portText.data() + portText.size(), parsed);
+  if (res.ec != std::errc() || res.ptr != portText.data() + portText.size() ||
+      parsed == 0 || parsed > 65535) {
+    return false;
+  }
+  *host = std::string(address.substr(0, colon));
+  *port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+int listenTcp(const std::string& host, std::uint16_t port,
+              std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  if (!fillAddr(host, port, &addr)) {
+    if (error) *error = "bad listen host " + host;
+    closeFd(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = std::string("bind: ") + std::strerror(errno);
+    closeFd(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    closeFd(fd);
+    return -1;
+  }
+  if (!setNonBlocking(fd)) {
+    if (error) *error = "could not set listener nonblocking";
+    closeFd(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t localPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connectTcp(const std::string& host, std::uint16_t port,
+               std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (!setNonBlocking(fd)) {
+    if (error) *error = "could not set socket nonblocking";
+    closeFd(fd);
+    return -1;
+  }
+  setNoDelay(fd);
+  sockaddr_in addr;
+  if (!fillAddr(host, port, &addr)) {
+    if (error) *error = "bad connect host " + host;
+    closeFd(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    if (error) *error = std::string("connect: ") + std::strerror(errno);
+    closeFd(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int acceptOne(int listenFd) {
+  const int fd = ::accept(listenFd, nullptr, nullptr);
+  if (fd < 0) return -1;
+  if (!setNonBlocking(fd)) {
+    closeFd(fd);
+    return -1;
+  }
+  setNoDelay(fd);
+  return fd;
+}
+
+int connectResult(int fd) {
+  int soError = 0;
+  socklen_t len = sizeof(soError);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0) {
+    return errno != 0 ? errno : EIO;
+  }
+  return soError;
+}
+
+void closeFd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace service

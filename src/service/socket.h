@@ -1,0 +1,44 @@
+// socket.h - Minimal POSIX TCP helpers for the service daemons.
+//
+// Everything is nonblocking and IPv4; the daemons poll. Transport
+// addresses on the wire use the form "tcp://<host>:<port>" so a
+// classad's ContactAddress can name a live socket endpoint the same way
+// the simulator's logical "ra://name" names an in-process one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace service {
+
+/// Renders "tcp://host:port".
+std::string makeTcpAddress(const std::string& host, std::uint16_t port);
+
+/// Parses "tcp://host:port". Returns false on any other shape.
+bool parseTcpAddress(std::string_view address, std::string* host,
+                     std::uint16_t* port);
+
+/// Creates a nonblocking listening socket bound to `host`:`port`
+/// (port 0 = ephemeral). Returns the fd, or -1 with `error` filled.
+int listenTcp(const std::string& host, std::uint16_t port,
+              std::string* error);
+
+/// The port a bound socket actually landed on (for port 0 binds).
+std::uint16_t localPort(int fd);
+
+/// Starts a nonblocking connect. Returns the fd (connection may still
+/// be in progress — wait for writability), or -1 with `error` filled.
+int connectTcp(const std::string& host, std::uint16_t port,
+               std::string* error);
+
+/// Accepts one pending connection as a nonblocking fd; -1 if none.
+int acceptOne(int listenFd);
+
+/// Checks the outcome of an in-progress connect after the fd polled
+/// writable. Returns 0 on success, the errno otherwise.
+int connectResult(int fd);
+
+void closeFd(int fd) noexcept;
+
+}  // namespace service

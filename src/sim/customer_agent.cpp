@@ -4,7 +4,7 @@
 
 namespace htcsim {
 
-CustomerAgent::CustomerAgent(Simulator& sim, Network& net, Metrics& metrics,
+CustomerAgent::CustomerAgent(Simulator& sim, Transport& net, Metrics& metrics,
                              std::string user, Rng rng, Config config)
     : sim_(sim),
       net_(net),

@@ -16,9 +16,11 @@
 
 #include "classad/classad.h"
 #include "matchmaker/protocol.h"
+#include "sim/event_queue.h"
 #include "sim/job.h"
 #include "sim/metrics.h"
-#include "sim/network.h"
+#include "sim/rng.h"
+#include "sim/transport.h"
 
 namespace htcsim {
 
@@ -46,7 +48,7 @@ class CustomerAgent : public Endpoint {
  public:
   using Config = CustomerAgentConfig;
 
-  CustomerAgent(Simulator& sim, Network& net, Metrics& metrics,
+  CustomerAgent(Simulator& sim, Transport& net, Metrics& metrics,
                 std::string user, Rng rng, Config config = {});
   ~CustomerAgent() override;
 
@@ -82,7 +84,7 @@ class CustomerAgent : public Endpoint {
   std::string adKey(const Job& job) const;
 
   Simulator& sim_;
-  Network& net_;
+  Transport& net_;
   Metrics& metrics_;
   std::string user_;
   Rng rng_;

@@ -12,7 +12,7 @@ void Network::detach(std::string_view address) {
 
 bool Network::send(std::string from, std::string to, Message payload) {
   if (config_.lossProbability > 0.0 && rng_.chance(config_.lossProbability)) {
-    ++dropped_;
+    ++droppedLoss_;
     return false;
   }
   const Time latency = rng_.uniform(config_.latencyMin, config_.latencyMax);
@@ -23,7 +23,7 @@ bool Network::send(std::string from, std::string to, Message payload) {
   sim_.after(latency, [this, env = std::move(env)]() mutable {
     auto it = endpoints_.find(env.to);
     if (it == endpoints_.end() || it->second == nullptr) {
-      ++dropped_;
+      ++droppedUnknown_;
       return;
     }
     ++delivered_;

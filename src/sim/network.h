@@ -1,55 +1,23 @@
 // network.h - Simulated message network between agents.
 //
 // Stands in for the paper's TCP/UDP daemon-to-daemon messaging (see
-// DESIGN.md substitutions). Delivery is asynchronous with configurable
-// latency and loss: the staleness and reordering this produces is exactly
-// what the framework's weak-consistency design (Section 3.2) must
-// tolerate, and what bench_e3_weak_consistency measures.
+// DESIGN.md substitutions; src/service provides the live-socket
+// counterpart behind the same Transport interface). Delivery is
+// asynchronous with configurable latency and loss: the staleness and
+// reordering this produces is exactly what the framework's
+// weak-consistency design (Section 3.2) must tolerate, and what
+// bench_e3_weak_consistency measures.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <variant>
 
-#include "matchmaker/protocol.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
+#include "sim/transport.h"
 
 namespace htcsim {
-
-/// Advertiser retracting its ad (clean shutdown / job started elsewhere).
-struct AdInvalidate {
-  std::string key;
-  bool isRequest = false;
-};
-
-/// End-of-claim usage report to the pool manager, feeding the fair
-/// matching policy's accounting (Section 4).
-struct UsageReport {
-  std::string user;
-  double resourceSeconds = 0.0;
-};
-
-using Message =
-    std::variant<matchmaking::Advertisement, AdInvalidate,
-                 matchmaking::MatchNotification, matchmaking::ClaimRequest,
-                 matchmaking::ClaimResponse, matchmaking::ClaimRelease,
-                 UsageReport>;
-
-struct Envelope {
-  std::string from;
-  std::string to;
-  Message payload;
-};
-
-/// An addressable agent.
-class Endpoint {
- public:
-  virtual ~Endpoint() = default;
-  virtual void deliver(const Envelope& envelope) = 0;
-};
 
 struct NetworkConfig {
   Time latencyMin = 0.001;  ///< seconds
@@ -57,29 +25,29 @@ struct NetworkConfig {
   double lossProbability = 0.0;  ///< dropped silently (UDP-style ads)
 };
 
-class Network {
+class Network : public Transport {
  public:
   using Config = NetworkConfig;
 
   Network(Simulator& sim, Rng rng, Config config = {})
       : sim_(sim), rng_(rng), config_(config) {}
 
-  /// Registers `endpoint` at `address`; replaces any previous binding
-  /// (an agent restarting reuses its address).
-  void attach(std::string address, Endpoint* endpoint);
-
-  /// Removes a binding (agent death). Messages in flight to it vanish.
-  void detach(std::string_view address);
-
-  /// Sends asynchronously. Returns false if the message was lost or the
-  /// destination is currently unknown (the sender cannot tell — that is
-  /// the point; callers needing reliability must retry, as the periodic
-  /// advertising protocol naturally does).
-  bool send(std::string from, std::string to, Message payload);
+  void attach(std::string address, Endpoint* endpoint) override;
+  void detach(std::string_view address) override;
+  bool send(std::string from, std::string to, Message payload) override;
 
   /// Messages delivered so far (instrumentation).
   std::size_t delivered() const noexcept { return delivered_; }
-  std::size_t dropped() const noexcept { return dropped_; }
+  /// All messages lost, for any reason.
+  std::size_t dropped() const noexcept {
+    return droppedLoss_ + droppedUnknown_;
+  }
+  /// Lost to random (configured) loss — noise the protocols absorb.
+  std::size_t droppedLoss() const noexcept { return droppedLoss_; }
+  /// Lost because the destination was unbound at delivery time — an
+  /// outage (agent dead, manager crashed). E2/E3 distinguish this from
+  /// noise when attributing recovery behavior.
+  std::size_t droppedUnknown() const noexcept { return droppedUnknown_; }
 
   Simulator& simulator() noexcept { return sim_; }
   const Config& config() const noexcept { return config_; }
@@ -90,7 +58,8 @@ class Network {
   Config config_;
   std::unordered_map<std::string, Endpoint*> endpoints_;
   std::size_t delivered_ = 0;
-  std::size_t dropped_ = 0;
+  std::size_t droppedLoss_ = 0;
+  std::size_t droppedUnknown_ = 0;
 };
 
 }  // namespace htcsim

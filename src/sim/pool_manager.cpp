@@ -2,7 +2,7 @@
 
 namespace htcsim {
 
-PoolManager::PoolManager(Simulator& sim, Network& net, Metrics& metrics,
+PoolManager::PoolManager(Simulator& sim, Transport& net, Metrics& metrics,
                          Config config)
     : sim_(sim),
       net_(net),

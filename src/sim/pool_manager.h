@@ -30,8 +30,9 @@
 #include "matchmaker/gangmatch.h"
 #include "matchmaker/matchmaker.h"
 #include "matchmaker/priority.h"
+#include "sim/event_queue.h"
 #include "sim/metrics.h"
-#include "sim/network.h"
+#include "sim/transport.h"
 
 namespace htcsim {
 
@@ -53,7 +54,7 @@ class PoolManager : public Endpoint {
  public:
   using Config = PoolManagerConfig;
 
-  PoolManager(Simulator& sim, Network& net, Metrics& metrics,
+  PoolManager(Simulator& sim, Transport& net, Metrics& metrics,
               Config config = {});
   ~PoolManager() override;
 
@@ -92,7 +93,7 @@ class PoolManager : public Endpoint {
       std::vector<bool>& taken);
 
   Simulator& sim_;
-  Network& net_;
+  Transport& net_;
   Metrics& metrics_;
   Config config_;
   matchmaking::AdvertisingProtocol protocol_;

@@ -25,7 +25,7 @@ constexpr const char* kAlwaysConstraint = "other.Type == \"Job\"";
 
 }  // namespace
 
-ResourceAgent::ResourceAgent(Simulator& sim, Network& net, Machine& machine,
+ResourceAgent::ResourceAgent(Simulator& sim, Transport& net, Machine& machine,
                              Metrics& metrics, Rng rng, Config config)
     : sim_(sim),
       net_(net),

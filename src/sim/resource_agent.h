@@ -21,9 +21,11 @@
 #include "classad/classad.h"
 #include "matchmaker/claiming.h"
 #include "matchmaker/protocol.h"
+#include "sim/event_queue.h"
 #include "sim/machine.h"
 #include "sim/metrics.h"
-#include "sim/network.h"
+#include "sim/rng.h"
+#include "sim/transport.h"
 
 namespace htcsim {
 
@@ -45,7 +47,7 @@ class ResourceAgent : public Endpoint {
  public:
   using Config = ResourceAgentConfig;
 
-  ResourceAgent(Simulator& sim, Network& net, Machine& machine,
+  ResourceAgent(Simulator& sim, Transport& net, Machine& machine,
                 Metrics& metrics, Rng rng, Config config = {});
   ~ResourceAgent() override;
 
@@ -98,7 +100,7 @@ class ResourceAgent : public Endpoint {
   bool ownerInitiatedVacate_ = false;
 
   Simulator& sim_;
-  Network& net_;
+  Transport& net_;
   Machine& machine_;
   Metrics& metrics_;
   Rng rng_;

@@ -1,0 +1,76 @@
+// transport.h - The message transport abstraction shared by the simulated
+// network (src/sim/network.h) and the live TCP service layer (src/service).
+//
+// The paper's daemons exchanged a fixed set of protocol messages over
+// TCP/UDP; the reproduction originally modeled that exchange entirely
+// in-process. Splitting the interface from the simulation lets the SAME
+// agent logic run over either substrate: tests and benches keep the
+// deterministic simulator, while the daemons in src/service carry the
+// identical Message variants over real sockets (framed by src/wire).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "matchmaker/protocol.h"
+
+namespace htcsim {
+
+/// Advertiser retracting its ad (clean shutdown / job started elsewhere).
+struct AdInvalidate {
+  std::string key;
+  bool isRequest = false;
+};
+
+/// End-of-claim usage report to the pool manager, feeding the fair
+/// matching policy's accounting (Section 4).
+struct UsageReport {
+  std::string user;
+  double resourceSeconds = 0.0;
+};
+
+using Message =
+    std::variant<matchmaking::Advertisement, AdInvalidate,
+                 matchmaking::MatchNotification, matchmaking::ClaimRequest,
+                 matchmaking::ClaimResponse, matchmaking::ClaimRelease,
+                 UsageReport>;
+
+struct Envelope {
+  std::string from;
+  std::string to;
+  Message payload;
+};
+
+/// An addressable agent.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void deliver(const Envelope& envelope) = 0;
+};
+
+/// Delivers Messages between named endpoints. Implementations: the
+/// simulated Network (latency/loss over a discrete-event clock) and the
+/// service layer's socket-backed transports. The contract is
+/// deliberately datagram-like — asynchronous, unordered across
+/// destinations, unreliable — because that is what the advertising
+/// protocol is designed to tolerate.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers `endpoint` at `address`; replaces any previous binding
+  /// (an agent restarting reuses its address).
+  virtual void attach(std::string address, Endpoint* endpoint) = 0;
+
+  /// Removes a binding (agent death). Messages in flight to it vanish.
+  virtual void detach(std::string_view address) = 0;
+
+  /// Sends asynchronously. Returns false if the message was immediately
+  /// known to be undeliverable (the sender generally cannot tell — that
+  /// is the point; callers needing reliability must retry, as the
+  /// periodic advertising protocol naturally does).
+  virtual bool send(std::string from, std::string to, Message payload) = 0;
+};
+
+}  // namespace htcsim

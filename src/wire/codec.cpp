@@ -1,0 +1,306 @@
+#include "wire/codec.h"
+
+#include <bit>
+
+#include "classad/json.h"
+
+namespace wire {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flat binary writer / reader (big-endian, length-prefixed strings)
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_ += static_cast<char>(v); }
+  void u32(std::uint32_t v) {
+    out_ += static_cast<char>((v >> 24) & 0xFF);
+    out_ += static_cast<char>((v >> 16) & 0xFF);
+    out_ += static_cast<char>((v >> 8) & 0xFF);
+    out_ += static_cast<char>(v & 0xFF);
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  /// A possibly-absent classad: presence byte + JSON interchange form.
+  void ad(const classad::ClassAdPtr& a) {
+    boolean(a != nullptr);
+    if (a) str(classad::toJson(*a));
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ok() const noexcept { return ok_; }
+  const std::string& error() const noexcept { return error_; }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = (v << 8) | static_cast<unsigned char>(data_[pos_++]);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (ok_ && v > 1) fail("bad boolean");
+    return v == 1;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_) return {};
+    if (n > data_.size() - pos_) {
+      fail("string length overruns payload");
+      return {};
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  classad::ClassAdPtr ad() {
+    if (!boolean()) return nullptr;
+    const std::string json = str();
+    if (!ok_) return nullptr;
+    std::string parseError;
+    auto parsed = classad::tryAdFromJson(json, &parseError);
+    if (!parsed) {
+      fail("bad classad payload: " + parseError);
+      return nullptr;
+    }
+    return classad::makeShared(std::move(*parsed));
+  }
+
+  /// Decoding must consume the payload exactly; leftovers mean the peer
+  /// and we disagree about the schema.
+  bool finish() {
+    if (ok_ && pos_ != data_.size()) fail("trailing bytes in payload");
+    return ok_;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_) return false;
+    if (data_.size() - pos_ < n) {
+      fail("payload truncated");
+      return false;
+    }
+    return true;
+  }
+  void fail(std::string message) {
+    if (ok_) {
+      ok_ = false;
+      error_ = std::move(message);
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-message bodies
+// ---------------------------------------------------------------------------
+
+struct BodyEncoder {
+  Writer& w;
+  MsgType operator()(const matchmaking::Advertisement& m) const {
+    w.ad(m.ad);
+    w.u64(m.sequence);
+    w.boolean(m.isRequest);
+    w.str(m.key);
+    return MsgType::kAdvertisement;
+  }
+  MsgType operator()(const htcsim::AdInvalidate& m) const {
+    w.str(m.key);
+    w.boolean(m.isRequest);
+    return MsgType::kAdInvalidate;
+  }
+  MsgType operator()(const matchmaking::MatchNotification& m) const {
+    w.ad(m.myAd);
+    w.ad(m.peerAd);
+    w.str(m.peerContact);
+    w.u64(m.ticket);
+    return MsgType::kMatchNotification;
+  }
+  MsgType operator()(const matchmaking::ClaimRequest& m) const {
+    w.ad(m.requestAd);
+    w.u64(m.ticket);
+    w.str(m.customerContact);
+    return MsgType::kClaimRequest;
+  }
+  MsgType operator()(const matchmaking::ClaimResponse& m) const {
+    w.boolean(m.accepted);
+    w.str(m.reason);
+    return MsgType::kClaimResponse;
+  }
+  MsgType operator()(const matchmaking::ClaimRelease& m) const {
+    w.u64(m.ticket);
+    w.str(m.reason);
+    w.u64(m.jobId);
+    w.f64(m.cpuSecondsUsed);
+    w.boolean(m.completed);
+    return MsgType::kClaimRelease;
+  }
+  MsgType operator()(const htcsim::UsageReport& m) const {
+    w.str(m.user);
+    w.f64(m.resourceSeconds);
+    return MsgType::kUsageReport;
+  }
+};
+
+bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
+  switch (type) {
+    case MsgType::kAdvertisement: {
+      matchmaking::Advertisement m;
+      m.ad = r.ad();
+      m.sequence = r.u64();
+      m.isRequest = r.boolean();
+      m.key = r.str();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kAdInvalidate: {
+      htcsim::AdInvalidate m;
+      m.key = r.str();
+      m.isRequest = r.boolean();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kMatchNotification: {
+      matchmaking::MatchNotification m;
+      m.myAd = r.ad();
+      m.peerAd = r.ad();
+      m.peerContact = r.str();
+      m.ticket = r.u64();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kClaimRequest: {
+      matchmaking::ClaimRequest m;
+      m.requestAd = r.ad();
+      m.ticket = r.u64();
+      m.customerContact = r.str();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kClaimResponse: {
+      matchmaking::ClaimResponse m;
+      m.accepted = r.boolean();
+      m.reason = r.str();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kClaimRelease: {
+      matchmaking::ClaimRelease m;
+      m.ticket = r.u64();
+      m.reason = r.str();
+      m.jobId = r.u64();
+      m.cpuSecondsUsed = r.f64();
+      m.completed = r.boolean();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kUsageReport: {
+      htcsim::UsageReport m;
+      m.user = r.str();
+      m.resourceSeconds = r.f64();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kHello:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string encodeHello(const Hello& hello) {
+  Writer w;
+  w.u8(hello.minVersion);
+  w.u8(hello.maxVersion);
+  w.str(hello.address);
+  return encodeFrame(static_cast<std::uint8_t>(MsgType::kHello), w.take());
+}
+
+std::optional<Hello> decodeHello(const Frame& frame, std::string* error) {
+  if (frame.type != static_cast<std::uint8_t>(MsgType::kHello)) {
+    if (error) *error = "not a hello frame";
+    return std::nullopt;
+  }
+  Reader r(frame.payload);
+  Hello hello;
+  hello.minVersion = r.u8();
+  hello.maxVersion = r.u8();
+  hello.address = r.str();
+  if (!r.finish()) {
+    if (error) *error = r.error();
+    return std::nullopt;
+  }
+  if (hello.minVersion > hello.maxVersion) {
+    if (error) *error = "inverted version range";
+    return std::nullopt;
+  }
+  return hello;
+}
+
+std::string encodeEnvelope(const htcsim::Envelope& env) {
+  Writer w;
+  w.str(env.from);
+  w.str(env.to);
+  const MsgType type = std::visit(BodyEncoder{w}, env.payload);
+  return encodeFrame(static_cast<std::uint8_t>(type), w.take());
+}
+
+std::optional<htcsim::Envelope> decodeEnvelope(const Frame& frame,
+                                               std::string* error) {
+  Reader r(frame.payload);
+  htcsim::Envelope env;
+  env.from = r.str();
+  env.to = r.str();
+  if (frame.type < static_cast<std::uint8_t>(MsgType::kAdvertisement) ||
+      frame.type > static_cast<std::uint8_t>(MsgType::kUsageReport)) {
+    if (error) {
+      *error = "unknown frame type " + std::to_string(frame.type);
+    }
+    return std::nullopt;
+  }
+  if (!decodeBody(static_cast<MsgType>(frame.type), r, env.payload) ||
+      !r.finish()) {
+    if (error) {
+      *error = r.error().empty() ? "malformed payload" : r.error();
+    }
+    return std::nullopt;
+  }
+  return env;
+}
+
+}  // namespace wire

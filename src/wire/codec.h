@@ -1,0 +1,60 @@
+// codec.h - Binary payload codec for every protocol message.
+//
+// The wire form of an htcsim::Envelope is one frame (frame.h) whose type
+// tag selects the Message alternative and whose payload is a flat,
+// big-endian binary record: strings are u32-length-prefixed bytes, and
+// classads travel in the canonical JSON interchange form of
+// src/classad/json.* (so non-C++ peers can produce and consume them).
+//
+// Decoding is strict: a payload must parse exactly — short fields,
+// trailing bytes, absent-but-required ads, and malformed classad JSON
+// all reject the frame. Rejection never throws; it reports through the
+// optional/error-string interface so daemons can drop a bad peer
+// without unwinding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/transport.h"
+#include "wire/frame.h"
+
+namespace wire {
+
+/// Frame type tags. Tag 1 is the connection handshake; tags 2..8 map
+/// 1:1 onto the htcsim::Message variant alternatives.
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kAdvertisement = 2,
+  kAdInvalidate = 3,
+  kMatchNotification = 4,
+  kClaimRequest = 5,
+  kClaimResponse = 6,
+  kClaimRelease = 7,
+  kUsageReport = 8,
+};
+
+/// First frame on every connection, both directions. Carries the version
+/// range the peer speaks (the frame header pins the version actually in
+/// use — a peer seeing an unacceptable range closes) and the sender's
+/// transport address, which the matchmaker uses to route pushes
+/// (MatchNotification) back over this connection.
+struct Hello {
+  std::uint8_t minVersion = kProtocolVersion;
+  std::uint8_t maxVersion = kProtocolVersion;
+  std::string address;
+};
+
+std::string encodeHello(const Hello& hello);
+std::optional<Hello> decodeHello(const Frame& frame, std::string* error);
+
+/// Renders `env` as one complete frame (header + payload).
+std::string encodeEnvelope(const htcsim::Envelope& env);
+
+/// Decodes a typed frame back into an envelope. Returns nullopt (and
+/// fills `error`) on any malformed payload or a non-message frame type.
+std::optional<htcsim::Envelope> decodeEnvelope(const Frame& frame,
+                                               std::string* error);
+
+}  // namespace wire

@@ -1,0 +1,125 @@
+#include "wire/frame.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace wire {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = makeCrcTable();
+
+void putU32(std::string& out, std::uint32_t v) {
+  out += static_cast<char>((v >> 24) & 0xFF);
+  out += static_cast<char>((v >> 16) & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+  out += static_cast<char>(v & 0xFF);
+}
+
+std::uint32_t readU32(const char* p) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = kCrcTable[(c ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encodeFrame(std::uint8_t type, std::string_view payload,
+                 std::string& out) {
+  if (payload.size() > kMaxPayload) {
+    throw std::length_error("wire: payload exceeds kMaxPayload");
+  }
+  out.reserve(out.size() + kHeaderSize + payload.size());
+  out.append(reinterpret_cast<const char*>(kMagic), 4);
+  out += static_cast<char>(kProtocolVersion);
+  out += static_cast<char>(type);
+  out += '\0';
+  out += '\0';
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  putU32(out, crc32(payload));
+  out.append(payload);
+}
+
+std::string encodeFrame(std::uint8_t type, std::string_view payload) {
+  std::string out;
+  encodeFrame(type, payload, out);
+  return out;
+}
+
+void FrameDecoder::append(std::string_view data) {
+  if (poisoned_) return;
+  // Compact once the consumed prefix dominates, keeping the buffer from
+  // creeping upward across many frames.
+  if (start_ > 0 && start_ >= buffer_.size() / 2) {
+    buffer_.erase(0, start_);
+    start_ = 0;
+  }
+  buffer_.append(data);
+}
+
+DecodeStatus FrameDecoder::fail(std::string message) {
+  poisoned_ = true;
+  error_ = std::move(message);
+  buffer_.clear();
+  start_ = 0;
+  return DecodeStatus::kError;
+}
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  if (poisoned_) return DecodeStatus::kError;
+  const std::size_t available = buffer_.size() - start_;
+  if (available < kHeaderSize) return DecodeStatus::kNeedMore;
+  const char* h = buffer_.data() + start_;
+  // Validate the header as soon as it is complete — BEFORE waiting for
+  // (or buffering) any payload, so a forged length cannot make us hold
+  // gigabytes.
+  for (int i = 0; i < 4; ++i) {
+    if (static_cast<unsigned char>(h[i]) != kMagic[i]) {
+      return fail("bad magic");
+    }
+  }
+  const auto version = static_cast<std::uint8_t>(h[4]);
+  if (version != kProtocolVersion) {
+    return fail("unsupported version " + std::to_string(version));
+  }
+  if (h[6] != 0 || h[7] != 0) return fail("nonzero reserved bits");
+  const std::uint32_t length = readU32(h + 8);
+  if (length > kMaxPayload) {
+    return fail("frame length " + std::to_string(length) + " exceeds cap");
+  }
+  if (available < kHeaderSize + length) return DecodeStatus::kNeedMore;
+  const std::uint32_t expected = readU32(h + 12);
+  const std::string_view payload(h + kHeaderSize, length);
+  if (crc32(payload) != expected) return fail("checksum mismatch");
+  out.type = static_cast<std::uint8_t>(h[5]);
+  out.payload.assign(payload);
+  start_ += kHeaderSize + length;
+  if (start_ == buffer_.size()) {
+    buffer_.clear();
+    start_ = 0;
+  }
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace wire

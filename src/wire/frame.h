@@ -1,0 +1,89 @@
+// frame.h - Versioned, length-prefixed binary framing for the live wire
+// protocol (src/service).
+//
+// Every daemon-to-daemon message travels as one frame:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     4  magic      "MMWP" (0x4D 0x4D 0x57 0x50)
+//        4     1  version    protocol version (currently 1)
+//        5     1  type       message type tag (see codec.h)
+//        6     2  reserved   must be zero in version 1
+//        8     4  length     payload byte count, big-endian
+//       12     4  checksum   CRC-32 (IEEE) of the payload, big-endian
+//       16     n  payload    type-specific body (codec.h)
+//
+// The decoder is incremental (feed arbitrary byte chunks, pop whole
+// frames) and strict: bad magic, unsupported version, nonzero reserved
+// bits, a length above kMaxPayload, or a checksum mismatch poison the
+// stream — the only safe recovery on a byte stream whose framing has
+// been lost is to drop the connection. The length field is validated
+// BEFORE any payload buffering, so a hostile header cannot cause a
+// large allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wire {
+
+inline constexpr unsigned char kMagic[4] = {'M', 'M', 'W', 'P'};
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 16;
+/// Hard cap on payload size. Classad payloads are a few KiB; anything
+/// near this limit is a corrupt length or an attack, not traffic.
+inline constexpr std::size_t kMaxPayload = 4u << 20;  // 4 MiB
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the frame checksum.
+std::uint32_t crc32(std::string_view data) noexcept;
+
+struct Frame {
+  std::uint8_t type = 0;
+  std::string payload;
+};
+
+/// Renders one complete frame (header + payload) onto `out`.
+/// `payload.size()` must be <= kMaxPayload (checked; throws
+/// std::length_error otherwise — an encoder-side program error).
+void encodeFrame(std::uint8_t type, std::string_view payload,
+                 std::string& out);
+
+/// Convenience form returning the rendered frame.
+std::string encodeFrame(std::uint8_t type, std::string_view payload);
+
+enum class DecodeStatus {
+  kNeedMore,  ///< no complete frame buffered yet
+  kFrame,     ///< a frame was produced
+  kError,     ///< stream poisoned; discard the connection
+};
+
+/// Incremental frame parser for one byte stream (one connection).
+class FrameDecoder {
+ public:
+  /// Buffers `data`. No-op once the stream is poisoned.
+  void append(std::string_view data);
+
+  /// Extracts the next complete frame into `out`. On kError, `error()`
+  /// describes the fault and every later call returns kError again.
+  DecodeStatus next(Frame& out);
+
+  bool poisoned() const noexcept { return poisoned_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Bytes currently buffered (bounded by kHeaderSize + kMaxPayload +
+  /// one read chunk, since headers are validated before payloads are
+  /// awaited).
+  std::size_t buffered() const noexcept { return buffer_.size() - start_; }
+
+ private:
+  DecodeStatus fail(std::string message);
+
+  std::string buffer_;
+  std::size_t start_ = 0;  ///< consumed prefix, compacted lazily
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+}  // namespace wire

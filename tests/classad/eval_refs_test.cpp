@@ -129,12 +129,33 @@ TEST(RefTest, NestedRecordAttributesResolveLocally) {
 }
 
 TEST(RefTest, DeepRecursionIsErrorNotCrash) {
-  // A deeply nested expression hits the depth guard and yields error.
+  // Nesting just inside the parser's cap parses and evaluates normally —
+  // the guards reject pathology, not merely unusual ads.
   std::string deep = "1";
-  for (int i = 0; i < 800; ++i) deep = "(" + deep + " + 1)";
+  for (int i = 0; i < 200; ++i) deep = "(" + deep + " + 1)";
   ClassAd ad;
   ad.insert("X", parseExpr(deep));
+  EXPECT_EQ(ad.evaluateAttr("X").asInteger(), 201);
+}
+
+TEST(RefTest, DeepEvalOfBuiltAstIsErrorNotCrash) {
+  // The evaluator's own depth guard, exercised without the parser:
+  // a programmatically built 2000-node chain still returns error.
+  ExprPtr deep = makeLiteral(std::int64_t{1});
+  for (int i = 0; i < 2000; ++i)
+    deep = BinaryExpr::make(BinOp::Add, std::move(deep),
+                            makeLiteral(std::int64_t{1}));
+  ClassAd ad;
+  ad.insert("X", std::move(deep));
   EXPECT_TRUE(ad.evaluateAttr("X").isError());
+}
+
+TEST(RefTest, PathologicalNestingIsParseErrorNotCrash) {
+  // Beyond the parser's cap: rejected as a ParseError (untrusted peers
+  // feed this parser via the wire layer; it must not recurse unboundedly).
+  std::string deep = "1";
+  for (int i = 0; i < 5000; ++i) deep = "(" + deep + " + 1)";
+  EXPECT_THROW(parseExpr(deep), ParseError);
 }
 
 }  // namespace

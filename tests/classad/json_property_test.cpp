@@ -1,0 +1,193 @@
+// Randomized round-trip property test for the JSON interchange codec:
+// for arbitrary literal-structured ads (nested records, lists,
+// undefined/error values, extreme integers, NaN/Inf reals, strings full
+// of characters needing escapes), serialize → parse → serialize is a
+// fixed point, in both compact and pretty renderings. Seeds are fixed,
+// so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "classad/json.h"
+#include "sim/rng.h"
+
+namespace classad {
+namespace {
+
+/// Generates random ads made entirely of literal structure — the subset
+/// the JSON mapping represents natively (no $expr escape hatch), so the
+/// round trip must preserve every value exactly.
+class AdGen {
+ public:
+  explicit AdGen(std::uint64_t seed) : rng_(seed) {}
+
+  ClassAd ad(int depth = 0) {
+    ClassAd out;
+    const int n = static_cast<int>(rng_.below(5)) + (depth == 0 ? 1 : 0);
+    for (int i = 0; i < n; ++i)
+      out.insert(attrName(i), LiteralExpr::make(value(depth)));
+    return out;
+  }
+
+ private:
+  Value value(int depth) {
+    // Lists and records only while shallow, scalars always.
+    const std::uint64_t kinds = depth >= 3 ? 6 : 8;
+    switch (rng_.below(kinds)) {
+      case 0:
+        return Value::integer(intValue());
+      case 1:
+        return Value::real(realValue());
+      case 2:
+        return Value::string(stringValue());
+      case 3:
+        return Value::boolean(rng_.chance(0.5));
+      case 4:
+        return Value::undefined();
+      case 5:
+        return Value::error(rng_.chance(0.5) ? stringValue() : "");
+      case 6: {
+        std::vector<Value> elems;
+        const int n = static_cast<int>(rng_.below(4));
+        for (int i = 0; i < n; ++i) elems.push_back(value(depth + 1));
+        return Value::list(std::move(elems));
+      }
+      default:
+        return Value::record(makeShared(ad(depth + 1)));
+    }
+  }
+
+  std::int64_t intValue() {
+    switch (rng_.below(5)) {
+      case 0: return std::numeric_limits<std::int64_t>::max();
+      case 1: return std::numeric_limits<std::int64_t>::min();
+      case 2: return 0;
+      case 3: return -1;
+      default: return rng_.range(-1000000, 1000000);
+    }
+  }
+
+  double realValue() {
+    switch (rng_.below(8)) {
+      case 0: return std::numeric_limits<double>::quiet_NaN();
+      case 1: return std::numeric_limits<double>::infinity();
+      case 2: return -std::numeric_limits<double>::infinity();
+      case 3: return std::numeric_limits<double>::max();
+      case 4: return std::numeric_limits<double>::denorm_min();
+      case 5: return -0.0;
+      case 6: return 0.1;
+      default: return rng_.uniform(-1e9, 1e9);
+    }
+  }
+
+  std::string stringValue() {
+    // Bias hard toward characters the encoder must escape.
+    static const char* kPieces[] = {
+        "\"",   "\\",    "\n",  "\t",   "\r",  "\f",     "\b",
+        "\x01", "\x1f",  "/",   "\x7f", "a",   "space ", "{}[],:",
+        "$",    "$expr", "né",  "日本", "𝄞",  "",        "0",
+    };
+    std::string out;
+    const int n = static_cast<int>(rng_.below(8));
+    for (int i = 0; i < n; ++i)
+      out += kPieces[rng_.below(sizeof(kPieces) / sizeof(kPieces[0]))];
+    return out;
+  }
+
+  std::string attrName(int i) {
+    static const char* kNames[] = {"Memory", "Disk", "Extra", "Nested",
+                                   "List",   "Mixed", "Owner", "X"};
+    // Unique per position: JSON objects and ads both key by name.
+    return std::string(kNames[i % 8]) + std::to_string(i);
+  }
+
+  htcsim::Rng rng_;
+};
+
+TEST(JsonProperty, RoundTripIsAFixedPoint) {
+  AdGen gen(htcsim::hashName("json-roundtrip-v1"));
+  for (int trial = 0; trial < 300; ++trial) {
+    const ClassAd original = gen.ad();
+    const std::string json = toJson(original);
+
+    std::string error;
+    std::optional<ClassAd> back = tryAdFromJson(json, &error);
+    ASSERT_TRUE(back.has_value()) << "trial " << trial << ": " << error
+                                  << "\njson: " << json;
+
+    // serialize(parse(serialize(ad))) == serialize(ad) — the JSON form
+    // is canonical for literal-structured ads.
+    EXPECT_EQ(toJson(*back), json) << "trial " << trial;
+
+    // The classad surface syntax agrees too (same values parsed back).
+    EXPECT_EQ(back->unparse(), original.unparse()) << "trial " << trial;
+  }
+}
+
+TEST(JsonProperty, PrettyAndCompactAgree) {
+  AdGen gen(htcsim::hashName("json-pretty-v1"));
+  JsonOptions pretty;
+  pretty.pretty = true;
+  for (int trial = 0; trial < 100; ++trial) {
+    const ClassAd original = gen.ad();
+    const std::string compact = toJson(original);
+    std::optional<ClassAd> viaPretty = tryAdFromJson(toJson(original, pretty));
+    ASSERT_TRUE(viaPretty.has_value()) << "trial " << trial;
+    EXPECT_EQ(toJson(*viaPretty), compact) << "trial " << trial;
+  }
+}
+
+TEST(JsonProperty, ExtremesSurviveExplicitly) {
+  // The named hostile values, spelled out for readable failures.
+  ClassAd ad;
+  ad.insert("IntMax",
+            LiteralExpr::make(
+                Value::integer(std::numeric_limits<std::int64_t>::max())));
+  ad.insert("IntMin",
+            LiteralExpr::make(
+                Value::integer(std::numeric_limits<std::int64_t>::min())));
+  ad.insert("Nan", LiteralExpr::make(Value::real(
+                       std::numeric_limits<double>::quiet_NaN())));
+  ad.insert("PosInf", LiteralExpr::make(
+                          Value::real(std::numeric_limits<double>::infinity())));
+  ad.insert("NegInf",
+            LiteralExpr::make(
+                Value::real(-std::numeric_limits<double>::infinity())));
+  ad.insert("Esc", LiteralExpr::make(Value::string("a\"b\\c\nd\te\x01")));
+  ad.insert("Undef", LiteralExpr::make(Value::undefined()));
+  ad.insert("Err", LiteralExpr::make(Value::error("division by zero")));
+
+  const std::string json = toJson(ad);
+  std::string error;
+  std::optional<ClassAd> back = tryAdFromJson(json, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(toJson(*back), json);
+  EXPECT_EQ(back->getInteger("IntMax"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(back->getInteger("IntMin"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(back->getString("Esc"), "a\"b\\c\nd\te\x01");
+}
+
+TEST(JsonProperty, PathologicalNestingRejectedNotCrashed) {
+  // Hostile depth: the wire layer feeds network JSON here, so nesting
+  // past the parser's cap must be a clean rejection, not a stack
+  // overflow.
+  std::string deepArrays = "{\"A\": " + std::string(100000, '[') +
+                           std::string(100000, ']') + "}";
+  std::string error;
+  EXPECT_FALSE(tryAdFromJson(deepArrays, &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  std::string deepObjects = "{\"A\": ";
+  for (int i = 0; i < 100000; ++i) deepObjects += "{\"B\": ";
+  // (Unterminated on purpose; depth must trip before the syntax error.)
+  EXPECT_FALSE(tryAdFromJson(deepObjects, &error).has_value());
+}
+
+}  // namespace
+}  // namespace classad

@@ -8,6 +8,7 @@
 #include <map>
 
 #include "sim/machine.h"
+#include "sim/network.h"
 #include "sim/pool_manager.h"
 #include "sim/resource_agent.h"
 

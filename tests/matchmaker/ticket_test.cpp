@@ -1,0 +1,75 @@
+// Authorization-ticket rendering and strict parsing. Tickets travel as
+// hex strings inside classads from untrusted peers, so the parser must
+// reject everything except 1..16 bare hex digits.
+#include "matchmaker/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace matchmaking {
+namespace {
+
+TEST(Ticket, RoundTripsRepresentativeValues) {
+  const Ticket values[] = {
+      1,
+      0xDEADBEEFull,
+      0x0123456789ABCDEFull,
+      std::numeric_limits<Ticket>::max(),
+  };
+  for (Ticket t : values) {
+    auto back = ticketFromString(ticketToString(t));
+    ASSERT_TRUE(back.has_value()) << ticketToString(t);
+    EXPECT_EQ(*back, t);
+  }
+}
+
+TEST(Ticket, ZeroRoundTripsToNoTicket) {
+  auto back = ticketFromString(ticketToString(kNoTicket));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, kNoTicket);
+}
+
+TEST(Ticket, AcceptsBothHexCases) {
+  EXPECT_EQ(ticketFromString("deadBEEF").value_or(0), 0xDEADBEEFull);
+  EXPECT_EQ(ticketFromString("ffffffffffffffff").value_or(0),
+            std::numeric_limits<Ticket>::max());
+}
+
+TEST(Ticket, RejectsEmpty) {
+  EXPECT_FALSE(ticketFromString("").has_value());
+}
+
+TEST(Ticket, RejectsOverflow) {
+  // 17 hex digits cannot fit in 64 bits, however innocent the value.
+  EXPECT_FALSE(ticketFromString("10000000000000000").has_value());
+  EXPECT_FALSE(ticketFromString("fffffffffffffffff").has_value());
+  EXPECT_FALSE(ticketFromString("00000000000000001").has_value());
+  // Exactly 16 digits is the maximum and fine.
+  EXPECT_TRUE(ticketFromString("ffffffffffffffff").has_value());
+  EXPECT_TRUE(ticketFromString("0000000000000001").has_value());
+}
+
+TEST(Ticket, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ticketFromString("deadbeef ").has_value());
+  EXPECT_FALSE(ticketFromString("deadbeefg").has_value());
+  EXPECT_FALSE(ticketFromString("1234:5678").has_value());
+  EXPECT_FALSE(ticketFromString("42\n").has_value());
+}
+
+TEST(Ticket, RejectsLeadingDecorations) {
+  EXPECT_FALSE(ticketFromString(" deadbeef").has_value());
+  EXPECT_FALSE(ticketFromString("+1").has_value());
+  EXPECT_FALSE(ticketFromString("-1").has_value());
+  EXPECT_FALSE(ticketFromString("0xdeadbeef").has_value());
+}
+
+TEST(Ticket, RejectsNonHex) {
+  EXPECT_FALSE(ticketFromString("not a ticket").has_value());
+  EXPECT_FALSE(ticketFromString("g").has_value());
+  EXPECT_FALSE(ticketFromString("12.5").has_value());
+}
+
+}  // namespace
+}  // namespace matchmaking

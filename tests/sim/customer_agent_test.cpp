@@ -1,6 +1,7 @@
 // The Customer Agent: request ads, the match -> claim -> run -> release
 // lifecycle, eviction handling with and without checkpointing, and stale
 // match notifications.
+#include "sim/network.h"
 #include "sim/customer_agent.h"
 
 #include <gtest/gtest.h>

@@ -6,6 +6,7 @@
 
 #include "sim/customer_agent.h"
 #include "sim/machine.h"
+#include "sim/network.h"
 #include "sim/pool_manager.h"
 #include "sim/resource_agent.h"
 

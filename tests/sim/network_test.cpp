@@ -44,6 +44,9 @@ TEST(NetworkTest, UnknownDestinationDropsAtDelivery) {
   sim.runUntil(1.0);
   EXPECT_EQ(net.delivered(), 0u);
   EXPECT_EQ(net.dropped(), 1u);
+  // Counted as an addressing failure, not random loss.
+  EXPECT_EQ(net.droppedUnknown(), 1u);
+  EXPECT_EQ(net.droppedLoss(), 0u);
 }
 
 TEST(NetworkTest, DetachedEndpointMissesInFlight) {
@@ -84,6 +87,30 @@ TEST(NetworkTest, LossDropsApproximatelyAtRate) {
   sim.runUntil(10.0);
   EXPECT_NEAR(static_cast<double>(r.inbox.size()) / n, 0.7, 0.05);
   EXPECT_EQ(static_cast<std::size_t>(sent), r.inbox.size());
+  // Every drop here is random loss; none is an addressing failure.
+  EXPECT_EQ(net.droppedLoss(), n - r.inbox.size());
+  EXPECT_EQ(net.droppedUnknown(), 0u);
+  EXPECT_EQ(net.dropped(), net.droppedLoss() + net.droppedUnknown());
+}
+
+TEST(NetworkTest, LossAndUnknownDropsCountSeparately) {
+  Simulator sim;
+  NetworkConfig config = fastNet();
+  config.lossProbability = 0.5;
+  Network net(sim, Rng(7), config);
+  Recorder r;
+  net.attach("dst", &r);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    net.send("src", "dst", UsageReport{});
+    net.send("src", "nowhere", UsageReport{});
+  }
+  sim.runUntil(10.0);
+  // Addressing failures only count messages that survived the loss coin.
+  EXPECT_EQ(net.droppedUnknown() + net.droppedLoss(), net.dropped());
+  EXPECT_GT(net.droppedUnknown(), 0u);
+  EXPECT_GT(net.droppedLoss(), 0u);
+  EXPECT_EQ(net.delivered() + net.dropped(), 2u * n);
 }
 
 TEST(NetworkTest, AllMessageTypesRoute) {

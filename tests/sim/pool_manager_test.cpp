@@ -1,6 +1,7 @@
 // The pool manager: ad intake and validation, negotiation cycles with
 // match notifications both ways, usage intake, crash/recovery, and the
 // stateful-allocator strawman's orphan resets.
+#include "sim/network.h"
 #include "sim/pool_manager.h"
 
 #include <gtest/gtest.h>

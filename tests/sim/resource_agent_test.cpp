@@ -1,6 +1,7 @@
 // The Resource-owner Agent: advertisement contents, claim verification
 // against current state, job execution, policy enforcement over the life
 // of a claim, and rank preemption.
+#include "sim/network.h"
 #include "sim/resource_agent.h"
 
 #include <gtest/gtest.h>

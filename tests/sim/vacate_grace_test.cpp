@@ -4,6 +4,7 @@
 // into badput.
 #include <gtest/gtest.h>
 
+#include "sim/network.h"
 #include "sim/customer_agent.h"
 #include "sim/resource_agent.h"
 

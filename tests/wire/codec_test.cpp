@@ -1,0 +1,254 @@
+// The payload codec: every Message alternative survives an
+// encode/frame/decode round trip, Hello handshakes carry version range
+// and address, and malformed payloads (short, trailing bytes, bad
+// classad JSON, unknown type tags) are rejected without throwing.
+#include "wire/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "classad/classad.h"
+#include "classad/json.h"
+#include "sim/paper_ads.h"
+#include "wire/frame.h"
+
+namespace wire {
+namespace {
+
+using htcsim::Envelope;
+using htcsim::Message;
+
+Frame frameFromBytes(const std::string& bytes) {
+  FrameDecoder dec;
+  dec.append(bytes);
+  Frame f;
+  EXPECT_EQ(dec.next(f), DecodeStatus::kFrame) << dec.error();
+  return f;
+}
+
+/// Encodes, runs the bytes through the frame decoder, decodes back.
+Envelope roundTrip(const Envelope& env) {
+  const std::string bytes = encodeEnvelope(env);
+  const Frame f = frameFromBytes(bytes);
+  std::string error;
+  std::optional<Envelope> back = decodeEnvelope(f, &error);
+  EXPECT_TRUE(back.has_value()) << error;
+  return back.value_or(Envelope{});
+}
+
+std::string adJson(const classad::ClassAdPtr& ad) {
+  return ad ? classad::toJson(*ad) : std::string();
+}
+
+TEST(Codec, HelloRoundTrip) {
+  Hello hello;
+  hello.minVersion = 1;
+  hello.maxVersion = 3;
+  hello.address = "tcp://127.0.0.1:9618";
+  const std::string bytes = encodeHello(hello);
+  const Frame f = frameFromBytes(bytes);
+  EXPECT_EQ(f.type, static_cast<std::uint8_t>(MsgType::kHello));
+  std::string error;
+  std::optional<Hello> back = decodeHello(f, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->minVersion, 1);
+  EXPECT_EQ(back->maxVersion, 3);
+  EXPECT_EQ(back->address, "tcp://127.0.0.1:9618");
+}
+
+TEST(Codec, AdvertisementRoundTrip) {
+  matchmaking::Advertisement adv;
+  adv.ad = classad::makeShared(htcsim::makeFigure1Ad());
+  adv.sequence = 0xDEADBEEFCAFEBABEull;
+  adv.isRequest = false;
+  adv.key = "tcp://127.0.0.1:41999";
+  Envelope env{"ra://leonardo", "collector", adv};
+
+  Envelope back = roundTrip(env);
+  EXPECT_EQ(back.from, env.from);
+  EXPECT_EQ(back.to, env.to);
+  auto* got = std::get_if<matchmaking::Advertisement>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->sequence, adv.sequence);
+  EXPECT_EQ(got->isRequest, false);
+  EXPECT_EQ(got->key, adv.key);
+  EXPECT_EQ(adJson(got->ad), adJson(adv.ad));
+}
+
+TEST(Codec, AdInvalidateRoundTrip) {
+  htcsim::AdInvalidate inv;
+  inv.key = "ca://raman#17";
+  inv.isRequest = true;
+  Envelope back = roundTrip({"ca://raman", "collector", inv});
+  auto* got = std::get_if<htcsim::AdInvalidate>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->key, inv.key);
+  EXPECT_TRUE(got->isRequest);
+}
+
+TEST(Codec, MatchNotificationRoundTrip) {
+  matchmaking::MatchNotification note;
+  note.myAd = classad::makeShared(htcsim::makeFigure2Ad());
+  note.peerAd = classad::makeShared(htcsim::makeFigure1Ad());
+  note.peerContact = "tcp://127.0.0.1:40001";
+  note.ticket = 0x0123456789ABCDEFull;
+  Envelope back = roundTrip({"collector", "ca://raman", note});
+  auto* got = std::get_if<matchmaking::MatchNotification>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->peerContact, note.peerContact);
+  EXPECT_EQ(got->ticket, note.ticket);
+  EXPECT_EQ(adJson(got->myAd), adJson(note.myAd));
+  EXPECT_EQ(adJson(got->peerAd), adJson(note.peerAd));
+}
+
+TEST(Codec, MatchNotificationWithAbsentAds) {
+  // Ads are optional pointers; absence must survive the trip.
+  matchmaking::MatchNotification note;
+  note.peerContact = "tcp://127.0.0.1:40002";
+  Envelope back = roundTrip({"collector", "ra://leonardo", note});
+  auto* got = std::get_if<matchmaking::MatchNotification>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->myAd, nullptr);
+  EXPECT_EQ(got->peerAd, nullptr);
+}
+
+TEST(Codec, ClaimRequestRoundTrip) {
+  matchmaking::ClaimRequest req;
+  req.requestAd = classad::makeShared(htcsim::makeFigure2Ad());
+  req.ticket = 0xFFFFFFFFFFFFFFFFull;
+  req.customerContact = "ca://raman";
+  Envelope back = roundTrip({"ca://raman", "tcp://127.0.0.1:40001", req});
+  auto* got = std::get_if<matchmaking::ClaimRequest>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->ticket, req.ticket);
+  EXPECT_EQ(got->customerContact, req.customerContact);
+  EXPECT_EQ(adJson(got->requestAd), adJson(req.requestAd));
+}
+
+TEST(Codec, ClaimResponseRoundTrip) {
+  matchmaking::ClaimResponse resp;
+  resp.accepted = false;
+  resp.reason = "constraint no longer satisfied";
+  Envelope back = roundTrip({"ra://x", "ca://y", resp});
+  auto* got = std::get_if<matchmaking::ClaimResponse>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_FALSE(got->accepted);
+  EXPECT_EQ(got->reason, resp.reason);
+}
+
+TEST(Codec, ClaimReleaseRoundTrip) {
+  matchmaking::ClaimRelease rel;
+  rel.ticket = 42;
+  rel.reason = "completed";
+  rel.jobId = 17;
+  rel.cpuSecondsUsed = 1234.5;
+  rel.completed = true;
+  Envelope back = roundTrip({"ra://x", "ca://y", rel});
+  auto* got = std::get_if<matchmaking::ClaimRelease>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->ticket, rel.ticket);
+  EXPECT_EQ(got->reason, rel.reason);
+  EXPECT_EQ(got->jobId, rel.jobId);
+  EXPECT_DOUBLE_EQ(got->cpuSecondsUsed, rel.cpuSecondsUsed);
+  EXPECT_TRUE(got->completed);
+}
+
+TEST(Codec, UsageReportRoundTrip) {
+  htcsim::UsageReport report;
+  report.user = "raman";
+  report.resourceSeconds = 3600.25;
+  Envelope back = roundTrip({"ra://x", "collector", report});
+  auto* got = std::get_if<htcsim::UsageReport>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->user, "raman");
+  EXPECT_DOUBLE_EQ(got->resourceSeconds, 3600.25);
+}
+
+TEST(Codec, RejectsUnknownFrameType) {
+  Frame f;
+  f.type = 99;
+  f.payload = "";
+  std::string error;
+  EXPECT_FALSE(decodeEnvelope(f, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Codec, RejectsHelloFrameAsEnvelope) {
+  const std::string bytes = encodeHello(Hello{});
+  const Frame f = frameFromBytes(bytes);
+  std::string error;
+  EXPECT_FALSE(decodeEnvelope(f, &error).has_value());
+}
+
+TEST(Codec, RejectsTrailingBytes) {
+  htcsim::AdInvalidate inv;
+  inv.key = "k";
+  const std::string bytes = encodeEnvelope({"a", "b", inv});
+  Frame f = frameFromBytes(bytes);
+  f.payload += '\0';
+  std::string error;
+  EXPECT_FALSE(decodeEnvelope(f, &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(Codec, RejectsTruncatedPayload) {
+  matchmaking::ClaimResponse resp;
+  resp.accepted = true;
+  resp.reason = "ok";
+  const std::string bytes = encodeEnvelope({"a", "b", resp});
+  Frame f = frameFromBytes(bytes);
+  // Chop the payload at every possible length short of complete; none
+  // may decode, none may throw.
+  for (std::size_t cut = 0; cut < f.payload.size(); ++cut) {
+    Frame partial;
+    partial.type = f.type;
+    partial.payload = f.payload.substr(0, cut);
+    std::string error;
+    EXPECT_FALSE(decodeEnvelope(partial, &error).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(Codec, RejectsStringLengthOverrun) {
+  // A string whose declared length exceeds the remaining payload must be
+  // rejected, not read out of bounds or allocated at face value.
+  Frame f;
+  f.type = static_cast<std::uint8_t>(MsgType::kAdInvalidate);
+  // from = "", to = "", then a key whose length claims 0xFFFFFFFF.
+  f.payload = std::string(4, '\0') + std::string(4, '\0') +
+              std::string(4, '\xFF');
+  std::string error;
+  EXPECT_FALSE(decodeEnvelope(f, &error).has_value());
+}
+
+TEST(Codec, RejectsMalformedClassAdJson) {
+  matchmaking::ClaimRequest req;
+  req.requestAd = classad::makeShared(classad::ClassAd::parse("[ A = 1 ]"));
+  req.ticket = 7;
+  req.customerContact = "ca://u";
+  const std::string bytes = encodeEnvelope({"a", "b", req});
+  Frame f = frameFromBytes(bytes);
+  // Corrupt the JSON body (it is the last length-prefixed field before
+  // the trailing scalar fields; flip a structural brace).
+  std::size_t brace = f.payload.find('{');
+  ASSERT_NE(brace, std::string::npos);
+  f.payload[brace] = '(';
+  std::string error;
+  EXPECT_FALSE(decodeEnvelope(f, &error).has_value());
+}
+
+TEST(Codec, BooleanByteMustBeZeroOrOne) {
+  htcsim::AdInvalidate inv;
+  inv.key = "k";
+  inv.isRequest = false;
+  const std::string bytes = encodeEnvelope({"a", "b", inv});
+  Frame f = frameFromBytes(bytes);
+  f.payload.back() = 2;  // isRequest flag is the final byte
+  std::string error;
+  EXPECT_FALSE(decodeEnvelope(f, &error).has_value());
+}
+
+}  // namespace
+}  // namespace wire
