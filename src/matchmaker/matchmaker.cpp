@@ -1,6 +1,7 @@
 #include "matchmaker/matchmaker.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <limits>
@@ -9,6 +10,17 @@
 #include "matchmaker/aggregation.h"
 
 namespace matchmaking {
+
+namespace {
+
+/// Seconds elapsed since `from` (negotiation-phase stopwatch).
+double secondsSince(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       from)
+      .count();
+}
+
+}  // namespace
 
 bool Matchmaker::matches(const classad::ClassAd& request,
                          const classad::ClassAd& resource) const {
@@ -303,7 +315,12 @@ std::vector<Match> Matchmaker::negotiateNaive(
   local.resourcesConsidered = resources.size();
 
   std::vector<Match> out;
-  for (std::size_t reqIdx : serviceOrder(requests, accountant, now)) {
+  auto phaseStart = std::chrono::steady_clock::now();
+  const std::vector<std::size_t> order =
+      serviceOrder(requests, accountant, now);
+  local.serviceOrderSeconds = secondsSince(phaseStart);
+  phaseStart = std::chrono::steady_clock::now();
+  for (std::size_t reqIdx : order) {
     const classad::ClassAdPtr& request = requests[reqIdx];
     if (!request) continue;
     const Best best = scanAllSlots(
@@ -320,6 +337,7 @@ std::vector<Match> Matchmaker::negotiateNaive(
     ++local.matches;
     out.push_back(std::move(match));
   }
+  local.scanSeconds = secondsSince(phaseStart);
   if (stats) *stats = local;
   return out;
 }
@@ -364,7 +382,12 @@ std::vector<Match> Matchmaker::negotiateAggregated(
   };
 
   std::vector<Match> out;
-  for (std::size_t reqIdx : serviceOrder(requests, accountant, now)) {
+  auto phaseStart = std::chrono::steady_clock::now();
+  const std::vector<std::size_t> order =
+      serviceOrder(requests, accountant, now);
+  local.serviceOrderSeconds = secondsSince(phaseStart);
+  phaseStart = std::chrono::steady_clock::now();
+  for (std::size_t reqIdx : order) {
     const classad::ClassAdPtr& request = requests[reqIdx];
     if (!request) continue;
 
@@ -435,6 +458,7 @@ std::vector<Match> Matchmaker::negotiateAggregated(
       if (served) break;
     }
   }
+  local.scanSeconds = secondsSince(phaseStart);
   if (stats) *stats = local;
   return out;
 }

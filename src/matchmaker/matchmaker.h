@@ -86,6 +86,12 @@ struct NegotiationStats {
   /// algorithm's unit of work; E7 measures how aggregation reduces it).
   std::size_t candidateEvaluations = 0;
   std::size_t aggregateGroups = 0;  ///< 0 when aggregation is off
+  /// Wall-clock phase timings of this cycle (observability plane): the
+  /// fair-share service ordering and the candidate scan + rank pass. The
+  /// caller (PoolManager) adds its own ad-scan and notify phases around
+  /// negotiate() and publishes all four into its metrics registry.
+  double serviceOrderSeconds = 0.0;
+  double scanSeconds = 0.0;
 };
 
 class Matchmaker {

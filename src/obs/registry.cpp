@@ -1,0 +1,116 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace obs {
+
+void Gauge::add(double delta) noexcept {
+  // fetch_add on atomic<double> is C++20 but not universally implemented;
+  // a CAS loop is portable and the contention here is negligible.
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  std::sort(bounds_.begin(), bounds_.end());
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size() -> +inf
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucketCounts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::string Histogram::render() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    os << "le" << bounds_[i] << ':'
+       << buckets_[i].load(std::memory_order_relaxed) << ',';
+  }
+  os << "inf:" << buckets_[bounds_.size()].load(std::memory_order_relaxed);
+  return os.str();
+}
+
+const std::vector<double>& latencyBuckets() {
+  static const std::vector<double> kBounds = {
+      1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+      1e-2, 5e-2, 1e-1, 5e-1, 1.0,  5.0,  10.0};
+  return kBounds;
+}
+
+std::string Registry::sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "M");
+  return out;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[sanitize(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[sanitize(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(std::string_view name,
+                               const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[sanitize(name)];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+classad::ClassAd Registry::toClassAd() const {
+  classad::ClassAd ad;
+  renderInto(ad);
+  return ad;
+}
+
+void Registry::renderInto(classad::ClassAd& ad) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    ad.set(name, static_cast<std::int64_t>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    ad.set(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    ad.set(name + "_Count", static_cast<std::int64_t>(h->count()));
+    ad.set(name + "_Sum", h->sum());
+    ad.set(name + "_Buckets", h->render());
+  }
+}
+
+}  // namespace obs

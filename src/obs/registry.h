@@ -1,0 +1,124 @@
+// registry.h - Pool-wide observability: a lock-cheap metrics registry.
+//
+// Every daemon (and the simulated pool, through the same interface) owns
+// one Registry. Instruments are created once — name lookup takes a mutex
+// — and thereafter updated with single relaxed atomic operations, so the
+// hot paths (frame decode, reactor loop, negotiation cycle) pay one
+// uncontended atomic add per event. Readers (the Query handler rendering
+// a DaemonStatus self-advertisement) take the same creation mutex only to
+// walk the instrument table; the values themselves are torn-free atomics.
+//
+// The rendering target is a classad (toClassAd): the paper's "all
+// entities in the system are represented by classads" applied to the
+// daemons themselves. Counters render as integers, gauges as reals, and
+// a histogram as three attributes: <Name>_Count, <Name>_Sum, and
+// <Name>_Buckets (a "le<bound>:<count>" run-length string), so one-way
+// matching tools can constrain on any of them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classad/classad.h"
+
+namespace obs {
+
+/// Monotone event count. All operations are relaxed atomics: totals are
+/// exact, but a reader may see counts from different instants — the same
+/// weak-consistency contract the advertising protocol already lives with.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (stored requests, open connections).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket latency histogram. Bucket bounds are immutable after
+/// construction (no resize races); each observation is two relaxed adds
+/// plus one CAS for the running sum.
+class Histogram {
+ public:
+  /// `bounds` are ascending inclusive upper bounds; an implicit +inf
+  /// bucket catches the overflow.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  std::vector<std::uint64_t> bucketCounts() const;
+
+  /// "le1e-05:3,le0.0001:12,inf:0" — parseable, and compact enough to
+  /// live inside a DaemonStatus ad attribute.
+  std::string render() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+inf
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bounds for wall-clock latencies: 1 µs .. 10 s, decade steps
+/// with a 1-2-5-ish midpoint — wide enough for both a reactor pass and a
+/// 10k-machine negotiation cycle.
+const std::vector<double>& latencyBuckets();
+
+class Registry {
+ public:
+  /// Finds or creates. Returned pointers are stable for the registry's
+  /// lifetime. Names are sanitized to classad identifiers (see sanitize);
+  /// two raw names that sanitize identically share one instrument.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  /// `bounds` applies only on first creation.
+  Histogram* histogram(std::string_view name,
+                       const std::vector<double>& bounds = latencyBuckets());
+
+  /// Snapshot of every instrument as classad attributes (see header
+  /// comment for the encoding). Values are read with relaxed loads; the
+  /// snapshot is per-instrument consistent, not cross-instrument.
+  classad::ClassAd toClassAd() const;
+
+  /// Folds the snapshot into an existing ad (identity attributes first,
+  /// metrics appended).
+  void renderInto(classad::ClassAd& ad) const;
+
+  /// Classad-identifier-safe form of `name`: every character outside
+  /// [A-Za-z0-9_] becomes '_', and a leading digit gains an 'M' prefix.
+  static std::string sanitize(std::string_view name);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs

@@ -5,6 +5,7 @@
 
 #include <cerrno>
 
+#include "obs/registry.h"
 #include "service/socket.h"
 
 namespace service {
@@ -23,6 +24,8 @@ void Connection::close() noexcept {
 
 void Connection::queue(std::string_view bytes) {
   if (closed_) return;
+  if (framesOut_ != nullptr) framesOut_->inc();
+  if (bytesOut_ != nullptr) bytesOut_->inc(bytes.size());
   // Compact the flushed prefix before it dominates the buffer.
   if (outPos_ > 0 && outPos_ >= out_.size() / 2) {
     out_.erase(0, outPos_);

@@ -11,6 +11,10 @@
 
 #include "wire/frame.h"
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 namespace service {
 
 class Connection {
@@ -44,12 +48,24 @@ class Connection {
 
   wire::FrameDecoder& decoder() noexcept { return decoder_; }
 
+  /// Attaches outbound observability counters (either may be null):
+  /// whole frames queued and bytes queued. Inbound counting lives on the
+  /// decoder (FrameDecoder::instrument).
+  void instrument(obs::Counter* framesOut, obs::Counter* bytesOut) noexcept {
+    framesOut_ = framesOut;
+    bytesOut_ = bytesOut;
+  }
+
   void close() noexcept;
 
   /// The transport address the peer registered in its Hello (server
   /// side), or the address this connection was dialed for (client
   /// side). Empty until known.
   std::string peerAddress;
+
+  /// Optional per-peer inbound frame counter, installed by the owning
+  /// daemon once the peer identifies itself (not owned).
+  obs::Counter* peerFrameCounter = nullptr;
 
  private:
   int fd_;
@@ -58,6 +74,8 @@ class Connection {
   std::string out_;
   std::size_t outPos_ = 0;
   wire::FrameDecoder decoder_;
+  obs::Counter* framesOut_ = nullptr;
+  obs::Counter* bytesOut_ = nullptr;
 };
 
 }  // namespace service

@@ -44,6 +44,7 @@ classad::ClassAd CustomerAgentDaemon::buildRequestAd(const JobSpec& job) const {
 bool CustomerAgentDaemon::start(std::string* error) {
   if (running_.load()) return true;
   reactor_ = std::make_unique<Reactor>();
+  reactor_->instrument(&registry_);
   mmConn_ = reactor_->dial(config_.matchmakerHost, config_.matchmakerPort,
                            error);
   if (mmConn_ == nullptr) {
@@ -105,18 +106,48 @@ void CustomerAgentDaemon::run() {
 void CustomerAgentDaemon::advertiseIdleJobs() {
   lastAd_ = std::chrono::steady_clock::now();
   if (mmConn_ == nullptr || mmConn_->closed()) return;
-  std::lock_guard<std::mutex> lock(jobsMu_);
-  for (const JobEntry& job : jobs_) {
-    if (job.state != JobState::kIdle) continue;
-    matchmaking::Advertisement ad;
-    ad.ad = classad::makeShared(buildRequestAd(job.spec));
-    ad.sequence = ++adSequence_;
-    ad.isRequest = true;
-    ad.key = adKey(job.spec);
-    mmConn_->queue(
-        wire::encodeEnvelope({address_, "collector", std::move(ad)}));
-    ++adsSent_;
+  {
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    for (const JobEntry& job : jobs_) {
+      if (job.state != JobState::kIdle) continue;
+      matchmaking::Advertisement ad;
+      ad.ad = classad::makeShared(buildRequestAd(job.spec));
+      ad.sequence = ++adSequence_;
+      ad.isRequest = true;
+      ad.key = adKey(job.spec);
+      mmConn_->queue(
+          wire::encodeEnvelope({address_, "collector", std::move(ad)}));
+      ++adsSent_;
+    }
   }
+  // Same cadence, one DaemonStatus self-ad for the whole agent.
+  matchmaking::Advertisement status;
+  status.ad = classad::makeShared(buildSelfAd());
+  status.sequence = ++adSequence_;
+  status.isRequest = false;
+  status.key = address_;
+  mmConn_->queue(
+      wire::encodeEnvelope({address_, "collector", std::move(status)}));
+}
+
+classad::ClassAd CustomerAgentDaemon::buildSelfAd() {
+  registry_.gauge("IdleJobs")->set(static_cast<double>(idleJobs()));
+  registry_.gauge("RunningJobs")->set(static_cast<double>(runningJobs()));
+  registry_.gauge("CompletedJobs")
+      ->set(static_cast<double>(completed_.load()));
+  registry_.gauge("MatchesReceived")
+      ->set(static_cast<double>(matches_.load()));
+  registry_.gauge("ClaimsRejected")
+      ->set(static_cast<double>(rejected_.load()));
+  registry_.gauge("AdsSent")->set(static_cast<double>(adsSent_.load()));
+  classad::ClassAd ad;
+  ad.set("MyType", "DaemonStatus");
+  ad.set("Type", "DaemonStatus");
+  ad.set("DaemonType", "CustomerAgent");
+  ad.set("Name", config_.owner);
+  ad.set("Address", address_);
+  registry_.renderInto(ad);
+  return ad;
 }
 
 void CustomerAgentDaemon::invalidateJobAd(const JobSpec& job) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "classad/classad.h"
+#include "obs/registry.h"
 #include "service/reactor.h"
 
 namespace service {
@@ -70,6 +71,9 @@ class CustomerAgentDaemon {
   /// The request ad a job would advertise now (tests/tools).
   classad::ClassAd buildRequestAd(const JobSpec& job) const;
 
+  /// The daemon's metrics registry (see src/obs).
+  obs::Registry& registry() noexcept { return registry_; }
+
  private:
   enum class JobState { kIdle, kClaiming, kRunning, kDone };
   struct JobEntry {
@@ -81,6 +85,7 @@ class CustomerAgentDaemon {
   void run();
   void handleFrame(Connection& conn, const wire::Frame& frame);
   void advertiseIdleJobs();
+  classad::ClassAd buildSelfAd();
   void invalidateJobAd(const JobSpec& job);
   JobEntry* jobById(std::uint64_t id);
   JobEntry* jobOnConnection(const Connection* conn);
@@ -88,6 +93,7 @@ class CustomerAgentDaemon {
 
   Config config_;
   std::string address_;
+  obs::Registry registry_;  ///< must outlive reactor_
 
   std::unique_ptr<Reactor> reactor_;
   Connection* mmConn_ = nullptr;

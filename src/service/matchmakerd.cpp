@@ -1,8 +1,13 @@
 #include "service/matchmakerd.h"
 
 #include <chrono>
+#include <stdexcept>
 #include <unordered_map>
+#include <utility>
+#include <variant>
 
+#include "classad/query.h"
+#include "sim/metrics_bridge.h"
 #include "wire/codec.h"
 
 namespace service {
@@ -60,7 +65,7 @@ class MatchmakerDaemon::ServerTransport : public htcsim::Transport {
 };
 
 MatchmakerDaemon::MatchmakerDaemon(Config config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)), daemonAds_(config_.adLifetime) {}
 
 MatchmakerDaemon::~MatchmakerDaemon() { stop(); }
 
@@ -72,6 +77,7 @@ bool MatchmakerDaemon::start(std::string* error) {
     return false;
   }
   port_ = reactor_->port();
+  reactor_->instrument(&registry_);
 
   transport_ = std::make_unique<ServerTransport>();
   htcsim::PoolManagerConfig pmConfig;
@@ -80,6 +86,7 @@ bool MatchmakerDaemon::start(std::string* error) {
   pmConfig.adLifetime = config_.adLifetime;
   pmConfig.matchmaker = config_.matchmaker;
   pmConfig.accountant = config_.accountant;
+  pmConfig.registry = &registry_;
   pool_ = std::make_unique<htcsim::PoolManager>(sim_, *transport_, metrics_,
                                                 std::move(pmConfig));
 
@@ -132,6 +139,7 @@ void MatchmakerDaemon::run() {
 void MatchmakerDaemon::handleFrame(Connection& conn,
                                    const wire::Frame& frame) {
   ++frames_;
+  if (conn.peerFrameCounter != nullptr) conn.peerFrameCounter->inc();
   if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kHello)) {
     std::string error;
     const auto hello = wire::decodeHello(frame, &error);
@@ -144,12 +152,18 @@ void MatchmakerDaemon::handleFrame(Connection& conn,
     if (conn.peerAddress.empty() && !hello->address.empty()) {
       conn.peerAddress = hello->address;
       transport_->registerPeer(hello->address, &conn);
+      conn.peerFrameCounter =
+          registry_.counter("PeerFrames_" + hello->address);
       ++peers_;
       // Answer with our own hello so the peer can verify the version
       // and learn the collector's logical address.
       conn.queue(wire::encodeHello(
           {wire::kProtocolVersion, wire::kProtocolVersion, address_}));
     }
+    return;
+  }
+  if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kQuery)) {
+    handleQuery(conn, frame);
     return;
   }
   if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kClaimRequest) ||
@@ -166,6 +180,17 @@ void MatchmakerDaemon::handleFrame(Connection& conn,
     conn.close();  // schema disagreement; nothing downstream is safe
     return;
   }
+  // DaemonStatus self-advertisements bypass the PoolManager (which
+  // validates machine/job ads) and land in their own soft-state store,
+  // same expiry discipline as everything else.
+  if (const auto* adv = std::get_if<matchmaking::Advertisement>(&env->payload);
+      adv != nullptr && adv->ad != nullptr) {
+    if (adv->ad->getString("MyType").value_or("") == "DaemonStatus") {
+      daemonAds_.update("daemon:" + adv->key, adv->ad, sim_.now(),
+                        adv->sequence);
+      return;
+    }
+  }
   htcsim::Endpoint* target = transport_->localEndpoint(env->to);
   if (target == nullptr) {
     ++rejected_;
@@ -174,11 +199,105 @@ void MatchmakerDaemon::handleFrame(Connection& conn,
   target->deliver(*env);
 }
 
+void MatchmakerDaemon::handleQuery(Connection& conn,
+                                   const wire::Frame& frame) {
+  std::string error;
+  const auto query = wire::decodePoolQuery(frame, &error);
+  if (!query) {
+    // Binary-malformed payload: schema disagreement, same treatment as
+    // a bad envelope.
+    ++rejected_;
+    conn.close();
+    return;
+  }
+  ++queries_;
+  registry_.counter("QueriesServed")->inc();
+
+  wire::PoolQueryResponse resp;
+  classad::Query evaluator = classad::Query::all();
+  if (!query->constraint.empty()) {
+    try {
+      evaluator = classad::Query::fromConstraint(query->constraint);
+    } catch (const classad::ParseError& e) {
+      // A bad constraint is the caller's mistake, not a protocol
+      // violation: report it and keep the connection healthy.
+      registry_.counter("QueryErrors")->inc();
+      resp.ok = false;
+      resp.error = std::string("constraint parse error: ") + e.what();
+      conn.queue(wire::encodePoolQueryResponse(resp));
+      return;
+    }
+  }
+
+  std::vector<classad::ClassAdPtr> pool;
+  const auto gather = [&pool](std::vector<classad::ClassAdPtr> ads) {
+    for (auto& ad : ads) pool.push_back(std::move(ad));
+  };
+  const bool all = query->scope.empty();
+  if (all || query->scope == "machines") gather(pool_->snapshotResources());
+  if (all || query->scope == "jobs") gather(pool_->snapshotRequests());
+  if (all || query->scope == "daemons") {
+    gather(daemonAds_.snapshot());
+    pool.push_back(buildSelfAd());
+  }
+
+  for (const auto& ad : pool) {
+    if (ad == nullptr || !evaluator.matches(*ad)) continue;
+    if (query->projection.empty()) {
+      resp.ads.push_back(ad);
+      continue;
+    }
+    classad::ClassAd projected;
+    for (const auto& name : query->projection) {
+      if (const auto* expr = ad->lookup(name)) projected.insert(name, *expr);
+    }
+    resp.ads.push_back(classad::makeShared(std::move(projected)));
+  }
+
+  try {
+    conn.queue(wire::encodePoolQueryResponse(resp));
+  } catch (const std::length_error&) {
+    registry_.counter("QueryErrors")->inc();
+    wire::PoolQueryResponse tooBig;
+    tooBig.ok = false;
+    tooBig.error = "result too large for one frame; narrow the constraint";
+    conn.queue(wire::encodePoolQueryResponse(tooBig));
+  }
+}
+
+classad::ClassAdPtr MatchmakerDaemon::buildSelfAd() {
+  classad::ClassAd ad;
+  ad.set("MyType", "DaemonStatus");
+  ad.set("Type", "DaemonStatus");
+  ad.set("DaemonType", "Matchmaker");
+  ad.set("Name", address_);
+  ad.set("Address", address_);
+  registry_.renderInto(ad);
+  return classad::makeShared(std::move(ad));
+}
+
 void MatchmakerDaemon::refreshMirrors() {
+  daemonAds_.expire(sim_.now());
   storedRequests_.store(pool_->storedRequests());
   storedResources_.store(pool_->storedResources());
   cycles_.store(metrics_.negotiationCycles);
   matches_.store(metrics_.matchesIssued);
+  // Logical state mirrored into the registry so the DaemonStatus self-ad
+  // and `mm_status -stats` see it; hot-path instruments (frame counters,
+  // phase histograms) update continuously and need no mirroring.
+  registry_.gauge("StoredRequests")
+      ->set(static_cast<double>(pool_->storedRequests()));
+  registry_.gauge("StoredResources")
+      ->set(static_cast<double>(pool_->storedResources()));
+  registry_.gauge("PeersConnected")->set(static_cast<double>(peers_.load()));
+  registry_.gauge("FramesReceived")->set(static_cast<double>(frames_.load()));
+  registry_.gauge("ClaimFramesSeen")
+      ->set(static_cast<double>(claimFrames_.load()));
+  registry_.gauge("RejectedFrames")
+      ->set(static_cast<double>(rejected_.load()));
+  registry_.gauge("DaemonAdsStored")
+      ->set(static_cast<double>(daemonAds_.size()));
+  htcsim::publishMetrics(metrics_, registry_);
   std::lock_guard<std::mutex> lock(usageMu_);
   usageMirror_ = metrics_.usageByUser;
 }

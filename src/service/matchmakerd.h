@@ -24,6 +24,8 @@
 #include <string>
 #include <thread>
 
+#include "matchmaker/ad_store.h"
+#include "obs/registry.h"
 #include "service/reactor.h"
 #include "sim/pool_manager.h"
 #include "sim/transport.h"
@@ -69,20 +71,33 @@ class MatchmakerDaemon {
   std::size_t claimFramesSeen() const noexcept { return claimFrames_.load(); }
   std::size_t rejectedFrames() const noexcept { return rejected_.load(); }
   std::size_t peersConnected() const noexcept { return peers_.load(); }
+  std::size_t queriesServed() const noexcept { return queries_.load(); }
 
   /// Usage totals the accountant has recorded, by user.
   std::map<std::string, double> usageByUser() const;
+
+  /// The daemon's metrics registry (thread-safe instruments; see
+  /// src/obs). Hot-path counters are written by the service thread, the
+  /// negotiation histograms by PoolManager, and logical gauges are
+  /// mirrored every loop pass.
+  obs::Registry& registry() noexcept { return registry_; }
 
  private:
   class ServerTransport;
 
   void run();
   void handleFrame(Connection& conn, const wire::Frame& frame);
+  void handleQuery(Connection& conn, const wire::Frame& frame);
+  classad::ClassAdPtr buildSelfAd();
   void refreshMirrors();
 
   Config config_;
   std::string address_ = "collector";
   std::uint16_t port_ = 0;
+
+  // Shared instruments; must outlive pool_/reactor_, which hold
+  // pointers into it.
+  obs::Registry registry_;
 
   // Service-thread-only state (created in start(), driven in run()).
   htcsim::Simulator sim_;
@@ -90,6 +105,10 @@ class MatchmakerDaemon {
   std::unique_ptr<ServerTransport> transport_;
   std::unique_ptr<htcsim::PoolManager> pool_;
   std::unique_ptr<Reactor> reactor_;
+  /// DaemonStatus self-advertisements from connected agents, keyed
+  /// "daemon:<address>". Service-thread only — PoolManager never sees
+  /// these (it validates machine/job ads); queries read them directly.
+  matchmaking::AdStore daemonAds_;
 
   std::thread thread_;
   std::atomic<bool> stopFlag_{false};
@@ -103,6 +122,7 @@ class MatchmakerDaemon {
   std::atomic<std::size_t> claimFrames_{0};
   std::atomic<std::size_t> rejected_{0};
   std::atomic<std::size_t> peers_{0};
+  std::atomic<std::size_t> queries_{0};
 
   mutable std::mutex usageMu_;
   std::map<std::string, double> usageMirror_;

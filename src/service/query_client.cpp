@@ -1,0 +1,68 @@
+#include "service/query_client.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "service/reactor.h"
+
+namespace service {
+
+PoolQueryResult queryPool(const std::string& host, std::uint16_t port,
+                          const PoolQueryOptions& opts) {
+  PoolQueryResult result;
+  Reactor reactor;
+  std::string error;
+  Connection* conn = reactor.dial(host, port, &error);
+  if (conn == nullptr) {
+    result.error = "dial failed: " + error;
+    return result;
+  }
+  // An empty Hello address keeps the matchmaker from registering this
+  // connection as an agent peer — queries are read-only observers.
+  conn->queue(wire::encodeHello(
+      {wire::kProtocolVersion, wire::kProtocolVersion, std::string()}));
+  wire::PoolQuery query;
+  query.constraint = opts.constraint;
+  query.projection = opts.projection;
+  query.scope = opts.scope;
+  conn->queue(wire::encodePoolQuery(query));
+
+  std::optional<wire::PoolQueryResponse> response;
+  bool closed = false;
+  reactor.onFrame = [&](Connection&, const wire::Frame& frame) {
+    if (frame.type !=
+        static_cast<std::uint8_t>(wire::MsgType::kQueryResponse)) {
+      return;  // e.g. the matchmaker's Hello reply
+    }
+    std::string decodeError;
+    if (auto decoded = wire::decodePoolQueryResponse(frame, &decodeError)) {
+      response = std::move(*decoded);
+    } else {
+      response = wire::PoolQueryResponse{};
+      response->ok = false;
+      response->error = "malformed response: " + decodeError;
+    }
+  };
+  reactor.onClose = [&](Connection&) { closed = true; };
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opts.timeoutSeconds));
+  while (!response && !closed &&
+         std::chrono::steady_clock::now() < deadline) {
+    reactor.pollOnce(20);
+  }
+  if (!response) {
+    result.error = closed ? "connection closed before response"
+                          : "timed out waiting for response";
+    return result;
+  }
+  result.ok = response->ok;
+  result.error = std::move(response->error);
+  result.ads = std::move(response->ads);
+  return result;
+}
+
+}  // namespace service

@@ -1,0 +1,41 @@
+// query_client.h - Blocking client side of the Query protocol.
+//
+// One call = one short-lived connection: dial the matchmaker, say
+// Hello, send a PoolQuery, wait for the PoolQueryResponse. This is the
+// library entry point behind the mm_status tool and the integration
+// tests; it owns a private Reactor so it can be used from any thread
+// without touching a daemon's event loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "wire/codec.h"
+
+namespace service {
+
+struct PoolQueryOptions {
+  /// Classad constraint expression evaluated against each stored ad
+  /// (empty = match everything).
+  std::string constraint;
+  /// Attribute names to project each result down to (empty = full ads).
+  std::vector<std::string> projection;
+  /// "" (everything), "machines", "jobs", or "daemons".
+  std::string scope;
+  double timeoutSeconds = 10.0;
+};
+
+struct PoolQueryResult {
+  bool ok = false;
+  std::string error;  ///< transport or constraint failure when !ok
+  std::vector<classad::ClassAdPtr> ads;
+};
+
+/// Runs one query against the matchmaker at host:port. Blocks up to
+/// opts.timeoutSeconds; never throws.
+PoolQueryResult queryPool(const std::string& host, std::uint16_t port,
+                          const PoolQueryOptions& opts = {});
+
+}  // namespace service

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 
 #include "service/socket.h"
 
@@ -42,7 +43,27 @@ Connection* Reactor::dial(const std::string& host, std::uint16_t targetPort,
   const int fd = connectTcp(host, targetPort, error);
   if (fd < 0) return nullptr;
   conns_.push_back(std::make_unique<Connection>(fd, /*connecting=*/true));
+  instrumentConnection(*conns_.back());
   return conns_.back().get();
+}
+
+void Reactor::instrument(obs::Registry* registry) {
+  if (registry == nullptr) return;
+  bytesIn_ = registry->counter("BytesIn");
+  framesIn_ = registry->counter("FramesIn");
+  decodeErrors_ = registry->counter("DecodeErrors");
+  framesOut_ = registry->counter("FramesOut");
+  bytesOut_ = registry->counter("BytesOut");
+  accepted_ = registry->counter("ConnectionsAccepted");
+  open_ = registry->gauge("ConnectionsOpen");
+  loopHist_ = registry->histogram("ReactorLoopSeconds");
+  for (const auto& conn : conns_) instrumentConnection(*conn);
+}
+
+void Reactor::instrumentConnection(Connection& conn) {
+  if (framesIn_ == nullptr) return;
+  conn.decoder().instrument(bytesIn_, framesIn_, decodeErrors_);
+  conn.instrument(framesOut_, bytesOut_);
 }
 
 void Reactor::wake() {
@@ -84,8 +105,12 @@ void Reactor::pollOnce(int timeoutMs) {
   }
 
   const int ready = ::poll(fds.data(), fds.size(), timeoutMs);
+  // Latency is measured from here: the blocking wait inside poll is
+  // idle time, not work, and would swamp the histogram.
+  const auto workStart = std::chrono::steady_clock::now();
   if (ready <= 0) {
     reap();
+    if (open_ != nullptr) open_->set(static_cast<double>(conns_.size()));
     return;
   }
 
@@ -100,6 +125,8 @@ void Reactor::pollOnce(int timeoutMs) {
       const int fd = acceptOne(listenFd_);
       if (fd < 0) break;
       conns_.push_back(std::make_unique<Connection>(fd, /*connecting=*/false));
+      instrumentConnection(*conns_.back());
+      if (accepted_ != nullptr) accepted_->inc();
       if (onAccept) onAccept(*conns_.back());
     }
   }
@@ -126,6 +153,12 @@ void Reactor::pollOnce(int timeoutMs) {
     }
   }
   reap();
+  if (loopHist_ != nullptr) {
+    loopHist_->observe(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - workStart)
+                           .count());
+  }
+  if (open_ != nullptr) open_->set(static_cast<double>(conns_.size()));
 }
 
 void Reactor::reap() {

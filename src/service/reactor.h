@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
 #include "service/connection.h"
 #include "wire/frame.h"
 
@@ -46,6 +47,13 @@ class Reactor {
   /// Thread-safe: interrupts a concurrent pollOnce.
   void wake();
 
+  /// Attaches the daemon's metrics registry. Every current and future
+  /// connection's frame decoder and outbound queue report byte/frame/
+  /// error counters; pollOnce records its processing latency (time spent
+  /// working, not blocked in poll) in ReactorLoopSeconds and mirrors the
+  /// open-connection count. Call before the service loop starts.
+  void instrument(obs::Registry* registry);
+
   /// Marks a connection for reaping at the end of the iteration.
   void scheduleClose(Connection* conn) { conn->close(); }
 
@@ -62,12 +70,23 @@ class Reactor {
  private:
   void drainConnection(Connection& conn);
   void reap();
+  void instrumentConnection(Connection& conn);
 
   int listenFd_ = -1;
   std::uint16_t port_ = 0;
   int wakeRead_ = -1;
   int wakeWrite_ = -1;
   std::vector<std::unique_ptr<Connection>> conns_;
+
+  // Observability (all null until instrument()).
+  obs::Counter* bytesIn_ = nullptr;
+  obs::Counter* framesIn_ = nullptr;
+  obs::Counter* decodeErrors_ = nullptr;
+  obs::Counter* framesOut_ = nullptr;
+  obs::Counter* bytesOut_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
+  obs::Gauge* open_ = nullptr;
+  obs::Histogram* loopHist_ = nullptr;
 };
 
 }  // namespace service

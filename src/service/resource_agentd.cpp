@@ -65,6 +65,7 @@ bool ResourceAgentDaemon::start(std::string* error) {
     return false;
   }
   port_ = reactor_->port();
+  reactor_->instrument(&registry_);
 
   mmConn_ = reactor_->dial(config_.matchmakerHost, config_.matchmakerPort,
                            error);
@@ -140,6 +141,34 @@ void ResourceAgentDaemon::advertise() {
       {contactAddress(), "collector", std::move(ad)}));
   lastAd_ = std::chrono::steady_clock::now();
   ++adsSent_;
+  // Ride the same advertising cadence with a DaemonStatus self-ad: the
+  // agent's own health, as a classad, in the same soft-state store.
+  matchmaking::Advertisement status;
+  status.ad = classad::makeShared(buildSelfAd());
+  status.sequence = adSequence_;
+  status.isRequest = false;
+  status.key = contactAddress();
+  mmConn_->queue(wire::encodeEnvelope(
+      {contactAddress(), "collector", std::move(status)}));
+}
+
+classad::ClassAd ResourceAgentDaemon::buildSelfAd() {
+  registry_.gauge("ClaimsAccepted")
+      ->set(static_cast<double>(accepted_.load()));
+  registry_.gauge("ClaimsRejected")
+      ->set(static_cast<double>(rejectedClaims_.load()));
+  registry_.gauge("CompletionsSent")
+      ->set(static_cast<double>(completions_.load()));
+  registry_.gauge("AdsSent")->set(static_cast<double>(adsSent_.load()));
+  registry_.gauge("Claimed")->set(claimed_.load() ? 1.0 : 0.0);
+  classad::ClassAd ad;
+  ad.set("MyType", "DaemonStatus");
+  ad.set("Type", "DaemonStatus");
+  ad.set("DaemonType", "ResourceAgent");
+  ad.set("Name", config_.name);
+  ad.set("Address", contactAddress());
+  registry_.renderInto(ad);
+  return ad;
 }
 
 void ResourceAgentDaemon::handleFrame(Connection& conn,

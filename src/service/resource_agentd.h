@@ -22,6 +22,7 @@
 
 #include "classad/classad.h"
 #include "matchmaker/claiming.h"
+#include "obs/registry.h"
 #include "service/reactor.h"
 #include "sim/rng.h"
 
@@ -75,6 +76,9 @@ class ResourceAgentDaemon {
   /// The machine ad as it would be advertised now (tests/tools).
   classad::ClassAd buildAd() const;
 
+  /// The daemon's metrics registry (see src/obs).
+  obs::Registry& registry() noexcept { return registry_; }
+
  private:
   struct ActiveClaim {
     matchmaking::Ticket ticket = matchmaking::kNoTicket;
@@ -89,11 +93,13 @@ class ResourceAgentDaemon {
   void handleClaimRequest(Connection& conn,
                           const matchmaking::ClaimRequest& req);
   void advertise();
+  classad::ClassAd buildSelfAd();
   void finishClaim(bool completed, const std::string& reason);
   void mintTicket();
 
   Config config_;
   std::uint16_t port_ = 0;
+  obs::Registry registry_;  ///< must outlive reactor_
   htcsim::Rng rng_;
   mutable std::mutex stateMu_;  ///< guards ticket_/claim_ vs buildAd()
 

@@ -9,9 +9,13 @@
 //       .select(log.events());
 //
 // Recording is cheap (one small ad per event) and can be disabled for
-// large benchmark runs.
+// large benchmark runs. History is BOUNDED: a configurable cap (default
+// one million events) turns the log into a ring — when full, the oldest
+// block of events is evicted and counted in dropped(), so a long-running
+// live pool cannot grow its history without bound.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -24,14 +28,35 @@ namespace htcsim {
 
 class EventLog {
  public:
+  static constexpr std::size_t kDefaultCapacity = 1'000'000;
+
   /// Disabled logs drop every record (zero overhead in big sweeps).
   void setEnabled(bool enabled) noexcept { enabled_ = enabled; }
   bool enabled() const noexcept { return enabled_; }
 
+  /// Caps the history. Shrinking below the current size evicts the
+  /// oldest events immediately (they count as dropped).
+  void setCapacity(std::size_t capacity) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+    if (events_.size() > capacity_) evictOldest(events_.size() - capacity_);
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Events evicted by the ring cap since construction (never reset by
+  /// clear(): the counter records lifetime loss, the condition an
+  /// operator alerts on).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
   /// Appends one event ad. Each record carries at least Event, Time, and
   /// whatever the call site adds (Owner, JobId, Resource, Reason, ...).
+  /// At capacity, the oldest ~1/8 of the ring is evicted in one block —
+  /// amortized O(1) per record while keeping events() contiguous for the
+  /// span-based query engine.
   void record(classad::ClassAd event) {
     if (!enabled_) return;
+    if (events_.size() >= capacity_) {
+      evictOldest(std::max<std::size_t>(1, capacity_ / 8));
+    }
     events_.push_back(classad::makeShared(std::move(event)));
   }
 
@@ -51,7 +76,16 @@ class EventLog {
   void clear() { events_.clear(); }
 
  private:
+  void evictOldest(std::size_t n) {
+    n = std::min(n, events_.size());
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<std::ptrdiff_t>(n));
+    dropped_ += n;
+  }
+
   bool enabled_ = true;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t dropped_ = 0;
   std::vector<classad::ClassAdPtr> events_;
 };
 

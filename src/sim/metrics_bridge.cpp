@@ -1,0 +1,35 @@
+#include "sim/metrics_bridge.h"
+
+namespace htcsim {
+
+void publishMetrics(const Metrics& m, obs::Registry& reg) {
+  const auto set = [&reg](const char* name, double v) {
+    reg.gauge(name)->set(v);
+  };
+  set("JobsSubmitted", static_cast<double>(m.jobsSubmitted));
+  set("JobsCompleted", static_cast<double>(m.jobsCompleted));
+  set("TotalWaitTime", m.totalWaitTime);
+  set("TotalTurnaround", m.totalTurnaround);
+  set("PreemptionsByOwner", static_cast<double>(m.preemptionsByOwner));
+  set("PreemptionsByRank", static_cast<double>(m.preemptionsByRank));
+  set("GoodputCpuSeconds", m.goodputCpuSeconds);
+  set("BadputCpuSeconds", m.badputCpuSeconds);
+  set("NegotiationCycles", static_cast<double>(m.negotiationCycles));
+  set("MatchesIssued", static_cast<double>(m.matchesIssued));
+  set("ClaimsAccepted", static_cast<double>(m.claimsAccepted));
+  set("ClaimsRejected", static_cast<double>(m.claimsRejected));
+  set("StaleNotifications", static_cast<double>(m.staleNotifications));
+  set("OrphanedClaimResets", static_cast<double>(m.orphanedClaimResets));
+  set("MachineBusySeconds", m.machineBusySeconds);
+  set("EventLogSize", static_cast<double>(m.history.size()));
+  set("EventLogDropped", static_cast<double>(m.history.dropped()));
+}
+
+void publishNetwork(const Network& n, obs::Registry& reg) {
+  reg.gauge("NetworkDelivered")->set(static_cast<double>(n.delivered()));
+  reg.gauge("NetworkDroppedLoss")->set(static_cast<double>(n.droppedLoss()));
+  reg.gauge("NetworkDroppedUnknown")
+      ->set(static_cast<double>(n.droppedUnknown()));
+}
+
+}  // namespace htcsim

@@ -1,0 +1,23 @@
+// metrics_bridge.h - Publishes the simulator's Metrics struct (and the
+// simulated Network's drop counters) into an obs::Registry, so simulated
+// and live pools report through one schema: the attribute names a
+// DaemonStatus ad carries are identical whether the numbers came from a
+// discrete-event run or a TCP daemon, and `mm_status -stats` constraints
+// written against one work against the other.
+#pragma once
+
+#include "obs/registry.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+
+namespace htcsim {
+
+/// Snapshots `metrics` into gauges on `registry` (idempotent; call as
+/// often as a fresh view is needed — each field is one relaxed store).
+void publishMetrics(const Metrics& metrics, obs::Registry& registry);
+
+/// Surfaces the simulated transport's delivery/drop split
+/// (droppedLoss vs droppedUnknown — noise vs outage).
+void publishNetwork(const Network& network, obs::Registry& registry);
+
+}  // namespace htcsim

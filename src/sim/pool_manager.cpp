@@ -1,6 +1,18 @@
 #include "sim/pool_manager.h"
 
+#include <chrono>
+
 namespace htcsim {
+
+namespace {
+
+double wallSecondsSince(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       from)
+      .count();
+}
+
+}  // namespace
 
 PoolManager::PoolManager(Simulator& sim, Transport& net, Metrics& metrics,
                          Config config)
@@ -16,6 +28,16 @@ PoolManager::PoolManager(Simulator& sim, Transport& net, Metrics& metrics,
       gangMatcher_(config_.gang) {
   for (const auto& [user, group] : config_.accountingGroups) {
     accountant_.setGroup(user, group);
+  }
+  if (config_.registry != nullptr) {
+    obs::Registry& reg = *config_.registry;
+    cycleHist_ = reg.histogram("NegotiationCycleSeconds");
+    adScanHist_ = reg.histogram("PhaseAdScanSeconds");
+    fairShareHist_ = reg.histogram("PhaseFairShareSeconds");
+    rankHist_ = reg.histogram("PhaseRankSeconds");
+    notifyHist_ = reg.histogram("PhaseNotifySeconds");
+    matchesLastCycle_ = reg.gauge("MatchesLastCycle");
+    unmatchedLastCycle_ = reg.gauge("UnmatchedLastCycle");
   }
 }
 
@@ -104,6 +126,10 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
   matchmaking::NegotiationStats stats;
   if (!up_) return stats;
   ++metrics_.negotiationCycles;
+  // Phase timings are WALL clock even under the discrete-event clock:
+  // they measure what the algorithms actually cost on this hardware,
+  // which is what the observability plane exists to answer.
+  const auto cycleStart = std::chrono::steady_clock::now();
   requests_.expire(sim_.now());
   resources_.expire(sim_.now());
   // Split gang (co-allocation) requests out of the ordinary stream; they
@@ -118,8 +144,10 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
     }
   }
   const std::vector<classad::ClassAdPtr> resourceAds = resources_.snapshot();
+  const double adScanSeconds = wallSecondsSince(cycleStart);
   const std::vector<matchmaking::Match> matchesFound = matchmaker_.negotiate(
       requestAds, resourceAds, accountant_, sim_.now(), &stats);
+  const auto notifyStart = std::chrono::steady_clock::now();
   for (const matchmaking::Match& m : matchesFound) {
     ++metrics_.matchesIssued;
     // Matchmaking protocol (Step 3): both parties get each other's ads;
@@ -158,6 +186,18 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
       }
     }
     negotiateGangs(gangEntries, resourceAds, taken);
+  }
+  if (config_.registry != nullptr) {
+    adScanHist_->observe(adScanSeconds);
+    fairShareHist_->observe(stats.serviceOrderSeconds);
+    rankHist_->observe(stats.scanSeconds);
+    notifyHist_->observe(wallSecondsSince(notifyStart));
+    cycleHist_->observe(wallSecondsSince(cycleStart));
+    matchesLastCycle_->set(static_cast<double>(stats.matches));
+    unmatchedLastCycle_->set(static_cast<double>(
+        stats.requestsConsidered > stats.matches
+            ? stats.requestsConsidered - stats.matches
+            : 0));
   }
   return stats;
 }

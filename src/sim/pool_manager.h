@@ -30,6 +30,7 @@
 #include "matchmaker/gangmatch.h"
 #include "matchmaker/matchmaker.h"
 #include "matchmaker/priority.h"
+#include "obs/registry.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "sim/transport.h"
@@ -48,6 +49,11 @@ struct PoolManagerConfig {
   std::vector<std::pair<std::string, std::string>> accountingGroups;
   /// E2 strawman: behave like a conventional stateful allocator.
   bool stateful = false;
+  /// Observability plane (optional, not owned). When set, every
+  /// negotiation cycle publishes per-phase latency histograms (ad-scan,
+  /// fair-share, rank/scan, notify) and per-cycle match/reject gauges.
+  /// Null costs nothing on the hot path beyond one pointer test.
+  obs::Registry* registry = nullptr;
 };
 
 class PoolManager : public Endpoint {
@@ -78,6 +84,13 @@ class PoolManager : public Endpoint {
   }
   std::size_t storedRequests() const noexcept { return requests_.size(); }
   std::size_t storedResources() const noexcept { return resources_.size(); }
+  /// Live ads as of the last expiry — the Query protocol's data source.
+  std::vector<classad::ClassAdPtr> snapshotRequests() const {
+    return requests_.snapshot();
+  }
+  std::vector<classad::ClassAdPtr> snapshotResources() const {
+    return resources_.snapshot();
+  }
   const std::string& address() const noexcept { return config_.address; }
 
  private:
@@ -106,6 +119,15 @@ class PoolManager : public Endpoint {
   std::unordered_map<std::string, std::string> allocationTable_;
   std::optional<PeriodicTimer> cycleTimer_;
   bool up_ = false;
+
+  // Observability instruments (null when config_.registry is null).
+  obs::Histogram* cycleHist_ = nullptr;
+  obs::Histogram* adScanHist_ = nullptr;
+  obs::Histogram* fairShareHist_ = nullptr;
+  obs::Histogram* rankHist_ = nullptr;
+  obs::Histogram* notifyHist_ = nullptr;
+  obs::Gauge* matchesLastCycle_ = nullptr;
+  obs::Gauge* unmatchedLastCycle_ = nullptr;
 };
 
 }  // namespace htcsim

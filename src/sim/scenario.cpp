@@ -1,5 +1,7 @@
 #include "sim/scenario.h"
 
+#include "sim/metrics_bridge.h"
+
 namespace htcsim {
 
 Scenario::Scenario(ScenarioConfig config)
@@ -60,6 +62,11 @@ Scenario::Scenario(ScenarioConfig config)
 Scenario::~Scenario() = default;
 
 void Scenario::run() { runUntil(config_.duration); }
+
+void Scenario::publishInto(obs::Registry& registry) const {
+  publishMetrics(metrics_, registry);
+  publishNetwork(*net_, registry);
+}
 
 void Scenario::runUntil(Time until) { sim_.runUntil(until); }
 

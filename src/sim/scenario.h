@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
 #include "sim/customer_agent.h"
 #include "sim/machine.h"
 #include "sim/metrics.h"
@@ -67,6 +68,12 @@ class Scenario {
 
   /// Sum of idle+running+completed across all CAs (tests).
   std::size_t totalJobs() const;
+
+  /// Snapshots the run's Metrics and the simulated Network's
+  /// delivered/dropped split into `registry` — the simulated pool
+  /// reporting through the same DaemonStatus schema as the live daemons
+  /// (see sim/metrics_bridge.h).
+  void publishInto(obs::Registry& registry) const;
 
  private:
   ScenarioConfig config_;

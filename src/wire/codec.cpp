@@ -236,6 +236,9 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       return true;
     }
     case MsgType::kHello:
+    case MsgType::kQuery:
+    case MsgType::kQueryResponse:
+      // Not envelope payloads; these have their own codecs.
       return false;
   }
   return false;
@@ -270,6 +273,76 @@ std::optional<Hello> decodeHello(const Frame& frame, std::string* error) {
     return std::nullopt;
   }
   return hello;
+}
+
+std::string encodePoolQuery(const PoolQuery& query) {
+  Writer w;
+  w.str(query.constraint);
+  w.str(query.scope);
+  w.u32(static_cast<std::uint32_t>(query.projection.size()));
+  for (const std::string& attr : query.projection) w.str(attr);
+  return encodeFrame(static_cast<std::uint8_t>(MsgType::kQuery), w.take());
+}
+
+std::optional<PoolQuery> decodePoolQuery(const Frame& frame,
+                                         std::string* error) {
+  if (frame.type != static_cast<std::uint8_t>(MsgType::kQuery)) {
+    if (error) *error = "not a query frame";
+    return std::nullopt;
+  }
+  Reader r(frame.payload);
+  PoolQuery query;
+  query.constraint = r.str();
+  query.scope = r.str();
+  const std::uint32_t n = r.u32();
+  // A hostile count cannot force an allocation: each element must be
+  // backed by payload bytes, so the loop bails on the first short read.
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    query.projection.push_back(r.str());
+  }
+  if (!r.finish()) {
+    if (error) *error = r.error();
+    return std::nullopt;
+  }
+  return query;
+}
+
+std::string encodePoolQueryResponse(const PoolQueryResponse& response) {
+  Writer w;
+  w.boolean(response.ok);
+  w.str(response.error);
+  w.u32(static_cast<std::uint32_t>(response.ads.size()));
+  for (const classad::ClassAdPtr& ad : response.ads) w.ad(ad);
+  return encodeFrame(static_cast<std::uint8_t>(MsgType::kQueryResponse),
+                     w.take());
+}
+
+std::optional<PoolQueryResponse> decodePoolQueryResponse(const Frame& frame,
+                                                         std::string* error) {
+  if (frame.type != static_cast<std::uint8_t>(MsgType::kQueryResponse)) {
+    if (error) *error = "not a query-response frame";
+    return std::nullopt;
+  }
+  Reader r(frame.payload);
+  PoolQueryResponse response;
+  response.ok = r.boolean();
+  response.error = r.str();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    classad::ClassAdPtr ad = r.ad();
+    if (r.ok() && ad == nullptr) {
+      // Absent ads are legal in match notifications but meaningless in a
+      // query result; reject rather than silently shrink the answer.
+      if (error) *error = "absent ad in query response";
+      return std::nullopt;
+    }
+    response.ads.push_back(std::move(ad));
+  }
+  if (!r.finish()) {
+    if (error) *error = r.error();
+    return std::nullopt;
+  }
+  return response;
 }
 
 std::string encodeEnvelope(const htcsim::Envelope& env) {

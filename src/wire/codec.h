@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/transport.h"
 #include "wire/frame.h"
@@ -23,7 +24,9 @@
 namespace wire {
 
 /// Frame type tags. Tag 1 is the connection handshake; tags 2..8 map
-/// 1:1 onto the htcsim::Message variant alternatives.
+/// 1:1 onto the htcsim::Message variant alternatives; tags 9..10 are the
+/// observability Query protocol (one-way matching over the pool's ads,
+/// Section 4's status/queue browsing tools taken live).
 enum class MsgType : std::uint8_t {
   kHello = 1,
   kAdvertisement = 2,
@@ -33,6 +36,8 @@ enum class MsgType : std::uint8_t {
   kClaimResponse = 6,
   kClaimRelease = 7,
   kUsageReport = 8,
+  kQuery = 9,
+  kQueryResponse = 10,
 };
 
 /// First frame on every connection, both directions. Carries the version
@@ -56,5 +61,37 @@ std::string encodeEnvelope(const htcsim::Envelope& env);
 /// fills `error`) on any malformed payload or a non-message frame type.
 std::optional<htcsim::Envelope> decodeEnvelope(const Frame& frame,
                                                std::string* error);
+
+/// A client's ad-store query (mm_status, monitoring): a classad
+/// constraint expression evaluated against each stored ad with the
+/// one-way Query engine. The constraint travels as TEXT — parse errors
+/// are a semantic fault answered with an error QueryResponse, never a
+/// framing fault that would poison the connection.
+struct PoolQuery {
+  /// Classad expression; empty matches every ad in scope.
+  std::string constraint;
+  /// Attribute names to project; empty returns full ads.
+  std::vector<std::string> projection;
+  /// "" = everything the matchmaker stores; "machines" = resource ads,
+  /// "jobs" = request ads, "daemons" = DaemonStatus self-ads.
+  std::string scope;
+};
+
+std::string encodePoolQuery(const PoolQuery& query);
+std::optional<PoolQuery> decodePoolQuery(const Frame& frame,
+                                         std::string* error);
+
+/// The matchmaker's answer: the matching ads, or ok=false with a
+/// human-readable error (bad constraint / oversize result). An error
+/// response leaves the connection healthy for the next query.
+struct PoolQueryResponse {
+  bool ok = true;
+  std::string error;
+  std::vector<classad::ClassAdPtr> ads;
+};
+
+std::string encodePoolQueryResponse(const PoolQueryResponse& response);
+std::optional<PoolQueryResponse> decodePoolQueryResponse(const Frame& frame,
+                                                         std::string* error);
 
 }  // namespace wire

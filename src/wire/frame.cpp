@@ -3,6 +3,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace wire {
 
 namespace {
@@ -69,6 +71,7 @@ std::string encodeFrame(std::uint8_t type, std::string_view payload) {
 
 void FrameDecoder::append(std::string_view data) {
   if (poisoned_) return;
+  if (bytesIn_ != nullptr) bytesIn_->inc(data.size());
   // Compact once the consumed prefix dominates, keeping the buffer from
   // creeping upward across many frames.
   if (start_ > 0 && start_ >= buffer_.size() / 2) {
@@ -79,6 +82,7 @@ void FrameDecoder::append(std::string_view data) {
 }
 
 DecodeStatus FrameDecoder::fail(std::string message) {
+  if (decodeErrors_ != nullptr) decodeErrors_->inc();
   poisoned_ = true;
   error_ = std::move(message);
   buffer_.clear();
@@ -114,6 +118,7 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   if (crc32(payload) != expected) return fail("checksum mismatch");
   out.type = static_cast<std::uint8_t>(h[5]);
   out.payload.assign(payload);
+  if (framesIn_ != nullptr) framesIn_->inc();
   start_ += kHeaderSize + length;
   if (start_ == buffer_.size()) {
     buffer_.clear();

@@ -27,6 +27,10 @@
 #include <string>
 #include <string_view>
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 namespace wire {
 
 inline constexpr unsigned char kMagic[4] = {'M', 'M', 'W', 'P'};
@@ -72,6 +76,17 @@ class FrameDecoder {
   bool poisoned() const noexcept { return poisoned_; }
   const std::string& error() const noexcept { return error_; }
 
+  /// Attaches observability counters (any may be null): bytes fed to
+  /// append(), whole frames produced, and poisoning faults. Counters are
+  /// registry-owned atomics, so instrumentation adds one relaxed atomic
+  /// op per event on the decode path.
+  void instrument(obs::Counter* bytesIn, obs::Counter* framesIn,
+                  obs::Counter* decodeErrors) noexcept {
+    bytesIn_ = bytesIn;
+    framesIn_ = framesIn;
+    decodeErrors_ = decodeErrors;
+  }
+
   /// Bytes currently buffered (bounded by kHeaderSize + kMaxPayload +
   /// one read chunk, since headers are validated before payloads are
   /// awaited).
@@ -84,6 +99,9 @@ class FrameDecoder {
   std::size_t start_ = 0;  ///< consumed prefix, compacted lazily
   bool poisoned_ = false;
   std::string error_;
+  obs::Counter* bytesIn_ = nullptr;
+  obs::Counter* framesIn_ = nullptr;
+  obs::Counter* decodeErrors_ = nullptr;
 };
 
 }  // namespace wire

@@ -1,0 +1,139 @@
+// Unit tests for the observability registry: instrument semantics,
+// name sanitization, classad rendering, and multi-threaded updates
+// (the contract the daemons rely on: writers never block writers).
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(Histogram, BucketsObservationsByBound) {
+  Histogram h({0.001, 0.01, 0.1});
+  h.observe(0.0005);  // le0.001
+  h.observe(0.001);   // le0.001 (inclusive upper bound)
+  h.observe(0.05);    // le0.1
+  h.observe(7.0);     // inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum(), 0.0005 + 0.001 + 0.05 + 7.0, 1e-12);
+  const auto buckets = h.bucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + inf
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 0u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Histogram, RenderIsParseableRunLength) {
+  Histogram h({0.5});
+  h.observe(0.1);
+  h.observe(2.0);
+  EXPECT_EQ(h.render(), "le0.5:1,inf:1");
+}
+
+TEST(Registry, InstrumentsAreFindOrCreate) {
+  Registry reg;
+  Counter* a = reg.counter("Frames");
+  Counter* b = reg.counter("Frames");
+  EXPECT_EQ(a, b);
+  a->inc(3);
+  EXPECT_EQ(b->value(), 3u);
+  // Different kinds with the same name coexist (distinct tables).
+  EXPECT_NE(static_cast<void*>(reg.gauge("Frames")),
+            static_cast<void*>(a));
+}
+
+TEST(Registry, SanitizeMakesClassAdIdentifiers) {
+  EXPECT_EQ(Registry::sanitize("PeerFrames_tcp://127.0.0.1:9618"),
+            "PeerFrames_tcp___127_0_0_1_9618");
+  EXPECT_EQ(Registry::sanitize("9lives"), "M9lives");
+  EXPECT_EQ(Registry::sanitize(""), "M");
+  EXPECT_EQ(Registry::sanitize("Already_Fine_123"), "Already_Fine_123");
+}
+
+TEST(Registry, TwoNamesThatSanitizeAlikeShareOneInstrument) {
+  Registry reg;
+  EXPECT_EQ(reg.counter("a.b"), reg.counter("a:b"));
+}
+
+TEST(Registry, ToClassAdRendersEveryInstrumentKind) {
+  Registry reg;
+  reg.counter("FramesIn")->inc(7);
+  reg.gauge("StoredAds")->set(12.0);
+  Histogram* h = reg.histogram("CycleSeconds", {1.0});
+  h->observe(0.5);
+  h->observe(3.0);
+
+  const classad::ClassAd ad = reg.toClassAd();
+  EXPECT_EQ(ad.getInteger("FramesIn").value_or(-1), 7);
+  EXPECT_DOUBLE_EQ(ad.getNumber("StoredAds").value_or(-1.0), 12.0);
+  EXPECT_EQ(ad.getInteger("CycleSeconds_Count").value_or(-1), 2);
+  EXPECT_NEAR(ad.getNumber("CycleSeconds_Sum").value_or(-1.0), 3.5, 1e-12);
+  EXPECT_EQ(ad.getString("CycleSeconds_Buckets").value_or(""),
+            "le1:1,inf:1");
+}
+
+TEST(Registry, RenderIntoPreservesExistingAttributes) {
+  Registry reg;
+  reg.counter("QueriesServed")->inc();
+  classad::ClassAd ad;
+  ad.set("MyType", "DaemonStatus");
+  reg.renderInto(ad);
+  EXPECT_EQ(ad.getString("MyType").value_or(""), "DaemonStatus");
+  EXPECT_EQ(ad.getInteger("QueriesServed").value_or(-1), 1);
+}
+
+TEST(Registry, ConcurrentWritersLoseNothing) {
+  // The contract the reactor threads depend on: N threads hammering the
+  // same instruments through the registry yield exact totals.
+  Registry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter* c = reg.counter("Shared");
+      Histogram* h = reg.histogram("SharedHist", {0.5});
+      for (int i = 0; i < kPerThread; ++i) {
+        c->inc();
+        h->observe(i % 2 == 0 ? 0.25 : 1.0);
+        reg.gauge("SharedGauge")->add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("Shared")->value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.histogram("SharedHist")->count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(reg.gauge("SharedGauge")->value(),
+                   static_cast<double>(kThreads) * kPerThread);
+  const auto buckets = reg.histogram("SharedHist")->bucketCounts();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0], static_cast<std::uint64_t>(kThreads) * kPerThread / 2);
+  EXPECT_EQ(buckets[1], static_cast<std::uint64_t>(kThreads) * kPerThread / 2);
+}
+
+}  // namespace
+}  // namespace obs

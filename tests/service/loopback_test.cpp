@@ -11,8 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include "classad/query.h"
 #include "service/customer_agentd.h"
 #include "service/matchmakerd.h"
+#include "service/query_client.h"
 #include "service/resource_agentd.h"
 
 namespace service {
@@ -137,6 +139,192 @@ TEST(Loopback, ResourcesIdleWithoutCustomers) {
       << " cycles=" << matchmaker.negotiationCycles();
   EXPECT_EQ(matchmaker.matchesIssued(), 0u);
   EXPECT_FALSE(resource.claimed());
+
+  resource.stop();
+  matchmaker.stop();
+}
+
+TEST(Loopback, QueryProtocolServesLivePoolState) {
+  // mm_status's library entry point against a live pool: machines,
+  // daemons (incl. the matchmaker's own DaemonStatus ad with a
+  // non-empty negotiation-cycle histogram), constraints, projections,
+  // and error handling — all over real loopback sockets.
+  MatchmakerDaemonConfig mmConfig;
+  mmConfig.negotiationInterval = 0.1;
+  MatchmakerDaemon matchmaker(mmConfig);
+  std::string error;
+  ASSERT_TRUE(matchmaker.start(&error)) << error;
+
+  std::vector<std::unique_ptr<ResourceAgentDaemon>> resources;
+  for (int i = 0; i < 3; ++i) {
+    ResourceAgentDaemonConfig raConfig;
+    raConfig.name = "query-machine-" + std::to_string(i);
+    raConfig.memoryMB = 64 + 64 * i;  // 64, 128, 192
+    raConfig.matchmakerPort = matchmaker.port();
+    raConfig.adIntervalSeconds = 0.1;
+    resources.push_back(std::make_unique<ResourceAgentDaemon>(raConfig));
+    ASSERT_TRUE(resources.back()->start(&error)) << error;
+  }
+
+  CustomerAgentDaemonConfig caConfig;
+  caConfig.owner = "observer";
+  caConfig.matchmakerPort = matchmaker.port();
+  caConfig.adIntervalSeconds = 0.1;
+  CustomerAgentDaemon customer(caConfig);  // zero jobs; just a peer
+  ASSERT_TRUE(customer.start(&error)) << error;
+
+  // Wait for ads plus at least one negotiation cycle so the phase
+  // histograms have samples.
+  ASSERT_TRUE(waitFor(
+      [&] {
+        return matchmaker.storedResources() == 3 &&
+               matchmaker.negotiationCycles() >= 1;
+      },
+      30s))
+      << "resources=" << matchmaker.storedResources()
+      << " cycles=" << matchmaker.negotiationCycles();
+
+  // Machine scope: all three machine ads.
+  PoolQueryOptions machines;
+  machines.scope = "machines";
+  PoolQueryResult result =
+      queryPool("127.0.0.1", matchmaker.port(), machines);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GE(result.ads.size(), 3u);
+  for (const auto& ad : result.ads) {
+    EXPECT_EQ(ad->getString("Type").value_or(""), "Machine");
+  }
+
+  // Constraint narrows the result on the server side.
+  PoolQueryOptions big;
+  big.scope = "machines";
+  big.constraint = "Memory >= 128";
+  result = queryPool("127.0.0.1", matchmaker.port(), big);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.ads.size(), 2u);
+
+  // Projection strips everything but the requested attributes.
+  PoolQueryOptions projected;
+  projected.scope = "machines";
+  projected.projection = {"Name", "Memory"};
+  result = queryPool("127.0.0.1", matchmaker.port(), projected);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_GE(result.ads.size(), 3u);
+  for (const auto& ad : result.ads) {
+    EXPECT_TRUE(ad->getString("Name").has_value());
+    EXPECT_TRUE(ad->getInteger("Memory").has_value());
+    EXPECT_FALSE(ad->lookup("Arch"));  // not projected
+  }
+
+  // Daemon scope: the agents' periodic DaemonStatus self-ads plus the
+  // matchmaker's own — with live negotiation-cycle tracing in it.
+  PoolQueryOptions daemons;
+  daemons.scope = "daemons";
+  ASSERT_TRUE(waitFor(
+      [&] {
+        const auto r = queryPool("127.0.0.1", matchmaker.port(), daemons);
+        return r.ok && r.ads.size() >= 5;  // 3 RAs + 1 CA + matchmaker
+      },
+      30s));
+  result = queryPool("127.0.0.1", matchmaker.port(), daemons);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_GE(result.ads.size(), 5u);
+  const classad::Query mmQuery =
+      classad::Query::fromConstraint("DaemonType == \"Matchmaker\"");
+  std::size_t matchmakerAds = 0;
+  for (const auto& ad : result.ads) {
+    EXPECT_EQ(ad->getString("MyType").value_or(""), "DaemonStatus");
+    if (!mmQuery.matches(*ad)) continue;
+    ++matchmakerAds;
+    // The tentpole acceptance check: the negotiation-cycle histogram in
+    // the matchmaker's self-ad is non-empty, and the per-phase timings
+    // rendered alongside it.
+    EXPECT_GE(ad->getInteger("NegotiationCycleSeconds_Count").value_or(0), 1);
+    EXPECT_GE(ad->getInteger("PhaseAdScanSeconds_Count").value_or(0), 1);
+    EXPECT_GE(ad->getInteger("PhaseNotifySeconds_Count").value_or(0), 1);
+    EXPECT_FALSE(
+        ad->getString("NegotiationCycleSeconds_Buckets").value_or("").empty());
+    EXPECT_GE(ad->getInteger("FramesIn").value_or(0), 1);
+  }
+  EXPECT_EQ(matchmakerAds, 1u);
+  // Agent self-ads carry their DaemonType too.
+  EXPECT_GE(classad::Query::fromConstraint("DaemonType == \"ResourceAgent\"")
+                .count(result.ads),
+            3u);
+  EXPECT_GE(classad::Query::fromConstraint("DaemonType == \"CustomerAgent\"")
+                .count(result.ads),
+            1u);
+
+  customer.stop();
+  for (auto& ra : resources) ra->stop();
+  matchmaker.stop();
+}
+
+TEST(Loopback, MalformedConstraintDoesNotPoisonTheConnection) {
+  MatchmakerDaemonConfig mmConfig;
+  mmConfig.negotiationInterval = 0.2;
+  MatchmakerDaemon matchmaker(mmConfig);
+  std::string error;
+  ASSERT_TRUE(matchmaker.start(&error)) << error;
+
+  ResourceAgentDaemonConfig raConfig;
+  raConfig.name = "queried";
+  raConfig.matchmakerPort = matchmaker.port();
+  raConfig.adIntervalSeconds = 0.1;
+  ResourceAgentDaemon resource(raConfig);
+  ASSERT_TRUE(resource.start(&error)) << error;
+  ASSERT_TRUE(waitFor([&] { return matchmaker.storedResources() == 1; }, 30s));
+
+  // A syntactically broken constraint is the CALLER's error: the server
+  // answers ok=false with a diagnostic instead of dropping the link.
+  PoolQueryOptions bad;
+  bad.constraint = "Memory >= ((";
+  PoolQueryResult result = queryPool("127.0.0.1", matchmaker.port(), bad);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("parse"), std::string::npos) << result.error;
+
+  // The same daemon still answers well-formed queries afterwards.
+  PoolQueryOptions good;
+  good.scope = "machines";
+  result = queryPool("127.0.0.1", matchmaker.port(), good);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.ads.size(), 1u);
+
+  // And the stats surface records the served queries.
+  EXPECT_GE(matchmaker.queriesServed(), 2u);
+
+  // Strongest form: bad query then good query on ONE connection. If the
+  // parse error poisoned anything, the second response never arrives.
+  {
+    Reactor prober;
+    std::string dialError;
+    Connection* conn =
+        prober.dial("127.0.0.1", matchmaker.port(), &dialError);
+    ASSERT_NE(conn, nullptr) << dialError;
+    wire::PoolQuery broken;
+    broken.constraint = ")(";
+    conn->queue(wire::encodePoolQuery(broken));
+    wire::PoolQuery fine;
+    fine.scope = "machines";
+    conn->queue(wire::encodePoolQuery(fine));
+
+    std::vector<wire::PoolQueryResponse> responses;
+    prober.onFrame = [&](Connection&, const wire::Frame& frame) {
+      std::string decodeError;
+      if (auto r = wire::decodePoolQueryResponse(frame, &decodeError)) {
+        responses.push_back(std::move(*r));
+      }
+    };
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (responses.size() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      prober.pollOnce(10);
+    }
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_FALSE(responses[0].ok);
+    EXPECT_TRUE(responses[1].ok) << responses[1].error;
+    EXPECT_EQ(responses[1].ads.size(), 1u);
+  }
 
   resource.stop();
   matchmaker.stop();

@@ -43,6 +43,67 @@ TEST(EventLogTest, DisabledDropsRecords) {
   EXPECT_EQ(log.size(), 0u);
 }
 
+TEST(EventLogTest, DefaultCapacityIsOneMillion) {
+  EventLog log;
+  EXPECT_EQ(log.capacity(), EventLog::kDefaultCapacity);
+  EXPECT_EQ(log.capacity(), 1'000'000u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLogTest, RingEvictsOldestWhenFull) {
+  EventLog log;
+  log.setCapacity(16);
+  for (int i = 0; i < 100; ++i) {
+    classad::ClassAd e = EventLog::make("tick", static_cast<double>(i));
+    e.set("Seq", static_cast<std::int64_t>(i));
+    log.record(std::move(e));
+  }
+  // Never exceeds the cap, and everything evicted is accounted for.
+  EXPECT_LE(log.size(), 16u);
+  EXPECT_EQ(log.size() + log.dropped(), 100u);
+  // What survives is the NEWEST tail, still in order.
+  const auto events = log.events();
+  std::int64_t last = -1;
+  for (const auto& event : events) {
+    const std::int64_t seq = event->getInteger("Seq").value_or(-1);
+    EXPECT_GT(seq, last);
+    last = seq;
+  }
+  EXPECT_EQ(last, 99);
+}
+
+TEST(EventLogTest, ShrinkingCapacityEvictsImmediately) {
+  EventLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.record(EventLog::make("tick", static_cast<double>(i)));
+  }
+  EXPECT_EQ(log.size(), 10u);
+  log.setCapacity(4);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+  // The survivors are the newest four.
+  EXPECT_DOUBLE_EQ(log.events().front()->getNumber("Time").value_or(-1.0),
+                   6.0);
+  // Zero is clamped to one (a zero-capacity ring would drop everything
+  // silently, which is what setEnabled(false) is for).
+  log.setCapacity(0);
+  EXPECT_EQ(log.capacity(), 1u);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EventLogTest, DroppedCounterSurvivesClear) {
+  EventLog log;
+  log.setCapacity(2);
+  for (int i = 0; i < 5; ++i) {
+    log.record(EventLog::make("tick", static_cast<double>(i)));
+  }
+  const std::uint64_t droppedBefore = log.dropped();
+  EXPECT_GT(droppedBefore, 0u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), droppedBefore);  // lifetime counter
+}
+
 TEST(EventLogTest, ScenarioProducesCoherentHistory) {
   ScenarioConfig config;
   config.seed = 99;

@@ -1,0 +1,190 @@
+// Query/QueryResponse codec: round trips (empty, projected, scoped,
+// ad-carrying), hostile payloads (truncation at every byte, trailing
+// bytes, absent ads, lying counts), and fuzz — the decoder must reject
+// without throwing or over-allocating.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "classad/classad.h"
+#include "sim/rng.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+
+namespace wire {
+namespace {
+
+Frame frameFromBytes(const std::string& bytes) {
+  FrameDecoder dec;
+  dec.append(bytes);
+  Frame f;
+  EXPECT_EQ(dec.next(f), DecodeStatus::kFrame) << dec.error();
+  return f;
+}
+
+TEST(QueryCodec, EmptyQueryRoundTrip) {
+  const std::string bytes = encodePoolQuery({});
+  const Frame f = frameFromBytes(bytes);
+  EXPECT_EQ(f.type, static_cast<std::uint8_t>(MsgType::kQuery));
+  std::string error;
+  const auto back = decodePoolQuery(f, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_TRUE(back->constraint.empty());
+  EXPECT_TRUE(back->scope.empty());
+  EXPECT_TRUE(back->projection.empty());
+}
+
+TEST(QueryCodec, FullQueryRoundTrip) {
+  PoolQuery q;
+  q.constraint = "Arch == \"INTEL\" && Memory >= 64";
+  q.scope = "machines";
+  q.projection = {"Name", "Arch", "Memory"};
+  std::string error;
+  const auto back = decodePoolQuery(frameFromBytes(encodePoolQuery(q)),
+                                    &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->constraint, q.constraint);
+  EXPECT_EQ(back->scope, q.scope);
+  EXPECT_EQ(back->projection, q.projection);
+}
+
+TEST(QueryCodec, ResponseRoundTripWithAds) {
+  PoolQueryResponse resp;
+  classad::ClassAd a;
+  a.set("Name", "machine-0");
+  a.set("Memory", std::int64_t{64});
+  classad::ClassAd b;
+  b.set("Name", "machine-1");
+  b.setExpr("Rank", "other.KFlops / 1000");
+  resp.ads = {classad::makeShared(std::move(a)),
+              classad::makeShared(std::move(b))};
+  const Frame f = frameFromBytes(encodePoolQueryResponse(resp));
+  EXPECT_EQ(f.type, static_cast<std::uint8_t>(MsgType::kQueryResponse));
+  std::string error;
+  const auto back = decodePoolQueryResponse(f, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_TRUE(back->ok);
+  ASSERT_EQ(back->ads.size(), 2u);
+  EXPECT_EQ(back->ads[0]->getString("Name").value_or(""), "machine-0");
+  EXPECT_EQ(back->ads[1]->getString("Name").value_or(""), "machine-1");
+}
+
+TEST(QueryCodec, ErrorResponseRoundTrip) {
+  PoolQueryResponse resp;
+  resp.ok = false;
+  resp.error = "constraint parse error: unexpected token";
+  std::string error;
+  const auto back =
+      decodePoolQueryResponse(frameFromBytes(encodePoolQueryResponse(resp)),
+                              &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_FALSE(back->ok);
+  EXPECT_EQ(back->error, resp.error);
+  EXPECT_TRUE(back->ads.empty());
+}
+
+TEST(QueryCodec, WrongFrameTypeRejected) {
+  const Frame f = frameFromBytes(encodePoolQuery({}));
+  std::string error;
+  EXPECT_FALSE(decodePoolQueryResponse(f, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(QueryCodec, TruncationAtEveryByteRejected) {
+  PoolQuery q;
+  q.constraint = "Memory > 32";
+  q.scope = "machines";
+  q.projection = {"Name", "Arch"};
+  const std::string whole = encodePoolQuery(q);
+  const Frame full = frameFromBytes(whole);
+  // Chop the decoded payload (framing already verified the envelope, so
+  // drive decodePoolQuery directly on shortened payloads).
+  for (std::size_t n = 0; n < full.payload.size(); ++n) {
+    Frame cut = full;
+    cut.payload.resize(n);
+    std::string error;
+    EXPECT_FALSE(decodePoolQuery(cut, &error).has_value())
+        << "payload truncated to " << n << " bytes decoded";
+  }
+}
+
+TEST(QueryCodec, TrailingBytesRejected) {
+  Frame f = frameFromBytes(encodePoolQuery({}));
+  f.payload += '\0';
+  std::string error;
+  EXPECT_FALSE(decodePoolQuery(f, &error).has_value());
+}
+
+TEST(QueryCodec, LyingProjectionCountRejectedWithoutAllocating) {
+  // A count of ~4 billion projections must fail on short read, not
+  // attempt to reserve memory for them.
+  Frame f = frameFromBytes(encodePoolQuery({}));
+  // Payload layout: constraint(str) scope(str) count(u32). Flip the
+  // count to 0xFFFFFFFF.
+  ASSERT_GE(f.payload.size(), 4u);
+  for (std::size_t i = f.payload.size() - 4; i < f.payload.size(); ++i) {
+    f.payload[i] = static_cast<char>(0xFF);
+  }
+  std::string error;
+  EXPECT_FALSE(decodePoolQuery(f, &error).has_value());
+}
+
+TEST(QueryCodec, AbsentAdInResponseRejected) {
+  PoolQueryResponse resp;
+  resp.ads = {nullptr};
+  const Frame f = frameFromBytes(encodePoolQueryResponse(resp));
+  std::string error;
+  EXPECT_FALSE(decodePoolQueryResponse(f, &error).has_value());
+  EXPECT_NE(error.find("absent"), std::string::npos) << error;
+}
+
+TEST(QueryCodec, FuzzBitFlipsNeverCrash) {
+  PoolQuery q;
+  q.constraint = "Arch == \"INTEL\"";
+  q.projection = {"Name"};
+  const std::string original = encodePoolQuery(q);
+  htcsim::Rng rng(htcsim::hashName("query-codec-fuzz"));
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes = original;
+    const std::size_t pos = rng.next() % bytes.size();
+    bytes[pos] = static_cast<char>(
+        static_cast<unsigned char>(bytes[pos]) ^
+        (1u << (rng.next() % 8)));
+    FrameDecoder dec;
+    dec.append(bytes);
+    Frame f;
+    if (dec.next(f) != DecodeStatus::kFrame) continue;  // framing caught it
+    std::string error;
+    const auto decoded = decodePoolQuery(f, &error);
+    // Decoding may succeed (the flip hit string content) or fail, but
+    // must never crash; on success the result is well-formed.
+    if (decoded) {
+      EXPECT_LE(decoded->projection.size(), f.payload.size());
+    }
+  }
+}
+
+TEST(QueryCodec, FuzzRandomGarbagePayloadsNeverCrash) {
+  htcsim::Rng rng(htcsim::hashName("query-response-fuzz"));
+  for (int trial = 0; trial < 500; ++trial) {
+    Frame f;
+    f.type = static_cast<std::uint8_t>(
+        trial % 2 == 0 ? MsgType::kQuery : MsgType::kQueryResponse);
+    const std::size_t len = rng.next() % 64;
+    f.payload.clear();
+    for (std::size_t i = 0; i < len; ++i) {
+      f.payload += static_cast<char>(rng.next() & 0xFF);
+    }
+    std::string error;
+    if (f.type == static_cast<std::uint8_t>(MsgType::kQuery)) {
+      decodePoolQuery(f, &error);
+    } else {
+      decodePoolQueryResponse(f, &error);
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wire
