@@ -1,14 +1,21 @@
 // E8 - Constraint diagnostics (Section 5 future work: "identifying
-// constraints which can never be satisfied by the pool"). Two series:
-// (a) analysis cost vs pool size for a single request (the interactive
-// "why won't my job run?" case), and (b) accuracy of the pool-wide sweep
-// on a synthetic request population where exactly half the requests are
-// made unsatisfiable — the detector must find all of them and nothing
-// else (precision = recall = 1 by construction, reported as counters).
+// constraints which can never be satisfied by the pool"). Series:
+// (a) dynamic analysis cost vs pool size for a single request (the
+// interactive "why won't my job run?" case), (b) accuracy of the dynamic
+// pool-wide sweep on a synthetic request population where exactly half
+// the requests are made unsatisfiable — the detector must find all of
+// them and nothing else (precision = recall = 1 by construction,
+// reported as counters), and (c) the static column: lintAd against a
+// pre-folded pool schema, whose per-request cost does not grow with the
+// pool, plus its own precision/recall over synthetically broken ads
+// with statically decidable defects (misspellings, contradictory
+// ranges, type errors).
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 
+#include "classad/analysis/lint.h"
+#include "classad/analysis/schema.h"
 #include "matchmaker/analysis.h"
 
 namespace {
@@ -79,6 +86,117 @@ void BM_E8_SweepAccuracy(benchmark::State& state) {
   state.counters["recall"] = recall;
 }
 BENCHMARK(BM_E8_SweepAccuracy)->Arg(20)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// Static column, cost: the same request as BM_E8_DiagnoseOneRequest, but
+// linted against a schema folded from the pool once, outside the timing
+// loop. Unlike the dynamic diagnosis, the per-request time is flat across
+// pool sizes — the pool only enters through the (amortized) fold.
+void BM_E8_StaticLintOneRequest(benchmark::State& state) {
+  namespace ca = classad::analysis;
+  const auto pool =
+      bench::machineAds(static_cast<std::size_t>(state.range(0)), 12);
+  const ca::Schema schema = ca::Schema::fromAds(pool);
+  ca::LintOptions opts;
+  opts.otherSchema = &schema;
+  classad::ClassAd job;
+  job.set("Type", "Job");
+  job.set("Owner", "raman");
+  job.set("Memory", 64);
+  job.setExpr("Constraint",
+              "other.Type == \"Machine\" && Arch == \"INTEL\" && "
+              "OpSys == \"WINNT\" && other.Memory >= self.Memory");
+  ca::LintReport report;
+  for (auto _ : state) {
+    report = ca::lintAd(job, opts);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["pool"] = static_cast<double>(state.range(0));
+  state.counters["findings"] = static_cast<double>(report.findings.size());
+}
+BENCHMARK(BM_E8_StaticLintOneRequest)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+// The one-time cost the static column amortizes: folding the pool into a
+// schema. Linear in the pool, paid once per pool snapshot rather than
+// once per request.
+void BM_E8_SchemaFold(benchmark::State& state) {
+  namespace ca = classad::analysis;
+  const auto pool =
+      bench::machineAds(static_cast<std::size_t>(state.range(0)), 12);
+  ca::Schema schema;
+  for (auto _ : state) {
+    schema = ca::Schema::fromAds(pool);
+    benchmark::DoNotOptimize(schema);
+  }
+  state.counters["pool"] = static_cast<double>(state.range(0));
+  state.counters["attrs"] = static_cast<double>(schema.attributeCount());
+}
+BENCHMARK(BM_E8_SchemaFold)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// Static column, accuracy: even-indexed requests are clean; odd ones
+// carry a statically decidable defect rotating through the three classes
+// the analyzer must catch — a misspelled attribute, a contradictory
+// numeric range, a type-error comparison. Flagged = any lint finding;
+// precision = recall = 1 means no false positives on the clean half and
+// no missed defects on the broken half.
+void BM_E8_StaticSweepAccuracy(benchmark::State& state) {
+  namespace ca = classad::analysis;
+  const std::size_t poolSize = 500;
+  const std::size_t requestCount = static_cast<std::size_t>(state.range(0));
+  const auto pool = bench::machineAds(poolSize, 12);
+  const ca::Schema schema = ca::Schema::fromAds(pool);
+  ca::LintOptions opts;
+  opts.otherSchema = &schema;
+  static const char* kDefects[] = {
+      "other.Type == \"Machine\" && other.Memery >= 32",
+      "other.Type == \"Machine\" && other.Memory >= 100 && "
+      "other.Memory < 80",
+      "other.Type == \"Machine\" && other.Arch == 5",
+  };
+  std::vector<classad::ClassAdPtr> requests;
+  for (std::size_t i = 0; i < requestCount; ++i) {
+    classad::ClassAd job;
+    job.set("Type", "Job");
+    job.set("Owner", "raman");
+    job.set("Memory", 32);
+    if (i % 2 == 0) {
+      job.setExpr("Constraint",
+                  "other.Type == \"Machine\" && other.Memory >= self.Memory");
+    } else {
+      job.setExpr("Constraint", kDefects[(i / 2) % 3]);
+    }
+    requests.push_back(classad::makeShared(std::move(job)));
+  }
+  std::vector<std::size_t> flagged;
+  for (auto _ : state) {
+    flagged.clear();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (!ca::lintAd(*requests[i], opts).empty()) flagged.push_back(i);
+    }
+    benchmark::DoNotOptimize(flagged);
+  }
+  std::size_t truePositives = 0;
+  for (const std::size_t i : flagged) truePositives += i % 2 == 1;
+  const double precision =
+      flagged.empty() ? 1.0
+                      : static_cast<double>(truePositives) /
+                            static_cast<double>(flagged.size());
+  const double recall = static_cast<double>(truePositives) /
+                        static_cast<double>(requestCount / 2);
+  state.counters["requests"] = static_cast<double>(requestCount);
+  state.counters["flagged"] = static_cast<double>(flagged.size());
+  state.counters["precision"] = precision;
+  state.counters["recall"] = recall;
+}
+BENCHMARK(BM_E8_StaticSweepAccuracy)->Arg(20)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

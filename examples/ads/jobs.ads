@@ -1,0 +1,35 @@
+# A small job queue: the request side of the example pool. These ads are
+# both linted against pool.ads and folded into the schema machine ads are
+# checked against, so every attribute a machine ad references
+# (other.Owner, other.Type, other.ImageSize, other.Department) appears here.
+
+[ Type = "Job";
+  Owner = "raman";
+  Cmd = "run_sim";
+  Department = "CompSci";
+  ContactAddress = "ca://raman.cs.wisc.edu";
+  ImageSize = 28000;
+  Constraint = other.Type == "Machine" && Arch == "INTEL" &&
+               OpSys == "Solaris251" && Disk >= self.ImageSize;
+  Rank = other.Mips ]
+
+[ Type = "Job";
+  Owner = "solomon";
+  Cmd = "render_frames";
+  Department = "CompSci";
+  ContactAddress = "ca://solomon.cs.wisc.edu";
+  ImageSize = 120000;
+  Constraint = other.Type == "Machine" && other.Memory >= 128 &&
+               other.Disk >= self.ImageSize;
+  Rank = other.KFlops ]
+
+[ Type = "Job";
+  Owner = "livny";
+  Cmd = "simulate_pool";
+  Department = "CompSci";
+  ContactAddress = "ca://livny.cs.wisc.edu";
+  ImageSize = 64000;
+  Constraint = other.Type == "Machine" &&
+               (other.Arch == "ALPHA" || other.Memory >= 64) &&
+               other.Disk >= self.ImageSize;
+  Rank = other.Memory ]

@@ -1,0 +1,62 @@
+# Machine classads in the style of Figure 2 of the paper: workstations
+# advertising their resources, owner policies, and preferences. These are
+# the pool mm_lint folds into a schema when checking job ads, and are
+# themselves linted against the job ads in jobs.ads (ctest: lint_example_*).
+
+[ Type = "Machine";
+  Name = "leonardo";
+  Activity = "Idle";
+  Arch = "INTEL";
+  OpSys = "Solaris251";
+  Memory = 64;
+  Disk = 3076076;
+  Mips = 104;
+  KFlops = 21893;
+  KeyboardIdle = 1432;
+  LoadAvg = 0.042;
+  ContactAddress = "ra://leonardo.cs.wisc.edu";
+  ResearchGroup = { "raman", "miron", "solomon" };
+  Friends = { "tannenba", "wright" };
+  Untrusted = { "rival", "riffraff" };
+  Constraint = !member(other.Owner, Untrusted) && other.Type == "Job" &&
+               other.ImageSize <= Disk;
+  Rank = member(other.Owner, ResearchGroup) * 10 +
+         member(other.Owner, Friends) ]
+
+[ Type = "Machine";
+  Name = "raphael";
+  Activity = "Idle";
+  Arch = "INTEL";
+  OpSys = "Solaris251";
+  Memory = 128;
+  Disk = 8192000;
+  Mips = 210;
+  KFlops = 45120;
+  KeyboardIdle = 4040;
+  LoadAvg = 0.011;
+  ContactAddress = "ra://raphael.cs.wisc.edu";
+  ResearchGroup = { "solomon", "livny" };
+  Friends = { "raman" };
+  Untrusted = { "rival" };
+  Constraint = !member(other.Owner, Untrusted) && other.Type == "Job" &&
+               other.ImageSize <= Memory * 1024;
+  Rank = member(other.Owner, ResearchGroup) * 10 ]
+
+[ Type = "Machine";
+  Name = "donatello";
+  Activity = "Idle";
+  Arch = "ALPHA";
+  OpSys = "OSF1";
+  Memory = 256;
+  Disk = 16384000;
+  Mips = 320;
+  KFlops = 91005;
+  KeyboardIdle = 920;
+  LoadAvg = 0.210;
+  ContactAddress = "ra://donatello.cs.wisc.edu";
+  ResearchGroup = { "livny" };
+  Friends = { };
+  Untrusted = { };
+  Constraint = other.Type == "Job" && other.ImageSize <= Disk;
+  Rank = other.Department == self.Department;
+  Department = "CompSci" ]

@@ -1,0 +1,619 @@
+#include "classad/analysis/absint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "classad/builtins.h"
+#include "classad/value.h"
+
+namespace classad::analysis {
+
+namespace {
+
+constexpr double kInf = Interval::kInf;
+
+/// Walk state: the static counterpart of EvalContext's cycle stack and
+/// depth guard. Kept well below the evaluator's 512 so the analyzer's own
+/// C++ recursion stays shallow; exceeding it widens to top, which is
+/// always sound.
+struct AbsCtx {
+  const AnalysisEnv* env;
+  std::vector<std::pair<const ClassAd*, std::string>> stack;
+  int depth = 0;
+  static constexpr int kMaxDepth = 200;
+};
+
+AbstractValue eval(const Expr& expr, AbsCtx& ctx);
+
+bool hasOrdinary(const AbstractValue& v) {
+  return !v.types()
+              .without(ValueType::Undefined)
+              .without(ValueType::Error)
+              .empty();
+}
+
+bool mayBeStruct(const AbstractValue& v) {
+  return v.types().has(ValueType::List) || v.types().has(ValueType::Record);
+}
+
+/// Exceptional propagation shared by the strict builtins (see
+/// `propagate()` in builtins.cpp): any may-error argument makes error
+/// reachable, any may-undefined argument makes undefined reachable, and
+/// the ordinary result is only reachable when EVERY argument has a
+/// non-exceptional possibility.
+AbstractValue propagated(const std::vector<AbstractValue>& args,
+                         bool* ordinaryPossible) {
+  AbstractValue r = AbstractValue::bottom();
+  *ordinaryPossible = true;
+  for (const AbstractValue& a : args) {
+    if (a.mayBeError()) r = r.join(AbstractValue::error());
+    if (a.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+    if (!hasOrdinary(a)) *ordinaryPossible = false;
+  }
+  return r;
+}
+
+// --- builtin transfer functions --------------------------------------------
+
+AbstractValue typePredicate(const AbstractValue& a, TypeSet yes) {
+  const bool canYes = !a.types().intersect(yes).empty();
+  const bool canNo = !a.types().subsetOf(yes);
+  return AbstractValue::boolean(canYes, canNo);
+}
+
+AbstractValue absMember(const AbstractValue& needle,
+                        const AbstractValue& hay) {
+  AbstractValue r = AbstractValue::bottom();
+  if (needle.mayBeError() || hay.mayBeError()) {
+    r = r.join(AbstractValue::error());
+  }
+  if (hay.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+  if (!hay.types()
+           .without(ValueType::List)
+           .without(ValueType::Undefined)
+           .without(ValueType::Error)
+           .empty()) {
+    r = r.join(AbstractValue::error());  // non-list haystack
+  }
+  if (hay.types().has(ValueType::List)) {
+    if (needle.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+    if (hasOrdinary(needle)) {
+      // Element comparisons may themselves be undefined.
+      r = r.join(AbstractValue::boolean(true, true))
+              .join(AbstractValue::undefined());
+    }
+  }
+  return r;
+}
+
+AbstractValue absIdenticalMember(const AbstractValue& hay) {
+  AbstractValue r = AbstractValue::bottom();
+  if (hay.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+  if (!hay.types()
+           .without(ValueType::List)
+           .without(ValueType::Undefined)
+           .empty()) {
+    r = r.join(AbstractValue::error());
+  }
+  if (hay.types().has(ValueType::List)) {
+    r = r.join(AbstractValue::boolean(true, true));
+  }
+  return r;
+}
+
+Interval truncatedToInt(const Interval& r) {
+  if (r.empty()) return r;
+  return {std::floor(r.lo), std::ceil(r.hi), false, false};
+}
+
+AbstractValue absRounding(const AbstractValue& a) {
+  AbstractValue r = AbstractValue::bottom();
+  if (a.mayBeError()) r = r.join(AbstractValue::error());
+  if (a.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+  if (a.types().has(ValueType::Boolean) || a.mayBeString() ||
+      mayBeStruct(a)) {
+    r = r.join(AbstractValue::error());
+  }
+  if (a.mayBeNumber()) {
+    r = r.join(AbstractValue::integer(truncatedToInt(a.range())));
+  }
+  return r;
+}
+
+AbstractValue absIntCast(const AbstractValue& a) {
+  AbstractValue r = AbstractValue::bottom();
+  if (a.mayBeError()) r = r.join(AbstractValue::error());
+  if (a.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+  if (a.types().has(ValueType::Integer)) {
+    r = r.join(AbstractValue::integer(a.range()));
+  }
+  if (a.types().has(ValueType::Real)) {
+    r = r.join(AbstractValue::integer(truncatedToInt(a.range())));
+  }
+  if (a.types().has(ValueType::Boolean)) {
+    Interval b = Interval::none();
+    if (a.mayBeFalse()) b = b.hull(Interval::point(0.0));
+    if (a.mayBeTrue()) b = b.hull(Interval::point(1.0));
+    r = r.join(AbstractValue::integer(b));
+  }
+  if (a.mayBeString()) {
+    r = r.join(AbstractValue::integer(Interval::all()))
+            .join(AbstractValue::error());
+  }
+  if (mayBeStruct(a)) r = r.join(AbstractValue::error());
+  return r;
+}
+
+AbstractValue absRealCast(const AbstractValue& a) {
+  AbstractValue r = AbstractValue::bottom();
+  if (a.mayBeError()) r = r.join(AbstractValue::error());
+  if (a.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+  if (a.mayBeNumber()) {
+    r = r.join(AbstractValue::number(a.range(), false, true));
+  }
+  if (a.types().has(ValueType::Boolean)) {
+    Interval b = Interval::none();
+    if (a.mayBeFalse()) b = b.hull(Interval::point(0.0));
+    if (a.mayBeTrue()) b = b.hull(Interval::point(1.0));
+    r = r.join(AbstractValue::number(b, false, true));
+  }
+  if (a.mayBeString()) {
+    r = r.join(AbstractValue::number(Interval::all(), false, true))
+            .join(AbstractValue::error());
+  }
+  if (mayBeStruct(a)) r = r.join(AbstractValue::error());
+  return r;
+}
+
+AbstractValue absBoolCast(const AbstractValue& a) {
+  AbstractValue r = AbstractValue::bottom();
+  if (a.mayBeError()) r = r.join(AbstractValue::error());
+  if (a.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+  if (a.types().has(ValueType::Boolean)) {
+    r = r.join(AbstractValue::boolean(a.mayBeTrue(), a.mayBeFalse()));
+  }
+  if (a.mayBeNumber()) {
+    const bool canZero = a.range().contains(0.0);
+    const bool canNonzero = !a.range().isPoint() || a.range().lo != 0.0;
+    r = r.join(AbstractValue::boolean(canNonzero, canZero));
+  }
+  if (a.mayBeString()) {
+    r = r.join(AbstractValue::boolean(true, true))
+            .join(AbstractValue::error());
+  }
+  if (mayBeStruct(a)) r = r.join(AbstractValue::error());
+  return r;
+}
+
+AbstractValue absIfThenElse(const std::vector<AbstractValue>& args) {
+  const AbstractValue& c = args[0];
+  AbstractValue r = AbstractValue::bottom();
+  if (c.mayBeTrue()) r = r.join(args[1]);
+  if (c.mayBeFalse()) r = r.join(args[2]);
+  if (c.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+  if (c.mayBeError() || c.mayBeNonBoolean()) {
+    r = r.join(AbstractValue::error());
+  }
+  return r;
+}
+
+/// Strict string->string helpers (toUpper/toLower) map finite sets.
+AbstractValue absMapString(const AbstractValue& a,
+                           char (*mapChar)(unsigned char)) {
+  AbstractValue r = AbstractValue::bottom();
+  bool ordinary = true;
+  r = r.join(propagated({a}, &ordinary));
+  if (a.mayBeNumber() || a.types().has(ValueType::Boolean) ||
+      mayBeStruct(a)) {
+    r = r.join(AbstractValue::error());
+  }
+  if (a.mayBeString()) {
+    if (a.strings().has_value()) {
+      std::vector<std::string> mapped;
+      mapped.reserve(a.strings()->size());
+      for (std::string s : *a.strings()) {
+        for (char& ch : s) {
+          ch = mapChar(static_cast<unsigned char>(ch));
+        }
+        mapped.push_back(std::move(s));
+      }
+      r = r.join(AbstractValue::stringSet(std::move(mapped)));
+    } else {
+      r = r.join(AbstractValue::anyString());
+    }
+  }
+  return r;
+}
+
+/// All-arguments-strings check used by the string utilities: adds error
+/// reachability for non-string ordinary operands and returns whether a
+/// fully-string invocation is possible.
+bool allStringsPossible(const std::vector<AbstractValue>& args,
+                        AbstractValue& r) {
+  bool possible = true;
+  for (const AbstractValue& a : args) {
+    if (a.mayBeNumber() || a.types().has(ValueType::Boolean) ||
+        mayBeStruct(a)) {
+      r = r.join(AbstractValue::error());
+    }
+    if (!a.mayBeString()) possible = false;
+  }
+  return possible;
+}
+
+}  // namespace
+
+AbstractValue applyBuiltin(const std::string& loweredName,
+                           const std::vector<AbstractValue>& args) {
+  const std::size_t n = args.size();
+  const auto arity = [&](std::size_t lo, std::size_t hi) {
+    return n >= lo && n <= hi;
+  };
+
+  // Non-strict type predicates: they observe undefined/error.
+  if (loweredName == "isundefined" || loweredName == "iserror" ||
+      loweredName == "isstring" || loweredName == "isinteger" ||
+      loweredName == "isreal" || loweredName == "isnumber" ||
+      loweredName == "isboolean" || loweredName == "islist" ||
+      loweredName == "isclassad") {
+    if (!arity(1, 1)) return AbstractValue::error();
+    TypeSet yes = TypeSet::none();
+    if (loweredName == "isundefined") yes = TypeSet::of(ValueType::Undefined);
+    if (loweredName == "iserror") yes = TypeSet::of(ValueType::Error);
+    if (loweredName == "isstring") yes = TypeSet::of(ValueType::String);
+    if (loweredName == "isinteger") yes = TypeSet::of(ValueType::Integer);
+    if (loweredName == "isreal") yes = TypeSet::of(ValueType::Real);
+    if (loweredName == "isnumber") {
+      yes = TypeSet::of(ValueType::Integer).with(ValueType::Real);
+    }
+    if (loweredName == "isboolean") yes = TypeSet::of(ValueType::Boolean);
+    if (loweredName == "islist") yes = TypeSet::of(ValueType::List);
+    if (loweredName == "isclassad") yes = TypeSet::of(ValueType::Record);
+    return typePredicate(args[0], yes);
+  }
+
+  if (loweredName == "member") {
+    if (!arity(2, 2)) return AbstractValue::error();
+    return absMember(args[0], args[1]);
+  }
+  if (loweredName == "identicalmember") {
+    if (!arity(2, 2)) return AbstractValue::error();
+    return absIdenticalMember(args[1]);
+  }
+  if (loweredName == "ifthenelse") {
+    if (!arity(3, 3)) return AbstractValue::error();
+    return absIfThenElse(args);
+  }
+
+  if (loweredName == "toupper" || loweredName == "tolower") {
+    if (!arity(1, 1)) return AbstractValue::error();
+    return absMapString(args[0], loweredName == "toupper"
+                                     ? +[](unsigned char c) {
+                                         return static_cast<char>(
+                                             std::toupper(c));
+                                       }
+                                     : +[](unsigned char c) {
+                                         return static_cast<char>(
+                                             std::tolower(c));
+                                       });
+  }
+
+  if (loweredName == "floor" || loweredName == "ceiling" ||
+      loweredName == "round") {
+    if (!arity(1, 1)) return AbstractValue::error();
+    return absRounding(args[0]);
+  }
+  if (loweredName == "int") {
+    if (!arity(1, 1)) return AbstractValue::error();
+    return absIntCast(args[0]);
+  }
+  if (loweredName == "real") {
+    if (!arity(1, 1)) return AbstractValue::error();
+    return absRealCast(args[0]);
+  }
+  if (loweredName == "bool") {
+    if (!arity(1, 1)) return AbstractValue::error();
+    return absBoolCast(args[0]);
+  }
+
+  // The remaining builtins all propagate exceptional arguments first.
+  bool ordinary = true;
+  AbstractValue r = propagated(args, &ordinary);
+  const auto withOrdinary = [&](AbstractValue v) {
+    return ordinary ? r.join(v) : r;
+  };
+
+  if (loweredName == "strcat") {
+    bool scalarOk = true;
+    for (const AbstractValue& a : args) {
+      if (mayBeStruct(a)) r = r.join(AbstractValue::error());
+      if (!a.mayBeString() && !a.mayBeNumber() &&
+          !a.types().has(ValueType::Boolean)) {
+        scalarOk = false;
+      }
+    }
+    return scalarOk ? withOrdinary(AbstractValue::anyString()) : r;
+  }
+  if (loweredName == "substr") {
+    if (!arity(2, 3)) return AbstractValue::error();
+    bool typesOk = args[0].mayBeString();
+    for (std::size_t i = 1; i < n; ++i) {
+      typesOk = typesOk && args[i].types().has(ValueType::Integer);
+    }
+    r = r.join(AbstractValue::error());  // type mismatches are reachable
+    return typesOk ? withOrdinary(AbstractValue::anyString()) : r;
+  }
+  if (loweredName == "strcmp" || loweredName == "stricmp") {
+    if (!arity(2, 2)) return AbstractValue::error();
+    AbstractValue out = AbstractValue::bottom();
+    if (allStringsPossible(args, r)) {
+      out = AbstractValue::integer({-1.0, 1.0, false, false});
+    }
+    return withOrdinary(out).join(r);
+  }
+  if (loweredName == "sqrt") {
+    if (!arity(1, 1)) return AbstractValue::error();
+    const AbstractValue& a = args[0];
+    if (!a.mayBeNumber() || a.types().has(ValueType::Boolean) ||
+        a.mayBeString() || mayBeStruct(a)) {
+      r = r.join(AbstractValue::error());
+    }
+    if (a.mayBeNumber()) {
+      if (a.range().lo < 0.0) r = r.join(AbstractValue::error());
+      if (a.range().hi >= 0.0) {
+        r = withOrdinary(AbstractValue::number(
+            {0.0, kInf, false, false}, false, true));
+      }
+    }
+    return r;
+  }
+  if (loweredName == "abs") {
+    if (!arity(1, 1)) return AbstractValue::error();
+    const AbstractValue& a = args[0];
+    if (!hasOrdinary(a)) return r;
+    if (a.mayBeString() || a.types().has(ValueType::Boolean) ||
+        mayBeStruct(a)) {
+      r = r.join(AbstractValue::error());
+    }
+    if (a.mayBeNumber()) {
+      const Interval in = a.range();
+      Interval out;
+      if (in.lo >= 0.0) {
+        out = in;
+      } else if (in.hi <= 0.0) {
+        out = intervalNeg(in);
+      } else {
+        out = {0.0, std::max(-in.lo, in.hi), false, false};
+      }
+      r = r.join(AbstractValue::number(out,
+                                       a.types().has(ValueType::Integer),
+                                       a.types().has(ValueType::Real)));
+    }
+    return r;
+  }
+  if (loweredName == "pow") {
+    if (!arity(2, 2)) return AbstractValue::error();
+    bool bothNum = true;
+    for (const AbstractValue& a : args) {
+      if (a.mayBeString() || a.types().has(ValueType::Boolean) ||
+          mayBeStruct(a)) {
+        r = r.join(AbstractValue::error());
+      }
+      bothNum = bothNum && a.mayBeNumber();
+    }
+    return bothNum ? withOrdinary(AbstractValue::number(Interval::all(),
+                                                        false, true))
+                   : r;
+  }
+  if (loweredName == "min" || loweredName == "max" ||
+      loweredName == "sum" || loweredName == "avg") {
+    // Variadic or list-reducing; conservative: any numeric result, plus
+    // undefined (empty input) and error (non-numeric element).
+    return r.join(AbstractValue::undefined())
+        .join(AbstractValue::error())
+        .join(AbstractValue::number(Interval::all(), true, true));
+  }
+  if (loweredName == "size") {
+    if (!arity(1, 1)) return AbstractValue::error();
+    const AbstractValue& a = args[0];
+    if (a.mayBeNumber() || a.types().has(ValueType::Boolean)) {
+      r = r.join(AbstractValue::error());
+    }
+    if (a.mayBeString() || mayBeStruct(a)) {
+      r = withOrdinary(AbstractValue::integer({0.0, kInf, false, false}));
+    }
+    return r;
+  }
+  if (loweredName == "string") {
+    if (!arity(1, 1)) return AbstractValue::error();
+    return withOrdinary(AbstractValue::anyString());
+  }
+  if (loweredName == "stringlistmember") {
+    if (!arity(2, 3)) return AbstractValue::error();
+    AbstractValue out = AbstractValue::bottom();
+    if (allStringsPossible(args, r)) {
+      out = AbstractValue::boolean(true, true);
+    }
+    return withOrdinary(out).join(r);
+  }
+  if (loweredName == "stringlistsize") {
+    if (!arity(1, 2)) return AbstractValue::error();
+    AbstractValue out = AbstractValue::bottom();
+    if (allStringsPossible(args, r)) {
+      out = AbstractValue::integer({0.0, kInf, false, false});
+    }
+    return withOrdinary(out).join(r);
+  }
+  if (loweredName == "split") {
+    if (!arity(1, 2)) return AbstractValue::error();
+    AbstractValue out = AbstractValue::bottom();
+    if (allStringsPossible(args, r)) {
+      out = AbstractValue::ofType(ValueType::List);
+    }
+    return withOrdinary(out).join(r);
+  }
+  if (loweredName == "join") {
+    if (!arity(2, 2)) return AbstractValue::error();
+    r = r.join(AbstractValue::error());  // bad types / non-scalar element
+    if (args[0].mayBeString() && args[1].types().has(ValueType::List)) {
+      r = withOrdinary(AbstractValue::anyString());
+    }
+    return r;
+  }
+  if (loweredName == "regexp") {
+    if (!arity(2, 3)) return AbstractValue::error();
+    r = r.join(AbstractValue::error());  // bad pattern / bad types
+    if (allStringsPossible(args, r)) {
+      r = withOrdinary(AbstractValue::boolean(true, true));
+    }
+    return r;
+  }
+
+  // A builtin registered in the evaluator but not modeled here: sound
+  // fallback.
+  return AbstractValue::top();
+}
+
+namespace {
+
+AbstractValue evalOtherRef(const std::string& lowered, AbsCtx& ctx) {
+  const Schema* schema = ctx.env->otherSchema;
+  if (schema == nullptr || schema->empty()) return AbstractValue::top();
+  return schema->domainOf(lowered, ctx.env->exactSchemaValues);
+}
+
+AbstractValue evalAttrRef(const AttrRefExpr& ref, AbsCtx& ctx) {
+  const ClassAd* self = ctx.env->self;
+  if (ref.scope() == RefScope::Other) {
+    return evalOtherRef(ref.loweredName(), ctx);
+  }
+  const ExprPtr* bound =
+      self != nullptr ? self->lookup(ref.loweredName()) : nullptr;
+  if (bound == nullptr) {
+    if (ref.scope() == RefScope::Default) {
+      // Bare-name fall-through to the match candidate (Section 3.2 as
+      // deployed; see AttrRefExpr::evaluate).
+      return evalOtherRef(ref.loweredName(), ctx);
+    }
+    return AbstractValue::undefined();  // self.<missing>
+  }
+  // A cycle here does NOT mean the concrete result is `error`: concrete
+  // evaluation may short-circuit before closing the loop (e.g.
+  // [a = other.x && a] against a candidate whose x is false). Top is the
+  // only sound answer.
+  for (const auto& [ad, attr] : ctx.stack) {
+    if (ad == self && attr == ref.loweredName()) return AbstractValue::top();
+  }
+  ctx.stack.emplace_back(self, ref.loweredName());
+  const AbstractValue v = eval(**bound, ctx);
+  ctx.stack.pop_back();
+  return v;
+}
+
+AbstractValue evalTernary(const TernaryExpr& t, AbsCtx& ctx) {
+  const AbstractValue c = eval(*t.cond(), ctx);
+  AbstractValue r = AbstractValue::bottom();
+  if (c.mayBeTrue()) r = r.join(eval(*t.thenExpr(), ctx));
+  if (c.mayBeFalse()) r = r.join(eval(*t.elseExpr(), ctx));
+  if (c.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+  if (c.mayBeError() || c.mayBeNonBoolean()) {
+    r = r.join(AbstractValue::error());
+  }
+  return r;
+}
+
+AbstractValue evalSelect(const SelectExpr& sel, AbsCtx& ctx) {
+  const AbstractValue base = eval(*sel.base(), ctx);
+  AbstractValue r = AbstractValue::bottom();
+  if (base.mayBeUndefined()) r = r.join(AbstractValue::undefined());
+  if (base.mayBeError()) r = r.join(AbstractValue::error());
+  if (base.types().has(ValueType::Record)) {
+    return AbstractValue::top();  // opaque record contents
+  }
+  if (base.mayBeNumber() || base.mayBeString() ||
+      base.types().has(ValueType::Boolean) ||
+      base.types().has(ValueType::List)) {
+    r = r.join(AbstractValue::error());
+  }
+  return r;
+}
+
+AbstractValue evalSubscript(const SubscriptExpr& sub, AbsCtx& ctx) {
+  const AbstractValue base = eval(*sub.base(), ctx);
+  const AbstractValue idx = eval(*sub.index(), ctx);
+  if (base.types().has(ValueType::List) ||
+      base.types().has(ValueType::Record)) {
+    return AbstractValue::top();  // element/attribute contents are opaque
+  }
+  AbstractValue r = AbstractValue::bottom();
+  if (base.mayBeUndefined() || idx.mayBeUndefined()) {
+    r = r.join(AbstractValue::undefined());
+  }
+  // Everything else (error bases/indices, scalar bases) is an error.
+  if (base.mayBeError() || idx.mayBeError() || hasOrdinary(base)) {
+    r = r.join(AbstractValue::error());
+  }
+  return r;
+}
+
+AbstractValue eval(const Expr& expr, AbsCtx& ctx) {
+  if (++ctx.depth > AbsCtx::kMaxDepth) {
+    --ctx.depth;
+    return AbstractValue::top();
+  }
+  AbstractValue result = AbstractValue::top();
+  if (const auto* lit = dynamic_cast<const LiteralExpr*>(&expr)) {
+    result = AbstractValue::of(lit->value());
+  } else if (const auto* ref = dynamic_cast<const AttrRefExpr*>(&expr)) {
+    result = evalAttrRef(*ref, ctx);
+  } else if (const auto* scope = dynamic_cast<const ScopeExpr*>(&expr)) {
+    // A missing frame (`other` with no candidate, `self` in
+    // expression-only mode) evaluates to undefined concretely.
+    result = AbstractValue::ofType(ValueType::Record);
+    if (scope->scope() == RefScope::Other || ctx.env->self == nullptr) {
+      result = result.join(AbstractValue::undefined());
+    }
+  } else if (const auto* un = dynamic_cast<const UnaryExpr*>(&expr)) {
+    result = AbstractValue::applyUnary(un->op(), eval(*un->operand(), ctx));
+  } else if (const auto* bin = dynamic_cast<const BinaryExpr*>(&expr)) {
+    result = AbstractValue::applyBinary(bin->op(), eval(*bin->lhs(), ctx),
+                                        eval(*bin->rhs(), ctx));
+  } else if (const auto* tern = dynamic_cast<const TernaryExpr*>(&expr)) {
+    result = evalTernary(*tern, ctx);
+  } else if (dynamic_cast<const ListExpr*>(&expr) != nullptr) {
+    result = AbstractValue::ofType(ValueType::List);
+  } else if (dynamic_cast<const RecordExpr*>(&expr) != nullptr) {
+    result = AbstractValue::ofType(ValueType::Record);
+  } else if (const auto* sel = dynamic_cast<const SelectExpr*>(&expr)) {
+    result = evalSelect(*sel, ctx);
+  } else if (const auto* sub = dynamic_cast<const SubscriptExpr*>(&expr)) {
+    result = evalSubscript(*sub, ctx);
+  } else if (const auto* call = dynamic_cast<const FuncCallExpr*>(&expr)) {
+    const std::string lowered = toLowerCopy(call->name());
+    if (lookupBuiltin(lowered) == nullptr) {
+      result = AbstractValue::error();  // unknown function
+    } else {
+      std::vector<AbstractValue> args;
+      args.reserve(call->args().size());
+      for (const ExprPtr& a : call->args()) {
+        args.push_back(eval(*a, ctx));
+      }
+      result = applyBuiltin(lowered, args);
+    }
+  }
+  --ctx.depth;
+  return result;
+}
+
+}  // namespace
+
+AbstractValue abstractEval(const Expr& expr, const AnalysisEnv& env) {
+  AbsCtx ctx{&env, {}, 0};
+  return eval(expr, ctx);
+}
+
+}  // namespace classad::analysis

@@ -1,0 +1,47 @@
+// absint.h - The abstract interpreter over the three-valued semantics.
+//
+// Evaluates an expression with NO candidate ad: references into `self`
+// descend into the containing ad's own expressions; references that fall
+// through to the match candidate are answered from a pool Schema (or are
+// unconstrained when no schema is given). The result is an AbstractValue
+// over-approximating every concrete outcome, propagated through the
+// strict/non-strict operator tables of Section 3.2 — which is what lets
+// lint flag a conjunct as statically unsatisfiable, tautological,
+// always-undefined, or always-error at submission time, O(1) in the pool.
+//
+// Soundness contract: for any concrete evaluation environment consistent
+// with `env` (same self ad; the candidate either one of the schema's ads,
+// or arbitrary when no schema is set), the concrete result is contained
+// in the abstract one. Precision may be lost (top is always sound);
+// possibilities are never dropped.
+#pragma once
+
+#include "classad/analysis/domain.h"
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+#include "classad/expr.h"
+
+namespace classad::analysis {
+
+/// The static counterpart of EvalContext.
+struct AnalysisEnv {
+  /// The ad containing the expression (nullable: expression-only mode).
+  const ClassAd* self = nullptr;
+  /// Summary of the possible match candidates; null or empty means
+  /// "any ad at all" (every other-reference is unconstrained).
+  const Schema* otherSchema = nullptr;
+  /// Treat the schema's observed value domains as exhaustive. Off by
+  /// default: pools are open-world (see Schema::domainOf).
+  bool exactSchemaValues = false;
+};
+
+/// Abstractly evaluates `expr` under `env`.
+AbstractValue abstractEval(const Expr& expr, const AnalysisEnv& env);
+
+/// Abstract transfer function for a builtin call with already-abstracted
+/// arguments; `loweredName` must be lowercase. Unknown functions are
+/// `error` (mirroring FuncCallExpr::evaluate). Exposed for tests.
+AbstractValue applyBuiltin(const std::string& loweredName,
+                           const std::vector<AbstractValue>& args);
+
+}  // namespace classad::analysis

@@ -1,0 +1,737 @@
+#include "classad/analysis/domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace classad::analysis {
+
+namespace {
+
+constexpr double kInf = Interval::kInf;
+
+/// Endpoint product with the interval-arithmetic convention 0 * inf = 0:
+/// an infinite endpoint is a limit, and whenever it matters some other
+/// endpoint combination contributes the infinity.
+double mulBound(double x, double y) noexcept {
+  if (x == 0.0 || y == 0.0) return 0.0;
+  return x * y;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TypeSet
+// ---------------------------------------------------------------------------
+
+std::string TypeSet::toString() const {
+  static constexpr ValueType kAll[] = {
+      ValueType::Undefined, ValueType::Error,  ValueType::Boolean,
+      ValueType::Integer,   ValueType::Real,   ValueType::String,
+      ValueType::List,      ValueType::Record,
+  };
+  std::string out;
+  for (ValueType t : kAll) {
+    if (!has(t)) continue;
+    if (!out.empty()) out += '|';
+    out += classad::toString(t);
+  }
+  return out.empty() ? "none" : out;
+}
+
+// ---------------------------------------------------------------------------
+// Interval
+// ---------------------------------------------------------------------------
+
+Interval Interval::meet(const Interval& o) const noexcept {
+  Interval r;
+  if (lo > o.lo || (lo == o.lo && loOpen)) {
+    r.lo = lo;
+    r.loOpen = loOpen;
+  } else {
+    r.lo = o.lo;
+    r.loOpen = o.loOpen;
+  }
+  if (hi < o.hi || (hi == o.hi && hiOpen)) {
+    r.hi = hi;
+    r.hiOpen = hiOpen;
+  } else {
+    r.hi = o.hi;
+    r.hiOpen = o.hiOpen;
+  }
+  return r;
+}
+
+Interval Interval::hull(const Interval& o) const noexcept {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  Interval r;
+  if (lo < o.lo || (lo == o.lo && !loOpen)) {
+    r.lo = lo;
+    r.loOpen = loOpen;
+  } else {
+    r.lo = o.lo;
+    r.loOpen = o.loOpen;
+  }
+  if (hi > o.hi || (hi == o.hi && !hiOpen)) {
+    r.hi = hi;
+    r.hiOpen = hiOpen;
+  } else {
+    r.hi = o.hi;
+    r.hiOpen = o.hiOpen;
+  }
+  return r;
+}
+
+bool Interval::entirelyBelow(const Interval& o) const noexcept {
+  if (empty() || o.empty()) return true;
+  if (hi < o.lo) return true;
+  return hi == o.lo && (hiOpen || o.loOpen);
+}
+
+std::string Interval::toString() const {
+  if (empty()) return "(empty)";
+  auto num = [](double v) {
+    if (v == kInf) return std::string("+inf");
+    if (v == -kInf) return std::string("-inf");
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        std::fabs(v) < 1e15) {
+      return std::to_string(static_cast<std::int64_t>(v));
+    }
+    return std::to_string(v);
+  };
+  return std::string(loOpen ? "(" : "[") + num(lo) + ", " + num(hi) +
+         (hiOpen ? ")" : "]");
+}
+
+Interval intervalAdd(const Interval& a, const Interval& b) noexcept {
+  if (a.empty() || b.empty()) return Interval::none();
+  return {a.lo + b.lo, a.hi + b.hi, false, false};
+}
+
+Interval intervalSub(const Interval& a, const Interval& b) noexcept {
+  if (a.empty() || b.empty()) return Interval::none();
+  return {a.lo - b.hi, a.hi - b.lo, false, false};
+}
+
+Interval intervalNeg(const Interval& a) noexcept {
+  if (a.empty()) return Interval::none();
+  return {-a.hi, -a.lo, a.hiOpen, a.loOpen};
+}
+
+Interval intervalMul(const Interval& a, const Interval& b) noexcept {
+  if (a.empty() || b.empty()) return Interval::none();
+  const double p[4] = {mulBound(a.lo, b.lo), mulBound(a.lo, b.hi),
+                       mulBound(a.hi, b.lo), mulBound(a.hi, b.hi)};
+  const auto [mn, mx] = std::minmax_element(p, p + 4);
+  return {*mn, *mx, false, false};
+}
+
+Interval intervalDiv(const Interval& a, const Interval& b) noexcept {
+  if (a.empty() || b.empty()) return Interval::none();
+  // A divisor interval straddling (or touching) zero makes the quotient
+  // unbounded in both directions.
+  if (b.contains(0.0) || (b.lo < 0.0 && b.hi > 0.0)) return Interval::all();
+  const auto div = [](double x, double y) {
+    if (std::isinf(x) && std::isinf(y)) return 0.0;  // limit convention
+    if (std::isinf(y)) return 0.0;
+    return x / y;
+  };
+  const double p[4] = {div(a.lo, b.lo), div(a.lo, b.hi), div(a.hi, b.lo),
+                       div(a.hi, b.hi)};
+  const auto [mn, mx] = std::minmax_element(p, p + 4);
+  return {*mn, *mx, false, false};
+}
+
+// ---------------------------------------------------------------------------
+// AbstractValue: construction and normalization
+// ---------------------------------------------------------------------------
+
+void AbstractValue::normalize() {
+  if (!types_.has(ValueType::Boolean)) {
+    canTrue_ = canFalse_ = false;
+  } else if (!canTrue_ && !canFalse_) {
+    canTrue_ = canFalse_ = true;  // "some boolean" with no flag info
+  }
+  if (!mayBeNumber()) {
+    range_ = Interval::none();
+  } else if (range_.empty()) {
+    types_ = types_.without(ValueType::Integer).without(ValueType::Real);
+    range_ = Interval::none();
+  }
+  if (!types_.has(ValueType::String)) {
+    strings_ = std::vector<std::string>{};
+  } else if (strings_.has_value()) {
+    if (strings_->empty()) {
+      types_ = types_.without(ValueType::String);
+    } else {
+      std::sort(strings_->begin(), strings_->end());
+      strings_->erase(std::unique(strings_->begin(), strings_->end()),
+                      strings_->end());
+      if (strings_->size() > kMaxStrings) strings_.reset();  // widen
+    }
+  }
+}
+
+AbstractValue AbstractValue::top() {
+  AbstractValue v;
+  v.types_ = TypeSet::all();
+  v.range_ = Interval::all();
+  v.canTrue_ = v.canFalse_ = true;
+  v.strings_.reset();  // any string
+  return v;
+}
+
+AbstractValue AbstractValue::undefined() {
+  AbstractValue v;
+  v.types_ = TypeSet::of(ValueType::Undefined);
+  return v;
+}
+
+AbstractValue AbstractValue::error() {
+  AbstractValue v;
+  v.types_ = TypeSet::of(ValueType::Error);
+  return v;
+}
+
+AbstractValue AbstractValue::boolean(bool canTrue, bool canFalse) {
+  AbstractValue v;
+  if (canTrue || canFalse) {
+    v.types_ = TypeSet::of(ValueType::Boolean);
+    v.canTrue_ = canTrue;
+    v.canFalse_ = canFalse;
+  }
+  return v;
+}
+
+AbstractValue AbstractValue::number(Interval range, bool canInt,
+                                    bool canReal) {
+  AbstractValue v;
+  if (range.empty() || (!canInt && !canReal)) return v;
+  if (canInt) v.types_ = v.types_.with(ValueType::Integer);
+  if (canReal) v.types_ = v.types_.with(ValueType::Real);
+  v.range_ = range;
+  return v;
+}
+
+AbstractValue AbstractValue::anyString() {
+  AbstractValue v;
+  v.types_ = TypeSet::of(ValueType::String);
+  v.strings_.reset();
+  return v;
+}
+
+AbstractValue AbstractValue::stringSet(std::vector<std::string> values) {
+  AbstractValue v;
+  v.types_ = TypeSet::of(ValueType::String);
+  v.strings_ = std::move(values);
+  v.normalize();
+  return v;
+}
+
+AbstractValue AbstractValue::ofType(ValueType t) {
+  switch (t) {
+    case ValueType::Undefined: return undefined();
+    case ValueType::Error: return error();
+    case ValueType::Boolean: return boolean(true, true);
+    case ValueType::Integer: return number(Interval::all(), true, false);
+    case ValueType::Real: return number(Interval::all(), false, true);
+    case ValueType::String: return anyString();
+    case ValueType::List:
+    case ValueType::Record: {
+      AbstractValue v;
+      v.types_ = TypeSet::of(t);
+      return v;
+    }
+  }
+  return top();
+}
+
+AbstractValue AbstractValue::of(const Value& v) {
+  switch (v.type()) {
+    case ValueType::Undefined: return undefined();
+    case ValueType::Error: return error();
+    case ValueType::Boolean: return boolean(v.asBoolean(), !v.asBoolean());
+    case ValueType::Integer:
+      return number(Interval::point(static_cast<double>(v.asInteger())),
+                    true, false);
+    case ValueType::Real:
+      if (std::isnan(v.asReal())) {
+        return number(Interval::all(), false, true);
+      }
+      return number(Interval::point(v.asReal()), false, true);
+    case ValueType::String: return stringSet({v.asString()});
+    case ValueType::List: return ofType(ValueType::List);
+    case ValueType::Record: return ofType(ValueType::Record);
+  }
+  return top();
+}
+
+// ---------------------------------------------------------------------------
+// Lattice operations
+// ---------------------------------------------------------------------------
+
+AbstractValue AbstractValue::join(const AbstractValue& o) const {
+  AbstractValue r;
+  r.types_ = types_.unite(o.types_);
+  r.range_ = range_.hull(o.range_);
+  r.canTrue_ = canTrue_ || o.canTrue_;
+  r.canFalse_ = canFalse_ || o.canFalse_;
+  const bool left = types_.has(ValueType::String);
+  const bool right = o.types_.has(ValueType::String);
+  if (!left) {
+    r.strings_ = o.strings_;
+  } else if (!right) {
+    r.strings_ = strings_;
+  } else if (strings_.has_value() && o.strings_.has_value()) {
+    std::vector<std::string> merged = *strings_;
+    merged.insert(merged.end(), o.strings_->begin(), o.strings_->end());
+    r.strings_ = std::move(merged);
+  } else {
+    r.strings_.reset();
+  }
+  r.normalize();
+  return r;
+}
+
+bool AbstractValue::contains(const Value& v) const {
+  switch (v.type()) {
+    case ValueType::Undefined: return types_.has(ValueType::Undefined);
+    case ValueType::Error: return types_.has(ValueType::Error);
+    case ValueType::Boolean: return v.asBoolean() ? canTrue_ : canFalse_;
+    case ValueType::Integer:
+      return types_.has(ValueType::Integer) &&
+             range_.contains(static_cast<double>(v.asInteger()));
+    case ValueType::Real:
+      if (!types_.has(ValueType::Real)) return false;
+      // Documented hole: NaN (overflow arithmetic) counts as "any real".
+      return std::isnan(v.asReal()) || range_.contains(v.asReal());
+    case ValueType::String:
+      if (!types_.has(ValueType::String)) return false;
+      if (!strings_.has_value()) return true;
+      return std::find(strings_->begin(), strings_->end(), v.asString()) !=
+             strings_->end();
+    case ValueType::List: return types_.has(ValueType::List);
+    case ValueType::Record: return types_.has(ValueType::Record);
+  }
+  return false;
+}
+
+bool AbstractValue::mayBeNonBoolean() const noexcept {
+  return mayBeNumber() || mayBeString() || types_.has(ValueType::List) ||
+         types_.has(ValueType::Record);
+}
+
+std::optional<Value> AbstractValue::singleton() const {
+  if (onlyUndefined()) return Value::undefined();
+  if (onlyError()) return Value::error();
+  if (types_.only(ValueType::Boolean) && canTrue_ != canFalse_) {
+    return Value::boolean(canTrue_);
+  }
+  if (types_.only(ValueType::Integer) && range_.isPoint() &&
+      range_.lo == std::floor(range_.lo)) {
+    return Value::integer(static_cast<std::int64_t>(range_.lo));
+  }
+  if (types_.only(ValueType::Real) && range_.isPoint()) {
+    return Value::real(range_.lo);
+  }
+  if (types_.only(ValueType::String) && strings_.has_value() &&
+      strings_->size() == 1) {
+    return Value::string(strings_->front());
+  }
+  return std::nullopt;
+}
+
+std::string AbstractValue::describe() const {
+  if (isBottom()) return "none";
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += '|';
+    out += part;
+  };
+  if (types_.has(ValueType::Undefined)) append("undefined");
+  if (types_.has(ValueType::Error)) append("error");
+  if (types_.has(ValueType::Boolean)) {
+    std::string b = "boolean{";
+    if (canTrue_) b += "true";
+    if (canTrue_ && canFalse_) b += ",";
+    if (canFalse_) b += "false";
+    append(b + "}");
+  }
+  if (mayBeNumber()) {
+    std::string n;
+    if (types_.has(ValueType::Integer)) n = "integer";
+    if (types_.has(ValueType::Real)) n += n.empty() ? "real" : "|real";
+    append(n + " in " + range_.toString());
+  }
+  if (types_.has(ValueType::String)) {
+    if (!strings_.has_value()) {
+      append("string");
+    } else {
+      std::string s = "string{";
+      for (std::size_t i = 0; i < strings_->size(); ++i) {
+        if (i) s += ",";
+        s += '"' + (*strings_)[i] + '"';
+      }
+      append(s + "}");
+    }
+  }
+  if (types_.has(ValueType::List)) append("list");
+  if (types_.has(ValueType::Record)) append("classad");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Transfer functions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The numeric view of an operand after the classic-Condor bool-as-0/1
+/// promotion (see promoteBool in expr.cpp): which numeric types are
+/// reachable and within what interval.
+struct NumericView {
+  bool canInt = false;
+  bool canReal = false;
+  Interval range = Interval::none();
+  bool possible() const noexcept { return canInt || canReal; }
+};
+
+NumericView numericView(const AbstractValue& v) {
+  NumericView n;
+  if (v.types().has(ValueType::Integer)) {
+    n.canInt = true;
+    n.range = n.range.hull(v.range());
+  }
+  if (v.types().has(ValueType::Real)) {
+    n.canReal = true;
+    n.range = n.range.hull(v.range());
+  }
+  if (v.types().has(ValueType::Boolean)) {
+    n.canInt = true;
+    if (v.mayBeFalse()) n.range = n.range.hull(Interval::point(0.0));
+    if (v.mayBeTrue()) n.range = n.range.hull(Interval::point(1.0));
+  }
+  return n;
+}
+
+bool hasStructured(const AbstractValue& v) {
+  return v.types().has(ValueType::String) || v.types().has(ValueType::List) ||
+         v.types().has(ValueType::Record);
+}
+
+AbstractValue abstractArithmetic(BinOp op, const AbstractValue& a,
+                                 const AbstractValue& b) {
+  AbstractValue r = AbstractValue::bottom();
+  if (a.mayBeError() || b.mayBeError()) r = r.join(AbstractValue::error());
+  // Concretely, error on either side wins before undefined is considered:
+  // undefined is reachable only when both sides can be non-error.
+  if (!a.onlyError() && !b.onlyError() &&
+      (a.mayBeUndefined() || b.mayBeUndefined())) {
+    r = r.join(AbstractValue::undefined());
+  }
+  if (hasStructured(a) || hasStructured(b)) {
+    r = r.join(AbstractValue::error());
+  }
+  const NumericView x = numericView(a);
+  const NumericView y = numericView(b);
+  if (!x.possible() || !y.possible()) return r;
+
+  const bool bothInt = x.canInt && y.canInt;
+  const bool anyReal = x.canReal || y.canReal;
+  switch (op) {
+    case BinOp::Add:
+      r = r.join(AbstractValue::number(intervalAdd(x.range, y.range), bothInt,
+                                       anyReal));
+      break;
+    case BinOp::Subtract:
+      r = r.join(AbstractValue::number(intervalSub(x.range, y.range), bothInt,
+                                       anyReal));
+      break;
+    case BinOp::Multiply:
+      r = r.join(AbstractValue::number(intervalMul(x.range, y.range), bothInt,
+                                       anyReal));
+      break;
+    case BinOp::Divide: {
+      if (y.range.contains(0.0)) r = r.join(AbstractValue::error());
+      Interval q = intervalDiv(x.range, y.range);
+      if (bothInt && !q.empty() && !std::isinf(q.lo) && !std::isinf(q.hi)) {
+        // Integer division truncates toward zero; widen the real-quotient
+        // hull so every truncated result is covered.
+        q = {std::floor(q.lo), std::ceil(q.hi), false, false};
+      }
+      // The divisor may have nonzero values even when 0 is possible.
+      if (!(y.range.isPoint() && y.range.lo == 0.0)) {
+        r = r.join(AbstractValue::number(q, bothInt, anyReal));
+      }
+      break;
+    }
+    case BinOp::Modulus: {
+      if (anyReal) r = r.join(AbstractValue::error());
+      if (x.canInt && y.canInt) {
+        if (y.range.contains(0.0)) r = r.join(AbstractValue::error());
+        if (!(y.range.isPoint() && y.range.lo == 0.0)) {
+          // |a % b| < |b|, sign follows the dividend (C++ semantics).
+          const double m =
+              std::max(std::fabs(y.range.lo), std::fabs(y.range.hi));
+          Interval mod = std::isinf(m)
+                             ? Interval::all()
+                             : Interval{-(m - 1), m - 1, false, false};
+          r = r.join(AbstractValue::number(mod, true, false));
+        }
+      }
+      break;
+    }
+    default:
+      r = r.join(AbstractValue::error());
+      break;
+  }
+  return r;
+}
+
+/// Possible outcomes of an abstract three-way comparison.
+struct CmpOutcomes {
+  bool less = false;
+  bool equal = false;
+  bool greater = false;
+  bool any() const noexcept { return less || equal || greater; }
+  void all() noexcept { less = equal = greater = true; }
+};
+
+CmpOutcomes intervalOutcomes(const Interval& a, const Interval& b) {
+  CmpOutcomes o;
+  if (a.empty() || b.empty()) return o;
+  o.less = a.lo < b.hi;      // some x in A below some y in B
+  o.greater = a.hi > b.lo;   // some x in A above some y in B
+  o.equal = !a.disjoint(b);  // some common point
+  return o;
+}
+
+AbstractValue outcomesToResult(BinOp op, const CmpOutcomes& o) {
+  bool canTrue = false, canFalse = false;
+  const auto fold = [&](bool outcomePossible, bool opTrueOnOutcome) {
+    if (!outcomePossible) return;
+    (opTrueOnOutcome ? canTrue : canFalse) = true;
+  };
+  const bool trueOnLess = op == BinOp::Less || op == BinOp::LessEq ||
+                          op == BinOp::NotEqual;
+  const bool trueOnGreater = op == BinOp::Greater || op == BinOp::GreaterEq ||
+                             op == BinOp::NotEqual;
+  const bool trueOnEqual = op == BinOp::Equal || op == BinOp::LessEq ||
+                           op == BinOp::GreaterEq;
+  fold(o.less, trueOnLess);
+  fold(o.equal, trueOnEqual);
+  fold(o.greater, trueOnGreater);
+  return AbstractValue::boolean(canTrue, canFalse);
+}
+
+AbstractValue abstractRelational(BinOp op, const AbstractValue& a,
+                                 const AbstractValue& b) {
+  AbstractValue r = AbstractValue::bottom();
+  if (a.mayBeUndefined() || b.mayBeUndefined()) {
+    r = r.join(AbstractValue::undefined());
+  }
+  if (a.mayBeError() || b.mayBeError()) r = r.join(AbstractValue::error());
+
+  const bool aNum = a.mayBeNumber(), bNum = b.mayBeNumber();
+  const bool aBool = a.types().has(ValueType::Boolean);
+  const bool bBool = b.types().has(ValueType::Boolean);
+  const bool aStr = a.mayBeString(), bStr = b.mayBeString();
+  const bool aStruct = a.types().has(ValueType::List) ||
+                       a.types().has(ValueType::Record);
+  const bool bStruct = b.types().has(ValueType::List) ||
+                       b.types().has(ValueType::Record);
+
+  // Numeric comparisons (including bool-vs-number promotion and
+  // bool-vs-bool, which orders false < true exactly like 0 < 1).
+  if ((aNum || aBool) && (bNum || bBool)) {
+    const NumericView x = numericView(a);
+    const NumericView y = numericView(b);
+    r = r.join(outcomesToResult(op, intervalOutcomes(x.range, y.range)));
+  }
+  if (aStr && bStr) {
+    CmpOutcomes o;
+    const auto& sa = a.strings();
+    const auto& sb = b.strings();
+    if (sa.has_value() && sb.has_value() && sa->size() * sb->size() <= 64) {
+      for (const std::string& x : *sa) {
+        for (const std::string& y : *sb) {
+          const int c = compareIgnoreCase(x, y);
+          if (c < 0) o.less = true;
+          else if (c > 0) o.greater = true;
+          else o.equal = true;
+        }
+      }
+    } else {
+      o.all();
+    }
+    r = r.join(outcomesToResult(op, o));
+  }
+  // Incompatible cross-type pairings are comparison errors.
+  const bool crossTypeError =
+      (aNum && bStr) || (aStr && bNum) || (aBool && bStr) || (aStr && bBool) ||
+      aStruct || bStruct;
+  if (crossTypeError) r = r.join(AbstractValue::error());
+  return r;
+}
+
+/// Reachable operand classes for the Kleene connectives.
+struct TriSet {
+  bool t = false, f = false, u = false, e = false;
+};
+
+TriSet triSet(const AbstractValue& v) {
+  TriSet s;
+  s.t = v.mayBeTrue();
+  s.f = v.mayBeFalse();
+  s.u = v.mayBeUndefined();
+  s.e = v.mayBeError() || v.mayBeNonBoolean();
+  return s;
+}
+
+enum class Tri { T, F, U, E };
+
+Tri kleeneAnd(Tri x, Tri y) {
+  if (x == Tri::F || y == Tri::F) return Tri::F;
+  if (x == Tri::E || y == Tri::E) return Tri::E;
+  if (x == Tri::U || y == Tri::U) return Tri::U;
+  return Tri::T;
+}
+
+Tri kleeneOr(Tri x, Tri y) {
+  if (x == Tri::T || y == Tri::T) return Tri::T;
+  if (x == Tri::E || y == Tri::E) return Tri::E;
+  if (x == Tri::U || y == Tri::U) return Tri::U;
+  return Tri::F;
+}
+
+AbstractValue abstractKleene(BinOp op, const AbstractValue& a,
+                             const AbstractValue& b) {
+  const TriSet sa = triSet(a), sb = triSet(b);
+  const auto possibles = [](const TriSet& s) {
+    std::vector<Tri> out;
+    if (s.t) out.push_back(Tri::T);
+    if (s.f) out.push_back(Tri::F);
+    if (s.u) out.push_back(Tri::U);
+    if (s.e) out.push_back(Tri::E);
+    return out;
+  };
+  AbstractValue r = AbstractValue::bottom();
+  for (Tri x : possibles(sa)) {
+    for (Tri y : possibles(sb)) {
+      switch (op == BinOp::And ? kleeneAnd(x, y) : kleeneOr(x, y)) {
+        case Tri::T: r = r.join(AbstractValue::boolean(true, false)); break;
+        case Tri::F: r = r.join(AbstractValue::boolean(false, true)); break;
+        case Tri::U: r = r.join(AbstractValue::undefined()); break;
+        case Tri::E: r = r.join(AbstractValue::error()); break;
+      }
+    }
+  }
+  return r;
+}
+
+/// Could a value drawn from `a` be isIdenticalTo some value from `b`?
+bool identityOverlapPossible(const AbstractValue& a, const AbstractValue& b) {
+  const TypeSet common = a.types().intersect(b.types());
+  if (common.empty()) return false;
+  if (common.has(ValueType::Undefined) || common.has(ValueType::Error) ||
+      common.has(ValueType::List) || common.has(ValueType::Record)) {
+    return true;
+  }
+  if (common.has(ValueType::Boolean) &&
+      ((a.mayBeTrue() && b.mayBeTrue()) ||
+       (a.mayBeFalse() && b.mayBeFalse()))) {
+    return true;
+  }
+  if ((common.has(ValueType::Integer) || common.has(ValueType::Real)) &&
+      !a.range().disjoint(b.range())) {
+    return true;
+  }
+  if (common.has(ValueType::String)) {
+    const auto& sa = a.strings();
+    const auto& sb = b.strings();
+    if (!sa.has_value() || !sb.has_value()) return true;
+    for (const std::string& x : *sa) {
+      // `is` compares strings case-SENSITIVELY, unlike ==.
+      if (std::find(sb->begin(), sb->end(), x) != sb->end()) return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+AbstractValue abstractIdentity(BinOp op, const AbstractValue& a,
+                               const AbstractValue& b) {
+  // `is`/`isnt` always produce a boolean (Section 3.2), never
+  // undefined/error — identity is decided, not propagated.
+  bool canIdentical = identityOverlapPossible(a, b);
+  bool canDifferent = true;
+  const auto sa = a.singleton();
+  const auto sb = b.singleton();
+  if (sa.has_value() && sb.has_value()) {
+    canIdentical = sa->isIdenticalTo(*sb);
+    canDifferent = !canIdentical;
+  }
+  if (op == BinOp::IsNot) std::swap(canIdentical, canDifferent);
+  return AbstractValue::boolean(canIdentical, canDifferent);
+}
+
+}  // namespace
+
+AbstractValue AbstractValue::applyUnary(UnOp op, const AbstractValue& a) {
+  AbstractValue r = bottom();
+  switch (op) {
+    case UnOp::Not:
+      if (a.mayBeError()) r = r.join(error());
+      if (a.mayBeUndefined()) r = r.join(undefined());
+      if (a.mayBeTrue()) r = r.join(boolean(false, true));
+      if (a.mayBeFalse()) r = r.join(boolean(true, false));
+      if (a.mayBeNonBoolean()) r = r.join(error());
+      return r;
+    case UnOp::Minus:
+    case UnOp::Plus: {
+      if (a.mayBeError()) r = r.join(error());
+      if (a.mayBeUndefined()) r = r.join(undefined());
+      // Unary +/- do NOT promote booleans (see UnaryExpr::evaluate).
+      if (a.types().has(ValueType::Boolean) || hasStructured(a)) {
+        r = r.join(error());
+      }
+      if (a.mayBeNumber()) {
+        const Interval v =
+            op == UnOp::Minus ? intervalNeg(a.range()) : a.range();
+        r = r.join(number(v, a.types().has(ValueType::Integer),
+                          a.types().has(ValueType::Real)));
+      }
+      return r;
+    }
+  }
+  return top();
+}
+
+AbstractValue AbstractValue::applyBinary(BinOp op, const AbstractValue& a,
+                                         const AbstractValue& b) {
+  if (a.isBottom() || b.isBottom()) return bottom();
+  switch (op) {
+    case BinOp::Add:
+    case BinOp::Subtract:
+    case BinOp::Multiply:
+    case BinOp::Divide:
+    case BinOp::Modulus:
+      return abstractArithmetic(op, a, b);
+    case BinOp::Less:
+    case BinOp::LessEq:
+    case BinOp::Greater:
+    case BinOp::GreaterEq:
+    case BinOp::Equal:
+    case BinOp::NotEqual:
+      return abstractRelational(op, a, b);
+    case BinOp::And:
+    case BinOp::Or:
+      return abstractKleene(op, a, b);
+    case BinOp::Is:
+    case BinOp::IsNot:
+      return abstractIdentity(op, a, b);
+  }
+  return top();
+}
+
+}  // namespace classad::analysis

@@ -1,0 +1,237 @@
+// domain.h - The abstract domain of the ClassAd static analyzer.
+//
+// Section 5 of the paper asks for "identifying constraints which can never
+// be satisfied by the pool". The dynamic diagnoser (matchmaker/analysis.*)
+// answers that by evaluating against every ad; this domain lets us answer
+// a stronger question with NO candidate ad at all: over-approximate, per
+// subexpression, the set of values an expression may evaluate to, and
+// propagate that set through the strict/non-strict operator tables of
+// Section 3.2.
+//
+// An AbstractValue is a superset of the possible concrete Values:
+//   - a TypeSet saying which ValueTypes are reachable (including the
+//     distinguished `undefined` and `error` constants, so three-valued
+//     reachability is part of the lattice, not a side channel);
+//   - a numeric interval bounding any integer/real outcome;
+//   - the reachable boolean constants (true / false separately, so the
+//     Kleene connectives stay precise);
+//   - an optional finite set of reachable strings (absent = any string).
+//
+// Soundness contract (property-tested in analysis_soundness_test.cpp):
+// for every expression e, environment env and candidate ad, the concrete
+// evaluation of e lies in abstractEval(e, env).contains(). Transfer
+// functions may lose precision, never possibilities. One documented hole:
+// IEEE NaN from overflow arithmetic (inf - inf) is treated as "any real".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/expr.h"
+#include "classad/value.h"
+
+namespace classad::analysis {
+
+/// A set of ValueTypes, as a bitmask. The lattice's "shape" component.
+class TypeSet {
+ public:
+  constexpr TypeSet() = default;
+
+  static constexpr unsigned bit(ValueType t) noexcept {
+    return 1u << static_cast<unsigned>(t);
+  }
+  static TypeSet of(ValueType t) noexcept { return TypeSet(bit(t)); }
+  static TypeSet none() noexcept { return TypeSet(0); }
+  static TypeSet all() noexcept { return TypeSet(0xFFu); }
+
+  bool has(ValueType t) const noexcept { return (mask_ & bit(t)) != 0; }
+  bool empty() const noexcept { return mask_ == 0; }
+  /// True iff the set is exactly {t}.
+  bool only(ValueType t) const noexcept { return mask_ == bit(t); }
+
+  TypeSet unite(TypeSet o) const noexcept { return TypeSet(mask_ | o.mask_); }
+  TypeSet intersect(TypeSet o) const noexcept {
+    return TypeSet(mask_ & o.mask_);
+  }
+  TypeSet with(ValueType t) const noexcept { return TypeSet(mask_ | bit(t)); }
+  TypeSet without(ValueType t) const noexcept {
+    return TypeSet(mask_ & ~bit(t));
+  }
+  bool subsetOf(TypeSet o) const noexcept {
+    return (mask_ & ~o.mask_) == 0;
+  }
+  bool operator==(const TypeSet& o) const noexcept = default;
+
+  /// "integer|real|undefined" — for findings and debugging.
+  std::string toString() const;
+
+ private:
+  explicit constexpr TypeSet(unsigned mask) : mask_(mask) {}
+  unsigned mask_ = 0;
+};
+
+/// A (possibly open-ended) interval over the reals, bounding numeric
+/// outcomes. Endpoint openness is tracked so that integer-style
+/// constraints like `x > 64 && x < 65` are decided exactly.
+struct Interval {
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  double lo = -kInf;
+  double hi = kInf;
+  bool loOpen = false;  ///< lo itself excluded
+  bool hiOpen = false;  ///< hi itself excluded
+
+  static Interval all() noexcept { return {}; }
+  static Interval point(double v) noexcept { return {v, v, false, false}; }
+  static Interval atLeast(double v, bool open) noexcept {
+    return {v, kInf, open, false};
+  }
+  static Interval atMost(double v, bool open) noexcept {
+    return {-kInf, v, false, open};
+  }
+  /// The canonical empty interval.
+  static Interval none() noexcept { return {kInf, -kInf, true, true}; }
+
+  bool empty() const noexcept {
+    return lo > hi || (lo == hi && (loOpen || hiOpen));
+  }
+  bool isPoint() const noexcept { return lo == hi && !loOpen && !hiOpen; }
+  bool contains(double v) const noexcept {
+    if (v < lo || (v == lo && loOpen)) return false;
+    if (v > hi || (v == hi && hiOpen)) return false;
+    return true;
+  }
+  /// Greatest lower bound of the pair (set intersection).
+  Interval meet(const Interval& o) const noexcept;
+  /// Convex hull (the interval join — may include values in neither).
+  Interval hull(const Interval& o) const noexcept;
+
+  /// True iff every x in *this is strictly less than every y in `o`
+  /// (empty intervals compare vacuously true).
+  bool entirelyBelow(const Interval& o) const noexcept;
+  /// True iff the two intervals share no point.
+  bool disjoint(const Interval& o) const noexcept {
+    return meet(o).empty();
+  }
+
+  std::string toString() const;
+};
+
+// Interval arithmetic (convex hulls; openness is dropped — results are
+// closed over-approximations, which is all the interpreter needs).
+Interval intervalAdd(const Interval& a, const Interval& b) noexcept;
+Interval intervalSub(const Interval& a, const Interval& b) noexcept;
+Interval intervalMul(const Interval& a, const Interval& b) noexcept;
+Interval intervalNeg(const Interval& a) noexcept;
+/// Quotient hull; callers must add `error` reachability separately when
+/// the divisor may be zero. A divisor interval straddling zero widens the
+/// result to all().
+Interval intervalDiv(const Interval& a, const Interval& b) noexcept;
+
+/// An over-approximation of the set of Values an expression may produce.
+class AbstractValue {
+ public:
+  /// Everything: any type, any value. The lattice top, and the safe
+  /// answer whenever the analyzer cannot do better.
+  static AbstractValue top();
+  /// Nothing (identity of join). Never the result of analyzing a real
+  /// expression — evaluation is total.
+  static AbstractValue bottom() { return AbstractValue(); }
+
+  static AbstractValue undefined();
+  static AbstractValue error();
+  static AbstractValue boolean(bool canTrue, bool canFalse);
+  static AbstractValue number(Interval range, bool canInt, bool canReal);
+  static AbstractValue integer(Interval range) {
+    return number(range, true, false);
+  }
+  static AbstractValue anyString();
+  static AbstractValue stringSet(std::vector<std::string> values);
+  static AbstractValue ofType(ValueType t);
+
+  /// The singleton abstraction of a concrete value (lists and records
+  /// abstract to their type only).
+  static AbstractValue of(const Value& v);
+
+  // --- lattice ------------------------------------------------------------
+
+  /// Least upper bound: the union of possibilities.
+  AbstractValue join(const AbstractValue& o) const;
+
+  /// Soundness predicate: may this abstract value describe `v`?
+  bool contains(const Value& v) const;
+
+  // --- inspection ----------------------------------------------------------
+
+  const TypeSet& types() const noexcept { return types_; }
+  const Interval& range() const noexcept { return range_; }
+  bool mayBeTrue() const noexcept { return canTrue_; }
+  bool mayBeFalse() const noexcept { return canFalse_; }
+  bool mayBeUndefined() const noexcept {
+    return types_.has(ValueType::Undefined);
+  }
+  bool mayBeError() const noexcept { return types_.has(ValueType::Error); }
+  bool mayBeNumber() const noexcept {
+    return types_.has(ValueType::Integer) || types_.has(ValueType::Real);
+  }
+  bool mayBeString() const noexcept { return types_.has(ValueType::String); }
+  /// May the value be something other than a boolean/undefined/error —
+  /// i.e. a type-error operand for the Kleene connectives?
+  bool mayBeNonBoolean() const noexcept;
+
+  bool isBottom() const noexcept { return types_.empty(); }
+  bool onlyUndefined() const noexcept {
+    return types_.only(ValueType::Undefined);
+  }
+  bool onlyError() const noexcept { return types_.only(ValueType::Error); }
+  bool onlyTrue() const noexcept {
+    return types_.only(ValueType::Boolean) && canTrue_ && !canFalse_;
+  }
+  bool onlyFalse() const noexcept {
+    return types_.only(ValueType::Boolean) && canFalse_ && !canTrue_;
+  }
+  /// The match-killing classification: can this expression EVER produce
+  /// boolean true? (Section 3.2: a constraint that does not evaluate to
+  /// true fails the match — undefined and error included.)
+  bool canSatisfyConstraint() const noexcept { return canTrue_; }
+
+  /// Finite string domain; nullopt = unconstrained (any string). Only
+  /// meaningful when types() includes String.
+  const std::optional<std::vector<std::string>>& strings() const noexcept {
+    return strings_;
+  }
+
+  /// If this abstracts exactly one concrete scalar value, returns it.
+  std::optional<Value> singleton() const;
+
+  /// "boolean{true}|undefined" / "integer|real in [64, +inf)" — findings.
+  std::string describe() const;
+
+  // --- transfer functions ---------------------------------------------------
+
+  /// Abstract counterpart of UnaryExpr::evaluate.
+  static AbstractValue applyUnary(UnOp op, const AbstractValue& a);
+  /// Abstract counterpart of BinaryExpr::apply (the strict arithmetic /
+  /// comparison tables and the non-strict Kleene connectives of §3.2).
+  static AbstractValue applyBinary(BinOp op, const AbstractValue& a,
+                                   const AbstractValue& b);
+
+ private:
+  AbstractValue() = default;
+  void normalize();
+
+  TypeSet types_;
+  Interval range_ = Interval::none();
+  bool canTrue_ = false;
+  bool canFalse_ = false;
+  std::optional<std::vector<std::string>> strings_{
+      std::vector<std::string>{}};  // empty set (bottom), not "any"
+
+  /// Finite string sets wider than this widen to "any string".
+  static constexpr std::size_t kMaxStrings = 24;
+};
+
+}  // namespace classad::analysis

@@ -1,0 +1,483 @@
+#include "classad/analysis/lint.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "classad/analysis/refs.h"
+
+namespace classad::analysis {
+
+std::string_view toString(LintCode code) noexcept {
+  switch (code) {
+    case LintCode::UnknownFunction: return "unknown-function";
+    case LintCode::UnknownAttribute: return "unknown-attribute";
+    case LintCode::AlwaysUndefined: return "always-undefined";
+    case LintCode::AlwaysError: return "always-error";
+    case LintCode::NeverTrue: return "never-true";
+    case LintCode::Contradiction: return "contradiction";
+    case LintCode::Tautology: return "tautology";
+  }
+  return "?";
+}
+
+std::string_view toString(Severity s) noexcept {
+  return s == Severity::Error ? "error" : "warning";
+}
+
+std::string_view toString(ConjunctVerdict v) noexcept {
+  switch (v) {
+    case ConjunctVerdict::Unknown: return "unknown";
+    case ConjunctVerdict::AlwaysTrue: return "always-true";
+    case ConjunctVerdict::AlwaysUndefined: return "always-undefined";
+    case ConjunctVerdict::AlwaysError: return "always-error";
+    case ConjunctVerdict::NeverTrue: return "never-true";
+  }
+  return "?";
+}
+
+std::string LintFinding::toString() const {
+  std::string out(analysis::toString(severity));
+  out += '[';
+  out += analysis::toString(code);
+  out += "] ";
+  if (!attribute.empty()) {
+    out += attribute;
+    out += ": ";
+  }
+  if (!expr.empty()) {
+    out += '\'';
+    out += expr;
+    out += "' — ";
+  }
+  out += message;
+  if (!suggestion.empty()) {
+    out += " (did you mean '";
+    out += suggestion;
+    out += "'?)";
+  }
+  return out;
+}
+
+std::size_t LintReport::warnings() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const auto& f) {
+        return f.severity == Severity::Warning;
+      }));
+}
+
+std::size_t LintReport::errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const auto& f) {
+        return f.severity == Severity::Error;
+      }));
+}
+
+std::string LintReport::toString() const {
+  std::string out;
+  for (const LintFinding& f : findings) {
+    out += f.toString();
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Conjunct decomposition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool isLiteralBool(const Expr& e, bool value) {
+  const auto* lit = dynamic_cast<const LiteralExpr*>(&e);
+  return lit != nullptr && lit->value().isBoolean() &&
+         lit->value().asBoolean() == value;
+}
+
+void collectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>& out) {
+  const auto* bin = dynamic_cast<const BinaryExpr*>(expr.get());
+  if (bin != nullptr && bin->op() == BinOp::And) {
+    collectConjuncts(bin->lhs(), out);
+    collectConjuncts(bin->rhs(), out);
+    return;
+  }
+  // Ternary guards: `c ? t : false` is true exactly when c and t are, so
+  // both contribute conjuncts (the guard idiom behind many deployed
+  // Requirements expressions).
+  const auto* tern = dynamic_cast<const TernaryExpr*>(expr.get());
+  if (tern != nullptr && isLiteralBool(*tern->elseExpr(), false)) {
+    collectConjuncts(tern->cond(), out);
+    if (!isLiteralBool(*tern->thenExpr(), true)) {
+      collectConjuncts(tern->thenExpr(), out);
+    }
+    return;
+  }
+  if (isLiteralBool(*expr, true)) return;  // dead weight, dropped
+  out.push_back(expr);
+}
+
+}  // namespace
+
+std::vector<ExprPtr> splitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  if (expr) collectConjuncts(expr, out);
+  // Everything was literal true: keep the original so callers always have
+  // at least one conjunct for a present constraint.
+  if (out.empty() && expr) out.push_back(expr);
+  return out;
+}
+
+ConjunctVerdict classifyConjunct(const AbstractValue& v) {
+  if (v.onlyTrue()) return ConjunctVerdict::AlwaysTrue;
+  if (v.onlyUndefined()) return ConjunctVerdict::AlwaysUndefined;
+  if (v.onlyError()) return ConjunctVerdict::AlwaysError;
+  if (!v.canSatisfyConstraint()) return ConjunctVerdict::NeverTrue;
+  return ConjunctVerdict::Unknown;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-conjunct contradiction detection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One conjunct reduced to "attribute <rel> constant" form, when possible.
+struct Atom {
+  std::string key;  ///< lowered name of the other-resolving reference
+  bool isString = false;
+  Interval range = Interval::all();  ///< numeric requirement
+  std::string str;                   ///< lowered string equality requirement
+};
+
+/// The lowered name of a reference that resolves against the match
+/// candidate, or empty.
+std::string otherRefKey(const Expr& e, const ClassAd& self) {
+  const auto* ref = dynamic_cast<const AttrRefExpr*>(&e);
+  if (ref == nullptr) return {};
+  if (ref->scope() == RefScope::Other) return ref->loweredName();
+  if (ref->scope() == RefScope::Default &&
+      !self.contains(ref->loweredName())) {
+    return ref->loweredName();
+  }
+  return {};
+}
+
+/// A numeric or string literal, allowing a unary minus on numbers.
+std::optional<Value> literalScalar(const Expr& e) {
+  if (const auto* lit = dynamic_cast<const LiteralExpr*>(&e)) {
+    const Value& v = lit->value();
+    if (v.isNumber() || v.isString()) return v;
+    return std::nullopt;
+  }
+  if (const auto* un = dynamic_cast<const UnaryExpr*>(&e)) {
+    if (un->op() != UnOp::Minus) return std::nullopt;
+    const auto inner = literalScalar(*un->operand());
+    if (!inner.has_value() || !inner->isNumber()) return std::nullopt;
+    return inner->isInteger() ? Value::integer(-inner->asInteger())
+                              : Value::real(-inner->asReal());
+  }
+  return std::nullopt;
+}
+
+BinOp flip(BinOp op) {
+  switch (op) {
+    case BinOp::Less: return BinOp::Greater;
+    case BinOp::LessEq: return BinOp::GreaterEq;
+    case BinOp::Greater: return BinOp::Less;
+    case BinOp::GreaterEq: return BinOp::LessEq;
+    default: return op;
+  }
+}
+
+std::optional<Atom> extractAtom(const Expr& conjunct, const ClassAd& self) {
+  const auto* bin = dynamic_cast<const BinaryExpr*>(&conjunct);
+  if (bin == nullptr) return std::nullopt;
+  BinOp op = bin->op();
+  if (op != BinOp::Less && op != BinOp::LessEq && op != BinOp::Greater &&
+      op != BinOp::GreaterEq && op != BinOp::Equal) {
+    return std::nullopt;
+  }
+  std::string key = otherRefKey(*bin->lhs(), self);
+  std::optional<Value> lit;
+  if (!key.empty()) {
+    lit = literalScalar(*bin->rhs());
+  } else {
+    key = otherRefKey(*bin->rhs(), self);
+    if (key.empty()) return std::nullopt;
+    lit = literalScalar(*bin->lhs());
+    op = flip(op);  // constant on the left: mirror the relation
+  }
+  if (!lit.has_value()) return std::nullopt;
+
+  Atom atom;
+  atom.key = std::move(key);
+  if (lit->isString()) {
+    if (op != BinOp::Equal) return std::nullopt;  // string order: skip
+    atom.isString = true;
+    atom.str = toLowerCopy(lit->asString());  // == is case-insensitive
+    return atom;
+  }
+  const double c = lit->toReal();
+  switch (op) {
+    case BinOp::Less: atom.range = Interval::atMost(c, true); break;
+    case BinOp::LessEq: atom.range = Interval::atMost(c, false); break;
+    case BinOp::Greater: atom.range = Interval::atLeast(c, true); break;
+    case BinOp::GreaterEq: atom.range = Interval::atLeast(c, false); break;
+    case BinOp::Equal: atom.range = Interval::point(c); break;
+    default: return std::nullopt;
+  }
+  return atom;
+}
+
+/// Accumulated requirements on one candidate attribute.
+struct NarrowState {
+  bool numeric = false;
+  Interval range = Interval::all();
+  bool hasString = false;
+  std::string str;        // lowered
+  std::string firstText;  // conjunct that established the requirement
+  bool reported = false;
+};
+
+void findContradictions(const std::vector<ExprPtr>& conjuncts,
+                        const ClassAd& self, std::string_view attrName,
+                        LintReport& report) {
+  std::unordered_map<std::string, NarrowState> states;
+  for (const ExprPtr& c : conjuncts) {
+    const auto atom = extractAtom(*c, self);
+    if (!atom.has_value()) continue;
+    NarrowState& s = states[atom->key];
+    const std::string text = c->toString();
+    bool conflict = false;
+    std::string why;
+    if (atom->isString) {
+      if (s.numeric) {
+        conflict = true;
+        why = "mixes a string equality with a numeric requirement";
+      } else if (s.hasString && s.str != atom->str) {
+        conflict = true;
+        why = "requires two different string values";
+      } else {
+        s.hasString = true;
+        s.str = atom->str;
+      }
+    } else {
+      if (s.hasString) {
+        conflict = true;
+        why = "mixes a numeric requirement with a string equality";
+      } else {
+        const Interval next =
+            s.numeric ? s.range.meet(atom->range) : atom->range;
+        if (next.empty()) {
+          conflict = true;
+          why = "numeric requirements exclude every value";
+        } else {
+          s.numeric = true;
+          s.range = next;
+        }
+      }
+    }
+    if (s.firstText.empty()) s.firstText = text;
+    if (conflict && !s.reported) {
+      s.reported = true;
+      report.findings.push_back(LintFinding{
+          LintCode::Contradiction, Severity::Error, std::string(attrName),
+          text,
+          "contradicts '" + s.firstText + "' on attribute '" + atom->key +
+              "': " + why + "; the constraint can never be satisfied",
+          {}});
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lint entry points
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const Schema* usableSchema(const LintOptions& opts) {
+  return (opts.otherSchema != nullptr && !opts.otherSchema->empty())
+             ? opts.otherSchema
+             : nullptr;
+}
+
+void lintConstraintInto(const ClassAd& self, const ExprPtr& constraint,
+                        std::string_view attrName, const LintOptions& opts,
+                        LintReport& report) {
+  AnalysisEnv env;
+  env.self = &self;
+  env.otherSchema = usableSchema(opts);
+  env.exactSchemaValues = opts.exactSchemaValues;
+
+  const std::vector<ExprPtr> conjuncts = splitConjuncts(constraint);
+  for (const ExprPtr& c : conjuncts) {
+    // Literal booleans are explicit intent (`Constraint = false` drains a
+    // machine); never flagged.
+    if (dynamic_cast<const LiteralExpr*>(c.get()) != nullptr) continue;
+    const AbstractValue v = abstractEval(*c, env);
+    const std::string text = c->toString();
+    switch (classifyConjunct(v)) {
+      case ConjunctVerdict::AlwaysTrue:
+        report.findings.push_back(
+            LintFinding{LintCode::Tautology, Severity::Warning,
+                        std::string(attrName), text,
+                        "conjunct is always true; it never restricts the "
+                        "match",
+                        {}});
+        break;
+      case ConjunctVerdict::AlwaysUndefined:
+        report.findings.push_back(
+            LintFinding{LintCode::AlwaysUndefined, Severity::Warning,
+                        std::string(attrName), text,
+                        "conjunct always evaluates to undefined (inferred "
+                        "value: " +
+                            v.describe() + "); it can never hold",
+                        {}});
+        break;
+      case ConjunctVerdict::AlwaysError:
+        report.findings.push_back(
+            LintFinding{LintCode::AlwaysError, Severity::Error,
+                        std::string(attrName), text,
+                        "conjunct always evaluates to error (inferred "
+                        "value: " +
+                            v.describe() + ")",
+                        {}});
+        break;
+      case ConjunctVerdict::NeverTrue:
+        report.findings.push_back(
+            LintFinding{LintCode::NeverTrue, Severity::Error,
+                        std::string(attrName), text,
+                        "conjunct can never be true (inferred value: " +
+                            v.describe() + ")",
+                        {}});
+        break;
+      case ConjunctVerdict::Unknown:
+        break;
+    }
+  }
+  findContradictions(conjuncts, self, attrName, report);
+}
+
+bool isConstraintAttr(std::string_view name, const LintOptions& opts) {
+  return std::any_of(opts.constraintAttrs.begin(), opts.constraintAttrs.end(),
+                     [name](const std::string& c) {
+                       return equalsIgnoreCase(c, name);
+                     });
+}
+
+}  // namespace
+
+LintReport lintConstraint(const ClassAd& self, const Expr& constraint,
+                          std::string_view attrName,
+                          const LintOptions& opts) {
+  LintReport report;
+  // Wrap without taking ownership; the alias keeps the expression alive
+  // for the duration of the call only.
+  const ExprPtr alias(ExprPtr{}, &constraint);
+  lintConstraintInto(self, alias, attrName, opts, report);
+  return report;
+}
+
+LintReport lintAd(const ClassAd& ad, const LintOptions& opts) {
+  LintReport report;
+  const Schema* schema = usableSchema(opts);
+
+  for (const auto& [name, expr] : ad.attributes()) {
+    const RefReport refs = collectRefs(*expr, &ad);
+    for (const std::string& fn : refs.unknownFunctions) {
+      report.findings.push_back(
+          LintFinding{LintCode::UnknownFunction, Severity::Error, name,
+                      fn + "(...)",
+                      "call to unknown function '" + fn +
+                          "'; it always evaluates to error",
+                      {}});
+    }
+    if (schema != nullptr) {
+      for (const AttrRef* ref : refs.otherRefs()) {
+        if (schema->find(ref->lowered) != nullptr) continue;
+        std::string suggestion =
+            schema->nearestName(ref->lowered).value_or("");
+        report.findings.push_back(LintFinding{
+            LintCode::UnknownAttribute, Severity::Warning, name, ref->name,
+            "no ad in the pool defines attribute '" + ref->name +
+                "'; the reference always evaluates to undefined",
+            std::move(suggestion)});
+      }
+    }
+    if (isConstraintAttr(name, opts)) {
+      lintConstraintInto(ad, expr, name, opts, report);
+    } else if (refs.unknownFunctions.empty()) {
+      AnalysisEnv env;
+      env.self = &ad;
+      env.otherSchema = schema;
+      env.exactSchemaValues = opts.exactSchemaValues;
+      if (abstractEval(*expr, env).onlyError()) {
+        report.findings.push_back(
+            LintFinding{LintCode::AlwaysError, Severity::Error, name,
+                        expr->toString(),
+                        "attribute always evaluates to error",
+                        {}});
+      }
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Ad-file reading
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> splitAdBlocks(std::string_view text) {
+  std::vector<std::string> blocks;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++i;
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < n && text[i + 1] == '/')) {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c != '[') {
+      // Garbage outside a block: hand it to the caller as an unparsable
+      // "block" so it surfaces as a parse error instead of vanishing.
+      const std::size_t start = i;
+      while (i < n && text[i] != '[' && text[i] != '\n') ++i;
+      blocks.emplace_back(text.substr(start, i - start));
+      continue;
+    }
+    const std::size_t start = i;
+    int depth = 0;
+    bool inString = false;
+    for (; i < n; ++i) {
+      const char ch = text[i];
+      if (inString) {
+        if (ch == '\\' && i + 1 < n) {
+          ++i;
+        } else if (ch == '"') {
+          inString = false;
+        }
+        continue;
+      }
+      if (ch == '"') {
+        inString = true;
+      } else if (ch == '[') {
+        ++depth;
+      } else if (ch == ']') {
+        if (--depth == 0) {
+          ++i;
+          break;
+        }
+      }
+    }
+    blocks.emplace_back(text.substr(start, i - start));
+  }
+  return blocks;
+}
+
+}  // namespace classad::analysis

@@ -1,0 +1,121 @@
+// lint.h - The lint layer: turns the abstract interpreter's verdicts into
+// actionable findings on whole ads.
+//
+// The catalogue (see docs/ANALYSIS.md):
+//   errors   — findings that make the ad useless as written: a constraint
+//              conjunct that can never be true (statically unsatisfiable,
+//              always-false, always-error, or contradictory with a sibling
+//              conjunct), a call to an unknown function, an attribute that
+//              always evaluates to error.
+//   warnings — findings that deserve a look but may be intentional: a
+//              reference to an attribute no pool ad defines (probable
+//              misspelling, with a nearest-name suggestion), a conjunct
+//              that is always undefined, a tautological conjunct.
+//
+// mm_lint, matchmakerd's advertising boundary, and matchmaker::diagnose
+// all run this same pass.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classad/analysis/absint.h"
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+
+namespace classad::analysis {
+
+enum class LintCode : std::uint8_t {
+  UnknownFunction,    ///< call target not in the builtin table (error)
+  UnknownAttribute,   ///< other-ref absent from the pool schema (warning)
+  AlwaysUndefined,    ///< conjunct can only be undefined (warning)
+  AlwaysError,        ///< conjunct/attribute can only be error (error)
+  NeverTrue,          ///< conjunct can never be boolean true (error)
+  Contradiction,      ///< two conjuncts jointly unsatisfiable (error)
+  Tautology,          ///< conjunct is always true: dead weight (warning)
+};
+
+std::string_view toString(LintCode code) noexcept;
+
+enum class Severity : std::uint8_t { Warning, Error };
+
+std::string_view toString(Severity s) noexcept;
+
+struct LintFinding {
+  LintCode code;
+  Severity severity;
+  std::string attribute;   ///< ad attribute the finding is in
+  std::string expr;        ///< offending (sub)expression, source form
+  std::string message;     ///< human-readable explanation
+  std::string suggestion;  ///< nearest-name hint, "" if none
+
+  /// One-line rendering: "error[never-true] Constraint: ... — ...".
+  std::string toString() const;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+
+  std::size_t warnings() const;
+  std::size_t errors() const;
+  bool hasErrors() const { return errors() > 0; }
+  bool empty() const { return findings.empty(); }
+  std::string toString() const;
+};
+
+struct LintOptions {
+  /// Pool schema the candidate side is checked against; null or empty
+  /// disables schema-dependent findings (UnknownAttribute, and any verdict
+  /// that depends on what `other` can be).
+  const Schema* otherSchema = nullptr;
+  /// Treat schema value domains as exhaustive (see Schema::domainOf).
+  bool exactSchemaValues = false;
+  /// Attributes treated as match constraints (conjunct-level analysis).
+  std::vector<std::string> constraintAttrs = {"Constraint", "Requirements"};
+};
+
+/// Lints a whole ad: reference checks on every attribute, conjunct-level
+/// verdicts + cross-conjunct contradiction detection on the constraint
+/// attributes.
+LintReport lintAd(const ClassAd& ad, const LintOptions& opts = {});
+
+/// Lints one constraint expression in the frame of `self` (the entry point
+/// matchmaker::diagnose uses). `attrName` labels the findings.
+LintReport lintConstraint(const ClassAd& self, const Expr& constraint,
+                          std::string_view attrName,
+                          const LintOptions& opts = {});
+
+/// The static verdict on a single conjunct, derived from its abstract
+/// value. `Unknown` means the static pass cannot decide and a dynamic
+/// (per-ad) evaluation is needed.
+enum class ConjunctVerdict : std::uint8_t {
+  Unknown,
+  AlwaysTrue,
+  AlwaysUndefined,  ///< only undefined is reachable
+  AlwaysError,      ///< only error is reachable
+  NeverTrue,        ///< true unreachable, mixed other outcomes
+};
+
+std::string_view toString(ConjunctVerdict v) noexcept;
+
+ConjunctVerdict classifyConjunct(const AbstractValue& v);
+
+/// Splits an expression into its effective top-level conjuncts:
+///   - `a && b` descends both sides (parenthesization is transparent);
+///   - a ternary guard `c ? t : false` contributes the conjuncts of both
+///     `c` and `t` (the expression is true exactly when both are);
+///   - `c ? true : false` contributes the conjuncts of `c`;
+///   - literal `true` conjuncts are dropped.
+/// A non-decomposable root yields itself. Shared by the static lint and
+/// the dynamic diagnoser so both agree on conjunct boundaries.
+std::vector<ExprPtr> splitConjuncts(const ExprPtr& expr);
+
+/// Splits a file's text into top-level `[ ... ]` ad blocks (bracket-aware,
+/// string-literal-aware; `#` and `//` begin comments outside blocks).
+/// Malformed trailing text is returned as a final (unparsable) block so
+/// the caller reports it.
+std::vector<std::string> splitAdBlocks(std::string_view text);
+
+}  // namespace classad::analysis

@@ -1,0 +1,104 @@
+#include "classad/analysis/refs.h"
+
+#include <algorithm>
+
+#include "classad/builtins.h"
+
+namespace classad::analysis {
+
+std::string_view toString(ResolvedScope s) noexcept {
+  switch (s) {
+    case ResolvedScope::Self: return "self";
+    case ResolvedScope::Other: return "other";
+    case ResolvedScope::Builtin: return "builtin";
+  }
+  return "?";
+}
+
+const AttrRef* RefReport::find(std::string_view lowered,
+                               ResolvedScope scope) const {
+  for (const AttrRef& r : refs) {
+    if (r.scope == scope && r.lowered == lowered) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<const AttrRef*> RefReport::otherRefs() const {
+  std::vector<const AttrRef*> out;
+  for (const AttrRef& r : refs) {
+    if (r.scope == ResolvedScope::Other) out.push_back(&r);
+  }
+  return out;
+}
+
+namespace {
+
+void record(RefReport& out, const std::string& name,
+            const std::string& lowered, ResolvedScope scope,
+            RefScope written) {
+  for (AttrRef& r : out.refs) {
+    if (r.scope == scope && r.lowered == lowered) {
+      ++r.count;
+      return;
+    }
+  }
+  out.refs.push_back(AttrRef{name, lowered, scope, written, 1});
+}
+
+void walk(const Expr& expr, const ClassAd* self, RefReport& out) {
+  if (const auto* ref = dynamic_cast<const AttrRefExpr*>(&expr)) {
+    ResolvedScope scope;
+    switch (ref->scope()) {
+      case RefScope::Self:
+        scope = ResolvedScope::Self;
+        break;
+      case RefScope::Other:
+        scope = ResolvedScope::Other;
+        break;
+      case RefScope::Default:
+      default:
+        // The deployed self-then-other fall-through rule (see
+        // AttrRefExpr::evaluate): a bare name the containing ad does not
+        // define resolves against the match candidate.
+        scope = (self != nullptr && self->contains(ref->loweredName()))
+                    ? ResolvedScope::Self
+                    : ResolvedScope::Other;
+        break;
+    }
+    record(out, ref->name(), ref->loweredName(), scope, ref->scope());
+  } else if (const auto* call = dynamic_cast<const FuncCallExpr*>(&expr)) {
+    const std::string lowered = toLowerCopy(call->name());
+    if (lookupBuiltin(lowered) != nullptr) {
+      record(out, call->name(), lowered, ResolvedScope::Builtin,
+             RefScope::Default);
+    } else if (std::find(out.unknownFunctions.begin(),
+                         out.unknownFunctions.end(),
+                         call->name()) == out.unknownFunctions.end()) {
+      out.unknownFunctions.push_back(call->name());
+    }
+  }
+  expr.visitChildren(
+      [&](const Expr& child) { walk(child, self, out); });
+}
+
+}  // namespace
+
+void collectRefs(const Expr& expr, const ClassAd* self, RefReport& out) {
+  walk(expr, self, out);
+}
+
+RefReport collectRefs(const Expr& expr, const ClassAd* self) {
+  RefReport out;
+  walk(expr, self, out);
+  return out;
+}
+
+RefReport collectRefs(const ClassAd& ad) {
+  RefReport out;
+  for (const auto& [name, expr] : ad.attributes()) {
+    walk(*expr, &ad, out);
+  }
+  return out;
+}
+
+}  // namespace classad::analysis

@@ -1,0 +1,64 @@
+// refs.h - The attribute-reference pass of the static analyzer.
+//
+// Walks an expression (or a whole ad) and reports every referenced
+// attribute together with its resolved scope: `self` when the reference
+// lands in the containing ad, `other` when it falls through to the match
+// candidate (Section 3.2's self-then-other rule for bare names), and
+// `builtin` for function calls into the standard library. Unknown
+// functions — which evaluate to `error` unconditionally — are reported
+// separately so lint can flag them.
+//
+// This pass powers the lint layer's misspelling detection (an `other`
+// reference absent from the pool schema) and is the hook a future
+// attribute-indexed matchmaker would use to decide which attributes to
+// index.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "classad/expr.h"
+
+namespace classad::analysis {
+
+/// Where a reference resolves, given the containing ad.
+enum class ResolvedScope : std::uint8_t {
+  Self,     ///< defined by the containing ad (or written `self.`)
+  Other,    ///< falls through to the match candidate
+  Builtin,  ///< a standard-library function
+};
+
+std::string_view toString(ResolvedScope s) noexcept;
+
+struct AttrRef {
+  std::string name;     ///< original spelling (first occurrence wins)
+  std::string lowered;  ///< case-insensitive key
+  ResolvedScope scope = ResolvedScope::Self;
+  RefScope written = RefScope::Default;  ///< scope as written in the source
+  std::size_t count = 0;                 ///< occurrences
+};
+
+struct RefReport {
+  /// References deduplicated by (lowered name, resolved scope).
+  std::vector<AttrRef> refs;
+  /// Function names (original spelling) that are not in the builtin table.
+  std::vector<std::string> unknownFunctions;
+
+  const AttrRef* find(std::string_view lowered, ResolvedScope scope) const;
+  /// All references that resolve against the match candidate.
+  std::vector<const AttrRef*> otherRefs() const;
+};
+
+/// Collects references from one expression. `self` (nullable) decides how
+/// bare names resolve: defined in self -> Self, otherwise they fall
+/// through -> Other.
+void collectRefs(const Expr& expr, const ClassAd* self, RefReport& out);
+
+RefReport collectRefs(const Expr& expr, const ClassAd* self);
+
+/// Collects references from every attribute of `ad` (each attribute's
+/// expression resolves with `ad` itself as self).
+RefReport collectRefs(const ClassAd& ad);
+
+}  // namespace classad::analysis

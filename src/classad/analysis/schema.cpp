@@ -1,0 +1,125 @@
+#include "classad/analysis/schema.h"
+
+#include <algorithm>
+
+#include "classad/analysis/absint.h"
+
+namespace classad::analysis {
+
+std::size_t editDistance(std::string_view a, std::string_view b) {
+  const std::string la = toLowerCopy(a);
+  const std::string lb = toLowerCopy(b);
+  const std::size_t n = la.size(), m = lb.size();
+  std::vector<std::size_t> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub = prev[j - 1] + (la[i - 1] == lb[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+void Schema::fold(const ClassAd& ad) {
+  ++adCount_;
+  // Each attribute is abstracted in its OWN ad's frame, against an
+  // unconstrained match candidate — the folded domain must cover the
+  // attribute's value against any partner the pool may later meet.
+  AnalysisEnv env;
+  env.self = &ad;
+  for (const auto& [name, expr] : ad.attributes()) {
+    const std::string lowered = toLowerCopy(name);
+    AttrInfo& info = attrs_[lowered];
+    if (info.definedIn == 0) info.spelling = name;
+    ++info.definedIn;
+    info.domain = info.domain.join(abstractEval(*expr, env));
+  }
+}
+
+Schema Schema::fromAds(std::span<const ClassAdPtr> ads) {
+  Schema s;
+  for (const ClassAdPtr& ad : ads) {
+    if (ad) s.fold(*ad);
+  }
+  return s;
+}
+
+Schema Schema::fromAds(std::span<const ClassAd> ads) {
+  Schema s;
+  for (const ClassAd& ad : ads) s.fold(ad);
+  return s;
+}
+
+const AttrInfo* Schema::find(std::string_view lowered) const {
+  const auto it = attrs_.find(std::string(lowered));
+  return it == attrs_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Keeps the type structure of a domain but forgets the observed values:
+/// per-type top for each reachable type.
+AbstractValue widenValues(const AbstractValue& v) {
+  static constexpr ValueType kAll[] = {
+      ValueType::Undefined, ValueType::Error,  ValueType::Boolean,
+      ValueType::Integer,   ValueType::Real,   ValueType::String,
+      ValueType::List,      ValueType::Record,
+  };
+  AbstractValue out = AbstractValue::bottom();
+  for (ValueType t : kAll) {
+    if (v.types().has(t)) out = out.join(AbstractValue::ofType(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+AbstractValue Schema::domainOf(std::string_view lowered,
+                               bool exactValues) const {
+  const AttrInfo* info = find(lowered);
+  if (info == nullptr) {
+    // No ad defines the attribute: the misspelling signal.
+    return AbstractValue::undefined();
+  }
+  AbstractValue d =
+      exactValues ? info->domain : widenValues(info->domain);
+  if (info->definedIn < adCount_) {
+    d = d.join(AbstractValue::undefined());  // some ads lack it
+  }
+  return d;
+}
+
+std::optional<std::string> Schema::nearestName(
+    std::string_view lowered) const {
+  constexpr std::size_t kMaxDistance = 2;
+  std::size_t best = kMaxDistance + 1;
+  const AttrInfo* bestInfo = nullptr;
+  for (const auto& [key, info] : attrs_) {
+    if (key == lowered) continue;
+    const std::size_t d = editDistance(key, lowered);
+    if (d < best ||
+        (d == best && bestInfo != nullptr &&
+         info.spelling < bestInfo->spelling)) {
+      best = d;
+      bestInfo = &info;
+    }
+  }
+  if (bestInfo == nullptr) return std::nullopt;
+  return bestInfo->spelling;
+}
+
+std::vector<const AttrInfo*> Schema::sorted() const {
+  std::vector<const AttrInfo*> out;
+  out.reserve(attrs_.size());
+  for (const auto& [key, info] : attrs_) out.push_back(&info);
+  std::sort(out.begin(), out.end(),
+            [](const AttrInfo* a, const AttrInfo* b) {
+              return toLowerCopy(a->spelling) < toLowerCopy(b->spelling);
+            });
+  return out;
+}
+
+}  // namespace classad::analysis

@@ -1,0 +1,80 @@
+// schema.h - The schema inferencer: folds a set of ads (a pool snapshot,
+// or example ads) into an attribute -> type/domain summary.
+//
+// Ads in a pool exhibit the *structural regularity* Section 5 observes:
+// machine ads all define Arch, OpSys, Memory, ... with values of the same
+// types. The schema makes that regularity explicit so the static analyzer
+// can answer, with no candidate ad in hand, "what could `other.Memory`
+// possibly be?" — and so a reference to an attribute NO ad defines can be
+// reported as a probable misspelling, with a nearest-name suggestion.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "classad/analysis/domain.h"
+#include "classad/classad.h"
+
+namespace classad::analysis {
+
+/// Per-attribute summary over the folded ads.
+struct AttrInfo {
+  std::string spelling;       ///< original case of the first occurrence
+  std::size_t definedIn = 0;  ///< number of ads defining the attribute
+  /// Join of the attribute's abstract value across the ads (each ad's
+  /// expression abstractly evaluated in its own frame with an
+  /// unconstrained match candidate).
+  AbstractValue domain = AbstractValue::bottom();
+};
+
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Folds the given ads. Null entries are skipped.
+  static Schema fromAds(std::span<const ClassAdPtr> ads);
+  static Schema fromAds(std::span<const ClassAd> ads);
+
+  std::size_t adCount() const noexcept { return adCount_; }
+  /// A schema folded from zero ads carries no information; callers treat
+  /// it as "no schema" rather than "every reference is undefined".
+  bool empty() const noexcept { return adCount_ == 0; }
+  std::size_t attributeCount() const noexcept { return attrs_.size(); }
+
+  const AttrInfo* find(std::string_view lowered) const;
+
+  /// The abstract value of `other.<name>` against this schema:
+  ///   - attribute unknown: `undefined` only (the misspelling signal);
+  ///   - `exactValues`: the folded domain, plus `undefined` when some ad
+  ///     lacks the attribute;
+  ///   - otherwise (the default for lint): the folded TYPE set with the
+  ///     value component widened to top. Pools are open-world — tomorrow's
+  ///     machine may have Memory = 512 — so treating observed values as
+  ///     exhaustive would fabricate tautologies/contradictions. Types are
+  ///     kept: they are the stable, structural part of the regularity.
+  AbstractValue domainOf(std::string_view lowered, bool exactValues) const;
+
+  /// Nearest defined attribute name within Levenshtein distance 2 (ties
+  /// broken by distance, then alphabetically). The misspelling suggester.
+  std::optional<std::string> nearestName(std::string_view lowered) const;
+
+  /// Attributes sorted by (lowered) name, for reports and tools.
+  std::vector<const AttrInfo*> sorted() const;
+
+ private:
+  void fold(const ClassAd& ad);
+
+  std::unordered_map<std::string, AttrInfo> attrs_;  // lowered -> info
+  std::size_t adCount_ = 0;
+};
+
+/// Edit distance used by the suggester (insert/delete/substitute, cost 1
+/// each, case-insensitive).
+std::size_t editDistance(std::string_view a, std::string_view b);
+
+}  // namespace classad::analysis

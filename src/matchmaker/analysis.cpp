@@ -1,28 +1,13 @@
 #include "matchmaker/analysis.h"
 
+#include "classad/analysis/absint.h"
+#include "classad/analysis/schema.h"
 #include "classad/expr.h"
 
 namespace matchmaking {
 
-namespace {
-
-void collectConjuncts(const classad::ExprPtr& expr,
-                      std::vector<classad::ExprPtr>& out) {
-  const auto* bin = dynamic_cast<const classad::BinaryExpr*>(expr.get());
-  if (bin != nullptr && bin->op() == classad::BinOp::And) {
-    collectConjuncts(bin->lhs(), out);
-    collectConjuncts(bin->rhs(), out);
-    return;
-  }
-  out.push_back(expr);
-}
-
-}  // namespace
-
 std::vector<classad::ExprPtr> splitConjuncts(const classad::ExprPtr& expr) {
-  std::vector<classad::ExprPtr> out;
-  if (expr) collectConjuncts(expr, out);
-  return out;
+  return classad::analysis::splitConjuncts(expr);
 }
 
 Diagnosis diagnose(const classad::ClassAd& request,
@@ -41,6 +26,49 @@ Diagnosis diagnose(const classad::ClassAd& request,
     d.conjuncts.push_back(std::move(r));
   }
 
+  // Static pass first: fold the pool into a schema, lint the request
+  // against it, and try to decide each conjunct without touching the pool.
+  namespace ca = classad::analysis;
+  const ca::Schema schema = ca::Schema::fromAds(pool);
+  ca::LintOptions lintOpts;
+  lintOpts.otherSchema = &schema;
+  lintOpts.constraintAttrs = {attrs.constraint, attrs.constraintAlias};
+  d.lint = ca::lintAd(request, lintOpts);
+
+  ca::AnalysisEnv env;
+  env.self = &request;
+  env.otherSchema = schema.empty() ? nullptr : &schema;
+  const std::size_t poolSize = [&pool] {
+    std::size_t n = 0;
+    for (const classad::ClassAdPtr& r : pool) n += r != nullptr ? 1 : 0;
+    return n;
+  }();
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    const ca::ConjunctVerdict verdict =
+        ca::classifyConjunct(ca::abstractEval(*conjuncts[i], env));
+    d.conjuncts[i].staticVerdict = verdict;
+    if (verdict == ca::ConjunctVerdict::Unknown || poolSize == 0) continue;
+    // Decided with no pool evaluation: the verdict holds for EVERY pool
+    // ad, so the tally is uniform.
+    d.conjuncts[i].decidedStatically = true;
+    switch (verdict) {
+      case ca::ConjunctVerdict::AlwaysTrue:
+        d.conjuncts[i].satisfied = poolSize;
+        break;
+      case ca::ConjunctVerdict::AlwaysUndefined:
+        d.conjuncts[i].undefined = poolSize;
+        break;
+      case ca::ConjunctVerdict::AlwaysError:
+        d.conjuncts[i].error = poolSize;
+        break;
+      case ca::ConjunctVerdict::NeverTrue:
+        d.conjuncts[i].violated = poolSize;
+        break;
+      case ca::ConjunctVerdict::Unknown:
+        break;
+    }
+  }
+
   for (const classad::ClassAdPtr& resource : pool) {
     if (!resource) continue;
     ++d.poolSize;
@@ -55,6 +83,7 @@ Diagnosis diagnose(const classad::ClassAd& request,
       ++d.matches;
     }
     for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+      if (d.conjuncts[i].decidedStatically) continue;
       const classad::Value v = request.evaluate(*conjuncts[i], resource.get());
       if (v.isBooleanTrue()) {
         ++d.conjuncts[i].satisfied;
@@ -86,10 +115,20 @@ std::string Diagnosis::summary() const {
              std::to_string(c.violated) + " fail / " +
              std::to_string(c.undefined) + " undef / " +
              std::to_string(c.error) + " err]  " + c.text;
+      if (c.decidedStatically) {
+        out += "   <-- static: " +
+               std::string(classad::analysis::toString(c.staticVerdict));
+      }
       if (c.unsatisfiable(poolSize)) {
         out += "   <-- NO resource in the pool satisfies this";
       }
       out += "\n";
+    }
+  }
+  if (!lint.empty()) {
+    out += "Static analysis findings:\n";
+    for (const auto& f : lint.findings) {
+      out += "  " + f.toString() + "\n";
     }
   }
   if (requestUnsatisfiable()) {

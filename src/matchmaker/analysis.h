@@ -15,12 +15,17 @@
 // over the resource side, exposing which owner policies exclude the
 // request. This is exactly what powers deployed Condor's `condor_q
 // -better-analyze`.
+// The static analyzer (src/classad/analysis) now runs FIRST: each conjunct
+// is abstractly evaluated against a schema folded from the pool, and only
+// the conjuncts the analyzer cannot decide fall back to per-resource
+// evaluation. A statically decided conjunct costs O(1) in the pool size.
 #pragma once
 
 #include <span>
 #include <string>
 #include <vector>
 
+#include "classad/analysis/lint.h"
 #include "classad/classad.h"
 #include "classad/match.h"
 
@@ -33,6 +38,11 @@ struct ConjunctReport {
   std::size_t violated = 0;  ///< resources definitely failing it
   std::size_t undefined = 0; ///< resources lacking the referenced attributes
   std::size_t error = 0;
+  /// Verdict of the static pass; when not Unknown the tallies above were
+  /// filled in without evaluating a single pool ad.
+  classad::analysis::ConjunctVerdict staticVerdict =
+      classad::analysis::ConjunctVerdict::Unknown;
+  bool decidedStatically = false;
   /// No resource in the pool satisfies this conjunct: part of the
   /// unsatisfiable core ("constraints which can never be satisfied by the
   /// pool").
@@ -51,6 +61,9 @@ struct Diagnosis {
   std::size_t matches = 0;
   /// The request's constraint, conjunct by conjunct.
   std::vector<ConjunctReport> conjuncts;
+  /// Static lint findings for the request against the pool schema
+  /// (misspelled attributes, contradictions, type errors, ...).
+  classad::analysis::LintReport lint;
   /// True iff no resource satisfies the request's constraint.
   bool requestUnsatisfiable() const noexcept {
     return poolSize > 0 && requestSideOk == 0;
@@ -64,8 +77,10 @@ struct Diagnosis {
   std::string summary() const;
 };
 
-/// Splits an expression into its top-level `&&` conjuncts (a non-&& root
-/// yields a single conjunct).
+/// Splits an expression into its effective top-level conjuncts. Delegates
+/// to classad::analysis::splitConjuncts, so the static and dynamic passes
+/// agree on conjunct boundaries (including parenthesized `&&` trees and
+/// `cond ? expr : false` ternary guards).
 std::vector<classad::ExprPtr> splitConjuncts(const classad::ExprPtr& expr);
 
 /// Analyzes why `request` does or does not match the `pool`.

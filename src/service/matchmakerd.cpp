@@ -183,13 +183,16 @@ void MatchmakerDaemon::handleFrame(Connection& conn,
   // DaemonStatus self-advertisements bypass the PoolManager (which
   // validates machine/job ads) and land in their own soft-state store,
   // same expiry discipline as everything else.
-  if (const auto* adv = std::get_if<matchmaking::Advertisement>(&env->payload);
+  if (auto* adv = std::get_if<matchmaking::Advertisement>(&env->payload);
       adv != nullptr && adv->ad != nullptr) {
     if (adv->ad->getString("MyType").value_or("") == "DaemonStatus") {
       daemonAds_.update("daemon:" + adv->key, adv->ad, sim_.now(),
                         adv->sequence);
       return;
     }
+    // Machine/job ads are linted at the advertising boundary; findings
+    // are attached to the ad itself so Query clients can see them.
+    lintIncomingAd(*adv);
   }
   htcsim::Endpoint* target = transport_->localEndpoint(env->to);
   if (target == nullptr) {
@@ -263,6 +266,49 @@ void MatchmakerDaemon::handleQuery(Connection& conn,
     tooBig.error = "result too large for one frame; narrow the constraint";
     conn.queue(wire::encodePoolQueryResponse(tooBig));
   }
+}
+
+// Static-analysis gate at the advertising boundary. Every machine/job ad
+// is linted against a schema folded from the OPPOSITE side of the pool
+// (job ads reference machine attributes and vice versa); findings never
+// reject the ad — the advertising protocol already decides admission —
+// but they are counted and attached to the ad as LintWarnings /
+// LintErrors / LintFindings, so `mm_status -query` surfaces them.
+void MatchmakerDaemon::lintIncomingAd(matchmaking::Advertisement& adv) {
+  namespace ca = classad::analysis;
+  registry_.counter("AdsLinted")->inc();
+
+  const std::string type = adv.ad->getString("Type").value_or("");
+  SchemaCache* cache = nullptr;
+  std::size_t stored = 0;
+  if (type == "Job") {
+    cache = &machineSchema_;
+    stored = pool_->storedResources();
+  } else if (type == "Machine") {
+    cache = &jobSchema_;
+    stored = pool_->storedRequests();
+  }
+  if (cache != nullptr && cache->builtFrom != stored) {
+    cache->schema = ca::Schema::fromAds(
+        type == "Job" ? pool_->snapshotResources() : pool_->snapshotRequests());
+    cache->builtFrom = stored;
+  }
+
+  ca::LintOptions opts;
+  if (cache != nullptr && !cache->schema.empty()) opts.otherSchema = &cache->schema;
+  const ca::LintReport report = ca::lintAd(*adv.ad, opts);
+  if (report.empty()) return;
+  registry_.counter("LintWarnings")->inc(report.warnings());
+  registry_.counter("LintErrors")->inc(report.errors());
+
+  classad::ClassAd annotated = *adv.ad;
+  annotated.set("LintWarnings", static_cast<std::int64_t>(report.warnings()));
+  annotated.set("LintErrors", static_cast<std::int64_t>(report.errors()));
+  std::vector<std::string> lines;
+  lines.reserve(report.findings.size());
+  for (const ca::LintFinding& f : report.findings) lines.push_back(f.toString());
+  annotated.set("LintFindings", lines);
+  adv.ad = classad::makeShared(std::move(annotated));
 }
 
 classad::ClassAdPtr MatchmakerDaemon::buildSelfAd() {

@@ -24,6 +24,8 @@
 #include <string>
 #include <thread>
 
+#include "classad/analysis/lint.h"
+#include "classad/analysis/schema.h"
 #include "matchmaker/ad_store.h"
 #include "obs/registry.h"
 #include "service/reactor.h"
@@ -88,6 +90,7 @@ class MatchmakerDaemon {
   void run();
   void handleFrame(Connection& conn, const wire::Frame& frame);
   void handleQuery(Connection& conn, const wire::Frame& frame);
+  void lintIncomingAd(matchmaking::Advertisement& adv);
   classad::ClassAdPtr buildSelfAd();
   void refreshMirrors();
 
@@ -109,6 +112,19 @@ class MatchmakerDaemon {
   /// "daemon:<address>". Service-thread only — PoolManager never sees
   /// these (it validates machine/job ads); queries read them directly.
   matchmaking::AdStore daemonAds_;
+
+  /// Pool schemas the static analyzer lints incoming ads against: a job
+  /// ad is checked against what the stored machine ads collectively
+  /// advertise, and vice versa. Folding the schema is O(pool), so each
+  /// side is cached and only re-folded when the stored count changes
+  /// (soft state: adds and expirations both move the count). Service
+  /// thread only.
+  struct SchemaCache {
+    classad::analysis::Schema schema;
+    std::size_t builtFrom = static_cast<std::size_t>(-1);
+  };
+  SchemaCache machineSchema_;  ///< folded from stored resource ads
+  SchemaCache jobSchema_;      ///< folded from stored request ads
 
   std::thread thread_;
   std::atomic<bool> stopFlag_{false};

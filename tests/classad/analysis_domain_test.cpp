@@ -1,0 +1,284 @@
+// Unit tests for the abstract domain: TypeSet, Interval (with open
+// endpoints), interval arithmetic, and the AbstractValue lattice and
+// transfer functions. The soundness property test lives in
+// analysis_soundness_test.cpp; these pin the exact algebra.
+#include <gtest/gtest.h>
+
+#include "classad/analysis/domain.h"
+
+namespace classad::analysis {
+namespace {
+
+TEST(TypeSet, BasicAlgebra) {
+  const TypeSet none = TypeSet::none();
+  EXPECT_TRUE(none.empty());
+  const TypeSet num =
+      TypeSet::of(ValueType::Integer).with(ValueType::Real);
+  EXPECT_TRUE(num.has(ValueType::Integer));
+  EXPECT_TRUE(num.has(ValueType::Real));
+  EXPECT_FALSE(num.has(ValueType::String));
+  EXPECT_FALSE(num.only(ValueType::Integer));
+  EXPECT_TRUE(TypeSet::of(ValueType::String).only(ValueType::String));
+  EXPECT_TRUE(num.subsetOf(TypeSet::all()));
+  EXPECT_FALSE(TypeSet::all().subsetOf(num));
+  EXPECT_EQ(num.without(ValueType::Real), TypeSet::of(ValueType::Integer));
+  EXPECT_EQ(num.intersect(TypeSet::of(ValueType::Real)),
+            TypeSet::of(ValueType::Real));
+}
+
+TEST(IntervalTest, EmptinessAndOpenEndpoints) {
+  EXPECT_TRUE(Interval::none().empty());
+  EXPECT_FALSE(Interval::all().empty());
+  EXPECT_FALSE(Interval::point(5).empty());
+  EXPECT_TRUE(Interval::point(5).isPoint());
+
+  // [65, +inf) meet (-inf, 65) is empty: the shared endpoint is open on
+  // one side. This is what decides `x >= 65 && x < 65` exactly.
+  const Interval ge65 = Interval::atLeast(65, false);
+  const Interval lt65 = Interval::atMost(65, true);
+  EXPECT_TRUE(ge65.meet(lt65).empty());
+  EXPECT_TRUE(ge65.disjoint(lt65));
+
+  // [65, +inf) meet (-inf, 65] is the point 65.
+  const Interval le65 = Interval::atMost(65, false);
+  const Interval point = ge65.meet(le65);
+  EXPECT_TRUE(point.isPoint());
+  EXPECT_EQ(point.lo, 65);
+
+  // (64, +inf) meet (-inf, 65) = (64, 65): nonempty over the reals.
+  EXPECT_FALSE(Interval::atLeast(64, true)
+                   .meet(Interval::atMost(65, true))
+                   .empty());
+}
+
+TEST(IntervalTest, ContainsRespectsOpenness) {
+  const Interval open = Interval::atLeast(2, true);
+  EXPECT_FALSE(open.contains(2));
+  EXPECT_TRUE(open.contains(2.0001));
+  const Interval closed = Interval::atLeast(2, false);
+  EXPECT_TRUE(closed.contains(2));
+}
+
+TEST(IntervalTest, HullAndEntirelyBelow) {
+  const Interval a = Interval::point(1);
+  const Interval b = Interval::point(9);
+  const Interval h = a.hull(b);
+  EXPECT_TRUE(h.contains(1));
+  EXPECT_TRUE(h.contains(5));
+  EXPECT_TRUE(h.contains(9));
+  EXPECT_TRUE(a.entirelyBelow(b));
+  EXPECT_FALSE(b.entirelyBelow(a));
+  // Shared closed endpoint: not entirely below (x = y possible).
+  EXPECT_FALSE(Interval::atMost(5, false).entirelyBelow(
+      Interval::atLeast(5, false)));
+  // Shared endpoint, one side open: strictly below.
+  EXPECT_TRUE(Interval::atMost(5, true).entirelyBelow(
+      Interval::atLeast(5, false)));
+}
+
+TEST(IntervalTest, Arithmetic) {
+  const Interval a{2, 4, false, false};
+  const Interval b{-1, 3, false, false};
+  const Interval sum = intervalAdd(a, b);
+  EXPECT_EQ(sum.lo, 1);
+  EXPECT_EQ(sum.hi, 7);
+  const Interval diff = intervalSub(a, b);
+  EXPECT_EQ(diff.lo, -1);
+  EXPECT_EQ(diff.hi, 5);
+  const Interval prod = intervalMul(a, b);
+  EXPECT_EQ(prod.lo, -4);
+  EXPECT_EQ(prod.hi, 12);
+  const Interval neg = intervalNeg(a);
+  EXPECT_EQ(neg.lo, -4);
+  EXPECT_EQ(neg.hi, -2);
+}
+
+TEST(IntervalTest, DivisionWidensWhenDivisorStraddlesZero) {
+  const Interval a{1, 2, false, false};
+  const Interval safe = intervalDiv(a, Interval{2, 4, false, false});
+  EXPECT_EQ(safe.lo, 0.25);
+  EXPECT_EQ(safe.hi, 1);
+  // Divisor includes 0: quotient unbounded.
+  const Interval wide = intervalDiv(a, Interval{-1, 1, false, false});
+  EXPECT_EQ(wide.lo, -Interval::kInf);
+  EXPECT_EQ(wide.hi, Interval::kInf);
+}
+
+TEST(AbstractValueTest, FactoriesAndPredicates) {
+  EXPECT_TRUE(AbstractValue::bottom().isBottom());
+  EXPECT_TRUE(AbstractValue::undefined().onlyUndefined());
+  EXPECT_TRUE(AbstractValue::error().onlyError());
+  EXPECT_TRUE(AbstractValue::boolean(true, false).onlyTrue());
+  EXPECT_TRUE(AbstractValue::boolean(false, true).onlyFalse());
+  EXPECT_FALSE(AbstractValue::boolean(true, true).onlyTrue());
+  EXPECT_TRUE(AbstractValue::top().mayBeError());
+  EXPECT_TRUE(AbstractValue::top().mayBeTrue());
+  EXPECT_TRUE(AbstractValue::top().canSatisfyConstraint());
+  EXPECT_FALSE(AbstractValue::undefined().canSatisfyConstraint());
+}
+
+TEST(AbstractValueTest, OfConcreteValueIsSingleton) {
+  const AbstractValue five = AbstractValue::of(Value::integer(5));
+  ASSERT_TRUE(five.singleton().has_value());
+  EXPECT_TRUE(five.singleton()->isIdenticalTo(Value::integer(5)));
+  EXPECT_TRUE(five.contains(Value::integer(5)));
+  EXPECT_FALSE(five.contains(Value::integer(6)));
+  EXPECT_FALSE(five.contains(Value::real(5.0)));  // type matters
+
+  const AbstractValue s = AbstractValue::of(Value::string("abc"));
+  ASSERT_TRUE(s.singleton().has_value());
+  EXPECT_TRUE(s.contains(Value::string("abc")));
+  EXPECT_FALSE(s.contains(Value::string("abd")));
+}
+
+TEST(AbstractValueTest, JoinIsUnion) {
+  const AbstractValue j = AbstractValue::of(Value::integer(1))
+                              .join(AbstractValue::of(Value::string("x")));
+  EXPECT_TRUE(j.contains(Value::integer(1)));
+  EXPECT_TRUE(j.contains(Value::string("x")));
+  EXPECT_FALSE(j.contains(Value::string("y")));
+  EXPECT_FALSE(j.contains(Value::undefined()));
+  EXPECT_FALSE(j.singleton().has_value());
+  // Joining with anyString drops the finite set.
+  const AbstractValue any = j.join(AbstractValue::anyString());
+  EXPECT_TRUE(any.contains(Value::string("y")));
+}
+
+TEST(AbstractValueTest, StringSetWidensPastCap) {
+  std::vector<std::string> many;
+  for (int i = 0; i < 40; ++i) many.push_back("s" + std::to_string(i));
+  const AbstractValue v = AbstractValue::stringSet(many);
+  // Beyond the cap the set widens to "any string" — still sound.
+  EXPECT_TRUE(v.contains(Value::string("not-in-the-set")));
+}
+
+TEST(TransferTest, StrictArithmeticPropagatesUndefinedAndError) {
+  const AbstractValue n = AbstractValue::integer(Interval::point(2));
+  const AbstractValue u = AbstractValue::undefined();
+  const AbstractValue e = AbstractValue::error();
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Add, n, u).onlyUndefined());
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Add, n, e).onlyError());
+  // error dominates undefined in arithmetic (Section 3.2 strictness).
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Add, u, e).onlyError());
+}
+
+TEST(TransferTest, ArithmeticIntervals) {
+  const AbstractValue a = AbstractValue::integer(Interval{2, 4, false, false});
+  const AbstractValue b = AbstractValue::integer(Interval{10, 20, false, false});
+  const AbstractValue sum = AbstractValue::applyBinary(BinOp::Add, a, b);
+  EXPECT_FALSE(sum.mayBeError());
+  EXPECT_TRUE(sum.contains(Value::integer(12)));
+  EXPECT_FALSE(sum.contains(Value::integer(25)));
+  EXPECT_FALSE(sum.contains(Value::integer(11)));
+}
+
+TEST(TransferTest, DivisionByMaybeZeroReachesError) {
+  const AbstractValue a = AbstractValue::integer(Interval::point(6));
+  const AbstractValue nonzero =
+      AbstractValue::integer(Interval{2, 3, false, false});
+  EXPECT_FALSE(AbstractValue::applyBinary(BinOp::Divide, a, nonzero)
+                   .mayBeError());
+  const AbstractValue maybeZero =
+      AbstractValue::integer(Interval{0, 3, false, false});
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Divide, a, maybeZero)
+                  .mayBeError());
+  // Division by exactly zero: error only.
+  EXPECT_TRUE(AbstractValue::applyBinary(
+                  BinOp::Divide, a,
+                  AbstractValue::integer(Interval::point(0)))
+                  .onlyError());
+}
+
+TEST(TransferTest, ComparisonDecidesDisjointIntervals) {
+  const AbstractValue small =
+      AbstractValue::integer(Interval{1, 5, false, false});
+  const AbstractValue big =
+      AbstractValue::integer(Interval{10, 20, false, false});
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Less, small, big).onlyTrue());
+  EXPECT_TRUE(
+      AbstractValue::applyBinary(BinOp::Greater, small, big).onlyFalse());
+  EXPECT_TRUE(
+      AbstractValue::applyBinary(BinOp::Equal, small, big).onlyFalse());
+  // Overlapping intervals: both outcomes possible, nothing else.
+  const AbstractValue mid =
+      AbstractValue::integer(Interval{4, 12, false, false});
+  const AbstractValue cmp = AbstractValue::applyBinary(BinOp::Less, small, mid);
+  EXPECT_TRUE(cmp.mayBeTrue());
+  EXPECT_TRUE(cmp.mayBeFalse());
+  EXPECT_FALSE(cmp.mayBeError());
+}
+
+TEST(TransferTest, CrossTypeComparisonIsError) {
+  const AbstractValue n = AbstractValue::integer(Interval::point(5));
+  const AbstractValue s = AbstractValue::of(Value::string("ALPHA"));
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Equal, n, s).onlyError());
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Less, s, n).onlyError());
+}
+
+TEST(TransferTest, StringEqualityIsCaseInsensitive) {
+  const AbstractValue a = AbstractValue::of(Value::string("INTEL"));
+  const AbstractValue b = AbstractValue::of(Value::string("intel"));
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Equal, a, b).onlyTrue());
+  const AbstractValue c = AbstractValue::of(Value::string("SPARC"));
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Equal, a, c).onlyFalse());
+}
+
+TEST(TransferTest, IsIdentityIsCaseSensitiveAndTotal) {
+  const AbstractValue a = AbstractValue::of(Value::string("INTEL"));
+  const AbstractValue b = AbstractValue::of(Value::string("intel"));
+  // `is` never raises: different case means NOT identical.
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Is, a, b).onlyFalse());
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Is, a, a).onlyTrue());
+  // is is non-strict: undefined is identical to undefined.
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Is, AbstractValue::undefined(),
+                                         AbstractValue::undefined())
+                  .onlyTrue());
+  EXPECT_TRUE(AbstractValue::applyBinary(
+                  BinOp::IsNot, AbstractValue::undefined(),
+                  AbstractValue::of(Value::integer(1)))
+                  .onlyTrue());
+}
+
+TEST(TransferTest, KleeneConnectives) {
+  const AbstractValue t = AbstractValue::boolean(true, false);
+  const AbstractValue f = AbstractValue::boolean(false, true);
+  const AbstractValue u = AbstractValue::undefined();
+  // false && undefined = false (non-strict).
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::And, f, u).onlyFalse());
+  // true || undefined = true.
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::Or, t, u).onlyTrue());
+  // true && undefined = undefined.
+  EXPECT_TRUE(AbstractValue::applyBinary(BinOp::And, t, u).onlyUndefined());
+  // An uncertain boolean keeps both outcomes.
+  const AbstractValue any = AbstractValue::boolean(true, true);
+  const AbstractValue both = AbstractValue::applyBinary(BinOp::And, any, t);
+  EXPECT_TRUE(both.mayBeTrue());
+  EXPECT_TRUE(both.mayBeFalse());
+}
+
+TEST(TransferTest, BooleanPromotionInArithmetic) {
+  // true + 1 = 2 (bools promote to 0/1 in arithmetic).
+  const AbstractValue t = AbstractValue::boolean(true, false);
+  const AbstractValue one = AbstractValue::integer(Interval::point(1));
+  const AbstractValue sum = AbstractValue::applyBinary(BinOp::Add, t, one);
+  EXPECT_TRUE(sum.contains(Value::integer(2)));
+  EXPECT_FALSE(sum.mayBeError());
+}
+
+TEST(TransferTest, UnaryOperators) {
+  const AbstractValue t = AbstractValue::boolean(true, false);
+  EXPECT_TRUE(AbstractValue::applyUnary(UnOp::Not, t).onlyFalse());
+  EXPECT_TRUE(AbstractValue::applyUnary(UnOp::Not, AbstractValue::undefined())
+                  .onlyUndefined());
+  const AbstractValue n = AbstractValue::integer(Interval{2, 4, false, false});
+  const AbstractValue neg = AbstractValue::applyUnary(UnOp::Minus, n);
+  EXPECT_TRUE(neg.contains(Value::integer(-3)));
+  EXPECT_FALSE(neg.contains(Value::integer(3)));
+  // Minus on a string is error.
+  EXPECT_TRUE(AbstractValue::applyUnary(
+                  UnOp::Minus, AbstractValue::of(Value::string("x")))
+                  .onlyError());
+}
+
+}  // namespace
+}  // namespace classad::analysis

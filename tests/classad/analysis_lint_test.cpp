@@ -1,0 +1,296 @@
+// The lint layer: the finding catalogue, conjunct decomposition,
+// cross-conjunct contradiction detection, ad-file block splitting, and
+// a malformed-input fuzz pass (mm_lint's engine must never crash on
+// garbage).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "classad/analysis/lint.h"
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+#include "sim/rng.h"
+
+namespace classad::analysis {
+namespace {
+
+bool hasCode(const LintReport& r, LintCode code) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [code](const LintFinding& f) { return f.code == code; });
+}
+
+const LintFinding* findCode(const LintReport& r, LintCode code) {
+  for (const LintFinding& f : r.findings) {
+    if (f.code == code) return &f;
+  }
+  return nullptr;
+}
+
+Schema machineSchema() {
+  std::vector<ClassAd> pool;
+  pool.push_back(ClassAd::parse(
+      "[Type = \"Machine\"; Arch = \"INTEL\"; OpSys = \"Solaris251\";"
+      " Memory = 64; Disk = 3000000; KeyboardIdle = 1200]"));
+  pool.push_back(ClassAd::parse(
+      "[Type = \"Machine\"; Arch = \"ALPHA\"; OpSys = \"OSF1\";"
+      " Memory = 256; Disk = 8000000; KeyboardIdle = 400]"));
+  return Schema::fromAds(pool);
+}
+
+TEST(SplitConjunctsTest, DescendsParenthesizedAndTrees) {
+  // The Figure-1 Constraint, fully parenthesized: parentheses are
+  // transparent in the AST, so decomposition still finds all four.
+  const ExprPtr c = parseExpr(
+      "((other.Type == \"Machine\" && Arch == \"INTEL\") &&"
+      " (OpSys == \"Solaris251\" && Disk >= 10000))");
+  const auto conjuncts = splitConjuncts(c);
+  ASSERT_EQ(conjuncts.size(), 4u);
+  EXPECT_EQ(conjuncts[1]->toString(), "Arch == \"INTEL\"");
+}
+
+TEST(SplitConjunctsTest, TernaryGuards) {
+  // `c ? t : false` is true exactly when c and t both are.
+  const auto guarded =
+      splitConjuncts(parseExpr("other.HasCheckpointing ? Memory >= 32 : false"));
+  ASSERT_EQ(guarded.size(), 2u);
+  EXPECT_EQ(guarded[0]->toString(), "other.HasCheckpointing");
+  EXPECT_EQ(guarded[1]->toString(), "Memory >= 32");
+
+  // `c ? true : false` is just c.
+  const auto boolified =
+      splitConjuncts(parseExpr("KeyboardIdle > 900 ? true : false"));
+  ASSERT_EQ(boolified.size(), 1u);
+  EXPECT_EQ(boolified[0]->toString(), "KeyboardIdle > 900");
+
+  // Mixed with && on either side.
+  const auto mixed = splitConjuncts(
+      parseExpr("(A > 1 && B > 2) && (C ? D : false)"));
+  ASSERT_EQ(mixed.size(), 4u);
+}
+
+TEST(SplitConjunctsTest, LiteralTrueDroppedButNeverEmpty) {
+  const auto dropped = splitConjuncts(parseExpr("true && Memory >= 32"));
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0]->toString(), "Memory >= 32");
+  // All-true collapses to the original, never to zero conjuncts.
+  const auto allTrue = splitConjuncts(parseExpr("true && true"));
+  ASSERT_EQ(allTrue.size(), 1u);
+  EXPECT_EQ(splitConjuncts(ExprPtr{}).size(), 0u);
+}
+
+TEST(LintTest, FlagsMisspelledAttributeWithSuggestion) {
+  const Schema schema = machineSchema();
+  LintOptions opts;
+  opts.otherSchema = &schema;
+  const ClassAd job = ClassAd::parse(
+      "[Type = \"Job\"; Constraint = other.Memery >= 32]");
+  const LintReport r = lintAd(job, opts);
+  const LintFinding* f = findCode(r, LintCode::UnknownAttribute);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_EQ(f->suggestion, "Memory");
+  // The conjunct itself is always-undefined.
+  EXPECT_TRUE(hasCode(r, LintCode::AlwaysUndefined));
+}
+
+TEST(LintTest, FlagsTypeErrorComparison) {
+  const Schema schema = machineSchema();
+  LintOptions opts;
+  opts.otherSchema = &schema;
+  const ClassAd job = ClassAd::parse(
+      "[Type = \"Job\"; Constraint = other.Arch == 5]");
+  const LintReport r = lintAd(job, opts);
+  const LintFinding* f = findCode(r, LintCode::AlwaysError);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Error);
+  EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(LintTest, FlagsContradictoryNumericConjuncts) {
+  const ClassAd job = ClassAd::parse(
+      "[Type = \"Job\";"
+      " Constraint = other.Memory >= 100 && other.Memory < 80]");
+  const LintReport r = lintAd(job);  // no schema needed
+  const LintFinding* f = findCode(r, LintCode::Contradiction);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Error);
+}
+
+TEST(LintTest, ContradictionRespectsOpenEndpoints) {
+  // >= 65 with < 65 is empty; >= 65 with <= 65 is the point 65.
+  const ClassAd bad = ClassAd::parse(
+      "[Constraint = other.M >= 65 && other.M < 65]");
+  EXPECT_TRUE(hasCode(lintAd(bad), LintCode::Contradiction));
+  const ClassAd point = ClassAd::parse(
+      "[Constraint = other.M >= 65 && other.M <= 65]");
+  EXPECT_FALSE(hasCode(lintAd(point), LintCode::Contradiction));
+  // Constant on the left mirrors the relation: 80 > M means M < 80.
+  const ClassAd flipped = ClassAd::parse(
+      "[Constraint = other.M >= 100 && 80 > other.M]");
+  EXPECT_TRUE(hasCode(lintAd(flipped), LintCode::Contradiction));
+}
+
+TEST(LintTest, ContradictionAcrossKinds) {
+  const ClassAd mixed = ClassAd::parse(
+      "[Constraint = other.Arch == \"INTEL\" && other.Arch == 5]");
+  EXPECT_TRUE(hasCode(lintAd(mixed), LintCode::Contradiction));
+  const ClassAd strings = ClassAd::parse(
+      "[Constraint = other.Arch == \"INTEL\" && other.Arch == \"ALPHA\"]");
+  EXPECT_TRUE(hasCode(lintAd(strings), LintCode::Contradiction));
+  // Same value spelled in different case: == is case-insensitive, fine.
+  const ClassAd sameCase = ClassAd::parse(
+      "[Constraint = other.Arch == \"INTEL\" && other.Arch == \"intel\"]");
+  EXPECT_FALSE(hasCode(lintAd(sameCase), LintCode::Contradiction));
+}
+
+TEST(LintTest, FlagsUnknownFunction) {
+  const ClassAd job =
+      ClassAd::parse("[Constraint = frobnicate(other.Memory) > 3]");
+  const LintReport r = lintAd(job);
+  const LintFinding* f = findCode(r, LintCode::UnknownFunction);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Error);
+}
+
+TEST(LintTest, FlagsTautology) {
+  const ClassAd job = ClassAd::parse("[Constraint = 1 <= 2 && other.M > 3]");
+  const LintReport r = lintAd(job);
+  const LintFinding* f = findCode(r, LintCode::Tautology);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Warning);
+}
+
+TEST(LintTest, LiteralBooleanConstraintIsIntentional) {
+  // `Constraint = false` drains a machine; never flagged.
+  const ClassAd drained = ClassAd::parse("[Constraint = false]");
+  EXPECT_TRUE(lintAd(drained).empty());
+  const ClassAd open = ClassAd::parse("[Constraint = true]");
+  EXPECT_TRUE(lintAd(open).empty());
+}
+
+TEST(LintTest, CleanAdProducesNoFindings) {
+  const Schema schema = machineSchema();
+  LintOptions opts;
+  opts.otherSchema = &schema;
+  const ClassAd job = ClassAd::parse(
+      "[Type = \"Job\"; Owner = \"raman\";"
+      " Constraint = other.Type == \"Machine\" && other.Memory >= 32 &&"
+      "              other.Arch == \"INTEL\";"
+      " Rank = other.Memory / 32]");
+  const LintReport r = lintAd(job, opts);
+  EXPECT_TRUE(r.empty()) << r.toString();
+}
+
+TEST(LintTest, NonConstraintAttributeAlwaysErrorIsFlagged) {
+  const ClassAd ad = ClassAd::parse("[Rank = 1 / 0]");
+  EXPECT_TRUE(hasCode(lintAd(ad), LintCode::AlwaysError));
+}
+
+TEST(LintTest, LintConstraintEntryPoint) {
+  const ClassAd self = ClassAd::parse("[Memory = 64]");
+  const ExprPtr c = parseExpr("other.M >= 10 && other.M < 5");
+  const LintReport r = lintConstraint(self, *c, "Requirements");
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings[0].attribute, "Requirements");
+}
+
+TEST(SplitAdBlocksTest, SplitsCommentsAndNesting) {
+  const auto blocks = splitAdBlocks(
+      "# pool file\n"
+      "[ A = 1; Nested = [ B = 2 ] ]\n"
+      "// another\n"
+      "[ C = \"has ] bracket and \\\" quote\" ]\n");
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_NE(blocks[0].find("Nested"), std::string::npos);
+  EXPECT_NE(blocks[1].find("bracket"), std::string::npos);
+  // Both parse.
+  for (const auto& b : blocks) {
+    EXPECT_TRUE(ClassAd::tryParse(b).has_value()) << b;
+  }
+}
+
+TEST(SplitAdBlocksTest, GarbageSurfacesAsUnparsableBlock) {
+  const auto blocks = splitAdBlocks("not an ad\n[ A = 1 ]");
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_FALSE(ClassAd::tryParse(blocks[0]).has_value());
+  EXPECT_TRUE(ClassAd::tryParse(blocks[1]).has_value());
+  EXPECT_TRUE(splitAdBlocks("").empty());
+  EXPECT_TRUE(splitAdBlocks("  \n# only a comment\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input fuzz: the mm_lint pipeline (splitAdBlocks -> tryParse ->
+// lintAd) must never crash, whatever bytes arrive. Seed corpus of nasty
+// shapes plus seeded random mutations.
+// ---------------------------------------------------------------------------
+
+void lintWhatParses(const std::string& text) {
+  const Schema schema = machineSchema();
+  LintOptions opts;
+  opts.otherSchema = &schema;
+  for (const std::string& block : splitAdBlocks(text)) {
+    if (auto ad = ClassAd::tryParse(block)) {
+      (void)lintAd(*ad, opts).toString();
+    }
+  }
+}
+
+TEST(LintFuzzTest, SeedCorpusNeverCrashes) {
+  const char* corpus[] = {
+      "",
+      "[",
+      "]",
+      "[]",
+      "[ x ]",
+      "[ = ]",
+      "[ Constraint = ]",
+      "[ Constraint = other. ]",
+      "[ Constraint = (((((( ]",
+      "[ A = \"unterminated ]",
+      "[ A = 1; A = 2; A = 3 ]",
+      "[ A = B; B = A; Constraint = A > B ]",
+      "[ Constraint = 1 && 2 && \"x\" && undefined && error ]",
+      "[ Constraint = foo(bar(baz(1))) ]",
+      "[ Constraint = {1, 2}[9] > 3 ]",
+      "[ Constraint = [a = 1].b ]",
+      "[ Constraint = -(-(-(-(true)))) ]",
+      "\x01\x02\xff\xfe garbage bytes [ A = 1 ]",
+      "[ Constraint = other.M >= 1e308 * 10 && other.M < -1e308 * 10 ]",
+      "[ Constraint = 0 % 0 == 0 / 0 ]",
+  };
+  for (const char* text : corpus) {
+    SCOPED_TRACE(text);
+    lintWhatParses(text);
+  }
+}
+
+TEST(LintFuzzTest, RandomMutationsNeverCrash) {
+  const std::string base =
+      "[ Type = \"Job\"; Constraint = other.Memory >= 32 &&"
+      " other.Arch == \"INTEL\"; Rank = other.Mips / 10 ]";
+  htcsim::Rng rng(20260806);
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(rng.below(6));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.below(mutated.size());
+      switch (rng.below(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.below(256));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>("[]&|=<>\".x5"[rng.below(11)]));
+          break;
+      }
+      if (mutated.empty()) mutated = "[";
+    }
+    SCOPED_TRACE(mutated);
+    lintWhatParses(mutated);
+  }
+}
+
+}  // namespace
+}  // namespace classad::analysis

@@ -1,0 +1,137 @@
+// The attribute-reference pass and the schema inferencer: scope
+// resolution for bare/self./other. references, unknown-function
+// collection, schema folding, open-world widening, and the
+// nearest-name misspelling suggester.
+#include <gtest/gtest.h>
+
+#include "classad/analysis/refs.h"
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+
+namespace classad::analysis {
+namespace {
+
+TEST(Refs, BareNamesResolveSelfThenOther) {
+  const ClassAd ad = ClassAd::parse(
+      "[Memory = 64; Constraint = Memory >= 32 && KeyboardIdle > 900]");
+  const RefReport refs = collectRefs(*(*ad.lookup("Constraint")), &ad);
+  const AttrRef* mem = refs.find("memory", ResolvedScope::Self);
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->name, "Memory");
+  // Not defined by the ad: falls through to the match candidate.
+  const AttrRef* idle = refs.find("keyboardidle", ResolvedScope::Other);
+  ASSERT_NE(idle, nullptr);
+  EXPECT_EQ(refs.find("keyboardidle", ResolvedScope::Self), nullptr);
+}
+
+TEST(Refs, ExplicitScopesAndCounts) {
+  const ClassAd ad = ClassAd::parse("[A = 1]");
+  const RefReport refs =
+      collectRefs(*parseExpr("self.A + other.A + other.A"), &ad);
+  const AttrRef* selfA = refs.find("a", ResolvedScope::Self);
+  ASSERT_NE(selfA, nullptr);
+  EXPECT_EQ(selfA->count, 1u);
+  const AttrRef* otherA = refs.find("a", ResolvedScope::Other);
+  ASSERT_NE(otherA, nullptr);
+  EXPECT_EQ(otherA->count, 2u);
+}
+
+TEST(Refs, FunctionsSplitIntoBuiltinAndUnknown) {
+  const RefReport refs =
+      collectRefs(*parseExpr("floor(x) + mystery(y)"), nullptr);
+  const AttrRef* fl = refs.find("floor", ResolvedScope::Builtin);
+  ASSERT_NE(fl, nullptr);
+  ASSERT_EQ(refs.unknownFunctions.size(), 1u);
+  EXPECT_EQ(refs.unknownFunctions[0], "mystery");
+}
+
+TEST(Refs, WholeAdCollection) {
+  const ClassAd ad = ClassAd::parse(
+      "[Rank = other.Mips; Constraint = other.Arch == \"INTEL\"]");
+  const RefReport refs = collectRefs(ad);
+  EXPECT_NE(refs.find("mips", ResolvedScope::Other), nullptr);
+  EXPECT_NE(refs.find("arch", ResolvedScope::Other), nullptr);
+  EXPECT_EQ(refs.otherRefs().size(), 2u);
+}
+
+std::vector<ClassAd> machineAds() {
+  std::vector<ClassAd> ads;
+  ads.push_back(ClassAd::parse(
+      "[Type = \"Machine\"; Arch = \"INTEL\"; Memory = 64; LoadAvg = 0.1]"));
+  ads.push_back(ClassAd::parse(
+      "[Type = \"Machine\"; Arch = \"ALPHA\"; Memory = 256]"));
+  return ads;
+}
+
+TEST(SchemaTest, FoldsTypesAndCounts) {
+  const Schema s = Schema::fromAds(machineAds());
+  EXPECT_EQ(s.adCount(), 2u);
+  EXPECT_FALSE(s.empty());
+  const AttrInfo* mem = s.find("memory");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->spelling, "Memory");
+  EXPECT_EQ(mem->definedIn, 2u);
+  EXPECT_TRUE(mem->domain.types().has(ValueType::Integer));
+  EXPECT_FALSE(mem->domain.mayBeString());
+  const AttrInfo* load = s.find("loadavg");
+  ASSERT_NE(load, nullptr);
+  EXPECT_EQ(load->definedIn, 1u);
+  EXPECT_EQ(s.find("nosuchattr"), nullptr);
+}
+
+TEST(SchemaTest, DomainOfWidensValuesKeepsTypes) {
+  const Schema s = Schema::fromAds(machineAds());
+  // Default (open-world): type is kept, observed values are not treated
+  // as exhaustive — tomorrow's machine may have Memory = 512.
+  const AbstractValue mem = s.domainOf("memory", /*exactValues=*/false);
+  EXPECT_TRUE(mem.contains(Value::integer(512)));
+  EXPECT_FALSE(mem.mayBeString());
+  EXPECT_FALSE(mem.mayBeUndefined());  // every ad defines it
+
+  // LoadAvg is defined in only one of the two ads: undefined reachable.
+  EXPECT_TRUE(s.domainOf("loadavg", false).mayBeUndefined());
+
+  // Unknown attribute: undefined only — the misspelling signal.
+  EXPECT_TRUE(s.domainOf("memery", false).onlyUndefined());
+
+  // Exact mode: the observed values ARE the domain.
+  const AbstractValue exact = s.domainOf("arch", /*exactValues=*/true);
+  EXPECT_TRUE(exact.contains(Value::string("INTEL")));
+  EXPECT_TRUE(exact.contains(Value::string("ALPHA")));
+  EXPECT_FALSE(exact.contains(Value::string("VAX")));
+}
+
+TEST(SchemaTest, EmptySchemaCarriesNoInformation) {
+  const Schema s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.adCount(), 0u);
+}
+
+TEST(SchemaTest, NearestNameSuggestsWithinDistanceTwo) {
+  const Schema s = Schema::fromAds(machineAds());
+  EXPECT_EQ(s.nearestName("memery").value_or(""), "Memory");
+  EXPECT_EQ(s.nearestName("archh").value_or(""), "Arch");
+  // Way off: no suggestion.
+  EXPECT_FALSE(s.nearestName("qzqzqzqz").has_value());
+}
+
+TEST(SchemaTest, EditDistanceIsCaseInsensitive) {
+  EXPECT_EQ(editDistance("Memory", "memory"), 0u);
+  EXPECT_EQ(editDistance("Memory", "Memery"), 1u);
+  EXPECT_EQ(editDistance("abc", "abcd"), 1u);
+  EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(editDistance("", "abc"), 3u);
+}
+
+TEST(SchemaTest, SortedListsAttributesByName) {
+  const Schema s = Schema::fromAds(machineAds());
+  const auto sorted = s.sorted();
+  ASSERT_EQ(sorted.size(), s.attributeCount());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LT(toLowerCopy(sorted[i - 1]->spelling),
+              toLowerCopy(sorted[i]->spelling));
+  }
+}
+
+}  // namespace
+}  // namespace classad::analysis

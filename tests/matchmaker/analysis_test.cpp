@@ -51,6 +51,45 @@ TEST(SplitConjunctsTest, NullExprYieldsNothing) {
   EXPECT_TRUE(splitConjuncts(nullptr).empty());
 }
 
+TEST(SplitConjunctsTest, DescendsParenthesizedAndTrees) {
+  // Regression: the Figure-1 Constraint written with explicit grouping
+  // used to decompose into two opaque conjuncts; the parentheses are
+  // transparent in the AST and must not stop the descent.
+  const auto parts = splitConjuncts(classad::parseExpr(
+      "(other.Type == \"Machine\" && Arch == \"INTEL\") && "
+      "(OpSys == \"Solaris251\" && Disk >= 10000)"));
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0]->toString(), "other.Type == \"Machine\"");
+  EXPECT_EQ(parts[3]->toString(), "Disk >= 10000");
+}
+
+TEST(SplitConjunctsTest, TernaryGuardContributesBothSides) {
+  // `c ? t : false` is true exactly when c and t are: both decompose.
+  const auto parts = splitConjuncts(
+      classad::parseExpr("other.HasLicense ? other.Memory >= 32 : false"));
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0]->toString(), "other.HasLicense");
+  EXPECT_EQ(parts[1]->toString(), "other.Memory >= 32");
+  // `c ? true : false` reduces to c's conjuncts.
+  const auto boolified = splitConjuncts(
+      classad::parseExpr("(a && b) ? true : false"));
+  ASSERT_EQ(boolified.size(), 2u);
+}
+
+TEST(DiagnoseTest, ParenthesizedConstraintTalliesPerConjunct) {
+  ClassAd job;
+  job.set("Type", "Job");
+  job.setExpr("Constraint",
+              "(other.Type == \"Machine\" && Arch == \"ALPHA\") && "
+              "(other.Memory >= 16)");
+  const auto d = diagnose(job, pool());
+  ASSERT_EQ(d.conjuncts.size(), 3u);
+  EXPECT_EQ(d.conjuncts[0].satisfied, 3u);
+  EXPECT_EQ(d.conjuncts[1].satisfied, 0u);  // no ALPHA in the pool
+  EXPECT_EQ(d.conjuncts[2].satisfied, 3u);
+  EXPECT_TRUE(d.conjuncts[1].unsatisfiable(d.poolSize));
+}
+
 TEST(DiagnoseTest, MatchableRequest) {
   ClassAd job;
   job.set("Type", "Job");
@@ -92,6 +131,36 @@ TEST(DiagnoseTest, CountsUndefinedConjuncts) {
   ASSERT_EQ(d.conjuncts.size(), 1u);
   EXPECT_EQ(d.conjuncts[0].undefined, 3u);
   EXPECT_TRUE(d.requestUnsatisfiable());
+  // The static pass decided this without evaluating a single pool ad.
+  EXPECT_TRUE(d.conjuncts[0].decidedStatically);
+  EXPECT_EQ(d.conjuncts[0].staticVerdict,
+            classad::analysis::ConjunctVerdict::AlwaysUndefined);
+}
+
+TEST(DiagnoseTest, StaticPassReportsLintFindings) {
+  ClassAd job;
+  job.setExpr("Constraint",
+              "other.Memery >= 32 && other.Memory >= 100 && "
+              "other.Memory < 80");
+  const auto d = diagnose(job, pool());
+  EXPECT_FALSE(d.lint.empty());
+  EXPECT_TRUE(d.lint.hasErrors());  // the contradiction
+  const std::string text = d.summary();
+  EXPECT_NE(text.find("Static analysis findings:"), std::string::npos);
+  EXPECT_NE(text.find("did you mean 'Memory'?"), std::string::npos);
+  EXPECT_NE(text.find("contradiction"), std::string::npos);
+}
+
+TEST(DiagnoseTest, UndecidedConjunctsStillEvaluateDynamically) {
+  // Widened schema values keep `Arch == "SPARC"` undecided statically;
+  // the dynamic tallies must still be exact.
+  ClassAd job;
+  job.setExpr("Constraint", "other.Arch == \"SPARC\"");
+  const auto d = diagnose(job, pool());
+  ASSERT_EQ(d.conjuncts.size(), 1u);
+  EXPECT_FALSE(d.conjuncts[0].decidedStatically);
+  EXPECT_EQ(d.conjuncts[0].satisfied, 1u);
+  EXPECT_EQ(d.conjuncts[0].violated, 2u);
 }
 
 TEST(DiagnoseTest, RejectedByOwnersVerdict) {

@@ -1,0 +1,157 @@
+// The static analyzer at the advertising boundary, over real sockets:
+// a deliberately broken job ad reaches matchmakerd, the daemon lints it
+// against the live machine schema, publishes LintWarnings/LintErrors
+// counters, and attaches the findings to the stored ad so the Query
+// protocol can surface them.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "classad/classad.h"
+#include "service/matchmakerd.h"
+#include "service/query_client.h"
+#include "service/reactor.h"
+#include "service/resource_agentd.h"
+#include "wire/codec.h"
+
+namespace service {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename Pred>
+bool waitFor(Pred done, std::chrono::seconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (done()) return true;
+    std::this_thread::sleep_for(10ms);
+  }
+  return done();
+}
+
+/// Dials the matchmaker, says hello, and advertises one job ad.
+void advertiseJob(std::uint16_t port, const classad::ClassAd& ad,
+                  const std::string& contact) {
+  Reactor prober;
+  std::string dialError;
+  Connection* conn = prober.dial("127.0.0.1", port, &dialError);
+  ASSERT_NE(conn, nullptr) << dialError;
+  conn->queue(wire::encodeHello(
+      {wire::kProtocolVersion, wire::kProtocolVersion, contact}));
+  matchmaking::Advertisement adv;
+  adv.ad = classad::makeShared(ad);
+  adv.sequence = 1;
+  adv.isRequest = true;
+  adv.key = contact + "#1";
+  conn->queue(wire::encodeEnvelope({contact, "collector", std::move(adv)}));
+  for (int i = 0; i < 30; ++i) prober.pollOnce(10);
+}
+
+TEST(LintLoopback, BrokenAdRaisesCountersAndQueryableFindings) {
+  MatchmakerDaemonConfig mmConfig;
+  mmConfig.negotiationInterval = 5.0;  // keep the job queued, not matched
+  MatchmakerDaemon matchmaker(mmConfig);
+  std::string error;
+  ASSERT_TRUE(matchmaker.start(&error)) << error;
+
+  // A real resource agent populates the machine side of the pool, so
+  // the daemon has a schema to lint job ads against.
+  ResourceAgentDaemonConfig raConfig;
+  raConfig.name = "lint-machine";
+  raConfig.memoryMB = 64;
+  raConfig.matchmakerPort = matchmaker.port();
+  raConfig.adIntervalSeconds = 0.1;
+  ResourceAgentDaemon resource(raConfig);
+  ASSERT_TRUE(resource.start(&error)) << error;
+  ASSERT_TRUE(waitFor([&] { return matchmaker.storedResources() == 1; }, 30s));
+
+  // A broken job ad: misspelled attribute plus contradictory range.
+  classad::ClassAd bad;
+  bad.set("Type", "Job");
+  bad.set("MyType", "Job");
+  bad.set("Owner", "tester");
+  bad.set("ContactAddress", "ca://tester");
+  bad.setExpr("Constraint",
+              "other.Memery >= 32 && other.Memory >= 100 && "
+              "other.Memory < 80");
+  advertiseJob(matchmaker.port(), bad, "ca://tester");
+  ASSERT_TRUE(waitFor([&] { return matchmaker.storedRequests() == 1; }, 30s));
+
+  // The boundary counters moved.
+  EXPECT_GE(matchmaker.registry().counter("AdsLinted")->value(), 1u);
+  EXPECT_GE(matchmaker.registry().counter("LintWarnings")->value(), 1u);
+  EXPECT_GE(matchmaker.registry().counter("LintErrors")->value(), 1u);
+
+  // The findings ride on the stored ad, visible through Query frames.
+  PoolQueryOptions jobs;
+  jobs.scope = "jobs";
+  const PoolQueryResult result =
+      queryPool("127.0.0.1", matchmaker.port(), jobs);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.ads.size(), 1u);
+  const classad::ClassAd& stored = *result.ads[0];
+  EXPECT_GE(stored.getInteger("LintWarnings").value_or(0), 1);
+  EXPECT_GE(stored.getInteger("LintErrors").value_or(0), 1);
+  ASSERT_TRUE(stored.lookup("LintFindings") != nullptr);
+  const classad::Value findings = stored.evaluateAttr("LintFindings");
+  ASSERT_TRUE(findings.isList());
+  EXPECT_GE(findings.asList()->size(), 2u);
+
+  // The counters surface in the daemon's self-ad, too.
+  PoolQueryOptions daemons;
+  daemons.scope = "daemons";
+  daemons.constraint = "DaemonType == \"Matchmaker\"";
+  const PoolQueryResult self =
+      queryPool("127.0.0.1", matchmaker.port(), daemons);
+  ASSERT_TRUE(self.ok) << self.error;
+  ASSERT_EQ(self.ads.size(), 1u);
+  EXPECT_GE(self.ads[0]->getInteger("LintWarnings").value_or(0), 1);
+
+  resource.stop();
+  matchmaker.stop();
+}
+
+TEST(LintLoopback, CleanAdIsNotAnnotated) {
+  MatchmakerDaemonConfig mmConfig;
+  mmConfig.negotiationInterval = 5.0;
+  MatchmakerDaemon matchmaker(mmConfig);
+  std::string error;
+  ASSERT_TRUE(matchmaker.start(&error)) << error;
+
+  ResourceAgentDaemonConfig raConfig;
+  raConfig.name = "clean-machine";
+  raConfig.memoryMB = 128;
+  raConfig.matchmakerPort = matchmaker.port();
+  raConfig.adIntervalSeconds = 0.1;
+  ResourceAgentDaemon resource(raConfig);
+  ASSERT_TRUE(resource.start(&error)) << error;
+  ASSERT_TRUE(waitFor([&] { return matchmaker.storedResources() == 1; }, 30s));
+
+  classad::ClassAd good;
+  good.set("Type", "Job");
+  good.set("MyType", "Job");
+  good.set("Owner", "tester");
+  good.set("ContactAddress", "ca://clean");
+  good.setExpr("Constraint", "other.Memory >= 32");
+  advertiseJob(matchmaker.port(), good, "ca://clean");
+  ASSERT_TRUE(waitFor([&] { return matchmaker.storedRequests() == 1; }, 30s));
+
+  EXPECT_GE(matchmaker.registry().counter("AdsLinted")->value(), 1u);
+  EXPECT_EQ(matchmaker.registry().counter("LintErrors")->value(), 0u);
+
+  PoolQueryOptions jobs;
+  jobs.scope = "jobs";
+  const PoolQueryResult result =
+      queryPool("127.0.0.1", matchmaker.port(), jobs);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.ads.size(), 1u);
+  EXPECT_EQ(result.ads[0]->lookup("LintFindings"), nullptr);
+
+  resource.stop();
+  matchmaker.stop();
+}
+
+}  // namespace
+}  // namespace service

@@ -1,0 +1,148 @@
+// mm_lint - static analyzer for classad files (no pool, no daemon: the
+// whole point is catching broken ads BEFORE they are advertised).
+//
+//   mm_lint job.ad                         # reference/type checks only
+//   mm_lint -schema pool.ads job.ad        # + schema checks vs the pool
+//   mm_lint -schema pool.ads jobs.ads      # every ad in a multi-ad file
+//   mm_lint -Werror job.ad                 # warnings fail the build too
+//
+// An ad file holds one or more `[ ... ]` blocks; `#` and `//` start
+// comments between blocks. Findings go to stdout, one per line, prefixed
+// with "file:ad-index:".
+//
+// Exit status: 0 = clean (or warnings without -Werror), 1 = error-class
+// findings (or warnings with -Werror), 2 = bad usage / unreadable or
+// unparsable input.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "classad/analysis/lint.h"
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+
+namespace {
+
+namespace ca = classad::analysis;
+
+void usage(std::ostream& out) {
+  out << "usage: mm_lint [options] ad-file...\n"
+         "  -schema file   pool ads to fold into the attribute schema\n"
+         "                 (job ads are checked against it)\n"
+         "  -exact         treat schema value domains as exhaustive\n"
+         "  -Werror        exit nonzero on warnings too\n"
+         "  -q             suggestions/summary off, findings only\n";
+}
+
+std::optional<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Parses every `[ ... ]` block in `text`. Unparsable blocks append a
+/// diagnostic to `problems` instead of an ad.
+std::vector<classad::ClassAd> parseAds(const std::string& path,
+                                       const std::string& text,
+                                       std::vector<std::string>* problems) {
+  std::vector<classad::ClassAd> ads;
+  std::size_t index = 0;
+  for (const std::string& block : ca::splitAdBlocks(text)) {
+    ++index;
+    std::string error;
+    if (auto ad = classad::ClassAd::tryParse(block, &error)) {
+      ads.push_back(std::move(*ad));
+    } else {
+      problems->push_back(path + ":" + std::to_string(index) +
+                          ": parse error: " + error);
+    }
+  }
+  return ads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schemaPath;
+  bool exactValues = false;
+  bool werror = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-schema" && i + 1 < argc) {
+      schemaPath = argv[++i];
+    } else if (arg == "-exact") {
+      exactValues = true;
+    } else if (arg == "-Werror") {
+      werror = true;
+    } else if (arg == "-q") {
+      quiet = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mm_lint: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<std::string> problems;
+
+  ca::Schema schema;
+  if (!schemaPath.empty()) {
+    const auto text = readFile(schemaPath);
+    if (!text) {
+      std::cerr << "mm_lint: cannot read " << schemaPath << "\n";
+      return 2;
+    }
+    const std::vector<classad::ClassAd> poolAds =
+        parseAds(schemaPath, *text, &problems);
+    schema = ca::Schema::fromAds(poolAds);
+  }
+
+  ca::LintOptions opts;
+  if (!schema.empty()) opts.otherSchema = &schema;
+  opts.exactSchemaValues = exactValues;
+
+  std::size_t warnings = 0;
+  std::size_t errors = 0;
+  for (const std::string& path : files) {
+    const auto text = readFile(path);
+    if (!text) {
+      std::cerr << "mm_lint: cannot read " << path << "\n";
+      return 2;
+    }
+    std::size_t index = 0;
+    for (const classad::ClassAd& ad : parseAds(path, *text, &problems)) {
+      ++index;
+      const ca::LintReport report = ca::lintAd(ad, opts);
+      warnings += report.warnings();
+      errors += report.errors();
+      for (const ca::LintFinding& f : report.findings) {
+        std::cout << path << ":" << index << ": " << f.toString() << "\n";
+      }
+    }
+  }
+
+  for (const std::string& p : problems) std::cerr << "mm_lint: " << p << "\n";
+  if (!quiet) {
+    std::cerr << "mm_lint: " << errors << " error(s), " << warnings
+              << " warning(s)\n";
+  }
+  if (!problems.empty()) return 2;
+  if (errors > 0 || (werror && warnings > 0)) return 1;
+  return 0;
+}
