@@ -1,0 +1,112 @@
+// E11 - Claim leases under chaos (the lease/fault subsystem's headline
+// experiment). The paper's weak-consistency design (Section 3.2) pushes
+// failure handling to the endpoints: the matchmaker keeps no claim
+// state, so a silently dead party can only be discovered by the peer it
+// was talking to. Series: goodput/badput and time-to-rematch against
+// the claim-lease interval, under one fixed seeded chaos-kill schedule.
+// lease_s == 0 is the ablation baseline (the seed's behaviour): a
+// kill -9'd RA wedges its job in Running forever, so completions
+// collapse and nothing is ever rematched. With leases, shorter
+// intervals detect death and rematch sooner (less badput, smaller
+// time-to-rematch) at the price of proportionally more heartbeat
+// traffic.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+#include "classad/query.h"
+#include "faults/fault_plan.h"
+
+namespace {
+
+htcsim::ScenarioConfig chaosConfig(double leaseSeconds) {
+  htcsim::ScenarioConfig config = bench::standardScenario();
+  config.seed = 1011;
+  config.machines.fracAlwaysAvailable = 1.0;  // isolate the chaos variable
+  config.machines.fracClassicIdle = 0.0;
+  config.machines.fracFigure1 = 0.0;
+  config.workload.fracCheckpointable = 0.0;  // lost work is visible
+  config.workload.fracPlatformConstrained = 0.0;
+  // Long jobs at ~80% pool utilization: most kills land on a machine
+  // that is actually serving a claim, so the lease plane is what
+  // decides whether the job ever finishes.
+  config.workload.meanWork = 1800.0;
+  config.resourceAgent.leaseDuration = leaseSeconds;
+  std::vector<std::string> targets;
+  for (std::size_t i = 0; i < config.machines.count; ++i) {
+    targets.push_back("ra://node" + std::to_string(i) + ".cs.wisc.edu");
+  }
+  // Twelve machines die silently (no release, no ad invalidation) at
+  // seeded times spread through the run; the schedule is identical for
+  // every lease setting, so the series isolates the lease interval.
+  config.faults = faults::FaultPlan::chaosKills(
+      /*seed=*/23, targets, /*kills=*/12, /*start=*/600.0,
+      /*end=*/config.duration - 3600.0);
+  return config;
+}
+
+/// Mean seconds from a CA declaring a lease dead to the same job
+/// running again elsewhere, paired per job through the event history.
+double meanRematchSeconds(const htcsim::Metrics& m) {
+  std::map<std::int64_t, double> lostAt;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (const auto& ad : m.history.events()) {
+    const std::string event = ad->getString("Event").value_or("");
+    const std::int64_t job = ad->getInteger("JobId").value_or(-1);
+    if (event == "lease-expired" &&
+        ad->getString("Side").value_or("") == "CA") {
+      lostAt[job] = ad->getNumber("Time").value_or(0.0);
+    } else if (event == "lease-recovered") {
+      const auto it = lostAt.find(job);
+      if (it != lostAt.end()) {
+        total += ad->getNumber("Time").value_or(0.0) - it->second;
+        ++pairs;
+        lostAt.erase(it);
+      }
+    }
+  }
+  return pairs != 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+void BM_E11_GoodputVsLeaseInterval(benchmark::State& state) {
+  const double leaseSeconds = static_cast<double>(state.range(0));
+  htcsim::Metrics metrics;
+  double rematch = 0.0;
+  std::size_t machines = 0;
+  double duration = 0.0;
+  for (auto _ : state) {
+    htcsim::Scenario scenario(chaosConfig(leaseSeconds));
+    scenario.run();
+    metrics = scenario.metrics();
+    rematch = meanRematchSeconds(metrics);
+    machines = scenario.machineCount();
+    duration = scenario.config().duration;
+  }
+  bench::reportPool(state, metrics, duration, machines);
+  state.counters["lease_s"] = leaseSeconds;
+  state.counters["leases_granted"] =
+      static_cast<double>(metrics.leasesGranted);
+  state.counters["beats_acked"] =
+      static_cast<double>(metrics.heartbeatsAcked);
+  state.counters["ra_expiries"] = static_cast<double>(metrics.leasesExpired);
+  state.counters["ca_expiries"] =
+      static_cast<double>(metrics.leaseExpiriesDetected);
+  state.counters["recoveries"] = static_cast<double>(metrics.leaseRecoveries);
+  state.counters["lost_est_cpu_s"] = metrics.leaseLostCpuSecondsEstimate;
+  state.counters["rematch_s"] = rematch;
+}
+// 0 = no-lease ablation (seed behaviour), then the sweep.
+BENCHMARK(BM_E11_GoodputVsLeaseInterval)
+    ->Arg(0)
+    ->Arg(30)
+    ->Arg(60)
+    ->Arg(120)
+    ->Arg(300)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace faults {
+
+namespace {
+bool matchesEndpoint(const std::string& pattern, std::string_view address) {
+  return pattern.empty() || pattern == address;
+}
+}  // namespace
+
+bool FaultRule::appliesTo(std::string_view x, std::string_view y) const {
+  return (matchesEndpoint(a, x) && matchesEndpoint(b, y)) ||
+         (matchesEndpoint(a, y) && matchesEndpoint(b, x));
+}
+
+FaultPlan& FaultPlan::add(FaultRule rule) {
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+FaultPlan& FaultPlan::killAt(std::string target, double at) {
+  FaultRule rule;
+  rule.kind = FaultKind::kKillProcess;
+  rule.a = std::move(target);
+  rule.at = at;
+  rule.until = at;
+  return add(std::move(rule));
+}
+
+FaultPlan& FaultPlan::partition(std::string a, std::string b, double at,
+                                double until) {
+  FaultRule rule;
+  rule.kind = FaultKind::kPartition;
+  rule.a = std::move(a);
+  rule.b = std::move(b);
+  rule.at = at;
+  rule.until = until;
+  return add(std::move(rule));
+}
+
+FaultPlan& FaultPlan::lose(std::string a, std::string b, double probability,
+                           double at, double until) {
+  FaultRule rule;
+  rule.kind = FaultKind::kMessageLoss;
+  rule.a = std::move(a);
+  rule.b = std::move(b);
+  rule.probability = probability;
+  rule.at = at;
+  rule.until = until;
+  return add(std::move(rule));
+}
+
+FaultPlan& FaultPlan::delay(std::string a, std::string b, double delaySeconds,
+                            double at, double until) {
+  FaultRule rule;
+  rule.kind = FaultKind::kMessageDelay;
+  rule.a = std::move(a);
+  rule.b = std::move(b);
+  rule.delaySeconds = delaySeconds;
+  rule.at = at;
+  rule.until = until;
+  return add(std::move(rule));
+}
+
+bool FaultPlan::partitioned(std::string_view x, std::string_view y,
+                            double now) const {
+  for (const FaultRule& rule : rules_) {
+    if (rule.kind == FaultKind::kPartition && rule.activeAt(now) &&
+        rule.appliesTo(x, y)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::extraDelay(std::string_view from, std::string_view to,
+                             double now) const {
+  double total = 0.0;
+  for (const FaultRule& rule : rules_) {
+    if (rule.kind == FaultKind::kMessageDelay && rule.activeAt(now) &&
+        rule.appliesTo(from, to)) {
+      total += rule.delaySeconds;
+    }
+  }
+  return total;
+}
+
+bool FaultPlan::shouldDrop(std::string_view from, std::string_view to,
+                           double now) {
+  for (const FaultRule& rule : rules_) {
+    if (rule.kind == FaultKind::kMessageLoss && rule.activeAt(now) &&
+        rule.appliesTo(from, to) && rng_.chance(rule.probability)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FaultRule> FaultPlan::byKind(FaultKind kind) const {
+  std::vector<FaultRule> out;
+  for (const FaultRule& rule : rules_) {
+    if (rule.kind == kind) out.push_back(rule);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultRule& lhs, const FaultRule& rhs) {
+                     return lhs.at < rhs.at;
+                   });
+  return out;
+}
+
+std::vector<FaultRule> FaultPlan::killSchedule() const {
+  return byKind(FaultKind::kKillProcess);
+}
+
+std::vector<FaultRule> FaultPlan::dropSchedule() const {
+  return byKind(FaultKind::kDropConnection);
+}
+
+FaultPlan FaultPlan::chaosKills(std::uint64_t seed,
+                                const std::vector<std::string>& targets,
+                                int kills, double start, double end) {
+  FaultPlan plan(seed);
+  if (targets.empty() || kills <= 0) return plan;
+  htcsim::Rng rng(seed);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(kills));
+  for (int i = 0; i < kills; ++i) times.push_back(rng.uniform(start, end));
+  std::sort(times.begin(), times.end());
+  for (double at : times) {
+    plan.killAt(targets[rng.below(targets.size())], at);
+  }
+  return plan;
+}
+
+}  // namespace faults

@@ -1,0 +1,104 @@
+// Deterministic fault-injection plan.
+//
+// A FaultPlan is a seeded, declarative list of failures to inject into
+// a running pool: process kills, connection drops, probabilistic
+// message loss, added message delay, and network partitions.  The same
+// plan object plugs into both transports — the sim Network consults it
+// on every send, and the live service Reactor filters frames through
+// it — so a chaos scenario reproduces bit-for-bit from its seed.
+//
+// Rules are matched by endpoint address (exact string, or "" meaning
+// "any endpoint") over a time window [at, until).  Time is seconds in
+// whatever clock the host transport uses: sim time for Network, wall
+// seconds since injection for the Reactor.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace faults {
+
+enum class FaultKind : unsigned char {
+  kKillProcess,     // silence the endpoint named `a` at time `at`
+  kDropConnection,  // close the a<->b connection once at time `at`
+  kMessageLoss,     // drop a->b (and b->a) messages with `probability`
+  kMessageDelay,    // add `delaySeconds` to a->b (and b->a) messages
+  kPartition,       // drop all a<->b traffic during [at, until)
+};
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kMessageLoss;
+  std::string a;  // endpoint address; "" matches any
+  std::string b;  // peer address; "" matches any
+  double at = 0.0;
+  double until = std::numeric_limits<double>::infinity();
+  double probability = 1.0;   // kMessageLoss
+  double delaySeconds = 0.0;  // kMessageDelay
+
+  bool activeAt(double now) const { return now >= at && now < until; }
+  // Endpoint matching is unordered: a rule against (a, b) applies to
+  // traffic in both directions.
+  bool appliesTo(std::string_view x, std::string_view y) const;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+  bool empty() const { return rules_.empty(); }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  FaultPlan& add(FaultRule rule);
+
+  // Convenience constructors for the common rules.
+  FaultPlan& killAt(std::string target, double at);
+  FaultPlan& partition(std::string a, std::string b, double at, double until);
+  FaultPlan& lose(std::string a, std::string b, double probability,
+                  double at = 0.0,
+                  double until = std::numeric_limits<double>::infinity());
+  FaultPlan& delay(std::string a, std::string b, double delaySeconds,
+                   double at = 0.0,
+                   double until = std::numeric_limits<double>::infinity());
+
+  // True while an active partition rule separates x and y.
+  bool partitioned(std::string_view x, std::string_view y, double now) const;
+
+  // Extra latency active loss-free delay rules impose on from->to.
+  double extraDelay(std::string_view from, std::string_view to,
+                    double now) const;
+
+  // Samples the active loss rules for from->to; consumes randomness
+  // from the plan's seeded stream, so call order matters for
+  // reproducibility (transports call it once per send, which is itself
+  // deterministic in the sim).
+  bool shouldDrop(std::string_view from, std::string_view to, double now);
+
+  // Kill / connection-drop events in time order, for schedulers that
+  // apply them (Scenario in the sim, tests in the live pool).
+  std::vector<FaultRule> killSchedule() const;
+  std::vector<FaultRule> dropSchedule() const;
+
+  // Deterministic chaos generator: `kills` process-kill rules spread
+  // uniformly over [start, end) across `targets`, all derived from the
+  // plan seed.  Victims are drawn with replacement so repeated kills of
+  // a recovered endpoint occur, as in a real flaky machine room.
+  static FaultPlan chaosKills(std::uint64_t seed,
+                              const std::vector<std::string>& targets,
+                              int kills, double start, double end);
+
+ private:
+  std::vector<FaultRule> byKind(FaultKind kind) const;
+
+  std::uint64_t seed_ = 0;
+  htcsim::Rng rng_{0};
+  std::vector<FaultRule> rules_;
+};
+
+}  // namespace faults

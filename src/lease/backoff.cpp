@@ -1,0 +1,20 @@
+#include "lease/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lease {
+
+double backoffDelay(const BackoffConfig& config, int attempt,
+                    double unitRandom) {
+  double base = config.initialSeconds;
+  for (int i = 0; i < attempt && base < config.maxSeconds; ++i) {
+    base *= config.multiplier;
+  }
+  base = std::min(base, config.maxSeconds);
+  const double spread = 2.0 * unitRandom - 1.0;  // [-1, 1)
+  const double jittered = base * (1.0 + config.jitter * spread);
+  return std::max(jittered, 1e-3);
+}
+
+}  // namespace lease

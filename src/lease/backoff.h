@@ -1,0 +1,26 @@
+// Bounded exponential backoff with deterministic jitter.
+//
+// Used wherever an endpoint retries against a peer that may be dead:
+// heartbeat re-sends before declaring a lease lost, and daemon
+// reconnect attempts to the matchmaker.  The caller supplies the unit
+// random draw so schedules stay reproducible under a seeded Rng (sim
+// and chaos tests) while live daemons can feed wall-clock entropy.
+#pragma once
+
+namespace lease {
+
+struct BackoffConfig {
+  double initialSeconds = 0.5;  // delay after the first failure
+  double multiplier = 2.0;      // growth factor per consecutive failure
+  double maxSeconds = 30.0;     // cap on the uncapped exponential
+  double jitter = 0.2;          // +/- fraction of the delay randomized
+};
+
+// Delay before retry number `attempt` (0-based: attempt 0 follows the
+// first failure).  `unitRandom` must lie in [0, 1); the jittered delay
+// spans [base * (1 - jitter), base * (1 + jitter)) and never drops
+// below 1ms so schedulers cannot busy-spin.
+double backoffDelay(const BackoffConfig& config, int attempt,
+                    double unitRandom);
+
+}  // namespace lease

@@ -1,0 +1,49 @@
+#include "lease/heartbeat.h"
+
+namespace lease {
+
+HeartbeatMonitor::HeartbeatMonitor(MonitorConfig config,
+                                   double leaseDurationSeconds, double now)
+    : config_(config),
+      interval_(config.intervalFor(leaseDurationSeconds)),
+      nextDue_(now + config.intervalFor(leaseDurationSeconds)) {}
+
+HeartbeatMonitor::Action HeartbeatMonitor::onDue(double now,
+                                                 double unitRandom) {
+  Action action;
+  if (dead_) {
+    action.declareDead = true;
+    return action;
+  }
+  if (outstanding_) {
+    ++misses_;
+    if (misses_ >= config_.maxMisses) {
+      dead_ = true;
+      action.declareDead = true;
+      return action;
+    }
+  }
+  outstanding_ = true;
+  sentAt_ = now;
+  action.sendBeat = true;
+  action.sequence = ++sequence_;
+  // Retries after a miss probe faster than the steady-state interval
+  // but back off so a slow peer is not flooded.
+  nextDue_ = now + (misses_ > 0
+                        ? backoffDelay(config_.retry, misses_ - 1, unitRandom)
+                        : interval_);
+  return action;
+}
+
+std::optional<double> HeartbeatMonitor::ack(std::uint64_t sequence,
+                                            double now) {
+  // Death is terminal: once the owner has been told to requeue, a
+  // straggler ack must not resurrect the claim.
+  if (dead_ || !outstanding_ || sequence != sequence_) return std::nullopt;
+  outstanding_ = false;
+  misses_ = 0;
+  nextDue_ = now + interval_;
+  return now - sentAt_;
+}
+
+}  // namespace lease

@@ -1,0 +1,77 @@
+// Customer-side heartbeat monitor for one claimed resource.
+//
+// Drives the renewal stream that keeps a claim lease alive and decides
+// when the resource owner is dead.  The monitor is a passive state
+// machine: the owner (sim customer agent or live customer_agentd)
+// schedules a callback for nextDue() and calls onDue(); the monitor
+// says whether to send another beat or give up.  Missed beats retry on
+// a bounded exponential backoff before the peer is declared dead, per
+// the failure-detection discipline the paper's weak-consistency story
+// (§3) requires at the endpoints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "lease/backoff.h"
+
+namespace lease {
+
+struct MonitorConfig {
+  // Heartbeat period.  0 means "derive from the granted lease": the
+  // endpoints use leaseDuration * intervalFraction.
+  double intervalSeconds = 0.0;
+  double intervalFraction = 1.0 / 3.0;
+  // Consecutive unacked beats tolerated before the peer is dead.
+  int maxMisses = 3;
+  // Pacing of the re-sends after a miss.
+  BackoffConfig retry;
+
+  double intervalFor(double leaseDurationSeconds) const {
+    if (intervalSeconds > 0.0) return intervalSeconds;
+    return leaseDurationSeconds * intervalFraction;
+  }
+};
+
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor() = default;
+  // `now` seeds the first due time (now + interval: the claim was just
+  // granted, so the lease is fresh).
+  HeartbeatMonitor(MonitorConfig config, double leaseDurationSeconds,
+                   double now);
+
+  double nextDue() const { return nextDue_; }
+  int misses() const { return misses_; }
+  bool dead() const { return dead_; }
+
+  struct Action {
+    bool sendBeat = false;
+    bool declareDead = false;
+    std::uint64_t sequence = 0;
+  };
+
+  // Called when nextDue() passes.  An unacked outstanding beat counts
+  // as a miss; once misses reach maxMisses the peer is declared dead.
+  // Otherwise a new beat (fresh sequence number) should be sent, with
+  // the next deadline backed off if we are already retrying.
+  // `unitRandom` in [0, 1) jitters the retry delay deterministically.
+  Action onDue(double now, double unitRandom);
+
+  // An ack for `sequence` arrived.  Returns the round-trip time if it
+  // matches the outstanding beat (resetting the miss counter), nullopt
+  // for stale or duplicate acks.
+  std::optional<double> ack(std::uint64_t sequence, double now);
+
+ private:
+  MonitorConfig config_;
+  double interval_ = 0.0;
+  double nextDue_ = 0.0;
+  double sentAt_ = 0.0;
+  std::uint64_t sequence_ = 0;
+  bool outstanding_ = false;
+  int misses_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace lease

@@ -1,0 +1,64 @@
+#include "lease/lease_table.h"
+
+#include <utility>
+
+namespace lease {
+
+const Lease& LeaseTable::grant(Ticket ticket, std::uint64_t jobId,
+                               std::string peer, double now,
+                               double durationSeconds) {
+  Lease lease;
+  lease.ticket = ticket;
+  lease.jobId = jobId;
+  lease.peer = std::move(peer);
+  lease.durationSeconds = durationSeconds;
+  lease.grantedAt = now;
+  lease.renewedAt = now;
+  ++granted_;
+  return leases_.insert_or_assign(ticket, std::move(lease)).first->second;
+}
+
+bool LeaseTable::renew(Ticket ticket, double now) {
+  auto it = leases_.find(ticket);
+  if (it == leases_.end()) return false;
+  it->second.renewedAt = now;
+  ++it->second.renewals;
+  ++renewed_;
+  return true;
+}
+
+bool LeaseTable::release(Ticket ticket) {
+  if (leases_.erase(ticket) == 0) return false;
+  ++released_;
+  return true;
+}
+
+const Lease* LeaseTable::find(Ticket ticket) const {
+  auto it = leases_.find(ticket);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+std::vector<Lease> LeaseTable::reapExpired(double now) {
+  std::vector<Lease> dead;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.expiresAt() <= now) {
+      dead.push_back(std::move(it->second));
+      it = leases_.erase(it);
+      ++expired_;
+    } else {
+      ++it;
+    }
+  }
+  return dead;
+}
+
+std::optional<double> LeaseTable::nextExpiry() const {
+  std::optional<double> earliest;
+  for (const auto& [ticket, lease] : leases_) {
+    const double at = lease.expiresAt();
+    if (!earliest || at < *earliest) earliest = at;
+  }
+  return earliest;
+}
+
+}  // namespace lease

@@ -1,0 +1,77 @@
+// Provider-side claim-lease table.
+//
+// The resource agent grants a lease when it accepts a claim; the
+// customer renews it with heartbeats.  If the renewal stream stops,
+// reapExpired() returns the dead leases so the owner can tear the
+// claim down and re-advertise.  Time is a plain double in seconds so
+// the same table serves the discrete-event simulator (sim time) and
+// the live daemons (wall seconds since daemon start).  Per §3.2 of the
+// paper, leases live only at the endpoints — the matchmaker never sees
+// this table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lease {
+
+using Ticket = std::uint64_t;
+
+struct Lease {
+  Ticket ticket = 0;
+  std::uint64_t jobId = 0;
+  std::string peer;  // customer contact address
+  double durationSeconds = 0.0;
+  double grantedAt = 0.0;
+  double renewedAt = 0.0;  // last heartbeat (== grantedAt until renewed)
+  std::uint64_t renewals = 0;
+
+  double expiresAt() const { return renewedAt + durationSeconds; }
+};
+
+class LeaseTable {
+ public:
+  // Records a fresh lease.  A duplicate ticket replaces the old entry
+  // (tickets rotate per claim, so this only happens if a caller reuses
+  // one, and last-grant-wins is the safe interpretation).
+  const Lease& grant(Ticket ticket, std::uint64_t jobId, std::string peer,
+                     double now, double durationSeconds);
+
+  // Heartbeat renewal: pushes the expiry out to now + duration.
+  // Returns false for an unknown (never granted or already reaped)
+  // ticket — the caller should answer with LeaseExpired.
+  bool renew(Ticket ticket, double now);
+
+  // Voluntary teardown (claim released/completed).  Returns false if
+  // the ticket was not present.
+  bool release(Ticket ticket);
+
+  const Lease* find(Ticket ticket) const;
+
+  // Removes and returns every lease whose expiry has passed.
+  std::vector<Lease> reapExpired(double now);
+
+  // Earliest expiry among live leases, for scheduling the next check.
+  std::optional<double> nextExpiry() const;
+
+  std::size_t size() const { return leases_.size(); }
+  bool empty() const { return leases_.empty(); }
+
+  // Lifetime counters (monotonic, survive reap/release).
+  std::uint64_t granted() const { return granted_; }
+  std::uint64_t renewed() const { return renewed_; }
+  std::uint64_t expired() const { return expired_; }
+  std::uint64_t released() const { return released_; }
+
+ private:
+  std::unordered_map<Ticket, Lease> leases_;
+  std::uint64_t granted_ = 0;
+  std::uint64_t renewed_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+}  // namespace lease

@@ -69,6 +69,11 @@ struct ClaimRequest {
 struct ClaimResponse {
   bool accepted = false;
   std::string reason;
+  /// Lease granted on the claim, in seconds. The customer must renew
+  /// within this window (heartbeats) or the resource tears the claim
+  /// down unilaterally. 0 = no lease (the pre-lease protocol): the
+  /// claim lives until an explicit release, however long that takes.
+  double leaseDuration = 0.0;
 };
 
 /// Relinquish/eviction notice ending a claim (either direction): the CA
@@ -83,6 +88,28 @@ struct ClaimRelease {
   std::uint64_t jobId = 0;
   double cpuSecondsUsed = 0.0;  ///< work performed during this claim
   bool completed = false;       ///< job ran to completion
+};
+
+/// Lease renewal, exchanged directly between the claim principals (the
+/// matchmaker never sees one: leases are end-to-end state, §3.2). The
+/// customer sends ack=false beats; the resource answers with ack=true
+/// echoing the sequence number so the customer can measure RTT and
+/// detect a dead peer by consecutive unacked beats.
+struct Heartbeat {
+  Ticket ticket = kNoTicket;
+  std::uint64_t jobId = 0;
+  std::uint64_t sequence = 0;
+  bool ack = false;
+};
+
+/// The resource's verdict that a lease no longer exists: sent in reply
+/// to a heartbeat carrying an unknown or stale ticket, and understood
+/// by the customer as "requeue the job now" without waiting out the
+/// remaining miss budget.
+struct LeaseExpired {
+  Ticket ticket = kNoTicket;
+  std::uint64_t jobId = 0;
+  std::string reason;
 };
 
 }  // namespace matchmaking

@@ -24,6 +24,7 @@ void Connection::close() noexcept {
 
 void Connection::queue(std::string_view bytes) {
   if (closed_) return;
+  if (sendTap && !sendTap(*this, bytes)) return;  // injected fault: frame lost
   if (framesOut_ != nullptr) framesOut_->inc();
   if (bytesOut_ != nullptr) bytesOut_->inc(bytes.size());
   // Compact the flushed prefix before it dominates the buffer.

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 
 #include "wire/frame.h"
@@ -66,6 +67,13 @@ class Connection {
   /// Optional per-peer inbound frame counter, installed by the owning
   /// daemon once the peer identifies itself (not owned).
   obs::Counter* peerFrameCounter = nullptr;
+
+  /// Fault-injection tap: when set, queue() offers every frame to it
+  /// first; returning false drops the frame silently — the live
+  /// counterpart of the simulator's partition/loss rules (frames vanish
+  /// on the wire, the socket stays healthy). Installed by
+  /// Reactor::setSendTap on every current and future connection.
+  std::function<bool(const Connection&, std::string_view)> sendTap;
 
  private:
   int fd_;

@@ -14,10 +14,20 @@ constexpr int kPollMs = 20;
 }  // namespace
 
 CustomerAgentDaemon::CustomerAgentDaemon(Config config)
-    : config_(std::move(config)), address_("ca://" + config_.owner) {
+    : config_(std::move(config)),
+      address_("ca://" + config_.owner),
+      rng_(htcsim::hashName(config_.owner)) {
   for (const JobSpec& spec : config_.jobs) {
-    jobs_.push_back(JobEntry{spec, JobState::kIdle, nullptr});
+    JobEntry entry;
+    entry.spec = spec;
+    jobs_.push_back(std::move(entry));
   }
+}
+
+double CustomerAgentDaemon::nowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
 }
 
 CustomerAgentDaemon::~CustomerAgentDaemon() { stop(); }
@@ -43,8 +53,10 @@ classad::ClassAd CustomerAgentDaemon::buildRequestAd(const JobSpec& job) const {
 
 bool CustomerAgentDaemon::start(std::string* error) {
   if (running_.load()) return true;
+  start_ = std::chrono::steady_clock::now();
   reactor_ = std::make_unique<Reactor>();
   reactor_->instrument(&registry_);
+  if (config_.sendTap) reactor_->setSendTap(config_.sendTap);
   mmConn_ = reactor_->dial(config_.matchmakerHost, config_.matchmakerPort,
                            error);
   if (mmConn_ == nullptr) {
@@ -61,13 +73,23 @@ bool CustomerAgentDaemon::start(std::string* error) {
   reactor_->onClose = [this](Connection& conn) {
     if (&conn == mmConn_) {
       mmConn_ = nullptr;
+      nextReconnectAt_ =
+          nowSeconds() + lease::backoffDelay(config_.reconnectBackoff,
+                                             reconnectAttempts_++,
+                                             rng_.uniform());
       return;
     }
     std::lock_guard<std::mutex> lock(jobsMu_);
     for (JobEntry& job : jobs_) {
       if (job.claimConn == &conn) {
         job.claimConn = nullptr;
-        // The resource vanished mid-claim; requeue unless finished.
+        // The resource vanished mid-claim; requeue unless finished. A
+        // leased running claim dying this way is a lease loss — same
+        // recovery, faster detection than the miss budget.
+        if (job.state == JobState::kRunning && job.monitor) {
+          ++leaseExpiries_;
+        }
+        job.monitor.reset();
         if (job.state != JobState::kDone) job.state = JobState::kIdle;
       }
     }
@@ -82,6 +104,9 @@ bool CustomerAgentDaemon::start(std::string* error) {
 void CustomerAgentDaemon::stop() {
   if (!running_.exchange(false)) {
     if (thread_.joinable()) thread_.join();
+    mmConn_ = nullptr;
+    reactor_.reset();  // also reaps a hardKill()'d reactor's sockets
+    frozen_.store(false);
     return;
   }
   stopFlag_.store(true);
@@ -91,14 +116,80 @@ void CustomerAgentDaemon::stop() {
   reactor_.reset();
 }
 
+void CustomerAgentDaemon::hardKill() {
+  if (!running_.exchange(false)) return;
+  frozen_.store(true);
+  stopFlag_.store(true);
+  if (reactor_) reactor_->wake();
+  if (thread_.joinable()) thread_.join();
+  // reactor_ (and every open socket) stays alive: peers must observe
+  // silence, not a close — only the RA's lease recovers the machine.
+}
+
+void CustomerAgentDaemon::maybeReconnect() {
+  if (mmConn_ != nullptr || nowSeconds() < nextReconnectAt_) return;
+  mmConn_ = reactor_->dial(config_.matchmakerHost, config_.matchmakerPort,
+                           nullptr);
+  nextReconnectAt_ =
+      nowSeconds() + lease::backoffDelay(config_.reconnectBackoff,
+                                         reconnectAttempts_++, rng_.uniform());
+  if (mmConn_ == nullptr) return;
+  ++reconnects_;
+  mmConn_->peerAddress = "collector";
+  mmConn_->queue(wire::encodeHello(
+      {wire::kProtocolVersion, wire::kProtocolVersion, address_}));
+  advertiseIdleJobs();  // repopulate the soft-state store immediately
+}
+
 void CustomerAgentDaemon::run() {
   advertiseIdleJobs();
   while (!stopFlag_.load()) {
     reactor_->pollOnce(kPollMs);
+    maybeReconnect();
+    serviceClaims();
     if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       lastAd_)
             .count() >= config_.adIntervalSeconds) {
       advertiseIdleJobs();
+    }
+  }
+}
+
+void CustomerAgentDaemon::serviceClaims() {
+  const double now = nowSeconds();
+  std::lock_guard<std::mutex> lock(jobsMu_);
+  for (JobEntry& job : jobs_) {
+    if (job.state == JobState::kClaiming &&
+        config_.claimTimeoutSeconds > 0.0 &&
+        now - job.claimStartedAt >= config_.claimTimeoutSeconds) {
+      // The matched RA never answered (dead between advertising and
+      // claiming); give up and rematch.
+      ++claimTimeouts_;
+      if (job.claimConn != nullptr) job.claimConn->close();
+      job.claimConn = nullptr;
+      job.state = JobState::kIdle;
+      continue;
+    }
+    if (job.state != JobState::kRunning || !job.monitor) continue;
+    if (now < job.monitor->nextDue()) continue;
+    const lease::HeartbeatMonitor::Action action =
+        job.monitor->onDue(now, rng_.uniform());
+    if (action.declareDead) {
+      // Miss budget exhausted: the RA is gone. Requeue; the dead
+      // claim's work is lost (the job restarts elsewhere).
+      ++leaseExpiries_;
+      if (job.claimConn != nullptr) job.claimConn->close();
+      job.claimConn = nullptr;
+      job.monitor.reset();
+      job.state = JobState::kIdle;
+      continue;
+    }
+    if (action.sendBeat && job.claimConn != nullptr &&
+        !job.claimConn->closed()) {
+      job.claimConn->queue(wire::encodeEnvelope(
+          {address_, job.claimConn->peerAddress,
+           matchmaking::Heartbeat{job.ticket, job.spec.id, action.sequence,
+                                  /*ack=*/false}}));
     }
   }
 }
@@ -140,6 +231,14 @@ classad::ClassAd CustomerAgentDaemon::buildSelfAd() {
   registry_.gauge("ClaimsRejected")
       ->set(static_cast<double>(rejected_.load()));
   registry_.gauge("AdsSent")->set(static_cast<double>(adsSent_.load()));
+  registry_.gauge("LeaseExpiries")
+      ->set(static_cast<double>(leaseExpiries_.load()));
+  registry_.gauge("HeartbeatsAcked")
+      ->set(static_cast<double>(beatsAcked_.load()));
+  registry_.gauge("ClaimTimeouts")
+      ->set(static_cast<double>(claimTimeouts_.load()));
+  registry_.gauge("MatchmakerReconnects")
+      ->set(static_cast<double>(reconnects_.load()));
   classad::ClassAd ad;
   ad.set("MyType", "DaemonStatus");
   ad.set("Type", "DaemonStatus");
@@ -215,6 +314,8 @@ void CustomerAgentDaemon::handleFrame(Connection& conn,
         {address_, match->peerContact, std::move(claim)}));
     job->state = JobState::kClaiming;
     job->claimConn = claimConn;
+    job->ticket = match->ticket;
+    job->claimStartedAt = nowSeconds();
     return;
   }
 
@@ -230,6 +331,12 @@ void CustomerAgentDaemon::handleFrame(Connection& conn,
         job->state = JobState::kRunning;
         toInvalidate = job->spec;
         placed = true;
+        if (resp->leaseDuration > 0.0) {
+          // The RA granted a lease: keep it alive with heartbeats (the
+          // first beat is due one interval in).
+          job->monitor.emplace(config_.heartbeat, resp->leaseDuration,
+                               nowSeconds());
+        }
       } else {
         ++rejected_;
         job->state = JobState::kIdle;  // back to matchmaking next cycle
@@ -249,12 +356,43 @@ void CustomerAgentDaemon::handleFrame(Connection& conn,
     JobEntry* job = jobOnConnection(&conn);
     if (job == nullptr) return;
     job->claimConn = nullptr;
+    job->monitor.reset();
     if (rel->completed) {
       job->state = JobState::kDone;
       ++completed_;
     } else {
       job->state = JobState::kIdle;  // evicted; rematch next cycle
     }
+    conn.close();
+    return;
+  }
+
+  if (const auto* hb = std::get_if<matchmaking::Heartbeat>(&env->payload)) {
+    if (!hb->ack) return;  // we only originate beats
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    JobEntry* job = jobOnConnection(&conn);
+    if (job == nullptr || !job->monitor || job->ticket != hb->ticket) return;
+    if (const auto rtt = job->monitor->ack(hb->sequence, nowSeconds())) {
+      ++beatsAcked_;
+      registry_.histogram("HeartbeatRttSeconds")->observe(*rtt);
+    }
+    return;
+  }
+
+  if (const auto* notice =
+          std::get_if<matchmaking::LeaseExpired>(&env->payload)) {
+    // The RA already tore the claim down (our renewals arrived too
+    // late); requeue without waiting out the miss budget.
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    JobEntry* job = jobOnConnection(&conn);
+    if (job == nullptr || job->ticket != notice->ticket ||
+        job->state != JobState::kRunning) {
+      return;
+    }
+    ++leaseExpiries_;
+    job->claimConn = nullptr;
+    job->monitor.reset();
+    job->state = JobState::kIdle;
     conn.close();
     return;
   }

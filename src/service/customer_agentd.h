@@ -16,14 +16,19 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "classad/classad.h"
+#include "lease/backoff.h"
+#include "lease/heartbeat.h"
+#include "matchmaker/protocol.h"
 #include "obs/registry.h"
 #include "service/reactor.h"
+#include "sim/rng.h"
 
 namespace service {
 
@@ -45,6 +50,19 @@ struct CustomerAgentDaemonConfig {
                            " && other.Memory >= self.Memory";
   std::string rank = "KFlops/1E3 + other.Memory/32";
   std::vector<JobSpec> jobs;
+  /// Heartbeat behaviour for leased claims; only consulted when a
+  /// ClaimResponse carries a non-zero leaseDuration (see
+  /// lease/heartbeat.h — the interval derives from the lease).
+  lease::MonitorConfig heartbeat;
+  /// Seconds a claim request may sit unanswered before the job goes
+  /// back to matchmaking (the matched RA may be dead). 0 disables.
+  double claimTimeoutSeconds = 10.0;
+  /// Backoff between matchmaker reconnect attempts.
+  lease::BackoffConfig reconnectBackoff;
+  /// Fault-injection hook installed on every connection at start()
+  /// (see Connection::sendTap): return false to drop the frame on the
+  /// floor. The tap runs on the daemon's loop thread.
+  std::function<bool(const Connection&, std::string_view)> sendTap;
 };
 
 class CustomerAgentDaemon {
@@ -57,6 +75,11 @@ class CustomerAgentDaemon {
   bool start(std::string* error = nullptr);
   void stop();
 
+  /// Freezes the daemon without closing its sockets (peers see pure
+  /// silence, no FIN/RST) — the failure the RA-side lease recovers
+  /// from. stop() or destruction still cleans up.
+  void hardKill();
+
   /// Logical transport address ("ca://<owner>") registered with the
   /// matchmaker; match notifications are pushed to it.
   const std::string& address() const noexcept { return address_; }
@@ -67,6 +90,14 @@ class CustomerAgentDaemon {
   std::size_t matchesReceived() const noexcept { return matches_.load(); }
   std::size_t claimsRejected() const noexcept { return rejected_.load(); }
   std::size_t adsSent() const noexcept { return adsSent_.load(); }
+  /// Claims this CA declared dead (missed heartbeats, LeaseExpired
+  /// notice, or a leased claim's connection dropping).
+  std::size_t leaseExpiries() const noexcept { return leaseExpiries_.load(); }
+  std::size_t heartbeatsAcked() const noexcept { return beatsAcked_.load(); }
+  std::size_t claimTimeouts() const noexcept { return claimTimeouts_.load(); }
+  std::size_t matchmakerReconnects() const noexcept {
+    return reconnects_.load();
+  }
 
   /// The request ad a job would advertise now (tests/tools).
   classad::ClassAd buildRequestAd(const JobSpec& job) const;
@@ -80,6 +111,11 @@ class CustomerAgentDaemon {
     JobSpec spec;
     JobState state = JobState::kIdle;
     Connection* claimConn = nullptr;
+    matchmaking::Ticket ticket = matchmaking::kNoTicket;
+    /// Heartbeat monitor for the leased claim (engaged only when the
+    /// RA granted a lease); its clock is nowSeconds().
+    std::optional<lease::HeartbeatMonitor> monitor;
+    double claimStartedAt = 0.0;  ///< nowSeconds() at claim dispatch
   };
 
   void run();
@@ -87,6 +123,10 @@ class CustomerAgentDaemon {
   void advertiseIdleJobs();
   classad::ClassAd buildSelfAd();
   void invalidateJobAd(const JobSpec& job);
+  /// Drives claim timeouts and due heartbeats; called once per loop.
+  void serviceClaims();
+  void maybeReconnect();
+  double nowSeconds() const;
   JobEntry* jobById(std::uint64_t id);
   JobEntry* jobOnConnection(const Connection* conn);
   std::string adKey(const JobSpec& job) const;
@@ -94,11 +134,15 @@ class CustomerAgentDaemon {
   Config config_;
   std::string address_;
   obs::Registry registry_;  ///< must outlive reactor_
+  htcsim::Rng rng_;
 
   std::unique_ptr<Reactor> reactor_;
   Connection* mmConn_ = nullptr;
   std::uint64_t adSequence_ = 0;
   std::chrono::steady_clock::time_point lastAd_{};
+  std::chrono::steady_clock::time_point start_{};
+  double nextReconnectAt_ = 0.0;
+  std::uint32_t reconnectAttempts_ = 0;
 
   mutable std::mutex jobsMu_;
   std::vector<JobEntry> jobs_;
@@ -106,11 +150,16 @@ class CustomerAgentDaemon {
   std::thread thread_;
   std::atomic<bool> stopFlag_{false};
   std::atomic<bool> running_{false};
+  std::atomic<bool> frozen_{false};
 
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::size_t> matches_{0};
   std::atomic<std::size_t> rejected_{0};
   std::atomic<std::size_t> adsSent_{0};
+  std::atomic<std::size_t> leaseExpiries_{0};
+  std::atomic<std::size_t> beatsAcked_{0};
+  std::atomic<std::size_t> claimTimeouts_{0};
+  std::atomic<std::size_t> reconnects_{0};
 };
 
 }  // namespace service

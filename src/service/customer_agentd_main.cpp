@@ -1,7 +1,7 @@
 // customer_agentd - live customer agent endpoint.
 //
 //   customer_agentd --owner USER [--matchmaker-port N] [--jobs N]
-//                   [--work SECONDS]
+//                   [--work SECONDS] [--heartbeat SECONDS]
 //
 // Submits N jobs, advertises them, claims matched resources directly,
 // and exits once all jobs complete.
@@ -38,10 +38,14 @@ int main(int argc, char** argv) {
       jobCount = static_cast<std::size_t>(std::atoll(value()));
     } else if (std::strcmp(arg, "--work") == 0) {
       work = std::atof(value());
+    } else if (std::strcmp(arg, "--heartbeat") == 0) {
+      // Pins the heartbeat period (default: a third of the granted lease).
+      config.heartbeat.intervalSeconds = std::atof(value());
     } else {
       std::fprintf(stderr,
                    "usage: customer_agentd --owner USER"
-                   " [--matchmaker-port N] [--jobs N] [--work SECONDS]\n");
+                   " [--matchmaker-port N] [--jobs N] [--work SECONDS]"
+                   " [--heartbeat SECONDS]\n");
       return 2;
     }
   }

@@ -167,8 +167,11 @@ void MatchmakerDaemon::handleFrame(Connection& conn,
     return;
   }
   if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kClaimRequest) ||
-      frame.type == static_cast<std::uint8_t>(wire::MsgType::kClaimResponse)) {
-    // Claiming is CA→RA only; the matchmaker refuses to relay it.
+      frame.type == static_cast<std::uint8_t>(wire::MsgType::kClaimResponse) ||
+      frame.type == static_cast<std::uint8_t>(wire::MsgType::kHeartbeat) ||
+      frame.type == static_cast<std::uint8_t>(wire::MsgType::kLeaseExpired)) {
+    // Claiming — and the lease lifecycle that rides on it — is CA→RA
+    // only; the matchmaker refuses to relay it and holds no lease state.
     ++claimFrames_;
     ++rejected_;
     return;

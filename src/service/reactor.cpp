@@ -61,9 +61,16 @@ void Reactor::instrument(obs::Registry* registry) {
 }
 
 void Reactor::instrumentConnection(Connection& conn) {
+  conn.sendTap = sendTap_;
   if (framesIn_ == nullptr) return;
   conn.decoder().instrument(bytesIn_, framesIn_, decodeErrors_);
   conn.instrument(framesOut_, bytesOut_);
+}
+
+void Reactor::setSendTap(
+    std::function<bool(const Connection&, std::string_view)> tap) {
+  sendTap_ = std::move(tap);
+  for (const auto& conn : conns_) conn->sendTap = sendTap_;
 }
 
 void Reactor::wake() {

@@ -57,6 +57,11 @@ class Reactor {
   /// Marks a connection for reaping at the end of the iteration.
   void scheduleClose(Connection* conn) { conn->close(); }
 
+  /// Installs a fault-injection send tap on every current and future
+  /// connection (see Connection::sendTap). Pass an empty function to
+  /// remove. Call from the loop thread (or before it starts).
+  void setSendTap(std::function<bool(const Connection&, std::string_view)> tap);
+
   std::size_t connectionCount() const noexcept { return conns_.size(); }
 
   /// A complete frame arrived. Malformed framing closes the connection
@@ -72,6 +77,7 @@ class Reactor {
   void reap();
   void instrumentConnection(Connection& conn);
 
+  std::function<bool(const Connection&, std::string_view)> sendTap_;
   int listenFd_ = -1;
   std::uint16_t port_ = 0;
   int wakeRead_ = -1;

@@ -57,8 +57,15 @@ classad::ClassAd ResourceAgentDaemon::buildAd() const {
   return ad;
 }
 
+double ResourceAgentDaemon::nowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
 bool ResourceAgentDaemon::start(std::string* error) {
   if (running_.load()) return true;
+  start_ = std::chrono::steady_clock::now();
   reactor_ = std::make_unique<Reactor>();
   if (!reactor_->listen(config_.host, config_.listenPort, error)) {
     reactor_.reset();
@@ -66,6 +73,7 @@ bool ResourceAgentDaemon::start(std::string* error) {
   }
   port_ = reactor_->port();
   reactor_->instrument(&registry_);
+  if (config_.sendTap) reactor_->setSendTap(config_.sendTap);
 
   mmConn_ = reactor_->dial(config_.matchmakerHost, config_.matchmakerPort,
                            error);
@@ -81,11 +89,21 @@ bool ResourceAgentDaemon::start(std::string* error) {
     handleFrame(conn, frame);
   };
   reactor_->onClose = [this](Connection& conn) {
-    if (&conn == mmConn_) mmConn_ = nullptr;
+    if (&conn == mmConn_) {
+      // Reconnect with backoff from the run loop; the soft-state ad
+      // store repopulates itself once we're back.
+      mmConn_ = nullptr;
+      nextReconnectAt_ =
+          nowSeconds() + lease::backoffDelay(config_.reconnectBackoff,
+                                             reconnectAttempts_++,
+                                             rng_.uniform());
+      return;
+    }
     std::lock_guard<std::mutex> lock(stateMu_);
     if (claim_ && claim_->conn == &conn) {
       // The customer died mid-claim; the resource simply becomes free
       // again (its next ad shows Unclaimed with a fresh ticket).
+      leases_.release(claim_->ticket);
       claim_.reset();
       claimed_.store(false);
       mintTicket();
@@ -101,6 +119,9 @@ bool ResourceAgentDaemon::start(std::string* error) {
 void ResourceAgentDaemon::stop() {
   if (!running_.exchange(false)) {
     if (thread_.joinable()) thread_.join();
+    mmConn_ = nullptr;
+    reactor_.reset();  // also reaps a hardKill()'d reactor's sockets
+    frozen_.store(false);
     return;
   }
   stopFlag_.store(true);
@@ -110,23 +131,71 @@ void ResourceAgentDaemon::stop() {
   reactor_.reset();
 }
 
+void ResourceAgentDaemon::hardKill() {
+  if (!running_.exchange(false)) return;
+  frozen_.store(true);
+  stopFlag_.store(true);
+  if (reactor_) reactor_->wake();
+  if (thread_.joinable()) thread_.join();
+  // Deliberately keep reactor_ (and every open socket) alive: peers
+  // must observe silence, not a close.
+}
+
+void ResourceAgentDaemon::maybeReconnect() {
+  if (mmConn_ != nullptr || nowSeconds() < nextReconnectAt_) return;
+  mmConn_ = reactor_->dial(config_.matchmakerHost, config_.matchmakerPort,
+                           nullptr);
+  nextReconnectAt_ =
+      nowSeconds() + lease::backoffDelay(config_.reconnectBackoff,
+                                         reconnectAttempts_++, rng_.uniform());
+  if (mmConn_ == nullptr) return;
+  ++reconnects_;
+  mmConn_->peerAddress = "collector";
+  mmConn_->queue(wire::encodeHello(
+      {wire::kProtocolVersion, wire::kProtocolVersion, contactAddress()}));
+  advertise();  // repopulate the soft-state store immediately
+}
+
 void ResourceAgentDaemon::run() {
   advertise();  // announce immediately; the interval only paces refreshes
   while (!stopFlag_.load()) {
     reactor_->pollOnce(kPollMs);
+    maybeReconnect();
     const auto now = std::chrono::steady_clock::now();
     if (std::chrono::duration<double>(now - lastAd_).count() >=
         config_.adIntervalSeconds) {
       advertise();
     }
     bool complete = false;
+    bool leaseDied = false;
+    Connection* deadCustomer = nullptr;
     {
       std::lock_guard<std::mutex> lock(stateMu_);
       complete = claim_ && config_.serviceSeconds > 0.0 &&
                  std::chrono::duration<double>(now - claim_->startedAt)
                          .count() >= config_.serviceSeconds;
+      if (claim_ && config_.leaseSeconds > 0.0) {
+        for (const lease::Lease& dead : leases_.reapExpired(nowSeconds())) {
+          if (dead.ticket == claim_->ticket) {
+            leaseDied = true;
+            deadCustomer = claim_->conn;
+          }
+        }
+      }
     }
-    if (complete) finishClaim(/*completed=*/true, "completed");
+    if (leaseDied) {
+      // The renewal stream died: tear the claim down unilaterally and
+      // offer the machine back to the pool. The customer is presumed
+      // dead; if it is merely slow its next heartbeat gets a
+      // LeaseExpired notice over the still-open connection.
+      ++leaseExpiries_;
+      finishClaim(/*completed=*/false, "lease-expired");
+      if (deadCustomer != nullptr && !deadCustomer->closed()) {
+        deadCustomer->close();
+      }
+    } else if (complete) {
+      finishClaim(/*completed=*/true, "completed");
+    }
   }
 }
 
@@ -167,6 +236,33 @@ classad::ClassAd ResourceAgentDaemon::buildSelfAd() {
   ad.set("DaemonType", "ResourceAgent");
   ad.set("Name", config_.name);
   ad.set("Address", contactAddress());
+  registry_.gauge("MatchmakerReconnects")
+      ->set(static_cast<double>(reconnects_.load()));
+  {
+    // Lease plane: lifetime counters always; per-lease detail while a
+    // leased claim is active, so `mm_status -claims` can list live
+    // claims (with age/TTL) straight from the soft-state store.
+    std::lock_guard<std::mutex> lock(stateMu_);
+    registry_.gauge("LeasesGranted")
+        ->set(static_cast<double>(leases_.granted()));
+    registry_.gauge("LeasesRenewed")
+        ->set(static_cast<double>(leases_.renewed()));
+    registry_.gauge("LeasesExpired")
+        ->set(static_cast<double>(leases_.expired()));
+    const lease::Lease* live =
+        claim_ ? leases_.find(claim_->ticket) : nullptr;
+    if (live != nullptr) {
+      const double now = nowSeconds();
+      ad.set("LeaseTicket", matchmaking::ticketToString(live->ticket));
+      ad.set("LeaseJobId", static_cast<std::int64_t>(live->jobId));
+      ad.set("LeaseCustomer", live->peer);
+      ad.set("LeaseDuration", live->durationSeconds);
+      ad.set("LeaseAgeSeconds", now - live->grantedAt);
+      ad.set("LeaseRemainingSeconds", live->expiresAt() - now);
+      ad.set("LastHeartbeatAgeSeconds", now - live->renewedAt);
+      ad.set("LeaseRenewals", static_cast<std::int64_t>(live->renewals));
+    }
+  }
   registry_.renderInto(ad);
   return ad;
 }
@@ -193,6 +289,9 @@ void ResourceAgentDaemon::handleFrame(Connection& conn,
   if (const auto* req =
           std::get_if<matchmaking::ClaimRequest>(&env->payload)) {
     handleClaimRequest(conn, *req);
+  } else if (const auto* hb =
+                 std::get_if<matchmaking::Heartbeat>(&env->payload)) {
+    handleHeartbeat(conn, *hb);
   } else if (const auto* rel =
                  std::get_if<matchmaking::ClaimRelease>(&env->payload)) {
     bool mine = false;
@@ -225,6 +324,7 @@ void ResourceAgentDaemon::handleClaimRequest(
     verdict = matchmaking::evaluateClaim(current, outstanding, req,
                                          config_.claimPolicy);
   }
+  if (verdict.accepted) verdict.leaseDuration = config_.leaseSeconds;
   conn.queue(wire::encodeEnvelope(
       {contactAddress(), req.customerContact, verdict}));
   if (!verdict.accepted) {
@@ -240,11 +340,44 @@ void ResourceAgentDaemon::handleClaimRequest(
     claim.jobId = static_cast<std::uint64_t>(
         req.requestAd->getInteger("JobId").value_or(0));
     claim.startedAt = std::chrono::steady_clock::now();
+    if (config_.leaseSeconds > 0.0) {
+      leases_.grant(claim.ticket, claim.jobId, req.customerContact,
+                    nowSeconds(), config_.leaseSeconds);
+    }
     claim_ = std::move(claim);
   }
   claimed_.store(true);
   ++accepted_;
   advertise();  // immediately re-advertise as Claimed
+}
+
+void ResourceAgentDaemon::handleHeartbeat(Connection& conn,
+                                          const matchmaking::Heartbeat& hb) {
+  if (hb.ack) return;  // we only originate acks
+  bool renewed = false;
+  std::uint64_t jobId = hb.jobId;
+  {
+    std::lock_guard<std::mutex> lock(stateMu_);
+    if (claim_ && claim_->ticket == hb.ticket &&
+        leases_.renew(hb.ticket, nowSeconds())) {
+      renewed = true;
+      jobId = claim_->jobId;
+    }
+  }
+  if (renewed) {
+    matchmaking::Heartbeat ack = hb;
+    ack.ack = true;
+    conn.queue(wire::encodeEnvelope(
+        {contactAddress(), conn.peerAddress, std::move(ack)}));
+  } else {
+    // Stale or unknown ticket: the claim this beat belongs to is gone
+    // (expired, released, or superseded). Tell the customer so it can
+    // requeue without waiting out its own miss budget.
+    conn.queue(wire::encodeEnvelope(
+        {contactAddress(), conn.peerAddress,
+         matchmaking::LeaseExpired{hb.ticket, jobId,
+                                   "no active lease for ticket"}}));
+  }
 }
 
 void ResourceAgentDaemon::finishClaim(bool completed,
@@ -266,6 +399,7 @@ void ResourceAgentDaemon::finishClaim(bool completed,
     release.completed = completed;
     usage.user = claim_->user;
     usage.resourceSeconds = release.cpuSecondsUsed;
+    leases_.release(release.ticket);  // no-op if it expired or never leased
     claim_.reset();
     mintTicket();
   }

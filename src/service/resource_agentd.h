@@ -21,6 +21,8 @@
 #include <thread>
 
 #include "classad/classad.h"
+#include "lease/backoff.h"
+#include "lease/lease_table.h"
 #include "matchmaker/claiming.h"
 #include "obs/registry.h"
 #include "service/reactor.h"
@@ -51,6 +53,18 @@ struct ResourceAgentDaemonConfig {
   double serviceSeconds = 0.5;
   std::uint64_t ticketSeed = 0;  ///< 0 = derived from the name
   matchmaking::ClaimPolicy claimPolicy;
+  /// Lease granted with each accepted claim: the customer must
+  /// heartbeat within this window or the claim is torn down and the
+  /// machine re-advertised. 0 disables leasing (a silently dead
+  /// customer then wedges the machine until its connection drops).
+  double leaseSeconds = 0.0;
+  /// Backoff between matchmaker reconnect attempts after the outbound
+  /// connection drops.
+  lease::BackoffConfig reconnectBackoff;
+  /// Fault-injection hook installed on every connection at start()
+  /// (see Connection::sendTap): return false to drop the frame on the
+  /// floor. The tap runs on the daemon's loop thread.
+  std::function<bool(const Connection&, std::string_view)> sendTap;
 };
 
 class ResourceAgentDaemon {
@@ -63,6 +77,13 @@ class ResourceAgentDaemon {
   bool start(std::string* error = nullptr);
   void stop();
 
+  /// Freezes the daemon without closing its sockets: the loop thread
+  /// exits but every connection stays open, so peers see pure silence
+  /// (no FIN/RST) — a powered-off machine or a partitioned rack, the
+  /// failure mode only lease expiry can recover from. The object stays
+  /// valid; stop() or destruction still cleans up.
+  void hardKill();
+
   std::uint16_t port() const noexcept { return port_; }
   /// The dialable contact address advertised in the machine ad.
   std::string contactAddress() const;
@@ -72,6 +93,10 @@ class ResourceAgentDaemon {
   std::size_t claimsRejected() const noexcept { return rejectedClaims_.load(); }
   std::size_t completionsSent() const noexcept { return completions_.load(); }
   std::size_t adsSent() const noexcept { return adsSent_.load(); }
+  std::size_t leaseExpiries() const noexcept { return leaseExpiries_.load(); }
+  std::size_t matchmakerReconnects() const noexcept {
+    return reconnects_.load();
+  }
 
   /// The machine ad as it would be advertised now (tests/tools).
   classad::ClassAd buildAd() const;
@@ -92,10 +117,14 @@ class ResourceAgentDaemon {
   void handleFrame(Connection& conn, const wire::Frame& frame);
   void handleClaimRequest(Connection& conn,
                           const matchmaking::ClaimRequest& req);
+  void handleHeartbeat(Connection& conn, const matchmaking::Heartbeat& hb);
   void advertise();
   classad::ClassAd buildSelfAd();
   void finishClaim(bool completed, const std::string& reason);
   void mintTicket();
+  void maybeReconnect();
+  /// Wall-clock seconds since start() — the lease table's clock.
+  double nowSeconds() const;
 
   Config config_;
   std::uint16_t port_ = 0;
@@ -107,18 +136,28 @@ class ResourceAgentDaemon {
   Connection* mmConn_ = nullptr;
   matchmaking::Ticket ticket_ = matchmaking::kNoTicket;
   std::optional<ActiveClaim> claim_;
+  /// At most one entry (the active claim's lease), but the table owns
+  /// all grant/renew/expire bookkeeping and counters. Guarded by
+  /// stateMu_; its clock is nowSeconds().
+  lease::LeaseTable leases_;
   std::uint64_t adSequence_ = 0;
   std::chrono::steady_clock::time_point lastAd_{};
+  std::chrono::steady_clock::time_point start_{};
+  double nextReconnectAt_ = 0.0;
+  std::uint32_t reconnectAttempts_ = 0;
 
   std::thread thread_;
   std::atomic<bool> stopFlag_{false};
   std::atomic<bool> running_{false};
+  std::atomic<bool> frozen_{false};
 
   std::atomic<bool> claimed_{false};
   std::atomic<std::size_t> accepted_{0};
   std::atomic<std::size_t> rejectedClaims_{0};
   std::atomic<std::size_t> completions_{0};
   std::atomic<std::size_t> adsSent_{0};
+  std::atomic<std::size_t> leaseExpiries_{0};
+  std::atomic<std::size_t> reconnects_{0};
 };
 
 }  // namespace service

@@ -1,7 +1,7 @@
 // resource_agentd - live resource-owner agent endpoint.
 //
 //   resource_agentd --name NAME [--port N] [--matchmaker-port N]
-//                   [--memory MB] [--service SECONDS]
+//                   [--memory MB] [--service SECONDS] [--lease SECONDS]
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -35,11 +35,13 @@ int main(int argc, char** argv) {
       config.memoryMB = std::atoll(value());
     } else if (std::strcmp(arg, "--service") == 0) {
       config.serviceSeconds = std::atof(value());
+    } else if (std::strcmp(arg, "--lease") == 0) {
+      config.leaseSeconds = std::atof(value());
     } else {
       std::fprintf(stderr,
                    "usage: resource_agentd --name NAME [--port N]"
                    " [--matchmaker-port N] [--memory MB]"
-                   " [--service SECONDS]\n");
+                   " [--service SECONDS] [--lease SECONDS]\n");
       return 2;
     }
   }

@@ -28,7 +28,18 @@ void CustomerAgent::stop() {
   if (!started_) return;
   started_ = false;
   adTimer_.reset();
+  for (auto& [contact, claimLease] : leases_) {
+    if (claimLease.timer != kInvalidEvent) sim_.cancel(claimLease.timer);
+  }
+  leases_.clear();
   net_.detach(address_);
+}
+
+void CustomerAgent::kill() {
+  // Same silence as ResourceAgent::kill(): no invalidations, no
+  // releases, no farewell heartbeats. RAs holding claims for this
+  // customer only find out when their leases run dry.
+  stop();
 }
 
 void CustomerAgent::submit(Job job) {
@@ -144,6 +155,12 @@ void CustomerAgent::deliver(const Envelope& env) {
   } else if (const auto* rel =
                  std::get_if<matchmaking::ClaimRelease>(&env.payload)) {
     handleRelease(*rel);
+  } else if (const auto* hb =
+                 std::get_if<matchmaking::Heartbeat>(&env.payload)) {
+    handleHeartbeatAck(env, *hb);
+  } else if (const auto* expired =
+                 std::get_if<matchmaking::LeaseExpired>(&env.payload)) {
+    handleLeaseExpired(env, *expired);
   }
 }
 
@@ -167,19 +184,36 @@ void CustomerAgent::handleMatch(const matchmaking::MatchNotification& match) {
   // Claim the matched resource directly (Step 4, Figure 3). The claim
   // carries the job's CURRENT ad, not the advertised snapshot.
   job->state = JobState::Matching;
-  pendingClaims_[match.peerContact] = jobId;
+  pendingClaims_[match.peerContact] = {jobId, match.ticket};
   matchmaking::ClaimRequest claim;
   claim.requestAd = classad::makeShared(buildRequestAd(*job));
   claim.ticket = match.ticket;
   claim.customerContact = address_;
   net_.send(address_, match.peerContact, std::move(claim));
+  if (config_.claimTimeout > 0.0) {
+    const std::string contact = match.peerContact;
+    sim_.after(config_.claimTimeout, [this, contact, jobId] {
+      auto pending = pendingClaims_.find(contact);
+      if (pending == pendingClaims_.end() || pending->second.first != jobId) {
+        return;  // answered (or superseded) in time
+      }
+      pendingClaims_.erase(pending);
+      Job* stuck = findJob(jobId);
+      if (stuck != nullptr && stuck->state == JobState::Matching) {
+        ++metrics_.claimTimeouts;
+        stuck->state = JobState::Idle;
+        if (started_) advertiseJob(*stuck);
+      }
+    });
+  }
 }
 
 void CustomerAgent::handleClaimResponse(const Envelope& env,
                                         const matchmaking::ClaimResponse& resp) {
   auto it = pendingClaims_.find(env.from);
   if (it == pendingClaims_.end()) return;
-  Job* job = findJob(it->second);
+  Job* job = findJob(it->second.first);
+  const matchmaking::Ticket ticket = it->second.second;
   pendingClaims_.erase(it);
   if (job == nullptr || job->state != JobState::Matching) return;
   if (!resp.accepted) {
@@ -203,6 +237,33 @@ void CustomerAgent::handleClaimResponse(const Envelope& env,
     event.set("Resource", env.from);
     metrics_.history.record(std::move(event));
   }
+  if (job->lostLease) {
+    // First successful start after a lease loss: the recovery the lease
+    // machinery exists to deliver.
+    job->lostLease = false;
+    ++metrics_.leaseRecoveries;
+    classad::ClassAd event = EventLog::make("lease-recovered", sim_.now());
+    event.set("Side", "CA");
+    event.set("Owner", user_);
+    event.set("JobId", static_cast<std::int64_t>(job->id));
+    event.set("Resource", env.from);
+    metrics_.history.record(std::move(event));
+  }
+  if (resp.leaseDuration > 0.0) {
+    // The claim came with a lease: keep it alive with heartbeats and
+    // watch for the RA going silent.
+    ClaimLease claimLease;
+    claimLease.jobId = job->id;
+    claimLease.ticket = ticket;
+    claimLease.startedAt = sim_.now();
+    claimLease.monitor = lease::HeartbeatMonitor(config_.heartbeat,
+                                                 resp.leaseDuration, sim_.now());
+    const std::string contact = env.from;
+    claimLease.timer = sim_.at(claimLease.monitor.nextDue(),
+                               [this, contact] { onHeartbeatDue(contact); });
+    dropLease(contact);  // a stale entry must not keep its timer alive
+    leases_[contact] = std::move(claimLease);
+  }
   // The job is placed: retract its request ad so the matchmaker stops
   // re-matching it ("When the CA finishes using the resource, it
   // relinquishes the claim" — conversely, while it uses one, it is not a
@@ -213,6 +274,7 @@ void CustomerAgent::handleClaimResponse(const Envelope& env,
 void CustomerAgent::handleRelease(const matchmaking::ClaimRelease& rel) {
   Job* job = findJob(rel.jobId);
   if (job == nullptr || job->state != JobState::Running) return;
+  dropLease(job->runningOn);  // clean end of claim: lease is done with
   job->runningOn.clear();
   if (rel.completed) {
     job->state = JobState::Completed;
@@ -256,6 +318,91 @@ void CustomerAgent::handleRelease(const matchmaking::ClaimRelease& rel) {
     metrics_.history.record(std::move(event));
   }
   job->state = JobState::Idle;
+  if (started_) advertiseJob(*job);
+}
+
+void CustomerAgent::dropLease(const std::string& contact) {
+  auto it = leases_.find(contact);
+  if (it == leases_.end()) return;
+  if (it->second.timer != kInvalidEvent) sim_.cancel(it->second.timer);
+  leases_.erase(it);
+}
+
+void CustomerAgent::onHeartbeatDue(const std::string& contact) {
+  auto it = leases_.find(contact);
+  if (it == leases_.end()) return;
+  ClaimLease& claimLease = it->second;
+  claimLease.timer = kInvalidEvent;
+  const auto action = claimLease.monitor.onDue(sim_.now(), rng_.uniform());
+  if (action.declareDead) {
+    leaseLost(contact, "missed-heartbeats");
+    return;
+  }
+  if (action.sendBeat) {
+    net_.send(address_, contact,
+              matchmaking::Heartbeat{claimLease.ticket, claimLease.jobId,
+                                     action.sequence, /*ack=*/false});
+  }
+  claimLease.timer = sim_.at(claimLease.monitor.nextDue(),
+                             [this, contact] { onHeartbeatDue(contact); });
+}
+
+void CustomerAgent::handleHeartbeatAck(const Envelope& env,
+                                       const matchmaking::Heartbeat& hb) {
+  if (!hb.ack) return;  // customers only consume acks
+  auto it = leases_.find(env.from);
+  if (it == leases_.end() || it->second.ticket != hb.ticket) return;
+  if (const auto rtt = it->second.monitor.ack(hb.sequence, sim_.now())) {
+    ++metrics_.heartbeatsAcked;
+    metrics_.heartbeatRttSum += *rtt;
+    // The monitor pushed nextDue out to a full interval; move the timer
+    // accordingly (the pending one was armed for the retry schedule).
+    if (it->second.timer != kInvalidEvent) sim_.cancel(it->second.timer);
+    const std::string contact = env.from;
+    it->second.timer = sim_.at(it->second.monitor.nextDue(),
+                               [this, contact] { onHeartbeatDue(contact); });
+  }
+}
+
+void CustomerAgent::handleLeaseExpired(const Envelope& env,
+                                       const matchmaking::LeaseExpired& notice) {
+  auto it = leases_.find(env.from);
+  if (it == leases_.end() || it->second.ticket != notice.ticket) return;
+  leaseLost(env.from, "lease-expired-notice");
+}
+
+void CustomerAgent::leaseLost(const std::string& contact, const char* reason) {
+  auto it = leases_.find(contact);
+  if (it == leases_.end()) return;
+  const std::uint64_t jobId = it->second.jobId;
+  const Time startedAt = it->second.startedAt;
+  dropLease(contact);
+  Job* job = findJob(jobId);
+  if (job == nullptr || job->state != JobState::Running ||
+      job->runningOn != contact) {
+    return;
+  }
+  ++metrics_.leaseExpiriesDetected;
+  // The RA (and whatever work the job did there) is gone; nobody will
+  // send the final release that normally accounts the loss, so estimate
+  // it from elapsed wall time at reference speed.
+  metrics_.leaseLostCpuSecondsEstimate += sim_.now() - startedAt;
+  {
+    classad::ClassAd event = EventLog::make("lease-expired", sim_.now());
+    event.set("Side", "CA");
+    event.set("Owner", user_);
+    event.set("JobId", static_cast<std::int64_t>(job->id));
+    event.set("Resource", contact);
+    event.set("Reason", reason);
+    metrics_.history.record(std::move(event));
+  }
+  ++job->evictions;
+  job->lostLease = true;
+  job->state = JobState::Idle;
+  job->runningOn.clear();
+  // Checkpointable or not, there is nothing to resume from — the RA
+  // died without checkpointing — so remainingWork stays as-is and the
+  // job simply re-enters matchmaking.
   if (started_) advertiseJob(*job);
 }
 

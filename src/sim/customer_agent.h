@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "classad/classad.h"
+#include "lease/heartbeat.h"
 #include "matchmaker/protocol.h"
 #include "sim/event_queue.h"
 #include "sim/job.h"
@@ -42,6 +43,15 @@ struct CustomerAgentConfig {
   /// (counted as badput). 0 models free checkpoints (the default, and
   /// the paper-era approximation); the E6 ablation can charge for them.
   double checkpointOverheadSeconds = 0.0;
+  /// Heartbeat behaviour for leased claims (interval derives from the
+  /// lease the RA grants unless pinned; see lease/heartbeat.h). Only
+  /// consulted when a ClaimResponse carries a non-zero leaseDuration.
+  lease::MonitorConfig heartbeat;
+  /// How long a claim request may sit unanswered before the job goes
+  /// back to matchmaking (the matched RA may have died between
+  /// advertising and claiming). 0 disables — a claim to a silent peer
+  /// then wedges the job in Matching forever.
+  Time claimTimeout = 120.0;
 };
 
 class CustomerAgent : public Endpoint {
@@ -54,6 +64,12 @@ class CustomerAgent : public Endpoint {
 
   void start();
   void stop();
+
+  /// Process death: detaches without invalidating ads or releasing
+  /// claims — the silence a crashed agent leaves behind. Leased RAs
+  /// recover by expiry; without leases their machines stay wedged.
+  /// Fault-injection entry point (FaultKind::kKillProcess).
+  void kill();
 
   /// Enqueues a job (sets submit time to now) and advertises it promptly.
   void submit(Job job);
@@ -80,8 +96,25 @@ class CustomerAgent : public Endpoint {
   void handleClaimResponse(const Envelope& env,
                            const matchmaking::ClaimResponse& resp);
   void handleRelease(const matchmaking::ClaimRelease& rel);
+  void handleHeartbeatAck(const Envelope& env,
+                          const matchmaking::Heartbeat& hb);
+  void handleLeaseExpired(const Envelope& env,
+                          const matchmaking::LeaseExpired& notice);
+  void onHeartbeatDue(const std::string& contact);
+  /// Declares the claim at `contact` dead and requeues its job.
+  void leaseLost(const std::string& contact, const char* reason);
+  void dropLease(const std::string& contact);
   Job* findJob(std::uint64_t id);
   std::string adKey(const Job& job) const;
+
+  /// One leased, running claim as seen from the customer side.
+  struct ClaimLease {
+    std::uint64_t jobId = 0;
+    matchmaking::Ticket ticket = matchmaking::kNoTicket;
+    lease::HeartbeatMonitor monitor;
+    EventId timer = kInvalidEvent;
+    Time startedAt = 0.0;
+  };
 
   Simulator& sim_;
   Transport& net_;
@@ -94,8 +127,12 @@ class CustomerAgent : public Endpoint {
   std::unordered_map<std::uint64_t, std::size_t> jobIndex_;
   std::uint64_t adSequence_ = 0;
   /// Job whose claim request is in flight, keyed by resource contact (a
-  /// CA may have several claims outstanding at distinct resources).
-  std::unordered_map<std::string, std::uint64_t> pendingClaims_;
+  /// CA may have several claims outstanding at distinct resources);
+  /// second = the ticket presented, kept for the lease that may follow.
+  std::unordered_map<std::string, std::pair<std::uint64_t, matchmaking::Ticket>>
+      pendingClaims_;
+  /// Live leases keyed by resource contact.
+  std::unordered_map<std::string, ClaimLease> leases_;
   std::optional<PeriodicTimer> adTimer_;
   bool started_ = false;
 };

@@ -49,6 +49,10 @@ struct Job {
   int evictions = 0;
   int claimRejections = 0;
   std::string runningOn;  ///< resource contact while Running
+  /// Set when the job's claim lease was declared lost (RA dead or
+  /// unreachable); cleared — and counted as a lease recovery — when the
+  /// job next starts running somewhere.
+  bool lostLease = false;
 
   bool done() const noexcept { return state == JobState::Completed; }
 };

@@ -37,6 +37,20 @@ struct Metrics {
   std::size_t claimsRejected = 0;   ///< claim-time verification failures
   std::size_t staleNotifications = 0;  ///< match arrived for a job no longer idle
   std::size_t orphanedClaimResets = 0; ///< stateful-manager resync casualties
+  std::size_t claimTimeouts = 0;  ///< claim requests abandoned unanswered
+
+  // claim leases (0 on the no-lease ablation baseline)
+  std::size_t leasesGranted = 0;   ///< RA accepted a claim with a lease
+  std::size_t leasesRenewed = 0;   ///< heartbeats that pushed an expiry out
+  std::size_t leasesExpired = 0;   ///< RA-side teardown: renewal stream died
+  std::size_t leaseExpiriesDetected = 0;  ///< CA declared the RA dead
+  std::size_t leaseRecoveries = 0;  ///< job restarted after losing a lease
+  std::size_t heartbeatsAcked = 0;
+  double heartbeatRttSum = 0.0;  ///< sum of acked beat round trips
+  /// CA-side estimate of CPU-seconds lost with a dead RA (the RA that
+  /// would normally account badput is gone, so the customer estimates
+  /// from elapsed run time at reference speed).
+  double leaseLostCpuSecondsEstimate = 0.0;
 
   // resource usage
   double machineBusySeconds = 0.0;  ///< sum over machines of claimed time

@@ -20,6 +20,16 @@ void publishMetrics(const Metrics& m, obs::Registry& reg) {
   set("ClaimsRejected", static_cast<double>(m.claimsRejected));
   set("StaleNotifications", static_cast<double>(m.staleNotifications));
   set("OrphanedClaimResets", static_cast<double>(m.orphanedClaimResets));
+  set("ClaimTimeouts", static_cast<double>(m.claimTimeouts));
+  set("LeasesGranted", static_cast<double>(m.leasesGranted));
+  set("LeasesRenewed", static_cast<double>(m.leasesRenewed));
+  set("LeasesExpired", static_cast<double>(m.leasesExpired));
+  set("LeaseExpiriesDetected",
+      static_cast<double>(m.leaseExpiriesDetected));
+  set("LeaseRecoveries", static_cast<double>(m.leaseRecoveries));
+  set("HeartbeatsAcked", static_cast<double>(m.heartbeatsAcked));
+  set("HeartbeatRttSum", m.heartbeatRttSum);
+  set("LeaseLostCpuSecondsEstimate", m.leaseLostCpuSecondsEstimate);
   set("MachineBusySeconds", m.machineBusySeconds);
   set("EventLogSize", static_cast<double>(m.history.size()));
   set("EventLogDropped", static_cast<double>(m.history.dropped()));
@@ -30,6 +40,8 @@ void publishNetwork(const Network& n, obs::Registry& reg) {
   reg.gauge("NetworkDroppedLoss")->set(static_cast<double>(n.droppedLoss()));
   reg.gauge("NetworkDroppedUnknown")
       ->set(static_cast<double>(n.droppedUnknown()));
+  reg.gauge("NetworkDroppedPartition")
+      ->set(static_cast<double>(n.droppedPartition()));
 }
 
 }  // namespace htcsim

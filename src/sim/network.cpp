@@ -1,5 +1,7 @@
 #include "sim/network.h"
 
+#include "faults/fault_plan.h"
+
 namespace htcsim {
 
 void Network::attach(std::string address, Endpoint* endpoint) {
@@ -10,12 +12,46 @@ void Network::detach(std::string_view address) {
   endpoints_.erase(std::string(address));
 }
 
+std::pair<std::string, std::string> Network::pairKey(std::string_view a,
+                                                     std::string_view b) {
+  if (b < a) std::swap(a, b);
+  return {std::string(a), std::string(b)};
+}
+
+void Network::partition(std::string_view a, std::string_view b) {
+  partitions_.insert(pairKey(a, b));
+}
+
+void Network::heal(std::string_view a, std::string_view b) {
+  partitions_.erase(pairKey(a, b));
+}
+
+void Network::healAll() { partitions_.clear(); }
+
+bool Network::isPartitioned(std::string_view a, std::string_view b) const {
+  return partitions_.count(pairKey(a, b)) > 0;
+}
+
 bool Network::send(std::string from, std::string to, Message payload) {
+  // Partition checks happen at SEND time: a real partitioned link drops
+  // the packet at the broken hop, not after a full transit delay.
+  if (isPartitioned(from, to) ||
+      (faultPlan_ != nullptr && faultPlan_->partitioned(from, to, sim_.now()))) {
+    ++droppedPartition_;
+    return false;
+  }
   if (config_.lossProbability > 0.0 && rng_.chance(config_.lossProbability)) {
     ++droppedLoss_;
     return false;
   }
-  const Time latency = rng_.uniform(config_.latencyMin, config_.latencyMax);
+  Time latency = rng_.uniform(config_.latencyMin, config_.latencyMax);
+  if (faultPlan_ != nullptr) {
+    if (faultPlan_->shouldDrop(from, to, sim_.now())) {
+      ++droppedLoss_;
+      return false;
+    }
+    latency += faultPlan_->extraDelay(from, to, sim_.now());
+  }
   // Destination is resolved at DELIVERY time, so a message to an agent
   // that dies in flight is dropped and one to an agent that restarts is
   // delivered to the new incarnation — both realistic.

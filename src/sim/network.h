@@ -9,13 +9,19 @@
 // bench_e3_weak_consistency measures.
 #pragma once
 
+#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/transport.h"
+
+namespace faults {
+class FaultPlan;
+}
 
 namespace htcsim {
 
@@ -36,11 +42,27 @@ class Network : public Transport {
   void detach(std::string_view address) override;
   bool send(std::string from, std::string to, Message payload) override;
 
+  /// Severs a<->b: traffic in either direction is dropped at send time
+  /// until heal(a, b). Pairs are unordered; repeated partitions of the
+  /// same pair are idempotent. Models a network partition, which the
+  /// paper's weak-consistency design must survive (ads expire, leases
+  /// fire) rather than prevent.
+  void partition(std::string_view a, std::string_view b);
+  void heal(std::string_view a, std::string_view b);
+  void healAll();
+  bool isPartitioned(std::string_view a, std::string_view b) const;
+
+  /// Injects a seeded fault plan consulted on every send: its loss
+  /// rules count into droppedLoss(), partition windows into
+  /// droppedPartition(), delay rules stretch latency. Non-owning; pass
+  /// nullptr to remove. The plan's clock is sim time.
+  void setFaultPlan(faults::FaultPlan* plan) noexcept { faultPlan_ = plan; }
+
   /// Messages delivered so far (instrumentation).
   std::size_t delivered() const noexcept { return delivered_; }
   /// All messages lost, for any reason.
   std::size_t dropped() const noexcept {
-    return droppedLoss_ + droppedUnknown_;
+    return droppedLoss_ + droppedUnknown_ + droppedPartition_;
   }
   /// Lost to random (configured) loss — noise the protocols absorb.
   std::size_t droppedLoss() const noexcept { return droppedLoss_; }
@@ -48,18 +70,26 @@ class Network : public Transport {
   /// outage (agent dead, manager crashed). E2/E3 distinguish this from
   /// noise when attributing recovery behavior.
   std::size_t droppedUnknown() const noexcept { return droppedUnknown_; }
+  /// Lost to an active partition (manual or fault-plan rule).
+  std::size_t droppedPartition() const noexcept { return droppedPartition_; }
 
   Simulator& simulator() noexcept { return sim_; }
   const Config& config() const noexcept { return config_; }
 
  private:
+  static std::pair<std::string, std::string> pairKey(std::string_view a,
+                                                     std::string_view b);
+
   Simulator& sim_;
   Rng rng_;
   Config config_;
   std::unordered_map<std::string, Endpoint*> endpoints_;
+  std::set<std::pair<std::string, std::string>> partitions_;
+  faults::FaultPlan* faultPlan_ = nullptr;
   std::size_t delivered_ = 0;
   std::size_t droppedLoss_ = 0;
   std::size_t droppedUnknown_ = 0;
+  std::size_t droppedPartition_ = 0;
 };
 
 }  // namespace htcsim

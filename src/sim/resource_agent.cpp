@@ -74,6 +74,25 @@ void ResourceAgent::stop() {
   net_.detach(address_);
 }
 
+void ResourceAgent::kill() {
+  if (!started_) return;
+  started_ = false;
+  adTimer_.reset();
+  if (pendingVacate_ != kInvalidEvent) {
+    sim_.cancel(pendingVacate_);
+    pendingVacate_ = kInvalidEvent;
+  }
+  if (claim_) {
+    // The process is gone: no ClaimRelease, no UsageReport, no ad
+    // invalidation. The customer's job dies with it; without a lease
+    // the CA would consider it Running forever.
+    sim_.cancel(claim_->completionEvent);
+    if (claim_->leaseEvent != kInvalidEvent) sim_.cancel(claim_->leaseEvent);
+    claim_.reset();
+  }
+  net_.detach(address_);
+}
+
 void ResourceAgent::mintTicket() {
   do {
     ticket_ = rng_.next();
@@ -139,6 +158,9 @@ void ResourceAgent::deliver(const Envelope& env) {
   } else if (const auto* rel =
                  std::get_if<matchmaking::ClaimRelease>(&env.payload)) {
     handleRelease(*rel);
+  } else if (const auto* hb =
+                 std::get_if<matchmaking::Heartbeat>(&env.payload)) {
+    handleHeartbeat(env, *hb);
   }
 }
 
@@ -189,9 +211,20 @@ void ResourceAgent::handleClaimRequest(const Envelope& env,
   const double mips = static_cast<double>(machine_.spec().mips);
   const Time duration = claim.workAtStart * kReferenceMips / mips;
   claim.completionEvent = sim_.after(duration, [this] { onJobComplete(); });
+  matchmaking::ClaimResponse response{true, "", config_.leaseDuration};
+  if (config_.leaseDuration > 0.0) {
+    claim.leaseExpiresAt = sim_.now() + config_.leaseDuration;
+    claim.lastHeartbeatAt = sim_.now();
+    claim.leaseEvent =
+        sim_.after(config_.leaseDuration, [this] { onLeaseDeadline(); });
+  }
   claim_ = std::move(claim);
   ++metrics_.claimsAccepted;
-  net_.send(address_, env.from, matchmaking::ClaimResponse{true, ""});
+  if (config_.leaseDuration > 0.0) {
+    ++metrics_.leasesGranted;
+    recordLeaseEvent("lease-granted");
+  }
+  net_.send(address_, env.from, std::move(response));
   // Immediately re-advertise as claimed (with CurrentRank), keeping the
   // matchmaker's picture fresh and inviting higher-ranked customers.
   advertise();
@@ -262,6 +295,7 @@ void ResourceAgent::vacate(const std::string& reason, bool ownerInitiated) {
   const double wall = sim_.now() - claim_->startedAt;
   const double done = workDoneSoFar();
   sim_.cancel(claim_->completionEvent);
+  if (claim_->leaseEvent != kInvalidEvent) sim_.cancel(claim_->leaseEvent);
   matchmaking::ClaimRelease rel;
   rel.ticket = claim_->ticket;
   rel.reason = reason;
@@ -285,6 +319,7 @@ void ResourceAgent::finishClaim(double wallSeconds) {
   // leave a stale completion event that could fire into a future claim.
   // Likewise a pending graceful eviction must not fire into a new claim.
   sim_.cancel(claim_->completionEvent);
+  if (claim_->leaseEvent != kInvalidEvent) sim_.cancel(claim_->leaseEvent);
   if (pendingVacate_ != kInvalidEvent) {
     sim_.cancel(pendingVacate_);
     pendingVacate_ = kInvalidEvent;
@@ -292,6 +327,68 @@ void ResourceAgent::finishClaim(double wallSeconds) {
   net_.send(address_, config_.managerAddress,
             UsageReport{claim_->user, wallSeconds});
   metrics_.machineBusySeconds += wallSeconds;
+  claim_.reset();
+  mintTicket();
+  if (started_) advertise();
+}
+
+void ResourceAgent::recordLeaseEvent(const char* name) {
+  classad::ClassAd event = EventLog::make(name, sim_.now());
+  event.set("Side", "RA");
+  event.set("Resource", address_);
+  event.set("Owner", claim_->user);
+  event.set("JobId", static_cast<std::int64_t>(claim_->jobId));
+  event.set("Ticket", matchmaking::ticketToString(claim_->ticket));
+  event.set("LeaseDuration", config_.leaseDuration);
+  metrics_.history.record(std::move(event));
+}
+
+void ResourceAgent::handleHeartbeat(const Envelope& env,
+                                    const matchmaking::Heartbeat& hb) {
+  if (hb.ack) return;  // we only ever receive customer beats
+  if (!claim_ || claim_->ticket != hb.ticket ||
+      claim_->leaseEvent == kInvalidEvent) {
+    // No such lease here: the claim ended (or never existed). Telling
+    // the customer immediately spares it the remaining miss budget.
+    net_.send(address_, env.from,
+              matchmaking::LeaseExpired{hb.ticket, hb.jobId,
+                                        "no active lease for ticket"});
+    return;
+  }
+  // Renew: push the deadline out a full lease from now.
+  sim_.cancel(claim_->leaseEvent);
+  claim_->leaseExpiresAt = sim_.now() + config_.leaseDuration;
+  claim_->lastHeartbeatAt = sim_.now();
+  ++claim_->leaseRenewals;
+  claim_->leaseEvent =
+      sim_.after(config_.leaseDuration, [this] { onLeaseDeadline(); });
+  ++metrics_.leasesRenewed;
+  recordLeaseEvent("lease-renewed");
+  net_.send(address_, env.from,
+            matchmaking::Heartbeat{hb.ticket, hb.jobId, hb.sequence,
+                                   /*ack=*/true});
+}
+
+void ResourceAgent::onLeaseDeadline() {
+  if (!claim_ || sim_.now() < claim_->leaseExpiresAt) return;
+  // The renewal stream died: the customer is presumed dead (or
+  // unreachable, which §3.2's end-to-end stance treats identically).
+  // Tear the claim down WITHOUT a ClaimRelease — there is nobody to
+  // tell — and put the machine back on the market. The work performed
+  // is charged as badput here because the final release that would
+  // normally account it will never be sent.
+  ++metrics_.leasesExpired;
+  recordLeaseEvent("lease-expired");
+  const double wall = sim_.now() - claim_->startedAt;
+  metrics_.badputCpuSeconds += workDoneSoFar();
+  sim_.cancel(claim_->completionEvent);
+  if (pendingVacate_ != kInvalidEvent) {
+    sim_.cancel(pendingVacate_);
+    pendingVacate_ = kInvalidEvent;
+  }
+  net_.send(address_, config_.managerAddress,
+            UsageReport{claim_->user, wall});
+  metrics_.machineBusySeconds += wall;
   claim_.reset();
   mintTicket();
   if (started_) advertise();

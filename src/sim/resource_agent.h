@@ -41,6 +41,11 @@ struct ResourceAgentConfig {
   /// steps away again), the eviction is cancelled. Rank preemption and
   /// explicit releases are never delayed.
   Time vacateGrace = 0.0;
+  /// Lease granted on each accepted claim: the customer must heartbeat
+  /// within this window or the claim is torn down unilaterally and the
+  /// machine re-advertised. 0 disables leasing (the seed behaviour: a
+  /// dead customer wedges the machine until an explicit release).
+  Time leaseDuration = 0.0;
 };
 
 class ResourceAgent : public Endpoint {
@@ -54,6 +59,12 @@ class ResourceAgent : public Endpoint {
   /// Begins periodic advertisement. Attaches to the network.
   void start();
   void stop();
+
+  /// Process death: detaches without releasing the claim, invalidating
+  /// the ad, or reporting usage — the silence a crashed (kill -9'd)
+  /// agent leaves behind. Only a lease lets the customer recover from
+  /// this. Fault-injection entry point (FaultKind::kKillProcess).
+  void kill();
 
   void deliver(const Envelope& envelope) override;
 
@@ -73,6 +84,9 @@ class ResourceAgent : public Endpoint {
   void handleClaimRequest(const Envelope& env,
                           const matchmaking::ClaimRequest& req);
   void handleRelease(const matchmaking::ClaimRelease& rel);
+  void handleHeartbeat(const Envelope& env, const matchmaking::Heartbeat& hb);
+  void onLeaseDeadline();
+  void recordLeaseEvent(const char* name);
   /// Re-checks the owner policy against the running claim; vacates if it
   /// no longer holds (owner returned, day broke, ...).
   void enforcePolicy(const char* trigger);
@@ -91,6 +105,11 @@ class ResourceAgent : public Endpoint {
     double resourceRank = 0.0;  ///< machine's Rank of this customer
     classad::ClassAdPtr requestAd;
     EventId completionEvent = kInvalidEvent;
+    /// Lease bookkeeping (unused when Config::leaseDuration == 0).
+    Time leaseExpiresAt = 0.0;
+    Time lastHeartbeatAt = 0.0;
+    std::uint64_t leaseRenewals = 0;
+    EventId leaseEvent = kInvalidEvent;
   };
 
   double workDoneSoFar() const;

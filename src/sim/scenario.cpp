@@ -57,6 +57,29 @@ Scenario::Scenario(ScenarioConfig config)
     const Time d = downFor;
     sim_.at(crashAt, [this, d] { manager_->crash(d); });
   }
+
+  // Fault injection: the Network consults the plan's partition/loss/
+  // delay rules on every send; kill rules are scheduled here against
+  // the agent addresses they name.
+  if (!config_.faults.empty()) {
+    net_->setFaultPlan(&config_.faults);
+    for (const faults::FaultRule& rule : config_.faults.killSchedule()) {
+      sim_.at(rule.at, [this, target = rule.a] {
+        for (auto& ra : resourceAgents_) {
+          if (ra->address() == target) {
+            ra->kill();
+            return;
+          }
+        }
+        for (auto& ca : customerAgents_) {
+          if (ca->address() == target) {
+            ca->kill();
+            return;
+          }
+        }
+      });
+    }
+  }
 }
 
 Scenario::~Scenario() = default;

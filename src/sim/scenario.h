@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.h"
 #include "obs/registry.h"
 #include "sim/customer_agent.h"
 #include "sim/machine.h"
@@ -33,6 +34,12 @@ struct ScenarioConfig {
 
   /// Manager outages to inject: (crashAt, downFor) pairs (E2).
   std::vector<std::pair<Time, Time>> managerOutages;
+
+  /// Deterministic chaos: kill rules silence the named agent ("ra://m"
+  /// or "ca://user") at their times; partition/loss/delay rules are
+  /// consulted by the Network on every send. Leave empty for a
+  /// fault-free run.
+  faults::FaultPlan faults;
 };
 
 /// A fully wired pool. Construction builds everything; run() executes the

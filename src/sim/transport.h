@@ -34,7 +34,7 @@ using Message =
     std::variant<matchmaking::Advertisement, AdInvalidate,
                  matchmaking::MatchNotification, matchmaking::ClaimRequest,
                  matchmaking::ClaimResponse, matchmaking::ClaimRelease,
-                 UsageReport>;
+                 UsageReport, matchmaking::Heartbeat, matchmaking::LeaseExpired>;
 
 struct Envelope {
   std::string from;

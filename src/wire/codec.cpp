@@ -159,6 +159,7 @@ struct BodyEncoder {
   MsgType operator()(const matchmaking::ClaimResponse& m) const {
     w.boolean(m.accepted);
     w.str(m.reason);
+    w.f64(m.leaseDuration);
     return MsgType::kClaimResponse;
   }
   MsgType operator()(const matchmaking::ClaimRelease& m) const {
@@ -173,6 +174,19 @@ struct BodyEncoder {
     w.str(m.user);
     w.f64(m.resourceSeconds);
     return MsgType::kUsageReport;
+  }
+  MsgType operator()(const matchmaking::Heartbeat& m) const {
+    w.u64(m.ticket);
+    w.u64(m.jobId);
+    w.u64(m.sequence);
+    w.boolean(m.ack);
+    return MsgType::kHeartbeat;
+  }
+  MsgType operator()(const matchmaking::LeaseExpired& m) const {
+    w.u64(m.ticket);
+    w.u64(m.jobId);
+    w.str(m.reason);
+    return MsgType::kLeaseExpired;
   }
 };
 
@@ -215,6 +229,7 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       matchmaking::ClaimResponse m;
       m.accepted = r.boolean();
       m.reason = r.str();
+      m.leaseDuration = r.f64();
       out = std::move(m);
       return true;
     }
@@ -232,6 +247,23 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       htcsim::UsageReport m;
       m.user = r.str();
       m.resourceSeconds = r.f64();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kHeartbeat: {
+      matchmaking::Heartbeat m;
+      m.ticket = r.u64();
+      m.jobId = r.u64();
+      m.sequence = r.u64();
+      m.ack = r.boolean();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kLeaseExpired: {
+      matchmaking::LeaseExpired m;
+      m.ticket = r.u64();
+      m.jobId = r.u64();
+      m.reason = r.str();
       out = std::move(m);
       return true;
     }
@@ -359,8 +391,12 @@ std::optional<htcsim::Envelope> decodeEnvelope(const Frame& frame,
   htcsim::Envelope env;
   env.from = r.str();
   env.to = r.str();
-  if (frame.type < static_cast<std::uint8_t>(MsgType::kAdvertisement) ||
-      frame.type > static_cast<std::uint8_t>(MsgType::kUsageReport)) {
+  const bool isMessageTag =
+      (frame.type >= static_cast<std::uint8_t>(MsgType::kAdvertisement) &&
+       frame.type <= static_cast<std::uint8_t>(MsgType::kUsageReport)) ||
+      frame.type == static_cast<std::uint8_t>(MsgType::kHeartbeat) ||
+      frame.type == static_cast<std::uint8_t>(MsgType::kLeaseExpired);
+  if (!isMessageTag) {
     if (error) {
       *error = "unknown frame type " + std::to_string(frame.type);
     }

@@ -23,10 +23,10 @@
 
 namespace wire {
 
-/// Frame type tags. Tag 1 is the connection handshake; tags 2..8 map
-/// 1:1 onto the htcsim::Message variant alternatives; tags 9..10 are the
-/// observability Query protocol (one-way matching over the pool's ads,
-/// Section 4's status/queue browsing tools taken live).
+/// Frame type tags. Tag 1 is the connection handshake; tags 2..8 and
+/// 11..12 map 1:1 onto the htcsim::Message variant alternatives; tags
+/// 9..10 are the observability Query protocol (one-way matching over
+/// the pool's ads, Section 4's status/queue browsing tools taken live).
 enum class MsgType : std::uint8_t {
   kHello = 1,
   kAdvertisement = 2,
@@ -38,6 +38,8 @@ enum class MsgType : std::uint8_t {
   kUsageReport = 8,
   kQuery = 9,
   kQueryResponse = 10,
+  kHeartbeat = 11,
+  kLeaseExpired = 12,
 };
 
 /// First frame on every connection, both directions. Carries the version

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.h"
+
+namespace {
+
+using faults::FaultKind;
+using faults::FaultPlan;
+using faults::FaultRule;
+
+TEST(FaultPlan, PartitionIsWindowedAndUnordered) {
+  FaultPlan plan;
+  plan.partition("ra://m1", "ca://alice", 100.0, 200.0);
+  EXPECT_FALSE(plan.partitioned("ra://m1", "ca://alice", 99.9));
+  EXPECT_TRUE(plan.partitioned("ra://m1", "ca://alice", 100.0));
+  EXPECT_TRUE(plan.partitioned("ca://alice", "ra://m1", 150.0));  // reversed
+  EXPECT_FALSE(plan.partitioned("ra://m1", "ca://alice", 200.0));  // healed
+  EXPECT_FALSE(plan.partitioned("ra://m2", "ca://alice", 150.0));
+}
+
+TEST(FaultPlan, EmptyPatternMatchesAnyEndpoint) {
+  FaultPlan plan;
+  plan.partition("ra://m1", "", 0.0, 10.0);
+  EXPECT_TRUE(plan.partitioned("ra://m1", "ca://anyone", 5.0));
+  EXPECT_TRUE(plan.partitioned("collector", "ra://m1", 5.0));
+  EXPECT_FALSE(plan.partitioned("ra://m2", "ca://anyone", 5.0));
+}
+
+TEST(FaultPlan, DelayAccumulatesAcrossActiveRules) {
+  FaultPlan plan;
+  plan.delay("a", "b", 0.5, 0.0, 100.0);
+  plan.delay("a", "", 0.25, 0.0, 50.0);
+  EXPECT_DOUBLE_EQ(plan.extraDelay("a", "b", 10.0), 0.75);
+  EXPECT_DOUBLE_EQ(plan.extraDelay("b", "a", 10.0), 0.75);
+  EXPECT_DOUBLE_EQ(plan.extraDelay("a", "b", 60.0), 0.5);
+  EXPECT_DOUBLE_EQ(plan.extraDelay("a", "b", 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.extraDelay("c", "d", 10.0), 0.0);
+}
+
+TEST(FaultPlan, LossIsDeterministicFromSeed) {
+  auto sample = [](std::uint64_t seed) {
+    FaultPlan plan(seed);
+    plan.lose("a", "b", 0.5);
+    std::vector<bool> drops;
+    for (int i = 0; i < 64; ++i) drops.push_back(plan.shouldDrop("a", "b", 1.0));
+    return drops;
+  };
+  EXPECT_EQ(sample(42), sample(42));
+  EXPECT_NE(sample(42), sample(43));
+}
+
+TEST(FaultPlan, LossProbabilityExtremes) {
+  FaultPlan certain(1);
+  certain.lose("a", "b", 1.0);
+  FaultPlan never(1);
+  never.lose("a", "b", 0.0);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(certain.shouldDrop("a", "b", 0.0));
+    EXPECT_FALSE(never.shouldDrop("a", "b", 0.0));
+    EXPECT_FALSE(certain.shouldDrop("a", "c", 0.0));  // unmatched pair
+  }
+}
+
+TEST(FaultPlan, KillScheduleSortedByTime) {
+  FaultPlan plan;
+  plan.killAt("ra://m3", 300.0);
+  plan.killAt("ra://m1", 100.0);
+  plan.partition("x", "y", 0.0, 1.0);  // not a kill
+  plan.killAt("ra://m2", 200.0);
+  auto kills = plan.killSchedule();
+  ASSERT_EQ(kills.size(), 3u);
+  EXPECT_EQ(kills[0].a, "ra://m1");
+  EXPECT_EQ(kills[1].a, "ra://m2");
+  EXPECT_EQ(kills[2].a, "ra://m3");
+  EXPECT_TRUE(plan.dropSchedule().empty());
+}
+
+TEST(FaultPlan, ChaosKillsReproducibleAndInWindow) {
+  const std::vector<std::string> targets = {"ra://m1", "ra://m2", "ra://m3"};
+  FaultPlan p1 = FaultPlan::chaosKills(7, targets, 10, 100.0, 900.0);
+  FaultPlan p2 = FaultPlan::chaosKills(7, targets, 10, 100.0, 900.0);
+  FaultPlan p3 = FaultPlan::chaosKills(8, targets, 10, 100.0, 900.0);
+
+  ASSERT_EQ(p1.rules().size(), 10u);
+  double last = 0.0;
+  bool sameAsOtherSeed = p1.rules().size() == p3.rules().size();
+  for (std::size_t i = 0; i < p1.rules().size(); ++i) {
+    const FaultRule& r = p1.rules()[i];
+    EXPECT_EQ(r.kind, FaultKind::kKillProcess);
+    EXPECT_GE(r.at, 100.0);
+    EXPECT_LT(r.at, 900.0);
+    EXPECT_GE(r.at, last);
+    last = r.at;
+    EXPECT_EQ(r.a, p2.rules()[i].a);
+    EXPECT_DOUBLE_EQ(r.at, p2.rules()[i].at);
+    if (sameAsOtherSeed &&
+        (r.a != p3.rules()[i].a || r.at != p3.rules()[i].at)) {
+      sameAsOtherSeed = false;
+    }
+  }
+  EXPECT_FALSE(sameAsOtherSeed);
+}
+
+TEST(FaultPlan, ChaosKillsEmptyTargetsYieldsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::chaosKills(7, {}, 10, 0.0, 1.0).empty());
+  EXPECT_TRUE(FaultPlan::chaosKills(7, {"x"}, 0, 0.0, 1.0).empty());
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "lease/backoff.h"
+#include "lease/heartbeat.h"
+#include "lease/lease_table.h"
+
+namespace {
+
+using lease::BackoffConfig;
+using lease::HeartbeatMonitor;
+using lease::LeaseTable;
+using lease::MonitorConfig;
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+  BackoffConfig config;
+  config.initialSeconds = 1.0;
+  config.multiplier = 2.0;
+  config.maxSeconds = 10.0;
+  config.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(backoffDelay(config, 0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(backoffDelay(config, 1, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(backoffDelay(config, 2, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(backoffDelay(config, 3, 0.5), 8.0);
+  EXPECT_DOUBLE_EQ(backoffDelay(config, 4, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(backoffDelay(config, 40, 0.5), 10.0);
+}
+
+TEST(Backoff, JitterStaysWithinBand) {
+  BackoffConfig config;
+  config.initialSeconds = 2.0;
+  config.jitter = 0.25;
+  for (double u : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    const double d = backoffDelay(config, 0, u);
+    EXPECT_GE(d, 2.0 * 0.75);
+    EXPECT_LT(d, 2.0 * 1.25);
+  }
+}
+
+TEST(Backoff, NeverReturnsZero) {
+  BackoffConfig config;
+  config.initialSeconds = 0.0;
+  EXPECT_GT(backoffDelay(config, 0, 0.0), 0.0);
+}
+
+TEST(LeaseTable, GrantRenewReleaseLifecycle) {
+  LeaseTable table;
+  const auto& l = table.grant(0xABCD, 7, "ca://alice", 100.0, 30.0);
+  EXPECT_EQ(l.jobId, 7u);
+  EXPECT_DOUBLE_EQ(l.expiresAt(), 130.0);
+  EXPECT_EQ(table.size(), 1u);
+
+  EXPECT_TRUE(table.renew(0xABCD, 110.0));
+  EXPECT_DOUBLE_EQ(table.find(0xABCD)->expiresAt(), 140.0);
+  EXPECT_EQ(table.find(0xABCD)->renewals, 1u);
+
+  EXPECT_FALSE(table.renew(0xDEAD, 110.0));  // unknown ticket
+
+  EXPECT_TRUE(table.release(0xABCD));
+  EXPECT_FALSE(table.release(0xABCD));
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.granted(), 1u);
+  EXPECT_EQ(table.renewed(), 1u);
+  EXPECT_EQ(table.released(), 1u);
+  EXPECT_EQ(table.expired(), 0u);
+}
+
+TEST(LeaseTable, ReapExpiredRemovesOnlyDeadLeases) {
+  LeaseTable table;
+  table.grant(1, 1, "ca://a", 0.0, 10.0);   // expires at 10
+  table.grant(2, 2, "ca://b", 0.0, 50.0);   // expires at 50
+  table.renew(1, 5.0);                      // now expires at 15
+
+  auto dead = table.reapExpired(14.9);
+  EXPECT_TRUE(dead.empty());
+
+  dead = table.reapExpired(15.0);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].ticket, 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.expired(), 1u);
+  ASSERT_TRUE(table.nextExpiry().has_value());
+  EXPECT_DOUBLE_EQ(*table.nextExpiry(), 50.0);
+}
+
+TEST(LeaseTable, NextExpiryEmptyWhenNoLeases) {
+  LeaseTable table;
+  EXPECT_FALSE(table.nextExpiry().has_value());
+}
+
+MonitorConfig quickMonitor() {
+  MonitorConfig config;
+  config.maxMisses = 3;
+  config.retry.initialSeconds = 1.0;
+  config.retry.jitter = 0.0;
+  return config;
+}
+
+TEST(HeartbeatMonitor, IntervalDerivesFromLease) {
+  HeartbeatMonitor monitor(quickMonitor(), 30.0, 100.0);
+  EXPECT_DOUBLE_EQ(monitor.nextDue(), 110.0);  // 30 / 3
+}
+
+TEST(HeartbeatMonitor, AckResetsMissesAndReportsRtt) {
+  HeartbeatMonitor monitor(quickMonitor(), 30.0, 0.0);
+  auto action = monitor.onDue(10.0, 0.5);
+  ASSERT_TRUE(action.sendBeat);
+  EXPECT_EQ(action.sequence, 1u);
+
+  auto rtt = monitor.ack(action.sequence, 10.25);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_DOUBLE_EQ(*rtt, 0.25);
+  EXPECT_EQ(monitor.misses(), 0);
+  EXPECT_DOUBLE_EQ(monitor.nextDue(), 20.25);
+
+  // Duplicate ack is ignored.
+  EXPECT_FALSE(monitor.ack(action.sequence, 10.5).has_value());
+}
+
+TEST(HeartbeatMonitor, ConsecutiveMissesDeclareDead) {
+  HeartbeatMonitor monitor(quickMonitor(), 30.0, 0.0);
+  auto a1 = monitor.onDue(10.0, 0.5);  // beat 1, never acked
+  ASSERT_TRUE(a1.sendBeat);
+  auto a2 = monitor.onDue(20.0, 0.5);  // miss 1, retry beat
+  ASSERT_TRUE(a2.sendBeat);
+  EXPECT_EQ(monitor.misses(), 1);
+  EXPECT_DOUBLE_EQ(monitor.nextDue(), 21.0);  // backoff, not interval
+  auto a3 = monitor.onDue(21.0, 0.5);  // miss 2, retry beat
+  ASSERT_TRUE(a3.sendBeat);
+  auto a4 = monitor.onDue(23.0, 0.5);  // miss 3 == maxMisses -> dead
+  EXPECT_FALSE(a4.sendBeat);
+  EXPECT_TRUE(a4.declareDead);
+  EXPECT_TRUE(monitor.dead());
+  // Stale ack after death changes nothing.
+  EXPECT_FALSE(monitor.ack(a3.sequence, 24.0).has_value());
+  EXPECT_TRUE(monitor.dead());
+}
+
+TEST(HeartbeatMonitor, LateAckAfterRetryRecovers) {
+  HeartbeatMonitor monitor(quickMonitor(), 30.0, 0.0);
+  monitor.onDue(10.0, 0.5);                     // beat 1
+  auto retry = monitor.onDue(20.0, 0.5);        // miss 1, beat 2
+  ASSERT_TRUE(retry.sendBeat);
+  auto rtt = monitor.ack(retry.sequence, 20.5);  // beat 2 acked
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_EQ(monitor.misses(), 0);
+  EXPECT_FALSE(monitor.dead());
+  EXPECT_DOUBLE_EQ(monitor.nextDue(), 30.5);  // back to steady interval
+}
+
+}  // namespace

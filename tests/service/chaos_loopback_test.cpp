@@ -1,0 +1,282 @@
+// Chaos tests for the live claim-lease plane, over real loopback TCP.
+//
+// The failure injected here is SILENCE, not a closed socket: hardKill()
+// freezes a daemon's loop thread while leaving every fd open, which is
+// what a kill -9'd (or powered-off, or partitioned-away) peer looks
+// like once the kernel stops answering — no FIN, no RST, just nothing.
+// Only the lease machinery can recover from that, which is exactly
+// what these tests pin down:
+//
+//   * RA dies mid-claim  -> CA misses heartbeats, declares the lease
+//     dead, requeues, and the job rematches elsewhere within two lease
+//     intervals.
+//   * CA dies mid-claim  -> RA's lease expires, the claim is torn down,
+//     and the machine goes back to the pool.
+//   * A partition shorter than the lease window -> nobody expires,
+//     the claim survives the heal, the job completes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classad/query.h"
+#include "service/customer_agentd.h"
+#include "service/matchmakerd.h"
+#include "service/query_client.h"
+#include "service/resource_agentd.h"
+
+namespace service {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename Pred>
+bool waitFor(Pred done, std::chrono::seconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (done()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return done();
+}
+
+/// Fast heartbeat settings so failure detection fits a unit test:
+/// beats every 200ms, two misses (retried ~150ms apart) = dead.
+lease::MonitorConfig fastHeartbeat() {
+  lease::MonitorConfig hb;
+  hb.intervalSeconds = 0.2;
+  hb.maxMisses = 2;
+  hb.retry.initialSeconds = 0.15;
+  hb.retry.maxSeconds = 0.3;
+  return hb;
+}
+
+TEST(ChaosLoopback, RaHardKillMidClaimRecoversViaLeaseExpiry) {
+  constexpr double kLease = 1.5;
+
+  MatchmakerDaemonConfig mmConfig;
+  mmConfig.negotiationInterval = 0.1;
+  mmConfig.adLifetime = 3.0;
+  MatchmakerDaemon matchmaker(mmConfig);
+  std::string error;
+  ASSERT_TRUE(matchmaker.start(&error)) << error;
+
+  // The victim would serve the job for 30s — it only "finishes" by
+  // dying. The rescue machine has more memory so the job's Rank
+  // (other.Memory/32 term) deterministically prefers it on rematch.
+  ResourceAgentDaemonConfig victimConfig;
+  victimConfig.name = "victim";
+  victimConfig.memoryMB = 64;
+  victimConfig.matchmakerPort = matchmaker.port();
+  victimConfig.adIntervalSeconds = 0.1;
+  victimConfig.serviceSeconds = 30.0;
+  victimConfig.leaseSeconds = kLease;
+  ResourceAgentDaemon victim(victimConfig);
+  ASSERT_TRUE(victim.start(&error)) << error;
+
+  CustomerAgentDaemonConfig caConfig;
+  caConfig.owner = "chaos";
+  caConfig.matchmakerPort = matchmaker.port();
+  caConfig.adIntervalSeconds = 0.1;
+  // Never rematch against a machine that still advertises Claimed —
+  // the frozen victim's last ad says exactly that.
+  caConfig.constraint = "other.Type == \"Machine\""
+                        " && other.Memory >= self.Memory"
+                        " && other.State == \"Unclaimed\"";
+  caConfig.heartbeat = fastHeartbeat();
+  caConfig.claimTimeoutSeconds = 1.0;
+  JobSpec job;
+  job.id = 1;
+  job.work = 0.2;
+  caConfig.jobs.push_back(job);
+  CustomerAgentDaemon customer(caConfig);
+  ASSERT_TRUE(customer.start(&error)) << error;
+
+  // Only the victim exists, so the first claim lands on it. Wait for
+  // BOTH ends: the RA flips to claimed before the CA has processed the
+  // ClaimResponse.
+  ASSERT_TRUE(waitFor(
+      [&] { return victim.claimed() && customer.runningJobs() == 1; }, 30s));
+
+  // Now bring up the rescue machine and wait until the matchmaker
+  // knows about it, so rematch latency measures the lease plane and
+  // not ad propagation.
+  ResourceAgentDaemonConfig rescueConfig = victimConfig;
+  rescueConfig.name = "rescue";
+  rescueConfig.memoryMB = 128;
+  rescueConfig.serviceSeconds = 0.2;
+  ResourceAgentDaemon rescue(rescueConfig);
+  ASSERT_TRUE(rescue.start(&error)) << error;
+  ASSERT_TRUE(waitFor([&] { return matchmaker.storedResources() == 2; }, 30s));
+
+  const std::size_t matchesBefore = customer.matchesReceived();
+  const auto killedAt = std::chrono::steady_clock::now();
+  victim.hardKill();  // open sockets, silent peer — kill -9 semantics
+
+  // The CA must notice on its own (missed heartbeats), requeue, and be
+  // rematched within two lease intervals of the kill.
+  ASSERT_TRUE(waitFor(
+      [&] { return customer.matchesReceived() > matchesBefore; }, 30s))
+      << "leaseExpiries=" << customer.leaseExpiries();
+  const double rematchSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    killedAt)
+          .count();
+  EXPECT_LE(rematchSeconds, 2.0 * kLease);
+  EXPECT_GE(customer.leaseExpiries(), 1u);
+
+  // ...and the job then actually completes on the rescue machine.
+  ASSERT_TRUE(waitFor([&] { return customer.completedJobs() == 1; }, 30s))
+      << "idle=" << customer.idleJobs()
+      << " running=" << customer.runningJobs();
+  EXPECT_GE(rescue.claimsAccepted(), 1u);
+  EXPECT_GE(rescue.completionsSent(), 1u);
+
+  customer.stop();
+  rescue.stop();
+  victim.stop();  // reaps the frozen reactor's sockets
+  matchmaker.stop();
+}
+
+TEST(ChaosLoopback, CaHardKillFreesMachineViaRaLeaseExpiry) {
+  MatchmakerDaemonConfig mmConfig;
+  mmConfig.negotiationInterval = 0.1;
+  MatchmakerDaemon matchmaker(mmConfig);
+  std::string error;
+  ASSERT_TRUE(matchmaker.start(&error)) << error;
+
+  ResourceAgentDaemonConfig raConfig;
+  raConfig.name = "abandoned";
+  raConfig.matchmakerPort = matchmaker.port();
+  raConfig.adIntervalSeconds = 0.1;
+  raConfig.serviceSeconds = 30.0;  // never completes on its own
+  raConfig.leaseSeconds = 0.5;
+  ResourceAgentDaemon resource(raConfig);
+  ASSERT_TRUE(resource.start(&error)) << error;
+
+  CustomerAgentDaemonConfig caConfig;
+  caConfig.owner = "doomed";
+  caConfig.matchmakerPort = matchmaker.port();
+  caConfig.adIntervalSeconds = 0.1;
+  caConfig.heartbeat = fastHeartbeat();
+  JobSpec job;
+  job.id = 1;
+  job.work = 10.0;
+  caConfig.jobs.push_back(job);
+  CustomerAgentDaemon customer(caConfig);
+  ASSERT_TRUE(customer.start(&error)) << error;
+
+  ASSERT_TRUE(waitFor([&] { return resource.claimed(); }, 30s));
+
+  customer.hardKill();  // the renewal stream goes silent
+
+  // The RA's lease expires, the claim is torn down unilaterally, and
+  // the machine re-advertises as Unclaimed with a fresh ticket.
+  ASSERT_TRUE(waitFor(
+      [&] { return resource.leaseExpiries() >= 1 && !resource.claimed(); },
+      30s))
+      << "expiries=" << resource.leaseExpiries();
+
+  customer.stop();
+  resource.stop();
+  matchmaker.stop();
+}
+
+TEST(ChaosLoopback, PartitionHealedWithinLeaseWindowKeepsClaim) {
+  constexpr double kLease = 2.0;
+
+  MatchmakerDaemonConfig mmConfig;
+  mmConfig.negotiationInterval = 0.1;
+  MatchmakerDaemon matchmaker(mmConfig);
+  std::string error;
+  ASSERT_TRUE(matchmaker.start(&error)) << error;
+
+  ResourceAgentDaemonConfig raConfig;
+  raConfig.name = "steadfast";
+  raConfig.matchmakerPort = matchmaker.port();
+  raConfig.adIntervalSeconds = 0.1;
+  raConfig.serviceSeconds = 4.0;  // long enough to span the partition
+  raConfig.leaseSeconds = kLease;
+  ResourceAgentDaemon resource(raConfig);
+  ASSERT_TRUE(resource.start(&error)) << error;
+
+  // The partition: while engaged, the CA's send tap eats every frame
+  // bound for anyone but the matchmaker — so heartbeats vanish and no
+  // acks ever come back, exactly a severed CA<->RA link.
+  std::atomic<bool> partitioned{false};
+  std::atomic<std::size_t> framesDropped{0};
+  CustomerAgentDaemonConfig caConfig;
+  caConfig.owner = "patient";
+  caConfig.matchmakerPort = matchmaker.port();
+  caConfig.adIntervalSeconds = 0.1;
+  caConfig.heartbeat.intervalSeconds = 0.2;
+  caConfig.heartbeat.maxMisses = 12;  // generous: the heal must win
+  caConfig.heartbeat.retry.initialSeconds = 0.1;
+  caConfig.heartbeat.retry.maxSeconds = 0.2;
+  caConfig.sendTap = [&](const Connection& conn, std::string_view) {
+    if (partitioned.load() && conn.peerAddress != "collector") {
+      ++framesDropped;
+      return false;
+    }
+    return true;
+  };
+  JobSpec job;
+  job.id = 1;
+  job.work = 3.0;
+  caConfig.jobs.push_back(job);
+  CustomerAgentDaemon customer(caConfig);
+  ASSERT_TRUE(customer.start(&error)) << error;
+
+  ASSERT_TRUE(waitFor([&] { return resource.claimed(); }, 30s));
+
+  // While the claim is healthy, the RA's DaemonStatus self-ad carries
+  // the live lease — the exact ad `mm_status -claims` tabulates.
+  PoolQueryOptions claims;
+  claims.scope = "daemons";
+  claims.constraint = "DaemonType == \"ResourceAgent\""
+                      " && LeaseRemainingSeconds isnt undefined";
+  ASSERT_TRUE(waitFor(
+      [&] {
+        const auto r = queryPool("127.0.0.1", matchmaker.port(), claims);
+        return r.ok && !r.ads.empty();
+      },
+      30s));
+  const PoolQueryResult claimView =
+      queryPool("127.0.0.1", matchmaker.port(), claims);
+  ASSERT_TRUE(claimView.ok) << claimView.error;
+  ASSERT_FALSE(claimView.ads.empty());
+  const auto& leaseAd = claimView.ads.front();
+  EXPECT_EQ(leaseAd->getString("Name").value_or(""), "steadfast");
+  EXPECT_EQ(leaseAd->getString("LeaseCustomer").value_or(""),
+            "ca://patient");
+  EXPECT_EQ(leaseAd->getInteger("LeaseJobId").value_or(0), 1);
+  EXPECT_GT(leaseAd->getNumber("LeaseRemainingSeconds").value_or(0.0), 0.0);
+
+  // Sever the link for 0.8s — well inside the 2s lease window — then
+  // heal. Neither side may declare the other dead.
+  partitioned.store(true);
+  std::this_thread::sleep_for(800ms);
+  partitioned.store(false);
+  EXPECT_GT(framesDropped.load(), 0u);
+
+  ASSERT_TRUE(waitFor([&] { return customer.completedJobs() == 1; }, 30s))
+      << "idle=" << customer.idleJobs()
+      << " running=" << customer.runningJobs()
+      << " caExpiries=" << customer.leaseExpiries()
+      << " raExpiries=" << resource.leaseExpiries();
+  EXPECT_EQ(customer.leaseExpiries(), 0u);
+  EXPECT_EQ(resource.leaseExpiries(), 0u);
+  EXPECT_GE(customer.heartbeatsAcked(), 1u);
+  EXPECT_GE(resource.completionsSent(), 1u);
+
+  customer.stop();
+  resource.stop();
+  matchmaker.stop();
+}
+
+}  // namespace
+}  // namespace service

@@ -1,0 +1,151 @@
+// Network partitions: the manual partition()/heal() API, fault-plan
+// driven partition/loss/delay windows, and the droppedPartition counter
+// the observability bridge publishes.
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.h"
+#include "obs/registry.h"
+#include "sim/metrics_bridge.h"
+#include "sim/network.h"
+
+namespace htcsim {
+namespace {
+
+class Recorder : public Endpoint {
+ public:
+  void deliver(const Envelope& env) override { inbox.push_back(env); }
+  std::vector<Envelope> inbox;
+};
+
+NetworkConfig fastNet() {
+  NetworkConfig c;
+  c.latencyMin = 0.001;
+  c.latencyMax = 0.002;
+  return c;
+}
+
+TEST(PartitionTest, PartitionDropsBothDirections) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder a, b;
+  net.attach("a", &a);
+  net.attach("b", &b);
+  net.partition("a", "b");
+  EXPECT_FALSE(net.send("a", "b", UsageReport{}));
+  EXPECT_FALSE(net.send("b", "a", UsageReport{}));
+  sim.runUntil(1.0);
+  EXPECT_TRUE(a.inbox.empty());
+  EXPECT_TRUE(b.inbox.empty());
+  EXPECT_EQ(net.droppedPartition(), 2u);
+  EXPECT_EQ(net.dropped(), 2u);  // counted in the aggregate too
+  EXPECT_EQ(net.droppedLoss(), 0u);
+  EXPECT_EQ(net.droppedUnknown(), 0u);
+}
+
+TEST(PartitionTest, PartitionIsUnorderedAndIdempotent) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  net.partition("a", "b");
+  net.partition("b", "a");  // same link, no second entry
+  EXPECT_TRUE(net.isPartitioned("a", "b"));
+  EXPECT_TRUE(net.isPartitioned("b", "a"));
+  net.heal("b", "a");  // heals regardless of argument order
+  EXPECT_FALSE(net.isPartitioned("a", "b"));
+}
+
+TEST(PartitionTest, HealRestoresDelivery) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder b;
+  net.attach("b", &b);
+  net.partition("a", "b");
+  net.send("a", "b", UsageReport{});
+  net.heal("a", "b");
+  net.send("a", "b", UsageReport{});
+  sim.runUntil(1.0);
+  EXPECT_EQ(b.inbox.size(), 1u);
+  EXPECT_EQ(net.droppedPartition(), 1u);
+}
+
+TEST(PartitionTest, HealAllClearsEveryPartition) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  net.partition("a", "b");
+  net.partition("a", "c");
+  net.healAll();
+  EXPECT_FALSE(net.isPartitioned("a", "b"));
+  EXPECT_FALSE(net.isPartitioned("a", "c"));
+}
+
+TEST(PartitionTest, PartitionOnlySeversTheNamedPair) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder b, c;
+  net.attach("b", &b);
+  net.attach("c", &c);
+  net.partition("a", "b");
+  net.send("a", "c", UsageReport{});  // unaffected link
+  sim.runUntil(1.0);
+  EXPECT_EQ(c.inbox.size(), 1u);
+}
+
+TEST(PartitionTest, PlanPartitionIsTimeWindowed) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder b;
+  net.attach("b", &b);
+  faults::FaultPlan plan(1);
+  plan.partition("a", "b", /*at=*/10.0, /*until=*/20.0);
+  net.setFaultPlan(&plan);
+  sim.at(5.0, [&] { net.send("a", "b", UsageReport{}); });   // before
+  sim.at(15.0, [&] { net.send("a", "b", UsageReport{}); });  // inside
+  sim.at(25.0, [&] { net.send("a", "b", UsageReport{}); });  // after
+  sim.runUntil(30.0);
+  EXPECT_EQ(b.inbox.size(), 2u);
+  EXPECT_EQ(net.droppedPartition(), 1u);
+}
+
+TEST(PartitionTest, PlanDelayStretchesLatency) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder b;
+  net.attach("b", &b);
+  faults::FaultPlan plan(1);
+  plan.delay("a", "b", /*delaySeconds=*/5.0, /*at=*/0.0);
+  net.setFaultPlan(&plan);
+  net.send("a", "b", UsageReport{});
+  sim.runUntil(4.9);
+  EXPECT_TRUE(b.inbox.empty());  // still in flight under the delay rule
+  sim.runUntil(5.1);
+  EXPECT_EQ(b.inbox.size(), 1u);
+}
+
+TEST(PartitionTest, PlanLossCountsAsLoss) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  Recorder b;
+  net.attach("b", &b);
+  faults::FaultPlan plan(1);
+  plan.lose("a", "b", /*probability=*/1.0, /*at=*/0.0);
+  net.setFaultPlan(&plan);
+  net.send("a", "b", UsageReport{});
+  sim.runUntil(1.0);
+  EXPECT_TRUE(b.inbox.empty());
+  EXPECT_EQ(net.droppedLoss(), 1u);  // plan loss is loss, not partition
+  EXPECT_EQ(net.droppedPartition(), 0u);
+}
+
+TEST(PartitionTest, BridgePublishesPartitionDrops) {
+  Simulator sim;
+  Network net(sim, Rng(1), fastNet());
+  net.partition("a", "b");
+  net.send("a", "b", UsageReport{});
+  net.send("b", "a", UsageReport{});
+  sim.runUntil(1.0);
+  obs::Registry reg;
+  publishNetwork(net, reg);
+  EXPECT_DOUBLE_EQ(reg.gauge("NetworkDroppedPartition")->value(), 2.0);
+}
+
+}  // namespace
+}  // namespace htcsim

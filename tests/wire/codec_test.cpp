@@ -136,6 +136,18 @@ TEST(Codec, ClaimResponseRoundTrip) {
   ASSERT_NE(got, nullptr);
   EXPECT_FALSE(got->accepted);
   EXPECT_EQ(got->reason, resp.reason);
+  EXPECT_DOUBLE_EQ(got->leaseDuration, 0.0);
+}
+
+TEST(Codec, ClaimResponseCarriesLeaseDuration) {
+  matchmaking::ClaimResponse resp;
+  resp.accepted = true;
+  resp.leaseDuration = 300.5;
+  Envelope back = roundTrip({"ra://x", "ca://y", resp});
+  auto* got = std::get_if<matchmaking::ClaimResponse>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(got->accepted);
+  EXPECT_DOUBLE_EQ(got->leaseDuration, 300.5);
 }
 
 TEST(Codec, ClaimReleaseRoundTrip) {
@@ -164,6 +176,54 @@ TEST(Codec, UsageReportRoundTrip) {
   ASSERT_NE(got, nullptr);
   EXPECT_EQ(got->user, "raman");
   EXPECT_DOUBLE_EQ(got->resourceSeconds, 3600.25);
+}
+
+TEST(Codec, HeartbeatRoundTrip) {
+  matchmaking::Heartbeat beat;
+  beat.ticket = 0xFEEDFACE12345678ull;
+  beat.jobId = 9;
+  beat.sequence = 41;
+  beat.ack = true;
+  const std::string bytes = encodeEnvelope({"ra://x", "ca://y", beat});
+  const Frame f = frameFromBytes(bytes);
+  EXPECT_EQ(f.type, static_cast<std::uint8_t>(MsgType::kHeartbeat));
+  Envelope back = roundTrip({"ra://x", "ca://y", beat});
+  auto* got = std::get_if<matchmaking::Heartbeat>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->ticket, beat.ticket);
+  EXPECT_EQ(got->jobId, 9u);
+  EXPECT_EQ(got->sequence, 41u);
+  EXPECT_TRUE(got->ack);
+}
+
+TEST(Codec, LeaseExpiredRoundTrip) {
+  matchmaking::LeaseExpired expired;
+  expired.ticket = 77;
+  expired.jobId = 3;
+  expired.reason = "no heartbeat within lease";
+  const std::string bytes = encodeEnvelope({"ra://x", "ca://y", expired});
+  const Frame f = frameFromBytes(bytes);
+  EXPECT_EQ(f.type, static_cast<std::uint8_t>(MsgType::kLeaseExpired));
+  Envelope back = roundTrip({"ra://x", "ca://y", expired});
+  auto* got = std::get_if<matchmaking::LeaseExpired>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->ticket, 77u);
+  EXPECT_EQ(got->jobId, 3u);
+  EXPECT_EQ(got->reason, expired.reason);
+}
+
+TEST(Codec, RejectsTruncatedHeartbeat) {
+  matchmaking::Heartbeat beat;
+  beat.ticket = 1;
+  const std::string bytes = encodeEnvelope({"a", "b", beat});
+  Frame f = frameFromBytes(bytes);
+  for (std::size_t cut = 0; cut < f.payload.size(); ++cut) {
+    Frame partial;
+    partial.type = f.type;
+    partial.payload = f.payload.substr(0, cut);
+    std::string error;
+    EXPECT_FALSE(decodeEnvelope(partial, &error).has_value()) << "cut=" << cut;
+  }
 }
 
 TEST(Codec, RejectsUnknownFrameType) {

@@ -5,6 +5,7 @@
 //   mm_status -pool 127.0.0.1:9618 -constraint 'Arch == "INTEL"'
 //   mm_status -pool 127.0.0.1:9618 -jobs                # request ads
 //   mm_status -pool 127.0.0.1:9618 -stats               # DaemonStatus ads
+//   mm_status -pool 127.0.0.1:9618 -claims              # active claim leases
 //   mm_status -pool 127.0.0.1:9618 -long                # full classads
 //
 // Exit status: 0 = success, 1 = query/transport failure, 2 = bad usage.
@@ -27,6 +28,7 @@ void usage(std::ostream& out) {
          "  -jobs              job request ads\n"
          "  -daemons           DaemonStatus self-advertisements\n"
          "  -stats             like -daemons, printed as full classads\n"
+         "  -claims            active claim leases (age, heartbeat, TTL)\n"
          "  -long              print full classads instead of a table\n"
          "  -project a,b,c     columns / attributes to request\n"
          "  -timeout seconds   query deadline (default 10)\n";
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
   service::PoolQueryOptions opts;
   opts.scope = "machines";
   bool longForm = false;
+  bool claims = false;
   std::vector<std::string> columns;
 
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +90,9 @@ int main(int argc, char** argv) {
       opts.scope = "jobs";
     } else if (arg == "-daemons") {
       opts.scope = "daemons";
+    } else if (arg == "-claims") {
+      opts.scope = "daemons";
+      claims = true;
     } else if (arg == "-stats") {
       opts.scope = "daemons";
       longForm = true;
@@ -113,10 +119,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The claims view is the daemons scope narrowed to resource agents
+  // whose self-ad carries an active lease. The lease attributes come
+  // straight from the RA's soft-state DaemonStatus ad, so this is
+  // one-way matching over the same store — no new protocol.
+  if (claims) {
+    const std::string leaseConstraint =
+        "DaemonType == \"ResourceAgent\""
+        " && LeaseRemainingSeconds isnt undefined";
+    opts.constraint = opts.constraint.empty()
+                          ? leaseConstraint
+                          : "(" + leaseConstraint + ") && (" +
+                                opts.constraint + ")";
+  }
+
   // Default table columns per scope, matching the ads the daemons build.
   if (columns.empty() && !longForm) {
     if (opts.scope == "jobs") {
       columns = {"Owner", "JobId", "Cmd", "Memory", "RemainingWork"};
+    } else if (claims) {
+      columns = {"Name",             "LeaseCustomer",
+                 "LeaseJobId",       "LeaseAgeSeconds",
+                 "LeaseRenewals",    "LastHeartbeatAgeSeconds",
+                 "LeaseRemainingSeconds"};
     } else if (opts.scope == "daemons") {
       columns = {"Name", "DaemonType", "Address", "FramesIn", "FramesOut"};
     } else {
