@@ -82,6 +82,62 @@ inline std::vector<classad::ClassAdPtr> requestAds(std::size_t count,
   return ads;
 }
 
+/// Architectures for the selective E1 series: eight distinct values so
+/// an arch-targeted request admits ~1/8 of the pool.
+inline const char* const kSelectiveArchs[] = {"INTEL", "SPARC", "ALPHA",
+                                              "PPC",   "MIPS",  "HPPA",
+                                              "ARM",   "VAX"};
+
+/// A heterogeneous pool for the pruning benches: eight architectures,
+/// otherwise the classic idle-machine shape.
+inline std::vector<classad::ClassAdPtr> selectiveMachineAds(
+    std::size_t count) {
+  std::vector<classad::ClassAdPtr> ads;
+  ads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    classad::ClassAd ad;
+    ad.set("Type", "Machine");
+    ad.set("Name", "node" + std::to_string(i));
+    ad.set("ContactAddress", "ra://node" + std::to_string(i));
+    ad.set("Arch", kSelectiveArchs[i % 8]);
+    ad.set("OpSys", (i % 16) < 8 ? "LINUX" : "SOLARIS251");
+    ad.set("Memory", static_cast<std::int64_t>(32 << (i % 4)));
+    ad.set("KFlops", static_cast<std::int64_t>(20000 + 500 * (i % 8)));
+    ad.set("KeyboardIdle", 1800);
+    ad.set("LoadAvg", 0.05);
+    ad.setExpr("Constraint", "other.Type == \"Job\"");
+    ad.set("Rank", 0);
+    ads.push_back(classad::makeShared(std::move(ad)));
+  }
+  return ads;
+}
+
+/// Arch-targeted requests over selectiveMachineAds: each admits one of
+/// the eight architectures (and pays a Memory cut on top), so
+/// guard-driven candidate pruning has real work to skip.
+inline std::vector<classad::ClassAdPtr> selectiveRequestAds(
+    std::size_t count) {
+  std::vector<classad::ClassAdPtr> ads;
+  ads.reserve(count);
+  static const char* kUsers[] = {"raman", "miron", "tannenba", "alice",
+                                 "bob"};
+  for (std::size_t i = 0; i < count; ++i) {
+    classad::ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", kUsers[i % 5]);
+    ad.set("JobId", static_cast<std::int64_t>(i + 1));
+    ad.set("ContactAddress", std::string("ca://") + kUsers[i % 5]);
+    ad.set("Memory", static_cast<std::int64_t>(32 << (i % 4)));
+    ad.setExpr("Constraint",
+               std::string("other.Type == \"Machine\" && other.Arch == \"") +
+                   kSelectiveArchs[i % 8] +
+                   "\" && other.Memory >= self.Memory");
+    ad.setExpr("Rank", "other.KFlops");
+    ads.push_back(classad::makeShared(std::move(ad)));
+  }
+  return ads;
+}
+
 /// Standard pool scenario used by the E-benches; callers tweak fields.
 inline htcsim::ScenarioConfig standardScenario() {
   htcsim::ScenarioConfig config;

@@ -1,24 +1,66 @@
 // E1 - Scalability claim (Sections 1, 3.2: "a robust, scalable and
 // flexible framework"). Series: negotiation-cycle latency and matched
 // pairs as the pool grows from 100 to 12800 machines with a proportional
-// request load, for both the naive O(R x N) matchmaker and the
-// group-matching variant. The paper reports no absolute numbers; the
-// shape to reproduce is near-linear cycle cost in pool size (each request
-// scans the pool once) and a large constant-factor win from aggregation
-// on regular pools.
+// request load, for the naive O(R x N) matchmaker, the group-matching
+// variant, and the indexed MatchEngine hot path. The paper reports no
+// absolute numbers; the shapes to reproduce are near-linear cycle cost
+// in pool size for the full scan, a large constant-factor win from
+// aggregation on regular pools, and a selectivity-proportional win from
+// guard-driven candidate pruning. Indexed runs cross-check their match
+// list against the linear scan on the same ads before timing: the index
+// must change nothing but the work done.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <span>
 
 #include "bench_common.h"
 
 namespace {
 
-void runCycle(benchmark::State& state, bool aggregated) {
+/// Aborts if the indexed and linear scans disagree on any match: the
+/// benchmark must never report a speedup for an engine that changed the
+/// answer.
+void crossCheck(std::span<const classad::ClassAdPtr> requests,
+                std::span<const classad::ClassAdPtr> resources) {
+  matchmaking::MatchmakerConfig on;
+  on.useCandidateIndex = true;
+  matchmaking::MatchmakerConfig off;
+  off.useCandidateIndex = false;
+  const matchmaking::Accountant accountant;
+  const auto a =
+      matchmaking::Matchmaker(on).negotiate(requests, resources, accountant,
+                                            0.0, nullptr);
+  const auto b =
+      matchmaking::Matchmaker(off).negotiate(requests, resources, accountant,
+                                             0.0, nullptr);
+  bool same = a.size() == b.size();
+  for (std::size_t i = 0; same && i < a.size(); ++i) {
+    same = a[i].requestContact == b[i].requestContact &&
+           a[i].resourceContact == b[i].resourceContact &&
+           a[i].resourceSlot == b[i].resourceSlot &&
+           a[i].preempting == b[i].preempting;
+  }
+  if (!same) {
+    std::fprintf(stderr, "indexed/linear match lists diverged\n");
+    std::abort();
+  }
+}
+
+void runCycle(benchmark::State& state, bool aggregated, bool indexed,
+              bool selective) {
   const auto poolSize = static_cast<std::size_t>(state.range(0));
   const std::size_t requestCount = std::max<std::size_t>(10, poolSize / 20);
-  const auto resources = bench::machineAds(poolSize, /*distinctClasses=*/12);
-  const auto requests = bench::requestAds(requestCount);
+  const auto resources = selective
+                             ? bench::selectiveMachineAds(poolSize)
+                             : bench::machineAds(poolSize, /*classes=*/12);
+  const auto requests = selective ? bench::selectiveRequestAds(requestCount)
+                                  : bench::requestAds(requestCount);
+  if (indexed) crossCheck(requests, resources);
   matchmaking::MatchmakerConfig config;
   config.useAggregation = aggregated;
+  config.useCandidateIndex = indexed;
   matchmaking::Matchmaker matchmaker(config);
   matchmaking::Accountant accountant;
   matchmaking::NegotiationStats stats;
@@ -31,20 +73,52 @@ void runCycle(benchmark::State& state, bool aggregated) {
   state.counters["requests"] = static_cast<double>(requestCount);
   state.counters["matches"] = static_cast<double>(stats.matches);
   state.counters["evals"] = static_cast<double>(stats.candidateEvaluations);
+  state.counters["pruned"] = static_cast<double>(stats.candidatesPruned);
   state.counters["matches_per_s"] = benchmark::Counter(
       static_cast<double>(stats.matches) *
           static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
 
-void BM_E1_NaiveCycle(benchmark::State& state) { runCycle(state, false); }
+void BM_E1_NaiveCycle(benchmark::State& state) {
+  runCycle(state, false, false, false);
+}
 BENCHMARK(BM_E1_NaiveCycle)
     ->RangeMultiplier(4)
     ->Range(100, 12800)
     ->Unit(benchmark::kMillisecond);
 
-void BM_E1_AggregatedCycle(benchmark::State& state) { runCycle(state, true); }
+void BM_E1_AggregatedCycle(benchmark::State& state) {
+  runCycle(state, true, false, false);
+}
 BENCHMARK(BM_E1_AggregatedCycle)
+    ->RangeMultiplier(4)
+    ->Range(100, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E1_IndexedCycle(benchmark::State& state) {
+  runCycle(state, false, true, false);
+}
+BENCHMARK(BM_E1_IndexedCycle)
+    ->RangeMultiplier(4)
+    ->Range(100, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+// The selective pair is the headline indexed-vs-linear comparison: each
+// request admits one (Arch, OpSys) machine class, so pruning skips most
+// of the pool. Same seeds, same ads, cross-checked match lists.
+void BM_E1_SelectiveLinearCycle(benchmark::State& state) {
+  runCycle(state, false, false, true);
+}
+BENCHMARK(BM_E1_SelectiveLinearCycle)
+    ->RangeMultiplier(4)
+    ->Range(100, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E1_SelectiveIndexedCycle(benchmark::State& state) {
+  runCycle(state, false, true, true);
+}
+BENCHMARK(BM_E1_SelectiveIndexedCycle)
     ->RangeMultiplier(4)
     ->Range(100, 12800)
     ->Unit(benchmark::kMillisecond);

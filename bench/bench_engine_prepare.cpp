@@ -1,0 +1,138 @@
+// Engine preparation costs: what the MatchEngine pays up front so the
+// per-pair hot path stays cheap. Measures PreparedAd::prepare (flatten
+// Constraint + Rank once per ad revision), PreparedPool construction
+// with and without the candidate index, steady-state upsert churn (the
+// tombstone + compaction path a live collector exercises), per-request
+// guard derivation, and the per-pair payoff: prepared analyzeMatch vs
+// re-resolving everything from the raw ClassAds.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "matchmaker/engine/engine.h"
+
+namespace {
+
+namespace engine = matchmaking::engine;
+
+engine::PoolOptions indexedOptions() {
+  engine::PoolOptions options;
+  options.buildIndex = true;
+  return options;
+}
+
+/// Flattening one machine ad (self-references folded, constant rank
+/// detected): the once-per-revision cost.
+void BM_PrepareAd(benchmark::State& state) {
+  const auto ads = bench::machineAds(64, /*distinctClasses=*/12);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const classad::PreparedAd prepared =
+        classad::PreparedAd::prepare(ads[i++ % ads.size()]);
+    benchmark::DoNotOptimize(prepared);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrepareAd);
+
+void runFromAds(benchmark::State& state, bool buildIndex) {
+  const auto poolSize = static_cast<std::size_t>(state.range(0));
+  const auto ads = bench::machineAds(poolSize, /*distinctClasses=*/12);
+  engine::PoolOptions options;
+  options.buildIndex = buildIndex;
+  for (auto _ : state) {
+    const engine::PreparedPool pool =
+        engine::PreparedPool::fromAds(ads, options);
+    benchmark::DoNotOptimize(pool);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(poolSize));
+  state.counters["machines"] = static_cast<double>(poolSize);
+}
+
+void BM_PoolFromAds(benchmark::State& state) { runFromAds(state, false); }
+BENCHMARK(BM_PoolFromAds)
+    ->RangeMultiplier(4)
+    ->Range(100, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PoolFromAdsIndexed(benchmark::State& state) {
+  runFromAds(state, true);
+}
+BENCHMARK(BM_PoolFromAdsIndexed)
+    ->RangeMultiplier(4)
+    ->Range(100, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+/// Steady-state churn: a pool of N machines where every iteration
+/// re-advertises one of them (tombstone + append + occasional
+/// compaction) — the live collector's per-ad maintenance cost.
+void BM_PoolUpsertChurn(benchmark::State& state) {
+  const auto poolSize = static_cast<std::size_t>(state.range(0));
+  const auto ads = bench::machineAds(poolSize, /*distinctClasses=*/12);
+  engine::PreparedPool pool(indexedOptions());
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < poolSize; ++i) {
+    pool.upsert("node" + std::to_string(i), ads[i], ++seq);
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const std::size_t i = next++ % poolSize;
+    pool.upsert("node" + std::to_string(i), ads[i], ++seq);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["machines"] = static_cast<double>(poolSize);
+  state.counters["rebuilds"] = static_cast<double>(pool.rebuilds());
+}
+BENCHMARK(BM_PoolUpsertChurn)->Arg(1000)->Arg(10000);
+
+/// Guard derivation: the once-per-request static analysis that feeds
+/// candidate selection.
+void BM_DeriveGuards(benchmark::State& state) {
+  const auto requests = bench::selectiveRequestAds(64);
+  std::vector<classad::PreparedAd> prepared;
+  for (const auto& ad : requests) {
+    prepared.push_back(classad::PreparedAd::prepare(ad));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const engine::GuardSet guards =
+        engine::deriveGuards(prepared[i++ % prepared.size()]);
+    benchmark::DoNotOptimize(guards);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeriveGuards);
+
+/// The per-pair payoff: one bilateral match analysis over prepared ads
+/// vs the same analysis re-resolving Constraint/Requirements and ranks
+/// from the raw ClassAds every time.
+void BM_AnalyzePairPrepared(benchmark::State& state) {
+  const auto machines = bench::machineAds(1, 12);
+  const auto jobs = bench::requestAds(1);
+  const classad::PreparedAd resource =
+      classad::PreparedAd::prepare(machines[0]);
+  const classad::PreparedAd request = classad::PreparedAd::prepare(jobs[0]);
+  for (auto _ : state) {
+    const classad::MatchAnalysis m = classad::analyzeMatch(request, resource);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyzePairPrepared);
+
+void BM_AnalyzePairRaw(benchmark::State& state) {
+  const auto machines = bench::machineAds(1, 12);
+  const auto jobs = bench::requestAds(1);
+  const classad::MatchAttributes attrs;
+  for (auto _ : state) {
+    const classad::MatchAnalysis m =
+        classad::analyzeMatch(*jobs[0], *machines[0], attrs);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyzePairRaw);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -52,10 +52,6 @@ class CandidateDependence {
   std::vector<std::string> visiting_;
 };
 
-bool dependsOnCandidate(const Expr& expr, const ClassAd& self) {
-  return CandidateDependence(self).check(expr);
-}
-
 class Flattener {
  public:
   Flattener(const ClassAd& self, const FlattenOptions& options)
@@ -197,6 +193,10 @@ bool isGround(const Expr& expr) {
   GroundChecker checker;
   checker.visit(expr);
   return checker.ground;
+}
+
+bool dependsOnCandidate(const Expr& expr, const ClassAd& self) {
+  return CandidateDependence(self).check(expr);
 }
 
 }  // namespace classad

@@ -45,4 +45,14 @@ ExprPtr flattenAttribute(const ClassAd& ad, std::string_view name,
 /// a constant modulo evaluation).
 bool isGround(const Expr& expr);
 
+/// True iff evaluating `expr` against `self` could observe the candidate
+/// ad: an explicit `other.X` / bare `other`, or a bare reference missing
+/// from `self` (which falls through to the candidate at match time). Self
+/// references recurse through their bound expressions with a cycle guard
+/// (cyclic references evaluate to `error` either way, so cycles count as
+/// candidate-independent). The complement — candidate-INDEPENDENT — is
+/// what flatten() is allowed to fold, and what PreparedAd may evaluate
+/// once per ad revision instead of once per pair.
+bool dependsOnCandidate(const Expr& expr, const ClassAd& self);
+
 }  // namespace classad

@@ -2,19 +2,15 @@
 
 namespace classad {
 
-namespace {
-
-const ExprPtr* findConstraint(const ClassAd& ad,
-                              const MatchAttributes& attrs) {
+const ExprPtr* findConstraintExpr(const ClassAd& ad,
+                                  const MatchAttributes& attrs) {
   if (const ExprPtr* e = ad.lookup(attrs.constraint)) return e;
   return ad.lookup(attrs.constraintAlias);
 }
 
-}  // namespace
-
 ConstraintResult evaluateConstraint(const ClassAd& ad, const ClassAd& target,
                                     const MatchAttributes& attrs) {
-  const ExprPtr* constraint = findConstraint(ad, attrs);
+  const ExprPtr* constraint = findConstraintExpr(ad, attrs);
   if (constraint == nullptr) return ConstraintResult::Missing;
   const Value v = ad.evaluate(**constraint, &target);
   if (v.isBoolean()) {

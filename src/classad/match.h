@@ -19,6 +19,11 @@ namespace classad {
 /// compatibility and the attribute Rank measures the desirability of a
 /// match"). `Requirements` is accepted as a synonym for `Constraint`, as in
 /// deployed Condor.
+///
+/// Precedence: when an ad defines BOTH `constraint` and `constraintAlias`,
+/// the primary name wins and the alias is ignored entirely — it is neither
+/// evaluated nor conjoined. The alias only speaks for ads that lack the
+/// primary attribute (regression-tested in tests/classad/match_test.cpp).
 struct MatchAttributes {
   std::string constraint = "Constraint";
   std::string constraintAlias = "Requirements";
@@ -40,6 +45,14 @@ enum class ConstraintResult : unsigned char {
 /// anyone).
 ConstraintResult evaluateConstraint(const ClassAd& ad, const ClassAd& target,
                                     const MatchAttributes& attrs = {});
+
+/// The ad's effective constraint expression under the MatchAttributes
+/// precedence rule (primary name, then the alias), or nullptr when the ad
+/// carries neither. This is THE lookup every consumer — match tests,
+/// PreparedAd, the diagnoser — goes through, so precedence is decided in
+/// exactly one place.
+const ExprPtr* findConstraintExpr(const ClassAd& ad,
+                                  const MatchAttributes& attrs = {});
 
 /// True iff the result permits a match.
 inline bool permitsMatch(ConstraintResult r) noexcept {

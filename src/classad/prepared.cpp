@@ -1,0 +1,81 @@
+#include "classad/prepared.h"
+
+#include <utility>
+
+#include "classad/flatten.h"
+
+namespace classad {
+
+PreparedAd PreparedAd::prepare(ClassAdPtr ad, const MatchAttributes& attrs) {
+  PreparedAd out;
+  if (ad == nullptr) return out;
+  out.ad_ = std::move(ad);
+  out.attrs_ = attrs;
+
+  const ClassAd& self = *out.ad_;
+  if (const ExprPtr* constraint = findConstraintExpr(self, attrs)) {
+    out.constraint_ = flatten(*constraint, self);
+  }
+  if (const ExprPtr* rank = self.lookup(attrs.rank)) {
+    out.rank_ = flatten(*rank, self);
+    if (const auto* lit = dynamic_cast<const LiteralExpr*>(out.rank_.get())) {
+      out.rankConstant_ = true;
+      out.constantRankValue_ = lit->value().rankValue();
+    }
+  }
+
+  for (const auto& [name, expr] : self.attributes()) {
+    std::string lowered = toLowerCopy(name);
+    if (dependsOnCandidate(*expr, self)) {
+      out.candidateDependent_.push_back(std::move(lowered));
+      continue;
+    }
+    Value v = self.evaluateAttr(lowered);
+    if (v.isExceptional()) continue;
+    out.own_.push_back({std::move(lowered), std::move(v)});
+  }
+  return out;
+}
+
+ConstraintResult evaluateConstraint(const PreparedAd& ad,
+                                    const ClassAd& target) {
+  if (!ad.valid()) return ConstraintResult::Error;
+  if (!ad.hasConstraint()) return ConstraintResult::Missing;
+  const Value v = ad.ad()->evaluate(*ad.constraint(), &target);
+  if (v.isBoolean()) {
+    return v.asBoolean() ? ConstraintResult::Satisfied
+                         : ConstraintResult::Violated;
+  }
+  if (v.isUndefined()) return ConstraintResult::Undefined;
+  return ConstraintResult::Error;
+}
+
+double evaluateRank(const PreparedAd& ad, const ClassAd& target) {
+  if (!ad.valid() || !ad.hasRank()) return 0.0;
+  if (ad.rankIsConstant()) return ad.constantRank();
+  return ad.ad()->evaluate(*ad.rank(), &target).rankValue();
+}
+
+MatchAnalysis analyzeMatch(const PreparedAd& request,
+                           const PreparedAd& resource) {
+  MatchAnalysis out;
+  out.requestSide = evaluateConstraint(request, *resource.ad());
+  out.resourceSide = evaluateConstraint(resource, *request.ad());
+  out.matched = permitsMatch(out.requestSide) && permitsMatch(out.resourceSide);
+  if (out.matched) {
+    out.requestRank = evaluateRank(request, *resource.ad());
+    out.resourceRank = evaluateRank(resource, *request.ad());
+  }
+  return out;
+}
+
+bool symmetricMatch(const PreparedAd& a, const PreparedAd& b) {
+  return permitsMatch(evaluateConstraint(a, *b.ad())) &&
+         permitsMatch(evaluateConstraint(b, *a.ad()));
+}
+
+bool oneWayMatch(const PreparedAd& query, const ClassAd& target) {
+  return permitsMatch(evaluateConstraint(query, target));
+}
+
+}  // namespace classad

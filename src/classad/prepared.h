@@ -1,0 +1,101 @@
+// prepared.h - Per-revision compilation of an ad for the matchmaking hot
+// path.
+//
+// Every pair evaluation in a negotiation cycle used to re-resolve
+// `Constraint`/`Requirements` by string lookup and re-walk untouched
+// ASTs. A PreparedAd does the per-ad work exactly once per ad revision:
+//
+//  * the effective constraint is found via the MatchAttributes precedence
+//    rule (match.h) and FLATTENED against the owning ad, so self-only
+//    subexpressions collapse to literals before any candidate is seen;
+//  * the Rank expression is flattened the same way (a fully-folded rank
+//    becomes a constant that skips evaluation entirely);
+//  * the ad's own attribute values are pre-evaluated into a lowered-name
+//    table (candidate-independent attributes only), which is what the
+//    engine's candidate index consumes — the index never re-parses or
+//    re-evaluates an ad.
+//
+// flatten() is equivalence-preserving (tests/classad/flatten_test.cpp),
+// so every prepared entry point below returns bit-identical results to
+// its ClassAd counterpart in match.h; the property test in
+// tests/matchmaker/engine spells this out over random pools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "classad/expr.h"
+#include "classad/match.h"
+#include "classad/value.h"
+
+namespace classad {
+
+class PreparedAd {
+ public:
+  /// A candidate-independent attribute, pre-evaluated: `name` is the
+  /// lowered (interned) attribute name, `value` its definite value.
+  struct OwnValue {
+    std::string name;
+    Value value;
+  };
+
+  PreparedAd() = default;
+
+  /// Compiles `ad` (shared, immutable) under `attrs`. A null ad yields an
+  /// invalid PreparedAd that matches nothing.
+  static PreparedAd prepare(ClassAdPtr ad, const MatchAttributes& attrs = {});
+
+  bool valid() const noexcept { return ad_ != nullptr; }
+  const ClassAdPtr& ad() const noexcept { return ad_; }
+  const MatchAttributes& attrs() const noexcept { return attrs_; }
+
+  /// The flattened effective constraint (nullptr when the ad has none and
+  /// therefore imposes no requirement).
+  bool hasConstraint() const noexcept { return constraint_ != nullptr; }
+  const ExprPtr& constraint() const noexcept { return constraint_; }
+
+  /// The flattened Rank expression (nullptr = rank 0.0). When flattening
+  /// folded it to a literal, `rankIsConstant()` lets callers skip
+  /// evaluation per pair.
+  bool hasRank() const noexcept { return rank_ != nullptr; }
+  const ExprPtr& rank() const noexcept { return rank_; }
+  bool rankIsConstant() const noexcept { return rankConstant_; }
+  double constantRank() const noexcept { return constantRankValue_; }
+
+  /// Definite, candidate-independent attribute values (lowered names,
+  /// ad-insertion order). Exceptional values are omitted: a strict
+  /// comparison against `undefined`/`error` can never be true, so they
+  /// carry no indexable information.
+  const std::vector<OwnValue>& ownValues() const noexcept { return own_; }
+
+  /// Lowered names of attributes whose defining expressions observe the
+  /// candidate ad. Their match-time values are unknowable per-ad, so an
+  /// index must treat slots advertising them as candidates for any guard
+  /// on these names.
+  const std::vector<std::string>& candidateDependentAttrs() const noexcept {
+    return candidateDependent_;
+  }
+
+ private:
+  ClassAdPtr ad_;
+  MatchAttributes attrs_;
+  ExprPtr constraint_;
+  ExprPtr rank_;
+  bool rankConstant_ = false;
+  double constantRankValue_ = 0.0;
+  std::vector<OwnValue> own_;
+  std::vector<std::string> candidateDependent_;
+};
+
+/// Prepared counterparts of the match.h entry points. Results are
+/// identical to the ClassAd versions on the same underlying ads.
+ConstraintResult evaluateConstraint(const PreparedAd& ad,
+                                    const ClassAd& target);
+double evaluateRank(const PreparedAd& ad, const ClassAd& target);
+MatchAnalysis analyzeMatch(const PreparedAd& request,
+                           const PreparedAd& resource);
+bool symmetricMatch(const PreparedAd& a, const PreparedAd& b);
+bool oneWayMatch(const PreparedAd& query, const ClassAd& target);
+
+}  // namespace classad

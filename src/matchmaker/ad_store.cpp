@@ -8,30 +8,35 @@ bool AdStore::update(std::string_view key, classad::ClassAdPtr ad, Time now,
   auto it = ads_.find(std::string(key));
   if (it != ads_.end()) {
     if (sequence <= it->second.sequence) return false;  // stale duplicate
-    it->second.ad = std::move(ad);
+    it->second.ad = ad;
     it->second.receivedAt = now;
     it->second.expiresAt = now + life;
     it->second.sequence = sequence;
+    if (pool_.has_value()) pool_->upsert(key, std::move(ad), sequence);
     return true;
   }
   StoredAd stored;
   stored.key = std::string(key);
-  stored.ad = std::move(ad);
+  stored.ad = ad;
   stored.receivedAt = now;
   stored.expiresAt = now + life;
   stored.sequence = sequence;
   ads_.emplace(stored.key, std::move(stored));
+  if (pool_.has_value()) pool_->upsert(key, std::move(ad), sequence);
   return true;
 }
 
 bool AdStore::invalidate(std::string_view key) {
-  return ads_.erase(std::string(key)) > 0;
+  const bool erased = ads_.erase(std::string(key)) > 0;
+  if (erased && pool_.has_value()) pool_->erase(key);
+  return erased;
 }
 
 std::size_t AdStore::expire(Time now) {
   std::size_t removed = 0;
   for (auto it = ads_.begin(); it != ads_.end();) {
     if (it->second.expiresAt < now) {
+      if (pool_.has_value()) pool_->erase(it->first);
       it = ads_.erase(it);
       ++removed;
     } else {

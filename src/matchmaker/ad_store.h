@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "classad/classad.h"
+#include "matchmaker/engine/engine.h"
 
 namespace matchmaking {
 
@@ -41,6 +42,15 @@ class AdStore {
   explicit AdStore(Time defaultLifetime = 300.0)
       : defaultLifetime_(defaultLifetime) {}
 
+  /// A store with an attached prepared pool (engine/engine.h): every
+  /// update/invalidate/expire is mirrored into the pool, so ads are
+  /// prepared (and indexed / guarded, per `poolOptions`) incrementally as
+  /// they arrive — the negotiation cycle then starts from the pool with
+  /// zero per-cycle preparation.
+  AdStore(Time defaultLifetime, engine::PoolOptions poolOptions)
+      : defaultLifetime_(defaultLifetime),
+        pool_(engine::PreparedPool(std::move(poolOptions))) {}
+
   /// Inserts or refreshes the ad for `key`. Returns false iff the update
   /// was stale (sequence not newer than the stored one).
   bool update(std::string_view key, classad::ClassAdPtr ad, Time now,
@@ -65,11 +75,21 @@ class AdStore {
 
   std::size_t size() const noexcept { return ads_.size(); }
   bool empty() const noexcept { return ads_.empty(); }
-  void clear() { ads_.clear(); }
+  void clear() {
+    ads_.clear();
+    if (pool_.has_value()) pool_->clear();
+  }
+
+  /// The attached prepared pool, kept in lockstep with the store; nullptr
+  /// when the store was constructed without pool options.
+  const engine::PreparedPool* pool() const noexcept {
+    return pool_.has_value() ? &*pool_ : nullptr;
+  }
 
  private:
   Time defaultLifetime_;
   std::unordered_map<std::string, StoredAd> ads_;
+  std::optional<engine::PreparedPool> pool_;
 };
 
 }  // namespace matchmaking

@@ -3,6 +3,8 @@
 #include "classad/analysis/absint.h"
 #include "classad/analysis/schema.h"
 #include "classad/expr.h"
+#include "classad/prepared.h"
+#include "matchmaker/engine/engine.h"
 
 namespace matchmaking {
 
@@ -14,8 +16,10 @@ Diagnosis diagnose(const classad::ClassAd& request,
                    std::span<const classad::ClassAdPtr> pool,
                    const classad::MatchAttributes& attrs) {
   Diagnosis d;
-  const classad::ExprPtr* constraint = request.lookup(attrs.constraint);
-  if (constraint == nullptr) constraint = request.lookup(attrs.constraintAlias);
+  // Same precedence rule as matching itself (Constraint, then the alias)
+  // — the diagnoser must explain THE expression the matchmaker evaluates.
+  const classad::ExprPtr* constraint =
+      classad::findConstraintExpr(request, attrs);
 
   std::vector<classad::ExprPtr> conjuncts;
   if (constraint != nullptr) conjuncts = splitConjuncts(*constraint);
@@ -69,22 +73,27 @@ Diagnosis diagnose(const classad::ClassAd& request,
     }
   }
 
-  for (const classad::ClassAdPtr& resource : pool) {
-    if (!resource) continue;
+  // Dynamic pass over the pool, through the same prepared-ad evaluation
+  // path the MatchEngine uses: the request's constraint and rank are
+  // flattened once, each resource once, instead of per pair.
+  engine::PoolOptions poolOptions;
+  poolOptions.attrs = attrs;
+  const engine::PreparedPool prepared =
+      engine::PreparedPool::fromAds(pool, poolOptions);
+  const classad::PreparedAd preparedRequest =
+      classad::PreparedAd::prepare(classad::makeShared(request), attrs);
+  for (const engine::Slot& slot : prepared.slots()) {
+    if (!slot.live) continue;
     ++d.poolSize;
-    const auto requestSide =
-        classad::evaluateConstraint(request, *resource, attrs);
-    const auto resourceSide =
-        classad::evaluateConstraint(*resource, request, attrs);
-    if (classad::permitsMatch(requestSide)) ++d.requestSideOk;
-    if (classad::permitsMatch(resourceSide)) ++d.resourceSideOk;
-    if (classad::permitsMatch(requestSide) &&
-        classad::permitsMatch(resourceSide)) {
-      ++d.matches;
-    }
+    const classad::MatchAnalysis m =
+        classad::analyzeMatch(preparedRequest, slot.prepared);
+    if (classad::permitsMatch(m.requestSide)) ++d.requestSideOk;
+    if (classad::permitsMatch(m.resourceSide)) ++d.resourceSideOk;
+    if (m.matched) ++d.matches;
     for (std::size_t i = 0; i < conjuncts.size(); ++i) {
       if (d.conjuncts[i].decidedStatically) continue;
-      const classad::Value v = request.evaluate(*conjuncts[i], resource.get());
+      const classad::Value v =
+          request.evaluate(*conjuncts[i], slot.ad().get());
       if (v.isBooleanTrue()) {
         ++d.conjuncts[i].satisfied;
       } else if (v.isBoolean()) {
@@ -148,18 +157,37 @@ std::vector<std::size_t> findUnsatisfiableRequests(
     std::span<const classad::ClassAdPtr> pool,
     const classad::MatchAttributes& attrs) {
   std::vector<std::size_t> out;
+  if (pool.empty()) return out;  // nothing to be unsatisfiable against
+  // One indexed pool for the whole sweep: each request's statically
+  // derived guards select the candidate superset, so a request that can
+  // only ever match a handful of resources probes those instead of the
+  // whole pool. Guards are necessary conditions, so a request whose
+  // candidate set is empty is unsatisfiable without any evaluation.
+  engine::PoolOptions poolOptions;
+  poolOptions.attrs = attrs;
+  poolOptions.buildIndex = true;
+  const engine::PreparedPool prepared =
+      engine::PreparedPool::fromAds(pool, poolOptions);
+  const std::vector<engine::Slot>& slots = prepared.slots();
   for (std::size_t i = 0; i < requests.size(); ++i) {
     if (!requests[i]) continue;
+    const classad::PreparedAd request =
+        classad::PreparedAd::prepare(requests[i], attrs);
+    const engine::GuardSet guards = engine::deriveGuards(request);
+    if (guards.neverTrue) {  // statically impossible, pool irrelevant
+      out.push_back(i);
+      continue;
+    }
     bool satisfiable = false;
-    for (const classad::ClassAdPtr& resource : pool) {
-      if (!resource) continue;
+    for (const std::uint32_t id :
+         engine::selectCandidates(guards, prepared, /*useIndex=*/true)) {
       if (classad::permitsMatch(
-              classad::evaluateConstraint(*requests[i], *resource, attrs))) {
+              classad::evaluateConstraint(request, *slots[id].ad()))) {
         satisfiable = true;
         break;
       }
     }
-    if (!satisfiable && !pool.empty()) out.push_back(i);
+    if (!satisfiable) out.push_back(i);
   }
   return out;
 }

@@ -1,0 +1,258 @@
+#include "matchmaker/engine/engine.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "matchmaker/gangmatch.h"
+
+namespace matchmaking::engine {
+
+PreparedPool PreparedPool::fromAds(std::span<const classad::ClassAdPtr> ads,
+                                   PoolOptions options) {
+  PreparedPool pool(std::move(options));
+  pool.slots_.reserve(ads.size());
+  std::uint64_t sequence = 0;
+  for (const classad::ClassAdPtr& ad : ads) {
+    pool.appendSlot(std::string(), ad, ++sequence);
+  }
+  return pool;
+}
+
+std::uint32_t PreparedPool::appendSlot(std::string key, classad::ClassAdPtr ad,
+                                       std::uint64_t sequence) {
+  const auto id = static_cast<std::uint32_t>(slots_.size());
+  Slot slot;
+  slot.key = std::move(key);
+  slot.sequence = sequence;
+  slot.prepared = classad::PreparedAd::prepare(std::move(ad), options_.attrs);
+  if (slot.prepared.valid()) {
+    slot.live = true;
+    const classad::ClassAd& owned = *slot.prepared.ad();
+    if (const auto rank = owned.getNumber(options_.currentRankAttr)) {
+      slot.claimed = true;
+      slot.currentRank = *rank;
+    }
+    if (options_.deriveGuards) slot.guards = deriveGuards(slot.prepared);
+    if (options_.detectGangs) slot.isGang = GangMatcher::isGangRequest(owned);
+  }
+  slots_.push_back(std::move(slot));
+  if (slots_.back().live) {
+    ++live_;
+    if (options_.buildIndex) index_.add(id, slots_.back().prepared);
+  }
+  return id;
+}
+
+std::uint32_t PreparedPool::upsert(std::string_view key, classad::ClassAdPtr ad,
+                                   std::uint64_t sequence) {
+  std::string k(key);
+  if (const auto it = byKey_.find(k); it != byKey_.end()) {
+    Slot& old = slots_[it->second];
+    if (old.live) {
+      old.live = false;
+      --live_;
+    }
+  }
+  const std::uint32_t id = appendSlot(k, std::move(ad), sequence);
+  byKey_[k] = id;
+  maybeCompact();
+  return byKey_.at(k);
+}
+
+bool PreparedPool::erase(std::string_view key) {
+  const auto it = byKey_.find(std::string(key));
+  if (it == byKey_.end()) return false;
+  Slot& slot = slots_[it->second];
+  if (slot.live) {
+    slot.live = false;
+    --live_;
+  }
+  byKey_.erase(it);
+  maybeCompact();
+  return true;
+}
+
+void PreparedPool::clear() {
+  slots_.clear();
+  byKey_.clear();
+  index_.clear();
+  live_ = 0;
+}
+
+const Slot* PreparedPool::find(std::string_view key) const {
+  const auto it = byKey_.find(std::string(key));
+  if (it == byKey_.end()) return nullptr;
+  return &slots_[it->second];
+}
+
+Bitset PreparedPool::liveMask() const {
+  Bitset mask(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) mask.set(i);
+  }
+  return mask;
+}
+
+void PreparedPool::maybeCompact() {
+  const std::size_t dead = deadCount();
+  if (dead > 32 && dead > live_ / 2) compact();
+}
+
+void PreparedPool::compact() {
+  if (deadCount() == 0) return;
+  std::vector<Slot> survivors;
+  survivors.reserve(live_);
+  for (Slot& slot : slots_) {
+    if (slot.live) survivors.push_back(std::move(slot));
+  }
+  slots_ = std::move(survivors);
+  byKey_.clear();
+  index_.clear();
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].key.empty()) byKey_[slots_[i].key] = i;
+    if (options_.buildIndex) index_.add(i, slots_[i].prepared);
+  }
+  ++rebuilds_;
+}
+
+std::vector<std::uint32_t> selectCandidates(const GuardSet& guards,
+                                            const PreparedPool& pool,
+                                            bool useIndex, ScanStats* stats) {
+  Bitset admitted = pool.liveMask();
+  bool indexed = false;
+  if (useIndex && pool.hasIndex()) {
+    indexed = pool.index().select(guards, &admitted);
+  }
+  std::vector<std::uint32_t> ids;
+  ids.reserve(pool.liveCount());
+  admitted.forEach(
+      [&ids](std::size_t i) { ids.push_back(static_cast<std::uint32_t>(i)); });
+  if (stats != nullptr) {
+    if (indexed) {
+      ++stats->indexedSelections;
+      stats->pruned += pool.liveCount() - ids.size();
+    } else {
+      ++stats->fullScans;
+    }
+  }
+  return ids;
+}
+
+classad::MatchAnalysis MatchEngine::analyzePair(
+    const classad::PreparedAd& request,
+    const classad::PreparedAd& resource) const {
+  if (config_.bilateral) return classad::analyzeMatch(request, resource);
+  classad::MatchAnalysis one;
+  one.requestSide = classad::evaluateConstraint(request, *resource.ad());
+  one.resourceSide = classad::ConstraintResult::Missing;
+  one.matched = classad::permitsMatch(one.requestSide);
+  if (one.matched) {
+    one.requestRank = classad::evaluateRank(request, *resource.ad());
+    one.resourceRank = classad::evaluateRank(resource, *request.ad());
+  }
+  return one;
+}
+
+BestCandidate MatchEngine::scanIds(const classad::PreparedAd& request,
+                                   const PreparedPool& resources,
+                                   std::span<const std::uint32_t> ids,
+                                   const std::vector<char>& taken,
+                                   std::size_t& evaluations) const {
+  BestCandidate best;
+  const std::vector<Slot>& slots = resources.slots();
+  for (const std::uint32_t id : ids) {
+    if (!taken.empty() && taken[id] != 0) continue;
+    const Slot& slot = slots[id];
+    ++evaluations;
+    const classad::MatchAnalysis m = analyzePair(request, slot.prepared);
+    if (!m.matched) continue;
+    // Preemption gate: a claimed resource only accepts customers it ranks
+    // strictly above its current one.
+    if (slot.claimed && !(m.resourceRank > slot.currentRank)) continue;
+    if (best.improvedBy(m.requestRank, m.resourceRank)) {
+      best.slot = id;
+      best.requestRank = m.requestRank;
+      best.resourceRank = m.resourceRank;
+      best.preempting = slot.claimed;
+      best.found = true;
+    }
+  }
+  return best;
+}
+
+BestCandidate MatchEngine::bestFor(const classad::PreparedAd& request,
+                                   const GuardSet& guards,
+                                   const PreparedPool& resources,
+                                   const std::vector<char>& taken,
+                                   ScanStats* stats) const {
+  BestCandidate best;
+  if (!request.valid()) return best;
+  if (guards.neverTrue) {
+    if (stats != nullptr) ++stats->staticSkips;
+    return best;
+  }
+  const std::vector<std::uint32_t> ids =
+      selectCandidates(guards, resources, config_.useIndex, stats);
+
+  std::size_t evaluations = 0;
+  const std::size_t threshold =
+      std::max<std::size_t>(std::size_t{1}, config_.parallelScanThreshold);
+  const std::size_t workers =
+      std::min<std::size_t>(std::max(1U, config_.scanThreads),
+                            (ids.size() + threshold - 1) / threshold);
+  if (workers <= 1) {
+    best = scanIds(request, resources, ids, taken, evaluations);
+  } else {
+    // Deterministic parallel scan: each worker owns a contiguous range of
+    // the ascending candidate ids and keeps its FIRST best; merging the
+    // per-range winners in ascending order reproduces the serial scan's
+    // first-best-wins tie-breaking exactly (expression trees are
+    // immutable, so concurrent evaluation needs no synchronization).
+    const std::size_t chunk = (ids.size() + workers - 1) / workers;
+    std::vector<BestCandidate> winners(workers);
+    std::vector<std::size_t> counts(workers, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t lo = w * chunk;
+      const std::size_t hi = std::min(ids.size(), lo + chunk);
+      threads.emplace_back([&, w, lo, hi] {
+        winners[w] = scanIds(request, resources,
+                             std::span(ids).subspan(lo, hi - lo), taken,
+                             counts[w]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::size_t w = 0; w < workers; ++w) {
+      evaluations += counts[w];
+      const BestCandidate& r = winners[w];
+      if (r.found && best.improvedBy(r.requestRank, r.resourceRank)) {
+        best = r;
+      }
+    }
+  }
+  if (stats != nullptr) stats->evaluated += evaluations;
+  return best;
+}
+
+std::vector<classad::ClassAdPtr> filterAds(
+    std::span<const classad::ClassAdPtr> ads, const classad::Query& query,
+    std::span<const std::string> projection) {
+  std::vector<classad::ClassAdPtr> out;
+  for (const classad::ClassAdPtr& ad : ads) {
+    if (ad == nullptr || !query.matches(*ad)) continue;
+    if (projection.empty()) {
+      out.push_back(ad);
+      continue;
+    }
+    classad::ClassAd projected;
+    for (const std::string& name : projection) {
+      if (const auto* expr = ad->lookup(name)) projected.insert(name, *expr);
+    }
+    out.push_back(classad::makeShared(std::move(projected)));
+  }
+  return out;
+}
+
+}  // namespace matchmaking::engine

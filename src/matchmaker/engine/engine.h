@@ -1,0 +1,212 @@
+// engine.h - The MatchEngine: the ONE negotiation hot path.
+//
+// Section 3.2's matchmaking algorithm used to be implemented twice (the
+// simulator's PoolManager and the live matchmakerd each ran their own
+// O(requests x resources) scan) and re-resolved Constraint/Requirements
+// per pair. This module unifies all of it:
+//
+//   PreparedPool  - keyed soft-state slots of PreparedAds (constraint +
+//                   rank flattened once per ad revision), with optional
+//                   per-request guard derivation (engine/guards.h) and an
+//                   optional incremental candidate index (engine/index.h).
+//                   Slots are immutable once created: an update appends a
+//                   fresh slot and tombstones the old one, so index
+//                   postings never dangle; compaction rebuilds when the
+//                   dead fraction grows.
+//   MatchEngine   - the per-request candidate scan: static neverTrue
+//                   skip, index-assisted candidate selection, then the
+//                   full (bilateral or one-sided) evaluation over the
+//                   survivors with the Section 3.2 rank ordering and the
+//                   preemption gate. Deterministic serial and parallel
+//                   paths, bit-identical to the naive full scan (the
+//                   selection is a proven superset; see guards.h and
+//                   docs/ENGINE.md).
+//
+// Consumers: Matchmaker::negotiate (sim + live negotiation cycles),
+// GangMatcher (per-leg candidate lists), matchmaking::diagnose, and the
+// Query protocol's one-way filter.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "classad/match.h"
+#include "classad/prepared.h"
+#include "classad/query.h"
+#include "matchmaker/engine/guards.h"
+#include "matchmaker/engine/index.h"
+
+namespace matchmaking::engine {
+
+struct PoolOptions {
+  classad::MatchAttributes attrs;
+  /// Resource-side: ads carrying this numeric attribute are "claimed"
+  /// and only preemptible by strictly higher resource rank.
+  std::string currentRankAttr = "CurrentRank";
+  /// Maintain the candidate index over this pool's slots (resource
+  /// pools).
+  bool buildIndex = false;
+  /// Derive admission guards from each ad's constraint (request pools).
+  bool deriveGuards = false;
+  /// Classify gang (co-allocation) requests at insert time so the
+  /// negotiation cycle can split them without re-inspecting ads.
+  bool detectGangs = false;
+};
+
+/// One prepared advertisement in a pool. Everything the hot path needs
+/// is computed exactly once, when the ad (revision) arrives.
+struct Slot {
+  std::string key;
+  std::uint64_t sequence = 0;
+  classad::PreparedAd prepared;
+  GuardSet guards;               ///< when options.deriveGuards
+  bool claimed = false;          ///< advertised a CurrentRank (busy)
+  double currentRank = 0.0;      ///< rank of its current customer
+  bool isGang = false;           ///< when options.detectGangs
+  bool live = false;             ///< false = tombstone awaiting compaction
+
+  const classad::ClassAdPtr& ad() const noexcept { return prepared.ad(); }
+};
+
+/// A keyed pool of prepared ads with append-only slot ids. Mirrors the
+/// AdStore's contents (AdStore forwards update/invalidate/expire), or is
+/// built ad hoc from a span for the stateless negotiate() entry point.
+class PreparedPool {
+ public:
+  PreparedPool() = default;
+  explicit PreparedPool(PoolOptions options) : options_(std::move(options)) {}
+
+  /// Builds a throwaway pool whose slot ids equal the span indices
+  /// (null ads become dead slots, preserving alignment).
+  static PreparedPool fromAds(std::span<const classad::ClassAdPtr> ads,
+                              PoolOptions options);
+
+  /// Inserts or replaces the ad for `key` (the previous revision's slot
+  /// is tombstoned). Returns the new slot id — valid until the next
+  /// mutation (compaction renumbers).
+  std::uint32_t upsert(std::string_view key, classad::ClassAdPtr ad,
+                       std::uint64_t sequence);
+  bool erase(std::string_view key);
+  void clear();
+
+  const PoolOptions& options() const noexcept { return options_; }
+  const std::vector<Slot>& slots() const noexcept { return slots_; }
+  const Slot* find(std::string_view key) const;
+  std::size_t liveCount() const noexcept { return live_; }
+  std::size_t deadCount() const noexcept { return slots_.size() - live_; }
+  Bitset liveMask() const;
+
+  bool hasIndex() const noexcept { return options_.buildIndex; }
+  const CandidateIndex& index() const noexcept { return index_; }
+  /// Times the index was rebuilt from scratch (compactions).
+  std::size_t rebuilds() const noexcept { return rebuilds_; }
+
+  /// Drops tombstones, renumbering slots (relative order preserved) and
+  /// rebuilding the index. Called automatically when tombstones pile up.
+  void compact();
+
+ private:
+  std::uint32_t appendSlot(std::string key, classad::ClassAdPtr ad,
+                           std::uint64_t sequence);
+  void maybeCompact();
+
+  PoolOptions options_;
+  std::vector<Slot> slots_;
+  std::unordered_map<std::string, std::uint32_t> byKey_;
+  CandidateIndex index_;
+  std::size_t live_ = 0;
+  std::size_t rebuilds_ = 0;
+};
+
+/// Scan instrumentation, accumulated across the requests of one cycle.
+struct ScanStats {
+  std::size_t evaluated = 0;   ///< full pair evaluations performed
+  std::size_t pruned = 0;      ///< live candidates the index skipped
+  std::size_t indexedSelections = 0;  ///< scans answered via the index
+  std::size_t fullScans = 0;          ///< scans that fell back to O(n)
+  std::size_t staticSkips = 0;  ///< requests skipped as never-true
+};
+
+/// Winner of one request's candidate scan, under Section 3.2's ordering:
+/// highest request rank, then highest resource rank, then first in slot
+/// order (deterministic).
+struct BestCandidate {
+  std::uint32_t slot = 0;
+  double requestRank = -std::numeric_limits<double>::infinity();
+  double resourceRank = -std::numeric_limits<double>::infinity();
+  bool preempting = false;
+  bool found = false;
+
+  bool improvedBy(double reqRank, double resRank) const noexcept {
+    if (!found) return true;
+    if (reqRank != requestRank) return reqRank > requestRank;
+    return resRank > resourceRank;
+  }
+};
+
+/// Candidate slot ids (ascending) admitted by `guards` over the pool's
+/// live slots: an index-assisted superset selection when possible, all
+/// live slots otherwise. `neverTrue` guard sets must be handled by the
+/// caller (this function selects, it does not decide).
+std::vector<std::uint32_t> selectCandidates(const GuardSet& guards,
+                                            const PreparedPool& pool,
+                                            bool useIndex,
+                                            ScanStats* stats = nullptr);
+
+struct EngineConfig {
+  /// Bilateral matching (the paper's design); false = the E4 one-sided
+  /// ablation (resource constraints ignored, both ranks still evaluated).
+  bool bilateral = true;
+  /// Index-assisted candidate selection; false = always full scan.
+  bool useIndex = true;
+  /// Worker threads for the per-request scan (1 = serial); results are
+  /// bit-identical to the serial scan.
+  unsigned scanThreads = 1;
+  /// Candidate sets smaller than this are scanned serially.
+  std::size_t parallelScanThreshold = 512;
+};
+
+class MatchEngine {
+ public:
+  explicit MatchEngine(EngineConfig config = {}) : config_(config) {}
+
+  const EngineConfig& config() const noexcept { return config_; }
+
+  /// Two-sided (or one-sided, per config) analysis of one pair — the
+  /// engine's unit of work.
+  classad::MatchAnalysis analyzePair(const classad::PreparedAd& request,
+                                     const classad::PreparedAd& resource) const;
+
+  /// Finds the best open resource for `request`: neverTrue static skip,
+  /// candidate selection, then full evaluation with the preemption gate.
+  /// `taken` (slot-indexed, may be empty = none taken) marks resources
+  /// already matched this cycle.
+  BestCandidate bestFor(const classad::PreparedAd& request,
+                        const GuardSet& guards, const PreparedPool& resources,
+                        const std::vector<char>& taken,
+                        ScanStats* stats = nullptr) const;
+
+ private:
+  BestCandidate scanIds(const classad::PreparedAd& request,
+                        const PreparedPool& resources,
+                        std::span<const std::uint32_t> ids,
+                        const std::vector<char>& taken,
+                        std::size_t& evaluations) const;
+
+  EngineConfig config_;
+};
+
+/// One-way filter + projection over a pool snapshot — the Query
+/// protocol's scan, shared by matchmakerd and the query tools. Ads
+/// matching `query` are returned as-is, or projected to `projection`
+/// when non-empty; null ads are skipped.
+std::vector<classad::ClassAdPtr> filterAds(
+    std::span<const classad::ClassAdPtr> ads, const classad::Query& query,
+    std::span<const std::string> projection);
+
+}  // namespace matchmaking::engine

@@ -1,0 +1,338 @@
+#include "matchmaker/engine/guards.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <optional>
+#include <utility>
+
+#include "classad/analysis/absint.h"
+#include "classad/analysis/lint.h"
+#include "classad/expr.h"
+#include "classad/value.h"
+
+namespace matchmaking::engine {
+
+namespace {
+
+using classad::AttrRefExpr;
+using classad::BinaryExpr;
+using classad::BinOp;
+using classad::ClassAd;
+using classad::Expr;
+using classad::ExprPtr;
+using classad::FuncCallExpr;
+using classad::ListExpr;
+using classad::LiteralExpr;
+using classad::RefScope;
+using classad::toLowerCopy;
+using classad::UnaryExpr;
+using classad::UnOp;
+using classad::Value;
+using classad::ValueType;
+using classad::analysis::abstractEval;
+using classad::analysis::AbstractValue;
+using classad::analysis::AnalysisEnv;
+using classad::analysis::Interval;
+using classad::analysis::TypeSet;
+
+/// The reference resolves in the CANDIDATE at match time: an explicit
+/// `other.X`, or a bare name absent from `self` (bare references fall
+/// through to the candidate only when self lacks the name — a name bound
+/// to `undefined` in self does NOT fall through).
+const AttrRefExpr* asCandidateRef(const Expr& e, const ClassAd& self) {
+  const auto* ref = dynamic_cast<const AttrRefExpr*>(&e);
+  if (ref == nullptr) return nullptr;
+  if (ref->scope() == RefScope::Other) return ref;
+  if (ref->scope() == RefScope::Default &&
+      self.lookup(ref->loweredName()) == nullptr) {
+    return ref;
+  }
+  return nullptr;
+}
+
+/// Numbers the non-candidate side may take, with reachable booleans
+/// folded in as 0/1 (comparisons promote booleans, §3.2).
+Interval numericReach(const AbstractValue& d) {
+  Interval r = d.mayBeNumber() ? d.range() : Interval::none();
+  if (d.types().has(ValueType::Boolean)) {
+    if (d.mayBeTrue()) r = r.hull(Interval::point(1.0));
+    if (d.mayBeFalse()) r = r.hull(Interval::point(0.0));
+  }
+  return r;
+}
+
+struct StringReach {
+  bool possible = false;  ///< may the non-candidate side be a string
+  bool finite = false;    ///< `values` enumerates every possibility
+  std::vector<std::string> values;  ///< lowered, sorted, unique
+};
+
+/// The abstract domain stores strings in original case with exact
+/// membership; `==` compares case-insensitively, so the guard lowers the
+/// reachable set itself (a lowered match is necessary for equality).
+StringReach stringReach(const AbstractValue& d) {
+  StringReach out;
+  if (!d.mayBeString()) return out;
+  out.possible = true;
+  if (!d.strings().has_value()) return out;  // any string reachable
+  out.finite = true;
+  out.values.reserve(d.strings()->size());
+  for (const std::string& s : *d.strings()) {
+    out.values.push_back(toLowerCopy(s));
+  }
+  std::sort(out.values.begin(), out.values.end());
+  out.values.erase(std::unique(out.values.begin(), out.values.end()),
+                   out.values.end());
+  return out;
+}
+
+BinOp mirrorOp(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::Less: return BinOp::Greater;
+    case BinOp::LessEq: return BinOp::GreaterEq;
+    case BinOp::Greater: return BinOp::Less;
+    case BinOp::GreaterEq: return BinOp::LessEq;
+    default: return op;  // ==, !=, is are symmetric
+  }
+}
+
+/// Values the candidate attribute must hold for `attr op d` to possibly
+/// be true. Every case relies on the operator being decided by
+/// compareValues: a strict comparison against a mismatched type, a
+/// non-scalar, undefined, error, or NaN is never `true`.
+std::optional<GuardDomain> comparisonDomain(BinOp op, const AbstractValue& d) {
+  const Interval reach = numericReach(d);
+  const StringReach str = stringReach(d);
+  GuardDomain g;
+  switch (op) {
+    case BinOp::Equal:
+      g.numberAllowed = !reach.empty();
+      g.number = reach;
+      g.stringAllowed = str.possible;
+      g.anyString = str.possible && !str.finite;
+      g.strings = str.values;
+      return g;
+    case BinOp::NotEqual:
+      // v != r needs only SOME comparable r; the interval cannot express
+      // "anything but r", so the value side stays unconstrained.
+      g.numberAllowed = !reach.empty();
+      g.stringAllowed = str.possible;
+      return g;
+    case BinOp::Less:
+      g.numberAllowed = !reach.empty();
+      g.number = Interval::atMost(reach.hi, true);
+      g.stringAllowed = str.possible;  // strings order lexically
+      return g;
+    case BinOp::LessEq:
+      g.numberAllowed = !reach.empty();
+      g.number = Interval::atMost(reach.hi, reach.hiOpen);
+      g.stringAllowed = str.possible;
+      return g;
+    case BinOp::Greater:
+      g.numberAllowed = !reach.empty();
+      g.number = Interval::atLeast(reach.lo, true);
+      g.stringAllowed = str.possible;
+      return g;
+    case BinOp::GreaterEq:
+      g.numberAllowed = !reach.empty();
+      g.number = Interval::atLeast(reach.lo, reach.loOpen);
+      g.stringAllowed = str.possible;
+      return g;
+    case BinOp::Is: {
+      // `is` is NON-strict: `other.X is undefined` is true exactly when
+      // the candidate lacks X, which postings over present values cannot
+      // express. Guard only when the other side is certainly an
+      // indexable scalar; identity implies equality, so the (lowered)
+      // equality domain is a sound superset.
+      const TypeSet scalars = TypeSet::of(ValueType::Boolean)
+                                  .unite(TypeSet::of(ValueType::Integer))
+                                  .unite(TypeSet::of(ValueType::Real))
+                                  .unite(TypeSet::of(ValueType::String));
+      if (d.types().empty() || !d.types().subsetOf(scalars)) {
+        return std::nullopt;
+      }
+      g.numberAllowed = !reach.empty();
+      g.number = reach;
+      g.stringAllowed = str.possible;
+      g.anyString = str.possible && !str.finite;
+      g.strings = str.values;
+      return g;
+    }
+    default:
+      return std::nullopt;  // isnt admits missing attributes; no guard
+  }
+}
+
+/// A bare candidate reference used as a conjunct is true only when the
+/// attribute IS boolean true (indexed at 1.0); negated, boolean false.
+GuardDomain booleanPointDomain(bool wanted) {
+  GuardDomain g;
+  g.number = Interval::point(wanted ? 1.0 : 0.0);
+  g.stringAllowed = false;
+  g.anyString = false;
+  return g;
+}
+
+/// member(other.X, <literal list>): X must equal SOME element. Lists
+/// reach here two ways — a residual ListExpr of literals, or (after
+/// flattening a self-reference like Figure 1's ResearchGroup) a single
+/// list-valued literal. Bails on any element a per-element `==` could
+/// not decide (non-scalar, error, NaN); undefined elements merely skip.
+std::optional<GuardDomain> memberDomain(const Expr& listArg) {
+  std::vector<Value> elems;
+  if (const auto* list = dynamic_cast<const ListExpr*>(&listArg)) {
+    elems.reserve(list->elements().size());
+    for (const ExprPtr& e : list->elements()) {
+      const auto* lit = dynamic_cast<const LiteralExpr*>(e.get());
+      if (lit == nullptr) return std::nullopt;
+      elems.push_back(lit->value());
+    }
+  } else if (const auto* lit = dynamic_cast<const LiteralExpr*>(&listArg);
+             lit != nullptr && lit->value().isList()) {
+    elems = *lit->value().asList();
+  } else {
+    return std::nullopt;
+  }
+
+  GuardDomain g;
+  g.numberAllowed = false;
+  g.number = Interval::none();
+  g.stringAllowed = false;
+  g.anyString = false;
+  for (const Value& v : elems) {
+    if (v.isUndefined()) continue;  // equals nothing; adds no values
+    if (v.isBoolean()) {
+      g.numberAllowed = true;
+      g.number = g.number.hull(Interval::point(v.asBoolean() ? 1.0 : 0.0));
+    } else if (v.isNumber()) {
+      const double x = v.toReal();
+      if (std::isnan(x)) return std::nullopt;
+      g.numberAllowed = true;
+      g.number = g.number.hull(Interval::point(x));
+    } else if (v.isString()) {
+      g.stringAllowed = true;
+      g.strings.push_back(toLowerCopy(v.asString()));
+    } else {
+      return std::nullopt;  // error / nested list / record element
+    }
+  }
+  std::sort(g.strings.begin(), g.strings.end());
+  g.strings.erase(std::unique(g.strings.begin(), g.strings.end()),
+                  g.strings.end());
+  return g;
+}
+
+void addGuard(std::vector<Guard>& out, const std::string& attr,
+              GuardDomain domain) {
+  for (Guard& existing : out) {
+    if (existing.attr == attr) {
+      existing.domain.intersectWith(domain);
+      return;
+    }
+  }
+  out.push_back({attr, std::move(domain)});
+}
+
+/// Emits the guards one conjunct implies (possibly none; possibly one
+/// per side when both operands are candidate references).
+void appendGuards(const Expr& conjunct, const ClassAd& self,
+                  const AnalysisEnv& env, std::vector<Guard>& out) {
+  if (const AttrRefExpr* ref = asCandidateRef(conjunct, self)) {
+    addGuard(out, ref->loweredName(), booleanPointDomain(true));
+    return;
+  }
+  if (const auto* unary = dynamic_cast<const UnaryExpr*>(&conjunct)) {
+    if (unary->op() == UnOp::Not) {
+      if (const AttrRefExpr* ref = asCandidateRef(*unary->operand(), self)) {
+        addGuard(out, ref->loweredName(), booleanPointDomain(false));
+      }
+    }
+    return;
+  }
+  if (const auto* bin = dynamic_cast<const BinaryExpr*>(&conjunct)) {
+    const AttrRefExpr* lhs = asCandidateRef(*bin->lhs(), self);
+    const AttrRefExpr* rhs = asCandidateRef(*bin->rhs(), self);
+    // abstractEval treats candidate references as unconstrained (no
+    // schema), so guarding each referenced side independently is sound
+    // even for candidate-vs-candidate comparisons.
+    if (lhs != nullptr) {
+      if (auto g = comparisonDomain(bin->op(), abstractEval(*bin->rhs(), env))) {
+        addGuard(out, lhs->loweredName(), std::move(*g));
+      }
+    }
+    if (rhs != nullptr) {
+      if (auto g = comparisonDomain(mirrorOp(bin->op()),
+                                    abstractEval(*bin->lhs(), env))) {
+        addGuard(out, rhs->loweredName(), std::move(*g));
+      }
+    }
+    return;
+  }
+  if (const auto* call = dynamic_cast<const FuncCallExpr*>(&conjunct)) {
+    if (toLowerCopy(call->name()) != "member" || call->args().size() != 2) {
+      return;
+    }
+    const AttrRefExpr* ref = asCandidateRef(*call->args()[0], self);
+    if (ref == nullptr) return;
+    if (auto g = memberDomain(*call->args()[1])) {
+      addGuard(out, ref->loweredName(), std::move(*g));
+    }
+  }
+}
+
+}  // namespace
+
+bool GuardDomain::admitsLoweredString(const std::string& lowered) const {
+  if (!stringAllowed) return false;
+  if (anyString) return true;
+  return std::binary_search(strings.begin(), strings.end(), lowered);
+}
+
+void GuardDomain::intersectWith(const GuardDomain& o) {
+  numberAllowed = numberAllowed && o.numberAllowed;
+  number = number.meet(o.number);
+  if (number.empty()) numberAllowed = false;
+  stringAllowed = stringAllowed && o.stringAllowed;
+  if (!stringAllowed) {
+    anyString = false;
+    strings.clear();
+    return;
+  }
+  if (anyString) {
+    anyString = o.anyString;
+    strings = o.strings;
+  } else if (!o.anyString) {
+    std::vector<std::string> merged;
+    std::set_intersection(strings.begin(), strings.end(), o.strings.begin(),
+                          o.strings.end(), std::back_inserter(merged));
+    strings = std::move(merged);
+  }
+  if (!anyString && strings.empty()) {
+    stringAllowed = false;
+    strings.clear();
+  }
+}
+
+GuardSet deriveGuards(const classad::PreparedAd& request) {
+  GuardSet set;
+  if (!request.valid() || !request.hasConstraint()) return set;
+  const ClassAd& self = *request.ad();
+  AnalysisEnv env;
+  env.self = &self;
+  for (const ExprPtr& conjunct :
+       classad::analysis::splitConjuncts(request.constraint())) {
+    const AbstractValue av = abstractEval(*conjunct, env);
+    if (!av.mayBeTrue()) {
+      // One conjunct can never be true, so neither can the whole
+      // constraint: the engine skips this request without any scan.
+      set.neverTrue = true;
+      set.guards.clear();
+      return set;
+    }
+    appendGuards(*conjunct, self, env, set.guards);
+  }
+  return set;
+}
+
+}  // namespace matchmaking::engine

@@ -1,0 +1,79 @@
+// guards.h - Static admission guards derived from a request's constraint.
+//
+// A guard is a NECESSARY condition on one candidate attribute: "this
+// constraint can only be true against candidates whose `Memory` lies in
+// [64, +inf)" or "whose `Arch` is one of {intel, sparc}". Guards are
+// derived once per request revision by running the PR 3 abstract
+// interpreter over each conjunct of the flattened constraint (the
+// abstract value of the non-candidate side bounds what the candidate
+// attribute must compare against), and the candidate index
+// (engine/index.h) intersects them into a candidate superset.
+//
+// Soundness argument (docs/ENGINE.md spells it out in full): a guard is
+// emitted only for conjunct shapes where Section 3.2's STRICT operators
+// decide the match — a strict comparison against `undefined`, `error`, a
+// list, a record, a NaN, or a mixed type is never `true`, and a conjunct
+// that is not `true` makes the whole && false-or-worse (splitConjuncts
+// only returns conjuncts with that property). So a candidate whose
+// attribute is missing, exceptional, non-scalar, or outside the abstract
+// bound cannot satisfy the constraint, and pruning it cannot change the
+// match set. Conjuncts that fit no shape simply emit no guard: the engine
+// prunes less but never differently (the equivalence property test in
+// tests/matchmaker/engine/ checks bit-identical results vs naive scans).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classad/analysis/domain.h"
+#include "classad/prepared.h"
+
+namespace matchmaking::engine {
+
+/// The set of scalar values a candidate attribute may hold without
+/// refuting one conjunct: a numeric interval (booleans count as 0/1, the
+/// promotion rule of §3.2 arithmetic) and/or a finite set of LOWERED
+/// strings (`==` compares case-insensitively). Default-constructed, it
+/// admits every scalar.
+struct GuardDomain {
+  bool numberAllowed = true;
+  classad::analysis::Interval number = classad::analysis::Interval::all();
+  bool stringAllowed = true;
+  /// When false, only `strings` (lowered, sorted, unique) are admitted.
+  bool anyString = true;
+  std::vector<std::string> strings;
+
+  bool admitsNumber(double v) const noexcept {
+    return numberAllowed && number.contains(v);
+  }
+  bool admitsLoweredString(const std::string& lowered) const;
+  /// Narrows to the intersection with `o` (conjuncts compose by AND).
+  void intersectWith(const GuardDomain& o);
+  bool admitsNothing() const noexcept {
+    return !(numberAllowed && !number.empty()) &&
+           !(stringAllowed && (anyString || !strings.empty()));
+  }
+};
+
+/// A necessary condition on one candidate attribute (lowered name).
+struct Guard {
+  std::string attr;
+  GuardDomain domain;
+};
+
+struct GuardSet {
+  /// The constraint can never evaluate to true (some conjunct's abstract
+  /// value excludes boolean true): no candidate matches, period.
+  bool neverTrue = false;
+  /// One entry per guarded attribute; a candidate must satisfy ALL.
+  std::vector<Guard> guards;
+
+  bool empty() const noexcept { return !neverTrue && guards.empty(); }
+};
+
+/// Derives guards from `request`'s flattened constraint. A request with
+/// no constraint (or one whose conjuncts fit no guardable shape) yields
+/// an empty set — the engine then falls back to the full scan.
+GuardSet deriveGuards(const classad::PreparedAd& request);
+
+}  // namespace matchmaking::engine

@@ -1,0 +1,136 @@
+#include "matchmaker/engine/index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "classad/value.h"
+
+namespace matchmaking::engine {
+
+namespace {
+
+using classad::analysis::Interval;
+
+using NumberPosting = std::pair<double, std::uint32_t>;
+
+std::vector<NumberPosting>::const_iterator numberRangeBegin(
+    const std::vector<NumberPosting>& postings, const Interval& r) {
+  if (r.lo == -Interval::kInf) return postings.begin();
+  if (r.loOpen) {
+    return std::upper_bound(
+        postings.begin(), postings.end(), r.lo,
+        [](double v, const NumberPosting& p) { return v < p.first; });
+  }
+  return std::lower_bound(
+      postings.begin(), postings.end(), r.lo,
+      [](const NumberPosting& p, double v) { return p.first < v; });
+}
+
+std::vector<NumberPosting>::const_iterator numberRangeEnd(
+    const std::vector<NumberPosting>& postings, const Interval& r) {
+  if (r.hi == Interval::kInf) return postings.end();
+  if (r.hiOpen) {
+    return std::lower_bound(
+        postings.begin(), postings.end(), r.hi,
+        [](const NumberPosting& p, double v) { return p.first < v; });
+  }
+  return std::upper_bound(
+      postings.begin(), postings.end(), r.hi,
+      [](double v, const NumberPosting& p) { return v < p.first; });
+}
+
+}  // namespace
+
+std::size_t Bitset::count() const noexcept {
+  std::size_t n = 0;
+  for (const std::uint64_t word : words_) {
+    n += static_cast<std::size_t>(std::popcount(word));
+  }
+  return n;
+}
+
+void CandidateIndex::add(std::uint32_t slot, const classad::PreparedAd& ad) {
+  for (const std::string& name : ad.candidateDependentAttrs()) {
+    byAttr_[name].otherDep.push_back(slot);
+    ++postings_;
+  }
+  for (const classad::PreparedAd::OwnValue& own : ad.ownValues()) {
+    const classad::Value& v = own.value;
+    if (v.isString()) {
+      byAttr_[own.name]
+          .byString[classad::toLowerCopy(v.asString())]
+          .push_back(slot);
+      ++postings_;
+      continue;
+    }
+    double x = 0.0;
+    if (v.isBoolean()) {
+      x = v.asBoolean() ? 1.0 : 0.0;
+    } else if (v.isNumber()) {
+      x = v.toReal();
+      // NaN satisfies no comparison (compareValues: Error), so an
+      // unindexed NaN is excluded exactly as evaluation would.
+      if (std::isnan(x)) continue;
+    } else {
+      continue;  // lists / records: strict comparisons never true
+    }
+    Postings& p = byAttr_[own.name];
+    if (!p.byNumber.empty() && x < p.byNumber.back().first) {
+      p.numberSorted = false;
+    }
+    p.byNumber.emplace_back(x, slot);
+    ++postings_;
+  }
+}
+
+void CandidateIndex::clear() {
+  byAttr_.clear();
+  postings_ = 0;
+}
+
+void CandidateIndex::applyGuard(const Guard& guard, Bitset* mask) const {
+  const auto it = byAttr_.find(guard.attr);
+  // No slot defines the attribute at all: a strict guard cannot be
+  // satisfied by any of them, so the (empty) mask is exactly right.
+  if (it == byAttr_.end()) return;
+  const Postings& p = it->second;
+  for (const std::uint32_t s : p.otherDep) mask->set(s);
+
+  const GuardDomain& d = guard.domain;
+  if (d.stringAllowed) {
+    if (d.anyString) {
+      for (const auto& [value, slots] : p.byString) {
+        for (const std::uint32_t s : slots) mask->set(s);
+      }
+    } else {
+      for (const std::string& v : d.strings) {
+        if (const auto bucket = p.byString.find(v);
+            bucket != p.byString.end()) {
+          for (const std::uint32_t s : bucket->second) mask->set(s);
+        }
+      }
+    }
+  }
+  if (d.numberAllowed && !d.number.empty() && !p.byNumber.empty()) {
+    if (!p.numberSorted) {
+      std::sort(p.byNumber.begin(), p.byNumber.end());
+      p.numberSorted = true;
+    }
+    const auto first = numberRangeBegin(p.byNumber, d.number);
+    const auto last = numberRangeEnd(p.byNumber, d.number);
+    for (auto iter = first; iter != last; ++iter) mask->set(iter->second);
+  }
+}
+
+bool CandidateIndex::select(const GuardSet& guards, Bitset* out) const {
+  if (guards.guards.empty()) return false;
+  for (const Guard& g : guards.guards) {
+    Bitset mask(out->size());
+    applyGuard(g, &mask);
+    out->andWith(mask);
+  }
+  return true;
+}
+
+}  // namespace matchmaking::engine

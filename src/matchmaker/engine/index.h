@@ -1,0 +1,122 @@
+// index.h - The candidate index: postings over pre-evaluated attributes.
+//
+// "Turning cluster management into data management" (PAPERS.md): a
+// negotiation cycle is a join between request and resource ads, and the
+// guard set derived from a request's constraint (engine/guards.h) is a
+// conjunctive selection predicate over candidate attributes. This index
+// answers that selection without touching the ads:
+//
+//   - STRING values bucket exactly, keyed by lowered text (`==` is
+//     case-insensitive), e.g. Arch/OpSys;
+//   - NUMERIC and boolean values (booleans as 0/1) go into per-attribute
+//     sorted postings answering interval guards with two binary
+//     searches, e.g. Memory/Disk;
+//   - attributes whose defining expression observes the candidate
+//     (`other.*`) have unknowable per-ad values, so their slots are
+//     admitted unconditionally for any guard on that attribute;
+//   - exceptional / non-scalar values are NOT indexed: a strict
+//     comparison against them is never true, so omitting them excludes
+//     exactly the right slots.
+//
+// The result of select() is a SUPERSET of the slots that can match (see
+// the soundness argument in guards.h / docs/ENGINE.md); the engine then
+// runs the full symmetric evaluation over the survivors, so results are
+// bit-identical with the index on or off.
+//
+// Postings are append-only; deletions are handled by the caller ANDing
+// with a liveness mask, and pool compaction rebuilds from scratch. Not
+// thread-safe: mutation and selection belong to the negotiation thread
+// (scan workers only ever evaluate already-selected candidates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "classad/prepared.h"
+#include "matchmaker/engine/guards.h"
+
+namespace matchmaking::engine {
+
+/// Dense bitset over slot ids; the currency of candidate selection.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+  std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= 1ULL << (i & 63); }
+  bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// In-place intersection (sizes must agree).
+  void andWith(const Bitset& o) noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+  }
+
+  std::size_t count() const noexcept;
+
+  /// Calls fn(i) for every set bit, ascending — the deterministic
+  /// candidate order the scan relies on.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn((w << 6) + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Append-only postings over one pool's slots.
+class CandidateIndex {
+ public:
+  /// Indexes `ad`'s pre-evaluated values under slot id `slot` (ids must
+  /// arrive in ascending order so postings stay sorted).
+  void add(std::uint32_t slot, const classad::PreparedAd& ad);
+  void clear();
+
+  /// Intersects `out` (pre-seeded with the admissible base, e.g. the
+  /// live mask) with the slots each guard admits. Returns false when no
+  /// guard was applicable (caller falls back to the full scan, leaving
+  /// `out` untouched); neverTrue guard sets must be handled by the
+  /// caller before selecting.
+  bool select(const GuardSet& guards, Bitset* out) const;
+
+  std::size_t attrCount() const noexcept { return byAttr_.size(); }
+  /// Total posting entries — the index's memory footprint measure.
+  std::size_t postingCount() const noexcept { return postings_; }
+
+ private:
+  struct Postings {
+    /// Slots whose value for this attribute depends on the candidate:
+    /// admitted for every guard (their match-time value is unknowable).
+    std::vector<std::uint32_t> otherDep;
+    /// Lowered string value -> slots advertising it.
+    std::unordered_map<std::string, std::vector<std::uint32_t>> byString;
+    /// (value, slot), sorted on demand; booleans land here as 0/1.
+    mutable std::vector<std::pair<double, std::uint32_t>> byNumber;
+    mutable bool numberSorted = true;
+  };
+
+  void applyGuard(const Guard& guard, Bitset* mask) const;
+
+  std::unordered_map<std::string, Postings> byAttr_;
+  std::size_t postings_ = 0;
+};
+
+}  // namespace matchmaking::engine

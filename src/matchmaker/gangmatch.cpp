@@ -75,18 +75,47 @@ std::optional<GangMatch> GangMatcher::match(
     const classad::ClassAd& gang,
     std::span<const classad::ClassAdPtr> resources,
     std::vector<bool>* taken) const {
+  engine::PoolOptions options;
+  options.attrs = config_.attrs;
+  options.buildIndex = true;
+  const engine::PreparedPool pool =
+      engine::PreparedPool::fromAds(resources, options);
+  // Slot ids equal span indices, so the taken sets line up one-to-one.
+  std::vector<char> slotTaken;
+  if (taken != nullptr) slotTaken.assign(taken->begin(), taken->end());
+  const std::optional<GangMatch> result =
+      match(gang, pool, taken != nullptr ? &slotTaken : nullptr);
+  if (taken != nullptr && result.has_value()) {
+    for (std::size_t i = 0; i < taken->size(); ++i) {
+      (*taken)[i] = slotTaken[i] != 0;
+    }
+  }
+  return result;
+}
+
+std::optional<GangMatch> GangMatcher::match(const classad::ClassAd& gang,
+                                            const engine::PreparedPool& resources,
+                                            std::vector<char>* taken) const {
   const std::vector<classad::ClassAdPtr> legs = legsOf(gang);
   if (legs.empty()) return std::nullopt;
+  const std::vector<engine::Slot>& slots = resources.slots();
 
   // Per-leg candidate lists, best-rank-first (leg rank, then resource
-  // rank, then index for determinism).
+  // rank, then slot id for determinism). Each leg is prepared once; its
+  // guards select a candidate superset through the pool's index before
+  // the full bilateral evaluation.
   std::vector<std::vector<Candidate>> candidates(legs.size());
   for (std::size_t l = 0; l < legs.size(); ++l) {
-    for (std::size_t r = 0; r < resources.size(); ++r) {
-      if (!resources[r]) continue;
-      if (taken != nullptr && (*taken)[r]) continue;
+    const classad::PreparedAd leg =
+        classad::PreparedAd::prepare(legs[l], config_.attrs);
+    const engine::GuardSet guards = engine::deriveGuards(leg);
+    if (guards.neverTrue) return std::nullopt;  // leg unsatisfiable
+    const std::vector<std::uint32_t> ids =
+        engine::selectCandidates(guards, resources, /*useIndex=*/true);
+    for (const std::uint32_t r : ids) {
+      if (taken != nullptr && (*taken)[r] != 0) continue;
       const classad::MatchAnalysis m =
-          classad::analyzeMatch(*legs[l], *resources[r], config_.attrs);
+          classad::analyzeMatch(leg, slots[r].prepared);
       if (!m.matched) continue;
       candidates[l].push_back({r, m.requestRank, m.resourceRank});
     }
@@ -104,8 +133,12 @@ std::optional<GangMatch> GangMatcher::match(
   // Search scarcest-first ordering would prune better, but declaration
   // order keeps the semantics predictable for users; the branching cap
   // bounds the worst case.
-  std::vector<bool> used(resources.size(), false);
-  if (taken != nullptr) used = *taken;
+  std::vector<bool> used(slots.size(), false);
+  if (taken != nullptr) {
+    for (std::size_t i = 0; i < used.size() && i < taken->size(); ++i) {
+      used[i] = (*taken)[i] != 0;
+    }
+  }
   std::vector<std::size_t> chosen(legs.size());
   if (!assign(0, candidates, used, chosen, config_.branchingCap)) {
     return std::nullopt;
@@ -117,7 +150,7 @@ std::optional<GangMatch> GangMatcher::match(
     GangLeg leg;
     leg.legAd = legs[l];
     leg.resourceIndex = chosen[l];
-    leg.resource = resources[chosen[l]];
+    leg.resource = slots[chosen[l]].ad();
     for (const Candidate& cand : candidates[l]) {
       if (cand.resourceIndex == chosen[l]) {
         leg.legRank = cand.legRank;
@@ -129,7 +162,7 @@ std::optional<GangMatch> GangMatcher::match(
     }
     out.totalRank += leg.legRank;
     out.legs.push_back(std::move(leg));
-    if (taken != nullptr) (*taken)[chosen[l]] = true;
+    if (taken != nullptr) (*taken)[chosen[l]] = 1;
   }
   return out;
 }

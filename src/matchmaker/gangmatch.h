@@ -39,6 +39,7 @@
 
 #include "classad/classad.h"
 #include "classad/match.h"
+#include "matchmaker/engine/engine.h"
 #include "matchmaker/protocol.h"
 
 namespace matchmaking {
@@ -85,10 +86,21 @@ class GangMatcher {
   /// gang's legs; nullopt if no complete gang can be formed. `taken`
   /// (optional, same length as resources) marks resources already claimed
   /// this cycle; matched indices are marked taken on success.
+  /// Implemented over a throwaway prepared pool (slot ids == span
+  /// indices); the pool overload below is the hot path.
   std::optional<GangMatch> match(
       const classad::ClassAd& gang,
       std::span<const classad::ClassAdPtr> resources,
       std::vector<bool>* taken = nullptr) const;
+
+  /// The same search over an incrementally maintained pool (the engine's
+  /// hot path): each leg is prepared once, its guards select candidates
+  /// through the pool's index, and GangLeg::resourceIndex is the pool
+  /// slot id. `taken` is the slot-indexed set shared with
+  /// Matchmaker::negotiate's pairwise pass.
+  std::optional<GangMatch> match(const classad::ClassAd& gang,
+                                 const engine::PreparedPool& resources,
+                                 std::vector<char>* taken = nullptr) const;
 
  private:
   GangMatchConfig config_;

@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <thread>
-#include <limits>
 #include <unordered_map>
 
+#include "classad/prepared.h"
 #include "matchmaker/aggregation.h"
 
 namespace matchmaking {
@@ -20,173 +19,66 @@ double secondsSince(std::chrono::steady_clock::time_point from) {
       .count();
 }
 
-}  // namespace
-
-bool Matchmaker::matches(const classad::ClassAd& request,
-                         const classad::ClassAd& resource) const {
-  const auto& attrs = config_.protocol.match;
-  if (!config_.bilateral) {
-    return classad::oneWayMatch(request, resource, attrs);
-  }
-  return classad::symmetricMatch(request, resource, attrs);
+engine::EngineConfig engineConfigFor(const MatchmakerConfig& config) {
+  engine::EngineConfig ec;
+  ec.bilateral = config.bilateral;
+  ec.useIndex = config.useCandidateIndex;
+  ec.scanThreads = config.scanThreads;
+  ec.parallelScanThreshold = config.parallelScanThreshold;
+  return ec;
 }
 
-std::vector<Match> Matchmaker::negotiate(
-    std::span<const classad::ClassAdPtr> requests,
-    std::span<const classad::ClassAdPtr> resources,
-    const Accountant& accountant, Time now, NegotiationStats* stats) const {
-  if (config_.useAggregation) {
-    return negotiateAggregated(requests, resources, accountant, now, stats);
-  }
-  return negotiateNaive(requests, resources, accountant, now, stats);
+void foldScanStats(const engine::ScanStats& scan, NegotiationStats& out) {
+  out.candidateEvaluations += scan.evaluated;
+  out.candidatesPruned += scan.pruned;
+  out.indexedSelections += scan.indexedSelections;
+  out.fullScans += scan.fullScans;
+  out.staticSkips += scan.staticSkips;
 }
 
-namespace {
-
-/// Per-resource negotiation state shared by both algorithm variants.
-struct ResourceSlot {
-  classad::ClassAdPtr ad;
-  bool taken = false;        // matched earlier in this cycle
-  bool claimed = false;      // advertised with a CurrentRank (busy)
-  double currentRank = 0.0;  // rank of its current customer, if claimed
+/// Live, non-gang request ads in slot order plus their slot ids (gang
+/// requests are co-allocation work for the GangMatcher, served by the
+/// caller after the pairwise pass).
+struct RequestView {
+  std::vector<classad::ClassAdPtr> ads;
+  std::vector<std::uint32_t> slotIds;
 };
 
-std::vector<ResourceSlot> makeSlots(
-    std::span<const classad::ClassAdPtr> resources,
-    const std::string& currentRankAttr) {
-  std::vector<ResourceSlot> slots;
-  slots.reserve(resources.size());
-  for (const classad::ClassAdPtr& r : resources) {
-    ResourceSlot s;
-    s.ad = r;
-    if (r) {
-      if (const auto cur = r->getNumber(currentRankAttr)) {
-        s.claimed = true;
-        s.currentRank = *cur;
-      }
-    }
-    slots.push_back(std::move(s));
+RequestView pairwiseRequests(const engine::PreparedPool& requests) {
+  RequestView view;
+  const std::vector<engine::Slot>& slots = requests.slots();
+  view.ads.reserve(requests.liveCount());
+  view.slotIds.reserve(requests.liveCount());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const engine::Slot& slot = slots[i];
+    if (!slot.live || slot.isGang) continue;
+    view.ads.push_back(slot.ad());
+    view.slotIds.push_back(static_cast<std::uint32_t>(i));
   }
-  return slots;
+  return view;
 }
 
-/// Two-sided (or one-sided, per config) analysis of one candidate pair.
-classad::MatchAnalysis analyzeCandidate(const classad::ClassAd& request,
-                                        const classad::ClassAd& resource,
-                                        bool bilateral,
-                                        const classad::MatchAttributes& attrs) {
-  if (bilateral) return classad::analyzeMatch(request, resource, attrs);
-  classad::MatchAnalysis one;
-  one.requestSide = classad::evaluateConstraint(request, resource, attrs);
-  one.resourceSide = classad::ConstraintResult::Missing;
-  one.matched = classad::permitsMatch(one.requestSide);
-  if (one.matched) {
-    one.requestRank = classad::evaluateRank(request, resource, attrs);
-    one.resourceRank = classad::evaluateRank(resource, request, attrs);
-  }
-  return one;
+/// Binds `taken` to the caller's slot-indexed vector (growing it to the
+/// pool's slot count) or to a cycle-local one.
+std::vector<char>& bindTaken(std::vector<char>* external,
+                             std::vector<char>& local,
+                             std::size_t slotCount) {
+  std::vector<char>& taken = external != nullptr ? *external : local;
+  if (taken.size() < slotCount) taken.resize(slotCount, 0);
+  return taken;
 }
 
-/// Candidate quality ordering of Section 3.2: "Among provider ads matching
-/// a given customer ad, the matchmaker chooses the one with the highest
-/// Rank value ..., breaking ties according to the provider's Rank value."
-/// Final tie-break on scan order keeps cycles deterministic.
-struct Best {
-  std::size_t index = std::numeric_limits<std::size_t>::max();
-  double requestRank = -std::numeric_limits<double>::infinity();
-  double resourceRank = -std::numeric_limits<double>::infinity();
-  bool preempting = false;
-  bool found = false;
-
-  bool improvedBy(double reqRank, double resRank) const noexcept {
-    if (!found) return true;
-    if (reqRank != requestRank) return reqRank > requestRank;
-    return resRank > resourceRank;
-  }
-};
-
-/// Scans slots [lo, hi) for the best candidate for `request`.
-Best scanRange(const classad::ClassAd& request,
-               const std::vector<ResourceSlot>& slots, std::size_t lo,
-               std::size_t hi, bool bilateral,
-               const classad::MatchAttributes& attrs,
-               std::size_t& evaluations) {
-  Best best;
-  for (std::size_t i = lo; i < hi; ++i) {
-    const ResourceSlot& slot = slots[i];
-    if (slot.taken || !slot.ad) continue;
-    ++evaluations;
-    const classad::MatchAnalysis m =
-        analyzeCandidate(request, *slot.ad, bilateral, attrs);
-    if (!m.matched) continue;
-    // Preemption gate: a claimed resource only accepts customers it ranks
-    // strictly above its current one.
-    if (slot.claimed && !(m.resourceRank > slot.currentRank)) continue;
-    if (best.improvedBy(m.requestRank, m.resourceRank)) {
-      best.index = i;
-      best.requestRank = m.requestRank;
-      best.resourceRank = m.resourceRank;
-      best.preempting = slot.claimed;
-      best.found = true;
-    }
-  }
-  return best;
-}
-
-/// Scans all open slots, optionally fanning out across threads. The
-/// parallel path is deterministic: each worker owns a contiguous index
-/// range and keeps its FIRST best under the rank ordering; merging the
-/// per-range winners in ascending range order reproduces the serial
-/// scan's first-best-wins tie-breaking exactly (expression trees are
-/// immutable, so concurrent evaluation needs no synchronization).
-Best scanAllSlots(const classad::ClassAd& request,
-                  const std::vector<ResourceSlot>& slots, bool bilateral,
-                  const classad::MatchAttributes& attrs,
-                  std::size_t& evaluations, unsigned threads,
-                  std::size_t parallelThreshold) {
-  if (threads <= 1 || slots.size() < parallelThreshold) {
-    return scanRange(request, slots, 0, slots.size(), bilateral, attrs,
-                     evaluations);
-  }
-  const unsigned workers = std::min<unsigned>(
-      threads, static_cast<unsigned>(
-                   (slots.size() + parallelThreshold - 1) /
-                   parallelThreshold));
-  std::vector<Best> results(workers);
-  std::vector<std::size_t> evalCounts(workers, 0);
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  const std::size_t chunk = (slots.size() + workers - 1) / workers;
-  for (unsigned w = 0; w < workers; ++w) {
-    const std::size_t lo = w * chunk;
-    const std::size_t hi = std::min(slots.size(), lo + chunk);
-    pool.emplace_back([&, w, lo, hi] {
-      results[w] = scanRange(request, slots, lo, hi, bilateral, attrs,
-                             evalCounts[w]);
-    });
-  }
-  for (std::thread& t : pool) t.join();
-  Best best;
-  for (unsigned w = 0; w < workers; ++w) {
-    evaluations += evalCounts[w];
-    const Best& r = results[w];
-    if (r.found && best.improvedBy(r.requestRank, r.resourceRank)) {
-      best = r;
-    }
-  }
-  return best;
-}
-
-Match buildMatch(const classad::ClassAdPtr& request, const ResourceSlot& slot,
-                 double requestRank, double resourceRank, bool preempting,
-                 const ProtocolAttributes& protocol) {
+Match buildMatch(const classad::ClassAdPtr& request, const engine::Slot& slot,
+                 std::uint32_t slotId, double requestRank, double resourceRank,
+                 bool preempting, const ProtocolAttributes& protocol) {
   Match match;
   match.request = request;
-  match.resource = slot.ad;
+  match.resource = slot.ad();
+  match.resourceSlot = slotId;
   match.requestContact = request->getString(protocol.contact).value_or("");
-  match.resourceContact = slot.ad->getString(protocol.contact).value_or("");
+  match.resourceContact = slot.ad()->getString(protocol.contact).value_or("");
   match.user = request->getString(protocol.owner).value_or("");
-  if (const auto t = slot.ad->getString(protocol.ticket)) {
+  if (const auto t = slot.ad()->getString(protocol.ticket)) {
     match.ticket = ticketFromString(*t).value_or(kNoTicket);
   }
   match.requestRank = requestRank;
@@ -219,6 +111,56 @@ bool referencesIdentityAttributes(const classad::ClassAd& request,
 }
 
 }  // namespace
+
+engine::PoolOptions requestPoolOptions(const MatchmakerConfig& config) {
+  engine::PoolOptions options;
+  options.attrs = config.protocol.match;
+  options.currentRankAttr = config.currentRankAttr;
+  options.deriveGuards = config.useCandidateIndex;
+  return options;
+}
+
+engine::PoolOptions resourcePoolOptions(const MatchmakerConfig& config) {
+  engine::PoolOptions options;
+  options.attrs = config.protocol.match;
+  options.currentRankAttr = config.currentRankAttr;
+  options.buildIndex = config.useCandidateIndex;
+  return options;
+}
+
+bool Matchmaker::matches(const classad::ClassAd& request,
+                         const classad::ClassAd& resource) const {
+  const auto& attrs = config_.protocol.match;
+  if (!config_.bilateral) {
+    return classad::oneWayMatch(request, resource, attrs);
+  }
+  return classad::symmetricMatch(request, resource, attrs);
+}
+
+std::vector<Match> Matchmaker::negotiate(
+    std::span<const classad::ClassAdPtr> requests,
+    std::span<const classad::ClassAdPtr> resources,
+    const Accountant& accountant, Time now, NegotiationStats* stats) const {
+  // Throwaway pools: slot ids equal span indices, so Match::resourceSlot
+  // keeps meaning "index into the span you handed me".
+  const engine::PreparedPool requestPool =
+      engine::PreparedPool::fromAds(requests, requestPoolOptions(config_));
+  const engine::PreparedPool resourcePool =
+      engine::PreparedPool::fromAds(resources, resourcePoolOptions(config_));
+  return negotiate(requestPool, resourcePool, accountant, now, stats, nullptr);
+}
+
+std::vector<Match> Matchmaker::negotiate(const engine::PreparedPool& requests,
+                                         const engine::PreparedPool& resources,
+                                         const Accountant& accountant, Time now,
+                                         NegotiationStats* stats,
+                                         std::vector<char>* taken) const {
+  if (config_.useAggregation) {
+    return negotiateAggregated(requests, resources, accountant, now, stats,
+                               taken);
+  }
+  return negotiateNaive(requests, resources, accountant, now, stats, taken);
+}
 
 std::vector<std::size_t> Matchmaker::serviceOrder(
     std::span<const classad::ClassAdPtr> requests,
@@ -304,57 +246,73 @@ std::vector<std::size_t> Matchmaker::serviceOrder(
 }
 
 std::vector<Match> Matchmaker::negotiateNaive(
-    std::span<const classad::ClassAdPtr> requests,
-    std::span<const classad::ClassAdPtr> resources,
-    const Accountant& accountant, Time now, NegotiationStats* stats) const {
-  const auto& attrs = config_.protocol.match;
-  std::vector<ResourceSlot> slots =
-      makeSlots(resources, config_.currentRankAttr);
+    const engine::PreparedPool& requests, const engine::PreparedPool& resources,
+    const Accountant& accountant, Time now, NegotiationStats* stats,
+    std::vector<char>* taken) const {
   NegotiationStats local;
-  local.requestsConsidered = requests.size();
-  local.resourcesConsidered = resources.size();
+  const RequestView view = pairwiseRequests(requests);
+  local.requestsConsidered = view.ads.size();
+  local.resourcesConsidered = resources.liveCount();
+
+  std::vector<char> cycleTaken;
+  std::vector<char>& takenRef =
+      bindTaken(taken, cycleTaken, resources.slots().size());
+  const engine::MatchEngine eng(engineConfigFor(config_));
+  engine::ScanStats scan;
 
   std::vector<Match> out;
   auto phaseStart = std::chrono::steady_clock::now();
   const std::vector<std::size_t> order =
-      serviceOrder(requests, accountant, now);
+      serviceOrder(view.ads, accountant, now);
   local.serviceOrderSeconds = secondsSince(phaseStart);
   phaseStart = std::chrono::steady_clock::now();
-  for (std::size_t reqIdx : order) {
-    const classad::ClassAdPtr& request = requests[reqIdx];
-    if (!request) continue;
-    const Best best = scanAllSlots(
-        *request, slots, config_.bilateral, attrs,
-        local.candidateEvaluations, config_.scanThreads,
-        config_.parallelScanThreshold);
+  for (const std::size_t reqIdx : order) {
+    const engine::Slot& reqSlot = requests.slots()[view.slotIds[reqIdx]];
+    const engine::BestCandidate best = eng.bestFor(
+        reqSlot.prepared, reqSlot.guards, resources, takenRef, &scan);
     if (!best.found) continue;
-    ResourceSlot& slot = slots[best.index];
-    slot.taken = true;
-    Match match = buildMatch(request, slot, best.requestRank,
-                             best.resourceRank, best.preempting,
-                             config_.protocol);
+    takenRef[best.slot] = 1;
+    Match match = buildMatch(reqSlot.ad(), resources.slots()[best.slot],
+                             best.slot, best.requestRank, best.resourceRank,
+                             best.preempting, config_.protocol);
     if (match.preempting) ++local.preemptions;
     ++local.matches;
     out.push_back(std::move(match));
   }
   local.scanSeconds = secondsSince(phaseStart);
+  foldScanStats(scan, local);
   if (stats) *stats = local;
   return out;
 }
 
 std::vector<Match> Matchmaker::negotiateAggregated(
-    std::span<const classad::ClassAdPtr> requests,
-    std::span<const classad::ClassAdPtr> resources,
-    const Accountant& accountant, Time now, NegotiationStats* stats) const {
+    const engine::PreparedPool& requests, const engine::PreparedPool& resources,
+    const Accountant& accountant, Time now, NegotiationStats* stats,
+    std::vector<char>* taken) const {
   const auto& attrs = config_.protocol.match;
   const AggregationConfig aggConfig;
-  std::vector<ResourceSlot> slots =
-      makeSlots(resources, config_.currentRankAttr);
-  std::vector<AdGroup> groups = groupAds(resources, aggConfig);
+  const std::vector<engine::Slot>& slots = resources.slots();
+
+  // Slot-aligned ad vector (nullptr for tombstones, which groupAds skips)
+  // so group member indices ARE resource slot ids.
+  std::vector<classad::ClassAdPtr> resourceAds(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].live) resourceAds[i] = slots[i].ad();
+  }
+  const std::vector<AdGroup> groups = groupAds(resourceAds, aggConfig);
+
   NegotiationStats local;
-  local.requestsConsidered = requests.size();
-  local.resourcesConsidered = resources.size();
+  const RequestView view = pairwiseRequests(requests);
+  local.requestsConsidered = view.ads.size();
+  local.resourcesConsidered = resources.liveCount();
   local.aggregateGroups = groups.size();
+
+  // Representatives are prepared once per cycle, not once per request.
+  std::vector<classad::PreparedAd> reps;
+  reps.reserve(groups.size());
+  for (const AdGroup& g : groups) {
+    reps.push_back(classad::PreparedAd::prepare(g.representative, attrs));
+  }
 
   // Unmatched members remaining per group (each resource belongs to
   // exactly one group).
@@ -368,14 +326,18 @@ std::vector<Match> Matchmaker::negotiateAggregated(
     for (const std::size_t m : groups[g].members) groupOf[m] = g;
   }
 
-  auto emit = [&](const classad::ClassAdPtr& request, std::size_t slotIdx,
+  std::vector<char> cycleTaken;
+  std::vector<char>& takenRef = bindTaken(taken, cycleTaken, slots.size());
+  const engine::MatchEngine eng(engineConfigFor(config_));
+  engine::ScanStats scan;
+
+  auto emit = [&](const classad::ClassAdPtr& request, std::uint32_t slotId,
                   double reqRank, double resRank, bool preempting,
                   std::vector<Match>& out) {
-    ResourceSlot& slot = slots[slotIdx];
-    slot.taken = true;
-    --remaining[groupOf[slotIdx]];
-    Match match = buildMatch(request, slot, reqRank, resRank, preempting,
-                             config_.protocol);
+    takenRef[slotId] = 1;
+    --remaining[groupOf[slotId]];
+    Match match = buildMatch(request, slots[slotId], slotId, reqRank, resRank,
+                             preempting, config_.protocol);
     if (match.preempting) ++local.preemptions;
     ++local.matches;
     out.push_back(std::move(match));
@@ -384,22 +346,20 @@ std::vector<Match> Matchmaker::negotiateAggregated(
   std::vector<Match> out;
   auto phaseStart = std::chrono::steady_clock::now();
   const std::vector<std::size_t> order =
-      serviceOrder(requests, accountant, now);
+      serviceOrder(view.ads, accountant, now);
   local.serviceOrderSeconds = secondsSince(phaseStart);
   phaseStart = std::chrono::steady_clock::now();
-  for (std::size_t reqIdx : order) {
-    const classad::ClassAdPtr& request = requests[reqIdx];
-    if (!request) continue;
+  for (const std::size_t reqIdx : order) {
+    const engine::Slot& reqSlot = requests.slots()[view.slotIds[reqIdx]];
+    const classad::ClassAdPtr& request = reqSlot.ad();
 
     // Soundness fallback: a request whose policy can tell group members
     // apart (references an identity attribute) is matched naively.
     if (referencesIdentityAttributes(*request, attrs, aggConfig)) {
-      const Best best = scanAllSlots(
-          *request, slots, config_.bilateral, attrs,
-          local.candidateEvaluations, config_.scanThreads,
-          config_.parallelScanThreshold);
+      const engine::BestCandidate best = eng.bestFor(
+          reqSlot.prepared, reqSlot.guards, resources, takenRef, &scan);
       if (best.found) {
-        emit(request, best.index, best.requestRank, best.resourceRank,
+        emit(request, best.slot, best.requestRank, best.resourceRank,
              best.preempting, out);
       }
       continue;
@@ -415,10 +375,9 @@ std::vector<Match> Matchmaker::negotiateAggregated(
     std::vector<GroupCandidate> candidates;
     for (std::size_t g = 0; g < groups.size(); ++g) {
       if (remaining[g] == 0) continue;
-      const classad::ClassAd& rep = *groups[g].representative;
       ++local.candidateEvaluations;
       const classad::MatchAnalysis m =
-          analyzeCandidate(*request, rep, config_.bilateral, attrs);
+          eng.analyzePair(reqSlot.prepared, reps[g]);
       if (!m.matched) continue;
       candidates.push_back({g, m.requestRank, m.resourceRank});
     }
@@ -441,17 +400,17 @@ std::vector<Match> Matchmaker::negotiateAggregated(
     for (const GroupCandidate& cand : candidates) {
       const AdGroup& group = groups[cand.group];
       for (const std::size_t memberIdx : group.members) {
-        const ResourceSlot& slot = slots[memberIdx];
-        if (slot.taken || !slot.ad) continue;
+        const engine::Slot& slot = slots[memberIdx];
+        if (takenRef[memberIdx] != 0 || !slot.live) continue;
         ++local.candidateEvaluations;
         const classad::MatchAnalysis m =
-            analyzeCandidate(*request, *slot.ad, config_.bilateral, attrs);
+            eng.analyzePair(reqSlot.prepared, slot.prepared);
         if (!m.matched ||
             (slot.claimed && !(m.resourceRank > slot.currentRank))) {
           continue;
         }
-        emit(request, memberIdx, m.requestRank, m.resourceRank, slot.claimed,
-             out);
+        emit(request, static_cast<std::uint32_t>(memberIdx), m.requestRank,
+             m.resourceRank, slot.claimed, out);
         served = true;
         break;
       }
@@ -459,6 +418,7 @@ std::vector<Match> Matchmaker::negotiateAggregated(
     }
   }
   local.scanSeconds = secondsSince(phaseStart);
+  foldScanStats(scan, local);
   if (stats) *stats = local;
   return out;
 }

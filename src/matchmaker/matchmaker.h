@@ -23,6 +23,7 @@
 #include "classad/classad.h"
 #include "classad/match.h"
 #include "matchmaker/advertising.h"
+#include "matchmaker/engine/engine.h"
 #include "matchmaker/priority.h"
 #include "matchmaker/protocol.h"
 
@@ -60,6 +61,13 @@ struct MatchmakerConfig {
   /// Pools smaller than this are always scanned serially (thread startup
   /// would dominate).
   std::size_t parallelScanThreshold = 512;
+  /// Index-assisted candidate selection (engine/index.h): derive static
+  /// admission guards from each request's constraint and consult the
+  /// resource pool's candidate index before the full evaluation scan.
+  /// Results are bit-identical with this on or off (the selection is a
+  /// proven superset of the matchable slots); off forces the pure linear
+  /// scan, which is what bench_e1_scalability's "linear" columns measure.
+  bool useCandidateIndex = true;
 };
 
 /// One match produced by a negotiation cycle: a mutual introduction, not an
@@ -74,6 +82,10 @@ struct Match {
   double requestRank = 0.0;
   double resourceRank = 0.0;
   bool preempting = false;  ///< resource was claimed; this match outranks it
+  /// Slot id of the matched resource in the resource pool (== span index
+  /// for the span-based negotiate()); lets callers share one taken-set
+  /// between the pairwise pass and the gang matcher without rescanning.
+  std::uint32_t resourceSlot = 0;
 };
 
 /// Instrumentation of one cycle.
@@ -86,6 +98,16 @@ struct NegotiationStats {
   /// algorithm's unit of work; E7 measures how aggregation reduces it).
   std::size_t candidateEvaluations = 0;
   std::size_t aggregateGroups = 0;  ///< 0 when aggregation is off
+  /// Live candidates the index ruled out before any evaluation (the
+  /// engine's prune count; 0 when useCandidateIndex is off).
+  std::size_t candidatesPruned = 0;
+  /// Per-request scans answered via the candidate index vs. ones that
+  /// fell back to the full linear scan (no guardable conjunct).
+  std::size_t indexedSelections = 0;
+  std::size_t fullScans = 0;
+  /// Requests skipped without any scan: static analysis proved their
+  /// constraint can never evaluate to true.
+  std::size_t staticSkips = 0;
   /// Wall-clock phase timings of this cycle (observability plane): the
   /// fair-share service ordering and the candidate scan + rank pass. The
   /// caller (PoolManager) adds its own ad-scan and notify phases around
@@ -116,19 +138,35 @@ class Matchmaker {
                                const Accountant& accountant, Time now,
                                NegotiationStats* stats = nullptr) const;
 
+  /// The same cycle over pre-prepared pools — the hot entry point used by
+  /// the PoolManager / matchmakerd, whose AdStores keep pools incrementally
+  /// up to date so no per-cycle preparation happens at all. Gang request
+  /// slots (options().detectGangs) are skipped here; `taken` (optional,
+  /// resized to the resource slot count) marks and returns the resource
+  /// slots consumed, so the caller can hand the leftovers to the
+  /// GangMatcher. The span overload above is exactly this on throwaway
+  /// pools built with fromAds().
+  std::vector<Match> negotiate(const engine::PreparedPool& requests,
+                               const engine::PreparedPool& resources,
+                               const Accountant& accountant, Time now,
+                               NegotiationStats* stats = nullptr,
+                               std::vector<char>* taken = nullptr) const;
+
   /// Convenience single-pair test used by tools and tests.
   bool matches(const classad::ClassAd& request,
                const classad::ClassAd& resource) const;
 
  private:
-  std::vector<Match> negotiateNaive(
-      std::span<const classad::ClassAdPtr> requests,
-      std::span<const classad::ClassAdPtr> resources,
-      const Accountant& accountant, Time now, NegotiationStats* stats) const;
-  std::vector<Match> negotiateAggregated(
-      std::span<const classad::ClassAdPtr> requests,
-      std::span<const classad::ClassAdPtr> resources,
-      const Accountant& accountant, Time now, NegotiationStats* stats) const;
+  std::vector<Match> negotiateNaive(const engine::PreparedPool& requests,
+                                    const engine::PreparedPool& resources,
+                                    const Accountant& accountant, Time now,
+                                    NegotiationStats* stats,
+                                    std::vector<char>* taken) const;
+  std::vector<Match> negotiateAggregated(const engine::PreparedPool& requests,
+                                         const engine::PreparedPool& resources,
+                                         const Accountant& accountant, Time now,
+                                         NegotiationStats* stats,
+                                         std::vector<char>* taken) const;
 
   /// Request indices in service order (fair-share or submission order).
   std::vector<std::size_t> serviceOrder(
@@ -137,5 +175,13 @@ class Matchmaker {
 
   MatchmakerConfig config_;
 };
+
+/// Pool options matching `config` for each side of a negotiation. Stateful
+/// callers (PoolManager) attach these to their AdStores so ads are prepared
+/// incrementally as they arrive instead of once per cycle; the request side
+/// derives guards, the resource side maintains the candidate index (both
+/// gated on config.useCandidateIndex).
+engine::PoolOptions requestPoolOptions(const MatchmakerConfig& config);
+engine::PoolOptions resourcePoolOptions(const MatchmakerConfig& config);
 
 }  // namespace matchmaking

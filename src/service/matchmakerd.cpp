@@ -7,6 +7,7 @@
 #include <variant>
 
 #include "classad/query.h"
+#include "matchmaker/engine/engine.h"
 #include "sim/metrics_bridge.h"
 #include "wire/codec.h"
 
@@ -247,18 +248,8 @@ void MatchmakerDaemon::handleQuery(Connection& conn,
     pool.push_back(buildSelfAd());
   }
 
-  for (const auto& ad : pool) {
-    if (ad == nullptr || !evaluator.matches(*ad)) continue;
-    if (query->projection.empty()) {
-      resp.ads.push_back(ad);
-      continue;
-    }
-    classad::ClassAd projected;
-    for (const auto& name : query->projection) {
-      if (const auto* expr = ad->lookup(name)) projected.insert(name, *expr);
-    }
-    resp.ads.push_back(classad::makeShared(std::move(projected)));
-  }
+  resp.ads =
+      matchmaking::engine::filterAds(pool, evaluator, query->projection);
 
   try {
     conn.queue(wire::encodePoolQueryResponse(resp));

@@ -12,6 +12,16 @@ double wallSecondsSince(std::chrono::steady_clock::time_point from) {
       .count();
 }
 
+/// Request-store pool options: the matchmaker's, plus gang detection so
+/// the cycle can split co-allocation requests without re-inspecting ads.
+matchmaking::engine::PoolOptions requestStoreOptions(
+    const matchmaking::MatchmakerConfig& config) {
+  matchmaking::engine::PoolOptions options =
+      matchmaking::requestPoolOptions(config);
+  options.detectGangs = true;
+  return options;
+}
+
 }  // namespace
 
 PoolManager::PoolManager(Simulator& sim, Transport& net, Metrics& metrics,
@@ -21,8 +31,9 @@ PoolManager::PoolManager(Simulator& sim, Transport& net, Metrics& metrics,
       metrics_(metrics),
       config_(std::move(config)),
       protocol_(config_.matchmaker.protocol),
-      requests_(config_.adLifetime),
-      resources_(config_.adLifetime),
+      requests_(config_.adLifetime, requestStoreOptions(config_.matchmaker)),
+      resources_(config_.adLifetime,
+                 matchmaking::resourcePoolOptions(config_.matchmaker)),
       accountant_(config_.accountant),
       matchmaker_(config_.matchmaker),
       gangMatcher_(config_.gang) {
@@ -38,6 +49,12 @@ PoolManager::PoolManager(Simulator& sim, Transport& net, Metrics& metrics,
     notifyHist_ = reg.histogram("PhaseNotifySeconds");
     matchesLastCycle_ = reg.gauge("MatchesLastCycle");
     unmatchedLastCycle_ = reg.gauge("UnmatchedLastCycle");
+    candidatesEvaluated_ = reg.counter("MatchCandidatesEvaluated");
+    candidatesPruned_ = reg.counter("MatchCandidatesPruned");
+    staticSkips_ = reg.counter("MatchStaticSkips");
+    pruneRatioLastCycle_ = reg.gauge("MatchPruneRatioLastCycle");
+    indexedAds_ = reg.gauge("MatchIndexedAds");
+    indexRebuilds_ = reg.gauge("MatchIndexRebuilds");
   }
 }
 
@@ -132,21 +149,26 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
   const auto cycleStart = std::chrono::steady_clock::now();
   requests_.expire(sim_.now());
   resources_.expire(sim_.now());
-  // Split gang (co-allocation) requests out of the ordinary stream; they
-  // are served after the pairwise pass, against the leftovers.
-  std::vector<classad::ClassAdPtr> requestAds;
-  std::vector<const matchmaking::StoredAd*> gangEntries;
-  for (const matchmaking::StoredAd* stored : requests_.entries()) {
-    if (stored->ad && matchmaking::GangMatcher::isGangRequest(*stored->ad)) {
-      gangEntries.push_back(stored);
-    } else {
-      requestAds.push_back(stored->ad);
-    }
+  // Both stores keep prepared pools in lockstep (ads were prepared,
+  // guarded and indexed as they arrived), so the cycle starts with zero
+  // per-cycle preparation. Gang (co-allocation) slots were classified at
+  // insert time; the pairwise pass skips them, and they are served after
+  // it against the leftovers. Entries are copied out up front because
+  // the notify loop below invalidates matched requests, mutating the
+  // request pool mid-iteration.
+  const matchmaking::engine::PreparedPool& requestPool = *requests_.pool();
+  const matchmaking::engine::PreparedPool& resourcePool = *resources_.pool();
+  std::vector<std::pair<std::string, classad::ClassAdPtr>> gangEntries;
+  for (const matchmaking::engine::Slot& slot : requestPool.slots()) {
+    if (slot.live && slot.isGang) gangEntries.emplace_back(slot.key, slot.ad());
   }
-  const std::vector<classad::ClassAdPtr> resourceAds = resources_.snapshot();
   const double adScanSeconds = wallSecondsSince(cycleStart);
+  // One taken-set over resource slot ids, shared between the pairwise
+  // pass and the gang matcher — no post-hoc rescan to reconstruct which
+  // resources were consumed.
+  std::vector<char> taken(resourcePool.slots().size(), 0);
   const std::vector<matchmaking::Match> matchesFound = matchmaker_.negotiate(
-      requestAds, resourceAds, accountant_, sim_.now(), &stats);
+      requestPool, resourcePool, accountant_, sim_.now(), &stats, &taken);
   const auto notifyStart = std::chrono::steady_clock::now();
   for (const matchmaking::Match& m : matchesFound) {
     ++metrics_.matchesIssued;
@@ -178,14 +200,7 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
   }
 
   if (!gangEntries.empty()) {
-    // Resources matched pairwise this cycle are off the table for gangs.
-    std::vector<bool> taken(resourceAds.size(), false);
-    for (const matchmaking::Match& m : matchesFound) {
-      for (std::size_t i = 0; i < resourceAds.size(); ++i) {
-        if (resourceAds[i] == m.resource) taken[i] = true;
-      }
-    }
-    negotiateGangs(gangEntries, resourceAds, taken);
+    negotiateGangs(gangEntries, resourcePool, taken);
   }
   if (config_.registry != nullptr) {
     adScanHist_->observe(adScanSeconds);
@@ -198,17 +213,29 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
         stats.requestsConsidered > stats.matches
             ? stats.requestsConsidered - stats.matches
             : 0));
+    candidatesEvaluated_->inc(stats.candidateEvaluations);
+    candidatesPruned_->inc(stats.candidatesPruned);
+    staticSkips_->inc(stats.staticSkips);
+    const double considered = static_cast<double>(stats.candidatesPruned +
+                                                  stats.candidateEvaluations);
+    pruneRatioLastCycle_->set(
+        considered > 0.0 ? static_cast<double>(stats.candidatesPruned) /
+                               considered
+                         : 0.0);
+    indexedAds_->set(static_cast<double>(resourcePool.liveCount()));
+    indexRebuilds_->set(static_cast<double>(resourcePool.rebuilds()));
   }
   return stats;
 }
 
 std::size_t PoolManager::negotiateGangs(
-    const std::vector<const matchmaking::StoredAd*>& gangEntries,
-    std::span<const classad::ClassAdPtr> resources,
-    std::vector<bool>& taken) {
+    const std::vector<std::pair<std::string, classad::ClassAdPtr>>&
+        gangEntries,
+    const matchmaking::engine::PreparedPool& resources,
+    std::vector<char>& taken) {
   std::size_t placed = 0;
-  for (const matchmaking::StoredAd* stored : gangEntries) {
-    const classad::ClassAd& gang = *stored->ad;
+  for (const auto& [storeKey, gangAd] : gangEntries) {
+    const classad::ClassAd& gang = *gangAd;
     const auto result = gangMatcher_.match(gang, resources, &taken);
     if (!result) continue;
     const std::string gangContact =
@@ -220,7 +247,7 @@ std::size_t PoolManager::negotiateGangs(
       // store key and the leg index so a gang-aware customer can
       // correlate (and run compensation if a later leg's claim fails).
       classad::ClassAd legAd = *assigned.legAd;
-      legAd.set("GangKey", stored->key);
+      legAd.set("GangKey", storeKey);
       legAd.set("LegIndex", static_cast<std::int64_t>(leg));
       const std::string resourceContact =
           assigned.resource->getString(config_.matchmaker.protocol.contact)
@@ -238,7 +265,7 @@ std::size_t PoolManager::negotiateGangs(
       toResource.peerContact = gangContact;
       net_.send(config_.address, resourceContact, std::move(toResource));
     }
-    requests_.invalidate(stored->key);
+    requests_.invalidate(storeKey);
     ++placed;
   }
   return placed;

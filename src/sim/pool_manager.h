@@ -98,12 +98,16 @@ class PoolManager : public Endpoint {
   void handleInvalidate(const AdInvalidate& inv);
   void handleUsage(const UsageReport& usage);
   /// Serves gang (co-allocation) requests against the resources left
-  /// unmatched this cycle; sends one notification per leg to the gang's
-  /// contact. Returns the number of gangs placed.
+  /// unmatched this cycle (`taken` is the slot-indexed set the pairwise
+  /// pass already consumed); sends one notification per leg to the gang's
+  /// contact. Entries are (store key, gang ad) copies, because placing a
+  /// gang invalidates its request — which mutates the request pool.
+  /// Returns the number of gangs placed.
   std::size_t negotiateGangs(
-      const std::vector<const matchmaking::StoredAd*>& gangEntries,
-      std::span<const classad::ClassAdPtr> resources,
-      std::vector<bool>& taken);
+      const std::vector<std::pair<std::string, classad::ClassAdPtr>>&
+          gangEntries,
+      const matchmaking::engine::PreparedPool& resources,
+      std::vector<char>& taken);
 
   Simulator& sim_;
   Transport& net_;
@@ -128,6 +132,15 @@ class PoolManager : public Endpoint {
   obs::Histogram* notifyHist_ = nullptr;
   obs::Gauge* matchesLastCycle_ = nullptr;
   obs::Gauge* unmatchedLastCycle_ = nullptr;
+  // MatchEngine instrumentation: cumulative evaluation/prune counters,
+  // plus per-cycle prune ratio and the resource pool's index state. All
+  // of these flow into the DaemonStatus self-ad (mm_status -stats).
+  obs::Counter* candidatesEvaluated_ = nullptr;
+  obs::Counter* candidatesPruned_ = nullptr;
+  obs::Counter* staticSkips_ = nullptr;
+  obs::Gauge* pruneRatioLastCycle_ = nullptr;
+  obs::Gauge* indexedAds_ = nullptr;
+  obs::Gauge* indexRebuilds_ = nullptr;
 };
 
 }  // namespace htcsim

@@ -83,8 +83,32 @@ TEST(MatchTest, RequirementsIsAcceptedAsSynonym) {
 TEST(MatchTest, ConstraintWinsOverRequirementsWhenBothPresent) {
   ClassAd j = jobAd();
   j.setExpr("Requirements", "false");
-  // Constraint (true for machineAd) takes precedence.
+  // Constraint (true for machineAd) takes precedence; Requirements is
+  // ignored entirely, not conjoined.
   EXPECT_TRUE(symmetricMatch(j, machineAd()));
+  // And the converse: a false Constraint is not rescued by a true alias.
+  j.setExpr("Constraint", "false");
+  j.setExpr("Requirements", "true");
+  EXPECT_FALSE(symmetricMatch(j, machineAd()));
+}
+
+TEST(MatchTest, FindConstraintExprAppliesPrecedence) {
+  ClassAd j;
+  EXPECT_EQ(findConstraintExpr(j), nullptr);  // neither name present
+  j.setExpr("Requirements", "other.Memory > 1");
+  ASSERT_NE(findConstraintExpr(j), nullptr);
+  EXPECT_EQ(findConstraintExpr(j), j.lookup("Requirements"));
+  j.setExpr("Constraint", "other.Memory > 2");
+  EXPECT_EQ(findConstraintExpr(j), j.lookup("Constraint"));
+  // Custom attribute names follow the same primary-then-alias rule.
+  MatchAttributes attrs;
+  attrs.constraint = "Wants";
+  attrs.constraintAlias = "Needs";
+  EXPECT_EQ(findConstraintExpr(j, attrs), nullptr);
+  j.setExpr("Needs", "true");
+  EXPECT_EQ(findConstraintExpr(j, attrs), j.lookup("Needs"));
+  j.setExpr("Wants", "true");
+  EXPECT_EQ(findConstraintExpr(j, attrs), j.lookup("Wants"));
 }
 
 TEST(MatchTest, OneWayMatchIgnoresTargetConstraint) {

@@ -1,0 +1,117 @@
+// PreparedAd: per-revision compilation of an ad (constraint precedence +
+// flattening, rank folding, own-value extraction) and the guarantee that
+// every prepared entry point agrees with its ClassAd counterpart.
+#include "classad/prepared.h"
+
+#include <gtest/gtest.h>
+
+namespace classad {
+namespace {
+
+ClassAdPtr machineAd() {
+  return makeShared(ClassAd::parse(
+      "[Type = \"Machine\"; Arch = \"INTEL\"; Memory = 64;"
+      " Constraint = other.Type == \"Job\" && other.Memory <= self.Memory;"
+      " Rank = 0]"));
+}
+
+ClassAdPtr jobAd() {
+  return makeShared(ClassAd::parse(
+      "[Type = \"Job\"; Owner = \"alice\"; Memory = 32;"
+      " Constraint = other.Type == \"Machine\" && Arch == \"INTEL\";"
+      " Rank = other.Memory]"));
+}
+
+TEST(PreparedAdTest, NullAdIsInvalidAndMatchesNothing) {
+  const PreparedAd p = PreparedAd::prepare(nullptr);
+  EXPECT_FALSE(p.valid());
+  EXPECT_FALSE(p.hasConstraint());
+  EXPECT_FALSE(oneWayMatch(p, *machineAd()));
+}
+
+TEST(PreparedAdTest, ConstraintFollowsPrecedenceRule) {
+  ClassAd ad;
+  ad.setExpr("Requirements", "other.Memory > 1");
+  PreparedAd p = PreparedAd::prepare(makeShared(ad));
+  EXPECT_TRUE(p.hasConstraint());  // the alias speaks when alone
+
+  ad.setExpr("Constraint", "false");
+  p = PreparedAd::prepare(makeShared(ad));
+  ASSERT_TRUE(p.hasConstraint());
+  // The primary name won: the prepared constraint is the false one.
+  EXPECT_EQ(evaluateConstraint(p, *machineAd()),
+            ConstraintResult::Violated);
+}
+
+TEST(PreparedAdTest, SelfOnlyConstraintCollapsesByFlattening) {
+  ClassAd ad;
+  ad.set("Memory", 64);
+  // `self.Memory >= 32` has no candidate reference: flattening folds the
+  // whole conjunct to `true` before any candidate is seen.
+  ad.setExpr("Constraint", "self.Memory >= 32 && other.Kind == \"x\"");
+  const PreparedAd p = PreparedAd::prepare(makeShared(ad));
+  ASSERT_TRUE(p.hasConstraint());
+  const std::string text = p.constraint()->toString();
+  EXPECT_EQ(text.find("Memory"), std::string::npos) << text;
+}
+
+TEST(PreparedAdTest, ConstantRankIsFolded) {
+  ClassAd ad;
+  ad.set("Base", 10);
+  ad.setExpr("Rank", "self.Base * 2");
+  const PreparedAd p = PreparedAd::prepare(makeShared(ad));
+  ASSERT_TRUE(p.hasRank());
+  EXPECT_TRUE(p.rankIsConstant());
+  EXPECT_DOUBLE_EQ(p.constantRank(), 20.0);
+
+  const PreparedAd varying = PreparedAd::prepare(jobAd());
+  ASSERT_TRUE(varying.hasRank());
+  EXPECT_FALSE(varying.rankIsConstant());  // other.Memory varies
+}
+
+TEST(PreparedAdTest, OwnValuesAreLoweredAndDefinite) {
+  ClassAd ad;
+  ad.set("Arch", "INTEL");
+  ad.set("Memory", 64);
+  ad.setExpr("Broken", "1/0");           // exceptional: not extracted
+  ad.setExpr("Peer", "other.Name");      // candidate-dependent
+  const PreparedAd p = PreparedAd::prepare(makeShared(ad));
+  bool sawArch = false, sawMemory = false, sawBroken = false;
+  for (const PreparedAd::OwnValue& v : p.ownValues()) {
+    if (v.name == "arch") {
+      sawArch = true;
+      EXPECT_TRUE(v.value.isString());
+    }
+    if (v.name == "memory") sawMemory = true;
+    if (v.name == "broken") sawBroken = true;
+  }
+  EXPECT_TRUE(sawArch);
+  EXPECT_TRUE(sawMemory);
+  EXPECT_FALSE(sawBroken);
+  ASSERT_EQ(p.candidateDependentAttrs().size(), 1u);
+  EXPECT_EQ(p.candidateDependentAttrs()[0], "peer");
+}
+
+TEST(PreparedAdTest, PreparedEntryPointsAgreeWithClassAdOnes) {
+  const ClassAdPtr m = machineAd();
+  const ClassAdPtr j = jobAd();
+  const PreparedAd pm = PreparedAd::prepare(m);
+  const PreparedAd pj = PreparedAd::prepare(j);
+
+  EXPECT_EQ(evaluateConstraint(pj, *m), evaluateConstraint(*j, *m));
+  EXPECT_EQ(evaluateConstraint(pm, *j), evaluateConstraint(*m, *j));
+  EXPECT_DOUBLE_EQ(evaluateRank(pj, *m), evaluateRank(*j, *m));
+  EXPECT_EQ(symmetricMatch(pj, pm), symmetricMatch(*j, *m));
+  EXPECT_EQ(oneWayMatch(pj, *m), oneWayMatch(*j, *m));
+
+  const MatchAnalysis prepared = analyzeMatch(pj, pm);
+  const MatchAnalysis plain = analyzeMatch(*j, *m);
+  EXPECT_EQ(prepared.matched, plain.matched);
+  EXPECT_EQ(prepared.requestSide, plain.requestSide);
+  EXPECT_EQ(prepared.resourceSide, plain.resourceSide);
+  EXPECT_DOUBLE_EQ(prepared.requestRank, plain.requestRank);
+  EXPECT_DOUBLE_EQ(prepared.resourceRank, plain.resourceRank);
+}
+
+}  // namespace
+}  // namespace classad

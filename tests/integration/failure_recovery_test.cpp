@@ -21,7 +21,10 @@ ScenarioConfig poolWithOutage(bool stateful) {
   config.machines.fracFigure1 = 0.0;
   config.workload.users = {"alice", "bob", "carol"};
   config.workload.jobsPerUserPerHour = 8.0;
-  config.workload.meanWork = 1200.0;
+  // Long enough that several claims reliably straddle the 300 s outage
+  // (the invariants below need work running across the crash, regardless
+  // of which machines the negotiator happened to pick).
+  config.workload.meanWork = 2400.0;
   config.workload.fracPlatformConstrained = 0.0;
   config.workload.fracCheckpointable = 0.0;  // make lost work visible
   config.manager.stateful = stateful;

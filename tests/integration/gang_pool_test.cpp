@@ -72,10 +72,23 @@ class GangCustomer : public Endpoint {
       auto it = pendingLegs_.find(env.from);
       if (it == pendingLegs_.end()) return;
       if (resp->accepted) {
+        if (abandoned_) {
+          // A leg accepted after the gang was already abandoned (some
+          // other leg's refusal arrived first) is released on the spot —
+          // all-or-nothing means late acceptances don't survive either.
+          matchmaking::ClaimRelease rel;
+          rel.ticket = it->second.ticket;
+          rel.reason = "gang-compensation";
+          net_.send(address_, env.from, rel);
+          ++legsReleased;
+          pendingLegs_.erase(it);
+          return;
+        }
         heldLegs_[env.from] = it->second;
         ++legsHeld;
       } else {
         ++legsRefused;
+        abandoned_ = true;
         // Compensation: release everything already held.
         for (const auto& [contact, note] : heldLegs_) {
           matchmaking::ClaimRelease rel;
@@ -105,6 +118,7 @@ class GangCustomer : public Endpoint {
   std::string user_;
   std::string address_;
   std::uint64_t sequence_ = 0;
+  bool abandoned_ = false;
   std::map<std::string, matchmaking::MatchNotification> pendingLegs_;
   std::map<std::string, matchmaking::MatchNotification> heldLegs_;
 };

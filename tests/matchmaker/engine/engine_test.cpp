@@ -1,0 +1,242 @@
+// PreparedPool lifecycle (upsert/erase/tombstones/compaction) and the
+// MatchEngine scan: ordering, preemption gate, taken-set, static skips,
+// and the Query filter.
+#include "matchmaker/engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace matchmaking::engine {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+ClassAdPtr machine(const std::string& name, int memory,
+                   const std::string& rank = "0") {
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", name);
+  ad.set("Memory", memory);
+  ad.setExpr("Constraint", "other.Type == \"Job\"");
+  ad.setExpr("Rank", rank);
+  return makeShared(std::move(ad));
+}
+
+ClassAdPtr job(int memory, const std::string& rank = "other.Memory") {
+  ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("Owner", "alice");
+  ad.set("Memory", memory);
+  ad.setExpr("Constraint",
+             "other.Type == \"Machine\" && other.Memory >= self.Memory");
+  ad.setExpr("Rank", rank);
+  return makeShared(std::move(ad));
+}
+
+PoolOptions indexedOptions() {
+  PoolOptions options;
+  options.buildIndex = true;
+  return options;
+}
+
+TEST(PreparedPoolTest, UpsertTombstonesOldRevision) {
+  PreparedPool pool(indexedOptions());
+  const std::uint32_t first = pool.upsert("m1", machine("m1", 32), 1);
+  EXPECT_EQ(pool.liveCount(), 1u);
+  const std::uint32_t second = pool.upsert("m1", machine("m1", 64), 2);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(pool.liveCount(), 1u);
+  EXPECT_EQ(pool.deadCount(), 1u);
+  ASSERT_NE(pool.find("m1"), nullptr);
+  EXPECT_EQ(pool.find("m1")->ad()->getInteger("Memory").value(), 64);
+}
+
+TEST(PreparedPoolTest, EraseAndClear) {
+  PreparedPool pool(indexedOptions());
+  pool.upsert("m1", machine("m1", 32), 1);
+  pool.upsert("m2", machine("m2", 64), 1);
+  EXPECT_TRUE(pool.erase("m1"));
+  EXPECT_FALSE(pool.erase("m1"));  // already gone
+  EXPECT_EQ(pool.liveCount(), 1u);
+  EXPECT_EQ(pool.find("m1"), nullptr);
+  pool.clear();
+  EXPECT_EQ(pool.liveCount(), 0u);
+  EXPECT_TRUE(pool.slots().empty());
+}
+
+TEST(PreparedPoolTest, CompactionRenumbersAndRebuildsIndex) {
+  PreparedPool pool(indexedOptions());
+  for (int i = 0; i < 100; ++i) {
+    pool.upsert("m" + std::to_string(i), machine("m" + std::to_string(i), i),
+                1);
+  }
+  for (int i = 0; i < 99; ++i) pool.erase("m" + std::to_string(i));
+  // Tombstones piled past the threshold: the pool compacted itself.
+  EXPECT_GT(pool.rebuilds(), 0u);
+  EXPECT_EQ(pool.liveCount(), 1u);
+  EXPECT_LT(pool.slots().size(), 100u);
+  const Slot* survivor = pool.find("m99");
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->ad()->getInteger("Memory").value(), 99);
+
+  // The rebuilt index still answers selections over renumbered ids.
+  GuardDomain d;
+  d.number = classad::analysis::Interval::atLeast(99.0, false);
+  d.stringAllowed = false;
+  d.anyString = false;
+  const GuardSet guards{false, {{"memory", d}}};
+  const std::vector<std::uint32_t> ids =
+      selectCandidates(guards, pool, /*useIndex=*/true);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(pool.slots()[ids[0]].ad()->getString("Name").value(), "m99");
+}
+
+TEST(PreparedPoolTest, FromAdsPreservesSpanAlignment) {
+  const std::vector<ClassAdPtr> ads = {machine("m0", 32), nullptr,
+                                       machine("m2", 64)};
+  const PreparedPool pool = PreparedPool::fromAds(ads, indexedOptions());
+  ASSERT_EQ(pool.slots().size(), 3u);
+  EXPECT_TRUE(pool.slots()[0].live);
+  EXPECT_FALSE(pool.slots()[1].live);  // null ad = dead slot, id preserved
+  EXPECT_TRUE(pool.slots()[2].live);
+  EXPECT_EQ(pool.liveCount(), 2u);
+}
+
+TEST(PreparedPoolTest, ClaimedStateReadFromCurrentRank) {
+  PoolOptions options;
+  ClassAdPtr busy = machine("busy", 64);
+  {
+    ClassAd ad = *busy;
+    ad.set("CurrentRank", 5.0);
+    busy = makeShared(std::move(ad));
+  }
+  PreparedPool pool(options);
+  pool.upsert("busy", busy, 1);
+  pool.upsert("idle", machine("idle", 64), 1);
+  EXPECT_TRUE(pool.find("busy")->claimed);
+  EXPECT_DOUBLE_EQ(pool.find("busy")->currentRank, 5.0);
+  EXPECT_FALSE(pool.find("idle")->claimed);
+}
+
+TEST(MatchEngineTest, BestForPicksHighestRequestRankThenSlotOrder) {
+  const std::vector<ClassAdPtr> ads = {machine("small", 64),
+                                       machine("big", 256),
+                                       machine("big2", 256)};
+  const PreparedPool pool = PreparedPool::fromAds(ads, indexedOptions());
+  const classad::PreparedAd request = classad::PreparedAd::prepare(job(32));
+  const MatchEngine engine;
+  ScanStats stats;
+  const BestCandidate best = engine.bestFor(
+      request, deriveGuards(request), pool, /*taken=*/{}, &stats);
+  ASSERT_TRUE(best.found);
+  EXPECT_EQ(best.slot, 1u);  // rank ties broken by first slot in order
+  EXPECT_DOUBLE_EQ(best.requestRank, 256.0);
+  EXPECT_EQ(stats.evaluated, 3u);
+}
+
+TEST(MatchEngineTest, TakenSlotsAreSkipped) {
+  const std::vector<ClassAdPtr> ads = {machine("a", 256), machine("b", 64)};
+  const PreparedPool pool = PreparedPool::fromAds(ads, indexedOptions());
+  const classad::PreparedAd request = classad::PreparedAd::prepare(job(32));
+  const MatchEngine engine;
+  const std::vector<char> taken = {1, 0};
+  const BestCandidate best =
+      engine.bestFor(request, deriveGuards(request), pool, taken);
+  ASSERT_TRUE(best.found);
+  EXPECT_EQ(best.slot, 1u);  // the higher-ranked slot 0 was taken
+}
+
+TEST(MatchEngineTest, PreemptionRequiresStrictlyHigherResourceRank) {
+  // A claimed machine serving at rank 10 only yields to a request it
+  // ranks strictly higher.
+  ClassAd busy = *machine("busy", 256, "other.Priority");
+  busy.set("CurrentRank", 10.0);
+  const std::vector<ClassAdPtr> ads = {makeShared(std::move(busy))};
+  const PreparedPool pool = PreparedPool::fromAds(ads, indexedOptions());
+  const MatchEngine engine;
+
+  ClassAd equalAd = *job(32);
+  equalAd.set("Priority", 10);
+  const classad::PreparedAd equal =
+      classad::PreparedAd::prepare(makeShared(std::move(equalAd)));
+  EXPECT_FALSE(
+      engine.bestFor(equal, deriveGuards(equal), pool, /*taken=*/{}).found);
+
+  ClassAd higherAd = *job(32);
+  higherAd.set("Priority", 11);
+  const classad::PreparedAd higher =
+      classad::PreparedAd::prepare(makeShared(std::move(higherAd)));
+  const BestCandidate best =
+      engine.bestFor(higher, deriveGuards(higher), pool, /*taken=*/{});
+  ASSERT_TRUE(best.found);
+  EXPECT_TRUE(best.preempting);
+}
+
+TEST(MatchEngineTest, NeverTrueRequestIsStaticallySkipped) {
+  const std::vector<ClassAdPtr> ads = {machine("m", 64)};
+  const PreparedPool pool = PreparedPool::fromAds(ads, indexedOptions());
+  ClassAd impossible;
+  impossible.set("Type", "Job");
+  impossible.setExpr("Constraint", "false");
+  const classad::PreparedAd request =
+      classad::PreparedAd::prepare(makeShared(std::move(impossible)));
+  const MatchEngine engine;
+  ScanStats stats;
+  const BestCandidate best = engine.bestFor(
+      request, deriveGuards(request), pool, /*taken=*/{}, &stats);
+  EXPECT_FALSE(best.found);
+  EXPECT_EQ(stats.staticSkips, 1u);
+  EXPECT_EQ(stats.evaluated, 0u);
+}
+
+TEST(MatchEngineTest, IndexedSelectionPrunesAndAgreesWithFullScan) {
+  std::vector<ClassAdPtr> ads;
+  for (int i = 0; i < 64; ++i) {
+    ads.push_back(machine("m" + std::to_string(i), 16 + i));
+  }
+  const PreparedPool pool = PreparedPool::fromAds(ads, indexedOptions());
+  const classad::PreparedAd request =
+      classad::PreparedAd::prepare(job(60));  // needs Memory >= 60
+  const GuardSet guards = deriveGuards(request);
+
+  const MatchEngine indexed(EngineConfig{true, true, 1, 512});
+  const MatchEngine linear(EngineConfig{true, false, 1, 512});
+  ScanStats indexedStats;
+  ScanStats linearStats;
+  const BestCandidate a =
+      indexed.bestFor(request, guards, pool, /*taken=*/{}, &indexedStats);
+  const BestCandidate b =
+      linear.bestFor(request, guards, pool, /*taken=*/{}, &linearStats);
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(a.slot, b.slot);
+  EXPECT_DOUBLE_EQ(a.requestRank, b.requestRank);
+  EXPECT_GT(indexedStats.pruned, 0u);
+  EXPECT_LT(indexedStats.evaluated, linearStats.evaluated);
+  EXPECT_EQ(indexedStats.indexedSelections, 1u);
+  EXPECT_EQ(linearStats.fullScans, 1u);
+}
+
+TEST(FilterAdsTest, FiltersAndProjects) {
+  const std::vector<ClassAdPtr> ads = {machine("m0", 32), nullptr,
+                                       machine("m1", 128)};
+  const classad::Query query =
+      classad::Query::fromConstraint("Memory >= 64");
+  const std::vector<std::string> projection = {"Name"};
+  const std::vector<ClassAdPtr> bare =
+      filterAds(ads, query, /*projection=*/{});
+  ASSERT_EQ(bare.size(), 1u);
+  EXPECT_EQ(bare[0], ads[2]);  // unprojected: the stored ad itself
+
+  const std::vector<ClassAdPtr> projected = filterAds(ads, query, projection);
+  ASSERT_EQ(projected.size(), 1u);
+  EXPECT_EQ(projected[0]->getString("Name").value(), "m1");
+  EXPECT_FALSE(projected[0]->contains("Memory"));
+}
+
+}  // namespace
+}  // namespace matchmaking::engine

@@ -1,0 +1,291 @@
+// The engine's central contract, checked the brute-force way: over
+// thousands of randomized ad pools, indexed candidate selection and the
+// prepared-ad hot path produce BIT-IDENTICAL results to a naive
+// analyzeMatch scan over the raw ClassAds. Pools are generated in two
+// schema modes — "closed world" (every ad carries the full attribute
+// vocabulary) and "open world" (attributes randomly missing, exceptional
+// values present) — and every check runs with the index on and off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "matchmaker/engine/engine.h"
+#include "matchmaker/matchmaker.h"
+
+namespace matchmaking::engine {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+struct PoolShape {
+  bool openWorld = false;  ///< drop attributes / inject exceptional values
+  std::size_t requests = 10;
+  std::size_t resources = 90;
+};
+
+const char* const kArchs[] = {"INTEL", "SPARC", "ALPHA", "PPC"};
+const char* const kOpSys[] = {"LINUX", "SOLARIS", "OSF1"};
+
+ClassAdPtr randomResource(std::mt19937& rng, int id, bool openWorld) {
+  std::uniform_int_distribution<int> coin(0, 99);
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", "m" + std::to_string(id));
+  ad.set("ContactAddress", "ra://m" + std::to_string(id));
+  if (!openWorld || coin(rng) < 80) {
+    ad.set("Arch", kArchs[static_cast<std::size_t>(coin(rng)) % 4]);
+  }
+  if (!openWorld || coin(rng) < 80) {
+    ad.set("OpSys", kOpSys[static_cast<std::size_t>(coin(rng)) % 3]);
+  }
+  if (!openWorld || coin(rng) < 85) {
+    ad.set("Memory", 16 << (coin(rng) % 5));  // 16..256
+  }
+  if (!openWorld || coin(rng) < 70) {
+    ad.set("KFlops", 100 * (1 + coin(rng) % 50));
+  }
+  if (openWorld && coin(rng) < 10) ad.setExpr("Memory", "1/0");  // error
+  if (openWorld && coin(rng) < 10) ad.set("Dedicated", coin(rng) < 50);
+  // Some machines are busy: claimed at their current customer's rank.
+  if (coin(rng) < 25) ad.set("CurrentRank", coin(rng) % 10);
+
+  switch (coin(rng) % 5) {
+    case 0:
+      ad.setExpr("Constraint", "other.Type == \"Job\"");
+      break;
+    case 1:
+      ad.setExpr("Constraint",
+                 "other.Type == \"Job\" && other.Memory <= self.Memory");
+      break;
+    case 2:
+      ad.setExpr("Constraint", "other.Owner != \"mallory\"");
+      break;
+    case 3:
+      break;  // no constraint: serves anyone
+    default:
+      ad.setExpr("Constraint", "other.Urgent || other.Memory < 100");
+      break;
+  }
+  switch (coin(rng) % 3) {
+    case 0:
+      ad.setExpr("Rank", "0");
+      break;
+    case 1:
+      ad.setExpr("Rank", "other.Priority");
+      break;
+    default:
+      ad.setExpr("Rank", std::to_string(coin(rng) % 5));
+      break;
+  }
+  return makeShared(std::move(ad));
+}
+
+ClassAdPtr randomRequest(std::mt19937& rng, int id, bool openWorld) {
+  std::uniform_int_distribution<int> coin(0, 99);
+  ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("Owner", std::string("user") + std::to_string(coin(rng) % 3));
+  ad.set("JobId", static_cast<std::int64_t>(id));
+  ad.set("ContactAddress", "ca://job" + std::to_string(id));
+  ad.set("Memory", 16 << (coin(rng) % 4));  // 16..128
+  ad.set("Priority", coin(rng) % 12);
+  if (openWorld && coin(rng) < 15) ad.set("Urgent", true);
+
+  std::string constraint = "other.Type == \"Machine\"";
+  if (coin(rng) < 70) constraint += " && other.Memory >= self.Memory";
+  switch (coin(rng) % 6) {
+    case 0:
+      constraint += " && other.Arch == \"INTEL\"";
+      break;
+    case 1:
+      constraint += " && member(other.OpSys, {\"LINUX\", \"SOLARIS\"})";
+      break;
+    case 2:
+      constraint += " && (other.Arch == \"SPARC\" || other.KFlops > 2000)";
+      break;
+    case 3:
+      constraint += " && other.KFlops > " + std::to_string(coin(rng) * 40);
+      break;
+    case 4:
+      if (openWorld) constraint += " && other.Dedicated";
+      break;
+    default:
+      break;
+  }
+  if (coin(rng) < 5) constraint = "false";  // statically impossible
+  ad.setExpr("Constraint", constraint);
+  switch (coin(rng) % 3) {
+    case 0:
+      ad.setExpr("Rank", "other.KFlops");
+      break;
+    case 1:
+      ad.setExpr("Rank", "other.Memory + other.KFlops / 1000");
+      break;
+    default:
+      ad.setExpr("Rank", "0");
+      break;
+  }
+  return makeShared(std::move(ad));
+}
+
+/// The reference implementation: a direct transcription of Section 3.2
+/// over raw ClassAds, no preparation, no guards, no index.
+std::optional<std::size_t> naiveBestFor(
+    const ClassAd& request, std::span<const ClassAdPtr> resources,
+    const classad::MatchAttributes& attrs) {
+  std::optional<std::size_t> best;
+  double bestReq = 0.0;
+  double bestRes = 0.0;
+  for (std::size_t i = 0; i < resources.size(); ++i) {
+    if (resources[i] == nullptr) continue;
+    const classad::MatchAnalysis m =
+        classad::analyzeMatch(request, *resources[i], attrs);
+    if (!m.matched) continue;
+    const auto current = resources[i]->getNumber("CurrentRank");
+    if (current.has_value() && !(m.resourceRank > *current)) continue;
+    const bool better =
+        !best.has_value() || m.requestRank > bestReq ||
+        (m.requestRank == bestReq && m.resourceRank > bestRes);
+    if (better) {
+      best = i;
+      bestReq = m.requestRank;
+      bestRes = m.resourceRank;
+    }
+  }
+  return best;
+}
+
+void checkPool(std::mt19937& rng, const PoolShape& shape) {
+  std::vector<ClassAdPtr> requests;
+  std::vector<ClassAdPtr> resources;
+  for (std::size_t i = 0; i < shape.requests; ++i) {
+    requests.push_back(
+        randomRequest(rng, static_cast<int>(i), shape.openWorld));
+  }
+  for (std::size_t i = 0; i < shape.resources; ++i) {
+    resources.push_back(
+        randomResource(rng, static_cast<int>(i), shape.openWorld));
+  }
+
+  const classad::MatchAttributes attrs;
+  PoolOptions options;
+  options.buildIndex = true;
+  const PreparedPool pool = PreparedPool::fromAds(resources, options);
+  const MatchEngine indexed(EngineConfig{true, true, 1, 512});
+  const MatchEngine linear(EngineConfig{true, false, 1, 512});
+
+  for (const ClassAdPtr& request : requests) {
+    const classad::PreparedAd prepared =
+        classad::PreparedAd::prepare(request, attrs);
+    const GuardSet guards = deriveGuards(prepared);
+    const std::optional<std::size_t> expected =
+        naiveBestFor(*request, resources, attrs);
+
+    // Superset contract: every resource the naive scan can match must
+    // survive candidate selection (unless statically skipped, in which
+    // case the naive scan must find nothing either).
+    if (guards.neverTrue) {
+      EXPECT_FALSE(expected.has_value()) << request->unparse();
+    } else {
+      const std::vector<std::uint32_t> ids =
+          selectCandidates(guards, pool, /*useIndex=*/true);
+      for (std::size_t r = 0; r < resources.size(); ++r) {
+        const classad::MatchAnalysis m =
+            classad::analyzeMatch(*request, *resources[r], attrs);
+        if (!m.matched) continue;
+        EXPECT_TRUE(std::find(ids.begin(), ids.end(),
+                              static_cast<std::uint32_t>(r)) != ids.end())
+            << "pruned a matchable resource: " << request->unparse()
+            << " vs " << resources[r]->unparse();
+      }
+    }
+
+    // Winner contract: indexed, linear, and naive all agree exactly.
+    const BestCandidate a = indexed.bestFor(prepared, guards, pool, {});
+    const BestCandidate b = linear.bestFor(prepared, guards, pool, {});
+    EXPECT_EQ(a.found, expected.has_value()) << request->unparse();
+    EXPECT_EQ(b.found, expected.has_value()) << request->unparse();
+    if (a.found && expected.has_value()) {
+      EXPECT_EQ(a.slot, *expected) << request->unparse();
+      EXPECT_EQ(b.slot, *expected) << request->unparse();
+      EXPECT_DOUBLE_EQ(a.requestRank, b.requestRank);
+      EXPECT_DOUBLE_EQ(a.resourceRank, b.resourceRank);
+    }
+  }
+
+  // Whole-cycle contract: negotiation with the index on and off issues
+  // the same matches in the same order.
+  MatchmakerConfig onConfig;
+  onConfig.useCandidateIndex = true;
+  MatchmakerConfig offConfig;
+  offConfig.useCandidateIndex = false;
+  const Accountant accountant;
+  NegotiationStats onStats;
+  NegotiationStats offStats;
+  const std::vector<Match> withIndex = Matchmaker(onConfig).negotiate(
+      requests, resources, accountant, 0.0, &onStats);
+  const std::vector<Match> without = Matchmaker(offConfig).negotiate(
+      requests, resources, accountant, 0.0, &offStats);
+  ASSERT_EQ(withIndex.size(), without.size());
+  for (std::size_t i = 0; i < withIndex.size(); ++i) {
+    EXPECT_EQ(withIndex[i].requestContact, without[i].requestContact);
+    EXPECT_EQ(withIndex[i].resourceContact, without[i].resourceContact);
+    EXPECT_EQ(withIndex[i].resourceSlot, without[i].resourceSlot);
+    EXPECT_EQ(withIndex[i].preempting, without[i].preempting);
+  }
+  EXPECT_EQ(onStats.matches, offStats.matches);
+  // The index only ever skips work, never adds it.
+  EXPECT_LE(onStats.candidateEvaluations, offStats.candidateEvaluations);
+}
+
+TEST(EngineEquivalenceTest, ClosedWorldPoolsMatchNaiveScan) {
+  std::mt19937 rng(20260806u);
+  for (int round = 0; round < 50; ++round) {
+    SCOPED_TRACE(round);
+    checkPool(rng, PoolShape{false, 10, 90});
+  }
+}
+
+TEST(EngineEquivalenceTest, OpenWorldPoolsMatchNaiveScan) {
+  std::mt19937 rng(8061998u);
+  for (int round = 0; round < 50; ++round) {
+    SCOPED_TRACE(round);
+    checkPool(rng, PoolShape{true, 10, 90});
+  }
+}
+
+TEST(EngineEquivalenceTest, ParallelScanAgreesWithSerial) {
+  std::mt19937 rng(424242u);
+  std::vector<ClassAdPtr> resources;
+  for (int i = 0; i < 600; ++i) {
+    resources.push_back(randomResource(rng, i, true));
+  }
+  PoolOptions options;
+  options.buildIndex = true;
+  const PreparedPool pool = PreparedPool::fromAds(resources, options);
+  const MatchEngine serial(EngineConfig{true, true, 1, 512});
+  const MatchEngine parallel(EngineConfig{true, true, 4, 64});
+  for (int i = 0; i < 40; ++i) {
+    const classad::PreparedAd request =
+        classad::PreparedAd::prepare(randomRequest(rng, i, true));
+    const GuardSet guards = deriveGuards(request);
+    const BestCandidate a = serial.bestFor(request, guards, pool, {});
+    const BestCandidate b = parallel.bestFor(request, guards, pool, {});
+    EXPECT_EQ(a.found, b.found);
+    if (a.found && b.found) {
+      EXPECT_EQ(a.slot, b.slot);
+      EXPECT_DOUBLE_EQ(a.requestRank, b.requestRank);
+      EXPECT_DOUBLE_EQ(a.resourceRank, b.resourceRank);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace matchmaking::engine

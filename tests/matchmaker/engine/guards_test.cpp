@@ -1,0 +1,109 @@
+// Guard derivation: necessary conditions extracted from a request's
+// flattened constraint. Every test checks the soundness contract — a
+// guard may only EXCLUDE candidates that provably cannot match.
+#include "matchmaker/engine/guards.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace matchmaking::engine {
+namespace {
+
+using classad::ClassAd;
+using classad::PreparedAd;
+using classad::makeShared;
+
+GuardSet guardsFor(const std::string& constraint) {
+  ClassAd ad;
+  ad.set("Memory", 32);
+  ad.setExpr("Constraint", constraint);
+  return deriveGuards(PreparedAd::prepare(makeShared(std::move(ad))));
+}
+
+const Guard* guardOn(const GuardSet& set, const std::string& attr) {
+  for (const Guard& g : set.guards) {
+    if (g.attr == attr) return &g;
+  }
+  return nullptr;
+}
+
+TEST(GuardsTest, NoConstraintYieldsEmptySet) {
+  ClassAd ad;
+  ad.set("Memory", 32);
+  const GuardSet set = deriveGuards(PreparedAd::prepare(makeShared(ad)));
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.neverTrue);
+}
+
+TEST(GuardsTest, NumericComparisonBoundsTheCandidateAttribute) {
+  const GuardSet set = guardsFor("other.Memory >= 64");
+  const Guard* g = guardOn(set, "memory");
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(g->domain.admitsNumber(63.0));
+  EXPECT_TRUE(g->domain.admitsNumber(64.0));
+  EXPECT_TRUE(g->domain.admitsNumber(1e9));
+}
+
+TEST(GuardsTest, SelfSideIsFoldedBeforeBounding) {
+  // self.Memory flattens to 32, so the guard is Memory >= 32.
+  const GuardSet set = guardsFor("other.Memory >= self.Memory");
+  const Guard* g = guardOn(set, "memory");
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(g->domain.admitsNumber(31.0));
+  EXPECT_TRUE(g->domain.admitsNumber(32.0));
+}
+
+TEST(GuardsTest, StringEqualityCollectsLoweredLiterals) {
+  const GuardSet set = guardsFor("other.Arch == \"INTEL\"");
+  const Guard* g = guardOn(set, "arch");
+  ASSERT_NE(g, nullptr);
+  EXPECT_TRUE(g->domain.admitsLoweredString("intel"));
+  EXPECT_FALSE(g->domain.admitsLoweredString("sparc"));
+}
+
+TEST(GuardsTest, ConjunctsIntersect) {
+  const GuardSet set =
+      guardsFor("other.Memory >= 16 && other.Memory <= 64 &&"
+                " other.Arch == \"INTEL\"");
+  const Guard* mem = guardOn(set, "memory");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_FALSE(mem->domain.admitsNumber(8.0));
+  EXPECT_TRUE(mem->domain.admitsNumber(32.0));
+  EXPECT_FALSE(mem->domain.admitsNumber(128.0));
+  EXPECT_NE(guardOn(set, "arch"), nullptr);
+}
+
+TEST(GuardsTest, UnguardableConjunctEmitsNoGuard) {
+  // A disjunction over two attributes constrains neither by itself;
+  // the engine must fall back to scanning rather than over-pruning.
+  const GuardSet set =
+      guardsFor("other.Memory >= 64 || other.Arch == \"INTEL\"");
+  EXPECT_FALSE(set.neverTrue);
+  EXPECT_EQ(guardOn(set, "memory"), nullptr);
+  EXPECT_EQ(guardOn(set, "arch"), nullptr);
+}
+
+TEST(GuardsTest, StaticallyFalseConstraintIsNeverTrue) {
+  EXPECT_TRUE(guardsFor("false").neverTrue);
+  EXPECT_TRUE(guardsFor("self.Memory > 1000").neverTrue);  // 32 > 1000
+}
+
+TEST(GuardsTest, ContradictoryConjunctsAdmitNothing) {
+  const GuardSet set = guardsFor("other.Memory > 64 && other.Memory < 32");
+  // Either the set is flagged never-true outright or the intersected
+  // domain is empty — both let the engine skip the pool entirely.
+  const Guard* g = guardOn(set, "memory");
+  EXPECT_TRUE(set.neverTrue || (g != nullptr && g->domain.admitsNothing()));
+}
+
+TEST(GuardsTest, InvalidRequestYieldsEmptySet) {
+  // An invalid PreparedAd never reaches candidate selection (the engine
+  // rejects it before guards are consulted), so no claims are made.
+  const GuardSet set = deriveGuards(PreparedAd::prepare(nullptr));
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.neverTrue);
+}
+
+}  // namespace
+}  // namespace matchmaking::engine

@@ -1,0 +1,153 @@
+// The candidate index: exact string buckets, sorted numeric postings,
+// other-dependent admission, and the superset contract of select().
+#include "matchmaker/engine/index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "classad/classad.h"
+
+namespace matchmaking::engine {
+namespace {
+
+using classad::ClassAd;
+using classad::PreparedAd;
+using classad::makeShared;
+
+PreparedAd machine(const std::string& arch, int memory) {
+  ClassAd ad;
+  ad.set("Arch", arch);
+  ad.set("Memory", memory);
+  return PreparedAd::prepare(makeShared(std::move(ad)));
+}
+
+GuardSet stringGuard(const std::string& attr, const std::string& lowered) {
+  GuardDomain d;
+  d.numberAllowed = false;
+  d.number = classad::analysis::Interval::none();
+  d.anyString = false;
+  d.strings = {lowered};
+  return GuardSet{false, {{attr, d}}};
+}
+
+GuardSet rangeGuard(const std::string& attr, double lo) {
+  GuardDomain d;
+  d.number = classad::analysis::Interval::atLeast(lo, false);
+  d.stringAllowed = false;
+  d.anyString = false;
+  return GuardSet{false, {{attr, d}}};
+}
+
+std::vector<std::uint32_t> selected(const CandidateIndex& index,
+                                    const GuardSet& guards,
+                                    std::size_t slots) {
+  Bitset mask(slots);
+  for (std::size_t i = 0; i < slots; ++i) mask.set(i);
+  std::vector<std::uint32_t> out;
+  if (!index.select(guards, &mask)) return out;  // inapplicable
+  mask.forEach([&out](std::size_t i) {
+    out.push_back(static_cast<std::uint32_t>(i));
+  });
+  return out;
+}
+
+TEST(BitsetTest, SetTestCountAndOrderedIteration) {
+  Bitset b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(64));
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+  std::vector<std::size_t> seen;
+  b.forEach([&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 64, 129}));
+
+  Bitset other(130);
+  other.set(64);
+  b.andWith(other);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_TRUE(b.test(64));
+}
+
+TEST(CandidateIndexTest, StringGuardSelectsExactBucket) {
+  CandidateIndex index;
+  index.add(0, machine("INTEL", 32));
+  index.add(1, machine("SPARC", 64));
+  index.add(2, machine("intel", 128));  // lowered: same bucket as slot 0
+  EXPECT_EQ(selected(index, stringGuard("arch", "intel"), 3),
+            (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(selected(index, stringGuard("arch", "sparc"), 3),
+            (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(selected(index, stringGuard("arch", "mips"), 3).empty());
+}
+
+TEST(CandidateIndexTest, NumericGuardAnswersRange) {
+  CandidateIndex index;
+  index.add(0, machine("INTEL", 16));
+  index.add(1, machine("INTEL", 64));
+  index.add(2, machine("INTEL", 256));
+  EXPECT_EQ(selected(index, rangeGuard("memory", 64.0), 3),
+            (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(selected(index, rangeGuard("memory", 1000.0), 3).size(), 0u);
+}
+
+TEST(CandidateIndexTest, MissingAttributeExcludesSlot) {
+  // A strict comparison against a missing attribute is never true, so a
+  // slot without the attribute is rightly excluded.
+  CandidateIndex index;
+  ClassAd bare;
+  bare.set("Arch", "INTEL");  // no Memory at all
+  index.add(0, PreparedAd::prepare(makeShared(std::move(bare))));
+  index.add(1, machine("INTEL", 64));
+  EXPECT_EQ(selected(index, rangeGuard("memory", 1.0), 2),
+            (std::vector<std::uint32_t>{1}));
+}
+
+TEST(CandidateIndexTest, CandidateDependentAttributeAdmitsAlways) {
+  // Memory defined in terms of the candidate: its value is unknowable
+  // per-slot, so any guard on it must admit the slot.
+  CandidateIndex index;
+  ClassAd tricky;
+  tricky.setExpr("Memory", "other.Budget * 2");
+  index.add(0, PreparedAd::prepare(makeShared(std::move(tricky))));
+  index.add(1, machine("INTEL", 8));
+  EXPECT_EQ(selected(index, rangeGuard("memory", 64.0), 2),
+            (std::vector<std::uint32_t>{0}));
+}
+
+TEST(CandidateIndexTest, AttributeNobodyDefinesEmptiesSelection) {
+  CandidateIndex index;
+  index.add(0, machine("INTEL", 32));
+  Bitset mask(1);
+  mask.set(0);
+  // No slot defines "disk": a strict guard on it can be satisfied by
+  // none of them, so the selection is empty — and still a superset of
+  // the (empty) match set.
+  EXPECT_TRUE(index.select(rangeGuard("disk", 1.0), &mask));
+  EXPECT_EQ(mask.count(), 0u);
+}
+
+TEST(CandidateIndexTest, EmptyGuardSetFallsBackToFullScan) {
+  CandidateIndex index;
+  index.add(0, machine("INTEL", 32));
+  Bitset mask(1);
+  mask.set(0);
+  // No guards at all: selection is inapplicable; the caller scans and
+  // the mask is left untouched.
+  EXPECT_FALSE(index.select(GuardSet{}, &mask));
+  EXPECT_TRUE(mask.test(0));
+}
+
+TEST(CandidateIndexTest, ClearEmptiesPostings) {
+  CandidateIndex index;
+  index.add(0, machine("INTEL", 32));
+  EXPECT_GT(index.postingCount(), 0u);
+  index.clear();
+  EXPECT_EQ(index.postingCount(), 0u);
+  EXPECT_EQ(index.attrCount(), 0u);
+}
+
+}  // namespace
+}  // namespace matchmaking::engine

@@ -1,0 +1,125 @@
+// Release-build perf smoke: on a selective pool, indexed negotiation must
+// not be slower than the pure linear scan (and must evaluate strictly
+// fewer candidates). Gated behind MM_PERF_SMOKE=1 because wall-clock
+// assertions are meaningless under sanitizers or debug builds; CI runs it
+// in the Release job only. The full benchmark numbers live in
+// benchmarks/bench_e1_scalability.cpp and EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "matchmaker/matchmaker.h"
+
+namespace matchmaking {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+// A selective pool: each request admits ~1/8 of the machines by
+// architecture, so guard-driven pruning has real work to skip.
+const char* const kArchs[] = {"INTEL", "SPARC", "ALPHA", "PPC",
+                              "MIPS",  "HPPA",  "ARM",   "VAX"};
+
+std::vector<ClassAdPtr> machines(std::size_t n) {
+  std::vector<ClassAdPtr> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ClassAd ad;
+    ad.set("Type", "Machine");
+    ad.set("Name", "m" + std::to_string(i));
+    ad.set("ContactAddress", "ra://m" + std::to_string(i));
+    ad.set("Arch", kArchs[i % 8]);
+    ad.set("Memory", 32 << (i % 4));
+    ad.set("KFlops", static_cast<std::int64_t>(100 + i % 1000));
+    ad.setExpr("Constraint", "other.Type == \"Job\"");
+    ad.setExpr("Rank", "0");
+    out.push_back(makeShared(std::move(ad)));
+  }
+  return out;
+}
+
+std::vector<ClassAdPtr> jobs(std::size_t n) {
+  std::vector<ClassAdPtr> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", "user" + std::to_string(i % 4));
+    ad.set("JobId", static_cast<std::int64_t>(i + 1));
+    ad.set("ContactAddress", "ca://job" + std::to_string(i));
+    ad.set("Memory", 32);
+    ad.setExpr("Constraint",
+               std::string("other.Type == \"Machine\" && other.Arch == \"") +
+                   kArchs[i % 8] + "\" && other.Memory >= self.Memory");
+    ad.setExpr("Rank", "other.KFlops");
+    out.push_back(makeShared(std::move(ad)));
+  }
+  return out;
+}
+
+double negotiateSeconds(const MatchmakerConfig& config,
+                        std::span<const ClassAdPtr> requests,
+                        std::span<const ClassAdPtr> resources,
+                        NegotiationStats* stats) {
+  const Matchmaker mm(config);
+  const Accountant accountant;
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<Match> matches =
+      mm.negotiate(requests, resources, accountant, 0.0, stats);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(matches.size(), stats->matches);
+  return seconds;
+}
+
+TEST(EnginePerfSmokeTest, IndexedNegotiationNotSlowerThanLinear) {
+  const char* gate = std::getenv("MM_PERF_SMOKE");
+  if (gate == nullptr || std::string(gate) != "1") {
+    GTEST_SKIP() << "set MM_PERF_SMOKE=1 (Release builds) to run";
+  }
+  const std::vector<ClassAdPtr> resources = machines(4000);
+  const std::vector<ClassAdPtr> requests = jobs(64);
+
+  MatchmakerConfig linear;
+  linear.useCandidateIndex = false;
+  MatchmakerConfig indexed;
+  indexed.useCandidateIndex = true;
+
+  // Warm-up, then best-of-three for each mode to shake scheduler noise.
+  NegotiationStats warmStats;
+  negotiateSeconds(indexed, requests, resources, &warmStats);
+  double linearBest = 1e9;
+  double indexedBest = 1e9;
+  NegotiationStats linearStats;
+  NegotiationStats indexedStats;
+  for (int i = 0; i < 3; ++i) {
+    linearStats = {};
+    indexedStats = {};
+    linearBest = std::min(
+        linearBest,
+        negotiateSeconds(linear, requests, resources, &linearStats));
+    indexedBest = std::min(
+        indexedBest,
+        negotiateSeconds(indexed, requests, resources, &indexedStats));
+  }
+
+  // Same matches, far fewer evaluations, and no wall-clock regression
+  // (with a 25% tolerance so a noisy neighbor cannot flake the build).
+  EXPECT_EQ(indexedStats.matches, linearStats.matches);
+  EXPECT_LT(indexedStats.candidateEvaluations,
+            linearStats.candidateEvaluations / 4);
+  EXPECT_GT(indexedStats.candidatesPruned, 0u);
+  EXPECT_LE(indexedBest, linearBest * 1.25)
+      << "indexed " << indexedBest << "s vs linear " << linearBest << "s";
+}
+
+}  // namespace
+}  // namespace matchmaking
