@@ -1,0 +1,306 @@
+// E12 - Federated matchmaking plane (extension; src/federation). The
+// question the paper's Section 7 leaves open and the flocking deployments
+// answered in practice: does splitting one giant pool into N peered
+// matchmakers help or hurt time-to-match? Series: one overloaded origin
+// pool whose requests target architectures spread over N pools of 10k
+// machines each, against a single matchmaker holding the same N x 10k
+// ads. Federated cycles are timed on their CRITICAL PATH (manual timing:
+// origin negotiation + digest gating, plus the slowest peer's referral
+// evaluation — peers are separate machines and run concurrently), which
+// is exactly the latency a waiting customer observes. The expected shape:
+// the monolith's cycle grows linearly with N x 10k while the federated
+// critical path stays at pool scale, so N >= 3 federated pools beat the
+// single matchmaker on time-to-match; the chain variant trades that
+// latency for link count and shows the referral hop distribution instead.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "classad/analysis/schema.h"
+#include "federation/digest.h"
+#include "matchmaker/engine/engine.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One pool's machines: a single architecture per pool (the
+/// arch-partitioned fleet shape that makes digest gating decisive).
+std::vector<classad::ClassAdPtr> poolMachines(std::size_t count,
+                                              std::size_t poolIndex) {
+  std::vector<classad::ClassAdPtr> ads;
+  ads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    classad::ClassAd ad;
+    ad.set("Type", "Machine");
+    ad.set("Name", "p" + std::to_string(poolIndex) + "n" + std::to_string(i));
+    ad.set("ContactAddress",
+           "ra://p" + std::to_string(poolIndex) + "n" + std::to_string(i));
+    ad.set("Arch", bench::kSelectiveArchs[poolIndex % 8]);
+    ad.set("OpSys", (i % 2) != 0 ? "LINUX" : "SOLARIS251");
+    ad.set("Memory", static_cast<std::int64_t>(32 << (i % 4)));
+    ad.set("KFlops", static_cast<std::int64_t>(20000 + 500 * (i % 8)));
+    ad.set("KeyboardIdle", 1800);
+    ad.set("LoadAvg", 0.05);
+    ad.setExpr("Constraint", "other.Type == \"Job\"");
+    ad.set("Rank", 0);
+    ads.push_back(classad::makeShared(std::move(ad)));
+  }
+  return ads;
+}
+
+/// The overloaded origin pool's requests: arch-targeted round-robin over
+/// every pool in the federation, each with a unique contact.
+std::vector<classad::ClassAdPtr> targetedRequests(std::size_t count,
+                                                  std::size_t pools) {
+  std::vector<classad::ClassAdPtr> ads;
+  ads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    classad::ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", "raman");
+    ad.set("JobId", static_cast<std::int64_t>(i + 1));
+    ad.set("ContactAddress", "ca://raman#" + std::to_string(i));
+    ad.set("Memory", static_cast<std::int64_t>(32 << (i % 3)));
+    ad.setExpr("Constraint",
+               std::string("other.Type == \"Machine\" && other.Arch == \"") +
+                   bench::kSelectiveArchs[(i % pools) % 8] +
+                   "\" && other.Memory >= self.Memory");
+    ad.setExpr("Rank", "KFlops/1E3");
+    ads.push_back(classad::makeShared(std::move(ad)));
+  }
+  return ads;
+}
+
+matchmaking::MatchmakerConfig engineConfig() {
+  matchmaking::MatchmakerConfig config;
+  config.useCandidateIndex = true;
+  return config;
+}
+
+matchmaking::engine::PoolOptions resourceOptions() {
+  matchmaking::engine::PoolOptions options;
+  options.buildIndex = true;
+  return options;
+}
+
+/// Requests per negotiation cycle at the origin: a fixed backlog, the
+/// same regardless of how many pools serve it.
+constexpr std::size_t kRequests = 500;
+
+/// The monolith: one matchmaker holding every pool's ads. Cycle cost is
+/// the whole fleet's preparation plus matching.
+void BM_E12_SingleMonolith(benchmark::State& state) {
+  const auto pools = static_cast<std::size_t>(state.range(0));
+  const auto perPool = static_cast<std::size_t>(state.range(1));
+  std::vector<classad::ClassAdPtr> resources;
+  for (std::size_t p = 0; p < pools; ++p) {
+    const auto ads = poolMachines(perPool, p);
+    resources.insert(resources.end(), ads.begin(), ads.end());
+  }
+  const auto requests = targetedRequests(kRequests, pools);
+  const matchmaking::Matchmaker matchmaker(engineConfig());
+  const matchmaking::Accountant accountant;
+  matchmaking::NegotiationStats stats;
+  for (auto _ : state) {
+    const auto start = Clock::now();
+    const auto matches =
+        matchmaker.negotiate(requests, resources, accountant, 0.0, &stats);
+    state.SetIterationTime(secondsSince(start));
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["machines"] = static_cast<double>(pools * perPool);
+  state.counters["requests"] = static_cast<double>(kRequests);
+  state.counters["matches"] = static_cast<double>(stats.matches);
+  state.counters["matches_per_s"] = benchmark::Counter(
+      static_cast<double>(stats.matches) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_E12_SingleMonolith)
+    ->Args({1, 10000})
+    ->Args({3, 10000})
+    ->Args({5, 10000})
+    ->Args({8, 10000})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The federation, mesh topology: the origin negotiates its own pool,
+/// digest-gates the leftovers, and refers each to the one peer whose
+/// digest admits it. Peers evaluate concurrently on their own machines,
+/// so the iteration time is origin work + the slowest peer's batch —
+/// the critical path of one federated cycle.
+void BM_E12_FederatedMesh(benchmark::State& state) {
+  const auto pools = static_cast<std::size_t>(state.range(0));
+  const auto perPool = static_cast<std::size_t>(state.range(1));
+  std::vector<std::vector<classad::ClassAdPtr>> poolAds;
+  std::vector<federation::SchemaDigest> digests;
+  for (std::size_t p = 0; p < pools; ++p) {
+    poolAds.push_back(poolMachines(perPool, p));
+    auto digest =
+        federation::digestOf(classad::analysis::Schema::fromAds(poolAds[p]));
+    digest.pool = "pool" + std::to_string(p);
+    digests.push_back(std::move(digest));
+  }
+  const auto requests = targetedRequests(kRequests, pools);
+  const matchmaking::Matchmaker matchmaker(engineConfig());
+  const matchmaking::Accountant accountant;
+  std::size_t matched = 0;
+  std::size_t referred = 0;
+  for (auto _ : state) {
+    matched = 0;
+    referred = 0;
+    // Origin pool: a normal local negotiation over its own machines.
+    auto originStart = Clock::now();
+    matchmaking::NegotiationStats stats;
+    const auto local = matchmaker.negotiate(requests, poolAds[0], accountant,
+                                            0.0, &stats);
+    matched += local.size();
+    std::unordered_set<std::string> satisfied;
+    for (const auto& m : local) satisfied.insert(m.requestContact);
+    // Digest gating: the origin's own (cheap, local) work.
+    std::vector<std::vector<classad::ClassAdPtr>> batches(pools);
+    for (const auto& request : requests) {
+      if (satisfied.count(
+              request->getString("ContactAddress").value_or(""))) {
+        continue;
+      }
+      for (std::size_t p = 1; p < pools; ++p) {
+        if (!federation::admits(digests[p], *request)) continue;
+        batches[p].push_back(request);
+        ++referred;
+        break;  // mesh: refer to the first admitting peer, one hop
+      }
+    }
+    double elapsed = secondsSince(originStart);
+    // Peers run on their own machines, concurrently: the cycle's extra
+    // latency is the slowest referral batch, not their sum.
+    double slowestPeer = 0.0;
+    for (std::size_t p = 1; p < pools; ++p) {
+      if (batches[p].empty()) continue;
+      const auto peerStart = Clock::now();
+      const auto prepared =
+          matchmaking::engine::PreparedPool::fromAds(poolAds[p], resourceOptions());
+      for (const auto& request : batches[p]) {
+        if (matchmaker.bestMatchFor(request, prepared, 0.0)) ++matched;
+      }
+      slowestPeer = std::max(slowestPeer, secondsSince(peerStart));
+    }
+    state.SetIterationTime(elapsed + slowestPeer);
+  }
+  state.counters["machines"] = static_cast<double>(pools * perPool);
+  state.counters["requests"] = static_cast<double>(kRequests);
+  state.counters["matches"] = static_cast<double>(matched);
+  state.counters["referrals"] = static_cast<double>(referred);
+  state.counters["matches_per_s"] = benchmark::Counter(
+      static_cast<double>(matched) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_E12_FederatedMesh)
+    ->Args({3, 10000})
+    ->Args({5, 10000})
+    ->Args({8, 10000})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The federation, chain topology: each pool knows only its successor,
+/// gated by the successor's AGGREGATED digest (the join of everything
+/// further down). Referrals forward hop by hop until a pool's own digest
+/// admits, so evaluation is sequential along the chain — the price of a
+/// sparse topology, paid in hops. The hop histogram is the experiment.
+void BM_E12_FederatedChain(benchmark::State& state) {
+  const auto pools = static_cast<std::size_t>(state.range(0));
+  const auto perPool = static_cast<std::size_t>(state.range(1));
+  std::vector<std::vector<classad::ClassAdPtr>> poolAds;
+  std::vector<federation::SchemaDigest> digests;
+  for (std::size_t p = 0; p < pools; ++p) {
+    poolAds.push_back(poolMachines(perPool, p));
+    auto digest =
+        federation::digestOf(classad::analysis::Schema::fromAds(poolAds[p]));
+    digest.pool = "pool" + std::to_string(p);
+    digests.push_back(std::move(digest));
+  }
+  // downstream[p] = join of digests p..N-1: what pool p-1 knows about
+  // everything reachable through its one link.
+  std::vector<federation::SchemaDigest> downstream(pools);
+  downstream[pools - 1] = digests[pools - 1];
+  for (std::size_t p = pools - 1; p-- > 1;) {
+    downstream[p] = federation::joinDigests(digests[p], downstream[p + 1]);
+  }
+  const auto requests = targetedRequests(kRequests, pools);
+  const matchmaking::Matchmaker matchmaker(engineConfig());
+  const matchmaking::Accountant accountant;
+  std::size_t matched = 0;
+  double hopsTotal = 0.0;
+  double hopsMax = 0.0;
+  for (auto _ : state) {
+    matched = 0;
+    hopsTotal = 0.0;
+    hopsMax = 0.0;
+    const auto start = Clock::now();
+    matchmaking::NegotiationStats stats;
+    const auto local = matchmaker.negotiate(requests, poolAds[0], accountant,
+                                            0.0, &stats);
+    matched += local.size();
+    std::unordered_set<std::string> satisfied;
+    for (const auto& m : local) satisfied.insert(m.requestContact);
+    // Each downstream pool prepares once per cycle, then serves every
+    // referral that stops there. Forwarding is sequential, so the whole
+    // chain's work lands on this cycle's clock.
+    std::vector<std::vector<classad::ClassAdPtr>> stopsAt(pools);
+    for (const auto& request : requests) {
+      if (satisfied.count(
+              request->getString("ContactAddress").value_or(""))) {
+        continue;
+      }
+      if (!federation::admits(downstream[1], *request)) continue;
+      for (std::size_t p = 1; p < pools; ++p) {
+        if (federation::admits(digests[p], *request)) {
+          stopsAt[p].push_back(request);
+          hopsTotal += static_cast<double>(p);
+          hopsMax = std::max(hopsMax, static_cast<double>(p));
+          break;
+        }
+        // Not here: forward iff anything further down admits.
+        if (p + 1 >= pools || !federation::admits(downstream[p + 1], *request))
+          break;
+      }
+    }
+    for (std::size_t p = 1; p < pools; ++p) {
+      if (stopsAt[p].empty()) continue;
+      const auto prepared =
+          matchmaking::engine::PreparedPool::fromAds(poolAds[p], resourceOptions());
+      for (const auto& request : stopsAt[p]) {
+        if (matchmaker.bestMatchFor(request, prepared, 0.0)) ++matched;
+      }
+    }
+    state.SetIterationTime(secondsSince(start));
+  }
+  state.counters["machines"] = static_cast<double>(pools * perPool);
+  state.counters["matches"] = static_cast<double>(matched);
+  state.counters["hops_mean"] =
+      matched != 0 ? hopsTotal / static_cast<double>(matched) : 0.0;
+  state.counters["hops_max"] = hopsMax;
+  state.counters["matches_per_s"] = benchmark::Counter(
+      static_cast<double>(matched) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_E12_FederatedChain)
+    ->Args({3, 10000})
+    ->Args({5, 10000})
+    ->Args({8, 10000})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

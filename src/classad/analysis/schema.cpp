@@ -111,6 +111,14 @@ std::optional<std::string> Schema::nearestName(
   return bestInfo->spelling;
 }
 
+void Schema::insert(std::string lowered, std::string spelling,
+                    std::size_t definedIn, AbstractValue domain) {
+  AttrInfo& info = attrs_[std::move(lowered)];
+  if (info.definedIn == 0) info.spelling = std::move(spelling);
+  info.definedIn += definedIn;
+  info.domain = info.domain.join(domain);
+}
+
 std::vector<const AttrInfo*> Schema::sorted() const {
   std::vector<const AttrInfo*> out;
   out.reserve(attrs_.size());

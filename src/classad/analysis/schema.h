@@ -66,6 +66,14 @@ class Schema {
   /// Attributes sorted by (lowered) name, for reports and tools.
   std::vector<const AttrInfo*> sorted() const;
 
+  /// Reconstruction hooks for the federation digest (src/federation/):
+  /// installs one attribute row directly, joining with any existing row
+  /// under the same lowered name. `lowered` must be the lowercase of
+  /// `spelling` — the invariant fold() maintains.
+  void insert(std::string lowered, std::string spelling,
+              std::size_t definedIn, AbstractValue domain);
+  void setAdCount(std::size_t n) noexcept { adCount_ = n; }
+
  private:
   void fold(const ClassAd& ad);
 

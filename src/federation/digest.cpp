@@ -1,0 +1,146 @@
+#include "federation/digest.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "classad/analysis/absint.h"
+#include "classad/analysis/domain.h"
+#include "classad/match.h"
+#include "classad/value.h"
+
+namespace federation {
+
+namespace {
+
+using classad::ValueType;
+using classad::analysis::AbstractValue;
+using classad::analysis::Interval;
+
+constexpr ValueType kAllTypes[] = {
+    ValueType::Undefined, ValueType::Error,  ValueType::Boolean,
+    ValueType::Integer,   ValueType::Real,   ValueType::String,
+    ValueType::List,      ValueType::Record,
+};
+
+/// Lattice value -> flat row components (the inverse of rowDomain).
+void extract(const AbstractValue& v, DigestAttr& out) {
+  out.typeMask = 0;
+  for (ValueType t : kAllTypes) {
+    if (v.types().has(t)) {
+      out.typeMask |= static_cast<std::uint8_t>(
+          1u << static_cast<unsigned>(t));
+    }
+  }
+  const Interval& r = v.range();
+  out.lo = r.lo;
+  out.hi = r.hi;
+  out.loOpen = r.loOpen;
+  out.hiOpen = r.hiOpen;
+  out.canTrue = v.mayBeTrue();
+  out.canFalse = v.mayBeFalse();
+  out.anyString = v.mayBeString() && !v.strings().has_value();
+  out.strings =
+      (v.mayBeString() && v.strings()) ? *v.strings() : std::vector<std::string>{};
+}
+
+/// Flat row -> lattice value. Each component is rebuilt with its factory
+/// and joined; join is componentwise, so the result carries exactly the
+/// components extract() read.
+AbstractValue rowDomain(const DigestAttr& a) {
+  const auto has = [&](ValueType t) {
+    return (a.typeMask & (1u << static_cast<unsigned>(t))) != 0;
+  };
+  AbstractValue v = AbstractValue::bottom();
+  if (has(ValueType::Undefined)) v = v.join(AbstractValue::undefined());
+  if (has(ValueType::Error)) v = v.join(AbstractValue::error());
+  if (has(ValueType::Boolean)) {
+    v = v.join(AbstractValue::boolean(a.canTrue, a.canFalse));
+  }
+  if (has(ValueType::Integer) || has(ValueType::Real)) {
+    v = v.join(AbstractValue::number(
+        Interval{a.lo, a.hi, a.loOpen, a.hiOpen}, has(ValueType::Integer),
+        has(ValueType::Real)));
+  }
+  if (has(ValueType::String)) {
+    v = v.join(a.anyString ? AbstractValue::anyString()
+                           : AbstractValue::stringSet(a.strings));
+  }
+  if (has(ValueType::List)) v = v.join(AbstractValue::ofType(ValueType::List));
+  if (has(ValueType::Record)) {
+    v = v.join(AbstractValue::ofType(ValueType::Record));
+  }
+  return v;
+}
+
+}  // namespace
+
+SchemaDigest digestOf(const classad::analysis::Schema& schema) {
+  SchemaDigest d;
+  d.adCount = schema.adCount();
+  d.attrs.reserve(schema.attributeCount());
+  for (const classad::analysis::AttrInfo* info : schema.sorted()) {
+    DigestAttr row;
+    row.name = classad::toLowerCopy(info->spelling);
+    row.spelling = info->spelling;
+    row.definedIn = info->definedIn;
+    extract(info->domain, row);
+    d.attrs.push_back(std::move(row));
+  }
+  return d;
+}
+
+classad::analysis::Schema schemaOf(const SchemaDigest& digest) {
+  classad::analysis::Schema schema;
+  for (const DigestAttr& row : digest.attrs) {
+    schema.insert(row.name, row.spelling,
+                  static_cast<std::size_t>(row.definedIn), rowDomain(row));
+  }
+  schema.setAdCount(static_cast<std::size_t>(digest.adCount));
+  return schema;
+}
+
+SchemaDigest joinDigests(const SchemaDigest& a, const SchemaDigest& b) {
+  SchemaDigest out;
+  out.pool = a.pool;
+  out.version = std::max(a.version, b.version);
+  out.adCount = a.adCount + b.adCount;
+  // Both inputs are sorted by name; merge, joining rows through the real
+  // lattice so widening (e.g. the finite-string cap) matches the
+  // analyzer's own join exactly.
+  std::size_t i = 0, j = 0;
+  while (i < a.attrs.size() || j < b.attrs.size()) {
+    const bool takeA =
+        j >= b.attrs.size() ||
+        (i < a.attrs.size() && a.attrs[i].name < b.attrs[j].name);
+    const bool takeBoth = i < a.attrs.size() && j < b.attrs.size() &&
+                          a.attrs[i].name == b.attrs[j].name;
+    if (takeBoth) {
+      DigestAttr row = a.attrs[i];
+      row.definedIn += b.attrs[j].definedIn;
+      extract(rowDomain(a.attrs[i]).join(rowDomain(b.attrs[j])), row);
+      out.attrs.push_back(std::move(row));
+      ++i, ++j;
+    } else if (takeA) {
+      out.attrs.push_back(a.attrs[i++]);
+    } else {
+      out.attrs.push_back(b.attrs[j++]);
+    }
+  }
+  return out;
+}
+
+bool admits(const SchemaDigest& digest, const classad::ClassAd& request,
+            bool exactValues) {
+  if (digest.adCount == 0) return false;
+  const classad::ExprPtr* constraint = classad::findConstraintExpr(request);
+  if (constraint == nullptr) return true;  // no requirement: any pool serves
+  const classad::analysis::Schema schema = schemaOf(digest);
+  classad::analysis::AnalysisEnv env;
+  env.self = &request;
+  env.otherSchema = &schema;
+  env.exactSchemaValues = exactValues;
+  return classad::analysis::abstractEval(**constraint, env)
+      .canSatisfyConstraint();
+}
+
+}  // namespace federation

@@ -1,0 +1,80 @@
+// digest.h - The pool-schema digest: the schema fold of
+// src/classad/analysis/schema.* flattened into a small, serializable
+// record that one matchmaker pushes to its peers.
+//
+// The digest is the federation plane's answer to "could that pool ever
+// satisfy this request?" without shipping the request or any ads. A peer
+// reconstructs the abstract per-attribute domains (schemaOf) and runs the
+// abstract interpreter over the request's constraint with the candidate
+// frame answered from the digest. Soundness is inherited from the
+// analyzer's contract: every concrete value an ad in the fold defines is
+// contained in the folded AbstractValue, so reconstruction + abstractEval
+// never false-negatives against the digested snapshot (property-tested in
+// tests/federation/digest_test.cpp). Staleness is handled by periodic
+// re-push, not by the lattice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+
+namespace federation {
+
+/// One attribute row: the wire-flat form of classad::analysis::AttrInfo.
+/// The AbstractValue lattice components are spelled out field by field so
+/// the record can travel (and be joined) without private access.
+struct DigestAttr {
+  std::string name;            ///< lowered attribute name (the fold key)
+  std::string spelling;        ///< original case of the first occurrence
+  std::uint64_t definedIn = 0; ///< ads defining the attribute
+  std::uint8_t typeMask = 0;   ///< bit i = ValueType(i) reachable
+  // Numeric interval (meaningful when Integer/Real bits are set).
+  double lo = 0.0;
+  double hi = 0.0;
+  bool loOpen = false;
+  bool hiOpen = false;
+  // Reachable boolean constants (meaningful when the Boolean bit is set).
+  bool canTrue = false;
+  bool canFalse = false;
+  // String domain: anyString = unconstrained; otherwise the finite set.
+  bool anyString = false;
+  std::vector<std::string> strings;
+};
+
+/// A pool's schema, flattened. `pool` names the origin matchmaker;
+/// `version` increases with every push so receivers can drop stale or
+/// reordered digests.
+struct SchemaDigest {
+  std::string pool;
+  std::uint64_t version = 0;
+  std::uint64_t adCount = 0;
+  std::vector<DigestAttr> attrs;  ///< sorted by `name`
+};
+
+/// Flattens a folded schema (attrs sorted by lowered name).
+SchemaDigest digestOf(const classad::analysis::Schema& schema);
+
+/// Reconstructs the schema a digest describes. Exact inverse of digestOf
+/// on the lattice components the analyzer reads.
+classad::analysis::Schema schemaOf(const SchemaDigest& digest);
+
+/// Pointwise join: attribute domains joined (types united, intervals
+/// hulled, string sets united — widening to anyString past the lattice's
+/// finite-set cap), definedIn and adCount summed. Used for hierarchical
+/// aggregation: a parent pushes the join of its own digest and its
+/// children's so one row can vouch for a whole subtree.
+SchemaDigest joinDigests(const SchemaDigest& a, const SchemaDigest& b);
+
+/// Could the digested pool EVER satisfy `request`'s constraint? A request
+/// without a constraint is admitted by any non-empty pool; an empty
+/// digest (adCount 0) admits nothing. `exactValues` treats the digested
+/// value domains as exhaustive — correct here, because the digest IS a
+/// closed snapshot and refresh handles drift (contrast Schema::domainOf's
+/// open-world default for lint).
+bool admits(const SchemaDigest& digest, const classad::ClassAd& request,
+            bool exactValues = true);
+
+}  // namespace federation

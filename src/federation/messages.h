@@ -1,0 +1,84 @@
+// messages.h - Matchmaker-to-matchmaker messages of the federation plane.
+//
+// These five structs join the htcsim::Message variant (sim/transport.h),
+// so they travel over BOTH substrates unchanged: the simulated Network in
+// tests/benches and the framed TCP wire between live matchmakerds
+// (tags 13..17, wire/tags.h). Everything else in the protocol — claiming,
+// leases, heartbeats — is deliberately untouched by federation: a match
+// referred across pools comes back as an ordinary MatchNotification, and
+// the CA claims the remote RA directly, end to end, exactly as within one
+// pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "federation/digest.h"
+#include "matchmaker/protocol.h"
+
+namespace federation {
+
+/// First federation message on a peering, both directions: names the
+/// sending pool and its transport address. `epoch` increments on every
+/// restart of the sender, letting a peer discard pre-restart state
+/// (digests, flocked ads) from a matchmaker that came back empty.
+struct PeerHello {
+  std::string pool;
+  std::string address;
+  std::uint64_t epoch = 0;
+};
+
+/// A resource ad flocked to a peer. The ad copy carries provenance
+/// attributes (OriginPool / FlockRevision) stamped by the sender; `key`
+/// is the ORIGIN's store key, so (originPool, key, revision) identifies
+/// one version of one ad globally and makes redelivery idempotent.
+/// `retract=true` withdraws the ad (origin saw an invalidate); peers also
+/// expire flocked ads on their own shorter lifetime, so a dead origin's
+/// ads age out without a retraction.
+struct AdForward {
+  classad::ClassAdPtr ad;  ///< null when retract
+  std::string originPool;
+  std::string key;
+  std::uint64_t revision = 0;
+  bool retract = false;
+};
+
+/// Periodic pool-schema digest push (hierarchical schema aggregation).
+/// The digest names its pool and carries a monotone version; receivers
+/// keep only the newest per pool.
+struct SchemaDigestMsg {
+  SchemaDigest digest;
+};
+
+/// An unmatched request referred to a peer whose digest admits it.
+/// `visited` lists pool names already traversed (loop detection);
+/// `hopsLeft` bounds further forwarding. Responses go straight back to
+/// `originAddress`, not hop by hop.
+struct MatchReferral {
+  classad::ClassAdPtr requestAd;
+  std::string originPool;
+  std::string originAddress;
+  std::string requestKey;  ///< origin's store key for the request ad
+  std::uint64_t referralId = 0;
+  std::uint32_t hopsLeft = 0;
+  std::vector<std::string> visited;
+};
+
+/// The serving (or failing) matchmaker's verdict, sent directly to the
+/// referral's origin. On a match it carries everything the origin needs
+/// to emit the customer-side MatchNotification: the resource ad, its
+/// contact, and the authorization ticket.
+struct ReferralResponse {
+  std::uint64_t referralId = 0;
+  std::string requestKey;
+  bool matched = false;
+  std::string servingPool;  ///< responder's pool name
+  std::uint32_t hops = 0;   ///< pools traversed when the verdict was made
+  classad::ClassAdPtr resourceAd;  ///< null unless matched
+  std::string resourceContact;
+  matchmaking::Ticket ticket = matchmaking::kNoTicket;
+};
+
+}  // namespace federation

@@ -1,0 +1,431 @@
+#include "federation/plane.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace federation {
+
+namespace {
+
+/// Hop buckets for the referral histogram: a referral traverses a small
+/// integer number of pools.
+const std::vector<double>& hopBuckets() {
+  static const std::vector<double> buckets = {1.0, 2.0, 3.0, 4.0,
+                                              6.0, 8.0, 12.0};
+  return buckets;
+}
+
+void bump(obs::Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr) c->inc(n);
+}
+
+}  // namespace
+
+FederationPlane::FederationPlane(FederationConfig config,
+                                 FederationHost& host, htcsim::Transport& net,
+                                 std::string selfAddress,
+                                 obs::Registry* registry)
+    : config_(std::move(config)),
+      host_(host),
+      net_(net),
+      selfAddress_(std::move(selfAddress)) {
+  for (const std::string& addr : config_.peers) {
+    PeerState& p = peers_[addr];
+    p.configured = true;
+    p.flockTarget = true;
+  }
+  for (const std::string& addr : config_.parents) {
+    peers_[addr].configured = true;  // flockTarget stays false
+  }
+  // A parent listed as a peer too keeps its flock eligibility.
+  if (config_.flockPolicy == FlockPolicy::kFiltered &&
+      !config_.flockConstraint.empty()) {
+    flockQuery_ = classad::Query::fromConstraint(config_.flockConstraint);
+  }
+  if (registry != nullptr) {
+    obs::Registry& reg = *registry;
+    adsFlockedOut_ = reg.counter("FedAdsFlockedOut");
+    adsFlockedIn_ = reg.counter("FedAdsFlockedIn");
+    flockDuplicates_ = reg.counter("FedFlockDuplicatesDropped");
+    flockRetractions_ = reg.counter("FedFlockRetractions");
+    digestsSent_ = reg.counter("FedDigestsSent");
+    digestsReceived_ = reg.counter("FedDigestsReceived");
+    digestsStale_ = reg.counter("FedDigestsStaleDropped");
+    referralsSent_ = reg.counter("FedReferralsSent");
+    referralsReceived_ = reg.counter("FedReferralsReceived");
+    referralsForwarded_ = reg.counter("FedReferralsForwarded");
+    referralsServed_ = reg.counter("FedReferralsServed");
+    referralMatches_ = reg.counter("FedReferralMatches");
+    referralFailures_ = reg.counter("FedReferralFailures");
+    referralLoopsDropped_ = reg.counter("FedReferralLoopsDropped");
+    referralsStale_ = reg.counter("FedReferralsStale");
+    referralsVetoed_ = reg.counter("FedReferralsDigestVetoed");
+    referralsExpired_ = reg.counter("FedReferralsExpired");
+    referralHops_ = reg.histogram("FedReferralHops", hopBuckets());
+    peersKnown_ = reg.gauge("FedPeersKnown");
+    peersKnown_->set(static_cast<double>(peers_.size()));
+  }
+}
+
+std::string FederationPlane::flockedKey(std::string_view originPool,
+                                        std::string_view originKey) {
+  std::string key = "fed/";
+  key += originPool;
+  key += '/';
+  key += originKey;
+  return key;
+}
+
+bool FederationPlane::isFlockedKey(std::string_view storeKey) noexcept {
+  return storeKey.rfind("fed/", 0) == 0;
+}
+
+void FederationPlane::start(Time /*now*/) {
+  PeerHello hello;
+  hello.pool = config_.pool;
+  hello.address = selfAddress_;
+  hello.epoch = config_.epoch;
+  for (const auto& [addr, state] : peers_) {
+    if (state.configured) send(addr, hello);
+  }
+}
+
+bool FederationPlane::deliver(const htcsim::Envelope& env, Time now) {
+  if (const auto* hello = std::get_if<PeerHello>(&env.payload)) {
+    onPeerHello(env.from, *hello);
+  } else if (const auto* digest =
+                 std::get_if<SchemaDigestMsg>(&env.payload)) {
+    onDigest(env.from, *digest, now);
+  } else if (const auto* fwd = std::get_if<AdForward>(&env.payload)) {
+    onAdForward(*fwd);
+  } else if (const auto* ref = std::get_if<MatchReferral>(&env.payload)) {
+    onReferral(env.from, *ref, now);
+  } else if (const auto* resp =
+                 std::get_if<ReferralResponse>(&env.payload)) {
+    onReferralResponse(*resp);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void FederationPlane::onPeerHello(const std::string& from,
+                                  const PeerHello& hello) {
+  // Self-echo (misconfiguration) is ignored outright.
+  if (hello.pool == config_.pool) return;
+  PeerState& p = peer(hello.address.empty() ? from : hello.address);
+  p.pool = hello.pool;
+  if (hello.epoch > p.epoch) {
+    // The peer restarted: whatever digest we held describes its previous
+    // life. Its flocked ads age out on their own lifetime.
+    p.digest.reset();
+  }
+  p.epoch = hello.epoch;
+  // Answer each (peer, epoch) once, so both sides learn pool names no
+  // matter who dialed whom, without an echo storm.
+  if (p.answeredEpoch != hello.epoch) {
+    p.answeredEpoch = hello.epoch;
+    PeerHello reply;
+    reply.pool = config_.pool;
+    reply.address = selfAddress_;
+    reply.epoch = config_.epoch;
+    send(hello.address.empty() ? from : hello.address, reply);
+  }
+  if (peersKnown_ != nullptr) {
+    peersKnown_->set(static_cast<double>(peers_.size()));
+  }
+}
+
+void FederationPlane::onDigest(const std::string& from,
+                               const SchemaDigestMsg& msg, Time now) {
+  if (msg.digest.pool == config_.pool) return;  // self-echo
+  PeerState& p = peer(from);
+  if (p.digest.has_value() && p.digest->pool == msg.digest.pool &&
+      msg.digest.version <= p.digest->version) {
+    bump(digestsStale_);
+    return;
+  }
+  p.pool = msg.digest.pool;
+  p.digest = msg.digest;
+  p.digestAt = now;
+  bump(digestsReceived_);
+  if (peersKnown_ != nullptr) {
+    peersKnown_->set(static_cast<double>(peers_.size()));
+  }
+}
+
+void FederationPlane::onAdForward(const AdForward& msg) {
+  if (msg.originPool == config_.pool) return;  // our own ad reflected back
+  const std::string storeKey = flockedKey(msg.originPool, msg.key);
+  if (msg.retract) {
+    host_.dropFlockedAd(storeKey);
+    bump(flockRetractions_);
+    return;
+  }
+  if (!msg.ad) return;
+  if (host_.storeFlockedAd(storeKey, msg.ad, msg.revision,
+                           config_.flockedAdLifetime)) {
+    bump(adsFlockedIn_);
+  } else {
+    bump(flockDuplicates_);  // (origin, key, revision) already seen
+  }
+}
+
+void FederationPlane::onReferral(const std::string& from,
+                                 const MatchReferral& msg, Time now) {
+  bump(referralsReceived_);
+  const bool looped =
+      std::find(msg.visited.begin(), msg.visited.end(), config_.pool) !=
+      msg.visited.end();
+  if (looped || !rememberReferral(msg.originPool, msg.referralId)) {
+    bump(referralLoopsDropped_);
+    return;
+  }
+  if (!msg.requestAd) return;
+  if (auto match = host_.evaluateReferral(msg.requestAd, now)) {
+    host_.serveLocalMatch(*match);
+    bump(referralsServed_);
+    answerReferral(msg, true, &*match);
+    return;
+  }
+  // No local candidate. Forward while hops remain, to neighbors whose
+  // digest admits the request and which the referral has not visited.
+  std::size_t forwarded = 0;
+  if (msg.hopsLeft > 0) {
+    MatchReferral onward = msg;
+    onward.hopsLeft = msg.hopsLeft - 1;
+    onward.visited.push_back(config_.pool);
+    for (const auto& [addr, state] : peers_) {
+      if (addr == from || addr == msg.originAddress) continue;
+      if (!state.hasDigest(now, config_.digestTtl)) continue;
+      if (std::find(onward.visited.begin(), onward.visited.end(),
+                    state.pool) != onward.visited.end()) {
+        continue;
+      }
+      if (!admits(*state.digest, *msg.requestAd)) continue;
+      send(addr, onward);
+      ++forwarded;
+    }
+  }
+  if (forwarded > 0) {
+    bump(referralsForwarded_, forwarded);
+  } else {
+    answerReferral(msg, false, nullptr);
+  }
+}
+
+void FederationPlane::answerReferral(const MatchReferral& referral,
+                                     bool matched,
+                                     const matchmaking::Match* match) {
+  ReferralResponse resp;
+  resp.referralId = referral.referralId;
+  resp.requestKey = referral.requestKey;
+  resp.matched = matched;
+  resp.servingPool = config_.pool;
+  resp.hops = static_cast<std::uint32_t>(referral.visited.size());
+  if (matched && match != nullptr) {
+    resp.resourceAd = match->resource;
+    resp.resourceContact = match->resourceContact;
+    resp.ticket = match->ticket;
+  }
+  send(referral.originAddress, std::move(resp));
+}
+
+void FederationPlane::onReferralResponse(const ReferralResponse& msg) {
+  const auto it = outstanding_.find(msg.referralId);
+  if (it == outstanding_.end()) {
+    bump(referralsStale_);
+    return;
+  }
+  if (!msg.matched) {
+    bump(referralFailures_);
+    return;  // other branches of the referral may still answer
+  }
+  if (referralHops_ != nullptr) {
+    referralHops_->observe(static_cast<double>(msg.hops));
+  }
+  if (host_.completeRemoteMatch(msg)) {
+    bump(referralMatches_);
+  } else {
+    bump(referralsStale_);  // request resolved locally in the meantime
+  }
+  outstanding_.erase(it);
+}
+
+void FederationPlane::pushDigest(Time now) {
+  SchemaDigest own = digestOf(host_.localResourceSchema());
+  own.pool = config_.pool;
+  own.version = ++digestVersion_;
+  for (const auto& [addr, state] : peers_) {
+    SchemaDigest out = own;
+    if (config_.aggregateDigests) {
+      // Vouch for everything reachable through us — except what the
+      // recipient itself contributed, so its own ads are not reflected
+      // back as foreign reachability.
+      for (const auto& [otherAddr, other] : peers_) {
+        if (otherAddr == addr) continue;
+        if (!other.hasDigest(now, config_.digestTtl)) continue;
+        if (!state.pool.empty() && other.digest->pool == state.pool) {
+          continue;
+        }
+        out = joinDigests(out, *other.digest);
+      }
+      out.version = own.version;
+      out.pool = config_.pool;
+    }
+    SchemaDigestMsg msg;
+    msg.digest = std::move(out);
+    send(addr, std::move(msg));
+    bump(digestsSent_);
+  }
+}
+
+void FederationPlane::onLocalResourceAd(const std::string& key,
+                                        const classad::ClassAdPtr& ad,
+                                        std::uint64_t sequence) {
+  if (config_.flockPolicy == FlockPolicy::kOnDemand || !ad) return;
+  // A copy that already carries foreign provenance must never re-flock —
+  // one forwarding hop only; transitive reachability is the digest's job.
+  if (const auto origin = ad->getString(std::string(kOriginPoolAttr));
+      origin && *origin != config_.pool) {
+    return;
+  }
+  if (flockQuery_.has_value() && !flockQuery_->matches(*ad)) return;
+  classad::ClassAd stamped = *ad;
+  stamped.set(std::string(kOriginPoolAttr), config_.pool);
+  stamped.set(std::string(kFlockRevisionAttr),
+              static_cast<std::int64_t>(sequence));
+  AdForward fwd;
+  fwd.ad = classad::makeShared(std::move(stamped));
+  fwd.originPool = config_.pool;
+  fwd.key = key;
+  fwd.revision = sequence;
+  for (const auto& [addr, state] : peers_) {
+    if (!state.flockTarget) continue;
+    send(addr, fwd);
+    bump(adsFlockedOut_);
+  }
+}
+
+void FederationPlane::onLocalResourceInvalidate(const std::string& key) {
+  if (config_.flockPolicy == FlockPolicy::kOnDemand) return;
+  AdForward retract;
+  retract.originPool = config_.pool;
+  retract.key = key;
+  retract.retract = true;
+  for (const auto& [addr, state] : peers_) {
+    if (!state.flockTarget) continue;
+    send(addr, retract);
+  }
+}
+
+void FederationPlane::referUnmatched(
+    const std::vector<std::pair<std::string, classad::ClassAdPtr>>& unmatched,
+    Time now) {
+  for (const auto& [key, ad] : unmatched) {
+    if (!ad) continue;
+    if (const auto it = lastReferredAt_.find(key);
+        it != lastReferredAt_.end() &&
+        it->second + config_.referralCooldown > now) {
+      continue;
+    }
+    std::vector<const std::string*> targets;
+    for (const auto& [addr, state] : peers_) {
+      if (!state.hasDigest(now, config_.digestTtl)) continue;
+      if (!admits(*state.digest, *ad)) continue;
+      targets.push_back(&addr);
+    }
+    if (targets.empty()) {
+      bump(referralsVetoed_);
+      continue;
+    }
+    MatchReferral referral;
+    referral.requestAd = ad;
+    referral.originPool = config_.pool;
+    referral.originAddress = selfAddress_;
+    referral.requestKey = key;
+    referral.referralId = nextReferralId_++;
+    referral.hopsLeft = config_.maxReferralHops > 0
+                            ? config_.maxReferralHops - 1
+                            : 0;
+    referral.visited = {config_.pool};
+    outstanding_[referral.referralId] = {key, now};
+    lastReferredAt_[key] = now;
+    for (const std::string* addr : targets) {
+      send(*addr, referral);
+    }
+    bump(referralsSent_);
+  }
+}
+
+void FederationPlane::purge(Time now) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second.sentAt + config_.referralTimeout < now) {
+      bump(referralsExpired_);
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const Time keepCooldowns =
+      std::max(config_.referralCooldown * 4.0, config_.referralTimeout);
+  for (auto it = lastReferredAt_.begin(); it != lastReferredAt_.end();) {
+    if (it->second + keepCooldowns < now) {
+      it = lastReferredAt_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<classad::ClassAdPtr> FederationPlane::peerStatusAds(
+    Time now) const {
+  std::vector<classad::ClassAdPtr> ads;
+  ads.reserve(peers_.size());
+  for (const auto& [addr, state] : peers_) {
+    classad::ClassAd ad;
+    ad.set("Type", "FederationPeer");
+    ad.set("Name", addr);
+    ad.set("Pool", state.pool);
+    ad.set("HomePool", config_.pool);
+    ad.set("Configured", state.configured);
+    ad.set("FlockTarget", state.flockTarget);
+    ad.set("PeerEpoch", static_cast<std::int64_t>(state.epoch));
+    ad.set("HasDigest", state.hasDigest(now, config_.digestTtl));
+    if (state.digest.has_value()) {
+      ad.set("DigestVersion",
+             static_cast<std::int64_t>(state.digest->version));
+      ad.set("DigestAds", static_cast<std::int64_t>(state.digest->adCount));
+      ad.set("DigestAttrs",
+             static_cast<std::int64_t>(state.digest->attrs.size()));
+      ad.set("DigestAgeSeconds", now - state.digestAt);
+    }
+    ads.push_back(classad::makeShared(std::move(ad)));
+  }
+  return ads;
+}
+
+void FederationPlane::send(const std::string& to, htcsim::Message message) {
+  net_.send(selfAddress_, to, std::move(message));
+}
+
+FederationPlane::PeerState& FederationPlane::peer(
+    const std::string& address) {
+  return peers_[address];
+}
+
+bool FederationPlane::rememberReferral(const std::string& originPool,
+                                       std::uint64_t id) {
+  std::string key = originPool;
+  key += '#';
+  key += std::to_string(id);
+  if (!seenReferrals_.insert(key).second) return false;
+  seenOrder_.push_back(std::move(key));
+  while (seenOrder_.size() > kSeenLimit) {
+    seenReferrals_.erase(seenOrder_.front());
+    seenOrder_.pop_front();
+  }
+  return true;
+}
+
+}  // namespace federation

@@ -1,0 +1,257 @@
+// plane.h - The federation plane: one matchmaker's view of its peers.
+//
+// Layered ON TOP of the single-pool matchmaker (the host), the plane
+// implements the three federation mechanisms of docs/FEDERATION.md:
+//
+//   1. Ad flocking: locally accepted resource ads are forwarded to peer
+//      matchmakers under a configurable policy, stamped with origin-pool
+//      provenance, deduplicated by (origin, key, revision);
+//   2. Hierarchical schema aggregation: the pool's schema digest
+//      (federation/digest.h) is pushed to every neighbor periodically —
+//      joined with the other neighbors' digests, so one push vouches for
+//      everything reachable through this matchmaker;
+//   3. Cross-pool match referral: requests the local engine could not
+//      serve are referred to peers whose aggregated digest admits them,
+//      with a hop limit and visited-pool loop detection. A successful
+//      referral comes back as an ordinary MatchNotification and the
+//      claim runs CA→RA directly — the claim/lease plane is untouched.
+//
+// The plane is substrate-agnostic: it speaks htcsim::Transport, so the
+// same code federates simulated PoolManagers sharing one Network and
+// live matchmakerds over framed TCP. It keeps no thread of its own —
+// the host calls in (deliver, pushDigest, referUnmatched) and supplies
+// the clock, exactly like the rest of the matchmaker stack.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+#include "classad/query.h"
+#include "federation/digest.h"
+#include "federation/messages.h"
+#include "matchmaker/matchmaker.h"
+#include "obs/registry.h"
+#include "sim/transport.h"
+
+namespace federation {
+
+using Time = matchmaking::Time;
+
+/// When does a locally accepted resource ad travel to peers?
+enum class FlockPolicy {
+  kOnDemand,  ///< never proactively; peers see the pool via digest+referral
+  kAll,       ///< every accepted resource ad
+  kFiltered,  ///< only ads matching `flockConstraint`
+};
+
+/// Provenance attributes stamped into the flocked copy of an ad.
+inline constexpr std::string_view kOriginPoolAttr = "OriginPool";
+inline constexpr std::string_view kFlockRevisionAttr = "FlockRevision";
+
+struct FederationConfig {
+  /// This matchmaker's pool name (globally unique). Empty disables the
+  /// plane entirely.
+  std::string pool;
+  /// Lateral peers (transport addresses): flocking + digest + referral.
+  std::vector<std::string> peers;
+  /// Upward collectors: digest push + referral, but never flocking —
+  /// a parent aggregates reachability, it does not mirror ads.
+  std::vector<std::string> parents;
+  FlockPolicy flockPolicy = FlockPolicy::kAll;
+  /// kFiltered only: a classad constraint evaluated one-way against each
+  /// resource ad; only matching ads flock.
+  std::string flockConstraint;
+  /// Lifetime of a flocked ad at the RECEIVER. Deliberately shorter than
+  /// a local ad lifetime: when an origin pool dies, its ads age out of
+  /// every peer without any retraction traffic.
+  Time flockedAdLifetime = 120.0;
+  /// Seconds between schema digest pushes.
+  Time digestInterval = 60.0;
+  /// A neighbor digest older than this is ignored for referral gating
+  /// and aggregation (the neighbor is presumed dead or partitioned).
+  Time digestTtl = 180.0;
+  /// Fold fresh neighbor digests into each push (minus the recipient's
+  /// own contribution), so a digest advertises the whole subtree/mesh
+  /// reachable through this matchmaker.
+  bool aggregateDigests = true;
+  /// Maximum inter-pool hops a referral may traverse, the origin's send
+  /// included. 1 = direct peers only.
+  std::uint32_t maxReferralHops = 3;
+  /// Minimum spacing between referrals of the SAME request key.
+  Time referralCooldown = 60.0;
+  /// Outstanding referral state older than this is dropped; a matched
+  /// response arriving later counts as stale.
+  Time referralTimeout = 240.0;
+  /// Restart counter stamped into PeerHello, letting peers detect that
+  /// this matchmaker came back empty.
+  std::uint64_t epoch = 0;
+
+  bool enabled() const noexcept {
+    return !pool.empty() && (!peers.empty() || !parents.empty());
+  }
+};
+
+/// What the plane needs from its matchmaker. PoolManager implements this
+/// against its ad stores and engine; tests implement it directly.
+class FederationHost {
+ public:
+  virtual ~FederationHost() = default;
+
+  /// Files (or refreshes) a flocked ad under `storeKey` with the given
+  /// revision and lifetime. Returns false iff the update was stale —
+  /// the (origin, key, revision) dedup.
+  virtual bool storeFlockedAd(const std::string& storeKey,
+                              const classad::ClassAdPtr& ad,
+                              std::uint64_t revision, Time lifetime) = 0;
+  /// Retracts a flocked ad; unknown keys are a no-op.
+  virtual void dropFlockedAd(const std::string& storeKey) = 0;
+  /// Engine-backed one-shot evaluation of a referred request against the
+  /// local resource pool.
+  virtual std::optional<matchmaking::Match> evaluateReferral(
+      const classad::ClassAdPtr& request, Time now) = 0;
+  /// A referral this matchmaker served: emit the resource-side
+  /// MatchNotification so the RA expects the foreign customer's claim.
+  virtual void serveLocalMatch(const matchmaking::Match& match) = 0;
+  /// A referral a REMOTE pool served for us: emit the customer-side
+  /// MatchNotification and withdraw the request ad. Returns false when
+  /// the request is no longer stored (matched or expired meanwhile).
+  virtual bool completeRemoteMatch(const ReferralResponse& response) = 0;
+  /// Schema fold of the LOCAL (non-flocked) resource ads.
+  virtual classad::analysis::Schema localResourceSchema() const = 0;
+};
+
+class FederationPlane {
+ public:
+  FederationPlane(FederationConfig config, FederationHost& host,
+                  htcsim::Transport& net, std::string selfAddress,
+                  obs::Registry* registry);
+
+  const FederationConfig& config() const noexcept { return config_; }
+
+  /// Store key a flocked ad is filed under; namespaced by origin pool so
+  /// two pools' ads (and two pools' identically named machines) can
+  /// never collide in the receiver's store.
+  static std::string flockedKey(std::string_view originPool,
+                                std::string_view originKey);
+  static bool isFlockedKey(std::string_view storeKey) noexcept;
+
+  /// Greets every configured neighbor (PeerHello).
+  void start(Time now);
+
+  /// Dispatches a federation envelope. Returns false when the payload is
+  /// not a federation message (the host falls through to its own
+  /// handlers).
+  bool deliver(const htcsim::Envelope& env, Time now);
+
+  /// Periodic digest push to every neighbor (the host's timer).
+  void pushDigest(Time now);
+
+  /// Flock-out hook: a locally accepted, genuinely local resource ad.
+  void onLocalResourceAd(const std::string& key,
+                         const classad::ClassAdPtr& ad,
+                         std::uint64_t sequence);
+  /// Retraction hook for a local resource ad.
+  void onLocalResourceInvalidate(const std::string& key);
+
+  /// End-of-cycle hook: requests the local engine left unmatched, as
+  /// (store key, ad) pairs. Each is referred to every neighbor whose
+  /// fresh digest admits it, subject to the per-key cooldown.
+  void referUnmatched(
+      const std::vector<std::pair<std::string, classad::ClassAdPtr>>&
+          unmatched,
+      Time now);
+
+  /// Housekeeping: expires outstanding referrals and referral cooldowns.
+  void purge(Time now);
+
+  // --- introspection (tools, the "peers" query scope, tests) ------------
+  std::size_t knownPeers() const noexcept { return peers_.size(); }
+  /// One "FederationPeer" classad per known neighbor.
+  std::vector<classad::ClassAdPtr> peerStatusAds(Time now) const;
+  std::size_t outstandingReferrals() const noexcept {
+    return outstanding_.size();
+  }
+
+ private:
+  struct PeerState {
+    std::string pool;  ///< learned from PeerHello / digest; may be empty
+    std::uint64_t epoch = 0;
+    std::uint64_t answeredEpoch = std::uint64_t(-1);
+    bool configured = false;    ///< in config.peers or config.parents
+    bool flockTarget = false;   ///< in config.peers (lateral)
+    std::optional<SchemaDigest> digest;
+    Time digestAt = 0;
+    bool hasDigest(Time now, Time ttl) const noexcept {
+      return digest.has_value() && digestAt + ttl >= now;
+    }
+  };
+
+  struct OutstandingReferral {
+    std::string requestKey;
+    Time sentAt = 0;
+  };
+
+  void onPeerHello(const std::string& from, const PeerHello& hello);
+  void onDigest(const std::string& from, const SchemaDigestMsg& msg,
+                Time now);
+  void onAdForward(const AdForward& msg);
+  void onReferral(const std::string& from, const MatchReferral& msg,
+                  Time now);
+  void onReferralResponse(const ReferralResponse& msg);
+  void send(const std::string& to, htcsim::Message message);
+  PeerState& peer(const std::string& address);
+  bool rememberReferral(const std::string& originPool, std::uint64_t id);
+  void answerReferral(const MatchReferral& referral, bool matched,
+                      const matchmaking::Match* match);
+
+  FederationConfig config_;
+  FederationHost& host_;
+  htcsim::Transport& net_;
+  std::string selfAddress_;
+
+  /// Neighbor address -> state. Ordered so peerStatusAds and digest
+  /// aggregation are deterministic.
+  std::map<std::string, PeerState> peers_;
+  std::optional<classad::Query> flockQuery_;  ///< kFiltered only
+  std::uint64_t digestVersion_ = 0;
+  std::uint64_t nextReferralId_ = 1;
+  std::unordered_map<std::uint64_t, OutstandingReferral> outstanding_;
+  std::unordered_map<std::string, Time> lastReferredAt_;
+  /// Referrals already seen, by "originPool#id" — the loop/duplicate
+  /// guard. FIFO-bounded.
+  std::unordered_set<std::string> seenReferrals_;
+  std::deque<std::string> seenOrder_;
+  static constexpr std::size_t kSeenLimit = 4096;
+
+  // Observability (null when no registry).
+  obs::Counter* adsFlockedOut_ = nullptr;
+  obs::Counter* adsFlockedIn_ = nullptr;
+  obs::Counter* flockDuplicates_ = nullptr;
+  obs::Counter* flockRetractions_ = nullptr;
+  obs::Counter* digestsSent_ = nullptr;
+  obs::Counter* digestsReceived_ = nullptr;
+  obs::Counter* digestsStale_ = nullptr;
+  obs::Counter* referralsSent_ = nullptr;
+  obs::Counter* referralsReceived_ = nullptr;
+  obs::Counter* referralsForwarded_ = nullptr;
+  obs::Counter* referralsServed_ = nullptr;
+  obs::Counter* referralMatches_ = nullptr;
+  obs::Counter* referralFailures_ = nullptr;
+  obs::Counter* referralLoopsDropped_ = nullptr;
+  obs::Counter* referralsStale_ = nullptr;
+  obs::Counter* referralsVetoed_ = nullptr;
+  obs::Counter* referralsExpired_ = nullptr;
+  obs::Histogram* referralHops_ = nullptr;
+  obs::Gauge* peersKnown_ = nullptr;
+};
+
+}  // namespace federation

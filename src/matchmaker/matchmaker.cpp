@@ -137,6 +137,20 @@ bool Matchmaker::matches(const classad::ClassAd& request,
   return classad::symmetricMatch(request, resource, attrs);
 }
 
+std::optional<Match> Matchmaker::bestMatchFor(
+    const classad::ClassAdPtr& request, const engine::PreparedPool& resources,
+    Time now, NegotiationStats* stats) const {
+  if (!request) return std::nullopt;
+  const classad::ClassAdPtr one[] = {request};
+  const engine::PreparedPool requestPool =
+      engine::PreparedPool::fromAds(one, requestPoolOptions(config_));
+  const Accountant guestAccountant{Accountant::Config{}};
+  std::vector<Match> found =
+      negotiate(requestPool, resources, guestAccountant, now, stats);
+  if (found.empty()) return std::nullopt;
+  return std::move(found.front());
+}
+
 std::vector<Match> Matchmaker::negotiate(
     std::span<const classad::ClassAdPtr> requests,
     std::span<const classad::ClassAdPtr> resources,

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -155,6 +156,17 @@ class Matchmaker {
   /// Convenience single-pair test used by tools and tests.
   bool matches(const classad::ClassAd& request,
                const classad::ClassAd& resource) const;
+
+  /// One-shot best match for a single foreign request against a prepared
+  /// resource pool — the federation plane's referral evaluator. The
+  /// request is prepared (guards derived, static skip applied) and run
+  /// through the same engine-backed cycle as a local negotiation, but
+  /// with a history-free accountant: a referred request is a guest, and
+  /// its origin pool's fair-share standing is not this pool's business.
+  std::optional<Match> bestMatchFor(const classad::ClassAdPtr& request,
+                                    const engine::PreparedPool& resources,
+                                    Time now,
+                                    NegotiationStats* stats = nullptr) const;
 
  private:
   std::vector<Match> negotiateNaive(const engine::PreparedPool& requests,

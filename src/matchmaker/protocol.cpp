@@ -29,4 +29,38 @@ std::optional<Ticket> ticketFromString(std::string_view s) {
   return t;
 }
 
+std::string claimIdToString(const ClaimId& id) {
+  if (id.originPool.empty()) return ticketToString(id.ticket);
+  return id.originPool + ":" + ticketToString(id.ticket);
+}
+
+std::optional<ClaimId> claimIdFromString(std::string_view s) {
+  ClaimId id;
+  // The pool name may itself contain ':'; the ticket never does, so the
+  // LAST colon splits. No colon = a bare single-pool ticket.
+  const std::size_t colon = s.rfind(':');
+  std::string_view ticketPart = s;
+  if (colon != std::string_view::npos) {
+    if (colon == 0) return std::nullopt;  // ":abc" — empty pool is bare form
+    id.originPool = std::string(s.substr(0, colon));
+    ticketPart = s.substr(colon + 1);
+  }
+  const std::optional<Ticket> ticket = ticketFromString(ticketPart);
+  if (!ticket.has_value()) return std::nullopt;
+  id.ticket = *ticket;
+  return id;
+}
+
+Ticket namespaceTicket(Ticket raw, std::string_view pool) {
+  if (pool.empty()) return raw;
+  // FNV-1a over the pool name; cheap, stable across builds, and spread
+  // over all 64 bits so XOR perturbs the whole ticket.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : pool) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return raw ^ h;
+}
+
 }  // namespace matchmaking

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "classad/classad.h"
 
@@ -32,6 +33,30 @@ constexpr Ticket kNoTicket = 0;
 /// tools treat them as doubles, so ads carry them as hex strings).
 std::string ticketToString(Ticket t);
 std::optional<Ticket> ticketFromString(std::string_view s);
+
+/// A claim identity namespaced by its origin pool. With federation
+/// (src/federation), resource ads flock between pools whose RAs mint
+/// tickets independently — the bare 64-bit ticket is only unique within
+/// one pool's seeding discipline. The pair (originPool, ticket) is
+/// globally unique as long as pool names are; it renders as
+/// "pool:hexticket" ("" pool renders as the bare hex, so single-pool
+/// deployments and their logs are unchanged).
+struct ClaimId {
+  std::string originPool;
+  Ticket ticket = kNoTicket;
+
+  bool operator==(const ClaimId&) const = default;
+};
+
+std::string claimIdToString(const ClaimId& id);
+std::optional<ClaimId> claimIdFromString(std::string_view s);
+
+/// Salts a freshly drawn ticket with the pool identity so RAs in
+/// different pools can never mint colliding ticket streams, even when
+/// their deterministic seeds coincide (machines with equal names exist
+/// in both pools — common with generated fleets). An empty pool name is
+/// the identity: single-pool behaviour is bit-for-bit unchanged.
+Ticket namespaceTicket(Ticket raw, std::string_view pool);
 
 /// Step 1, Figure 3: an advertisement en route to the matchmaker.
 struct Advertisement {

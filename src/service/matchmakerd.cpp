@@ -1,5 +1,6 @@
 #include "service/matchmakerd.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <unordered_map>
@@ -66,7 +67,10 @@ class MatchmakerDaemon::ServerTransport : public htcsim::Transport {
 };
 
 MatchmakerDaemon::MatchmakerDaemon(Config config)
-    : config_(std::move(config)), daemonAds_(config_.adLifetime) {}
+    : config_(std::move(config)),
+      address_(config_.address.empty() ? "collector" : config_.address),
+      peerRng_(htcsim::hashName(address_) | 1),
+      daemonAds_(config_.adLifetime) {}
 
 MatchmakerDaemon::~MatchmakerDaemon() { stop(); }
 
@@ -88,6 +92,18 @@ bool MatchmakerDaemon::start(std::string* error) {
   pmConfig.matchmaker = config_.matchmaker;
   pmConfig.accountant = config_.accountant;
   pmConfig.registry = &registry_;
+  pmConfig.federation = config_.federation;
+  // Every dialled peer is a federation neighbor; keep any addresses the
+  // caller listed directly (inbound-only links).
+  peerLinks_.clear();
+  for (const Config::FederationPeer& peer : config_.federationPeers) {
+    if (peer.address.empty()) continue;
+    peerLinks_.push_back(PeerLink{peer, nullptr, 0.0, 0});
+    auto& known = pmConfig.federation.peers;
+    if (std::find(known.begin(), known.end(), peer.address) == known.end()) {
+      known.push_back(peer.address);
+    }
+  }
   pool_ = std::make_unique<htcsim::PoolManager>(sim_, *transport_, metrics_,
                                                 std::move(pmConfig));
 
@@ -100,6 +116,18 @@ bool MatchmakerDaemon::start(std::string* error) {
     if (conn.decoder().poisoned()) ++rejected_;
     transport_->unregisterPeer(&conn);
     if (!conn.peerAddress.empty()) --peers_;
+    for (PeerLink& link : peerLinks_) {
+      if (link.conn == &conn) {
+        // Redial with backoff from the run loop; the federation plane's
+        // soft state (digests, flocked ads) repopulates by itself.
+        link.conn = nullptr;
+        link.nextAttemptAt =
+            sim_.now() + lease::backoffDelay(config_.peerReconnectBackoff,
+                                             link.attempts++,
+                                             peerRng_.uniform());
+        federationLinksUp_.store(countLiveLinks());
+      }
+    }
   };
 
   stopFlag_.store(false);
@@ -119,11 +147,36 @@ void MatchmakerDaemon::stop() {
   pool_.reset();
   reactor_.reset();
   transport_.reset();
+  peerLinks_.clear();
+  federationLinksUp_.store(0);
+}
+
+void MatchmakerDaemon::hardKill() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  killed_.store(true);
+  stopFlag_.store(true);
+  if (reactor_) reactor_->wake();
+  if (thread_.joinable()) thread_.join();
+  // Destroying the reactor closes every socket abruptly — peers see a
+  // dropped connection, not a farewell. All soft state dies with us.
+  reactor_.reset();
+  pool_.reset();
+  transport_.reset();
+  peerLinks_.clear();
+  federationLinksUp_.store(0);
 }
 
 void MatchmakerDaemon::run() {
   pool_->start();
+  // Agent daemons address the matchmaker by the bare logical name
+  // "collector"; a federated daemon attaches its pool under a
+  // pool-qualified address, so alias the bare name to the same endpoint.
+  if (address_ != "collector") transport_->attach("collector", pool_.get());
   const auto epoch = std::chrono::steady_clock::now();
+  maybeDialPeers(0.0);
   while (!stopFlag_.load()) {
     reactor_->pollOnce(kPollMs);
     // Slave the discrete-event clock to wall time: the PoolManager's
@@ -132,9 +185,44 @@ void MatchmakerDaemon::run() {
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - epoch;
     sim_.runUntil(elapsed.count());
+    maybeDialPeers(elapsed.count());
     refreshMirrors();
   }
-  pool_->stop();
+  // hardKill() models process death: the PoolManager never gets to say
+  // goodbye (its federation plane's PeerHellos simply stop).
+  if (!killed_.load()) pool_->stop();
+}
+
+std::size_t MatchmakerDaemon::countLiveLinks() const {
+  std::size_t n = 0;
+  for (const PeerLink& link : peerLinks_) {
+    if (link.conn != nullptr) ++n;
+  }
+  return n;
+}
+
+void MatchmakerDaemon::maybeDialPeers(double now) {
+  for (PeerLink& link : peerLinks_) {
+    if (link.conn != nullptr || now < link.nextAttemptAt) continue;
+    link.nextAttemptAt =
+        now + lease::backoffDelay(config_.peerReconnectBackoff,
+                                  link.attempts++, peerRng_.uniform());
+    link.conn = reactor_->dial(link.endpoint.host, link.endpoint.port,
+                               nullptr);
+    if (link.conn == nullptr) continue;
+    // Route envelopes for the peer's logical address over this link and
+    // introduce ourselves so the remote daemon registers the reverse
+    // direction on ITS end of the same connection.
+    link.conn->peerAddress = link.endpoint.address;
+    transport_->registerPeer(link.endpoint.address, link.conn);
+    ++peers_;
+    link.conn->queue(wire::encodeHello(
+        {wire::kProtocolVersion, wire::kProtocolVersion, address_}));
+    federationLinksUp_.store(countLiveLinks());
+    // The plane (re)announces itself over the fresh link; digests follow
+    // on the timer.
+    pool_->pushDigestNow();
+  }
 }
 
 void MatchmakerDaemon::handleFrame(Connection& conn,
@@ -160,6 +248,11 @@ void MatchmakerDaemon::handleFrame(Connection& conn,
       // and learn the collector's logical address.
       conn.queue(wire::encodeHello(
           {wire::kProtocolVersion, wire::kProtocolVersion, address_}));
+    }
+    // A hello on a dialled federation link confirms the connect landed:
+    // reset its backoff so the next outage redials promptly.
+    for (PeerLink& link : peerLinks_) {
+      if (link.conn == &conn) link.attempts = 0;
     }
     return;
   }
@@ -247,6 +340,11 @@ void MatchmakerDaemon::handleQuery(Connection& conn,
     gather(daemonAds_.snapshot());
     pool.push_back(buildSelfAd());
   }
+  if (all || query->scope == "peers") {
+    if (const federation::FederationPlane* fed = pool_->federation()) {
+      gather(fed->peerStatusAds(sim_.now()));
+    }
+  }
 
   resp.ads =
       matchmaking::engine::filterAds(pool, evaluator, query->projection);
@@ -312,6 +410,11 @@ classad::ClassAdPtr MatchmakerDaemon::buildSelfAd() {
   ad.set("DaemonType", "Matchmaker");
   ad.set("Name", address_);
   ad.set("Address", address_);
+  if (!config_.federation.pool.empty()) {
+    ad.set("Pool", config_.federation.pool);
+    ad.set("FederationLinksUp",
+           static_cast<std::int64_t>(federationLinksUp_.load()));
+  }
   registry_.renderInto(ad);
   return classad::makeShared(std::move(ad));
 }

@@ -26,10 +26,13 @@
 
 #include "classad/analysis/lint.h"
 #include "classad/analysis/schema.h"
+#include "federation/plane.h"
+#include "lease/backoff.h"
 #include "matchmaker/ad_store.h"
 #include "obs/registry.h"
 #include "service/reactor.h"
 #include "sim/pool_manager.h"
+#include "sim/rng.h"
 #include "sim/transport.h"
 
 namespace service {
@@ -37,11 +40,33 @@ namespace service {
 struct MatchmakerDaemonConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral (see port())
+  /// Logical transport address of this matchmaker. Must be unique across
+  /// a federation (each peer routes envelopes by it); the single-pool
+  /// default matches what every agent dials.
+  std::string address = "collector";
   /// Wall-clock seconds between negotiation cycles / until ads expire.
   double negotiationInterval = 5.0;
   double adLifetime = 60.0;
   matchmaking::MatchmakerConfig matchmaker;
   matchmaking::Accountant::Config accountant;
+
+  /// A peer matchmaker's TCP location plus its logical address (what its
+  /// own `address` is set to). The daemon dials it, registers the
+  /// connection under that logical address, and keeps redialling with
+  /// backoff whenever it drops — same discipline as an RA's matchmaker
+  /// link.
+  struct FederationPeer {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::string address;
+  };
+  /// Federation plane knobs (src/federation): pool name, flocking
+  /// policy, digest cadence, referral limits. `federation.peers` is
+  /// derived from `federationPeers` below; only set it directly for
+  /// peers that dial US (inbound-only links need no dialer).
+  federation::FederationConfig federation;
+  std::vector<FederationPeer> federationPeers;
+  lease::BackoffConfig peerReconnectBackoff;
 };
 
 class MatchmakerDaemon {
@@ -54,6 +79,13 @@ class MatchmakerDaemon {
   /// Binds the listener and spawns the service thread.
   bool start(std::string* error = nullptr);
   void stop();
+
+  /// Process death: tears the service thread and every socket down
+  /// abruptly — no graceful PoolManager stop, no goodbye to peers. What
+  /// `kill -9` leaves behind. Peers observe a dropped connection and
+  /// fall back to reconnect backoff; their flocked copies of this pool's
+  /// ads simply age out. Chaos-test entry point.
+  void hardKill();
 
   std::uint16_t port() const noexcept { return port_; }
   bool running() const noexcept { return running_.load(); }
@@ -74,6 +106,10 @@ class MatchmakerDaemon {
   std::size_t rejectedFrames() const noexcept { return rejected_.load(); }
   std::size_t peersConnected() const noexcept { return peers_.load(); }
   std::size_t queriesServed() const noexcept { return queries_.load(); }
+  /// Dialled federation peer links currently connected.
+  std::size_t federationLinksUp() const noexcept {
+    return federationLinksUp_.load();
+  }
 
   /// Usage totals the accountant has recorded, by user.
   std::map<std::string, double> usageByUser() const;
@@ -88,6 +124,8 @@ class MatchmakerDaemon {
   class ServerTransport;
 
   void run();
+  void maybeDialPeers(double now);
+  std::size_t countLiveLinks() const;
   void handleFrame(Connection& conn, const wire::Frame& frame);
   void handleQuery(Connection& conn, const wire::Frame& frame);
   void lintIncomingAd(matchmaking::Advertisement& adv);
@@ -97,6 +135,17 @@ class MatchmakerDaemon {
   Config config_;
   std::string address_ = "collector";
   std::uint16_t port_ = 0;
+
+  /// Outbound federation links (service thread only). `conn` is owned by
+  /// the reactor; this only tracks liveness for the redial loop.
+  struct PeerLink {
+    Config::FederationPeer endpoint;
+    Connection* conn = nullptr;
+    double nextAttemptAt = 0.0;
+    int attempts = 0;
+  };
+  std::vector<PeerLink> peerLinks_;
+  htcsim::Rng peerRng_{1};
 
   // Shared instruments; must outlive pool_/reactor_, which hold
   // pointers into it.
@@ -129,6 +178,8 @@ class MatchmakerDaemon {
   std::thread thread_;
   std::atomic<bool> stopFlag_{false};
   std::atomic<bool> running_{false};
+  std::atomic<bool> killed_{false};
+  std::atomic<std::size_t> federationLinksUp_{0};
 
   std::atomic<std::size_t> storedRequests_{0};
   std::atomic<std::size_t> storedResources_{0};

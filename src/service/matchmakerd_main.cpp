@@ -1,15 +1,20 @@
 // matchmakerd - networked matchmaker daemon (collector + negotiator).
 //
 //   matchmakerd [--port N] [--interval SECONDS] [--ad-lifetime SECONDS]
+//              [--pool NAME] [--peer NAME=HOST:PORT]...
+//              [--flock all|on-demand|filtered=EXPR]
 //
 // Serves the advertise/match path of the framework over TCP; see
-// docs/PROTOCOL.md "Wire format" and the README quickstart.
+// docs/PROTOCOL.md "Wire format" and the README quickstart. --pool
+// names this matchmaker's pool and enables the federation plane
+// (docs/FEDERATION.md); each --peer adds a lateral matchmaker to dial.
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 
 #include "service/matchmakerd.h"
@@ -17,6 +22,26 @@
 namespace {
 std::atomic<bool> gStop{false};
 void onSignal(int) { gStop.store(true); }
+
+/// "NAME=HOST:PORT" or "NAME=PORT" (host defaults to loopback).
+bool parsePeer(const std::string& spec,
+               service::MatchmakerDaemonConfig::FederationPeer* peer) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+    return false;
+  }
+  peer->address = "collector." + spec.substr(0, eq);
+  std::string endpoint = spec.substr(eq + 1);
+  const auto colon = endpoint.rfind(':');
+  if (colon != std::string::npos) {
+    peer->host = endpoint.substr(0, colon);
+    endpoint = endpoint.substr(colon + 1);
+  }
+  const int port = std::atoi(endpoint.c_str());
+  if (port <= 0 || port > 65535) return false;
+  peer->port = static_cast<std::uint16_t>(port);
+  return true;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -33,10 +58,38 @@ int main(int argc, char** argv) {
       config.negotiationInterval = std::atof(value());
     } else if (std::strcmp(arg, "--ad-lifetime") == 0) {
       config.adLifetime = std::atof(value());
+    } else if (std::strcmp(arg, "--pool") == 0) {
+      config.federation.pool = value();
+      config.address = "collector." + config.federation.pool;
+    } else if (std::strcmp(arg, "--peer") == 0) {
+      service::MatchmakerDaemonConfig::FederationPeer peer;
+      if (!parsePeer(value(), &peer)) {
+        std::fprintf(stderr, "matchmakerd: --peer wants NAME=HOST:PORT\n");
+        return 2;
+      }
+      config.federationPeers.push_back(peer);
+    } else if (std::strcmp(arg, "--flock") == 0) {
+      const std::string policy = value();
+      if (policy == "all") {
+        config.federation.flockPolicy = federation::FlockPolicy::kAll;
+      } else if (policy == "on-demand") {
+        config.federation.flockPolicy = federation::FlockPolicy::kOnDemand;
+      } else if (policy.rfind("filtered=", 0) == 0) {
+        config.federation.flockPolicy = federation::FlockPolicy::kFiltered;
+        config.federation.flockConstraint =
+            policy.substr(std::strlen("filtered="));
+      } else {
+        std::fprintf(stderr,
+                     "matchmakerd: --flock wants all, on-demand, or"
+                     " filtered=EXPR\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: matchmakerd [--port N] [--interval SECONDS]"
-                   " [--ad-lifetime SECONDS]\n");
+                   " [--ad-lifetime SECONDS] [--pool NAME]"
+                   " [--peer NAME=HOST:PORT]..."
+                   " [--flock all|on-demand|filtered=EXPR]\n");
       return 2;
     }
   }
@@ -49,16 +102,28 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
-  std::printf("matchmakerd: listening on port %u, negotiating every %gs\n",
-              daemon.port(), config.negotiationInterval);
+  if (config.federation.pool.empty()) {
+    std::printf("matchmakerd: listening on port %u, negotiating every %gs\n",
+                daemon.port(), config.negotiationInterval);
+  } else {
+    std::printf(
+        "matchmakerd: pool %s listening on port %u, negotiating every %gs,"
+        " %zu federation peer(s)\n",
+        config.federation.pool.c_str(), daemon.port(),
+        config.negotiationInterval, config.federationPeers.size());
+  }
   while (!gStop.load()) {
     std::this_thread::sleep_for(std::chrono::seconds(2));
     std::printf(
         "matchmakerd: peers=%zu resources=%zu requests=%zu cycles=%zu"
-        " matches=%zu\n",
+        " matches=%zu",
         daemon.peersConnected(), daemon.storedResources(),
         daemon.storedRequests(), daemon.negotiationCycles(),
         daemon.matchesIssued());
+    if (!config.federation.pool.empty()) {
+      std::printf(" fedLinks=%zu", daemon.federationLinksUp());
+    }
+    std::printf("\n");
     std::fflush(stdout);
   }
   daemon.stop();

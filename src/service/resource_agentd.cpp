@@ -22,7 +22,7 @@ ResourceAgentDaemon::~ResourceAgentDaemon() { stop(); }
 
 void ResourceAgentDaemon::mintTicket() {
   do {
-    ticket_ = rng_.next();
+    ticket_ = matchmaking::namespaceTicket(rng_.next(), config_.pool);
   } while (ticket_ == matchmaking::kNoTicket);
 }
 

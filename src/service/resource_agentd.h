@@ -52,6 +52,10 @@ struct ResourceAgentDaemonConfig {
   /// (a stand-in service time; 0 = serve until the customer releases).
   double serviceSeconds = 0.5;
   std::uint64_t ticketSeed = 0;  ///< 0 = derived from the name
+  /// Origin pool name; tickets are salted with it
+  /// (matchmaking::namespaceTicket) so federated pools never mint
+  /// colliding ticket streams. "" = single-pool, minting unchanged.
+  std::string pool;
   matchmaking::ClaimPolicy claimPolicy;
   /// Lease granted with each accepted claim: the customer must
   /// heartbeat within this window or the claim is torn down and the

@@ -2,6 +2,7 @@
 //
 //   resource_agentd --name NAME [--port N] [--matchmaker-port N]
 //                   [--memory MB] [--service SECONDS] [--lease SECONDS]
+//                   [--pool NAME]
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -37,11 +38,14 @@ int main(int argc, char** argv) {
       config.serviceSeconds = std::atof(value());
     } else if (std::strcmp(arg, "--lease") == 0) {
       config.leaseSeconds = std::atof(value());
+    } else if (std::strcmp(arg, "--pool") == 0) {
+      config.pool = value();
     } else {
       std::fprintf(stderr,
                    "usage: resource_agentd --name NAME [--port N]"
                    " [--matchmaker-port N] [--memory MB]"
-                   " [--service SECONDS] [--lease SECONDS]\n");
+                   " [--service SECONDS] [--lease SECONDS]"
+                   " [--pool NAME]\n");
       return 2;
     }
   }

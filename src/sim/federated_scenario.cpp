@@ -1,0 +1,195 @@
+#include "sim/federated_scenario.h"
+
+#include <algorithm>
+
+namespace htcsim {
+
+namespace {
+
+/// Prefixes every principal name a pool generator knows about so two
+/// pools never share an address or a policy identity on the one Network.
+std::string prefixed(const std::string& pool, const std::string& name) {
+  return pool + "." + name;
+}
+
+void prefixAll(const std::string& pool, std::vector<std::string>& names) {
+  for (std::string& n : names) n = prefixed(pool, n);
+}
+
+}  // namespace
+
+std::vector<std::string> FederatedScenario::peersOf(std::size_t i) const {
+  const std::size_t n = config_.pools;
+  std::vector<std::string> peers;
+  const auto address = [](std::size_t p) {
+    return "collector." + poolName(p);
+  };
+  switch (config_.topology) {
+    case FederationTopology::kMesh:
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) peers.push_back(address(j));
+      }
+      break;
+    case FederationTopology::kRing: {
+      if (n <= 1) break;
+      const std::size_t prev = (i + n - 1) % n;
+      const std::size_t next = (i + 1) % n;
+      peers.push_back(address(next));
+      if (prev != next) peers.push_back(address(prev));
+      break;
+    }
+    case FederationTopology::kStar:
+      if (i == 0) {
+        for (std::size_t j = 1; j < n; ++j) peers.push_back(address(j));
+      } else {
+        peers.push_back(address(0));
+      }
+      break;
+  }
+  return peers;
+}
+
+FederatedScenario::FederatedScenario(FederatedScenarioConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.pools == 0) config_.pools = 1;
+  net_ = std::make_unique<Network>(sim_, rng_.splitChild(hashName("net")),
+                                   config_.network);
+
+  pools_.reserve(config_.pools);
+  std::uint64_t nextJobId = 1;
+  for (std::size_t i = 0; i < config_.pools; ++i) {
+    Pool pool;
+    pool.name = poolName(i);
+    const std::string managerAddress = "collector." + pool.name;
+
+    PoolManager::Config mgrConfig = config_.manager;
+    mgrConfig.address = managerAddress;
+    mgrConfig.federation.pool = pool.name;
+    mgrConfig.federation.peers = peersOf(i);
+    if (mgrConfig.registry == nullptr) mgrConfig.registry = &registry_;
+    pool.manager =
+        std::make_unique<PoolManager>(sim_, *net_, metrics_, mgrConfig);
+    pool.manager->start();
+
+    // Machines and their RAs. Policy principals are prefixed along with
+    // the submitting users, so a pool's Figure-1 machines recognise their
+    // own research group — and treat a referred foreign job as the
+    // stranger it is.
+    MachinePoolConfig machineConfig = config_.machines;
+    prefixAll(pool.name, machineConfig.researchGroup);
+    prefixAll(pool.name, machineConfig.friends);
+    prefixAll(pool.name, machineConfig.untrusted);
+    Rng machineRng = rng_.splitChild(hashName(pool.name + "/machines"));
+    std::vector<MachineSpec> specs = generateMachines(machineConfig, machineRng);
+    pool.machines.reserve(specs.size());
+    pool.resourceAgents.reserve(specs.size());
+    for (MachineSpec& spec : specs) {
+      spec.name = prefixed(pool.name, spec.name);
+      const std::uint64_t nameSeed = hashName(spec.name);
+      pool.machines.push_back(std::make_unique<Machine>(
+          sim_, std::move(spec), machineRng.splitChild(nameSeed)));
+      ResourceAgent::Config raConfig = config_.resourceAgent;
+      raConfig.managerAddress = managerAddress;
+      raConfig.pool = pool.name;
+      pool.resourceAgents.push_back(std::make_unique<ResourceAgent>(
+          sim_, *net_, *pool.machines.back(), metrics_,
+          machineRng.splitChild(nameSeed ^ 0x5A5AULL), raConfig));
+      pool.resourceAgents.back()->start();
+    }
+
+    // Users, their CAs, and their job streams (only in the job pools).
+    const bool submitsJobs =
+        config_.jobPools.empty() ||
+        std::find(config_.jobPools.begin(), config_.jobPools.end(), i) !=
+            config_.jobPools.end();
+    if (submitsJobs) {
+      Rng jobRng = rng_.splitChild(hashName(pool.name + "/jobs"));
+      for (const std::string& bareUser : config_.workload.users) {
+        const std::string user = prefixed(pool.name, bareUser);
+        CustomerAgent::Config caConfig = config_.customerAgent;
+        caConfig.managerAddress = managerAddress;
+        pool.customerAgents.push_back(std::make_unique<CustomerAgent>(
+            sim_, *net_, metrics_, user, jobRng.splitChild(hashName(user)),
+            caConfig));
+        CustomerAgent* ca = pool.customerAgents.back().get();
+        ca->start();
+        Rng userRng = jobRng.splitChild(hashName(user) ^ 0xA5A5ULL);
+        const std::vector<Time> arrivals =
+            generateArrivals(config_.workload, userRng, config_.duration);
+        for (const Time when : arrivals) {
+          Job job =
+              generateJob(config_.workload, userRng, nextJobId++, user);
+          sim_.at(when, [ca, job = std::move(job)] { ca->submit(job); });
+        }
+      }
+    }
+
+    pools_.push_back(std::move(pool));
+  }
+
+  for (const auto& [poolIdx, crashAt, downFor] : config_.managerOutages) {
+    if (poolIdx >= pools_.size()) continue;
+    PoolManager* mgr = pools_[poolIdx].manager.get();
+    const Time d = downFor;
+    sim_.at(crashAt, [mgr, d] { mgr->crash(d); });
+  }
+
+  if (!config_.faults.empty()) {
+    net_->setFaultPlan(&config_.faults);
+    for (const faults::FaultRule& rule : config_.faults.killSchedule()) {
+      sim_.at(rule.at, [this, target = rule.a] {
+        for (Pool& pool : pools_) {
+          for (auto& ra : pool.resourceAgents) {
+            if (ra->address() == target) {
+              ra->kill();
+              return;
+            }
+          }
+          for (auto& ca : pool.customerAgents) {
+            if (ca->address() == target) {
+              ca->kill();
+              return;
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+FederatedScenario::~FederatedScenario() = default;
+
+void FederatedScenario::run() { runUntil(config_.duration); }
+
+void FederatedScenario::runUntil(Time until) { sim_.runUntil(until); }
+
+CustomerAgent* FederatedScenario::agentFor(const std::string& user) {
+  for (Pool& pool : pools_) {
+    for (auto& ca : pool.customerAgents) {
+      if (ca->user() == user) return ca.get();
+    }
+  }
+  return nullptr;
+}
+
+std::size_t FederatedScenario::totalJobs() const {
+  std::size_t n = 0;
+  for (const Pool& pool : pools_) {
+    for (const auto& ca : pool.customerAgents) n += ca->jobs().size();
+  }
+  return n;
+}
+
+std::size_t FederatedScenario::totalCompleted() const {
+  std::size_t n = 0;
+  for (const Pool& pool : pools_) {
+    for (const auto& ca : pool.customerAgents) {
+      for (const auto& job : ca->jobs()) {
+        if (job.done()) ++n;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace htcsim

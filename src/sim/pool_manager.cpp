@@ -67,11 +67,25 @@ void PoolManager::start() {
   cycleTimer_.emplace(
       sim_, config_.negotiationInterval, [this] { negotiateNow(); },
       config_.negotiationInterval);
+  if (config_.federation.enabled()) {
+    federation::FederationConfig fed = config_.federation;
+    fed.epoch = ++federationEpoch_;
+    federation_.emplace(std::move(fed),
+                        static_cast<federation::FederationHost&>(*this), net_,
+                        config_.address, config_.registry);
+    federation_->start(sim_.now());
+    digestTimer_.emplace(
+        sim_, config_.federation.digestInterval,
+        [this] { federation_->pushDigest(sim_.now()); },
+        config_.federation.digestInterval);
+  }
 }
 
 void PoolManager::stop() {
   up_ = false;
   cycleTimer_.reset();
+  digestTimer_.reset();
+  federation_.reset();
   net_.detach(config_.address);
 }
 
@@ -97,6 +111,8 @@ void PoolManager::deliver(const Envelope& env) {
     handleInvalidate(*inv);
   } else if (const auto* usage = std::get_if<UsageReport>(&env.payload)) {
     handleUsage(*usage);
+  } else if (federation_.has_value()) {
+    federation_->deliver(env, sim_.now());
   }
 }
 
@@ -108,7 +124,13 @@ void PoolManager::handleAdvertisement(const matchmaking::Advertisement& ad) {
   const std::string key =
       ad.key.empty() ? protocol_.keyOf(*ad.ad) : ad.key;
   matchmaking::AdStore& store = ad.isRequest ? requests_ : resources_;
-  store.update(key, ad.ad, sim_.now(), ad.sequence);
+  const bool fresh = store.update(key, ad.ad, sim_.now(), ad.sequence);
+  // Flock-out: every genuinely local resource ad version travels to the
+  // peers once (the plane re-checks provenance and policy).
+  if (fresh && !ad.isRequest && federation_.has_value() &&
+      !federation::FederationPlane::isFlockedKey(key)) {
+    federation_->onLocalResourceAd(key, ad.ad, ad.sequence);
+  }
 
   // Stateful-allocator strawman: a resource reporting itself Claimed with
   // no entry in the allocation table is, to this design, an orphan left
@@ -131,7 +153,11 @@ void PoolManager::handleAdvertisement(const matchmaking::Advertisement& ad) {
 
 void PoolManager::handleInvalidate(const AdInvalidate& inv) {
   matchmaking::AdStore& store = inv.isRequest ? requests_ : resources_;
-  store.invalidate(inv.key);
+  const bool known = store.invalidate(inv.key);
+  if (known && !inv.isRequest && federation_.has_value() &&
+      !federation::FederationPlane::isFlockedKey(inv.key)) {
+    federation_->onLocalResourceInvalidate(inv.key);
+  }
 }
 
 void PoolManager::handleUsage(const UsageReport& usage) {
@@ -202,6 +228,17 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
   if (!gangEntries.empty()) {
     negotiateGangs(gangEntries, resourcePool, taken);
   }
+  if (federation_.has_value()) {
+    federation_->purge(sim_.now());
+    // Requests still live after the notify/gang passes went unmatched
+    // this cycle (matched ones were invalidated above): candidates for
+    // cross-pool referral, gated by the peers' schema digests.
+    std::vector<std::pair<std::string, classad::ClassAdPtr>> unmatched;
+    for (const matchmaking::engine::Slot& slot : requestPool.slots()) {
+      if (slot.live && !slot.isGang) unmatched.emplace_back(slot.key, slot.ad());
+    }
+    federation_->referUnmatched(unmatched, sim_.now());
+  }
   if (config_.registry != nullptr) {
     adScanHist_->observe(adScanSeconds);
     fairShareHist_->observe(stats.serviceOrderSeconds);
@@ -226,6 +263,63 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
     indexRebuilds_->set(static_cast<double>(resourcePool.rebuilds()));
   }
   return stats;
+}
+
+// --- federation::FederationHost --------------------------------------------
+
+bool PoolManager::storeFlockedAd(const std::string& storeKey,
+                                 const classad::ClassAdPtr& ad,
+                                 std::uint64_t revision,
+                                 matchmaking::Time lifetime) {
+  return resources_.update(storeKey, ad, sim_.now(), revision, lifetime);
+}
+
+void PoolManager::dropFlockedAd(const std::string& storeKey) {
+  resources_.invalidate(storeKey);
+}
+
+std::optional<matchmaking::Match> PoolManager::evaluateReferral(
+    const classad::ClassAdPtr& request, matchmaking::Time now) {
+  resources_.expire(now);
+  return matchmaker_.bestMatchFor(request, *resources_.pool(), now);
+}
+
+void PoolManager::serveLocalMatch(const matchmaking::Match& match) {
+  ++metrics_.matchesIssued;
+  matchmaking::MatchNotification toResource;
+  toResource.myAd = match.resource;
+  toResource.peerAd = match.request;
+  toResource.peerContact = match.requestContact;
+  toResource.ticket = matchmaking::kNoTicket;
+  net_.send(config_.address, match.resourceContact, std::move(toResource));
+}
+
+bool PoolManager::completeRemoteMatch(
+    const federation::ReferralResponse& response) {
+  const matchmaking::StoredAd* stored = requests_.find(response.requestKey);
+  if (stored == nullptr || !stored->ad || !response.resourceAd) return false;
+  ++metrics_.matchesIssued;
+  const std::string requestContact =
+      stored->ad->getString(config_.matchmaker.protocol.contact).value_or("");
+  matchmaking::MatchNotification toCustomer;
+  toCustomer.myAd = stored->ad;
+  toCustomer.peerAd = response.resourceAd;
+  toCustomer.peerContact = response.resourceContact;
+  toCustomer.ticket = response.ticket;
+  net_.send(config_.address, requestContact, std::move(toCustomer));
+  // Withdraw the request until its CA re-advertises, exactly as after a
+  // local match. The claim itself runs CA→RA across the pools.
+  requests_.invalidate(response.requestKey);
+  return true;
+}
+
+classad::analysis::Schema PoolManager::localResourceSchema() const {
+  std::vector<classad::ClassAdPtr> local;
+  for (const matchmaking::StoredAd* entry : resources_.entries()) {
+    if (federation::FederationPlane::isFlockedKey(entry->key)) continue;
+    local.push_back(entry->ad);
+  }
+  return classad::analysis::Schema::fromAds(local);
 }
 
 std::size_t PoolManager::negotiateGangs(

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "federation/plane.h"
 #include "matchmaker/ad_store.h"
 #include "matchmaker/advertising.h"
 #include "matchmaker/gangmatch.h"
@@ -49,6 +50,10 @@ struct PoolManagerConfig {
   std::vector<std::pair<std::string, std::string>> accountingGroups;
   /// E2 strawman: behave like a conventional stateful allocator.
   bool stateful = false;
+  /// Federation plane (src/federation): peer flocking, schema digest
+  /// aggregation and cross-pool referral. Disabled unless a pool name
+  /// and at least one peer/parent are configured.
+  federation::FederationConfig federation;
   /// Observability plane (optional, not owned). When set, every
   /// negotiation cycle publishes per-phase latency histograms (ad-scan,
   /// fair-share, rank/scan, notify) and per-cycle match/reject gauges.
@@ -56,7 +61,7 @@ struct PoolManagerConfig {
   obs::Registry* registry = nullptr;
 };
 
-class PoolManager : public Endpoint {
+class PoolManager : public Endpoint, private federation::FederationHost {
  public:
   using Config = PoolManagerConfig;
 
@@ -93,6 +98,15 @@ class PoolManager : public Endpoint {
   }
   const std::string& address() const noexcept { return config_.address; }
 
+  /// The federation plane, when configured and the manager is up.
+  const federation::FederationPlane* federation() const noexcept {
+    return federation_.has_value() ? &*federation_ : nullptr;
+  }
+  /// Immediate digest push (tests and tools; normally timer-driven).
+  void pushDigestNow() {
+    if (federation_.has_value()) federation_->pushDigest(sim_.now());
+  }
+
  private:
   void handleAdvertisement(const matchmaking::Advertisement& ad);
   void handleInvalidate(const AdInvalidate& inv);
@@ -109,6 +123,18 @@ class PoolManager : public Endpoint {
       const matchmaking::engine::PreparedPool& resources,
       std::vector<char>& taken);
 
+  // federation::FederationHost — the plane's view of this matchmaker.
+  bool storeFlockedAd(const std::string& storeKey,
+                      const classad::ClassAdPtr& ad, std::uint64_t revision,
+                      matchmaking::Time lifetime) override;
+  void dropFlockedAd(const std::string& storeKey) override;
+  std::optional<matchmaking::Match> evaluateReferral(
+      const classad::ClassAdPtr& request, matchmaking::Time now) override;
+  void serveLocalMatch(const matchmaking::Match& match) override;
+  bool completeRemoteMatch(
+      const federation::ReferralResponse& response) override;
+  classad::analysis::Schema localResourceSchema() const override;
+
   Simulator& sim_;
   Transport& net_;
   Metrics& metrics_;
@@ -122,6 +148,10 @@ class PoolManager : public Endpoint {
   /// Stateful mode only: resource key -> user it was allocated to.
   std::unordered_map<std::string, std::string> allocationTable_;
   std::optional<PeriodicTimer> cycleTimer_;
+  std::optional<federation::FederationPlane> federation_;
+  std::optional<PeriodicTimer> digestTimer_;
+  /// Restart counter stamped into PeerHello (bumped on every start()).
+  std::uint64_t federationEpoch_ = 0;
   bool up_ = false;
 
   // Observability instruments (null when config_.registry is null).

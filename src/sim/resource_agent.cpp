@@ -95,7 +95,7 @@ void ResourceAgent::kill() {
 
 void ResourceAgent::mintTicket() {
   do {
-    ticket_ = rng_.next();
+    ticket_ = matchmaking::namespaceTicket(rng_.next(), config_.pool);
   } while (ticket_ == matchmaking::kNoTicket);
 }
 

@@ -46,6 +46,11 @@ struct ResourceAgentConfig {
   /// machine re-advertised. 0 disables leasing (the seed behaviour: a
   /// dead customer wedges the machine until an explicit release).
   Time leaseDuration = 0.0;
+  /// Origin pool name. Tickets are salted with it
+  /// (matchmaking::namespaceTicket) so RAs in different federated pools
+  /// can never mint colliding ticket streams; "" (single-pool) leaves
+  /// minting bit-for-bit unchanged.
+  std::string pool;
 };
 
 class ResourceAgent : public Endpoint {

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <variant>
 
+#include "federation/messages.h"
 #include "matchmaker/protocol.h"
 
 namespace htcsim {
@@ -34,7 +35,10 @@ using Message =
     std::variant<matchmaking::Advertisement, AdInvalidate,
                  matchmaking::MatchNotification, matchmaking::ClaimRequest,
                  matchmaking::ClaimResponse, matchmaking::ClaimRelease,
-                 UsageReport, matchmaking::Heartbeat, matchmaking::LeaseExpired>;
+                 UsageReport, matchmaking::Heartbeat, matchmaking::LeaseExpired,
+                 federation::PeerHello, federation::AdForward,
+                 federation::SchemaDigestMsg, federation::MatchReferral,
+                 federation::ReferralResponse>;
 
 struct Envelope {
   std::string from;

@@ -129,6 +129,56 @@ class Reader {
 // Per-message bodies
 // ---------------------------------------------------------------------------
 
+void writeDigest(Writer& w, const federation::SchemaDigest& d) {
+  w.str(d.pool);
+  w.u64(d.version);
+  w.u64(d.adCount);
+  w.u32(static_cast<std::uint32_t>(d.attrs.size()));
+  for (const federation::DigestAttr& a : d.attrs) {
+    w.str(a.name);
+    w.str(a.spelling);
+    w.u64(a.definedIn);
+    w.u8(a.typeMask);
+    w.f64(a.lo);
+    w.f64(a.hi);
+    w.boolean(a.loOpen);
+    w.boolean(a.hiOpen);
+    w.boolean(a.canTrue);
+    w.boolean(a.canFalse);
+    w.boolean(a.anyString);
+    w.u32(static_cast<std::uint32_t>(a.strings.size()));
+    for (const std::string& s : a.strings) w.str(s);
+  }
+}
+
+federation::SchemaDigest readDigest(Reader& r) {
+  federation::SchemaDigest d;
+  d.pool = r.str();
+  d.version = r.u64();
+  d.adCount = r.u64();
+  const std::uint32_t attrCount = r.u32();
+  for (std::uint32_t i = 0; i < attrCount && r.ok(); ++i) {
+    federation::DigestAttr a;
+    a.name = r.str();
+    a.spelling = r.str();
+    a.definedIn = r.u64();
+    a.typeMask = r.u8();
+    a.lo = r.f64();
+    a.hi = r.f64();
+    a.loOpen = r.boolean();
+    a.hiOpen = r.boolean();
+    a.canTrue = r.boolean();
+    a.canFalse = r.boolean();
+    a.anyString = r.boolean();
+    const std::uint32_t stringCount = r.u32();
+    for (std::uint32_t k = 0; k < stringCount && r.ok(); ++k) {
+      a.strings.push_back(r.str());
+    }
+    d.attrs.push_back(std::move(a));
+  }
+  return d;
+}
+
 struct BodyEncoder {
   Writer& w;
   MsgType operator()(const matchmaking::Advertisement& m) const {
@@ -187,6 +237,46 @@ struct BodyEncoder {
     w.u64(m.jobId);
     w.str(m.reason);
     return MsgType::kLeaseExpired;
+  }
+  MsgType operator()(const federation::PeerHello& m) const {
+    w.str(m.pool);
+    w.str(m.address);
+    w.u64(m.epoch);
+    return MsgType::kPeerHello;
+  }
+  MsgType operator()(const federation::AdForward& m) const {
+    w.ad(m.ad);
+    w.str(m.originPool);
+    w.str(m.key);
+    w.u64(m.revision);
+    w.boolean(m.retract);
+    return MsgType::kAdForward;
+  }
+  MsgType operator()(const federation::SchemaDigestMsg& m) const {
+    writeDigest(w, m.digest);
+    return MsgType::kSchemaDigest;
+  }
+  MsgType operator()(const federation::MatchReferral& m) const {
+    w.ad(m.requestAd);
+    w.str(m.originPool);
+    w.str(m.originAddress);
+    w.str(m.requestKey);
+    w.u64(m.referralId);
+    w.u32(m.hopsLeft);
+    w.u32(static_cast<std::uint32_t>(m.visited.size()));
+    for (const std::string& pool : m.visited) w.str(pool);
+    return MsgType::kMatchReferral;
+  }
+  MsgType operator()(const federation::ReferralResponse& m) const {
+    w.u64(m.referralId);
+    w.str(m.requestKey);
+    w.boolean(m.matched);
+    w.str(m.servingPool);
+    w.u32(m.hops);
+    w.ad(m.resourceAd);
+    w.str(m.resourceContact);
+    w.u64(m.ticket);
+    return MsgType::kReferralResponse;
   }
 };
 
@@ -267,6 +357,58 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       out = std::move(m);
       return true;
     }
+    case MsgType::kPeerHello: {
+      federation::PeerHello m;
+      m.pool = r.str();
+      m.address = r.str();
+      m.epoch = r.u64();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kAdForward: {
+      federation::AdForward m;
+      m.ad = r.ad();
+      m.originPool = r.str();
+      m.key = r.str();
+      m.revision = r.u64();
+      m.retract = r.boolean();
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kSchemaDigest: {
+      federation::SchemaDigestMsg m;
+      m.digest = readDigest(r);
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kMatchReferral: {
+      federation::MatchReferral m;
+      m.requestAd = r.ad();
+      m.originPool = r.str();
+      m.originAddress = r.str();
+      m.requestKey = r.str();
+      m.referralId = r.u64();
+      m.hopsLeft = r.u32();
+      const std::uint32_t visitedCount = r.u32();
+      for (std::uint32_t i = 0; i < visitedCount && r.ok(); ++i) {
+        m.visited.push_back(r.str());
+      }
+      out = std::move(m);
+      return true;
+    }
+    case MsgType::kReferralResponse: {
+      federation::ReferralResponse m;
+      m.referralId = r.u64();
+      m.requestKey = r.str();
+      m.matched = r.boolean();
+      m.servingPool = r.str();
+      m.hops = r.u32();
+      m.resourceAd = r.ad();
+      m.resourceContact = r.str();
+      m.ticket = r.u64();
+      out = std::move(m);
+      return true;
+    }
     case MsgType::kHello:
     case MsgType::kQuery:
     case MsgType::kQueryResponse:
@@ -275,6 +417,13 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
   }
   return false;
 }
+
+// The registry (wire/tags.h) and the transport's Message variant must
+// agree alternative-for-tag; a frame added to one but not the other
+// fails to compile right here.
+static_assert(std::variant_size_v<htcsim::Message> == kEnvelopeTagCount,
+              "htcsim::Message and the kEnvelope rows of kFrameTagRegistry "
+              "must stay 1:1");
 
 }  // namespace
 
@@ -391,12 +540,7 @@ std::optional<htcsim::Envelope> decodeEnvelope(const Frame& frame,
   htcsim::Envelope env;
   env.from = r.str();
   env.to = r.str();
-  const bool isMessageTag =
-      (frame.type >= static_cast<std::uint8_t>(MsgType::kAdvertisement) &&
-       frame.type <= static_cast<std::uint8_t>(MsgType::kUsageReport)) ||
-      frame.type == static_cast<std::uint8_t>(MsgType::kHeartbeat) ||
-      frame.type == static_cast<std::uint8_t>(MsgType::kLeaseExpired);
-  if (!isMessageTag) {
+  if (!isEnvelopeTag(frame.type)) {
     if (error) {
       *error = "unknown frame type " + std::to_string(frame.type);
     }

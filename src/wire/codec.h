@@ -20,27 +20,17 @@
 
 #include "sim/transport.h"
 #include "wire/frame.h"
+#include "wire/tags.h"
 
 namespace wire {
 
-/// Frame type tags. Tag 1 is the connection handshake; tags 2..8 and
-/// 11..12 map 1:1 onto the htcsim::Message variant alternatives; tags
-/// 9..10 are the observability Query protocol (one-way matching over
-/// the pool's ads, Section 4's status/queue browsing tools taken live).
-enum class MsgType : std::uint8_t {
-  kHello = 1,
-  kAdvertisement = 2,
-  kAdInvalidate = 3,
-  kMatchNotification = 4,
-  kClaimRequest = 5,
-  kClaimResponse = 6,
-  kClaimRelease = 7,
-  kUsageReport = 8,
-  kQuery = 9,
-  kQueryResponse = 10,
-  kHeartbeat = 11,
-  kLeaseExpired = 12,
-};
+/// Frame type tags now live in the registry (wire/tags.h); this alias
+/// keeps the historical name every call site uses. kEnvelope-kind tags
+/// map 1:1 onto the htcsim::Message variant alternatives; kHello is the
+/// connection handshake; kQuery/kQueryResponse are the observability
+/// Query protocol (one-way matching over the pool's ads, Section 4's
+/// status/queue browsing tools taken live).
+using MsgType = FrameTag;
 
 /// First frame on every connection, both directions. Carries the version
 /// range the peer speaks (the frame header pins the version actually in

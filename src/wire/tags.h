@@ -1,0 +1,125 @@
+// tags.h - The single registry of wire frame type tags.
+//
+// Every frame tag the protocol speaks is declared HERE, once, with its
+// dispatch kind and human-readable name. Before this registry existed,
+// tags 9/10/11/12 were magic numbers at call sites and in PROTOCOL.md;
+// codec.cpp, matchmakerd's frame dispatch, and the docs each carried a
+// private copy of the tag space and drifted independently. Now:
+//
+//   - codec.cpp derives its envelope-tag predicate from the registry and
+//     static_asserts that the htcsim::Message variant has exactly one
+//     alternative per kEnvelope tag;
+//   - tests/wire/tags_test.cpp round-trips every registered tag through
+//     the real encoder and checks the decoder agrees with the registry
+//     about which tags are envelopes;
+//   - PROTOCOL.md's tag table mirrors kFrameTagRegistry line for line.
+//
+// Adding a frame means adding one enumerator and one registry row; a
+// missing codec case then fails the static_assert or the registry test
+// instead of shipping a silent dispatch hole.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wire {
+
+/// Frame type tags (byte 5 of the frame header, frame.h). Values are wire
+/// protocol — never renumber, only append.
+enum class FrameTag : std::uint8_t {
+  kHello = 1,             ///< connection handshake (both directions)
+  kAdvertisement = 2,     ///< advertising protocol, Step 1 Figure 3
+  kAdInvalidate = 3,      ///< advertiser retracts its ad
+  kMatchNotification = 4, ///< matchmaking protocol, Step 3 Figure 3
+  kClaimRequest = 5,      ///< claiming protocol, Step 4 Figure 3
+  kClaimResponse = 6,
+  kClaimRelease = 7,
+  kUsageReport = 8,       ///< accounting feedback to the matchmaker
+  kQuery = 9,             ///< observability query (mm_status)
+  kQueryResponse = 10,
+  kHeartbeat = 11,        ///< claim-lease renewal (end-to-end)
+  kLeaseExpired = 12,
+  // --- federation plane (multi-matchmaker peering) -----------------------
+  kPeerHello = 13,        ///< matchmaker-to-matchmaker identification
+  kAdForward = 14,        ///< flocked resource ad (origin-pool stamped)
+  kSchemaDigest = 15,     ///< periodic pool-schema digest push
+  kMatchReferral = 16,    ///< unmatched request referred to a peer
+  kReferralResponse = 17, ///< the peer's verdict back to the origin
+};
+
+/// How a tag's payload is dispatched.
+enum class FrameKind : std::uint8_t {
+  kHandshake,  ///< connection-scoped, dedicated codec (Hello)
+  kEnvelope,   ///< an htcsim::Envelope carrying one Message alternative
+  kQuery,      ///< the observability query protocol, dedicated codecs
+};
+
+struct FrameTagInfo {
+  FrameTag tag;
+  FrameKind kind;
+  std::string_view name;
+};
+
+/// The registry: one row per tag the protocol has ever assigned, in tag
+/// order. PROTOCOL.md's "Type tags" table mirrors this array.
+inline constexpr std::array<FrameTagInfo, 17> kFrameTagRegistry = {{
+    {FrameTag::kHello, FrameKind::kHandshake, "Hello"},
+    {FrameTag::kAdvertisement, FrameKind::kEnvelope, "Advertisement"},
+    {FrameTag::kAdInvalidate, FrameKind::kEnvelope, "AdInvalidate"},
+    {FrameTag::kMatchNotification, FrameKind::kEnvelope, "MatchNotification"},
+    {FrameTag::kClaimRequest, FrameKind::kEnvelope, "ClaimRequest"},
+    {FrameTag::kClaimResponse, FrameKind::kEnvelope, "ClaimResponse"},
+    {FrameTag::kClaimRelease, FrameKind::kEnvelope, "ClaimRelease"},
+    {FrameTag::kUsageReport, FrameKind::kEnvelope, "UsageReport"},
+    {FrameTag::kQuery, FrameKind::kQuery, "Query"},
+    {FrameTag::kQueryResponse, FrameKind::kQuery, "QueryResponse"},
+    {FrameTag::kHeartbeat, FrameKind::kEnvelope, "Heartbeat"},
+    {FrameTag::kLeaseExpired, FrameKind::kEnvelope, "LeaseExpired"},
+    {FrameTag::kPeerHello, FrameKind::kEnvelope, "PeerHello"},
+    {FrameTag::kAdForward, FrameKind::kEnvelope, "AdForward"},
+    {FrameTag::kSchemaDigest, FrameKind::kEnvelope, "SchemaDigest"},
+    {FrameTag::kMatchReferral, FrameKind::kEnvelope, "MatchReferral"},
+    {FrameTag::kReferralResponse, FrameKind::kEnvelope, "ReferralResponse"},
+}};
+
+/// Registry row for a raw header byte; nullptr for unassigned tags.
+constexpr const FrameTagInfo* frameTagInfo(std::uint8_t raw) noexcept {
+  for (const FrameTagInfo& info : kFrameTagRegistry) {
+    if (static_cast<std::uint8_t>(info.tag) == raw) return &info;
+  }
+  return nullptr;
+}
+
+constexpr bool isEnvelopeTag(std::uint8_t raw) noexcept {
+  const FrameTagInfo* info = frameTagInfo(raw);
+  return info != nullptr && info->kind == FrameKind::kEnvelope;
+}
+
+constexpr std::string_view frameTagName(std::uint8_t raw) noexcept {
+  const FrameTagInfo* info = frameTagInfo(raw);
+  return info != nullptr ? info->name : std::string_view{"unassigned"};
+}
+
+/// Number of kEnvelope rows; codec.cpp pins the htcsim::Message variant
+/// to exactly this many alternatives.
+inline constexpr std::size_t kEnvelopeTagCount = [] {
+  std::size_t n = 0;
+  for (const FrameTagInfo& info : kFrameTagRegistry) {
+    if (info.kind == FrameKind::kEnvelope) ++n;
+  }
+  return n;
+}();
+
+// The tag space is dense from 1 and registered in order — a registry row
+// out of place (or a duplicate tag) fails right here.
+static_assert([] {
+  std::uint8_t expected = 1;
+  for (const FrameTagInfo& info : kFrameTagRegistry) {
+    if (static_cast<std::uint8_t>(info.tag) != expected++) return false;
+  }
+  return true;
+}(), "frame tag registry must be dense and in tag order");
+
+}  // namespace wire

@@ -1,0 +1,133 @@
+// Federation chaos: hard-kill one of N matchmakers mid-run. The claim
+// plane is CA→RA direct and leased, so in-flight claims must survive a
+// manager death; the flocked copies of the dead pool's ads must age out
+// of every peer on their receiver-side lifetime; and when the manager
+// comes back, soft state repopulates and flocking resumes on its own.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "sim/federated_scenario.h"
+
+namespace htcsim {
+namespace {
+
+FederatedScenarioConfig chaosConfig() {
+  FederatedScenarioConfig cfg;
+  cfg.seed = 20260808;
+  cfg.pools = 3;
+  cfg.topology = FederationTopology::kMesh;
+  cfg.duration = 2.0 * 3600.0;
+
+  // Small, always-available machines: owner churn is not under test here.
+  cfg.machines.count = 6;
+  cfg.machines.fracAlwaysAvailable = 1.0;
+  cfg.machines.fracClassicIdle = 0.0;
+  cfg.machines.fracFigure1 = 0.0;
+  cfg.machines.memoryChoicesMB = {128, 256};
+
+  // One overloaded pool: only pool0 submits, the rest are idle capacity
+  // reachable through flocking — the demand-skew shape of Section 6.
+  cfg.jobPools = {0};
+  cfg.workload.users = {"raman", "alice"};
+  cfg.workload.jobsPerUserPerHour = 20.0;
+  cfg.workload.meanWork = 1200.0;
+  cfg.workload.workCap = 3600.0;
+  cfg.workload.memoryChoicesMB = {16, 31};
+  cfg.workload.fracPlatformConstrained = 0.0;
+
+  cfg.manager.negotiationInterval = 30.0;
+  cfg.manager.federation.flockPolicy = federation::FlockPolicy::kAll;
+  cfg.manager.federation.flockedAdLifetime = 120.0;
+  cfg.manager.federation.digestInterval = 60.0;
+
+  // Leases are what let claims outlive everything else dying around
+  // them; claim timeouts un-wedge jobs whose matched RA went silent.
+  cfg.resourceAgent.leaseDuration = 120.0;
+  cfg.customerAgent.claimTimeout = 120.0;
+  return cfg;
+}
+
+std::size_t flockedAdsFrom(PoolManager& manager, const std::string& origin) {
+  std::size_t n = 0;
+  for (const auto& ad : manager.snapshotResources()) {
+    if (ad->getString("OriginPool").value_or("") == origin) ++n;
+  }
+  return n;
+}
+
+TEST(FederationChaosTest, ManagerHardKillLosesNoClaims) {
+  FederatedScenarioConfig cfg = chaosConfig();
+  // Pool1's manager dies at t=1200 and stays dead for 900s — several
+  // negotiation cycles, several flocked-ad lifetimes.
+  constexpr Time kCrashAt = 1200.0;
+  constexpr Time kDownFor = 900.0;
+  cfg.managerOutages.push_back({1, kCrashAt, kDownFor});
+  FederatedScenario scenario(cfg);
+
+  // Warm up: flocked copies of pool1 machines reach the other managers.
+  scenario.runUntil(kCrashAt);
+  EXPECT_GT(flockedAdsFrom(scenario.manager(0), "pool1"), 0u);
+
+  // Count claims in flight across every pool at the moment of death.
+  std::size_t runningAtCrash = 0;
+  for (const auto& ca : scenario.customerAgents(0)) {
+    runningAtCrash += ca->runningJobs();
+  }
+  EXPECT_GT(runningAtCrash, 0u);
+
+  // Mid-outage, past the flocked-ad lifetime: the dead pool's copies
+  // have aged out of its peers with zero retraction traffic...
+  scenario.runUntil(kCrashAt + 400.0);
+  EXPECT_FALSE(scenario.manager(1).up());
+  EXPECT_EQ(flockedAdsFrom(scenario.manager(0), "pool1"), 0u);
+  EXPECT_EQ(flockedAdsFrom(scenario.manager(2), "pool1"), 0u);
+  // ...while claims rode straight through: the CA→RA lease plane never
+  // spoke to the dead manager. Every claim running at the crash is
+  // either still running or finished — none was torn down.
+  std::size_t runningOrDone = 0;
+  for (const auto& ca : scenario.customerAgents(0)) {
+    runningOrDone += ca->runningJobs() + ca->completedJobs();
+  }
+  EXPECT_GE(runningOrDone, runningAtCrash);
+
+  // Recovery: the manager restarts empty; ads flow back in and flocking
+  // resumes without any operator action.
+  scenario.runUntil(kCrashAt + kDownFor + 300.0);
+  EXPECT_TRUE(scenario.manager(1).up());
+  EXPECT_GT(flockedAdsFrom(scenario.manager(0), "pool1"), 0u);
+
+  // Drain: every submitted job completes despite the outage.
+  scenario.runUntil(cfg.duration + 3.0 * 3600.0);
+  EXPECT_GT(scenario.totalJobs(), 0u);
+  EXPECT_EQ(scenario.totalCompleted(), scenario.totalJobs());
+}
+
+TEST(FederationChaosTest, DemandSkewDrainsThroughFederation) {
+  // No outage: the baseline shape the chaos run perturbs. One loaded
+  // pool drains through its idle neighbours; the shared registry shows
+  // cross-pool traffic actually happened.
+  FederatedScenarioConfig cfg = chaosConfig();
+  FederatedScenario scenario(cfg);
+  scenario.runUntil(cfg.duration + 3.0 * 3600.0);
+  EXPECT_GT(scenario.totalJobs(), 0u);
+  EXPECT_EQ(scenario.totalCompleted(), scenario.totalJobs());
+  EXPECT_GT(scenario.registry().counter("FedAdsFlockedIn")->value(), 0u);
+  EXPECT_GT(scenario.registry().counter("FedDigestsSent")->value(), 0u);
+}
+
+TEST(FederationChaosTest, RingTopologyStillDrains) {
+  // Same skew on a ring: digests aggregate hop-by-hop, flocked ads move
+  // only between direct neighbours, and the load still drains.
+  FederatedScenarioConfig cfg = chaosConfig();
+  cfg.topology = FederationTopology::kRing;
+  cfg.workload.jobsPerUserPerHour = 5.0;
+  FederatedScenario scenario(cfg);
+  scenario.runUntil(cfg.duration + 3.0 * 3600.0);
+  EXPECT_GT(scenario.totalJobs(), 0u);
+  EXPECT_EQ(scenario.totalCompleted(), scenario.totalJobs());
+}
+
+}  // namespace
+}  // namespace htcsim

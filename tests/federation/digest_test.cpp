@@ -1,0 +1,201 @@
+// Schema digest tests: exact roundtrip through the wire-flat form, the
+// aggregation join, and the soundness property the referral gate leans
+// on — if ANY ad in the digested pool satisfies a request's constraint,
+// admits() must say yes (no false negatives; false positives are the
+// price of abstraction and are filtered by the real negotiation).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+#include "classad/match.h"
+#include "federation/digest.h"
+#include "sim/rng.h"
+
+namespace federation {
+namespace {
+
+classad::ClassAdPtr machineAd(const std::string& name, const std::string& arch,
+                              const std::string& opSys, std::int64_t memory,
+                              std::int64_t mips) {
+  classad::ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", name);
+  ad.set("Arch", arch);
+  ad.set("OpSys", opSys);
+  ad.set("Memory", memory);
+  ad.set("Mips", mips);
+  ad.setExpr("Constraint", "true");
+  return classad::makeShared(std::move(ad));
+}
+
+classad::ClassAdPtr requestAd(const std::string& constraint) {
+  classad::ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("Owner", "raman");
+  ad.setExpr("Constraint", constraint);
+  return classad::makeShared(std::move(ad));
+}
+
+std::vector<classad::ClassAdPtr> samplePool() {
+  return {
+      machineAd("a.cs.wisc.edu", "INTEL", "LINUX", 64, 100),
+      machineAd("b.cs.wisc.edu", "INTEL", "SOLARIS251", 128, 200),
+      machineAd("c.cs.wisc.edu", "SPARC", "SOLARIS251", 256, 300),
+  };
+}
+
+TEST(DigestTest, RoundTripIsExact) {
+  const auto schema = classad::analysis::Schema::fromAds(samplePool());
+  const SchemaDigest d1 = digestOf(schema);
+  const SchemaDigest d2 = digestOf(schemaOf(d1));
+  ASSERT_EQ(d1.attrs.size(), d2.attrs.size());
+  EXPECT_EQ(d1.adCount, d2.adCount);
+  for (std::size_t i = 0; i < d1.attrs.size(); ++i) {
+    const DigestAttr& a = d1.attrs[i];
+    const DigestAttr& b = d2.attrs[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.definedIn, b.definedIn);
+    EXPECT_EQ(a.typeMask, b.typeMask) << a.name;
+    EXPECT_EQ(a.lo, b.lo) << a.name;
+    EXPECT_EQ(a.hi, b.hi) << a.name;
+    EXPECT_EQ(a.loOpen, b.loOpen) << a.name;
+    EXPECT_EQ(a.hiOpen, b.hiOpen) << a.name;
+    EXPECT_EQ(a.canTrue, b.canTrue) << a.name;
+    EXPECT_EQ(a.canFalse, b.canFalse) << a.name;
+    EXPECT_EQ(a.anyString, b.anyString) << a.name;
+    EXPECT_EQ(a.strings, b.strings) << a.name;
+  }
+}
+
+TEST(DigestTest, AdmitsSatisfiableConstraint) {
+  SchemaDigest d = digestOf(classad::analysis::Schema::fromAds(samplePool()));
+  d.pool = "poolA";
+  EXPECT_TRUE(admits(d, *requestAd("other.Memory >= 32")));
+  EXPECT_TRUE(admits(d, *requestAd("other.Arch == \"SPARC\"")));
+  EXPECT_TRUE(admits(
+      d, *requestAd("other.Arch == \"INTEL\" && other.Memory >= 100")));
+}
+
+TEST(DigestTest, RejectsUnsatisfiableConstraint) {
+  SchemaDigest d = digestOf(classad::analysis::Schema::fromAds(samplePool()));
+  EXPECT_FALSE(admits(d, *requestAd("other.Memory >= 512")));
+  EXPECT_FALSE(admits(d, *requestAd("other.Arch == \"ALPHA\"")));
+  EXPECT_FALSE(admits(d, *requestAd("other.Mips > 300")));
+}
+
+TEST(DigestTest, EmptyDigestAdmitsNothing) {
+  const SchemaDigest empty;
+  EXPECT_FALSE(admits(empty, *requestAd("true")));
+}
+
+TEST(DigestTest, NoConstraintAdmittedByAnyNonEmptyPool) {
+  const SchemaDigest d =
+      digestOf(classad::analysis::Schema::fromAds(samplePool()));
+  classad::ClassAd bare;
+  bare.set("Type", "Job");
+  EXPECT_TRUE(admits(d, bare));
+}
+
+TEST(DigestTest, JoinCoversBothSides) {
+  const std::vector<classad::ClassAdPtr> adsA = {
+      machineAd("a", "INTEL", "LINUX", 64, 100)};
+  const std::vector<classad::ClassAdPtr> adsB = {
+      machineAd("b", "SPARC", "SOLARIS251", 512, 400)};
+  const auto poolA = classad::analysis::Schema::fromAds(adsA);
+  const auto poolB = classad::analysis::Schema::fromAds(adsB);
+  SchemaDigest joined = joinDigests(digestOf(poolA), digestOf(poolB));
+  EXPECT_EQ(joined.adCount, 2u);
+  // Whatever either pool admits, the join admits.
+  EXPECT_TRUE(admits(joined, *requestAd("other.Arch == \"INTEL\"")));
+  EXPECT_TRUE(admits(joined, *requestAd("other.Memory >= 512")));
+  EXPECT_FALSE(admits(joined, *requestAd("other.Memory > 512")));
+  EXPECT_FALSE(admits(joined, *requestAd("other.Arch == \"ALPHA\"")));
+}
+
+// The property the whole referral gate rests on: a digest may admit a
+// request no ad satisfies (abstraction loses correlations), but it must
+// NEVER veto a request some digested ad concretely satisfies.
+TEST(DigestTest, RandomizedNeverFalseNegative) {
+  const std::vector<std::string> arches = {"INTEL", "SPARC", "ALPHA"};
+  const std::vector<std::string> systems = {"LINUX", "SOLARIS251", "OSF1"};
+  htcsim::Rng rng(20260808);
+  int satisfiableCases = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    // A random pool...
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.next() % 6);
+    std::vector<classad::ClassAdPtr> pool;
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.push_back(machineAd(
+          "m" + std::to_string(i), arches[rng.next() % arches.size()],
+          systems[rng.next() % systems.size()],
+          static_cast<std::int64_t>(16 << (rng.next() % 5)),
+          static_cast<std::int64_t>(50 + rng.next() % 400)));
+    }
+    // ...and a random conjunctive request over the same vocabulary.
+    std::string constraint =
+        "other.Memory >= " + std::to_string(16 << (rng.next() % 5));
+    if (rng.chance(0.7)) {
+      constraint +=
+          " && other.Arch == \"" + arches[rng.next() % arches.size()] + "\"";
+    }
+    if (rng.chance(0.5)) {
+      constraint +=
+          " && other.Mips >= " + std::to_string(50 + rng.next() % 400);
+    }
+    const classad::ClassAdPtr request = requestAd(constraint);
+
+    bool satisfiable = false;
+    for (const auto& ad : pool) {
+      if (classad::oneWayMatch(*request, *ad)) {
+        satisfiable = true;
+        break;
+      }
+    }
+    if (!satisfiable) continue;
+    ++satisfiableCases;
+    const SchemaDigest d =
+        digestOf(classad::analysis::Schema::fromAds(pool));
+    EXPECT_TRUE(admits(d, *request))
+        << "digest false-negatived satisfiable constraint: " << constraint;
+  }
+  // The generator must actually exercise the property.
+  EXPECT_GT(satisfiableCases, 50);
+}
+
+// Aggregated digests inherit the property: if a pool in the mesh could
+// serve the request, the JOIN of its digest with anything must admit it.
+TEST(DigestTest, RandomizedJoinNeverFalseNegative) {
+  const std::vector<std::string> arches = {"INTEL", "SPARC"};
+  htcsim::Rng rng(777);
+  for (int iter = 0; iter < 150; ++iter) {
+    std::vector<classad::ClassAdPtr> poolA, poolB;
+    for (std::size_t i = 0; i < 3; ++i) {
+      poolA.push_back(machineAd("a" + std::to_string(i),
+                                arches[rng.next() % 2], "LINUX",
+                                static_cast<std::int64_t>(16 << (rng.next() % 5)),
+                                100));
+      poolB.push_back(machineAd("b" + std::to_string(i),
+                                arches[rng.next() % 2], "SOLARIS251",
+                                static_cast<std::int64_t>(16 << (rng.next() % 5)),
+                                200));
+    }
+    const std::string constraint =
+        "other.Memory >= " + std::to_string(16 << (rng.next() % 5)) +
+        " && other.Arch == \"" + arches[rng.next() % 2] + "\"";
+    const classad::ClassAdPtr request = requestAd(constraint);
+    bool satisfiable = false;
+    for (const auto& ad : poolA) satisfiable |= classad::oneWayMatch(*request, *ad);
+    for (const auto& ad : poolB) satisfiable |= classad::oneWayMatch(*request, *ad);
+    if (!satisfiable) continue;
+    const SchemaDigest joined =
+        joinDigests(digestOf(classad::analysis::Schema::fromAds(poolA)),
+                    digestOf(classad::analysis::Schema::fromAds(poolB)));
+    EXPECT_TRUE(admits(joined, *request)) << constraint;
+  }
+}
+
+}  // namespace
+}  // namespace federation

@@ -1,0 +1,242 @@
+// Ad flocking between federated PoolManagers: policy gating, origin-pool
+// provenance, (origin, key, revision) dedup, retraction, the one-hop
+// re-flock guard, and peer-side expiry after an origin pool dies.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "federation/messages.h"
+#include "federation/plane.h"
+#include "obs/registry.h"
+#include "sim/customer_agent.h"
+#include "sim/machine.h"
+#include "sim/network.h"
+#include "sim/pool_manager.h"
+#include "sim/resource_agent.h"
+
+namespace htcsim {
+namespace {
+
+/// Two federated pools on one Network: the machine lives in B, the
+/// customer (when asked for) in A.
+struct FedRig {
+  explicit FedRig(federation::FlockPolicy policy = federation::FlockPolicy::kAll,
+                  const std::string& flockConstraint = "") {
+    PoolManagerConfig a;
+    a.address = "collector.poolA";
+    a.federation.pool = "poolA";
+    a.federation.peers = {"collector.poolB"};
+    a.federation.flockPolicy = policy;
+    a.federation.flockConstraint = flockConstraint;
+    a.federation.flockedAdLifetime = 90.0;
+    a.registry = &registryA;
+    poolA = std::make_unique<PoolManager>(sim, net, metrics, a);
+    poolA->start();
+
+    PoolManagerConfig b = a;
+    b.address = "collector.poolB";
+    b.federation.pool = "poolB";
+    b.federation.peers = {"collector.poolA"};
+    b.registry = &registryB;
+    poolB = std::make_unique<PoolManager>(sim, net, metrics, b);
+    poolB->start();
+  }
+
+  void addMachineInB(const std::string& name, std::int64_t memoryMB) {
+    MachineSpec spec;
+    spec.name = name;
+    spec.mips = 100;
+    spec.memoryMB = memoryMB;
+    spec.policy = OwnerPolicy::AlwaysAvailable;
+    spec.meanOwnerAbsence = 0.0;
+    machines.push_back(std::make_unique<Machine>(sim, spec, Rng(1)));
+    ResourceAgentConfig raConfig;
+    raConfig.managerAddress = "collector.poolB";
+    raConfig.pool = "poolB";
+    raConfig.adInterval = 2.0;  // first ad staggers within the interval
+    ras.push_back(std::make_unique<ResourceAgent>(
+        sim, net, *machines.back(), metrics, Rng(2 + machines.size()),
+        raConfig));
+    ras.back()->start();
+  }
+
+  std::size_t flockedAdsInA() const {
+    std::size_t n = 0;
+    for (const auto& ad : poolA->snapshotResources()) {
+      if (ad->getString("OriginPool").value_or("") == "poolB") ++n;
+    }
+    return n;
+  }
+
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  obs::Registry registryA, registryB;
+  std::unique_ptr<PoolManager> poolA, poolB;
+  std::vector<std::unique_ptr<Machine>> machines;
+  std::vector<std::unique_ptr<ResourceAgent>> ras;
+};
+
+TEST(FederationFlockingTest, AllPolicyForwardsWithProvenance) {
+  FedRig rig;
+  rig.addMachineInB("b1.cs.wisc.edu", 64);
+  rig.sim.runUntil(5.0);
+  ASSERT_EQ(rig.flockedAdsInA(), 1u);
+  // The flocked copy carries origin provenance and the revision stamp.
+  for (const auto& ad : rig.poolA->snapshotResources()) {
+    if (ad->getString("OriginPool").value_or("") != "poolB") continue;
+    EXPECT_TRUE(ad->getInteger("FlockRevision").has_value());
+    EXPECT_EQ(ad->getString("Name").value_or(""), "b1.cs.wisc.edu");
+  }
+  EXPECT_GE(rig.registryB.counter("FedAdsFlockedOut")->value(), 1u);
+  EXPECT_GE(rig.registryA.counter("FedAdsFlockedIn")->value(), 1u);
+}
+
+TEST(FederationFlockingTest, OnDemandPolicyNeverForwards) {
+  FedRig rig(federation::FlockPolicy::kOnDemand);
+  rig.addMachineInB("b1.cs.wisc.edu", 64);
+  rig.sim.runUntil(120.0);
+  EXPECT_EQ(rig.flockedAdsInA(), 0u);
+  EXPECT_EQ(rig.registryB.counter("FedAdsFlockedOut")->value(), 0u);
+}
+
+TEST(FederationFlockingTest, FilteredPolicyHonorsConstraint) {
+  FedRig rig(federation::FlockPolicy::kFiltered, "Memory >= 128");
+  rig.addMachineInB("small.cs.wisc.edu", 64);
+  rig.addMachineInB("big.cs.wisc.edu", 256);
+  rig.sim.runUntil(5.0);
+  ASSERT_EQ(rig.flockedAdsInA(), 1u);
+  for (const auto& ad : rig.poolA->snapshotResources()) {
+    if (ad->getString("OriginPool").value_or("") != "poolB") continue;
+    EXPECT_EQ(ad->getString("Name").value_or(""), "big.cs.wisc.edu");
+  }
+}
+
+TEST(FederationFlockingTest, DuplicateRevisionIsDropped) {
+  FedRig rig;
+  classad::ClassAd machine;
+  machine.set("Type", "Machine");
+  machine.set("Name", "m.cs.wisc.edu");
+  machine.set("Memory", std::int64_t{64});
+  // A real origin plane stamps provenance before forwarding; this
+  // hand-built frame mirrors that.
+  machine.set("OriginPool", "poolB");
+  machine.set("FlockRevision", std::int64_t{7});
+  machine.setExpr("Constraint", "true");
+  federation::AdForward fwd;
+  fwd.ad = classad::makeShared(std::move(machine));
+  fwd.originPool = "poolB";
+  fwd.key = "ra://m.cs.wisc.edu";
+  fwd.revision = 7;
+  rig.net.send("collector.poolB", "collector.poolA", fwd);
+  rig.net.send("collector.poolB", "collector.poolA", fwd);  // replay
+  rig.sim.runUntil(1.0);
+  EXPECT_EQ(rig.flockedAdsInA(), 1u);
+  EXPECT_EQ(rig.registryA.counter("FedAdsFlockedIn")->value(), 1u);
+  EXPECT_EQ(rig.registryA.counter("FedFlockDuplicatesDropped")->value(), 1u);
+  // A NEWER revision refreshes rather than duplicating.
+  fwd.revision = 8;
+  rig.net.send("collector.poolB", "collector.poolA", fwd);
+  rig.sim.runUntil(2.0);
+  EXPECT_EQ(rig.flockedAdsInA(), 1u);
+  EXPECT_EQ(rig.registryA.counter("FedAdsFlockedIn")->value(), 2u);
+}
+
+TEST(FederationFlockingTest, RetractionRemovesFlockedCopy) {
+  FedRig rig;
+  rig.addMachineInB("b1.cs.wisc.edu", 64);
+  rig.sim.runUntil(5.0);
+  ASSERT_EQ(rig.flockedAdsInA(), 1u);
+  // Silence the RA so no refresh races the retraction we inject.
+  rig.ras.front()->kill();
+  federation::AdForward retract;
+  retract.originPool = "poolB";
+  retract.key = rig.ras.front()->address();
+  retract.retract = true;
+  rig.net.send("collector.poolB", "collector.poolA", retract);
+  rig.sim.runUntil(6.0);
+  EXPECT_EQ(rig.flockedAdsInA(), 0u);
+  EXPECT_GE(rig.registryA.counter("FedFlockRetractions")->value(), 1u);
+}
+
+TEST(FederationFlockingTest, ForeignProvenanceNeverReflocks) {
+  // An ad advertised INTO poolA that already carries another pool's
+  // provenance must not flock onward: one forwarding hop only.
+  FedRig rig;
+  const std::uint64_t outBefore =
+      rig.registryA.counter("FedAdsFlockedOut")->value();
+  classad::ClassAd machine;
+  machine.set("Type", "Machine");
+  machine.set("Name", "foreign.cs.wisc.edu");
+  machine.set("Memory", std::int64_t{64});
+  machine.set("OriginPool", "poolX");
+  machine.setExpr("Constraint", "true");
+  matchmaking::Advertisement adv;
+  adv.ad = classad::makeShared(std::move(machine));
+  adv.sequence = 1;
+  adv.isRequest = false;
+  adv.key = "ra://foreign.cs.wisc.edu";
+  rig.net.send("ra://foreign.cs.wisc.edu", "collector.poolA", adv);
+  rig.sim.runUntil(1.0);
+  EXPECT_EQ(rig.registryA.counter("FedAdsFlockedOut")->value(), outBefore);
+}
+
+TEST(FederationFlockingTest, FlockedAdsExpireAfterOriginDies) {
+  FedRig rig;
+  rig.addMachineInB("b1.cs.wisc.edu", 64);
+  rig.sim.runUntil(5.0);
+  ASSERT_EQ(rig.flockedAdsInA(), 1u);
+  // Pool B dies wholesale: manager down, RA silenced. No retraction
+  // traffic — the flocked copy must age out of A on its own lifetime
+  // (90s here) even though A's own ad lifetime is longer.
+  rig.poolB->crash(3600.0);
+  for (auto& ra : rig.ras) ra->kill();
+  rig.sim.runUntil(400.0);
+  EXPECT_EQ(rig.flockedAdsInA(), 0u);
+}
+
+TEST(FederationFlockingTest, PeerStatusAdsDescribeNeighbors) {
+  FedRig rig;
+  rig.addMachineInB("b1.cs.wisc.edu", 64);
+  rig.sim.runUntil(5.0);
+  rig.poolB->pushDigestNow();
+  rig.sim.runUntil(6.0);
+  ASSERT_NE(rig.poolA->federation(), nullptr);
+  const auto ads = rig.poolA->federation()->peerStatusAds(rig.sim.now());
+  ASSERT_EQ(ads.size(), 1u);
+  EXPECT_EQ(ads[0]->getString("Type").value_or(""), "FederationPeer");
+  EXPECT_EQ(ads[0]->getString("Pool").value_or(""), "poolB");
+  EXPECT_EQ(ads[0]->getString("HomePool").value_or(""), "poolA");
+  EXPECT_EQ(ads[0]->getBoolean("HasDigest").value_or(false), true);
+  EXPECT_GE(ads[0]->getInteger("DigestAds").value_or(0), 1);
+}
+
+TEST(FederationFlockingTest, PoolSaltedTicketsNeverCollide) {
+  // Same machine name, same RNG seed, different pools: the provenance
+  // satellite. Without the pool salt these two RAs would mint identical
+  // ticket streams.
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  MachineSpec spec;
+  spec.name = "twin.cs.wisc.edu";
+  spec.mips = 100;
+  spec.memoryMB = 64;
+  spec.policy = OwnerPolicy::AlwaysAvailable;
+  spec.meanOwnerAbsence = 0.0;
+  Machine mA(sim, spec, Rng(1)), mB(sim, spec, Rng(1));
+  ResourceAgentConfig a, b;
+  a.pool = "poolA";
+  b.pool = "poolB";
+  ResourceAgent raA(sim, net, mA, metrics, Rng(42), a);
+  ResourceAgent raB(sim, net, mB, metrics, Rng(42), b);
+  EXPECT_NE(raA.outstandingTicket(), raB.outstandingTicket());
+  // And the empty pool preserves the raw (seed-deterministic) stream.
+  ResourceAgentConfig bare;
+  ResourceAgent raBare(sim, net, mA, metrics, Rng(42), bare);
+  EXPECT_EQ(raBare.outstandingTicket(),
+            matchmaking::namespaceTicket(raA.outstandingTicket(), "poolA"));
+}
+
+}  // namespace
+}  // namespace htcsim

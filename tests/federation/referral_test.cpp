@@ -1,0 +1,270 @@
+// Cross-pool match referral: an unmatched request travels to peers whose
+// schema digest admits it, is served by a remote engine, and the claim
+// then runs CA→RA across pools exactly like a local one. Also: digest
+// gating (no referral to a pool that could never match), hop limits, and
+// loop/duplicate suppression in a mesh.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/plane.h"
+#include "obs/registry.h"
+#include "sim/customer_agent.h"
+#include "sim/machine.h"
+#include "sim/network.h"
+#include "sim/pool_manager.h"
+#include "sim/resource_agent.h"
+
+namespace htcsim {
+namespace {
+
+struct PoolParts {
+  std::unique_ptr<PoolManager> manager;
+  std::vector<std::unique_ptr<Machine>> machines;
+  std::vector<std::unique_ptr<ResourceAgent>> ras;
+  std::vector<std::unique_ptr<CustomerAgent>> cas;
+  obs::Registry registry;
+};
+
+/// N pools with explicit peer lists; machines/customers added per pool.
+/// Flocking stays off (kOnDemand) so REFERRAL is the only cross-pool path.
+struct ReferralRig {
+  explicit ReferralRig(const std::vector<std::vector<std::string>>& peerLists,
+                       std::uint32_t maxHops = 3, Time cooldown = 30.0) {
+    pools.resize(peerLists.size());
+    for (std::size_t i = 0; i < peerLists.size(); ++i) {
+      PoolManagerConfig cfg;
+      cfg.address = addr(i);
+      cfg.negotiationInterval = 30.0;
+      cfg.federation.pool = pool(i);
+      cfg.federation.peers = peerLists[i];
+      cfg.federation.flockPolicy = federation::FlockPolicy::kOnDemand;
+      cfg.federation.maxReferralHops = maxHops;
+      cfg.federation.referralCooldown = cooldown;
+      cfg.registry = &pools[i].registry;
+      pools[i].manager =
+          std::make_unique<PoolManager>(sim, net, metrics, cfg);
+      pools[i].manager->start();
+    }
+  }
+
+  static std::string pool(std::size_t i) { return "pool" + std::to_string(i); }
+  static std::string addr(std::size_t i) { return "collector.pool" + std::to_string(i); }
+
+  void addMachine(std::size_t poolIdx, const std::string& name,
+                  std::int64_t memoryMB, const std::string& arch = "INTEL") {
+    MachineSpec spec;
+    spec.name = name;
+    spec.arch = arch;
+    spec.mips = 100;
+    spec.memoryMB = memoryMB;
+    spec.policy = OwnerPolicy::AlwaysAvailable;
+    spec.meanOwnerAbsence = 0.0;
+    PoolParts& p = pools[poolIdx];
+    p.machines.push_back(std::make_unique<Machine>(sim, spec, Rng(1)));
+    ResourceAgentConfig raConfig;
+    raConfig.managerAddress = addr(poolIdx);
+    raConfig.pool = pool(poolIdx);
+    raConfig.adInterval = 1.0;  // first ad staggers within the interval
+    p.ras.push_back(std::make_unique<ResourceAgent>(
+        sim, net, *p.machines.back(), metrics,
+        Rng(100 + 10 * poolIdx + p.ras.size()), raConfig));
+    p.ras.back()->start();
+  }
+
+  CustomerAgent* addCustomer(std::size_t poolIdx, const std::string& user) {
+    CustomerAgentConfig caConfig;
+    caConfig.managerAddress = addr(poolIdx);
+    PoolParts& p = pools[poolIdx];
+    p.cas.push_back(std::make_unique<CustomerAgent>(
+        sim, net, metrics, user, Rng(200 + 10 * poolIdx + p.cas.size()),
+        caConfig));
+    p.cas.back()->start();
+    return p.cas.back().get();
+  }
+
+  void pushAllDigests() {
+    for (auto& p : pools) p.manager->pushDigestNow();
+  }
+
+  Job job(std::uint64_t id, const std::string& owner,
+          std::int64_t memoryMB = 32) {
+    Job j;
+    j.id = id;
+    j.owner = owner;
+    j.totalWork = 100.0;
+    j.memoryMB = memoryMB;
+    return j;
+  }
+
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  // deque: PoolParts holds an obs::Registry, which cannot move.
+  std::deque<PoolParts> pools;
+};
+
+TEST(FederationReferralTest, CrossPoolMatchClaimsDirectly) {
+  // pool0: customer, no machines. pool1: the only machine. kOnDemand
+  // flocking means pool0 never stores pool1's ad — the referral path is
+  // the only way this job can run.
+  ReferralRig rig({{ReferralRig::addr(1)}, {ReferralRig::addr(0)}});
+  rig.addMachine(1, "remote.cs.wisc.edu", 64);
+  CustomerAgent* ca = rig.addCustomer(0, "raman");
+  rig.sim.runUntil(2.0);
+  rig.pushAllDigests();
+  ca->submit(rig.job(1, "raman"));
+  rig.sim.runUntil(600.0);
+  EXPECT_EQ(ca->completedJobs(), 1u);
+  EXPECT_GE(rig.metrics.claimsAccepted, 1u);
+  EXPECT_GE(rig.pools[0].registry.counter("FedReferralsSent")->value(), 1u);
+  EXPECT_EQ(rig.pools[0].registry.counter("FedReferralMatches")->value(), 1u);
+  EXPECT_GE(rig.pools[1].registry.counter("FedReferralsServed")->value(), 1u);
+  // The request ad was withdrawn from the origin store after the match.
+  EXPECT_EQ(rig.pools[0].manager->storedRequests(), 0u);
+}
+
+TEST(FederationReferralTest, DigestVetoesImpossibleRequests) {
+  // The only machine has 64MB; the job wants 1024. The digest proves the
+  // peer can never match, so NO referral is sent at all.
+  ReferralRig rig({{ReferralRig::addr(1)}, {ReferralRig::addr(0)}});
+  rig.addMachine(1, "small.cs.wisc.edu", 64);
+  CustomerAgent* ca = rig.addCustomer(0, "raman");
+  rig.sim.runUntil(2.0);
+  rig.pushAllDigests();
+  ca->submit(rig.job(1, "raman", /*memoryMB=*/1024));
+  rig.sim.runUntil(300.0);
+  EXPECT_EQ(ca->completedJobs(), 0u);
+  EXPECT_EQ(rig.pools[0].registry.counter("FedReferralsSent")->value(), 0u);
+  EXPECT_GE(rig.pools[0].registry.counter("FedReferralsDigestVetoed")->value(),
+            1u);
+  EXPECT_EQ(rig.pools[1].registry.counter("FedReferralsReceived")->value(),
+            0u);
+}
+
+TEST(FederationReferralTest, NoDigestMeansNoReferral) {
+  // Without a digest push the peer is presumed unknown: nothing flows.
+  ReferralRig rig({{ReferralRig::addr(1)}, {ReferralRig::addr(0)}});
+  rig.addMachine(1, "remote.cs.wisc.edu", 64);
+  CustomerAgent* ca = rig.addCustomer(0, "raman");
+  ca->submit(rig.job(1, "raman"));
+  rig.sim.runUntil(50.0);  // one cycle, before any digest interval fires
+  EXPECT_EQ(rig.pools[0].registry.counter("FedReferralsSent")->value(), 0u);
+}
+
+TEST(FederationReferralTest, ChainReferralForwardsThroughMiddlePool) {
+  // Chain pool0 -> pool1 -> pool2; only pool2 has the machine. pool1
+  // aggregates pool2's digest into its own push, so pool0 refers through
+  // it; pool1 forwards; pool2 serves and answers pool0 DIRECTLY.
+  ReferralRig rig({{ReferralRig::addr(1)},
+                   {ReferralRig::addr(0), ReferralRig::addr(2)},
+                   {ReferralRig::addr(1)}},
+                  /*maxHops=*/3);
+  rig.addMachine(2, "far.cs.wisc.edu", 64);
+  CustomerAgent* ca = rig.addCustomer(0, "raman");
+  rig.sim.runUntil(2.0);
+  // Digest flow: pool2 -> pool1 first, then pool1's aggregated push.
+  rig.pools[2].manager->pushDigestNow();
+  rig.sim.runUntil(3.0);
+  rig.pools[1].manager->pushDigestNow();
+  rig.sim.runUntil(4.0);
+  ca->submit(rig.job(1, "raman"));
+  rig.sim.runUntil(600.0);
+  EXPECT_EQ(ca->completedJobs(), 1u);
+  EXPECT_GE(rig.pools[1].registry.counter("FedReferralsForwarded")->value(),
+            1u);
+  EXPECT_GE(rig.pools[2].registry.counter("FedReferralsServed")->value(), 1u);
+  EXPECT_EQ(rig.pools[0].registry.counter("FedReferralMatches")->value(), 1u);
+}
+
+TEST(FederationReferralTest, HopLimitStopsTheChain) {
+  // Same chain, but maxHops=1: the referral may reach pool1 and go no
+  // further. The job never runs.
+  ReferralRig rig({{ReferralRig::addr(1)},
+                   {ReferralRig::addr(0), ReferralRig::addr(2)},
+                   {ReferralRig::addr(1)}},
+                  /*maxHops=*/1);
+  rig.addMachine(2, "far.cs.wisc.edu", 64);
+  CustomerAgent* ca = rig.addCustomer(0, "raman");
+  rig.sim.runUntil(2.0);
+  rig.pools[2].manager->pushDigestNow();
+  rig.sim.runUntil(3.0);
+  rig.pools[1].manager->pushDigestNow();
+  rig.sim.runUntil(4.0);
+  ca->submit(rig.job(1, "raman"));
+  rig.sim.runUntil(400.0);
+  EXPECT_EQ(ca->completedJobs(), 0u);
+  EXPECT_GE(rig.pools[0].registry.counter("FedReferralsSent")->value(), 1u);
+  EXPECT_EQ(rig.pools[1].registry.counter("FedReferralsForwarded")->value(),
+            0u);
+  EXPECT_EQ(rig.pools[2].registry.counter("FedReferralsReceived")->value(),
+            0u);
+  EXPECT_GE(rig.pools[0].registry.counter("FedReferralFailures")->value(), 1u);
+}
+
+TEST(FederationReferralTest, MeshLoopsAreDetectedAndDropped) {
+  // Full 3-mesh. Each serving pool holds machines whose ATTRIBUTE
+  // COMBINATION can never satisfy the request (64MB INTEL + 32MB SPARC;
+  // the job needs 64MB SPARC), but whose digest — which loses the
+  // correlation — admits it. The referral therefore bounces through the
+  // mesh until the visited-set / duplicate guard kills it, and every
+  // copy is answered or dropped without a crash or a livelock.
+  const std::vector<std::vector<std::string>> mesh = {
+      {ReferralRig::addr(1), ReferralRig::addr(2)},
+      {ReferralRig::addr(0), ReferralRig::addr(2)},
+      {ReferralRig::addr(0), ReferralRig::addr(1)},
+  };
+  ReferralRig rig(mesh, /*maxHops=*/4);
+  for (std::size_t p : {std::size_t{1}, std::size_t{2}}) {
+    rig.addMachine(p, "intel" + std::to_string(p), 64, "INTEL");
+    rig.addMachine(p, "sparc" + std::to_string(p), 32, "SPARC");
+  }
+  CustomerAgent* ca = rig.addCustomer(0, "raman");
+  rig.sim.runUntil(2.0);
+  rig.pushAllDigests();
+  rig.sim.runUntil(3.0);
+  Job j = rig.job(1, "raman", /*memoryMB=*/64);
+  j.requiredArch = "SPARC";
+  ca->submit(j);
+  rig.sim.runUntil(400.0);
+  EXPECT_EQ(ca->completedJobs(), 0u);
+  const std::uint64_t loops =
+      rig.pools[1].registry.counter("FedReferralLoopsDropped")->value() +
+      rig.pools[2].registry.counter("FedReferralLoopsDropped")->value();
+  EXPECT_GE(loops, 1u);
+  // Loop suppression must not leak outstanding state: once the customer
+  // goes away and its request ad expires, referrals stop and the
+  // outstanding table drains to empty via the referral timeout.
+  ca->kill();
+  rig.sim.runUntil(1200.0);
+  ASSERT_NE(rig.pools[0].manager->federation(), nullptr);
+  EXPECT_EQ(rig.pools[0].manager->federation()->outstandingReferrals(), 0u);
+}
+
+TEST(FederationReferralTest, ReferralCooldownLimitsResends) {
+  // An unmatchable-but-admitted request is re-referred once per cooldown
+  // window (100s here), not once per 30s negotiation cycle.
+  ReferralRig rig({{ReferralRig::addr(1)}, {ReferralRig::addr(0)}},
+                  /*maxHops=*/3, /*cooldown=*/100.0);
+  // Digest admits (64MB INTEL + 32MB SPARC rows) but concrete match fails.
+  rig.addMachine(1, "intel1", 64, "INTEL");
+  rig.addMachine(1, "sparc1", 32, "SPARC");
+  CustomerAgent* ca = rig.addCustomer(0, "raman");
+  rig.sim.runUntil(2.0);
+  rig.pushAllDigests();
+  Job j = rig.job(1, "raman", 64);
+  j.requiredArch = "SPARC";
+  ca->submit(j);
+  // Cycles at 30,60,...,180: referrals only at t=30 and t=150.
+  rig.sim.runUntil(185.0);
+  const std::uint64_t sent =
+      rig.pools[0].registry.counter("FedReferralsSent")->value();
+  EXPECT_GE(sent, 1u);
+  EXPECT_LE(sent, 2u);
+}
+
+}  // namespace
+}  // namespace htcsim

@@ -1,0 +1,77 @@
+// Pool-namespaced claim identities: the (originPool, ticket) pair that
+// keeps claims globally unique once resource ads flock between pools
+// whose RAs mint tickets from independent (possibly identical) seeds.
+#include "matchmaker/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+namespace matchmaking {
+namespace {
+
+TEST(ClaimIdTest, RoundTripsWithPool) {
+  ClaimId id;
+  id.originPool = "west";
+  id.ticket = 0xDEADBEEFCAFEBABEull;
+  const std::string s = claimIdToString(id);
+  EXPECT_EQ(s, "west:" + ticketToString(id.ticket));
+  const std::optional<ClaimId> back = claimIdFromString(s);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, id);
+}
+
+TEST(ClaimIdTest, EmptyPoolRendersTheBareTicket) {
+  // Single-pool deployments and their logs are unchanged: no colon.
+  ClaimId id;
+  id.ticket = 0x1234ull;
+  const std::string s = claimIdToString(id);
+  EXPECT_EQ(s, ticketToString(id.ticket));
+  EXPECT_EQ(s.find(':'), std::string::npos);
+  const std::optional<ClaimId> back = claimIdFromString(s);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->originPool, "");
+  EXPECT_EQ(back->ticket, id.ticket);
+}
+
+TEST(ClaimIdTest, LastColonSplitsPoolNamesContainingColons) {
+  ClaimId id;
+  id.originPool = "site:rack:west";
+  id.ticket = 0xABCull;
+  const std::optional<ClaimId> back =
+      claimIdFromString(claimIdToString(id));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->originPool, "site:rack:west");
+  EXPECT_EQ(back->ticket, 0xABCull);
+}
+
+TEST(ClaimIdTest, RejectsMalformedStrings) {
+  // Empty pool must use the bare form, not a leading colon.
+  EXPECT_FALSE(claimIdFromString(":abc").has_value());
+  // The ticket part must be valid hex.
+  EXPECT_FALSE(claimIdFromString("west:").has_value());
+  EXPECT_FALSE(claimIdFromString("west:xyz!").has_value());
+  EXPECT_FALSE(claimIdFromString("").has_value());
+}
+
+TEST(NamespaceTicketTest, EmptyPoolIsTheIdentity) {
+  EXPECT_EQ(namespaceTicket(0x5555ull, ""), 0x5555ull);
+  EXPECT_EQ(namespaceTicket(kNoTicket, ""), kNoTicket);
+}
+
+TEST(NamespaceTicketTest, SaltIsInvolutiveAndPerPool) {
+  const Ticket raw = 0xFEEDFACE12345678ull;
+  const Ticket west = namespaceTicket(raw, "west");
+  const Ticket east = namespaceTicket(raw, "east");
+  // Different pools perturb the same draw differently...
+  EXPECT_NE(west, raw);
+  EXPECT_NE(east, raw);
+  EXPECT_NE(west, east);
+  // ...deterministically (XOR with a pool hash: applying twice undoes).
+  EXPECT_EQ(namespaceTicket(west, "west"), raw);
+  EXPECT_EQ(namespaceTicket(raw, "west"), west);
+}
+
+}  // namespace
+}  // namespace matchmaking

@@ -1,0 +1,269 @@
+// Federation over real sockets: two live matchmakerds peered over
+// loopback TCP, a resource pool on one side and a customer on the
+// other. Flocked ads cross the wire, referrals are digest-gated, the
+// claim stays strictly CA→RA, and a hard-killed peer matchmaker
+// neither loses the in-flight claim nor stays gone — the dialer's
+// backoff re-establishes the link when it returns.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/customer_agentd.h"
+#include "service/matchmakerd.h"
+#include "service/query_client.h"
+#include "service/resource_agentd.h"
+
+namespace service {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename Pred>
+bool waitFor(Pred done, std::chrono::seconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (done()) return true;
+    std::this_thread::sleep_for(10ms);
+  }
+  return done();
+}
+
+/// The "west" matchmaker accepts the dial (inbound-only peer entry);
+/// "east" dials it. Both run the federation plane.
+MatchmakerDaemonConfig westConfig() {
+  MatchmakerDaemonConfig cfg;
+  cfg.negotiationInterval = 0.2;
+  cfg.adLifetime = 30.0;
+  cfg.address = "collector.west";
+  cfg.federation.pool = "west";
+  cfg.federation.peers = {"collector.east"};
+  cfg.federation.digestInterval = 0.3;
+  cfg.federation.referralCooldown = 0.3;
+  return cfg;
+}
+
+MatchmakerDaemonConfig eastConfig(std::uint16_t westPort) {
+  MatchmakerDaemonConfig cfg;
+  cfg.negotiationInterval = 0.2;
+  cfg.adLifetime = 30.0;
+  cfg.address = "collector.east";
+  cfg.federation.pool = "east";
+  cfg.federation.digestInterval = 0.3;
+  cfg.federation.referralCooldown = 0.3;
+  MatchmakerDaemonConfig::FederationPeer peer;
+  peer.port = westPort;
+  peer.address = "collector.west";
+  cfg.federationPeers.push_back(peer);
+  cfg.peerReconnectBackoff.initialSeconds = 0.2;
+  cfg.peerReconnectBackoff.maxSeconds = 0.5;
+  return cfg;
+}
+
+TEST(FederationLoopback, FlockedAdServesForeignJobOverTcp) {
+  std::string error;
+  MatchmakerDaemon west(westConfig());
+  ASSERT_TRUE(west.start(&error)) << error;
+  MatchmakerDaemon east(eastConfig(west.port()));
+  ASSERT_TRUE(east.start(&error)) << error;
+  ASSERT_TRUE(waitFor([&] { return east.federationLinksUp() == 1; }, 30s));
+
+  // The only machine lives in west; the only customer talks to east.
+  ResourceAgentDaemonConfig raConfig;
+  raConfig.name = "west-machine";
+  raConfig.memoryMB = 128;
+  raConfig.matchmakerPort = west.port();
+  raConfig.adIntervalSeconds = 0.2;
+  raConfig.serviceSeconds = 0.2;
+  raConfig.pool = "west";
+  ResourceAgentDaemon resource(raConfig);
+  ASSERT_TRUE(resource.start(&error)) << error;
+
+  CustomerAgentDaemonConfig caConfig;
+  caConfig.owner = "easterner";
+  caConfig.matchmakerPort = east.port();
+  caConfig.adIntervalSeconds = 0.2;
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    JobSpec job;
+    job.id = id;
+    job.work = 0.2;
+    caConfig.jobs.push_back(job);
+  }
+  CustomerAgentDaemon customer(caConfig);
+  ASSERT_TRUE(customer.start(&error)) << error;
+
+  // The flocked copy reaches east, east negotiates it like any local
+  // ad, and the claim runs CA→RA straight across the pool boundary.
+  ASSERT_TRUE(waitFor([&] { return customer.completedJobs() == 2; }, 60s))
+      << "idle=" << customer.idleJobs()
+      << " running=" << customer.runningJobs()
+      << " eastResources=" << east.storedResources()
+      << " eastMatches=" << east.matchesIssued()
+      << " linksUp=" << east.federationLinksUp();
+  EXPECT_GE(east.matchesIssued(), 2u);
+  EXPECT_GE(resource.claimsAccepted(), 2u);
+  EXPECT_EQ(east.claimFramesSeen(), 0u);
+  EXPECT_EQ(west.claimFramesSeen(), 0u);
+  EXPECT_GE(west.registry().counter("FedAdsFlockedOut")->value(), 1u);
+  EXPECT_GE(east.registry().counter("FedAdsFlockedIn")->value(), 1u);
+
+  // The "peers" query scope (mm_status -peers) describes the neighbor.
+  PoolQueryOptions peers;
+  peers.scope = "peers";
+  const PoolQueryResult view = queryPool("127.0.0.1", east.port(), peers);
+  ASSERT_TRUE(view.ok) << view.error;
+  ASSERT_FALSE(view.ads.empty());
+  bool sawWest = false;
+  for (const auto& ad : view.ads) {
+    if (ad->getString("Type").value_or("") != "FederationPeer") continue;
+    if (ad->getString("Pool").value_or("") != "west") continue;
+    sawWest = true;
+    EXPECT_EQ(ad->getString("HomePool").value_or(""), "east");
+  }
+  EXPECT_TRUE(sawWest);
+
+  customer.stop();
+  resource.stop();
+  east.stop();
+  west.stop();
+}
+
+TEST(FederationLoopback, OnDemandReferralCrossesTheWire) {
+  // No proactive flocking: east only learns of west's capacity through
+  // the schema digest, refers the unmatched request, and west's answer
+  // flows back as an ordinary match notification.
+  std::string error;
+  MatchmakerDaemonConfig wCfg = westConfig();
+  wCfg.federation.flockPolicy = federation::FlockPolicy::kOnDemand;
+  MatchmakerDaemon west(wCfg);
+  ASSERT_TRUE(west.start(&error)) << error;
+  MatchmakerDaemonConfig eCfg = eastConfig(west.port());
+  eCfg.federation.flockPolicy = federation::FlockPolicy::kOnDemand;
+  MatchmakerDaemon east(eCfg);
+  ASSERT_TRUE(east.start(&error)) << error;
+  ASSERT_TRUE(waitFor([&] { return east.federationLinksUp() == 1; }, 30s));
+
+  ResourceAgentDaemonConfig raConfig;
+  raConfig.name = "referred-machine";
+  raConfig.memoryMB = 128;
+  raConfig.matchmakerPort = west.port();
+  raConfig.adIntervalSeconds = 0.2;
+  raConfig.serviceSeconds = 0.2;
+  raConfig.pool = "west";
+  ResourceAgentDaemon resource(raConfig);
+  ASSERT_TRUE(resource.start(&error)) << error;
+
+  CustomerAgentDaemonConfig caConfig;
+  caConfig.owner = "referrer";
+  caConfig.matchmakerPort = east.port();
+  caConfig.adIntervalSeconds = 0.2;
+  JobSpec job;
+  job.id = 1;
+  job.work = 0.2;
+  caConfig.jobs.push_back(job);
+  CustomerAgentDaemon customer(caConfig);
+  ASSERT_TRUE(customer.start(&error)) << error;
+
+  ASSERT_TRUE(waitFor([&] { return customer.completedJobs() == 1; }, 60s))
+      << "referralsSent="
+      << east.registry().counter("FedReferralsSent")->value()
+      << " referralsServed="
+      << west.registry().counter("FedReferralsServed")->value()
+      << " eastResources=" << east.storedResources();
+  // East never held the machine ad; the match came back as a referral.
+  EXPECT_GE(east.registry().counter("FedReferralsSent")->value(), 1u);
+  EXPECT_GE(east.registry().counter("FedReferralMatches")->value(), 1u);
+  EXPECT_GE(west.registry().counter("FedReferralsServed")->value(), 1u);
+  EXPECT_EQ(east.registry().counter("FedAdsFlockedIn")->value(), 0u);
+  EXPECT_EQ(east.claimFramesSeen(), 0u);
+  EXPECT_EQ(west.claimFramesSeen(), 0u);
+
+  customer.stop();
+  resource.stop();
+  east.stop();
+  west.stop();
+}
+
+TEST(FederationLoopback, PeerHardKillSparesClaimsAndRedials) {
+  std::string error;
+  MatchmakerDaemonConfig wCfg = westConfig();
+  auto west = std::make_unique<MatchmakerDaemon>(wCfg);
+  ASSERT_TRUE(west->start(&error)) << error;
+  const std::uint16_t westPort = west->port();
+  MatchmakerDaemon east(eastConfig(westPort));
+  ASSERT_TRUE(east.start(&error)) << error;
+  ASSERT_TRUE(waitFor([&] { return east.federationLinksUp() == 1; }, 30s));
+
+  ResourceAgentDaemonConfig raConfig;
+  raConfig.name = "durable-machine";
+  raConfig.memoryMB = 128;
+  raConfig.matchmakerPort = westPort;
+  raConfig.adIntervalSeconds = 0.2;
+  raConfig.serviceSeconds = 2.0;
+  raConfig.leaseSeconds = 2.0;
+  raConfig.pool = "west";
+  ResourceAgentDaemon resource(raConfig);
+  ASSERT_TRUE(resource.start(&error)) << error;
+
+  CustomerAgentDaemonConfig caConfig;
+  caConfig.owner = "survivor";
+  caConfig.matchmakerPort = east.port();
+  caConfig.adIntervalSeconds = 0.2;
+  caConfig.heartbeat.intervalSeconds = 0.3;
+  JobSpec job;
+  job.id = 1;
+  job.work = 1.5;
+  caConfig.jobs.push_back(job);
+  CustomerAgentDaemon customer(caConfig);
+  ASSERT_TRUE(customer.start(&error)) << error;
+
+  // The cross-pool claim is running when the introducing federation
+  // link's far end dies.
+  ASSERT_TRUE(waitFor(
+      [&] { return resource.claimed() && customer.runningJobs() == 1; },
+      60s));
+  west->hardKill();
+  ASSERT_TRUE(waitFor([&] { return east.federationLinksUp() == 0; }, 30s));
+
+  // Matchmakers make introductions, nothing more: the CA→RA lease plane
+  // never touched either of them, so the job completes regardless.
+  ASSERT_TRUE(waitFor([&] { return customer.completedJobs() == 1; }, 60s))
+      << "running=" << customer.runningJobs()
+      << " expiries=" << customer.leaseExpiries();
+  EXPECT_EQ(customer.leaseExpiries(), 0u);
+
+  // A replacement matchmaker on the same port is found by the dialer's
+  // backoff without any operator action, and flocking resumes: fresh
+  // copies cross the revived link (the RA redials west on its own).
+  const std::uint64_t flockedInBefore =
+      east.registry().counter("FedAdsFlockedIn")->value();
+  west->stop();
+  west.reset();
+  wCfg.port = westPort;
+  auto revived = std::make_unique<MatchmakerDaemon>(wCfg);
+  ASSERT_TRUE(waitFor(
+      [&] {
+        std::string e;
+        return revived->running() || revived->start(&e);
+      },
+      30s));
+  ASSERT_TRUE(waitFor([&] { return east.federationLinksUp() == 1; }, 30s));
+  ASSERT_TRUE(waitFor(
+      [&] {
+        return east.registry().counter("FedAdsFlockedIn")->value() >
+               flockedInBefore;
+      },
+      30s));
+  EXPECT_GE(east.storedResources(), 1u);
+
+  customer.stop();
+  resource.stop();
+  east.stop();
+  revived->stop();
+}
+
+}  // namespace
+}  // namespace service

@@ -1,0 +1,265 @@
+// The frame-tag registry (wire/tags.h): the single declaration of the
+// protocol's tag space. These tests pin the registry's invariants at
+// runtime (mirroring its compile-time static_asserts), check that the
+// lookup helpers agree with the real encoder/decoder about which tags
+// are envelopes, and round-trip all five federation frames (tags 13..17)
+// through the production codec.
+#include "wire/tags.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+
+#include "classad/classad.h"
+#include "classad/json.h"
+#include "federation/digest.h"
+#include "federation/messages.h"
+#include "sim/transport.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+
+namespace wire {
+namespace {
+
+using htcsim::Envelope;
+
+Frame frameFromBytes(const std::string& bytes) {
+  FrameDecoder dec;
+  dec.append(bytes);
+  Frame f;
+  EXPECT_EQ(dec.next(f), DecodeStatus::kFrame) << dec.error();
+  return f;
+}
+
+Envelope roundTrip(const Envelope& env, FrameTag expectedTag) {
+  const std::string bytes = encodeEnvelope(env);
+  const Frame f = frameFromBytes(bytes);
+  // The encoder stamps the registry's tag, and the registry agrees the
+  // tag is an envelope.
+  EXPECT_EQ(f.type, static_cast<std::uint8_t>(expectedTag));
+  EXPECT_TRUE(isEnvelopeTag(f.type)) << frameTagName(f.type);
+  std::string error;
+  std::optional<Envelope> back = decodeEnvelope(f, &error);
+  EXPECT_TRUE(back.has_value()) << error;
+  return back.value_or(Envelope{});
+}
+
+std::string adJson(const classad::ClassAdPtr& ad) {
+  return ad ? classad::toJson(*ad) : std::string();
+}
+
+classad::ClassAdPtr sampleMachineAd() {
+  classad::ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", "m.cs.wisc.edu");
+  ad.set("Arch", "INTEL");
+  ad.set("Memory", std::int64_t{64});
+  ad.set("OriginPool", "west");
+  ad.set("FlockRevision", std::int64_t{4});
+  ad.setExpr("Constraint", "other.Type == \"Job\"");
+  return classad::makeShared(std::move(ad));
+}
+
+TEST(FrameTags, RegistryIsDenseAndInOrder) {
+  std::uint8_t expected = 1;
+  std::set<std::string_view> names;
+  for (const FrameTagInfo& info : kFrameTagRegistry) {
+    EXPECT_EQ(static_cast<std::uint8_t>(info.tag), expected++) << info.name;
+    EXPECT_FALSE(info.name.empty());
+    // Names are the mm_lint/log vocabulary: no duplicates.
+    EXPECT_TRUE(names.insert(info.name).second) << info.name;
+  }
+}
+
+TEST(FrameTags, LookupAgreesWithRegistry) {
+  for (const FrameTagInfo& info : kFrameTagRegistry) {
+    const std::uint8_t raw = static_cast<std::uint8_t>(info.tag);
+    const FrameTagInfo* found = frameTagInfo(raw);
+    ASSERT_NE(found, nullptr) << info.name;
+    EXPECT_EQ(found->tag, info.tag);
+    EXPECT_EQ(found->kind, info.kind);
+    EXPECT_EQ(frameTagName(raw), info.name);
+    EXPECT_EQ(isEnvelopeTag(raw), info.kind == FrameKind::kEnvelope);
+  }
+}
+
+TEST(FrameTags, UnassignedTagsResolveToNothing) {
+  const std::uint8_t beyond =
+      static_cast<std::uint8_t>(kFrameTagRegistry.back().tag) + 1;
+  for (std::uint8_t raw : {std::uint8_t{0}, beyond, std::uint8_t{255}}) {
+    EXPECT_EQ(frameTagInfo(raw), nullptr) << int(raw);
+    EXPECT_FALSE(isEnvelopeTag(raw));
+    EXPECT_EQ(frameTagName(raw), "unassigned");
+  }
+}
+
+TEST(FrameTags, EnvelopeTagsCoverTheMessageVariantExactly) {
+  // One Message alternative per kEnvelope row — the same pin codec.cpp
+  // enforces with static_assert, restated where a test log can show it.
+  EXPECT_EQ(std::variant_size_v<htcsim::Message>, kEnvelopeTagCount);
+}
+
+TEST(FrameTags, NonEnvelopeTagsAreRejectedByTheEnvelopeDecoder) {
+  for (const FrameTagInfo& info : kFrameTagRegistry) {
+    if (info.kind == FrameKind::kEnvelope) continue;
+    Frame f;
+    f.type = static_cast<std::uint8_t>(info.tag);
+    std::string error;
+    EXPECT_FALSE(decodeEnvelope(f, &error).has_value()) << info.name;
+  }
+}
+
+// --- federation frames (tags 13..17) through the production codec ------
+
+TEST(FrameTags, PeerHelloRoundTrip) {
+  federation::PeerHello hello;
+  hello.pool = "west";
+  hello.address = "collector.west";
+  hello.epoch = 42;
+  Envelope back = roundTrip({"collector.west", "collector.east", hello},
+                            FrameTag::kPeerHello);
+  auto* got = std::get_if<federation::PeerHello>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->pool, "west");
+  EXPECT_EQ(got->address, "collector.west");
+  EXPECT_EQ(got->epoch, 42u);
+}
+
+TEST(FrameTags, AdForwardRoundTrip) {
+  federation::AdForward fwd;
+  fwd.ad = sampleMachineAd();
+  fwd.originPool = "west";
+  fwd.key = "ra://m.cs.wisc.edu";
+  fwd.revision = 4;
+  Envelope back = roundTrip({"collector.west", "collector.east", fwd},
+                            FrameTag::kAdForward);
+  auto* got = std::get_if<federation::AdForward>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->originPool, "west");
+  EXPECT_EQ(got->key, "ra://m.cs.wisc.edu");
+  EXPECT_EQ(got->revision, 4u);
+  EXPECT_FALSE(got->retract);
+  EXPECT_EQ(adJson(got->ad), adJson(fwd.ad));
+}
+
+TEST(FrameTags, AdForwardRetractionTravelsWithoutAnAd) {
+  federation::AdForward retract;
+  retract.originPool = "west";
+  retract.key = "ra://m.cs.wisc.edu";
+  retract.revision = 5;
+  retract.retract = true;
+  Envelope back = roundTrip({"collector.west", "collector.east", retract},
+                            FrameTag::kAdForward);
+  auto* got = std::get_if<federation::AdForward>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(got->retract);
+  EXPECT_EQ(got->ad, nullptr);
+  EXPECT_EQ(got->key, "ra://m.cs.wisc.edu");
+}
+
+TEST(FrameTags, SchemaDigestRoundTrip) {
+  // Build the digest from real ads so every DigestAttr field shape
+  // (interval, string set, type mask) is exercised by the codec.
+  federation::SchemaDigestMsg msg;
+  const std::vector<classad::ClassAdPtr> ads = {sampleMachineAd()};
+  msg.digest = federation::digestOf(classad::analysis::Schema::fromAds(ads));
+  msg.digest.pool = "west";
+  msg.digest.version = 7;
+  Envelope back = roundTrip({"collector.west", "collector.east", msg},
+                            FrameTag::kSchemaDigest);
+  auto* got = std::get_if<federation::SchemaDigestMsg>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->digest.pool, "west");
+  EXPECT_EQ(got->digest.version, 7u);
+  EXPECT_EQ(got->digest.adCount, msg.digest.adCount);
+  ASSERT_EQ(got->digest.attrs.size(), msg.digest.attrs.size());
+  for (std::size_t i = 0; i < msg.digest.attrs.size(); ++i) {
+    const federation::DigestAttr& a = msg.digest.attrs[i];
+    const federation::DigestAttr& b = got->digest.attrs[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.spelling, b.spelling);
+    EXPECT_EQ(a.definedIn, b.definedIn);
+    EXPECT_EQ(a.typeMask, b.typeMask) << a.name;
+    EXPECT_EQ(a.lo, b.lo) << a.name;
+    EXPECT_EQ(a.hi, b.hi) << a.name;
+    EXPECT_EQ(a.loOpen, b.loOpen) << a.name;
+    EXPECT_EQ(a.hiOpen, b.hiOpen) << a.name;
+    EXPECT_EQ(a.canTrue, b.canTrue) << a.name;
+    EXPECT_EQ(a.canFalse, b.canFalse) << a.name;
+    EXPECT_EQ(a.anyString, b.anyString) << a.name;
+    EXPECT_EQ(a.strings, b.strings) << a.name;
+  }
+}
+
+TEST(FrameTags, MatchReferralRoundTrip) {
+  classad::ClassAd request;
+  request.set("Type", "Job");
+  request.set("Owner", "raman");
+  request.setExpr("Constraint", "other.Memory >= 32");
+  federation::MatchReferral referral;
+  referral.requestAd = classad::makeShared(std::move(request));
+  referral.originPool = "east";
+  referral.originAddress = "collector.east";
+  referral.requestKey = "ca://raman/1";
+  referral.referralId = 99;
+  referral.hopsLeft = 2;
+  referral.visited = {"east", "central"};
+  Envelope back = roundTrip({"collector.east", "collector.west", referral},
+                            FrameTag::kMatchReferral);
+  auto* got = std::get_if<federation::MatchReferral>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->originPool, "east");
+  EXPECT_EQ(got->originAddress, "collector.east");
+  EXPECT_EQ(got->requestKey, "ca://raman/1");
+  EXPECT_EQ(got->referralId, 99u);
+  EXPECT_EQ(got->hopsLeft, 2u);
+  EXPECT_EQ(got->visited, referral.visited);
+  EXPECT_EQ(adJson(got->requestAd), adJson(referral.requestAd));
+}
+
+TEST(FrameTags, ReferralResponseRoundTrip) {
+  federation::ReferralResponse response;
+  response.referralId = 99;
+  response.requestKey = "ca://raman/1";
+  response.matched = true;
+  response.servingPool = "west";
+  response.hops = 2;
+  response.resourceAd = sampleMachineAd();
+  response.resourceContact = "127.0.0.1:41999";
+  response.ticket = 0xFEEDFACEull;
+  Envelope back = roundTrip({"collector.west", "collector.east", response},
+                            FrameTag::kReferralResponse);
+  auto* got = std::get_if<federation::ReferralResponse>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->referralId, 99u);
+  EXPECT_EQ(got->requestKey, "ca://raman/1");
+  EXPECT_TRUE(got->matched);
+  EXPECT_EQ(got->servingPool, "west");
+  EXPECT_EQ(got->hops, 2u);
+  EXPECT_EQ(got->resourceContact, "127.0.0.1:41999");
+  EXPECT_EQ(got->ticket, 0xFEEDFACEull);
+  EXPECT_EQ(adJson(got->resourceAd), adJson(response.resourceAd));
+}
+
+TEST(FrameTags, UnmatchedReferralResponseTravelsWithoutAnAd) {
+  federation::ReferralResponse response;
+  response.referralId = 7;
+  response.requestKey = "ca://raman/2";
+  response.matched = false;
+  response.servingPool = "west";
+  response.hops = 3;
+  Envelope back = roundTrip({"collector.west", "collector.east", response},
+                            FrameTag::kReferralResponse);
+  auto* got = std::get_if<federation::ReferralResponse>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  EXPECT_FALSE(got->matched);
+  EXPECT_EQ(got->resourceAd, nullptr);
+  EXPECT_EQ(got->ticket, matchmaking::kNoTicket);
+}
+
+}  // namespace
+}  // namespace wire

@@ -6,6 +6,7 @@
 //   mm_status -pool 127.0.0.1:9618 -jobs                # request ads
 //   mm_status -pool 127.0.0.1:9618 -stats               # DaemonStatus ads
 //   mm_status -pool 127.0.0.1:9618 -claims              # active claim leases
+//   mm_status -pool 127.0.0.1:9618 -peers               # federation peers
 //   mm_status -pool 127.0.0.1:9618 -long                # full classads
 //
 // Exit status: 0 = success, 1 = query/transport failure, 2 = bad usage.
@@ -29,6 +30,7 @@ void usage(std::ostream& out) {
          "  -daemons           DaemonStatus self-advertisements\n"
          "  -stats             like -daemons, printed as full classads\n"
          "  -claims            active claim leases (age, heartbeat, TTL)\n"
+         "  -peers             federation peers (digest age, flock links)\n"
          "  -long              print full classads instead of a table\n"
          "  -project a,b,c     columns / attributes to request\n"
          "  -timeout seconds   query deadline (default 10)\n";
@@ -93,6 +95,8 @@ int main(int argc, char** argv) {
     } else if (arg == "-claims") {
       opts.scope = "daemons";
       claims = true;
+    } else if (arg == "-peers") {
+      opts.scope = "peers";
     } else if (arg == "-stats") {
       opts.scope = "daemons";
       longForm = true;
@@ -142,6 +146,10 @@ int main(int argc, char** argv) {
                  "LeaseJobId",       "LeaseAgeSeconds",
                  "LeaseRenewals",    "LastHeartbeatAgeSeconds",
                  "LeaseRemainingSeconds"};
+    } else if (opts.scope == "peers") {
+      columns = {"Pool",          "Name",           "FlockTarget",
+                 "HasDigest",     "DigestAds",      "DigestAgeSeconds",
+                 "PeerEpoch"};
     } else if (opts.scope == "daemons") {
       columns = {"Name", "DaemonType", "Address", "FramesIn", "FramesOut"};
     } else {
