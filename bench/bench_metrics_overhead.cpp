@@ -7,10 +7,18 @@
 // is attached <= 1.02x detached on the E1 cycle. Microbenches for the
 // individual instruments substantiate the margin: one counter update is
 // a few ns against a multi-millisecond cycle.
+//
+// The tracing columns measure the causal-tracing plane the same way:
+// BM_TracingDisabled_E1Cycle runs with a tracer attached but switched
+// off (the production default when `tracing=false`: the hot path pays
+// one pointer test plus one relaxed load) and must stay within noise of
+// BM_MetricsDetached_E1Cycle; BM_TracingAttached_E1Cycle shows the full
+// cost of recording cycle phases and per-job spans into the ring.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/pool_manager.h"
 #include "sim/transport.h"
 
@@ -27,7 +35,8 @@ class NullTransport : public htcsim::Transport {
   }
 };
 
-void runE1Cycle(benchmark::State& state, obs::Registry* registry) {
+void runE1Cycle(benchmark::State& state, obs::Registry* registry,
+                obs::Tracer* tracer = nullptr) {
   const auto poolSize = static_cast<std::size_t>(state.range(0));
   const std::size_t requestCount = std::max<std::size_t>(10, poolSize / 20);
   const auto resources = bench::machineAds(poolSize, /*distinctClasses=*/12);
@@ -39,6 +48,7 @@ void runE1Cycle(benchmark::State& state, obs::Registry* registry) {
   metrics.history.setEnabled(false);  // measure negotiation, not logging
   htcsim::PoolManagerConfig config;
   config.registry = registry;
+  config.tracer = tracer;
   htcsim::PoolManager pool(sim, transport, metrics, config);
   pool.start();
   std::uint64_t seq = 0;
@@ -89,6 +99,28 @@ BENCHMARK(BM_MetricsAttached_E1Cycle)
     ->Range(100, 6400)
     ->Unit(benchmark::kMillisecond);
 
+void BM_TracingDisabled_E1Cycle(benchmark::State& state) {
+  obs::Tracer tracer(
+      obs::Tracer::Options{4096, false, "collector", 0x5eedULL});
+  runE1Cycle(state, nullptr, &tracer);
+}
+BENCHMARK(BM_TracingDisabled_E1Cycle)
+    ->RangeMultiplier(4)
+    ->Range(100, 6400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TracingAttached_E1Cycle(benchmark::State& state) {
+  obs::Tracer tracer(
+      obs::Tracer::Options{4096, true, "collector", 0x5eedULL});
+  runE1Cycle(state, nullptr, &tracer);
+  state.counters["spans"] = static_cast<double>(
+      tracer.snapshot().size() + tracer.dropped());
+}
+BENCHMARK(BM_TracingAttached_E1Cycle)
+    ->RangeMultiplier(4)
+    ->Range(100, 6400)
+    ->Unit(benchmark::kMillisecond);
+
 // --- instrument microbenches -------------------------------------------
 
 void BM_CounterInc(benchmark::State& state) {
@@ -123,6 +155,29 @@ void BM_RegistryLookupPlusInc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RegistryLookupPlusInc);
+
+void BM_SpanStartFinish(benchmark::State& state) {
+  // The unit cost of one traced operation: mint ids, stamp two clocks,
+  // push one record into the ring.
+  obs::Tracer tracer(
+      obs::Tracer::Options{4096, true, "bench", 0x5eedULL});
+  for (auto _ : state) {
+    obs::ActiveSpan span = tracer.startTrace("bench.span");
+    benchmark::DoNotOptimize(span.context());
+  }
+}
+BENCHMARK(BM_SpanStartFinish);
+
+void BM_SpanStartFinishDisabled(benchmark::State& state) {
+  // What every instrumented site pays when tracing is off.
+  obs::Tracer tracer(
+      obs::Tracer::Options{4096, false, "bench", 0x5eedULL});
+  for (auto _ : state) {
+    obs::ActiveSpan span = tracer.startTrace("bench.span");
+    benchmark::DoNotOptimize(span.context());
+  }
+}
+BENCHMARK(BM_SpanStartFinishDisabled);
 
 void BM_RenderDaemonStatusAd(benchmark::State& state) {
   // Self-ad rendering cost (once per ad interval, not per event).

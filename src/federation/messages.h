@@ -17,6 +17,7 @@
 #include "classad/classad.h"
 #include "federation/digest.h"
 #include "matchmaker/protocol.h"
+#include "obs/trace.h"
 
 namespace federation {
 
@@ -64,6 +65,9 @@ struct MatchReferral {
   std::uint64_t referralId = 0;
   std::uint32_t hopsLeft = 0;
   std::vector<std::string> visited;
+  /// The origin's referral.send span; each hop parents its span on the
+  /// context it received and forwards its own (docs/OBSERVABILITY.md).
+  obs::TraceContext trace;
 };
 
 /// The serving (or failing) matchmaker's verdict, sent directly to the
@@ -79,6 +83,7 @@ struct ReferralResponse {
   classad::ClassAdPtr resourceAd;  ///< null unless matched
   std::string resourceContact;
   matchmaking::Ticket ticket = matchmaking::kNoTicket;
+  obs::TraceContext trace;  ///< the serving pool's span (origin's parent)
 };
 
 }  // namespace federation

@@ -24,11 +24,13 @@ void bump(obs::Counter* c, std::uint64_t n = 1) {
 FederationPlane::FederationPlane(FederationConfig config,
                                  FederationHost& host, htcsim::Transport& net,
                                  std::string selfAddress,
-                                 obs::Registry* registry)
+                                 obs::Registry* registry,
+                                 obs::Tracer* tracer)
     : config_(std::move(config)),
       host_(host),
       net_(net),
-      selfAddress_(std::move(selfAddress)) {
+      selfAddress_(std::move(selfAddress)),
+      tracer_(tracer) {
   for (const std::string& addr : config_.peers) {
     PeerState& p = peers_[addr];
     p.configured = true;
@@ -174,18 +176,27 @@ void FederationPlane::onAdForward(const AdForward& msg) {
 void FederationPlane::onReferral(const std::string& from,
                                  const MatchReferral& msg, Time now) {
   bump(referralsReceived_);
+  // One span per receiving hop, parented on the context the referral
+  // arrived with — so a referral crossing N pools shows N hop spans in
+  // the origin job's trace. Inert when tracing is off at this pool or
+  // the origin sent no context.
+  obs::ActiveSpan hop = obs::startSpan(tracer_, "referral.hop", msg.trace);
+  hop.tag("pool", config_.pool);
+  hop.tag("request", msg.requestKey);
   const bool looped =
       std::find(msg.visited.begin(), msg.visited.end(), config_.pool) !=
       msg.visited.end();
   if (looped || !rememberReferral(msg.originPool, msg.referralId)) {
     bump(referralLoopsDropped_);
+    hop.tag("verdict", "loop-dropped");
     return;
   }
   if (!msg.requestAd) return;
   if (auto match = host_.evaluateReferral(msg.requestAd, now)) {
-    host_.serveLocalMatch(*match);
+    hop.tag("verdict", "served");
+    host_.serveLocalMatch(*match, hop.context());
     bump(referralsServed_);
-    answerReferral(msg, true, &*match);
+    answerReferral(msg, true, &*match, hop.context());
     return;
   }
   // No local candidate. Forward while hops remain, to neighbors whose
@@ -195,6 +206,10 @@ void FederationPlane::onReferral(const std::string& from,
     MatchReferral onward = msg;
     onward.hopsLeft = msg.hopsLeft - 1;
     onward.visited.push_back(config_.pool);
+    // The onward referral carries this hop's span as parent; a pool with
+    // tracing off passes the incoming context through untouched so
+    // downstream hops still stitch.
+    if (hop.active()) onward.trace = hop.context();
     for (const auto& [addr, state] : peers_) {
       if (addr == from || addr == msg.originAddress) continue;
       if (!state.hasDigest(now, config_.digestTtl)) continue;
@@ -209,20 +224,26 @@ void FederationPlane::onReferral(const std::string& from,
   }
   if (forwarded > 0) {
     bump(referralsForwarded_, forwarded);
+    hop.tag("verdict", "forwarded");
   } else {
-    answerReferral(msg, false, nullptr);
+    hop.tag("verdict", "failed");
+    answerReferral(msg, false, nullptr, hop.context());
   }
 }
 
 void FederationPlane::answerReferral(const MatchReferral& referral,
                                      bool matched,
-                                     const matchmaking::Match* match) {
+                                     const matchmaking::Match* match,
+                                     const obs::TraceContext& hopContext) {
   ReferralResponse resp;
   resp.referralId = referral.referralId;
   resp.requestKey = referral.requestKey;
   resp.matched = matched;
   resp.servingPool = config_.pool;
   resp.hops = static_cast<std::uint32_t>(referral.visited.size());
+  // The origin parents its referral.complete span on this: the serving
+  // hop's span when traced here, else the incoming context unchanged.
+  resp.trace = hopContext.valid() ? hopContext : referral.trace;
   if (matched && match != nullptr) {
     resp.resourceAd = match->resource;
     resp.resourceContact = match->resourceContact;
@@ -237,7 +258,11 @@ void FederationPlane::onReferralResponse(const ReferralResponse& msg) {
     bump(referralsStale_);
     return;
   }
+  obs::ActiveSpan done =
+      obs::startSpan(tracer_, "referral.complete", msg.trace);
+  done.tag("serving_pool", msg.servingPool);
   if (!msg.matched) {
+    done.tag("outcome", "failed");
     bump(referralFailures_);
     return;  // other branches of the referral may still answer
   }
@@ -245,8 +270,10 @@ void FederationPlane::onReferralResponse(const ReferralResponse& msg) {
     referralHops_->observe(static_cast<double>(msg.hops));
   }
   if (host_.completeRemoteMatch(msg)) {
+    done.tag("outcome", "matched");
     bump(referralMatches_);
   } else {
+    done.tag("outcome", "stale");
     bump(referralsStale_);  // request resolved locally in the meantime
   }
   outstanding_.erase(it);
@@ -320,11 +347,10 @@ void FederationPlane::onLocalResourceInvalidate(const std::string& key) {
 }
 
 void FederationPlane::referUnmatched(
-    const std::vector<std::pair<std::string, classad::ClassAdPtr>>& unmatched,
-    Time now) {
-  for (const auto& [key, ad] : unmatched) {
-    if (!ad) continue;
-    if (const auto it = lastReferredAt_.find(key);
+    const std::vector<UnmatchedRequest>& unmatched, Time now) {
+  for (const UnmatchedRequest& req : unmatched) {
+    if (!req.ad) continue;
+    if (const auto it = lastReferredAt_.find(req.key);
         it != lastReferredAt_.end() &&
         it->second + config_.referralCooldown > now) {
       continue;
@@ -332,7 +358,7 @@ void FederationPlane::referUnmatched(
     std::vector<const std::string*> targets;
     for (const auto& [addr, state] : peers_) {
       if (!state.hasDigest(now, config_.digestTtl)) continue;
-      if (!admits(*state.digest, *ad)) continue;
+      if (!admits(*state.digest, *req.ad)) continue;
       targets.push_back(&addr);
     }
     if (targets.empty()) {
@@ -340,17 +366,24 @@ void FederationPlane::referUnmatched(
       continue;
     }
     MatchReferral referral;
-    referral.requestAd = ad;
+    referral.requestAd = req.ad;
     referral.originPool = config_.pool;
     referral.originAddress = selfAddress_;
-    referral.requestKey = key;
+    referral.requestKey = req.key;
     referral.referralId = nextReferralId_++;
     referral.hopsLeft = config_.maxReferralHops > 0
                             ? config_.maxReferralHops - 1
                             : 0;
     referral.visited = {config_.pool};
-    outstanding_[referral.referralId] = {key, now};
-    lastReferredAt_[key] = now;
+    // The referral carries a "referral.send" span parented on the job's
+    // own trace; every hop downstream parents on what it receives.
+    obs::ActiveSpan sendSpan =
+        obs::startSpan(tracer_, "referral.send", req.trace);
+    sendSpan.tag("request", req.key);
+    sendSpan.tag("targets", std::to_string(targets.size()));
+    referral.trace = sendSpan.active() ? sendSpan.context() : req.trace;
+    outstanding_[referral.referralId] = {req.key, now};
+    lastReferredAt_[req.key] = now;
     for (const std::string* addr : targets) {
       send(*addr, referral);
     }

@@ -40,6 +40,7 @@
 #include "federation/messages.h"
 #include "matchmaker/matchmaker.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/transport.h"
 
 namespace federation {
@@ -120,7 +121,11 @@ class FederationHost {
       const classad::ClassAdPtr& request, Time now) = 0;
   /// A referral this matchmaker served: emit the resource-side
   /// MatchNotification so the RA expects the foreign customer's claim.
-  virtual void serveLocalMatch(const matchmaking::Match& match) = 0;
+  /// `trace` is the serving hop's span context (invalid when tracing is
+  /// off); it rides the notification so the RA's spans stitch into the
+  /// origin's trace.
+  virtual void serveLocalMatch(const matchmaking::Match& match,
+                               const obs::TraceContext& trace) = 0;
   /// A referral a REMOTE pool served for us: emit the customer-side
   /// MatchNotification and withdraw the request ad. Returns false when
   /// the request is no longer stored (matched or expired meanwhile).
@@ -129,11 +134,21 @@ class FederationHost {
   virtual classad::analysis::Schema localResourceSchema() const = 0;
 };
 
+/// One request the local engine left unmatched, as handed to
+/// referUnmatched: the store key, the request ad, and the request's
+/// trace context (invalid when tracing is off) so referral spans parent
+/// on the job's own trace.
+struct UnmatchedRequest {
+  std::string key;
+  classad::ClassAdPtr ad;
+  obs::TraceContext trace;
+};
+
 class FederationPlane {
  public:
   FederationPlane(FederationConfig config, FederationHost& host,
                   htcsim::Transport& net, std::string selfAddress,
-                  obs::Registry* registry);
+                  obs::Registry* registry, obs::Tracer* tracer = nullptr);
 
   const FederationConfig& config() const noexcept { return config_; }
 
@@ -162,13 +177,11 @@ class FederationPlane {
   /// Retraction hook for a local resource ad.
   void onLocalResourceInvalidate(const std::string& key);
 
-  /// End-of-cycle hook: requests the local engine left unmatched, as
-  /// (store key, ad) pairs. Each is referred to every neighbor whose
-  /// fresh digest admits it, subject to the per-key cooldown.
-  void referUnmatched(
-      const std::vector<std::pair<std::string, classad::ClassAdPtr>>&
-          unmatched,
-      Time now);
+  /// End-of-cycle hook: requests the local engine left unmatched. Each
+  /// is referred to every neighbor whose fresh digest admits it, subject
+  /// to the per-key cooldown.
+  void referUnmatched(const std::vector<UnmatchedRequest>& unmatched,
+                      Time now);
 
   /// Housekeeping: expires outstanding referrals and referral cooldowns.
   void purge(Time now);
@@ -211,12 +224,14 @@ class FederationPlane {
   PeerState& peer(const std::string& address);
   bool rememberReferral(const std::string& originPool, std::uint64_t id);
   void answerReferral(const MatchReferral& referral, bool matched,
-                      const matchmaking::Match* match);
+                      const matchmaking::Match* match,
+                      const obs::TraceContext& hopContext);
 
   FederationConfig config_;
   FederationHost& host_;
   htcsim::Transport& net_;
   std::string selfAddress_;
+  obs::Tracer* tracer_ = nullptr;  ///< null = tracing not wired
 
   /// Neighbor address -> state. Ordered so peerStatusAds and digest
   /// aggregation are deterministic.

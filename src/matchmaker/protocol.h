@@ -17,6 +17,7 @@
 #include <string_view>
 
 #include "classad/classad.h"
+#include "obs/trace.h"
 
 namespace matchmaking {
 
@@ -77,6 +78,9 @@ struct MatchNotification {
   classad::ClassAdPtr peerAd;   ///< the other party's ad
   std::string peerContact;      ///< where to run the claiming protocol
   Ticket ticket = kNoTicket;    ///< only meaningful for the customer copy
+  /// Causal tracing context (docs/OBSERVABILITY.md): the request's trace
+  /// and the matchmaker's notify span. Invalid (all-zero) = tracing off.
+  obs::TraceContext trace;
 };
 
 /// Step 4, Figure 3: the customer's claim request, sent directly to the
@@ -85,6 +89,7 @@ struct ClaimRequest {
   classad::ClassAdPtr requestAd;  ///< the customer's CURRENT ad
   Ticket ticket = kNoTicket;      ///< must equal the RA's outstanding ticket
   std::string customerContact;
+  obs::TraceContext trace;  ///< forwarded from the MatchNotification
 };
 
 /// The resource's answer. On rejection, `reason` says which check failed —
@@ -99,6 +104,7 @@ struct ClaimResponse {
   /// down unilaterally. 0 = no lease (the pre-lease protocol): the
   /// claim lives until an explicit release, however long that takes.
   double leaseDuration = 0.0;
+  obs::TraceContext trace;  ///< the RA's claim-verdict span
 };
 
 /// Relinquish/eviction notice ending a claim (either direction): the CA
@@ -113,6 +119,7 @@ struct ClaimRelease {
   std::uint64_t jobId = 0;
   double cpuSecondsUsed = 0.0;  ///< work performed during this claim
   bool completed = false;       ///< job ran to completion
+  obs::TraceContext trace;
 };
 
 /// Lease renewal, exchanged directly between the claim principals (the
@@ -125,6 +132,7 @@ struct Heartbeat {
   std::uint64_t jobId = 0;
   std::uint64_t sequence = 0;
   bool ack = false;
+  obs::TraceContext trace;  ///< the claim's trace, for lease.renew spans
 };
 
 /// The resource's verdict that a lease no longer exists: sent in reply
@@ -135,6 +143,7 @@ struct LeaseExpired {
   Ticket ticket = kNoTicket;
   std::uint64_t jobId = 0;
   std::string reason;
+  obs::TraceContext trace;
 };
 
 }  // namespace matchmaking

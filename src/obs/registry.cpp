@@ -1,6 +1,7 @@
 #include "obs/registry.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 namespace obs {
@@ -48,6 +49,38 @@ std::string Histogram::render() const {
        << buckets_[i].load(std::memory_order_relaxed) << ',';
   }
   os << "inf:" << buckets_[bounds_.size()].load(std::memory_order_relaxed);
+  return os.str();
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucketCounts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double prev = cumulative;
+    cumulative += static_cast<double>(counts[i]);
+    if (cumulative < rank) continue;
+    if (i == bounds_.size()) {
+      // Overflow bucket: no finite upper bound to interpolate toward.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double lo = (i == 0) ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    if (counts[i] == 0) return hi;
+    const double frac = (rank - prev) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::string Histogram::renderQuantiles() const {
+  std::ostringstream os;
+  os << "p50=" << quantile(0.50) << ",p95=" << quantile(0.95)
+     << ",p99=" << quantile(0.99);
   return os.str();
 }
 
@@ -110,6 +143,7 @@ void Registry::renderInto(classad::ClassAd& ad) const {
     ad.set(name + "_Count", static_cast<std::int64_t>(h->count()));
     ad.set(name + "_Sum", h->sum());
     ad.set(name + "_Buckets", h->render());
+    if (h->count() > 0) ad.set(name + "_Quantiles", h->renderQuantiles());
   }
 }
 

@@ -78,6 +78,17 @@ class Histogram {
   /// live inside a DaemonStatus ad attribute.
   std::string render() const;
 
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket holding the target rank — the Prometheus histogram_quantile
+  /// estimate. Observations in the +inf bucket clamp to the largest
+  /// finite bound. Returns NaN when the histogram is empty.
+  double quantile(double q) const;
+
+  /// "p50=0.0012,p95=0.031,p99=0.18" — the fixed p50/p95/p99 spread
+  /// rendered next to _Buckets so mm_status -stats can show latency
+  /// percentiles without client-side bucket math.
+  std::string renderQuantiles() const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+inf

@@ -1,0 +1,270 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace obs {
+namespace {
+
+// splitmix64: one multiply-shift-xor chain per draw. Statistically fine
+// for trace ids (uniqueness, not secrecy) and lock-free on the hot path.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+char hexDigit(std::uint64_t v) noexcept {
+  return static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+}
+
+void appendHex64(std::string& out, std::uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += hexDigit((v >> shift) & 0xF);
+  }
+}
+
+}  // namespace
+
+double steadyNowSeconds() {
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       kEpoch)
+      .count();
+}
+
+std::string traceIdToHex(const TraceId& id) {
+  std::string out;
+  out.reserve(32);
+  appendHex64(out, id.hi);
+  appendHex64(out, id.lo);
+  return out;
+}
+
+std::optional<TraceId> traceIdFromHex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  TraceId id;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const char c = hex[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A') + 10;
+    } else {
+      return std::nullopt;
+    }
+    std::uint64_t& word = (i < 16) ? id.hi : id.lo;
+    word = (word << 4) | digit;
+  }
+  return id;
+}
+
+void ActiveSpan::finish() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = std::exchange(tracer_, nullptr);
+  rec_.durationSeconds = steadyNowSeconds() - rec_.startSeconds;
+  tracer->record(std::move(rec_));
+}
+
+Tracer::Tracer() : Tracer(Options{}, nullptr) {}
+
+Tracer::Tracer(Options options, Registry* registry)
+    : capacity_(options.capacity == 0 ? 1 : options.capacity),
+      component_(std::move(options.component)),
+      enabled_(options.enabled),
+      idState_(options.seed != 0
+                   ? options.seed
+                   : mix64(static_cast<std::uint64_t>(
+                               std::chrono::steady_clock::now()
+                                   .time_since_epoch()
+                                   .count()) ^
+                           std::hash<const void*>{}(this))) {
+  if (registry != nullptr) {
+    droppedCounter_ = registry->counter("TraceSpansDropped");
+  }
+  ring_.resize(capacity_);
+}
+
+SpanId Tracer::nextId() noexcept {
+  // fetch_add keeps draws unique across threads; mix64 decorrelates the
+  // sequential counter into id-looking values. Zero is reserved.
+  const std::uint64_t raw =
+      idState_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+  const std::uint64_t id = mix64(raw);
+  return id != 0 ? id : 1;
+}
+
+TraceContext Tracer::mintContext() noexcept {
+  TraceContext ctx;
+  ctx.trace.hi = nextId();
+  ctx.trace.lo = nextId();
+  ctx.span = nextId();
+  return ctx;
+}
+
+ActiveSpan Tracer::startTrace(std::string_view name) {
+  if (!enabled()) return ActiveSpan{};
+  SpanRecord rec;
+  rec.trace.hi = nextId();
+  rec.trace.lo = nextId();
+  rec.span = nextId();
+  rec.name.assign(name);
+  rec.startSeconds = steadyNowSeconds();
+  return ActiveSpan{this, std::move(rec)};
+}
+
+ActiveSpan Tracer::startSpan(std::string_view name,
+                             const TraceContext& parent) {
+  if (!enabled() || !parent.valid()) return ActiveSpan{};
+  SpanRecord rec;
+  rec.trace = parent.trace;
+  rec.parent = parent.span;
+  rec.span = nextId();
+  rec.name.assign(name);
+  rec.startSeconds = steadyNowSeconds();
+  return ActiveSpan{this, std::move(rec)};
+}
+
+void Tracer::record(SpanRecord rec) {
+  if (!enabled()) return;
+  if (rec.component.empty()) rec.component = component_;
+  bool overwrote = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    overwrote = size_ == capacity_;
+    ring_[head_] = std::move(rec);
+    head_ = (head_ + 1) % capacity_;
+    if (!overwrote) ++size_;
+  }
+  if (overwrote) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (droppedCounter_ != nullptr) droppedCounter_->inc();
+  }
+}
+
+std::vector<SpanRecord> Tracer::snapshot(std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = size_;
+  if (limit != 0 && limit < n) n = limit;
+  std::vector<SpanRecord> out;
+  out.reserve(n);
+  // Oldest live record sits at head_ - size_ (mod capacity); we emit the
+  // most recent `n` of them, still oldest-first.
+  const std::size_t start = (head_ + capacity_ - n) % capacity_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::spansFor(const TraceId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  const std::size_t start = (head_ + capacity_ - size_) % capacity_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const SpanRecord& rec = ring_[(start + i) % capacity_];
+    if (rec.trace == id) out.push_back(rec);
+  }
+  return out;
+}
+
+namespace {
+
+void appendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendJsonNumber(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out += buf;
+}
+
+void appendHexField(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"%016" PRIx64 "\"", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string toChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  // Stable small pids per component so Perfetto groups spans by daemon.
+  std::map<std::string, int> pids;
+  for (const SpanRecord& rec : spans) {
+    pids.emplace(rec.component, 0);
+  }
+  int next = 1;
+  for (auto& [component, pid] : pids) pid = next++;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [component, pid] : pids) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    appendJsonString(out, component.empty() ? "unknown" : component);
+    out += "}}";
+  }
+  for (const SpanRecord& rec : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"X\",\"name\":";
+    appendJsonString(out, rec.name);
+    out += ",\"cat\":";
+    appendJsonString(out, traceIdToHex(rec.trace));
+    out += ",\"pid\":";
+    out += std::to_string(pids[rec.component]);
+    out += ",\"tid\":1,\"ts\":";
+    appendJsonNumber(out, rec.startSeconds * 1e6);
+    out += ",\"dur\":";
+    appendJsonNumber(out, rec.durationSeconds * 1e6);
+    out += ",\"args\":{\"trace\":";
+    appendJsonString(out, traceIdToHex(rec.trace));
+    out += ",\"span\":";
+    appendHexField(out, rec.span);
+    out += ",\"parent\":";
+    appendHexField(out, rec.parent);
+    for (const auto& [key, value] : rec.tags) {
+      out += ',';
+      appendJsonString(out, key);
+      out += ':';
+      appendJsonString(out, value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs

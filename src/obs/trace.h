@@ -1,0 +1,212 @@
+// trace.h - Causal span tracing for the request path.
+//
+// The metrics registry (registry.h) answers "how many / how long on
+// average"; the tracer answers "what happened to THIS request". A trace
+// is a tree of spans in the Dapper mold: a 128-bit TraceId names the
+// request's whole lifecycle, each span carries a 64-bit SpanId plus its
+// parent's SpanId, and context crosses process boundaries inside the
+// wire frames that already carry the request (MatchNotification,
+// ClaimRequest/Response, Heartbeat, LeaseExpired, MatchReferral,
+// ReferralResponse) — so one referral that crosses N pools stitches into
+// a single trace when the rings are pulled together (tools/mm_trace,
+// wire tag 18 TraceQuery).
+//
+// Cost model mirrors the registry: starting/finishing a span on a
+// disabled tracer is one relaxed atomic load; on an enabled tracer a
+// finished span takes one short mutex hold to drop the record into a
+// bounded ring (overwritten spans bump a lifetime TraceSpansDropped
+// counter). Timestamps are steady-clock seconds since a process-wide
+// epoch: durations are exact per process, absolute offsets are only
+// comparable between daemons sharing a process (tests, the simulator) —
+// mm_trace renders per-hop durations, not cross-host clock math.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace obs {
+
+/// 128-bit trace identifier; zero means "no trace" everywhere.
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  bool valid() const noexcept { return (hi | lo) != 0; }
+  friend bool operator==(const TraceId&, const TraceId&) = default;
+};
+
+using SpanId = std::uint64_t;
+
+/// 32 lowercase hex chars, zero-padded ("0000..feed").
+std::string traceIdToHex(const TraceId& id);
+/// Strict inverse of traceIdToHex: exactly 32 hex chars (either case).
+std::optional<TraceId> traceIdFromHex(std::string_view hex);
+
+/// What crosses a process boundary: the trace plus the sender's span,
+/// which becomes the receiver's parent. Invalid (zero) context is the
+/// wire representation of "tracing off" and propagates as a no-op.
+struct TraceContext {
+  TraceId trace;
+  SpanId span = 0;
+  bool valid() const noexcept { return trace.valid(); }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// One finished span as stored in the ring and shipped in a
+/// TraceQueryResponse. Tags are small key/value annotations (request
+/// key, peer pool, verdict reason) — keep them short, they live in a
+/// bounded ring and travel in 4 MiB-capped frames.
+struct SpanRecord {
+  TraceId trace;
+  SpanId span = 0;
+  SpanId parent = 0;
+  std::string name;       ///< operation, e.g. "claim.grant"
+  std::string component;  ///< daemon/pool identity, e.g. "collector.east"
+  double startSeconds = 0.0;  ///< steadyNowSeconds() at span start
+  double durationSeconds = 0.0;
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+/// Seconds since a process-wide steady epoch (captured on first use).
+/// Every tracer in the process shares this timebase.
+double steadyNowSeconds();
+
+class Tracer;
+
+/// Move-only live-span handle. Inert (from a disabled/null tracer) it is
+/// a pointer-sized no-op; active it finishes into the ring on
+/// destruction or finish(), whichever comes first.
+class ActiveSpan {
+ public:
+  ActiveSpan() = default;
+  ActiveSpan(ActiveSpan&& other) noexcept
+      : tracer_(std::exchange(other.tracer_, nullptr)),
+        rec_(std::move(other.rec_)) {}
+  ActiveSpan& operator=(ActiveSpan&& other) noexcept {
+    if (this != &other) {
+      finish();
+      tracer_ = std::exchange(other.tracer_, nullptr);
+      rec_ = std::move(other.rec_);
+    }
+    return *this;
+  }
+  ActiveSpan(const ActiveSpan&) = delete;
+  ActiveSpan& operator=(const ActiveSpan&) = delete;
+  ~ActiveSpan() { finish(); }
+
+  bool active() const noexcept { return tracer_ != nullptr; }
+  /// Context to hand to children / put on the wire; invalid when inert.
+  TraceContext context() const noexcept {
+    return active() ? TraceContext{rec_.trace, rec_.span} : TraceContext{};
+  }
+  void tag(std::string key, std::string value) {
+    if (active()) rec_.tags.emplace_back(std::move(key), std::move(value));
+  }
+  /// Records the span (duration = now - start). Idempotent.
+  void finish();
+
+ private:
+  friend class Tracer;
+  ActiveSpan(Tracer* tracer, SpanRecord rec)
+      : tracer_(tracer), rec_(std::move(rec)) {}
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord rec_;
+};
+
+/// The per-daemon span sink. Thread-safe; share one per daemon the way
+/// a Registry is shared. A null Tracer* at a call site means "tracing
+/// not wired" and every helper below tolerates it.
+class Tracer {
+ public:
+  struct Options {
+    /// Ring capacity in finished spans. Oldest spans are overwritten
+    /// (and counted as dropped) once full.
+    std::size_t capacity = 4096;
+    bool enabled = true;
+    /// Stamped on every span: the daemon/pool identity mm_trace groups
+    /// by ("collector.east", "ra://m1.west").
+    std::string component;
+    /// ID-stream seed; 0 derives one from the clock and this object.
+    std::uint64_t seed = 0;
+  };
+
+  Tracer();  ///< default Options, no registry
+  explicit Tracer(Options options, Registry* registry = nullptr);
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void setEnabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  const std::string& component() const noexcept { return component_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Starts a root span under a brand-new TraceId.
+  ActiveSpan startTrace(std::string_view name);
+  /// Starts a child span. An invalid parent context yields an inert span
+  /// (never an orphan trace): context must flow from a real origin.
+  ActiveSpan startSpan(std::string_view name, const TraceContext& parent);
+  /// Records an externally timed span (negotiation phases measured with
+  /// their own clocks). Fills component; trusts the rest.
+  void record(SpanRecord rec);
+
+  /// Mints a fresh root context (new trace + span id) without opening an
+  /// ActiveSpan — for externally timed spans fed through record().
+  TraceContext mintContext() noexcept;
+  /// Mints a span id alone (an externally timed child of a live trace).
+  SpanId mintSpanId() noexcept { return nextId(); }
+
+  /// Lifetime count of spans overwritten by ring wraparound.
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring contents oldest-first; `limit` == 0 means everything.
+  std::vector<SpanRecord> snapshot(std::size_t limit = 0) const;
+  /// Every ring span belonging to `id`, oldest-first.
+  std::vector<SpanRecord> spansFor(const TraceId& id) const;
+
+ private:
+  SpanId nextId() noexcept;
+
+  const std::size_t capacity_;
+  const std::string component_;
+  std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> idState_;
+  std::atomic<std::uint64_t> dropped_{0};
+  Counter* droppedCounter_ = nullptr;  ///< TraceSpansDropped, if registered
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  ///< slots, written round-robin
+  std::size_t head_ = 0;          ///< next write position
+  std::size_t size_ = 0;          ///< live records in the ring
+};
+
+/// Null-safe helpers: the request path is littered with `Tracer*` that
+/// may be unwired (sim configs, benchmarks); these keep call sites flat.
+inline ActiveSpan startTrace(Tracer* t, std::string_view name) {
+  return (t != nullptr && t->enabled()) ? t->startTrace(name) : ActiveSpan{};
+}
+inline ActiveSpan startSpan(Tracer* t, std::string_view name,
+                            const TraceContext& parent) {
+  return (t != nullptr && t->enabled()) ? t->startSpan(name, parent)
+                                        : ActiveSpan{};
+}
+
+/// Renders spans as Chrome trace-event JSON (the "traceEvents" object
+/// form) loadable in Perfetto / chrome://tracing: one complete ("ph":
+/// "X") event per span with microsecond timestamps, processes keyed by
+/// component with process_name metadata, and trace/span/parent ids plus
+/// tags in "args".
+std::string toChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+}  // namespace obs

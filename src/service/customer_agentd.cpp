@@ -189,7 +189,7 @@ void CustomerAgentDaemon::serviceClaims() {
       job.claimConn->queue(wire::encodeEnvelope(
           {address_, job.claimConn->peerAddress,
            matchmaking::Heartbeat{job.ticket, job.spec.id, action.sequence,
-                                  /*ack=*/false}}));
+                                  /*ack=*/false, job.trace}}));
     }
   }
 }
@@ -310,12 +310,14 @@ void CustomerAgentDaemon::handleFrame(Connection& conn,
     claim.requestAd = classad::makeShared(buildRequestAd(job->spec));
     claim.ticket = match->ticket;
     claim.customerContact = address_;
+    claim.trace = match->trace;
     claimConn->queue(wire::encodeEnvelope(
         {address_, match->peerContact, std::move(claim)}));
     job->state = JobState::kClaiming;
     job->claimConn = claimConn;
     job->ticket = match->ticket;
     job->claimStartedAt = nowSeconds();
+    job->trace = match->trace;
     return;
   }
 

@@ -27,6 +27,7 @@
 #include "lease/heartbeat.h"
 #include "matchmaker/protocol.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "service/reactor.h"
 #include "sim/rng.h"
 
@@ -116,6 +117,11 @@ class CustomerAgentDaemon {
     /// RA granted a lease); its clock is nowSeconds().
     std::optional<lease::HeartbeatMonitor> monitor;
     double claimStartedAt = 0.0;  ///< nowSeconds() at claim dispatch
+    /// From the MatchNotification; stamped on the ClaimRequest and every
+    /// renewal heartbeat so the claim/lease spans at the RA stitch into
+    /// the job's trace (docs/OBSERVABILITY.md). The CA originates no
+    /// spans of its own — it is propagation-only.
+    obs::TraceContext trace;
   };
 
   void run();

@@ -70,6 +70,9 @@ MatchmakerDaemon::MatchmakerDaemon(Config config)
     : config_(std::move(config)),
       address_(config_.address.empty() ? "collector" : config_.address),
       peerRng_(htcsim::hashName(address_) | 1),
+      tracer_(obs::Tracer::Options{config_.traceCapacity, config_.tracing,
+                                   address_, 0},
+              &registry_),
       daemonAds_(config_.adLifetime) {}
 
 MatchmakerDaemon::~MatchmakerDaemon() { stop(); }
@@ -92,6 +95,7 @@ bool MatchmakerDaemon::start(std::string* error) {
   pmConfig.matchmaker = config_.matchmaker;
   pmConfig.accountant = config_.accountant;
   pmConfig.registry = &registry_;
+  pmConfig.tracer = &tracer_;
   pmConfig.federation = config_.federation;
   // Every dialled peer is a federation neighbor; keep any addresses the
   // caller listed directly (inbound-only links).
@@ -260,6 +264,10 @@ void MatchmakerDaemon::handleFrame(Connection& conn,
     handleQuery(conn, frame);
     return;
   }
+  if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kTraceQuery)) {
+    handleTraceQuery(conn, frame);
+    return;
+  }
   if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kClaimRequest) ||
       frame.type == static_cast<std::uint8_t>(wire::MsgType::kClaimResponse) ||
       frame.type == static_cast<std::uint8_t>(wire::MsgType::kHeartbeat) ||
@@ -357,6 +365,46 @@ void MatchmakerDaemon::handleQuery(Connection& conn,
     tooBig.ok = false;
     tooBig.error = "result too large for one frame; narrow the constraint";
     conn.queue(wire::encodePoolQueryResponse(tooBig));
+  }
+}
+
+// Serves wire tag 18 over the daemon's span ring. Deliberately MORE
+// lenient than the rest of the protocol: even a binary-malformed query
+// is answered ok=false instead of closing the connection — the tracing
+// plane must never take down a live matchmaking link.
+void MatchmakerDaemon::handleTraceQuery(Connection& conn,
+                                        const wire::Frame& frame) {
+  ++queries_;
+  registry_.counter("TraceQueriesServed")->inc();
+  wire::TraceQueryResponse resp;
+  resp.component = address_;
+  std::string error;
+  const auto query = wire::decodeTraceQuery(frame, &error);
+  if (!query) {
+    registry_.counter("TraceQueryErrors")->inc();
+    resp.ok = false;
+    resp.error = "malformed trace query: " + error;
+    conn.queue(wire::encodeTraceQueryResponse(resp));
+    return;
+  }
+  if (query->traceId.empty()) {
+    resp.spans = tracer_.snapshot(query->limit);
+  } else if (const auto id = obs::traceIdFromHex(query->traceId)) {
+    resp.spans = tracer_.spansFor(*id);
+  } else {
+    registry_.counter("TraceQueryErrors")->inc();
+    resp.ok = false;
+    resp.error = "bad trace id (want 32 hex chars): " + query->traceId;
+  }
+  try {
+    conn.queue(wire::encodeTraceQueryResponse(resp));
+  } catch (const std::length_error&) {
+    registry_.counter("TraceQueryErrors")->inc();
+    wire::TraceQueryResponse tooBig;
+    tooBig.ok = false;
+    tooBig.component = address_;
+    tooBig.error = "trace result too large for one frame; pass a trace id";
+    conn.queue(wire::encodeTraceQueryResponse(tooBig));
   }
 }
 

@@ -30,6 +30,7 @@
 #include "lease/backoff.h"
 #include "matchmaker/ad_store.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "service/reactor.h"
 #include "sim/pool_manager.h"
 #include "sim/rng.h"
@@ -67,6 +68,13 @@ struct MatchmakerDaemonConfig {
   federation::FederationConfig federation;
   std::vector<FederationPeer> federationPeers;
   lease::BackoffConfig peerReconnectBackoff;
+  /// Causal tracing plane (docs/OBSERVABILITY.md). Off, every span site
+  /// costs one relaxed atomic load; the TraceQuery endpoint stays up
+  /// either way (it just returns nothing).
+  bool tracing = true;
+  /// Finished-span ring capacity (oldest overwritten; see
+  /// TraceSpansDropped).
+  std::size_t traceCapacity = 4096;
 };
 
 class MatchmakerDaemon {
@@ -120,6 +128,10 @@ class MatchmakerDaemon {
   /// mirrored every loop pass.
   obs::Registry& registry() noexcept { return registry_; }
 
+  /// The daemon's span ring (thread-safe; also served over the wire via
+  /// TraceQuery, tag 18).
+  obs::Tracer& tracer() noexcept { return tracer_; }
+
  private:
   class ServerTransport;
 
@@ -128,6 +140,7 @@ class MatchmakerDaemon {
   std::size_t countLiveLinks() const;
   void handleFrame(Connection& conn, const wire::Frame& frame);
   void handleQuery(Connection& conn, const wire::Frame& frame);
+  void handleTraceQuery(Connection& conn, const wire::Frame& frame);
   void lintIncomingAd(matchmaking::Advertisement& adv);
   classad::ClassAdPtr buildSelfAd();
   void refreshMirrors();
@@ -150,6 +163,7 @@ class MatchmakerDaemon {
   // Shared instruments; must outlive pool_/reactor_, which hold
   // pointers into it.
   obs::Registry registry_;
+  obs::Tracer tracer_;
 
   // Service-thread-only state (created in start(), driven in run()).
   htcsim::Simulator sim_;

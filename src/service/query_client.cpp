@@ -65,4 +65,56 @@ PoolQueryResult queryPool(const std::string& host, std::uint16_t port,
   return result;
 }
 
+TraceQueryResult queryTraces(const std::string& host, std::uint16_t port,
+                             const TraceQueryOptions& opts) {
+  TraceQueryResult result;
+  Reactor reactor;
+  std::string error;
+  Connection* conn = reactor.dial(host, port, &error);
+  if (conn == nullptr) {
+    result.error = "dial failed: " + error;
+    return result;
+  }
+  conn->queue(wire::encodeHello(
+      {wire::kProtocolVersion, wire::kProtocolVersion, std::string()}));
+  conn->queue(wire::encodeTraceQuery({opts.traceId, opts.limit}));
+
+  std::optional<wire::TraceQueryResponse> response;
+  bool closed = false;
+  reactor.onFrame = [&](Connection&, const wire::Frame& frame) {
+    if (frame.type !=
+        static_cast<std::uint8_t>(wire::MsgType::kTraceQueryResponse)) {
+      return;
+    }
+    std::string decodeError;
+    if (auto decoded = wire::decodeTraceQueryResponse(frame, &decodeError)) {
+      response = std::move(*decoded);
+    } else {
+      response = wire::TraceQueryResponse{};
+      response->ok = false;
+      response->error = "malformed response: " + decodeError;
+    }
+  };
+  reactor.onClose = [&](Connection&) { closed = true; };
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opts.timeoutSeconds));
+  while (!response && !closed &&
+         std::chrono::steady_clock::now() < deadline) {
+    reactor.pollOnce(20);
+  }
+  if (!response) {
+    result.error = closed ? "connection closed before response"
+                          : "timed out waiting for response";
+    return result;
+  }
+  result.ok = response->ok;
+  result.error = std::move(response->error);
+  result.component = std::move(response->component);
+  result.spans = std::move(response->spans);
+  return result;
+}
+
 }  // namespace service

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "classad/classad.h"
+#include "obs/trace.h"
 #include "wire/codec.h"
 
 namespace service {
@@ -37,5 +38,27 @@ struct PoolQueryResult {
 /// opts.timeoutSeconds; never throws.
 PoolQueryResult queryPool(const std::string& host, std::uint16_t port,
                           const PoolQueryOptions& opts = {});
+
+struct TraceQueryOptions {
+  /// 32-hex-char trace id to pull spans for; empty = recent spans.
+  std::string traceId;
+  /// Most-recent span cap when traceId is empty (0 = the daemon's whole
+  /// ring).
+  std::uint32_t limit = 0;
+  double timeoutSeconds = 10.0;
+};
+
+struct TraceQueryResult {
+  bool ok = false;
+  std::string error;      ///< transport or query failure when !ok
+  std::string component;  ///< the answering daemon's identity
+  std::vector<obs::SpanRecord> spans;
+};
+
+/// Runs one TraceQuery (wire tag 18) against the daemon at host:port —
+/// a matchmakerd or a resource_agentd claim listener; both serve the
+/// tracing plane. Blocks up to opts.timeoutSeconds; never throws.
+TraceQueryResult queryTraces(const std::string& host, std::uint16_t port,
+                             const TraceQueryOptions& opts = {});
 
 }  // namespace service

@@ -13,6 +13,9 @@ constexpr int kPollMs = 20;
 
 ResourceAgentDaemon::ResourceAgentDaemon(Config config)
     : config_(std::move(config)),
+      tracer_(obs::Tracer::Options{config_.traceCapacity, config_.tracing,
+                                   "ra://" + config_.name, 0},
+              &registry_),
       rng_(config_.ticketSeed != 0 ? config_.ticketSeed
                                    : htcsim::hashName(config_.name)) {
   mintTicket();
@@ -169,6 +172,7 @@ void ResourceAgentDaemon::run() {
     bool complete = false;
     bool leaseDied = false;
     Connection* deadCustomer = nullptr;
+    obs::TraceContext deadTrace;
     {
       std::lock_guard<std::mutex> lock(stateMu_);
       complete = claim_ && config_.serviceSeconds > 0.0 &&
@@ -179,6 +183,7 @@ void ResourceAgentDaemon::run() {
           if (dead.ticket == claim_->ticket) {
             leaseDied = true;
             deadCustomer = claim_->conn;
+            deadTrace = claim_->trace;
           }
         }
       }
@@ -189,6 +194,9 @@ void ResourceAgentDaemon::run() {
       // dead; if it is merely slow its next heartbeat gets a
       // LeaseExpired notice over the still-open connection.
       ++leaseExpiries_;
+      obs::ActiveSpan expireSpan =
+          obs::startSpan(&tracer_, "lease.expire", deadTrace);
+      expireSpan.tag("reason", "missed-heartbeats");
       finishClaim(/*completed=*/false, "lease-expired");
       if (deadCustomer != nullptr && !deadCustomer->closed()) {
         deadCustomer->close();
@@ -280,6 +288,10 @@ void ResourceAgentDaemon::handleFrame(Connection& conn,
     }
     return;
   }
+  if (frame.type == static_cast<std::uint8_t>(wire::MsgType::kTraceQuery)) {
+    handleTraceQuery(conn, frame);
+    return;
+  }
   std::string error;
   const auto env = wire::decodeEnvelope(frame, &error);
   if (!env) {
@@ -319,12 +331,19 @@ void ResourceAgentDaemon::handleClaimRequest(
   }
   matchmaking::ClaimResponse verdict;
   if (alreadyClaimed) {
-    verdict = {false, "already claimed"};
+    verdict = {false, "already claimed", 0.0, req.trace};
   } else {
     verdict = matchmaking::evaluateClaim(current, outstanding, req,
                                          config_.claimPolicy);
+    verdict.trace = req.trace;  // echo: the CA keeps the job's trace
   }
   if (verdict.accepted) verdict.leaseDuration = config_.leaseSeconds;
+  // The verdict span joins the origin job's trace through the context
+  // the ClaimRequest carried across the CA→RA connection.
+  obs::ActiveSpan claimSpan = obs::startSpan(
+      &tracer_, verdict.accepted ? "claim.grant" : "claim.reject", req.trace);
+  claimSpan.tag("customer", req.customerContact);
+  if (!verdict.accepted) claimSpan.tag("reason", verdict.reason);
   conn.queue(wire::encodeEnvelope(
       {contactAddress(), req.customerContact, verdict}));
   if (!verdict.accepted) {
@@ -340,9 +359,14 @@ void ResourceAgentDaemon::handleClaimRequest(
     claim.jobId = static_cast<std::uint64_t>(
         req.requestAd->getInteger("JobId").value_or(0));
     claim.startedAt = std::chrono::steady_clock::now();
+    claim.trace = req.trace;
     if (config_.leaseSeconds > 0.0) {
       leases_.grant(claim.ticket, claim.jobId, req.customerContact,
                     nowSeconds(), config_.leaseSeconds);
+      obs::ActiveSpan leaseSpan =
+          obs::startSpan(&tracer_, "lease.grant", req.trace);
+      leaseSpan.tag("duration_s", std::to_string(config_.leaseSeconds));
+      leaseSpan.tag("job", std::to_string(claim.jobId));
     }
     claim_ = std::move(claim);
   }
@@ -356,16 +380,23 @@ void ResourceAgentDaemon::handleHeartbeat(Connection& conn,
   if (hb.ack) return;  // we only originate acks
   bool renewed = false;
   std::uint64_t jobId = hb.jobId;
+  obs::TraceContext claimTrace;
   {
     std::lock_guard<std::mutex> lock(stateMu_);
     if (claim_ && claim_->ticket == hb.ticket &&
         leases_.renew(hb.ticket, nowSeconds())) {
       renewed = true;
       jobId = claim_->jobId;
+      claimTrace = claim_->trace;
     }
   }
   if (renewed) {
-    matchmaking::Heartbeat ack = hb;
+    // The renewal span parents on the claim's context (falling back to
+    // the beat's own, for leases granted before the customer restarted).
+    obs::ActiveSpan renewSpan = obs::startSpan(
+        &tracer_, "lease.renew", claimTrace.valid() ? claimTrace : hb.trace);
+    renewSpan.tag("job", std::to_string(jobId));
+    matchmaking::Heartbeat ack = hb;  // the copy keeps hb's trace context
     ack.ack = true;
     conn.queue(wire::encodeEnvelope(
         {contactAddress(), conn.peerAddress, std::move(ack)}));
@@ -376,8 +407,37 @@ void ResourceAgentDaemon::handleHeartbeat(Connection& conn,
     conn.queue(wire::encodeEnvelope(
         {contactAddress(), conn.peerAddress,
          matchmaking::LeaseExpired{hb.ticket, jobId,
-                                   "no active lease for ticket"}}));
+                                   "no active lease for ticket", hb.trace}}));
   }
+}
+
+// Serves wire tag 18 over the RA's span ring so mm_trace can pull the
+// claim/lease legs of a trace straight from the resource. Like the
+// matchmaker's handler, malformed queries are answered ok=false and
+// NEVER close the connection — a broken tracing tool must not tear down
+// the claim link it shares.
+void ResourceAgentDaemon::handleTraceQuery(Connection& conn,
+                                           const wire::Frame& frame) {
+  registry_.counter("TraceQueriesServed")->inc();
+  wire::TraceQueryResponse resp;
+  resp.component = tracer_.component();
+  std::string error;
+  const auto query = wire::decodeTraceQuery(frame, &error);
+  if (!query) {
+    resp.ok = false;
+    resp.error = "malformed trace query: " + error;
+    conn.queue(wire::encodeTraceQueryResponse(resp));
+    return;
+  }
+  if (query->traceId.empty()) {
+    resp.spans = tracer_.snapshot(query->limit);
+  } else if (const auto id = obs::traceIdFromHex(query->traceId)) {
+    resp.spans = tracer_.spansFor(*id);
+  } else {
+    resp.ok = false;
+    resp.error = "bad trace id (want 32 hex chars): " + query->traceId;
+  }
+  conn.queue(wire::encodeTraceQueryResponse(resp));
 }
 
 void ResourceAgentDaemon::finishClaim(bool completed,
@@ -392,6 +452,7 @@ void ResourceAgentDaemon::finishClaim(bool completed,
     release.ticket = claim_->ticket;
     release.reason = reason;
     release.jobId = claim_->jobId;
+    release.trace = claim_->trace;
     release.cpuSecondsUsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       claim_->startedAt)
@@ -402,6 +463,12 @@ void ResourceAgentDaemon::finishClaim(bool completed,
     leases_.release(release.ticket);  // no-op if it expired or never leased
     claim_.reset();
     mintTicket();
+  }
+  {
+    obs::ActiveSpan releaseSpan =
+        obs::startSpan(&tracer_, "claim.release", release.trace);
+    releaseSpan.tag("reason", reason);
+    releaseSpan.tag("completed", completed ? "true" : "false");
   }
   claimed_.store(false);
   if (completed && customer != nullptr && !customer->closed()) {

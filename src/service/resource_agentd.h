@@ -25,6 +25,7 @@
 #include "lease/lease_table.h"
 #include "matchmaker/claiming.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "service/reactor.h"
 #include "sim/rng.h"
 
@@ -69,6 +70,12 @@ struct ResourceAgentDaemonConfig {
   /// (see Connection::sendTap): return false to drop the frame on the
   /// floor. The tap runs on the daemon's loop thread.
   std::function<bool(const Connection&, std::string_view)> sendTap;
+  /// Causal tracing plane (docs/OBSERVABILITY.md): claim.grant/reject
+  /// and lease.grant/renew/expire spans, stitched to the origin job's
+  /// trace by the context the ClaimRequest carried. The claim listener
+  /// also answers TraceQuery (tag 18) so mm_trace can pull these spans.
+  bool tracing = true;
+  std::size_t traceCapacity = 1024;
 };
 
 class ResourceAgentDaemon {
@@ -108,6 +115,10 @@ class ResourceAgentDaemon {
   /// The daemon's metrics registry (see src/obs).
   obs::Registry& registry() noexcept { return registry_; }
 
+  /// The daemon's span ring (claim/lease lifecycle spans; also served
+  /// over the wire via TraceQuery on the claim listener).
+  obs::Tracer& tracer() noexcept { return tracer_; }
+
  private:
   struct ActiveClaim {
     matchmaking::Ticket ticket = matchmaking::kNoTicket;
@@ -115,6 +126,9 @@ class ResourceAgentDaemon {
     std::string user;
     std::uint64_t jobId = 0;
     std::chrono::steady_clock::time_point startedAt;
+    /// From the ClaimRequest; parents every lease span and is echoed on
+    /// the release so the claim's whole lifetime shares one trace.
+    obs::TraceContext trace;
   };
 
   void run();
@@ -122,6 +136,7 @@ class ResourceAgentDaemon {
   void handleClaimRequest(Connection& conn,
                           const matchmaking::ClaimRequest& req);
   void handleHeartbeat(Connection& conn, const matchmaking::Heartbeat& hb);
+  void handleTraceQuery(Connection& conn, const wire::Frame& frame);
   void advertise();
   classad::ClassAd buildSelfAd();
   void finishClaim(bool completed, const std::string& reason);
@@ -133,6 +148,7 @@ class ResourceAgentDaemon {
   Config config_;
   std::uint16_t port_ = 0;
   obs::Registry registry_;  ///< must outlive reactor_
+  obs::Tracer tracer_;
   htcsim::Rng rng_;
   mutable std::mutex stateMu_;  ///< guards ticket_/claim_ vs buildAd()
 

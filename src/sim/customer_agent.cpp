@@ -184,17 +184,19 @@ void CustomerAgent::handleMatch(const matchmaking::MatchNotification& match) {
   // Claim the matched resource directly (Step 4, Figure 3). The claim
   // carries the job's CURRENT ad, not the advertised snapshot.
   job->state = JobState::Matching;
-  pendingClaims_[match.peerContact] = {jobId, match.ticket};
+  pendingClaims_[match.peerContact] = {jobId, match.ticket, match.trace};
   matchmaking::ClaimRequest claim;
   claim.requestAd = classad::makeShared(buildRequestAd(*job));
   claim.ticket = match.ticket;
   claim.customerContact = address_;
+  claim.trace = match.trace;
   net_.send(address_, match.peerContact, std::move(claim));
   if (config_.claimTimeout > 0.0) {
     const std::string contact = match.peerContact;
     sim_.after(config_.claimTimeout, [this, contact, jobId] {
       auto pending = pendingClaims_.find(contact);
-      if (pending == pendingClaims_.end() || pending->second.first != jobId) {
+      if (pending == pendingClaims_.end() ||
+          pending->second.jobId != jobId) {
         return;  // answered (or superseded) in time
       }
       pendingClaims_.erase(pending);
@@ -212,8 +214,9 @@ void CustomerAgent::handleClaimResponse(const Envelope& env,
                                         const matchmaking::ClaimResponse& resp) {
   auto it = pendingClaims_.find(env.from);
   if (it == pendingClaims_.end()) return;
-  Job* job = findJob(it->second.first);
-  const matchmaking::Ticket ticket = it->second.second;
+  Job* job = findJob(it->second.jobId);
+  const matchmaking::Ticket ticket = it->second.ticket;
+  const obs::TraceContext claimTrace = it->second.trace;
   pendingClaims_.erase(it);
   if (job == nullptr || job->state != JobState::Matching) return;
   if (!resp.accepted) {
@@ -256,6 +259,7 @@ void CustomerAgent::handleClaimResponse(const Envelope& env,
     claimLease.jobId = job->id;
     claimLease.ticket = ticket;
     claimLease.startedAt = sim_.now();
+    claimLease.trace = claimTrace;
     claimLease.monitor = lease::HeartbeatMonitor(config_.heartbeat,
                                                  resp.leaseDuration, sim_.now());
     const std::string contact = env.from;
@@ -341,7 +345,8 @@ void CustomerAgent::onHeartbeatDue(const std::string& contact) {
   if (action.sendBeat) {
     net_.send(address_, contact,
               matchmaking::Heartbeat{claimLease.ticket, claimLease.jobId,
-                                     action.sequence, /*ack=*/false});
+                                     action.sequence, /*ack=*/false,
+                                     claimLease.trace});
   }
   claimLease.timer = sim_.at(claimLease.monitor.nextDue(),
                              [this, contact] { onHeartbeatDue(contact); });

@@ -114,6 +114,15 @@ class CustomerAgent : public Endpoint {
     lease::HeartbeatMonitor monitor;
     EventId timer = kInvalidEvent;
     Time startedAt = 0.0;
+    obs::TraceContext trace;  ///< stamped on renewal heartbeats
+  };
+
+  /// A claim request in flight at one resource.
+  struct PendingClaim {
+    std::uint64_t jobId = 0;
+    matchmaking::Ticket ticket = matchmaking::kNoTicket;
+    /// From the MatchNotification; rides the ClaimRequest and the lease.
+    obs::TraceContext trace;
   };
 
   Simulator& sim_;
@@ -127,10 +136,10 @@ class CustomerAgent : public Endpoint {
   std::unordered_map<std::uint64_t, std::size_t> jobIndex_;
   std::uint64_t adSequence_ = 0;
   /// Job whose claim request is in flight, keyed by resource contact (a
-  /// CA may have several claims outstanding at distinct resources);
-  /// second = the ticket presented, kept for the lease that may follow.
-  std::unordered_map<std::string, std::pair<std::uint64_t, matchmaking::Ticket>>
-      pendingClaims_;
+  /// CA may have several claims outstanding at distinct resources); the
+  /// ticket presented and trace context are kept for the lease that may
+  /// follow.
+  std::unordered_map<std::string, PendingClaim> pendingClaims_;
   /// Live leases keyed by resource contact.
   std::unordered_map<std::string, ClaimLease> leases_;
   std::optional<PeriodicTimer> adTimer_;

@@ -1,5 +1,6 @@
 #include "sim/pool_manager.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace htcsim {
@@ -72,7 +73,7 @@ void PoolManager::start() {
     fed.epoch = ++federationEpoch_;
     federation_.emplace(std::move(fed),
                         static_cast<federation::FederationHost&>(*this), net_,
-                        config_.address, config_.registry);
+                        config_.address, config_.registry, config_.tracer);
     federation_->start(sim_.now());
     digestTimer_.emplace(
         sim_, config_.federation.digestInterval,
@@ -99,6 +100,7 @@ void PoolManager::crash(Time downFor) {
   requests_.clear();
   resources_.clear();
   allocationTable_.clear();
+  requestTraces_.clear();
   sim_.after(downFor, [this] { start(); });
 }
 
@@ -125,6 +127,27 @@ void PoolManager::handleAdvertisement(const matchmaking::Advertisement& ad) {
       ad.key.empty() ? protocol_.keyOf(*ad.ad) : ad.key;
   matchmaking::AdStore& store = ad.isRequest ? requests_ : resources_;
   const bool fresh = store.update(key, ad.ad, sim_.now(), ad.sequence);
+  // Trace intake: the first sighting of a request key roots the job's
+  // trace ("ad.intake"); a matched request re-advertising means its
+  // claim died — record "job.requeued" in the same trace (the recover
+  // leg of the lifecycle).
+  if (fresh && ad.isRequest && config_.tracer != nullptr &&
+      config_.tracer->enabled()) {
+    auto [it, inserted] = requestTraces_.try_emplace(key);
+    RequestTrace& rt = it->second;
+    rt.lastSeen = sim_.now();
+    if (inserted || !rt.ctx.valid()) {
+      obs::ActiveSpan root = config_.tracer->startTrace("ad.intake");
+      root.tag("request", key);
+      rt.ctx = root.context();
+      rt.matched = false;
+    } else if (rt.matched) {
+      obs::ActiveSpan requeue =
+          obs::startSpan(config_.tracer, "job.requeued", rt.ctx);
+      requeue.tag("request", key);
+      rt.matched = false;
+    }
+  }
   // Flock-out: every genuinely local resource ad version travels to the
   // peers once (the plane re-checks provenance and policy).
   if (fresh && !ad.isRequest && federation_.has_value() &&
@@ -169,10 +192,19 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
   matchmaking::NegotiationStats stats;
   if (!up_) return stats;
   ++metrics_.negotiationCycles;
+  obs::Tracer* tracer = config_.tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
   // Phase timings are WALL clock even under the discrete-event clock:
   // they measure what the algorithms actually cost on this hardware,
   // which is what the observability plane exists to answer.
   const auto cycleStart = std::chrono::steady_clock::now();
+  const double cycleStartTs = tracing ? obs::steadyNowSeconds() : 0.0;
+  // Each cycle is its own trace: phase spans hang off one
+  // "negotiate.cycle" root, and every match.notify span tags the cycle's
+  // trace id — the join between a job's trace and the cycle that
+  // matched it.
+  const obs::TraceContext cycleCtx =
+      tracing ? tracer->mintContext() : obs::TraceContext{};
   requests_.expire(sim_.now());
   resources_.expire(sim_.now());
   // Both stores keep prepared pools in lockstep (ads were prepared,
@@ -196,8 +228,27 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
   const std::vector<matchmaking::Match> matchesFound = matchmaker_.negotiate(
       requestPool, resourcePool, accountant_, sim_.now(), &stats, &taken);
   const auto notifyStart = std::chrono::steady_clock::now();
+  const double notifyStartTs = tracing ? obs::steadyNowSeconds() : 0.0;
   for (const matchmaking::Match& m : matchesFound) {
     ++metrics_.matchesIssued;
+    const std::uint64_t jobId = static_cast<std::uint64_t>(
+        m.request->getInteger("JobId").value_or(0));
+    const std::string storeKey =
+        m.requestContact + "#" + std::to_string(jobId);
+    // The "match.notify" span lives in the JOB's trace (rooted at ad
+    // intake) and tags the cycle's trace id; its context rides both
+    // notifications so the claim and lease spans downstream stitch into
+    // the job's trace.
+    obs::ActiveSpan notifySpan;
+    if (tracing) {
+      notifySpan = tracer->startSpan("match.notify", requestTraceFor(storeKey));
+      notifySpan.tag("resource", m.resourceContact);
+      notifySpan.tag("cycle", obs::traceIdToHex(cycleCtx.trace));
+      if (const auto it = requestTraces_.find(storeKey);
+          it != requestTraces_.end()) {
+        it->second.matched = true;
+      }
+    }
     // Matchmaking protocol (Step 3): both parties get each other's ads;
     // the customer additionally gets the resource's ticket.
     matchmaking::MatchNotification toCustomer;
@@ -205,6 +256,7 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
     toCustomer.peerAd = m.resource;
     toCustomer.peerContact = m.resourceContact;
     toCustomer.ticket = m.ticket;
+    toCustomer.trace = notifySpan.context();
     net_.send(config_.address, m.requestContact, std::move(toCustomer));
 
     matchmaking::MatchNotification toResource;
@@ -212,13 +264,12 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
     toResource.peerAd = m.request;
     toResource.peerContact = m.requestContact;
     toResource.ticket = matchmaking::kNoTicket;
+    toResource.trace = notifySpan.context();
     net_.send(config_.address, m.resourceContact, std::move(toResource));
 
     // Withdraw the matched request until its CA re-advertises (placed
     // jobs retract their own ads; failed claims re-advertise).
-    const std::uint64_t jobId = static_cast<std::uint64_t>(
-        m.request->getInteger("JobId").value_or(0));
-    requests_.invalidate(m.requestContact + "#" + std::to_string(jobId));
+    requests_.invalidate(storeKey);
 
     if (config_.stateful) {
       allocationTable_[m.resourceContact] = m.user;
@@ -232,10 +283,16 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
     federation_->purge(sim_.now());
     // Requests still live after the notify/gang passes went unmatched
     // this cycle (matched ones were invalidated above): candidates for
-    // cross-pool referral, gated by the peers' schema digests.
-    std::vector<std::pair<std::string, classad::ClassAdPtr>> unmatched;
+    // cross-pool referral, gated by the peers' schema digests. Each
+    // carries its job's trace context so referral spans land in it.
+    std::vector<federation::UnmatchedRequest> unmatched;
     for (const matchmaking::engine::Slot& slot : requestPool.slots()) {
-      if (slot.live && !slot.isGang) unmatched.emplace_back(slot.key, slot.ad());
+      if (!slot.live || slot.isGang) continue;
+      federation::UnmatchedRequest entry;
+      entry.key = slot.key;
+      entry.ad = slot.ad();
+      if (tracing) entry.trace = requestTraceFor(slot.key);
+      unmatched.push_back(std::move(entry));
     }
     federation_->referUnmatched(unmatched, sim_.now());
   }
@@ -262,7 +319,72 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
     indexedAds_->set(static_cast<double>(resourcePool.liveCount()));
     indexRebuilds_->set(static_cast<double>(resourcePool.rebuilds()));
   }
+  if (tracing) {
+    // Externally timed phase spans under the cycle root. fairshare and
+    // scan run inside negotiate(); their starts are reconstructed
+    // back-to-back after the ad scan — durations are exact, offsets
+    // within the cycle are the best available estimate.
+    const double cycleEndTs = obs::steadyNowSeconds();
+    const auto phaseSpan = [&](const char* name, double start,
+                               double duration) {
+      obs::SpanRecord rec;
+      rec.trace = cycleCtx.trace;
+      rec.parent = cycleCtx.span;
+      rec.span = tracer->mintSpanId();
+      rec.name = name;
+      rec.startSeconds = start;
+      rec.durationSeconds = duration;
+      tracer->record(std::move(rec));
+    };
+    double at = cycleStartTs;
+    phaseSpan("phase.adscan", at, adScanSeconds);
+    at += adScanSeconds;
+    phaseSpan("phase.fairshare", at, stats.serviceOrderSeconds);
+    at += stats.serviceOrderSeconds;
+    phaseSpan("phase.scan", at, stats.scanSeconds);
+    phaseSpan("phase.notify", notifyStartTs, cycleEndTs - notifyStartTs);
+    obs::SpanRecord root;
+    root.trace = cycleCtx.trace;
+    root.span = cycleCtx.span;
+    root.name = "negotiate.cycle";
+    root.startSeconds = cycleStartTs;
+    root.durationSeconds = cycleEndTs - cycleStartTs;
+    root.tags.emplace_back("matches", std::to_string(stats.matches));
+    root.tags.emplace_back("requests",
+                           std::to_string(stats.requestsConsidered));
+    root.tags.emplace_back("resources",
+                           std::to_string(stats.resourcesConsidered));
+    tracer->record(std::move(root));
+  }
+  // Trace bookkeeping ages out with the ads: a request silent for 8 ad
+  // lifetimes is gone for good (completed, or its CA died) — if it ever
+  // comes back it roots a fresh trace.
+  if (!requestTraces_.empty()) {
+    const Time ttl = std::max(config_.adLifetime * 8.0, 600.0);
+    for (auto it = requestTraces_.begin(); it != requestTraces_.end();) {
+      if (it->second.lastSeen + ttl < sim_.now()) {
+        it = requestTraces_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   return stats;
+}
+
+obs::TraceContext PoolManager::requestTraceFor(const std::string& key) {
+  if (config_.tracer == nullptr || !config_.tracer->enabled()) return {};
+  auto [it, inserted] = requestTraces_.try_emplace(key);
+  RequestTrace& rt = it->second;
+  rt.lastSeen = sim_.now();
+  if (inserted || !rt.ctx.valid()) {
+    // A request that reached negotiation without passing intake (tools
+    // injecting ads, referral bookkeeping) still gets a root.
+    obs::ActiveSpan root = config_.tracer->startTrace("ad.intake");
+    root.tag("request", key);
+    rt.ctx = root.context();
+  }
+  return rt.ctx;
 }
 
 // --- federation::FederationHost --------------------------------------------
@@ -284,13 +406,17 @@ std::optional<matchmaking::Match> PoolManager::evaluateReferral(
   return matchmaker_.bestMatchFor(request, *resources_.pool(), now);
 }
 
-void PoolManager::serveLocalMatch(const matchmaking::Match& match) {
+void PoolManager::serveLocalMatch(const matchmaking::Match& match,
+                                  const obs::TraceContext& trace) {
   ++metrics_.matchesIssued;
   matchmaking::MatchNotification toResource;
   toResource.myAd = match.resource;
   toResource.peerAd = match.request;
   toResource.peerContact = match.requestContact;
   toResource.ticket = matchmaking::kNoTicket;
+  // The serving hop's span context: the RA's claim spans join the
+  // origin job's trace through it.
+  toResource.trace = trace;
   net_.send(config_.address, match.resourceContact, std::move(toResource));
 }
 
@@ -301,11 +427,25 @@ bool PoolManager::completeRemoteMatch(
   ++metrics_.matchesIssued;
   const std::string requestContact =
       stored->ad->getString(config_.matchmaker.protocol.contact).value_or("");
+  // A remote pool served the referral: the customer-side notification
+  // gets a "match.notify" span parented on the serving hop's context,
+  // keeping the whole cross-pool journey in the job's single trace.
+  obs::ActiveSpan notifySpan =
+      obs::startSpan(config_.tracer, "match.notify", response.trace);
+  notifySpan.tag("resource", response.resourceContact);
+  notifySpan.tag("serving_pool", response.servingPool);
+  if (const auto it = requestTraces_.find(response.requestKey);
+      it != requestTraces_.end()) {
+    it->second.matched = true;
+    it->second.lastSeen = sim_.now();
+  }
   matchmaking::MatchNotification toCustomer;
   toCustomer.myAd = stored->ad;
   toCustomer.peerAd = response.resourceAd;
   toCustomer.peerContact = response.resourceContact;
   toCustomer.ticket = response.ticket;
+  toCustomer.trace =
+      notifySpan.active() ? notifySpan.context() : response.trace;
   net_.send(config_.address, requestContact, std::move(toCustomer));
   // Withdraw the request until its CA re-advertises, exactly as after a
   // local match. The claim itself runs CA→RA across the pools.
@@ -334,6 +474,13 @@ std::size_t PoolManager::negotiateGangs(
     if (!result) continue;
     const std::string gangContact =
         gang.getString(config_.matchmaker.protocol.contact).value_or("");
+    // All legs of a placed gang share the gang request's trace; each leg
+    // gets its own match.notify span.
+    const obs::TraceContext gangCtx = requestTraceFor(storeKey);
+    if (const auto it = requestTraces_.find(storeKey);
+        it != requestTraces_.end()) {
+      it->second.matched = true;
+    }
     for (std::size_t leg = 0; leg < result->legs.size(); ++leg) {
       const matchmaking::GangLeg& assigned = result->legs[leg];
       ++metrics_.matchesIssued;
@@ -346,17 +493,23 @@ std::size_t PoolManager::negotiateGangs(
       const std::string resourceContact =
           assigned.resource->getString(config_.matchmaker.protocol.contact)
               .value_or("");
+      obs::ActiveSpan legSpan =
+          obs::startSpan(config_.tracer, "match.notify", gangCtx);
+      legSpan.tag("resource", resourceContact);
+      legSpan.tag("leg", std::to_string(leg));
       matchmaking::MatchNotification toCustomer;
       toCustomer.myAd = classad::makeShared(std::move(legAd));
       toCustomer.peerAd = assigned.resource;
       toCustomer.peerContact = resourceContact;
       toCustomer.ticket = assigned.ticket;
+      toCustomer.trace = legSpan.context();
       net_.send(config_.address, gangContact, std::move(toCustomer));
 
       matchmaking::MatchNotification toResource;
       toResource.myAd = assigned.resource;
       toResource.peerAd = assigned.legAd;
       toResource.peerContact = gangContact;
+      toResource.trace = legSpan.context();
       net_.send(config_.address, resourceContact, std::move(toResource));
     }
     requests_.invalidate(storeKey);

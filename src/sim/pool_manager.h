@@ -32,6 +32,7 @@
 #include "matchmaker/matchmaker.h"
 #include "matchmaker/priority.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "sim/transport.h"
@@ -59,6 +60,14 @@ struct PoolManagerConfig {
   /// fair-share, rank/scan, notify) and per-cycle match/reject gauges.
   /// Null costs nothing on the hot path beyond one pointer test.
   obs::Registry* registry = nullptr;
+  /// Causal tracing plane (optional, not owned; docs/OBSERVABILITY.md).
+  /// When set and enabled, the manager roots one trace per stored
+  /// request ("ad.intake"), emits "match.notify" spans whose context
+  /// rides both MatchNotifications (so claims and leases stitch into the
+  /// job's trace), records per-cycle negotiation phase spans under a
+  /// separate cycle trace, and threads context through the federation
+  /// plane's referrals.
+  obs::Tracer* tracer = nullptr;
 };
 
 class PoolManager : public Endpoint, private federation::FederationHost {
@@ -130,10 +139,25 @@ class PoolManager : public Endpoint, private federation::FederationHost {
   void dropFlockedAd(const std::string& storeKey) override;
   std::optional<matchmaking::Match> evaluateReferral(
       const classad::ClassAdPtr& request, matchmaking::Time now) override;
-  void serveLocalMatch(const matchmaking::Match& match) override;
+  void serveLocalMatch(const matchmaking::Match& match,
+                       const obs::TraceContext& trace) override;
   bool completeRemoteMatch(
       const federation::ReferralResponse& response) override;
   classad::analysis::Schema localResourceSchema() const override;
+
+  /// Per-request trace bookkeeping (tracing only): the job's trace
+  /// context, rooted by "ad.intake" on first sight of the store key.
+  /// `matched` marks a notified request, so a later re-advertisement
+  /// records "job.requeued" (the claim failed, was evicted, or its lease
+  /// lapsed). Entries are pruned by lastSeen TTL each cycle.
+  struct RequestTrace {
+    obs::TraceContext ctx;
+    Time lastSeen = 0.0;
+    bool matched = false;
+  };
+  /// Looks up (or roots) the trace for a request store key, refreshing
+  /// its lastSeen stamp. Returns an invalid context when tracing is off.
+  obs::TraceContext requestTraceFor(const std::string& key);
 
   Simulator& sim_;
   Transport& net_;
@@ -147,6 +171,8 @@ class PoolManager : public Endpoint, private federation::FederationHost {
   matchmaking::GangMatcher gangMatcher_;
   /// Stateful mode only: resource key -> user it was allocated to.
   std::unordered_map<std::string, std::string> allocationTable_;
+  /// Tracing only: request store key -> the job's trace.
+  std::unordered_map<std::string, RequestTrace> requestTraces_;
   std::optional<PeriodicTimer> cycleTimer_;
   std::optional<federation::FederationPlane> federation_;
   std::optional<PeriodicTimer> digestTimer_;

@@ -172,8 +172,9 @@ void ResourceAgent::handleClaimRequest(const Envelope& env,
   // weak-consistency design of Section 3.2. The advertisement the match
   // was made from may be arbitrarily stale; rejection here is a normal
   // outcome, the customer simply goes back to matchmaking.
-  const matchmaking::ClaimResponse verdict = matchmaking::evaluateClaim(
+  matchmaking::ClaimResponse verdict = matchmaking::evaluateClaim(
       current, ticket_, req, config_.claimPolicy);
+  verdict.trace = req.trace;
   if (!verdict.accepted) {
     ++metrics_.claimsRejected;
     net_.send(address_, env.from, verdict);
@@ -189,7 +190,8 @@ void ResourceAgent::handleClaimRequest(const Envelope& env,
       ++metrics_.claimsRejected;
       net_.send(address_, env.from,
                 matchmaking::ClaimResponse{
-                    false, "claimed by a customer ranked at least as high"});
+                    false, "claimed by a customer ranked at least as high",
+                    0.0, req.trace});
       return;
     }
     ++metrics_.preemptionsByRank;
@@ -211,7 +213,9 @@ void ResourceAgent::handleClaimRequest(const Envelope& env,
   const double mips = static_cast<double>(machine_.spec().mips);
   const Time duration = claim.workAtStart * kReferenceMips / mips;
   claim.completionEvent = sim_.after(duration, [this] { onJobComplete(); });
-  matchmaking::ClaimResponse response{true, "", config_.leaseDuration};
+  claim.trace = req.trace;
+  matchmaking::ClaimResponse response{true, "", config_.leaseDuration,
+                                      req.trace};
   if (config_.leaseDuration > 0.0) {
     claim.leaseExpiresAt = sim_.now() + config_.leaseDuration;
     claim.lastHeartbeatAt = sim_.now();
@@ -302,6 +306,7 @@ void ResourceAgent::vacate(const std::string& reason, bool ownerInitiated) {
   rel.jobId = claim_->jobId;
   rel.cpuSecondsUsed = done;
   rel.completed = false;
+  rel.trace = claim_->trace;
   net_.send(address_, claim_->customerContact, std::move(rel));
   if (ownerInitiated) ++metrics_.preemptionsByOwner;
   // Usage is charged for the wall-clock occupancy regardless of outcome.
@@ -352,7 +357,8 @@ void ResourceAgent::handleHeartbeat(const Envelope& env,
     // the customer immediately spares it the remaining miss budget.
     net_.send(address_, env.from,
               matchmaking::LeaseExpired{hb.ticket, hb.jobId,
-                                        "no active lease for ticket"});
+                                        "no active lease for ticket",
+                                        hb.trace});
     return;
   }
   // Renew: push the deadline out a full lease from now.
@@ -366,7 +372,7 @@ void ResourceAgent::handleHeartbeat(const Envelope& env,
   recordLeaseEvent("lease-renewed");
   net_.send(address_, env.from,
             matchmaking::Heartbeat{hb.ticket, hb.jobId, hb.sequence,
-                                   /*ack=*/true});
+                                   /*ack=*/true, hb.trace});
 }
 
 void ResourceAgent::onLeaseDeadline() {
@@ -403,6 +409,7 @@ void ResourceAgent::onJobComplete() {
   rel.jobId = claim_->jobId;
   rel.cpuSecondsUsed = claim_->workAtStart;
   rel.completed = true;
+  rel.trace = claim_->trace;
   net_.send(address_, claim_->customerContact, std::move(rel));
   finishClaim(wall);
 }

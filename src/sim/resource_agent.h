@@ -115,6 +115,9 @@ class ResourceAgent : public Endpoint {
     Time lastHeartbeatAt = 0.0;
     std::uint64_t leaseRenewals = 0;
     EventId leaseEvent = kInvalidEvent;
+    /// Trace context from the ClaimRequest, echoed on release so the
+    /// claim's whole lifetime shares one trace (docs/OBSERVABILITY.md).
+    obs::TraceContext trace;
   };
 
   double workDoneSoFar() const;

@@ -129,6 +129,28 @@ class Reader {
 // Per-message bodies
 // ---------------------------------------------------------------------------
 
+// TraceContext travels as presence byte + three u64s. The all-zero
+// (invalid) context is encoded as absent, so a message produced with
+// tracing off costs one byte on the wire.
+void writeTraceContext(Writer& w, const obs::TraceContext& ctx) {
+  w.boolean(ctx.valid());
+  if (ctx.valid()) {
+    w.u64(ctx.trace.hi);
+    w.u64(ctx.trace.lo);
+    w.u64(ctx.span);
+  }
+}
+
+obs::TraceContext readTraceContext(Reader& r) {
+  obs::TraceContext ctx;
+  if (r.boolean()) {
+    ctx.trace.hi = r.u64();
+    ctx.trace.lo = r.u64();
+    ctx.span = r.u64();
+  }
+  return ctx;
+}
+
 void writeDigest(Writer& w, const federation::SchemaDigest& d) {
   w.str(d.pool);
   w.u64(d.version);
@@ -198,18 +220,21 @@ struct BodyEncoder {
     w.ad(m.peerAd);
     w.str(m.peerContact);
     w.u64(m.ticket);
+    writeTraceContext(w, m.trace);
     return MsgType::kMatchNotification;
   }
   MsgType operator()(const matchmaking::ClaimRequest& m) const {
     w.ad(m.requestAd);
     w.u64(m.ticket);
     w.str(m.customerContact);
+    writeTraceContext(w, m.trace);
     return MsgType::kClaimRequest;
   }
   MsgType operator()(const matchmaking::ClaimResponse& m) const {
     w.boolean(m.accepted);
     w.str(m.reason);
     w.f64(m.leaseDuration);
+    writeTraceContext(w, m.trace);
     return MsgType::kClaimResponse;
   }
   MsgType operator()(const matchmaking::ClaimRelease& m) const {
@@ -218,6 +243,7 @@ struct BodyEncoder {
     w.u64(m.jobId);
     w.f64(m.cpuSecondsUsed);
     w.boolean(m.completed);
+    writeTraceContext(w, m.trace);
     return MsgType::kClaimRelease;
   }
   MsgType operator()(const htcsim::UsageReport& m) const {
@@ -230,12 +256,14 @@ struct BodyEncoder {
     w.u64(m.jobId);
     w.u64(m.sequence);
     w.boolean(m.ack);
+    writeTraceContext(w, m.trace);
     return MsgType::kHeartbeat;
   }
   MsgType operator()(const matchmaking::LeaseExpired& m) const {
     w.u64(m.ticket);
     w.u64(m.jobId);
     w.str(m.reason);
+    writeTraceContext(w, m.trace);
     return MsgType::kLeaseExpired;
   }
   MsgType operator()(const federation::PeerHello& m) const {
@@ -265,6 +293,7 @@ struct BodyEncoder {
     w.u32(m.hopsLeft);
     w.u32(static_cast<std::uint32_t>(m.visited.size()));
     for (const std::string& pool : m.visited) w.str(pool);
+    writeTraceContext(w, m.trace);
     return MsgType::kMatchReferral;
   }
   MsgType operator()(const federation::ReferralResponse& m) const {
@@ -276,6 +305,7 @@ struct BodyEncoder {
     w.ad(m.resourceAd);
     w.str(m.resourceContact);
     w.u64(m.ticket);
+    writeTraceContext(w, m.trace);
     return MsgType::kReferralResponse;
   }
 };
@@ -304,6 +334,7 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       m.peerAd = r.ad();
       m.peerContact = r.str();
       m.ticket = r.u64();
+      m.trace = readTraceContext(r);
       out = std::move(m);
       return true;
     }
@@ -312,6 +343,7 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       m.requestAd = r.ad();
       m.ticket = r.u64();
       m.customerContact = r.str();
+      m.trace = readTraceContext(r);
       out = std::move(m);
       return true;
     }
@@ -320,6 +352,7 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       m.accepted = r.boolean();
       m.reason = r.str();
       m.leaseDuration = r.f64();
+      m.trace = readTraceContext(r);
       out = std::move(m);
       return true;
     }
@@ -330,6 +363,7 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       m.jobId = r.u64();
       m.cpuSecondsUsed = r.f64();
       m.completed = r.boolean();
+      m.trace = readTraceContext(r);
       out = std::move(m);
       return true;
     }
@@ -346,6 +380,7 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       m.jobId = r.u64();
       m.sequence = r.u64();
       m.ack = r.boolean();
+      m.trace = readTraceContext(r);
       out = std::move(m);
       return true;
     }
@@ -354,6 +389,7 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       m.ticket = r.u64();
       m.jobId = r.u64();
       m.reason = r.str();
+      m.trace = readTraceContext(r);
       out = std::move(m);
       return true;
     }
@@ -393,6 +429,7 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       for (std::uint32_t i = 0; i < visitedCount && r.ok(); ++i) {
         m.visited.push_back(r.str());
       }
+      m.trace = readTraceContext(r);
       out = std::move(m);
       return true;
     }
@@ -406,12 +443,15 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
       m.resourceAd = r.ad();
       m.resourceContact = r.str();
       m.ticket = r.u64();
+      m.trace = readTraceContext(r);
       out = std::move(m);
       return true;
     }
     case MsgType::kHello:
     case MsgType::kQuery:
     case MsgType::kQueryResponse:
+    case MsgType::kTraceQuery:
+    case MsgType::kTraceQueryResponse:
       // Not envelope payloads; these have their own codecs.
       return false;
   }
@@ -518,6 +558,95 @@ std::optional<PoolQueryResponse> decodePoolQueryResponse(const Frame& frame,
       return std::nullopt;
     }
     response.ads.push_back(std::move(ad));
+  }
+  if (!r.finish()) {
+    if (error) *error = r.error();
+    return std::nullopt;
+  }
+  return response;
+}
+
+std::string encodeTraceQuery(const TraceQuery& query) {
+  Writer w;
+  w.str(query.traceId);
+  w.u32(query.limit);
+  return encodeFrame(static_cast<std::uint8_t>(MsgType::kTraceQuery),
+                     w.take());
+}
+
+std::optional<TraceQuery> decodeTraceQuery(const Frame& frame,
+                                           std::string* error) {
+  if (frame.type != static_cast<std::uint8_t>(MsgType::kTraceQuery)) {
+    if (error) *error = "not a trace-query frame";
+    return std::nullopt;
+  }
+  Reader r(frame.payload);
+  TraceQuery query;
+  query.traceId = r.str();
+  query.limit = r.u32();
+  if (!r.finish()) {
+    if (error) *error = r.error();
+    return std::nullopt;
+  }
+  return query;
+}
+
+std::string encodeTraceQueryResponse(const TraceQueryResponse& response) {
+  Writer w;
+  w.boolean(response.ok);
+  w.str(response.error);
+  w.str(response.component);
+  w.u32(static_cast<std::uint32_t>(response.spans.size()));
+  for (const obs::SpanRecord& s : response.spans) {
+    w.u64(s.trace.hi);
+    w.u64(s.trace.lo);
+    w.u64(s.span);
+    w.u64(s.parent);
+    w.str(s.name);
+    w.str(s.component);
+    w.f64(s.startSeconds);
+    w.f64(s.durationSeconds);
+    w.u32(static_cast<std::uint32_t>(s.tags.size()));
+    for (const auto& [key, value] : s.tags) {
+      w.str(key);
+      w.str(value);
+    }
+  }
+  return encodeFrame(static_cast<std::uint8_t>(MsgType::kTraceQueryResponse),
+                     w.take());
+}
+
+std::optional<TraceQueryResponse> decodeTraceQueryResponse(
+    const Frame& frame, std::string* error) {
+  if (frame.type != static_cast<std::uint8_t>(MsgType::kTraceQueryResponse)) {
+    if (error) *error = "not a trace-query-response frame";
+    return std::nullopt;
+  }
+  Reader r(frame.payload);
+  TraceQueryResponse response;
+  response.ok = r.boolean();
+  response.error = r.str();
+  response.component = r.str();
+  const std::uint32_t n = r.u32();
+  // As with PoolQuery: every element needs backing bytes, so a hostile
+  // count bails on the first short read instead of pre-allocating.
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    obs::SpanRecord s;
+    s.trace.hi = r.u64();
+    s.trace.lo = r.u64();
+    s.span = r.u64();
+    s.parent = r.u64();
+    s.name = r.str();
+    s.component = r.str();
+    s.startSeconds = r.f64();
+    s.durationSeconds = r.f64();
+    const std::uint32_t tagCount = r.u32();
+    for (std::uint32_t k = 0; k < tagCount && r.ok(); ++k) {
+      std::string key = r.str();
+      std::string value = r.str();
+      s.tags.emplace_back(std::move(key), std::move(value));
+    }
+    response.spans.push_back(std::move(s));
   }
   if (!r.finish()) {
     if (error) *error = r.error();

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/transport.h"
 #include "wire/frame.h"
 #include "wire/tags.h"
@@ -85,5 +86,36 @@ struct PoolQueryResponse {
 std::string encodePoolQueryResponse(const PoolQueryResponse& response);
 std::optional<PoolQueryResponse> decodePoolQueryResponse(const Frame& frame,
                                                          std::string* error);
+
+/// Pulls recent spans from a daemon's trace ring (tag 18; mm_trace).
+/// Like PoolQuery this is a read-only observability request, and it is
+/// handled even more leniently: ANY malformed TraceQuery — binary
+/// truncation included — is answered with ok=false rather than closing
+/// the connection, so a monitoring bug can never sever a live peering.
+struct TraceQuery {
+  /// 32-hex-char TraceId filter; empty = the most recent spans of every
+  /// trace in the ring.
+  std::string traceId;
+  /// Max spans in the response; 0 = the daemon's default cap.
+  std::uint32_t limit = 0;
+};
+
+std::string encodeTraceQuery(const TraceQuery& query);
+std::optional<TraceQuery> decodeTraceQuery(const Frame& frame,
+                                           std::string* error);
+
+/// The daemon's answer (tag 19): its component name and the matching
+/// span records, oldest first. ok=false carries a human-readable error
+/// and leaves the connection healthy.
+struct TraceQueryResponse {
+  bool ok = true;
+  std::string error;
+  std::string component;
+  std::vector<obs::SpanRecord> spans;
+};
+
+std::string encodeTraceQueryResponse(const TraceQueryResponse& response);
+std::optional<TraceQueryResponse> decodeTraceQueryResponse(
+    const Frame& frame, std::string* error);
 
 }  // namespace wire

@@ -47,6 +47,9 @@ enum class FrameTag : std::uint8_t {
   kSchemaDigest = 15,     ///< periodic pool-schema digest push
   kMatchReferral = 16,    ///< unmatched request referred to a peer
   kReferralResponse = 17, ///< the peer's verdict back to the origin
+  // --- tracing plane (causal spans, docs/OBSERVABILITY.md) ---------------
+  kTraceQuery = 18,       ///< pull recent spans from a daemon's ring
+  kTraceQueryResponse = 19,
 };
 
 /// How a tag's payload is dispatched.
@@ -64,7 +67,7 @@ struct FrameTagInfo {
 
 /// The registry: one row per tag the protocol has ever assigned, in tag
 /// order. PROTOCOL.md's "Type tags" table mirrors this array.
-inline constexpr std::array<FrameTagInfo, 17> kFrameTagRegistry = {{
+inline constexpr std::array<FrameTagInfo, 19> kFrameTagRegistry = {{
     {FrameTag::kHello, FrameKind::kHandshake, "Hello"},
     {FrameTag::kAdvertisement, FrameKind::kEnvelope, "Advertisement"},
     {FrameTag::kAdInvalidate, FrameKind::kEnvelope, "AdInvalidate"},
@@ -82,6 +85,8 @@ inline constexpr std::array<FrameTagInfo, 17> kFrameTagRegistry = {{
     {FrameTag::kSchemaDigest, FrameKind::kEnvelope, "SchemaDigest"},
     {FrameTag::kMatchReferral, FrameKind::kEnvelope, "MatchReferral"},
     {FrameTag::kReferralResponse, FrameKind::kEnvelope, "ReferralResponse"},
+    {FrameTag::kTraceQuery, FrameKind::kQuery, "TraceQuery"},
+    {FrameTag::kTraceQueryResponse, FrameKind::kQuery, "TraceQueryResponse"},
 }};
 
 /// Registry row for a raw header byte; nullptr for unassigned tags.

@@ -128,7 +128,7 @@ TEST(DynamicDiscoveryTest, NovelResourceTypeNeedsNoMatchmakerChange) {
               std::get_if<matchmaking::ClaimRequest>(&env.payload)) {
         claims.push_back(*claim);
         scenario_.network().send("lic://matlab", env.from,
-                                 matchmaking::ClaimResponse{true, ""});
+                                 matchmaking::ClaimResponse{true, "", 0.0, {}});
       }
     }
     std::vector<matchmaking::ClaimRequest> claims;

@@ -281,11 +281,11 @@ TEST(GangPoolTest, CompensationReleasesHeldLegsOnRefusal) {
   EXPECT_EQ(raB.all<matchmaking::ClaimRequest>().size(), 1u);
 
   // A accepts; B refuses.
-  Envelope okA{"ra://A", "ca://raman", matchmaking::ClaimResponse{true, ""}};
+  Envelope okA{"ra://A", "ca://raman", matchmaking::ClaimResponse{true, "", 0.0, {}}};
   customer.deliver(okA);
   EXPECT_EQ(customer.legsHeld, 1);
   Envelope noB{"ra://B", "ca://raman",
-               matchmaking::ClaimResponse{false, "owner returned"}};
+               matchmaking::ClaimResponse{false, "owner returned", 0.0, {}}};
   customer.deliver(noB);
   EXPECT_EQ(customer.legsRefused, 1);
   EXPECT_EQ(customer.legsHeld, 0);

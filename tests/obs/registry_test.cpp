@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -52,6 +53,38 @@ TEST(Histogram, RenderIsParseableRunLength) {
   EXPECT_EQ(h.render(), "le0.5:1,inf:1");
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 50; ++i) h.observe(0.5);  // le1
+  for (int i = 0; i < 50; ++i) h.observe(1.5);  // le2
+  // p50's rank lands exactly at the top of the first bucket.
+  EXPECT_NEAR(h.quantile(0.50), 1.0, 1e-9);
+  // p95: 45 of the second bucket's 50 observations → 90% into [1, 2].
+  EXPECT_NEAR(h.quantile(0.95), 1.9, 1e-9);
+  EXPECT_NEAR(h.quantile(0.99), 1.98, 1e-9);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 2.0, 1e-9);
+}
+
+TEST(Histogram, QuantileClampsOverflowToLargestFiniteBound) {
+  Histogram h({1.0});
+  h.observe(5.0);
+  h.observe(6.0);
+  EXPECT_NEAR(h.quantile(0.99), 1.0, 1e-9);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsNaN) {
+  Histogram h({1.0});
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(Histogram, RenderQuantilesIsParseable) {
+  Histogram h({0.5});
+  h.observe(0.25);
+  h.observe(0.25);
+  EXPECT_EQ(h.renderQuantiles(), "p50=0.25,p95=0.475,p99=0.495");
+}
+
 TEST(Registry, InstrumentsAreFindOrCreate) {
   Registry reg;
   Counter* a = reg.counter("Frames");
@@ -92,6 +125,16 @@ TEST(Registry, ToClassAdRendersEveryInstrumentKind) {
   EXPECT_NEAR(ad.getNumber("CycleSeconds_Sum").value_or(-1.0), 3.5, 1e-12);
   EXPECT_EQ(ad.getString("CycleSeconds_Buckets").value_or(""),
             "le1:1,inf:1");
+  // p50's rank lands at the top of the le1 bucket; p95/p99 rank into
+  // the overflow bucket and clamp to the largest finite bound.
+  EXPECT_EQ(ad.getString("CycleSeconds_Quantiles").value_or(""),
+            "p50=1,p95=1,p99=1");
+  // An empty histogram renders buckets but no quantiles (they'd be NaN,
+  // which classads cannot constrain on usefully).
+  reg.histogram("Untouched", {1.0});
+  const classad::ClassAd again = reg.toClassAd();
+  EXPECT_TRUE(again.getString("Untouched_Buckets").has_value());
+  EXPECT_FALSE(again.getString("Untouched_Quantiles").has_value());
 }
 
 TEST(Registry, RenderIntoPreservesExistingAttributes) {

@@ -1,0 +1,129 @@
+// Release-build perf smoke for the tracing plane: a DISABLED tracer on
+// the E1 negotiation cycle must cost no more than no tracer at all —
+// the hot path pays one pointer test plus one relaxed atomic load.
+// Gated behind MM_PERF_SMOKE=1 (wall-clock assertions are meaningless
+// under sanitizers or debug builds); CI runs it in the Release job.
+// The tracing-ON cost column lives in bench/bench_metrics_overhead.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/network.h"
+#include "sim/pool_manager.h"
+
+namespace obs {
+namespace {
+
+class Sink : public htcsim::Endpoint {
+ public:
+  void deliver(const htcsim::Envelope&) override {}
+};
+
+struct Pool {
+  explicit Pool(Tracer* tracer) {
+    htcsim::PoolManagerConfig config;
+    config.tracer = tracer;
+    manager = std::make_unique<htcsim::PoolManager>(sim, net, metrics,
+                                                    config);
+    manager->start();
+    for (int i = 0; i < 2000; ++i) {
+      classad::ClassAd ad;
+      ad.set("Type", "Machine");
+      ad.set("Name", "m" + std::to_string(i));
+      ad.set("ContactAddress", "ra://m" + std::to_string(i));
+      ad.set("Memory", 32 << (i % 4));
+      ad.setExpr("Constraint", "other.Type == \"Job\"");
+      ad.set("Rank", 0);
+      net.attach("ra://m" + std::to_string(i), &sink);
+      machineAds.push_back(classad::makeShared(std::move(ad)));
+    }
+    for (int i = 0; i < 64; ++i) {
+      classad::ClassAd ad;
+      ad.set("Type", "Job");
+      ad.set("Owner", "user" + std::to_string(i % 4));
+      ad.set("JobId", static_cast<std::int64_t>(i + 1));
+      ad.set("ContactAddress", "ca://job" + std::to_string(i));
+      ad.set("Memory", 32);
+      ad.setExpr("Constraint",
+                 "other.Type == \"Machine\" && other.Memory >= self.Memory");
+      ad.set("Rank", 0);
+      net.attach("ca://job" + std::to_string(i), &sink);
+      jobAds.push_back(classad::makeShared(std::move(ad)));
+    }
+  }
+
+  /// Re-advertises the whole pool (matched ads were invalidated by the
+  /// previous cycle) so every timed cycle negotiates the same load.
+  void refresh() {
+    for (const auto& ad : machineAds) {
+      matchmaking::Advertisement adv;
+      adv.ad = ad;
+      adv.sequence = ++sequence;
+      adv.isRequest = false;
+      manager->deliver({"x", manager->address(), std::move(adv)});
+    }
+    for (const auto& ad : jobAds) {
+      matchmaking::Advertisement adv;
+      adv.ad = ad;
+      adv.sequence = ++sequence;
+      adv.isRequest = true;
+      manager->deliver({"x", manager->address(), std::move(adv)});
+    }
+  }
+
+  double cycleSeconds() {
+    refresh();
+    const auto start = std::chrono::steady_clock::now();
+    manager->negotiateNow();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+
+  std::vector<classad::ClassAdPtr> machineAds;
+  std::vector<classad::ClassAdPtr> jobAds;
+  std::uint64_t sequence = 0;
+
+  htcsim::Simulator sim;
+  htcsim::Metrics metrics;
+  htcsim::Network net{sim, htcsim::Rng(7)};
+  Sink sink;
+  std::unique_ptr<htcsim::PoolManager> manager;
+};
+
+TEST(TracePerfSmokeTest, DisabledTracerCostsNoMoreThanNoTracer) {
+  const char* gate = std::getenv("MM_PERF_SMOKE");
+  if (gate == nullptr || std::string(gate) != "1") {
+    GTEST_SKIP() << "set MM_PERF_SMOKE=1 (Release builds) to run";
+  }
+  Tracer disabled(Tracer::Options{4096, false, "collector", 0x5eedULL});
+  Pool bare(nullptr);
+  Pool dark(&disabled);
+
+  // Warm-up, then best-of-three per mode to shake scheduler noise.
+  bare.cycleSeconds();
+  dark.cycleSeconds();
+  double bareBest = 1e9;
+  double darkBest = 1e9;
+  for (int i = 0; i < 3; ++i) {
+    bareBest = std::min(bareBest, bare.cycleSeconds());
+    darkBest = std::min(darkBest, dark.cycleSeconds());
+  }
+
+  // "Within noise": the same 25% tolerance the engine smoke uses, so a
+  // noisy neighbor cannot flake the build. The real margin is orders of
+  // magnitude — a handful of relaxed loads against a multi-ms cycle.
+  EXPECT_TRUE(disabled.snapshot().empty());
+  EXPECT_LE(darkBest, bareBest * 1.25)
+      << "tracing-disabled " << darkBest << "s vs bare " << bareBest << "s";
+}
+
+}  // namespace
+}  // namespace obs

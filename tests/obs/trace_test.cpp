@@ -1,0 +1,238 @@
+// Tracer core: id minting and hex round trips, context flow parent →
+// child, the bounded ring (wraparound bumps the dropped counters), the
+// disabled/null fast paths, externally timed record(), and the Chrome
+// trace-event export (validated with the strict classad JSON parser).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classad/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace obs {
+namespace {
+
+Tracer::Options testOptions(std::size_t capacity = 64) {
+  Tracer::Options opts;
+  opts.capacity = capacity;
+  opts.component = "test-daemon";
+  opts.seed = 0x5eedULL;
+  return opts;
+}
+
+TEST(TraceId, HexRoundTrip) {
+  TraceId id;
+  id.hi = 0x0123456789abcdefULL;
+  id.lo = 0xfedcba9876543210ULL;
+  const std::string hex = traceIdToHex(id);
+  EXPECT_EQ(hex, "0123456789abcdeffedcba9876543210");
+  const auto back = traceIdFromHex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, id);
+  // Either case accepted.
+  EXPECT_EQ(traceIdFromHex("0123456789ABCDEFFEDCBA9876543210"), id);
+}
+
+TEST(TraceId, HexParserIsStrict) {
+  EXPECT_FALSE(traceIdFromHex("").has_value());
+  EXPECT_FALSE(traceIdFromHex("0123").has_value());                 // short
+  EXPECT_FALSE(traceIdFromHex(std::string(33, '0')).has_value());   // long
+  EXPECT_FALSE(
+      traceIdFromHex("0123456789abcdeffedcba987654321g").has_value());
+  const auto zero = traceIdFromHex(std::string(32, '0'));
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_FALSE(zero->valid());
+}
+
+TEST(Tracer, SpanTreeSharesTraceAndLinksParents) {
+  Tracer tracer(testOptions());
+  TraceContext rootCtx;
+  TraceContext childCtx;
+  {
+    ActiveSpan root = tracer.startTrace("ad.intake");
+    root.tag("request", "job-1");
+    rootCtx = root.context();
+    ASSERT_TRUE(rootCtx.valid());
+    ActiveSpan child = tracer.startSpan("match.notify", rootCtx);
+    childCtx = child.context();
+    ASSERT_TRUE(childCtx.valid());
+    EXPECT_EQ(childCtx.trace, rootCtx.trace);
+    EXPECT_NE(childCtx.span, rootCtx.span);
+  }
+  const auto spans = tracer.spansFor(rootCtx.trace);
+  ASSERT_EQ(spans.size(), 2u);
+  // Finish order is child first (destroyed first), oldest-first snapshot.
+  EXPECT_EQ(spans[0].name, "match.notify");
+  EXPECT_EQ(spans[0].parent, rootCtx.span);
+  EXPECT_EQ(spans[1].name, "ad.intake");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].component, "test-daemon");
+  ASSERT_EQ(spans[1].tags.size(), 1u);
+  EXPECT_EQ(spans[1].tags[0].first, "request");
+  EXPECT_GE(spans[0].durationSeconds, 0.0);
+}
+
+TEST(Tracer, InvalidParentYieldsInertSpan) {
+  Tracer tracer(testOptions());
+  ActiveSpan span = tracer.startSpan("orphan", TraceContext{});
+  EXPECT_FALSE(span.active());
+  EXPECT_FALSE(span.context().valid());
+  span.finish();
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracer, DisabledTracerIsInert) {
+  Tracer::Options opts = testOptions();
+  opts.enabled = false;
+  Tracer tracer(opts);
+  {
+    ActiveSpan root = tracer.startTrace("ad.intake");
+    EXPECT_FALSE(root.active());
+  }
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // The null-safe helpers tolerate both a null tracer and a disabled one.
+  EXPECT_FALSE(startTrace(nullptr, "x").active());
+  EXPECT_FALSE(startTrace(&tracer, "x").active());
+  EXPECT_FALSE(startSpan(&tracer, "x", TraceContext{}).active());
+  // Re-enabling turns the same object live.
+  tracer.setEnabled(true);
+  { ActiveSpan root = startTrace(&tracer, "now-live"); }
+  EXPECT_EQ(tracer.snapshot().size(), 1u);
+}
+
+TEST(Tracer, RingWrapsAndCountsDrops) {
+  Registry registry;
+  Tracer tracer(testOptions(8), &registry);
+  for (int i = 0; i < 20; ++i) {
+    ActiveSpan span = tracer.startTrace("span-" + std::to_string(i));
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // Oldest-first: the ring holds the 8 most recent spans.
+  EXPECT_EQ(spans.front().name, "span-12");
+  EXPECT_EQ(spans.back().name, "span-19");
+  EXPECT_EQ(tracer.dropped(), 12u);
+  EXPECT_EQ(registry.counter("TraceSpansDropped")->value(), 12u);
+  // snapshot(limit) keeps the MOST RECENT spans, still oldest-first.
+  const auto limited = tracer.snapshot(3);
+  ASSERT_EQ(limited.size(), 3u);
+  EXPECT_EQ(limited.front().name, "span-17");
+  EXPECT_EQ(limited.back().name, "span-19");
+}
+
+TEST(Tracer, MintedContextsAndIdsAreDistinct) {
+  Tracer tracer(testOptions());
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    const TraceContext ctx = tracer.mintContext();
+    EXPECT_TRUE(ctx.valid());
+    EXPECT_NE(ctx.span, 0u);
+    seen.insert(traceIdToHex(ctx.trace));
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_NE(tracer.mintSpanId(), tracer.mintSpanId());
+}
+
+TEST(Tracer, RecordStampsComponentAndTrustsTimings) {
+  Tracer tracer(testOptions());
+  const TraceContext ctx = tracer.mintContext();
+  SpanRecord rec;
+  rec.trace = ctx.trace;
+  rec.parent = ctx.span;
+  rec.span = tracer.mintSpanId();
+  rec.name = "phase.scan";
+  rec.startSeconds = 12.5;
+  rec.durationSeconds = 0.25;
+  tracer.record(rec);
+  const auto spans = tracer.spansFor(ctx.trace);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].component, "test-daemon");  // filled in by record()
+  EXPECT_DOUBLE_EQ(spans[0].startSeconds, 12.5);
+  EXPECT_DOUBLE_EQ(spans[0].durationSeconds, 0.25);
+  EXPECT_EQ(spans[0].parent, ctx.span);
+}
+
+TEST(Tracer, SpansForFiltersByTrace) {
+  Tracer tracer(testOptions());
+  TraceContext a;
+  {
+    ActiveSpan first = tracer.startTrace("first");
+    a = first.context();
+    ActiveSpan other = tracer.startTrace("second");
+  }
+  const auto spans = tracer.spansFor(a.trace);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "first");
+  EXPECT_TRUE(tracer.spansFor(TraceId{1, 2}).empty());
+}
+
+TEST(Tracer, ConcurrentSpansDontTearTheRing) {
+  Registry registry;
+  Tracer tracer(testOptions(128), &registry);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < 200; ++i) {
+        ActiveSpan root =
+            tracer.startTrace("worker-" + std::to_string(t));
+        ActiveSpan child = tracer.startSpan("child", root.context());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(tracer.snapshot().size(), 128u);
+  // 4 threads * 200 iterations * 2 spans, 128 retained.
+  EXPECT_EQ(tracer.dropped(), 4u * 200u * 2u - 128u);
+}
+
+TEST(ChromeExport, ProducesValidJsonWithProcessMetadata) {
+  Tracer tracer(testOptions());
+  TraceContext ctx;
+  {
+    ActiveSpan root = tracer.startTrace("negotiate.cycle");
+    root.tag("matches", "3");
+    ctx = root.context();
+    ActiveSpan child = tracer.startSpan("match.notify", ctx);
+    child.tag("resource", "ra://m\"1");  // quote must be escaped
+  }
+  auto spans = tracer.snapshot();
+  // A second component so the export emits two process_name records.
+  SpanRecord remote;
+  remote.trace = ctx.trace;
+  remote.parent = ctx.span;
+  remote.span = tracer.mintSpanId();
+  remote.name = "claim.grant";
+  remote.component = "ra://m1";
+  remote.startSeconds = 1.0;
+  remote.durationSeconds = 0.125;
+  spans.push_back(remote);
+
+  const std::string json = toChromeTraceJson(spans);
+  // The strict classad JSON parser doubles as a validator: it rejects
+  // bad escapes, trailing garbage, and unbalanced structure.
+  std::string error;
+  const auto parsed = classad::tryAdFromJson(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"claim.grant\""), std::string::npos);
+  EXPECT_NE(json.find(traceIdToHex(ctx.trace)), std::string::npos);
+  // Both components appear as process metadata.
+  EXPECT_NE(json.find("\"test-daemon\""), std::string::npos);
+  EXPECT_NE(json.find("ra://m1"), std::string::npos);
+}
+
+TEST(ChromeExport, EmptySpanListIsStillValidJson) {
+  const std::string json = toChromeTraceJson({});
+  std::string error;
+  EXPECT_TRUE(classad::tryAdFromJson(json, &error).has_value()) << error;
+}
+
+}  // namespace
+}  // namespace obs

@@ -1,0 +1,354 @@
+// The tracing plane end to end over real sockets: one cross-pool
+// referral must yield ONE stitched trace — origin-pool intake and
+// notify, the referral hops at both matchmakers, and the remote RA's
+// claim + lease lifecycle — pulled together with TraceQuery (tag 18)
+// exactly as tools/mm_trace does, and exportable as valid Chrome
+// trace-event JSON. Also the leniency contract: a malformed TraceQuery
+// (even binary garbage inside a well-framed payload) is answered
+// ok=false and must NOT poison the connection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classad/json.h"
+#include "obs/trace.h"
+#include "service/customer_agentd.h"
+#include "service/matchmakerd.h"
+#include "service/query_client.h"
+#include "service/resource_agentd.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+
+namespace service {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename Pred>
+bool waitFor(Pred done, std::chrono::seconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (done()) return true;
+    std::this_thread::sleep_for(10ms);
+  }
+  return done();
+}
+
+MatchmakerDaemonConfig westConfig() {
+  MatchmakerDaemonConfig cfg;
+  cfg.negotiationInterval = 0.2;
+  cfg.adLifetime = 30.0;
+  cfg.address = "collector.west";
+  cfg.federation.pool = "west";
+  cfg.federation.peers = {"collector.east"};
+  cfg.federation.digestInterval = 0.3;
+  cfg.federation.referralCooldown = 0.3;
+  cfg.federation.flockPolicy = federation::FlockPolicy::kOnDemand;
+  return cfg;
+}
+
+MatchmakerDaemonConfig eastConfig(std::uint16_t westPort) {
+  MatchmakerDaemonConfig cfg;
+  cfg.negotiationInterval = 0.2;
+  cfg.adLifetime = 30.0;
+  cfg.address = "collector.east";
+  cfg.federation.pool = "east";
+  cfg.federation.digestInterval = 0.3;
+  cfg.federation.referralCooldown = 0.3;
+  cfg.federation.flockPolicy = federation::FlockPolicy::kOnDemand;
+  MatchmakerDaemonConfig::FederationPeer peer;
+  peer.port = westPort;
+  peer.address = "collector.west";
+  cfg.federationPeers.push_back(peer);
+  cfg.peerReconnectBackoff.initialSeconds = 0.2;
+  cfg.peerReconnectBackoff.maxSeconds = 0.5;
+  return cfg;
+}
+
+std::size_t countNamed(const std::vector<obs::SpanRecord>& spans,
+                       const std::string& name) {
+  return static_cast<std::size_t>(
+      std::count_if(spans.begin(), spans.end(),
+                    [&](const obs::SpanRecord& s) { return s.name == name; }));
+}
+
+TEST(TraceLoopback, ReferralYieldsOneStitchedTraceAcrossPools) {
+  // No proactive flocking: the only route from east's job to west's
+  // machine is an on-demand referral, so the trace MUST cross pools.
+  std::string error;
+  MatchmakerDaemon west(westConfig());
+  ASSERT_TRUE(west.start(&error)) << error;
+  MatchmakerDaemon east(eastConfig(west.port()));
+  ASSERT_TRUE(east.start(&error)) << error;
+  ASSERT_TRUE(waitFor([&] { return east.federationLinksUp() == 1; }, 30s));
+
+  ResourceAgentDaemonConfig raConfig;
+  raConfig.name = "traced-machine";
+  raConfig.memoryMB = 128;
+  raConfig.matchmakerPort = west.port();
+  raConfig.adIntervalSeconds = 0.2;
+  raConfig.serviceSeconds = 1.5;
+  raConfig.leaseSeconds = 1.0;  // forces renewal heartbeats mid-claim
+  raConfig.pool = "west";
+  ResourceAgentDaemon resource(raConfig);
+  ASSERT_TRUE(resource.start(&error)) << error;
+
+  CustomerAgentDaemonConfig caConfig;
+  caConfig.owner = "tracer";
+  caConfig.matchmakerPort = east.port();
+  caConfig.adIntervalSeconds = 0.2;
+  caConfig.heartbeat.intervalSeconds = 0.25;
+  JobSpec job;
+  job.id = 1;
+  job.work = 1.0;
+  caConfig.jobs.push_back(job);
+  CustomerAgentDaemon customer(caConfig);
+  ASSERT_TRUE(customer.start(&error)) << error;
+
+  ASSERT_TRUE(waitFor([&] { return customer.completedJobs() == 1; }, 60s))
+      << "referralsSent="
+      << east.registry().counter("FedReferralsSent")->value()
+      << " referralsServed="
+      << west.registry().counter("FedReferralsServed")->value();
+
+  // Find the job's trace id in the RA's ring: the first lease renewal
+  // proves the claim lifecycle reached steady state.
+  obs::TraceId traceId;
+  ASSERT_TRUE(waitFor(
+      [&] {
+        const TraceQueryResult recent =
+            queryTraces("127.0.0.1", resource.port());
+        if (!recent.ok) return false;
+        for (const obs::SpanRecord& span : recent.spans) {
+          if (span.name == "lease.renew") {
+            traceId = span.trace;
+            return true;
+          }
+        }
+        return false;
+      },
+      30s));
+  ASSERT_TRUE(traceId.valid());
+
+  // Stitch exactly as mm_trace does: pull the SAME id from every daemon
+  // that touched the request and merge the spans.
+  TraceQueryOptions byId;
+  byId.traceId = obs::traceIdToHex(traceId);
+  std::vector<obs::SpanRecord> merged;
+  std::set<std::string> components;
+  struct Endpoint {
+    const char* label;
+    std::uint16_t port;
+  };
+  for (const Endpoint& ep :
+       {Endpoint{"east", east.port()}, Endpoint{"west", west.port()},
+        Endpoint{"ra", resource.port()}}) {
+    const TraceQueryResult result = queryTraces("127.0.0.1", ep.port, byId);
+    ASSERT_TRUE(result.ok) << ep.label << ": " << result.error;
+    EXPECT_FALSE(result.component.empty());
+    for (const obs::SpanRecord& span : result.spans) {
+      EXPECT_EQ(span.trace, traceId) << ep.label;
+      components.insert(span.component);
+      merged.push_back(span);
+    }
+  }
+
+  // One trace covers the whole lifecycle: origin-pool intake and
+  // notification, the referral's send/hop/complete legs, and the claim
+  // plus its first lease renewal at the remote RA.
+  EXPECT_GE(countNamed(merged, "ad.intake"), 1u);
+  EXPECT_GE(countNamed(merged, "referral.send"), 1u);
+  EXPECT_GE(countNamed(merged, "referral.hop"), 1u);
+  EXPECT_GE(countNamed(merged, "referral.complete"), 1u);
+  EXPECT_GE(countNamed(merged, "match.notify"), 1u);
+  EXPECT_GE(countNamed(merged, "claim.grant"), 1u);
+  EXPECT_GE(countNamed(merged, "lease.grant"), 1u);
+  EXPECT_GE(countNamed(merged, "lease.renew"), 1u);
+  EXPECT_GE(countNamed(merged, "claim.release"), 1u);
+  // ...spanning at least two pools plus the resource agent.
+  EXPECT_EQ(components.count("collector.east"), 1u);
+  EXPECT_EQ(components.count("collector.west"), 1u);
+  EXPECT_GE(components.size(), 3u);
+
+  // The hop span names the serving side; the send span the origin.
+  for (const obs::SpanRecord& span : merged) {
+    if (span.name == "referral.hop") {
+      EXPECT_EQ(span.component, "collector.west");
+    }
+    if (span.name == "referral.send") {
+      EXPECT_EQ(span.component, "collector.east");
+    }
+    if (span.name == "lease.renew") {
+      EXPECT_EQ(span.component, "ra://traced-machine");
+    }
+  }
+
+  // Every non-root span's parent resolves inside the merged set: the
+  // tree is fully stitched, no hop orphaned its context.
+  std::set<obs::SpanId> present;
+  for (const obs::SpanRecord& span : merged) present.insert(span.span);
+  std::size_t roots = 0;
+  for (const obs::SpanRecord& span : merged) {
+    if (span.parent == 0) {
+      ++roots;
+    } else {
+      EXPECT_EQ(present.count(span.parent), 1u)
+          << span.name << " (" << span.component << ") has a dangling parent";
+    }
+  }
+  EXPECT_EQ(roots, 1u);  // ad.intake, and only it
+
+  // The merged trace exports as valid Chrome trace-event JSON (what
+  // mm_trace -chrome writes); the strict classad JSON parser vouches
+  // for well-formedness.
+  const std::string json = obs::toChromeTraceJson(merged);
+  std::string parseError;
+  EXPECT_TRUE(classad::tryAdFromJson(json, &parseError).has_value())
+      << parseError;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"lease.renew\""), std::string::npos);
+
+  customer.stop();
+  resource.stop();
+  east.stop();
+  west.stop();
+}
+
+/// Drives raw frames at a daemon port and collects TraceQueryResponses,
+/// keeping ONE connection open across queries — the vehicle for the
+/// leniency tests below.
+struct RawTraceClient {
+  explicit RawTraceClient(std::uint16_t port) {
+    std::string error;
+    conn = reactor.dial("127.0.0.1", port, &error);
+    EXPECT_NE(conn, nullptr) << error;
+    if (conn != nullptr) {
+      conn->queue(wire::encodeHello(
+          {wire::kProtocolVersion, wire::kProtocolVersion, std::string()}));
+    }
+    reactor.onFrame = [this](Connection&, const wire::Frame& frame) {
+      if (frame.type !=
+          static_cast<std::uint8_t>(wire::MsgType::kTraceQueryResponse)) {
+        return;
+      }
+      std::string decodeError;
+      if (auto decoded =
+              wire::decodeTraceQueryResponse(frame, &decodeError)) {
+        responses.push_back(std::move(*decoded));
+      }
+    };
+    reactor.onClose = [this](Connection&) { closed = true; };
+  }
+
+  bool awaitResponses(std::size_t n) {
+    const auto until = std::chrono::steady_clock::now() + 10s;
+    while (responses.size() < n && !closed &&
+           std::chrono::steady_clock::now() < until) {
+      reactor.pollOnce(20);
+    }
+    return responses.size() >= n;
+  }
+
+  Reactor reactor;
+  Connection* conn = nullptr;
+  std::vector<wire::TraceQueryResponse> responses;
+  bool closed = false;
+};
+
+TEST(TraceLoopback, MalformedTraceQueryDoesNotPoisonTheConnection) {
+  MatchmakerDaemonConfig cfg;
+  cfg.address = "collector.lenient";
+  cfg.negotiationInterval = 5.0;
+  std::string error;
+  MatchmakerDaemon mm(cfg);
+  ASSERT_TRUE(mm.start(&error)) << error;
+
+  RawTraceClient client(mm.port());
+  ASSERT_NE(client.conn, nullptr);
+
+  // 1: a well-framed TraceQuery whose PAYLOAD is binary garbage (a
+  // string length claiming ~4 GiB). Must be answered ok=false, not
+  // dropped.
+  client.conn->queue(wire::encodeFrame(
+      static_cast<std::uint8_t>(wire::MsgType::kTraceQuery),
+      std::string("\xff\xff\xff\xff", 4)));
+  // 2: a semantically bad trace id. Also answered ok=false.
+  client.conn->queue(wire::encodeTraceQuery({"not-a-trace-id", 0}));
+  // 3: a valid query on the SAME connection — the proof of life.
+  client.conn->queue(wire::encodeTraceQuery({"", 10}));
+
+  ASSERT_TRUE(client.awaitResponses(3))
+      << "got " << client.responses.size() << " responses, closed="
+      << client.closed;
+  EXPECT_FALSE(client.closed);
+  EXPECT_FALSE(client.responses[0].ok);
+  EXPECT_NE(client.responses[0].error.find("malformed"), std::string::npos)
+      << client.responses[0].error;
+  EXPECT_FALSE(client.responses[1].ok);
+  EXPECT_NE(client.responses[1].error.find("bad trace id"),
+            std::string::npos)
+      << client.responses[1].error;
+  EXPECT_TRUE(client.responses[2].ok) << client.responses[2].error;
+  EXPECT_EQ(client.responses[2].component, "collector.lenient");
+
+  mm.stop();
+}
+
+TEST(TraceLoopback, ResourceAgentAnswersTraceQueryLeniently) {
+  // The RA's claim listener serves the same protocol with the same
+  // leniency (a monitoring bug must never cost a live claim channel).
+  MatchmakerDaemonConfig mmCfg;
+  mmCfg.address = "collector.for-ra";
+  std::string error;
+  MatchmakerDaemon mm(mmCfg);
+  ASSERT_TRUE(mm.start(&error)) << error;
+  ResourceAgentDaemonConfig cfg;
+  cfg.name = "lenient-machine";
+  cfg.matchmakerPort = mm.port();
+  cfg.adIntervalSeconds = 3600.0;
+  ResourceAgentDaemon ra(cfg);
+  ASSERT_TRUE(ra.start(&error)) << error;
+
+  RawTraceClient client(ra.port());
+  ASSERT_NE(client.conn, nullptr);
+  client.conn->queue(wire::encodeFrame(
+      static_cast<std::uint8_t>(wire::MsgType::kTraceQuery),
+      std::string("\xff\xff\xff\xff", 4)));
+  client.conn->queue(wire::encodeTraceQuery({"", 0}));
+
+  ASSERT_TRUE(client.awaitResponses(2))
+      << "got " << client.responses.size() << " responses, closed="
+      << client.closed;
+  EXPECT_FALSE(client.closed);
+  EXPECT_FALSE(client.responses[0].ok);
+  EXPECT_TRUE(client.responses[1].ok) << client.responses[1].error;
+  EXPECT_EQ(client.responses[1].component, "ra://lenient-machine");
+
+  ra.stop();
+  mm.stop();
+}
+
+TEST(TraceLoopback, TracingDisabledDaemonsStillServeEmptyRings) {
+  // tracing=false is a first-class configuration: TraceQuery answers
+  // ok with zero spans, and notifications carry invalid context.
+  MatchmakerDaemonConfig cfg;
+  cfg.address = "collector.dark";
+  cfg.tracing = false;
+  std::string error;
+  MatchmakerDaemon mm(cfg);
+  ASSERT_TRUE(mm.start(&error)) << error;
+  const TraceQueryResult result = queryTraces("127.0.0.1", mm.port());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.spans.empty());
+  EXPECT_EQ(result.component, "collector.dark");
+  mm.stop();
+}
+
+}  // namespace
+}  // namespace service

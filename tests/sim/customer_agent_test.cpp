@@ -61,7 +61,7 @@ struct Rig {
 
   void respondToClaim(bool accepted, const std::string& reason = "") {
     Envelope env{"ra://leonardo", ca->address(),
-                 matchmaking::ClaimResponse{accepted, reason}};
+                 matchmaking::ClaimResponse{accepted, reason, 0.0, {}}};
     ca->deliver(env);
   }
 

@@ -1,0 +1,196 @@
+// The matchmaker's side of the tracing plane, on the simulated
+// substrate: every negotiation cycle records a phase tree, every fresh
+// request roots a job trace at ad.intake, match.notify joins the job
+// trace (and stamps its context on both MatchNotification copies), and
+// a requeued job continues its ORIGINAL trace. With the tracer off the
+// pool manager emits nothing and the wire context stays invalid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/network.h"
+#include "sim/pool_manager.h"
+
+namespace htcsim {
+namespace {
+
+class Recorder : public Endpoint {
+ public:
+  void deliver(const Envelope& env) override { inbox.push_back(env); }
+  std::vector<Envelope> inbox;
+};
+
+struct Rig {
+  explicit Rig(obs::Tracer* tracer) {
+    PoolManagerConfig config;
+    config.tracer = tracer;
+    manager = std::make_unique<PoolManager>(sim, net, metrics, config);
+    manager->start();
+    net.attach("ra://m1", &machineSide);
+    net.attach("ca://alice", &customerSide);
+  }
+
+  classad::ClassAdPtr machineAd() {
+    classad::ClassAd ad;
+    ad.set("Type", "Machine");
+    ad.set("Name", "m1");
+    ad.set("ContactAddress", "ra://m1");
+    ad.set("Memory", 64);
+    ad.set("State", "Unclaimed");
+    ad.setExpr("Constraint", "other.Type == \"Job\"");
+    ad.set("Rank", 0);
+    ad.set("AuthorizationTicket", matchmaking::ticketToString(777));
+    return classad::makeShared(std::move(ad));
+  }
+
+  classad::ClassAdPtr jobAd(std::uint64_t id = 1) {
+    classad::ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", "alice");
+    ad.set("JobId", static_cast<std::int64_t>(id));
+    ad.set("ContactAddress", "ca://alice");
+    ad.set("Memory", 32);
+    ad.setExpr("Constraint",
+               "other.Type == \"Machine\" && other.Memory >= self.Memory");
+    ad.set("Rank", 0);
+    return classad::makeShared(std::move(ad));
+  }
+
+  void advertise(classad::ClassAdPtr ad, bool isRequest, std::uint64_t seq,
+                 const std::string& key = "") {
+    matchmaking::Advertisement msg;
+    msg.ad = std::move(ad);
+    msg.isRequest = isRequest;
+    msg.sequence = seq;
+    msg.key = key;
+    Envelope env{"x", manager->address(), std::move(msg)};
+    manager->deliver(env);
+  }
+
+  Simulator sim;
+  Metrics metrics;
+  Network net{sim, Rng(9)};
+  Recorder machineSide, customerSide;
+  std::unique_ptr<PoolManager> manager;
+};
+
+std::vector<obs::SpanRecord> named(const std::vector<obs::SpanRecord>& spans,
+                                   const std::string& name) {
+  std::vector<obs::SpanRecord> out;
+  for (const auto& span : spans) {
+    if (span.name == name) out.push_back(span);
+  }
+  return out;
+}
+
+TEST(TracePipeline, CycleRecordsPhaseTreeAndJobTraceStitches) {
+  obs::Tracer tracer(
+      obs::Tracer::Options{256, true, "collector", 0x5eedULL});
+  Rig rig(&tracer);
+  rig.advertise(rig.machineAd(), false, 1);
+  rig.advertise(rig.jobAd(), true, 1, "ca://alice#1");
+  rig.manager->negotiateNow();
+  rig.sim.runUntil(1.0);
+
+  const auto spans = tracer.snapshot();
+
+  // The per-cycle trace: a negotiate.cycle root with the four phases as
+  // externally timed children.
+  const auto cycles = named(spans, "negotiate.cycle");
+  ASSERT_EQ(cycles.size(), 1u);
+  const obs::SpanRecord& cycle = cycles[0];
+  EXPECT_EQ(cycle.parent, 0u);
+  EXPECT_EQ(cycle.component, "collector");
+  for (const char* phase :
+       {"phase.adscan", "phase.fairshare", "phase.scan", "phase.notify"}) {
+    const auto matches = named(spans, phase);
+    ASSERT_EQ(matches.size(), 1u) << phase;
+    EXPECT_EQ(matches[0].trace, cycle.trace) << phase;
+    EXPECT_EQ(matches[0].parent, cycle.span) << phase;
+  }
+
+  // The per-job trace: ad.intake roots it, match.notify continues it and
+  // cross-references the cycle trace by hex in a tag.
+  const auto intakes = named(spans, "ad.intake");
+  ASSERT_EQ(intakes.size(), 1u);
+  const auto notifies = named(spans, "match.notify");
+  ASSERT_EQ(notifies.size(), 1u);
+  EXPECT_EQ(notifies[0].trace, intakes[0].trace);
+  EXPECT_EQ(notifies[0].parent, intakes[0].span);
+  EXPECT_NE(notifies[0].trace, cycle.trace);
+  bool sawCycleTag = false;
+  for (const auto& [key, value] : notifies[0].tags) {
+    if (key == "cycle") {
+      sawCycleTag = true;
+      EXPECT_EQ(value, obs::traceIdToHex(cycle.trace));
+    }
+  }
+  EXPECT_TRUE(sawCycleTag);
+
+  // Both MatchNotification copies carry the notify span's context.
+  const obs::TraceContext want{notifies[0].trace, notifies[0].span};
+  std::size_t carried = 0;
+  for (const Recorder* side : {&rig.customerSide, &rig.machineSide}) {
+    for (const Envelope& env : side->inbox) {
+      if (const auto* m =
+              std::get_if<matchmaking::MatchNotification>(&env.payload)) {
+        EXPECT_EQ(m->trace, want);
+        ++carried;
+      }
+    }
+  }
+  EXPECT_EQ(carried, 2u);
+}
+
+TEST(TracePipeline, RequeuedJobContinuesItsOriginalTrace) {
+  obs::Tracer tracer(
+      obs::Tracer::Options{256, true, "collector", 0x5eedULL});
+  Rig rig(&tracer);
+  rig.advertise(rig.machineAd(), false, 1);
+  rig.advertise(rig.jobAd(), true, 1, "ca://alice#1");
+  rig.manager->negotiateNow();
+  const auto intakes = named(tracer.snapshot(), "ad.intake");
+  ASSERT_EQ(intakes.size(), 1u);
+
+  // The claim was rejected; the CA re-advertises the same job. That is
+  // a continuation (job.requeued), not a new trace.
+  rig.advertise(rig.jobAd(), true, 2, "ca://alice#1");
+  rig.advertise(rig.machineAd(), false, 2);
+  rig.manager->negotiateNow();
+
+  const auto spans = tracer.snapshot();
+  EXPECT_EQ(named(spans, "ad.intake").size(), 1u);
+  const auto requeues = named(spans, "job.requeued");
+  ASSERT_EQ(requeues.size(), 1u);
+  EXPECT_EQ(requeues[0].trace, intakes[0].trace);
+  const auto notifies = named(spans, "match.notify");
+  ASSERT_EQ(notifies.size(), 2u);
+  EXPECT_EQ(notifies[1].trace, intakes[0].trace);
+}
+
+TEST(TracePipeline, DisabledTracerEmitsNothingAndContextStaysInvalid) {
+  obs::Tracer tracer(
+      obs::Tracer::Options{256, false, "collector", 0x5eedULL});
+  Rig rig(&tracer);
+  rig.advertise(rig.machineAd(), false, 1);
+  rig.advertise(rig.jobAd(), true, 1, "ca://alice#1");
+  const auto stats = rig.manager->negotiateNow();
+  rig.sim.runUntil(1.0);
+  EXPECT_EQ(stats.matches, 1u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+  std::size_t notifications = 0;
+  for (const Envelope& env : rig.customerSide.inbox) {
+    if (const auto* m =
+            std::get_if<matchmaking::MatchNotification>(&env.payload)) {
+      EXPECT_FALSE(m->trace.valid());
+      ++notifications;
+    }
+  }
+  EXPECT_EQ(notifications, 1u);
+}
+
+}  // namespace
+}  // namespace htcsim

@@ -164,7 +164,7 @@ TEST(CheckpointOverheadTest, OverheadCountsAsBadput) {
   net.attach("ra://x", &ra);
   Envelope env{"collector", ca.address(), note};
   ca.deliver(env);
-  Envelope ok{"ra://x", ca.address(), matchmaking::ClaimResponse{true, ""}};
+  Envelope ok{"ra://x", ca.address(), matchmaking::ClaimResponse{true, "", 0.0, {}}};
   ca.deliver(ok);
   matchmaking::ClaimRelease rel;
   rel.jobId = 1;
@@ -196,7 +196,7 @@ TEST(CheckpointOverheadTest, OverheadCappedAtWorkDone) {
   note.peerContact = "ra://x";
   Envelope env{"collector", ca.address(), note};
   ca.deliver(env);
-  Envelope ok{"ra://x", ca.address(), matchmaking::ClaimResponse{true, ""}};
+  Envelope ok{"ra://x", ca.address(), matchmaking::ClaimResponse{true, "", 0.0, {}}};
   ca.deliver(ok);
   matchmaking::ClaimRelease rel;
   rel.jobId = 1;

@@ -1,0 +1,332 @@
+// TraceQuery/TraceQueryResponse codec (tags 18/19) and TraceContext
+// propagation on envelope messages: round trips, hostile payloads
+// (truncation at every byte, trailing bytes, lying counts), and fuzz.
+// The daemons answer malformed TraceQuery leniently (see the service
+// tests) but the DECODER itself must stay strict: reject, never throw.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "classad/classad.h"
+#include "federation/messages.h"
+#include "matchmaker/protocol.h"
+#include "obs/trace.h"
+#include "sim/rng.h"
+#include "sim/transport.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+
+namespace wire {
+namespace {
+
+Frame frameFromBytes(const std::string& bytes) {
+  FrameDecoder dec;
+  dec.append(bytes);
+  Frame f;
+  EXPECT_EQ(dec.next(f), DecodeStatus::kFrame) << dec.error();
+  return f;
+}
+
+obs::TraceContext someContext() {
+  obs::TraceContext ctx;
+  ctx.trace.hi = 0x0123456789abcdefULL;
+  ctx.trace.lo = 0xfedcba9876543210ULL;
+  ctx.span = 0xdeadbeefcafef00dULL;
+  return ctx;
+}
+
+TEST(TraceQueryCodec, EmptyQueryRoundTrip) {
+  const Frame f = frameFromBytes(encodeTraceQuery({}));
+  EXPECT_EQ(f.type, static_cast<std::uint8_t>(MsgType::kTraceQuery));
+  std::string error;
+  const auto back = decodeTraceQuery(f, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_TRUE(back->traceId.empty());
+  EXPECT_EQ(back->limit, 0u);
+}
+
+TEST(TraceQueryCodec, FullQueryRoundTrip) {
+  TraceQuery q;
+  q.traceId = "0123456789abcdef0123456789abcdef";
+  q.limit = 128;
+  std::string error;
+  const auto back =
+      decodeTraceQuery(frameFromBytes(encodeTraceQuery(q)), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->traceId, q.traceId);
+  EXPECT_EQ(back->limit, q.limit);
+}
+
+TEST(TraceQueryCodec, ResponseRoundTripWithSpans) {
+  TraceQueryResponse resp;
+  resp.component = "collector.east";
+  obs::SpanRecord a;
+  a.trace = someContext().trace;
+  a.span = 7;
+  a.parent = 0;
+  a.name = "ad.intake";
+  a.component = "collector.east";
+  a.startSeconds = 1.25;
+  a.durationSeconds = 0.5;
+  a.tags = {{"request", "job-1"}, {"pool", "east"}};
+  obs::SpanRecord b;
+  b.trace = a.trace;
+  b.span = 9;
+  b.parent = 7;
+  b.name = "match.notify";
+  b.component = "collector.east";
+  b.startSeconds = 1.5;
+  b.durationSeconds = 0.01;
+  resp.spans = {a, b};
+
+  const Frame f = frameFromBytes(encodeTraceQueryResponse(resp));
+  EXPECT_EQ(f.type, static_cast<std::uint8_t>(MsgType::kTraceQueryResponse));
+  std::string error;
+  const auto back = decodeTraceQueryResponse(f, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->component, "collector.east");
+  ASSERT_EQ(back->spans.size(), 2u);
+  EXPECT_EQ(back->spans[0].trace, a.trace);
+  EXPECT_EQ(back->spans[0].span, 7u);
+  EXPECT_EQ(back->spans[0].name, "ad.intake");
+  EXPECT_EQ(back->spans[0].tags, a.tags);
+  EXPECT_EQ(back->spans[1].parent, 7u);
+  EXPECT_DOUBLE_EQ(back->spans[1].startSeconds, 1.5);
+}
+
+TEST(TraceQueryCodec, ErrorResponseRoundTrip) {
+  TraceQueryResponse resp;
+  resp.ok = false;
+  resp.error = "bad trace id (want 32 hex chars): zzz";
+  std::string error;
+  const auto back = decodeTraceQueryResponse(
+      frameFromBytes(encodeTraceQueryResponse(resp)), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_FALSE(back->ok);
+  EXPECT_EQ(back->error, resp.error);
+  EXPECT_TRUE(back->spans.empty());
+}
+
+TEST(TraceQueryCodec, WrongFrameTypeRejected) {
+  const Frame f = frameFromBytes(encodeTraceQuery({}));
+  std::string error;
+  EXPECT_FALSE(decodeTraceQueryResponse(f, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceQueryCodec, QueryTruncationAtEveryByteRejected) {
+  TraceQuery q;
+  q.traceId = "0123456789abcdef0123456789abcdef";
+  q.limit = 32;
+  const Frame full = frameFromBytes(encodeTraceQuery(q));
+  for (std::size_t n = 0; n < full.payload.size(); ++n) {
+    Frame cut = full;
+    cut.payload.resize(n);
+    std::string error;
+    EXPECT_FALSE(decodeTraceQuery(cut, &error).has_value())
+        << "payload truncated to " << n << " bytes decoded";
+  }
+}
+
+TEST(TraceQueryCodec, ResponseTruncationAtEveryByteRejected) {
+  TraceQueryResponse resp;
+  obs::SpanRecord s;
+  s.trace = someContext().trace;
+  s.span = 1;
+  s.name = "claim.grant";
+  s.component = "ra://m1";
+  s.tags = {{"customer", "ca://u"}};
+  resp.spans = {s};
+  const Frame full = frameFromBytes(encodeTraceQueryResponse(resp));
+  for (std::size_t n = 0; n < full.payload.size(); ++n) {
+    Frame cut = full;
+    cut.payload.resize(n);
+    std::string error;
+    EXPECT_FALSE(decodeTraceQueryResponse(cut, &error).has_value())
+        << "payload truncated to " << n << " bytes decoded";
+  }
+}
+
+TEST(TraceQueryCodec, TrailingBytesRejected) {
+  Frame f = frameFromBytes(encodeTraceQuery({}));
+  f.payload += '\0';
+  std::string error;
+  EXPECT_FALSE(decodeTraceQuery(f, &error).has_value());
+}
+
+TEST(TraceQueryCodec, LyingSpanCountRejectedWithoutAllocating) {
+  // ~4 billion spans must fail on short read, not reserve memory.
+  Frame f = frameFromBytes(encodeTraceQueryResponse({}));
+  ASSERT_GE(f.payload.size(), 4u);
+  for (std::size_t i = f.payload.size() - 4; i < f.payload.size(); ++i) {
+    f.payload[i] = static_cast<char>(0xFF);
+  }
+  std::string error;
+  EXPECT_FALSE(decodeTraceQueryResponse(f, &error).has_value());
+}
+
+TEST(TraceQueryCodec, FuzzBitFlipsNeverCrash) {
+  TraceQueryResponse resp;
+  obs::SpanRecord s;
+  s.trace = someContext().trace;
+  s.span = 3;
+  s.name = "lease.renew";
+  s.component = "ra://m1";
+  resp.spans = {s};
+  const std::string original = encodeTraceQueryResponse(resp);
+  htcsim::Rng rng(htcsim::hashName("trace-codec-fuzz"));
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes = original;
+    const std::size_t pos = rng.next() % bytes.size();
+    bytes[pos] = static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^
+                                   (1u << (rng.next() % 8)));
+    FrameDecoder dec;
+    dec.append(bytes);
+    Frame f;
+    if (dec.next(f) != DecodeStatus::kFrame) continue;  // framing caught it
+    std::string error;
+    decodeTraceQueryResponse(f, &error);  // must not crash
+  }
+  SUCCEED();
+}
+
+TEST(TraceQueryCodec, FuzzRandomGarbagePayloadsNeverCrash) {
+  htcsim::Rng rng(htcsim::hashName("trace-garbage-fuzz"));
+  for (int trial = 0; trial < 500; ++trial) {
+    Frame f;
+    f.type = static_cast<std::uint8_t>(trial % 2 == 0
+                                           ? MsgType::kTraceQuery
+                                           : MsgType::kTraceQueryResponse);
+    const std::size_t len = rng.next() % 64;
+    f.payload.clear();
+    for (std::size_t i = 0; i < len; ++i) {
+      f.payload += static_cast<char>(rng.next() & 0xFF);
+    }
+    std::string error;
+    if (f.type == static_cast<std::uint8_t>(MsgType::kTraceQuery)) {
+      decodeTraceQuery(f, &error);
+    } else {
+      decodeTraceQueryResponse(f, &error);
+    }
+  }
+  SUCCEED();
+}
+
+// --- TraceContext on envelope messages -------------------------------
+
+htcsim::Envelope roundTrip(htcsim::Message msg) {
+  htcsim::Envelope env{"a", "b", std::move(msg)};
+  const Frame f = frameFromBytes(encodeEnvelope(env));
+  std::string error;
+  const auto back = decodeEnvelope(f, &error);
+  EXPECT_TRUE(back.has_value()) << error;
+  return back.value_or(htcsim::Envelope{});
+}
+
+TEST(TraceContextWire, MatchNotificationCarriesContext) {
+  matchmaking::MatchNotification m;
+  classad::ClassAd ad;
+  ad.set("Name", "m1");
+  m.myAd = classad::makeShared(ad);
+  m.peerAd = classad::makeShared(ad);
+  m.peerContact = "tcp://127.0.0.1:1";
+  m.ticket = 42;
+  m.trace = someContext();
+  const auto env = roundTrip(m);
+  const auto* back = std::get_if<matchmaking::MatchNotification>(&env.payload);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->trace, someContext());
+}
+
+TEST(TraceContextWire, ClaimPathCarriesContext) {
+  matchmaking::ClaimRequest req;
+  classad::ClassAd ad;
+  ad.set("JobId", std::int64_t{1});
+  req.requestAd = classad::makeShared(ad);
+  req.ticket = 7;
+  req.customerContact = "ca://u";
+  req.trace = someContext();
+  {
+    const auto env = roundTrip(req);
+    const auto* back = std::get_if<matchmaking::ClaimRequest>(&env.payload);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->trace, someContext());
+  }
+  matchmaking::ClaimResponse resp{true, "", 5.0, someContext()};
+  {
+    const auto env = roundTrip(resp);
+    const auto* back = std::get_if<matchmaking::ClaimResponse>(&env.payload);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->trace, someContext());
+  }
+  matchmaking::Heartbeat hb{7, 1, 3, false, someContext()};
+  {
+    const auto env = roundTrip(hb);
+    const auto* back = std::get_if<matchmaking::Heartbeat>(&env.payload);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->trace, someContext());
+  }
+  matchmaking::LeaseExpired lex{7, 1, "no active lease", someContext()};
+  {
+    const auto env = roundTrip(lex);
+    const auto* back = std::get_if<matchmaking::LeaseExpired>(&env.payload);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->trace, someContext());
+  }
+  matchmaking::ClaimRelease rel{7, "completed", 1, 0.5, true, someContext()};
+  {
+    const auto env = roundTrip(rel);
+    const auto* back = std::get_if<matchmaking::ClaimRelease>(&env.payload);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->trace, someContext());
+  }
+}
+
+TEST(TraceContextWire, ReferralPathCarriesContext) {
+  federation::MatchReferral ref;
+  classad::ClassAd ad;
+  ad.set("JobId", std::int64_t{1});
+  ref.requestAd = classad::makeShared(ad);
+  ref.originPool = "east";
+  ref.originAddress = "collector.east";
+  ref.requestKey = "ca://u/1";
+  ref.referralId = 11;
+  ref.hopsLeft = 2;
+  ref.visited = {"east"};
+  ref.trace = someContext();
+  {
+    const auto env = roundTrip(ref);
+    const auto* back = std::get_if<federation::MatchReferral>(&env.payload);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->trace, someContext());
+  }
+  federation::ReferralResponse resp;
+  resp.referralId = 11;
+  resp.requestKey = "ca://u/1";
+  resp.matched = false;
+  resp.servingPool = "west";
+  resp.trace = someContext();
+  {
+    const auto env = roundTrip(resp);
+    const auto* back =
+        std::get_if<federation::ReferralResponse>(&env.payload);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->trace, someContext());
+  }
+}
+
+TEST(TraceContextWire, InvalidContextRoundTripsAsInvalid) {
+  // The all-zero context is the wire form of "tracing off" and must
+  // survive the trip (a traced receiver must not invent a trace).
+  matchmaking::Heartbeat hb{7, 1, 3, false, obs::TraceContext{}};
+  const auto env = roundTrip(hb);
+  const auto* back = std::get_if<matchmaking::Heartbeat>(&env.payload);
+  ASSERT_NE(back, nullptr);
+  EXPECT_FALSE(back->trace.valid());
+}
+
+}  // namespace
+}  // namespace wire

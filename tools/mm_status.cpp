@@ -8,14 +8,19 @@
 //   mm_status -pool 127.0.0.1:9618 -claims              # active claim leases
 //   mm_status -pool 127.0.0.1:9618 -peers               # federation peers
 //   mm_status -pool 127.0.0.1:9618 -long                # full classads
+//   mm_status -pool 127.0.0.1:9618 -json                # machine-readable
+//   mm_status -pool 127.0.0.1:9618 -watch 2             # refresh every 2s
 //
 // Exit status: 0 = success, 1 = query/transport failure, 2 = bad usage.
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "classad/json.h"
 #include "classad/query.h"
 #include "service/query_client.h"
 
@@ -32,6 +37,8 @@ void usage(std::ostream& out) {
          "  -claims            active claim leases (age, heartbeat, TTL)\n"
          "  -peers             federation peers (digest age, flock links)\n"
          "  -long              print full classads instead of a table\n"
+         "  -json              print a JSON array of ads (machine-readable)\n"
+         "  -watch seconds     re-query and repaint every N seconds\n"
          "  -project a,b,c     columns / attributes to request\n"
          "  -timeout seconds   query deadline (default 10)\n";
 }
@@ -70,7 +77,9 @@ int main(int argc, char** argv) {
   service::PoolQueryOptions opts;
   opts.scope = "machines";
   bool longForm = false;
+  bool json = false;
   bool claims = false;
+  double watchSeconds = 0.0;
   std::vector<std::string> columns;
 
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +111,14 @@ int main(int argc, char** argv) {
       longForm = true;
     } else if (arg == "-long") {
       longForm = true;
+    } else if (arg == "-json") {
+      json = true;
+    } else if (arg == "-watch") {
+      watchSeconds = std::strtod(next(), nullptr);
+      if (watchSeconds <= 0.0) {
+        std::cerr << "mm_status: -watch needs a positive interval\n";
+        return 2;
+      }
     } else if (arg == "-project") {
       columns = splitCommas(next());
     } else if (arg == "-timeout") {
@@ -157,21 +174,49 @@ int main(int argc, char** argv) {
     }
   }
 
-  const service::PoolQueryResult result = service::queryPool(host, port, opts);
-  if (!result.ok) {
-    std::cerr << "mm_status: query failed: " << result.error << "\n";
-    return 1;
-  }
-
-  if (longForm) {
-    for (const auto& ad : result.ads) {
-      if (ad != nullptr) std::cout << ad->unparsePretty() << "\n";
+  const auto runOnce = [&]() -> int {
+    const service::PoolQueryResult result =
+        service::queryPool(host, port, opts);
+    if (!result.ok) {
+      std::cerr << "mm_status: query failed: " << result.error << "\n";
+      return 1;
     }
-  } else {
-    classad::Query table = classad::Query::all();
-    table.project(columns);
-    std::cout << classad::formatTable(table, result.ads);
+
+    if (json) {
+      // A JSON array of ads; one compact object per line so stream
+      // consumers can also split on newlines between elements.
+      std::cout << "[";
+      bool first = true;
+      for (const auto& ad : result.ads) {
+        if (ad == nullptr) continue;
+        std::cout << (first ? "\n" : ",\n") << classad::toJson(*ad);
+        first = false;
+      }
+      std::cout << (first ? "]" : "\n]") << "\n";
+      return 0;
+    }
+    if (longForm) {
+      for (const auto& ad : result.ads) {
+        if (ad != nullptr) std::cout << ad->unparsePretty() << "\n";
+      }
+    } else {
+      classad::Query table = classad::Query::all();
+      table.project(columns);
+      std::cout << classad::formatTable(table, result.ads);
+    }
+    std::cout << result.ads.size() << " ads\n";
+    return 0;
+  };
+
+  if (watchSeconds <= 0.0) return runOnce();
+
+  // Watch mode: repaint forever (^C to quit). A transient query failure
+  // is reported and retried on the next tick rather than exiting, so a
+  // matchmaker restart doesn't kill the dashboard.
+  for (;;) {
+    if (!json) std::cout << "\033[H\033[2J";  // home + clear
+    runOnce();
+    std::cout.flush();
+    std::this_thread::sleep_for(std::chrono::duration<double>(watchSeconds));
   }
-  std::cout << result.ads.size() << " ads\n";
-  return 0;
 }

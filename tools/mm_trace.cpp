@@ -1,0 +1,251 @@
+// mm_trace - pull and stitch causal traces from live daemons (the
+// tracing plane's condor_status analogue; see docs/OBSERVABILITY.md).
+//
+//   mm_trace -pool 127.0.0.1:9618                  # list recent traces
+//   mm_trace -pool 127.0.0.1:9618 -id <32hex>      # one trace, span tree
+//   mm_trace -pool A:p1 -pool B:p2 -id <32hex>     # stitch across pools
+//   mm_trace -pool 127.0.0.1:9618 -id <32hex> -chrome trace.json
+//
+// Every -pool endpoint is queried with wire tag 18 (TraceQuery); a
+// matchmakerd's query port and a resource_agentd's claim listener both
+// answer it, so one invocation can merge the origin pool's negotiation
+// spans, every referral hop, and the RA's claim/lease spans into a
+// single tree. Spans are merged by TraceId — durations are exact per
+// process; offsets are only comparable between daemons sharing a
+// process (see trace.h).
+//
+// Exit status: 0 = success, 1 = every endpoint failed or the trace was
+// not found, 2 = bad usage.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "service/query_client.h"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: mm_trace [options]\n"
+         "  -pool host:port    endpoint to query; repeatable — a\n"
+         "                     matchmaker query port or a resource\n"
+         "                     agent claim port (default 127.0.0.1:9618)\n"
+         "  -id hex32          dump one trace as a span tree\n"
+         "  -chrome file       write Chrome trace-event JSON (open in\n"
+         "                     Perfetto / chrome://tracing)\n"
+         "  -limit n           cap spans per endpoint when listing\n"
+         "  -timeout seconds   per-endpoint deadline (default 10)\n";
+}
+
+bool parsePool(const std::string& value, std::string* host,
+               std::uint16_t* port) {
+  const auto colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= value.size()) {
+    return false;
+  }
+  const long parsed = std::strtol(value.c_str() + colon + 1, nullptr, 10);
+  if (parsed <= 0 || parsed > 65535) return false;
+  *host = value.substr(0, colon);
+  *port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+std::string fmtMillis(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1e3);
+  return buf;
+}
+
+std::string fmtTags(const obs::SpanRecord& span) {
+  std::string out;
+  for (const auto& [key, value] : span.tags) {
+    out += out.empty() ? "  " : " ";
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+struct TraceKeyLess {
+  bool operator()(const obs::TraceId& a, const obs::TraceId& b) const {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// Prints one trace as an indented tree. Spans whose parent is missing
+/// from the merged set (an endpoint not queried, or rung out of a ring)
+/// surface as extra roots rather than vanishing.
+void printTree(const std::vector<obs::SpanRecord>& spans) {
+  std::set<obs::SpanId> present;
+  for (const auto& span : spans) present.insert(span.span);
+  std::map<obs::SpanId, std::vector<const obs::SpanRecord*>> children;
+  std::vector<const obs::SpanRecord*> roots;
+  for (const auto& span : spans) {
+    if (span.parent != 0 && present.count(span.parent) != 0 &&
+        span.parent != span.span) {
+      children[span.parent].push_back(&span);
+    } else {
+      roots.push_back(&span);
+    }
+  }
+  const auto byStart = [](const obs::SpanRecord* a,
+                          const obs::SpanRecord* b) {
+    return a->startSeconds < b->startSeconds;
+  };
+  std::sort(roots.begin(), roots.end(), byStart);
+  for (auto& [parent, kids] : children) {
+    std::sort(kids.begin(), kids.end(), byStart);
+  }
+
+  const std::function<void(const obs::SpanRecord*, int)> walk =
+      [&](const obs::SpanRecord* span, int depth) {
+        std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+                  << span->name << "  [" << span->component << "]  "
+                  << fmtMillis(span->durationSeconds) << fmtTags(*span)
+                  << "\n";
+        const auto it = children.find(span->span);
+        if (it == children.end()) return;
+        for (const auto* kid : it->second) walk(kid, depth + 1);
+      };
+  for (const auto* root : roots) walk(root, 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> pools;
+  std::string traceId;
+  std::string chromePath;
+  service::TraceQueryOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "mm_trace: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-pool") {
+      pools.push_back(next());
+    } else if (arg == "-id") {
+      traceId = next();
+    } else if (arg == "-chrome") {
+      chromePath = next();
+    } else if (arg == "-limit") {
+      opts.limit = static_cast<std::uint32_t>(
+          std::strtoul(next(), nullptr, 10));
+    } else if (arg == "-timeout") {
+      opts.timeoutSeconds = std::strtod(next(), nullptr);
+    } else if (arg == "-h" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "mm_trace: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (pools.empty()) pools.push_back("127.0.0.1:9618");
+  if (!traceId.empty() && !obs::traceIdFromHex(traceId)) {
+    std::cerr << "mm_trace: bad -id '" << traceId
+              << "' (want 32 hex chars)\n";
+    return 2;
+  }
+  opts.traceId = traceId;
+
+  // Pull each endpoint's ring and merge. A dead endpoint is a warning,
+  // not a failure, as long as at least one answers — the whole point of
+  // stitching is that no single daemon holds the full trace.
+  std::vector<obs::SpanRecord> spans;
+  std::size_t answered = 0;
+  for (const auto& pool : pools) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parsePool(pool, &host, &port)) {
+      std::cerr << "mm_trace: bad -pool address '" << pool << "'\n";
+      return 2;
+    }
+    const service::TraceQueryResult result =
+        service::queryTraces(host, port, opts);
+    if (!result.ok) {
+      std::cerr << "mm_trace: " << pool << ": " << result.error << "\n";
+      continue;
+    }
+    ++answered;
+    spans.insert(spans.end(), result.spans.begin(), result.spans.end());
+  }
+  if (answered == 0) {
+    std::cerr << "mm_trace: no endpoint answered\n";
+    return 1;
+  }
+
+  if (!traceId.empty()) {
+    if (spans.empty()) {
+      std::cerr << "mm_trace: trace " << traceId << " not found\n";
+      return 1;
+    }
+    printTree(spans);
+  } else {
+    // List mode: one line per trace, oldest first by first span start.
+    std::map<obs::TraceId, std::vector<const obs::SpanRecord*>,
+             TraceKeyLess> traces;
+    for (const auto& span : spans) traces[span.trace].push_back(&span);
+    std::vector<std::pair<double, const obs::TraceId*>> order;
+    order.reserve(traces.size());
+    for (const auto& [id, group] : traces) {
+      double first = group.front()->startSeconds;
+      for (const auto* span : group) {
+        first = std::min(first, span->startSeconds);
+      }
+      order.emplace_back(first, &id);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [first, id] : order) {
+      const auto& group = traces[*id];
+      // Root label: the span with no in-set parent that started first.
+      std::set<obs::SpanId> present;
+      for (const auto* span : group) present.insert(span->span);
+      const obs::SpanRecord* root = nullptr;
+      double span0 = first;
+      double span1 = first;
+      std::set<std::string> components;
+      for (const auto* span : group) {
+        components.insert(span->component);
+        span0 = std::min(span0, span->startSeconds);
+        span1 = std::max(span1, span->startSeconds + span->durationSeconds);
+        if (span->parent != 0 && present.count(span->parent) != 0) continue;
+        if (root == nullptr || span->startSeconds < root->startSeconds) {
+          root = span;
+        }
+      }
+      std::cout << obs::traceIdToHex(*id) << "  "
+                << (root != nullptr ? root->name : "?") << "  "
+                << group.size() << " spans  " << components.size()
+                << (components.size() == 1 ? " component  " : " components  ")
+                << fmtMillis(span1 - span0) << "\n";
+    }
+    std::cout << traces.size() << " traces, " << spans.size() << " spans\n";
+  }
+
+  if (!chromePath.empty()) {
+    std::ofstream out(chromePath, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "mm_trace: cannot write " << chromePath << "\n";
+      return 1;
+    }
+    out << obs::toChromeTraceJson(spans);
+    std::cout << "wrote " << chromePath << " (" << spans.size()
+              << " spans)\n";
+  }
+  return 0;
+}
