@@ -12,6 +12,9 @@
 // critical path stays at pool scale, so N >= 3 federated pools beat the
 // single matchmaker on time-to-match; the chain variant trades that
 // latency for link count and shows the referral hop distribution instead.
+// The flock-targeting series compares FlockPolicy::kAll against the
+// demand-digest veto (kDigest): flocked-ad volume must drop without the
+// cross-pool match rate moving.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,7 +24,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "classad/analysis/implies.h"
 #include "classad/analysis/schema.h"
+#include "classad/prepared.h"
 #include "federation/digest.h"
 #include "matchmaker/engine/engine.h"
 
@@ -299,6 +304,125 @@ BENCHMARK(BM_E12_FederatedChain)
     ->Args({5, 10000})
     ->Args({8, 10000})
     ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Machines for the flock-targeting series: pool p's machines admit only
+/// jobs from owner group "grp<p>" — the allowlist shape where most of
+/// the fleet is provably useless to any one origin pool, so the
+/// demand-digest veto has something real to cut.
+std::vector<classad::ClassAdPtr> groupMachines(std::size_t count,
+                                               std::size_t poolIndex) {
+  std::vector<classad::ClassAdPtr> ads;
+  ads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    classad::ClassAd ad;
+    const std::string node =
+        "g" + std::to_string(poolIndex) + "n" + std::to_string(i);
+    ad.set("Type", "Machine");
+    ad.set("Name", node);
+    ad.set("ContactAddress", "ra://" + node);
+    ad.set("Arch", "INTEL");
+    ad.set("OpSys", "LINUX");
+    ad.set("Memory", static_cast<std::int64_t>(32 << (i % 4)));
+    ad.set("KFlops", static_cast<std::int64_t>(20000 + 500 * (i % 8)));
+    ad.setExpr("Constraint",
+               std::string("other.Type == \"Job\" && other.Owner == \"grp") +
+                   std::to_string(poolIndex) + "\"");
+    ad.set("Rank", 0);
+    ads.push_back(classad::makeShared(std::move(ad)));
+  }
+  return ads;
+}
+
+/// The origin pool's demand for the flock-targeting series: jobs from
+/// owner groups 0 and 1 only. Every other group's machines are wasted
+/// flocking traffic — and provably so from the demand digest.
+std::vector<classad::ClassAdPtr> groupRequests(std::size_t count) {
+  std::vector<classad::ClassAdPtr> ads;
+  ads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    classad::ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", "grp" + std::to_string(i % 2));
+    ad.set("JobId", static_cast<std::int64_t>(i + 1));
+    ad.set("ContactAddress", "ca://grp#" + std::to_string(i));
+    ad.set("Memory", static_cast<std::int64_t>(32 << (i % 3)));
+    ad.setExpr("Constraint",
+               "other.Type == \"Machine\" && other.Memory >= self.Memory");
+    ad.setExpr("Rank", "KFlops/1E3");
+    ads.push_back(classad::makeShared(std::move(ad)));
+  }
+  return ads;
+}
+
+/// Flock targeting: N peer pools flock their machine ads toward one
+/// origin pool whose demand digest (the fold of its stored requests)
+/// says only groups 0 and 1 are present. Timed: the digest-targeted
+/// cycle — the receiver-side prover veto over every candidate ad (the
+/// exact decision FederationPlane::flockVetoed caches per revision)
+/// plus the origin's negotiation over what actually flocked. Counters
+/// compare kAll against kDigest: flocked_digest must come in well under
+/// flocked_all while matches_digest stays equal to matches_all — the
+/// veto only ever removes provably wasted traffic.
+void BM_E12_FlockTargeting(benchmark::State& state) {
+  namespace ca = classad::analysis;
+  const auto pools = static_cast<std::size_t>(state.range(0));
+  const auto perPool = static_cast<std::size_t>(state.range(1));
+  std::vector<std::vector<classad::ClassAdPtr>> poolAds;
+  std::vector<classad::ClassAdPtr> allAds;
+  for (std::size_t p = 0; p < pools; ++p) {
+    poolAds.push_back(groupMachines(perPool, p));
+    allAds.insert(allAds.end(), poolAds[p].begin(), poolAds[p].end());
+  }
+  const auto requests = groupRequests(kRequests);
+  // The origin's demand digest, as its peers receive it: fold the
+  // request ads, flatten to the wire rows, reconstruct the schema.
+  auto demand = federation::digestOf(ca::Schema::fromAds(requests));
+  demand.version = 1;
+  const ca::Schema demandSchema = federation::schemaOf(demand);
+  ca::ImpliesOptions opts;
+  opts.otherSchema = &demandSchema;
+  opts.exactSchemaValues = true;
+  opts.maxWitnessTrials = 0;  // Proven-or-flock, as in the plane
+  const matchmaking::Matchmaker matchmaker(engineConfig());
+  const matchmaking::Accountant accountant;
+  // The kAll baseline: everything flocks, match it once outside timing.
+  matchmaking::NegotiationStats allStats;
+  const auto allMatches =
+      matchmaker.negotiate(requests, allAds, accountant, 0.0, &allStats);
+  std::vector<classad::ClassAdPtr> flocked;
+  std::size_t matchedDigest = 0;
+  for (auto _ : state) {
+    flocked.clear();
+    for (std::size_t p = 0; p < pools; ++p) {
+      for (const auto& ad : poolAds[p]) {
+        const auto prepared = classad::PreparedAd::prepare(ad);
+        const bool veto =
+            prepared.hasConstraint() &&
+            ca::unsatisfiable(prepared.ad().get(), prepared.constraint(),
+                              opts)
+                .proven();
+        if (!veto) flocked.push_back(ad);
+      }
+    }
+    matchmaking::NegotiationStats stats;
+    const auto matches =
+        matchmaker.negotiate(requests, flocked, accountant, 0.0, &stats);
+    matchedDigest = matches.size();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["flocked_all"] = static_cast<double>(allAds.size());
+  state.counters["flocked_digest"] = static_cast<double>(flocked.size());
+  state.counters["matches_all"] = static_cast<double>(allMatches.size());
+  state.counters["matches_digest"] = static_cast<double>(matchedDigest);
+  state.counters["match_rate_all"] =
+      static_cast<double>(allMatches.size()) / static_cast<double>(kRequests);
+  state.counters["match_rate_digest"] =
+      static_cast<double>(matchedDigest) / static_cast<double>(kRequests);
+}
+BENCHMARK(BM_E12_FlockTargeting)
+    ->Args({4, 1000})
+    ->Args({8, 1000})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

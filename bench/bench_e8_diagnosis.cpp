@@ -14,6 +14,7 @@
 
 #include "bench_common.h"
 
+#include "classad/analysis/implies.h"
 #include "classad/analysis/lint.h"
 #include "classad/analysis/schema.h"
 #include "matchmaker/analysis.h"
@@ -198,6 +199,49 @@ void BM_E8_StaticSweepAccuracy(benchmark::State& state) {
 }
 BENCHMARK(BM_E8_StaticSweepAccuracy)->Arg(20)->Arg(100)
     ->Unit(benchmark::kMillisecond);
+
+// Implication column: prover latency vs expression size. A and B are
+// conjunctions of N interval atoms over N distinct attributes, with B's
+// bounds strictly looser than A's, so implies(A, B) is Proven at every
+// size and the timing tracks the decision procedure itself (normalize to
+// DNF, per-atom containment) — not witness search. The "verdict" counter
+// pins the expected result (1 = Proven) so a silent regression to
+// Unknown cannot masquerade as a speedup. Sizes stop at 32 conjuncts:
+// the prover's build-depth fuse (kMaxBuildDepth) intentionally gives up
+// on deeper left-leaning && chains rather than risk blowup.
+void BM_E8_ImplicationLatency(benchmark::State& state) {
+  namespace ca = classad::analysis;
+  const int conjuncts = static_cast<int>(state.range(0));
+  std::string tight;
+  std::string loose;
+  for (int i = 0; i < conjuncts; ++i) {
+    if (i > 0) {
+      tight += " && ";
+      loose += " && ";
+    }
+    const std::string attr = "other.A" + std::to_string(i);
+    tight += attr + " >= " + std::to_string(64 + i);
+    loose += attr + " >= " + std::to_string(32 + i);
+  }
+  const classad::ExprPtr a = classad::parseExpr(tight);
+  const classad::ExprPtr b = classad::parseExpr(loose);
+  const classad::ClassAd self;
+  ca::ImpliesOptions opts;
+  opts.maxWitnessTrials = 0;
+  ca::ImpliesResult result;
+  for (auto _ : state) {
+    result = ca::implies(self, a, b, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["conjuncts"] = static_cast<double>(conjuncts);
+  state.counters["verdict"] = result.proven() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_E8_ImplicationLatency)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -152,9 +152,10 @@ void QueueScheduler::startJob(std::size_t machineIdx, std::size_t jobIdx) {
 
 void QueueScheduler::completeJob(std::size_t machineIdx) {
   MachineSlot& slot = machines_[machineIdx];
-  if (!slot.running) return;
-  Job& job = jobs_[slot.running->jobIndex];
-  const double wall = sim_.now() - slot.running->startedAt;
+  if (!slot.running.has_value()) return;
+  const Execution exec = *slot.running;
+  Job& job = jobs_[exec.jobIndex];
+  const double wall = sim_.now() - exec.startedAt;
   metrics_.machineBusySeconds += wall;
   metrics_.goodputCpuSeconds += job.remainingWork;
   job.remainingWork = 0.0;
@@ -170,11 +171,12 @@ void QueueScheduler::completeJob(std::size_t machineIdx) {
 
 void QueueScheduler::evictJob(std::size_t machineIdx, bool byOwner) {
   MachineSlot& slot = machines_[machineIdx];
-  if (!slot.running) return;
-  const std::size_t jobIdx = slot.running->jobIndex;
+  if (!slot.running.has_value()) return;
+  const Execution exec = *slot.running;
+  const std::size_t jobIdx = exec.jobIndex;
   Job& job = jobs_[jobIdx];
-  sim_.cancel(slot.running->completionEvent);
-  const double wall = sim_.now() - slot.running->startedAt;
+  sim_.cancel(exec.completionEvent);
+  const double wall = sim_.now() - exec.startedAt;
   const double mips = static_cast<double>(slot.machine->spec().mips);
   const double done = wall * mips / htcsim::kReferenceMips;
   metrics_.machineBusySeconds += wall;

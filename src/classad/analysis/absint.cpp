@@ -212,10 +212,10 @@ AbstractValue absMapString(const AbstractValue& a,
     r = r.join(AbstractValue::error());
   }
   if (a.mayBeString()) {
-    if (a.strings().has_value()) {
+    if (const auto& strs = a.strings(); strs.has_value()) {
       std::vector<std::string> mapped;
-      mapped.reserve(a.strings()->size());
-      for (std::string s : *a.strings()) {
+      mapped.reserve(strs->size());
+      for (std::string s : *strs) {
         for (char& ch : s) {
           ch = mapChar(static_cast<unsigned char>(ch));
         }

@@ -1,0 +1,1169 @@
+#include "classad/analysis/implies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "classad/analysis/absint.h"
+#include "classad/analysis/domain.h"
+#include "classad/analysis/lint.h"
+#include "classad/flatten.h"
+#include "classad/prepared.h"
+#include "classad/value.h"
+
+namespace classad::analysis {
+
+namespace {
+
+// Integer literals beyond 2^53 do not round-trip through the double
+// interval channel; comparisons against them are evaluated in int64
+// space, so atoms over them are over-approximations only.
+constexpr double kExactIntLimit = 9007199254740992.0;  // 2^53
+constexpr std::size_t kMaxCubes = 64;
+constexpr std::size_t kMaxMemberAlternatives = 16;
+constexpr std::size_t kMaxBuildNodes = 4096;
+constexpr int kMaxBuildDepth = 40;
+
+/// Does `outer` contain every point of `inner`?
+bool intervalCovers(const Interval& outer, const Interval& inner) {
+  if (inner.empty()) return true;
+  if (outer.empty()) return false;
+  if (inner.lo < outer.lo) return false;
+  if (inner.lo == outer.lo && outer.loOpen && !inner.loOpen) return false;
+  if (inner.hi > outer.hi) return false;
+  if (inner.hi == outer.hi && outer.hiOpen && !inner.hiOpen) return false;
+  return true;
+}
+
+/// The set of concrete Values a candidate attribute may hold, channelled
+/// by type the way compareValues decides truth: non-NaN numbers (with
+/// finitely many excluded points, for `!=` atoms), the two booleans,
+/// strings (none / all-but-finitely-many / a finite lowered set),
+/// `undefined`, and `others` (error, list, record, NaN — the values no
+/// strict comparison can accept). Default-constructed it is the full
+/// universe; ValueSet::none() is the empty set.
+struct ValueSet {
+  enum class StrMode : std::uint8_t { None, Any, Finite };
+
+  Interval num = Interval::all();
+  std::vector<double> numExcluded;  ///< sorted unique, all inside num
+  bool canTrue = true;
+  bool canFalse = true;
+  StrMode strMode = StrMode::Any;
+  /// Finite: the allowed strings; Any: the excluded strings. Lowered
+  /// (`==` compares case-insensitively), sorted, unique.
+  std::vector<std::string> strs;
+  bool undef = true;
+  bool others = true;
+
+  static ValueSet none() {
+    ValueSet s;
+    s.num = Interval::none();
+    s.canTrue = s.canFalse = false;
+    s.strMode = StrMode::None;
+    s.undef = s.others = false;
+    return s;
+  }
+
+  bool excludesNumber(double v) const {
+    return std::binary_search(numExcluded.begin(), numExcluded.end(), v);
+  }
+  bool numEmpty() const {
+    if (num.empty()) return true;
+    return num.isPoint() && excludesNumber(num.lo);
+  }
+  bool strEmpty() const {
+    return strMode == StrMode::None ||
+           (strMode == StrMode::Finite && strs.empty());
+  }
+  bool empty() const {
+    return numEmpty() && !canTrue && !canFalse && strEmpty() && !undef &&
+           !others;
+  }
+
+  bool containsNumber(double v) const {
+    if (std::isnan(v)) return others;
+    return num.contains(v) && !excludesNumber(v);
+  }
+  bool containsLowered(const std::string& lowered) const {
+    switch (strMode) {
+      case StrMode::None:
+        return false;
+      case StrMode::Any:
+        return !std::binary_search(strs.begin(), strs.end(), lowered);
+      case StrMode::Finite:
+        return std::binary_search(strs.begin(), strs.end(), lowered);
+    }
+    return false;
+  }
+  bool contains(const Value& v) const {
+    switch (v.type()) {
+      case ValueType::Undefined:
+        return undef;
+      case ValueType::Error:
+      case ValueType::List:
+      case ValueType::Record:
+        return others;
+      case ValueType::Boolean:
+        return v.asBoolean() ? canTrue : canFalse;
+      case ValueType::Integer:
+      case ValueType::Real:
+        return containsNumber(v.toReal());
+      case ValueType::String:
+        return containsLowered(toLowerCopy(v.asString()));
+    }
+    return true;
+  }
+
+  /// Narrows to the intersection (conjuncts compose by AND).
+  void meetWith(const ValueSet& o) {
+    num = num.meet(o.num);
+    std::vector<double> merged;
+    merged.reserve(numExcluded.size() + o.numExcluded.size());
+    std::set_union(numExcluded.begin(), numExcluded.end(),
+                   o.numExcluded.begin(), o.numExcluded.end(),
+                   std::back_inserter(merged));
+    merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                [&](double p) { return !num.contains(p); }),
+                 merged.end());
+    numExcluded = std::move(merged);
+    canTrue = canTrue && o.canTrue;
+    canFalse = canFalse && o.canFalse;
+    if (strMode == StrMode::None || o.strMode == StrMode::None) {
+      strMode = StrMode::None;
+      strs.clear();
+    } else if (strMode == StrMode::Any && o.strMode == StrMode::Any) {
+      std::vector<std::string> ex;
+      std::set_union(strs.begin(), strs.end(), o.strs.begin(), o.strs.end(),
+                     std::back_inserter(ex));
+      strs = std::move(ex);
+    } else if (strMode == StrMode::Finite && o.strMode == StrMode::Finite) {
+      std::vector<std::string> kept;
+      std::set_intersection(strs.begin(), strs.end(), o.strs.begin(),
+                            o.strs.end(), std::back_inserter(kept));
+      strs = std::move(kept);
+    } else {
+      // Finite ∩ (all but excluded) = the finite set minus the exclusions.
+      const std::vector<std::string>& fin =
+          strMode == StrMode::Finite ? strs : o.strs;
+      const std::vector<std::string>& ex =
+          strMode == StrMode::Finite ? o.strs : strs;
+      std::vector<std::string> kept;
+      std::set_difference(fin.begin(), fin.end(), ex.begin(), ex.end(),
+                          std::back_inserter(kept));
+      strMode = StrMode::Finite;
+      strs = std::move(kept);
+    }
+    undef = undef && o.undef;
+    others = others && o.others;
+  }
+
+  /// Is every value of *this also in `o`? Exact per channel.
+  bool subsetOf(const ValueSet& o) const {
+    if (!numEmpty()) {
+      if (!intervalCovers(o.num, num)) return false;
+      for (double p : o.numExcluded) {
+        if (num.contains(p) && !excludesNumber(p)) return false;
+      }
+    }
+    if (canTrue && !o.canTrue) return false;
+    if (canFalse && !o.canFalse) return false;
+    if (!strEmpty()) {
+      if (strMode == StrMode::Finite) {
+        for (const std::string& s : strs) {
+          if (!o.containsLowered(s)) return false;
+        }
+      } else {
+        // All-but-finitely-many fits only inside another such set whose
+        // exclusions we also exclude.
+        if (o.strMode != StrMode::Any) return false;
+        for (const std::string& s : o.strs) {
+          if (!std::binary_search(strs.begin(), strs.end(), s)) return false;
+        }
+      }
+    }
+    if (undef && !o.undef) return false;
+    if (others && !o.others) return false;
+    return true;
+  }
+};
+
+/// The value-set image of an abstract value: what the schema says a
+/// candidate attribute can be. NaN hides inside any real-typed abstract
+/// value whose interval reaches infinity (the documented overflow hole in
+/// domain.h), so such envelopes keep the `others` channel open.
+ValueSet fromAbstract(const AbstractValue& d) {
+  ValueSet s = ValueSet::none();
+  if (d.mayBeNumber()) s.num = d.range();
+  s.canTrue = d.mayBeTrue();
+  s.canFalse = d.mayBeFalse();
+  if (d.mayBeString()) {
+    if (const auto& strs = d.strings(); strs.has_value()) {
+      s.strMode = ValueSet::StrMode::Finite;
+      s.strs.reserve(strs->size());
+      for (const std::string& v : *strs) {
+        s.strs.push_back(toLowerCopy(v));
+      }
+      std::sort(s.strs.begin(), s.strs.end());
+      s.strs.erase(std::unique(s.strs.begin(), s.strs.end()), s.strs.end());
+    } else {
+      s.strMode = ValueSet::StrMode::Any;
+    }
+  }
+  s.undef = d.mayBeUndefined();
+  s.others = d.mayBeError() || d.types().has(ValueType::List) ||
+             d.types().has(ValueType::Record) ||
+             (d.types().has(ValueType::Real) &&
+              (std::isinf(d.range().lo) || std::isinf(d.range().hi)));
+  return s;
+}
+
+/// One conjunct's truth set, projected onto a single candidate attribute:
+/// "the conjunct is true exactly when attr's value lies in `set`" — or,
+/// when `exact` is false, "only when" (the set over-approximates).
+struct Atom {
+  std::string attr;  ///< lowered
+  ValueSet set = ValueSet::none();
+  bool exact = true;
+};
+
+/// A conjunction of atoms: per-attribute value sets, top for unmentioned
+/// attributes. `exact` iff every contributing atom was exact.
+struct Cube {
+  std::map<std::string, ValueSet> attrs;
+  bool exact = true;
+
+  bool empty() const {
+    return std::any_of(attrs.begin(), attrs.end(),
+                       [](const auto& kv) { return kv.second.empty(); });
+  }
+  void meetWith(const Cube& o) {
+    for (const auto& [attr, set] : o.attrs) {
+      auto [it, inserted] = attrs.try_emplace(attr, set);
+      if (!inserted) it->second.meetWith(set);
+    }
+    exact = exact && o.exact;
+  }
+};
+
+using CubeList = std::vector<Cube>;  // disjunction; empty = false
+
+/// The reference resolves in the CANDIDATE at match time: an explicit
+/// `other.X`, or a bare name absent from `self` (same rule the guard
+/// deriver uses — a name bound to `undefined` in self does NOT fall
+/// through).
+const AttrRefExpr* asCandidateRef(const Expr& e, const ClassAd* self) {
+  const auto* ref = dynamic_cast<const AttrRefExpr*>(&e);
+  if (ref == nullptr) return nullptr;
+  if (ref->scope() == RefScope::Other) return ref;
+  if (ref->scope() == RefScope::Default &&
+      (self == nullptr || self->lookup(ref->loweredName()) == nullptr)) {
+    return ref;
+  }
+  return nullptr;
+}
+
+BinOp mirrorOp(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::Less:
+      return BinOp::Greater;
+    case BinOp::LessEq:
+      return BinOp::GreaterEq;
+    case BinOp::Greater:
+      return BinOp::Less;
+    case BinOp::GreaterEq:
+      return BinOp::LessEq;
+    default:
+      return op;  // ==, !=, is, isnt are symmetric
+  }
+}
+
+/// `!(a op b)` is true exactly when `a op b` is false, and comparisons
+/// are false exactly when the negated comparison is true (both are
+/// undefined/error on the same operands).
+std::optional<BinOp> negateCmp(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::Equal:
+      return BinOp::NotEqual;
+    case BinOp::NotEqual:
+      return BinOp::Equal;
+    case BinOp::Less:
+      return BinOp::GreaterEq;
+    case BinOp::LessEq:
+      return BinOp::Greater;
+    case BinOp::Greater:
+      return BinOp::LessEq;
+    case BinOp::GreaterEq:
+      return BinOp::Less;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Truth set of `ref op lit` (ref on the left). Mirrors compareValues:
+/// booleans promote to 0/1 against numbers, strings compare
+/// case-insensitively, mixed types / exceptional values / NaN are never
+/// true.
+std::optional<Atom> atomizeCmp(const AttrRefExpr& ref, BinOp op,
+                               const Value& lit) {
+  Atom a;
+  a.attr = ref.loweredName();
+  ValueSet& s = a.set;
+  s = ValueSet::none();
+
+  if (lit.isBoolean() || lit.isNumber()) {
+    const double r = lit.isBoolean() ? (lit.asBoolean() ? 1.0 : 0.0)
+                                     : lit.toReal();
+    if (std::isnan(r)) return std::nullopt;  // cmp vs NaN: error, never true
+    if (lit.isInteger() && std::abs(r) >= kExactIntLimit) a.exact = false;
+    switch (op) {
+      case BinOp::Equal:
+        s.num = Interval::point(r);
+        break;
+      case BinOp::NotEqual:
+        s.num = Interval::all();
+        s.numExcluded = {r};
+        break;
+      case BinOp::Less:
+        s.num = Interval::atMost(r, true);
+        break;
+      case BinOp::LessEq:
+        s.num = Interval::atMost(r, false);
+        break;
+      case BinOp::Greater:
+        s.num = Interval::atLeast(r, true);
+        break;
+      case BinOp::GreaterEq:
+        s.num = Interval::atLeast(r, false);
+        break;
+      default:
+        return std::nullopt;
+    }
+    s.canTrue = s.containsNumber(1.0);
+    s.canFalse = s.containsNumber(0.0);
+    return a;
+  }
+
+  if (lit.isString()) {
+    const std::string low = toLowerCopy(lit.asString());
+    switch (op) {
+      case BinOp::Equal:
+        s.strMode = ValueSet::StrMode::Finite;
+        s.strs = {low};
+        break;
+      case BinOp::NotEqual:
+        s.strMode = ValueSet::StrMode::Any;
+        s.strs = {low};
+        break;
+      case BinOp::Less:
+      case BinOp::LessEq:
+      case BinOp::Greater:
+      case BinOp::GreaterEq:
+        // Lexical ranges are not representable; "some string" is a sound
+        // over-approximation (non-strings are error, never true).
+        s.strMode = ValueSet::StrMode::Any;
+        a.exact = false;
+        break;
+      default:
+        return std::nullopt;
+    }
+    return a;
+  }
+
+  return std::nullopt;  // undefined/error/list/record literal operand
+}
+
+/// Truth set of `ref is lit` / `ref isnt lit` for the exactly-decidable
+/// literals. `is undefined` and the boolean identities are exact;
+/// identity on numbers/strings distinguishes int-vs-real and case, which
+/// the channels do not, so those over-approximate.
+std::optional<Atom> atomizeIs(const AttrRefExpr& ref, BinOp op,
+                              const Value& lit) {
+  Atom a;
+  a.attr = ref.loweredName();
+  a.set = ValueSet::none();
+  if (op == BinOp::Is) {
+    if (lit.isUndefined()) {
+      a.set.undef = true;
+      return a;
+    }
+    if (lit.isBoolean()) {
+      (lit.asBoolean() ? a.set.canTrue : a.set.canFalse) = true;
+      return a;
+    }
+    if (lit.isNumber()) {
+      const double r = lit.toReal();
+      if (std::isnan(r)) return std::nullopt;
+      a.set.num = Interval::point(r);
+      a.exact = false;  // 5 is 5.0 is false; the channel cannot tell
+      return a;
+    }
+    if (lit.isString()) {
+      a.set.strMode = ValueSet::StrMode::Finite;
+      a.set.strs = {toLowerCopy(lit.asString())};
+      a.exact = false;  // `is` on strings is case-sensitive
+      return a;
+    }
+    return std::nullopt;
+  }
+  // isnt: only `ref isnt undefined` (= "the attribute is present and
+  // definite-or-error") has an exact channel image.
+  if (lit.isUndefined()) {
+    a.set = ValueSet();  // top...
+    a.set.undef = false;  // ...minus undefined
+    return a;
+  }
+  return std::nullopt;
+}
+
+/// Truth set of `member(ref, <literal list>)`: true exactly when the
+/// value ==-equals SOME element (memberSemantics: order-independent,
+/// type-mismatched elements simply don't match, undefined elements only
+/// matter for the undefined/false distinction — not for truth). Each
+/// element contributes one alternative atom, so the union stays exact.
+std::optional<std::vector<Atom>> atomizeMember(const AttrRefExpr& ref,
+                                               const Expr& listArg) {
+  std::vector<Value> elems;
+  if (const auto* list = dynamic_cast<const ListExpr*>(&listArg)) {
+    elems.reserve(list->elements().size());
+    for (const ExprPtr& e : list->elements()) {
+      const auto* lit = dynamic_cast<const LiteralExpr*>(e.get());
+      if (lit == nullptr) return std::nullopt;
+      elems.push_back(lit->value());
+    }
+  } else if (const auto* lit = dynamic_cast<const LiteralExpr*>(&listArg);
+             lit != nullptr && lit->value().isList()) {
+    elems = *lit->value().asList();
+  } else {
+    return std::nullopt;
+  }
+  if (elems.size() > kMaxMemberAlternatives) return std::nullopt;
+
+  std::vector<Atom> out;
+  for (const Value& v : elems) {
+    if (v.isBoolean() || v.isNumber()) {
+      if (auto a = atomizeCmp(ref, BinOp::Equal, v)) {
+        out.push_back(std::move(*a));
+      }
+      // NaN elements match nothing; dropping them is exact.
+    } else if (v.isString()) {
+      Atom a;
+      a.attr = ref.loweredName();
+      a.set = ValueSet::none();
+      a.set.strMode = ValueSet::StrMode::Finite;
+      a.set.strs = {toLowerCopy(v.asString())};
+      out.push_back(std::move(a));
+    }
+    // undefined / error / list / record elements never ==-equal a value:
+    // they contribute nothing to the truth set.
+  }
+  if (out.empty()) {
+    // No element can match: the truth set is empty, exactly.
+    Atom a;
+    a.attr = ref.loweredName();
+    a.set = ValueSet::none();
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+/// Atomizes one non-decomposable conjunct into a union of single-attr
+/// truth sets, or nullopt when its shape is not supported.
+std::optional<std::vector<Atom>> atomize(const Expr& e, const ClassAd* self) {
+  if (const AttrRefExpr* ref = asCandidateRef(e, self)) {
+    // A bare reference is a satisfied constraint only when the value IS
+    // boolean true.
+    Atom a;
+    a.attr = ref->loweredName();
+    a.set = ValueSet::none();
+    a.set.canTrue = true;
+    return std::vector<Atom>{std::move(a)};
+  }
+  if (const auto* unary = dynamic_cast<const UnaryExpr*>(&e)) {
+    if (unary->op() != UnOp::Not) return std::nullopt;
+    const Expr& inner = *unary->operand();
+    if (const AttrRefExpr* ref = asCandidateRef(inner, self)) {
+      // !X is true exactly when X is boolean false (Kleene Not).
+      Atom a;
+      a.attr = ref->loweredName();
+      a.set = ValueSet::none();
+      a.set.canFalse = true;
+      return std::vector<Atom>{std::move(a)};
+    }
+    if (const auto* bin = dynamic_cast<const BinaryExpr*>(&inner)) {
+      if (auto negated = negateCmp(bin->op())) {
+        const auto* lref = asCandidateRef(*bin->lhs(), self);
+        const auto* rref = asCandidateRef(*bin->rhs(), self);
+        const auto* llit = dynamic_cast<const LiteralExpr*>(bin->lhs().get());
+        const auto* rlit = dynamic_cast<const LiteralExpr*>(bin->rhs().get());
+        if (lref != nullptr && rlit != nullptr) {
+          if (auto a = atomizeCmp(*lref, *negated, rlit->value())) {
+            return std::vector<Atom>{std::move(*a)};
+          }
+        }
+        if (rref != nullptr && llit != nullptr) {
+          if (auto a =
+                  atomizeCmp(*rref, mirrorOp(*negated), llit->value())) {
+            return std::vector<Atom>{std::move(*a)};
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+  if (const auto* bin = dynamic_cast<const BinaryExpr*>(&e)) {
+    const auto* lref = asCandidateRef(*bin->lhs(), self);
+    const auto* rref = asCandidateRef(*bin->rhs(), self);
+    const auto* llit = dynamic_cast<const LiteralExpr*>(bin->lhs().get());
+    const auto* rlit = dynamic_cast<const LiteralExpr*>(bin->rhs().get());
+    const bool isIdentity =
+        bin->op() == BinOp::Is || bin->op() == BinOp::IsNot;
+    if (lref != nullptr && rlit != nullptr) {
+      auto a = isIdentity ? atomizeIs(*lref, bin->op(), rlit->value())
+                          : atomizeCmp(*lref, bin->op(), rlit->value());
+      if (a) return std::vector<Atom>{std::move(*a)};
+    }
+    if (rref != nullptr && llit != nullptr) {
+      auto a = isIdentity
+                   ? atomizeIs(*rref, bin->op(), llit->value())
+                   : atomizeCmp(*rref, mirrorOp(bin->op()), llit->value());
+      if (a) return std::vector<Atom>{std::move(*a)};
+    }
+    return std::nullopt;
+  }
+  if (const auto* call = dynamic_cast<const FuncCallExpr*>(&e)) {
+    if (toLowerCopy(call->name()) == "member" && call->args().size() == 2) {
+      if (const AttrRefExpr* ref = asCandidateRef(*call->args()[0], self)) {
+        return atomizeMember(*ref, *call->args()[1]);
+      }
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+struct BuildCtx {
+  const ClassAd* self = nullptr;
+  AnalysisEnv env;
+  /// Premise mode: unsupported pieces may widen to "anything" (the truth
+  /// set is over-approximated; Proven stays sound). Consequent mode:
+  /// unsupported disjuncts are dropped (under-approximation — coverage
+  /// of a smaller set still proves coverage of nothing more), and an
+  /// unsupported conjunct fails the whole disjunct.
+  bool premise = false;
+  std::size_t nodes = 0;
+};
+
+CubeList topCube() { return CubeList{Cube{}}; }
+
+/// Normalizes the truth set of `e` into a disjunction of cubes. nullopt
+/// = shape not supported at this node (callers in premise mode widen).
+std::optional<CubeList> buildDnf(const ExprPtr& e, BuildCtx& ctx, int depth) {
+  if (e == nullptr) return std::nullopt;
+  if (++ctx.nodes > kMaxBuildNodes || depth > kMaxBuildDepth) {
+    return std::nullopt;
+  }
+
+  // Ground-truth shortcut: the abstract interpreter may already decide
+  // this subtree for every schema-consistent candidate. Both outcomes
+  // are exact truth sets (everything / nothing).
+  const AbstractValue av = abstractEval(*e, ctx.env);
+  if (!av.mayBeTrue()) return CubeList{};
+  if (av.onlyTrue()) return topCube();
+
+  if (const auto* bin = dynamic_cast<const BinaryExpr*>(e.get())) {
+    if (bin->op() == BinOp::And) {
+      auto l = buildDnf(bin->lhs(), ctx, depth + 1);
+      auto r = buildDnf(bin->rhs(), ctx, depth + 1);
+      if (!l || !r) {
+        if (!ctx.premise) return std::nullopt;
+        // Dropping an unanalyzable conjunct over-approximates: fine here.
+        if (!l && !r) return topCube();
+        if (!l) l = topCube();
+        if (!r) r = topCube();
+      }
+      CubeList out;
+      for (const Cube& cl : *l) {
+        for (const Cube& cr : *r) {
+          Cube c = cl;
+          c.meetWith(cr);
+          if (c.empty()) continue;
+          out.push_back(std::move(c));
+          if (out.size() > kMaxCubes) {
+            return ctx.premise ? std::optional<CubeList>(topCube())
+                               : std::nullopt;
+          }
+        }
+      }
+      return out;
+    }
+    if (bin->op() == BinOp::Or) {
+      auto l = buildDnf(bin->lhs(), ctx, depth + 1);
+      auto r = buildDnf(bin->rhs(), ctx, depth + 1);
+      if (ctx.premise && (!l || !r)) return topCube();
+      CubeList out;
+      if (l) out.insert(out.end(), l->begin(), l->end());
+      if (r) out.insert(out.end(), r->begin(), r->end());
+      if (!l && !r) return std::nullopt;
+      if (out.size() > kMaxCubes) {
+        return ctx.premise ? std::optional<CubeList>(topCube())
+                           : std::nullopt;
+      }
+      return out;
+    }
+  }
+  if (const auto* tern = dynamic_cast<const TernaryExpr*>(e.get())) {
+    const auto* elseLit =
+        dynamic_cast<const LiteralExpr*>(tern->elseExpr().get());
+    const bool elseFalse = elseLit != nullptr &&
+                           elseLit->value().isBoolean() &&
+                           !elseLit->value().asBoolean();
+    if (elseFalse) {
+      // `c ? t : false` is true exactly when both c and t are.
+      const ExprPtr conj = BinaryExpr::make(BinOp::And, tern->cond(),
+                                            tern->thenExpr());
+      return buildDnf(conj, ctx, depth + 1);
+    }
+    return ctx.premise ? std::optional<CubeList>(topCube()) : std::nullopt;
+  }
+
+  if (auto atoms = atomize(*e, ctx.self)) {
+    CubeList out;
+    out.reserve(atoms->size());
+    for (Atom& a : *atoms) {
+      Cube c;
+      c.exact = a.exact;
+      if (a.set.empty()) continue;
+      c.attrs.emplace(std::move(a.attr), std::move(a.set));
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+  return ctx.premise ? std::optional<CubeList>(topCube()) : std::nullopt;
+}
+
+/// Schema envelopes, computed lazily per attribute.
+class EnvelopeCache {
+ public:
+  EnvelopeCache(const Schema* schema, bool exactValues)
+      : schema_(schema), exact_(exactValues) {}
+
+  bool active() const { return schema_ != nullptr && !schema_->empty(); }
+
+  /// The candidate population's value set for `attr`; top when no schema.
+  const ValueSet& of(const std::string& attr) {
+    static const ValueSet kTop;
+    if (!active()) return kTop;
+    auto it = cache_.find(attr);
+    if (it == cache_.end()) {
+      it = cache_.emplace(attr, fromAbstract(schema_->domainOf(attr, exact_)))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  const Schema* schema_;
+  bool exact_;
+  std::map<std::string, ValueSet> cache_;
+};
+
+/// The premise cube's effective projection onto `attr`: its own set if
+/// present (already schema-narrowed), else the schema envelope.
+ValueSet projection(const Cube& a, const std::string& attr,
+                    EnvelopeCache& env) {
+  auto it = a.attrs.find(attr);
+  if (it != a.attrs.end()) return it->second;
+  return env.of(attr);
+}
+
+bool cubeContained(const Cube& a, const Cube& b, EnvelopeCache& env) {
+  for (const auto& [attr, setB] : b.attrs) {
+    if (!projection(a, attr, env).subsetOf(setB)) return false;
+  }
+  return true;
+}
+
+/// Does the union of `sets` cover `a` on one attribute? Exact for the
+/// channels; conservative (may say no) on awkward interval unions.
+bool unionCovers(const ValueSet& a, const std::vector<const ValueSet*>& sets) {
+  if (a.canTrue &&
+      std::none_of(sets.begin(), sets.end(),
+                   [](const ValueSet* s) { return s->canTrue; })) {
+    return false;
+  }
+  if (a.canFalse &&
+      std::none_of(sets.begin(), sets.end(),
+                   [](const ValueSet* s) { return s->canFalse; })) {
+    return false;
+  }
+  if (a.undef && std::none_of(sets.begin(), sets.end(),
+                              [](const ValueSet* s) { return s->undef; })) {
+    return false;
+  }
+  if (a.others && std::none_of(sets.begin(), sets.end(),
+                               [](const ValueSet* s) { return s->others; })) {
+    return false;
+  }
+
+  if (!a.strEmpty()) {
+    if (a.strMode == ValueSet::StrMode::Finite) {
+      for (const std::string& s : a.strs) {
+        if (std::none_of(sets.begin(), sets.end(), [&](const ValueSet* b) {
+              return b->containsLowered(s);
+            })) {
+          return false;
+        }
+      }
+    } else {
+      // a admits all strings but a.strs. The union covers that cofinite
+      // set iff the strings excluded by EVERY Any-mode member (none if
+      // there is no Any member) are each excluded by a or covered by a
+      // Finite member.
+      std::vector<std::string> inter;
+      bool haveAny = false;
+      for (const ValueSet* b : sets) {
+        if (b->strMode != ValueSet::StrMode::Any) continue;
+        if (!haveAny) {
+          inter = b->strs;
+          haveAny = true;
+        } else {
+          std::vector<std::string> kept;
+          std::set_intersection(inter.begin(), inter.end(), b->strs.begin(),
+                                b->strs.end(), std::back_inserter(kept));
+          inter = std::move(kept);
+        }
+      }
+      if (!haveAny) return false;
+      for (const std::string& s : inter) {
+        const bool excusedByA =
+            std::binary_search(a.strs.begin(), a.strs.end(), s);
+        const bool coveredFinite =
+            std::any_of(sets.begin(), sets.end(), [&](const ValueSet* b) {
+              return b->strMode == ValueSet::StrMode::Finite &&
+                     b->containsLowered(s);
+            });
+        if (!excusedByA && !coveredFinite) return false;
+      }
+    }
+  }
+
+  if (!a.numEmpty()) {
+    // Interval sweep over the members' intervals (exclusion holes are
+    // checked afterwards). A single-point gap is fine when a excludes it.
+    std::vector<const ValueSet*> nums;
+    for (const ValueSet* b : sets) {
+      if (!b->num.empty()) nums.push_back(b);
+    }
+    std::sort(nums.begin(), nums.end(),
+              [](const ValueSet* x, const ValueSet* y) {
+                if (x->num.lo != y->num.lo) return x->num.lo < y->num.lo;
+                return !x->num.loOpen && y->num.loOpen;
+              });
+    double reach = a.num.lo;
+    // "Covered" here means: every needed point < reach is covered, and
+    // reach itself is covered iff reachClosed.
+    bool reachClosed = a.num.loOpen || a.excludesNumber(a.num.lo);
+    for (const ValueSet* b : nums) {
+      const Interval& iv = b->num;
+      if (iv.hi < reach || (iv.hi == reach && iv.hiOpen && reachClosed)) {
+        continue;
+      }
+      if (iv.lo > reach) return false;  // an uncovered open gap
+      if (iv.lo == reach && !reachClosed && iv.loOpen) {
+        if (!a.excludesNumber(reach)) return false;
+        reachClosed = true;
+      }
+      if (iv.hi > reach || (iv.hi == reach && !iv.hiOpen)) {
+        reach = iv.hi;
+        reachClosed = !iv.hiOpen;
+      }
+    }
+    if (reach < a.num.hi) return false;
+    if (reach == a.num.hi && !a.num.hiOpen && !reachClosed &&
+        !a.excludesNumber(reach)) {
+      return false;
+    }
+    // Exclusion holes: a point some member excludes must be outside a's
+    // set or inside another member's set.
+    for (const ValueSet* b : sets) {
+      for (double p : b->numExcluded) {
+        if (!a.containsNumber(p)) continue;
+        if (std::none_of(sets.begin(), sets.end(), [&](const ValueSet* o) {
+              return o->containsNumber(p);
+            })) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Is the premise cube `a` covered by the (exact) consequent cubes?
+bool covered(const Cube& a, const CubeList& bs, EnvelopeCache& env) {
+  for (const Cube& b : bs) {
+    if (b.exact && cubeContained(a, b, env)) return true;
+  }
+  // Union refinement: consequent cubes constraining exactly ONE shared
+  // attribute cover jointly (each admits every value of the others), so
+  // `X < 5 || X >= 5`-style disjunctions decide.
+  std::set<std::string> attrs;
+  for (const Cube& b : bs) {
+    if (b.exact && b.attrs.size() == 1) attrs.insert(b.attrs.begin()->first);
+  }
+  for (const std::string& attr : attrs) {
+    std::vector<const ValueSet*> sets;
+    for (const Cube& b : bs) {
+      if (b.exact && b.attrs.size() == 1 &&
+          b.attrs.begin()->first == attr) {
+        sets.push_back(&b.attrs.begin()->second);
+      }
+    }
+    const ValueSet proj = projection(a, attr, env);
+    if (unionCovers(proj, sets)) return true;
+  }
+  return false;
+}
+
+// --- witness search --------------------------------------------------------
+
+const ClassAd& emptyAd() {
+  static const ClassAd kEmpty;
+  return kEmpty;
+}
+
+void addNumberChoice(std::vector<Value>& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) return;
+  // Prefer integral literals: they compare exactly and read naturally.
+  if (v == std::floor(v) && std::abs(v) < kExactIntLimit) {
+    out.push_back(Value::integer(static_cast<std::int64_t>(v)));
+  } else {
+    out.push_back(Value::real(v));
+  }
+}
+
+/// Candidate values worth trying for one attribute, drawn from the value
+/// set: boundaries, just-outside-boundaries, excluded points and their
+/// neighbours — the places where two constraints disagree.
+void choicesFromSet(const ValueSet& s, std::vector<Value>& out) {
+  if (!s.num.empty()) {
+    if (std::isfinite(s.num.lo)) {
+      addNumberChoice(out, s.num.lo);
+      addNumberChoice(out, s.num.lo + 1);
+      addNumberChoice(out, s.num.lo - 1);
+      addNumberChoice(out, s.num.lo + 0.5);
+    }
+    if (std::isfinite(s.num.hi)) {
+      addNumberChoice(out, s.num.hi);
+      addNumberChoice(out, s.num.hi + 1);
+      addNumberChoice(out, s.num.hi - 1);
+      addNumberChoice(out, s.num.hi - 0.5);
+    }
+    addNumberChoice(out, 0);
+    addNumberChoice(out, 1);
+  }
+  for (double p : s.numExcluded) {
+    addNumberChoice(out, p);
+    addNumberChoice(out, p + 1);
+  }
+  for (const std::string& str : s.strs) out.push_back(Value::string(str));
+  if (s.strMode == ValueSet::StrMode::Any) {
+    out.push_back(Value::string("zz_witness"));
+  }
+  if (s.canTrue) out.push_back(Value::boolean(true));
+  if (s.canFalse) out.push_back(Value::boolean(false));
+}
+
+}  // namespace
+
+std::string_view toString(ImpliesVerdict v) noexcept {
+  switch (v) {
+    case ImpliesVerdict::Proven:
+      return "proven";
+    case ImpliesVerdict::Refuted:
+      return "refuted";
+    case ImpliesVerdict::Unknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::string_view toString(RelaxationVerdict v) noexcept {
+  switch (v) {
+    case RelaxationVerdict::StrictRelaxation:
+      return "strict-relaxation";
+    case RelaxationVerdict::Relaxation:
+      return "relaxation";
+    case RelaxationVerdict::Equivalent:
+      return "equivalent";
+    case RelaxationVerdict::NotRelaxation:
+      return "not-a-relaxation";
+    case RelaxationVerdict::Unknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+ImpliesResult implies(const ClassAd* selfA, const ExprPtr& a,
+                      const ClassAd* selfB, const ExprPtr& b,
+                      const ImpliesOptions& opts) {
+  static const ExprPtr kTrue = makeLiteral(true);
+  const ExprPtr rawA = a != nullptr ? a : kTrue;
+  const ExprPtr rawB = b != nullptr ? b : kTrue;
+  const ExprPtr fa = selfA != nullptr ? flatten(rawA, *selfA) : rawA;
+  const ExprPtr fb = selfB != nullptr ? flatten(rawB, *selfB) : rawB;
+
+  ImpliesResult res;
+  const AnalysisEnv envA{selfA, opts.otherSchema, opts.exactSchemaValues};
+  const AnalysisEnv envB{selfB, opts.otherSchema, opts.exactSchemaValues};
+
+  const AbstractValue avB = abstractEval(*fb, envB);
+  if (avB.onlyTrue()) {
+    res.verdict = ImpliesVerdict::Proven;
+    res.note = "consequent is always true";
+    return res;
+  }
+  const AbstractValue avA = abstractEval(*fa, envA);
+  if (!avA.mayBeTrue()) {
+    res.verdict = ImpliesVerdict::Proven;
+    res.note = "premise can never be true";
+    return res;
+  }
+
+  BuildCtx ctxA{selfA, envA, /*premise=*/true, 0};
+  CubeList dnfA = buildDnf(fa, ctxA, 0).value_or(topCube());
+  BuildCtx ctxB{selfB, envB, /*premise=*/false, 0};
+  std::optional<CubeList> dnfB = buildDnf(fb, ctxB, 0);
+
+  EnvelopeCache env(opts.otherSchema, opts.exactSchemaValues);
+  if (env.active()) {
+    for (Cube& cube : dnfA) {
+      for (auto& [attr, set] : cube.attrs) set.meetWith(env.of(attr));
+    }
+  }
+  dnfA.erase(std::remove_if(dnfA.begin(), dnfA.end(),
+                            [](const Cube& c) { return c.empty(); }),
+             dnfA.end());
+  if (dnfA.empty()) {
+    res.verdict = ImpliesVerdict::Proven;
+    res.note = "premise is unsatisfiable within the schema";
+    return res;
+  }
+
+  if (dnfB.has_value()) {
+    const bool allCovered =
+        std::all_of(dnfA.begin(), dnfA.end(),
+                    [&](const Cube& c) { return covered(c, *dnfB, env); });
+    if (allCovered) {
+      res.verdict = ImpliesVerdict::Proven;
+      res.note = "every premise disjunct is contained in the consequent";
+      return res;
+    }
+  }
+
+  if (opts.maxWitnessTrials <= 0) {
+    res.note = "containment not established (witness search disabled)";
+    return res;
+  }
+
+  // --- counterexample search: assemble candidate ads from the places
+  // where the two truth sets disagree, then confirm concretely. ---------
+  std::set<std::string> attrs;
+  {
+    std::vector<std::string> names;
+    collectAttrRefs(*fa, names);
+    collectAttrRefs(*fb, names);
+    for (std::string& n : names) attrs.insert(std::move(n));
+    for (const Cube& c : dnfA) {
+      for (const auto& [attr, set] : c.attrs) attrs.insert(attr);
+    }
+    if (dnfB) {
+      for (const Cube& c : *dnfB) {
+        for (const auto& [attr, set] : c.attrs) attrs.insert(attr);
+      }
+    }
+  }
+
+  // With a schema, the witness must stay inside the candidate population
+  // the claim quantifies over: every schema attribute set to an in-domain
+  // value (or omitted when the schema allows absence), attributes the
+  // schema has never seen left out entirely.
+  std::map<std::string, std::vector<std::optional<Value>>> choices;
+  for (const std::string& attr : attrs) {
+    std::vector<Value> pool;
+    for (const Cube& c : dnfA) {
+      auto it = c.attrs.find(attr);
+      if (it != c.attrs.end()) choicesFromSet(it->second, pool);
+    }
+    if (dnfB) {
+      for (const Cube& c : *dnfB) {
+        auto it = c.attrs.find(attr);
+        if (it != c.attrs.end()) choicesFromSet(it->second, pool);
+      }
+    }
+    if (env.active()) choicesFromSet(env.of(attr), pool);
+    addNumberChoice(pool, 64);
+    pool.push_back(Value::string("zz_w2"));
+
+    // The ValueSet abstraction forgets the integer/real split and string
+    // case, but the schema's claim quantifies over its own (finer) domain
+    // — filter through it directly, and seed its original-cased strings
+    // so exact-mode string witnesses survive the filter.
+    std::optional<AbstractValue> schemaDom;
+    if (env.active()) {
+      schemaDom = opts.otherSchema->domainOf(attr, opts.exactSchemaValues);
+      if (const auto& strs = schemaDom->strings(); strs.has_value()) {
+        for (const std::string& s : *strs) pool.push_back(Value::string(s));
+      }
+    }
+
+    std::vector<std::optional<Value>> kept;
+    const ValueSet& envelope = env.of(attr);  // top when no schema
+    for (Value& v : pool) {
+      if (!envelope.contains(v)) continue;
+      if (schemaDom.has_value() && !schemaDom->contains(v)) continue;
+      const bool dup = std::any_of(
+          kept.begin(), kept.end(), [&](const std::optional<Value>& k) {
+            return k.has_value() && k->isIdenticalTo(v);
+          });
+      if (!dup) kept.emplace_back(std::move(v));
+      if (kept.size() >= 10) break;
+    }
+    if (!env.active() || envelope.undef) kept.emplace_back(std::nullopt);
+    if (!kept.empty()) choices.emplace(attr, std::move(kept));
+  }
+
+  const ClassAd& sa = selfA != nullptr ? *selfA : emptyAd();
+  const ClassAd& sb = selfB != nullptr ? *selfB : emptyAd();
+  int trials = 0;
+  auto tryWitness = [&](const std::map<std::string, Value>& assign) -> bool {
+    if (trials >= opts.maxWitnessTrials) return false;
+    ++trials;
+    ClassAd w;
+    for (const auto& [attr, v] : assign) w.insert(attr, LiteralExpr::make(v));
+    if (!sa.evaluate(*fa, &w).isBooleanTrue()) return false;
+    if (sb.evaluate(*fb, &w).isBooleanTrue()) return false;
+    ImpliesResult refuted;
+    refuted.verdict = ImpliesVerdict::Refuted;
+    refuted.witness = std::move(w);
+    refuted.note = "witness satisfies the premise but not the consequent";
+    res = std::move(refuted);
+    return true;
+  };
+
+  // Base assignment per premise cube (first in-cube choice per attr),
+  // then single-attribute variations around it.
+  for (const Cube& cube : dnfA) {
+    std::map<std::string, Value> base;
+    for (const auto& [attr, vs] : choices) {
+      auto it = cube.attrs.find(attr);
+      for (const std::optional<Value>& v : vs) {
+        if (!v.has_value()) continue;
+        if (it == cube.attrs.end() || it->second.contains(*v)) {
+          base.emplace(attr, *v);
+          break;
+        }
+      }
+    }
+    if (tryWitness(base)) return res;
+    for (const auto& [attr, vs] : choices) {
+      for (const std::optional<Value>& v : vs) {
+        std::map<std::string, Value> varied = base;
+        varied.erase(attr);
+        if (v.has_value()) varied.emplace(attr, *v);
+        if (tryWitness(varied)) return res;
+      }
+      if (trials >= opts.maxWitnessTrials) break;
+    }
+    if (trials >= opts.maxWitnessTrials) break;
+  }
+
+  res.note = "containment not established; no witness within budget";
+  return res;
+}
+
+ImpliesResult implies(const ClassAd& self, const ExprPtr& a, const ExprPtr& b,
+                      const ImpliesOptions& opts) {
+  return implies(&self, a, &self, b, opts);
+}
+
+ImpliesResult unsatisfiable(const ClassAd* self, const ExprPtr& constraint,
+                            const ImpliesOptions& opts) {
+  static const ExprPtr kFalse = makeLiteral(false);
+  ImpliesResult res = implies(self, constraint, nullptr, kFalse, opts);
+  if (res.proven()) {
+    res.note = "constraint is unsatisfiable: " + res.note;
+  } else if (res.refuted()) {
+    res.note = "constraint is satisfiable; witness attached";
+  }
+  return res;
+}
+
+RelaxationResult isRelaxationOf(const ClassAd& oldAd, const ClassAd& newAd,
+                                const ImpliesOptions& opts) {
+  const PreparedAd oldPrep =
+      PreparedAd::prepare(std::make_shared<ClassAd>(oldAd));
+  const PreparedAd newPrep =
+      PreparedAd::prepare(std::make_shared<ClassAd>(newAd));
+  static const ExprPtr kTrue = makeLiteral(true);
+  const ExprPtr oldC = oldPrep.hasConstraint() ? oldPrep.constraint() : kTrue;
+  const ExprPtr newC = newPrep.hasConstraint() ? newPrep.constraint() : kTrue;
+
+  RelaxationResult out;
+  const ImpliesResult fwd = implies(&oldAd, oldC, &newAd, newC, opts);
+  if (fwd.refuted()) {
+    out.verdict = RelaxationVerdict::NotRelaxation;
+    out.witness = fwd.witness;
+    out.note = "old admits the witness, new rejects it";
+    return out;
+  }
+  if (!fwd.proven()) {
+    out.note = "old => new undecided: " + fwd.note;
+    return out;
+  }
+  const ImpliesResult back = implies(&newAd, newC, &oldAd, oldC, opts);
+  if (back.refuted()) {
+    out.verdict = RelaxationVerdict::StrictRelaxation;
+    out.witness = back.witness;
+    out.note = "new admits the witness, old rejects it";
+    return out;
+  }
+  if (back.proven()) {
+    out.verdict = RelaxationVerdict::Equivalent;
+    out.note = "both constraints admit exactly the same candidates";
+    return out;
+  }
+  out.verdict = RelaxationVerdict::Relaxation;
+  out.note = "new provably admits everything old does; strictness unproven";
+  return out;
+}
+
+std::vector<bool> redundantConjuncts(const ClassAd& self,
+                                     const std::vector<ExprPtr>& conjuncts,
+                                     const ImpliesOptions& opts) {
+  std::vector<bool> elided(conjuncts.size(), false);
+  if (conjuncts.empty() || conjuncts.size() > 16) return elided;
+  ImpliesOptions cheap = opts;
+  cheap.maxWitnessTrials = 0;
+  static const ExprPtr kTrue = makeLiteral(true);
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    ExprPtr premise;
+    for (std::size_t j = 0; j < conjuncts.size(); ++j) {
+      if (j == i || elided[j]) continue;
+      premise = premise == nullptr
+                    ? conjuncts[j]
+                    : BinaryExpr::make(BinOp::And, premise, conjuncts[j]);
+    }
+    if (premise == nullptr) premise = kTrue;
+    if (implies(&self, premise, &self, conjuncts[i], cheap).proven()) {
+      elided[i] = true;
+    }
+  }
+  return elided;
+}
+
+}  // namespace classad::analysis

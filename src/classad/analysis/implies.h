@@ -1,0 +1,132 @@
+// implies.h - A sound implication prover over ClassAd boolean expressions.
+//
+// The bilateral `Requirements` semantics of Section 2 make one question
+// central to matchmaking policy work: does constraint A admit everything
+// that constraint B admits? The dynamic diagnoser answers it ad by ad;
+// this module answers it symbolically, with no candidate in hand, by
+// normalizing both sides into disjuncts of per-attribute value-set atoms
+// (intervals, finite string sets, boolean points, undefined-ness) over
+// the PR 3 abstract domain and deciding containment per atom.
+//
+// Three-valued verdicts, three guarantees:
+//   Proven   — sound: for EVERY candidate ad consistent with the schema
+//              (any ad at all when no schema is given) on which A
+//              evaluates to boolean true, B also evaluates to true. The
+//              premise side may be over-approximated and the consequent
+//              side under-approximated during normalization, so Proven
+//              never over-claims; precision is what is lost.
+//   Refuted  — constructive: `witness` is a concrete candidate ad on
+//              which A concretely evaluates to true and B does not. The
+//              witness is re-evaluated before the verdict is issued, so a
+//              Refuted answer is never wrong.
+//   Unknown  — the normalizer met a shape it cannot atomize exactly
+//              (string order comparisons, candidate-vs-candidate
+//              relations, negated ternaries, ...) and no witness was
+//              found within the trial budget.
+//
+// One scope caveat, shared with every static pass in this directory: the
+// atoms quantify over the VALUES candidate attributes evaluate to. When
+// the two sides live in different self frames (isRelaxationOf compares an
+// old and a new request ad), a candidate attribute defined as an
+// expression over `other.*` could evaluate differently against the two
+// frames; machine-ad attributes are literal-valued in practice, and the
+// proofs are exact for any candidate whose referenced attributes evaluate
+// frame-independently. docs/ANALYSIS.md spells this out.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+#include "classad/expr.h"
+
+namespace classad::analysis {
+
+enum class ImpliesVerdict : std::uint8_t { Proven, Refuted, Unknown };
+
+std::string_view toString(ImpliesVerdict v) noexcept;
+
+struct ImpliesOptions {
+  /// Candidate population the claim quantifies over; null or empty means
+  /// "any ad at all". With a schema, Proven speaks only for candidates
+  /// whose attribute values lie in the schema's domains, and Refuted
+  /// witnesses are built inside those domains.
+  const Schema* otherSchema = nullptr;
+  /// Treat the schema's observed value domains as exhaustive (see
+  /// Schema::domainOf). Off = open-world types-only envelopes.
+  bool exactSchemaValues = false;
+  /// Budget for the counterexample search; 0 disables it entirely (the
+  /// cheap prepare-time mode: Proven or Unknown, never Refuted).
+  int maxWitnessTrials = 64;
+};
+
+struct ImpliesResult {
+  ImpliesVerdict verdict = ImpliesVerdict::Unknown;
+  /// Set exactly when `verdict == Refuted`: a candidate ad on which the
+  /// premise concretely evaluates to true and the consequent does not.
+  std::optional<ClassAd> witness;
+  /// Human-readable one-liner explaining how the verdict was reached.
+  std::string note;
+
+  bool proven() const noexcept { return verdict == ImpliesVerdict::Proven; }
+  bool refuted() const noexcept { return verdict == ImpliesVerdict::Refuted; }
+};
+
+/// Does `a` (in the frame of `selfA`) imply `b` (in the frame of `selfB`)
+/// for every candidate ad consistent with `opts`? Either self may be null
+/// (expression-only mode). Null expressions count as literal `true`.
+ImpliesResult implies(const ClassAd* selfA, const ExprPtr& a,
+                      const ClassAd* selfB, const ExprPtr& b,
+                      const ImpliesOptions& opts = {});
+
+/// Common case: both sides live in the same ad's frame.
+ImpliesResult implies(const ClassAd& self, const ExprPtr& a, const ExprPtr& b,
+                      const ImpliesOptions& opts = {});
+
+/// Can `constraint` be satisfied by any candidate consistent with `opts`?
+/// Proven = statically unsatisfiable (implies(constraint, false));
+/// Refuted = satisfiable, with a concrete satisfying candidate as the
+/// witness. This is the federation flock-targeting primitive: a resource
+/// ad whose admissibility is Proven-unsatisfiable against a peer's demand
+/// digest cannot match there, so flocking it is pure waste.
+ImpliesResult unsatisfiable(const ClassAd* self, const ExprPtr& constraint,
+                            const ImpliesOptions& opts = {});
+
+enum class RelaxationVerdict : std::uint8_t {
+  StrictRelaxation,  ///< new admits everything old does, plus a witness more
+  Relaxation,        ///< new admits everything old does; strictness unknown
+  Equivalent,        ///< both constraints admit exactly the same candidates
+  NotRelaxation,     ///< witness: admitted by old, rejected by new
+  Unknown,
+};
+
+std::string_view toString(RelaxationVerdict v) noexcept;
+
+struct RelaxationResult {
+  RelaxationVerdict verdict = RelaxationVerdict::Unknown;
+  /// NotRelaxation: a candidate old admits and new rejects.
+  /// StrictRelaxation: a candidate new admits and old rejects.
+  std::optional<ClassAd> witness;
+  std::string note;
+};
+
+/// Is `newAd`'s effective constraint a relaxation (admitted-set superset)
+/// of `oldAd`'s? The ROADMAP item-5 verification primitive: a constraint
+/// relaxation step is only safe when it provably widens the admitted set.
+RelaxationResult isRelaxationOf(const ClassAd& oldAd, const ClassAd& newAd,
+                                const ImpliesOptions& opts = {});
+
+/// Marks conjuncts provably implied by the conjunction of the OTHER
+/// (still-kept) conjuncts — their truth set adds nothing, so guard
+/// derivation may skip them. Processes in order, removing as it goes, so
+/// of two mutually-implied conjuncts exactly one survives. All conjuncts
+/// must live in the frame of `self`. Witness search is never used here.
+std::vector<bool> redundantConjuncts(const ClassAd& self,
+                                     const std::vector<ExprPtr>& conjuncts,
+                                     const ImpliesOptions& opts = {});
+
+}  // namespace classad::analysis

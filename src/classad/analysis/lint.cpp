@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "classad/analysis/implies.h"
 #include "classad/analysis/refs.h"
+#include "classad/json.h"
 
 namespace classad::analysis {
 
@@ -16,6 +18,9 @@ std::string_view toString(LintCode code) noexcept {
     case LintCode::NeverTrue: return "never-true";
     case LintCode::Contradiction: return "contradiction";
     case LintCode::Tautology: return "tautology";
+    case LintCode::SubsumedConjunct: return "subsumed-conjunct";
+    case LintCode::SchemaImplied: return "schema-implied";
+    case LintCode::RankGuardConflict: return "rank-guard-conflict";
   }
   return "?";
 }
@@ -77,6 +82,38 @@ std::string LintReport::toString() const {
   for (const LintFinding& f : findings) {
     out += f.toString();
     out += '\n';
+  }
+  return out;
+}
+
+std::string toJsonLines(const LintReport& report, std::string_view source) {
+  // One object per line (JSONL) so downstream tools can stream findings
+  // without a full-document parse. Escaping rides on the Value encoder.
+  const auto field = [](std::string_view key, std::string_view value) {
+    return toJson(Value::string(std::string(key))) + ":" +
+           toJson(Value::string(std::string(value)));
+  };
+  std::string out;
+  for (const LintFinding& f : report.findings) {
+    out += '{';
+    if (!source.empty()) {
+      out += field("source", source);
+      out += ',';
+    }
+    out += field("severity", toString(f.severity));
+    out += ',';
+    out += field("code", toString(f.code));
+    out += ',';
+    out += field("attribute", f.attribute);
+    out += ',';
+    out += field("expr", f.expr);
+    out += ',';
+    out += field("message", f.message);
+    if (!f.suggestion.empty()) {
+      out += ',';
+      out += field("suggestion", f.suggestion);
+    }
+    out += "}\n";
   }
   return out;
 }
@@ -303,6 +340,120 @@ const Schema* usableSchema(const LintOptions& opts) {
              : nullptr;
 }
 
+/// Prover configuration shared by the lint checks: verdicts only, no
+/// witness search (findings never need a counterexample ad).
+ImpliesOptions proverOptions(const LintOptions& opts) {
+  ImpliesOptions po;
+  po.otherSchema = usableSchema(opts);
+  po.exactSchemaValues = opts.exactSchemaValues;
+  po.maxWitnessTrials = 0;
+  return po;
+}
+
+/// Pairwise-subsumption and schema-implication findings. `flagged[i]` is
+/// true when conjunct i already carries an absint verdict (tautology,
+/// never-true, ...) — the prover would re-derive those, so they are
+/// skipped rather than double-reported. Quadratic in the conjunct count,
+/// capped: real Requirements expressions have a handful of conjuncts.
+void proverConstraintChecks(const ClassAd& self,
+                            const std::vector<ExprPtr>& conjuncts,
+                            const std::vector<bool>& flagged,
+                            std::string_view attrName,
+                            const LintOptions& opts, LintReport& report) {
+  constexpr std::size_t kMaxProverConjuncts = 12;
+  if (conjuncts.size() > kMaxProverConjuncts) return;
+  const ImpliesOptions po = proverOptions(opts);
+  static const ExprPtr kTrue = LiteralExpr::make(Value::boolean(true));
+
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    if (flagged[i]) continue;
+    // A pool-wide-true conjunct is trivially implied by every sibling, so
+    // the schema diagnosis runs first — it names the actual cause.
+    if (po.otherSchema != nullptr &&
+        implies(&self, kTrue, &self, conjuncts[i], po).proven()) {
+      report.findings.push_back(LintFinding{
+          LintCode::SchemaImplied, Severity::Warning, std::string(attrName),
+          conjuncts[i]->toString(),
+          "every ad in the pool already satisfies this conjunct; it never "
+          "restricts the match within this pool",
+          {}});
+      continue;
+    }
+    for (std::size_t j = 0; j < conjuncts.size(); ++j) {
+      if (j == i || flagged[j]) continue;
+      // Tie-break mutually-equivalent pairs by position: keep the first,
+      // flag the rest, mirroring the engine's elision order.
+      if (j > i && implies(self, conjuncts[i], conjuncts[j], po).proven()) {
+        continue;
+      }
+      if (implies(self, conjuncts[j], conjuncts[i], po).proven()) {
+        report.findings.push_back(LintFinding{
+            LintCode::SubsumedConjunct, Severity::Warning,
+            std::string(attrName), conjuncts[i]->toString(),
+            "conjunct is implied by sibling conjunct '" +
+                conjuncts[j]->toString() + "'; it never tightens the match",
+            {}});
+        break;
+      }
+    }
+  }
+}
+
+/// Guard-like subexpressions of a Rank attribute: ternary conditions and
+/// boolean factors (comparisons, member() calls) — the idioms behind
+/// `member(other.Owner, {...}) * 10` and `other.Fast ? 100 : 0`.
+void collectRankGuards(const ExprPtr& e, std::vector<ExprPtr>& out) {
+  constexpr std::size_t kMaxGuards = 8;
+  if (out.size() >= kMaxGuards || e == nullptr) return;
+  if (const auto* tern = dynamic_cast<const TernaryExpr*>(e.get())) {
+    out.push_back(tern->cond());
+    collectRankGuards(tern->thenExpr(), out);
+    collectRankGuards(tern->elseExpr(), out);
+    return;
+  }
+  if (const auto* bin = dynamic_cast<const BinaryExpr*>(e.get())) {
+    switch (bin->op()) {
+      case BinOp::Less:
+      case BinOp::LessEq:
+      case BinOp::Greater:
+      case BinOp::GreaterEq:
+      case BinOp::Equal:
+      case BinOp::NotEqual:
+        out.push_back(e);
+        return;
+      default:
+        collectRankGuards(bin->lhs(), out);
+        collectRankGuards(bin->rhs(), out);
+        return;
+    }
+  }
+  if (const auto* call = dynamic_cast<const FuncCallExpr*>(e.get())) {
+    if (equalsIgnoreCase(call->name(), "member")) out.push_back(e);
+  }
+}
+
+/// Flags Rank guards that no candidate passing the constraint can ever
+/// satisfy: the preference is dead weight, and usually a sign the two
+/// expressions drifted apart during editing.
+void rankGuardChecks(const ClassAd& ad, const ExprPtr& constraint,
+                     std::string_view rankAttr, const ExprPtr& rank,
+                     const LintOptions& opts, LintReport& report) {
+  std::vector<ExprPtr> guards;
+  collectRankGuards(rank, guards);
+  const ImpliesOptions po = proverOptions(opts);
+  for (const ExprPtr& g : guards) {
+    const ExprPtr gated = BinaryExpr::make(BinOp::And, constraint, g);
+    if (unsatisfiable(&ad, gated, po).proven()) {
+      report.findings.push_back(LintFinding{
+          LintCode::RankGuardConflict, Severity::Warning,
+          std::string(rankAttr), g->toString(),
+          "rank guard can never hold for a candidate that satisfies the "
+          "constraint; the preference it expresses is unreachable",
+          {}});
+    }
+  }
+}
+
 void lintConstraintInto(const ClassAd& self, const ExprPtr& constraint,
                         std::string_view attrName, const LintOptions& opts,
                         LintReport& report) {
@@ -312,12 +463,18 @@ void lintConstraintInto(const ClassAd& self, const ExprPtr& constraint,
   env.exactSchemaValues = opts.exactSchemaValues;
 
   const std::vector<ExprPtr> conjuncts = splitConjuncts(constraint);
-  for (const ExprPtr& c : conjuncts) {
+  std::vector<bool> flagged(conjuncts.size(), false);
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    const ExprPtr& c = conjuncts[i];
     // Literal booleans are explicit intent (`Constraint = false` drains a
     // machine); never flagged.
-    if (dynamic_cast<const LiteralExpr*>(c.get()) != nullptr) continue;
+    if (dynamic_cast<const LiteralExpr*>(c.get()) != nullptr) {
+      flagged[i] = true;  // and exempt from the prover checks below
+      continue;
+    }
     const AbstractValue v = abstractEval(*c, env);
     const std::string text = c->toString();
+    flagged[i] = classifyConjunct(v) != ConjunctVerdict::Unknown;
     switch (classifyConjunct(v)) {
       case ConjunctVerdict::AlwaysTrue:
         report.findings.push_back(
@@ -358,6 +515,9 @@ void lintConstraintInto(const ClassAd& self, const ExprPtr& constraint,
     }
   }
   findContradictions(conjuncts, self, attrName, report);
+  if (opts.proverChecks) {
+    proverConstraintChecks(self, conjuncts, flagged, attrName, opts, report);
+  }
 }
 
 bool isConstraintAttr(std::string_view name, const LintOptions& opts) {
@@ -365,6 +525,12 @@ bool isConstraintAttr(std::string_view name, const LintOptions& opts) {
                      [name](const std::string& c) {
                        return equalsIgnoreCase(c, name);
                      });
+}
+
+bool isRankAttr(std::string_view name, const LintOptions& opts) {
+  return std::any_of(
+      opts.rankAttrs.begin(), opts.rankAttrs.end(),
+      [name](const std::string& c) { return equalsIgnoreCase(c, name); });
 }
 
 }  // namespace
@@ -408,6 +574,13 @@ LintReport lintAd(const ClassAd& ad, const LintOptions& opts) {
     }
     if (isConstraintAttr(name, opts)) {
       lintConstraintInto(ad, expr, name, opts, report);
+      if (opts.proverChecks) {
+        for (const auto& [rankName, rankExpr] : ad.attributes()) {
+          if (isRankAttr(rankName, opts)) {
+            rankGuardChecks(ad, expr, rankName, rankExpr, opts, report);
+          }
+        }
+      }
     } else if (refs.unknownFunctions.empty()) {
       AnalysisEnv env;
       env.self = &ad;

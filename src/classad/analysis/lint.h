@@ -35,6 +35,9 @@ enum class LintCode : std::uint8_t {
   NeverTrue,          ///< conjunct can never be boolean true (error)
   Contradiction,      ///< two conjuncts jointly unsatisfiable (error)
   Tautology,          ///< conjunct is always true: dead weight (warning)
+  SubsumedConjunct,   ///< conjunct implied by a sibling: dead weight (warning)
+  SchemaImplied,      ///< every pool ad already satisfies it (warning)
+  RankGuardConflict,  ///< Rank guard unreachable under Requirements (warning)
 };
 
 std::string_view toString(LintCode code) noexcept;
@@ -74,7 +77,19 @@ struct LintOptions {
   bool exactSchemaValues = false;
   /// Attributes treated as match constraints (conjunct-level analysis).
   std::vector<std::string> constraintAttrs = {"Constraint", "Requirements"};
+  /// Attributes whose embedded guards (ternary conditions, boolean
+  /// factors) are checked for contradiction with the constraint.
+  std::vector<std::string> rankAttrs = {"Rank"};
+  /// Run the implication-prover checks (SubsumedConjunct, SchemaImplied,
+  /// RankGuardConflict). Cheap — the prover runs without witness search —
+  /// but off-switchable for hot paths that only need the absint verdicts.
+  bool proverChecks = true;
 };
+
+/// Renders findings as one JSON object per line (mm_lint -json): keys
+/// `severity`, `code`, `attribute`, `expr`, `message`, `suggestion`, plus
+/// the caller-supplied `source` (file or ad key; omitted when empty).
+std::string toJsonLines(const LintReport& report, std::string_view source);
 
 /// Lints a whole ad: reference checks on every attribute, conjunct-level
 /// verdicts + cross-conjunct contradiction detection on the constraint

@@ -38,9 +38,11 @@ void extract(const AbstractValue& v, DigestAttr& out) {
   out.hiOpen = r.hiOpen;
   out.canTrue = v.mayBeTrue();
   out.canFalse = v.mayBeFalse();
-  out.anyString = v.mayBeString() && !v.strings().has_value();
-  out.strings =
-      (v.mayBeString() && v.strings()) ? *v.strings() : std::vector<std::string>{};
+  const auto& strs = v.strings();
+  out.anyString = v.mayBeString() && !strs.has_value();
+  out.strings = (v.mayBeString() && strs.has_value())
+                    ? *strs
+                    : std::vector<std::string>{};
 }
 
 /// Flat row -> lattice value. Each component is rebuilt with its factory

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,12 @@ struct AdForward {
 /// keep only the newest per pool.
 struct SchemaDigestMsg {
   SchemaDigest digest;
+  /// Demand-side companion: the fold of the sender's OWN stored request
+  /// ads. Never aggregated across neighbors — flocked ads travel exactly
+  /// one hop, so only the direct peer's own demand can consume them.
+  /// Absent when the sender has no stored requests; receivers then fail
+  /// open (FlockPolicy::kDigest flocks everything).
+  std::optional<SchemaDigest> demand;
 };
 
 /// An unmatched request referred to a peer whose digest admits it.

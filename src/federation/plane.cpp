@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "classad/analysis/implies.h"
+
 namespace federation {
 
 namespace {
@@ -40,13 +42,15 @@ FederationPlane::FederationPlane(FederationConfig config,
     peers_[addr].configured = true;  // flockTarget stays false
   }
   // A parent listed as a peer too keeps its flock eligibility.
-  if (config_.flockPolicy == FlockPolicy::kFiltered &&
+  if ((config_.flockPolicy == FlockPolicy::kFiltered ||
+       config_.flockPolicy == FlockPolicy::kDigest) &&
       !config_.flockConstraint.empty()) {
     flockQuery_ = classad::Query::fromConstraint(config_.flockConstraint);
   }
   if (registry != nullptr) {
     obs::Registry& reg = *registry;
     adsFlockedOut_ = reg.counter("FedAdsFlockedOut");
+    flocksVetoed_ = reg.counter("FedFlocksDigestVetoed");
     adsFlockedIn_ = reg.counter("FedAdsFlockedIn");
     flockDuplicates_ = reg.counter("FedFlockDuplicatesDropped");
     flockRetractions_ = reg.counter("FedFlockRetractions");
@@ -121,6 +125,8 @@ void FederationPlane::onPeerHello(const std::string& from,
     // The peer restarted: whatever digest we held describes its previous
     // life. Its flocked ads age out on their own lifetime.
     p.digest.reset();
+    p.demand.reset();
+    p.demandSchema.reset();
   }
   p.epoch = hello.epoch;
   // Answer each (peer, epoch) once, so both sides learn pool names no
@@ -149,6 +155,8 @@ void FederationPlane::onDigest(const std::string& from,
   }
   p.pool = msg.digest.pool;
   p.digest = msg.digest;
+  p.demand = msg.demand;
+  p.demandSchema.reset();
   p.digestAt = now;
   bump(digestsReceived_);
   if (peersKnown_ != nullptr) {
@@ -212,7 +220,10 @@ void FederationPlane::onReferral(const std::string& from,
     if (hop.active()) onward.trace = hop.context();
     for (const auto& [addr, state] : peers_) {
       if (addr == from || addr == msg.originAddress) continue;
-      if (!state.hasDigest(now, config_.digestTtl)) continue;
+      if (!state.digest.has_value() ||
+          !state.hasDigest(now, config_.digestTtl)) {
+        continue;
+      }
       if (std::find(onward.visited.begin(), onward.visited.end(),
                     state.pool) != onward.visited.end()) {
         continue;
@@ -283,6 +294,17 @@ void FederationPlane::pushDigest(Time now) {
   SchemaDigest own = digestOf(host_.localResourceSchema());
   own.pool = config_.pool;
   own.version = ++digestVersion_;
+  // Demand companion: the fold of OUR stored requests. Deliberately not
+  // aggregated — flocked ads travel one hop, so only this pool's own
+  // demand can consume what a peer flocks here. An empty fold is sent as
+  // absent: "no demand information", not "demand is provably empty", so
+  // peers fail open rather than vetoing everything.
+  std::optional<SchemaDigest> demand;
+  if (SchemaDigest d = digestOf(host_.localRequestSchema()); d.adCount > 0) {
+    d.pool = config_.pool;
+    d.version = own.version;
+    demand = std::move(d);
+  }
   for (const auto& [addr, state] : peers_) {
     SchemaDigest out = own;
     if (config_.aggregateDigests) {
@@ -302,6 +324,7 @@ void FederationPlane::pushDigest(Time now) {
     }
     SchemaDigestMsg msg;
     msg.digest = std::move(out);
+    msg.demand = demand;
     send(addr, std::move(msg));
     bump(digestsSent_);
   }
@@ -309,7 +332,7 @@ void FederationPlane::pushDigest(Time now) {
 
 void FederationPlane::onLocalResourceAd(const std::string& key,
                                         const classad::ClassAdPtr& ad,
-                                        std::uint64_t sequence) {
+                                        std::uint64_t sequence, Time now) {
   if (config_.flockPolicy == FlockPolicy::kOnDemand || !ad) return;
   // A copy that already carries foreign provenance must never re-flock —
   // one forwarding hop only; transitive reachability is the digest's job.
@@ -317,24 +340,80 @@ void FederationPlane::onLocalResourceAd(const std::string& key,
       origin && *origin != config_.pool) {
     return;
   }
-  if (flockQuery_.has_value() && !flockQuery_->matches(*ad)) return;
-  classad::ClassAd stamped = *ad;
-  stamped.set(std::string(kOriginPoolAttr), config_.pool);
-  stamped.set(std::string(kFlockRevisionAttr),
-              static_cast<std::int64_t>(sequence));
+  FlockGate& gate = flockGates_[key];
+  if (gate.sequence != sequence || !gate.prepared.valid()) {
+    gate = FlockGate{};
+    gate.sequence = sequence;
+    gate.prepared = classad::PreparedAd::prepare(ad);
+  }
+  gate.lastSeen = now;
+  if (flockQuery_.has_value()) {
+    const classad::Query& filter = *flockQuery_;
+    if (!gate.filterPass.has_value()) gate.filterPass = filter.matches(*ad);
+    if (!gate.filterPass.value_or(true)) return;
+  }
+  // The stamped copy is built lazily: under kDigest every peer may veto,
+  // in which case the pass costs no ad copy at all.
   AdForward fwd;
-  fwd.ad = classad::makeShared(std::move(stamped));
   fwd.originPool = config_.pool;
   fwd.key = key;
   fwd.revision = sequence;
-  for (const auto& [addr, state] : peers_) {
+  for (auto& [addr, state] : peers_) {
     if (!state.flockTarget) continue;
+    if (config_.flockPolicy == FlockPolicy::kDigest &&
+        flockVetoed(addr, state, gate, now)) {
+      bump(flocksVetoed_);
+      continue;
+    }
+    if (!fwd.ad) {
+      classad::ClassAd stamped = *ad;
+      stamped.set(std::string(kOriginPoolAttr), config_.pool);
+      stamped.set(std::string(kFlockRevisionAttr),
+                  static_cast<std::int64_t>(sequence));
+      fwd.ad = classad::makeShared(std::move(stamped));
+    }
     send(addr, fwd);
     bump(adsFlockedOut_);
   }
 }
 
+bool FederationPlane::flockVetoed(const std::string& addr, PeerState& state,
+                                  FlockGate& gate, Time now) {
+  // Fail open: only a FRESH, non-empty demand digest may suppress a
+  // flock, and only on a Proven verdict — Unknown flocks.
+  if (!state.demand.has_value() ||
+      !state.hasDemand(now, config_.digestTtl)) {
+    return false;
+  }
+  const SchemaDigest& demand = *state.demand;
+  if (!gate.prepared.hasConstraint()) return false;  // admits anyone
+  const std::uint64_t version = demand.version;
+  if (const auto it = gate.peerVeto.find(addr);
+      it != gate.peerVeto.end() && it->second.first == version) {
+    return it->second.second;
+  }
+  if (!state.demandSchema.has_value() ||
+      state.demandSchemaVersion != version) {
+    state.demandSchema = schemaOf(demand);
+    state.demandSchemaVersion = version;
+  }
+  const classad::analysis::Schema& demandSchema = *state.demandSchema;
+  classad::analysis::ImpliesOptions opts;
+  opts.otherSchema = &demandSchema;
+  // The demand digest is a closed snapshot of the peer's stored requests;
+  // periodic re-push handles drift, exactly as with referral admission.
+  opts.exactSchemaValues = true;
+  opts.maxWitnessTrials = 0;  // Proven-or-flock; never hunt for witnesses
+  const bool veto = classad::analysis::unsatisfiable(
+                        gate.prepared.ad().get(), gate.prepared.constraint(),
+                        opts)
+                        .proven();
+  gate.peerVeto[addr] = {version, veto};
+  return veto;
+}
+
 void FederationPlane::onLocalResourceInvalidate(const std::string& key) {
+  flockGates_.erase(key);
   if (config_.flockPolicy == FlockPolicy::kOnDemand) return;
   AdForward retract;
   retract.originPool = config_.pool;
@@ -357,7 +436,10 @@ void FederationPlane::referUnmatched(
     }
     std::vector<const std::string*> targets;
     for (const auto& [addr, state] : peers_) {
-      if (!state.hasDigest(now, config_.digestTtl)) continue;
+      if (!state.digest.has_value() ||
+          !state.hasDigest(now, config_.digestTtl)) {
+        continue;
+      }
       if (!admits(*state.digest, *req.ad)) continue;
       targets.push_back(&addr);
     }
@@ -409,6 +491,16 @@ void FederationPlane::purge(Time now) {
       ++it;
     }
   }
+  // Flock gates whose key stopped re-advertising (expiry without a clean
+  // invalidate) age out on the digest TTL — far longer than any
+  // advertising interval, far shorter than forever.
+  for (auto it = flockGates_.begin(); it != flockGates_.end();) {
+    if (it->second.lastSeen + config_.digestTtl < now) {
+      it = flockGates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::vector<classad::ClassAdPtr> FederationPlane::peerStatusAds(
@@ -425,12 +517,12 @@ std::vector<classad::ClassAdPtr> FederationPlane::peerStatusAds(
     ad.set("FlockTarget", state.flockTarget);
     ad.set("PeerEpoch", static_cast<std::int64_t>(state.epoch));
     ad.set("HasDigest", state.hasDigest(now, config_.digestTtl));
+    ad.set("HasDemand", state.hasDemand(now, config_.digestTtl));
     if (state.digest.has_value()) {
-      ad.set("DigestVersion",
-             static_cast<std::int64_t>(state.digest->version));
-      ad.set("DigestAds", static_cast<std::int64_t>(state.digest->adCount));
-      ad.set("DigestAttrs",
-             static_cast<std::int64_t>(state.digest->attrs.size()));
+      const SchemaDigest& digest = *state.digest;
+      ad.set("DigestVersion", static_cast<std::int64_t>(digest.version));
+      ad.set("DigestAds", static_cast<std::int64_t>(digest.adCount));
+      ad.set("DigestAttrs", static_cast<std::int64_t>(digest.attrs.size()));
       ad.set("DigestAgeSeconds", now - state.digestAt);
     }
     ads.push_back(classad::makeShared(std::move(ad)));

@@ -35,6 +35,7 @@
 
 #include "classad/analysis/schema.h"
 #include "classad/classad.h"
+#include "classad/prepared.h"
 #include "classad/query.h"
 #include "federation/digest.h"
 #include "federation/messages.h"
@@ -52,6 +53,14 @@ enum class FlockPolicy {
   kOnDemand,  ///< never proactively; peers see the pool via digest+referral
   kAll,       ///< every accepted resource ad
   kFiltered,  ///< only ads matching `flockConstraint`
+  /// Digest-targeted: the ad flocks to a peer unless the implication
+  /// prover (classad/analysis/implies.h) PROVES its admissibility
+  /// constraint unsatisfiable within that peer's demand digest — i.e.
+  /// no request the peer has could ever match it. Missing or empty
+  /// demand digests fail open (the ad flocks), so the policy only ever
+  /// removes provably wasted traffic. A non-empty `flockConstraint` is
+  /// honored as an additional static filter.
+  kDigest,
 };
 
 /// Provenance attributes stamped into the flocked copy of an ad.
@@ -132,6 +141,11 @@ class FederationHost {
   virtual bool completeRemoteMatch(const ReferralResponse& response) = 0;
   /// Schema fold of the LOCAL (non-flocked) resource ads.
   virtual classad::analysis::Schema localResourceSchema() const = 0;
+  /// Schema fold of the stored REQUEST ads — the pool's demand envelope,
+  /// pushed alongside the resource digest so peers can target flocking
+  /// (FlockPolicy::kDigest). The default (an empty schema) advertises no
+  /// demand information; peers then fail open and flock everything.
+  virtual classad::analysis::Schema localRequestSchema() const { return {}; }
 };
 
 /// One request the local engine left unmatched, as handed to
@@ -171,9 +185,10 @@ class FederationPlane {
   void pushDigest(Time now);
 
   /// Flock-out hook: a locally accepted, genuinely local resource ad.
+  /// `now` gates digest freshness under FlockPolicy::kDigest.
   void onLocalResourceAd(const std::string& key,
                          const classad::ClassAdPtr& ad,
-                         std::uint64_t sequence);
+                         std::uint64_t sequence, Time now);
   /// Retraction hook for a local resource ad.
   void onLocalResourceInvalidate(const std::string& key);
 
@@ -202,15 +217,44 @@ class FederationPlane {
     bool configured = false;    ///< in config.peers or config.parents
     bool flockTarget = false;   ///< in config.peers (lateral)
     std::optional<SchemaDigest> digest;
+    /// Demand-side digest (the peer's request-schema fold), delivered
+    /// alongside `digest` and stamped by the same `digestAt`.
+    std::optional<SchemaDigest> demand;
+    /// Lazily reconstructed analysis schema of `demand`, invalidated by
+    /// version so one reconstruction serves every flock decision until
+    /// the peer pushes a newer digest.
+    std::optional<classad::analysis::Schema> demandSchema;
+    std::uint64_t demandSchemaVersion = 0;
     Time digestAt = 0;
     bool hasDigest(Time now, Time ttl) const noexcept {
       return digest.has_value() && digestAt + ttl >= now;
+    }
+    bool hasDemand(Time now, Time ttl) const noexcept {
+      return demand.has_value() && demand->adCount > 0 &&
+             digestAt + ttl >= now;
     }
   };
 
   struct OutstandingReferral {
     std::string requestKey;
     Time sentAt = 0;
+  };
+
+  /// Per-key flock gating cache: everything derivable from one ad
+  /// revision — the prepared (flattened) form, the kFiltered constraint
+  /// verdict, and the per-peer prover verdicts — is computed once per
+  /// (key, sequence) instead of once per flock pass. Entries reset when
+  /// the key re-advertises with a new sequence, drop on invalidation,
+  /// and age out in purge().
+  struct FlockGate {
+    std::uint64_t sequence = 0;
+    classad::PreparedAd prepared;
+    std::optional<bool> filterPass;  ///< flockQuery_ verdict, memoized
+    /// kDigest: peer address -> (demand digest version judged, veto?).
+    /// A newer demand digest re-judges; an unchanged one never does.
+    std::unordered_map<std::string, std::pair<std::uint64_t, bool>>
+        peerVeto;
+    Time lastSeen = 0;
   };
 
   void onPeerHello(const std::string& from, const PeerHello& hello);
@@ -222,6 +266,11 @@ class FederationPlane {
   void onReferralResponse(const ReferralResponse& msg);
   void send(const std::string& to, htcsim::Message message);
   PeerState& peer(const std::string& address);
+  /// kDigest gate: true iff the prover PROVES the gated ad's constraint
+  /// unsatisfiable within `state`'s fresh demand digest. Fail-open on
+  /// missing/stale/empty demand and on Unknown verdicts.
+  bool flockVetoed(const std::string& addr, PeerState& state,
+                   FlockGate& gate, Time now);
   bool rememberReferral(const std::string& originPool, std::uint64_t id);
   void answerReferral(const MatchReferral& referral, bool matched,
                       const matchmaking::Match* match,
@@ -236,7 +285,8 @@ class FederationPlane {
   /// Neighbor address -> state. Ordered so peerStatusAds and digest
   /// aggregation are deterministic.
   std::map<std::string, PeerState> peers_;
-  std::optional<classad::Query> flockQuery_;  ///< kFiltered only
+  std::optional<classad::Query> flockQuery_;  ///< kFiltered / kDigest
+  std::unordered_map<std::string, FlockGate> flockGates_;
   std::uint64_t digestVersion_ = 0;
   std::uint64_t nextReferralId_ = 1;
   std::unordered_map<std::uint64_t, OutstandingReferral> outstanding_;
@@ -249,6 +299,7 @@ class FederationPlane {
 
   // Observability (null when no registry).
   obs::Counter* adsFlockedOut_ = nullptr;
+  obs::Counter* flocksVetoed_ = nullptr;
   obs::Counter* adsFlockedIn_ = nullptr;
   obs::Counter* flockDuplicates_ = nullptr;
   obs::Counter* flockRetractions_ = nullptr;

@@ -33,7 +33,10 @@ std::uint32_t PreparedPool::appendSlot(std::string key, classad::ClassAdPtr ad,
       slot.claimed = true;
       slot.currentRank = *rank;
     }
-    if (options_.deriveGuards) slot.guards = deriveGuards(slot.prepared);
+    if (options_.deriveGuards) {
+      slot.guards = deriveGuards(slot.prepared);
+      guardsElided_ += slot.guards.elided;
+    }
     if (options_.detectGangs) slot.isGang = GangMatcher::isGangRequest(owned);
   }
   slots_.push_back(std::move(slot));

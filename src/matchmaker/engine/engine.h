@@ -105,6 +105,9 @@ class PreparedPool {
   const CandidateIndex& index() const noexcept { return index_; }
   /// Times the index was rebuilt from scratch (compactions).
   std::size_t rebuilds() const noexcept { return rebuilds_; }
+  /// Cumulative conjuncts elided as redundant across every guard
+  /// derivation this pool has performed (the MatchGuardsElided counter).
+  std::size_t guardsElided() const noexcept { return guardsElided_; }
 
   /// Drops tombstones, renumbering slots (relative order preserved) and
   /// rebuilding the index. Called automatically when tombstones pile up.
@@ -121,6 +124,7 @@ class PreparedPool {
   CandidateIndex index_;
   std::size_t live_ = 0;
   std::size_t rebuilds_ = 0;
+  std::size_t guardsElided_ = 0;
 };
 
 /// Scan instrumentation, accumulated across the requests of one cycle.

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "classad/analysis/absint.h"
+#include "classad/analysis/implies.h"
 #include "classad/analysis/lint.h"
 #include "classad/expr.h"
 #include "classad/value.h"
@@ -75,10 +76,11 @@ StringReach stringReach(const AbstractValue& d) {
   StringReach out;
   if (!d.mayBeString()) return out;
   out.possible = true;
-  if (!d.strings().has_value()) return out;  // any string reachable
+  const auto& strs = d.strings();
+  if (!strs.has_value()) return out;  // any string reachable
   out.finite = true;
-  out.values.reserve(d.strings()->size());
-  for (const std::string& s : *d.strings()) {
+  out.values.reserve(strs->size());
+  for (const std::string& s : *strs) {
     out.values.push_back(toLowerCopy(s));
   }
   std::sort(out.values.begin(), out.values.end());
@@ -320,8 +322,9 @@ GuardSet deriveGuards(const classad::PreparedAd& request) {
   const ClassAd& self = *request.ad();
   AnalysisEnv env;
   env.self = &self;
-  for (const ExprPtr& conjunct :
-       classad::analysis::splitConjuncts(request.constraint())) {
+  const std::vector<ExprPtr> conjuncts =
+      classad::analysis::splitConjuncts(request.constraint());
+  for (const ExprPtr& conjunct : conjuncts) {
     const AbstractValue av = abstractEval(*conjunct, env);
     if (!av.mayBeTrue()) {
       // One conjunct can never be true, so neither can the whole
@@ -330,7 +333,59 @@ GuardSet deriveGuards(const classad::PreparedAd& request) {
       set.guards.clear();
       return set;
     }
-    appendGuards(*conjunct, self, env, set.guards);
+  }
+  // Per-conjunct guard contributions, computed up front so the elision
+  // pass below can prefer keeping the conjuncts that feed the index.
+  std::vector<std::vector<Guard>> contrib(conjuncts.size());
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    appendGuards(*conjuncts[i], self, env, contrib[i]);
+  }
+
+  // Conjuncts the prover shows are implied by their kept siblings
+  // contribute nothing to the match: skip their guards and count them.
+  // Guardless conjuncts are tried first — when a redundant pair has a
+  // guardable and a non-guardable spelling, the guardable one survives,
+  // so elision never weakens the candidate superset the index prunes to.
+  // Runs once per ad revision, with witness search disabled.
+  constexpr std::size_t kMaxElisionConjuncts = 16;
+  std::vector<bool> elided(conjuncts.size(), false);
+  if (conjuncts.size() > 1 && conjuncts.size() <= kMaxElisionConjuncts) {
+    std::vector<std::size_t> order;
+    order.reserve(conjuncts.size());
+    for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+      if (contrib[i].empty()) order.push_back(i);
+    }
+    for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+      if (!contrib[i].empty()) order.push_back(i);
+    }
+    classad::analysis::ImpliesOptions opts;
+    opts.maxWitnessTrials = 0;
+    static const ExprPtr kTrue = LiteralExpr::make(Value::boolean(true));
+    for (const std::size_t i : order) {
+      ExprPtr premise;
+      for (std::size_t j = 0; j < conjuncts.size(); ++j) {
+        if (j == i || elided[j]) continue;
+        premise = premise == nullptr
+                      ? conjuncts[j]
+                      : BinaryExpr::make(BinOp::And, premise, conjuncts[j]);
+      }
+      if (premise == nullptr) premise = kTrue;
+      if (classad::analysis::implies(&self, premise, &self, conjuncts[i],
+                                     opts)
+              .proven()) {
+        elided[i] = true;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    if (elided[i]) {
+      ++set.elided;
+      continue;
+    }
+    for (Guard& g : contrib[i]) {
+      addGuard(set.guards, g.attr, std::move(g.domain));
+    }
   }
   return set;
 }

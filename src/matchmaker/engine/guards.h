@@ -67,6 +67,12 @@ struct GuardSet {
   bool neverTrue = false;
   /// One entry per guarded attribute; a candidate must satisfy ALL.
   std::vector<Guard> guards;
+  /// Conjuncts the implication prover proved redundant against their
+  /// siblings: their guards were skipped. Dropping a guard only widens
+  /// the candidate superset (never changes the final match — the full
+  /// constraint is still evaluated), and a redundant conjunct's guard
+  /// adds no pruning the surviving conjuncts' guards don't already do.
+  std::size_t elided = 0;
 
   bool empty() const noexcept { return !neverTrue && guards.empty(); }
 };

@@ -170,10 +170,11 @@ void CustomerAgentDaemon::serviceClaims() {
       job.state = JobState::kIdle;
       continue;
     }
-    if (job.state != JobState::kRunning || !job.monitor) continue;
-    if (now < job.monitor->nextDue()) continue;
+    if (job.state != JobState::kRunning || !job.monitor.has_value()) continue;
+    lease::HeartbeatMonitor& monitor = *job.monitor;
+    if (now < monitor.nextDue()) continue;
     const lease::HeartbeatMonitor::Action action =
-        job.monitor->onDue(now, rng_.uniform());
+        monitor.onDue(now, rng_.uniform());
     if (action.declareDead) {
       // Miss budget exhausted: the RA is gone. Requeue; the dead
       // claim's work is lost (the job restarts elsewhere).
@@ -373,7 +374,10 @@ void CustomerAgentDaemon::handleFrame(Connection& conn,
     if (!hb->ack) return;  // we only originate beats
     std::lock_guard<std::mutex> lock(jobsMu_);
     JobEntry* job = jobOnConnection(&conn);
-    if (job == nullptr || !job->monitor || job->ticket != hb->ticket) return;
+    if (job == nullptr || !job->monitor.has_value() ||
+        job->ticket != hb->ticket) {
+      return;
+    }
     if (const auto rtt = job->monitor->ack(hb->sequence, nowSeconds())) {
       ++beatsAcked_;
       registry_.histogram("HeartbeatRttSeconds")->observe(*rtt);

@@ -2,7 +2,7 @@
 //
 //   matchmakerd [--port N] [--interval SECONDS] [--ad-lifetime SECONDS]
 //              [--pool NAME] [--peer NAME=HOST:PORT]...
-//              [--flock all|on-demand|filtered=EXPR]
+//              [--flock all|on-demand|digest|filtered=EXPR]
 //
 // Serves the advertise/match path of the framework over TCP; see
 // docs/PROTOCOL.md "Wire format" and the README quickstart. --pool
@@ -78,10 +78,12 @@ int main(int argc, char** argv) {
         config.federation.flockPolicy = federation::FlockPolicy::kFiltered;
         config.federation.flockConstraint =
             policy.substr(std::strlen("filtered="));
+      } else if (policy == "digest") {
+        config.federation.flockPolicy = federation::FlockPolicy::kDigest;
       } else {
         std::fprintf(stderr,
-                     "matchmakerd: --flock wants all, on-demand, or"
-                     " filtered=EXPR\n");
+                     "matchmakerd: --flock wants all, on-demand, digest,"
+                     " or filtered=EXPR\n");
         return 2;
       }
     } else {
@@ -89,7 +91,7 @@ int main(int argc, char** argv) {
                    "usage: matchmakerd [--port N] [--interval SECONDS]"
                    " [--ad-lifetime SECONDS] [--pool NAME]"
                    " [--peer NAME=HOST:PORT]..."
-                   " [--flock all|on-demand|filtered=EXPR]\n");
+                   " [--flock all|on-demand|digest|filtered=EXPR]\n");
       return 2;
     }
   }

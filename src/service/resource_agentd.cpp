@@ -46,10 +46,11 @@ classad::ClassAd ResourceAgentDaemon::buildAd() const {
   ad.set("Mips", config_.mips);
   ad.set("KFlops", config_.kflops);
   ad.set("ContactAddress", contactAddress());
-  if (claim_) {
+  if (claim_.has_value()) {
+    const std::string user = claim_->user;
     ad.set("State", "Claimed");
     ad.set("Activity", "Busy");
-    ad.set("RemoteUser", claim_->user);
+    ad.set("RemoteUser", user);
   } else {
     ad.set("State", "Unclaimed");
     ad.set("Activity", "Idle");
@@ -103,10 +104,11 @@ bool ResourceAgentDaemon::start(std::string* error) {
       return;
     }
     std::lock_guard<std::mutex> lock(stateMu_);
-    if (claim_ && claim_->conn == &conn) {
+    if (claim_.has_value() && claim_->conn == &conn) {
       // The customer died mid-claim; the resource simply becomes free
       // again (its next ad shows Unclaimed with a fresh ticket).
-      leases_.release(claim_->ticket);
+      const matchmaking::Ticket ticket = claim_->ticket;
+      leases_.release(ticket);
       claim_.reset();
       claimed_.store(false);
       mintTicket();
@@ -175,15 +177,19 @@ void ResourceAgentDaemon::run() {
     obs::TraceContext deadTrace;
     {
       std::lock_guard<std::mutex> lock(stateMu_);
-      complete = claim_ && config_.serviceSeconds > 0.0 &&
-                 std::chrono::duration<double>(now - claim_->startedAt)
-                         .count() >= config_.serviceSeconds;
-      if (claim_ && config_.leaseSeconds > 0.0) {
-        for (const lease::Lease& dead : leases_.reapExpired(nowSeconds())) {
-          if (dead.ticket == claim_->ticket) {
-            leaseDied = true;
-            deadCustomer = claim_->conn;
-            deadTrace = claim_->trace;
+      if (claim_.has_value()) {
+        const ActiveClaim& claim = *claim_;
+        complete = config_.serviceSeconds > 0.0 &&
+                   std::chrono::duration<double>(now - claim.startedAt)
+                           .count() >= config_.serviceSeconds;
+        if (config_.leaseSeconds > 0.0) {
+          for (const lease::Lease& dead :
+               leases_.reapExpired(nowSeconds())) {
+            if (dead.ticket == claim.ticket) {
+              leaseDied = true;
+              deadCustomer = claim.conn;
+              deadTrace = claim.trace;
+            }
           }
         }
       }
@@ -383,11 +389,14 @@ void ResourceAgentDaemon::handleHeartbeat(Connection& conn,
   obs::TraceContext claimTrace;
   {
     std::lock_guard<std::mutex> lock(stateMu_);
-    if (claim_ && claim_->ticket == hb.ticket &&
-        leases_.renew(hb.ticket, nowSeconds())) {
-      renewed = true;
-      jobId = claim_->jobId;
-      claimTrace = claim_->trace;
+    if (claim_.has_value() && claim_->ticket == hb.ticket) {
+      const std::uint64_t claimJobId = claim_->jobId;
+      const obs::TraceContext trace = claim_->trace;
+      if (leases_.renew(hb.ticket, nowSeconds())) {
+        renewed = true;
+        jobId = claimJobId;
+        claimTrace = trace;
+      }
     }
   }
   if (renewed) {
@@ -447,18 +456,19 @@ void ResourceAgentDaemon::finishClaim(bool completed,
   htcsim::UsageReport usage;
   {
     std::lock_guard<std::mutex> lock(stateMu_);
-    if (!claim_) return;
-    customer = claim_->conn;
-    release.ticket = claim_->ticket;
+    if (!claim_.has_value()) return;
+    const ActiveClaim& claim = *claim_;
+    customer = claim.conn;
+    release.ticket = claim.ticket;
     release.reason = reason;
-    release.jobId = claim_->jobId;
-    release.trace = claim_->trace;
+    release.jobId = claim.jobId;
+    release.trace = claim.trace;
     release.cpuSecondsUsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      claim_->startedAt)
+                                      claim.startedAt)
             .count();
     release.completed = completed;
-    usage.user = claim_->user;
+    usage.user = claim.user;
     usage.resourceSeconds = release.cpuSecondsUsed;
     leases_.release(release.ticket);  // no-op if it expired or never leased
     claim_.reset();

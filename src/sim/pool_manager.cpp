@@ -53,6 +53,7 @@ PoolManager::PoolManager(Simulator& sim, Transport& net, Metrics& metrics,
     candidatesEvaluated_ = reg.counter("MatchCandidatesEvaluated");
     candidatesPruned_ = reg.counter("MatchCandidatesPruned");
     staticSkips_ = reg.counter("MatchStaticSkips");
+    guardsElided_ = reg.counter("MatchGuardsElided");
     pruneRatioLastCycle_ = reg.gauge("MatchPruneRatioLastCycle");
     indexedAds_ = reg.gauge("MatchIndexedAds");
     indexRebuilds_ = reg.gauge("MatchIndexRebuilds");
@@ -77,7 +78,9 @@ void PoolManager::start() {
     federation_->start(sim_.now());
     digestTimer_.emplace(
         sim_, config_.federation.digestInterval,
-        [this] { federation_->pushDigest(sim_.now()); },
+        [this] {
+          if (federation_.has_value()) federation_->pushDigest(sim_.now());
+        },
         config_.federation.digestInterval);
   }
 }
@@ -152,7 +155,7 @@ void PoolManager::handleAdvertisement(const matchmaking::Advertisement& ad) {
   // peers once (the plane re-checks provenance and policy).
   if (fresh && !ad.isRequest && federation_.has_value() &&
       !federation::FederationPlane::isFlockedKey(key)) {
-    federation_->onLocalResourceAd(key, ad.ad, ad.sequence);
+    federation_->onLocalResourceAd(key, ad.ad, ad.sequence, sim_.now());
   }
 
   // Stateful-allocator strawman: a resource reporting itself Claimed with
@@ -280,7 +283,8 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
     negotiateGangs(gangEntries, resourcePool, taken);
   }
   if (federation_.has_value()) {
-    federation_->purge(sim_.now());
+    federation::FederationPlane& fed = *federation_;
+    fed.purge(sim_.now());
     // Requests still live after the notify/gang passes went unmatched
     // this cycle (matched ones were invalidated above): candidates for
     // cross-pool referral, gated by the peers' schema digests. Each
@@ -294,7 +298,7 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
       if (tracing) entry.trace = requestTraceFor(slot.key);
       unmatched.push_back(std::move(entry));
     }
-    federation_->referUnmatched(unmatched, sim_.now());
+    fed.referUnmatched(unmatched, sim_.now());
   }
   if (config_.registry != nullptr) {
     adScanHist_->observe(adScanSeconds);
@@ -310,6 +314,10 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
     candidatesEvaluated_->inc(stats.candidateEvaluations);
     candidatesPruned_->inc(stats.candidatesPruned);
     staticSkips_->inc(stats.staticSkips);
+    if (requestPool.guardsElided() > guardsElidedSeen_) {
+      guardsElided_->inc(requestPool.guardsElided() - guardsElidedSeen_);
+      guardsElidedSeen_ = requestPool.guardsElided();
+    }
     const double considered = static_cast<double>(stats.candidatesPruned +
                                                   stats.candidateEvaluations);
     pruneRatioLastCycle_->set(
@@ -457,6 +465,14 @@ classad::analysis::Schema PoolManager::localResourceSchema() const {
   std::vector<classad::ClassAdPtr> local;
   for (const matchmaking::StoredAd* entry : resources_.entries()) {
     if (federation::FederationPlane::isFlockedKey(entry->key)) continue;
+    local.push_back(entry->ad);
+  }
+  return classad::analysis::Schema::fromAds(local);
+}
+
+classad::analysis::Schema PoolManager::localRequestSchema() const {
+  std::vector<classad::ClassAdPtr> local;
+  for (const matchmaking::StoredAd* entry : requests_.entries()) {
     local.push_back(entry->ad);
   }
   return classad::analysis::Schema::fromAds(local);

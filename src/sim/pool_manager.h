@@ -144,6 +144,7 @@ class PoolManager : public Endpoint, private federation::FederationHost {
   bool completeRemoteMatch(
       const federation::ReferralResponse& response) override;
   classad::analysis::Schema localResourceSchema() const override;
+  classad::analysis::Schema localRequestSchema() const override;
 
   /// Per-request trace bookkeeping (tracing only): the job's trace
   /// context, rooted by "ad.intake" on first sight of the store key.
@@ -197,6 +198,10 @@ class PoolManager : public Endpoint, private federation::FederationHost {
   obs::Gauge* pruneRatioLastCycle_ = nullptr;
   obs::Gauge* indexedAds_ = nullptr;
   obs::Gauge* indexRebuilds_ = nullptr;
+  // Prover-backed guard elision (cumulative over the request pool's guard
+  // derivations; published as a counter by delta each cycle).
+  obs::Counter* guardsElided_ = nullptr;
+  std::size_t guardsElidedSeen_ = 0;
 };
 
 }  // namespace htcsim

@@ -82,12 +82,13 @@ void ResourceAgent::kill() {
     sim_.cancel(pendingVacate_);
     pendingVacate_ = kInvalidEvent;
   }
-  if (claim_) {
+  if (claim_.has_value()) {
     // The process is gone: no ClaimRelease, no UsageReport, no ad
     // invalidation. The customer's job dies with it; without a lease
     // the CA would consider it Running forever.
-    sim_.cancel(claim_->completionEvent);
-    if (claim_->leaseEvent != kInvalidEvent) sim_.cancel(claim_->leaseEvent);
+    const ActiveClaim& claim = *claim_;
+    sim_.cancel(claim.completionEvent);
+    if (claim.leaseEvent != kInvalidEvent) sim_.cancel(claim.leaseEvent);
     claim_.reset();
   }
   net_.detach(address_);
@@ -120,13 +121,14 @@ classad::ClassAd ResourceAgent::buildAd() const {
   ad.set("DayTime", machine_.dayTime());
   ad.set("KeyboardIdle", machine_.keyboardIdle());
   ad.set("LoadAvg", machine_.loadAvg());
-  if (claim_) {
+  if (claim_.has_value()) {
+    const ActiveClaim& claim = *claim_;
     ad.set("State", "Claimed");
     ad.set("Activity", "Busy");
-    ad.set("RemoteUser", claim_->user);
+    ad.set("RemoteUser", claim.user);
     // Advertising CurrentRank while claimed invites preemption by
     // customers this machine ranks higher (Section 4).
-    ad.set("CurrentRank", claim_->resourceRank);
+    ad.set("CurrentRank", claim.resourceRank);
   } else {
     ad.set("State", machine_.ownerPresent() ? "Owner" : "Unclaimed");
     ad.set("Activity", "Idle");
@@ -183,7 +185,7 @@ void ResourceAgent::handleClaimRequest(const Envelope& env,
 
   // Preemption gate: while claimed, only a customer this machine ranks
   // STRICTLY above the incumbent may displace it (Section 4).
-  if (claim_) {
+  if (claim_.has_value()) {
     const double newRank = classad::evaluateRank(current, *req.requestAd,
                                                  config_.claimPolicy.attrs);
     if (!(newRank > claim_->resourceRank)) {
@@ -235,8 +237,9 @@ void ResourceAgent::handleClaimRequest(const Envelope& env,
 }
 
 void ResourceAgent::handleRelease(const matchmaking::ClaimRelease& rel) {
-  if (!claim_) return;
-  if (rel.ticket != claim_->ticket && rel.ticket != matchmaking::kNoTicket) {
+  if (!claim_.has_value()) return;
+  const ActiveClaim& claim = *claim_;
+  if (rel.ticket != claim.ticket && rel.ticket != matchmaking::kNoTicket) {
     return;  // stale release for an old claim
   }
   if (rel.reason == "orphaned-claim") {
@@ -247,24 +250,26 @@ void ResourceAgent::handleRelease(const matchmaking::ClaimRelease& rel) {
     return;
   }
   // Customer-initiated relinquish.
-  finishClaim(sim_.now() - claim_->startedAt);
+  finishClaim(sim_.now() - claim.startedAt);
 }
 
 double ResourceAgent::workDoneSoFar() const {
+  if (!claim_.has_value()) return 0.0;
   const double mips = static_cast<double>(machine_.spec().mips);
   return (sim_.now() - claim_->startedAt) * mips / kReferenceMips;
 }
 
 void ResourceAgent::enforcePolicy(const char* trigger) {
   (void)trigger;
-  if (!claim_ || !claim_->requestAd) return;
+  if (!claim_.has_value() || !claim_->requestAd) return;
+  const ActiveClaim& claim = *claim_;
   // "the request matches the RA's constraints with respect to the updated
   // state": the policy holds for the life of the claim, not only at its
   // establishment. Research-group jobs under Figure1 survive owner
   // arrival (their tier is unconditional); friends' and strangers' do not.
   const classad::ClassAd current = buildAd();
   const auto result = classad::evaluateConstraint(
-      current, *claim_->requestAd, config_.claimPolicy.attrs);
+      current, *claim.requestAd, config_.claimPolicy.attrs);
   if (classad::permitsMatch(result)) {
     // Policy holds (again): cancel any pending graceful eviction — the
     // owner left before the grace ran out.
@@ -291,27 +296,28 @@ void ResourceAgent::enforcePolicy(const char* trigger) {
 }
 
 void ResourceAgent::vacate(const std::string& reason, bool ownerInitiated) {
-  if (!claim_) return;
+  if (!claim_.has_value()) return;
+  ActiveClaim& claim = *claim_;
   if (pendingVacate_ != kInvalidEvent) {
     sim_.cancel(pendingVacate_);
     pendingVacate_ = kInvalidEvent;
   }
-  const double wall = sim_.now() - claim_->startedAt;
+  const double wall = sim_.now() - claim.startedAt;
   const double done = workDoneSoFar();
-  sim_.cancel(claim_->completionEvent);
-  if (claim_->leaseEvent != kInvalidEvent) sim_.cancel(claim_->leaseEvent);
+  sim_.cancel(claim.completionEvent);
+  if (claim.leaseEvent != kInvalidEvent) sim_.cancel(claim.leaseEvent);
   matchmaking::ClaimRelease rel;
-  rel.ticket = claim_->ticket;
+  rel.ticket = claim.ticket;
   rel.reason = reason;
-  rel.jobId = claim_->jobId;
+  rel.jobId = claim.jobId;
   rel.cpuSecondsUsed = done;
   rel.completed = false;
-  rel.trace = claim_->trace;
-  net_.send(address_, claim_->customerContact, std::move(rel));
+  rel.trace = claim.trace;
+  net_.send(address_, claim.customerContact, std::move(rel));
   if (ownerInitiated) ++metrics_.preemptionsByOwner;
   // Usage is charged for the wall-clock occupancy regardless of outcome.
   net_.send(address_, config_.managerAddress,
-            UsageReport{claim_->user, wall});
+            UsageReport{claim.user, wall});
   metrics_.machineBusySeconds += wall;
   claim_.reset();
   mintTicket();
@@ -319,18 +325,20 @@ void ResourceAgent::vacate(const std::string& reason, bool ownerInitiated) {
 }
 
 void ResourceAgent::finishClaim(double wallSeconds) {
+  if (!claim_.has_value()) return;
+  ActiveClaim& claim = *claim_;
   // Cancel any still-pending completion (no-op when finishing BECAUSE the
   // completion fired); without this, a customer-initiated release would
   // leave a stale completion event that could fire into a future claim.
   // Likewise a pending graceful eviction must not fire into a new claim.
-  sim_.cancel(claim_->completionEvent);
-  if (claim_->leaseEvent != kInvalidEvent) sim_.cancel(claim_->leaseEvent);
+  sim_.cancel(claim.completionEvent);
+  if (claim.leaseEvent != kInvalidEvent) sim_.cancel(claim.leaseEvent);
   if (pendingVacate_ != kInvalidEvent) {
     sim_.cancel(pendingVacate_);
     pendingVacate_ = kInvalidEvent;
   }
   net_.send(address_, config_.managerAddress,
-            UsageReport{claim_->user, wallSeconds});
+            UsageReport{claim.user, wallSeconds});
   metrics_.machineBusySeconds += wallSeconds;
   claim_.reset();
   mintTicket();
@@ -338,12 +346,14 @@ void ResourceAgent::finishClaim(double wallSeconds) {
 }
 
 void ResourceAgent::recordLeaseEvent(const char* name) {
+  if (!claim_.has_value()) return;
+  const ActiveClaim& claim = *claim_;
   classad::ClassAd event = EventLog::make(name, sim_.now());
   event.set("Side", "RA");
   event.set("Resource", address_);
-  event.set("Owner", claim_->user);
-  event.set("JobId", static_cast<std::int64_t>(claim_->jobId));
-  event.set("Ticket", matchmaking::ticketToString(claim_->ticket));
+  event.set("Owner", claim.user);
+  event.set("JobId", static_cast<std::int64_t>(claim.jobId));
+  event.set("Ticket", matchmaking::ticketToString(claim.ticket));
   event.set("LeaseDuration", config_.leaseDuration);
   metrics_.history.record(std::move(event));
 }
@@ -351,7 +361,7 @@ void ResourceAgent::recordLeaseEvent(const char* name) {
 void ResourceAgent::handleHeartbeat(const Envelope& env,
                                     const matchmaking::Heartbeat& hb) {
   if (hb.ack) return;  // we only ever receive customer beats
-  if (!claim_ || claim_->ticket != hb.ticket ||
+  if (!claim_.has_value() || claim_->ticket != hb.ticket ||
       claim_->leaseEvent == kInvalidEvent) {
     // No such lease here: the claim ended (or never existed). Telling
     // the customer immediately spares it the remaining miss budget.
@@ -362,11 +372,12 @@ void ResourceAgent::handleHeartbeat(const Envelope& env,
     return;
   }
   // Renew: push the deadline out a full lease from now.
-  sim_.cancel(claim_->leaseEvent);
-  claim_->leaseExpiresAt = sim_.now() + config_.leaseDuration;
-  claim_->lastHeartbeatAt = sim_.now();
-  ++claim_->leaseRenewals;
-  claim_->leaseEvent =
+  ActiveClaim& claim = *claim_;
+  sim_.cancel(claim.leaseEvent);
+  claim.leaseExpiresAt = sim_.now() + config_.leaseDuration;
+  claim.lastHeartbeatAt = sim_.now();
+  ++claim.leaseRenewals;
+  claim.leaseEvent =
       sim_.after(config_.leaseDuration, [this] { onLeaseDeadline(); });
   ++metrics_.leasesRenewed;
   recordLeaseEvent("lease-renewed");
@@ -376,7 +387,8 @@ void ResourceAgent::handleHeartbeat(const Envelope& env,
 }
 
 void ResourceAgent::onLeaseDeadline() {
-  if (!claim_ || sim_.now() < claim_->leaseExpiresAt) return;
+  if (!claim_.has_value() || sim_.now() < claim_->leaseExpiresAt) return;
+  const ActiveClaim& claim = *claim_;
   // The renewal stream died: the customer is presumed dead (or
   // unreachable, which §3.2's end-to-end stance treats identically).
   // Tear the claim down WITHOUT a ClaimRelease — there is nobody to
@@ -385,15 +397,15 @@ void ResourceAgent::onLeaseDeadline() {
   // normally account it will never be sent.
   ++metrics_.leasesExpired;
   recordLeaseEvent("lease-expired");
-  const double wall = sim_.now() - claim_->startedAt;
+  const double wall = sim_.now() - claim.startedAt;
   metrics_.badputCpuSeconds += workDoneSoFar();
-  sim_.cancel(claim_->completionEvent);
+  sim_.cancel(claim.completionEvent);
   if (pendingVacate_ != kInvalidEvent) {
     sim_.cancel(pendingVacate_);
     pendingVacate_ = kInvalidEvent;
   }
   net_.send(address_, config_.managerAddress,
-            UsageReport{claim_->user, wall});
+            UsageReport{claim.user, wall});
   metrics_.machineBusySeconds += wall;
   claim_.reset();
   mintTicket();
@@ -401,16 +413,17 @@ void ResourceAgent::onLeaseDeadline() {
 }
 
 void ResourceAgent::onJobComplete() {
-  if (!claim_) return;
-  const double wall = sim_.now() - claim_->startedAt;
+  if (!claim_.has_value()) return;
+  const ActiveClaim& claim = *claim_;
+  const double wall = sim_.now() - claim.startedAt;
   matchmaking::ClaimRelease rel;
-  rel.ticket = claim_->ticket;
+  rel.ticket = claim.ticket;
   rel.reason = "completed";
-  rel.jobId = claim_->jobId;
-  rel.cpuSecondsUsed = claim_->workAtStart;
+  rel.jobId = claim.jobId;
+  rel.cpuSecondsUsed = claim.workAtStart;
   rel.completed = true;
-  rel.trace = claim_->trace;
-  net_.send(address_, claim_->customerContact, std::move(rel));
+  rel.trace = claim.trace;
+  net_.send(address_, claim.customerContact, std::move(rel));
   finishClaim(wall);
 }
 

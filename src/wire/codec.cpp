@@ -282,6 +282,8 @@ struct BodyEncoder {
   }
   MsgType operator()(const federation::SchemaDigestMsg& m) const {
     writeDigest(w, m.digest);
+    w.boolean(m.demand.has_value());
+    if (m.demand.has_value()) writeDigest(w, *m.demand);
     return MsgType::kSchemaDigest;
   }
   MsgType operator()(const federation::MatchReferral& m) const {
@@ -414,6 +416,7 @@ bool decodeBody(MsgType type, Reader& r, htcsim::Message& out) {
     case MsgType::kSchemaDigest: {
       federation::SchemaDigestMsg m;
       m.digest = readDigest(r);
+      if (r.boolean()) m.demand = readDigest(r);
       out = std::move(m);
       return true;
     }

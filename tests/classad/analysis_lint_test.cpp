@@ -9,6 +9,7 @@
 #include "classad/analysis/lint.h"
 #include "classad/analysis/schema.h"
 #include "classad/classad.h"
+#include "classad/json.h"
 #include "sim/rng.h"
 
 namespace classad::analysis {
@@ -290,6 +291,127 @@ TEST(LintFuzzTest, RandomMutationsNeverCrash) {
     SCOPED_TRACE(mutated);
     lintWhatParses(mutated);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Implication-prover findings
+// ---------------------------------------------------------------------------
+
+TEST(LintProverTest, SubsumedConjunctFlagged) {
+  const ClassAd ad = ClassAd::parse(
+      "[Requirements = other.Memory >= 64 && other.Memory >= 32 &&"
+      " other.Arch == \"INTEL\"]");
+  const LintReport r = lintAd(ad);
+  const LintFinding* f = findCode(r, LintCode::SubsumedConjunct);
+  ASSERT_NE(f, nullptr) << r.toString();
+  EXPECT_EQ(f->expr, "other.Memory >= 32");
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_NE(f->message.find("other.Memory >= 64"), std::string::npos);
+}
+
+TEST(LintProverTest, MutuallyEquivalentPairFlaggedOnce) {
+  const ClassAd ad = ClassAd::parse(
+      "[Requirements = other.Memory >= 64 && !(other.Memory < 64)]");
+  const LintReport r = lintAd(ad);
+  const auto n = std::count_if(
+      r.findings.begin(), r.findings.end(), [](const LintFinding& f) {
+        return f.code == LintCode::SubsumedConjunct;
+      });
+  EXPECT_EQ(n, 1) << r.toString();
+  const LintFinding* f = findCode(r, LintCode::SubsumedConjunct);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->expr, "!(other.Memory < 64)");  // the first one is kept
+}
+
+TEST(LintProverTest, SchemaImpliedConjunct) {
+  // Every machine is INTEL or ALPHA: the member() conjunct restricts
+  // nothing within this pool. Absint cannot fold it (the disjunction is
+  // per-value), but the prover's coverage check can.
+  const Schema schema = machineSchema();
+  LintOptions opts;
+  opts.otherSchema = &schema;
+  opts.exactSchemaValues = true;
+  const ClassAd ad = ClassAd::parse(
+      "[Requirements = member(other.Arch, {\"INTEL\", \"ALPHA\", \"VAX\"})"
+      " && other.Memory >= 100]");
+  const LintReport r = lintAd(ad, opts);
+  const LintFinding* f = findCode(r, LintCode::SchemaImplied);
+  ASSERT_NE(f, nullptr) << r.toString();
+  EXPECT_NE(f->expr.find("member"), std::string::npos);
+
+  // Without the schema the same ad must NOT produce the finding.
+  EXPECT_FALSE(hasCode(lintAd(ad), LintCode::SchemaImplied));
+}
+
+TEST(LintProverTest, RankGuardContradiction) {
+  // The constraint pins INTEL; the rank rewards ALPHA. The preference is
+  // unreachable — a classic copy-paste drift.
+  const ClassAd ad = ClassAd::parse(
+      "[Requirements = other.Arch == \"INTEL\";"
+      " Rank = (other.Arch == \"ALPHA\" ? 100 : 0) + other.Mips]");
+  const LintReport r = lintAd(ad);
+  const LintFinding* f = findCode(r, LintCode::RankGuardConflict);
+  ASSERT_NE(f, nullptr) << r.toString();
+  EXPECT_EQ(f->attribute, "Rank");
+  EXPECT_NE(f->expr.find("ALPHA"), std::string::npos);
+
+  // A satisfiable guard must not be flagged.
+  const ClassAd fine = ClassAd::parse(
+      "[Requirements = other.Memory >= 64;"
+      " Rank = (other.Arch == \"ALPHA\" ? 100 : 0)]");
+  EXPECT_FALSE(hasCode(lintAd(fine), LintCode::RankGuardConflict));
+}
+
+TEST(LintProverTest, ProverChecksCanBeDisabled) {
+  const ClassAd ad = ClassAd::parse(
+      "[Requirements = other.Memory >= 64 && other.Memory >= 32]");
+  LintOptions off;
+  off.proverChecks = false;
+  EXPECT_FALSE(hasCode(lintAd(ad, off), LintCode::SubsumedConjunct));
+}
+
+// ---------------------------------------------------------------------------
+// JSON findings (mm_lint -json)
+// ---------------------------------------------------------------------------
+
+TEST(LintJsonTest, FindingsRoundTripThroughJson) {
+  const ClassAd ad = ClassAd::parse(
+      "[Requirements = other.Memory >= 64 && other.Memory >= 32 &&"
+      " frobnicate(other.Disk) > 0]");
+  const LintReport report = lintAd(ad);
+  ASSERT_FALSE(report.empty());
+
+  const std::string jsonl = toJsonLines(report, "jobs.ad \"quoted\"");
+  std::size_t line = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string one = jsonl.substr(start, end - start);
+    start = end + 1;
+    ASSERT_LT(line, report.findings.size());
+    const LintFinding& f = report.findings[line++];
+    // Each line must parse back as a JSON object whose fields reproduce
+    // the finding exactly — including the quote-bearing source label.
+    const std::optional<ClassAd> back = tryAdFromJson(one);
+    ASSERT_TRUE(back.has_value()) << one;
+    EXPECT_EQ(back->getString("source").value_or(""), "jobs.ad \"quoted\"");
+    EXPECT_EQ(back->getString("severity").value_or(""),
+              toString(f.severity));
+    EXPECT_EQ(back->getString("code").value_or(""), toString(f.code));
+    EXPECT_EQ(back->getString("attribute").value_or(""), f.attribute);
+    EXPECT_EQ(back->getString("expr").value_or(""), f.expr);
+    EXPECT_EQ(back->getString("message").value_or(""), f.message);
+  }
+  EXPECT_EQ(line, report.findings.size());
+}
+
+TEST(LintJsonTest, EmptySourceOmitted) {
+  const ClassAd ad =
+      ClassAd::parse("[Requirements = frobnicate(other.Disk) > 0]");
+  const std::string jsonl = toJsonLines(lintAd(ad), "");
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.find("\"source\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,144 @@
+// Seeded fuzzing of the implication prover: whatever parses must be
+// provable-about without crashes, hangs, or sanitizer findings — and any
+// verdict it emits on garbage input still honours the soundness contract
+// (Refuted witnesses are re-checked concretely). Mirrors the mm_lint fuzz
+// harness: a corpus of hostile shapes plus seeded random mutation rounds.
+// The standalone fuzz binary (tools/implies_fuzz) reuses this corpus.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/analysis/implies.h"
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+#include "sim/rng.h"
+
+namespace classad::analysis {
+namespace {
+
+Schema fuzzSchema() {
+  std::vector<ClassAd> pool;
+  pool.push_back(ClassAd::parse(
+      "[Arch = \"INTEL\"; Memory = 64; Disk = 3000; Load = 0.5]"));
+  pool.push_back(ClassAd::parse("[Arch = \"ALPHA\"; Memory = 128]"));
+  return Schema::fromAds(pool);
+}
+
+/// Drive every prover entry point on a pair of expression texts; verdicts
+/// are free, crashes are not. Returns false if neither side parsed.
+void proveWhatParses(const std::string& textA, const std::string& textB,
+                     const Schema& schema) {
+  const auto a = tryParseExpr(textA);
+  const auto b = tryParseExpr(textB);
+  if (!a || !b) return;
+  const ClassAd self = ClassAd::parse("[MinMemory = 64]");
+
+  for (const int mode : {0, 1, 2}) {
+    ImpliesOptions opts;
+    opts.maxWitnessTrials = 8;
+    if (mode > 0) {
+      opts.otherSchema = &schema;
+      opts.exactSchemaValues = mode == 2;
+    }
+    const ImpliesResult r = implies(self, *a, *b, opts);
+    if (r.refuted()) {
+      ASSERT_TRUE(r.witness.has_value()) << textA << " => " << textB;
+      EXPECT_TRUE(self.evaluate(**a, &*r.witness).isBooleanTrue())
+          << textA << " => " << textB;
+      EXPECT_FALSE(self.evaluate(**b, &*r.witness).isBooleanTrue())
+          << textA << " => " << textB;
+    }
+    const ImpliesResult u = unsatisfiable(&self, *a, opts);
+    if (u.refuted()) {
+      ASSERT_TRUE(u.witness.has_value()) << textA;
+      EXPECT_TRUE(self.evaluate(**a, &*u.witness).isBooleanTrue()) << textA;
+    }
+  }
+
+  // Relaxation check over synthetic ads wrapping the fuzzed constraints.
+  ClassAd oldAd;
+  oldAd.insert("Requirements", *a);
+  ClassAd newAd;
+  newAd.insert("Requirements", *b);
+  const RelaxationResult rel = isRelaxationOf(oldAd, newAd);
+  if (rel.verdict == RelaxationVerdict::NotRelaxation ||
+      rel.verdict == RelaxationVerdict::StrictRelaxation) {
+    EXPECT_TRUE(rel.witness.has_value()) << textA << " -> " << textB;
+  }
+}
+
+const char* kCorpus[] = {
+    "other.Memory >= other.Memory >= 64",
+    "member(other.Arch, {1, \"x\", undefined, error, {2}})",
+    "member(other.Arch, other.Arch)",
+    "!(!(!(other.X == 0)))",
+    "other.X == 9007199254740993",          // beyond 2^53
+    "other.X != -9007199254740993",
+    "other.X == 0.0 || other.X == -0.0",
+    "other.X == 1e308 * 10",                // folds to +inf/overflow
+    "other.X == (0.0 / 0.0)",               // NaN literal
+    "other.X is error",
+    "other.X isnt error",
+    "undefined && other.X > 0",
+    "error || other.X > 0",
+    "(other.X ? other.Y : other.Z)",
+    "other.X == \"\"",
+    "member(other.X, {})",
+    "self.Foo == other.Foo",
+    "MinMemory <= other.Memory && other.Memory <= MinMemory",
+    "other.X < 5 && other.X < 5 && other.X < 5 && other.X < 5",
+    "((((((((((other.X > 0))))))))))",
+};
+
+TEST(ImpliesFuzzTest, SeedCorpusNeverCrashes) {
+  const Schema schema = fuzzSchema();
+  for (const char* a : kCorpus) {
+    for (const char* b : kCorpus) {
+      proveWhatParses(a, b, schema);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ImpliesFuzzTest, RandomMutationsNeverCrash) {
+  const Schema schema = fuzzSchema();
+  htcsim::Rng rng(20260808);
+  const std::string alphabet = "()&|=<>!\".x5{},";
+  for (int round = 0; round < 300; ++round) {
+    std::string a = kCorpus[rng.below(std::size(kCorpus))];
+    std::string b = kCorpus[rng.below(std::size(kCorpus))];
+    std::string& victim = rng.chance(0.5) ? a : b;
+    const int edits = 1 + static_cast<int>(rng.below(6));
+    for (int e = 0; e < edits && !victim.empty(); ++e) {
+      const std::size_t pos = rng.below(victim.size());
+      switch (rng.below(3)) {
+        case 0:
+          victim[pos] = alphabet[rng.below(alphabet.size())];
+          break;
+        case 1:
+          victim.erase(pos, 1);
+          break;
+        default:
+          victim.insert(pos, 1, alphabet[rng.below(alphabet.size())]);
+          break;
+      }
+    }
+    proveWhatParses(a, b, schema);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// Deeply nested input must hit the prover's depth/node budgets, not the
+// stack guard.
+TEST(ImpliesFuzzTest, DeepNestingHitsBudgetsNotTheStack) {
+  std::string deep = "other.X > 0";
+  for (int i = 0; i < 200; ++i) deep = "(" + deep + " && true)";
+  const Schema schema = fuzzSchema();
+  proveWhatParses(deep, "other.X >= 0", schema);
+  proveWhatParses("other.X > 0", deep, schema);
+}
+
+}  // namespace
+}  // namespace classad::analysis

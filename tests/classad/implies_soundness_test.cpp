@@ -1,0 +1,304 @@
+// The soundness contract of the implication prover, property-tested over
+// ≥20k seeded random expression pairs × random candidate ads × the three
+// schema modes (none / widened / exact):
+//
+//   Proven  — no candidate ad consistent with the mode may satisfy the
+//             premise while failing the consequent. Zero tolerance: a
+//             single contradiction is an unsound proof.
+//   Refuted — the attached witness must CONCRETELY satisfy the premise
+//             and fail the consequent (the constructive guarantee), and
+//             in schema modes its attributes must stay inside the
+//             schema's envelopes.
+//   Unknown — never checked for anything: incompleteness is allowed,
+//             unsoundness is not.
+//
+// CI runs this suite (`ctest -L implies`) under ASan/UBSan and TSan.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/analysis/implies.h"
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+#include "sim/rng.h"
+
+namespace classad::analysis {
+namespace {
+
+const char* kAttrs[] = {"Memory", "Arch", "Disk", "Owner", "Started", "Load"};
+const char* kStrings[] = {"intel", "sparc", "alpha", "raman", "x"};
+
+/// Random constraint-shaped expression TEXT: biased toward the shapes the
+/// prover atomizes (comparisons, member, undefinedness tests, boolean
+/// refs, conjunction/disjunction, ternary guards) with a sprinkling of
+/// shapes it cannot (arithmetic, candidate-vs-candidate, strcat) so the
+/// Unknown paths stay honest.
+class ConstraintGen {
+ public:
+  explicit ConstraintGen(std::uint64_t seed) : rng_(seed) {}
+
+  std::string expr(int depth = 0) {
+    if (depth >= 3 || rng_.chance(0.4)) return leaf();
+    switch (rng_.below(6)) {
+      case 0:
+        return "(" + expr(depth + 1) + " && " + expr(depth + 1) + ")";
+      case 1:
+        return "(" + expr(depth + 1) + " || " + expr(depth + 1) + ")";
+      case 2:
+        return "!(" + leaf() + ")";
+      case 3:
+        return "(" + expr(depth + 1) + " ? " + expr(depth + 1) + " : false)";
+      default:
+        return leaf();
+    }
+  }
+
+  htcsim::Rng& rng() { return rng_; }
+
+ private:
+  std::string leaf() {
+    const std::string attr = std::string("other.") + pick(kAttrs);
+    switch (rng_.below(12)) {
+      case 0:
+      case 1:
+        return attr + " " + cmp() + " " + std::to_string(rng_.range(0, 128));
+      case 2:
+        return attr + " " + cmp() + " " + std::to_string(rng_.range(0, 40)) +
+               "." + std::to_string(rng_.below(10));
+      case 3:
+        return attr + (rng_.chance(0.5) ? " == \"" : " != \"") +
+               pick(kStrings) + "\"";
+      case 4: {
+        std::string list;
+        const int n = 1 + static_cast<int>(rng_.below(3));
+        for (int i = 0; i < n; ++i) {
+          if (i) list += ", ";
+          list += "\"" + std::string(pick(kStrings)) + "\"";
+        }
+        return "member(" + attr + ", {" + list + "})";
+      }
+      case 5:
+        return attr + (rng_.chance(0.5) ? " is undefined"
+                                        : " isnt undefined");
+      case 6:
+        return attr;  // bare boolean constraint
+      case 7:
+        return attr + " == " + (rng_.chance(0.5) ? "true" : "false");
+      case 8:
+        return rng_.chance(0.5) ? "true" : "false";
+      case 9:  // self-side fold fodder
+        return std::string("other.Memory >= Min") + pick(kAttrs);
+      case 10:  // shapes the prover cannot atomize
+        return "other." + std::string(pick(kAttrs)) + " < other." +
+               pick(kAttrs);
+      default:
+        return "(" + attr + " + " + std::to_string(rng_.below(8)) + ") > " +
+               std::to_string(rng_.range(0, 64));
+    }
+  }
+
+  std::string cmp() {
+    static const char* kCmp[] = {"<", "<=", ">", ">=", "==", "!="};
+    return kCmp[rng_.below(6)];
+  }
+
+  template <std::size_t N>
+  const char* pick(const char* (&arr)[N]) {
+    return arr[rng_.below(N)];
+  }
+
+  htcsim::Rng rng_;
+};
+
+ClassAd selfAd() {
+  return ClassAd::parse(
+      "[MinMemory = 64; MinDisk = 3000; MinArch = 2; MinOwner = 1;"
+      " MinStarted = 0; MinLoad = 1]");
+}
+
+/// Pool ads the widened/exact schemas are folded from. Kept small and
+/// heterogeneous: one attribute absent somewhere, mixed types.
+std::vector<ClassAd> poolAds() {
+  std::vector<ClassAd> ads;
+  ads.push_back(ClassAd::parse(
+      "[Memory = 64; Arch = \"INTEL\"; Disk = 3000; Owner = \"raman\";"
+      " Started = true; Load = 0.5]"));
+  ads.push_back(ClassAd::parse(
+      "[Memory = 128; Arch = \"ALPHA\"; Disk = 8000; Owner = \"x\";"
+      " Started = false]"));
+  ads.push_back(ClassAd::parse(
+      "[Memory = 32; Arch = \"SPARC\"; Disk = 512; Owner = \"alice\";"
+      " Load = 1.5]"));
+  return ads;
+}
+
+enum class Mode { NoSchema, Widened, Exact };
+
+/// A random candidate consistent with the mode: arbitrary scalars (and
+/// extra attributes) with no schema; per-attribute observed TYPES in
+/// widened mode; per-attribute observed VALUES in exact mode. Absence is
+/// allowed exactly when the schema allows it (or always, with none).
+ClassAd randomCandidate(htcsim::Rng& rng, Mode mode,
+                        const std::vector<ClassAd>& pool) {
+  ClassAd ad;
+  for (const char* name : kAttrs) {
+    std::vector<Value> observed;
+    bool absentSomewhere = false;
+    for (const ClassAd& p : pool) {
+      if (const ExprPtr* e = p.lookup(toLowerCopy(name))) {
+        observed.push_back(p.evaluate(**e));
+      } else {
+        absentSomewhere = true;
+      }
+    }
+    const bool mayOmit = mode == Mode::NoSchema || absentSomewhere;
+    if (mayOmit && rng.chance(0.25)) continue;
+    Value v;
+    switch (mode) {
+      case Mode::NoSchema:
+        switch (rng.below(5)) {
+          case 0: v = Value::integer(rng.range(-16, 160)); break;
+          case 1: v = Value::real(0.25 * static_cast<double>(rng.below(40)));
+                  break;
+          case 2: v = Value::boolean(rng.chance(0.5)); break;
+          case 3: v = Value::string(kStrings[rng.below(5)]); break;
+          default: v = Value::string("unseen_" + std::to_string(rng.below(3)));
+                   break;
+        }
+        break;
+      case Mode::Widened: {
+        const Value& proto = observed[rng.below(observed.size())];
+        if (proto.isNumber()) {
+          v = rng.chance(0.5)
+                  ? Value::integer(rng.range(-16, 160))
+                  : Value::real(0.5 * static_cast<double>(rng.below(64)));
+        } else if (proto.isBoolean()) {
+          v = Value::boolean(rng.chance(0.5));
+        } else {
+          v = Value::string(rng.chance(0.8)
+                                ? std::string(kStrings[rng.below(5)])
+                                : "unseen_" + std::to_string(rng.below(3)));
+        }
+        break;
+      }
+      case Mode::Exact:
+        v = observed[rng.below(observed.size())];
+        break;
+    }
+    ad.insert(name, LiteralExpr::make(std::move(v)));
+  }
+  if (mode == Mode::NoSchema && rng.chance(0.2)) {
+    ad.set("Extra", static_cast<std::int64_t>(rng.below(10)));
+  }
+  return ad;
+}
+
+void checkPair(const ClassAd& self, const ExprPtr& a, const ExprPtr& b,
+               const ImpliesOptions& opts,
+               const std::vector<ClassAd>& candidates,
+               const std::string& textA, const std::string& textB) {
+  ImpliesResult r;
+  ASSERT_NO_THROW(r = implies(self, a, b, opts)) << textA << " => " << textB;
+  if (r.proven()) {
+    for (const ClassAd& cand : candidates) {
+      const bool pa = self.evaluate(*a, &cand).isBooleanTrue();
+      const bool pb = self.evaluate(*b, &cand).isBooleanTrue();
+      ASSERT_FALSE(pa && !pb)
+          << "UNSOUND Proven: " << textA << " => " << textB
+          << "\n  note: " << r.note << "\n  candidate: " << cand.unparse();
+    }
+  } else if (r.refuted()) {
+    ASSERT_TRUE(r.witness.has_value()) << textA << " => " << textB;
+    const bool pa = self.evaluate(*a, &*r.witness).isBooleanTrue();
+    const bool pb = self.evaluate(*b, &*r.witness).isBooleanTrue();
+    ASSERT_TRUE(pa && !pb)
+        << "BAD WITNESS for: " << textA << " => " << textB
+        << "\n  witness: " << r.witness->unparse() << "\n  note: " << r.note;
+    if (opts.otherSchema != nullptr) {
+      for (const auto& [name, expr] : r.witness->attributes()) {
+        const AbstractValue dom = opts.otherSchema->domainOf(
+            toLowerCopy(name), opts.exactSchemaValues);
+        ASSERT_TRUE(dom.contains(r.witness->evaluateAttr(name)))
+            << "witness leaves the schema envelope at " << name
+            << " for: " << textA << " => " << textB;
+      }
+    }
+  }
+}
+
+void runMode(std::uint64_t seed, Mode mode, int pairs) {
+  ConstraintGen gen(seed);
+  htcsim::Rng& rng = gen.rng();
+  const ClassAd self = selfAd();
+  const std::vector<ClassAd> pool = poolAds();
+  const Schema schema = Schema::fromAds(pool);
+
+  ImpliesOptions opts;
+  opts.maxWitnessTrials = 24;
+  if (mode != Mode::NoSchema) {
+    opts.otherSchema = &schema;
+    opts.exactSchemaValues = mode == Mode::Exact;
+  }
+
+  for (int i = 0; i < pairs; ++i) {
+    std::string textA = gen.expr();
+    // Half the pairs are structurally related (where Proven verdicts
+    // actually happen); half are independent.
+    std::string textB;
+    switch (rng.below(4)) {
+      case 0: textB = "(" + textA + " || " + gen.expr() + ")"; break;
+      case 1: textB = textA; break;
+      default: textB = gen.expr(); break;
+    }
+    if (rng.chance(0.25)) std::swap(textB, textA);
+
+    ExprPtr a;
+    ExprPtr b;
+    ASSERT_NO_THROW(a = parseExpr(textA)) << textA;
+    ASSERT_NO_THROW(b = parseExpr(textB)) << textB;
+
+    // Candidates consistent with the mode; in schema modes the schema's
+    // own source ads are always included (they are consistent with both
+    // widened and exact envelopes by construction).
+    std::vector<ClassAd> candidates;
+    if (mode != Mode::NoSchema) {
+      candidates = pool;
+    } else {
+      // Only valid outside schema modes: the schemas above define every
+      // attribute in every pool ad, so the empty ad is not a member of
+      // the population a schema-scoped verdict quantifies over.
+      candidates.push_back(ClassAd::parse("[]"));
+    }
+    for (int c = 0; c < 6; ++c) {
+      candidates.push_back(randomCandidate(rng, mode, pool));
+    }
+
+    checkPair(self, a, b, opts, candidates, textA, textB);
+  }
+}
+
+class ImpliesSoundnessSeeds
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImpliesSoundnessSeeds, NoSchemaArbitraryCandidates) {
+  runMode(GetParam(), Mode::NoSchema, 700);
+}
+
+TEST_P(ImpliesSoundnessSeeds, WidenedSchemaMode) {
+  runMode(GetParam() ^ 0xBEEF, Mode::Widened, 700);
+}
+
+TEST_P(ImpliesSoundnessSeeds, ExactSchemaMode) {
+  runMode(GetParam() ^ 0xF00D, Mode::Exact, 700);
+}
+
+// 10 seeds × 3 modes × 700 = 21,000 expression pairs, each verdict
+// cross-checked against ~10 candidate ads.
+INSTANTIATE_TEST_SUITE_P(Seeds, ImpliesSoundnessSeeds,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace classad::analysis

@@ -1,0 +1,222 @@
+// The implication prover: per-atom containment, disjunct coverage,
+// schema-scoped claims, witness extraction, relaxation verification, and
+// redundant-conjunct elision.
+#include <gtest/gtest.h>
+
+#include "classad/analysis/implies.h"
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+#include "classad/expr.h"
+
+namespace classad::analysis {
+namespace {
+
+const ClassAd kEmptySelf;
+
+ImpliesResult prove(const std::string& a, const std::string& b,
+                    const ImpliesOptions& opts = {}) {
+  return implies(&kEmptySelf, parseExpr(a), &kEmptySelf, parseExpr(b), opts);
+}
+
+Schema machineSchema() {
+  std::vector<ClassAd> pool;
+  pool.push_back(ClassAd::parse(
+      "[Type = \"Machine\"; Arch = \"INTEL\"; Memory = 64; Disk = 3000]"));
+  pool.push_back(ClassAd::parse(
+      "[Type = \"Machine\"; Arch = \"ALPHA\"; Memory = 128; Disk = 8000]"));
+  return Schema::fromAds(pool);
+}
+
+/// A Refuted verdict must carry a witness that concretely satisfies the
+/// premise and fails the consequent — re-check it here so every use in
+/// this file asserts the constructive guarantee.
+void expectRefutedWithWitness(const ImpliesResult& r, const std::string& a,
+                              const std::string& b) {
+  ASSERT_EQ(r.verdict, ImpliesVerdict::Refuted) << r.note;
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(kEmptySelf.evaluate(*parseExpr(a), &*r.witness)
+                  .isBooleanTrue());
+  EXPECT_FALSE(kEmptySelf.evaluate(*parseExpr(b), &*r.witness)
+                   .isBooleanTrue());
+}
+
+TEST(ImpliesTest, NumericIntervalSubsumption) {
+  EXPECT_TRUE(prove("other.Memory >= 64", "other.Memory >= 32").proven());
+  EXPECT_TRUE(prove("other.Memory > 64", "other.Memory >= 64").proven());
+  EXPECT_TRUE(
+      prove("other.Memory == 80", "other.Memory >= 64 && other.Memory <= 96")
+          .proven());
+  expectRefutedWithWitness(prove("other.Memory >= 32", "other.Memory >= 64"),
+                           "other.Memory >= 32", "other.Memory >= 64");
+}
+
+TEST(ImpliesTest, StringAndMemberSubsumption) {
+  EXPECT_TRUE(prove("other.Arch == \"INTEL\"",
+                    "member(other.Arch, {\"intel\", \"sparc\"})")
+                  .proven());
+  EXPECT_TRUE(prove("member(other.Arch, {\"intel\", \"sparc\"})",
+                    "member(other.Arch, {\"INTEL\", \"SPARC\", \"ALPHA\"})")
+                  .proven());
+  expectRefutedWithWitness(
+      prove("member(other.Arch, {\"intel\", \"sparc\"})",
+            "other.Arch == \"INTEL\""),
+      "member(other.Arch, {\"intel\", \"sparc\"})", "other.Arch == \"INTEL\"");
+}
+
+TEST(ImpliesTest, DisjunctCoverage) {
+  // The consequent's cubes must jointly cover the premise.
+  EXPECT_TRUE(
+      prove("other.Memory == 5", "other.Memory < 10 || other.Memory > 20")
+          .proven());
+  EXPECT_TRUE(
+      prove("other.Memory > 0", "other.Memory < 10 || other.Memory >= 10")
+          .proven());
+  expectRefutedWithWitness(
+      prove("other.Memory < 30", "other.Memory < 10 || other.Memory > 20"),
+      "other.Memory < 30", "other.Memory < 10 || other.Memory > 20");
+}
+
+TEST(ImpliesTest, BooleanPromotionIsHonoured) {
+  // Flag == 1 is satisfied by the INTEGER 1, on which a bare `other.Flag`
+  // constraint is NOT satisfied (1 is not boolean true).
+  expectRefutedWithWitness(prove("other.Flag == 1", "other.Flag"),
+                           "other.Flag == 1", "other.Flag");
+  // The converse is sound: boolean true promotes to 1.
+  EXPECT_TRUE(prove("other.Flag", "other.Flag == 1").proven());
+  EXPECT_TRUE(prove("other.Flag", "other.Flag == true").proven());
+}
+
+TEST(ImpliesTest, UndefinednessAtoms) {
+  EXPECT_TRUE(
+      prove("other.X == 5", "other.X isnt undefined").proven());
+  // An absent attribute satisfies `is undefined` but no comparison.
+  expectRefutedWithWitness(
+      prove("other.X is undefined", "other.X >= 0 || other.X < 0"),
+      "other.X is undefined", "other.X >= 0 || other.X < 0");
+}
+
+TEST(ImpliesTest, NegatedComparisons) {
+  EXPECT_TRUE(prove("!(other.Memory < 64)", "other.Memory >= 32").proven());
+  EXPECT_TRUE(prove("other.Memory >= 64", "!(other.Memory < 64)").proven());
+}
+
+TEST(ImpliesTest, VacuousAndTautologicalCases) {
+  EXPECT_TRUE(
+      prove("other.Memory > 10 && other.Memory < 5", "other.Arch == \"x\"")
+          .proven());
+  EXPECT_TRUE(prove("other.Disk > 100", "true").proven());
+  EXPECT_TRUE(prove("other.Disk > 100", "1 < 2").proven());
+}
+
+TEST(ImpliesTest, SelfFrameFlattening) {
+  // Self-side references fold to literals before atomization, so the two
+  // sides agree regardless of spelling.
+  const ClassAd self = ClassAd::parse("[MinMem = 64]");
+  const ImpliesResult r =
+      implies(self, parseExpr("other.Memory >= MinMem"),
+              parseExpr("other.Memory >= 64"));
+  EXPECT_TRUE(r.proven()) << r.note;
+  const ImpliesResult back =
+      implies(self, parseExpr("other.Memory >= 64"),
+              parseExpr("other.Memory >= MinMem"));
+  EXPECT_TRUE(back.proven()) << back.note;
+}
+
+TEST(ImpliesTest, UnsupportedShapesStayUnknownNotWrong) {
+  // Candidate-vs-candidate relations have no atom; the prover must not
+  // guess. (Unknown, or Refuted with a genuine witness, are both sound;
+  // Proven would be a lie.)
+  const ImpliesResult r = prove("other.A < other.B", "other.A <= other.B");
+  EXPECT_NE(r.verdict, ImpliesVerdict::Proven);
+}
+
+TEST(ImpliesTest, SchemaScopedClaims) {
+  const Schema schema = machineSchema();
+  ImpliesOptions exact;
+  exact.otherSchema = &schema;
+  exact.exactSchemaValues = true;
+  // Every machine has Memory in {64, 128}: within the schema the premise
+  // Memory >= 32 pins Memory >= 64.
+  EXPECT_TRUE(
+      prove("other.Memory >= 32", "other.Memory >= 64", exact).proven());
+  // Open-world (widened) mode must NOT prove it — tomorrow's machine may
+  // have Memory = 48 — and any witness must respect the schema's types.
+  ImpliesOptions widened;
+  widened.otherSchema = &schema;
+  const ImpliesResult r =
+      prove("other.Memory >= 32", "other.Memory >= 64", widened);
+  EXPECT_NE(r.verdict, ImpliesVerdict::Proven);
+  if (r.refuted()) {
+    const ExprPtr* mem = r.witness->lookup("memory");
+    ASSERT_NE(mem, nullptr);
+  }
+}
+
+TEST(ImpliesTest, UnsatisfiableConstraint) {
+  const ImpliesResult unsat = unsatisfiable(
+      &kEmptySelf, parseExpr("other.Memory > 10 && other.Memory < 5"));
+  EXPECT_TRUE(unsat.proven()) << unsat.note;
+
+  const ImpliesResult sat =
+      unsatisfiable(&kEmptySelf, parseExpr("other.Memory > 10"));
+  ASSERT_TRUE(sat.refuted()) << sat.note;
+  ASSERT_TRUE(sat.witness.has_value());
+  EXPECT_TRUE(kEmptySelf.evaluate(*parseExpr("other.Memory > 10"),
+                                  &*sat.witness)
+                  .isBooleanTrue());
+
+  // Against a demand schema: no machine offers enough memory.
+  const Schema schema = machineSchema();
+  ImpliesOptions exact;
+  exact.otherSchema = &schema;
+  exact.exactSchemaValues = true;
+  const ImpliesResult starved =
+      unsatisfiable(&kEmptySelf, parseExpr("other.Memory >= 512"), exact);
+  EXPECT_TRUE(starved.proven()) << starved.note;
+}
+
+TEST(ImpliesTest, RelaxationVerdicts) {
+  const ClassAd oldAd =
+      ClassAd::parse("[Requirements = other.Memory >= 64]");
+  const ClassAd widerAd =
+      ClassAd::parse("[Requirements = other.Memory >= 32]");
+  const ClassAd sameAd =
+      ClassAd::parse("[Requirements = !(other.Memory < 64)]");
+
+  const RelaxationResult strict = isRelaxationOf(oldAd, widerAd);
+  EXPECT_EQ(strict.verdict, RelaxationVerdict::StrictRelaxation)
+      << strict.note;
+  ASSERT_TRUE(strict.witness.has_value());
+
+  const RelaxationResult narrowed = isRelaxationOf(widerAd, oldAd);
+  EXPECT_EQ(narrowed.verdict, RelaxationVerdict::NotRelaxation)
+      << narrowed.note;
+  ASSERT_TRUE(narrowed.witness.has_value());
+
+  const RelaxationResult equiv = isRelaxationOf(oldAd, sameAd);
+  EXPECT_EQ(equiv.verdict, RelaxationVerdict::Equivalent) << equiv.note;
+}
+
+TEST(ImpliesTest, RedundantConjunctElision) {
+  const std::vector<ExprPtr> conjuncts = {
+      parseExpr("other.Memory >= 64"),
+      parseExpr("other.Memory >= 32"),  // implied by the first
+      parseExpr("other.Arch == \"INTEL\""),
+  };
+  const std::vector<bool> elided = redundantConjuncts(kEmptySelf, conjuncts);
+  ASSERT_EQ(elided.size(), 3u);
+  EXPECT_FALSE(elided[0]);
+  EXPECT_TRUE(elided[1]);
+  EXPECT_FALSE(elided[2]);
+
+  // Mutually-implied duplicates: exactly one survives.
+  const std::vector<ExprPtr> dupes = {
+      parseExpr("other.Memory >= 64"),
+      parseExpr("!(other.Memory < 64)"),
+  };
+  const std::vector<bool> oneGone = redundantConjuncts(kEmptySelf, dupes);
+  EXPECT_NE(oneGone[0], oneGone[1]);
+}
+
+}  // namespace
+}  // namespace classad::analysis

@@ -1,0 +1,274 @@
+// Digest-targeted flocking (FlockPolicy::kDigest) and the per-revision
+// flock gate cache. The veto contract mirrors the prover's: a flock may
+// only be suppressed when the ad's admissibility constraint is PROVEN
+// unsatisfiable within the peer's fresh demand digest — everything else
+// (missing demand, stale demand, Unknown verdicts) fails open.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "classad/classad.h"
+#include "classad/query.h"
+#include "federation/digest.h"
+#include "federation/messages.h"
+#include "federation/plane.h"
+#include "obs/registry.h"
+#include "sim/transport.h"
+
+namespace federation {
+namespace {
+
+/// Transport double: records every send, delivers nothing.
+struct CaptureNet : htcsim::Transport {
+  std::vector<htcsim::Envelope> sent;
+  void attach(std::string, htcsim::Endpoint*) override {}
+  void detach(std::string_view) override {}
+  bool send(std::string from, std::string to,
+            htcsim::Message payload) override {
+    sent.push_back({std::move(from), std::move(to), std::move(payload)});
+    return true;
+  }
+  std::size_t adForwards() const {
+    std::size_t n = 0;
+    for (const htcsim::Envelope& e : sent) {
+      if (std::holds_alternative<AdForward>(e.payload)) ++n;
+    }
+    return n;
+  }
+};
+
+/// Host double: schemas are whatever the test installs.
+struct FakeHost : FederationHost {
+  classad::analysis::Schema resources;
+  classad::analysis::Schema requests;
+  bool storeFlockedAd(const std::string&, const classad::ClassAdPtr&,
+                      std::uint64_t, Time) override {
+    return true;
+  }
+  void dropFlockedAd(const std::string&) override {}
+  std::optional<matchmaking::Match> evaluateReferral(
+      const classad::ClassAdPtr&, Time) override {
+    return std::nullopt;
+  }
+  void serveLocalMatch(const matchmaking::Match&,
+                       const obs::TraceContext&) override {}
+  bool completeRemoteMatch(const ReferralResponse&) override {
+    return false;
+  }
+  classad::analysis::Schema localResourceSchema() const override {
+    return resources;
+  }
+  classad::analysis::Schema localRequestSchema() const override {
+    return requests;
+  }
+};
+
+classad::ClassAdPtr jobAd(std::int64_t memory) {
+  classad::ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("Owner", "raman");
+  ad.set("Memory", memory);
+  ad.setExpr("Constraint", "other.Type == \"Machine\"");
+  return classad::makeShared(std::move(ad));
+}
+
+classad::ClassAdPtr machineAd(const std::string& name,
+                              const std::string& constraint,
+                              std::int64_t memory = 128) {
+  classad::ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", name);
+  ad.set("Memory", memory);
+  ad.setExpr("Constraint", constraint);
+  return classad::makeShared(std::move(ad));
+}
+
+/// A demand digest folded from jobs with the given memory values.
+SchemaDigest demandOf(const std::vector<std::int64_t>& memories,
+                      std::uint64_t version) {
+  std::vector<classad::ClassAdPtr> jobs;
+  for (std::int64_t m : memories) jobs.push_back(jobAd(m));
+  SchemaDigest d = digestOf(classad::analysis::Schema::fromAds(jobs));
+  d.pool = "poolB";
+  d.version = version;
+  return d;
+}
+
+struct Rig {
+  explicit Rig(FlockPolicy policy, const std::string& constraint = "") {
+    FederationConfig config;
+    config.pool = "poolA";
+    config.peers = {"collector.poolB"};
+    config.flockPolicy = policy;
+    config.flockConstraint = constraint;
+    plane.emplace(config, host, net, "collector.poolA", &registry);
+    net.sent.clear();  // drop the startup PeerHellos
+  }
+
+  void deliverDigest(const SchemaDigest& resources,
+                     std::optional<SchemaDigest> demand, Time now) {
+    SchemaDigestMsg msg;
+    msg.digest = resources;
+    msg.demand = std::move(demand);
+    plane->deliver({"collector.poolB", "collector.poolA", msg}, now);
+  }
+
+  /// A resource digest that always admits (so only demand matters here).
+  SchemaDigest anyResources(std::uint64_t version) const {
+    SchemaDigest d = demandOf({64}, version);
+    d.pool = "poolB";
+    return d;
+  }
+
+  std::uint64_t vetoes() {
+    return registry.counter("FedFlocksDigestVetoed")->value();
+  }
+
+  FakeHost host;
+  CaptureNet net;
+  obs::Registry registry;
+  std::optional<FederationPlane> plane;
+};
+
+TEST(FlockTargetingTest, ProvenDeadAdIsVetoedAndSatisfiableAdFlocks) {
+  Rig rig(FlockPolicy::kDigest);
+  // Peer demand: every stored request has Memory = 64.
+  rig.deliverDigest(rig.anyResources(1), demandOf({64, 64}, 1), 1.0);
+
+  // This machine only serves requests with Memory >= 128: provably dead.
+  rig.plane->onLocalResourceAd(
+      "ra://picky", machineAd("picky", "other.Memory >= 128"), 1, 2.0);
+  EXPECT_EQ(rig.net.adForwards(), 0u);
+  EXPECT_EQ(rig.vetoes(), 1u);
+
+  // This one serves the demand that exists: it flocks.
+  rig.plane->onLocalResourceAd(
+      "ra://easy", machineAd("easy", "other.Memory >= 32"), 1, 2.0);
+  EXPECT_EQ(rig.net.adForwards(), 1u);
+  EXPECT_EQ(rig.vetoes(), 1u);
+}
+
+TEST(FlockTargetingTest, MissingDemandFailsOpen) {
+  Rig rig(FlockPolicy::kDigest);
+  rig.deliverDigest(rig.anyResources(1), std::nullopt, 1.0);
+  rig.plane->onLocalResourceAd(
+      "ra://picky", machineAd("picky", "other.Memory >= 128"), 1, 2.0);
+  EXPECT_EQ(rig.net.adForwards(), 1u);
+  EXPECT_EQ(rig.vetoes(), 0u);
+}
+
+TEST(FlockTargetingTest, StaleDemandFailsOpen) {
+  Rig rig(FlockPolicy::kDigest);
+  rig.deliverDigest(rig.anyResources(1), demandOf({64}, 1), 1.0);
+  // Far past digestTtl (180s default): the demand no longer speaks.
+  rig.plane->onLocalResourceAd(
+      "ra://picky", machineAd("picky", "other.Memory >= 128"), 1, 500.0);
+  EXPECT_EQ(rig.net.adForwards(), 1u);
+  EXPECT_EQ(rig.vetoes(), 0u);
+}
+
+TEST(FlockTargetingTest, AdWithoutConstraintAlwaysFlocks) {
+  Rig rig(FlockPolicy::kDigest);
+  rig.deliverDigest(rig.anyResources(1), demandOf({64}, 1), 1.0);
+  classad::ClassAd bare;
+  bare.set("Type", "Machine");
+  bare.set("Name", "open");
+  rig.plane->onLocalResourceAd("ra://open",
+                               classad::makeShared(std::move(bare)), 1, 2.0);
+  EXPECT_EQ(rig.net.adForwards(), 1u);
+}
+
+TEST(FlockTargetingTest, FresherDemandRejudgesTheSameRevision) {
+  Rig rig(FlockPolicy::kDigest);
+  rig.deliverDigest(rig.anyResources(1), demandOf({64}, 1), 1.0);
+  const auto ad = machineAd("picky", "other.Memory >= 128");
+  rig.plane->onLocalResourceAd("ra://picky", ad, 7, 2.0);
+  EXPECT_EQ(rig.net.adForwards(), 0u);
+  EXPECT_EQ(rig.vetoes(), 1u);
+
+  // The peer's demand changes: a big-memory job arrives there. The SAME
+  // ad revision must be re-judged against the new digest version.
+  rig.deliverDigest(rig.anyResources(2), demandOf({64, 256}, 2), 3.0);
+  rig.plane->onLocalResourceAd("ra://picky", ad, 7, 4.0);
+  EXPECT_EQ(rig.net.adForwards(), 1u);
+  EXPECT_EQ(rig.vetoes(), 1u);
+}
+
+TEST(FlockTargetingTest, UnknownVerdictFailsOpen) {
+  Rig rig(FlockPolicy::kDigest);
+  rig.deliverDigest(rig.anyResources(1), demandOf({64}, 1), 1.0);
+  // A shape the atomizer cannot decide (string ORDER comparison — the
+  // value-set lattice only tracks string equality): must flock.
+  rig.plane->onLocalResourceAd(
+      "ra://weird", machineAd("weird", "other.Owner >= \"a\""), 1, 2.0);
+  EXPECT_EQ(rig.net.adForwards(), 1u);
+  EXPECT_EQ(rig.vetoes(), 0u);
+}
+
+TEST(FlockTargetingTest, PushDigestCarriesDemandOnlyWhenRequestsExist) {
+  Rig rig(FlockPolicy::kAll);
+  rig.plane->pushDigest(1.0);
+  ASSERT_EQ(rig.net.sent.size(), 1u);
+  {
+    const auto* msg = std::get_if<SchemaDigestMsg>(&rig.net.sent[0].payload);
+    ASSERT_NE(msg, nullptr);
+    EXPECT_FALSE(msg->demand.has_value());
+  }
+  rig.net.sent.clear();
+  rig.host.requests = classad::analysis::Schema::fromAds(
+      std::vector<classad::ClassAdPtr>{jobAd(64), jobAd(128)});
+  rig.plane->pushDigest(2.0);
+  ASSERT_EQ(rig.net.sent.size(), 1u);
+  const auto* msg = std::get_if<SchemaDigestMsg>(&rig.net.sent[0].payload);
+  ASSERT_NE(msg, nullptr);
+  ASSERT_TRUE(msg->demand.has_value());
+  EXPECT_EQ(msg->demand->adCount, 2u);
+  EXPECT_EQ(msg->demand->pool, "poolA");
+}
+
+// --- kFiltered per-revision cache (the satellite fix) ---------------------
+
+TEST(FlockTargetingTest, FilteredCacheAgreesWithUncachedQuery) {
+  const std::string constraint = "Memory >= 100 && Type == \"Machine\"";
+  Rig rig(FlockPolicy::kFiltered, constraint);
+  const classad::Query uncached = classad::Query::fromConstraint(constraint);
+  std::uint64_t sequence = 0;
+  for (std::int64_t mem : {32, 99, 100, 101, 4096, 0}) {
+    const auto ad = machineAd("m" + std::to_string(mem), "true", mem);
+    const std::size_t before = rig.net.adForwards();
+    // Same revision delivered twice: the memoized verdict must hold.
+    rig.plane->onLocalResourceAd("ra://m", ad, ++sequence, 1.0);
+    rig.plane->onLocalResourceAd("ra://m", ad, sequence, 1.0);
+    const std::size_t flocked = rig.net.adForwards() - before;
+    EXPECT_EQ(flocked, uncached.matches(*ad) ? 2u : 0u) << "Memory=" << mem;
+  }
+}
+
+TEST(FlockTargetingTest, NewRevisionReevaluatesTheFilter) {
+  Rig rig(FlockPolicy::kFiltered, "Memory >= 100");
+  rig.plane->onLocalResourceAd("ra://m", machineAd("m", "true", 64), 1, 1.0);
+  EXPECT_EQ(rig.net.adForwards(), 0u);
+  // The machine re-advertises with more memory under a new sequence: the
+  // cached verdict for revision 1 must not leak onto revision 2.
+  rig.plane->onLocalResourceAd("ra://m", machineAd("m", "true", 256), 2,
+                               2.0);
+  EXPECT_EQ(rig.net.adForwards(), 1u);
+}
+
+TEST(FlockTargetingTest, DigestPolicyHonorsFlockConstraintToo) {
+  Rig rig(FlockPolicy::kDigest, "Memory >= 100");
+  rig.deliverDigest(rig.anyResources(1), demandOf({64}, 1), 1.0);
+  rig.plane->onLocalResourceAd(
+      "ra://small", machineAd("small", "other.Memory <= 64", 64), 1, 2.0);
+  EXPECT_EQ(rig.net.adForwards(), 0u);  // static filter, not a veto
+  EXPECT_EQ(rig.vetoes(), 0u);
+  rig.plane->onLocalResourceAd(
+      "ra://big", machineAd("big", "other.Memory <= 64", 256), 1, 2.0);
+  EXPECT_EQ(rig.net.adForwards(), 1u);  // passes filter, demand admits
+}
+
+}  // namespace
+}  // namespace federation

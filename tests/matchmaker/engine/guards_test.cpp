@@ -97,6 +97,35 @@ TEST(GuardsTest, ContradictoryConjunctsAdmitNothing) {
   EXPECT_TRUE(set.neverTrue || (g != nullptr && g->domain.admitsNothing()));
 }
 
+TEST(GuardsTest, RedundantConjunctElided) {
+  // `Memory >= 32` is implied by `Memory >= 64`: its guard is skipped and
+  // the count is reported. The surviving guard still carries the tighter
+  // bound, so the candidate superset is unchanged.
+  const GuardSet set =
+      guardsFor("other.Memory >= 64 && other.Memory >= 32");
+  EXPECT_EQ(set.elided, 1u);
+  const Guard* g = guardOn(set, "memory");
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(g->domain.admitsNumber(63.0));
+  EXPECT_TRUE(g->domain.admitsNumber(64.0));
+
+  // Independent conjuncts: nothing elided.
+  EXPECT_EQ(
+      guardsFor("other.Memory >= 64 && other.Arch == \"INTEL\"").elided, 0u);
+}
+
+TEST(GuardsTest, ElisionNeverWidensBeyondSurvivors) {
+  // Equivalent duplicates: exactly one contributes a guard, and that
+  // guard is as tight as either spelling alone would produce.
+  const GuardSet set =
+      guardsFor("other.Memory >= 64 && !(other.Memory < 64)");
+  EXPECT_EQ(set.elided, 1u);
+  const Guard* g = guardOn(set, "memory");
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(g->domain.admitsNumber(63.0));
+  EXPECT_TRUE(g->domain.admitsNumber(64.0));
+}
+
 TEST(GuardsTest, InvalidRequestYieldsEmptySet) {
   // An invalid PreparedAd never reaches candidate selection (the engine
   // rejects it before guards are consulted), so no claims are made.

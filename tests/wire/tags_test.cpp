@@ -193,6 +193,41 @@ TEST(FrameTags, SchemaDigestRoundTrip) {
     EXPECT_EQ(a.anyString, b.anyString) << a.name;
     EXPECT_EQ(a.strings, b.strings) << a.name;
   }
+  EXPECT_FALSE(got->demand.has_value());
+}
+
+TEST(FrameTags, SchemaDigestDemandCompanionRoundTrip) {
+  federation::SchemaDigestMsg msg;
+  const std::vector<classad::ClassAdPtr> machines = {sampleMachineAd()};
+  msg.digest = federation::digestOf(
+      classad::analysis::Schema::fromAds(machines));
+  msg.digest.pool = "west";
+  msg.digest.version = 8;
+  classad::ClassAd job;
+  job.set("Type", "Job");
+  job.set("Owner", "raman");
+  job.set("Memory", std::int64_t{64});
+  const std::vector<classad::ClassAdPtr> jobs = {
+      classad::makeShared(std::move(job))};
+  federation::SchemaDigest demand =
+      federation::digestOf(classad::analysis::Schema::fromAds(jobs));
+  demand.pool = "west";
+  demand.version = 8;
+  msg.demand = demand;
+  Envelope back = roundTrip({"collector.west", "collector.east", msg},
+                            FrameTag::kSchemaDigest);
+  auto* got = std::get_if<federation::SchemaDigestMsg>(&back.payload);
+  ASSERT_NE(got, nullptr);
+  ASSERT_TRUE(got->demand.has_value());
+  EXPECT_EQ(got->demand->pool, "west");
+  EXPECT_EQ(got->demand->version, 8u);
+  EXPECT_EQ(got->demand->adCount, demand.adCount);
+  ASSERT_EQ(got->demand->attrs.size(), demand.attrs.size());
+  for (std::size_t i = 0; i < demand.attrs.size(); ++i) {
+    EXPECT_EQ(got->demand->attrs[i].name, demand.attrs[i].name);
+    EXPECT_EQ(got->demand->attrs[i].typeMask, demand.attrs[i].typeMask);
+    EXPECT_EQ(got->demand->attrs[i].strings, demand.attrs[i].strings);
+  }
 }
 
 TEST(FrameTags, MatchReferralRoundTrip) {

@@ -1,0 +1,177 @@
+// implies_fuzz - standalone seeded fuzz driver for the implication
+// prover (the CLI twin of tests/classad/implies_fuzz_test.cpp, built on
+// the same mm_lint-style harness: mutate, parse, analyze what parses).
+//
+//   implies_fuzz [-seed N] [-rounds N] [-v]
+//
+// Each round draws two corpus expressions, mutates one, and drives every
+// prover entry point (implies, unsatisfiable, isRelaxationOf) across the
+// three schema modes. The process must not crash, hang, or — when built
+// with sanitizers, as in CI — trip ASan/UBSan/TSan; any Refuted witness
+// is re-checked by concrete evaluation and a bad one fails the run.
+//
+// Exit status: 0 = all rounds clean, 1 = a witness failed its concrete
+// re-check, 2 = bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "classad/analysis/implies.h"
+#include "classad/analysis/schema.h"
+#include "classad/classad.h"
+#include "sim/rng.h"
+
+namespace {
+
+namespace ca = classad::analysis;
+
+const char* kCorpus[] = {
+    "other.Memory >= other.Memory >= 64",
+    "member(other.Arch, {1, \"x\", undefined, error, {2}})",
+    "member(other.Arch, other.Arch)",
+    "!(!(!(other.X == 0)))",
+    "other.X == 9007199254740993",
+    "other.X != -9007199254740993",
+    "other.X == 0.0 || other.X == -0.0",
+    "other.X == 1e308 * 10",
+    "other.X == (0.0 / 0.0)",
+    "other.X is error",
+    "other.X isnt error",
+    "undefined && other.X > 0",
+    "error || other.X > 0",
+    "(other.X ? other.Y : other.Z)",
+    "other.X == \"\"",
+    "member(other.X, {})",
+    "self.Foo == other.Foo",
+    "MinMemory <= other.Memory && other.Memory <= MinMemory",
+    "other.X < 5 && other.X < 5 && other.X < 5 && other.X < 5",
+    "((((((((((other.X > 0))))))))))",
+    "other.Type == \"Machine\" && other.Memory >= MinMemory",
+    "other.Arch == \"INTEL\" || other.Arch == \"ALPHA\"",
+};
+
+ca::Schema fuzzSchema() {
+  std::vector<classad::ClassAd> pool;
+  pool.push_back(classad::ClassAd::parse(
+      "[Arch = \"INTEL\"; Memory = 64; Disk = 3000; Load = 0.5]"));
+  pool.push_back(classad::ClassAd::parse("[Arch = \"ALPHA\"; Memory = 128]"));
+  return ca::Schema::fromAds(pool);
+}
+
+std::size_t gBadWitnesses = 0;
+
+void report(const char* what, const std::string& a, const std::string& b) {
+  ++gBadWitnesses;
+  std::fprintf(stderr, "implies_fuzz: BAD WITNESS (%s)\n  A: %s\n  B: %s\n",
+               what, a.c_str(), b.c_str());
+}
+
+/// The same contract as the test harness: verdicts are free, crashes and
+/// unsound witnesses are not.
+void proveWhatParses(const std::string& textA, const std::string& textB,
+                     const ca::Schema& schema) {
+  const auto a = classad::tryParseExpr(textA);
+  const auto b = classad::tryParseExpr(textB);
+  if (!a || !b) return;
+  const classad::ClassAd self = classad::ClassAd::parse("[MinMemory = 64]");
+
+  for (const int mode : {0, 1, 2}) {
+    ca::ImpliesOptions opts;
+    opts.maxWitnessTrials = 8;
+    if (mode > 0) {
+      opts.otherSchema = &schema;
+      opts.exactSchemaValues = mode == 2;
+    }
+    const ca::ImpliesResult r = ca::implies(self, *a, *b, opts);
+    if (r.refuted()) {
+      if (!r.witness.has_value() ||
+          !self.evaluate(**a, &*r.witness).isBooleanTrue() ||
+          self.evaluate(**b, &*r.witness).isBooleanTrue()) {
+        report("implies", textA, textB);
+      }
+    }
+    const ca::ImpliesResult u = ca::unsatisfiable(&self, *a, opts);
+    if (u.refuted()) {
+      if (!u.witness.has_value() ||
+          !self.evaluate(**a, &*u.witness).isBooleanTrue()) {
+        report("unsatisfiable", textA, textB);
+      }
+    }
+  }
+
+  classad::ClassAd oldAd;
+  oldAd.insert("Requirements", *a);
+  classad::ClassAd newAd;
+  newAd.insert("Requirements", *b);
+  const ca::RelaxationResult rel = ca::isRelaxationOf(oldAd, newAd);
+  if ((rel.verdict == ca::RelaxationVerdict::NotRelaxation ||
+       rel.verdict == ca::RelaxationVerdict::StrictRelaxation) &&
+      !rel.witness.has_value()) {
+    report("isRelaxationOf", textA, textB);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 20260808;
+  long rounds = 2000;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "-rounds") == 0 && i + 1 < argc) {
+      rounds = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "-v") == 0) {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: implies_fuzz [-seed N] [-rounds N] [-v]\n");
+      return 2;
+    }
+  }
+
+  const ca::Schema schema = fuzzSchema();
+
+  // Pass 0: the full corpus cross product, unmutated.
+  for (const char* a : kCorpus) {
+    for (const char* b : kCorpus) proveWhatParses(a, b, schema);
+  }
+
+  // Seeded mutation rounds, mirroring the test harness.
+  htcsim::Rng rng(seed);
+  const std::string alphabet = "()&|=<>!\".x5{},";
+  for (long round = 0; round < rounds; ++round) {
+    std::string a = kCorpus[rng.below(std::size(kCorpus))];
+    std::string b = kCorpus[rng.below(std::size(kCorpus))];
+    std::string& victim = rng.chance(0.5) ? a : b;
+    const int edits = 1 + static_cast<int>(rng.below(6));
+    for (int e = 0; e < edits && !victim.empty(); ++e) {
+      const std::size_t pos = rng.below(victim.size());
+      switch (rng.below(3)) {
+        case 0:
+          victim[pos] = alphabet[rng.below(alphabet.size())];
+          break;
+        case 1:
+          victim.erase(pos, 1);
+          break;
+        default:
+          victim.insert(pos, 1, alphabet[rng.below(alphabet.size())]);
+          break;
+      }
+    }
+    if (verbose) {
+      std::fprintf(stderr, "round %ld:\n  A: %s\n  B: %s\n", round, a.c_str(),
+                   b.c_str());
+    }
+    proveWhatParses(a, b, schema);
+  }
+
+  std::printf("implies_fuzz: seed %llu, %ld mutation round(s), %zu bad"
+              " witness(es)\n",
+              static_cast<unsigned long long>(seed), rounds, gBadWitnesses);
+  return gBadWitnesses == 0 ? 0 : 1;
+}

@@ -5,14 +5,23 @@
 //   mm_lint -schema pool.ads job.ad        # + schema checks vs the pool
 //   mm_lint -schema pool.ads jobs.ads      # every ad in a multi-ad file
 //   mm_lint -Werror job.ad                 # warnings fail the build too
+//   mm_lint -json job.ad                   # one JSON object per finding
+//   mm_lint -relaxcheck old.ad new.ad      # prove new relaxes old
 //
 // An ad file holds one or more `[ ... ]` blocks; `#` and `//` start
 // comments between blocks. Findings go to stdout, one per line, prefixed
-// with "file:ad-index:".
+// with "file:ad-index:" (or as JSONL with -json; the prefix becomes the
+// "source" key).
 //
 // Exit status: 0 = clean (or warnings without -Werror), 1 = error-class
 // findings (or warnings with -Werror), 2 = bad usage / unreadable or
 // unparsable input.
+//
+// -relaxcheck compares the effective constraints of the FIRST ad in each
+// of exactly two files (docs/ANALYSIS.md "Relaxation verification"):
+// exit 0 = proven strict relaxation, 1 = not a relaxation (witness
+// printed) or merely equivalent/non-strict, 2 = usage/parse trouble,
+// 3 = the prover cannot decide (Unknown).
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -20,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "classad/analysis/implies.h"
 #include "classad/analysis/lint.h"
 #include "classad/analysis/schema.h"
 #include "classad/classad.h"
@@ -30,10 +40,14 @@ namespace ca = classad::analysis;
 
 void usage(std::ostream& out) {
   out << "usage: mm_lint [options] ad-file...\n"
+         "       mm_lint [options] -relaxcheck old.ad new.ad\n"
          "  -schema file   pool ads to fold into the attribute schema\n"
          "                 (job ads are checked against it)\n"
          "  -exact         treat schema value domains as exhaustive\n"
          "  -Werror        exit nonzero on warnings too\n"
+         "  -json          one JSON object per finding (JSONL)\n"
+         "  -relaxcheck    prove new.ad's constraint relaxes old.ad's\n"
+         "                 (exit 0 strict, 1 not/equivalent, 3 unknown)\n"
          "  -q             suggestions/summary off, findings only\n";
 }
 
@@ -65,6 +79,58 @@ std::vector<classad::ClassAd> parseAds(const std::string& path,
   return ads;
 }
 
+/// Loads the FIRST ad of `path` (relaxcheck operand).
+std::optional<classad::ClassAd> firstAd(const std::string& path,
+                                        std::vector<std::string>* problems) {
+  const auto text = readFile(path);
+  if (!text) {
+    std::cerr << "mm_lint: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::vector<classad::ClassAd> ads = parseAds(path, *text, problems);
+  if (ads.empty()) {
+    std::cerr << "mm_lint: " << path << ": no parsable ad\n";
+    return std::nullopt;
+  }
+  return std::move(ads.front());
+}
+
+/// `mm_lint -relaxcheck old.ad new.ad`: the ROADMAP item-5 verification
+/// primitive as a CLI. Exit 0 only on a PROVEN strict relaxation.
+int relaxCheck(const std::string& oldPath, const std::string& newPath,
+               const ca::ImpliesOptions& opts, bool quiet) {
+  std::vector<std::string> problems;
+  const auto oldAd = firstAd(oldPath, &problems);
+  const auto newAd = firstAd(newPath, &problems);
+  for (const std::string& p : problems) std::cerr << "mm_lint: " << p << "\n";
+  if (!oldAd || !newAd || !problems.empty()) return 2;
+
+  const ca::RelaxationResult result = ca::isRelaxationOf(*oldAd, *newAd, opts);
+  std::cout << "relaxcheck: " << ca::toString(result.verdict) << "\n";
+  if (!quiet && !result.note.empty()) {
+    std::cout << "  note: " << result.note << "\n";
+  }
+  if (result.witness.has_value()) {
+    const char* role =
+        result.verdict == ca::RelaxationVerdict::NotRelaxation
+            ? "admitted by old, rejected by new"
+            : "admitted by new, rejected by old";
+    std::cout << "  witness (" << role << "): " << result.witness->unparse()
+              << "\n";
+  }
+  switch (result.verdict) {
+    case ca::RelaxationVerdict::StrictRelaxation:
+      return 0;
+    case ca::RelaxationVerdict::Relaxation:
+    case ca::RelaxationVerdict::Equivalent:
+    case ca::RelaxationVerdict::NotRelaxation:
+      return 1;
+    case ca::RelaxationVerdict::Unknown:
+      break;
+  }
+  return 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +138,8 @@ int main(int argc, char** argv) {
   bool exactValues = false;
   bool werror = false;
   bool quiet = false;
+  bool json = false;
+  bool relaxcheck = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,6 +149,10 @@ int main(int argc, char** argv) {
       exactValues = true;
     } else if (arg == "-Werror") {
       werror = true;
+    } else if (arg == "-json") {
+      json = true;
+    } else if (arg == "-relaxcheck") {
+      relaxcheck = true;
     } else if (arg == "-q") {
       quiet = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -113,6 +185,18 @@ int main(int argc, char** argv) {
     schema = ca::Schema::fromAds(poolAds);
   }
 
+  if (relaxcheck) {
+    if (files.size() != 2) {
+      std::cerr << "mm_lint: -relaxcheck wants exactly two ad files\n";
+      usage(std::cerr);
+      return 2;
+    }
+    ca::ImpliesOptions impliesOpts;
+    if (!schema.empty()) impliesOpts.otherSchema = &schema;
+    impliesOpts.exactSchemaValues = exactValues;
+    return relaxCheck(files[0], files[1], impliesOpts, quiet);
+  }
+
   ca::LintOptions opts;
   if (!schema.empty()) opts.otherSchema = &schema;
   opts.exactSchemaValues = exactValues;
@@ -131,8 +215,13 @@ int main(int argc, char** argv) {
       const ca::LintReport report = ca::lintAd(ad, opts);
       warnings += report.warnings();
       errors += report.errors();
-      for (const ca::LintFinding& f : report.findings) {
-        std::cout << path << ":" << index << ": " << f.toString() << "\n";
+      const std::string source = path + ":" + std::to_string(index);
+      if (json) {
+        std::cout << ca::toJsonLines(report, source);
+      } else {
+        for (const ca::LintFinding& f : report.findings) {
+          std::cout << source << ": " << f.toString() << "\n";
+        }
       }
     }
   }
