@@ -40,6 +40,7 @@
 #include "classad/query.h"
 #include "matchmaker/engine/guards.h"
 #include "matchmaker/engine/index.h"
+#include "matchmaker/engine/ordering.h"
 
 namespace matchmaking::engine {
 
@@ -136,9 +137,9 @@ struct ScanStats {
   std::size_t staticSkips = 0;  ///< requests skipped as never-true
 };
 
-/// Winner of one request's candidate scan, under Section 3.2's ordering:
-/// highest request rank, then highest resource rank, then first in slot
-/// order (deterministic).
+/// Winner of one request's candidate scan, under Section 3.2's ordering
+/// (engine/ordering.h): highest request rank, then highest resource rank,
+/// then first in slot order (deterministic).
 struct BestCandidate {
   std::uint32_t slot = 0;
   double requestRank = -std::numeric_limits<double>::infinity();
@@ -148,8 +149,7 @@ struct BestCandidate {
 
   bool improvedBy(double reqRank, double resRank) const noexcept {
     if (!found) return true;
-    if (reqRank != requestRank) return reqRank > requestRank;
-    return resRank > resourceRank;
+    return rankOrderImproves(reqRank, resRank, requestRank, resourceRank);
   }
 };
 

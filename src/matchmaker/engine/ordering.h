@@ -1,0 +1,49 @@
+// ordering.h - THE Section 3.2 candidate ordering, in one place.
+//
+// "Rank expressions are used as goodness metrics to identify the more
+// desirable among the compatible matches": a candidate is better when the
+// REQUEST ranks it strictly higher, ties broken by the RESOURCE's rank of
+// the request, remaining ties broken by slot id (first wins) so every
+// consumer is deterministic. The MatchEngine's bestFor scan, the
+// aggregation representative sort, and every negotiation policy
+// (src/matchmaker/policy) share these definitions — the ordering cannot
+// drift between consumers because there is only one.
+#pragma once
+
+#include <cstdint>
+
+namespace matchmaking::engine {
+
+/// True iff a candidate with ranks (newReq, newRes) beats the incumbent
+/// (bestReq, bestRes) under the Section 3.2 ordering. Equal ranks do NOT
+/// improve: the earlier candidate keeps winning, which is what makes the
+/// serial scan, the chunked parallel scan, and the sorted policies agree.
+constexpr bool rankOrderImproves(double newReq, double newRes, double bestReq,
+                                 double bestRes) noexcept {
+  if (newReq != bestReq) return newReq > bestReq;
+  return newRes > bestRes;
+}
+
+/// One scored candidate, as the policies and the aggregation pass carry
+/// it around between scoring and selection.
+struct RankedCandidate {
+  double requestRank = 0.0;
+  double resourceRank = 0.0;
+  std::uint32_t slot = 0;  ///< resource slot id (ascending = arrival order)
+};
+
+/// Strict weak ordering that sorts candidates best-first: higher request
+/// rank, then higher resource rank, then LOWER slot id — sorting with it
+/// and taking the front is exactly what the bestFor scan computes.
+struct RankOrderBestFirst {
+  constexpr bool operator()(const RankedCandidate& a,
+                            const RankedCandidate& b) const noexcept {
+    if (a.requestRank != b.requestRank) return a.requestRank > b.requestRank;
+    if (a.resourceRank != b.resourceRank) {
+      return a.resourceRank > b.resourceRank;
+    }
+    return a.slot < b.slot;
+  }
+};
+
+}  // namespace matchmaking::engine

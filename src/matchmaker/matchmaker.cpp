@@ -169,11 +169,16 @@ std::vector<Match> Matchmaker::negotiate(const engine::PreparedPool& requests,
                                          const Accountant& accountant, Time now,
                                          NegotiationStats* stats,
                                          std::vector<char>* taken) const {
-  if (config_.useAggregation) {
+  // Aggregation is a greedy-scan accelerator (it reorders WHICH resource a
+  // request's scan inspects first, not which request is served next); the
+  // batch policies replace that scan outright, so they win the dispatch.
+  if (config_.useAggregation &&
+      config_.negotiationPolicy == policy::PolicyKind::kGreedy) {
     return negotiateAggregated(requests, resources, accountant, now, stats,
                                taken);
   }
-  return negotiateNaive(requests, resources, accountant, now, stats, taken);
+  return negotiateWithPolicy(requests, resources, accountant, now, stats,
+                             taken);
 }
 
 std::vector<std::size_t> Matchmaker::serviceOrder(
@@ -259,7 +264,7 @@ std::vector<std::size_t> Matchmaker::serviceOrder(
   return out;
 }
 
-std::vector<Match> Matchmaker::negotiateNaive(
+std::vector<Match> Matchmaker::negotiateWithPolicy(
     const engine::PreparedPool& requests, const engine::PreparedPool& resources,
     const Accountant& accountant, Time now, NegotiationStats* stats,
     std::vector<char>* taken) const {
@@ -279,21 +284,38 @@ std::vector<Match> Matchmaker::negotiateNaive(
   const std::vector<std::size_t> order =
       serviceOrder(view.ads, accountant, now);
   local.serviceOrderSeconds = secondsSince(phaseStart);
-  phaseStart = std::chrono::steady_clock::now();
+
+  // Request slot ids in service order: the policy's contract is "earlier
+  // span entries have better standing", so fair share stays the
+  // matchmaker's concern and the policy only decides pairs.
+  std::vector<std::uint32_t> orderedSlots;
+  orderedSlots.reserve(order.size());
   for (const std::size_t reqIdx : order) {
-    const engine::Slot& reqSlot = requests.slots()[view.slotIds[reqIdx]];
-    const engine::BestCandidate best = eng.bestFor(
-        reqSlot.prepared, reqSlot.guards, resources, takenRef, &scan);
-    if (!best.found) continue;
-    takenRef[best.slot] = 1;
-    Match match = buildMatch(reqSlot.ad(), resources.slots()[best.slot],
-                             best.slot, best.requestRank, best.resourceRank,
-                             best.preempting, config_.protocol);
+    orderedSlots.push_back(view.slotIds[reqIdx]);
+  }
+
+  phaseStart = std::chrono::steady_clock::now();
+  policy::CycleContext ctx{eng, requests, resources, orderedSlots, takenRef,
+                           &scan};
+  const std::unique_ptr<policy::NegotiationPolicy> pol =
+      policy::makePolicy(config_.negotiationPolicy);
+  policy::PolicyStats pstats;
+  const std::vector<policy::Decision> decisions = pol->decide(ctx, &pstats);
+  local.scanSeconds = secondsSince(phaseStart);
+  local.policySolveSeconds = local.scanSeconds;
+
+  out.reserve(decisions.size());
+  for (const policy::Decision& d : decisions) {
+    const engine::Slot& reqSlot = requests.slots()[d.requestSlot];
+    Match match = buildMatch(reqSlot.ad(), resources.slots()[d.resourceSlot],
+                             d.resourceSlot, d.requestRank, d.resourceRank,
+                             d.preempting, config_.protocol);
     if (match.preempting) ++local.preemptions;
     ++local.matches;
     out.push_back(std::move(match));
   }
-  local.scanSeconds = secondsSince(phaseStart);
+  local.aggregateRank = pstats.aggregateRank;
+  local.auctionRounds = pstats.auctionRounds;
   foldScanStats(scan, local);
   if (stats) *stats = local;
   return out;
@@ -380,39 +402,28 @@ std::vector<Match> Matchmaker::negotiateAggregated(
     }
 
     // Phase 1: evaluate each group's REPRESENTATIVE (one evaluation per
-    // group instead of one per resource) and order groups by rank.
-    struct GroupCandidate {
-      std::size_t group;
-      double requestRank;
-      double resourceRank;
-    };
-    std::vector<GroupCandidate> candidates;
+    // group instead of one per resource) and order groups by the shared
+    // Section 3.2 ordering (engine/ordering.h; "slot" = group index).
+    std::vector<engine::RankedCandidate> candidates;
     for (std::size_t g = 0; g < groups.size(); ++g) {
       if (remaining[g] == 0) continue;
       ++local.candidateEvaluations;
       const classad::MatchAnalysis m =
           eng.analyzePair(reqSlot.prepared, reps[g]);
       if (!m.matched) continue;
-      candidates.push_back({g, m.requestRank, m.resourceRank});
+      candidates.push_back(
+          {m.requestRank, m.resourceRank, static_cast<std::uint32_t>(g)});
     }
     std::sort(candidates.begin(), candidates.end(),
-              [](const GroupCandidate& a, const GroupCandidate& b) {
-                if (a.requestRank != b.requestRank) {
-                  return a.requestRank > b.requestRank;
-                }
-                if (a.resourceRank != b.resourceRank) {
-                  return a.resourceRank > b.resourceRank;
-                }
-                return a.group < b.group;
-              });
+              engine::RankOrderBestFirst{});
 
     // Phase 2: inside the best group, VERIFY against the actual member
     // (the match-is-a-hint discipline). A member that fails verification
     // for THIS request stays available for later requests. Fall through
     // groups until a member verifies.
     bool served = false;
-    for (const GroupCandidate& cand : candidates) {
-      const AdGroup& group = groups[cand.group];
+    for (const engine::RankedCandidate& cand : candidates) {
+      const AdGroup& group = groups[cand.slot];
       for (const std::size_t memberIdx : group.members) {
         const engine::Slot& slot = slots[memberIdx];
         if (takenRef[memberIdx] != 0 || !slot.live) continue;

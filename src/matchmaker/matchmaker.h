@@ -25,6 +25,7 @@
 #include "classad/match.h"
 #include "matchmaker/advertising.h"
 #include "matchmaker/engine/engine.h"
+#include "matchmaker/policy/policy.h"
 #include "matchmaker/priority.h"
 #include "matchmaker/protocol.h"
 
@@ -69,6 +70,13 @@ struct MatchmakerConfig {
   /// proven superset of the matchable slots); off forces the pure linear
   /// scan, which is what bench_e1_scalability's "linear" columns measure.
   bool useCandidateIndex = true;
+  /// The per-cycle request<->resource decision procedure
+  /// (src/matchmaker/policy, docs/POLICY.md): the paper's greedy
+  /// priority-order scan (default, bit-identical to the pre-policy
+  /// path), whole-cycle optimal assignment, or an auction market.
+  /// Aggregation (useAggregation) only applies under the greedy policy;
+  /// batch policies already see the whole cycle at once.
+  policy::PolicyKind negotiationPolicy = policy::PolicyKind::kGreedy;
 };
 
 /// One match produced by a negotiation cycle: a mutual introduction, not an
@@ -115,6 +123,13 @@ struct NegotiationStats {
   /// negotiate() and publishes all four into its metrics registry.
   double serviceOrderSeconds = 0.0;
   double scanSeconds = 0.0;
+  /// Negotiation-policy instrumentation (src/matchmaker/policy): the
+  /// policy's whole decide() call (== scanSeconds for the pairwise
+  /// pass), the summed request Rank over the issued matches, and — for
+  /// the auction policy — the bids the market needed to clear.
+  double policySolveSeconds = 0.0;
+  double aggregateRank = 0.0;
+  std::size_t auctionRounds = 0;
 };
 
 class Matchmaker {
@@ -169,11 +184,14 @@ class Matchmaker {
                                     NegotiationStats* stats = nullptr) const;
 
  private:
-  std::vector<Match> negotiateNaive(const engine::PreparedPool& requests,
-                                    const engine::PreparedPool& resources,
-                                    const Accountant& accountant, Time now,
-                                    NegotiationStats* stats,
-                                    std::vector<char>* taken) const;
+  /// The pairwise pass: fair-share service order, then the configured
+  /// NegotiationPolicy decides the cycle's pairs (greedy reproduces the
+  /// historical inline scan bit-identically; see docs/POLICY.md).
+  std::vector<Match> negotiateWithPolicy(const engine::PreparedPool& requests,
+                                         const engine::PreparedPool& resources,
+                                         const Accountant& accountant, Time now,
+                                         NegotiationStats* stats,
+                                         std::vector<char>* taken) const;
   std::vector<Match> negotiateAggregated(const engine::PreparedPool& requests,
                                          const engine::PreparedPool& resources,
                                          const Accountant& accountant, Time now,

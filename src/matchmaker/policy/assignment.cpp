@@ -1,0 +1,249 @@
+#include "matchmaker/policy/assignment.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace matchmaking::policy {
+
+namespace {
+
+constexpr std::uint32_t kNone = AssignmentPolicy::kUnmatched;
+
+/// Hopcroft–Karp over the dense bipartite graph: repeated BFS layering
+/// from the free requests, then vertex-disjoint augmenting DFS along the
+/// layers. Deterministic: adjacency lists are consumed in build order.
+struct HopcroftKarp {
+  const FeasibilityGraph& g;
+  std::vector<std::uint32_t> matchL;
+  std::vector<std::uint32_t> matchR;
+  std::vector<std::uint32_t> layer;
+
+  explicit HopcroftKarp(const FeasibilityGraph& graph)
+      : g(graph),
+        matchL(graph.requestCount(), kNone),
+        matchR(graph.resourceCount(), kNone),
+        layer(graph.requestCount(), 0) {}
+
+  bool bfs() {
+    constexpr std::uint32_t kInf = 0xffffffffU;
+    std::deque<std::uint32_t> queue;
+    for (std::uint32_t r = 0; r < g.requestCount(); ++r) {
+      if (matchL[r] == kNone) {
+        layer[r] = 0;
+        queue.push_back(r);
+      } else {
+        layer[r] = kInf;
+      }
+    }
+    bool reachedFree = false;
+    while (!queue.empty()) {
+      const std::uint32_t r = queue.front();
+      queue.pop_front();
+      for (const std::uint32_t e : g.adjacency[r]) {
+        const std::uint32_t c = g.edges[e].resource;
+        const std::uint32_t owner = matchR[c];
+        if (owner == kNone) {
+          reachedFree = true;
+        } else if (layer[owner] == kInf) {
+          layer[owner] = layer[r] + 1;
+          queue.push_back(owner);
+        }
+      }
+    }
+    return reachedFree;
+  }
+
+  bool dfs(std::uint32_t r) {
+    for (const std::uint32_t e : g.adjacency[r]) {
+      const std::uint32_t c = g.edges[e].resource;
+      const std::uint32_t owner = matchR[c];
+      if (owner == kNone || (layer[owner] == layer[r] + 1 && dfs(owner))) {
+        matchL[r] = c;
+        matchR[c] = r;
+        return true;
+      }
+    }
+    layer[r] = 0xffffffffU;  // dead end for this phase
+    return false;
+  }
+
+  void solve() {
+    while (bfs()) {
+      for (std::uint32_t r = 0; r < g.requestCount(); ++r) {
+        if (matchL[r] == kNone) dfs(r);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> AssignmentPolicy::solveMaxPairs(
+    const FeasibilityGraph& g) {
+  HopcroftKarp hk(g);
+  hk.solve();
+  return std::move(hk.matchL);
+}
+
+// Min-cost max-cardinality matching by successive shortest augmenting
+// paths: cost(e) = maxRank - requestRank(e) >= 0, so among matchings of
+// equal cardinality, minimum cost == maximum total request rank; and
+// because every augmentation (cheap or not) grows the matching, the
+// final cardinality is maximum. Paths are found with SPFA over the
+// residual graph from a virtual source at every free request —
+// Bellman–Ford queue relaxation, which tolerates the negative backward
+// arcs of matched edges without potentials. Classic SSP invariant: after
+// k augmentations the matching is min-cost among all k-matchings, so the
+// residual graph never grows a negative cycle.
+std::vector<std::uint32_t> AssignmentPolicy::solveMaxTotalRank(
+    const FeasibilityGraph& g) {
+  const std::size_t nl = g.requestCount();
+  const std::size_t nr = g.resourceCount();
+  std::vector<std::uint32_t> matchL(nl, kNone);
+  std::vector<std::uint32_t> matchR(nr, kNone);
+  if (g.edges.empty()) return matchL;
+
+  double maxRank = -std::numeric_limits<double>::infinity();
+  for (const FeasibleEdge& e : g.edges) {
+    maxRank = std::max(maxRank, e.requestRank);
+  }
+  const auto cost = [&](const FeasibleEdge& e) {
+    return maxRank - e.requestRank;
+  };
+
+  // Residual-node numbering: requests [0, nl), resources [nl, nl + nr).
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist;
+  std::vector<std::uint32_t> via;  // edge index that reached this node
+  std::vector<char> queued;
+  std::deque<std::uint32_t> queue;
+
+  for (;;) {
+    dist.assign(nl + nr, inf);
+    via.assign(nl + nr, kNone);
+    queued.assign(nl + nr, 0);
+    queue.clear();
+    for (std::uint32_t r = 0; r < nl; ++r) {
+      if (matchL[r] == kNone && !g.adjacency[r].empty()) {
+        dist[r] = 0.0;
+        queued[r] = 1;
+        queue.push_back(r);
+      }
+    }
+    while (!queue.empty()) {
+      const std::uint32_t node = queue.front();
+      queue.pop_front();
+      queued[node] = 0;
+      if (node < nl) {
+        // Forward arcs: unmatched request->resource edges at cost(e).
+        for (const std::uint32_t e : g.adjacency[node]) {
+          const FeasibleEdge& edge = g.edges[e];
+          if (matchL[node] == edge.resource) continue;
+          const std::uint32_t to = static_cast<std::uint32_t>(nl) +
+                                   edge.resource;
+          const double nd = dist[node] + cost(edge);
+          if (nd < dist[to]) {
+            dist[to] = nd;
+            via[to] = e;
+            if (queued[to] == 0) {
+              queued[to] = 1;
+              queue.push_back(to);
+            }
+          }
+        }
+      } else {
+        // Backward arc: a matched resource releases its request at
+        // -cost(matched edge).
+        const std::uint32_t c = node - static_cast<std::uint32_t>(nl);
+        const std::uint32_t owner = matchR[c];
+        if (owner == kNone) continue;
+        for (const std::uint32_t e : g.adjacency[owner]) {
+          if (g.edges[e].resource != c) continue;
+          const double nd = dist[node] - cost(g.edges[e]);
+          if (nd < dist[owner]) {
+            dist[owner] = nd;
+            via[owner] = e;
+            if (queued[owner] == 0) {
+              queued[owner] = 1;
+              queue.push_back(owner);
+            }
+          }
+          break;
+        }
+      }
+    }
+
+    // Cheapest free resource reachable ends the shortest augmenting path
+    // (ties: lowest dense index, for determinism).
+    std::uint32_t target = kNone;
+    for (std::uint32_t c = 0; c < nr; ++c) {
+      if (matchR[c] != kNone || dist[nl + c] == inf) continue;
+      if (target == kNone || dist[nl + c] < dist[nl + target]) target = c;
+    }
+    if (target == kNone) break;  // maximum matching reached
+
+    // Flip the path: alternate forward (assign) and backward (reassign)
+    // edges back to the free request the SPFA started from.
+    std::uint32_t node = static_cast<std::uint32_t>(nl) + target;
+    while (via[node] != kNone) {
+      const FeasibleEdge& edge = g.edges[via[node]];
+      if (node >= nl) {
+        // Arrived at a resource via a forward arc: assign it.
+        const std::uint32_t previous = matchL[edge.request];
+        matchL[edge.request] = edge.resource;
+        matchR[edge.resource] = edge.request;
+        node = edge.request;
+        if (previous == edge.resource) break;  // defensive; cannot happen
+      } else {
+        // Arrived at a request via a backward arc: its old resource was
+        // just handed over; continue from that resource node.
+        node = static_cast<std::uint32_t>(nl) + edge.resource;
+      }
+    }
+  }
+  return matchL;
+}
+
+std::vector<Decision> AssignmentPolicy::decide(CycleContext& ctx,
+                                               PolicyStats* stats) const {
+  if (ctx.taken.size() < ctx.resources.slots().size()) {
+    ctx.taken.resize(ctx.resources.slots().size(), 0);
+  }
+  const FeasibilityGraph graph = buildFeasibilityGraph(ctx);
+  const std::vector<std::uint32_t> matchL =
+      objective_ == AssignmentObjective::kMaxPairs ? solveMaxPairs(graph)
+                                                   : solveMaxTotalRank(graph);
+
+  std::vector<Decision> out;
+  out.reserve(graph.requestCount());
+  for (std::uint32_t r = 0; r < graph.requestCount(); ++r) {
+    const std::uint32_t c = matchL[r];
+    if (c == kNone) continue;
+    // Recover the edge (adjacency is small per request).
+    const FeasibleEdge* edge = nullptr;
+    for (const std::uint32_t e : graph.adjacency[r]) {
+      if (graph.edges[e].resource == c) {
+        edge = &graph.edges[e];
+        break;
+      }
+    }
+    if (edge == nullptr) continue;  // defensive; solver only uses real edges
+    Decision decision;
+    decision.requestSlot = graph.requestSlots[r];
+    decision.resourceSlot = graph.resourceSlots[c];
+    decision.requestRank = edge->requestRank;
+    decision.resourceRank = edge->resourceRank;
+    decision.preempting = edge->preempting;
+    ctx.taken[decision.resourceSlot] = 1;
+    if (stats != nullptr) {
+      ++stats->matchedPairs;
+      stats->aggregateRank += edge->requestRank;
+    }
+    out.push_back(decision);
+  }
+  return out;
+}
+
+}  // namespace matchmaking::policy

@@ -1,0 +1,54 @@
+// assignment.h - Whole-cycle optimal assignment as a negotiation policy.
+//
+// The greedy scan serves requests one at a time, so an early request can
+// take the only machine a later request could use even when both had
+// alternatives — on contended pools that costs matched pairs. This
+// policy instead materializes the cycle's feasibility graph (graph.h)
+// and solves it as bipartite matching:
+//
+//   kMaxPairs     - Hopcroft–Karp maximum-cardinality matching (the
+//                   DeployR machine<->resource idiom): O(E sqrt(V)),
+//                   rank-blind beyond feasibility.
+//   kMaxTotalRank - successive shortest augmenting paths over the
+//                   residual graph with edge cost (maxRank - rank):
+//                   among all MAXIMUM matchings, maximizes the summed
+//                   request Rank. Cardinality first, rank second —
+//                   augmentation continues while any augmenting path
+//                   exists, so the pair count equals Hopcroft–Karp's.
+//
+// Either way the result can never have fewer pairs than greedy: greedy
+// produces a maximal matching of the same graph, and a maximum matching
+// is at least as large (invariant-tested under ctest -L policy).
+#pragma once
+
+#include "matchmaker/policy/graph.h"
+#include "matchmaker/policy/policy.h"
+
+namespace matchmaking::policy {
+
+enum class AssignmentObjective : std::uint8_t { kMaxPairs, kMaxTotalRank };
+
+class AssignmentPolicy final : public NegotiationPolicy {
+ public:
+  explicit AssignmentPolicy(
+      AssignmentObjective objective = AssignmentObjective::kMaxTotalRank)
+      : objective_(objective) {}
+
+  PolicyKind kind() const noexcept override { return PolicyKind::kAssignment; }
+  AssignmentObjective objective() const noexcept { return objective_; }
+  std::vector<Decision> decide(CycleContext& ctx,
+                               PolicyStats* stats) const override;
+
+  /// The solvers, exposed for tests and the bench: given the graph,
+  /// return matchL (per dense request index, the dense resource index it
+  /// was assigned, or kUnmatched).
+  static constexpr std::uint32_t kUnmatched = 0xffffffffU;
+  static std::vector<std::uint32_t> solveMaxPairs(const FeasibilityGraph& g);
+  static std::vector<std::uint32_t> solveMaxTotalRank(
+      const FeasibilityGraph& g);
+
+ private:
+  AssignmentObjective objective_;
+};
+
+}  // namespace matchmaking::policy

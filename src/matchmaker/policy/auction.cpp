@@ -1,0 +1,106 @@
+#include "matchmaker/policy/auction.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace matchmaking::policy {
+
+namespace {
+constexpr std::uint32_t kNone = 0xffffffffU;
+}  // namespace
+
+std::vector<Decision> AuctionPolicy::decide(CycleContext& ctx,
+                                            PolicyStats* stats) const {
+  if (ctx.taken.size() < ctx.resources.slots().size()) {
+    ctx.taken.resize(ctx.resources.slots().size(), 0);
+  }
+  const FeasibilityGraph graph = buildFeasibilityGraph(ctx);
+  const std::size_t nl = graph.requestCount();
+  const std::size_t nr = graph.resourceCount();
+
+  std::vector<Decision> out;
+  if (graph.edges.empty()) return out;
+
+  double minRank = std::numeric_limits<double>::infinity();
+  double maxRank = -std::numeric_limits<double>::infinity();
+  for (const FeasibleEdge& e : graph.edges) {
+    minRank = std::min(minRank, e.requestRank);
+    maxRank = std::max(maxRank, e.requestRank);
+  }
+  const double spread = maxRank - minRank;
+  const double epsilon = config_.epsilon > 0.0
+                             ? config_.epsilon
+                             : std::max(1e-6, spread) /
+                                   static_cast<double>(nr + 1);
+  // Below this value a request cannot profitably displace anyone: even
+  // the cheapest machine at its floor price beats bidding further.
+  const double floorValue =
+      minRank - (config_.priceFloor > 0.0 ? config_.priceFloor : spread + 1.0);
+
+  std::vector<double> price(nr, 0.0);
+  std::vector<std::uint32_t> owner(nr, kNone);      // dense request index
+  std::vector<std::uint32_t> assigned(nl, kNone);   // edge index
+  std::deque<std::uint32_t> bidders;
+  for (std::uint32_t r = 0; r < nl; ++r) {
+    if (!graph.adjacency[r].empty()) bidders.push_back(r);
+  }
+
+  std::size_t rounds = 0;
+  while (!bidders.empty()) {
+    const std::uint32_t r = bidders.front();
+    bidders.pop_front();
+
+    // Best and second-best value among feasible machines at current
+    // prices; ties keep the FIRST (lowest-slot) machine, deterministic.
+    std::uint32_t bestEdge = kNone;
+    double best = -std::numeric_limits<double>::infinity();
+    double second = -std::numeric_limits<double>::infinity();
+    for (const std::uint32_t e : graph.adjacency[r]) {
+      const FeasibleEdge& edge = graph.edges[e];
+      const double value = edge.requestRank - price[edge.resource];
+      if (bestEdge == kNone || value > best) {
+        second = best;
+        best = value;
+        bestEdge = e;
+      } else if (value > second) {
+        second = value;
+      }
+    }
+    if (bestEdge == kNone || best < floorValue) continue;  // priced out
+    ++rounds;
+    const FeasibleEdge& edge = graph.edges[bestEdge];
+    const std::uint32_t c = edge.resource;
+    // Bertsekas bid: pay what makes the runner-up equally attractive,
+    // plus epsilon so every accepted bid raises the price.
+    const double runnerUp = second > floorValue ? second : floorValue;
+    price[c] += (best - runnerUp) + epsilon;
+    if (owner[c] != kNone) {
+      assigned[owner[c]] = kNone;
+      bidders.push_back(owner[c]);
+    }
+    owner[c] = r;
+    assigned[r] = bestEdge;
+  }
+
+  for (std::uint32_t r = 0; r < nl; ++r) {
+    if (assigned[r] == kNone) continue;
+    const FeasibleEdge& edge = graph.edges[assigned[r]];
+    Decision decision;
+    decision.requestSlot = graph.requestSlots[r];
+    decision.resourceSlot = graph.resourceSlots[edge.resource];
+    decision.requestRank = edge.requestRank;
+    decision.resourceRank = edge.resourceRank;
+    decision.preempting = edge.preempting;
+    ctx.taken[decision.resourceSlot] = 1;
+    if (stats != nullptr) {
+      ++stats->matchedPairs;
+      stats->aggregateRank += edge.requestRank;
+    }
+    out.push_back(decision);
+  }
+  if (stats != nullptr) stats->auctionRounds += rounds;
+  return out;
+}
+
+}  // namespace matchmaking::policy

@@ -1,0 +1,46 @@
+// auction.h - Market-based negotiation: ranks are bids, prices resolve
+// contention.
+//
+// A Bertsekas-style forward auction over the cycle's feasibility graph
+// (the economic-scheduling framing: each request's evaluated Rank of a
+// machine is what that match is WORTH to it; see PAPERS.md, "Matching
+// Mechanisms for Real-Time Computational Resource Exchange Markets" and
+// Buyya's economic grid scheduling). Unassigned requests repeatedly bid
+// for the machine maximizing value = rank - price, raising its price by
+// the bid increment (value over the second-best option, plus epsilon).
+// An outbid request re-enters the queue; a request priced out of every
+// feasible machine drops out. Epsilon makes every bid raise some price,
+// so the auction terminates, and with epsilon small relative to rank
+// gaps the outcome approaches the max-total-rank assignment — the
+// resolution path is just decentralized price discovery instead of a
+// global solver. PolicyAuctionRounds counts the bids a cycle needed.
+#pragma once
+
+#include "matchmaker/policy/graph.h"
+#include "matchmaker/policy/policy.h"
+
+namespace matchmaking::policy {
+
+struct AuctionConfig {
+  /// Minimum bid increment. <= 0 picks one automatically: the rank
+  /// spread over (resources + 1), the classic near-optimality scale.
+  double epsilon = 0.0;
+  /// A request whose best value falls below (minRank - priceFloor) stops
+  /// bidding — it cannot profitably displace anyone. <= 0 picks the rank
+  /// spread + 1 per contested machine.
+  double priceFloor = 0.0;
+};
+
+class AuctionPolicy final : public NegotiationPolicy {
+ public:
+  explicit AuctionPolicy(AuctionConfig config = {}) : config_(config) {}
+
+  PolicyKind kind() const noexcept override { return PolicyKind::kAuction; }
+  std::vector<Decision> decide(CycleContext& ctx,
+                               PolicyStats* stats) const override;
+
+ private:
+  AuctionConfig config_;
+};
+
+}  // namespace matchmaking::policy

@@ -1,0 +1,53 @@
+#include "matchmaker/policy/graph.h"
+
+#include <unordered_map>
+
+namespace matchmaking::policy {
+
+FeasibilityGraph buildFeasibilityGraph(const CycleContext& ctx) {
+  FeasibilityGraph graph;
+  graph.requestSlots.assign(ctx.serviceOrder.begin(), ctx.serviceOrder.end());
+  graph.adjacency.resize(graph.requestSlots.size());
+
+  const std::vector<engine::Slot>& requestSlots = ctx.requests.slots();
+  const std::vector<engine::Slot>& resourceSlots = ctx.resources.slots();
+  std::unordered_map<std::uint32_t, std::uint32_t> denseResource;
+
+  for (std::uint32_t r = 0; r < graph.requestSlots.size(); ++r) {
+    const engine::Slot& reqSlot = requestSlots[graph.requestSlots[r]];
+    if (!reqSlot.prepared.valid()) continue;
+    if (reqSlot.guards.neverTrue) {
+      if (ctx.scan != nullptr) ++ctx.scan->staticSkips;
+      continue;
+    }
+    const std::vector<std::uint32_t> ids = engine::selectCandidates(
+        reqSlot.guards, ctx.resources, ctx.engine.config().useIndex, ctx.scan);
+    for (const std::uint32_t id : ids) {
+      if (!ctx.taken.empty() && ctx.taken[id] != 0) continue;
+      const engine::Slot& resSlot = resourceSlots[id];
+      if (ctx.scan != nullptr) ++ctx.scan->evaluated;
+      const classad::MatchAnalysis m =
+          ctx.engine.analyzePair(reqSlot.prepared, resSlot.prepared);
+      if (!m.matched) continue;
+      // The same preemption gate as the greedy scan: a claimed resource
+      // only hears from customers it ranks strictly above its current one.
+      if (resSlot.claimed && !(m.resourceRank > resSlot.currentRank)) continue;
+
+      const auto [it, inserted] = denseResource.try_emplace(
+          id, static_cast<std::uint32_t>(graph.resourceSlots.size()));
+      if (inserted) graph.resourceSlots.push_back(id);
+      FeasibleEdge edge;
+      edge.request = r;
+      edge.resource = it->second;
+      edge.requestRank = m.requestRank;
+      edge.resourceRank = m.resourceRank;
+      edge.preempting = resSlot.claimed;
+      graph.adjacency[r].push_back(
+          static_cast<std::uint32_t>(graph.edges.size()));
+      graph.edges.push_back(edge);
+    }
+  }
+  return graph;
+}
+
+}  // namespace matchmaking::policy

@@ -1,0 +1,56 @@
+// graph.h - The cycle's feasibility graph, materialized once.
+//
+// Batch policies (assignment, auction) need the whole bipartite graph of
+// feasible request<->resource pairs up front, where the greedy scan only
+// ever needs the best edge per request. Both views come from the SAME
+// admission pipeline: per-request candidate selection through the
+// engine's guards + candidate index (a proven superset of the matchable
+// slots), then the full bilateral evaluation and the preemption gate on
+// the survivors. An edge exists here iff the greedy scan could have
+// picked that pair — so anything a batch policy outputs is a pair the
+// Section 3.2 semantics accept.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matchmaker/policy/policy.h"
+
+namespace matchmaking::policy {
+
+/// One feasible pair. `request`/`resource` are DENSE indices into
+/// FeasibilityGraph::requestSlots / resourceSlots (not pool slot ids).
+struct FeasibleEdge {
+  std::uint32_t request = 0;
+  std::uint32_t resource = 0;
+  double requestRank = 0.0;
+  double resourceRank = 0.0;
+  bool preempting = false;
+};
+
+struct FeasibilityGraph {
+  /// Request slot ids in service order (requests with zero feasible
+  /// edges are still listed; their adjacency is empty).
+  std::vector<std::uint32_t> requestSlots;
+  /// Resource slot ids that carry at least one edge, in first-discovery
+  /// order (deterministic: requests in service order, candidates
+  /// ascending).
+  std::vector<std::uint32_t> resourceSlots;
+  std::vector<FeasibleEdge> edges;
+  /// Edge indices per dense request index, in ascending resource slot
+  /// order — the same order the serial greedy scan evaluates, which is
+  /// what makes every policy's tie-breaking deterministic.
+  std::vector<std::vector<std::uint32_t>> adjacency;
+
+  std::size_t requestCount() const noexcept { return requestSlots.size(); }
+  std::size_t resourceCount() const noexcept { return resourceSlots.size(); }
+};
+
+/// Builds the graph for the cycle: for each request in ctx.serviceOrder,
+/// candidate selection through guards/index, full pair evaluation on the
+/// survivors, preemption gate, skipping resources already taken.
+/// Evaluations and prunes are folded into ctx.scan exactly as the greedy
+/// scan folds them.
+FeasibilityGraph buildFeasibilityGraph(const CycleContext& ctx);
+
+}  // namespace matchmaking::policy

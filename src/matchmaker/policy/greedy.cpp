@@ -1,0 +1,33 @@
+#include "matchmaker/policy/greedy.h"
+
+namespace matchmaking::policy {
+
+std::vector<Decision> GreedyPolicy::decide(CycleContext& ctx,
+                                           PolicyStats* stats) const {
+  std::vector<Decision> out;
+  const std::vector<engine::Slot>& slots = ctx.requests.slots();
+  if (ctx.taken.size() < ctx.resources.slots().size()) {
+    ctx.taken.resize(ctx.resources.slots().size(), 0);
+  }
+  for (const std::uint32_t requestSlot : ctx.serviceOrder) {
+    const engine::Slot& reqSlot = slots[requestSlot];
+    const engine::BestCandidate best = ctx.engine.bestFor(
+        reqSlot.prepared, reqSlot.guards, ctx.resources, ctx.taken, ctx.scan);
+    if (!best.found) continue;
+    ctx.taken[best.slot] = 1;
+    Decision decision;
+    decision.requestSlot = requestSlot;
+    decision.resourceSlot = best.slot;
+    decision.requestRank = best.requestRank;
+    decision.resourceRank = best.resourceRank;
+    decision.preempting = best.preempting;
+    if (stats != nullptr) {
+      ++stats->matchedPairs;
+      stats->aggregateRank += best.requestRank;
+    }
+    out.push_back(decision);
+  }
+  return out;
+}
+
+}  // namespace matchmaking::policy

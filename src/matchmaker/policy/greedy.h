@@ -1,0 +1,26 @@
+// greedy.h - The paper's Section 3.2 negotiation policy, behind the
+// NegotiationPolicy interface.
+//
+// One request at a time, in fair-share service order: the engine's
+// bestFor scan (static skip, guard/index candidate selection, bilateral
+// evaluation, preemption gate, the shared engine/ordering.h ranking)
+// picks the best untaken resource, which is immediately consumed. This
+// is exactly the loop the Matchmaker used to inline — the policy calls
+// the same MatchEngine entry points in the same order on the same taken
+// vector, so its output is bit-identical to the direct path (enforced by
+// tests/matchmaker/policy/policy_equivalence_test.cpp, and the Release
+// PolicyPerfSmokeTest pins the interface overhead to noise).
+#pragma once
+
+#include "matchmaker/policy/policy.h"
+
+namespace matchmaking::policy {
+
+class GreedyPolicy final : public NegotiationPolicy {
+ public:
+  PolicyKind kind() const noexcept override { return PolicyKind::kGreedy; }
+  std::vector<Decision> decide(CycleContext& ctx,
+                               PolicyStats* stats) const override;
+};
+
+}  // namespace matchmaking::policy

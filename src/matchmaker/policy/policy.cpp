@@ -1,0 +1,40 @@
+#include "matchmaker/policy/policy.h"
+
+#include "matchmaker/policy/assignment.h"
+#include "matchmaker/policy/auction.h"
+#include "matchmaker/policy/greedy.h"
+
+namespace matchmaking::policy {
+
+std::optional<PolicyKind> parsePolicyName(std::string_view name) {
+  if (name == "greedy") return PolicyKind::kGreedy;
+  if (name == "assignment") return PolicyKind::kAssignment;
+  if (name == "auction") return PolicyKind::kAuction;
+  return std::nullopt;
+}
+
+std::string_view policyName(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kGreedy:
+      return "greedy";
+    case PolicyKind::kAssignment:
+      return "assignment";
+    case PolicyKind::kAuction:
+      return "auction";
+  }
+  return "greedy";
+}
+
+std::unique_ptr<NegotiationPolicy> makePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAssignment:
+      return std::make_unique<AssignmentPolicy>();
+    case PolicyKind::kAuction:
+      return std::make_unique<AuctionPolicy>();
+    case PolicyKind::kGreedy:
+      break;
+  }
+  return std::make_unique<GreedyPolicy>();
+}
+
+}  // namespace matchmaking::policy

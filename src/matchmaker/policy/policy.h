@@ -1,0 +1,113 @@
+// policy.h - Pluggable negotiation policies (ROADMAP item 3).
+//
+// Section 3.2's greedy priority-order scan is ONE way to decide which
+// request gets which resource each cycle; the MatchEngine refactor made
+// the scan swappable in principle, and this subsystem makes it real. A
+// NegotiationPolicy owns exactly the per-cycle request<->resource
+// DECISION: the Matchmaker still prepares the pools, orders requests by
+// fair-share standing, and issues the match notifications — the policy
+// only picks the pairs. Three policies ship:
+//
+//   GreedyPolicy      - the paper's Section 3.2 scan re-expressed through
+//                       the interface. Bit-identical to the direct
+//                       MatchEngine path (enforced by a randomized
+//                       property suite, ctest -L policy).
+//   AssignmentPolicy  - whole-cycle optimal assignment: materializes the
+//                       cycle's feasibility graph from the engine's
+//                       admission guards and solves it as bipartite
+//                       matching — Hopcroft–Karp for max-cardinality, or
+//                       successive-shortest-augmenting-path for
+//                       max-total-rank at max cardinality. Never returns
+//                       fewer pairs than greedy (a greedy matching is
+//                       maximal; both solvers are maximum).
+//   AuctionPolicy     - an iterative market (Bertsekas-style auction):
+//                       each request's evaluated Rank is its bid, prices
+//                       resolve contention, and preemption-gated claimed
+//                       resources simply price their current customer in.
+//
+// Every policy sees only FEASIBLE pairs — pairs admitted by the same
+// bilateral constraint evaluation and preemption gate as the greedy scan
+// (see graph.h) — so no policy can ever issue a match the Section 3.2
+// semantics would reject. docs/POLICY.md has the contract and the
+// when-to-use guidance; bench_e13_policies and EXPERIMENTS.md E13 have
+// the numbers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "matchmaker/engine/engine.h"
+
+namespace matchmaking::policy {
+
+enum class PolicyKind : std::uint8_t { kGreedy, kAssignment, kAuction };
+
+/// Parses a `--policy` / config spelling ("greedy", "assignment",
+/// "auction"). Unknown names return nullopt — callers own the usage
+/// error.
+std::optional<PolicyKind> parsePolicyName(std::string_view name);
+
+/// The canonical lowercase name (what parsePolicyName accepts), used in
+/// DaemonStatus self-ads ("NegotiationPolicy") and mm_status output.
+std::string_view policyName(PolicyKind kind) noexcept;
+
+/// Everything a policy may consume when deciding one cycle. The taken
+/// vector is resource-slot-indexed; entries already non-zero on entry
+/// (never the case today, but the contract) are unavailable, and the
+/// policy marks every slot it assigns before returning.
+struct CycleContext {
+  const engine::MatchEngine& engine;
+  const engine::PreparedPool& requests;
+  const engine::PreparedPool& resources;
+  /// Live, non-gang request slot ids in fair-share service order — the
+  /// same order the greedy scan consumes; batch policies use it only for
+  /// deterministic iteration and output order.
+  std::span<const std::uint32_t> serviceOrder;
+  std::vector<char>& taken;
+  engine::ScanStats* scan = nullptr;  ///< optional scan instrumentation
+};
+
+/// One pair the policy decided on. Ranks are the evaluated Rank values of
+/// the pair (the same numbers the greedy scan would have used).
+struct Decision {
+  std::uint32_t requestSlot = 0;
+  std::uint32_t resourceSlot = 0;
+  double requestRank = 0.0;
+  double resourceRank = 0.0;
+  bool preempting = false;
+};
+
+/// Per-cycle policy instrumentation, published by the PoolManager as
+/// PolicyCycleSolveSeconds / PolicyMatchedPairs / PolicyAggregateRank /
+/// PolicyAuctionRounds (DaemonStatus self-ads, mm_status -stats).
+struct PolicyStats {
+  std::size_t matchedPairs = 0;
+  double aggregateRank = 0.0;   ///< sum of matched requests' Rank values
+  std::size_t auctionRounds = 0;  ///< bids processed (auction only)
+};
+
+class NegotiationPolicy {
+ public:
+  virtual ~NegotiationPolicy() = default;
+
+  virtual PolicyKind kind() const noexcept = 0;
+
+  /// Decides the cycle. Returns at most one Decision per request slot and
+  /// per resource slot, every pair feasible under the engine's bilateral
+  /// evaluation + preemption gate, in the order matches should be
+  /// notified (greedy: service order; batch policies: service order of
+  /// the matched requests). Must mark ctx.taken for every resource slot
+  /// it assigns.
+  virtual std::vector<Decision> decide(CycleContext& ctx,
+                                       PolicyStats* stats = nullptr) const = 0;
+};
+
+/// Factory for the built-in policies (assignment defaults to
+/// max-total-rank; construct AssignmentPolicy directly for max-pairs).
+std::unique_ptr<NegotiationPolicy> makePolicy(PolicyKind kind);
+
+}  // namespace matchmaking::policy

@@ -458,6 +458,9 @@ classad::ClassAdPtr MatchmakerDaemon::buildSelfAd() {
   ad.set("DaemonType", "Matchmaker");
   ad.set("Name", address_);
   ad.set("Address", address_);
+  ad.set("NegotiationPolicy",
+         std::string(matchmaking::policy::policyName(
+             config_.matchmaker.negotiationPolicy)));
   if (!config_.federation.pool.empty()) {
     ad.set("Pool", config_.federation.pool);
     ad.set("FederationLinksUp",

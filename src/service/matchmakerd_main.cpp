@@ -1,6 +1,7 @@
 // matchmakerd - networked matchmaker daemon (collector + negotiator).
 //
 //   matchmakerd [--port N] [--interval SECONDS] [--ad-lifetime SECONDS]
+//              [--policy greedy|assignment|auction]
 //              [--pool NAME] [--peer NAME=HOST:PORT]...
 //              [--flock all|on-demand|digest|filtered=EXPR]
 //
@@ -68,6 +69,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.federationPeers.push_back(peer);
+    } else if (std::strcmp(arg, "--policy") == 0) {
+      const std::string name = value();
+      const auto kind = matchmaking::policy::parsePolicyName(name);
+      if (!kind.has_value()) {
+        std::fprintf(stderr,
+                     "matchmakerd: --policy wants greedy, assignment, or"
+                     " auction (got \"%s\")\n",
+                     name.c_str());
+        return 2;
+      }
+      config.matchmaker.negotiationPolicy = *kind;
     } else if (std::strcmp(arg, "--flock") == 0) {
       const std::string policy = value();
       if (policy == "all") {
@@ -89,7 +101,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: matchmakerd [--port N] [--interval SECONDS]"
-                   " [--ad-lifetime SECONDS] [--pool NAME]"
+                   " [--ad-lifetime SECONDS]"
+                   " [--policy greedy|assignment|auction] [--pool NAME]"
                    " [--peer NAME=HOST:PORT]..."
                    " [--flock all|on-demand|digest|filtered=EXPR]\n");
       return 2;

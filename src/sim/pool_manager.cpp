@@ -57,6 +57,10 @@ PoolManager::PoolManager(Simulator& sim, Transport& net, Metrics& metrics,
     pruneRatioLastCycle_ = reg.gauge("MatchPruneRatioLastCycle");
     indexedAds_ = reg.gauge("MatchIndexedAds");
     indexRebuilds_ = reg.gauge("MatchIndexRebuilds");
+    policySolveHist_ = reg.histogram("PolicyCycleSolveSeconds");
+    policyMatchedPairs_ = reg.gauge("PolicyMatchedPairs");
+    policyAggregateRank_ = reg.gauge("PolicyAggregateRank");
+    policyAuctionRounds_ = reg.counter("PolicyAuctionRounds");
   }
 }
 
@@ -326,6 +330,10 @@ matchmaking::NegotiationStats PoolManager::negotiateNow() {
                          : 0.0);
     indexedAds_->set(static_cast<double>(resourcePool.liveCount()));
     indexRebuilds_->set(static_cast<double>(resourcePool.rebuilds()));
+    policySolveHist_->observe(stats.policySolveSeconds);
+    policyMatchedPairs_->set(static_cast<double>(stats.matches));
+    policyAggregateRank_->set(stats.aggregateRank);
+    policyAuctionRounds_->inc(stats.auctionRounds);
   }
   if (tracing) {
     // Externally timed phase spans under the cycle root. fairshare and

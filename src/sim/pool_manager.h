@@ -202,6 +202,14 @@ class PoolManager : public Endpoint, private federation::FederationHost {
   // derivations; published as a counter by delta each cycle).
   obs::Counter* guardsElided_ = nullptr;
   std::size_t guardsElidedSeen_ = 0;
+  // Negotiation-policy plane (src/matchmaker/policy): the active policy's
+  // decide() wall time, its per-cycle outcome (pairs, summed request
+  // rank), and the cumulative auction bid count (0 unless --policy
+  // auction). All flow into the DaemonStatus self-ad.
+  obs::Histogram* policySolveHist_ = nullptr;
+  obs::Gauge* policyMatchedPairs_ = nullptr;
+  obs::Gauge* policyAggregateRank_ = nullptr;
+  obs::Counter* policyAuctionRounds_ = nullptr;
 };
 
 }  // namespace htcsim

@@ -1,0 +1,253 @@
+// The policy seam's central contract, checked the brute-force way: over
+// hundreds of randomized ad pools (closed- and open-world schemas, busy
+// machines, impossible constraints), GreedyPolicy THROUGH the
+// NegotiationPolicy interface produces BIT-IDENTICAL results to driving
+// the MatchEngine directly — same pairs, same order, same ranks, same
+// preemption flags, same evaluation counts. The refactor that introduced
+// the seam must be invisible under the default policy.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "matchmaker/engine/engine.h"
+#include "matchmaker/matchmaker.h"
+#include "matchmaker/policy/greedy.h"
+#include "matchmaker/policy/policy.h"
+
+namespace matchmaking::policy {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+const char* const kArchs[] = {"INTEL", "SPARC", "ALPHA", "PPC"};
+const char* const kOpSys[] = {"LINUX", "SOLARIS", "OSF1"};
+
+ClassAdPtr randomResource(std::mt19937& rng, int id, bool openWorld) {
+  std::uniform_int_distribution<int> coin(0, 99);
+  ClassAd ad;
+  ad.set("Type", "Machine");
+  ad.set("Name", "m" + std::to_string(id));
+  ad.set("ContactAddress", "ra://m" + std::to_string(id));
+  if (!openWorld || coin(rng) < 80) {
+    ad.set("Arch", kArchs[static_cast<std::size_t>(coin(rng)) % 4]);
+  }
+  if (!openWorld || coin(rng) < 80) {
+    ad.set("OpSys", kOpSys[static_cast<std::size_t>(coin(rng)) % 3]);
+  }
+  if (!openWorld || coin(rng) < 85) {
+    ad.set("Memory", 16 << (coin(rng) % 5));
+  }
+  if (!openWorld || coin(rng) < 70) {
+    ad.set("KFlops", 100 * (1 + coin(rng) % 50));
+  }
+  if (openWorld && coin(rng) < 10) ad.setExpr("Memory", "1/0");
+  // Some machines are busy: claimed at their current customer's rank.
+  if (coin(rng) < 25) ad.set("CurrentRank", coin(rng) % 10);
+  switch (coin(rng) % 5) {
+    case 0:
+      ad.setExpr("Constraint", "other.Type == \"Job\"");
+      break;
+    case 1:
+      ad.setExpr("Constraint",
+                 "other.Type == \"Job\" && other.Memory <= self.Memory");
+      break;
+    case 2:
+      ad.setExpr("Constraint", "other.Owner != \"mallory\"");
+      break;
+    case 3:
+      break;  // no constraint: serves anyone
+    default:
+      ad.setExpr("Constraint", "other.Urgent || other.Memory < 100");
+      break;
+  }
+  switch (coin(rng) % 3) {
+    case 0:
+      ad.setExpr("Rank", "0");
+      break;
+    case 1:
+      ad.setExpr("Rank", "other.Priority");
+      break;
+    default:
+      ad.setExpr("Rank", std::to_string(coin(rng) % 5));
+      break;
+  }
+  return makeShared(std::move(ad));
+}
+
+ClassAdPtr randomRequest(std::mt19937& rng, int id, bool openWorld) {
+  std::uniform_int_distribution<int> coin(0, 99);
+  ClassAd ad;
+  ad.set("Type", "Job");
+  ad.set("Owner", std::string("user") + std::to_string(coin(rng) % 3));
+  ad.set("JobId", static_cast<std::int64_t>(id));
+  ad.set("ContactAddress", "ca://job" + std::to_string(id));
+  ad.set("Memory", 16 << (coin(rng) % 4));
+  ad.set("Priority", coin(rng) % 12);
+  if (openWorld && coin(rng) < 15) ad.set("Urgent", true);
+  std::string constraint = "other.Type == \"Machine\"";
+  if (coin(rng) < 70) constraint += " && other.Memory >= self.Memory";
+  switch (coin(rng) % 6) {
+    case 0:
+      constraint += " && other.Arch == \"INTEL\"";
+      break;
+    case 1:
+      constraint += " && member(other.OpSys, {\"LINUX\", \"SOLARIS\"})";
+      break;
+    case 2:
+      constraint += " && (other.Arch == \"SPARC\" || other.KFlops > 2000)";
+      break;
+    case 3:
+      constraint += " && other.KFlops > " + std::to_string(coin(rng) * 40);
+      break;
+    default:
+      break;
+  }
+  if (coin(rng) < 5) constraint = "false";  // statically impossible
+  ad.setExpr("Constraint", constraint);
+  switch (coin(rng) % 3) {
+    case 0:
+      ad.setExpr("Rank", "other.KFlops");
+      break;
+    case 1:
+      ad.setExpr("Rank", "other.Memory + other.KFlops / 1000");
+      break;
+    default:
+      ad.setExpr("Rank", "0");
+      break;
+  }
+  return makeShared(std::move(ad));
+}
+
+/// The pre-policy negotiation loop, transcribed: prepared pools, the
+/// engine's bestFor per live request in order, first-wins taken marking.
+struct DirectMatch {
+  std::uint32_t requestSlot = 0;
+  std::uint32_t resourceSlot = 0;
+  double requestRank = 0.0;
+  double resourceRank = 0.0;
+  bool preempting = false;
+};
+
+std::vector<DirectMatch> directEngineScan(
+    const engine::PreparedPool& requestPool,
+    const engine::PreparedPool& resourcePool, const MatchmakerConfig& config,
+    engine::ScanStats* scan) {
+  const engine::MatchEngine eng(engine::EngineConfig{
+      config.bilateral, config.useCandidateIndex, 1, 512});
+  std::vector<char> taken(resourcePool.slots().size(), 0);
+  std::vector<DirectMatch> out;
+  const std::vector<engine::Slot>& slots = requestPool.slots();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const engine::Slot& slot = slots[i];
+    if (!slot.live || slot.isGang) continue;
+    const engine::BestCandidate best =
+        eng.bestFor(slot.prepared, slot.guards, resourcePool, taken, scan);
+    if (!best.found) continue;
+    taken[best.slot] = 1;
+    out.push_back({static_cast<std::uint32_t>(i), best.slot, best.requestRank,
+                   best.resourceRank, best.preempting});
+  }
+  return out;
+}
+
+void checkPool(std::mt19937& rng, bool openWorld, std::size_t nRequests,
+               std::size_t nResources) {
+  std::vector<ClassAdPtr> requests;
+  std::vector<ClassAdPtr> resources;
+  for (std::size_t i = 0; i < nRequests; ++i) {
+    requests.push_back(randomRequest(rng, static_cast<int>(i), openWorld));
+  }
+  for (std::size_t i = 0; i < nResources; ++i) {
+    resources.push_back(randomResource(rng, static_cast<int>(i), openWorld));
+  }
+
+  // Submission order on both sides (fairShare off) so the direct scan's
+  // slot order and the matchmaker's service order coincide exactly.
+  MatchmakerConfig config;
+  config.fairShare = false;
+  config.negotiationPolicy = PolicyKind::kGreedy;
+
+  const engine::PreparedPool requestPool =
+      engine::PreparedPool::fromAds(requests, requestPoolOptions(config));
+  const engine::PreparedPool resourcePool =
+      engine::PreparedPool::fromAds(resources, resourcePoolOptions(config));
+
+  engine::ScanStats directScan;
+  const std::vector<DirectMatch> expected =
+      directEngineScan(requestPool, resourcePool, config, &directScan);
+
+  const Accountant accountant;
+  NegotiationStats stats;
+  const std::vector<Match> got = Matchmaker(config).negotiate(
+      requestPool, resourcePool, accountant, 0.0, &stats);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(got[i].resourceSlot, expected[i].resourceSlot);
+    EXPECT_EQ(got[i].request, requestPool.slots()[expected[i].requestSlot].ad());
+    EXPECT_EQ(got[i].resource,
+              resourcePool.slots()[expected[i].resourceSlot].ad());
+    EXPECT_DOUBLE_EQ(got[i].requestRank, expected[i].requestRank);
+    EXPECT_DOUBLE_EQ(got[i].resourceRank, expected[i].resourceRank);
+    EXPECT_EQ(got[i].preempting, expected[i].preempting);
+  }
+  // Same work, not merely the same answer: every counter the engine
+  // keeps must agree between the two drivers.
+  EXPECT_EQ(stats.matches, expected.size());
+  EXPECT_EQ(stats.candidateEvaluations, directScan.evaluated);
+  EXPECT_EQ(stats.candidatesPruned, directScan.pruned);
+  EXPECT_EQ(stats.indexedSelections, directScan.indexedSelections);
+  EXPECT_EQ(stats.fullScans, directScan.fullScans);
+  EXPECT_EQ(stats.staticSkips, directScan.staticSkips);
+}
+
+TEST(PolicyEquivalenceTest, GreedyClosedWorldBitIdenticalToDirectScan) {
+  std::mt19937 rng(20260808u);
+  for (int round = 0; round < 50; ++round) {
+    SCOPED_TRACE(round);
+    checkPool(rng, false, 12, 80);
+  }
+}
+
+TEST(PolicyEquivalenceTest, GreedyOpenWorldBitIdenticalToDirectScan) {
+  std::mt19937 rng(19980806u);
+  for (int round = 0; round < 50; ++round) {
+    SCOPED_TRACE(round);
+    checkPool(rng, true, 12, 80);
+  }
+}
+
+TEST(PolicyEquivalenceTest, GreedyContendedPoolsBitIdenticalToDirectScan) {
+  // More requests than machines: the taken-set interaction dominates.
+  std::mt19937 rng(777001u);
+  for (int round = 0; round < 30; ++round) {
+    SCOPED_TRACE(round);
+    checkPool(rng, round % 2 == 1, 40, 15);
+  }
+}
+
+TEST(PolicyEquivalenceTest, DefaultPolicyIsGreedy) {
+  EXPECT_EQ(MatchmakerConfig{}.negotiationPolicy, PolicyKind::kGreedy);
+  EXPECT_EQ(makePolicy(PolicyKind::kGreedy)->kind(), PolicyKind::kGreedy);
+}
+
+TEST(PolicyEquivalenceTest, PolicyNamesRoundTrip) {
+  for (const PolicyKind kind : {PolicyKind::kGreedy, PolicyKind::kAssignment,
+                                PolicyKind::kAuction}) {
+    const auto parsed = parsePolicyName(policyName(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+    EXPECT_EQ(makePolicy(kind)->kind(), kind);
+  }
+  EXPECT_FALSE(parsePolicyName("hungarian").has_value());
+  EXPECT_FALSE(parsePolicyName("GREEDY").has_value());
+  EXPECT_FALSE(parsePolicyName("").has_value());
+}
+
+}  // namespace
+}  // namespace matchmaking::policy

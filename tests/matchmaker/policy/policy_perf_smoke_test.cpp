@@ -1,0 +1,138 @@
+// Release-build perf smoke for the policy seam: routing the default
+// greedy scan through the NegotiationPolicy interface must add no
+// measurable overhead over driving the MatchEngine directly (the seam is
+// one virtual call per cycle plus a slot-id copy, nothing per-resource).
+// Gated behind MM_PERF_SMOKE=1 like the engine smoke — wall-clock
+// assertions are meaningless under sanitizers or debug builds; CI runs it
+// in the Release job only. bench_e13_policies has the full numbers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "matchmaker/engine/engine.h"
+#include "matchmaker/matchmaker.h"
+
+namespace matchmaking::policy {
+namespace {
+
+using classad::ClassAd;
+using classad::ClassAdPtr;
+using classad::makeShared;
+
+const char* const kArchs[] = {"INTEL", "SPARC", "ALPHA", "PPC",
+                              "MIPS",  "HPPA",  "ARM",   "VAX"};
+
+std::vector<ClassAdPtr> machines(std::size_t n) {
+  std::vector<ClassAdPtr> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ClassAd ad;
+    ad.set("Type", "Machine");
+    ad.set("Name", "m" + std::to_string(i));
+    ad.set("ContactAddress", "ra://m" + std::to_string(i));
+    ad.set("Arch", kArchs[i % 8]);
+    ad.set("Memory", 32 << (i % 4));
+    ad.set("KFlops", static_cast<std::int64_t>(100 + i % 1000));
+    ad.setExpr("Constraint", "other.Type == \"Job\"");
+    ad.setExpr("Rank", "0");
+    out.push_back(makeShared(std::move(ad)));
+  }
+  return out;
+}
+
+std::vector<ClassAdPtr> jobs(std::size_t n) {
+  std::vector<ClassAdPtr> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ClassAd ad;
+    ad.set("Type", "Job");
+    ad.set("Owner", "user" + std::to_string(i % 4));
+    ad.set("JobId", static_cast<std::int64_t>(i + 1));
+    ad.set("ContactAddress", "ca://job" + std::to_string(i));
+    ad.set("Memory", 32);
+    ad.setExpr("Constraint",
+               std::string("other.Type == \"Machine\" && other.Arch == \"") +
+                   kArchs[i % 8] + "\" && other.Memory >= self.Memory");
+    ad.setExpr("Rank", "other.KFlops");
+    out.push_back(makeShared(std::move(ad)));
+  }
+  return out;
+}
+
+TEST(PolicyPerfSmokeTest, GreedyThroughInterfaceAddsNoOverhead) {
+  const char* gate = std::getenv("MM_PERF_SMOKE");
+  if (gate == nullptr || std::string(gate) != "1") {
+    GTEST_SKIP() << "set MM_PERF_SMOKE=1 (Release builds) to run";
+  }
+  const std::vector<ClassAdPtr> resources = machines(4000);
+  const std::vector<ClassAdPtr> requests = jobs(64);
+
+  MatchmakerConfig config;  // defaults: greedy policy, fair share on
+  const engine::PreparedPool requestPool =
+      engine::PreparedPool::fromAds(requests, requestPoolOptions(config));
+  const engine::PreparedPool resourcePool =
+      engine::PreparedPool::fromAds(resources, resourcePoolOptions(config));
+  const engine::MatchEngine eng(engine::EngineConfig{true, true, 1, 512});
+  const Matchmaker mm(config);
+  const Accountant accountant;
+
+  // The direct loop the policy seam replaced: bestFor per live request.
+  std::size_t directMatches = 0;
+  const auto direct = [&]() {
+    double seconds = 1e9;
+    for (int i = 0; i < 3; ++i) {
+      std::vector<char> taken(resourcePool.slots().size(), 0);
+      directMatches = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (const engine::Slot& slot : requestPool.slots()) {
+        if (!slot.live || slot.isGang) continue;
+        const engine::BestCandidate best =
+            eng.bestFor(slot.prepared, slot.guards, resourcePool, taken);
+        if (!best.found) continue;
+        taken[best.slot] = 1;
+        ++directMatches;
+      }
+      seconds = std::min(
+          seconds, std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count());
+    }
+    return seconds;
+  };
+
+  std::size_t policyMatches = 0;
+  const auto throughPolicy = [&]() {
+    double seconds = 1e9;
+    for (int i = 0; i < 3; ++i) {
+      NegotiationStats stats;
+      const auto start = std::chrono::steady_clock::now();
+      const std::vector<Match> matches =
+          mm.negotiate(requestPool, resourcePool, accountant, 0.0, &stats);
+      seconds = std::min(
+          seconds, std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count());
+      policyMatches = matches.size();
+      EXPECT_GT(stats.policySolveSeconds, 0.0);
+    }
+    return seconds;
+  };
+
+  throughPolicy();  // warm-up
+  const double directBest = direct();
+  const double policyBest = throughPolicy();
+
+  EXPECT_EQ(policyMatches, directMatches);
+  // negotiate() also runs fair-share ordering and builds Match records,
+  // so a 25% envelope is generous headroom for "no measurable overhead"
+  // while staying robust to noisy neighbors.
+  EXPECT_LE(policyBest, directBest * 1.25)
+      << "policy " << policyBest << "s vs direct " << directBest << "s";
+}
+
+}  // namespace
+}  // namespace matchmaking::policy
